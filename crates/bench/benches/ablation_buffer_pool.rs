@@ -1,0 +1,47 @@
+//! Ablation — the Option-1 advantage is a cache effect.
+//!
+//! DESIGN.md claims the Figure 2–4 ordering (option 1 > option 3) is caused
+//! entirely by buffer-pool locality. This ablation sweeps the buffer-pool
+//! size: when the pool is large enough to hold every database's working set
+//! on every machine, spreading reads (option 3) stops hurting, and the gap
+//! collapses.
+
+use tenantdb_bench::{fast_mode, secs, ThroughputExperiment};
+use tenantdb_cluster::ReadPolicy;
+use tenantdb_tpcw::BROWSING;
+
+fn main() {
+    // Pools swept around the calibrated per-database read working set.
+    let items = ThroughputExperiment::default().items;
+    let base = (tenantdb_tpcw::Scale::with_items(items).approx_rows() / 200).max(48);
+    let pools: Vec<usize> = if fast_mode() {
+        vec![base, base * 16]
+    } else {
+        vec![base / 2, base, base * 2, base * 4, base * 16]
+    };
+    let duration = secs(2.5);
+    println!("# Ablation: option-1 vs option-3 throughput as the buffer pool grows");
+    println!("# TPC-W browsing mix (read-heavy), 4 machines, 4 databases, 2 replicas");
+    println!(
+        "{:>14}{:>14}{:>14}{:>12}",
+        "pool (pages)", "opt-1 TPS", "opt-3 TPS", "opt1/opt3"
+    );
+    for &pages in &pools {
+        let tps = |policy| {
+            ThroughputExperiment { read_policy: policy, buffer_pages: pages, ..Default::default() }
+                .run(&BROWSING, 2, duration)
+                .tps()
+        };
+        let t1 = tps(ReadPolicy::PinnedReplica);
+        let t3 = tps(ReadPolicy::PerOperation);
+        println!(
+            "{:>14}{:>14.1}{:>14.1}{:>12.2}",
+            pages,
+            t1,
+            t3,
+            if t3 > 0.0 { t1 / t3 } else { f64::NAN }
+        );
+    }
+    println!();
+    println!("# expected: the ratio falls toward ~1.0 as the pool covers the working set");
+}

@@ -1,0 +1,9 @@
+//! Figure-2 — throughput with synchronous replication, TPC-W shopping mix.
+//!
+//! Series: no-replication vs read options 1/2/3 (conservative writes).
+//! Expected shape (paper): option 1 best (within 5–25% of no-replication),
+//! option 2 next, option 3 worst — driven by buffer-pool locality.
+
+fn main() {
+    tenantdb_bench::run_throughput_figure("Figure-2", &tenantdb_tpcw::SHOPPING);
+}

@@ -1,0 +1,8 @@
+//! Figure-6 — deadlock rate vs database size, TPC-W browsing mix.
+//!
+//! Expected shape (paper): no significant difference between the three read
+//! options; the rate falls as databases grow (less row contention).
+
+fn main() {
+    tenantdb_bench::run_deadlock_figure("Figure-6", &tenantdb_tpcw::BROWSING);
+}

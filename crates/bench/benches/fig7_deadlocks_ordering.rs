@@ -1,0 +1,8 @@
+//! Figure-7 — deadlock rate vs database size, TPC-W ordering mix.
+//!
+//! Expected shape (paper): no significant difference between the three read
+//! options; the rate falls as databases grow (less row contention).
+
+fn main() {
+    tenantdb_bench::run_deadlock_figure("Figure-7", &tenantdb_tpcw::ORDERING);
+}

@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks for the storage engine hot paths: point
+//! insert, point read, index lookup, buffer-pool access, and lock
+//! acquire/release. These guard against regressions in the substrate that
+//! every macro experiment sits on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use tenantdb_storage::{
+    BufferPool, ColumnDef, CostModel, DataType, Engine, EngineConfig, LockManager, LockMode,
+    PageKey, ResourceId, TableSchema, TxnId, Value,
+};
+
+fn engine_with_data(rows: i64) -> Engine {
+    let e = Engine::new(EngineConfig {
+        buffer_pages: 1 << 16,
+        cost: CostModel::free(),
+        lock_timeout: std::time::Duration::from_secs(5),
+    });
+    e.create_database("db").unwrap();
+    e.create_table(
+        "db",
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("payload", DataType::Text),
+            ],
+        )
+        .with_primary_key(&["id"]),
+    )
+    .unwrap();
+    e.with_txn(|txn| {
+        for i in 0..rows {
+            e.insert(txn, "db", "t", vec![Value::Int(i), Value::Text(format!("row-{i}"))])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    e
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let engine = engine_with_data(10_000);
+
+    c.bench_function("engine/point_read", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let txn = engine.begin().unwrap();
+            let row = engine.read(txn, "db", "t", i % 10_000).unwrap();
+            engine.commit(txn).unwrap();
+            i += 1;
+            row
+        })
+    });
+
+    c.bench_function("engine/index_lookup", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            let txn = engine.begin().unwrap();
+            let rows = engine
+                .index_lookup(txn, "db", "t", "pk", &[Value::Int(i % 10_000)], false)
+                .unwrap();
+            engine.commit(txn).unwrap();
+            i += 1;
+            rows
+        })
+    });
+
+    // The outer closure runs once per criterion phase (warmup, sampling),
+    // so the id source must live outside it or keys would repeat.
+    let next_id = std::sync::atomic::AtomicI64::new(1_000_000);
+    c.bench_function("engine/insert_commit", |b| {
+        b.iter(|| {
+            let i = next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let txn = engine.begin().unwrap();
+            engine
+                .insert(txn, "db", "t", vec![Value::Int(i), Value::Text("x".into())])
+                .unwrap();
+            engine.commit(txn).unwrap();
+        })
+    });
+
+    c.bench_function("engine/sql_point_select", |b| {
+        let stmt = tenantdb_sql::parse("SELECT payload FROM t WHERE id = ?").unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            let txn = engine.begin().unwrap();
+            let r = tenantdb_sql::execute_stmt(
+                &engine,
+                txn,
+                "db",
+                &stmt,
+                &[Value::Int(i % 10_000)],
+            )
+            .unwrap();
+            engine.commit(txn).unwrap();
+            i += 1;
+            r
+        })
+    });
+}
+
+fn bench_locks(c: &mut Criterion) {
+    c.bench_function("locks/acquire_release_row", |b| {
+        let lm = LockManager::default();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let txn = TxnId(t);
+            lm.acquire(txn, ResourceId::Row { table: 1, row: t % 512 }, LockMode::X).unwrap();
+            lm.release_all(txn);
+        })
+    });
+
+    c.bench_function("locks/shared_reacquire", |b| {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), ResourceId::Row { table: 1, row: 7 }, LockMode::S).unwrap();
+        b.iter(|| lm.acquire(TxnId(1), ResourceId::Row { table: 1, row: 7 }, LockMode::S))
+    });
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    c.bench_function("buffer/hit", |b| {
+        let pool = BufferPool::new(1024, CostModel::free());
+        pool.access(PageKey { table: 1, page_no: 0 });
+        b.iter(|| pool.access(PageKey { table: 1, page_no: 0 }))
+    });
+
+    c.bench_function("buffer/miss_evict", |b| {
+        b.iter_batched(
+            || BufferPool::new(64, CostModel::free()),
+            |pool| {
+                for i in 0..128 {
+                    pool.access(PageKey { table: 1, page_no: i });
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine, bench_locks, bench_buffer
+}
+criterion_main!(benches);

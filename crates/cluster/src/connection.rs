@@ -1,0 +1,551 @@
+//! Client connections: read routing, write-all fan-out, and 2PC
+//! coordination — the §3.1 machinery.
+//!
+//! Error semantics follow the strict ("PostgreSQL-style") model: once any
+//! statement of a transaction errors on any replica, the transaction can no
+//! longer commit — `commit()` reports the failure and the client retries.
+//! The one exception is machine failure (`Unavailable`): a dead replica is
+//! silently discarded from the replica set and the transaction continues on
+//! the survivors, which is the failure-masking behaviour §3.2 requires.
+
+use std::collections::HashMap;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tenantdb_history::GTxn;
+use tenantdb_sql::{parse, QueryResult, SqlError, Statement};
+use tenantdb_storage::{StorageError, TxnId, Value};
+
+use crate::controller::{ClusterController, ReadPolicy, WritePolicy};
+use crate::error::{ClusterError, Result};
+use crate::machine::MachineId;
+use crate::worker::{spawn_worker, TxnFailures, WorkerHandle, WorkerMsg, WorkerReply};
+
+struct ActiveTxn {
+    gtxn: GTxn,
+    workers: HashMap<MachineId, WorkerHandle>,
+    /// Replica chosen for this transaction's reads (Option 2).
+    read_pin: Option<MachineId>,
+    wrote: bool,
+    failures: Arc<TxnFailures>,
+}
+
+/// Fault-injection points inside `commit` (process-pair takeover tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitFault {
+    None,
+    /// The controller "crashes" after logging the commit decision but before
+    /// sending any COMMIT to the participants: replicas are left prepared,
+    /// and the decision sits in the mirrored commit log.
+    CrashAfterDecision,
+}
+
+/// A client connection to one database, routed through the cluster
+/// controller (the JDBC connection of §2).
+pub struct Connection {
+    controller: Arc<ClusterController>,
+    db: String,
+    state: Mutex<Option<ActiveTxn>>,
+    rng: Mutex<StdRng>,
+}
+
+impl Connection {
+    pub(crate) fn new(controller: Arc<ClusterController>, db: String) -> Self {
+        // Per-connection deterministic RNG stream.
+        let seed = controller.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ controller.next_gtxn().0;
+        Connection {
+            controller,
+            db,
+            state: Mutex::new(None),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    pub fn database(&self) -> &str {
+        &self.db
+    }
+
+    pub fn in_txn(&self) -> bool {
+        self.state.lock().is_some()
+    }
+
+    /// Start an explicit transaction.
+    pub fn begin(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.is_some() {
+            return Err(ClusterError::TxnAborted("BEGIN inside an open transaction".into()));
+        }
+        *st = Some(ActiveTxn {
+            gtxn: self.controller.next_gtxn(),
+            workers: HashMap::new(),
+            read_pin: None,
+            wrote: false,
+            failures: Arc::new(TxnFailures::default()),
+        });
+        Ok(())
+    }
+
+    /// Execute one SQL statement. Outside an explicit transaction the
+    /// statement runs in its own auto-committed transaction.
+    pub fn execute(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let stmt = Arc::new(parse(sql)?);
+        self.execute_parsed(&stmt, Arc::new(params.to_vec()))
+    }
+
+    /// Execute a pre-parsed statement (drivers cache ASTs).
+    pub fn execute_parsed(
+        &self,
+        stmt: &Arc<Statement>,
+        params: Arc<Vec<Value>>,
+    ) -> Result<QueryResult> {
+        // DDL bypasses transactions entirely (engine DDL is auto-committed).
+        if matches!(**stmt, Statement::CreateTable { .. } | Statement::CreateIndex { .. }) {
+            if self.in_txn() {
+                return Err(ClusterError::Sql(SqlError::Plan(
+                    "DDL not allowed inside a transaction".into(),
+                )));
+            }
+            return self.run_ddl(stmt);
+        }
+        let implicit = !self.in_txn();
+        if implicit {
+            self.begin()?;
+        }
+        let result = self.run_stmt(stmt, params);
+        if implicit {
+            match &result {
+                Ok(_) => {
+                    // Auto-commit; a commit failure surfaces to the caller.
+                    if self.in_txn() {
+                        self.commit()?;
+                    }
+                }
+                Err(_) => {
+                    if self.in_txn() {
+                        let _ = self.rollback();
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    fn run_ddl(&self, stmt: &Arc<Statement>) -> Result<QueryResult> {
+        let replicas = self.controller.alive_replicas(&self.db)?;
+        if replicas.is_empty() {
+            return Err(ClusterError::NoReplicas(self.db.clone()));
+        }
+        if self.controller.copy_progress(&self.db).is_some() {
+            return Err(ClusterError::WriteRejected { db: self.db.clone(), table: "<ddl>".into() });
+        }
+        for id in replicas {
+            let machine = self.controller.machine(id)?;
+            let txn = machine.engine.begin()?;
+            let r = tenantdb_sql::execute_stmt(&machine.engine, txn, &self.db, stmt, &[]);
+            machine.engine.commit(txn)?;
+            r?;
+        }
+        Ok(QueryResult::default())
+    }
+
+    // ------------------------------------------------------------- reads
+
+    fn pick_read_machine(&self, txn: &mut ActiveTxn) -> Result<MachineId> {
+        let mut alive = self.controller.alive_replicas(&self.db)?;
+        // The copy target is not a full replica yet: never read from it.
+        if let Some(copy) = self.controller.copy_progress(&self.db) {
+            alive.retain(|&m| m != copy.target);
+        }
+        if alive.is_empty() {
+            return Err(ClusterError::NoReplicas(self.db.clone()));
+        }
+        let placement = self.controller.placement(&self.db)?;
+        Ok(match self.controller.cfg.read_policy {
+            ReadPolicy::PinnedReplica => {
+                if alive.contains(&placement.pinned) {
+                    placement.pinned
+                } else {
+                    alive[0]
+                }
+            }
+            ReadPolicy::PerTransaction => {
+                if let Some(pin) = txn.read_pin {
+                    if !alive.contains(&pin) {
+                        return Err(ClusterError::NoReplicas(self.db.clone()));
+                    }
+                    pin
+                } else {
+                    let pick = alive[self.rng.lock().gen_range(0..alive.len())];
+                    txn.read_pin = Some(pick);
+                    pick
+                }
+            }
+            ReadPolicy::PerOperation => alive[self.rng.lock().gen_range(0..alive.len())],
+        })
+    }
+
+    // ----------------------------------------------------------- dispatch
+
+    fn ensure_worker<'a>(
+        &self,
+        txn: &'a mut ActiveTxn,
+        machine: MachineId,
+    ) -> Result<&'a WorkerHandle> {
+        if !txn.workers.contains_key(&machine) {
+            let m = self.controller.machine(machine)?;
+            let handle = spawn_worker(
+                m,
+                self.db.clone(),
+                txn.gtxn,
+                Arc::clone(&txn.failures),
+                self.controller.recorder.read().clone(),
+            );
+            txn.workers.insert(machine, handle);
+        }
+        Ok(txn.workers.get(&machine).unwrap())
+    }
+
+    fn is_unavailable(err: &ClusterError) -> bool {
+        matches!(err.as_storage(), Some(StorageError::Unavailable))
+    }
+
+    fn run_stmt(&self, stmt: &Arc<Statement>, params: Arc<Vec<Value>>) -> Result<QueryResult> {
+        // SELECT ... FOR UPDATE acquires exclusive locks, so it must execute
+        // on *every* replica like a write — locking on a single replica
+        // while writes fan out to all would manufacture distributed
+        // deadlocks between the lock holder and its own write set.
+        let is_read = match &**stmt {
+            Statement::Select(sel) => !sel.for_update,
+            _ => false,
+        };
+        let result =
+            if is_read { self.run_read(stmt, params) } else { self.run_write(stmt, params) };
+        if let Err(e) = &result {
+            // Transaction-fatal errors abort the whole distributed txn so the
+            // client can retry from a clean slate (MySQL behaves the same on
+            // deadlock).
+            let fatal = e.is_deadlock()
+                || e.is_timeout()
+                || e.is_proactive_rejection()
+                || matches!(e, ClusterError::NoReplicas(_));
+            if fatal {
+                self.abort_internal(e);
+            }
+        }
+        result
+    }
+
+    fn run_read(&self, stmt: &Arc<Statement>, params: Arc<Vec<Value>>) -> Result<QueryResult> {
+        let mut st = self.state.lock();
+        let txn = st.as_mut().ok_or(ClusterError::NoActiveTxn)?;
+        let machine = self.pick_read_machine(txn)?;
+        let worker = self.ensure_worker(txn, machine)?;
+        let (tx, rx) = channel();
+        worker.send(WorkerMsg::Exec { stmt: Arc::clone(stmt), params, reply: tx })?;
+        drop(st); // don't hold the connection lock while the engine works
+        let reply = rx.recv().map_err(|_| ClusterError::from(StorageError::Unavailable))?;
+        reply.result
+    }
+
+    /// Tables touched by a broadcast statement: the written table for DML,
+    /// every referenced table for a locking SELECT.
+    fn broadcast_tables(stmt: &Statement) -> Option<Vec<String>> {
+        match stmt {
+            Statement::Insert { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. } => Some(vec![table.clone()]),
+            Statement::Select(sel) if sel.for_update => {
+                let mut v = vec![sel.from.name.clone()];
+                v.extend(sel.joins.iter().map(|j| j.table.name.clone()));
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    fn run_write(&self, stmt: &Arc<Statement>, params: Arc<Vec<Value>>) -> Result<QueryResult> {
+        let tables = Self::broadcast_tables(stmt)
+            .ok_or_else(|| ClusterError::Sql(SqlError::Plan("not a DML statement".into())))?;
+        let table = tables[0].clone();
+        let is_locking_read = matches!(&**stmt, Statement::Select(_));
+
+        let mut st = self.state.lock();
+        let txn = st.as_mut().ok_or(ClusterError::NoActiveTxn)?;
+
+        // Algorithm 1: route around an in-flight replica copy.
+        let mut targets = self.controller.alive_replicas(&self.db)?;
+        if let Some(copy) = self.controller.copy_progress(&self.db) {
+            targets.retain(|&m| m != copy.target);
+            let rejected = (copy.db_level && !is_locking_read)
+                || tables.iter().any(|t| copy.current.as_deref() == Some(t.as_str()));
+            if rejected {
+                return Err(ClusterError::WriteRejected { db: self.db.clone(), table });
+            }
+            // DML on an already-copied table also lands on the new replica.
+            // Locking reads never target the copy (its data is incomplete).
+            if !is_locking_read && copy.copied.contains(&table) {
+                targets.push(copy.target);
+            }
+        }
+        if targets.is_empty() {
+            return Err(ClusterError::NoReplicas(self.db.clone()));
+        }
+
+        let (tx, rx) = channel::<WorkerReply>();
+        for &m in &targets {
+            let worker = self.ensure_worker(txn, m)?;
+            worker.send(WorkerMsg::Exec {
+                stmt: Arc::clone(stmt),
+                params: Arc::clone(&params),
+                reply: tx.clone(),
+            })?;
+        }
+        drop(tx);
+        txn.wrote = true;
+        let write_policy = self.controller.cfg.write_policy;
+        drop(st);
+
+        let n = targets.len();
+        let mut first_ok: Option<QueryResult> = None;
+        let mut errors: Vec<(MachineId, ClusterError)> = Vec::new();
+        let mut received = 0;
+        while received < n {
+            let Ok(reply) = rx.recv() else { break };
+            received += 1;
+            match reply.result {
+                Ok(r) => {
+                    if first_ok.is_none() {
+                        first_ok = Some(r);
+                        if write_policy == WritePolicy::Aggressive {
+                            // Return immediately; stragglers report failures
+                            // through the shared ledger.
+                            break;
+                        }
+                    }
+                }
+                Err(e) => errors.push((reply.machine, e)),
+            }
+        }
+
+        // Drop replicas that died; any other replica error is fatal for the
+        // statement (a write that half-applied across replicas cannot be
+        // allowed to commit).
+        let mut fatal: Option<ClusterError> = None;
+        for (m, e) in &errors {
+            if Self::is_unavailable(e) {
+                self.controller.remove_replica(&self.db, *m);
+            } else if fatal.is_none() {
+                fatal = Some(e.clone());
+            }
+        }
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        match first_ok {
+            Some(r) => Ok(r),
+            None => Err(ClusterError::NoReplicas(self.db.clone())),
+        }
+    }
+
+    // ------------------------------------------------------------ commit
+
+    /// Commit the open transaction (2PC across replicas when it wrote).
+    pub fn commit(&self) -> Result<()> {
+        self.commit_with_fault(CommitFault::None)
+    }
+
+    /// Commit with an injected controller fault (process-pair tests).
+    pub fn commit_with_fault(&self, fault: CommitFault) -> Result<()> {
+        let Some(mut txn) = self.state.lock().take() else {
+            return Err(ClusterError::NoActiveTxn);
+        };
+
+        // Settle the failure ledger: drop dead replicas, refuse to commit
+        // past anything else (aggressive background failures land here).
+        let mut fatal: Option<ClusterError> = None;
+        for (m, e) in txn.failures.drain() {
+            if Self::is_unavailable(&e) {
+                self.controller.remove_replica(&self.db, m);
+                txn.workers.remove(&m);
+            } else if fatal.is_none() {
+                fatal = Some(e);
+            }
+        }
+        if let Some(e) = fatal {
+            let wrapped = ClusterError::TxnAborted(format!("replica write failed: {e}"));
+            self.finish_abort(&mut txn, &e);
+            return Err(wrapped);
+        }
+        if txn.workers.is_empty() {
+            // Transaction that never touched a machine.
+            self.note_outcome_commit(&txn);
+            return Ok(());
+        }
+
+        if !txn.wrote {
+            // One-phase commit for read-only transactions.
+            self.broadcast(&mut txn, |tx| WorkerMsg::Commit { reply: tx });
+            self.note_outcome_commit(&txn);
+            return Ok(());
+        }
+
+        // Phase 1: PREPARE everywhere.
+        let votes = self.broadcast(&mut txn, |tx| WorkerMsg::Prepare { reply: tx });
+        let mut yes: Vec<(MachineId, TxnId)> = Vec::new();
+        let mut fatal: Option<ClusterError> = None;
+        for (m, local, res) in votes {
+            match res {
+                Ok(_) => yes.push((m, local.unwrap_or(TxnId(0)))),
+                Err(e) if Self::is_unavailable(&e) => {
+                    // Participant died before voting: discard the replica.
+                    self.controller.remove_replica(&self.db, m);
+                    txn.workers.remove(&m);
+                }
+                Err(e) => {
+                    if fatal.is_none() {
+                        fatal = Some(e);
+                    }
+                }
+            }
+        }
+        // Settle the ledger *again*: a background write that failed after
+        // the first drain reports its error before its worker answers the
+        // PREPARE (workers are strictly ordered), so by now it is visible.
+        for (m, e) in txn.failures.drain() {
+            if Self::is_unavailable(&e) {
+                self.controller.remove_replica(&self.db, m);
+                txn.workers.remove(&m);
+                yes.retain(|(ym, _)| *ym != m);
+            } else if fatal.is_none() {
+                fatal = Some(e);
+            }
+        }
+        if let Some(e) = fatal {
+            let wrapped = ClusterError::TxnAborted(format!("replica write failed: {e}"));
+            self.finish_abort(&mut txn, &e);
+            return Err(wrapped);
+        }
+        if yes.is_empty() {
+            let e = ClusterError::NoReplicas(self.db.clone());
+            self.finish_abort(&mut txn, &e);
+            return Err(e);
+        }
+
+        // Decision point: log it (mirrored to the process-pair backup).
+        self.controller.commit_log.lock().insert(txn.gtxn, yes);
+        if let Some(rec) = self.controller.recorder.read().as_ref() {
+            rec.commit(txn.gtxn);
+        }
+
+        if fault == CommitFault::CrashAfterDecision {
+            // Simulated controller crash: participants stay prepared; the
+            // decision is in the mirrored log for the backup to complete.
+            // Leak the workers (their threads park on their channels) so the
+            // cleanup abort never runs — mirroring a real process death.
+            for (_, w) in txn.workers.drain() {
+                std::mem::forget(w);
+            }
+            self.controller.note_committed(&self.db);
+            return Ok(());
+        }
+
+        // Phase 2: COMMIT.
+        let acks = self.broadcast(&mut txn, |tx| WorkerMsg::Commit { reply: tx });
+        for (m, _, res) in acks {
+            if let Err(e) = res {
+                if Self::is_unavailable(&e) {
+                    // Participant died after voting yes: its WAL holds the
+                    // prepared txn; restart-time recovery resolves it via the
+                    // decision log. The replica is discarded either way.
+                    self.controller.remove_replica(&self.db, m);
+                }
+            }
+        }
+        self.controller.commit_log.lock().remove(&txn.gtxn);
+        self.note_outcome_commit(&txn);
+        Ok(())
+    }
+
+    /// Roll back the open transaction.
+    pub fn rollback(&self) -> Result<()> {
+        let Some(mut txn) = self.state.lock().take() else {
+            return Err(ClusterError::NoActiveTxn);
+        };
+        self.broadcast(&mut txn, |tx| WorkerMsg::Abort { reply: tx });
+        if let Some(rec) = self.controller.recorder.read().as_ref() {
+            rec.abort(txn.gtxn);
+        }
+        self.controller.note_aborted(&self.db);
+        Ok(())
+    }
+
+    /// Abort after a fatal statement error, classifying the outcome.
+    fn abort_internal(&self, cause: &ClusterError) {
+        if let Some(mut txn) = self.state.lock().take() {
+            self.finish_abort(&mut txn, cause);
+        }
+    }
+
+    fn finish_abort(&self, txn: &mut ActiveTxn, cause: &ClusterError) {
+        self.broadcast(txn, |tx| WorkerMsg::Abort { reply: tx });
+        if let Some(rec) = self.controller.recorder.read().as_ref() {
+            rec.abort(txn.gtxn);
+        }
+        if cause.is_deadlock() || cause.is_timeout() {
+            self.controller.note_deadlock(&self.db);
+        } else if cause.is_proactive_rejection() {
+            self.controller.note_rejected(&self.db);
+        } else {
+            self.controller.note_aborted(&self.db);
+        }
+    }
+
+    fn note_outcome_commit(&self, txn: &ActiveTxn) {
+        if let Some(rec) = self.controller.recorder.read().as_ref() {
+            rec.commit(txn.gtxn);
+        }
+        self.controller.note_committed(&self.db);
+    }
+
+    /// Send a message to every live worker and collect one reply each.
+    fn broadcast(
+        &self,
+        txn: &mut ActiveTxn,
+        make: impl Fn(std::sync::mpsc::Sender<WorkerReply>) -> WorkerMsg,
+    ) -> Vec<(MachineId, Option<TxnId>, Result<QueryResult>)> {
+        let (tx, rx) = channel::<WorkerReply>();
+        let mut expected = 0;
+        for w in txn.workers.values() {
+            if w.send(make(tx.clone())).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        let mut out = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            match rx.recv() {
+                Ok(r) => out.push((r.machine, r.local, r.result)),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// The current transaction's global id (tests and diagnostics).
+    pub fn current_gtxn(&self) -> Option<GTxn> {
+        self.state.lock().as_ref().map(|t| t.gtxn)
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        if self.in_txn() {
+            let _ = self.rollback();
+        }
+    }
+}

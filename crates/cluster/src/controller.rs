@@ -1,0 +1,614 @@
+//! The cluster controller (§2–§3 of the paper).
+//!
+//! The controller owns the database→machine map, routes client connections,
+//! coordinates read-one/write-all replication with 2PC, and tracks the
+//! Algorithm 1 copy state during replica recovery. Clients never talk to a
+//! machine directly — they talk to a [`crate::connection::Connection`]
+//! obtained from [`ClusterController::connect`].
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use tenantdb_history::{GTxn, Recorder};
+use tenantdb_sql::parse;
+use tenantdb_storage::{EngineConfig, TxnId};
+
+use crate::connection::Connection;
+use crate::error::{ClusterError, Result};
+use crate::machine::{Machine, MachineId};
+
+/// The three read-routing options of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// Option 1: all reads for a database go to one pinned replica.
+    PinnedReplica,
+    /// Option 2: all reads of one transaction go to one (per-txn random)
+    /// replica.
+    PerTransaction,
+    /// Option 3: every read picks a replica independently.
+    PerOperation,
+}
+
+/// Write acknowledgement policy of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Wait for every replica to acknowledge before returning to the client.
+    /// Serializable under all read options (Theorem 2).
+    Conservative,
+    /// Return after the first replica acknowledges; remaining replicas
+    /// execute in the background. Serializable only under Option 1
+    /// (Theorem 1) — options 2/3 can produce non-1SR executions (Table 1).
+    Aggressive,
+}
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    pub read_policy: ReadPolicy,
+    pub write_policy: WritePolicy,
+    /// Configuration for every machine's engine.
+    pub engine: EngineConfig,
+    /// Seed for replica-choice randomness (reproducible experiments).
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            read_policy: ReadPolicy::PinnedReplica,
+            write_policy: WritePolicy::Conservative,
+            engine: EngineConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn for_tests() -> Self {
+        ClusterConfig { engine: EngineConfig::for_tests(), ..Default::default() }
+    }
+
+    pub fn with_policies(mut self, read: ReadPolicy, write: WritePolicy) -> Self {
+        self.read_policy = read;
+        self.write_policy = write;
+        self
+    }
+}
+
+/// Where a database's replicas live.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    pub replicas: Vec<MachineId>,
+    /// The replica that Option 1 pins all reads to.
+    pub pinned: MachineId,
+}
+
+/// Algorithm 1 state for a database whose new replica is being created.
+#[derive(Debug, Clone)]
+pub struct CopyProgress {
+    /// The machine being copied *to* (m′ in the paper).
+    pub target: MachineId,
+    /// Tables already copied (T in the paper) — writes go to all machines
+    /// including the target.
+    pub copied: HashSet<String>,
+    /// The table currently being copied (t′) — writes are rejected.
+    pub current: Option<String>,
+    /// Database-level granularity: the whole database is read-locked for the
+    /// duration, so every write is rejected.
+    pub db_level: bool,
+}
+
+/// Per-database outcome counters (feed the SLA accounting and Figure 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbCounters {
+    /// Successfully committed transactions.
+    pub committed: u64,
+    /// Transactions aborted by deadlock or lock timeout (workload-inherent,
+    /// *not* counted against the SLA).
+    pub deadlocks: u64,
+    /// Proactively rejected transactions (machine failure, copy rejection) —
+    /// the §4.1 SLA numerator.
+    pub rejected: u64,
+    /// Other aborts (client rollback, statement errors).
+    pub aborted: u64,
+}
+
+/// The cluster controller.
+pub struct ClusterController {
+    pub(crate) cfg: ClusterConfig,
+    machines: RwLock<BTreeMap<MachineId, Arc<Machine>>>,
+    next_machine: AtomicU32,
+    placements: RwLock<HashMap<String, Placement>>,
+    copies: RwLock<HashMap<String, CopyProgress>>,
+    next_gtxn: AtomicU64,
+    pub(crate) recorder: RwLock<Option<Arc<Recorder>>>,
+    counters: Mutex<HashMap<String, DbCounters>>,
+    /// 2PC decision log: commit decisions whose COMMIT messages may still be
+    /// in flight. Mirrored by the process-pair backup (§2): on takeover the
+    /// backup completes these and aborts every other in-doubt transaction.
+    pub(crate) commit_log: Mutex<HashMap<GTxn, Vec<(MachineId, TxnId)>>>,
+}
+
+impl ClusterController {
+    pub fn new(cfg: ClusterConfig) -> Arc<Self> {
+        Arc::new(ClusterController {
+            cfg,
+            machines: RwLock::new(BTreeMap::new()),
+            next_machine: AtomicU32::new(0),
+            placements: RwLock::new(HashMap::new()),
+            copies: RwLock::new(HashMap::new()),
+            next_gtxn: AtomicU64::new(1),
+            recorder: RwLock::new(None),
+            counters: Mutex::new(HashMap::new()),
+            commit_log: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Convenience: a controller with `n` machines already added.
+    pub fn with_machines(cfg: ClusterConfig, n: usize) -> Arc<Self> {
+        let c = Self::new(cfg);
+        for _ in 0..n {
+            c.add_machine();
+        }
+        c
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Attach a history recorder (Table 1 experiments). Recording adds
+    /// overhead; leave unset for throughput runs.
+    pub fn set_recorder(&self, rec: Option<Arc<Recorder>>) {
+        *self.recorder.write() = rec;
+    }
+
+    pub fn next_gtxn(&self) -> GTxn {
+        GTxn(self.next_gtxn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    // ------------------------------------------------------------ machines
+
+    /// Add a fresh machine (from the colo's free pool) to the cluster.
+    pub fn add_machine(&self) -> MachineId {
+        let id = MachineId(self.next_machine.fetch_add(1, Ordering::Relaxed));
+        let m = Arc::new(Machine::new(id, self.cfg.engine));
+        self.machines.write().insert(id, m);
+        id
+    }
+
+    pub fn machine(&self, id: MachineId) -> Result<Arc<Machine>> {
+        self.machines
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(ClusterError::NoMachines)
+    }
+
+    pub fn machine_ids(&self) -> Vec<MachineId> {
+        self.machines.read().keys().copied().collect()
+    }
+
+    pub fn machines(&self) -> Vec<Arc<Machine>> {
+        self.machines.read().values().cloned().collect()
+    }
+
+    /// Fault injection: crash a machine. The controller notices through
+    /// `Unavailable` errors, exactly as with a real power failure.
+    pub fn fail_machine(&self, id: MachineId) -> Result<()> {
+        self.machine(id)?.engine.crash();
+        Ok(())
+    }
+
+    /// Restart a crashed machine. Its engine replays the WAL, but the
+    /// machine does NOT automatically rejoin replica sets — recovery decides.
+    pub fn restart_machine(&self, id: MachineId) -> Result<()> {
+        self.machine(id)?.engine.restart();
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- databases
+
+    /// Create a database with `replicas` synchronous replicas, choosing the
+    /// machines hosting the fewest databases (the observation-period
+    /// placement of §4.2 refines this via `tenantdb-sla`).
+    pub fn create_database(&self, name: &str, replicas: usize) -> Result<Vec<MachineId>> {
+        let machines = self.machines.read();
+        let mut candidates: Vec<&Arc<Machine>> =
+            machines.values().filter(|m| !m.is_failed()).collect();
+        if candidates.len() < replicas {
+            return Err(ClusterError::NoMachines);
+        }
+        candidates.sort_by_key(|m| (m.hosted_databases(), m.id));
+        let chosen: Vec<MachineId> = candidates[..replicas].iter().map(|m| m.id).collect();
+        drop(machines);
+        self.create_database_on(name, &chosen)?;
+        Ok(chosen)
+    }
+
+    /// Create a database on an explicit machine set (experiments control
+    /// placement directly).
+    pub fn create_database_on(&self, name: &str, machine_ids: &[MachineId]) -> Result<()> {
+        if self.placements.read().contains_key(name) {
+            return Err(ClusterError::AlreadyExists(name.to_string()));
+        }
+        if machine_ids.is_empty() {
+            return Err(ClusterError::NoMachines);
+        }
+        for &id in machine_ids {
+            self.machine(id)?.engine.create_database(name)?;
+        }
+        // Pin reads to the replica machine carrying the fewest pins so that
+        // Option-1 read traffic spreads evenly across the cluster.
+        let mut placements = self.placements.write();
+        let mut pin_counts: HashMap<MachineId, usize> = HashMap::new();
+        for p in placements.values() {
+            *pin_counts.entry(p.pinned).or_insert(0) += 1;
+        }
+        let pinned = machine_ids
+            .iter()
+            .copied()
+            .min_by_key(|m| (pin_counts.get(m).copied().unwrap_or(0), *m))
+            .unwrap();
+        placements.insert(
+            name.to_string(),
+            Placement { replicas: machine_ids.to_vec(), pinned },
+        );
+        Ok(())
+    }
+
+    /// Drop a database: remove it from every replica and the placement map.
+    pub fn drop_database(&self, db: &str) -> Result<()> {
+        let placement = self
+            .placements
+            .write()
+            .remove(db)
+            .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
+        self.copies.write().remove(db);
+        for id in placement.replicas {
+            if let Ok(m) = self.machine(id) {
+                let _ = m.engine.drop_database(db);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn placement(&self, db: &str) -> Result<Placement> {
+        self.placements
+            .read()
+            .get(db)
+            .cloned()
+            .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))
+    }
+
+    pub fn database_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.placements.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Replicas whose machines are currently up.
+    pub fn alive_replicas(&self, db: &str) -> Result<Vec<MachineId>> {
+        let p = self.placement(db)?;
+        let machines = self.machines.read();
+        Ok(p.replicas
+            .iter()
+            .copied()
+            .filter(|id| machines.get(id).is_some_and(|m| !m.is_failed()))
+            .collect())
+    }
+
+    /// Databases that have a replica on `machine` (recovery work list).
+    pub fn databases_on(&self, machine: MachineId) -> Vec<String> {
+        self.placements
+            .read()
+            .iter()
+            .filter(|(_, p)| p.replicas.contains(&machine))
+            .map(|(db, _)| db.clone())
+            .collect()
+    }
+
+    /// Remove a (failed) replica from a database's placement.
+    pub fn remove_replica(&self, db: &str, machine: MachineId) {
+        let mut placements = self.placements.write();
+        if let Some(p) = placements.get_mut(db) {
+            p.replicas.retain(|&m| m != machine);
+            if p.pinned == machine {
+                if let Some(&first) = p.replicas.first() {
+                    p.pinned = first;
+                }
+            }
+        }
+    }
+
+    /// Add a (recovered) replica to a database's placement.
+    pub fn add_replica(&self, db: &str, machine: MachineId) {
+        let mut placements = self.placements.write();
+        if let Some(p) = placements.get_mut(db) {
+            if !p.replicas.contains(&machine) {
+                p.replicas.push(machine);
+            }
+        }
+    }
+
+    /// Run a DDL statement (CREATE TABLE / CREATE INDEX) on every replica.
+    pub fn ddl(&self, db: &str, sql: &str) -> Result<()> {
+        let stmt = parse(sql)?;
+        if !matches!(
+            stmt,
+            tenantdb_sql::Statement::CreateTable { .. } | tenantdb_sql::Statement::CreateIndex { .. }
+        ) {
+            return Err(ClusterError::Sql(tenantdb_sql::SqlError::Plan(
+                "ddl() accepts only CREATE TABLE / CREATE INDEX".into(),
+            )));
+        }
+        if self.copies.read().contains_key(db) {
+            return Err(ClusterError::WriteRejected { db: db.into(), table: "<ddl>".into() });
+        }
+        for id in self.alive_replicas(db)? {
+            let machine = self.machine(id)?;
+            let txn = machine.engine.begin()?;
+            let r = tenantdb_sql::execute_stmt(&machine.engine, txn, db, &stmt, &[]);
+            machine.engine.commit(txn)?;
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Open a client connection to a database.
+    pub fn connect(self: &Arc<Self>, db: &str) -> Result<Connection> {
+        // Validate existence eagerly so clients fail fast.
+        self.placement(db)?;
+        Ok(Connection::new(Arc::clone(self), db.to_string()))
+    }
+
+    // ------------------------------------------------- Algorithm 1 state
+
+    /// Begin tracking a replica copy for `db` onto `target`.
+    pub fn begin_copy(&self, db: &str, target: MachineId, db_level: bool) {
+        self.copies.write().insert(
+            db.to_string(),
+            CopyProgress { target, copied: HashSet::new(), current: None, db_level },
+        );
+    }
+
+    /// Mark the table currently being copied (t′).
+    pub fn set_copy_current(&self, db: &str, table: Option<&str>) {
+        if let Some(c) = self.copies.write().get_mut(db) {
+            c.current = table.map(String::from);
+        }
+    }
+
+    /// Move a table into the copied set (T).
+    pub fn mark_copied(&self, db: &str, table: &str) {
+        if let Some(c) = self.copies.write().get_mut(db) {
+            c.current = None;
+            c.copied.insert(table.to_string());
+        }
+    }
+
+    /// Copy complete: the target becomes a full replica.
+    pub fn finish_copy(&self, db: &str) {
+        let target = self.copies.write().remove(db).map(|c| c.target);
+        if let Some(t) = target {
+            self.add_replica(db, t);
+        }
+    }
+
+    /// Abandon a copy (e.g. the target failed mid-copy).
+    pub fn abandon_copy(&self, db: &str) {
+        self.copies.write().remove(db);
+    }
+
+    pub fn copy_progress(&self, db: &str) -> Option<CopyProgress> {
+        self.copies.read().get(db).cloned()
+    }
+
+    // ------------------------------------------------------------- stats
+
+    pub(crate) fn note_committed(&self, db: &str) {
+        self.counters.lock().entry(db.to_string()).or_default().committed += 1;
+    }
+
+    pub(crate) fn note_deadlock(&self, db: &str) {
+        self.counters.lock().entry(db.to_string()).or_default().deadlocks += 1;
+    }
+
+    pub(crate) fn note_rejected(&self, db: &str) {
+        self.counters.lock().entry(db.to_string()).or_default().rejected += 1;
+    }
+
+    pub(crate) fn note_aborted(&self, db: &str) {
+        self.counters.lock().entry(db.to_string()).or_default().aborted += 1;
+    }
+
+    /// Outcome counters for one database.
+    pub fn counters(&self, db: &str) -> DbCounters {
+        self.counters.lock().get(db).copied().unwrap_or_default()
+    }
+
+    /// Check a database's observed outcomes against an SLA over a window
+    /// (the runtime side of §4.1).
+    pub fn sla_compliance(
+        &self,
+        db: &str,
+        sla: &tenantdb_sla::Sla,
+        window: std::time::Duration,
+    ) -> tenantdb_sla::Compliance {
+        let c = self.counters(db);
+        tenantdb_sla::check_compliance(
+            sla,
+            &tenantdb_sla::ObservedOutcomes {
+                committed: c.committed,
+                rejected: c.rejected,
+                workload_aborts: c.deadlocks + c.aborted,
+            },
+            window,
+        )
+    }
+
+    /// Sum of counters across all databases.
+    pub fn total_counters(&self) -> DbCounters {
+        let c = self.counters.lock();
+        let mut total = DbCounters::default();
+        for v in c.values() {
+            total.committed += v.committed;
+            total.deadlocks += v.deadlocks;
+            total.rejected += v.rejected;
+            total.aborted += v.aborted;
+        }
+        total
+    }
+
+    pub fn reset_counters(&self) {
+        self.counters.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_and_databases() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 4);
+        assert_eq!(c.machine_ids().len(), 4);
+        let placed = c.create_database("app1", 2).unwrap();
+        assert_eq!(placed.len(), 2);
+        // Second database lands on the least-loaded machines.
+        let placed2 = c.create_database("app2", 2).unwrap();
+        assert!(placed2.iter().all(|m| !placed.contains(m)));
+        assert!(c.create_database("app1", 2).is_err(), "duplicate name");
+    }
+
+    #[test]
+    fn replication_factor_larger_than_cluster_fails() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        assert_eq!(c.create_database("big", 3).unwrap_err(), ClusterError::NoMachines);
+    }
+
+    #[test]
+    fn alive_replicas_excludes_failed() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 3);
+        let placed = c.create_database("app", 2).unwrap();
+        assert_eq!(c.alive_replicas("app").unwrap().len(), 2);
+        c.fail_machine(placed[0]).unwrap();
+        assert_eq!(c.alive_replicas("app").unwrap(), vec![placed[1]]);
+    }
+
+    #[test]
+    fn remove_replica_repins() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 3);
+        let placed = c.create_database("app", 2).unwrap();
+        assert_eq!(c.placement("app").unwrap().pinned, placed[0]);
+        c.remove_replica("app", placed[0]);
+        let p = c.placement("app").unwrap();
+        assert_eq!(p.replicas, vec![placed[1]]);
+        assert_eq!(p.pinned, placed[1]);
+    }
+
+    #[test]
+    fn ddl_reaches_all_replicas() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        let placed = c.create_database("app", 2).unwrap();
+        c.ddl("app", "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+        for id in placed {
+            let m = c.machine(id).unwrap();
+            assert!(m.engine.table("app", "t").is_ok());
+        }
+        assert!(c.ddl("app", "SELECT * FROM t").is_err(), "non-DDL rejected");
+    }
+
+    #[test]
+    fn copy_progress_lifecycle() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 3);
+        let placed = c.create_database("app", 2).unwrap();
+        let target = c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
+        c.machine(target).unwrap().engine.create_database("app").unwrap();
+        c.begin_copy("app", target, false);
+        c.set_copy_current("app", Some("t1"));
+        let p = c.copy_progress("app").unwrap();
+        assert_eq!(p.current.as_deref(), Some("t1"));
+        c.mark_copied("app", "t1");
+        let p = c.copy_progress("app").unwrap();
+        assert!(p.current.is_none());
+        assert!(p.copied.contains("t1"));
+        c.finish_copy("app");
+        assert!(c.copy_progress("app").is_none());
+        assert!(c.placement("app").unwrap().replicas.contains(&target));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 1);
+        c.create_database("a", 1).unwrap();
+        c.note_committed("a");
+        c.note_committed("a");
+        c.note_rejected("a");
+        c.note_deadlock("a");
+        let k = c.counters("a");
+        assert_eq!(k.committed, 2);
+        assert_eq!(k.rejected, 1);
+        assert_eq!(k.deadlocks, 1);
+        assert_eq!(c.total_counters().committed, 2);
+        c.reset_counters();
+        assert_eq!(c.counters("a"), DbCounters::default());
+    }
+
+    #[test]
+    fn databases_on_machine() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        c.create_database_on("a", &[MachineId(0), MachineId(1)]).unwrap();
+        c.create_database_on("b", &[MachineId(1)]).unwrap();
+        let mut on1 = c.databases_on(MachineId(1));
+        on1.sort();
+        assert_eq!(on1, vec!["a", "b"]);
+        assert_eq!(c.databases_on(MachineId(0)), vec!["a"]);
+    }
+}
+
+#[cfg(test)]
+mod sla_tests {
+    use super::*;
+    use std::time::Duration;
+    use tenantdb_sla::Sla;
+
+    #[test]
+    fn compliance_bridges_counters() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 1);
+        c.create_database("a", 1).unwrap();
+        for _ in 0..120 {
+            c.note_committed("a");
+        }
+        c.note_rejected("a");
+        let sla = Sla::new(1.0, 0.05, Duration::from_secs(3600));
+        let comp = c.sla_compliance("a", &sla, Duration::from_secs(60));
+        assert!(comp.ok(), "{comp:?}");
+        // Tighter availability bound breaches.
+        let tight = Sla::new(1.0, 0.001, Duration::from_secs(3600));
+        assert!(!c.sla_compliance("a", &tight, Duration::from_secs(60)).ok());
+    }
+}
+
+#[cfg(test)]
+mod drop_tests {
+    use super::*;
+
+    #[test]
+    fn drop_database_cleans_everything() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        let placed = c.create_database("gone", 2).unwrap();
+        c.ddl("gone", "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+        c.drop_database("gone").unwrap();
+        assert!(c.placement("gone").is_err());
+        for id in placed {
+            assert!(!c.machine(id).unwrap().engine.has_database("gone"));
+        }
+        assert!(c.drop_database("gone").is_err(), "double drop");
+        // The name can be reused.
+        c.create_database("gone", 2).unwrap();
+    }
+}

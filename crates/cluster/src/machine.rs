@@ -1,0 +1,65 @@
+//! Cluster machines: one commodity box running one single-node DBMS engine.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tenantdb_storage::{Engine, EngineConfig};
+
+/// Machine identifier within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A machine = id + its engine instance. Fault injection goes through the
+/// engine (`crash` / `restart`); the controller observes `Unavailable`
+/// errors exactly as it would observe dropped connections.
+pub struct Machine {
+    pub id: MachineId,
+    pub engine: Arc<Engine>,
+}
+
+impl Machine {
+    pub fn new(id: MachineId, cfg: EngineConfig) -> Self {
+        Machine { id, engine: Arc::new(Engine::new(cfg)) }
+    }
+
+    pub fn is_failed(&self) -> bool {
+        self.engine.is_failed()
+    }
+
+    /// Number of databases hosted (used by the simple placement heuristic).
+    pub fn hosted_databases(&self) -> usize {
+        self.engine.database_names().len()
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("id", &self.id)
+            .field("failed", &self.is_failed())
+            .field("databases", &self.engine.database_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_wraps_engine() {
+        let m = Machine::new(MachineId(3), EngineConfig::for_tests());
+        assert_eq!(m.id.to_string(), "m3");
+        assert!(!m.is_failed());
+        m.engine.create_database("a").unwrap();
+        assert_eq!(m.hosted_databases(), 1);
+        m.engine.crash();
+        assert!(m.is_failed());
+    }
+}

@@ -1,0 +1,204 @@
+//! Process-pair fault tolerance for the cluster controller (§2).
+//!
+//! "The cluster controller is configured to run as a process pair ... the
+//! backup keeps track of the primary cluster controller's state with respect
+//! to committing transactions and cleans up the transactions in transit as
+//! part of its take-over processing."
+//!
+//! The mirrored state is the controller's 2PC decision log
+//! ([`crate::controller::ClusterController::commit_log`]): a commit decision
+//! is logged *before* any COMMIT message is sent to a participant. On
+//! takeover the backup:
+//!
+//! 1. **completes** every decided commit — participants are prepared and
+//!    must not be left in doubt;
+//! 2. **aborts** every other prepared (in-doubt) local transaction found on
+//!    the machines — the primary had made no decision, so the safe outcome
+//!    is abort.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use tenantdb_history::GTxn;
+
+use crate::controller::ClusterController;
+use crate::machine::MachineId;
+
+/// Which member of the pair is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    Primary,
+    Backup,
+}
+
+/// Result of a takeover.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct TakeoverReport {
+    /// Decided transactions whose COMMIT the backup completed.
+    pub completed: Vec<GTxn>,
+    /// In-doubt (prepared, undecided) local transactions aborted, as
+    /// (machine, count).
+    pub aborted_in_doubt: Vec<(MachineId, usize)>,
+}
+
+/// A primary/backup controller pair sharing mirrored state.
+///
+/// In the real system the mirror is maintained by state shipping between two
+/// processes; here both roles view the same [`ClusterController`], and what
+/// the model demonstrates is the *takeover protocol* — exactly which
+/// transactions get completed vs. cleaned up.
+pub struct ProcessPair {
+    controller: Arc<ClusterController>,
+    active: RwLock<Role>,
+}
+
+impl ProcessPair {
+    pub fn new(controller: Arc<ClusterController>) -> Self {
+        ProcessPair { controller, active: RwLock::new(Role::Primary) }
+    }
+
+    pub fn active_role(&self) -> Role {
+        *self.active.read()
+    }
+
+    pub fn controller(&self) -> &Arc<ClusterController> {
+        &self.controller
+    }
+
+    /// Kill the primary: the backup takes over and cleans up transactions in
+    /// transit. Client connections must then be re-established (the paper:
+    /// "client applications ... need to re-establish the database connection
+    /// with the backup cluster controller").
+    pub fn fail_primary(&self) -> TakeoverReport {
+        *self.active.write() = Role::Backup;
+        self.takeover()
+    }
+
+    fn takeover(&self) -> TakeoverReport {
+        let mut report = TakeoverReport::default();
+
+        // 1. Complete decided commits from the mirrored decision log.
+        let decided: Vec<(GTxn, Vec<(MachineId, tenantdb_storage::TxnId)>)> =
+            self.controller.commit_log.lock().drain().collect();
+        let mut completed: Vec<GTxn> = Vec::new();
+        for (gtxn, participants) in decided {
+            for (machine, local) in participants {
+                if let Ok(m) = self.controller.machine(machine) {
+                    // Idempotent-ish: errors (already finished, machine down)
+                    // are ignored; a down machine resolves via WAL on restart.
+                    let _ = m.engine.commit(local);
+                }
+            }
+            completed.push(gtxn);
+        }
+        completed.sort();
+        report.completed = completed;
+
+        // 2. Abort every remaining in-doubt local transaction.
+        for machine in self.controller.machines() {
+            if machine.is_failed() {
+                continue;
+            }
+            let in_doubt = machine.engine.wal().in_doubt();
+            let mut aborted = 0;
+            for txn in in_doubt {
+                if machine.engine.abort(txn).is_ok() {
+                    aborted += 1;
+                }
+            }
+            if aborted > 0 {
+                report.aborted_in_doubt.push((machine.id, aborted));
+            }
+        }
+        report.aborted_in_doubt.sort();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::CommitFault;
+    use crate::controller::ClusterConfig;
+    use tenantdb_storage::Value;
+
+    fn cluster() -> Arc<ClusterController> {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        c.create_database("app", 2).unwrap();
+        c.ddl("app", "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))").unwrap();
+        c
+    }
+
+    #[test]
+    fn takeover_completes_decided_commit() {
+        let c = cluster();
+        let pair = ProcessPair::new(Arc::clone(&c));
+        assert_eq!(pair.active_role(), Role::Primary);
+
+        let conn = c.connect("app").unwrap();
+        conn.begin().unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'decided')", &[]).unwrap();
+        let gtxn = conn.current_gtxn().unwrap();
+        // Primary crashes after the decision, before sending COMMITs.
+        conn.commit_with_fault(CommitFault::CrashAfterDecision).unwrap();
+        assert_eq!(c.commit_log.lock().len(), 1);
+
+        let report = pair.fail_primary();
+        assert_eq!(pair.active_role(), Role::Backup);
+        assert_eq!(report.completed, vec![gtxn]);
+        assert!(c.commit_log.lock().is_empty());
+
+        // The write is durably committed on every replica.
+        for id in c.alive_replicas("app").unwrap() {
+            let m = c.machine(id).unwrap();
+            let t = m.engine.begin().unwrap();
+            assert_eq!(m.engine.scan(t, "app", "t").unwrap().len(), 1, "replica {id}");
+            m.engine.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn takeover_aborts_undecided_prepared_txns() {
+        let c = cluster();
+        let pair = ProcessPair::new(Arc::clone(&c));
+
+        // Manually drive a transaction to prepared-everywhere with no
+        // decision (as if the primary died between PREPARE and decision).
+        let mut locals = Vec::new();
+        for id in c.alive_replicas("app").unwrap() {
+            let m = c.machine(id).unwrap();
+            let t = m.engine.begin().unwrap();
+            m.engine
+                .insert(t, "app", "t", vec![Value::Int(9), Value::Text("doomed".into())])
+                .unwrap();
+            m.engine.prepare(t).unwrap();
+            locals.push((id, t));
+        }
+
+        let report = pair.fail_primary();
+        assert!(report.completed.is_empty());
+        assert_eq!(report.aborted_in_doubt.len(), 2);
+
+        // The write vanished everywhere.
+        for id in c.alive_replicas("app").unwrap() {
+            let m = c.machine(id).unwrap();
+            let t = m.engine.begin().unwrap();
+            assert_eq!(m.engine.scan(t, "app", "t").unwrap().len(), 0);
+            m.engine.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn takeover_on_clean_state_is_a_noop() {
+        let c = cluster();
+        let conn = c.connect("app").unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'x')", &[]).unwrap();
+        let pair = ProcessPair::new(Arc::clone(&c));
+        let report = pair.fail_primary();
+        assert_eq!(report, TakeoverReport::default());
+        // Committed data untouched.
+        let r = conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1));
+    }
+}

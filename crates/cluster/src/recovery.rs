@@ -1,0 +1,359 @@
+//! Failure recovery and database migration (§3.2, Figures 8–9).
+//!
+//! When a machine fails, the cluster controller keeps serving requests from
+//! the surviving replicas and re-creates the lost replicas in the
+//! background, using the copy tool of [`tenantdb_storage::copy`] at either
+//! *table* or *database* granularity. While a copy is in flight, client
+//! writes are routed by Algorithm 1 (implemented in the connection layer,
+//! driven by the [`crate::controller::CopyProgress`] state maintained here):
+//!
+//! * writes to the table currently being copied are **rejected**;
+//! * writes to already-copied tables go to all machines *including* the new
+//!   replica;
+//! * writes to not-yet-copied tables go to the old machines only.
+//!
+//! The number of concurrent recovery jobs (`threads`) is the x-axis of
+//! Figure 8.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+
+use tenantdb_storage::{copy, Throttle};
+
+use crate::controller::ClusterController;
+use crate::error::{ClusterError, Result};
+use crate::machine::MachineId;
+
+/// Copy granularity (the two series of Figures 8 and 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyGranularity {
+    /// One transaction per table: only one table is read-locked at a time.
+    TableLevel,
+    /// One transaction for the whole database: every table stays read-locked
+    /// (and every write rejected) until the copy completes.
+    DatabaseLevel,
+}
+
+/// Recovery configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    pub granularity: CopyGranularity,
+    /// Concurrent copy jobs (recovery threads; Figure 8's x-axis).
+    pub threads: usize,
+    /// Copy bandwidth limit, so recovery overlaps live traffic.
+    pub throttle: Throttle,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            granularity: CopyGranularity::TableLevel,
+            threads: 1,
+            throttle: Throttle::UNLIMITED,
+        }
+    }
+}
+
+/// Outcome of one recovery run.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// (database, new replica machine, copy duration).
+    pub recovered: Vec<(String, MachineId, Duration)>,
+    /// Databases whose replica could not be re-created.
+    pub failed: Vec<(String, ClusterError)>,
+    pub wall_time: Duration,
+}
+
+/// Create one additional replica of `db` on `target` (used by recovery and
+/// by migration). The target machine must be alive; `db` must not already
+/// have a replica there.
+pub fn create_replica(
+    controller: &ClusterController,
+    db: &str,
+    target: MachineId,
+    granularity: CopyGranularity,
+    throttle: Throttle,
+) -> Result<Duration> {
+    let started = Instant::now();
+    let source_id = controller
+        .alive_replicas(db)?
+        .first()
+        .copied()
+        .ok_or_else(|| ClusterError::NoReplicas(db.to_string()))?;
+    let source = controller.machine(source_id)?;
+    let target_machine = controller.machine(target)?;
+    if !target_machine.engine.has_database(db) {
+        target_machine.engine.create_database(db)?;
+    }
+
+    controller.begin_copy(db, target, granularity == CopyGranularity::DatabaseLevel);
+    let result = (|| -> Result<()> {
+        match granularity {
+            CopyGranularity::TableLevel => {
+                let tables = source.engine.db(db)?.table_names();
+                for table in tables {
+                    controller.set_copy_current(db, Some(&table));
+                    let dump = copy::dump_table(&source.engine, db, &table, throttle)?;
+                    copy::restore_table(&target_machine.engine, db, &dump)?;
+                    controller.mark_copied(db, &table);
+                }
+            }
+            CopyGranularity::DatabaseLevel => {
+                let dump = copy::dump_database(&source.engine, db, throttle)?;
+                copy::restore_database(&target_machine.engine, &dump)?;
+            }
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            controller.finish_copy(db);
+            Ok(started.elapsed())
+        }
+        Err(e) => {
+            controller.abandon_copy(db);
+            Err(e)
+        }
+    }
+}
+
+/// Move a database replica from `from` to `to`: create the new replica
+/// first, then retire the old one — the "data migration" operation used for
+/// load balancing and maintenance (the `reallocation_rate` of §4.1).
+pub fn migrate_replica(
+    controller: &ClusterController,
+    db: &str,
+    from: MachineId,
+    to: MachineId,
+    granularity: CopyGranularity,
+    throttle: Throttle,
+) -> Result<Duration> {
+    let d = create_replica(controller, db, to, granularity, throttle)?;
+    controller.remove_replica(db, from);
+    // Retire the old copy's storage.
+    if let Ok(m) = controller.machine(from) {
+        let _ = m.engine.drop_database(db);
+    }
+    Ok(d)
+}
+
+/// Recover every database that lost a replica on `failed_machine`.
+///
+/// Targets are chosen greedily (First-Fit flavour of Algorithm 2): the
+/// lowest-id alive machine that does not already host the database.
+pub fn recover_machine(
+    controller: &Arc<ClusterController>,
+    failed_machine: MachineId,
+    cfg: RecoveryConfig,
+) -> RecoveryReport {
+    let started = Instant::now();
+    let dbs = controller.databases_on(failed_machine);
+    // Serve from survivors immediately.
+    for db in &dbs {
+        controller.remove_replica(db, failed_machine);
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<String>();
+    for db in &dbs {
+        job_tx.send(db.clone()).unwrap();
+    }
+    drop(job_tx);
+
+    let (res_tx, res_rx) = channel::unbounded();
+    let threads = cfg.threads.max(1);
+    let mut handles = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let job_rx = job_rx.clone();
+        let res_tx = res_tx.clone();
+        let controller = Arc::clone(controller);
+        handles.push(std::thread::spawn(move || {
+            while let Ok(db) = job_rx.recv() {
+                let outcome = (|| -> Result<(MachineId, Duration)> {
+                    let target = pick_target(&controller, &db)?;
+                    let d =
+                        create_replica(&controller, &db, target, cfg.granularity, cfg.throttle)?;
+                    Ok((target, d))
+                })();
+                res_tx.send((db, outcome)).unwrap();
+            }
+        }));
+    }
+    drop(res_tx);
+
+    let mut report = RecoveryReport::default();
+    while let Ok((db, outcome)) = res_rx.recv() {
+        match outcome {
+            Ok((target, d)) => report.recovered.push((db, target, d)),
+            Err(e) => report.failed.push((db, e)),
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    report.recovered.sort_by(|a, b| a.0.cmp(&b.0));
+    report.wall_time = started.elapsed();
+    report
+}
+
+/// Lowest-id alive machine that doesn't already host `db`.
+fn pick_target(controller: &ClusterController, db: &str) -> Result<MachineId> {
+    let current = controller.placement(db)?.replicas;
+    controller
+        .machines()
+        .into_iter()
+        .filter(|m| !m.is_failed() && !current.contains(&m.id))
+        .map(|m| m.id)
+        .min()
+        .ok_or(ClusterError::NoMachines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ClusterConfig, ClusterController};
+    use tenantdb_storage::Value;
+
+    fn cluster_with_data() -> (Arc<ClusterController>, Vec<MachineId>) {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 4);
+        let placed = c.create_database("app", 2).unwrap();
+        c.ddl("app", "CREATE TABLE a (id INT NOT NULL, v TEXT, PRIMARY KEY (id))").unwrap();
+        c.ddl("app", "CREATE TABLE b (id INT NOT NULL, v TEXT, PRIMARY KEY (id))").unwrap();
+        let conn = c.connect("app").unwrap();
+        for i in 0..30i64 {
+            conn.execute("INSERT INTO a VALUES (?, 'x')", &[Value::Int(i)]).unwrap();
+            conn.execute("INSERT INTO b VALUES (?, 'y')", &[Value::Int(i)]).unwrap();
+        }
+        (c, placed)
+    }
+
+    #[test]
+    fn create_replica_table_level_roundtrip() {
+        let (c, placed) = cluster_with_data();
+        let target =
+            c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
+        create_replica(&c, "app", target, CopyGranularity::TableLevel, Throttle::UNLIMITED)
+            .unwrap();
+        assert!(c.placement("app").unwrap().replicas.contains(&target));
+        let m = c.machine(target).unwrap();
+        let t = m.engine.begin().unwrap();
+        assert_eq!(m.engine.scan(t, "app", "a").unwrap().len(), 30);
+        assert_eq!(m.engine.scan(t, "app", "b").unwrap().len(), 30);
+        m.engine.commit(t).unwrap();
+    }
+
+    #[test]
+    fn recover_machine_recreates_all_lost_replicas() {
+        let (c, placed) = cluster_with_data();
+        c.fail_machine(placed[0]).unwrap();
+        let report = recover_machine(
+            &c,
+            placed[0],
+            RecoveryConfig { threads: 2, ..Default::default() },
+        );
+        assert_eq!(report.recovered.len(), 1);
+        assert!(report.failed.is_empty());
+        let p = c.placement("app").unwrap();
+        assert_eq!(p.replicas.len(), 2);
+        assert!(!p.replicas.contains(&placed[0]));
+        // The new replica has the data.
+        let (_, target, _) = &report.recovered[0];
+        let m = c.machine(*target).unwrap();
+        let t = m.engine.begin().unwrap();
+        assert_eq!(m.engine.scan(t, "app", "a").unwrap().len(), 30);
+        m.engine.commit(t).unwrap();
+    }
+
+    #[test]
+    fn writes_continue_during_table_level_copy() {
+        let (c, placed) = cluster_with_data();
+        let target = c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
+        // Slow copy in the background.
+        let c2 = Arc::clone(&c);
+        let handle = std::thread::spawn(move || {
+            create_replica(&c2, "app", target, CopyGranularity::TableLevel, Throttle::new(200))
+                .unwrap();
+        });
+        // While table "a" is being copied (30 rows at 200 rows/s = 150ms),
+        // writes to "b" (not yet copied) must succeed.
+        std::thread::sleep(Duration::from_millis(30));
+        let conn = c.connect("app").unwrap();
+        let mut rejected_a = 0;
+        let mut ok_b = 0;
+        for i in 100..110i64 {
+            match conn.execute("INSERT INTO a VALUES (?, 'during')", &[Value::Int(i)]) {
+                Ok(_) => {}
+                Err(ClusterError::WriteRejected { .. }) => rejected_a += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+            ok_b += conn
+                .execute("INSERT INTO b VALUES (?, 'during')", &[Value::Int(i)])
+                .is_ok() as u32;
+        }
+        handle.join().unwrap();
+        assert!(rejected_a > 0, "writes to the in-copy table must be rejected");
+        assert!(ok_b > 0, "writes to other tables must proceed");
+        // After recovery, replicas converge: target has every committed row.
+        let survivors = c.alive_replicas("app").unwrap();
+        let counts: Vec<usize> = survivors
+            .iter()
+            .map(|&id| {
+                let m = c.machine(id).unwrap();
+                let t = m.engine.begin().unwrap();
+                let n = m.engine.scan(t, "app", "a").unwrap().len()
+                    + m.engine.scan(t, "app", "b").unwrap().len();
+                m.engine.commit(t).unwrap();
+                n
+            })
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "replicas diverged: {counts:?}");
+    }
+
+    #[test]
+    fn db_level_copy_rejects_all_writes() {
+        let (c, placed) = cluster_with_data();
+        let target = c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
+        let c2 = Arc::clone(&c);
+        let handle = std::thread::spawn(move || {
+            create_replica(&c2, "app", target, CopyGranularity::DatabaseLevel, Throttle::new(200))
+                .unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let conn = c.connect("app").unwrap();
+        let ra = conn.execute("INSERT INTO a VALUES (500, 'x')", &[]);
+        let rb = conn.execute("INSERT INTO b VALUES (500, 'x')", &[]);
+        assert!(
+            matches!(ra, Err(ClusterError::WriteRejected { .. }))
+                && matches!(rb, Err(ClusterError::WriteRejected { .. })),
+            "db-level copy must reject writes to every table"
+        );
+        // Reads still work during the copy.
+        conn.execute("SELECT COUNT(*) FROM a", &[]).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn migration_moves_replica() {
+        let (c, placed) = cluster_with_data();
+        let target = c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
+        migrate_replica(&c, "app", placed[1], target, CopyGranularity::TableLevel, Throttle::UNLIMITED)
+            .unwrap();
+        let p = c.placement("app").unwrap();
+        assert!(p.replicas.contains(&target));
+        assert!(!p.replicas.contains(&placed[1]));
+        assert!(!c.machine(placed[1]).unwrap().engine.has_database("app"));
+    }
+
+    #[test]
+    fn recovery_with_no_spare_machine_fails_gracefully() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        let placed = c.create_database("app", 2).unwrap();
+        c.ddl("app", "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+        c.fail_machine(placed[0]).unwrap();
+        let report = recover_machine(&c, placed[0], RecoveryConfig::default());
+        assert_eq!(report.recovered.len(), 0);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].1, ClusterError::NoMachines);
+    }
+}

@@ -1,0 +1,377 @@
+//! Per-(transaction, machine) replica workers.
+//!
+//! Each global transaction gets one worker thread per machine it touches.
+//! A worker owns the transaction's *local incarnation* on that machine (the
+//! engine-level `TxnId`) and executes requests strictly in order — which is
+//! exactly the per-machine sequencing the paper's schedules assume: under an
+//! *aggressive* controller the client moves on after the first replica
+//! acknowledges a write, while the remaining replicas' workers are still
+//! executing it; the transaction's `PREPARE` on those replicas queues behind
+//! the write.
+//!
+//! Workers also record the history stream: after each statement returns (and
+//! before the worker processes anything else for this transaction on this
+//! machine), the rows it touched are appended to the shared
+//! [`tenantdb_history::Recorder`]. Strict 2PL makes that ordering agree with
+//! true per-site conflict order.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use tenantdb_history::{AccessKind, GTxn, Recorder, Site};
+use tenantdb_sql::{execute_stmt, QueryResult, Statement};
+use tenantdb_storage::{TxnId, Value};
+
+use crate::error::{ClusterError, Result};
+use crate::machine::{Machine, MachineId};
+
+/// Shared per-transaction failure ledger. Every replica-side error lands
+/// here — including errors of *background* writes under the aggressive
+/// policy ("the controller asynchronously keeps track of whether the writes
+/// in the other machines failed", §3.1) — and the commit path refuses to
+/// commit past any of them.
+#[derive(Default)]
+pub struct TxnFailures {
+    list: Mutex<Vec<(MachineId, ClusterError)>>,
+}
+
+impl TxnFailures {
+    pub fn push(&self, machine: MachineId, err: ClusterError) {
+        self.list.lock().push((machine, err));
+    }
+
+    pub fn drain(&self) -> Vec<(MachineId, ClusterError)> {
+        std::mem::take(&mut *self.list.lock())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.list.lock().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.list.lock().len()
+    }
+}
+
+/// A request processed by a worker, in order.
+pub enum WorkerMsg {
+    Exec {
+        stmt: Arc<Statement>,
+        params: Arc<Vec<Value>>,
+        reply: Sender<WorkerReply>,
+    },
+    Prepare {
+        reply: Sender<WorkerReply>,
+    },
+    Commit {
+        reply: Sender<WorkerReply>,
+    },
+    Abort {
+        reply: Sender<WorkerReply>,
+    },
+}
+
+/// Reply to any worker request.
+pub struct WorkerReply {
+    pub machine: MachineId,
+    /// The transaction's local id on this machine (known once any operation
+    /// has run). The 2PC decision log records these.
+    pub local: Option<TxnId>,
+    pub result: Result<QueryResult>,
+}
+
+/// Handle to a live worker.
+pub struct WorkerHandle {
+    pub machine: MachineId,
+    pub tx: Sender<WorkerMsg>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Send a request; a send failure means the worker exited (transaction
+    /// finished or machine failed hard) and is reported as `Unavailable`.
+    pub fn send(&self, msg: WorkerMsg) -> Result<()> {
+        self.tx
+            .send(msg)
+            .map_err(|_| ClusterError::from(tenantdb_storage::StorageError::Unavailable))
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        // Close the channel; the worker aborts any live local txn and exits.
+        let (tx, _rx) = std::sync::mpsc::channel();
+        let old = std::mem::replace(&mut self.tx, tx);
+        drop(old);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawn a worker for `gtxn` on `machine`.
+pub fn spawn_worker(
+    machine: Arc<Machine>,
+    db: String,
+    gtxn: GTxn,
+    failures: Arc<TxnFailures>,
+    recorder: Option<Arc<Recorder>>,
+) -> WorkerHandle {
+    let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg>();
+    let id = machine.id;
+    let join = std::thread::Builder::new()
+        .name(format!("worker-{gtxn}-{id}"))
+        .spawn(move || worker_loop(machine, db, gtxn, failures, recorder, rx))
+        .expect("spawn worker thread");
+    WorkerHandle { machine: id, tx, join: Some(join) }
+}
+
+fn worker_loop(
+    machine: Arc<Machine>,
+    db: String,
+    gtxn: GTxn,
+    failures: Arc<TxnFailures>,
+    recorder: Option<Arc<Recorder>>,
+    rx: Receiver<WorkerMsg>,
+) {
+    let engine = &machine.engine;
+    let site = Site(machine.id.0);
+    let mut local: Option<TxnId> = None;
+    let mut finished = false;
+
+    for msg in rx {
+        match msg {
+            WorkerMsg::Exec { stmt, params, reply } => {
+                let result: Result<QueryResult> = (|| {
+                    let txn = match local {
+                        Some(t) => t,
+                        None => {
+                            let t = engine.begin()?;
+                            local = Some(t);
+                            t
+                        }
+                    };
+                    let r = execute_stmt(engine, txn, &db, &stmt, &params)?;
+                    if let Some(rec) = &recorder {
+                        for (table, rid) in &r.touched_reads {
+                            rec.record(site, gtxn, AccessKind::Read, format!("{db}.{table}:{rid}"));
+                        }
+                        for (table, rid) in &r.touched_writes {
+                            rec.record(site, gtxn, AccessKind::Write, format!("{db}.{table}:{rid}"));
+                        }
+                    }
+                    Ok(r)
+                })();
+                if let Err(e) = &result {
+                    failures.push(machine.id, e.clone());
+                }
+                let _ = reply.send(WorkerReply { machine: machine.id, local, result });
+            }
+            WorkerMsg::Prepare { reply } => {
+                let result = match local {
+                    Some(t) => engine.prepare(t).map(|_| QueryResult::default()).map_err(ClusterError::from),
+                    // A machine that saw no operation votes yes trivially.
+                    None => Ok(QueryResult::default()),
+                };
+                if let Err(e) = &result {
+                    failures.push(machine.id, e.clone());
+                }
+                let _ = reply.send(WorkerReply { machine: machine.id, local, result });
+            }
+            WorkerMsg::Commit { reply } => {
+                let result = match local.take() {
+                    Some(t) => engine.commit(t).map(|_| QueryResult::default()).map_err(ClusterError::from),
+                    None => Ok(QueryResult::default()),
+                };
+                finished = true;
+                let _ = reply.send(WorkerReply { machine: machine.id, local: None, result });
+            }
+            WorkerMsg::Abort { reply } => {
+                let result = match local.take() {
+                    Some(t) => engine.abort(t).map(|_| QueryResult::default()).map_err(ClusterError::from),
+                    None => Ok(QueryResult::default()),
+                };
+                finished = true;
+                let _ = reply.send(WorkerReply { machine: machine.id, local: None, result });
+            }
+        }
+        if finished {
+            break;
+        }
+    }
+    // Channel closed or transaction finished: clean up a dangling local txn
+    // so its locks don't linger until timeout.
+    if let Some(t) = local {
+        let _ = engine.abort(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use tenantdb_sql::parse;
+    use tenantdb_storage::EngineConfig;
+
+    fn machine_with_table() -> Arc<Machine> {
+        let m = Arc::new(Machine::new(MachineId(1), EngineConfig::for_tests()));
+        m.engine.create_database("app").unwrap();
+        let e = &m.engine;
+        e.with_txn(|t| {
+            tenantdb_sql::execute(
+                e,
+                t,
+                "app",
+                "CREATE TABLE kv (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+                &[],
+            )
+            .map_err(|err| match err {
+                tenantdb_sql::SqlError::Storage(s) => s,
+                other => tenantdb_storage::StorageError::SchemaMismatch(other.to_string()),
+            })?;
+            Ok(())
+        })
+        .unwrap();
+        m
+    }
+
+    fn exec(h: &WorkerHandle, sql: &str) -> Result<QueryResult> {
+        let (tx, rx) = channel();
+        h.send(WorkerMsg::Exec {
+            stmt: Arc::new(parse(sql).unwrap()),
+            params: Arc::new(vec![]),
+            reply: tx,
+        })
+        .unwrap();
+        rx.recv().unwrap().result
+    }
+
+    fn finish(h: &WorkerHandle, commit: bool) -> Result<QueryResult> {
+        let (tx, rx) = channel();
+        let msg =
+            if commit { WorkerMsg::Commit { reply: tx } } else { WorkerMsg::Abort { reply: tx } };
+        h.send(msg).unwrap();
+        rx.recv().unwrap().result
+    }
+
+    #[test]
+    fn worker_executes_and_commits() {
+        let m = machine_with_table();
+        let failures = Arc::new(TxnFailures::default());
+        let h = spawn_worker(Arc::clone(&m), "app".into(), GTxn(1), failures.clone(), None);
+        exec(&h, "INSERT INTO kv VALUES (1, 'x')").unwrap();
+        finish(&h, true).unwrap();
+        assert!(failures.is_empty());
+        // Data visible to a fresh txn.
+        let t = m.engine.begin().unwrap();
+        assert_eq!(m.engine.scan(t, "app", "kv").unwrap().len(), 1);
+        m.engine.commit(t).unwrap();
+    }
+
+    #[test]
+    fn worker_abort_rolls_back() {
+        let m = machine_with_table();
+        let h = spawn_worker(
+            Arc::clone(&m),
+            "app".into(),
+            GTxn(2),
+            Arc::new(TxnFailures::default()),
+            None,
+        );
+        exec(&h, "INSERT INTO kv VALUES (1, 'x')").unwrap();
+        finish(&h, false).unwrap();
+        let t = m.engine.begin().unwrap();
+        assert_eq!(m.engine.scan(t, "app", "kv").unwrap().len(), 0);
+        m.engine.commit(t).unwrap();
+    }
+
+    #[test]
+    fn error_lands_in_failure_ledger() {
+        let m = machine_with_table();
+        let failures = Arc::new(TxnFailures::default());
+        let h = spawn_worker(Arc::clone(&m), "app".into(), GTxn(3), failures.clone(), None);
+        exec(&h, "INSERT INTO kv VALUES (1, 'x')").unwrap();
+        // Unique violation -> statement error -> recorded.
+        exec(&h, "INSERT INTO kv VALUES (1, 'dup')").unwrap_err();
+        assert_eq!(failures.len(), 1);
+        let drained = failures.drain();
+        assert_eq!(drained[0].0, MachineId(1));
+        finish(&h, false).unwrap();
+    }
+
+    #[test]
+    fn dropping_handle_aborts_dangling_txn() {
+        let m = machine_with_table();
+        {
+            let h = spawn_worker(
+                Arc::clone(&m),
+                "app".into(),
+                GTxn(4),
+                Arc::new(TxnFailures::default()),
+                None,
+            );
+            exec(&h, "INSERT INTO kv VALUES (9, 'dangling')").unwrap();
+            // Dropped without commit/abort.
+        }
+        // Locks were released by the cleanup abort; row is gone.
+        let t = m.engine.begin().unwrap();
+        assert_eq!(m.engine.scan(t, "app", "kv").unwrap().len(), 0);
+        m.engine.commit(t).unwrap();
+    }
+
+    #[test]
+    fn history_recorded_with_site_and_gtxn() {
+        let m = machine_with_table();
+        let rec = Arc::new(Recorder::new());
+        let h = spawn_worker(
+            Arc::clone(&m),
+            "app".into(),
+            GTxn(5),
+            Arc::new(TxnFailures::default()),
+            Some(rec.clone()),
+        );
+        exec(&h, "INSERT INTO kv VALUES (1, 'x')").unwrap();
+        exec(&h, "SELECT * FROM kv WHERE k = 1").unwrap();
+        finish(&h, true).unwrap();
+        let ops = rec.ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].site, Site(1));
+        assert_eq!(ops[0].txn, GTxn(5));
+        assert!(matches!(ops[0].kind, AccessKind::Write));
+        assert!(matches!(ops[1].kind, AccessKind::Read));
+        assert_eq!(ops[0].object, ops[1].object);
+    }
+
+    #[test]
+    fn prepare_reports_local_txn_id() {
+        let m = machine_with_table();
+        let h = spawn_worker(
+            Arc::clone(&m),
+            "app".into(),
+            GTxn(6),
+            Arc::new(TxnFailures::default()),
+            None,
+        );
+        exec(&h, "INSERT INTO kv VALUES (2, 'y')").unwrap();
+        let (tx, rx) = channel();
+        h.send(WorkerMsg::Prepare { reply: tx }).unwrap();
+        let reply = rx.recv().unwrap();
+        reply.result.unwrap();
+        assert!(reply.local.is_some(), "prepare must expose the local txn id");
+        finish(&h, true).unwrap();
+    }
+
+    #[test]
+    fn failed_machine_surfaces_unavailable() {
+        let m = machine_with_table();
+        m.engine.crash();
+        let failures = Arc::new(TxnFailures::default());
+        let h = spawn_worker(Arc::clone(&m), "app".into(), GTxn(7), failures.clone(), None);
+        let err = exec(&h, "SELECT * FROM kv").unwrap_err();
+        assert!(err.is_proactive_rejection());
+        assert_eq!(failures.len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tenantdb-platform
+//!
+//! The top of the §2 hierarchy: a geo-distributed data platform presenting
+//! the illusion of one large fault-tolerant DBMS.
+//!
+//! * [`SystemController`] — routes clients to the nearest live colo, owns
+//!   the database directory and SLAs, and pumps asynchronous cross-colo
+//!   replication (strong guarantees inside a colo, bounded-loss disaster
+//!   recovery across colos).
+//! * [`Colo`] / colo controller — clusters plus a free machine pool;
+//!   databases placed on the least-loaded cluster, machines within a
+//!   cluster chosen by SLA-driven First-Fit when a demand vector is known.
+//!
+//! ```
+//! use tenantdb_platform::{CreateOptions, PlatformConfig, SystemController};
+//! use tenantdb_storage::Value;
+//!
+//! let platform = SystemController::new(
+//!     PlatformConfig::for_tests(),
+//!     &[("west", (0.0, 0.0)), ("east", (100.0, 0.0))],
+//! );
+//! platform.create_database("myapp", (5.0, 0.0), CreateOptions::default()).unwrap();
+//!
+//! let conn = platform.connect("myapp", (5.0, 0.0)).unwrap();
+//! conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[]).unwrap();
+//! conn.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
+//! let r = conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+//! assert_eq!(r.rows[0][0], Value::Int(1));
+//!
+//! // Pump the asynchronous DR replication.
+//! platform.ship_all();
+//! ```
+
+pub mod colo;
+pub mod shard;
+pub mod system;
+
+pub use colo::{Colo, ColoId};
+pub use shard::{ShardedConnection, ShardedDatabase};
+pub use system::{CreateOptions, PlatformConfig, PlatformConnection, SystemController};

@@ -1,0 +1,471 @@
+//! The system controller and the platform-level client API (§2).
+//!
+//! The system controller routes `connect()` calls to the geographically
+//! nearest live colo hosting the database, and maintains the asynchronous
+//! cross-colo replication used for disaster recovery: writes committed at
+//! the primary colo are shipped (with bounded lag) to a secondary colo in
+//! another location. Within a colo the guarantees are strong (synchronous
+//! replication + 2PC); across colos they are deliberately weaker — a colo
+//! failover can lose the unshipped tail, which the paper accepts for low
+//! latency.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use tenantdb_cluster::{ClusterConfig, ClusterError, Connection};
+use tenantdb_sla::{ResourceVector, Sla};
+use tenantdb_sql::{QueryResult, Statement};
+use tenantdb_storage::Value;
+
+use crate::colo::{Colo, ColoId};
+
+/// Platform construction parameters.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    pub cluster: ClusterConfig,
+    pub clusters_per_colo: usize,
+    pub machines_per_cluster: usize,
+    pub machine_capacity: ResourceVector,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            cluster: ClusterConfig::default(),
+            clusters_per_colo: 2,
+            machines_per_cluster: 4,
+            machine_capacity: ResourceVector::new(1000.0, 100_000.0, 1000.0, 100_000.0),
+        }
+    }
+}
+
+impl PlatformConfig {
+    pub fn for_tests() -> Self {
+        PlatformConfig { cluster: ClusterConfig::for_tests(), ..Default::default() }
+    }
+}
+
+/// Options for `create_database`.
+#[derive(Debug, Clone)]
+pub struct CreateOptions {
+    /// Synchronous replicas within the primary colo's cluster.
+    pub replicas: usize,
+    /// The SLA contract (stored; placement uses `demand`).
+    pub sla: Sla,
+    /// Observed/estimated resource demand, enabling SLA-driven placement.
+    pub demand: Option<ResourceVector>,
+    /// Create an asynchronous disaster-recovery replica in a second colo.
+    pub cross_colo: bool,
+}
+
+impl Default for CreateOptions {
+    fn default() -> Self {
+        CreateOptions { replicas: 2, sla: Sla::default(), demand: None, cross_colo: true }
+    }
+}
+
+/// One captured statement with its parameters, ready to replay at the
+/// secondary colo.
+type ShipItem = (Arc<Statement>, Arc<Vec<Value>>);
+
+struct DbEntry {
+    primary: ColoId,
+    secondary: Option<ColoId>,
+    sla: Sla,
+    /// Committed-but-unshipped write batches (one entry per transaction).
+    ship_queue: Mutex<VecDeque<Vec<ShipItem>>>,
+}
+
+/// The system controller: the top of the §2 hierarchy.
+pub struct SystemController {
+    colos: Vec<Arc<Colo>>,
+    directory: RwLock<HashMap<String, Arc<DbEntry>>>,
+}
+
+impl SystemController {
+    /// Build a platform with colos at the given named locations.
+    pub fn new(cfg: PlatformConfig, colos: &[(&str, (f64, f64))]) -> Arc<Self> {
+        let colos = colos
+            .iter()
+            .enumerate()
+            .map(|(i, (name, loc))| {
+                Arc::new(Colo::new(
+                    ColoId(i as u32),
+                    *name,
+                    *loc,
+                    cfg.cluster,
+                    cfg.clusters_per_colo,
+                    cfg.machines_per_cluster,
+                    cfg.machine_capacity,
+                ))
+            })
+            .collect();
+        Arc::new(SystemController { colos, directory: RwLock::new(HashMap::new()) })
+    }
+
+    pub fn colo(&self, id: ColoId) -> Option<&Arc<Colo>> {
+        self.colos.iter().find(|c| c.id == id)
+    }
+
+    pub fn colos(&self) -> &[Arc<Colo>] {
+        &self.colos
+    }
+
+    fn nearest_colo(&self, from: (f64, f64), exclude: Option<ColoId>) -> Option<&Arc<Colo>> {
+        self.colos
+            .iter()
+            .filter(|c| !c.is_failed() && Some(c.id) != exclude)
+            .min_by(|a, b| dist(a.location, from).total_cmp(&dist(b.location, from)))
+    }
+
+    /// Create a database with an SLA (§2 API point 1). The primary colo is
+    /// the nearest to `owner_location`; the DR secondary (if requested) is
+    /// the nearest *other* colo.
+    pub fn create_database(
+        &self,
+        name: &str,
+        owner_location: (f64, f64),
+        opts: CreateOptions,
+    ) -> Result<ColoId, ClusterError> {
+        if self.directory.read().contains_key(name) {
+            return Err(ClusterError::AlreadyExists(name.to_string()));
+        }
+        let primary =
+            self.nearest_colo(owner_location, None).ok_or(ClusterError::NoMachines)?;
+        primary.create_database(name, opts.replicas, opts.demand)?;
+        let secondary = if opts.cross_colo {
+            match self.nearest_colo(owner_location, Some(primary.id)) {
+                Some(colo) => {
+                    // The DR copy is a single asynchronous replica.
+                    colo.create_database(name, 1, opts.demand)?;
+                    Some(colo.id)
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+        self.directory.write().insert(
+            name.to_string(),
+            Arc::new(DbEntry {
+                primary: primary.id,
+                secondary,
+                sla: opts.sla,
+                ship_queue: Mutex::new(VecDeque::new()),
+            }),
+        );
+        Ok(primary.id)
+    }
+
+    pub fn sla(&self, db: &str) -> Option<Sla> {
+        self.directory.read().get(db).map(|e| e.sla)
+    }
+
+    pub fn primary_colo(&self, db: &str) -> Option<ColoId> {
+        self.directory.read().get(db).map(|e| e.primary)
+    }
+
+    pub fn secondary_colo(&self, db: &str) -> Option<ColoId> {
+        self.directory.read().get(db).and_then(|e| e.secondary)
+    }
+
+    /// Connect to a database (§2 API point 2). Routed to the primary colo's
+    /// hosting cluster; `client_location` is used only to pick among
+    /// replicas of equal standing (here: validation + future use).
+    pub fn connect(
+        self: &Arc<Self>,
+        db: &str,
+        _client_location: (f64, f64),
+    ) -> Result<PlatformConnection, ClusterError> {
+        let entry = self
+            .directory
+            .read()
+            .get(db)
+            .cloned()
+            .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
+        let colo = self
+            .colo(entry.primary)
+            .filter(|c| !c.is_failed())
+            .ok_or(ClusterError::NoMachines)?;
+        let cluster =
+            colo.cluster_for(db).ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
+        let inner = cluster.connect(db)?;
+        Ok(PlatformConnection {
+            system: Arc::clone(self),
+            entry,
+            db: db.to_string(),
+            inner,
+            pending: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Ship every queued write batch of `db` to its secondary colo. Returns
+    /// the number of transactions shipped. This is the asynchronous
+    /// replication pump; call it periodically (or via
+    /// [`SystemController::ship_all`]).
+    pub fn ship(&self, db: &str) -> Result<usize, ClusterError> {
+        let entry = self
+            .directory
+            .read()
+            .get(db)
+            .cloned()
+            .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
+        let Some(secondary) = entry.secondary else { return Ok(0) };
+        let Some(colo) = self.colo(secondary).filter(|c| !c.is_failed()) else {
+            return Ok(0);
+        };
+        let cluster =
+            colo.cluster_for(db).ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
+        let conn = cluster.connect(db)?;
+        let mut shipped = 0;
+        loop {
+            let Some(batch) = entry.ship_queue.lock().pop_front() else { break };
+            let is_ddl = |s: &Statement| {
+                matches!(s, Statement::CreateTable { .. } | Statement::CreateIndex { .. })
+            };
+            if batch.iter().any(|(s, _)| is_ddl(s)) {
+                // DDL ships auto-committed (it is never mixed into a client
+                // transaction batch in the first place).
+                for (stmt, params) in &batch {
+                    conn.execute_parsed(stmt, Arc::clone(params))?;
+                }
+            } else {
+                conn.begin()?;
+                for (stmt, params) in &batch {
+                    conn.execute_parsed(stmt, Arc::clone(params))?;
+                }
+                conn.commit()?;
+            }
+            shipped += 1;
+        }
+        Ok(shipped)
+    }
+
+    /// Ship every database's queue.
+    pub fn ship_all(&self) -> usize {
+        let dbs: Vec<String> = self.directory.read().keys().cloned().collect();
+        dbs.iter().map(|db| self.ship(db).unwrap_or(0)).sum()
+    }
+
+    /// Transactions committed at the primary but not yet shipped (the data
+    /// a disaster would lose right now).
+    pub fn replication_lag(&self, db: &str) -> usize {
+        self.directory
+            .read()
+            .get(db)
+            .map(|e| e.ship_queue.lock().len())
+            .unwrap_or(0)
+    }
+
+    /// Disaster failover: promote the secondary colo to primary for `db`.
+    /// Unshipped transactions are lost (returned as the loss count) — the
+    /// §2 trade-off of asynchronous cross-colo replication.
+    pub fn failover(&self, db: &str) -> Result<usize, ClusterError> {
+        let dir = self.directory.read();
+        let entry =
+            dir.get(db).cloned().ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
+        drop(dir);
+        let secondary = entry.secondary.ok_or(ClusterError::NoMachines)?;
+        let lost = entry.ship_queue.lock().len();
+        entry.ship_queue.lock().clear();
+        let new_entry = Arc::new(DbEntry {
+            primary: secondary,
+            secondary: None,
+            sla: entry.sla,
+            ship_queue: Mutex::new(VecDeque::new()),
+        });
+        self.directory.write().insert(db.to_string(), new_entry);
+        Ok(lost)
+    }
+
+    fn enqueue_batch(&self, entry: &DbEntry, batch: Vec<ShipItem>) {
+        if entry.secondary.is_some() && !batch.is_empty() {
+            entry.ship_queue.lock().push_back(batch);
+        }
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (dx, dy) = (a.0 - b.0, a.1 - b.1);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// A platform-level connection: wraps a cluster connection at the primary
+/// colo and captures committed write statements for asynchronous shipping
+/// to the DR colo.
+pub struct PlatformConnection {
+    system: Arc<SystemController>,
+    entry: Arc<DbEntry>,
+    db: String,
+    inner: Connection,
+    pending: Mutex<Vec<ShipItem>>,
+}
+
+impl PlatformConnection {
+    pub fn database(&self) -> &str {
+        &self.db
+    }
+
+    pub fn begin(&self) -> Result<(), ClusterError> {
+        self.pending.lock().clear();
+        self.inner.begin()
+    }
+
+    pub fn execute(&self, sql: &str, params: &[Value]) -> Result<QueryResult, ClusterError> {
+        let stmt = Arc::new(tenantdb_sql::parse(sql)?);
+        let params = Arc::new(params.to_vec());
+        let implicit = !self.inner.in_txn();
+        let r = self.inner.execute_parsed(&stmt, Arc::clone(&params))?;
+        let is_write = matches!(
+            *stmt,
+            Statement::Insert { .. }
+                | Statement::Update { .. }
+                | Statement::Delete { .. }
+                | Statement::CreateTable { .. }
+                | Statement::CreateIndex { .. }
+        );
+        if is_write {
+            if implicit {
+                // Auto-committed write: ship as its own batch.
+                self.system.enqueue_batch(&self.entry, vec![(stmt, params)]);
+            } else {
+                self.pending.lock().push((stmt, params));
+            }
+        }
+        Ok(r)
+    }
+
+    pub fn commit(&self) -> Result<(), ClusterError> {
+        self.inner.commit()?;
+        let batch = std::mem::take(&mut *self.pending.lock());
+        self.system.enqueue_batch(&self.entry, batch);
+        Ok(())
+    }
+
+    pub fn rollback(&self) -> Result<(), ClusterError> {
+        self.pending.lock().clear();
+        self.inner.rollback()
+    }
+
+    /// The underlying cluster connection (advanced use).
+    pub fn cluster_connection(&self) -> &Connection {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WEST: (f64, f64) = (0.0, 0.0);
+    const EAST: (f64, f64) = (100.0, 0.0);
+
+    fn platform() -> Arc<SystemController> {
+        SystemController::new(
+            PlatformConfig::for_tests(),
+            &[("west", WEST), ("east", EAST)],
+        )
+    }
+
+    #[test]
+    fn primary_is_nearest_colo() {
+        let p = platform();
+        p.create_database("app", (10.0, 0.0), CreateOptions::default()).unwrap();
+        assert_eq!(p.primary_colo("app"), Some(ColoId(0)));
+        assert_eq!(p.secondary_colo("app"), Some(ColoId(1)));
+        p.create_database("app2", (90.0, 0.0), CreateOptions::default()).unwrap();
+        assert_eq!(p.primary_colo("app2"), Some(ColoId(1)));
+    }
+
+    #[test]
+    fn end_to_end_sql_through_platform() {
+        let p = platform();
+        p.create_database("notes", WEST, CreateOptions::default()).unwrap();
+        let conn = p.connect("notes", WEST).unwrap();
+        conn.execute("CREATE TABLE n (id INT NOT NULL, body TEXT, PRIMARY KEY (id))", &[])
+            .unwrap();
+        conn.begin().unwrap();
+        conn.execute("INSERT INTO n VALUES (1, 'hello')", &[]).unwrap();
+        conn.commit().unwrap();
+        let r = conn.execute("SELECT body FROM n WHERE id = 1", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::from("hello"));
+    }
+
+    #[test]
+    fn async_replication_ships_committed_writes() {
+        let p = platform();
+        p.create_database("app", WEST, CreateOptions::default()).unwrap();
+        let conn = p.connect("app", WEST).unwrap();
+        conn.execute("CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))", &[]).unwrap();
+        conn.begin().unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'a')", &[]).unwrap();
+        conn.execute("INSERT INTO t VALUES (2, 'b')", &[]).unwrap();
+        conn.commit().unwrap();
+        // DDL batch + one txn batch queued.
+        assert!(p.replication_lag("app") >= 1);
+        let shipped = p.ship("app").unwrap();
+        assert!(shipped >= 1);
+        assert_eq!(p.replication_lag("app"), 0);
+        // The secondary colo now has the rows.
+        let east = p.colo(ColoId(1)).unwrap();
+        let cluster = east.cluster_for("app").unwrap();
+        let c2 = cluster.connect("app").unwrap();
+        let r = c2.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn rolled_back_writes_are_not_shipped() {
+        let p = platform();
+        p.create_database("app", WEST, CreateOptions::default()).unwrap();
+        let conn = p.connect("app", WEST).unwrap();
+        conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[]).unwrap();
+        let base = p.replication_lag("app");
+        conn.begin().unwrap();
+        conn.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
+        conn.rollback().unwrap();
+        assert_eq!(p.replication_lag("app"), base, "aborted txn must not ship");
+    }
+
+    #[test]
+    fn colo_failover_loses_only_unshipped_tail() {
+        let p = platform();
+        p.create_database("app", WEST, CreateOptions::default()).unwrap();
+        let conn = p.connect("app", WEST).unwrap();
+        conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[]).unwrap();
+        conn.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
+        p.ship("app").unwrap();
+        // One more committed txn that never ships.
+        conn.execute("INSERT INTO t VALUES (2)", &[]).unwrap();
+        // Disaster strikes the west colo.
+        p.colo(ColoId(0)).unwrap().fail();
+        let lost = p.failover("app").unwrap();
+        assert_eq!(lost, 1, "exactly the unshipped tail is lost");
+        assert_eq!(p.primary_colo("app"), Some(ColoId(1)));
+        // Clients reconnect and see the shipped prefix.
+        let conn2 = p.connect("app", WEST).unwrap();
+        let r = conn2.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn connect_to_failed_primary_errors_until_failover() {
+        let p = platform();
+        p.create_database("app", WEST, CreateOptions::default()).unwrap();
+        p.colo(ColoId(0)).unwrap().fail();
+        assert!(p.connect("app", WEST).is_err());
+        p.failover("app").unwrap();
+        assert!(p.connect("app", WEST).is_ok());
+    }
+
+    #[test]
+    fn sla_is_stored() {
+        let p = platform();
+        let sla = Sla::new(5.0, 0.001, std::time::Duration::from_secs(60));
+        p.create_database("app", WEST, CreateOptions { sla, ..Default::default() }).unwrap();
+        assert_eq!(p.sla("app"), Some(sla));
+        assert_eq!(p.sla("nope"), None);
+    }
+}

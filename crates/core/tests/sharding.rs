@@ -1,0 +1,213 @@
+//! Sharding-extension tests: routing, fan-out merging, co-sharded joins,
+//! and the single-shard transaction discipline.
+
+use std::sync::Arc;
+
+use tenantdb_cluster::{ClusterConfig, ClusterController, ClusterError};
+use tenantdb_platform::ShardedDatabase;
+use tenantdb_storage::Value;
+
+fn sharded(shards: usize) -> (Arc<ClusterController>, Arc<ShardedDatabase>) {
+    let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 4);
+    let s = Arc::new(ShardedDatabase::create(&cluster, "big", shards, 2).unwrap());
+    s.ddl("CREATE TABLE users (id INT NOT NULL, name TEXT, score INT, PRIMARY KEY (id))")
+        .unwrap();
+    (cluster, s)
+}
+
+fn load_users(s: &Arc<ShardedDatabase>, n: i64) {
+    let conn = s.connect().unwrap();
+    for i in 0..n {
+        conn.execute(
+            "INSERT INTO users VALUES (?, ?, ?)",
+            &[Value::Int(i), Value::Text(format!("u{i}")), Value::Int(i * 10)],
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn inserts_spread_across_shards() {
+    let (cluster, s) = sharded(3);
+    load_users(&s, 60);
+    // Every shard holds a non-trivial subset and the union is complete.
+    let mut total = 0i64;
+    for db in s.shard_databases() {
+        let conn = cluster.connect(db).unwrap();
+        let n = conn.execute("SELECT COUNT(*) FROM users", &[]).unwrap().rows[0][0]
+            .as_i64()
+            .unwrap();
+        assert!(n > 5, "shard {db} got only {n} of 60 rows");
+        total += n;
+    }
+    assert_eq!(total, 60);
+}
+
+#[test]
+fn point_queries_route_by_key() {
+    let (_, s) = sharded(3);
+    load_users(&s, 30);
+    let conn = s.connect().unwrap();
+    for i in [0i64, 7, 13, 29] {
+        let r = conn
+            .execute("SELECT name FROM users WHERE id = ?", &[Value::Int(i)])
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Text(format!("u{i}"))]]);
+    }
+}
+
+#[test]
+fn keyless_select_fans_out_and_merges() {
+    let (_, s) = sharded(3);
+    load_users(&s, 25);
+    let conn = s.connect().unwrap();
+    let r = conn
+        .execute("SELECT id FROM users WHERE score >= ? ORDER BY id DESC LIMIT 5", &[Value::Int(0)])
+        .unwrap();
+    let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+    assert_eq!(ids, vec![24, 23, 22, 21, 20], "global ORDER BY + LIMIT after merge");
+}
+
+#[test]
+fn aggregates_merge_across_shards() {
+    let (_, s) = sharded(4);
+    load_users(&s, 40);
+    let conn = s.connect().unwrap();
+    let r = conn
+        .execute("SELECT COUNT(*), SUM(score), MIN(score), MAX(score) FROM users", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(40));
+    assert_eq!(r.rows[0][1], Value::Int((0..40).map(|i| i * 10).sum()));
+    assert_eq!(r.rows[0][2], Value::Int(0));
+    assert_eq!(r.rows[0][3], Value::Int(390));
+}
+
+#[test]
+fn cross_shard_group_by_rejected() {
+    let (_, s) = sharded(2);
+    load_users(&s, 10);
+    let conn = s.connect().unwrap();
+    let err = conn
+        .execute("SELECT score, COUNT(*) FROM users GROUP BY score", &[])
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Sql(_)));
+    // But the same query WITH a shard key routes fine.
+    conn.execute(
+        "SELECT score, COUNT(*) FROM users WHERE id = 3 GROUP BY score",
+        &[],
+    )
+    .unwrap();
+}
+
+#[test]
+fn keyless_update_reaches_every_shard() {
+    let (_, s) = sharded(3);
+    load_users(&s, 30);
+    let conn = s.connect().unwrap();
+    let r = conn.execute("UPDATE users SET score = 0", &[]).unwrap();
+    assert_eq!(r.rows_affected, 30);
+    let sum = conn.execute("SELECT SUM(score) FROM users", &[]).unwrap();
+    assert_eq!(sum.rows[0][0], Value::Int(0));
+}
+
+#[test]
+fn transactions_pin_to_one_shard() {
+    let (_, s) = sharded(3);
+    load_users(&s, 30);
+    let conn = s.connect().unwrap();
+    conn.begin().unwrap();
+    // First statement binds the shard (key 5).
+    conn.execute("UPDATE users SET score = 999 WHERE id = ?", &[Value::Int(5)]).unwrap();
+    // Same-shard statement (same key) is fine.
+    conn.execute("SELECT score FROM users WHERE id = ?", &[Value::Int(5)]).unwrap();
+    // A key on another shard must be refused. (Find one.)
+    let other = (0..30)
+        .find(|&i| {
+            // Different shard than key 5 — probe via routing behaviour.
+            let probe = conn.execute("SELECT id FROM users WHERE id = ?", &[Value::Int(i)]);
+            probe.is_err()
+        })
+        .expect("some key routes elsewhere");
+    let _ = other;
+    conn.rollback().unwrap();
+    // After rollback the update is gone.
+    let r = conn
+        .execute("SELECT score FROM users WHERE id = ?", &[Value::Int(5)])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(50));
+}
+
+#[test]
+fn keyless_statement_inside_txn_rejected() {
+    let (_, s) = sharded(2);
+    load_users(&s, 10);
+    let conn = s.connect().unwrap();
+    conn.begin().unwrap();
+    let err = conn.execute("UPDATE users SET score = 1", &[]).unwrap_err();
+    assert!(matches!(err, ClusterError::TxnAborted(_)));
+    conn.rollback().unwrap();
+}
+
+#[test]
+fn co_sharded_join_routes_and_works() {
+    let (_, s) = sharded(3);
+    // orders co-sharded with users by customer id.
+    s.set_shard_key("orders", "o_uid");
+    s.ddl("CREATE TABLE orders (o_id INT NOT NULL, o_uid INT, total INT, PRIMARY KEY (o_id))")
+        .unwrap();
+    load_users(&s, 12);
+    let conn = s.connect().unwrap();
+    for (oid, uid, total) in [(1i64, 4i64, 100i64), (2, 4, 50), (3, 7, 25)] {
+        conn.execute(
+            "INSERT INTO orders (o_id, o_uid, total) VALUES (?, ?, ?)",
+            &[Value::Int(oid), Value::Int(uid), Value::Int(total)],
+        )
+        .unwrap();
+    }
+    // Join routed by the base table's shard key: user 4's orders live on
+    // user 4's shard because o_uid co-shards with users.id.
+    let r = conn
+        .execute(
+            "SELECT u.name, SUM(o.total) FROM users u JOIN orders o ON o.o_uid = u.id \
+             WHERE u.id = ? GROUP BY u.name",
+            &[Value::Int(4)],
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Text("u4".into()), Value::Int(150)]]);
+    // Key-less join is refused.
+    let err = conn
+        .execute("SELECT u.name FROM users u JOIN orders o ON o.o_uid = u.id", &[])
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Sql(_)));
+}
+
+#[test]
+fn shards_inherit_replication() {
+    let (cluster, s) = sharded(2);
+    load_users(&s, 10);
+    for db in s.shard_databases() {
+        assert_eq!(cluster.alive_replicas(db).unwrap().len(), 2);
+    }
+}
+
+#[test]
+fn multi_row_insert_spanning_shards_rejected() {
+    let (_, s) = sharded(2);
+    let conn = s.connect().unwrap();
+    // Find two ids on different shards and try a single INSERT with both.
+    let mut err_seen = false;
+    'outer: for a in 0..8i64 {
+        for b in 0..8i64 {
+            let r = conn.execute(
+                "INSERT INTO users VALUES (?, 'a', 0), (?, 'b', 0)",
+                &[Value::Int(100 + a), Value::Int(200 + b)],
+            );
+            if r.is_err() {
+                err_seen = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(err_seen, "some pair must span shards");
+}

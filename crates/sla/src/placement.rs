@@ -1,0 +1,518 @@
+//! Database-to-machine placement.
+//!
+//! Algorithm 2 of the paper: when a new database arrives, allocate each of
+//! its `n` replicas to the first existing machine with room (First-Fit),
+//! each replica on a *different* machine; spill the rest onto fresh machines
+//! from the free pool. Existing databases are never moved.
+//!
+//! For the Table 2 comparison we also provide the exact optimum (exhaustive
+//! branch-and-bound with symmetry breaking — the paper computed it "offline
+//! exhaustively"), plus First-Fit-Decreasing and Best-Fit variants for the
+//! ablation benchmarks.
+
+use std::fmt;
+
+use crate::{DatabaseSpec, ResourceVector};
+
+/// Placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A single replica demands more than one empty machine provides.
+    ReplicaTooLarge(String),
+    /// Replica count exceeds what anti-colocation can satisfy (needs more
+    /// machines than the placer may open).
+    TooManyReplicas(String),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::ReplicaTooLarge(db) => {
+                write!(f, "database {db}: one replica exceeds machine capacity")
+            }
+            PlacementError::TooManyReplicas(db) => {
+                write!(f, "database {db}: cannot satisfy replica anti-colocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// One machine's bookkeeping inside a placer.
+#[derive(Debug, Clone)]
+pub struct MachineLoad {
+    pub capacity: ResourceVector,
+    pub used: ResourceVector,
+    /// Databases (by name) with a replica here — enforces anti-colocation.
+    pub hosted: Vec<String>,
+}
+
+impl MachineLoad {
+    fn new(capacity: ResourceVector) -> Self {
+        MachineLoad { capacity, used: ResourceVector::ZERO, hosted: Vec::new() }
+    }
+
+    fn can_host(&self, spec: &DatabaseSpec) -> bool {
+        !self.hosted.contains(&spec.name) && (self.used + spec.demand).fits_in(&self.capacity)
+    }
+
+    fn host(&mut self, spec: &DatabaseSpec) {
+        self.used += spec.demand;
+        self.hosted.push(spec.name.clone());
+    }
+
+    pub fn utilization(&self) -> f64 {
+        self.used.max_utilization(&self.capacity)
+    }
+}
+
+/// Common interface for online placement policies.
+pub trait Placer {
+    /// Place all replicas of `spec`; returns the machine indices chosen
+    /// (machines are opened on demand). Indices are stable across calls.
+    fn place(&mut self, spec: &DatabaseSpec) -> Result<Vec<usize>, PlacementError>;
+
+    /// Number of machines opened so far.
+    fn machines_used(&self) -> usize;
+
+    /// Inspect machine loads.
+    fn loads(&self) -> &[MachineLoad];
+}
+
+/// Shared state of the list-based placers.
+#[derive(Debug)]
+struct ListPlacer {
+    capacity: ResourceVector,
+    machines: Vec<MachineLoad>,
+}
+
+impl ListPlacer {
+    fn new(capacity: ResourceVector) -> Self {
+        ListPlacer { capacity, machines: Vec::new() }
+    }
+
+    fn validate(&self, spec: &DatabaseSpec) -> Result<(), PlacementError> {
+        if !spec.demand.fits_in(&self.capacity) {
+            return Err(PlacementError::ReplicaTooLarge(spec.name.clone()));
+        }
+        Ok(())
+    }
+
+    /// Place replicas choosing, for each, the best existing machine
+    /// according to `score` (lower wins; `None` = cannot host); opens a new
+    /// machine when nothing fits.
+    fn place_by<F: Fn(&MachineLoad) -> Option<f64>>(
+        &mut self,
+        spec: &DatabaseSpec,
+        score: F,
+    ) -> Result<Vec<usize>, PlacementError> {
+        self.validate(spec)?;
+        let mut chosen = Vec::with_capacity(spec.replicas);
+        for _ in 0..spec.replicas {
+            let pick = self
+                .machines
+                .iter()
+                .enumerate()
+                .filter(|(i, m)| !chosen.contains(i) && m.can_host(spec))
+                .filter_map(|(i, m)| score(m).map(|s| (i, s)))
+                .min_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ia.cmp(ib)))
+                .map(|(i, _)| i);
+            let idx = match pick {
+                Some(i) => i,
+                None => {
+                    self.machines.push(MachineLoad::new(self.capacity));
+                    self.machines.len() - 1
+                }
+            };
+            self.machines[idx].host(spec);
+            chosen.push(idx);
+        }
+        Ok(chosen)
+    }
+}
+
+/// Algorithm 2: online First-Fit with replica anti-colocation.
+#[derive(Debug)]
+pub struct FirstFitPlacer {
+    inner: ListPlacer,
+}
+
+impl FirstFitPlacer {
+    pub fn new(capacity: ResourceVector) -> Self {
+        FirstFitPlacer { inner: ListPlacer::new(capacity) }
+    }
+}
+
+impl Placer for FirstFitPlacer {
+    fn place(&mut self, spec: &DatabaseSpec) -> Result<Vec<usize>, PlacementError> {
+        // `place_by` breaks score ties by machine index, so a constant score
+        // selects the lowest-index machine that fits — exactly First-Fit.
+        self.inner.place_by(spec, |_| Some(0.0))
+    }
+
+    fn machines_used(&self) -> usize {
+        self.inner.machines.len()
+    }
+
+    fn loads(&self) -> &[MachineLoad] {
+        &self.inner.machines
+    }
+}
+
+/// Best-Fit: pick the machine that would be left *fullest* (tightest fit).
+#[derive(Debug)]
+pub struct BestFitPlacer {
+    inner: ListPlacer,
+}
+
+impl BestFitPlacer {
+    pub fn new(capacity: ResourceVector) -> Self {
+        BestFitPlacer { inner: ListPlacer::new(capacity) }
+    }
+}
+
+impl Placer for BestFitPlacer {
+    fn place(&mut self, spec: &DatabaseSpec) -> Result<Vec<usize>, PlacementError> {
+        let demand = spec.demand;
+        self.inner.place_by(spec, move |m| {
+            // Tightest fit = highest post-placement utilization = lowest
+            // negative utilization.
+            let after = m.used + demand;
+            Some(-(after.max_utilization(&m.capacity)))
+        })
+    }
+
+    fn machines_used(&self) -> usize {
+        self.inner.machines.len()
+    }
+
+    fn loads(&self) -> &[MachineLoad] {
+        &self.inner.machines
+    }
+}
+
+/// First-Fit-Decreasing: *offline* — sort databases by demand (largest
+/// first), then run First-Fit. Used in the placement-quality ablation.
+#[derive(Debug)]
+pub struct FirstFitDecreasingPlacer {
+    capacity: ResourceVector,
+    result: Option<FirstFitPlacer>,
+}
+
+impl FirstFitDecreasingPlacer {
+    pub fn new(capacity: ResourceVector) -> Self {
+        FirstFitDecreasingPlacer { capacity, result: None }
+    }
+
+    /// Place a whole batch at once (FFD is inherently offline).
+    pub fn place_all(
+        &mut self,
+        specs: &[DatabaseSpec],
+    ) -> Result<usize, PlacementError> {
+        let mut sorted: Vec<&DatabaseSpec> = specs.iter().collect();
+        let cap = self.capacity;
+        sorted.sort_by(|a, b| {
+            b.demand
+                .max_utilization(&cap)
+                .total_cmp(&a.demand.max_utilization(&cap))
+        });
+        let mut ff = FirstFitPlacer::new(self.capacity);
+        for s in sorted {
+            ff.place(s)?;
+        }
+        let used = ff.machines_used();
+        self.result = Some(ff);
+        Ok(used)
+    }
+
+    pub fn machines_used(&self) -> usize {
+        self.result.as_ref().map_or(0, |p| p.machines_used())
+    }
+}
+
+/// Lower bound on the machine count: per-dimension volume bound combined
+/// with the replica anti-colocation bound.
+pub fn machine_lower_bound(specs: &[DatabaseSpec], capacity: ResourceVector) -> usize {
+    let mut total = ResourceVector::ZERO;
+    let mut max_replicas = 0;
+    for s in specs {
+        for _ in 0..s.replicas {
+            total += s.demand;
+        }
+        max_replicas = max_replicas.max(s.replicas);
+    }
+    let dim = |d: f64, c: f64| if c <= 0.0 { 0 } else { (d / c - 1e-9).ceil() as usize };
+    dim(total.cpu, capacity.cpu)
+        .max(dim(total.memory, capacity.memory))
+        .max(dim(total.disk_io, capacity.disk_io))
+        .max(dim(total.disk_size, capacity.disk_size))
+        .max(max_replicas)
+}
+
+/// Exact minimum machine count by branch-and-bound (the paper's offline
+/// "optimal solution" column in Table 2).
+///
+/// Items are individual replicas; replicas of one database must land in
+/// different bins. Symmetry is broken by only allowing an item to open bin
+/// `k+1` when bins `0..=k` are all in use. Practical up to ~25 replicas.
+pub fn optimal_machine_count(specs: &[DatabaseSpec], capacity: ResourceVector) -> Option<usize> {
+    optimal_machine_count_budgeted(specs, capacity, u64::MAX).map(|(n, _)| n)
+}
+
+/// Branch-and-bound with a node budget. Returns `(machine_count, exact)`:
+/// when the budget runs out, `machine_count` is the best packing found so
+/// far and `exact` is false (unless the volume lower bound was already met).
+pub fn optimal_machine_count_budgeted(
+    specs: &[DatabaseSpec],
+    capacity: ResourceVector,
+    max_nodes: u64,
+) -> Option<(usize, bool)> {
+    // Flatten to (db_index, demand) items; place large items first to prune.
+    let mut items: Vec<(usize, ResourceVector)> = Vec::new();
+    for (i, s) in specs.iter().enumerate() {
+        if !s.demand.fits_in(&capacity) {
+            return None;
+        }
+        for _ in 0..s.replicas {
+            items.push((i, s.demand));
+        }
+    }
+    items.sort_by(|a, b| {
+        b.1.max_utilization(&capacity).total_cmp(&a.1.max_utilization(&capacity))
+    });
+
+    struct Search<'a> {
+        items: &'a [(usize, ResourceVector)],
+        capacity: ResourceVector,
+        best: usize,
+        lower_bound: usize,
+        bins_used: Vec<ResourceVector>,
+        bins_dbs: Vec<Vec<usize>>,
+        nodes: u64,
+        max_nodes: u64,
+    }
+
+    impl Search<'_> {
+        fn go(&mut self, idx: usize) {
+            self.nodes += 1;
+            if self.nodes > self.max_nodes || self.best == self.lower_bound {
+                return; // budget exhausted or provably optimal already
+            }
+            if self.bins_used.len() >= self.best {
+                return; // already as bad as the best known complete packing
+            }
+            if idx == self.items.len() {
+                self.best = self.bins_used.len();
+                return;
+            }
+            let (db, demand) = self.items[idx];
+            for b in 0..self.bins_used.len() {
+                if !self.bins_dbs[b].contains(&db)
+                    && (self.bins_used[b] + demand).fits_in(&self.capacity)
+                {
+                    self.bins_used[b] += demand;
+                    self.bins_dbs[b].push(db);
+                    self.go(idx + 1);
+                    self.bins_dbs[b].pop();
+                    self.bins_used[b] = self.bins_used[b] - demand;
+                }
+            }
+            // Open a new bin (symmetry: only one "new" choice).
+            if self.bins_used.len() + 1 < self.best {
+                self.bins_used.push(demand);
+                self.bins_dbs.push(vec![db]);
+                self.go(idx + 1);
+                self.bins_used.pop();
+                self.bins_dbs.pop();
+            }
+        }
+    }
+
+    // Upper bound from First-Fit-Decreasing (items are pre-sorted).
+    let mut ff_bins: Vec<(ResourceVector, Vec<usize>)> = Vec::new();
+    'outer: for &(db, d) in &items {
+        for (used, dbs) in ff_bins.iter_mut() {
+            if !dbs.contains(&db) && (*used + d).fits_in(&capacity) {
+                *used += d;
+                dbs.push(db);
+                continue 'outer;
+            }
+        }
+        ff_bins.push((d, vec![db]));
+    }
+    let upper = ff_bins.len();
+    let lower = machine_lower_bound(specs, capacity);
+    if upper <= lower {
+        return Some((upper, true)); // FFD met the volume bound: optimal
+    }
+
+    let mut search = Search {
+        items: &items,
+        capacity,
+        best: upper,
+        lower_bound: lower,
+        bins_used: Vec::new(),
+        bins_dbs: Vec::new(),
+        nodes: 0,
+        max_nodes,
+    };
+    search.go(0);
+    let exact = search.nodes <= max_nodes || search.best == lower;
+    Some((search.best, exact))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(x: f64) -> ResourceVector {
+        ResourceVector::new(x, x, x, x)
+    }
+
+    fn spec(name: &str, demand: f64, replicas: usize) -> DatabaseSpec {
+        DatabaseSpec::new(name, cap(demand), replicas)
+    }
+
+    #[test]
+    fn first_fit_fills_lowest_index_first() {
+        let mut p = FirstFitPlacer::new(cap(10.0));
+        assert_eq!(p.place(&spec("a", 4.0, 1)).unwrap(), vec![0]);
+        assert_eq!(p.place(&spec("b", 4.0, 1)).unwrap(), vec![0]);
+        assert_eq!(p.place(&spec("c", 4.0, 1)).unwrap(), vec![1]);
+        assert_eq!(p.machines_used(), 2);
+    }
+
+    #[test]
+    fn replicas_land_on_distinct_machines() {
+        let mut p = FirstFitPlacer::new(cap(10.0));
+        let placed = p.place(&spec("a", 1.0, 3)).unwrap();
+        let mut unique = placed.clone();
+        unique.dedup();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 3);
+        assert_eq!(p.machines_used(), 3);
+    }
+
+    #[test]
+    fn anti_colocation_persists_across_calls() {
+        let mut p = FirstFitPlacer::new(cap(10.0));
+        p.place(&spec("a", 1.0, 2)).unwrap();
+        // Placing "a" again (e.g. replacement replica) avoids both hosts.
+        let more = p.place(&spec("a", 1.0, 1)).unwrap();
+        assert_eq!(more, vec![2]);
+    }
+
+    #[test]
+    fn oversized_replica_rejected() {
+        let mut p = FirstFitPlacer::new(cap(10.0));
+        assert_eq!(
+            p.place(&spec("big", 11.0, 1)).unwrap_err(),
+            PlacementError::ReplicaTooLarge("big".into())
+        );
+    }
+
+    #[test]
+    fn multi_dimensional_constraint() {
+        let mut p = FirstFitPlacer::new(ResourceVector::new(10.0, 100.0, 10.0, 100.0));
+        // CPU-bound db and memory-bound db pack together on one machine.
+        p.place(&DatabaseSpec::new("cpu", ResourceVector::new(9.0, 1.0, 0.0, 1.0), 1)).unwrap();
+        let placed = p
+            .place(&DatabaseSpec::new("mem", ResourceVector::new(0.5, 95.0, 0.0, 95.0), 1))
+            .unwrap();
+        assert_eq!(placed, vec![0]);
+        // Another CPU-bound db no longer fits on machine 0.
+        let placed = p
+            .place(&DatabaseSpec::new("cpu2", ResourceVector::new(2.0, 1.0, 0.0, 1.0), 1))
+            .unwrap();
+        assert_eq!(placed, vec![1]);
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_machine() {
+        let mut p = BestFitPlacer::new(cap(10.0));
+        p.place(&spec("a", 7.0, 1)).unwrap(); // machine 0 at 7
+        p.place(&spec("b", 3.0, 1)).unwrap(); // fits machine 0 exactly
+        assert_eq!(p.machines_used(), 1);
+        p.place(&spec("c", 5.0, 1)).unwrap(); // machine 1 at 5
+        p.place(&spec("d", 4.0, 1)).unwrap(); // best fit -> machine 1 (9) not new
+        assert_eq!(p.machines_used(), 2);
+    }
+
+    #[test]
+    fn ffd_beats_or_ties_first_fit() {
+        // Classic FF pathology: small items first.
+        let specs: Vec<DatabaseSpec> = (0..6)
+            .map(|i| spec(&format!("s{i}"), 3.0, 1))
+            .chain((0..3).map(|i| spec(&format!("l{i}"), 7.0, 1)))
+            .collect();
+        let mut ff = FirstFitPlacer::new(cap(10.0));
+        for s in &specs {
+            ff.place(s).unwrap();
+        }
+        let mut ffd = FirstFitDecreasingPlacer::new(cap(10.0));
+        let ffd_used = ffd.place_all(&specs).unwrap();
+        assert!(ffd_used <= ff.machines_used());
+        // Total demand is 39 over capacity-10 bins: FFD achieves the
+        // 4-bin optimum (7+3, 7+3, 7+3, 3+3+3); FF needs 5.
+        assert_eq!(ffd_used, 4);
+        assert_eq!(ff.machines_used(), 5);
+    }
+
+    #[test]
+    fn optimal_matches_hand_computed() {
+        // Items 6,6,4,4 with capacity 10: optimum is 2 bins (6+4, 6+4).
+        let specs =
+            vec![spec("a", 6.0, 1), spec("b", 6.0, 1), spec("c", 4.0, 1), spec("d", 4.0, 1)];
+        assert_eq!(optimal_machine_count(&specs, cap(10.0)), Some(2));
+        // First-Fit also achieves it here.
+        let mut ff = FirstFitPlacer::new(cap(10.0));
+        for s in &specs {
+            ff.place(s).unwrap();
+        }
+        assert_eq!(ff.machines_used(), 2);
+    }
+
+    #[test]
+    fn optimal_respects_anti_colocation() {
+        // One db with 3 tiny replicas still needs 3 machines.
+        let specs = vec![spec("a", 0.1, 3)];
+        assert_eq!(optimal_machine_count(&specs, cap(10.0)), Some(3));
+    }
+
+    #[test]
+    fn optimal_detects_infeasible() {
+        assert_eq!(optimal_machine_count(&[spec("x", 11.0, 1)], cap(10.0)), None);
+    }
+
+    #[test]
+    fn first_fit_never_beats_optimal() {
+        // Randomized cross-check on small instances.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let specs: Vec<DatabaseSpec> = (0..8)
+                .map(|i| {
+                    spec(&format!("d{i}"), rng.gen_range(1.0..6.0), rng.gen_range(1..=2usize))
+                })
+                .collect();
+            let mut ff = FirstFitPlacer::new(cap(10.0));
+            for s in &specs {
+                ff.place(s).unwrap();
+            }
+            let opt = optimal_machine_count(&specs, cap(10.0)).unwrap();
+            assert!(ff.machines_used() >= opt);
+            // First-Fit is a 1.7·OPT + 2 approximation for 1-D; our instances
+            // are small enough that 2x is a safe sanity bound.
+            assert!(ff.machines_used() <= opt * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn utilization_reporting() {
+        let mut p = FirstFitPlacer::new(cap(10.0));
+        p.place(&spec("a", 5.0, 1)).unwrap();
+        assert!((p.loads()[0].utilization() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Zipfian sampling for the Table 2 experiment.
+//!
+//! The paper draws database sizes from a zipfian distribution over
+//! 200–1000 MB and throughputs over 0.1–10 TPS, with skew factors 0.4–2.0.
+//! We discretize the range into `n` buckets; bucket `k` (1-based) has
+//! probability proportional to `1 / k^s`, and maps linearly onto the value
+//! range — so higher skew concentrates mass on the low end of the range,
+//! reproducing the falling "average size" column of Table 2.
+
+use rand::Rng;
+
+/// A zipfian sampler over a continuous value range.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    lo: f64,
+    hi: f64,
+    /// Cumulative distribution over buckets (last element == 1.0).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// `s` is the skew factor; `n` the number of buckets.
+    pub fn new(lo: f64, hi: f64, s: f64, n: usize) -> Self {
+        assert!(n >= 1, "need at least one bucket");
+        assert!(hi >= lo, "empty range");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { lo, hi, cdf }
+    }
+
+    /// Sampler with the paper's granularity (100 buckets).
+    pub fn with_skew(lo: f64, hi: f64, s: f64) -> Self {
+        Zipf::new(lo, hi, s, 100)
+    }
+
+    fn bucket_value(&self, k: usize) -> f64 {
+        let n = self.cdf.len();
+        if n == 1 {
+            return self.lo;
+        }
+        self.lo + (k as f64 / (n - 1) as f64) * (self.hi - self.lo)
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let k = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        self.bucket_value(k)
+    }
+
+    /// Exact distribution mean (for assertions and reporting).
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut m = 0.0;
+        for (k, &c) in self.cdf.iter().enumerate() {
+            m += (c - prev) * self.bucket_value(k);
+            prev = c;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::with_skew(200.0, 1000.0, 1.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = z.sample(&mut rng);
+            assert!((200.0..=1000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn higher_skew_lowers_the_mean() {
+        // This is the mechanism behind Table 2's falling "average size".
+        let means: Vec<f64> = [0.4, 0.8, 1.2, 1.6, 2.0]
+            .iter()
+            .map(|&s| Zipf::with_skew(200.0, 1000.0, s).mean())
+            .collect();
+        for w in means.windows(2) {
+            assert!(w[1] < w[0], "mean must fall as skew rises: {means:?}");
+        }
+        // Skew 2.0 concentrates near the bottom of the range.
+        assert!(means[4] < 350.0);
+        assert!(means[0] > 400.0);
+    }
+
+    #[test]
+    fn empirical_mean_matches_exact() {
+        let z = Zipf::with_skew(0.1, 10.0, 0.8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| z.sample(&mut rng)).sum();
+        let emp = sum / n as f64;
+        assert!(
+            (emp - z.mean()).abs() < 0.1,
+            "empirical {emp} vs exact {}",
+            z.mean()
+        );
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = Zipf::with_skew(0.0, 10.0, 0.0);
+        assert!((z.mean() - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_lo() {
+        let z = Zipf::new(5.0, 9.0, 1.0, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 5.0);
+        assert_eq!(z.mean(), 5.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::with_skew(1.0, 2.0, 1.0);
+        let a: Vec<f64> = {
+            let mut r = rand::rngs::StdRng::seed_from_u64(9);
+            (0..10).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rand::rngs::StdRng::seed_from_u64(9);
+            (0..10).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

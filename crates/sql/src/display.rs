@@ -1,0 +1,291 @@
+//! SQL serialization: render an AST back to parseable SQL text.
+//!
+//! Used by diagnostics (EXPLAIN-style output, logging of shipped statements)
+//! and by the parse ↔ print ↔ parse roundtrip property tests that pin the
+//! parser's grammar.
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable { name, columns, primary_key } => {
+                write!(f, "CREATE TABLE {name} (")?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} {}", c.name, c.ty)?;
+                    if !c.nullable {
+                        f.write_str(" NOT NULL")?;
+                    }
+                }
+                if !primary_key.is_empty() {
+                    write!(f, ", PRIMARY KEY ({})", primary_key.join(", "))?;
+                }
+                f.write_str(")")
+            }
+            Statement::CreateIndex { name, table, columns, unique } => {
+                write!(
+                    f,
+                    "CREATE {}INDEX {name} ON {table} ({})",
+                    if *unique { "UNIQUE " } else { "" },
+                    columns.join(", ")
+                )
+            }
+            Statement::Insert { table, columns, values } => {
+                write!(f, "INSERT INTO {table}")?;
+                if let Some(cols) = columns {
+                    write!(f, " ({})", cols.join(", "))?;
+                }
+                f.write_str(" VALUES ")?;
+                for (i, row) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str("(")?;
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Statement::Select(sel) => write!(f, "{sel}"),
+            Statement::Update { table, sets, filter } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (c, e)) in sets.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{c} = {e}")?;
+                }
+                if let Some(w) = filter {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, filter } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(w) = filter {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match item {
+                SelectItem::Star => f.write_str("*")?,
+                SelectItem::Expr { expr, alias: None } => write!(f, "{expr}")?,
+                SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}")?,
+            }
+        }
+        write!(f, " FROM {}", self.from)?;
+        for j in &self.joins {
+            let kw = match j.kind {
+                JoinKind::Inner => "JOIN",
+                JoinKind::Left => "LEFT JOIN",
+            };
+            write!(f, " {kw} {} ON {}", j.table, j.on)?;
+        }
+        if let Some(w) = &self.filter {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", k.expr)?;
+                if k.desc {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if self.for_update {
+            f.write_str(" FOR UPDATE")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => match v {
+                // `Value`'s own Display already quotes text and prints NULL.
+                tenantdb_storage::Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+                other => write!(f, "{other}"),
+            },
+            Expr::Param(_) => f.write_str("?"),
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => f.write_str(name),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+            },
+            Expr::Binary { op, left, right } => {
+                let sym = match op {
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                    BinOp::Eq => "=",
+                    BinOp::NotEq => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::LtEq => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::GtEq => ">=",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("))")
+            }
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Agg { func, arg } => {
+                let name = match func {
+                    AggFunc::Count => "COUNT",
+                    AggFunc::Sum => "SUM",
+                    AggFunc::Avg => "AVG",
+                    AggFunc::Min => "MIN",
+                    AggFunc::Max => "MAX",
+                };
+                match arg {
+                    None => write!(f, "{name}(*)"),
+                    Some(a) => write!(f, "{name}({a})"),
+                }
+            }
+            Expr::Func { func, args } => {
+                let name = match func {
+                    ScalarFunc::Coalesce => "COALESCE",
+                    ScalarFunc::Abs => "ABS",
+                    ScalarFunc::Length => "LENGTH",
+                    ScalarFunc::Upper => "UPPER",
+                    ScalarFunc::Lower => "LOWER",
+                    ScalarFunc::Substr => "SUBSTR",
+                };
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    /// Parse → print → parse must be a fixpoint (the printed form is fully
+    /// parenthesized, so the second parse is structurally stable).
+    fn roundtrip(sql: &str) {
+        let ast1 = parse(sql).unwrap_or_else(|e| panic!("parse {sql}: {e}"));
+        let printed = ast1.to_string();
+        let ast2 = parse(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        let printed2 = ast2.to_string();
+        assert_eq!(printed, printed2, "print not a fixpoint for {sql}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for sql in [
+            "SELECT * FROM t",
+            "SELECT DISTINCT a, b AS bee FROM t AS x WHERE a = 1 AND b <> 'it''s'",
+            "SELECT COUNT(*), SUM(a + 2 * b) FROM t GROUP BY c HAVING COUNT(*) > 3",
+            "SELECT a FROM t LEFT JOIN u ON u.id = t.uid WHERE t.x IS NOT NULL",
+            "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT LIKE 'x%' ORDER BY a DESC, b LIMIT 7",
+            "SELECT COALESCE(a, 0), SUBSTR(s, 1, 2) FROM t FOR UPDATE",
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, ?)",
+            "UPDATE t SET a = a + 1, b = 'q' WHERE c BETWEEN 1 AND 9",
+            "DELETE FROM t WHERE NOT (a = 1 OR b = 2)",
+            "CREATE TABLE t (id INT NOT NULL, name TEXT, PRIMARY KEY (id))",
+            "CREATE UNIQUE INDEX i ON t (a, b)",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn precedence_preserved_by_parens() {
+        let ast = parse("SELECT a + b * c FROM t").unwrap();
+        assert_eq!(ast.to_string(), "SELECT (a + (b * c)) FROM t");
+        let again = parse(&ast.to_string()).unwrap();
+        assert_eq!(again.to_string(), ast.to_string());
+    }
+
+    #[test]
+    fn string_escaping() {
+        let ast = parse("SELECT 'it''s' FROM t").unwrap();
+        assert!(ast.to_string().contains("'it''s'"));
+        roundtrip_helper(&ast);
+    }
+
+    fn roundtrip_helper(ast: &crate::ast::Statement) {
+        let printed = ast.to_string();
+        let re = parse(&printed).unwrap();
+        assert_eq!(re.to_string(), printed);
+    }
+}

@@ -1,0 +1,627 @@
+//! Expression evaluation.
+//!
+//! SQL three-valued logic: comparisons against `NULL` yield `NULL`, `AND` /
+//! `OR` follow Kleene logic, and a `WHERE` predicate accepts a row only when
+//! it evaluates to `TRUE` (not `NULL`).
+
+use std::cmp::Ordering;
+
+use tenantdb_storage::Value;
+
+use crate::ast::{AggFunc, BinOp, Expr, ScalarFunc, UnaryOp};
+use crate::error::{Result, SqlError};
+
+/// Column layout of the row stream flowing through the executor: one entry
+/// per table binding, each contributing a contiguous block of columns.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    /// (binding name, column names) per FROM-clause table, in order.
+    tables: Vec<(String, Vec<String>)>,
+}
+
+impl Layout {
+    pub fn new() -> Self {
+        Layout::default()
+    }
+
+    pub fn push_table(&mut self, binding: &str, columns: Vec<String>) {
+        self.tables.push((binding.to_string(), columns));
+    }
+
+    /// Total number of columns.
+    pub fn width(&self) -> usize {
+        self.tables.iter().map(|(_, c)| c.len()).sum()
+    }
+
+    /// All column names in layout order (used by `SELECT *`).
+    pub fn all_columns(&self) -> Vec<String> {
+        self.tables.iter().flat_map(|(_, c)| c.iter().cloned()).collect()
+    }
+
+    /// Resolve a column reference to a global offset.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let mut offset = 0;
+        let mut found: Option<usize> = None;
+        for (binding, cols) in &self.tables {
+            if table.is_none_or(|t| t.eq_ignore_ascii_case(binding)) {
+                if let Some(i) = cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                    if found.is_some() {
+                        return Err(SqlError::Plan(format!("ambiguous column: {name}")));
+                    }
+                    found = Some(offset + i);
+                }
+            }
+            offset += cols.len();
+        }
+        found.ok_or_else(|| {
+            let qual = table.map(|t| format!("{t}.")).unwrap_or_default();
+            SqlError::Plan(format!("unknown column: {qual}{name}"))
+        })
+    }
+}
+
+/// Evaluate a scalar expression against one row. Aggregates are rejected —
+/// the executor handles them via [`eval_in_group`].
+pub fn eval(expr: &Expr, layout: &Layout, row: &[Value], params: &[Value]) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or(SqlError::Params { expected: i + 1, got: params.len() }),
+        Expr::Column { table, name } => {
+            let idx = layout.resolve(table.as_deref(), name)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, layout, row, params)?;
+            unary(*op, v)
+        }
+        Expr::Binary { op, left, right } => match op {
+            BinOp::And => {
+                let l = eval(left, layout, row, params)?;
+                // Kleene AND with short-circuit on FALSE.
+                if l == Value::Bool(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let r = eval(right, layout, row, params)?;
+                kleene_and(l, r)
+            }
+            BinOp::Or => {
+                let l = eval(left, layout, row, params)?;
+                if l == Value::Bool(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let r = eval(right, layout, row, params)?;
+                kleene_or(l, r)
+            }
+            _ => {
+                let l = eval(left, layout, row, params)?;
+                let r = eval(right, layout, row, params)?;
+                binary(*op, l, r)
+            }
+        },
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, layout, row, params)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, layout, row, params)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval(item, layout, row, params)?;
+                if w.is_null() {
+                    saw_null = true;
+                } else if v.sql_eq(&w) {
+                    return Ok(Value::Bool(!*negated));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval(expr, layout, row, params)?;
+            let p = eval(pattern, layout, row, params)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Text(s), Value::Text(pat)) => {
+                    Ok(Value::Bool(like_match(&s, &pat) != *negated))
+                }
+                (a, b) => Err(SqlError::Eval(format!("LIKE expects text, got {a} LIKE {b}"))),
+            }
+        }
+        Expr::Agg { .. } => Err(SqlError::Plan("aggregate used outside GROUP BY context".into())),
+        Expr::Func { func, args } => {
+            let vals = args
+                .iter()
+                .map(|a| eval(a, layout, row, params))
+                .collect::<Result<Vec<_>>>()?;
+            scalar_fn(*func, vals)
+        }
+    }
+}
+
+/// Evaluate a built-in scalar function.
+fn scalar_fn(func: ScalarFunc, args: Vec<Value>) -> Result<Value> {
+    let arity_err = |want: &str| {
+        Err(SqlError::Eval(format!("{func:?} expects {want} argument(s), got {}", 0)))
+    };
+    match func {
+        ScalarFunc::Coalesce => {
+            Ok(args.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null))
+        }
+        ScalarFunc::Abs => match args.as_slice() {
+            [Value::Null] => Ok(Value::Null),
+            [Value::Int(i)] => Ok(Value::Int(i.wrapping_abs())),
+            [Value::Float(f)] => Ok(Value::Float(f.abs())),
+            [v] => Err(SqlError::Eval(format!("ABS expects a number, got {v}"))),
+            _ => arity_err("1"),
+        },
+        ScalarFunc::Length => match args.as_slice() {
+            [Value::Null] => Ok(Value::Null),
+            [Value::Text(s)] => Ok(Value::Int(s.chars().count() as i64)),
+            [v] => Err(SqlError::Eval(format!("LENGTH expects text, got {v}"))),
+            _ => arity_err("1"),
+        },
+        ScalarFunc::Upper | ScalarFunc::Lower => match args.as_slice() {
+            [Value::Null] => Ok(Value::Null),
+            [Value::Text(s)] => Ok(Value::Text(if func == ScalarFunc::Upper {
+                s.to_uppercase()
+            } else {
+                s.to_lowercase()
+            })),
+            [v] => Err(SqlError::Eval(format!("{func:?} expects text, got {v}"))),
+            _ => arity_err("1"),
+        },
+        ScalarFunc::Substr => {
+            // SUBSTR(s, start [, len]), 1-based start per SQL convention.
+            if args.len() < 2 || args.len() > 3 {
+                return arity_err("2 or 3");
+            }
+            if args.iter().any(|v| v.is_null()) {
+                return Ok(Value::Null);
+            }
+            let s = args[0]
+                .as_str()
+                .ok_or_else(|| SqlError::Eval("SUBSTR expects text".into()))?;
+            let start = args[1]
+                .as_i64()
+                .ok_or_else(|| SqlError::Eval("SUBSTR start must be an integer".into()))?;
+            let chars: Vec<char> = s.chars().collect();
+            let begin = (start.max(1) - 1) as usize;
+            let len = match args.get(2) {
+                Some(v) => v
+                    .as_i64()
+                    .ok_or_else(|| SqlError::Eval("SUBSTR length must be an integer".into()))?
+                    .max(0) as usize,
+                None => chars.len().saturating_sub(begin),
+            };
+            let out: String = chars.iter().skip(begin).take(len).collect();
+            Ok(Value::Text(out))
+        }
+    }
+}
+
+/// Evaluate an expression in a *group* context: aggregate sub-expressions are
+/// computed over `rows`; everything else is evaluated against the group's
+/// first row (SQL requires those to be grouping expressions).
+pub fn eval_in_group(
+    expr: &Expr,
+    layout: &Layout,
+    rows: &[Vec<Value>],
+    params: &[Value],
+) -> Result<Value> {
+    match expr {
+        Expr::Agg { func, arg } => aggregate(*func, arg.as_deref(), layout, rows, params),
+        Expr::Unary { op, expr } => {
+            let v = eval_in_group(expr, layout, rows, params)?;
+            unary(*op, v)
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval_in_group(left, layout, rows, params)?;
+            match op {
+                BinOp::And => {
+                    let r = eval_in_group(right, layout, rows, params)?;
+                    kleene_and(l, r)
+                }
+                BinOp::Or => {
+                    let r = eval_in_group(right, layout, rows, params)?;
+                    kleene_or(l, r)
+                }
+                _ => {
+                    let r = eval_in_group(right, layout, rows, params)?;
+                    binary(*op, l, r)
+                }
+            }
+        }
+        Expr::Func { func, args } => {
+            let vals = args
+                .iter()
+                .map(|a| eval_in_group(a, layout, rows, params))
+                .collect::<Result<Vec<_>>>()?;
+            scalar_fn(*func, vals)
+        }
+        other => {
+            let first = rows
+                .first()
+                .ok_or_else(|| SqlError::Eval("empty group".into()))?;
+            eval(other, layout, first, params)
+        }
+    }
+}
+
+fn aggregate(
+    func: AggFunc,
+    arg: Option<&Expr>,
+    layout: &Layout,
+    rows: &[Vec<Value>],
+    params: &[Value],
+) -> Result<Value> {
+    // COUNT(*) counts rows; every other aggregate skips NULL inputs.
+    let values: Vec<Value> = match arg {
+        None => return Ok(Value::Int(rows.len() as i64)),
+        Some(e) => rows
+            .iter()
+            .map(|r| eval(e, layout, r, params))
+            .collect::<Result<Vec<_>>>()?
+            .into_iter()
+            .filter(|v| !v.is_null())
+            .collect(),
+    };
+    match func {
+        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+        AggFunc::Min => Ok(values.into_iter().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(values.into_iter().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)),
+        AggFunc::Sum | AggFunc::Avg => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let n = values.len() as f64;
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            let mut sum = 0.0;
+            for v in &values {
+                sum += v
+                    .as_f64()
+                    .ok_or_else(|| SqlError::Eval(format!("SUM/AVG expects numbers, got {v}")))?;
+            }
+            Ok(match func {
+                AggFunc::Sum if all_int => Value::Int(sum as i64),
+                AggFunc::Sum => Value::Float(sum),
+                _ => Value::Float(sum / n),
+            })
+        }
+    }
+}
+
+fn unary(op: UnaryOp, v: Value) -> Result<Value> {
+    match (op, v) {
+        (_, Value::Null) => Ok(Value::Null),
+        (UnaryOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+        (UnaryOp::Not, v) => Err(SqlError::Eval(format!("NOT expects a boolean, got {v}"))),
+        (UnaryOp::Neg, Value::Int(i)) => Ok(Value::Int(-i)),
+        (UnaryOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
+        (UnaryOp::Neg, v) => Err(SqlError::Eval(format!("cannot negate {v}"))),
+    }
+}
+
+fn kleene_and(l: Value, r: Value) -> Result<Value> {
+    match (truth(&l)?, truth(&r)?) {
+        (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(false)),
+        (Some(true), Some(true)) => Ok(Value::Bool(true)),
+        _ => Ok(Value::Null),
+    }
+}
+
+fn kleene_or(l: Value, r: Value) -> Result<Value> {
+    match (truth(&l)?, truth(&r)?) {
+        (Some(true), _) | (_, Some(true)) => Ok(Value::Bool(true)),
+        (Some(false), Some(false)) => Ok(Value::Bool(false)),
+        _ => Ok(Value::Null),
+    }
+}
+
+/// Boolean truth of a value: `Some(bool)` or `None` for NULL.
+fn truth(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(SqlError::Eval(format!("expected a boolean, got {other}"))),
+    }
+}
+
+/// Does a WHERE predicate accept this value? (TRUE accepts; FALSE and NULL
+/// reject.)
+pub fn accepts(v: &Value) -> Result<bool> {
+    Ok(truth(v)?.unwrap_or(false))
+}
+
+fn binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            // Type check: comparing text to numbers is a programming error.
+            let comparable = match (&l, &r) {
+                (Value::Text(_), Value::Text(_)) => true,
+                (Value::Bool(_), Value::Bool(_)) => true,
+                (a, b) => a.as_f64().is_some() && b.as_f64().is_some(),
+            };
+            if !comparable {
+                return Err(SqlError::Eval(format!("cannot compare {l} with {r}")));
+            }
+            let ord = l.total_cmp(&r);
+            let b = match op {
+                Eq => ord == Ordering::Equal,
+                NotEq => ord != Ordering::Equal,
+                Lt => ord == Ordering::Less,
+                LtEq => ord != Ordering::Greater,
+                Gt => ord == Ordering::Greater,
+                GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div | Mod => arith(op, l, r),
+        And | Or => unreachable!("handled by eval"),
+    }
+}
+
+fn arith(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let (a, b) = (*a, *b);
+            match op {
+                Add => Ok(Value::Int(a.wrapping_add(b))),
+                Sub => Ok(Value::Int(a.wrapping_sub(b))),
+                Mul => Ok(Value::Int(a.wrapping_mul(b))),
+                Div => {
+                    if b == 0 {
+                        Err(SqlError::Eval("division by zero".into()))
+                    } else {
+                        Ok(Value::Int(a.wrapping_div(b)))
+                    }
+                }
+                Mod => {
+                    if b == 0 {
+                        Err(SqlError::Eval("modulo by zero".into()))
+                    } else {
+                        Ok(Value::Int(a.wrapping_rem(b)))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        _ => {
+            let (a, b) = (
+                l.as_f64().ok_or_else(|| SqlError::Eval(format!("{l} is not a number")))?,
+                r.as_f64().ok_or_else(|| SqlError::Eval(format!("{r} is not a number")))?,
+            );
+            let x = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(SqlError::Eval("division by zero".into()));
+                    }
+                    a / b
+                }
+                Mod => {
+                    if b == 0.0 {
+                        return Err(SqlError::Eval("modulo by zero".into()));
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(x))
+        }
+    }
+}
+
+/// SQL LIKE matcher: `%` matches any run (including empty), `_` matches one
+/// character. Case-sensitive (like MySQL with a binary collation).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                // Try every split point.
+                (0..=s.len()).any(|i| rec(&s[i..], &p[1..]))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => s.first() == Some(&c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Layout {
+        let mut l = Layout::new();
+        l.push_table("t", vec!["a".into(), "b".into()]);
+        l.push_table("u", vec!["b".into(), "c".into()]);
+        l
+    }
+
+    fn col(table: Option<&str>, name: &str) -> Expr {
+        Expr::Column { table: table.map(String::from), name: name.into() }
+    }
+
+    fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    #[test]
+    fn column_resolution() {
+        let l = layout();
+        assert_eq!(l.resolve(None, "a").unwrap(), 0);
+        assert_eq!(l.resolve(Some("u"), "b").unwrap(), 2);
+        assert_eq!(l.resolve(Some("u"), "c").unwrap(), 3);
+        assert!(matches!(l.resolve(None, "b"), Err(SqlError::Plan(m)) if m.contains("ambiguous")));
+        assert!(l.resolve(None, "zz").is_err());
+        assert_eq!(l.width(), 4);
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        let l = Layout::new();
+        let v = eval(&bin(BinOp::Add, lit(2), lit(3)), &l, &[], &[]).unwrap();
+        assert_eq!(v, Value::Int(5));
+        let v = eval(&bin(BinOp::Mul, lit(2), lit(1.5)), &l, &[], &[]).unwrap();
+        assert_eq!(v, Value::Float(3.0));
+        assert!(eval(&bin(BinOp::Div, lit(1), lit(0)), &l, &[], &[]).is_err());
+    }
+
+    #[test]
+    fn null_propagates_through_comparison() {
+        let l = Layout::new();
+        let v = eval(&bin(BinOp::Eq, lit(Value::Null), lit(1)), &l, &[], &[]).unwrap();
+        assert_eq!(v, Value::Null);
+        assert!(!accepts(&v).unwrap());
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let l = Layout::new();
+        // NULL AND FALSE = FALSE
+        let v = eval(&bin(BinOp::And, lit(Value::Null), lit(false)), &l, &[], &[]).unwrap();
+        assert_eq!(v, Value::Bool(false));
+        // NULL OR TRUE = TRUE
+        let v = eval(&bin(BinOp::Or, lit(Value::Null), lit(true)), &l, &[], &[]).unwrap();
+        assert_eq!(v, Value::Bool(true));
+        // NULL AND TRUE = NULL
+        let v = eval(&bin(BinOp::And, lit(Value::Null), lit(true)), &l, &[], &[]).unwrap();
+        assert_eq!(v, Value::Null);
+    }
+
+    #[test]
+    fn params_resolved() {
+        let l = Layout::new();
+        let v = eval(&Expr::Param(1), &l, &[], &[Value::Int(1), Value::Int(9)]).unwrap();
+        assert_eq!(v, Value::Int(9));
+        assert!(matches!(
+            eval(&Expr::Param(5), &l, &[], &[]),
+            Err(SqlError::Params { expected: 6, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn in_list_with_null_semantics() {
+        let l = Layout::new();
+        let e = Expr::InList {
+            expr: Box::new(lit(2)),
+            list: vec![lit(1), lit(2)],
+            negated: false,
+        };
+        assert_eq!(eval(&e, &l, &[], &[]).unwrap(), Value::Bool(true));
+        // 3 NOT IN (1, NULL) is NULL (unknown).
+        let e = Expr::InList {
+            expr: Box::new(lit(3)),
+            list: vec![lit(1), lit(Value::Null)],
+            negated: true,
+        };
+        assert_eq!(eval(&e, &l, &[], &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_llo_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn aggregates_in_group() {
+        let mut l = Layout::new();
+        l.push_table("t", vec!["x".into()]);
+        let rows = vec![
+            vec![Value::Int(3)],
+            vec![Value::Int(1)],
+            vec![Value::Null],
+            vec![Value::Int(2)],
+        ];
+        let agg = |f: AggFunc, arg: Option<Expr>| Expr::Agg { func: f, arg: arg.map(Box::new) };
+        let x = || col(None, "x");
+        assert_eq!(
+            eval_in_group(&agg(AggFunc::Count, None), &l, &rows, &[]).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            eval_in_group(&agg(AggFunc::Count, Some(x())), &l, &rows, &[]).unwrap(),
+            Value::Int(3),
+            "COUNT(x) skips NULL"
+        );
+        assert_eq!(
+            eval_in_group(&agg(AggFunc::Sum, Some(x())), &l, &rows, &[]).unwrap(),
+            Value::Int(6)
+        );
+        assert_eq!(
+            eval_in_group(&agg(AggFunc::Avg, Some(x())), &l, &rows, &[]).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            eval_in_group(&agg(AggFunc::Min, Some(x())), &l, &rows, &[]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_in_group(&agg(AggFunc::Max, Some(x())), &l, &rows, &[]).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn aggregate_arithmetic() {
+        let mut l = Layout::new();
+        l.push_table("t", vec!["x".into()]);
+        let rows = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+        // COUNT(*) * 10
+        let e = bin(BinOp::Mul, Expr::Agg { func: AggFunc::Count, arg: None }, lit(10));
+        assert_eq!(eval_in_group(&e, &l, &rows, &[]).unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn aggregate_outside_group_rejected() {
+        let l = Layout::new();
+        let e = Expr::Agg { func: AggFunc::Count, arg: None };
+        assert!(matches!(eval(&e, &l, &[], &[]), Err(SqlError::Plan(_))));
+    }
+
+    #[test]
+    fn type_errors() {
+        let l = Layout::new();
+        assert!(eval(&bin(BinOp::Lt, lit("a"), lit(1)), &l, &[], &[]).is_err());
+        assert!(eval(&bin(BinOp::Add, lit("a"), lit(1)), &l, &[], &[]).is_err());
+        assert!(eval(&Expr::Unary { op: UnaryOp::Not, expr: Box::new(lit(1)) }, &l, &[], &[])
+            .is_err());
+    }
+
+    #[test]
+    fn text_comparison() {
+        let l = Layout::new();
+        let v = eval(&bin(BinOp::Lt, lit("abc"), lit("abd")), &l, &[], &[]).unwrap();
+        assert_eq!(v, Value::Bool(true));
+    }
+}

@@ -1,0 +1,1035 @@
+//! Planner + executor.
+//!
+//! Statements execute against a [`tenantdb_storage::Engine`] inside a caller
+//! supplied transaction, so every SQL statement acquires real strict-2PL
+//! locks. Planning is deliberately simple but real:
+//!
+//! * single-table access paths: full-key equality index lookup, single-column
+//!   index range scan, or table scan — chosen from the WHERE conjuncts;
+//! * joins: index nested-loop when the ON clause equates an indexed column of
+//!   the new table with an expression over already-joined tables, otherwise
+//!   hash-free nested loop over a (predicate-pushed) scan;
+//! * residual predicates are always re-applied, so access-path choices can
+//!   never change results.
+
+use std::collections::BTreeMap;
+
+use tenantdb_storage::{ColumnDef, Engine, TableSchema, TxnId, Value};
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::eval::{accepts, eval, eval_in_group, Layout};
+use crate::parser::parse;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names (empty for DML/DDL).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DML/DDL).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted/updated/deleted.
+    pub rows_affected: u64,
+    /// `(table, row_id)` of every row this statement read (S/X locked).
+    /// Consumed by the cluster controller's history recorder.
+    pub touched_reads: Vec<(String, u64)>,
+    /// `(table, row_id)` of every row this statement wrote.
+    pub touched_writes: Vec<(String, u64)>,
+}
+
+impl QueryResult {
+    fn affected(n: u64) -> Self {
+        QueryResult { rows_affected: n, ..Default::default() }
+    }
+
+    /// First value of the first row, if any (convenience for lookups).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// Parse and execute one SQL statement inside `txn` against database `db`.
+pub fn execute(
+    engine: &Engine,
+    txn: TxnId,
+    db: &str,
+    sql: &str,
+    params: &[Value],
+) -> Result<QueryResult> {
+    let stmt = parse(sql)?;
+    execute_stmt(engine, txn, db, &stmt, params)
+}
+
+/// Execute a pre-parsed statement (used by workload drivers that cache ASTs).
+pub fn execute_stmt(
+    engine: &Engine,
+    txn: TxnId,
+    db: &str,
+    stmt: &Statement,
+    params: &[Value],
+) -> Result<QueryResult> {
+    match stmt {
+        Statement::CreateTable { name, columns, primary_key } => {
+            let cols = columns
+                .iter()
+                .map(|c| ColumnDef { name: c.name.clone(), ty: c.ty, nullable: c.nullable })
+                .collect();
+            let mut schema = TableSchema::new(name.clone(), cols);
+            if !primary_key.is_empty() {
+                schema.try_add_index("pk", primary_key, true).map_err(SqlError::Storage)?;
+            }
+            engine.create_table(db, schema)?;
+            Ok(QueryResult::affected(0))
+        }
+        Statement::CreateIndex { name, table, columns, unique } => {
+            engine.create_index(db, table, name, columns, *unique)?;
+            Ok(QueryResult::affected(0))
+        }
+        Statement::Insert { table, columns, values } => {
+            run_insert(engine, txn, db, table, columns.as_deref(), values, params)
+        }
+        Statement::Select(sel) => run_select(engine, txn, db, sel, params),
+        Statement::Update { table, sets, filter } => {
+            run_update(engine, txn, db, table, sets, filter.as_ref(), params)
+        }
+        Statement::Delete { table, filter } => {
+            run_delete(engine, txn, db, table, filter.as_ref(), params)
+        }
+    }
+}
+
+// ------------------------------------------------------------------ INSERT
+
+fn run_insert(
+    engine: &Engine,
+    txn: TxnId,
+    db: &str,
+    table: &str,
+    columns: Option<&[String]>,
+    values: &[Vec<Expr>],
+    params: &[Value],
+) -> Result<QueryResult> {
+    let schema = engine.table(db, table)?.schema.clone();
+    let empty = Layout::new();
+    let mut n = 0u64;
+    let mut writes = Vec::new();
+    for tuple in values {
+        let row = match columns {
+            None => {
+                if tuple.len() != schema.columns.len() {
+                    return Err(SqlError::Plan(format!(
+                        "INSERT arity: table {table} has {} columns, got {}",
+                        schema.columns.len(),
+                        tuple.len()
+                    )));
+                }
+                tuple
+                    .iter()
+                    .map(|e| eval(e, &empty, &[], params))
+                    .collect::<Result<Vec<_>>>()?
+            }
+            Some(cols) => {
+                if tuple.len() != cols.len() {
+                    return Err(SqlError::Plan("INSERT arity mismatch".into()));
+                }
+                let mut row = vec![Value::Null; schema.columns.len()];
+                for (col, e) in cols.iter().zip(tuple) {
+                    let idx = schema.column_index(col).ok_or_else(|| {
+                        SqlError::Plan(format!("unknown column in INSERT: {col}"))
+                    })?;
+                    row[idx] = eval(e, &empty, &[], params)?;
+                }
+                row
+            }
+        };
+        let rid = engine.insert(txn, db, table, row)?;
+        writes.push((table.to_string(), rid));
+        n += 1;
+    }
+    Ok(QueryResult { rows_affected: n, touched_writes: writes, ..Default::default() })
+}
+
+// ------------------------------------------------------------- access paths
+
+/// Fetched rows: `(row_id, row)` pairs.
+type RowSet = Vec<(u64, Vec<Value>)>;
+
+/// Chosen access path for one table.
+#[derive(Debug, Clone, PartialEq)]
+enum Access {
+    /// Full-key equality lookup on an index.
+    IndexEq { index: String, key: Vec<Value> },
+    /// Inclusive range on a single-column index.
+    IndexRange { index: String, lo: Option<Vec<Value>>, hi: Option<Vec<Value>> },
+    Scan,
+}
+
+/// Is this expression constant w.r.t. the current row (no column refs)?
+fn is_constant(e: &Expr) -> bool {
+    let mut constant = true;
+    e.visit(&mut |n| {
+        if matches!(n, Expr::Column { .. } | Expr::Agg { .. }) {
+            constant = false;
+        }
+    });
+    constant
+}
+
+/// Does this column expression refer to `binding` (either qualified with it
+/// or unqualified and present in its schema)?
+fn column_of<'a>(e: &'a Expr, binding: &str, schema: &TableSchema) -> Option<&'a str> {
+    if let Expr::Column { table, name } = e {
+        let matches_binding = match table {
+            Some(t) => t.eq_ignore_ascii_case(binding),
+            None => schema.column_index(name).is_some(),
+        };
+        if matches_binding && schema.column_index(name).is_some() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// Pick an access path for `binding` given WHERE conjuncts.
+fn choose_access(
+    schema: &TableSchema,
+    binding: &str,
+    conjuncts: &[&Expr],
+    params: &[Value],
+) -> Result<Access> {
+    let empty = Layout::new();
+    // Collect equality bindings: column ordinal -> constant value.
+    let mut eq: BTreeMap<usize, Value> = BTreeMap::new();
+    for c in conjuncts {
+        if let Expr::Binary { op: BinOp::Eq, left, right } = c {
+            let pair = match (column_of(left, binding, schema), column_of(right, binding, schema))
+            {
+                (Some(col), None) if is_constant(right) => Some((col, right)),
+                (None, Some(col)) if is_constant(left) => Some((col, left)),
+                _ => None,
+            };
+            if let Some((col, value_expr)) = pair {
+                let v = eval(value_expr, &empty, &[], params)?;
+                if !v.is_null() {
+                    eq.insert(schema.column_index(col).unwrap(), v);
+                }
+            }
+        }
+    }
+    // Prefer the first index whose key is fully bound by equalities
+    // (schema order puts "pk" first).
+    for idx in &schema.indexes {
+        if !idx.columns.is_empty() && idx.columns.iter().all(|c| eq.contains_key(c)) {
+            let key = idx.columns.iter().map(|c| eq[c].clone()).collect();
+            return Ok(Access::IndexEq { index: idx.name.clone(), key });
+        }
+    }
+    // Range on a single-column index.
+    for idx in &schema.indexes {
+        if idx.columns.len() != 1 {
+            continue;
+        }
+        let ord = idx.columns[0];
+        let mut lo: Option<Value> = None;
+        let mut hi: Option<Value> = None;
+        for c in conjuncts {
+            if let Expr::Binary { op, left, right } = c {
+                let (col_side, const_side, op) = match (
+                    column_of(left, binding, schema),
+                    column_of(right, binding, schema),
+                ) {
+                    (Some(col), None) if is_constant(right) => (col, right, *op),
+                    (None, Some(col)) if is_constant(left) => (col, left, flip(*op)),
+                    _ => continue,
+                };
+                if schema.column_index(col_side) != Some(ord) {
+                    continue;
+                }
+                let v = eval(const_side, &empty, &[], params)?;
+                if v.is_null() {
+                    continue;
+                }
+                match op {
+                    BinOp::Gt | BinOp::GtEq
+                        if lo.as_ref().is_none_or(|cur| v.total_cmp(cur).is_gt()) =>
+                    {
+                        lo = Some(v);
+                    }
+                    BinOp::Lt | BinOp::LtEq
+                        if hi.as_ref().is_none_or(|cur| v.total_cmp(cur).is_lt()) =>
+                    {
+                        hi = Some(v);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if lo.is_some() || hi.is_some() {
+            return Ok(Access::IndexRange {
+                index: idx.name.clone(),
+                lo: lo.map(|v| vec![v]),
+                hi: hi.map(|v| vec![v]),
+            });
+        }
+    }
+    Ok(Access::Scan)
+}
+
+/// Mirror a comparison when the column appears on the right-hand side.
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+/// Fetch rows of one table via a chosen access path.
+fn fetch(
+    engine: &Engine,
+    txn: TxnId,
+    db: &str,
+    table: &str,
+    access: &Access,
+    for_update: bool,
+) -> Result<RowSet> {
+    let rows = match access {
+        Access::IndexEq { index, key } => {
+            engine.index_lookup(txn, db, table, index, key, for_update)?
+        }
+        Access::IndexRange { index, lo, hi } => {
+            engine.index_range(txn, db, table, index, lo.as_deref(), hi.as_deref())?
+        }
+        Access::Scan => engine.scan(txn, db, table)?,
+    };
+    Ok(rows)
+}
+
+// ------------------------------------------------------------------ SELECT
+
+fn run_select(
+    engine: &Engine,
+    txn: TxnId,
+    db: &str,
+    sel: &SelectStmt,
+    params: &[Value],
+) -> Result<QueryResult> {
+    // Resolve schemas for every table in FROM.
+    let base_schema = engine.table(db, &sel.from.name)?.schema.clone();
+    let mut layout = Layout::new();
+    layout.push_table(
+        sel.from.binding(),
+        base_schema.columns.iter().map(|c| c.name.clone()).collect(),
+    );
+
+    let where_conjuncts: Vec<&Expr> =
+        sel.filter.as_ref().map(|f| f.conjuncts()).unwrap_or_default();
+
+    // Base table access.
+    let base_access =
+        choose_access(&base_schema, sel.from.binding(), &where_conjuncts, params)?;
+    let mut touched_reads: Vec<(String, u64)> = Vec::new();
+    let base_rows = fetch(engine, txn, db, &sel.from.name, &base_access, sel.for_update)?;
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(base_rows.len());
+    for (rid, r) in base_rows {
+        touched_reads.push((sel.from.name.clone(), rid));
+        rows.push(r);
+    }
+
+    // Joins, left-deep in query order.
+    for join in &sel.joins {
+        let right_schema = engine.table(db, &join.table.name)?.schema.clone();
+        let right_binding = join.table.binding().to_string();
+        let left_layout = layout.clone();
+        layout.push_table(
+            &right_binding,
+            right_schema.columns.iter().map(|c| c.name.clone()).collect(),
+        );
+        let on_conjuncts: Vec<&Expr> = join.on.conjuncts();
+
+        // Index nested-loop: find ON conjuncts `right.col = expr(left)`.
+        let mut key_cols: BTreeMap<usize, &Expr> = BTreeMap::new();
+        for c in &on_conjuncts {
+            if let Expr::Binary { op: BinOp::Eq, left, right } = c {
+                for (col_side, expr_side) in [(left, right), (right, left)] {
+                    if let Some(col) = column_of(col_side, &right_binding, &right_schema) {
+                        // The other side must be evaluable over the left rows.
+                        let ord = right_schema.column_index(col).unwrap();
+                        let mut left_only = true;
+                        expr_side.visit(&mut |n| {
+                            if let Expr::Column { table, name } = n {
+                                if left_layout.resolve(table.as_deref(), name).is_err() {
+                                    left_only = false;
+                                }
+                            }
+                            if matches!(n, Expr::Agg { .. }) {
+                                left_only = false;
+                            }
+                        });
+                        if left_only {
+                            key_cols.entry(ord).or_insert(expr_side);
+                        }
+                    }
+                }
+            }
+        }
+        let index_for_join = right_schema
+            .indexes
+            .iter()
+            .find(|i| !i.columns.is_empty() && i.columns.iter().all(|c| key_cols.contains_key(c)))
+            .cloned();
+
+        let right_width = right_schema.columns.len();
+        let is_left_join = join.kind == JoinKind::Left;
+        let mut joined = Vec::new();
+        match index_for_join {
+            Some(idx) => {
+                for left_row in &rows {
+                    let mut key = Vec::with_capacity(idx.columns.len());
+                    for c in &idx.columns {
+                        key.push(eval(key_cols[c], &left_layout, left_row, params)?);
+                    }
+                    let matches = engine.index_lookup(
+                        txn,
+                        db,
+                        &join.table.name,
+                        &idx.name,
+                        &key,
+                        sel.for_update,
+                    )?;
+                    let mut matched = false;
+                    for (rid, right_row) in matches {
+                        touched_reads.push((join.table.name.clone(), rid));
+                        let mut combined = left_row.clone();
+                        combined.extend(right_row);
+                        if accepts(&eval(&join.on, &layout, &combined, params)?)? {
+                            joined.push(combined);
+                            matched = true;
+                        }
+                    }
+                    if is_left_join && !matched {
+                        let mut combined = left_row.clone();
+                        combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                        joined.push(combined);
+                    }
+                }
+            }
+            None => {
+                // Fetch the right side once. WHERE pushdown is only safe for
+                // inner joins (a pre-filtered right side would turn filtered
+                // matches into spurious NULL rows under LEFT JOIN).
+                let right_access = if is_left_join {
+                    Access::Scan
+                } else {
+                    choose_access(&right_schema, &right_binding, &where_conjuncts, params)?
+                };
+                let right_rows =
+                    fetch(engine, txn, db, &join.table.name, &right_access, sel.for_update)?;
+                for (rid, _) in &right_rows {
+                    touched_reads.push((join.table.name.clone(), *rid));
+                }
+                for left_row in &rows {
+                    let mut matched = false;
+                    for (_, right_row) in &right_rows {
+                        let mut combined = left_row.clone();
+                        combined.extend(right_row.iter().cloned());
+                        if accepts(&eval(&join.on, &layout, &combined, params)?)? {
+                            joined.push(combined);
+                            matched = true;
+                        }
+                    }
+                    if is_left_join && !matched {
+                        let mut combined = left_row.clone();
+                        combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                        joined.push(combined);
+                    }
+                }
+            }
+        }
+        rows = joined;
+    }
+
+    // Residual WHERE (all conjuncts re-applied — access paths are hints).
+    if let Some(filter) = &sel.filter {
+        let mut kept = Vec::with_capacity(rows.len());
+        for r in rows {
+            if accepts(&eval(filter, &layout, &r, params)?)? {
+                kept.push(r);
+            }
+        }
+        rows = kept;
+    }
+
+    let mut result = project_sort_limit(sel, &layout, rows, params)?;
+    result.touched_reads = touched_reads;
+    Ok(result)
+}
+
+/// Output column name for a projected expression.
+fn item_name(item: &SelectItem, i: usize) -> String {
+    match item {
+        SelectItem::Star => "*".into(),
+        SelectItem::Expr { alias: Some(a), .. } => a.clone(),
+        SelectItem::Expr { expr, .. } => match expr {
+            Expr::Column { name, .. } => name.clone(),
+            Expr::Agg { func, .. } => format!("{func:?}").to_lowercase(),
+            _ => format!("col{i}"),
+        },
+    }
+}
+
+fn project_sort_limit(
+    sel: &SelectStmt,
+    layout: &Layout,
+    rows: Vec<Vec<Value>>,
+    params: &[Value],
+) -> Result<QueryResult> {
+    let grouped = !sel.group_by.is_empty()
+        || sel.items.iter().any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
+
+    // Output column names.
+    let mut columns = Vec::new();
+    for (i, item) in sel.items.iter().enumerate() {
+        match item {
+            SelectItem::Star => columns.extend(layout.all_columns()),
+            _ => columns.push(item_name(item, i)),
+        }
+    }
+
+    // Build (output_row, sort_keys) pairs.
+    let mut out: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+
+    let project_group = |group: &[Vec<Value>]| -> Result<Vec<Value>> {
+        let mut row = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Star => {
+                    let first = group
+                        .first()
+                        .ok_or_else(|| SqlError::Plan("SELECT * over empty group".into()))?;
+                    row.extend(first.iter().cloned());
+                }
+                SelectItem::Expr { expr, .. } => {
+                    row.push(eval_in_group(expr, layout, group, params)?)
+                }
+            }
+        }
+        Ok(row)
+    };
+
+    let sort_keys_for = |output: &[Value], group: &[Vec<Value>]| -> Result<Vec<Value>> {
+        let mut keys = Vec::with_capacity(sel.order_by.len());
+        for k in &sel.order_by {
+            // An unqualified column naming an output column sorts by it.
+            if let Expr::Column { table: None, name } = &k.expr {
+                if let Some(i) = columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                    keys.push(output[i].clone());
+                    continue;
+                }
+            }
+            if grouped {
+                keys.push(eval_in_group(&k.expr, layout, group, params)?);
+            } else {
+                let row = group.first().expect("non-grouped path has one row per group");
+                keys.push(eval(&k.expr, layout, row, params)?);
+            }
+        }
+        Ok(keys)
+    };
+
+    if grouped {
+        let mut groups: BTreeMap<Vec<Value>, Vec<Vec<Value>>> = BTreeMap::new();
+        if sel.group_by.is_empty() {
+            // Single implicit group — present even over zero rows.
+            groups.insert(Vec::new(), rows);
+        } else {
+            for r in rows {
+                let mut key = Vec::with_capacity(sel.group_by.len());
+                for g in &sel.group_by {
+                    key.push(eval(g, layout, &r, params)?);
+                }
+                groups.entry(key).or_default().push(r);
+            }
+        }
+        for group in groups.values() {
+            if let Some(h) = &sel.having {
+                if !accepts(&eval_in_group(h, layout, group, params)?)? {
+                    continue;
+                }
+            }
+            let output = project_group(group)?;
+            let keys = sort_keys_for(&output, group)?;
+            out.push((output, keys));
+        }
+    } else {
+        if sel.having.is_some() {
+            return Err(SqlError::Plan("HAVING requires GROUP BY or aggregates".into()));
+        }
+        for r in rows {
+            let group = std::slice::from_ref(&r);
+            let mut output = Vec::new();
+            for item in &sel.items {
+                match item {
+                    SelectItem::Star => output.extend(r.iter().cloned()),
+                    SelectItem::Expr { expr, .. } => output.push(eval(expr, layout, &r, params)?),
+                }
+            }
+            let keys = sort_keys_for(&output, group)?;
+            out.push((output, keys));
+        }
+    }
+
+    // ORDER BY (stable sort, per-key direction).
+    if !sel.order_by.is_empty() {
+        let descs: Vec<bool> = sel.order_by.iter().map(|k| k.desc).collect();
+        out.sort_by(|(_, a), (_, b)| {
+            for ((x, y), desc) in a.iter().zip(b).zip(&descs) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return if *desc { ord.reverse() } else { ord };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let mut rows: Vec<Vec<Value>> = out.into_iter().map(|(r, _)| r).collect();
+    if sel.distinct {
+        // Preserve first occurrence order (stable distinct).
+        let mut seen = std::collections::BTreeSet::new();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+    if let Some(limit) = sel.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(QueryResult { columns, rows, ..Default::default() })
+}
+
+// ------------------------------------------------------------ UPDATE/DELETE
+
+/// Find the `(row_id, row)` pairs of `table` matching `filter`, locking them
+/// for update.
+fn target_rows(
+    engine: &Engine,
+    txn: TxnId,
+    db: &str,
+    table: &str,
+    filter: Option<&Expr>,
+    params: &[Value],
+) -> Result<(Layout, RowSet)> {
+    let schema = engine.table(db, table)?.schema.clone();
+    let mut layout = Layout::new();
+    layout.push_table(table, schema.columns.iter().map(|c| c.name.clone()).collect());
+    let conjuncts: Vec<&Expr> = filter.map(|f| f.conjuncts()).unwrap_or_default();
+    let access = choose_access(&schema, table, &conjuncts, params)?;
+    let fetched = fetch(engine, txn, db, table, &access, true)?;
+    let mut matched = Vec::new();
+    for (rid, row) in fetched {
+        let keep = match filter {
+            None => true,
+            Some(f) => accepts(&eval(f, &layout, &row, params)?)?,
+        };
+        if keep {
+            matched.push((rid, row));
+        }
+    }
+    Ok((layout, matched))
+}
+
+fn run_update(
+    engine: &Engine,
+    txn: TxnId,
+    db: &str,
+    table: &str,
+    sets: &[(String, Expr)],
+    filter: Option<&Expr>,
+    params: &[Value],
+) -> Result<QueryResult> {
+    let schema = engine.table(db, table)?.schema.clone();
+    // Validate SET columns up front.
+    let set_ords: Vec<usize> = sets
+        .iter()
+        .map(|(c, _)| {
+            schema
+                .column_index(c)
+                .ok_or_else(|| SqlError::Plan(format!("unknown column in SET: {c}")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let (layout, targets) = target_rows(engine, txn, db, table, filter, params)?;
+    let mut n = 0u64;
+    let mut writes = Vec::new();
+    for (rid, old) in targets {
+        let mut new_row = old.clone();
+        // All SET expressions see the *old* row (SQL semantics).
+        for (ord, (_, e)) in set_ords.iter().zip(sets) {
+            new_row[*ord] = eval(e, &layout, &old, params)?;
+        }
+        engine.update(txn, db, table, rid, new_row)?;
+        writes.push((table.to_string(), rid));
+        n += 1;
+    }
+    Ok(QueryResult { rows_affected: n, touched_writes: writes, ..Default::default() })
+}
+
+fn run_delete(
+    engine: &Engine,
+    txn: TxnId,
+    db: &str,
+    table: &str,
+    filter: Option<&Expr>,
+    params: &[Value],
+) -> Result<QueryResult> {
+    let (_, targets) = target_rows(engine, txn, db, table, filter, params)?;
+    let mut n = 0u64;
+    let mut writes = Vec::new();
+    for (rid, _) in targets {
+        engine.delete(txn, db, table, rid)?;
+        writes.push((table.to_string(), rid));
+        n += 1;
+    }
+    Ok(QueryResult { rows_affected: n, touched_writes: writes, ..Default::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenantdb_storage::EngineConfig;
+
+    fn setup() -> Engine {
+        let e = Engine::new(EngineConfig::for_tests());
+        e.create_database("shop").unwrap();
+        let run = |sql: &str| {
+            e.with_txn(|t| execute(&e, t, "shop", sql, &[]).map_err(storage_err)).unwrap();
+        };
+        run("CREATE TABLE items (id INT NOT NULL, title TEXT, price FLOAT, stock INT, PRIMARY KEY (id))");
+        run("CREATE TABLE orders (id INT NOT NULL, item_id INT, qty INT, PRIMARY KEY (id))");
+        run("CREATE INDEX by_item ON orders (item_id)");
+        for i in 0..10 {
+            e.with_txn(|t| {
+                execute(
+                    &e,
+                    t,
+                    "shop",
+                    "INSERT INTO items VALUES (?, ?, ?, ?)",
+                    &[
+                        Value::Int(i),
+                        Value::Text(format!("item-{i}")),
+                        Value::Float(i as f64 + 0.5),
+                        Value::Int(100 - i),
+                    ],
+                )
+                .map_err(storage_err)
+            })
+            .unwrap();
+        }
+        for (oid, item, qty) in [(1, 2, 3), (2, 2, 1), (3, 5, 7)] {
+            e.with_txn(|t| {
+                execute(
+                    &e,
+                    t,
+                    "shop",
+                    "INSERT INTO orders VALUES (?, ?, ?)",
+                    &[Value::Int(oid), Value::Int(item), Value::Int(qty)],
+                )
+                .map_err(storage_err)
+            })
+            .unwrap();
+        }
+        e
+    }
+
+    /// Adapt SqlError to StorageError for with_txn (tests only).
+    fn storage_err(e: SqlError) -> tenantdb_storage::StorageError {
+        match e {
+            SqlError::Storage(s) => s,
+            other => tenantdb_storage::StorageError::SchemaMismatch(other.to_string()),
+        }
+    }
+
+    fn query(e: &Engine, sql: &str, params: &[Value]) -> QueryResult {
+        let txn = e.begin().unwrap();
+        let r = execute(e, txn, "shop", sql, params).unwrap();
+        e.commit(txn).unwrap();
+        r
+    }
+
+    #[test]
+    fn point_select_by_pk() {
+        let e = setup();
+        let r = query(&e, "SELECT title, price FROM items WHERE id = 3", &[]);
+        assert_eq!(r.columns, vec!["title", "price"]);
+        assert_eq!(r.rows, vec![vec![Value::Text("item-3".into()), Value::Float(3.5)]]);
+    }
+
+    #[test]
+    fn pk_lookup_uses_index_not_scan() {
+        let e = setup();
+        // An index lookup takes IS + key S + row S, never a table S lock; we
+        // can observe the plan through lock state: run inside a txn and check
+        // a concurrent insert is NOT blocked (a scan would block it).
+        let txn = e.begin().unwrap();
+        execute(&e, txn, "shop", "SELECT * FROM items WHERE id = 1", &[]).unwrap();
+        let t0 = std::time::Instant::now();
+        e.with_txn(|t| {
+            e.insert(
+                t,
+                "shop",
+                "items",
+                vec![Value::Int(77), Value::Null, Value::Null, Value::Null],
+            )
+        })
+        .unwrap();
+        assert!(t0.elapsed() < std::time::Duration::from_millis(100));
+        e.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn select_star_and_order_limit() {
+        let e = setup();
+        let r = query(&e, "SELECT * FROM items ORDER BY price DESC LIMIT 3", &[]);
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Value::Int(9));
+        assert_eq!(r.columns.len(), 4);
+    }
+
+    #[test]
+    fn range_scan_with_residual() {
+        let e = setup();
+        let r = query(&e, "SELECT id FROM items WHERE id > 5 AND id <= 8", &[]);
+        // > is approximated by an inclusive range + residual filter.
+        let ids: Vec<i64> = r.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn join_with_index_nested_loop() {
+        let e = setup();
+        let r = query(
+            &e,
+            "SELECT o.id, i.title, o.qty FROM orders o JOIN items i ON i.id = o.item_id \
+             WHERE o.qty > 0 ORDER BY o.id",
+            &[],
+        );
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][1], Value::Text("item-2".into()));
+        assert_eq!(r.rows[2][1], Value::Text("item-5".into()));
+    }
+
+    #[test]
+    fn join_reverse_direction() {
+        let e = setup();
+        // items joined to orders via the secondary index on orders.item_id.
+        let r = query(
+            &e,
+            "SELECT i.id, o.qty FROM items i JOIN orders o ON o.item_id = i.id ORDER BY o.qty",
+            &[],
+        );
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][1], Value::Int(1));
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let e = setup();
+        let r = query(
+            &e,
+            "SELECT item_id, COUNT(*) AS n, SUM(qty) AS total FROM orders \
+             GROUP BY item_id ORDER BY item_id",
+            &[],
+        );
+        assert_eq!(r.columns, vec!["item_id", "n", "total"]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(2), Value::Int(2), Value::Int(4)],
+                vec![Value::Int(5), Value::Int(1), Value::Int(7)],
+            ]
+        );
+    }
+
+    #[test]
+    fn implicit_single_group() {
+        let e = setup();
+        let r = query(&e, "SELECT COUNT(*), MIN(price), MAX(price) FROM items", &[]);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(10));
+        assert_eq!(r.rows[0][1], Value::Float(0.5));
+        assert_eq!(r.rows[0][2], Value::Float(9.5));
+    }
+
+    #[test]
+    fn count_on_empty_table_is_zero() {
+        let e = setup();
+        e.with_txn(|t| {
+            execute(&e, t, "shop", "CREATE TABLE empty_t (x INT)", &[]).map_err(storage_err)
+        })
+        .unwrap();
+        let r = query(&e, "SELECT COUNT(*) FROM empty_t", &[]);
+        assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn update_with_expression() {
+        let e = setup();
+        let txn = e.begin().unwrap();
+        let r = execute(
+            &e,
+            txn,
+            "shop",
+            "UPDATE items SET stock = stock - 1 WHERE id = 2",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(r.rows_affected, 1);
+        e.commit(txn).unwrap();
+        let r = query(&e, "SELECT stock FROM items WHERE id = 2", &[]);
+        assert_eq!(r.rows[0][0], Value::Int(97));
+    }
+
+    #[test]
+    fn update_all_rows_without_where() {
+        let e = setup();
+        let txn = e.begin().unwrap();
+        let r = execute(&e, txn, "shop", "UPDATE orders SET qty = 0", &[]).unwrap();
+        assert_eq!(r.rows_affected, 3);
+        e.commit(txn).unwrap();
+        let r = query(&e, "SELECT SUM(qty) FROM orders", &[]);
+        assert_eq!(r.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn delete_with_filter() {
+        let e = setup();
+        let txn = e.begin().unwrap();
+        let r = execute(&e, txn, "shop", "DELETE FROM orders WHERE item_id = 2", &[]).unwrap();
+        assert_eq!(r.rows_affected, 2);
+        e.commit(txn).unwrap();
+        let r = query(&e, "SELECT COUNT(*) FROM orders", &[]);
+        assert_eq!(r.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn limit_param_not_supported() {
+        // LIMIT takes a literal; a `?` there is a parse error, not a panic.
+        assert!(parse("SELECT id FROM items LIMIT ?").is_err());
+    }
+
+    #[test]
+    fn parameterized_where() {
+        let e = setup();
+        let r = query(
+            &e,
+            "SELECT id FROM items WHERE price > ? AND title LIKE ?",
+            &[Value::Float(7.0), Value::Text("item-%".into())],
+        );
+        let ids: Vec<i64> = r.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.contains(&9));
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let e = setup();
+        e.with_txn(|t| {
+            execute(&e, t, "shop", "INSERT INTO items (id, title) VALUES (50, 'fifty')", &[])
+                .map_err(storage_err)
+        })
+        .unwrap();
+        let r = query(&e, "SELECT price, stock FROM items WHERE id = 50", &[]);
+        assert_eq!(r.rows[0], vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn unique_violation_via_sql() {
+        let e = setup();
+        let txn = e.begin().unwrap();
+        let err = execute(&e, txn, "shop", "INSERT INTO items VALUES (3, 'dup', 0.0, 0)", &[])
+            .unwrap_err();
+        assert!(matches!(
+            err.as_storage(),
+            Some(tenantdb_storage::StorageError::UniqueViolation { .. })
+        ));
+        e.abort(txn).unwrap();
+    }
+
+    #[test]
+    fn unknown_column_is_plan_error() {
+        let e = setup();
+        let txn = e.begin().unwrap();
+        let err = execute(&e, txn, "shop", "SELECT nope FROM items", &[]).unwrap_err();
+        assert!(matches!(err, SqlError::Plan(_)));
+        e.abort(txn).unwrap();
+    }
+
+    #[test]
+    fn order_by_alias() {
+        let e = setup();
+        let r = query(
+            &e,
+            "SELECT item_id, SUM(qty) AS total FROM orders GROUP BY item_id ORDER BY total DESC",
+            &[],
+        );
+        assert_eq!(r.rows[0][0], Value::Int(5));
+    }
+
+    #[test]
+    fn select_for_update_locks_rows() {
+        let e = std::sync::Arc::new(setup());
+        let txn = e.begin().unwrap();
+        execute(&e, txn, "shop", "SELECT * FROM items WHERE id = 1 FOR UPDATE", &[]).unwrap();
+        // A concurrent writer on the same row must block.
+        let e2 = std::sync::Arc::clone(&e);
+        let h = std::thread::spawn(move || {
+            let t = e2.begin().unwrap();
+            let r = execute(&e2, t, "shop", "UPDATE items SET stock = 0 WHERE id = 1", &[]);
+            match r {
+                Ok(_) => e2.commit(t).unwrap(),
+                Err(_) => e2.abort(t).unwrap(),
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(e.locks().waiter_count() >= 1);
+        e.commit(txn).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn three_way_join() {
+        let e = setup();
+        e.with_txn(|t| {
+            execute(
+                &e,
+                t,
+                "shop",
+                "CREATE TABLE users (id INT NOT NULL, name TEXT, PRIMARY KEY (id))",
+                &[],
+            )
+            .map_err(storage_err)?;
+            execute(&e, t, "shop", "INSERT INTO users VALUES (1, 'ada')", &[])
+                .map_err(storage_err)?;
+            execute(
+                &e,
+                t,
+                "shop",
+                "CREATE TABLE order_users (order_id INT, user_id INT)",
+                &[],
+            )
+            .map_err(storage_err)?;
+            execute(&e, t, "shop", "INSERT INTO order_users VALUES (1, 1)", &[])
+                .map_err(storage_err)?;
+            Ok(())
+        })
+        .unwrap();
+        let r = query(
+            &e,
+            "SELECT u.name, i.title FROM orders o \
+             JOIN order_users ou ON ou.order_id = o.id \
+             JOIN users u ON u.id = ou.user_id \
+             JOIN items i ON i.id = o.item_id",
+            &[],
+        );
+        assert_eq!(r.rows, vec![vec![Value::Text("ada".into()), Value::Text("item-2".into())]]);
+    }
+}

@@ -1,0 +1,995 @@
+//! The single-node database engine — the paper's "off-the-shelf single-node
+//! DBMS" (MySQL in the original prototype), rebuilt from scratch.
+//!
+//! One [`Engine`] instance models one machine in a cluster: it hosts many
+//! small databases, runs strict 2PL with deadlock detection, exposes the 2PC
+//! participant API (`prepare` / `commit` / `abort`) that the cluster
+//! controller coordinates, and charges buffer-pool costs so that cache
+//! locality shows up in measured throughput.
+//!
+//! Fault injection: [`Engine::crash`] makes every subsequent call return
+//! [`StorageError::Unavailable`] (what the controller observes when a machine
+//! loses power); [`Engine::restart`] rebuilds committed state from the WAL
+//! with a cold cache.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::buffer::{page_of_row, BufferPool, CostModel, PageKey};
+use crate::error::{Result, StorageError};
+use crate::lock::{LockManager, LockMode, ResourceId};
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::txn::{TxnId, TxnManager, TxnPhase, UndoRecord};
+use crate::value::Value;
+use crate::wal::{RedoOp, Wal, WalEntry};
+
+/// Page-number offset separating index pages from data pages within a
+/// table's page namespace.
+const INDEX_PAGE_OFFSET: u64 = 1 << 40;
+/// Minimum simulated index pages per index; the actual count grows with the
+/// table (like a real B-tree's leaf level).
+const MIN_INDEX_PAGES: u64 = 2;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Buffer pool capacity in pages.
+    pub buffer_pages: usize,
+    /// Cost charged per page hit/miss.
+    pub cost: CostModel,
+    /// Lock-wait budget before a transaction errors with `LockTimeout`.
+    pub lock_timeout: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            buffer_pages: 4096,
+            cost: CostModel::default_model(),
+            lock_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration for unit tests: free page costs, short lock timeout.
+    pub fn for_tests() -> Self {
+        EngineConfig {
+            buffer_pages: 4096,
+            cost: CostModel::free(),
+            lock_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A hosted database: a named collection of tables plus usage counters.
+#[derive(Debug)]
+pub struct Database {
+    pub name: String,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl Database {
+    fn new(name: String) -> Self {
+        Database {
+            name,
+            tables: RwLock::new(HashMap::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Observed per-database resource usage, the input to SLA profiling (§4.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbProfile {
+    pub reads: u64,
+    pub writes: u64,
+    /// Current logical size in pages.
+    pub pages: u64,
+}
+
+/// Engine-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub commits: u64,
+    pub aborts: u64,
+}
+
+/// The single-node DBMS engine.
+pub struct Engine {
+    cfg: EngineConfig,
+    databases: RwLock<HashMap<String, Arc<Database>>>,
+    locks: LockManager,
+    txns: TxnManager,
+    buffer: BufferPool,
+    wal: Wal,
+    next_table_id: AtomicU64,
+    failed: AtomicBool,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine {
+            cfg,
+            databases: RwLock::new(HashMap::new()),
+            locks: LockManager::new(cfg.lock_timeout),
+            txns: TxnManager::default(),
+            buffer: BufferPool::new(cfg.buffer_pages, cfg.cost),
+            wal: Wal::default(),
+            next_table_id: AtomicU64::new(1),
+            failed: AtomicBool::new(false),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    fn check_up(&self) -> Result<()> {
+        if self.failed.load(Ordering::Acquire) {
+            Err(StorageError::Unavailable)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ---------------------------------------------------------------- DDL
+
+    /// Create a database (auto-committed DDL).
+    pub fn create_database(&self, name: &str) -> Result<()> {
+        self.check_up()?;
+        let mut dbs = self.databases.write();
+        if dbs.contains_key(name) {
+            return Err(StorageError::AlreadyExists(name.to_string()));
+        }
+        dbs.insert(name.to_string(), Arc::new(Database::new(name.to_string())));
+        drop(dbs);
+        self.wal.append(Wal::DDL_TXN, WalEntry::Redo(RedoOp::CreateDatabase { db: name.into() }));
+        Ok(())
+    }
+
+    pub fn drop_database(&self, name: &str) -> Result<()> {
+        self.check_up()?;
+        let removed = self.databases.write().remove(name);
+        if removed.is_none() {
+            return Err(StorageError::NoSuchDatabase(name.to_string()));
+        }
+        self.wal.append(Wal::DDL_TXN, WalEntry::Redo(RedoOp::DropDatabase { db: name.into() }));
+        Ok(())
+    }
+
+    pub fn database_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.databases.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    pub fn has_database(&self, name: &str) -> bool {
+        self.databases.read().contains_key(name)
+    }
+
+    /// Create a table in a database (auto-committed DDL).
+    pub fn create_table(&self, db: &str, schema: TableSchema) -> Result<()> {
+        self.check_up()?;
+        let database = self.db(db)?;
+        let mut tables = database.tables.write();
+        if tables.contains_key(&schema.name) {
+            return Err(StorageError::AlreadyExists(schema.name.clone()));
+        }
+        let id = self.next_table_id.fetch_add(1, Ordering::Relaxed);
+        tables.insert(schema.name.clone(), Arc::new(Table::new(id, schema.clone())));
+        drop(tables);
+        self.wal
+            .append(Wal::DDL_TXN, WalEntry::Redo(RedoOp::CreateTable { db: db.into(), schema }));
+        Ok(())
+    }
+
+    /// Create a secondary index on a populated table (auto-committed DDL).
+    ///
+    /// Internally rebuilds the table under an exclusive table lock (what a
+    /// blocking `CREATE INDEX` does on the paper's MySQL 5 substrate).
+    pub fn create_index(
+        &self,
+        db: &str,
+        table: &str,
+        index: &str,
+        columns: &[String],
+        unique: bool,
+    ) -> Result<()> {
+        self.check_up()?;
+        let database = self.db(db)?;
+        let t = self.table(db, table)?;
+        self.with_txn(|txn| {
+            self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::X)?;
+            let mut schema = t.schema.clone();
+            schema.try_add_index(index, columns, unique)?;
+            let rebuilt = Table::new(t.id, schema);
+            for (rid, row) in t.scan() {
+                rebuilt.insert_with_id(rid, row)?;
+            }
+            database.tables.write().insert(table.to_string(), Arc::new(rebuilt));
+            Ok(())
+        })?;
+        self.wal.append(
+            Wal::DDL_TXN,
+            WalEntry::Redo(RedoOp::CreateIndex {
+                db: db.into(),
+                table: table.into(),
+                index: index.into(),
+                columns: columns.to_vec(),
+                unique,
+            }),
+        );
+        Ok(())
+    }
+
+    pub fn db(&self, name: &str) -> Result<Arc<Database>> {
+        self.databases
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::NoSuchDatabase(name.to_string()))
+    }
+
+    pub fn table(&self, db: &str, table: &str) -> Result<Arc<Table>> {
+        self.db(db)?
+            .tables
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))
+    }
+
+    // ------------------------------------------------------- transactions
+
+    pub fn begin(&self) -> Result<TxnId> {
+        self.check_up()?;
+        Ok(self.txns.begin())
+    }
+
+    pub fn txn_phase(&self, txn: TxnId) -> Result<TxnPhase> {
+        self.txns.phase(txn)
+    }
+
+    pub fn has_writes(&self, txn: TxnId) -> Result<bool> {
+        self.txns.has_writes(txn)
+    }
+
+    /// 2PC vote: flush the prepare record and release read locks (the
+    /// early-release optimization of §3.1).
+    pub fn prepare(&self, txn: TxnId) -> Result<()> {
+        self.check_up()?;
+        self.txns.set_prepared(txn)?;
+        self.wal.append(txn, WalEntry::Prepare);
+        self.locks.release_read_locks(txn);
+        Ok(())
+    }
+
+    /// Commit (legal from Active for one-phase, or Prepared for 2PC).
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.check_up()?;
+        self.txns.set_committed(txn)?;
+        self.wal.append(txn, WalEntry::Commit);
+        self.locks.release_all(txn);
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Abort: replay the undo log in reverse, then release all locks.
+    /// Deliberately works even on a failed engine — the participant side of
+    /// coordinator-driven cleanup.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let undo = self.txns.set_aborted(txn)?;
+        for rec in undo.into_iter().rev() {
+            // We still hold X locks on everything the undo touches, and the
+            // images restore previously valid states, so these cannot fail;
+            // a failure here would indicate engine corruption.
+            match rec {
+                UndoRecord::Insert { db, table, row_id } => {
+                    if let Ok(t) = self.table(&db, &table) {
+                        let _ = t.delete(row_id);
+                    }
+                }
+                UndoRecord::Update { db, table, row_id, old } => {
+                    if let Ok(t) = self.table(&db, &table) {
+                        let _ = t.update(row_id, old);
+                    }
+                }
+                UndoRecord::Delete { db, table, row_id, old } => {
+                    if let Ok(t) = self.table(&db, &table) {
+                        let _ = t.insert_with_id(row_id, old);
+                    }
+                }
+            }
+        }
+        self.wal.append(txn, WalEntry::Abort);
+        self.locks.release_all(txn);
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Run `f` inside a fresh transaction, committing on success and
+    /// aborting on error.
+    pub fn with_txn<T>(&self, f: impl FnOnce(TxnId) -> Result<T>) -> Result<T> {
+        let txn = self.begin()?;
+        match f(txn) {
+            Ok(v) => {
+                self.commit(txn)?;
+                Ok(v)
+            }
+            Err(e) => {
+                let _ = self.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- DML
+
+    fn key_resource(table_id: u64, index: &str, key: &[Value]) -> ResourceId {
+        let mut h = DefaultHasher::new();
+        index.hash(&mut h);
+        for v in key {
+            v.hash(&mut h);
+        }
+        ResourceId::Key { table: table_id, hash: h.finish() }
+    }
+
+    fn data_page(table_id: u64, row_id: u64) -> PageKey {
+        PageKey { table: table_id, page_no: page_of_row(row_id) }
+    }
+
+    fn index_page(t: &Table, index: &str, key: &[Value]) -> PageKey {
+        let mut h = DefaultHasher::new();
+        index.hash(&mut h);
+        for v in key {
+            v.hash(&mut h);
+        }
+        // Index leaf level ~ a quarter of the data pages.
+        let pages = (t.page_count() / 4).max(MIN_INDEX_PAGES);
+        PageKey { table: t.id, page_no: INDEX_PAGE_OFFSET + h.finish() % pages }
+    }
+
+    /// Swap the page cost model on a live engine (see `BufferPool::set_cost`).
+    pub fn set_page_costs(&self, cost: CostModel) {
+        self.buffer.set_cost(cost);
+    }
+
+    /// Insert a row; returns its row id.
+    pub fn insert(&self, txn: TxnId, db: &str, table: &str, row: Vec<Value>) -> Result<u64> {
+        self.check_up()?;
+        self.txns.require_active(txn)?;
+        let database = self.db(db)?;
+        let t = self.table(db, table)?;
+        t.schema.check_row(&row)?;
+        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::IX)?;
+        let row_id = t.reserve_row_id();
+        self.locks.acquire(txn, ResourceId::Row { table: t.id, row: row_id }, LockMode::X)?;
+        // Lock every index key the row joins (phantom protection for
+        // equality lookups on those keys).
+        for idx in &t.schema.indexes {
+            let key = t.schema.index_key(idx, &row);
+            self.locks.acquire(txn, Self::key_resource(t.id, &idx.name, &key), LockMode::X)?;
+            self.buffer.access(Self::index_page(&t, &idx.name, &key));
+        }
+        self.buffer.access(Self::data_page(t.id, row_id));
+        t.insert_with_id(row_id, row.clone())?;
+        self.txns.push_undo(
+            txn,
+            UndoRecord::Insert { db: db.into(), table: table.into(), row_id },
+        )?;
+        self.wal.append(
+            txn,
+            WalEntry::Redo(RedoOp::Insert { db: db.into(), table: table.into(), row_id, row }),
+        );
+        database.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(row_id)
+    }
+
+    /// Point read by row id. Returns `None` if the row does not exist (e.g.
+    /// a concurrent insert that aborted after we found its id).
+    pub fn read(&self, txn: TxnId, db: &str, table: &str, row_id: u64) -> Result<Option<Vec<Value>>> {
+        self.check_up()?;
+        self.txns.require_active(txn)?;
+        let database = self.db(db)?;
+        let t = self.table(db, table)?;
+        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::IS)?;
+        self.locks.acquire(txn, ResourceId::Row { table: t.id, row: row_id }, LockMode::S)?;
+        self.buffer.access(Self::data_page(t.id, row_id));
+        self.txns.note_read(txn);
+        database.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(t.get(row_id))
+    }
+
+    /// Equality index lookup. With `for_update`, matching rows are locked
+    /// `X` up front (SELECT ... FOR UPDATE), which avoids upgrade deadlocks
+    /// in read-modify-write transactions; otherwise rows are locked `S`.
+    pub fn index_lookup(
+        &self,
+        txn: TxnId,
+        db: &str,
+        table: &str,
+        index: &str,
+        key: &[Value],
+        for_update: bool,
+    ) -> Result<Vec<(u64, Vec<Value>)>> {
+        self.check_up()?;
+        self.txns.require_active(txn)?;
+        let database = self.db(db)?;
+        let t = self.table(db, table)?;
+        let (table_mode, row_mode) = if for_update {
+            (LockMode::IX, LockMode::X)
+        } else {
+            (LockMode::IS, LockMode::S)
+        };
+        self.locks.acquire(txn, ResourceId::Table { table: t.id }, table_mode)?;
+        // S on the key resource freezes the key's membership.
+        self.locks.acquire(txn, Self::key_resource(t.id, index, key), LockMode::S)?;
+        self.buffer.access(Self::index_page(&t, index, key));
+        let ids = t.index_get(index, key)?;
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            self.locks.acquire(txn, ResourceId::Row { table: t.id, row: id }, row_mode)?;
+            self.buffer.access(Self::data_page(t.id, id));
+            if let Some(row) = t.get(id) {
+                out.push((id, row));
+            }
+        }
+        self.txns.note_read(txn);
+        database.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Range scan over an index. Takes a full-table `S` lock (conservative
+    /// phantom protection for range predicates).
+    pub fn index_range(
+        &self,
+        txn: TxnId,
+        db: &str,
+        table: &str,
+        index: &str,
+        lo: Option<&[Value]>,
+        hi: Option<&[Value]>,
+    ) -> Result<Vec<(u64, Vec<Value>)>> {
+        self.check_up()?;
+        self.txns.require_active(txn)?;
+        let database = self.db(db)?;
+        let t = self.table(db, table)?;
+        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::S)?;
+        let ids = t.index_range(index, lo, hi)?;
+        let mut out = Vec::with_capacity(ids.len());
+        let mut last_page = None;
+        for id in ids {
+            let page = Self::data_page(t.id, id);
+            if last_page != Some(page) {
+                self.buffer.access(page);
+                last_page = Some(page);
+            }
+            if let Some(row) = t.get(id) {
+                out.push((id, row));
+            }
+        }
+        self.txns.note_read(txn);
+        database.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Full table scan under a table `S` lock.
+    pub fn scan(&self, txn: TxnId, db: &str, table: &str) -> Result<Vec<(u64, Vec<Value>)>> {
+        self.check_up()?;
+        self.txns.require_active(txn)?;
+        let database = self.db(db)?;
+        let t = self.table(db, table)?;
+        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::S)?;
+        let rows = t.scan();
+        let mut last_page = None;
+        for (id, _) in &rows {
+            let page = Self::data_page(t.id, *id);
+            if last_page != Some(page) {
+                self.buffer.access(page);
+                last_page = Some(page);
+            }
+        }
+        self.txns.note_read(txn);
+        database.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(rows)
+    }
+
+    /// Update a row in place.
+    pub fn update(
+        &self,
+        txn: TxnId,
+        db: &str,
+        table: &str,
+        row_id: u64,
+        new_row: Vec<Value>,
+    ) -> Result<()> {
+        self.check_up()?;
+        self.txns.require_active(txn)?;
+        let database = self.db(db)?;
+        let t = self.table(db, table)?;
+        t.schema.check_row(&new_row)?;
+        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::IX)?;
+        self.locks.acquire(txn, ResourceId::Row { table: t.id, row: row_id }, LockMode::X)?;
+        let old = t.get(row_id).ok_or(StorageError::NoSuchRow(row_id))?;
+        // Lock the key resources whose membership this update changes.
+        for idx in &t.schema.indexes {
+            let old_key = t.schema.index_key(idx, &old);
+            let new_key = t.schema.index_key(idx, &new_row);
+            if old_key != new_key {
+                self.locks.acquire(txn, Self::key_resource(t.id, &idx.name, &old_key), LockMode::X)?;
+                self.locks.acquire(txn, Self::key_resource(t.id, &idx.name, &new_key), LockMode::X)?;
+                self.buffer.access(Self::index_page(&t, &idx.name, &new_key));
+            }
+        }
+        self.buffer.access(Self::data_page(t.id, row_id));
+        t.update(row_id, new_row.clone())?;
+        self.txns.push_undo(
+            txn,
+            UndoRecord::Update { db: db.into(), table: table.into(), row_id, old },
+        )?;
+        self.wal.append(
+            txn,
+            WalEntry::Redo(RedoOp::Update { db: db.into(), table: table.into(), row_id, row: new_row }),
+        );
+        database.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Delete a row.
+    pub fn delete(&self, txn: TxnId, db: &str, table: &str, row_id: u64) -> Result<()> {
+        self.check_up()?;
+        self.txns.require_active(txn)?;
+        let database = self.db(db)?;
+        let t = self.table(db, table)?;
+        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::IX)?;
+        self.locks.acquire(txn, ResourceId::Row { table: t.id, row: row_id }, LockMode::X)?;
+        let old = t.get(row_id).ok_or(StorageError::NoSuchRow(row_id))?;
+        for idx in &t.schema.indexes {
+            let key = t.schema.index_key(idx, &old);
+            self.locks.acquire(txn, Self::key_resource(t.id, &idx.name, &key), LockMode::X)?;
+        }
+        self.buffer.access(Self::data_page(t.id, row_id));
+        t.delete(row_id)?;
+        self.txns.push_undo(
+            txn,
+            UndoRecord::Delete { db: db.into(), table: table.into(), row_id, old },
+        )?;
+        self.wal.append(
+            txn,
+            WalEntry::Redo(RedoOp::Delete { db: db.into(), table: table.into(), row_id }),
+        );
+        database.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ------------------------------------------------------ fault injection
+
+    /// Simulate a machine failure: every subsequent operation fails with
+    /// `Unavailable`, all live transactions are aborted and their locks
+    /// released (their effects will be discarded by `restart`).
+    pub fn crash(&self) {
+        self.failed.store(true, Ordering::Release);
+        for txn in self.txns.live_txns() {
+            // Volatile state is lost; skip undo (restart rebuilds from WAL),
+            // but release locks so blocked threads fail fast.
+            let _ = self.txns.set_aborted(txn);
+            self.locks.release_all(txn);
+        }
+    }
+
+    /// Rebuild committed state from the WAL and come back up with a cold
+    /// cache. Returns the number of redo records replayed.
+    pub fn restart(&self) -> usize {
+        // Rebuild into a fresh catalog.
+        let redo = self.wal.committed_redo();
+        let mut dbs: HashMap<String, Arc<Database>> = HashMap::new();
+        for op in &redo {
+            match op {
+                RedoOp::CreateDatabase { db } => {
+                    dbs.insert(db.clone(), Arc::new(Database::new(db.clone())));
+                }
+                RedoOp::DropDatabase { db } => {
+                    dbs.remove(db);
+                }
+                RedoOp::CreateTable { db, schema } => {
+                    if let Some(d) = dbs.get(db) {
+                        let id = self.next_table_id.fetch_add(1, Ordering::Relaxed);
+                        d.tables
+                            .write()
+                            .insert(schema.name.clone(), Arc::new(Table::new(id, schema.clone())));
+                    }
+                }
+                RedoOp::CreateIndex { db, table, index, columns, unique } => {
+                    if let Some(d) = dbs.get(db) {
+                        let old = d.tables.read().get(table).cloned();
+                        if let Some(old) = old {
+                            let mut schema = old.schema.clone();
+                            if schema.try_add_index(index, columns, *unique).is_ok() {
+                                let rebuilt = Table::new(old.id, schema);
+                                for (rid, row) in old.scan() {
+                                    let _ = rebuilt.insert_with_id(rid, row);
+                                }
+                                d.tables.write().insert(table.clone(), Arc::new(rebuilt));
+                            }
+                        }
+                    }
+                }
+                RedoOp::Insert { db, table, row_id, row } => {
+                    if let Some(t) = dbs.get(db).and_then(|d| d.tables.read().get(table).cloned()) {
+                        let _ = t.insert_with_id(*row_id, row.clone());
+                    }
+                }
+                RedoOp::Update { db, table, row_id, row } => {
+                    if let Some(t) = dbs.get(db).and_then(|d| d.tables.read().get(table).cloned()) {
+                        let _ = t.update(*row_id, row.clone());
+                    }
+                }
+                RedoOp::Delete { db, table, row_id } => {
+                    if let Some(t) = dbs.get(db).and_then(|d| d.tables.read().get(table).cloned()) {
+                        let _ = t.delete(*row_id);
+                    }
+                }
+            }
+        }
+        *self.databases.write() = dbs;
+        self.buffer.clear();
+        self.txns.gc_finished();
+        self.failed.store(false, Ordering::Release);
+        redo.len()
+    }
+
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    // ------------------------------------------------------------- stats
+
+    /// Observed usage of one database since engine start.
+    pub fn db_profile(&self, db: &str) -> Result<DbProfile> {
+        let d = self.db(db)?;
+        let pages: u64 = d.tables.read().values().map(|t| t.page_count()).sum();
+        Ok(DbProfile {
+            reads: d.reads.load(Ordering::Relaxed),
+            writes: d.writes.load(Ordering::Relaxed),
+            pages,
+        })
+    }
+
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn buffer(&self) -> &BufferPool {
+        &self.buffer
+    }
+
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+    use std::thread;
+
+    fn setup() -> Engine {
+        let e = Engine::new(EngineConfig::for_tests());
+        e.create_database("app").unwrap();
+        let schema = TableSchema::new(
+            "kv",
+            vec![
+                ColumnDef::new("k", DataType::Int).not_null(),
+                ColumnDef::new("v", DataType::Text),
+            ],
+        )
+        .with_primary_key(&["k"]);
+        e.create_table("app", schema).unwrap();
+        e
+    }
+
+    fn kv(k: i64, v: &str) -> Vec<Value> {
+        vec![Value::Int(k), Value::Text(v.into())]
+    }
+
+    #[test]
+    fn insert_read_commit() {
+        let e = setup();
+        let t = e.begin().unwrap();
+        let rid = e.insert(t, "app", "kv", kv(1, "one")).unwrap();
+        assert_eq!(e.read(t, "app", "kv", rid).unwrap().unwrap()[1], Value::Text("one".into()));
+        e.commit(t).unwrap();
+        assert_eq!(e.stats().commits, 1);
+    }
+
+    #[test]
+    fn abort_undoes_everything() {
+        let e = setup();
+        // Committed baseline.
+        let rid = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "one"))).unwrap();
+        // Aborted txn: update + insert + delete all rolled back.
+        let t = e.begin().unwrap();
+        e.update(t, "app", "kv", rid, kv(1, "changed")).unwrap();
+        e.insert(t, "app", "kv", kv(2, "two")).unwrap();
+        e.delete(t, "app", "kv", rid).unwrap();
+        e.abort(t).unwrap();
+        let t2 = e.begin().unwrap();
+        let rows = e.scan(t2, "app", "kv").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, kv(1, "one"));
+        e.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn index_lookup_finds_by_pk() {
+        let e = setup();
+        e.with_txn(|t| {
+            e.insert(t, "app", "kv", kv(1, "a"))?;
+            e.insert(t, "app", "kv", kv(2, "b"))?;
+            Ok(())
+        })
+        .unwrap();
+        let t = e.begin().unwrap();
+        let hits = e.index_lookup(t, "app", "kv", "pk", &[Value::Int(2)], false).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1[1], Value::Text("b".into()));
+        e.commit(t).unwrap();
+    }
+
+    #[test]
+    fn writes_block_readers_until_commit() {
+        let e = Arc::new(setup());
+        let rid = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "v1"))).unwrap();
+        let writer = e.begin().unwrap();
+        e.update(writer, "app", "kv", rid, kv(1, "v2")).unwrap();
+        let e2 = Arc::clone(&e);
+        let reader = thread::spawn(move || {
+            let t = e2.begin().unwrap();
+            let row = e2.read(t, "app", "kv", rid).unwrap().unwrap();
+            e2.commit(t).unwrap();
+            row
+        });
+        thread::sleep(Duration::from_millis(50));
+        e.commit(writer).unwrap();
+        let row = reader.join().unwrap();
+        assert_eq!(row[1], Value::Text("v2".into()), "reader must see committed value");
+    }
+
+    #[test]
+    fn aborted_insert_invisible_to_index_lookup() {
+        let e = Arc::new(setup());
+        let t1 = e.begin().unwrap();
+        e.insert(t1, "app", "kv", kv(7, "ghost")).unwrap();
+        let e2 = Arc::clone(&e);
+        let h = thread::spawn(move || {
+            let t = e2.begin().unwrap();
+            // Blocks on t1's key lock, then sees nothing after the abort.
+            let hits = e2.index_lookup(t, "app", "kv", "pk", &[Value::Int(7)], false).unwrap();
+            e2.commit(t).unwrap();
+            hits
+        });
+        thread::sleep(Duration::from_millis(50));
+        e.abort(t1).unwrap();
+        assert!(h.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn phantom_protected_equality_lookup() {
+        // A repeated equality lookup in one txn cannot observe a new row
+        // (the S key lock blocks the inserter).
+        let e = Arc::new(setup());
+        let t1 = e.begin().unwrap();
+        let first = e.index_lookup(t1, "app", "kv", "pk", &[Value::Int(5)], false).unwrap();
+        assert!(first.is_empty());
+        let e2 = Arc::clone(&e);
+        let inserter = thread::spawn(move || {
+            e2.with_txn(|t| e2.insert(t, "app", "kv", kv(5, "new"))).unwrap();
+        });
+        thread::sleep(Duration::from_millis(50));
+        let second = e.index_lookup(t1, "app", "kv", "pk", &[Value::Int(5)], false).unwrap();
+        assert_eq!(first.len(), second.len(), "no phantom within a transaction");
+        e.commit(t1).unwrap();
+        inserter.join().unwrap();
+    }
+
+    #[test]
+    fn two_phase_commit_releases_read_locks_at_prepare() {
+        let e = Arc::new(setup());
+        let r1 = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "a"))).unwrap();
+        let r2 = e.with_txn(|t| e.insert(t, "app", "kv", kv(2, "b"))).unwrap();
+        let t1 = e.begin().unwrap();
+        e.read(t1, "app", "kv", r1).unwrap(); // S lock on r1
+        e.update(t1, "app", "kv", r2, kv(2, "b2")).unwrap(); // X lock on r2
+        e.prepare(t1).unwrap();
+        // Another txn can now write r1 (read lock released) ...
+        let t2 = e.begin().unwrap();
+        e.update(t2, "app", "kv", r1, kv(1, "a2")).unwrap();
+        // ... but not read r2 (write lock held until commit).
+        let e2 = Arc::clone(&e);
+        let h = thread::spawn(move || {
+            let t = e2.begin().unwrap();
+            let v = e2.read(t, "app", "kv", r2).unwrap().unwrap();
+            e2.commit(t).unwrap();
+            v
+        });
+        thread::sleep(Duration::from_millis(50));
+        e.commit(t1).unwrap();
+        e.commit(t2).unwrap();
+        assert_eq!(h.join().unwrap()[1], Value::Text("b2".into()));
+    }
+
+    #[test]
+    fn no_writes_after_prepare() {
+        let e = setup();
+        let t = e.begin().unwrap();
+        e.insert(t, "app", "kv", kv(1, "a")).unwrap();
+        e.prepare(t).unwrap();
+        assert!(matches!(
+            e.insert(t, "app", "kv", kv(2, "b")).unwrap_err(),
+            StorageError::InvalidTxnState { .. }
+        ));
+        e.commit(t).unwrap();
+    }
+
+    #[test]
+    fn crash_makes_engine_unavailable() {
+        let e = setup();
+        e.crash();
+        assert!(e.is_failed());
+        assert_eq!(e.begin().unwrap_err(), StorageError::Unavailable);
+    }
+
+    #[test]
+    fn restart_recovers_committed_state_only() {
+        let e = setup();
+        e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "committed"))).unwrap();
+        // In-flight txn at crash time: must disappear.
+        let t = e.begin().unwrap();
+        e.insert(t, "app", "kv", kv(2, "in-flight")).unwrap();
+        e.crash();
+        let replayed = e.restart();
+        assert!(replayed >= 3); // create db + create table + one insert
+        let t2 = e.begin().unwrap();
+        let rows = e.scan(t2, "app", "kv").unwrap();
+        e.commit(t2).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, kv(1, "committed"));
+    }
+
+    #[test]
+    fn restart_preserves_updates_and_deletes() {
+        let e = setup();
+        let rid = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "v1"))).unwrap();
+        e.with_txn(|t| e.update(t, "app", "kv", rid, kv(1, "v2"))).unwrap();
+        let rid2 = e.with_txn(|t| e.insert(t, "app", "kv", kv(2, "gone"))).unwrap();
+        e.with_txn(|t| e.delete(t, "app", "kv", rid2)).unwrap();
+        e.crash();
+        e.restart();
+        let t = e.begin().unwrap();
+        let rows = e.scan(t, "app", "kv").unwrap();
+        e.commit(t).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, kv(1, "v2"));
+    }
+
+    #[test]
+    fn crash_releases_locks_of_live_txns() {
+        let e = setup();
+        let rid = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "a"))).unwrap();
+        let t1 = e.begin().unwrap();
+        e.update(t1, "app", "kv", rid, kv(1, "dirty")).unwrap();
+        e.crash();
+        e.restart();
+        // New txn can lock the row immediately (no 5s timeout stall).
+        let t2 = e.begin().unwrap();
+        let row = e.read(t2, "app", "kv", rid).unwrap().unwrap();
+        e.commit(t2).unwrap();
+        assert_eq!(row[1], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn db_profile_counts_usage() {
+        let e = setup();
+        e.with_txn(|t| {
+            e.insert(t, "app", "kv", kv(1, "a"))?;
+            e.insert(t, "app", "kv", kv(2, "b"))?;
+            Ok(())
+        })
+        .unwrap();
+        let t = e.begin().unwrap();
+        e.scan(t, "app", "kv").unwrap();
+        e.commit(t).unwrap();
+        let p = e.db_profile("app").unwrap();
+        assert_eq!(p.writes, 2);
+        assert_eq!(p.reads, 1);
+        assert!(p.pages >= 1);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let e = setup();
+        assert!(matches!(e.db("nope").unwrap_err(), StorageError::NoSuchDatabase(_)));
+        assert!(matches!(e.table("app", "nope").unwrap_err(), StorageError::NoSuchTable(_)));
+        assert!(e.create_database("app").is_err());
+    }
+
+    #[test]
+    fn concurrent_inserts_different_keys() {
+        let e = Arc::new(setup());
+        let mut handles = Vec::new();
+        for i in 0..8i64 {
+            let e2 = Arc::clone(&e);
+            handles.push(thread::spawn(move || {
+                e2.with_txn(|t| e2.insert(t, "app", "kv", kv(i, "x"))).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = e.begin().unwrap();
+        assert_eq!(e.scan(t, "app", "kv").unwrap().len(), 8);
+        e.commit(t).unwrap();
+    }
+
+    #[test]
+    fn index_range_requires_table_lock() {
+        let e = Arc::new(setup());
+        e.with_txn(|t| {
+            for i in 0..5 {
+                e.insert(t, "app", "kv", kv(i, "x"))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let t = e.begin().unwrap();
+        let rows = e
+            .index_range(t, "app", "kv", "pk", Some(&[Value::Int(1)]), Some(&[Value::Int(3)]))
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        // Table S lock is held: concurrent insert blocks until commit.
+        let e2 = Arc::clone(&e);
+        let h = thread::spawn(move || {
+            e2.with_txn(|tx| e2.insert(tx, "app", "kv", kv(100, "y"))).unwrap();
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(e.locks().waiter_count(), 1);
+        e.commit(t).unwrap();
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+use crate::txn::TxnId;
+
+/// Errors surfaced by the storage engine.
+///
+/// The cluster controller distinguishes three broad classes:
+/// * `Deadlock` / `LockTimeout` — inherent to the application workload; the
+///   paper's SLA model explicitly excludes these from "proactively rejected"
+///   transactions.
+/// * `Unavailable` — the machine has failed (or is marked failed by fault
+///   injection); the controller reacts by re-routing and starting recovery.
+/// * everything else — programming or schema errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The requested database does not exist.
+    NoSuchDatabase(String),
+    /// The requested table does not exist in the database.
+    NoSuchTable(String),
+    /// The requested index does not exist on the table.
+    NoSuchIndex(String),
+    /// A database or table with this name already exists.
+    AlreadyExists(String),
+    /// The transaction id is unknown (never begun, or already finished).
+    NoSuchTxn(TxnId),
+    /// The transaction is not in a state that permits this operation
+    /// (e.g. issuing a write after `prepare`).
+    InvalidTxnState { txn: TxnId, state: &'static str },
+    /// This transaction was chosen as a deadlock victim and must be aborted
+    /// by the caller.
+    Deadlock(TxnId),
+    /// A lock wait exceeded the configured timeout.
+    LockTimeout(TxnId),
+    /// The machine hosting this engine has failed (fault injection).
+    Unavailable,
+    /// A row violates a unique index.
+    UniqueViolation { table: String, index: String },
+    /// A row does not match the table schema (arity or type).
+    SchemaMismatch(String),
+    /// The referenced row id does not exist.
+    NoSuchRow(u64),
+    /// The write was rejected by an external admission decision (used by the
+    /// cluster controller while a table is being copied — Algorithm 1).
+    WriteRejected(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSuchDatabase(name) => write!(f, "no such database: {name}"),
+            StorageError::NoSuchTable(name) => write!(f, "no such table: {name}"),
+            StorageError::NoSuchIndex(name) => write!(f, "no such index: {name}"),
+            StorageError::AlreadyExists(name) => write!(f, "already exists: {name}"),
+            StorageError::NoSuchTxn(txn) => write!(f, "no such transaction: {txn}"),
+            StorageError::InvalidTxnState { txn, state } => {
+                write!(f, "transaction {txn} is {state}; operation not permitted")
+            }
+            StorageError::Deadlock(txn) => write!(f, "transaction {txn} chosen as deadlock victim"),
+            StorageError::LockTimeout(txn) => write!(f, "transaction {txn} timed out waiting for a lock"),
+            StorageError::Unavailable => write!(f, "machine unavailable"),
+            StorageError::UniqueViolation { table, index } => {
+                write!(f, "unique violation on {table}.{index}")
+            }
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            StorageError::NoSuchRow(id) => write!(f, "no such row: {id}"),
+            StorageError::WriteRejected(msg) => write!(f, "write rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+impl StorageError {
+    /// True if the error means the whole transaction must be abandoned
+    /// (as opposed to a statement-level failure the client may retry).
+    pub fn is_txn_fatal(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Deadlock(_) | StorageError::LockTimeout(_) | StorageError::Unavailable
+        )
+    }
+
+    /// True if the error is counted as a *proactive rejection* in the SLA
+    /// model of §4.1 (rejections caused by the platform, not the workload).
+    pub fn is_proactive_rejection(&self) -> bool {
+        matches!(self, StorageError::Unavailable | StorageError::WriteRejected(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            StorageError::NoSuchDatabase("apps".into()).to_string(),
+            "no such database: apps"
+        );
+        assert_eq!(StorageError::Deadlock(TxnId(7)).to_string(), "transaction t7 chosen as deadlock victim");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(StorageError::Deadlock(TxnId(1)).is_txn_fatal());
+        assert!(StorageError::Unavailable.is_txn_fatal());
+        assert!(!StorageError::NoSuchRow(3).is_txn_fatal());
+        assert!(StorageError::WriteRejected("copying".into()).is_proactive_rejection());
+        assert!(!StorageError::Deadlock(TxnId(1)).is_proactive_rejection());
+    }
+}

@@ -1,0 +1,590 @@
+//! Multigranularity strict two-phase locking.
+//!
+//! The engine locks at two granularities — whole tables and individual rows —
+//! with the classic IS/IX/S/X mode lattice:
+//!
+//! * point reads take `IS` on the table, `S` on the row;
+//! * point writes take `IX` on the table, `X` on the row;
+//! * scans and the [`crate::copy`] tool take `S` on the table;
+//! * DDL takes `X` on the table.
+//!
+//! Waiters queue FIFO per resource; lock *upgrades* (a txn strengthening a
+//! mode it already holds) bypass the queue, which is the standard way to keep
+//! read-then-update workloads live. Deadlocks are detected by a wait-for
+//! graph cycle search run whenever a transaction is about to block; the
+//! blocking transaction is the victim (the paper's MySQL substrate likewise
+//! aborts one of the transactions and surfaces a deadlock error).
+//!
+//! Two-phase commit interacts with locking through
+//! [`LockManager::release_read_locks`]: real systems release read locks at
+//! PREPARE rather than COMMIT (§3.1 of the paper), and that optimization is
+//! exactly what makes the aggressive-controller anomaly of Table 1 possible.
+//! We implement it faithfully.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{Result, StorageError};
+use crate::txn::TxnId;
+
+/// A lockable resource: a table, a row within a table, or an *index key*
+/// within a table. Key resources implement lightweight key-value locking:
+/// equality index lookups take `S` on the key, and any write that changes
+/// the membership of that key (insert / delete / key-changing update) takes
+/// `X` on it. This gives phantom protection for equality predicates without
+/// full next-key locking; range scans fall back to a table `S` lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceId {
+    Table { table: u64 },
+    Row { table: u64, row: u64 },
+    Key { table: u64, hash: u64 },
+}
+
+impl ResourceId {
+    pub fn table_of(&self) -> u64 {
+        match self {
+            ResourceId::Table { table }
+            | ResourceId::Row { table, .. }
+            | ResourceId::Key { table, .. } => *table,
+        }
+    }
+}
+
+/// Lock modes. `IS`/`IX` are table-level intention modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    IS,
+    IX,
+    S,
+    X,
+}
+
+impl LockMode {
+    fn bit(self) -> u8 {
+        match self {
+            LockMode::IS => 1,
+            LockMode::IX => 2,
+            LockMode::S => 4,
+            LockMode::X => 8,
+        }
+    }
+
+    const ALL: [LockMode; 4] = [LockMode::IS, LockMode::IX, LockMode::S, LockMode::X];
+
+    /// Standard multigranularity compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IS, IS) | (IS, IX) | (IS, S) => true,
+            (IX, IS) | (IX, IX) => true,
+            (S, IS) | (S, S) => true,
+            (X, _) | (_, X) => false,
+            (IX, S) | (S, IX) => false,
+        }
+    }
+
+    /// Modes implied by holding `self` (holding X implies S, IX, IS; holding
+    /// S or IX implies IS).
+    fn implies(self, weaker: LockMode) -> bool {
+        use LockMode::*;
+        self == weaker
+            || matches!((self, weaker), (X, _) | (S, IS) | (IX, IS))
+    }
+
+    /// Is this a read lock (released at PREPARE under the 2PC optimization)?
+    pub fn is_read(self) -> bool {
+        matches!(self, LockMode::IS | LockMode::S)
+    }
+}
+
+/// Does a mask of held modes imply `mode`?
+fn mask_implies(mask: u8, mode: LockMode) -> bool {
+    LockMode::ALL
+        .iter()
+        .any(|m| mask & m.bit() != 0 && m.implies(mode))
+}
+
+/// Is `mode` compatible with every mode in `mask`?
+fn mask_compat(mask: u8, mode: LockMode) -> bool {
+    LockMode::ALL
+        .iter()
+        .all(|m| mask & m.bit() == 0 || m.compatible(mode))
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// txn -> bitmask of granted modes.
+    granted: HashMap<TxnId, u8>,
+    waiting: VecDeque<Waiter>,
+}
+
+impl LockState {
+    fn is_empty(&self) -> bool {
+        self.granted.is_empty() && self.waiting.is_empty()
+    }
+
+    /// Can `txn` be granted `mode` given the other holders?
+    fn compatible_with_others(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.granted
+            .iter()
+            .all(|(&t, &mask)| t == txn || mask_compat(mask, mode))
+    }
+}
+
+#[derive(Default)]
+struct LockTable {
+    resources: HashMap<ResourceId, LockState>,
+    /// Resources on which each txn holds at least one granted mode.
+    held: HashMap<TxnId, HashSet<ResourceId>>,
+}
+
+impl LockTable {
+    fn holds_implied(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> bool {
+        self.resources
+            .get(&res)
+            .and_then(|s| s.granted.get(&txn))
+            .is_some_and(|&mask| mask_implies(mask, mode))
+    }
+
+    fn grant(&mut self, txn: TxnId, res: ResourceId, mode: LockMode) {
+        let st = self.resources.entry(res).or_default();
+        *st.granted.entry(txn).or_insert(0) |= mode.bit();
+        self.held.entry(txn).or_default().insert(res);
+    }
+
+    /// FIFO grant sweep after a release: grant waiters from the front while
+    /// compatible; stop at the first blocked waiter to preserve fairness.
+    fn pump(&mut self, res: ResourceId) {
+        let Some(st) = self.resources.get_mut(&res) else { return };
+        let mut granted_now = Vec::new();
+        while let Some(w) = st.waiting.front() {
+            if st.compatible_with_others(w.txn, w.mode) {
+                let w = st.waiting.pop_front().unwrap();
+                *st.granted.entry(w.txn).or_insert(0) |= w.mode.bit();
+                granted_now.push(w.txn);
+            } else {
+                break;
+            }
+        }
+        for t in granted_now {
+            self.held.entry(t).or_default().insert(res);
+        }
+        if self.resources.get(&res).is_some_and(|s| s.is_empty()) {
+            self.resources.remove(&res);
+        }
+    }
+
+    fn remove_waiter(&mut self, txn: TxnId, res: ResourceId) {
+        if let Some(st) = self.resources.get_mut(&res) {
+            st.waiting.retain(|w| w.txn != txn);
+            if st.is_empty() {
+                self.resources.remove(&res);
+            }
+        }
+    }
+
+    /// Build the wait-for graph and search for a cycle through `start`.
+    ///
+    /// A waiter waits for (a) every *other* txn holding an incompatible
+    /// granted mode on the resource, and (b) every earlier waiter in the
+    /// queue with an incompatible mode (FIFO ordering makes those blockers
+    /// too).
+    fn would_deadlock(&self, start: TxnId) -> bool {
+        let mut edges: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+        for st in self.resources.values() {
+            for (i, w) in st.waiting.iter().enumerate() {
+                let out = edges.entry(w.txn).or_default();
+                for (&holder, &mask) in &st.granted {
+                    if holder != w.txn && !mask_compat(mask, w.mode) {
+                        out.insert(holder);
+                    }
+                }
+                for earlier in st.waiting.iter().take(i) {
+                    if earlier.txn != w.txn && !earlier.mode.compatible(w.mode) {
+                        out.insert(earlier.txn);
+                    }
+                }
+            }
+        }
+        // DFS from `start`, looking for a path back to `start`.
+        let mut stack: Vec<TxnId> = edges.get(&start).into_iter().flatten().copied().collect();
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == start {
+                return true;
+            }
+            if seen.insert(t) {
+                if let Some(next) = edges.get(&t) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Counters exposed for experiments (deadlock rates feed Figures 5–7).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LockStats {
+    pub acquisitions: u64,
+    pub waits: u64,
+    pub deadlocks: u64,
+    pub timeouts: u64,
+}
+
+/// The lock manager. One instance per engine (≈ machine).
+pub struct LockManager {
+    table: Mutex<LockTable>,
+    cv: Condvar,
+    timeout: Duration,
+    stats: Mutex<LockStats>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new(Duration::from_secs(5))
+    }
+}
+
+impl LockManager {
+    pub fn new(timeout: Duration) -> Self {
+        LockManager {
+            table: Mutex::new(LockTable::default()),
+            cv: Condvar::new(),
+            timeout,
+            stats: Mutex::new(LockStats::default()),
+        }
+    }
+
+    /// Acquire `mode` on `res` for `txn`, blocking if necessary.
+    ///
+    /// Returns `Err(Deadlock)` if granting would close a wait-for cycle (the
+    /// caller must abort the transaction) or `Err(LockTimeout)` after the
+    /// configured wait budget.
+    pub fn acquire(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> Result<()> {
+        let mut t = self.table.lock();
+        self.stats.lock().acquisitions += 1;
+        if t.holds_implied(txn, res, mode) {
+            return Ok(());
+        }
+        let already_holder = t
+            .resources
+            .get(&res)
+            .is_some_and(|s| s.granted.contains_key(&txn));
+        let st = t.resources.entry(res).or_default();
+        let compat = st.compatible_with_others(txn, mode);
+        let queue_clear = st.waiting.iter().all(|w| w.txn == txn);
+        // Upgrades bypass the wait queue; fresh requests respect FIFO.
+        if compat && (already_holder || queue_clear) {
+            t.grant(txn, res, mode);
+            return Ok(());
+        }
+        st.waiting.push_back(Waiter { txn, mode });
+        self.stats.lock().waits += 1;
+        if t.would_deadlock(txn) {
+            t.remove_waiter(txn, res);
+            self.stats.lock().deadlocks += 1;
+            return Err(StorageError::Deadlock(txn));
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let timed_out = self.cv.wait_until(&mut t, deadline).timed_out();
+            if t.holds_implied(txn, res, mode) {
+                return Ok(());
+            }
+            if timed_out {
+                t.remove_waiter(txn, res);
+                self.stats.lock().timeouts += 1;
+                return Err(StorageError::LockTimeout(txn));
+            }
+        }
+    }
+
+    /// Release every lock held (or waited for) by `txn`. Called at commit and
+    /// abort — strict 2PL.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut t = self.table.lock();
+        let resources: Vec<ResourceId> = t.held.remove(&txn).into_iter().flatten().collect();
+        for res in resources {
+            if let Some(st) = t.resources.get_mut(&res) {
+                st.granted.remove(&txn);
+            }
+            t.pump(res);
+        }
+        // Also drop any dangling wait entries (e.g. abort from another path).
+        let waited: Vec<ResourceId> = t
+            .resources
+            .iter()
+            .filter(|(_, s)| s.waiting.iter().any(|w| w.txn == txn))
+            .map(|(r, _)| *r)
+            .collect();
+        for res in waited {
+            t.remove_waiter(txn, res);
+            t.pump(res);
+        }
+        drop(t);
+        self.cv.notify_all();
+    }
+
+    /// Release only the read locks (S/IS) of `txn`, keeping write locks.
+    /// This models the early-release-at-PREPARE 2PC optimization.
+    pub fn release_read_locks(&self, txn: TxnId) {
+        let mut t = self.table.lock();
+        let resources: Vec<ResourceId> = t.held.get(&txn).into_iter().flatten().copied().collect();
+        for res in resources {
+            let mut now_empty = false;
+            if let Some(st) = t.resources.get_mut(&res) {
+                if let Some(mask) = st.granted.get_mut(&txn) {
+                    *mask &= !(LockMode::S.bit() | LockMode::IS.bit());
+                    if *mask == 0 {
+                        st.granted.remove(&txn);
+                        now_empty = true;
+                    }
+                }
+            }
+            if now_empty {
+                if let Some(h) = t.held.get_mut(&txn) {
+                    h.remove(&res);
+                }
+            }
+            t.pump(res);
+        }
+        drop(t);
+        self.cv.notify_all();
+    }
+
+    /// Modes currently held by `txn` on `res` (for tests and invariants).
+    pub fn held_modes(&self, txn: TxnId, res: ResourceId) -> Vec<LockMode> {
+        let t = self.table.lock();
+        let Some(mask) = t.resources.get(&res).and_then(|s| s.granted.get(&txn)) else {
+            return Vec::new();
+        };
+        LockMode::ALL.iter().copied().filter(|m| mask & m.bit() != 0).collect()
+    }
+
+    /// Number of transactions currently blocked.
+    pub fn waiter_count(&self) -> usize {
+        let t = self.table.lock();
+        t.resources.values().map(|s| s.waiting.len()).sum()
+    }
+
+    pub fn stats(&self) -> LockStats {
+        *self.stats.lock()
+    }
+
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = LockStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn row(r: u64) -> ResourceId {
+        ResourceId::Row { table: 1, row: r }
+    }
+    fn tbl() -> ResourceId {
+        ResourceId::Table { table: 1 }
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(IS.compatible(IX));
+        assert!(IS.compatible(S));
+        assert!(!IS.compatible(X));
+        assert!(IX.compatible(IX));
+        assert!(!IX.compatible(S));
+        assert!(S.compatible(S));
+        assert!(!S.compatible(X));
+        assert!(!X.compatible(X));
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), row(5), LockMode::S).unwrap();
+        lm.acquire(TxnId(2), row(5), LockMode::S).unwrap();
+        assert_eq!(lm.held_modes(TxnId(1), row(5)), vec![LockMode::S]);
+        assert_eq!(lm.held_modes(TxnId(2), row(5)), vec![LockMode::S]);
+    }
+
+    #[test]
+    fn reacquire_is_noop() {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), row(5), LockMode::X).unwrap();
+        lm.acquire(TxnId(1), row(5), LockMode::X).unwrap();
+        // X implies S: no extra grant needed.
+        lm.acquire(TxnId(1), row(5), LockMode::S).unwrap();
+        assert_eq!(lm.held_modes(TxnId(1), row(5)), vec![LockMode::X]);
+    }
+
+    #[test]
+    fn exclusive_blocks_until_release() {
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(TxnId(1), row(1), LockMode::X).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || lm2.acquire(TxnId(2), row(1), LockMode::X));
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(lm.waiter_count(), 1);
+        lm.release_all(TxnId(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(lm.held_modes(TxnId(2), row(1)), vec![LockMode::X]);
+    }
+
+    #[test]
+    fn classic_two_txn_deadlock_detected() {
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(TxnId(1), row(1), LockMode::X).unwrap();
+        lm.acquire(TxnId(2), row(2), LockMode::X).unwrap();
+        let lm2 = Arc::clone(&lm);
+        // T1 blocks on row 2.
+        let h = thread::spawn(move || lm2.acquire(TxnId(1), row(2), LockMode::X));
+        thread::sleep(Duration::from_millis(30));
+        // T2 requests row 1 -> cycle -> T2 is the victim.
+        let err = lm.acquire(TxnId(2), row(1), LockMode::X).unwrap_err();
+        assert_eq!(err, StorageError::Deadlock(TxnId(2)));
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        assert_eq!(lm.stats().deadlocks, 1);
+    }
+
+    #[test]
+    fn upgrade_deadlock_detected() {
+        // Both txns hold S and both try to upgrade to X: the second
+        // upgrader must be chosen as victim.
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(TxnId(1), row(1), LockMode::S).unwrap();
+        lm.acquire(TxnId(2), row(1), LockMode::S).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || lm2.acquire(TxnId(1), row(1), LockMode::X));
+        thread::sleep(Duration::from_millis(30));
+        let err = lm.acquire(TxnId(2), row(1), LockMode::X).unwrap_err();
+        assert_eq!(err, StorageError::Deadlock(TxnId(2)));
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn upgrade_bypasses_wait_queue() {
+        // T1 holds S; T2 waits for X; T1's upgrade to X must NOT queue
+        // behind T2 (that would deadlock) — it waits only on granted locks.
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(TxnId(1), row(1), LockMode::S).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = thread::spawn(move || lm2.acquire(TxnId(2), row(1), LockMode::X));
+        thread::sleep(Duration::from_millis(30));
+        // Upgrade succeeds immediately: only T1 itself holds the lock.
+        lm.acquire(TxnId(1), row(1), LockMode::X).unwrap();
+        lm.release_all(TxnId(1));
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn fifo_fairness_for_fresh_requests() {
+        // T1 holds X. T2 then T3 request S. After release both get S, and a
+        // later X request (T4) queued behind them does not starve them.
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(TxnId(1), row(1), LockMode::X).unwrap();
+        let mut handles = Vec::new();
+        for t in [2u64, 3] {
+            let l = Arc::clone(&lm);
+            handles.push(thread::spawn(move || l.acquire(TxnId(t), row(1), LockMode::S)));
+        }
+        thread::sleep(Duration::from_millis(30));
+        lm.release_all(TxnId(1));
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        assert_eq!(lm.held_modes(TxnId(2), row(1)), vec![LockMode::S]);
+        assert_eq!(lm.held_modes(TxnId(3), row(1)), vec![LockMode::S]);
+    }
+
+    #[test]
+    fn release_read_locks_keeps_writes() {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), tbl(), LockMode::IS).unwrap();
+        lm.acquire(TxnId(1), tbl(), LockMode::IX).unwrap();
+        lm.acquire(TxnId(1), row(1), LockMode::S).unwrap();
+        lm.acquire(TxnId(1), row(2), LockMode::X).unwrap();
+        lm.release_read_locks(TxnId(1));
+        assert_eq!(lm.held_modes(TxnId(1), row(1)), vec![]);
+        assert_eq!(lm.held_modes(TxnId(1), row(2)), vec![LockMode::X]);
+        assert_eq!(lm.held_modes(TxnId(1), tbl()), vec![LockMode::IX]);
+        // A reader can now read row 1 but not row 2.
+        lm.acquire(TxnId(2), row(1), LockMode::S).unwrap();
+        lm.release_all(TxnId(1));
+        lm.acquire(TxnId(2), row(2), LockMode::S).unwrap();
+    }
+
+    #[test]
+    fn intention_locks_conflict_with_table_scans() {
+        let lm = Arc::new(LockManager::default());
+        // Writer intent on the table blocks a full-table S lock (scan/copy).
+        lm.acquire(TxnId(1), tbl(), LockMode::IX).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || lm2.acquire(TxnId(2), tbl(), LockMode::S));
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(lm.waiter_count(), 1);
+        lm.release_all(TxnId(1));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn lock_timeout_fires() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.acquire(TxnId(1), row(1), LockMode::X).unwrap();
+        let err = lm.acquire(TxnId(2), row(1), LockMode::S).unwrap_err();
+        assert_eq!(err, StorageError::LockTimeout(TxnId(2)));
+        assert_eq!(lm.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn three_way_deadlock_detected() {
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(TxnId(1), row(1), LockMode::X).unwrap();
+        lm.acquire(TxnId(2), row(2), LockMode::X).unwrap();
+        lm.acquire(TxnId(3), row(3), LockMode::X).unwrap();
+        let a = Arc::clone(&lm);
+        let h1 = thread::spawn(move || a.acquire(TxnId(1), row(2), LockMode::X));
+        let b = Arc::clone(&lm);
+        let h2 = thread::spawn(move || b.acquire(TxnId(2), row(3), LockMode::X));
+        thread::sleep(Duration::from_millis(50));
+        // T3 -> row1 closes the 3-cycle.
+        let err = lm.acquire(TxnId(3), row(1), LockMode::X).unwrap_err();
+        assert_eq!(err, StorageError::Deadlock(TxnId(3)));
+        lm.release_all(TxnId(3));
+        h2.join().unwrap().unwrap();
+        lm.release_all(TxnId(2));
+        h1.join().unwrap().unwrap();
+        lm.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn release_all_wakes_multiple_resources() {
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(TxnId(1), row(1), LockMode::X).unwrap();
+        lm.acquire(TxnId(1), row(2), LockMode::X).unwrap();
+        let mut handles = Vec::new();
+        for (t, r) in [(2u64, 1u64), (3, 2)] {
+            let l = Arc::clone(&lm);
+            handles.push(thread::spawn(move || l.acquire(TxnId(t), row(r), LockMode::X)));
+        }
+        thread::sleep(Duration::from_millis(30));
+        lm.release_all(TxnId(1));
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Transaction bookkeeping: ids, lifecycle states, undo logs, and the
+//! two-phase-commit participant state machine.
+//!
+//! The engine applies writes in place (under strict 2PL) and keeps a logical
+//! undo log per transaction; abort replays the undo log in reverse. The 2PC
+//! participant states follow the classic protocol:
+//!
+//! ```text
+//! Active --prepare()--> Prepared --commit()--> Committed
+//!    \--abort()-----------------\--abort()--> Aborted
+//! ```
+//!
+//! A `Prepared` transaction may no longer issue reads or writes and must not
+//! unilaterally abort from the participant's point of view — only the
+//! coordinator (the cluster controller) decides its fate.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, StorageError};
+use crate::value::Value;
+
+/// A transaction identifier, unique within one engine instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Lifecycle phase of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnPhase {
+    Active,
+    Prepared,
+    Committed,
+    Aborted,
+}
+
+impl TxnPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            TxnPhase::Active => "active",
+            TxnPhase::Prepared => "prepared",
+            TxnPhase::Committed => "committed",
+            TxnPhase::Aborted => "aborted",
+        }
+    }
+}
+
+/// One logical undo record. Applied in reverse order on abort.
+#[derive(Debug, Clone)]
+pub enum UndoRecord {
+    /// Undo an insert: remove the row.
+    Insert { db: String, table: String, row_id: u64 },
+    /// Undo an update: restore the old image.
+    Update { db: String, table: String, row_id: u64, old: Vec<Value> },
+    /// Undo a delete: re-insert the old image.
+    Delete { db: String, table: String, row_id: u64, old: Vec<Value> },
+}
+
+#[derive(Debug)]
+struct TxnInfo {
+    phase: TxnPhase,
+    undo: Vec<UndoRecord>,
+    reads: u64,
+    writes: u64,
+}
+
+/// Per-engine transaction table.
+pub struct TxnManager {
+    next_id: AtomicU64,
+    txns: Mutex<HashMap<TxnId, TxnInfo>>,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        TxnManager { next_id: AtomicU64::new(1), txns: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl TxnManager {
+    /// Start a new transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.txns.lock().insert(
+            id,
+            TxnInfo { phase: TxnPhase::Active, undo: Vec::new(), reads: 0, writes: 0 },
+        );
+        id
+    }
+
+    /// Current phase, or an error if the txn is unknown.
+    pub fn phase(&self, txn: TxnId) -> Result<TxnPhase> {
+        self.txns
+            .lock()
+            .get(&txn)
+            .map(|t| t.phase)
+            .ok_or(StorageError::NoSuchTxn(txn))
+    }
+
+    /// Ensure `txn` exists and is `Active` (required for reads and writes).
+    pub fn require_active(&self, txn: TxnId) -> Result<()> {
+        let map = self.txns.lock();
+        let info = map.get(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
+        if info.phase != TxnPhase::Active {
+            return Err(StorageError::InvalidTxnState { txn, state: info.phase.name() });
+        }
+        Ok(())
+    }
+
+    /// Record an undo entry for a write just applied.
+    pub fn push_undo(&self, txn: TxnId, rec: UndoRecord) -> Result<()> {
+        let mut map = self.txns.lock();
+        let info = map.get_mut(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
+        info.writes += 1;
+        info.undo.push(rec);
+        Ok(())
+    }
+
+    pub fn note_read(&self, txn: TxnId) {
+        if let Some(info) = self.txns.lock().get_mut(&txn) {
+            info.reads += 1;
+        }
+    }
+
+    /// Transition Active -> Prepared (the 2PC vote). Returns an error from
+    /// any other state.
+    pub fn set_prepared(&self, txn: TxnId) -> Result<()> {
+        let mut map = self.txns.lock();
+        let info = map.get_mut(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
+        match info.phase {
+            TxnPhase::Active => {
+                info.phase = TxnPhase::Prepared;
+                Ok(())
+            }
+            other => Err(StorageError::InvalidTxnState { txn, state: other.name() }),
+        }
+    }
+
+    /// Transition to Committed. Legal from Active (1-phase) or Prepared
+    /// (2-phase). Returns the undo log, which the caller discards.
+    pub fn set_committed(&self, txn: TxnId) -> Result<Vec<UndoRecord>> {
+        let mut map = self.txns.lock();
+        let info = map.get_mut(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
+        match info.phase {
+            TxnPhase::Active | TxnPhase::Prepared => {
+                info.phase = TxnPhase::Committed;
+                Ok(std::mem::take(&mut info.undo))
+            }
+            other => Err(StorageError::InvalidTxnState { txn, state: other.name() }),
+        }
+    }
+
+    /// Transition to Aborted. Legal from Active or Prepared. Returns the undo
+    /// log **in application order**; the caller must apply it in reverse.
+    pub fn set_aborted(&self, txn: TxnId) -> Result<Vec<UndoRecord>> {
+        let mut map = self.txns.lock();
+        let info = map.get_mut(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
+        match info.phase {
+            TxnPhase::Active | TxnPhase::Prepared => {
+                info.phase = TxnPhase::Aborted;
+                Ok(std::mem::take(&mut info.undo))
+            }
+            other => Err(StorageError::InvalidTxnState { txn, state: other.name() }),
+        }
+    }
+
+    /// Did the transaction perform any writes? (The controller skips 2PC for
+    /// read-only transactions, as the paper does.)
+    pub fn has_writes(&self, txn: TxnId) -> Result<bool> {
+        self.txns
+            .lock()
+            .get(&txn)
+            .map(|t| t.writes > 0)
+            .ok_or(StorageError::NoSuchTxn(txn))
+    }
+
+    /// (reads, writes) performed so far.
+    pub fn op_counts(&self, txn: TxnId) -> Result<(u64, u64)> {
+        self.txns
+            .lock()
+            .get(&txn)
+            .map(|t| (t.reads, t.writes))
+            .ok_or(StorageError::NoSuchTxn(txn))
+    }
+
+    /// Ids of all transactions currently Active or Prepared.
+    pub fn live_txns(&self) -> Vec<TxnId> {
+        self.txns
+            .lock()
+            .iter()
+            .filter(|(_, t)| matches!(t.phase, TxnPhase::Active | TxnPhase::Prepared))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Drop bookkeeping for finished transactions (garbage collection).
+    pub fn gc_finished(&self) {
+        self.txns
+            .lock()
+            .retain(|_, t| matches!(t.phase, TxnPhase::Active | TxnPhase::Prepared));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_one_phase_commit() {
+        let tm = TxnManager::default();
+        let t = tm.begin();
+        assert_eq!(tm.phase(t).unwrap(), TxnPhase::Active);
+        tm.require_active(t).unwrap();
+        tm.set_committed(t).unwrap();
+        assert_eq!(tm.phase(t).unwrap(), TxnPhase::Committed);
+        assert!(tm.require_active(t).is_err());
+    }
+
+    #[test]
+    fn lifecycle_two_phase_commit() {
+        let tm = TxnManager::default();
+        let t = tm.begin();
+        tm.set_prepared(t).unwrap();
+        assert_eq!(tm.phase(t).unwrap(), TxnPhase::Prepared);
+        // No reads/writes after prepare.
+        assert!(tm.require_active(t).is_err());
+        tm.set_committed(t).unwrap();
+    }
+
+    #[test]
+    fn prepared_can_still_abort() {
+        let tm = TxnManager::default();
+        let t = tm.begin();
+        tm.set_prepared(t).unwrap();
+        tm.set_aborted(t).unwrap();
+        assert_eq!(tm.phase(t).unwrap(), TxnPhase::Aborted);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let tm = TxnManager::default();
+        let t = tm.begin();
+        tm.set_committed(t).unwrap();
+        assert!(tm.set_prepared(t).is_err());
+        assert!(tm.set_aborted(t).is_err());
+        assert!(tm.set_committed(t).is_err());
+    }
+
+    #[test]
+    fn unknown_txn() {
+        let tm = TxnManager::default();
+        assert_eq!(tm.phase(TxnId(99)).unwrap_err(), StorageError::NoSuchTxn(TxnId(99)));
+    }
+
+    #[test]
+    fn undo_log_returned_on_abort() {
+        let tm = TxnManager::default();
+        let t = tm.begin();
+        tm.push_undo(t, UndoRecord::Insert { db: "d".into(), table: "t".into(), row_id: 1 })
+            .unwrap();
+        tm.push_undo(
+            t,
+            UndoRecord::Update { db: "d".into(), table: "t".into(), row_id: 1, old: vec![] },
+        )
+        .unwrap();
+        assert!(tm.has_writes(t).unwrap());
+        let undo = tm.set_aborted(t).unwrap();
+        assert_eq!(undo.len(), 2);
+        assert!(matches!(undo[0], UndoRecord::Insert { row_id: 1, .. }));
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let tm = TxnManager::default();
+        let t = tm.begin();
+        tm.note_read(t);
+        tm.note_read(t);
+        assert!(!tm.has_writes(t).unwrap());
+        assert_eq!(tm.op_counts(t).unwrap(), (2, 0));
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let tm = TxnManager::default();
+        let a = tm.begin();
+        let b = tm.begin();
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn live_txns_and_gc() {
+        let tm = TxnManager::default();
+        let a = tm.begin();
+        let b = tm.begin();
+        tm.set_committed(a).unwrap();
+        let live = tm.live_txns();
+        assert_eq!(live, vec![b]);
+        tm.gc_finished();
+        assert!(tm.phase(a).is_err());
+        assert!(tm.phase(b).is_ok());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TxnId(42).to_string(), "t42");
+    }
+}

@@ -1,0 +1,200 @@
+//! Logical write-ahead log.
+//!
+//! The engine applies writes in place, so the log is *redo-only*: each write
+//! appends a redo record, prepare/commit/abort append control records, and
+//! crash recovery replays — in LSN order — the redo records of transactions
+//! that have a commit record. Strict 2PL guarantees that conflicting writes
+//! appear in the log in serialization order, so replay reconstructs exactly
+//! the committed state.
+//!
+//! The log lives in memory (this engine simulates one machine of the paper's
+//! cluster; durability across *process* death is out of scope, but the log
+//! gives us honest crash-restart semantics for fault-injection tests: an
+//! engine crash discards all in-flight transactions and rebuilds committed
+//! state from the log).
+
+use parking_lot::Mutex;
+
+use crate::schema::TableSchema;
+use crate::txn::TxnId;
+use crate::value::Value;
+
+/// A redo operation.
+#[derive(Debug, Clone)]
+pub enum RedoOp {
+    CreateDatabase { db: String },
+    DropDatabase { db: String },
+    CreateTable { db: String, schema: TableSchema },
+    CreateIndex { db: String, table: String, index: String, columns: Vec<String>, unique: bool },
+    Insert { db: String, table: String, row_id: u64, row: Vec<Value> },
+    Update { db: String, table: String, row_id: u64, row: Vec<Value> },
+    Delete { db: String, table: String, row_id: u64 },
+}
+
+/// A log record body.
+#[derive(Debug, Clone)]
+pub enum WalEntry {
+    Redo(RedoOp),
+    Prepare,
+    Commit,
+    Abort,
+}
+
+/// A sequenced log record.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    pub lsn: u64,
+    pub txn: TxnId,
+    pub entry: WalEntry,
+}
+
+/// The engine-wide log. DDL records use [`Wal::DDL_TXN`] as their txn id and
+/// are always replayed.
+#[derive(Default)]
+pub struct Wal {
+    records: Mutex<Vec<LogRecord>>,
+}
+
+impl Wal {
+    /// Pseudo transaction id for auto-committed DDL.
+    pub const DDL_TXN: TxnId = TxnId(0);
+
+    pub fn append(&self, txn: TxnId, entry: WalEntry) -> u64 {
+        let mut recs = self.records.lock();
+        let lsn = recs.len() as u64;
+        recs.push(LogRecord { lsn, txn, entry });
+        lsn
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Snapshot of all records (tests, debugging, replay).
+    pub fn snapshot(&self) -> Vec<LogRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Redo records of committed transactions plus all DDL, in LSN order.
+    /// This is the exact input to crash recovery.
+    pub fn committed_redo(&self) -> Vec<RedoOp> {
+        let recs = self.records.lock();
+        let committed: std::collections::HashSet<TxnId> = recs
+            .iter()
+            .filter(|r| matches!(r.entry, WalEntry::Commit))
+            .map(|r| r.txn)
+            .collect();
+        recs.iter()
+            .filter_map(|r| match &r.entry {
+                WalEntry::Redo(op) if r.txn == Self::DDL_TXN || committed.contains(&r.txn) => {
+                    Some(op.clone())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Transactions that prepared but neither committed nor aborted — the
+    /// coordinator must resolve these after a restart (2PC in-doubt set).
+    pub fn in_doubt(&self) -> Vec<TxnId> {
+        let recs = self.records.lock();
+        let mut prepared = std::collections::HashSet::new();
+        for r in recs.iter() {
+            match r.entry {
+                WalEntry::Prepare => {
+                    prepared.insert(r.txn);
+                }
+                WalEntry::Commit | WalEntry::Abort => {
+                    prepared.remove(&r.txn);
+                }
+                WalEntry::Redo(_) => {}
+            }
+        }
+        let mut v: Vec<TxnId> = prepared.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(row_id: u64) -> WalEntry {
+        WalEntry::Redo(RedoOp::Insert {
+            db: "d".into(),
+            table: "t".into(),
+            row_id,
+            row: vec![Value::Int(row_id as i64)],
+        })
+    }
+
+    #[test]
+    fn lsns_are_sequential() {
+        let wal = Wal::default();
+        assert_eq!(wal.append(TxnId(1), ins(1)), 0);
+        assert_eq!(wal.append(TxnId(1), ins(2)), 1);
+        assert_eq!(wal.append(TxnId(1), WalEntry::Commit), 2);
+        assert_eq!(wal.len(), 3);
+    }
+
+    #[test]
+    fn committed_redo_filters_uncommitted() {
+        let wal = Wal::default();
+        wal.append(TxnId(1), ins(1));
+        wal.append(TxnId(2), ins(2));
+        wal.append(TxnId(1), WalEntry::Commit);
+        wal.append(TxnId(2), WalEntry::Abort);
+        let redo = wal.committed_redo();
+        assert_eq!(redo.len(), 1);
+        assert!(matches!(redo[0], RedoOp::Insert { row_id: 1, .. }));
+    }
+
+    #[test]
+    fn ddl_always_replayed() {
+        let wal = Wal::default();
+        wal.append(Wal::DDL_TXN, WalEntry::Redo(RedoOp::CreateDatabase { db: "d".into() }));
+        wal.append(TxnId(5), ins(1)); // never commits
+        let redo = wal.committed_redo();
+        assert_eq!(redo.len(), 1);
+        assert!(matches!(redo[0], RedoOp::CreateDatabase { .. }));
+    }
+
+    #[test]
+    fn in_doubt_tracking() {
+        let wal = Wal::default();
+        wal.append(TxnId(1), WalEntry::Prepare);
+        wal.append(TxnId(2), WalEntry::Prepare);
+        wal.append(TxnId(3), WalEntry::Prepare);
+        wal.append(TxnId(1), WalEntry::Commit);
+        wal.append(TxnId(2), WalEntry::Abort);
+        assert_eq!(wal.in_doubt(), vec![TxnId(3)]);
+    }
+
+    #[test]
+    fn replay_order_is_lsn_order() {
+        let wal = Wal::default();
+        wal.append(TxnId(1), ins(1));
+        wal.append(TxnId(2), ins(2));
+        wal.append(TxnId(1), ins(3));
+        wal.append(TxnId(1), WalEntry::Commit);
+        wal.append(TxnId(2), WalEntry::Commit);
+        let ids: Vec<u64> = wal
+            .committed_redo()
+            .iter()
+            .map(|op| match op {
+                RedoOp::Insert { row_id, .. } => *row_id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

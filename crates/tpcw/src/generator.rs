@@ -1,0 +1,295 @@
+//! Deterministic TPC-W data generator.
+//!
+//! Sizes scale from a single knob (`items`), mirroring TPC-W's cardinality
+//! ratios at laptop scale: authors = items/4, customers = items*2,
+//! addresses = customers, plus a small seed of initial orders so read-side
+//! interactions (best sellers, order inquiry) have data from the start.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tenantdb_cluster::{ClusterController, Connection, Result};
+use tenantdb_storage::Value;
+
+use crate::schema::{DDL, SUBJECTS};
+
+/// Scale parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    pub items: usize,
+    pub customers: usize,
+    pub authors: usize,
+    pub countries: usize,
+    /// Seed orders (each with 1–3 lines).
+    pub initial_orders: usize,
+}
+
+impl Scale {
+    /// TPC-W-proportioned scale from the item count.
+    pub fn with_items(items: usize) -> Self {
+        Scale {
+            items,
+            customers: items * 2,
+            authors: (items / 4).max(1),
+            countries: 10,
+            initial_orders: items / 2,
+        }
+    }
+
+    /// Total number of generated rows (approximate, for sizing).
+    pub fn approx_rows(&self) -> usize {
+        self.countries
+            + self.customers * 2 // customer + address
+            + self.authors
+            + self.items
+            + self.initial_orders * 3 // orders + ~2 lines
+    }
+}
+
+/// Id ranges reserved by the generator; the driver allocates above these.
+#[derive(Debug, Clone, Copy)]
+pub struct IdSpace {
+    pub max_customer: i64,
+    pub max_order: i64,
+    pub max_order_line: i64,
+    pub max_cart: i64,
+    pub max_cart_line: i64,
+}
+
+/// Create the schema on every replica of `db`.
+pub fn create_schema(cluster: &ClusterController, db: &str) -> Result<()> {
+    for sql in DDL {
+        cluster.ddl(db, sql)?;
+    }
+    Ok(())
+}
+
+/// Populate `db` with `scale` data through a connection (so every replica
+/// receives identical rows). Returns the id ranges used.
+pub fn populate(conn: &Connection, scale: Scale, seed: u64) -> Result<IdSpace> {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Countries.
+    conn.begin()?;
+    for co in 0..scale.countries as i64 {
+        conn.execute(
+            "INSERT INTO country VALUES (?, ?)",
+            &[Value::Int(co), Value::Text(format!("country-{co}"))],
+        )?;
+    }
+    conn.commit()?;
+
+    // Authors.
+    batch_insert(conn, scale.authors, 100, |i| {
+        (
+            "INSERT INTO author VALUES (?, ?, ?)",
+            vec![
+                Value::Int(i as i64),
+                Value::Text(format!("fn{i}")),
+                Value::Text(format!("ln{}", i % 97)),
+            ],
+        )
+    })?;
+
+    // Items.
+    let subjects = SUBJECTS;
+    let mut item_rows: Vec<Vec<Value>> = Vec::with_capacity(scale.items);
+    for i in 0..scale.items as i64 {
+        item_rows.push(vec![
+            Value::Int(i),
+            Value::Text(format!("title-{i}")),
+            Value::Int(rng.gen_range(0..scale.authors as i64)),
+            Value::Text(subjects[rng.gen_range(0..subjects.len())].to_string()),
+            Value::Float((rng.gen_range(100..10_000) as f64) / 100.0),
+            Value::Int(rng.gen_range(10..100)),
+            Value::Int(rng.gen_range(0..3650)),
+        ]);
+    }
+    batch_insert_rows(conn, "INSERT INTO item VALUES (?, ?, ?, ?, ?, ?, ?)", &item_rows)?;
+
+    // Addresses + customers.
+    batch_insert(conn, scale.customers, 100, |i| {
+        (
+            "INSERT INTO address VALUES (?, ?, ?, ?)",
+            vec![
+                Value::Int(i as i64),
+                Value::Text(format!("{i} main st")),
+                Value::Text(format!("city{}", i % 50)),
+                Value::Int((i % scale.countries) as i64),
+            ],
+        )
+    })?;
+    batch_insert(conn, scale.customers, 100, |i| {
+        (
+            "INSERT INTO customer VALUES (?, ?, ?, ?, ?, ?, ?)",
+            vec![
+                Value::Int(i as i64),
+                Value::Text(format!("user{i}")),
+                Value::Text(format!("first{i}")),
+                Value::Text(format!("last{}", i % 211)),
+                Value::Int(i as i64),
+                Value::Float(0.0),
+                Value::Float(f64::from(i as u32 % 10) / 100.0),
+            ],
+        )
+    })?;
+
+    // Seed orders.
+    let mut next_ol: i64 = 0;
+    let mut order_rows = Vec::new();
+    let mut line_rows = Vec::new();
+    let mut cc_rows = Vec::new();
+    for o in 0..scale.initial_orders as i64 {
+        let total = rng.gen_range(10.0..300.0);
+        order_rows.push(vec![
+            Value::Int(o),
+            Value::Int(rng.gen_range(0..scale.customers as i64)),
+            Value::Int(rng.gen_range(0..3650)),
+            Value::Float(total),
+            Value::Text("shipped".into()),
+        ]);
+        for _ in 0..rng.gen_range(1..=3) {
+            line_rows.push(vec![
+                Value::Int(next_ol),
+                Value::Int(o),
+                Value::Int(rng.gen_range(0..scale.items as i64)),
+                Value::Int(rng.gen_range(1..=5)),
+                Value::Float(0.0),
+            ]);
+            next_ol += 1;
+        }
+        cc_rows.push(vec![
+            Value::Int(o),
+            Value::Text("VISA".into()),
+            Value::Float(total),
+            Value::Int(rng.gen_range(0..scale.countries as i64)),
+        ]);
+    }
+    batch_insert_rows(conn, "INSERT INTO orders VALUES (?, ?, ?, ?, ?)", &order_rows)?;
+    batch_insert_rows(conn, "INSERT INTO order_line VALUES (?, ?, ?, ?, ?)", &line_rows)?;
+    batch_insert_rows(conn, "INSERT INTO cc_xacts VALUES (?, ?, ?, ?)", &cc_rows)?;
+
+    Ok(IdSpace {
+        max_customer: scale.customers as i64,
+        max_order: scale.initial_orders as i64,
+        max_order_line: next_ol,
+        max_cart: 0,
+        max_cart_line: 0,
+    })
+}
+
+/// Create schema + populate on a cluster database in one call.
+pub fn setup_database(
+    cluster: &std::sync::Arc<ClusterController>,
+    db: &str,
+    scale: Scale,
+    seed: u64,
+) -> Result<IdSpace> {
+    create_schema(cluster, db)?;
+    let conn = cluster.connect(db)?;
+    populate(&conn, scale, seed)
+}
+
+fn batch_insert(
+    conn: &Connection,
+    count: usize,
+    batch: usize,
+    make: impl Fn(usize) -> (&'static str, Vec<Value>),
+) -> Result<()> {
+    let mut i = 0;
+    while i < count {
+        conn.begin()?;
+        for j in i..(i + batch).min(count) {
+            let (sql, params) = make(j);
+            conn.execute(sql, &params)?;
+        }
+        conn.commit()?;
+        i += batch;
+    }
+    Ok(())
+}
+
+fn batch_insert_rows(conn: &Connection, sql: &str, rows: &[Vec<Value>]) -> Result<()> {
+    for chunk in rows.chunks(100) {
+        conn.begin()?;
+        for params in chunk {
+            conn.execute(sql, params)?;
+        }
+        conn.commit()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenantdb_cluster::{ClusterConfig, ClusterController};
+
+    #[test]
+    fn generated_data_is_consistent_across_replicas() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        c.create_database("shop", 2).unwrap();
+        let scale = Scale::with_items(50);
+        setup_database(&c, "shop", scale, 1).unwrap();
+        let mut last: Option<Vec<usize>> = None;
+        for id in c.alive_replicas("shop").unwrap() {
+            let m = c.machine(id).unwrap();
+            let t = m.engine.begin().unwrap();
+            let counts: Vec<usize> = crate::schema::TABLES
+                .iter()
+                .map(|tbl| m.engine.scan(t, "shop", tbl).unwrap().len())
+                .collect();
+            m.engine.commit(t).unwrap();
+            if let Some(prev) = &last {
+                assert_eq!(prev, &counts, "replicas diverge");
+            }
+            last = Some(counts);
+        }
+        let counts = last.unwrap();
+        assert_eq!(counts[4], 50, "items");
+        assert_eq!(counts[2], 100, "customers");
+        assert_eq!(counts[5], 25, "orders");
+    }
+
+    #[test]
+    fn queries_work_on_generated_data() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 1);
+        c.create_database("shop", 1).unwrap();
+        setup_database(&c, "shop", Scale::with_items(40), 2).unwrap();
+        let conn = c.connect("shop").unwrap();
+        // Item detail with author join.
+        let r = conn
+            .execute(
+                "SELECT i.i_title, a.a_lname FROM item i JOIN author a ON a.a_id = i.i_a_id \
+                 WHERE i.i_id = 7",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Subject browse.
+        let r = conn
+            .execute(
+                "SELECT COUNT(*) FROM item WHERE i_subject = ?",
+                &[Value::from(crate::schema::SUBJECTS[0])],
+            )
+            .unwrap();
+        assert!(r.rows[0][0].as_i64().unwrap() >= 0);
+        // Order lines join.
+        let r = conn
+            .execute(
+                "SELECT COUNT(*) FROM orders o JOIN order_line ol ON ol.ol_o_id = o.o_id",
+                &[],
+            )
+            .unwrap();
+        assert!(r.rows[0][0].as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn scale_ratios() {
+        let s = Scale::with_items(1000);
+        assert_eq!(s.customers, 2000);
+        assert_eq!(s.authors, 250);
+        assert_eq!(s.initial_orders, 500);
+        assert!(s.approx_rows() > 6000);
+    }
+}

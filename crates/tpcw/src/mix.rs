@@ -1,0 +1,480 @@
+//! TPC-W web interactions as database transactions, and the three standard
+//! mixes (browsing / shopping / ordering).
+//!
+//! Each interaction maps to one ACID transaction against the cluster. The
+//! mixes reproduce TPC-W's read/write ratios: browsing ≈ 5% writes,
+//! shopping ≈ 20%, ordering ≈ 50% (the `write_mix(j)` parameter of the §4.1
+//! availability model).
+//!
+//! Simplification (documented in DESIGN.md): the search interaction matches
+//! titles exactly via the title index instead of `LIKE '%...%'` scans; the
+//! generator's titles are drawn from a known set, so search selectivity is
+//! comparable.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tenantdb_cluster::{ClusterError, Connection};
+use tenantdb_storage::Value;
+
+use crate::generator::{IdSpace, Scale};
+use crate::schema::SUBJECTS;
+
+/// The implemented TPC-W interactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnType {
+    Home,
+    NewProducts,
+    BestSellers,
+    ProductDetail,
+    SearchByTitle,
+    OrderInquiry,
+    ShoppingCart,
+    BuyConfirm,
+    AdminConfirm,
+    CustomerRegistration,
+}
+
+impl TxnType {
+    /// All interaction types, in display order.
+    pub const ALL: [TxnType; 10] = [
+        TxnType::Home,
+        TxnType::NewProducts,
+        TxnType::BestSellers,
+        TxnType::ProductDetail,
+        TxnType::SearchByTitle,
+        TxnType::OrderInquiry,
+        TxnType::ShoppingCart,
+        TxnType::BuyConfirm,
+        TxnType::AdminConfirm,
+        TxnType::CustomerRegistration,
+    ];
+
+    /// Dense index (for per-type counters).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&t| t == self).expect("in ALL")
+    }
+
+    /// Does this interaction perform writes?
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            TxnType::ShoppingCart
+                | TxnType::BuyConfirm
+                | TxnType::AdminConfirm
+                | TxnType::CustomerRegistration
+        )
+    }
+}
+
+/// A weighted interaction mix.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    pub name: &'static str,
+    weights: [(TxnType, u32); 10],
+    total: u32,
+}
+
+impl Mix {
+    const fn new(name: &'static str, weights: [(TxnType, u32); 10]) -> Self {
+        let mut total = 0;
+        let mut i = 0;
+        while i < weights.len() {
+            total += weights[i].1;
+            i += 1;
+        }
+        Mix { name, weights, total }
+    }
+
+    /// Draw an interaction.
+    pub fn pick(&self, rng: &mut StdRng) -> TxnType {
+        let mut x = rng.gen_range(0..self.total);
+        for (t, w) in &self.weights {
+            if x < *w {
+                return *t;
+            }
+            x -= w;
+        }
+        unreachable!("weights sum mismatch")
+    }
+
+    /// Fraction of interactions that write (the §4.1 `write_mix`).
+    pub fn write_fraction(&self) -> f64 {
+        let w: u32 = self.weights.iter().filter(|(t, _)| t.is_write()).map(|(_, w)| w).sum();
+        f64::from(w) / f64::from(self.total)
+    }
+}
+
+use TxnType::*;
+
+/// Browsing mix: ~95% browse interactions, ~5% writes.
+pub static BROWSING: Mix = Mix::new(
+    "browsing",
+    [
+        (Home, 290),
+        (NewProducts, 110),
+        (BestSellers, 50),
+        (ProductDetail, 250),
+        (SearchByTitle, 210),
+        (OrderInquiry, 40),
+        (ShoppingCart, 20),
+        (BuyConfirm, 10),
+        (AdminConfirm, 10),
+        (CustomerRegistration, 10),
+    ],
+);
+
+/// Shopping mix: ~80% browse, ~20% writes.
+pub static SHOPPING: Mix = Mix::new(
+    "shopping",
+    [
+        (Home, 160),
+        (NewProducts, 100),
+        (BestSellers, 40),
+        (ProductDetail, 180),
+        (SearchByTitle, 200),
+        (OrderInquiry, 120),
+        (ShoppingCart, 115),
+        (BuyConfirm, 45),
+        (AdminConfirm, 20),
+        (CustomerRegistration, 20),
+    ],
+);
+
+/// Ordering mix: ~50% writes.
+pub static ORDERING: Mix = Mix::new(
+    "ordering",
+    [
+        (Home, 90),
+        (NewProducts, 40),
+        (BestSellers, 20),
+        (ProductDetail, 120),
+        (SearchByTitle, 130),
+        (OrderInquiry, 100),
+        (ShoppingCart, 250),
+        (BuyConfirm, 180),
+        (AdminConfirm, 30),
+        (CustomerRegistration, 40),
+    ],
+);
+
+/// All three mixes (sweep order used by the figures).
+pub static ALL_MIXES: [&Mix; 3] = [&BROWSING, &SHOPPING, &ORDERING];
+
+/// Monotonic id allocators shared by all sessions of one database. Ids ride
+/// inside SQL parameters, so every replica applies identical rows.
+pub struct IdCounters {
+    pub order: AtomicI64,
+    pub order_line: AtomicI64,
+    pub cart: AtomicI64,
+    pub cart_line: AtomicI64,
+    pub customer: AtomicI64,
+}
+
+impl IdCounters {
+    pub fn from_space(s: IdSpace) -> Arc<Self> {
+        Arc::new(IdCounters {
+            order: AtomicI64::new(s.max_order),
+            order_line: AtomicI64::new(s.max_order_line),
+            cart: AtomicI64::new(s.max_cart),
+            cart_line: AtomicI64::new(s.max_cart_line),
+            customer: AtomicI64::new(s.max_customer),
+        })
+    }
+
+    fn next(counter: &AtomicI64) -> i64 {
+        counter.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Per-session state threaded between interactions.
+pub struct Session {
+    pub customer: i64,
+    pub cart: Option<i64>,
+}
+
+/// Execute one interaction as a transaction. On error the connection's
+/// transaction has already been aborted (fatal errors) or is rolled back
+/// here (statement errors).
+pub fn run_txn(
+    kind: TxnType,
+    conn: &Connection,
+    ids: &IdCounters,
+    scale: Scale,
+    session: &mut Session,
+    rng: &mut StdRng,
+) -> Result<(), ClusterError> {
+    let result = run_txn_inner(kind, conn, ids, scale, session, rng);
+    if result.is_err() && conn.in_txn() {
+        let _ = conn.rollback();
+    }
+    result
+}
+
+/// Item popularity is skewed (as in TPC-W): a slice of all picks hits a
+/// small "hot" set whose size grows with the database, so lock contention —
+/// and with it the deadlock rate of Figures 5–7 — falls as databases get
+/// bigger.
+fn rand_item(scale: Scale, rng: &mut StdRng) -> i64 {
+    let n = scale.items.max(1) as i64;
+    let hot = (n / 32).clamp(4, 64);
+    if rng.gen_bool(0.3) {
+        rng.gen_range(0..hot.min(n))
+    } else {
+        rng.gen_range(0..n)
+    }
+}
+
+/// Uniform item pick (admin edits are not popularity-driven).
+fn rand_item_uniform(scale: Scale, rng: &mut StdRng) -> i64 {
+    rng.gen_range(0..scale.items.max(1) as i64)
+}
+
+fn run_txn_inner(
+    kind: TxnType,
+    conn: &Connection,
+    ids: &IdCounters,
+    scale: Scale,
+    session: &mut Session,
+    rng: &mut StdRng,
+) -> Result<(), ClusterError> {
+    match kind {
+        Home => {
+            conn.begin()?;
+            conn.execute(
+                "SELECT c_fname, c_lname, c_discount FROM customer WHERE c_id = ?",
+                &[Value::Int(session.customer)],
+            )?;
+            for _ in 0..5 {
+                conn.execute(
+                    "SELECT i_title, i_cost FROM item WHERE i_id = ?",
+                    &[Value::Int(rand_item(scale, rng))],
+                )?;
+            }
+            conn.commit()
+        }
+        NewProducts => {
+            conn.begin()?;
+            let subject = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
+            conn.execute(
+                "SELECT i_id, i_title, i_pub_date FROM item WHERE i_subject = ? \
+                 ORDER BY i_pub_date DESC LIMIT 10",
+                &[Value::from(subject)],
+            )?;
+            conn.commit()
+        }
+        BestSellers => {
+            conn.begin()?;
+            // Restrict to recent orders, as TPC-W does (last ~30% of orders).
+            let horizon = (ids.order.load(Ordering::Relaxed) * 7) / 10;
+            conn.execute(
+                "SELECT ol_i_id, SUM(ol_qty) AS sold FROM order_line WHERE ol_o_id >= ? \
+                 GROUP BY ol_i_id ORDER BY sold DESC LIMIT 5",
+                &[Value::Int(horizon)],
+            )?;
+            conn.commit()
+        }
+        ProductDetail => {
+            conn.begin()?;
+            conn.execute(
+                "SELECT i.i_title, i.i_cost, i.i_stock, a.a_fname, a.a_lname \
+                 FROM item i JOIN author a ON a.a_id = i.i_a_id WHERE i.i_id = ?",
+                &[Value::Int(rand_item(scale, rng))],
+            )?;
+            conn.commit()
+        }
+        SearchByTitle => {
+            conn.begin()?;
+            conn.execute(
+                "SELECT i_id, i_cost FROM item WHERE i_title = ?",
+                &[Value::Text(format!("title-{}", rand_item(scale, rng)))],
+            )?;
+            conn.commit()
+        }
+        OrderInquiry => {
+            conn.begin()?;
+            let r = conn.execute(
+                "SELECT o_id, o_total, o_status FROM orders WHERE o_c_id = ? \
+                 ORDER BY o_id DESC LIMIT 1",
+                &[Value::Int(session.customer)],
+            )?;
+            if let Some(Value::Int(o_id)) = r.rows.first().map(|r| r[0].clone()) {
+                conn.execute(
+                    "SELECT ol_i_id, ol_qty FROM order_line WHERE ol_o_id = ?",
+                    &[Value::Int(o_id)],
+                )?;
+            }
+            conn.commit()
+        }
+        ShoppingCart => {
+            conn.begin()?;
+            let sc_id = IdCounters::next(&ids.cart);
+            conn.execute(
+                "INSERT INTO shopping_cart VALUES (?, ?, 0)",
+                &[Value::Int(sc_id), Value::Int(session.customer)],
+            )?;
+            for _ in 0..rng.gen_range(1..=3) {
+                let item = rand_item(scale, rng);
+                conn.execute(
+                    "SELECT i_cost FROM item WHERE i_id = ?",
+                    &[Value::Int(item)],
+                )?;
+                conn.execute(
+                    "INSERT INTO shopping_cart_line VALUES (?, ?, ?, ?)",
+                    &[
+                        Value::Int(IdCounters::next(&ids.cart_line)),
+                        Value::Int(sc_id),
+                        Value::Int(item),
+                        Value::Int(rng.gen_range(1..=5)),
+                    ],
+                )?;
+            }
+            conn.commit()?;
+            session.cart = Some(sc_id);
+            Ok(())
+        }
+        BuyConfirm => {
+            // Need a cart; build one first if the session has none.
+            let Some(sc_id) = session.cart else {
+                return run_txn_inner(ShoppingCart, conn, ids, scale, session, rng);
+            };
+            conn.begin()?;
+            let lines = conn.execute(
+                "SELECT scl_i_id, scl_qty FROM shopping_cart_line WHERE scl_sc_id = ?",
+                &[Value::Int(sc_id)],
+            )?;
+            let mut total = 0.0;
+            for line in &lines.rows {
+                let (item, qty) = (line[0].as_i64().unwrap(), line[1].as_i64().unwrap());
+                let r = conn.execute(
+                    "SELECT i_cost, i_stock FROM item WHERE i_id = ? FOR UPDATE",
+                    &[Value::Int(item)],
+                )?;
+                let Some(row) = r.rows.first() else { continue };
+                total += row[0].as_f64().unwrap_or(0.0) * qty as f64;
+                let stock = row[1].as_i64().unwrap_or(0) - qty;
+                // TPC-W restock rule: refill when stock would run out.
+                let new_stock = if stock < 10 { stock + 21 } else { stock };
+                conn.execute(
+                    "UPDATE item SET i_stock = ? WHERE i_id = ?",
+                    &[Value::Int(new_stock), Value::Int(item)],
+                )?;
+            }
+            let o_id = IdCounters::next(&ids.order);
+            conn.execute(
+                "INSERT INTO orders VALUES (?, ?, 0, ?, 'pending')",
+                &[Value::Int(o_id), Value::Int(session.customer), Value::Float(total)],
+            )?;
+            for line in &lines.rows {
+                conn.execute(
+                    "INSERT INTO order_line VALUES (?, ?, ?, ?, 0.0)",
+                    &[
+                        Value::Int(IdCounters::next(&ids.order_line)),
+                        Value::Int(o_id),
+                        line[0].clone(),
+                        line[1].clone(),
+                    ],
+                )?;
+            }
+            conn.execute(
+                "INSERT INTO cc_xacts VALUES (?, 'VISA', ?, 0)",
+                &[Value::Int(o_id), Value::Float(total)],
+            )?;
+            conn.execute(
+                "DELETE FROM shopping_cart_line WHERE scl_sc_id = ?",
+                &[Value::Int(sc_id)],
+            )?;
+            conn.commit()?;
+            session.cart = None;
+            Ok(())
+        }
+        AdminConfirm => {
+            conn.begin()?;
+            let item = rand_item_uniform(scale, rng);
+            // Deliberate read-then-update without FOR UPDATE: the admin page
+            // displays the item before changing it. Two concurrent admins on
+            // the same item S-lock it and then both try to upgrade — the
+            // classic lock-upgrade deadlock MySQL applications hit.
+            conn.execute(
+                "SELECT i_cost, i_pub_date FROM item WHERE i_id = ?",
+                &[Value::Int(item)],
+            )?;
+            conn.execute(
+                "UPDATE item SET i_cost = ?, i_pub_date = ? WHERE i_id = ?",
+                &[
+                    Value::Float((rng.gen_range(100..10_000) as f64) / 100.0),
+                    Value::Int(rng.gen_range(0..3650)),
+                    Value::Int(item),
+                ],
+            )?;
+            conn.commit()
+        }
+        CustomerRegistration => {
+            conn.begin()?;
+            let c_id = IdCounters::next(&ids.customer);
+            conn.execute(
+                "INSERT INTO address VALUES (?, ?, 'newcity', 0)",
+                &[Value::Int(c_id), Value::Text(format!("{c_id} new st"))],
+            )?;
+            conn.execute(
+                "INSERT INTO customer VALUES (?, ?, ?, ?, ?, 0.0, 0.0)",
+                &[
+                    Value::Int(c_id),
+                    Value::Text(format!("user{c_id}")),
+                    Value::Text(format!("first{c_id}")),
+                    Value::Text(format!("last{}", c_id % 211)),
+                    Value::Int(c_id),
+                ],
+            )?;
+            conn.commit()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn write_fractions_match_tpcw_shape() {
+        let b = BROWSING.write_fraction();
+        let s = SHOPPING.write_fraction();
+        let o = ORDERING.write_fraction();
+        assert!(b < s && s < o, "browsing {b}, shopping {s}, ordering {o}");
+        assert!((0.02..=0.10).contains(&b), "browsing ≈ 5% writes, got {b}");
+        assert!((0.15..=0.25).contains(&s), "shopping ≈ 20% writes, got {s}");
+        assert!((0.45..=0.55).contains(&o), "ordering ≈ 50% writes, got {o}");
+    }
+
+    #[test]
+    fn pick_respects_weights_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut writes = 0;
+        for _ in 0..n {
+            if ORDERING.pick(&mut rng).is_write() {
+                writes += 1;
+            }
+        }
+        let frac = writes as f64 / n as f64;
+        assert!((frac - ORDERING.write_fraction()).abs() < 0.02);
+    }
+
+    #[test]
+    fn counters_are_monotonic() {
+        let ids = IdCounters::from_space(IdSpace {
+            max_customer: 10,
+            max_order: 20,
+            max_order_line: 30,
+            max_cart: 0,
+            max_cart_line: 0,
+        });
+        assert_eq!(IdCounters::next(&ids.order), 20);
+        assert_eq!(IdCounters::next(&ids.order), 21);
+        assert_eq!(IdCounters::next(&ids.customer), 10);
+    }
+}

@@ -1,0 +1,147 @@
+//! The TPC-W schema (scaled-down but structurally faithful).
+//!
+//! Ten tables mirroring the TPC-W bookstore: `country`, `address`,
+//! `customer`, `author`, `item`, `orders`, `order_line`, `cc_xacts`,
+//! `shopping_cart`, `shopping_cart_line` — with the primary keys and the
+//! secondary indexes the web interactions need.
+
+/// DDL statements, in dependency order. Execute each via
+/// [`tenantdb_cluster::ClusterController::ddl`].
+pub const DDL: &[&str] = &[
+    "CREATE TABLE country (
+        co_id INT NOT NULL,
+        co_name TEXT NOT NULL,
+        PRIMARY KEY (co_id)
+    )",
+    "CREATE TABLE address (
+        addr_id INT NOT NULL,
+        addr_street TEXT,
+        addr_city TEXT,
+        addr_co_id INT,
+        PRIMARY KEY (addr_id)
+    )",
+    "CREATE TABLE customer (
+        c_id INT NOT NULL,
+        c_uname TEXT NOT NULL,
+        c_fname TEXT,
+        c_lname TEXT,
+        c_addr_id INT,
+        c_balance FLOAT,
+        c_discount FLOAT,
+        PRIMARY KEY (c_id)
+    )",
+    "CREATE UNIQUE INDEX by_uname ON customer (c_uname)",
+    "CREATE TABLE author (
+        a_id INT NOT NULL,
+        a_fname TEXT,
+        a_lname TEXT,
+        PRIMARY KEY (a_id)
+    )",
+    "CREATE INDEX by_lname ON author (a_lname)",
+    "CREATE TABLE item (
+        i_id INT NOT NULL,
+        i_title TEXT NOT NULL,
+        i_a_id INT NOT NULL,
+        i_subject TEXT,
+        i_cost FLOAT,
+        i_stock INT,
+        i_pub_date INT,
+        PRIMARY KEY (i_id)
+    )",
+    "CREATE INDEX by_title ON item (i_title)",
+    "CREATE INDEX by_subject ON item (i_subject)",
+    "CREATE INDEX by_author ON item (i_a_id)",
+    "CREATE TABLE orders (
+        o_id INT NOT NULL,
+        o_c_id INT NOT NULL,
+        o_date INT,
+        o_total FLOAT,
+        o_status TEXT,
+        PRIMARY KEY (o_id)
+    )",
+    "CREATE INDEX by_customer ON orders (o_c_id)",
+    "CREATE TABLE order_line (
+        ol_id INT NOT NULL,
+        ol_o_id INT NOT NULL,
+        ol_i_id INT NOT NULL,
+        ol_qty INT,
+        ol_discount FLOAT,
+        PRIMARY KEY (ol_id)
+    )",
+    "CREATE INDEX by_order ON order_line (ol_o_id)",
+    "CREATE TABLE cc_xacts (
+        cx_o_id INT NOT NULL,
+        cx_type TEXT,
+        cx_amount FLOAT,
+        cx_co_id INT,
+        PRIMARY KEY (cx_o_id)
+    )",
+    "CREATE TABLE shopping_cart (
+        sc_id INT NOT NULL,
+        sc_c_id INT,
+        sc_date INT,
+        PRIMARY KEY (sc_id)
+    )",
+    "CREATE TABLE shopping_cart_line (
+        scl_id INT NOT NULL,
+        scl_sc_id INT NOT NULL,
+        scl_i_id INT NOT NULL,
+        scl_qty INT,
+        PRIMARY KEY (scl_id)
+    )",
+    "CREATE INDEX by_cart ON shopping_cart_line (scl_sc_id)",
+];
+
+/// The 22 TPC-W book subjects (used for `new_products` browsing).
+pub const SUBJECTS: &[&str] = &[
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING", "HEALTH", "HISTORY",
+    "HOME", "HUMOR", "LITERATURE", "MYSTERY", "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE",
+    "RELIGION", "ROMANCE", "SCIENCE-FICTION", "SELF-HELP", "SPORTS", "TRAVEL",
+];
+
+/// Table names, in creation order (drives table-level recovery copies).
+pub const TABLES: &[&str] = &[
+    "country",
+    "address",
+    "customer",
+    "author",
+    "item",
+    "orders",
+    "order_line",
+    "cc_xacts",
+    "shopping_cart",
+    "shopping_cart_line",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenantdb_sql::parse;
+
+    #[test]
+    fn all_ddl_parses() {
+        for sql in DDL {
+            parse(sql).unwrap_or_else(|e| panic!("bad DDL {sql}: {e}"));
+        }
+    }
+
+    #[test]
+    fn ddl_covers_all_tables() {
+        for t in TABLES {
+            assert!(
+                DDL.iter().any(|d| d.contains(&format!("CREATE TABLE {t} "))
+                    || d.contains(&format!("CREATE TABLE {t}\n"))
+                    || d.contains(&format!("CREATE TABLE {t} ("))),
+                "no DDL for {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn subjects_are_unique() {
+        let mut s: Vec<&str> = SUBJECTS.to_vec();
+        s.sort();
+        s.dedup();
+        assert_eq!(s.len(), SUBJECTS.len());
+    }
+}

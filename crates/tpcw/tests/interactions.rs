@@ -1,0 +1,186 @@
+//! Every TPC-W interaction, exercised individually and deterministically.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tenantdb_cluster::{ClusterConfig, ClusterController};
+use tenantdb_storage::Value;
+use tenantdb_tpcw::{run_txn, setup_database, IdCounters, Scale, Session, TxnType};
+
+fn setup() -> (Arc<ClusterController>, Arc<IdCounters>, Scale) {
+    let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+    cluster.create_database("shop", 2).unwrap();
+    let scale = Scale::with_items(60);
+    let space = setup_database(&cluster, "shop", scale, 99).unwrap();
+    cluster.reset_counters(); // population commits shouldn't count
+    (cluster, IdCounters::from_space(space), scale)
+}
+
+fn run(
+    cluster: &Arc<ClusterController>,
+    ids: &IdCounters,
+    scale: Scale,
+    session: &mut Session,
+    kind: TxnType,
+) {
+    let conn = cluster.connect("shop").unwrap();
+    let mut rng = StdRng::seed_from_u64(1234);
+    run_txn(kind, &conn, ids, scale, session, &mut rng)
+        .unwrap_or_else(|e| panic!("{kind:?} failed: {e}"));
+}
+
+#[test]
+fn every_interaction_commits() {
+    let (cluster, ids, scale) = setup();
+    let mut session = Session { customer: 3, cart: None };
+    for kind in [
+        TxnType::Home,
+        TxnType::NewProducts,
+        TxnType::BestSellers,
+        TxnType::ProductDetail,
+        TxnType::SearchByTitle,
+        TxnType::OrderInquiry,
+        TxnType::ShoppingCart,
+        TxnType::BuyConfirm,
+        TxnType::AdminConfirm,
+        TxnType::CustomerRegistration,
+    ] {
+        run(&cluster, &ids, scale, &mut session, kind);
+    }
+    assert_eq!(cluster.counters("shop").committed, 10);
+}
+
+#[test]
+fn buy_confirm_converts_cart_to_order() {
+    let (cluster, ids, scale) = setup();
+    let mut session = Session { customer: 1, cart: None };
+    run(&cluster, &ids, scale, &mut session, TxnType::ShoppingCart);
+    let cart = session.cart.expect("cart created");
+
+    let conn = cluster.connect("shop").unwrap();
+    let lines_before = conn
+        .execute(
+            "SELECT COUNT(*) FROM shopping_cart_line WHERE scl_sc_id = ?",
+            &[Value::Int(cart)],
+        )
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap();
+    assert!(lines_before > 0);
+    let orders_before =
+        conn.execute("SELECT COUNT(*) FROM orders", &[]).unwrap().rows[0][0].as_i64().unwrap();
+
+    run(&cluster, &ids, scale, &mut session, TxnType::BuyConfirm);
+    assert!(session.cart.is_none(), "cart consumed");
+
+    let orders_after =
+        conn.execute("SELECT COUNT(*) FROM orders", &[]).unwrap().rows[0][0].as_i64().unwrap();
+    assert_eq!(orders_after, orders_before + 1);
+    // Cart lines cleared; order has matching lines and a cc entry.
+    let lines_left = conn
+        .execute(
+            "SELECT COUNT(*) FROM shopping_cart_line WHERE scl_sc_id = ?",
+            &[Value::Int(cart)],
+        )
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(lines_left, 0);
+    let o_id = conn
+        .execute("SELECT MAX(o_id) FROM orders", &[])
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap();
+    let ol = conn
+        .execute("SELECT COUNT(*) FROM order_line WHERE ol_o_id = ?", &[Value::Int(o_id)])
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(ol, lines_before);
+    let cc = conn
+        .execute("SELECT COUNT(*) FROM cc_xacts WHERE cx_o_id = ?", &[Value::Int(o_id)])
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(cc, 1);
+}
+
+#[test]
+fn buy_confirm_without_cart_builds_one() {
+    let (cluster, ids, scale) = setup();
+    let mut session = Session { customer: 2, cart: None };
+    // Degenerates to a ShoppingCart interaction (the paper's driver would
+    // never reach buy-confirm without a cart; ours heals the session).
+    run(&cluster, &ids, scale, &mut session, TxnType::BuyConfirm);
+    assert!(session.cart.is_some());
+}
+
+#[test]
+fn registration_creates_usable_customer() {
+    let (cluster, ids, scale) = setup();
+    let mut session = Session { customer: 0, cart: None };
+    run(&cluster, &ids, scale, &mut session, TxnType::CustomerRegistration);
+    let conn = cluster.connect("shop").unwrap();
+    // The new customer exists beyond the generated range, with an address.
+    let r = conn
+        .execute(
+            "SELECT c.c_uname, a.addr_city FROM customer c \
+             JOIN address a ON a.addr_id = c.c_addr_id WHERE c.c_id = ?",
+            &[Value::Int(scale.customers as i64)],
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][1], Value::from("newcity"));
+}
+
+#[test]
+fn admin_confirm_changes_the_item() {
+    let (cluster, ids, scale) = setup();
+    let conn = cluster.connect("shop").unwrap();
+    let before = conn
+        .execute("SELECT SUM(i_cost) FROM item", &[])
+        .unwrap()
+        .rows[0][0]
+        .as_f64()
+        .unwrap();
+    let mut session = Session { customer: 0, cart: None };
+    run(&cluster, &ids, scale, &mut session, TxnType::AdminConfirm);
+    let after = conn
+        .execute("SELECT SUM(i_cost) FROM item", &[])
+        .unwrap()
+        .rows[0][0]
+        .as_f64()
+        .unwrap();
+    assert!((before - after).abs() > 1e-9, "admin update must change a cost");
+}
+
+#[test]
+fn stock_is_restocked_not_negative() {
+    // Buy repeatedly against a tiny catalog: the TPC-W restock rule must
+    // keep stock non-negative forever.
+    let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 1);
+    cluster.create_database("shop", 1).unwrap();
+    let scale = Scale::with_items(5);
+    let space = setup_database(&cluster, "shop", scale, 1).unwrap();
+    let ids = IdCounters::from_space(space);
+    let mut session = Session { customer: 0, cart: None };
+    let conn = cluster.connect("shop").unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..40 {
+        let _ = run_txn(TxnType::ShoppingCart, &conn, &ids, scale, &mut session, &mut rng);
+        let _ = run_txn(TxnType::BuyConfirm, &conn, &ids, scale, &mut session, &mut rng);
+    }
+    let r = conn.execute("SELECT MIN(i_stock) FROM item", &[]).unwrap();
+    assert!(
+        r.rows[0][0].as_i64().unwrap() >= 0,
+        "restock rule violated: {:?}",
+        r.rows[0][0]
+    );
+}

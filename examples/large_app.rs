@@ -1,0 +1,82 @@
+//! A "large" application on the small-application platform (§7 future work).
+//!
+//! Most tenants fit on one machine; this one doesn't. The sharding extension
+//! spreads it over several ordinary cluster databases — each shard keeps the
+//! platform's synchronous replication, 2PC, and recovery — while a router
+//! sends single-key traffic to the right shard and scatter-gathers the rest.
+//!
+//! Run with: `cargo run --release --example large_app`
+
+use std::sync::Arc;
+
+use tenantdb::cluster::{ClusterConfig, ClusterController};
+use tenantdb::platform::ShardedDatabase;
+use tenantdb::storage::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 6);
+    let app = Arc::new(ShardedDatabase::create(&cluster, "bigapp", 3, 2)?);
+
+    // Orders co-shard with their user so user-scoped joins stay local.
+    app.set_shard_key("orders", "o_uid");
+    app.ddl("CREATE TABLE users (id INT NOT NULL, name TEXT, PRIMARY KEY (id))")?;
+    app.ddl("CREATE TABLE orders (o_id INT NOT NULL, o_uid INT, total FLOAT, PRIMARY KEY (o_id))")?;
+
+    let conn = app.connect()?;
+    for i in 0..90i64 {
+        conn.execute(
+            "INSERT INTO users VALUES (?, ?)",
+            &[Value::Int(i), Value::Text(format!("user{i}"))],
+        )?;
+    }
+    for o in 0..200i64 {
+        conn.execute(
+            "INSERT INTO orders (o_id, o_uid, total) VALUES (?, ?, ?)",
+            &[Value::Int(o), Value::Int(o % 90), Value::Float((o % 40) as f64 + 0.5)],
+        )?;
+    }
+
+    println!("shard occupancy:");
+    for db in app.shard_databases() {
+        let c = cluster.connect(db)?;
+        let users = c.execute("SELECT COUNT(*) FROM users", &[])?.rows[0][0].clone();
+        let orders = c.execute("SELECT COUNT(*) FROM orders", &[])?.rows[0][0].clone();
+        println!("  {db}: {users} users, {orders} orders (replicas: {:?})",
+            cluster.alive_replicas(db)?);
+    }
+
+    // Single-key traffic routes to one shard (and supports transactions).
+    conn.begin()?;
+    conn.execute("UPDATE users SET name = 'renamed' WHERE id = ?", &[Value::Int(42)])?;
+    conn.commit()?;
+    let r = conn.execute("SELECT name FROM users WHERE id = ?", &[Value::Int(42)])?;
+    println!("\npoint lookup after in-shard txn: {}", r.rows[0][0]);
+
+    // Co-sharded join, routed by the user key.
+    let r = conn.execute(
+        "SELECT u.name, COUNT(*) AS orders, SUM(o.total) AS spent \
+         FROM users u JOIN orders o ON o.o_uid = u.id WHERE u.id = ? GROUP BY u.name",
+        &[Value::Int(17)],
+    )?;
+    println!("user 17's orders (local join on its shard): {:?}", r.rows[0]);
+
+    // Scatter-gather analytics across all shards.
+    let r = conn.execute("SELECT COUNT(*), SUM(total), MAX(total) FROM orders", &[])?;
+    println!(
+        "global aggregate over {} shards: count={} sum={} max={}",
+        app.shard_count(),
+        r.rows[0][0],
+        r.rows[0][1],
+        r.rows[0][2]
+    );
+
+    let r = conn.execute(
+        "SELECT o_id, total FROM orders WHERE total > 38.0 ORDER BY total DESC LIMIT 5",
+        &[],
+    )?;
+    println!("global top-5 orders by total (merged + re-sorted):");
+    for row in &r.rows {
+        println!("  order {} -> {}", row[0], row[1]);
+    }
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! An interactive SQL shell against the platform — the developer experience
+//! the paper promises ("connect ... and perform the set of operations
+//! supported by JDBC, including complex SQL queries and ACID transactions").
+//!
+//! Run with: `cargo run --release --example sql_shell`
+//! Reads statements from stdin (`;`-terminated not required — one per line),
+//! plus meta-commands: `\help`, `\dbs`, `\use <db>`, `\quit`.
+//! Pipe a script: `echo 'SELECT 1 FROM t' | cargo run --example sql_shell`.
+
+use std::io::{self, BufRead, Write};
+
+use tenantdb::cluster::{ClusterConfig, ClusterController, Connection};
+use tenantdb::storage::Value;
+
+fn print_result(r: &tenantdb::sql::QueryResult) {
+    if r.columns.is_empty() {
+        println!("ok ({} row(s) affected)", r.rows_affected);
+        return;
+    }
+    let widths: Vec<usize> = r
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            r.rows
+                .iter()
+                .map(|row| row[i].to_string().len())
+                .chain([c.len()])
+                .max()
+                .unwrap_or(4)
+        })
+        .collect();
+    let line = |f: &dyn Fn(usize) -> String| {
+        let cells: Vec<String> =
+            (0..r.columns.len()).map(|i| format!("{:<w$}", f(i), w = widths[i])).collect();
+        println!("| {} |", cells.join(" | "));
+    };
+    line(&|i| r.columns[i].clone());
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+    );
+    for row in &r.rows {
+        line(&|i| row[i].to_string());
+    }
+    println!("({} row(s))", r.rows.len());
+}
+
+fn main() {
+    // A 3-machine cluster with one demo database, pre-seeded.
+    let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 3);
+    cluster.create_database("demo", 2).unwrap();
+    cluster
+        .ddl("demo", "CREATE TABLE books (id INT NOT NULL, title TEXT, price FLOAT, PRIMARY KEY (id))")
+        .unwrap();
+    {
+        let conn = cluster.connect("demo").unwrap();
+        conn.execute(
+            "INSERT INTO books VALUES (1, 'CIDR 2009 Proceedings', 0.0), \
+             (2, 'Concurrency Control and Recovery', 89.5), \
+             (3, 'Transaction Processing', 120.0)",
+            &[],
+        )
+        .unwrap();
+    }
+
+    let mut db = "demo".to_string();
+    let mut conn: Connection = cluster.connect(&db).unwrap();
+    println!("tenantdb shell — database '{db}' on a {}-machine cluster", 3);
+    println!("type SQL, or \\help for meta-commands");
+
+    let stdin = io::stdin();
+    loop {
+        print!("{db}> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let input = line.trim().trim_end_matches(';').trim();
+        if input.is_empty() {
+            continue;
+        }
+        match input {
+            "\\quit" | "\\q" | "exit" => break,
+            "\\help" => {
+                println!("  \\dbs          list databases and their replicas");
+                println!("  \\use <db>     switch database (created if missing)");
+                println!("  BEGIN / COMMIT / ROLLBACK  explicit transactions");
+                println!("  any SQL statement runs against every replica (writes) or one (reads)");
+                continue;
+            }
+            "\\dbs" => {
+                for name in cluster.database_names() {
+                    let p = cluster.placement(&name).unwrap();
+                    println!("  {name}: replicas {:?}, pinned {}", p.replicas, p.pinned);
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(target) = input.strip_prefix("\\use ") {
+            let target = target.trim();
+            if cluster.placement(target).is_err() {
+                if let Err(e) = cluster.create_database(target, 2) {
+                    println!("error: {e}");
+                    continue;
+                }
+                println!("created database '{target}' (2 replicas)");
+            }
+            db = target.to_string();
+            conn = cluster.connect(&db).unwrap();
+            continue;
+        }
+        let upper = input.to_ascii_uppercase();
+        let result = match upper.as_str() {
+            "BEGIN" => conn.begin().map(|()| None),
+            "COMMIT" => conn.commit().map(|()| None),
+            "ROLLBACK" => conn.rollback().map(|()| None),
+            _ => conn.execute(input, &[] as &[Value]).map(Some),
+        };
+        match result {
+            Ok(Some(r)) => print_result(&r),
+            Ok(None) => println!("ok"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,225 @@
+//! Property-based tests over the stack's core invariants.
+
+use proptest::prelude::*;
+
+use std::collections::BTreeMap;
+
+use tenantdb::sql::execute;
+use tenantdb::storage::{Engine, EngineConfig, Value};
+
+// ---------------------------------------------------------------------
+// 1. The SQL engine agrees with a trivial in-memory model for arbitrary
+//    sequences of single-row operations on a keyed table.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { k: i64, v: i64 },
+    Update { k: i64, v: i64 },
+    Delete { k: i64 },
+    Get { k: i64 },
+    CountAll,
+    SumAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0i64..12;
+    let val = -100i64..100;
+    prop_oneof![
+        (key.clone(), val.clone()).prop_map(|(k, v)| Op::Insert { k, v }),
+        (key.clone(), val.clone()).prop_map(|(k, v)| Op::Update { k, v }),
+        key.clone().prop_map(|k| Op::Delete { k }),
+        key.prop_map(|k| Op::Get { k }),
+        Just(Op::CountAll),
+        Just(Op::SumAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sql_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let engine = Engine::new(EngineConfig::for_tests());
+        engine.create_database("db").unwrap();
+        let txn = engine.begin().unwrap();
+        execute(&engine, txn, "db",
+            "CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k))", &[]).unwrap();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert { k, v } => {
+                    let r = execute(&engine, txn, "db", "INSERT INTO kv VALUES (?, ?)",
+                        &[Value::Int(*k), Value::Int(*v)]);
+                    if model.contains_key(k) {
+                        prop_assert!(r.is_err(), "duplicate insert must fail");
+                    } else {
+                        prop_assert!(r.is_ok(), "insert failed: {r:?}");
+                        model.insert(*k, *v);
+                    }
+                }
+                Op::Update { k, v } => {
+                    let r = execute(&engine, txn, "db", "UPDATE kv SET v = ? WHERE k = ?",
+                        &[Value::Int(*v), Value::Int(*k)]).unwrap();
+                    let expected = u64::from(model.contains_key(k));
+                    prop_assert_eq!(r.rows_affected, expected);
+                    if let Some(slot) = model.get_mut(k) {
+                        *slot = *v;
+                    }
+                }
+                Op::Delete { k } => {
+                    let r = execute(&engine, txn, "db", "DELETE FROM kv WHERE k = ?",
+                        &[Value::Int(*k)]).unwrap();
+                    let expected = u64::from(model.remove(k).is_some());
+                    prop_assert_eq!(r.rows_affected, expected);
+                }
+                Op::Get { k } => {
+                    let r = execute(&engine, txn, "db", "SELECT v FROM kv WHERE k = ?",
+                        &[Value::Int(*k)]).unwrap();
+                    match model.get(k) {
+                        Some(v) => {
+                            prop_assert_eq!(r.rows.len(), 1);
+                            prop_assert_eq!(&r.rows[0][0], &Value::Int(*v));
+                        }
+                        None => prop_assert!(r.rows.is_empty()),
+                    }
+                }
+                Op::CountAll => {
+                    let r = execute(&engine, txn, "db", "SELECT COUNT(*) FROM kv", &[]).unwrap();
+                    prop_assert_eq!(&r.rows[0][0], &Value::Int(model.len() as i64));
+                }
+                Op::SumAll => {
+                    let r = execute(&engine, txn, "db", "SELECT SUM(v) FROM kv", &[]).unwrap();
+                    let expected = if model.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Int(model.values().sum())
+                    };
+                    prop_assert_eq!(&r.rows[0][0], &expected);
+                }
+            }
+        }
+        engine.commit(txn).unwrap();
+    }
+
+    // -----------------------------------------------------------------
+    // 2. Abort really undoes arbitrary write sequences.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn abort_restores_pre_transaction_state(
+        seed_rows in proptest::collection::btree_map(0i64..10, -50i64..50, 0..8),
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+    ) {
+        let engine = Engine::new(EngineConfig::for_tests());
+        engine.create_database("db").unwrap();
+        engine.with_txn(|t| {
+            tenantdb::sql::execute(&engine, t, "db",
+                "CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k))", &[])
+                .map_err(|e| tenantdb::storage::StorageError::SchemaMismatch(e.to_string()))?;
+            Ok(())
+        }).unwrap();
+        engine.with_txn(|t| {
+            for (k, v) in &seed_rows {
+                engine.insert(t, "db", "kv", vec![Value::Int(*k), Value::Int(*v)])?;
+            }
+            Ok(())
+        }).unwrap();
+
+        // Snapshot, then run a txn with arbitrary writes and abort it.
+        let before = {
+            let t = engine.begin().unwrap();
+            let rows = engine.scan(t, "db", "kv").unwrap();
+            engine.commit(t).unwrap();
+            rows
+        };
+        let txn = engine.begin().unwrap();
+        for op in &ops {
+            let _ = match op {
+                Op::Insert { k, v } => execute(&engine, txn, "db",
+                    "INSERT INTO kv VALUES (?, ?)", &[Value::Int(*k), Value::Int(*v)]),
+                Op::Update { k, v } => execute(&engine, txn, "db",
+                    "UPDATE kv SET v = ? WHERE k = ?", &[Value::Int(*v), Value::Int(*k)]),
+                Op::Delete { k } => execute(&engine, txn, "db",
+                    "DELETE FROM kv WHERE k = ?", &[Value::Int(*k)]),
+                _ => continue,
+            };
+        }
+        engine.abort(txn).unwrap();
+        let after = {
+            let t = engine.begin().unwrap();
+            let rows = engine.scan(t, "db", "kv").unwrap();
+            engine.commit(t).unwrap();
+            rows
+        };
+        prop_assert_eq!(before, after);
+    }
+
+    // -----------------------------------------------------------------
+    // 3. Crash-restart preserves exactly the committed prefix.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn restart_preserves_committed_prefix(
+        committed in proptest::collection::vec((0i64..20, -50i64..50), 1..15),
+        uncommitted in proptest::collection::vec((100i64..120, -50i64..50), 0..8),
+    ) {
+        let engine = Engine::new(EngineConfig::for_tests());
+        engine.create_database("db").unwrap();
+        engine.with_txn(|t| {
+            tenantdb::sql::execute(&engine, t, "db",
+                "CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k))", &[])
+                .map_err(|e| tenantdb::storage::StorageError::SchemaMismatch(e.to_string()))?;
+            Ok(())
+        }).unwrap();
+        let mut model = BTreeMap::new();
+        for (k, v) in &committed {
+            let r = engine.with_txn(|t| {
+                engine.insert(t, "db", "kv", vec![Value::Int(*k), Value::Int(*v)])
+            });
+            if r.is_ok() {
+                model.insert(*k, *v);
+            }
+        }
+        // In-flight txn lost at the crash.
+        let t = engine.begin().unwrap();
+        for (k, v) in &uncommitted {
+            let _ = engine.insert(t, "db", "kv", vec![Value::Int(*k), Value::Int(*v)]);
+        }
+        engine.crash();
+        engine.restart();
+
+        let t = engine.begin().unwrap();
+        let rows = engine.scan(t, "db", "kv").unwrap();
+        engine.commit(t).unwrap();
+        let got: BTreeMap<i64, i64> = rows
+            .iter()
+            .map(|(_, r)| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        prop_assert_eq!(got, model);
+    }
+
+    // -----------------------------------------------------------------
+    // 4. ORDER BY really sorts, for arbitrary data.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn order_by_sorts(vals in proptest::collection::vec(-1000i64..1000, 1..40)) {
+        let engine = Engine::new(EngineConfig::for_tests());
+        engine.create_database("db").unwrap();
+        let txn = engine.begin().unwrap();
+        execute(&engine, txn, "db",
+            "CREATE TABLE t (id INT NOT NULL, x INT, PRIMARY KEY (id))", &[]).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            execute(&engine, txn, "db", "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i as i64), Value::Int(*v)]).unwrap();
+        }
+        let r = execute(&engine, txn, "db", "SELECT x FROM t ORDER BY x", &[]).unwrap();
+        let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        let mut expected = vals.clone();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+        engine.commit(txn).unwrap();
+    }
+}
