@@ -28,9 +28,13 @@ fn main() {
     );
     for &pages in &pools {
         let tps = |policy| {
-            ThroughputExperiment { read_policy: policy, buffer_pages: pages, ..Default::default() }
-                .run(&BROWSING, 2, duration)
-                .tps()
+            ThroughputExperiment {
+                read_policy: policy,
+                buffer_pages: pages,
+                ..Default::default()
+            }
+            .run(&BROWSING, 2, duration)
+            .tps()
         };
         let t1 = tps(ReadPolicy::PinnedReplica);
         let t3 = tps(ReadPolicy::PerOperation);

@@ -43,8 +43,7 @@ fn main() {
         }
         let mut ffd = FirstFitDecreasingPlacer::new(capacity);
         let ffd_used = ffd.place_all(&specs).unwrap();
-        let (opt, exact) =
-            optimal_machine_count_budgeted(&specs, capacity, 20_000_000).unwrap();
+        let (opt, exact) = optimal_machine_count_budgeted(&specs, capacity, 20_000_000).unwrap();
         println!(
             "{:>6.1}{:>12}{:>12}{:>12}{:>11}{}",
             skew,

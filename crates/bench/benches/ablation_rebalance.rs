@@ -10,8 +10,7 @@ use rand::{Rng, SeedableRng};
 
 use tenantdb_bench::bench_engine_config;
 use tenantdb_cluster::{
-    execute_rebalance, plan_rebalance, ClusterConfig, ClusterController, CopyGranularity,
-    MachineId,
+    execute_rebalance, plan_rebalance, ClusterConfig, ClusterController, CopyGranularity, MachineId,
 };
 use tenantdb_sla::ResourceVector;
 use tenantdb_storage::{Throttle, Value};
@@ -23,22 +22,28 @@ fn main() {
         "churn", "live dbs", "before", "after", "reclaimed", "moves"
     );
     for &churn_rounds in &[0usize, 10, 30, 60] {
-        let cfg = ClusterConfig { engine: bench_engine_config(8192), ..Default::default() };
+        let cfg = ClusterConfig {
+            engine: bench_engine_config(8192),
+            ..Default::default()
+        };
         let cluster = ClusterController::with_machines(cfg, 12);
         let mut rng = StdRng::seed_from_u64(4242);
         let mut next_id = 0usize;
         let mut live: Vec<(String, f64)> = Vec::new();
 
         let create = |cluster: &std::sync::Arc<ClusterController>,
-                          live: &mut Vec<(String, f64)>,
-                          next_id: &mut usize,
-                          rng: &mut StdRng| {
+                      live: &mut Vec<(String, f64)>,
+                      next_id: &mut usize,
+                      rng: &mut StdRng| {
             let db = format!("db{}", *next_id);
             *next_id += 1;
             let demand = rng.gen_range(1.0..4.0);
             if cluster.create_database(&db, 1).is_ok() {
                 cluster
-                    .ddl(&db, "CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id))")
+                    .ddl(
+                        &db,
+                        "CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id))",
+                    )
                     .unwrap();
                 let conn = cluster.connect(&db).unwrap();
                 conn.begin().unwrap();
@@ -76,8 +81,12 @@ fn main() {
             .iter()
             .map(|(db, d)| (db.clone(), ResourceVector::new(*d, *d, *d, *d)))
             .collect();
-        let plan = plan_rebalance(&cluster, &demands, ResourceVector::new(10.0, 10.0, 10.0, 10.0))
-            .expect("plan");
+        let plan = plan_rebalance(
+            &cluster,
+            &demands,
+            ResourceVector::new(10.0, 10.0, 10.0, 10.0),
+        )
+        .expect("plan");
         let moves = execute_rebalance(
             &cluster,
             &plan,

@@ -9,14 +9,16 @@
 use std::time::Instant;
 
 use tenantdb_bench::{bench_engine_config, fast_mode};
-use tenantdb_cluster::{
-    create_replica, ClusterConfig, ClusterController, CopyGranularity,
-};
+use tenantdb_cluster::{create_replica, ClusterConfig, ClusterController, CopyGranularity};
 use tenantdb_storage::Throttle;
 use tenantdb_tpcw::{setup_tpcw_databases, Scale};
 
 fn main() {
-    let scales: &[usize] = if fast_mode() { &[100, 200] } else { &[100, 200, 400, 800] };
+    let scales: &[usize] = if fast_mode() {
+        &[100, 200]
+    } else {
+        &[100, 200, 400, 800]
+    };
     println!("# Replica creation time vs database size (unthrottled copy)");
     println!(
         "{:>10}{:>12}{:>16}{:>16}",
@@ -26,12 +28,18 @@ fn main() {
         let scale = Scale::with_items(items);
         let mut cells = Vec::new();
         for granularity in [CopyGranularity::TableLevel, CopyGranularity::DatabaseLevel] {
-            let cfg = ClusterConfig { engine: bench_engine_config(8192), ..Default::default() };
+            let cfg = ClusterConfig {
+                engine: bench_engine_config(8192),
+                ..Default::default()
+            };
             let cluster = ClusterController::with_machines(cfg, 3);
             setup_tpcw_databases(&cluster, 1, 2, scale, 7).unwrap();
             let placed = cluster.placement("tpcw0").unwrap().replicas;
-            let target =
-                cluster.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
+            let target = cluster
+                .machine_ids()
+                .into_iter()
+                .find(|m| !placed.contains(m))
+                .unwrap();
             let t0 = Instant::now();
             create_replica(&cluster, "tpcw0", target, granularity, Throttle::UNLIMITED).unwrap();
             cells.push(t0.elapsed());

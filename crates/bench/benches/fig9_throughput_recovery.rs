@@ -27,8 +27,12 @@ fn main() {
     ] {
         print!("{label:<26}");
         for &t in threads {
-            let out = RecoveryExperiment { granularity: g, threads: t, ..Default::default() }
-                .run(&SHOPPING, 2);
+            let out = RecoveryExperiment {
+                granularity: g,
+                threads: t,
+                ..Default::default()
+            }
+            .run(&SHOPPING, 2);
             print!("{:>12.1}", out.tps_during_recovery);
         }
         println!();

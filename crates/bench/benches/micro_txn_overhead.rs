@@ -1,0 +1,186 @@
+//! Per-transaction dispatch overhead: persistent worker pool vs the seed's
+//! thread-per-(transaction, machine) model.
+//!
+//! Three measurements, all on a 2-machine cluster with one 2-replica
+//! database:
+//!
+//! * `pooled/begin_1stmt_commit` — the real `Connection` path: BEGIN, one
+//!   INSERT (write-all + 2PC), COMMIT. Sessions multiplex over each
+//!   machine's resident pool; replies share one seq-tagged channel.
+//! * `pooled/empty_commit` — BEGIN + COMMIT with no statements: pure
+//!   transaction-envelope cost (no session is ever attached).
+//! * `seed_model/begin_1stmt_commit` — the seed's mechanics re-enacted
+//!   against the same engines: per transaction, spawn one OS thread per
+//!   machine running a message loop, allocate a fresh reply channel per
+//!   message, send EXEC / PREPARE / COMMIT, then let the thread exit and
+//!   join it. This is what `spawn_worker` did per transaction before the
+//!   pool (kept here, in the bench only, as the measured baseline).
+//!
+//! The acceptance bar for the pool refactor is seed_model / pooled ≥ 2 on
+//! the begin→1stmt→commit pair.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tenantdb_bench::{report_micro, time_op_default};
+use tenantdb_cluster::{ClusterConfig, ClusterController, ReadPolicy, WritePolicy};
+use tenantdb_storage::{CostModel, Engine, EngineConfig, Value};
+
+fn cluster() -> Arc<ClusterController> {
+    let cfg = ClusterConfig {
+        read_policy: ReadPolicy::PinnedReplica,
+        write_policy: WritePolicy::Conservative,
+        engine: EngineConfig {
+            buffer_pages: 1 << 14,
+            cost: CostModel::free(),
+            lock_timeout: std::time::Duration::from_secs(5),
+        },
+        seed: 1,
+        ..Default::default()
+    };
+    let c = ClusterController::with_machines(cfg, 2);
+    c.create_database("app", 2).unwrap();
+    c.ddl(
+        "app",
+        "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+    )
+    .unwrap();
+    c
+}
+
+// ---------------------------------------------------------------- baseline
+
+/// The seed's per-transaction worker: one spawned thread per machine, one
+/// fresh channel per message — reproduced faithfully enough to price it.
+enum SeedMsg {
+    Exec {
+        sql: &'static str,
+        params: Vec<Value>,
+        reply: Sender<bool>,
+    },
+    Prepare {
+        reply: Sender<bool>,
+    },
+    Commit {
+        reply: Sender<bool>,
+    },
+}
+
+struct SeedWorker {
+    tx: Sender<SeedMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn spawn_seed_worker(engine: Arc<Engine>) -> SeedWorker {
+    let (tx, rx) = channel::<SeedMsg>();
+    let handle = std::thread::spawn(move || {
+        let mut local = None;
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                SeedMsg::Exec { sql, params, reply } => {
+                    let txn = *local.get_or_insert_with(|| engine.begin().unwrap());
+                    let stmt = tenantdb_sql::parse(sql).unwrap();
+                    let ok =
+                        tenantdb_sql::execute_stmt(&engine, txn, "app", &stmt, &params).is_ok();
+                    let _ = reply.send(ok);
+                }
+                SeedMsg::Prepare { reply } => {
+                    let ok = local.map(|t| engine.prepare(t).is_ok()).unwrap_or(true);
+                    let _ = reply.send(ok);
+                }
+                SeedMsg::Commit { reply } => {
+                    let ok = local
+                        .take()
+                        .map(|t| engine.commit(t).is_ok())
+                        .unwrap_or(true);
+                    let _ = reply.send(ok);
+                    return; // terminal: the thread exits, to be joined
+                }
+            }
+        }
+    });
+    SeedWorker {
+        tx,
+        handle: Some(handle),
+    }
+}
+
+fn seed_model_txn(engines: &[Arc<Engine>], k: i64) {
+    // Spawn one worker thread per machine (what ensure_worker did lazily).
+    let workers: Vec<SeedWorker> = engines
+        .iter()
+        .map(|e| spawn_seed_worker(Arc::clone(e)))
+        .collect();
+    // EXEC on every replica, fresh channel per message (write-all).
+    let (tx, rx) = channel();
+    for w in &workers {
+        w.tx.send(SeedMsg::Exec {
+            sql: "INSERT INTO t VALUES (?, 'x')",
+            params: vec![Value::Int(k)],
+            reply: tx.clone(),
+        })
+        .unwrap();
+    }
+    drop(tx);
+    assert!(rx.iter().all(|ok| ok), "seed-model exec failed");
+    // PREPARE everywhere, fresh channel again.
+    let (tx, rx) = channel();
+    for w in &workers {
+        w.tx.send(SeedMsg::Prepare { reply: tx.clone() }).unwrap();
+    }
+    drop(tx);
+    assert!(rx.iter().all(|ok| ok), "seed-model prepare failed");
+    // COMMIT everywhere, fresh channel again; then join the threads.
+    let (tx, rx) = channel();
+    for w in &workers {
+        w.tx.send(SeedMsg::Commit { reply: tx.clone() }).unwrap();
+    }
+    drop(tx);
+    assert!(rx.iter().all(|ok| ok), "seed-model commit failed");
+    for mut w in workers {
+        w.handle.take().unwrap().join().unwrap();
+    }
+}
+
+fn main() {
+    println!("# micro_txn_overhead — per-transaction dispatch cost, pool vs thread-per-txn");
+
+    let c = cluster();
+    let conn = c.connect("app").unwrap();
+
+    let mut k = 0i64;
+    let pooled = time_op_default(|| {
+        k += 1;
+        conn.begin().unwrap();
+        conn.execute("INSERT INTO t VALUES (?, 'x')", &[Value::Int(k)])
+            .unwrap();
+        conn.commit().unwrap();
+    });
+    report_micro("pooled/begin_1stmt_commit", pooled);
+
+    let empty = time_op_default(|| {
+        conn.begin().unwrap();
+        conn.commit().unwrap();
+    });
+    report_micro("pooled/empty_commit", empty);
+
+    // Same engines, seed mechanics. Use a key range far from the pooled run.
+    let engines: Vec<Arc<Engine>> = c
+        .alive_replicas("app")
+        .unwrap()
+        .into_iter()
+        .map(|id| Arc::clone(&c.machine(id).unwrap().engine))
+        .collect();
+    let mut k = 10_000_000i64;
+    let seed_model = time_op_default(|| {
+        k += 1;
+        seed_model_txn(&engines, k);
+    });
+    report_micro("seed_model/begin_1stmt_commit", seed_model);
+
+    println!(
+        "ratio seed_model/pooled = {:.2}x (acceptance bar: >= 2.0x)",
+        seed_model / pooled
+    );
+}

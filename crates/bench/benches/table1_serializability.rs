@@ -23,14 +23,19 @@ fn run_rounds(read: ReadPolicy, write: WritePolicy, rounds: usize) -> bool {
             lock_timeout: Duration::from_millis(200),
         },
         seed: 7,
+        ..Default::default()
     };
     let cluster = ClusterController::with_machines(cfg, 2);
     cluster.create_database("bank", 2).unwrap();
     cluster
-        .ddl("bank", "CREATE TABLE acct (k TEXT NOT NULL, bal INT, PRIMARY KEY (k))")
+        .ddl(
+            "bank",
+            "CREATE TABLE acct (k TEXT NOT NULL, bal INT, PRIMARY KEY (k))",
+        )
         .unwrap();
     let conn = cluster.connect("bank").unwrap();
-    conn.execute("INSERT INTO acct VALUES ('x', 0), ('y', 0)", &[]).unwrap();
+    conn.execute("INSERT INTO acct VALUES ('x', 0), ('y', 0)", &[])
+        .unwrap();
     let recorder = Arc::new(Recorder::new());
     cluster.set_recorder(Some(Arc::clone(&recorder)));
 
@@ -81,7 +86,13 @@ fn main() {
     ] {
         let cons = run_rounds(read, WritePolicy::Conservative, rounds / 2);
         let aggr = run_rounds(read, WritePolicy::Aggressive, rounds);
-        let fmt = |ok: bool| if ok { "Serializable" } else { "NOT serializable" };
+        let fmt = |ok: bool| {
+            if ok {
+                "Serializable"
+            } else {
+                "NOT serializable"
+            }
+        };
         println!("{label:<28}{:>22}{:>22}", fmt(cons), fmt(aggr));
     }
     println!();

@@ -12,9 +12,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use tenantdb_cluster::{
-    ClusterConfig, ClusterController, ReadPolicy, WritePolicy,
-};
+use tenantdb_cluster::{ClusterConfig, ClusterController, ReadPolicy, WritePolicy};
 use tenantdb_storage::{CostModel, EngineConfig};
 use tenantdb_tpcw::{
     run_workload, setup_tpcw_databases, DbWorkload, Mix, Scale, WorkloadConfig, WorkloadReport,
@@ -101,6 +99,7 @@ impl ThroughputExperiment {
             write_policy: self.write_policy,
             engine: bench_engine_config(pages),
             seed: self.seed,
+            ..Default::default()
         };
         let cluster = ClusterController::with_machines(cfg, self.machines);
         let workloads = setup_tpcw_databases(
@@ -138,7 +137,12 @@ impl ThroughputExperiment {
         run_workload(
             &cluster,
             &workloads,
-            &WorkloadConfig { mix, sessions_per_db, duration, seed: self.seed },
+            &WorkloadConfig {
+                mix,
+                sessions_per_db,
+                duration,
+                seed: self.seed,
+            },
         )
     }
 }
@@ -160,7 +164,10 @@ pub fn run_throughput_figure(figure: &str, mix: &'static Mix) {
     // adding sessions beyond ~2 measures scheduler contention, not capacity.
     let sessions_sweep: &[usize] = if fast_mode() { &[2] } else { &[1, 2] };
     let duration = secs(3.0);
-    println!("# {figure}: TPC-W {} mix — committed TPS (aggregate over all databases)", mix.name);
+    println!(
+        "# {figure}: TPC-W {} mix — committed TPS (aggregate over all databases)",
+        mix.name
+    );
     println!("# cluster: 4 machines, 4 databases, conservative writes");
     print!("{:<22}", "series \\ sessions/db");
     for s in sessions_sweep {
@@ -175,7 +182,10 @@ pub fn run_throughput_figure(figure: &str, mix: &'static Mix) {
                     replicas: 1,
                     ..Default::default()
                 },
-                Some(p) => ThroughputExperiment { read_policy: p, ..Default::default() },
+                Some(p) => ThroughputExperiment {
+                    read_policy: p,
+                    ..Default::default()
+                },
             };
             let report = exp.run(mix, sessions, duration);
             print!("{:>10.1}", report.tps());
@@ -187,18 +197,27 @@ pub fn run_throughput_figure(figure: &str, mix: &'static Mix) {
 /// Run one deadlock figure (Figures 5–7): deadlocks per 1000 transactions
 /// for each read option across database sizes.
 pub fn run_deadlock_figure(figure: &str, mix: &'static Mix) {
-    let sizes: &[usize] = if fast_mode() { &[200, 400] } else { &[200, 400, 800, 1600] };
+    let sizes: &[usize] = if fast_mode() {
+        &[200, 400]
+    } else {
+        &[200, 400, 800, 1600]
+    };
     let duration = secs(2.0);
-    println!("# {figure}: TPC-W {} mix — deadlocks per 1000 transactions", mix.name);
+    println!(
+        "# {figure}: TPC-W {} mix — deadlocks per 1000 transactions",
+        mix.name
+    );
     println!("# cluster: 4 machines, 4 databases, 2 replicas, conservative writes");
     print!("{:<22}", "series \\ items/db");
     for s in sizes {
         print!("{s:>10}");
     }
     println!();
-    for (label, policy) in
-        [("option-1", ReadPolicy::PinnedReplica), ("option-2", ReadPolicy::PerTransaction), ("option-3", ReadPolicy::PerOperation)]
-    {
+    for (label, policy) in [
+        ("option-1", ReadPolicy::PinnedReplica),
+        ("option-2", ReadPolicy::PerTransaction),
+        ("option-3", ReadPolicy::PerOperation),
+    ] {
         print!("{label:<22}");
         for &items in sizes {
             let exp = ThroughputExperiment {
@@ -214,6 +233,53 @@ pub fn run_deadlock_figure(figure: &str, mix: &'static Mix) {
         }
         println!();
     }
+}
+
+// ------------------------------------------------------------ micro timing
+
+/// Minimal microbenchmark loop (no external harness): run `f` repeatedly
+/// for ~`measure` after a `warmup`, reporting mean ns/op. Good to the
+/// precision the micro targets need (they compare multi-µs operations);
+/// timer overhead is amortized by reading the clock once per batch.
+pub fn time_per_op(warmup: Duration, measure: Duration, mut f: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    let mut warm_iters = 0u64;
+    while t0.elapsed() < warmup {
+        f();
+        warm_iters += 1;
+    }
+    // Batch so the clock is read ~200 times over the measured window.
+    let est_per_op = warmup.as_nanos() as u64 / warm_iters.max(1);
+    let batch = (measure.as_nanos() as u64 / est_per_op.max(1) / 200).clamp(1, 1 << 20);
+    let mut ops = 0u64;
+    let start = std::time::Instant::now();
+    let mut elapsed;
+    loop {
+        for _ in 0..batch {
+            f();
+        }
+        ops += batch;
+        elapsed = start.elapsed();
+        if elapsed >= measure {
+            break;
+        }
+    }
+    elapsed.as_nanos() as f64 / ops as f64
+}
+
+/// `time_per_op` with the profile the micro targets share (fast-mode aware).
+pub fn time_op_default(f: impl FnMut()) -> f64 {
+    let (w, m) = if fast_mode() { (0.05, 0.2) } else { (0.3, 1.5) };
+    time_per_op(Duration::from_secs_f64(w), Duration::from_secs_f64(m), f)
+}
+
+/// Print one micro result line: name, ns/op, ops/s.
+pub fn report_micro(name: &str, ns_per_op: f64) {
+    println!(
+        "{name:<38}{:>12.0} ns/op{:>14.0} ops/s",
+        ns_per_op,
+        1e9 / ns_per_op
+    );
 }
 
 /// Pretty-print a two-column table (used by the SLA benches).
@@ -283,6 +349,7 @@ impl RecoveryExperiment {
             write_policy: WritePolicy::Conservative,
             engine: bench_engine_config(4096),
             seed: self.seed,
+            ..Default::default()
         };
         let cluster = ClusterController::with_machines(cfg, self.machines);
         let workloads = setup_tpcw_databases(
@@ -300,7 +367,11 @@ impl RecoveryExperiment {
             let cluster = Arc::clone(&cluster);
             let wl: Vec<DbWorkload> = workloads
                 .iter()
-                .map(|w| DbWorkload { db: w.db.clone(), ids: Arc::clone(&w.ids), scale: w.scale })
+                .map(|w| DbWorkload {
+                    db: w.db.clone(),
+                    ids: Arc::clone(&w.ids),
+                    scale: w.scale,
+                })
                 .collect();
             let seed = self.seed;
             std::thread::spawn(move || {
@@ -343,7 +414,10 @@ impl RecoveryExperiment {
 
         // Snapshot counters at recovery completion.
         let during = cluster.total_counters();
-        let rejected: u64 = victim_dbs.iter().map(|db| cluster.counters(db).rejected).sum();
+        let rejected: u64 = victim_dbs
+            .iter()
+            .map(|db| cluster.counters(db).rejected)
+            .sum();
 
         let _ = bg.join().expect("workload thread");
         RecoveryOutcome {

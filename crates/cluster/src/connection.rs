@@ -7,9 +7,21 @@
 //! The one exception is machine failure (`Unavailable`): a dead replica is
 //! silently discarded from the replica set and the transaction continues on
 //! the survivors, which is the failure-masking behaviour §3.2 requires.
+//!
+//! ## Reply plumbing
+//!
+//! A transaction owns exactly one reply channel for its whole lifetime; the
+//! per-machine sessions it attaches all send into it, and every request
+//! carries a sequence number minted under the connection lock. The receive
+//! side simply discards replies whose `seq` predates the current request —
+//! that is where aggressive-mode straggler acks (background replica writes
+//! the client did not wait for) go to die. The seed allocated a fresh mpsc
+//! channel per statement to get the same isolation; the sequence numbers
+//! make the allocation (and the per-statement `HashMap` of pending
+//! channels it implied) unnecessary.
 
 use std::collections::HashMap;
-use std::sync::mpsc::channel;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -23,15 +35,32 @@ use tenantdb_storage::{StorageError, TxnId, Value};
 use crate::controller::{ClusterController, ReadPolicy, WritePolicy};
 use crate::error::{ClusterError, Result};
 use crate::machine::MachineId;
-use crate::worker::{spawn_worker, TxnFailures, WorkerHandle, WorkerMsg, WorkerReply};
+use crate::worker::{SessionHandle, SessionMsg, TxnFailures, WorkerReply};
 
 struct ActiveTxn {
     gtxn: GTxn,
-    workers: HashMap<MachineId, WorkerHandle>,
+    sessions: HashMap<MachineId, SessionHandle>,
     /// Replica chosen for this transaction's reads (Option 2).
     read_pin: Option<MachineId>,
     wrote: bool,
     failures: Arc<TxnFailures>,
+    /// Send half of the transaction's single reply channel (sessions clone
+    /// it at attach time).
+    reply_tx: Sender<WorkerReply>,
+    /// Receive half, shared so the connection lock can be dropped while
+    /// waiting for replies. Uncontended: one statement is in flight at a
+    /// time per connection.
+    reply_rx: Arc<Mutex<Receiver<WorkerReply>>>,
+    /// Last sequence number minted (0 = none yet; replies at or above the
+    /// wait threshold are current, everything below is a stale straggler).
+    seq: u64,
+}
+
+impl ActiveTxn {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
 }
 
 /// Fault-injection points inside `commit` (process-pair takeover tests).
@@ -56,8 +85,8 @@ pub struct Connection {
 impl Connection {
     pub(crate) fn new(controller: Arc<ClusterController>, db: String) -> Self {
         // Per-connection deterministic RNG stream.
-        let seed = controller.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ controller.next_gtxn().0;
+        let seed =
+            controller.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ controller.next_gtxn().0;
         Connection {
             controller,
             db,
@@ -78,14 +107,20 @@ impl Connection {
     pub fn begin(&self) -> Result<()> {
         let mut st = self.state.lock();
         if st.is_some() {
-            return Err(ClusterError::TxnAborted("BEGIN inside an open transaction".into()));
+            return Err(ClusterError::TxnAborted(
+                "BEGIN inside an open transaction".into(),
+            ));
         }
+        let (reply_tx, reply_rx) = channel();
         *st = Some(ActiveTxn {
             gtxn: self.controller.next_gtxn(),
-            workers: HashMap::new(),
+            sessions: HashMap::new(),
             read_pin: None,
             wrote: false,
             failures: Arc::new(TxnFailures::default()),
+            reply_tx,
+            reply_rx: Arc::new(Mutex::new(reply_rx)),
+            seq: 0,
         });
         Ok(())
     }
@@ -104,7 +139,10 @@ impl Connection {
         params: Arc<Vec<Value>>,
     ) -> Result<QueryResult> {
         // DDL bypasses transactions entirely (engine DDL is auto-committed).
-        if matches!(**stmt, Statement::CreateTable { .. } | Statement::CreateIndex { .. }) {
+        if matches!(
+            **stmt,
+            Statement::CreateTable { .. } | Statement::CreateIndex { .. }
+        ) {
             if self.in_txn() {
                 return Err(ClusterError::Sql(SqlError::Plan(
                     "DDL not allowed inside a transaction".into(),
@@ -141,7 +179,10 @@ impl Connection {
             return Err(ClusterError::NoReplicas(self.db.clone()));
         }
         if self.controller.copy_progress(&self.db).is_some() {
-            return Err(ClusterError::WriteRejected { db: self.db.clone(), table: "<ddl>".into() });
+            return Err(ClusterError::WriteRejected {
+                db: self.db.clone(),
+                table: "<ddl>".into(),
+            });
         }
         for id in replicas {
             let machine = self.controller.machine(id)?;
@@ -191,23 +232,23 @@ impl Connection {
 
     // ----------------------------------------------------------- dispatch
 
-    fn ensure_worker<'a>(
+    fn ensure_session<'a>(
         &self,
         txn: &'a mut ActiveTxn,
         machine: MachineId,
-    ) -> Result<&'a WorkerHandle> {
-        if !txn.workers.contains_key(&machine) {
+    ) -> Result<&'a SessionHandle> {
+        if !txn.sessions.contains_key(&machine) {
             let m = self.controller.machine(machine)?;
-            let handle = spawn_worker(
-                m,
+            let handle = m.session(
                 self.db.clone(),
                 txn.gtxn,
                 Arc::clone(&txn.failures),
                 self.controller.recorder.read().clone(),
+                txn.reply_tx.clone(),
             );
-            txn.workers.insert(machine, handle);
+            txn.sessions.insert(machine, handle);
         }
-        Ok(txn.workers.get(&machine).unwrap())
+        Ok(txn.sessions.get(&machine).unwrap())
     }
 
     fn is_unavailable(err: &ClusterError) -> bool {
@@ -223,8 +264,11 @@ impl Connection {
             Statement::Select(sel) => !sel.for_update,
             _ => false,
         };
-        let result =
-            if is_read { self.run_read(stmt, params) } else { self.run_write(stmt, params) };
+        let result = if is_read {
+            self.run_read(stmt, params)
+        } else {
+            self.run_write(stmt, params)
+        };
         if let Err(e) = &result {
             // Transaction-fatal errors abort the whole distributed txn so the
             // client can retry from a clean slate (MySQL behaves the same on
@@ -240,16 +284,51 @@ impl Connection {
         result
     }
 
+    /// Receive replies for request `seq`, discarding stale stragglers from
+    /// earlier aggressive-mode writes, until `want` current replies arrived
+    /// or `stop` says enough.
+    fn collect_replies(
+        rx: &Arc<Mutex<Receiver<WorkerReply>>>,
+        seq: u64,
+        want: usize,
+        mut stop: impl FnMut(&WorkerReply) -> bool,
+    ) -> Vec<WorkerReply> {
+        let rx = rx.lock();
+        let mut out = Vec::with_capacity(want);
+        while out.len() < want {
+            let Ok(reply) = rx.recv() else { break };
+            if reply.seq != seq {
+                // Straggler ack of an earlier request (aggressive-mode
+                // background write): already accounted for via TxnFailures.
+                continue;
+            }
+            let done = stop(&reply);
+            out.push(reply);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
     fn run_read(&self, stmt: &Arc<Statement>, params: Arc<Vec<Value>>) -> Result<QueryResult> {
         let mut st = self.state.lock();
         let txn = st.as_mut().ok_or(ClusterError::NoActiveTxn)?;
         let machine = self.pick_read_machine(txn)?;
-        let worker = self.ensure_worker(txn, machine)?;
-        let (tx, rx) = channel();
-        worker.send(WorkerMsg::Exec { stmt: Arc::clone(stmt), params, reply: tx })?;
+        let seq = txn.next_seq();
+        let rx = Arc::clone(&txn.reply_rx);
+        let session = self.ensure_session(txn, machine)?;
+        session.send(SessionMsg::Exec {
+            seq,
+            stmt: Arc::clone(stmt),
+            params,
+        })?;
         drop(st); // don't hold the connection lock while the engine works
-        let reply = rx.recv().map_err(|_| ClusterError::from(StorageError::Unavailable))?;
-        reply.result
+        let mut replies = Self::collect_replies(&rx, seq, 1, |_| true);
+        match replies.pop() {
+            Some(r) => r.result,
+            None => Err(ClusterError::from(StorageError::Unavailable)),
+        }
     }
 
     /// Tables touched by a broadcast statement: the written table for DML,
@@ -282,9 +361,14 @@ impl Connection {
         if let Some(copy) = self.controller.copy_progress(&self.db) {
             targets.retain(|&m| m != copy.target);
             let rejected = (copy.db_level && !is_locking_read)
-                || tables.iter().any(|t| copy.current.as_deref() == Some(t.as_str()));
+                || tables
+                    .iter()
+                    .any(|t| copy.current.as_deref() == Some(t.as_str()));
             if rejected {
-                return Err(ClusterError::WriteRejected { db: self.db.clone(), table });
+                return Err(ClusterError::WriteRejected {
+                    db: self.db.clone(),
+                    table,
+                });
             }
             // DML on an already-copied table also lands on the new replica.
             // Locking reads never target the copy (its data is incomplete).
@@ -296,36 +380,38 @@ impl Connection {
             return Err(ClusterError::NoReplicas(self.db.clone()));
         }
 
-        let (tx, rx) = channel::<WorkerReply>();
+        let seq = txn.next_seq();
+        let rx = Arc::clone(&txn.reply_rx);
+        let mut sent = 0usize;
         for &m in &targets {
-            let worker = self.ensure_worker(txn, m)?;
-            worker.send(WorkerMsg::Exec {
+            let session = self.ensure_session(txn, m)?;
+            session.send(SessionMsg::Exec {
+                seq,
                 stmt: Arc::clone(stmt),
                 params: Arc::clone(&params),
-                reply: tx.clone(),
             })?;
+            sent += 1;
         }
-        drop(tx);
         txn.wrote = true;
         let write_policy = self.controller.cfg.write_policy;
         drop(st);
 
-        let n = targets.len();
+        // Conservative: wait for all replicas. Aggressive: return on the
+        // first success — the lagging replicas' acks arrive as stragglers on
+        // this same channel and are discarded by later requests, while any
+        // *failure* among them lands in the shared TxnFailures ledger, which
+        // commit() refuses to overlook.
+        let replies = Self::collect_replies(&rx, seq, sent, |r| {
+            write_policy == WritePolicy::Aggressive && r.result.is_ok()
+        });
+
         let mut first_ok: Option<QueryResult> = None;
         let mut errors: Vec<(MachineId, ClusterError)> = Vec::new();
-        let mut received = 0;
-        while received < n {
-            let Ok(reply) = rx.recv() else { break };
-            received += 1;
+        for reply in replies {
             match reply.result {
                 Ok(r) => {
                     if first_ok.is_none() {
                         first_ok = Some(r);
-                        if write_policy == WritePolicy::Aggressive {
-                            // Return immediately; stragglers report failures
-                            // through the shared ledger.
-                            break;
-                        }
                     }
                 }
                 Err(e) => errors.push((reply.machine, e)),
@@ -371,7 +457,7 @@ impl Connection {
         for (m, e) in txn.failures.drain() {
             if Self::is_unavailable(&e) {
                 self.controller.remove_replica(&self.db, m);
-                txn.workers.remove(&m);
+                txn.sessions.remove(&m);
             } else if fatal.is_none() {
                 fatal = Some(e);
             }
@@ -381,7 +467,7 @@ impl Connection {
             self.finish_abort(&mut txn, &e);
             return Err(wrapped);
         }
-        if txn.workers.is_empty() {
+        if txn.sessions.is_empty() {
             // Transaction that never touched a machine.
             self.note_outcome_commit(&txn);
             return Ok(());
@@ -389,13 +475,16 @@ impl Connection {
 
         if !txn.wrote {
             // One-phase commit for read-only transactions.
-            self.broadcast(&mut txn, |tx| WorkerMsg::Commit { reply: tx });
+            self.broadcast(&mut txn, |seq| SessionMsg::Commit {
+                seq,
+                want_reply: true,
+            });
             self.note_outcome_commit(&txn);
             return Ok(());
         }
 
         // Phase 1: PREPARE everywhere.
-        let votes = self.broadcast(&mut txn, |tx| WorkerMsg::Prepare { reply: tx });
+        let votes = self.broadcast(&mut txn, |seq| SessionMsg::Prepare { seq });
         let mut yes: Vec<(MachineId, TxnId)> = Vec::new();
         let mut fatal: Option<ClusterError> = None;
         for (m, local, res) in votes {
@@ -404,7 +493,7 @@ impl Connection {
                 Err(e) if Self::is_unavailable(&e) => {
                     // Participant died before voting: discard the replica.
                     self.controller.remove_replica(&self.db, m);
-                    txn.workers.remove(&m);
+                    txn.sessions.remove(&m);
                 }
                 Err(e) => {
                     if fatal.is_none() {
@@ -414,12 +503,13 @@ impl Connection {
             }
         }
         // Settle the ledger *again*: a background write that failed after
-        // the first drain reports its error before its worker answers the
-        // PREPARE (workers are strictly ordered), so by now it is visible.
+        // the first drain reports its error before its session answers the
+        // PREPARE (session lanes are strictly ordered), so by now it is
+        // visible.
         for (m, e) in txn.failures.drain() {
             if Self::is_unavailable(&e) {
                 self.controller.remove_replica(&self.db, m);
-                txn.workers.remove(&m);
+                txn.sessions.remove(&m);
                 yes.retain(|(ym, _)| *ym != m);
             } else if fatal.is_none() {
                 fatal = Some(e);
@@ -445,17 +535,22 @@ impl Connection {
         if fault == CommitFault::CrashAfterDecision {
             // Simulated controller crash: participants stay prepared; the
             // decision is in the mirrored log for the backup to complete.
-            // Leak the workers (their threads park on their channels) so the
-            // cleanup abort never runs — mirroring a real process death.
-            for (_, w) in txn.workers.drain() {
-                std::mem::forget(w);
+            // Detach the sessions so the cleanup abort never runs — the seed
+            // modelled this by leaking one parked thread per participant;
+            // detaching releases the pool slot without touching the
+            // prepared local transactions.
+            for (_, s) in txn.sessions.drain() {
+                s.detach();
             }
             self.controller.note_committed(&self.db);
             return Ok(());
         }
 
         // Phase 2: COMMIT.
-        let acks = self.broadcast(&mut txn, |tx| WorkerMsg::Commit { reply: tx });
+        let acks = self.broadcast(&mut txn, |seq| SessionMsg::Commit {
+            seq,
+            want_reply: true,
+        });
         for (m, _, res) in acks {
             if let Err(e) = res {
                 if Self::is_unavailable(&e) {
@@ -476,7 +571,10 @@ impl Connection {
         let Some(mut txn) = self.state.lock().take() else {
             return Err(ClusterError::NoActiveTxn);
         };
-        self.broadcast(&mut txn, |tx| WorkerMsg::Abort { reply: tx });
+        self.broadcast(&mut txn, |seq| SessionMsg::Abort {
+            seq,
+            want_reply: true,
+        });
         if let Some(rec) = self.controller.recorder.read().as_ref() {
             rec.abort(txn.gtxn);
         }
@@ -492,7 +590,10 @@ impl Connection {
     }
 
     fn finish_abort(&self, txn: &mut ActiveTxn, cause: &ClusterError) {
-        self.broadcast(txn, |tx| WorkerMsg::Abort { reply: tx });
+        self.broadcast(txn, |seq| SessionMsg::Abort {
+            seq,
+            want_reply: true,
+        });
         if let Some(rec) = self.controller.recorder.read().as_ref() {
             rec.abort(txn.gtxn);
         }
@@ -512,28 +613,24 @@ impl Connection {
         self.controller.note_committed(&self.db);
     }
 
-    /// Send a message to every live worker and collect one reply each.
+    /// Send a message to every live session and collect one reply each.
     fn broadcast(
         &self,
         txn: &mut ActiveTxn,
-        make: impl Fn(std::sync::mpsc::Sender<WorkerReply>) -> WorkerMsg,
+        make: impl Fn(u64) -> SessionMsg,
     ) -> Vec<(MachineId, Option<TxnId>, Result<QueryResult>)> {
-        let (tx, rx) = channel::<WorkerReply>();
+        let seq = txn.next_seq();
         let mut expected = 0;
-        for w in txn.workers.values() {
-            if w.send(make(tx.clone())).is_ok() {
+        for s in txn.sessions.values() {
+            if s.send(make(seq)).is_ok() {
                 expected += 1;
             }
         }
-        drop(tx);
-        let mut out = Vec::with_capacity(expected);
-        for _ in 0..expected {
-            match rx.recv() {
-                Ok(r) => out.push((r.machine, r.local, r.result)),
-                Err(_) => break,
-            }
-        }
-        out
+        let replies = Self::collect_replies(&txn.reply_rx, seq, expected, |_| false);
+        replies
+            .into_iter()
+            .map(|r| (r.machine, r.local, r.result))
+            .collect()
     }
 
     /// The current transaction's global id (tests and diagnostics).

@@ -19,6 +19,7 @@ use tenantdb_storage::{EngineConfig, TxnId};
 use crate::connection::Connection;
 use crate::error::{ClusterError, Result};
 use crate::machine::{Machine, MachineId};
+use crate::pool::PoolConfig;
 
 /// The three read-routing options of §3.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,8 @@ pub struct ClusterConfig {
     pub write_policy: WritePolicy,
     /// Configuration for every machine's engine.
     pub engine: EngineConfig,
+    /// Sizing of every machine's persistent worker pool.
+    pub pool: PoolConfig,
     /// Seed for replica-choice randomness (reproducible experiments).
     pub seed: u64,
 }
@@ -61,6 +64,7 @@ impl Default for ClusterConfig {
             read_policy: ReadPolicy::PinnedReplica,
             write_policy: WritePolicy::Conservative,
             engine: EngineConfig::default(),
+            pool: PoolConfig::default(),
             seed: 42,
         }
     }
@@ -68,12 +72,20 @@ impl Default for ClusterConfig {
 
 impl ClusterConfig {
     pub fn for_tests() -> Self {
-        ClusterConfig { engine: EngineConfig::for_tests(), ..Default::default() }
+        ClusterConfig {
+            engine: EngineConfig::for_tests(),
+            ..Default::default()
+        }
     }
 
     pub fn with_policies(mut self, read: ReadPolicy, write: WritePolicy) -> Self {
         self.read_policy = read;
         self.write_policy = write;
+        self
+    }
+
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
         self
     }
 }
@@ -175,7 +187,7 @@ impl ClusterController {
     /// Add a fresh machine (from the colo's free pool) to the cluster.
     pub fn add_machine(&self) -> MachineId {
         let id = MachineId(self.next_machine.fetch_add(1, Ordering::Relaxed));
-        let m = Arc::new(Machine::new(id, self.cfg.engine));
+        let m = Arc::new(Machine::with_pool(id, self.cfg.engine, self.cfg.pool));
         self.machines.write().insert(id, m);
         id
     }
@@ -255,7 +267,10 @@ impl ClusterController {
             .unwrap();
         placements.insert(
             name.to_string(),
-            Placement { replicas: machine_ids.to_vec(), pinned },
+            Placement {
+                replicas: machine_ids.to_vec(),
+                pinned,
+            },
         );
         Ok(())
     }
@@ -339,14 +354,18 @@ impl ClusterController {
         let stmt = parse(sql)?;
         if !matches!(
             stmt,
-            tenantdb_sql::Statement::CreateTable { .. } | tenantdb_sql::Statement::CreateIndex { .. }
+            tenantdb_sql::Statement::CreateTable { .. }
+                | tenantdb_sql::Statement::CreateIndex { .. }
         ) {
             return Err(ClusterError::Sql(tenantdb_sql::SqlError::Plan(
                 "ddl() accepts only CREATE TABLE / CREATE INDEX".into(),
             )));
         }
         if self.copies.read().contains_key(db) {
-            return Err(ClusterError::WriteRejected { db: db.into(), table: "<ddl>".into() });
+            return Err(ClusterError::WriteRejected {
+                db: db.into(),
+                table: "<ddl>".into(),
+            });
         }
         for id in self.alive_replicas(db)? {
             let machine = self.machine(id)?;
@@ -371,7 +390,12 @@ impl ClusterController {
     pub fn begin_copy(&self, db: &str, target: MachineId, db_level: bool) {
         self.copies.write().insert(
             db.to_string(),
-            CopyProgress { target, copied: HashSet::new(), current: None, db_level },
+            CopyProgress {
+                target,
+                copied: HashSet::new(),
+                current: None,
+                db_level,
+            },
         );
     }
 
@@ -410,19 +434,35 @@ impl ClusterController {
     // ------------------------------------------------------------- stats
 
     pub(crate) fn note_committed(&self, db: &str) {
-        self.counters.lock().entry(db.to_string()).or_default().committed += 1;
+        self.counters
+            .lock()
+            .entry(db.to_string())
+            .or_default()
+            .committed += 1;
     }
 
     pub(crate) fn note_deadlock(&self, db: &str) {
-        self.counters.lock().entry(db.to_string()).or_default().deadlocks += 1;
+        self.counters
+            .lock()
+            .entry(db.to_string())
+            .or_default()
+            .deadlocks += 1;
     }
 
     pub(crate) fn note_rejected(&self, db: &str) {
-        self.counters.lock().entry(db.to_string()).or_default().rejected += 1;
+        self.counters
+            .lock()
+            .entry(db.to_string())
+            .or_default()
+            .rejected += 1;
     }
 
     pub(crate) fn note_aborted(&self, db: &str) {
-        self.counters.lock().entry(db.to_string()).or_default().aborted += 1;
+        self.counters
+            .lock()
+            .entry(db.to_string())
+            .or_default()
+            .aborted += 1;
     }
 
     /// Outcome counters for one database.
@@ -487,7 +527,10 @@ mod tests {
     #[test]
     fn replication_factor_larger_than_cluster_fails() {
         let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
-        assert_eq!(c.create_database("big", 3).unwrap_err(), ClusterError::NoMachines);
+        assert_eq!(
+            c.create_database("big", 3).unwrap_err(),
+            ClusterError::NoMachines
+        );
     }
 
     #[test]
@@ -514,7 +557,8 @@ mod tests {
     fn ddl_reaches_all_replicas() {
         let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
         let placed = c.create_database("app", 2).unwrap();
-        c.ddl("app", "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+        c.ddl("app", "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))")
+            .unwrap();
         for id in placed {
             let m = c.machine(id).unwrap();
             assert!(m.engine.table("app", "t").is_ok());
@@ -526,8 +570,16 @@ mod tests {
     fn copy_progress_lifecycle() {
         let c = ClusterController::with_machines(ClusterConfig::for_tests(), 3);
         let placed = c.create_database("app", 2).unwrap();
-        let target = c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
-        c.machine(target).unwrap().engine.create_database("app").unwrap();
+        let target = c
+            .machine_ids()
+            .into_iter()
+            .find(|m| !placed.contains(m))
+            .unwrap();
+        c.machine(target)
+            .unwrap()
+            .engine
+            .create_database("app")
+            .unwrap();
         c.begin_copy("app", target, false);
         c.set_copy_current("app", Some("t1"));
         let p = c.copy_progress("app").unwrap();
@@ -561,7 +613,8 @@ mod tests {
     #[test]
     fn databases_on_machine() {
         let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
-        c.create_database_on("a", &[MachineId(0), MachineId(1)]).unwrap();
+        c.create_database_on("a", &[MachineId(0), MachineId(1)])
+            .unwrap();
         c.create_database_on("b", &[MachineId(1)]).unwrap();
         let mut on1 = c.databases_on(MachineId(1));
         on1.sort();
@@ -601,7 +654,8 @@ mod drop_tests {
     fn drop_database_cleans_everything() {
         let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
         let placed = c.create_database("gone", 2).unwrap();
-        c.ddl("gone", "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+        c.ddl("gone", "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))")
+            .unwrap();
         c.drop_database("gone").unwrap();
         assert!(c.placement("gone").is_err());
         for id in placed {

@@ -110,7 +110,10 @@ mod tests {
         assert!(dl.is_deadlock());
         assert!(!dl.is_proactive_rejection());
 
-        let rej = ClusterError::WriteRejected { db: "d".into(), table: "t".into() };
+        let rej = ClusterError::WriteRejected {
+            db: "d".into(),
+            table: "t".into(),
+        };
         assert!(rej.is_proactive_rejection());
         assert!(!rej.is_deadlock());
 
@@ -123,7 +126,13 @@ mod tests {
 
     #[test]
     fn display() {
-        let rej = ClusterError::WriteRejected { db: "app".into(), table: "items".into() };
-        assert_eq!(rej.to_string(), "write to app.items rejected: table is being copied");
+        let rej = ClusterError::WriteRejected {
+            db: "app".into(),
+            table: "items".into(),
+        };
+        assert_eq!(
+            rej.to_string(),
+            "write to app.items rejected: table is being copied"
+        );
     }
 }

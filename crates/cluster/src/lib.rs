@@ -39,6 +39,7 @@ pub mod controller;
 pub mod error;
 pub mod machine;
 pub mod pair;
+pub mod pool;
 pub mod rebalance;
 pub mod recovery;
 pub mod worker;
@@ -50,9 +51,8 @@ pub use controller::{
 pub use error::{ClusterError, Result};
 pub use machine::{Machine, MachineId};
 pub use pair::{ProcessPair, Role, TakeoverReport};
-pub use rebalance::{
-    execute_rebalance, observed_demands, plan_rebalance, Move, RebalancePlan,
-};
+pub use pool::{PoolConfig, WorkerPool};
+pub use rebalance::{execute_rebalance, observed_demands, plan_rebalance, Move, RebalancePlan};
 pub use recovery::{
     create_replica, migrate_replica, recover_machine, CopyGranularity, RecoveryConfig,
     RecoveryReport,

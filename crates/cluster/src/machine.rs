@@ -1,9 +1,15 @@
-//! Cluster machines: one commodity box running one single-node DBMS engine.
+//! Cluster machines: one commodity box running one single-node DBMS engine
+//! plus the persistent worker pool that executes transactions against it.
 
 use std::fmt;
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
+use tenantdb_history::{GTxn, Recorder};
 use tenantdb_storage::{Engine, EngineConfig};
+
+use crate::pool::{PoolConfig, WorkerPool};
+use crate::worker::{new_session, SessionHandle, TxnFailures, WorkerReply};
 
 /// Machine identifier within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -15,17 +21,54 @@ impl fmt::Display for MachineId {
     }
 }
 
-/// A machine = id + its engine instance. Fault injection goes through the
-/// engine (`crash` / `restart`); the controller observes `Unavailable`
-/// errors exactly as it would observe dropped connections.
+/// A machine = id + its engine instance + its executor pool. Fault injection
+/// goes through the engine (`crash` / `restart`); the controller observes
+/// `Unavailable` errors exactly as it would observe dropped connections. The
+/// pool's threads outlive every transaction — attaching a session to a
+/// machine is a heap allocation, not a thread spawn.
 pub struct Machine {
     pub id: MachineId,
     pub engine: Arc<Engine>,
+    pool: WorkerPool,
 }
 
 impl Machine {
     pub fn new(id: MachineId, cfg: EngineConfig) -> Self {
-        Machine { id, engine: Arc::new(Engine::new(cfg)) }
+        Self::with_pool(id, cfg, PoolConfig::default())
+    }
+
+    pub fn with_pool(id: MachineId, cfg: EngineConfig, pool: PoolConfig) -> Self {
+        Machine {
+            id,
+            engine: Arc::new(Engine::new(cfg)),
+            pool: WorkerPool::new("machine", pool),
+        }
+    }
+
+    /// Attach a transaction's session (FIFO execution lane) to this machine.
+    pub fn session(
+        &self,
+        db: String,
+        gtxn: GTxn,
+        failures: Arc<TxnFailures>,
+        recorder: Option<Arc<Recorder>>,
+        reply: Sender<WorkerReply>,
+    ) -> SessionHandle {
+        new_session(
+            self.pool.shared(),
+            self.id,
+            Arc::clone(&self.engine),
+            db,
+            gtxn,
+            failures,
+            recorder,
+            reply,
+        )
+    }
+
+    /// The machine's executor pool (recovery reuses it for copy jobs).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     pub fn is_failed(&self) -> bool {
@@ -44,6 +87,7 @@ impl fmt::Debug for Machine {
             .field("id", &self.id)
             .field("failed", &self.is_failed())
             .field("databases", &self.engine.database_names())
+            .field("pool_threads", &self.pool.live_threads())
             .finish()
     }
 }
@@ -61,5 +105,16 @@ mod tests {
         assert_eq!(m.hosted_databases(), 1);
         m.engine.crash();
         assert!(m.is_failed());
+    }
+
+    #[test]
+    fn machine_pool_is_persistent() {
+        let m = Machine::with_pool(
+            MachineId(1),
+            EngineConfig::for_tests(),
+            PoolConfig::fixed(2),
+        );
+        assert_eq!(m.pool().live_threads(), 2);
+        assert_eq!(m.pool().config(), PoolConfig::fixed(2));
     }
 }

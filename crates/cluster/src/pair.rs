@@ -55,7 +55,10 @@ pub struct ProcessPair {
 
 impl ProcessPair {
     pub fn new(controller: Arc<ClusterController>) -> Self {
-        ProcessPair { controller, active: RwLock::new(Role::Primary) }
+        ProcessPair {
+            controller,
+            active: RwLock::new(Role::Primary),
+        }
     }
 
     pub fn active_role(&self) -> Role {
@@ -126,7 +129,11 @@ mod tests {
     fn cluster() -> Arc<ClusterController> {
         let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
         c.create_database("app", 2).unwrap();
-        c.ddl("app", "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))").unwrap();
+        c.ddl(
+            "app",
+            "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))",
+        )
+        .unwrap();
         c
     }
 
@@ -138,10 +145,12 @@ mod tests {
 
         let conn = c.connect("app").unwrap();
         conn.begin().unwrap();
-        conn.execute("INSERT INTO t VALUES (1, 'decided')", &[]).unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'decided')", &[])
+            .unwrap();
         let gtxn = conn.current_gtxn().unwrap();
         // Primary crashes after the decision, before sending COMMITs.
-        conn.commit_with_fault(CommitFault::CrashAfterDecision).unwrap();
+        conn.commit_with_fault(CommitFault::CrashAfterDecision)
+            .unwrap();
         assert_eq!(c.commit_log.lock().len(), 1);
 
         let report = pair.fail_primary();
@@ -153,7 +162,11 @@ mod tests {
         for id in c.alive_replicas("app").unwrap() {
             let m = c.machine(id).unwrap();
             let t = m.engine.begin().unwrap();
-            assert_eq!(m.engine.scan(t, "app", "t").unwrap().len(), 1, "replica {id}");
+            assert_eq!(
+                m.engine.scan(t, "app", "t").unwrap().len(),
+                1,
+                "replica {id}"
+            );
             m.engine.commit(t).unwrap();
         }
     }
@@ -170,7 +183,12 @@ mod tests {
             let m = c.machine(id).unwrap();
             let t = m.engine.begin().unwrap();
             m.engine
-                .insert(t, "app", "t", vec![Value::Int(9), Value::Text("doomed".into())])
+                .insert(
+                    t,
+                    "app",
+                    "t",
+                    vec![Value::Int(9), Value::Text("doomed".into())],
+                )
                 .unwrap();
             m.engine.prepare(t).unwrap();
             locals.push((id, t));

@@ -65,9 +65,15 @@ impl RebalancePlan {
 pub fn observed_demands(controller: &ClusterController) -> HashMap<String, ResourceVector> {
     let mut out = HashMap::new();
     for db in controller.database_names() {
-        let Ok(replicas) = controller.alive_replicas(&db) else { continue };
-        let Some(&first) = replicas.first() else { continue };
-        let Ok(machine) = controller.machine(first) else { continue };
+        let Ok(replicas) = controller.alive_replicas(&db) else {
+            continue;
+        };
+        let Some(&first) = replicas.first() else {
+            continue;
+        };
+        let Ok(machine) = controller.machine(first) else {
+            continue;
+        };
         if let Ok(p) = machine.engine.db_profile(&db) {
             out.insert(
                 db,
@@ -121,9 +127,7 @@ pub fn plan_rebalance(
             .map_err(|e| ClusterError::TxnAborted(format!("rebalance infeasible: {e}")))?;
         let mut machines = Vec::with_capacity(bins.len());
         for b in bins {
-            let &m = machine_ids
-                .get(b)
-                .ok_or(ClusterError::NoMachines)?; // packing needs more machines than exist
+            let &m = machine_ids.get(b).ok_or(ClusterError::NoMachines)?; // packing needs more machines than exist
             machines.push(m);
         }
         target.insert(db.clone(), machines);
@@ -133,13 +137,23 @@ pub fn plan_rebalance(
     let mut moves = Vec::new();
     for (db, _, current) in &dbs {
         let tgt = &target[db];
-        let departures: Vec<MachineId> =
-            current.iter().copied().filter(|m| !tgt.contains(m)).collect();
-        let arrivals: Vec<MachineId> =
-            tgt.iter().copied().filter(|m| !current.contains(m)).collect();
+        let departures: Vec<MachineId> = current
+            .iter()
+            .copied()
+            .filter(|m| !tgt.contains(m))
+            .collect();
+        let arrivals: Vec<MachineId> = tgt
+            .iter()
+            .copied()
+            .filter(|m| !current.contains(m))
+            .collect();
         debug_assert_eq!(departures.len(), arrivals.len());
         for (from, to) in departures.into_iter().zip(arrivals) {
-            moves.push(Move { db: db.clone(), from, to });
+            moves.push(Move {
+                db: db.clone(),
+                from,
+                to,
+            });
         }
     }
 
@@ -147,8 +161,7 @@ pub fn plan_rebalance(
         dbs.iter().flat_map(|(_, _, r)| r.iter().copied()).collect();
     let used_after: std::collections::HashSet<MachineId> =
         target.values().flat_map(|v| v.iter().copied()).collect();
-    let mut freed: Vec<MachineId> =
-        used_before.difference(&used_after).copied().collect();
+    let mut freed: Vec<MachineId> = used_before.difference(&used_after).copied().collect();
     freed.sort();
 
     Ok(RebalancePlan {
@@ -196,7 +209,11 @@ mod tests {
         for i in 0..6 {
             let db = format!("db{i}");
             c.create_database_on(&db, &[MachineId(i)]).unwrap();
-            c.ddl(&db, "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))").unwrap();
+            c.ddl(
+                &db,
+                "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))",
+            )
+            .unwrap();
             let conn = c.connect(&db).unwrap();
             conn.begin().unwrap();
             for r in 0..10i64 {
@@ -217,7 +234,10 @@ mod tests {
         let (c, demands) = scattered();
         let plan = plan_rebalance(&c, &demands, cap(10.0)).unwrap();
         assert_eq!(plan.machines_before, 6);
-        assert_eq!(plan.machines_after, 2, "6 x 3.0 demand packs into 2 x 10.0 machines");
+        assert_eq!(
+            plan.machines_after, 2,
+            "6 x 3.0 demand packs into 2 x 10.0 machines"
+        );
         // FFD packs db0..2 onto m0 and db3..5 onto m1; only db0 already sits
         // on its target machine, so five replicas move.
         assert_eq!(plan.moves.len(), 5);
@@ -229,8 +249,7 @@ mod tests {
         let (c, demands) = scattered();
         let plan = plan_rebalance(&c, &demands, cap(10.0)).unwrap();
         let applied =
-            execute_rebalance(&c, &plan, CopyGranularity::TableLevel, Throttle::UNLIMITED)
-                .unwrap();
+            execute_rebalance(&c, &plan, CopyGranularity::TableLevel, Throttle::UNLIMITED).unwrap();
         assert_eq!(applied, plan.moves.len());
         // Every database still serves all its rows.
         for i in 0..6 {
@@ -255,21 +274,25 @@ mod tests {
         let mut demands = HashMap::new();
         for i in 0..2 {
             let db = format!("db{i}");
-            c.create_database_on(&db, &[MachineId(i * 2), MachineId(i * 2 + 1)]).unwrap();
-            c.ddl(&db, "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+            c.create_database_on(&db, &[MachineId(i * 2), MachineId(i * 2 + 1)])
+                .unwrap();
+            c.ddl(&db, "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))")
+                .unwrap();
             demands.insert(db, cap(1.0));
         }
         let plan = plan_rebalance(&c, &demands, cap(10.0)).unwrap();
         // Both dbs (2 replicas each) fit on 2 machines, one replica each.
         assert_eq!(plan.machines_after, 2);
         let applied =
-            execute_rebalance(&c, &plan, CopyGranularity::TableLevel, Throttle::UNLIMITED)
-                .unwrap();
+            execute_rebalance(&c, &plan, CopyGranularity::TableLevel, Throttle::UNLIMITED).unwrap();
         let _ = applied;
         for i in 0..2 {
             let replicas = c.alive_replicas(&format!("db{i}")).unwrap();
             assert_eq!(replicas.len(), 2);
-            assert_ne!(replicas[0], replicas[1], "replicas must stay on distinct machines");
+            assert_ne!(
+                replicas[0], replicas[1],
+                "replicas must stay on distinct machines"
+            );
         }
     }
 

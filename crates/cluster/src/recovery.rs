@@ -13,18 +13,19 @@
 //! * writes to not-yet-copied tables go to the old machines only.
 //!
 //! The number of concurrent recovery jobs (`threads`) is the x-axis of
-//! Figure 8.
+//! Figure 8, realized as a fixed-size [`crate::pool::WorkerPool`]: one copy
+//! task per lost database, at most `threads` in flight at once.
 
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel;
 
 use tenantdb_storage::{copy, Throttle};
 
 use crate::controller::ClusterController;
 use crate::error::{ClusterError, Result};
 use crate::machine::MachineId;
+use crate::pool::{PoolConfig, WorkerPool};
 
 /// Copy granularity (the two series of Figures 8 and 9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,30 +156,22 @@ pub fn recover_machine(
         controller.remove_replica(db, failed_machine);
     }
 
-    let (job_tx, job_rx) = channel::unbounded::<String>();
-    for db in &dbs {
-        job_tx.send(db.clone()).unwrap();
-    }
-    drop(job_tx);
-
-    let (res_tx, res_rx) = channel::unbounded();
-    let threads = cfg.threads.max(1);
-    let mut handles = Vec::with_capacity(threads);
-    for _ in 0..threads {
-        let job_rx = job_rx.clone();
+    // A transient fixed pool bounds in-flight copies to exactly
+    // `cfg.threads` (the Figure 8 x-axis); the per-database tasks queue
+    // behind the running ones.
+    let pool = WorkerPool::new("recovery", PoolConfig::fixed(cfg.threads.max(1)));
+    let (res_tx, res_rx) = channel();
+    for db in dbs {
         let res_tx = res_tx.clone();
         let controller = Arc::clone(controller);
-        handles.push(std::thread::spawn(move || {
-            while let Ok(db) = job_rx.recv() {
-                let outcome = (|| -> Result<(MachineId, Duration)> {
-                    let target = pick_target(&controller, &db)?;
-                    let d =
-                        create_replica(&controller, &db, target, cfg.granularity, cfg.throttle)?;
-                    Ok((target, d))
-                })();
-                res_tx.send((db, outcome)).unwrap();
-            }
-        }));
+        pool.spawn_task(move || {
+            let outcome = (|| -> Result<(MachineId, Duration)> {
+                let target = pick_target(&controller, &db)?;
+                let d = create_replica(&controller, &db, target, cfg.granularity, cfg.throttle)?;
+                Ok((target, d))
+            })();
+            let _ = res_tx.send((db, outcome));
+        });
     }
     drop(res_tx);
 
@@ -189,9 +182,7 @@ pub fn recover_machine(
             Err(e) => report.failed.push((db, e)),
         }
     }
-    for h in handles {
-        let _ = h.join();
-    }
+    drop(pool); // joins the copy threads
     report.recovered.sort_by(|a, b| a.0.cmp(&b.0));
     report.wall_time = started.elapsed();
     report
@@ -218,12 +209,22 @@ mod tests {
     fn cluster_with_data() -> (Arc<ClusterController>, Vec<MachineId>) {
         let c = ClusterController::with_machines(ClusterConfig::for_tests(), 4);
         let placed = c.create_database("app", 2).unwrap();
-        c.ddl("app", "CREATE TABLE a (id INT NOT NULL, v TEXT, PRIMARY KEY (id))").unwrap();
-        c.ddl("app", "CREATE TABLE b (id INT NOT NULL, v TEXT, PRIMARY KEY (id))").unwrap();
+        c.ddl(
+            "app",
+            "CREATE TABLE a (id INT NOT NULL, v TEXT, PRIMARY KEY (id))",
+        )
+        .unwrap();
+        c.ddl(
+            "app",
+            "CREATE TABLE b (id INT NOT NULL, v TEXT, PRIMARY KEY (id))",
+        )
+        .unwrap();
         let conn = c.connect("app").unwrap();
         for i in 0..30i64 {
-            conn.execute("INSERT INTO a VALUES (?, 'x')", &[Value::Int(i)]).unwrap();
-            conn.execute("INSERT INTO b VALUES (?, 'y')", &[Value::Int(i)]).unwrap();
+            conn.execute("INSERT INTO a VALUES (?, 'x')", &[Value::Int(i)])
+                .unwrap();
+            conn.execute("INSERT INTO b VALUES (?, 'y')", &[Value::Int(i)])
+                .unwrap();
         }
         (c, placed)
     }
@@ -231,10 +232,19 @@ mod tests {
     #[test]
     fn create_replica_table_level_roundtrip() {
         let (c, placed) = cluster_with_data();
-        let target =
-            c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
-        create_replica(&c, "app", target, CopyGranularity::TableLevel, Throttle::UNLIMITED)
+        let target = c
+            .machine_ids()
+            .into_iter()
+            .find(|m| !placed.contains(m))
             .unwrap();
+        create_replica(
+            &c,
+            "app",
+            target,
+            CopyGranularity::TableLevel,
+            Throttle::UNLIMITED,
+        )
+        .unwrap();
         assert!(c.placement("app").unwrap().replicas.contains(&target));
         let m = c.machine(target).unwrap();
         let t = m.engine.begin().unwrap();
@@ -250,7 +260,10 @@ mod tests {
         let report = recover_machine(
             &c,
             placed[0],
-            RecoveryConfig { threads: 2, ..Default::default() },
+            RecoveryConfig {
+                threads: 2,
+                ..Default::default()
+            },
         );
         assert_eq!(report.recovered.len(), 1);
         assert!(report.failed.is_empty());
@@ -268,12 +281,22 @@ mod tests {
     #[test]
     fn writes_continue_during_table_level_copy() {
         let (c, placed) = cluster_with_data();
-        let target = c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
+        let target = c
+            .machine_ids()
+            .into_iter()
+            .find(|m| !placed.contains(m))
+            .unwrap();
         // Slow copy in the background.
         let c2 = Arc::clone(&c);
         let handle = std::thread::spawn(move || {
-            create_replica(&c2, "app", target, CopyGranularity::TableLevel, Throttle::new(200))
-                .unwrap();
+            create_replica(
+                &c2,
+                "app",
+                target,
+                CopyGranularity::TableLevel,
+                Throttle::new(200),
+            )
+            .unwrap();
         });
         // While table "a" is being copied (30 rows at 200 rows/s = 150ms),
         // writes to "b" (not yet copied) must succeed.
@@ -292,7 +315,10 @@ mod tests {
                 .is_ok() as u32;
         }
         handle.join().unwrap();
-        assert!(rejected_a > 0, "writes to the in-copy table must be rejected");
+        assert!(
+            rejected_a > 0,
+            "writes to the in-copy table must be rejected"
+        );
         assert!(ok_b > 0, "writes to other tables must proceed");
         // After recovery, replicas converge: target has every committed row.
         let survivors = c.alive_replicas("app").unwrap();
@@ -307,17 +333,30 @@ mod tests {
                 n
             })
             .collect();
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "replicas diverged: {counts:?}");
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "replicas diverged: {counts:?}"
+        );
     }
 
     #[test]
     fn db_level_copy_rejects_all_writes() {
         let (c, placed) = cluster_with_data();
-        let target = c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
+        let target = c
+            .machine_ids()
+            .into_iter()
+            .find(|m| !placed.contains(m))
+            .unwrap();
         let c2 = Arc::clone(&c);
         let handle = std::thread::spawn(move || {
-            create_replica(&c2, "app", target, CopyGranularity::DatabaseLevel, Throttle::new(200))
-                .unwrap();
+            create_replica(
+                &c2,
+                "app",
+                target,
+                CopyGranularity::DatabaseLevel,
+                Throttle::new(200),
+            )
+            .unwrap();
         });
         std::thread::sleep(Duration::from_millis(50));
         let conn = c.connect("app").unwrap();
@@ -336,9 +375,20 @@ mod tests {
     #[test]
     fn migration_moves_replica() {
         let (c, placed) = cluster_with_data();
-        let target = c.machine_ids().into_iter().find(|m| !placed.contains(m)).unwrap();
-        migrate_replica(&c, "app", placed[1], target, CopyGranularity::TableLevel, Throttle::UNLIMITED)
+        let target = c
+            .machine_ids()
+            .into_iter()
+            .find(|m| !placed.contains(m))
             .unwrap();
+        migrate_replica(
+            &c,
+            "app",
+            placed[1],
+            target,
+            CopyGranularity::TableLevel,
+            Throttle::UNLIMITED,
+        )
+        .unwrap();
         let p = c.placement("app").unwrap();
         assert!(p.replicas.contains(&target));
         assert!(!p.replicas.contains(&placed[1]));
@@ -349,7 +399,8 @@ mod tests {
     fn recovery_with_no_spare_machine_fails_gracefully() {
         let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
         let placed = c.create_database("app", 2).unwrap();
-        c.ddl("app", "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+        c.ddl("app", "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))")
+            .unwrap();
         c.fail_machine(placed[0]).unwrap();
         let report = recover_machine(&c, placed[0], RecoveryConfig::default());
         assert_eq!(report.recovered.len(), 0);

@@ -1,32 +1,43 @@
-//! Per-(transaction, machine) replica workers.
+//! Per-(transaction, machine) replica sessions, multiplexed over the
+//! machine's persistent [`crate::pool::WorkerPool`].
 //!
-//! Each global transaction gets one worker thread per machine it touches.
-//! A worker owns the transaction's *local incarnation* on that machine (the
-//! engine-level `TxnId`) and executes requests strictly in order — which is
-//! exactly the per-machine sequencing the paper's schedules assume: under an
+//! Each global transaction attaches one lightweight [`Session`] per machine
+//! it touches. A session owns the transaction's *local incarnation* on that
+//! machine (the engine-level `TxnId`) and is a strict FIFO lane: its
+//! messages are executed in arrival order, never concurrently — exactly the
+//! per-machine sequencing the paper's schedules assume. Under an
 //! *aggressive* controller the client moves on after the first replica
-//! acknowledges a write, while the remaining replicas' workers are still
+//! acknowledges a write while the remaining replicas' sessions are still
 //! executing it; the transaction's `PREPARE` on those replicas queues behind
-//! the write.
+//! the write in the same lane.
 //!
-//! Workers also record the history stream: after each statement returns (and
-//! before the worker processes anything else for this transaction on this
-//! machine), the rows it touched are appended to the shared
-//! [`tenantdb_history::Recorder`]. Strict 2PL makes that ordering agree with
-//! true per-site conflict order.
+//! The seed implementation realized this lane as one spawned OS thread per
+//! (transaction, machine) with a fresh mpsc reply channel per statement;
+//! both are gone. Sessions are plain heap objects scheduled onto long-lived
+//! pool threads, and every reply of a transaction travels over a single
+//! channel owned by the connection, correlated by a per-transaction sequence
+//! number ([`SessionMsg`]'s `seq` — late replies from aggressive-mode
+//! background writes are simply discarded as stale by the receiver).
+//!
+//! Sessions also record the history stream: after each statement returns
+//! (and before the session processes anything else), the rows it touched are
+//! appended to the shared [`tenantdb_history::Recorder`]. Strict 2PL makes
+//! that ordering agree with true per-site conflict order.
 
-use std::sync::mpsc::{Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
 use tenantdb_history::{AccessKind, GTxn, Recorder, Site};
 use tenantdb_sql::{execute_stmt, QueryResult, Statement};
-use tenantdb_storage::{TxnId, Value};
+use tenantdb_storage::{Engine, TxnId, Value};
 
 use crate::error::{ClusterError, Result};
-use crate::machine::{Machine, MachineId};
+use crate::machine::MachineId;
+use crate::pool::{PoolJob, PoolShared};
 
 /// Shared per-transaction failure ledger. Every replica-side error lands
 /// here — including errors of *background* writes under the aggressive
@@ -56,26 +67,45 @@ impl TxnFailures {
     }
 }
 
-/// A request processed by a worker, in order.
-pub enum WorkerMsg {
+/// A request processed by a session, in order. `seq` correlates the reply on
+/// the transaction's shared reply channel; `want_reply: false` marks
+/// fire-and-forget cleanup (the receiver is gone or does not care).
+pub enum SessionMsg {
     Exec {
+        seq: u64,
         stmt: Arc<Statement>,
         params: Arc<Vec<Value>>,
-        reply: Sender<WorkerReply>,
     },
     Prepare {
-        reply: Sender<WorkerReply>,
+        seq: u64,
     },
     Commit {
-        reply: Sender<WorkerReply>,
+        seq: u64,
+        want_reply: bool,
     },
     Abort {
-        reply: Sender<WorkerReply>,
+        seq: u64,
+        want_reply: bool,
     },
+    /// Finish the session *without* touching its local transaction: used by
+    /// the controller-crash fault injection, which must leave participants
+    /// prepared (the process-pair backup completes them on takeover).
+    Detach,
 }
 
-/// Reply to any worker request.
+impl SessionMsg {
+    /// Terminal messages close the mailbox: nothing can follow them.
+    fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            SessionMsg::Commit { .. } | SessionMsg::Abort { .. } | SessionMsg::Detach
+        )
+    }
+}
+
+/// Reply to a session request, tagged with the request's `seq`.
 pub struct WorkerReply {
+    pub seq: u64,
     pub machine: MachineId,
     /// The transaction's local id on this machine (known once any operation
     /// has run). The 2PC decision log records these.
@@ -83,136 +113,292 @@ pub struct WorkerReply {
     pub result: Result<QueryResult>,
 }
 
-/// Handle to a live worker.
-pub struct WorkerHandle {
-    pub machine: MachineId,
-    pub tx: Sender<WorkerMsg>,
-    join: Option<JoinHandle<()>>,
+struct Mailbox {
+    queue: VecDeque<SessionMsg>,
+    /// True while a pool job for this session is queued or draining; the
+    /// single-drainer invariant behind the FIFO ordering guarantee.
+    scheduled: bool,
+    /// Set when a terminal message is enqueued; later sends fail.
+    closed: bool,
 }
 
-impl WorkerHandle {
-    /// Send a request; a send failure means the worker exited (transaction
-    /// finished or machine failed hard) and is reported as `Unavailable`.
-    pub fn send(&self, msg: WorkerMsg) -> Result<()> {
-        self.tx
-            .send(msg)
-            .map_err(|_| ClusterError::from(tenantdb_storage::StorageError::Unavailable))
+struct ExecState {
+    local: Option<TxnId>,
+    finished: bool,
+}
+
+/// A transaction's FIFO execution lane on one machine (see module docs).
+pub struct Session {
+    machine: MachineId,
+    engine: Arc<Engine>,
+    db: String,
+    gtxn: GTxn,
+    failures: Arc<TxnFailures>,
+    recorder: Option<Arc<Recorder>>,
+    /// The owning transaction's shared reply channel.
+    reply: Sender<WorkerReply>,
+    mailbox: Mutex<Mailbox>,
+    /// Only ever touched by the single active drainer; the lock is
+    /// uncontended and exists to make the sharing safe.
+    exec: Mutex<ExecState>,
+}
+
+impl Session {
+    fn enqueue(self: &Arc<Self>, msg: SessionMsg, pool: &Arc<PoolShared>) -> Result<()> {
+        let schedule = {
+            let mut mb = self.mailbox.lock();
+            if mb.closed {
+                // The session finished (or is finishing); matches the seed
+                // behaviour of sending to an exited worker.
+                return Err(ClusterError::from(
+                    tenantdb_storage::StorageError::Unavailable,
+                ));
+            }
+            if msg.is_terminal() {
+                mb.closed = true;
+            }
+            mb.queue.push_back(msg);
+            let schedule = !mb.scheduled;
+            if schedule {
+                mb.scheduled = true;
+            }
+            schedule
+        };
+        if schedule {
+            pool.submit(PoolJob::Session(Arc::clone(self)));
+        }
+        Ok(())
     }
-}
 
-impl Drop for WorkerHandle {
-    fn drop(&mut self) {
-        // Close the channel; the worker aborts any live local txn and exits.
-        let (tx, _rx) = std::sync::mpsc::channel();
-        let old = std::mem::replace(&mut self.tx, tx);
-        drop(old);
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
+    /// Drain the mailbox in arrival order (called by a pool worker; the
+    /// `scheduled` flag guarantees a single drainer).
+    pub(crate) fn drain(self: &Arc<Self>, _pool: &Arc<PoolShared>) {
+        loop {
+            let batch = {
+                let mut mb = self.mailbox.lock();
+                if mb.queue.is_empty() {
+                    mb.scheduled = false;
+                    return;
+                }
+                std::mem::take(&mut mb.queue)
+            };
+            for msg in batch {
+                self.process(msg);
+            }
         }
     }
-}
 
-/// Spawn a worker for `gtxn` on `machine`.
-pub fn spawn_worker(
-    machine: Arc<Machine>,
-    db: String,
-    gtxn: GTxn,
-    failures: Arc<TxnFailures>,
-    recorder: Option<Arc<Recorder>>,
-) -> WorkerHandle {
-    let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg>();
-    let id = machine.id;
-    let join = std::thread::Builder::new()
-        .name(format!("worker-{gtxn}-{id}"))
-        .spawn(move || worker_loop(machine, db, gtxn, failures, recorder, rx))
-        .expect("spawn worker thread");
-    WorkerHandle { machine: id, tx, join: Some(join) }
-}
-
-fn worker_loop(
-    machine: Arc<Machine>,
-    db: String,
-    gtxn: GTxn,
-    failures: Arc<TxnFailures>,
-    recorder: Option<Arc<Recorder>>,
-    rx: Receiver<WorkerMsg>,
-) {
-    let engine = &machine.engine;
-    let site = Site(machine.id.0);
-    let mut local: Option<TxnId> = None;
-    let mut finished = false;
-
-    for msg in rx {
+    fn process(&self, msg: SessionMsg) {
+        let mut exec = self.exec.lock();
+        if exec.finished {
+            // A message behind a terminal one (cannot happen through the
+            // public API; defensive for direct pool users).
+            return;
+        }
         match msg {
-            WorkerMsg::Exec { stmt, params, reply } => {
+            SessionMsg::Exec { seq, stmt, params } => {
+                let engine = &self.engine;
                 let result: Result<QueryResult> = (|| {
-                    let txn = match local {
+                    let txn = match exec.local {
                         Some(t) => t,
                         None => {
                             let t = engine.begin()?;
-                            local = Some(t);
+                            exec.local = Some(t);
                             t
                         }
                     };
-                    let r = execute_stmt(engine, txn, &db, &stmt, &params)?;
-                    if let Some(rec) = &recorder {
+                    let r = execute_stmt(engine, txn, &self.db, &stmt, &params)?;
+                    if let Some(rec) = &self.recorder {
+                        let site = Site(self.machine.0);
+                        let db = &self.db;
                         for (table, rid) in &r.touched_reads {
-                            rec.record(site, gtxn, AccessKind::Read, format!("{db}.{table}:{rid}"));
+                            rec.record(
+                                site,
+                                self.gtxn,
+                                AccessKind::Read,
+                                format!("{db}.{table}:{rid}"),
+                            );
                         }
                         for (table, rid) in &r.touched_writes {
-                            rec.record(site, gtxn, AccessKind::Write, format!("{db}.{table}:{rid}"));
+                            rec.record(
+                                site,
+                                self.gtxn,
+                                AccessKind::Write,
+                                format!("{db}.{table}:{rid}"),
+                            );
                         }
                     }
                     Ok(r)
                 })();
                 if let Err(e) = &result {
-                    failures.push(machine.id, e.clone());
+                    self.failures.push(self.machine, e.clone());
                 }
-                let _ = reply.send(WorkerReply { machine: machine.id, local, result });
+                let _ = self.reply.send(WorkerReply {
+                    seq,
+                    machine: self.machine,
+                    local: exec.local,
+                    result,
+                });
             }
-            WorkerMsg::Prepare { reply } => {
-                let result = match local {
-                    Some(t) => engine.prepare(t).map(|_| QueryResult::default()).map_err(ClusterError::from),
+            SessionMsg::Prepare { seq } => {
+                let result = match exec.local {
+                    Some(t) => self
+                        .engine
+                        .prepare(t)
+                        .map(|_| QueryResult::default())
+                        .map_err(ClusterError::from),
                     // A machine that saw no operation votes yes trivially.
                     None => Ok(QueryResult::default()),
                 };
                 if let Err(e) = &result {
-                    failures.push(machine.id, e.clone());
+                    self.failures.push(self.machine, e.clone());
                 }
-                let _ = reply.send(WorkerReply { machine: machine.id, local, result });
+                let _ = self.reply.send(WorkerReply {
+                    seq,
+                    machine: self.machine,
+                    local: exec.local,
+                    result,
+                });
             }
-            WorkerMsg::Commit { reply } => {
-                let result = match local.take() {
-                    Some(t) => engine.commit(t).map(|_| QueryResult::default()).map_err(ClusterError::from),
+            SessionMsg::Commit { seq, want_reply } => {
+                let result = match exec.local.take() {
+                    Some(t) => self
+                        .engine
+                        .commit(t)
+                        .map(|_| QueryResult::default())
+                        .map_err(ClusterError::from),
                     None => Ok(QueryResult::default()),
                 };
-                finished = true;
-                let _ = reply.send(WorkerReply { machine: machine.id, local: None, result });
+                exec.finished = true;
+                if want_reply {
+                    let _ = self.reply.send(WorkerReply {
+                        seq,
+                        machine: self.machine,
+                        local: None,
+                        result,
+                    });
+                }
             }
-            WorkerMsg::Abort { reply } => {
-                let result = match local.take() {
-                    Some(t) => engine.abort(t).map(|_| QueryResult::default()).map_err(ClusterError::from),
+            SessionMsg::Abort { seq, want_reply } => {
+                let result = match exec.local.take() {
+                    Some(t) => self
+                        .engine
+                        .abort(t)
+                        .map(|_| QueryResult::default())
+                        .map_err(ClusterError::from),
                     None => Ok(QueryResult::default()),
                 };
-                finished = true;
-                let _ = reply.send(WorkerReply { machine: machine.id, local: None, result });
+                exec.finished = true;
+                if want_reply {
+                    let _ = self.reply.send(WorkerReply {
+                        seq,
+                        machine: self.machine,
+                        local: None,
+                        result,
+                    });
+                }
             }
-        }
-        if finished {
-            break;
+            SessionMsg::Detach => {
+                // Leave `local` untouched: a prepared participant must stay
+                // prepared across the simulated controller crash.
+                exec.finished = true;
+            }
         }
     }
-    // Channel closed or transaction finished: clean up a dangling local txn
-    // so its locks don't linger until timeout.
-    if let Some(t) = local {
-        let _ = engine.abort(t);
+}
+
+/// Handle through which the connection drives one session. Dropping the
+/// handle without having sent a terminal message enqueues a cleanup abort so
+/// a dangling local transaction's locks never linger until timeout.
+pub struct SessionHandle {
+    session: Arc<Session>,
+    pool: Arc<PoolShared>,
+    sent_terminal: AtomicBool,
+}
+
+impl SessionHandle {
+    pub fn machine(&self) -> MachineId {
+        self.session.machine
+    }
+
+    /// Send a request; a send failure means the session already finished
+    /// (transaction completed) and is reported as `Unavailable`, matching
+    /// the seed's exited-worker behaviour.
+    pub fn send(&self, msg: SessionMsg) -> Result<()> {
+        if msg.is_terminal() {
+            self.sent_terminal.store(true, Ordering::Relaxed);
+        }
+        self.session.enqueue(msg, &self.pool)
+    }
+
+    /// Finish the session without aborting its local transaction (simulated
+    /// controller crash: participants stay prepared, no cleanup runs). The
+    /// seed modelled this by leaking the worker thread; here nothing leaks.
+    pub fn detach(self) {
+        self.sent_terminal.store(true, Ordering::Relaxed);
+        let _ = self.session.enqueue(SessionMsg::Detach, &self.pool);
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        if !self.sent_terminal.load(Ordering::Relaxed) {
+            // Fire-and-forget cleanup; errors are deliberately not recorded
+            // (the transaction is over — this mirrors the seed's ignored
+            // cleanup abort).
+            let _ = self.session.enqueue(
+                SessionMsg::Abort {
+                    seq: 0,
+                    want_reply: false,
+                },
+                &self.pool,
+            );
+        }
+    }
+}
+
+/// Create a session for `gtxn` on the pool owned by a machine (called via
+/// [`crate::machine::Machine::session`]).
+#[allow(clippy::too_many_arguments)] // internal constructor mirroring the session's fields
+pub(crate) fn new_session(
+    pool: &Arc<PoolShared>,
+    machine: MachineId,
+    engine: Arc<Engine>,
+    db: String,
+    gtxn: GTxn,
+    failures: Arc<TxnFailures>,
+    recorder: Option<Arc<Recorder>>,
+    reply: Sender<WorkerReply>,
+) -> SessionHandle {
+    SessionHandle {
+        session: Arc::new(Session {
+            machine,
+            engine,
+            db,
+            gtxn,
+            failures,
+            recorder,
+            reply,
+            mailbox: Mutex::new(Mailbox {
+                queue: VecDeque::new(),
+                scheduled: false,
+                closed: false,
+            }),
+            exec: Mutex::new(ExecState {
+                local: None,
+                finished: false,
+            }),
+        }),
+        pool: Arc::clone(pool),
+        sent_terminal: AtomicBool::new(false),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc::channel;
+    use crate::machine::Machine;
+    use std::sync::mpsc::{channel, Receiver};
     use tenantdb_sql::parse;
     use tenantdb_storage::EngineConfig;
 
@@ -238,32 +424,80 @@ mod tests {
         m
     }
 
-    fn exec(h: &WorkerHandle, sql: &str) -> Result<QueryResult> {
-        let (tx, rx) = channel();
-        h.send(WorkerMsg::Exec {
-            stmt: Arc::new(parse(sql).unwrap()),
-            params: Arc::new(vec![]),
-            reply: tx,
-        })
-        .unwrap();
-        rx.recv().unwrap().result
+    struct Harness {
+        handle: SessionHandle,
+        rx: Receiver<WorkerReply>,
+        seq: u64,
     }
 
-    fn finish(h: &WorkerHandle, commit: bool) -> Result<QueryResult> {
+    fn session(m: &Arc<Machine>, gtxn: u64, failures: &Arc<TxnFailures>) -> Harness {
+        session_recorded(m, gtxn, failures, None)
+    }
+
+    fn session_recorded(
+        m: &Arc<Machine>,
+        gtxn: u64,
+        failures: &Arc<TxnFailures>,
+        recorder: Option<Arc<Recorder>>,
+    ) -> Harness {
         let (tx, rx) = channel();
-        let msg =
-            if commit { WorkerMsg::Commit { reply: tx } } else { WorkerMsg::Abort { reply: tx } };
-        h.send(msg).unwrap();
-        rx.recv().unwrap().result
+        let handle = m.session("app".into(), GTxn(gtxn), Arc::clone(failures), recorder, tx);
+        Harness { handle, rx, seq: 0 }
+    }
+
+    impl Harness {
+        fn exec(&mut self, sql: &str) -> Result<QueryResult> {
+            self.seq += 1;
+            self.handle.send(SessionMsg::Exec {
+                seq: self.seq,
+                stmt: Arc::new(parse(sql).unwrap()),
+                params: Arc::new(vec![]),
+            })?;
+            self.recv().result
+        }
+
+        fn recv(&self) -> WorkerReply {
+            loop {
+                let r = self.rx.recv().expect("session replies");
+                if r.seq == self.seq {
+                    return r;
+                }
+            }
+        }
+
+        fn prepare(&mut self) -> WorkerReply {
+            self.seq += 1;
+            self.handle
+                .send(SessionMsg::Prepare { seq: self.seq })
+                .unwrap();
+            self.recv()
+        }
+
+        fn finish(&mut self, commit: bool) -> Result<QueryResult> {
+            self.seq += 1;
+            let msg = if commit {
+                SessionMsg::Commit {
+                    seq: self.seq,
+                    want_reply: true,
+                }
+            } else {
+                SessionMsg::Abort {
+                    seq: self.seq,
+                    want_reply: true,
+                }
+            };
+            self.handle.send(msg).unwrap();
+            self.recv().result
+        }
     }
 
     #[test]
-    fn worker_executes_and_commits() {
+    fn session_executes_and_commits() {
         let m = machine_with_table();
         let failures = Arc::new(TxnFailures::default());
-        let h = spawn_worker(Arc::clone(&m), "app".into(), GTxn(1), failures.clone(), None);
-        exec(&h, "INSERT INTO kv VALUES (1, 'x')").unwrap();
-        finish(&h, true).unwrap();
+        let mut s = session(&m, 1, &failures);
+        s.exec("INSERT INTO kv VALUES (1, 'x')").unwrap();
+        s.finish(true).unwrap();
         assert!(failures.is_empty());
         // Data visible to a fresh txn.
         let t = m.engine.begin().unwrap();
@@ -272,17 +506,12 @@ mod tests {
     }
 
     #[test]
-    fn worker_abort_rolls_back() {
+    fn session_abort_rolls_back() {
         let m = machine_with_table();
-        let h = spawn_worker(
-            Arc::clone(&m),
-            "app".into(),
-            GTxn(2),
-            Arc::new(TxnFailures::default()),
-            None,
-        );
-        exec(&h, "INSERT INTO kv VALUES (1, 'x')").unwrap();
-        finish(&h, false).unwrap();
+        let failures = Arc::new(TxnFailures::default());
+        let mut s = session(&m, 2, &failures);
+        s.exec("INSERT INTO kv VALUES (1, 'x')").unwrap();
+        s.finish(false).unwrap();
         let t = m.engine.begin().unwrap();
         assert_eq!(m.engine.scan(t, "app", "kv").unwrap().len(), 0);
         m.engine.commit(t).unwrap();
@@ -292,50 +521,63 @@ mod tests {
     fn error_lands_in_failure_ledger() {
         let m = machine_with_table();
         let failures = Arc::new(TxnFailures::default());
-        let h = spawn_worker(Arc::clone(&m), "app".into(), GTxn(3), failures.clone(), None);
-        exec(&h, "INSERT INTO kv VALUES (1, 'x')").unwrap();
+        let mut s = session(&m, 3, &failures);
+        s.exec("INSERT INTO kv VALUES (1, 'x')").unwrap();
         // Unique violation -> statement error -> recorded.
-        exec(&h, "INSERT INTO kv VALUES (1, 'dup')").unwrap_err();
+        s.exec("INSERT INTO kv VALUES (1, 'dup')").unwrap_err();
         assert_eq!(failures.len(), 1);
         let drained = failures.drain();
         assert_eq!(drained[0].0, MachineId(1));
-        finish(&h, false).unwrap();
+        s.finish(false).unwrap();
     }
 
     #[test]
     fn dropping_handle_aborts_dangling_txn() {
         let m = machine_with_table();
         {
-            let h = spawn_worker(
-                Arc::clone(&m),
-                "app".into(),
-                GTxn(4),
-                Arc::new(TxnFailures::default()),
-                None,
-            );
-            exec(&h, "INSERT INTO kv VALUES (9, 'dangling')").unwrap();
+            let failures = Arc::new(TxnFailures::default());
+            let mut s = session(&m, 4, &failures);
+            s.exec("INSERT INTO kv VALUES (9, 'dangling')").unwrap();
             // Dropped without commit/abort.
         }
-        // Locks were released by the cleanup abort; row is gone.
-        let t = m.engine.begin().unwrap();
-        assert_eq!(m.engine.scan(t, "app", "kv").unwrap().len(), 0);
-        m.engine.commit(t).unwrap();
+        // The cleanup abort is asynchronous; a fresh write to the same key
+        // succeeds once it lands (lock released), well within the timeout.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let t = m.engine.begin().unwrap();
+            let n = m.engine.scan(t, "app", "kv").unwrap().len();
+            m.engine.commit(t).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "cleanup abort never ran"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn send_after_finish_fails() {
+        let m = machine_with_table();
+        let failures = Arc::new(TxnFailures::default());
+        let mut s = session(&m, 5, &failures);
+        s.exec("INSERT INTO kv VALUES (1, 'x')").unwrap();
+        s.finish(true).unwrap();
+        let err = s.exec("SELECT * FROM kv").unwrap_err();
+        assert!(err.is_proactive_rejection());
     }
 
     #[test]
     fn history_recorded_with_site_and_gtxn() {
         let m = machine_with_table();
         let rec = Arc::new(Recorder::new());
-        let h = spawn_worker(
-            Arc::clone(&m),
-            "app".into(),
-            GTxn(5),
-            Arc::new(TxnFailures::default()),
-            Some(rec.clone()),
-        );
-        exec(&h, "INSERT INTO kv VALUES (1, 'x')").unwrap();
-        exec(&h, "SELECT * FROM kv WHERE k = 1").unwrap();
-        finish(&h, true).unwrap();
+        let failures = Arc::new(TxnFailures::default());
+        let mut s = session_recorded(&m, 5, &failures, Some(rec.clone()));
+        s.exec("INSERT INTO kv VALUES (1, 'x')").unwrap();
+        s.exec("SELECT * FROM kv WHERE k = 1").unwrap();
+        s.finish(true).unwrap();
         let ops = rec.ops();
         assert_eq!(ops.len(), 2);
         assert_eq!(ops[0].site, Site(1));
@@ -348,20 +590,16 @@ mod tests {
     #[test]
     fn prepare_reports_local_txn_id() {
         let m = machine_with_table();
-        let h = spawn_worker(
-            Arc::clone(&m),
-            "app".into(),
-            GTxn(6),
-            Arc::new(TxnFailures::default()),
-            None,
-        );
-        exec(&h, "INSERT INTO kv VALUES (2, 'y')").unwrap();
-        let (tx, rx) = channel();
-        h.send(WorkerMsg::Prepare { reply: tx }).unwrap();
-        let reply = rx.recv().unwrap();
+        let failures = Arc::new(TxnFailures::default());
+        let mut s = session(&m, 6, &failures);
+        s.exec("INSERT INTO kv VALUES (2, 'y')").unwrap();
+        let reply = s.prepare();
         reply.result.unwrap();
-        assert!(reply.local.is_some(), "prepare must expose the local txn id");
-        finish(&h, true).unwrap();
+        assert!(
+            reply.local.is_some(),
+            "prepare must expose the local txn id"
+        );
+        s.finish(true).unwrap();
     }
 
     #[test]
@@ -369,9 +607,27 @@ mod tests {
         let m = machine_with_table();
         m.engine.crash();
         let failures = Arc::new(TxnFailures::default());
-        let h = spawn_worker(Arc::clone(&m), "app".into(), GTxn(7), failures.clone(), None);
-        let err = exec(&h, "SELECT * FROM kv").unwrap_err();
+        let mut s = session(&m, 7, &failures);
+        let err = s.exec("SELECT * FROM kv").unwrap_err();
         assert!(err.is_proactive_rejection());
         assert_eq!(failures.len(), 1);
+    }
+
+    #[test]
+    fn lane_preserves_order_across_many_statements() {
+        // Back-to-back dependent updates in one session must apply in order
+        // even though each is a separate pool job submission.
+        let m = machine_with_table();
+        let failures = Arc::new(TxnFailures::default());
+        let mut s = session(&m, 8, &failures);
+        s.exec("INSERT INTO kv VALUES (1, '0')").unwrap();
+        for i in 1..=50 {
+            s.exec(&format!("UPDATE kv SET v = '{i}' WHERE k = 1"))
+                .unwrap();
+        }
+        let r = s.exec("SELECT v FROM kv WHERE k = 1").unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("50".into()));
+        s.finish(true).unwrap();
+        assert!(failures.is_empty());
     }
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tenantdb_cluster::{
-    ClusterConfig, ClusterController, ClusterError, ReadPolicy, WritePolicy,
+    ClusterConfig, ClusterController, ClusterError, PoolConfig, ReadPolicy, WritePolicy,
 };
 use tenantdb_storage::{CostModel, EngineConfig, Value};
 
@@ -19,13 +19,18 @@ fn config(read: ReadPolicy, write: WritePolicy) -> ClusterConfig {
             lock_timeout: Duration::from_millis(400),
         },
         seed: 3,
+        ..Default::default()
     }
 }
 
 fn cluster(read: ReadPolicy, write: WritePolicy, machines: usize) -> Arc<ClusterController> {
     let c = ClusterController::with_machines(config(read, write), machines);
     c.create_database("app", 2).unwrap();
-    c.ddl("app", "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))").unwrap();
+    c.ddl(
+        "app",
+        "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+    )
+    .unwrap();
     c
 }
 
@@ -37,7 +42,11 @@ fn writes_reach_every_replica() {
     for id in c.alive_replicas("app").unwrap() {
         let m = c.machine(id).unwrap();
         let t = m.engine.begin().unwrap();
-        assert_eq!(m.engine.scan(t, "app", "t").unwrap().len(), 1, "replica {id}");
+        assert_eq!(
+            m.engine.scan(t, "app", "t").unwrap().len(),
+            1,
+            "replica {id}"
+        );
         m.engine.commit(t).unwrap();
     }
 }
@@ -56,7 +65,12 @@ fn aggressive_background_failure_blocks_commit() {
         .with_txn(|t| {
             saboteur
                 .engine
-                .insert(t, "app", "t", vec![Value::Int(7), Value::Text("planted".into())])
+                .insert(
+                    t,
+                    "app",
+                    "t",
+                    vec![Value::Int(7), Value::Text("planted".into())],
+                )
                 .map(|_| ())
         })
         .unwrap();
@@ -83,9 +97,15 @@ fn aggressive_background_failure_blocks_commit() {
     // Consistency: k=7 is 'planted' on replica 1 and absent from replica 0.
     let m0 = c.machine(replicas[0]).unwrap();
     let t = m0.engine.begin().unwrap();
-    let rows = m0.engine.index_lookup(t, "app", "t", "pk", &[Value::Int(7)], false).unwrap();
+    let rows = m0
+        .engine
+        .index_lookup(t, "app", "t", "pk", &[Value::Int(7)], false)
+        .unwrap();
     m0.engine.commit(t).unwrap();
-    assert!(rows.is_empty(), "aborted write must not survive on any replica");
+    assert!(
+        rows.is_empty(),
+        "aborted write must not survive on any replica"
+    );
 }
 
 #[test]
@@ -105,12 +125,14 @@ fn write_continues_on_survivors_when_replica_dies_mid_txn() {
     let c = cluster(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 3);
     let conn = c.connect("app").unwrap();
     conn.begin().unwrap();
-    conn.execute("INSERT INTO t VALUES (1, 'pre')", &[]).unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'pre')", &[])
+        .unwrap();
     // One replica dies while the txn is open.
     let victim = c.alive_replicas("app").unwrap()[1];
     c.fail_machine(victim).unwrap();
     // Further writes land on the survivor; commit succeeds 1-replica.
-    conn.execute("INSERT INTO t VALUES (2, 'post')", &[]).unwrap();
+    conn.execute("INSERT INTO t VALUES (2, 'post')", &[])
+        .unwrap();
     conn.commit().unwrap();
     let survivors = c.alive_replicas("app").unwrap();
     assert_eq!(survivors.len(), 1);
@@ -142,7 +164,8 @@ fn statement_error_poisons_transaction_until_rollback() {
     conn.begin().unwrap();
     conn.execute("INSERT INTO t VALUES (2, 'y')", &[]).unwrap();
     // Duplicate key: statement fails.
-    conn.execute("INSERT INTO t VALUES (1, 'dup')", &[]).unwrap_err();
+    conn.execute("INSERT INTO t VALUES (1, 'dup')", &[])
+        .unwrap_err();
     let err = conn.commit().unwrap_err();
     assert!(matches!(err, ClusterError::TxnAborted(_)));
     // The whole transaction rolled back, including the valid insert.
@@ -154,7 +177,8 @@ fn statement_error_poisons_transaction_until_rollback() {
 fn deadlocks_are_counted_but_not_as_rejections() {
     let c = cluster(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 2);
     let conn = c.connect("app").unwrap();
-    conn.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')", &[]).unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')", &[])
+        .unwrap();
 
     // Force a deadlock: two txns lock rows in opposite order.
     let c2 = Arc::clone(&c);
@@ -204,7 +228,8 @@ fn read_only_txn_uses_one_phase_commit() {
         let wal = c.machine(id).unwrap().engine.wal().snapshot();
         let new = &wal[wal_before[i]..];
         assert!(
-            !new.iter().any(|r| matches!(r.entry, tenantdb_storage::wal::WalEntry::Prepare)),
+            !new.iter()
+                .any(|r| matches!(r.entry, tenantdb_storage::wal::WalEntry::Prepare)),
             "read-only txn must not run 2PC"
         );
     }
@@ -216,12 +241,14 @@ fn connection_drop_releases_locks() {
     {
         let conn = c.connect("app").unwrap();
         conn.begin().unwrap();
-        conn.execute("INSERT INTO t VALUES (5, 'locked')", &[]).unwrap();
+        conn.execute("INSERT INTO t VALUES (5, 'locked')", &[])
+            .unwrap();
         // Dropped with the transaction open.
     }
     // A new connection can immediately write the same key.
     let conn = c.connect("app").unwrap();
-    conn.execute("INSERT INTO t VALUES (5, 'free')", &[]).unwrap();
+    conn.execute("INSERT INTO t VALUES (5, 'free')", &[])
+        .unwrap();
     let r = conn.execute("SELECT v FROM t WHERE k = 5", &[]).unwrap();
     assert_eq!(r.rows[0][0], Value::from("free"));
 }
@@ -247,7 +274,67 @@ fn per_txn_read_pin_is_stable_within_a_transaction() {
     }
     conn.commit().unwrap();
     let sites: std::collections::HashSet<_> = rec.ops().iter().map(|o| o.site).collect();
-    assert_eq!(sites.len(), 1, "option 2 must pin all of a txn's reads to one replica");
+    assert_eq!(
+        sites.len(),
+        1,
+        "option 2 must pin all of a txn's reads to one replica"
+    );
+}
+
+/// The replication contract is pool-size independent: a representative
+/// write/read/fail/commit workload behaves identically whether each machine
+/// runs one executor thread or four, under both acknowledgement policies.
+#[test]
+fn replication_holds_across_write_policies_and_pool_sizes() {
+    for write in [WritePolicy::Conservative, WritePolicy::Aggressive] {
+        for pool in [PoolConfig::fixed(1), PoolConfig::fixed(4)] {
+            let cfg = ClusterConfig {
+                pool,
+                ..config(ReadPolicy::PinnedReplica, write)
+            };
+            let c = ClusterController::with_machines(cfg, 3);
+            c.create_database("app", 2).unwrap();
+            c.ddl(
+                "app",
+                "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+            )
+            .unwrap();
+            let conn = c.connect("app").unwrap();
+
+            // Multi-statement txn commits everywhere.
+            conn.begin().unwrap();
+            for k in 0..10i64 {
+                conn.execute("INSERT INTO t VALUES (?, 'a')", &[Value::Int(k)])
+                    .unwrap();
+            }
+            conn.commit().unwrap();
+
+            // Statement error poisons the txn (strict mode) and rolls back.
+            conn.begin().unwrap();
+            conn.execute("INSERT INTO t VALUES (100, 'y')", &[])
+                .unwrap();
+            conn.execute("INSERT INTO t VALUES (0, 'dup')", &[])
+                .unwrap_err();
+            conn.commit().unwrap_err();
+
+            // A replica failure mid-txn is masked by the survivor.
+            conn.begin().unwrap();
+            conn.execute("UPDATE t SET v = 'b' WHERE k = 1", &[])
+                .unwrap();
+            let victim = c.alive_replicas("app").unwrap()[1];
+            c.fail_machine(victim).unwrap();
+            conn.execute("UPDATE t SET v = 'c' WHERE k = 2", &[])
+                .unwrap();
+            conn.commit().unwrap();
+
+            let survivor = c.alive_replicas("app").unwrap()[0];
+            let m = c.machine(survivor).unwrap();
+            let t = m.engine.begin().unwrap();
+            let rows = m.engine.scan(t, "app", "t").unwrap();
+            m.engine.commit(t).unwrap();
+            assert_eq!(rows.len(), 10, "write={write:?} pool={pool:?}");
+        }
+    }
 }
 
 #[test]
@@ -258,10 +345,17 @@ fn ddl_rejected_during_copy() {
         .into_iter()
         .find(|m| !c.placement("app").unwrap().replicas.contains(m))
         .unwrap();
-    c.machine(spare).unwrap().engine.create_database("app").unwrap();
+    c.machine(spare)
+        .unwrap()
+        .engine
+        .create_database("app")
+        .unwrap();
     c.begin_copy("app", spare, false);
-    let err = c.ddl("app", "CREATE TABLE t2 (id INT NOT NULL, PRIMARY KEY (id))").unwrap_err();
+    let err = c
+        .ddl("app", "CREATE TABLE t2 (id INT NOT NULL, PRIMARY KEY (id))")
+        .unwrap_err();
     assert!(matches!(err, ClusterError::WriteRejected { .. }));
     c.abandon_copy("app");
-    c.ddl("app", "CREATE TABLE t2 (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+    c.ddl("app", "CREATE TABLE t2 (id INT NOT NULL, PRIMARY KEY (id))")
+        .unwrap();
 }

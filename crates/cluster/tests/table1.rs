@@ -35,12 +35,18 @@ fn cluster(read: ReadPolicy, write: WritePolicy) -> Arc<ClusterController> {
             lock_timeout: Duration::from_millis(200),
         },
         seed: 7,
+        ..Default::default()
     };
     let c = ClusterController::with_machines(cfg, 2);
     c.create_database("bank", 2).unwrap();
-    c.ddl("bank", "CREATE TABLE acct (k TEXT NOT NULL, bal INT, PRIMARY KEY (k))").unwrap();
+    c.ddl(
+        "bank",
+        "CREATE TABLE acct (k TEXT NOT NULL, bal INT, PRIMARY KEY (k))",
+    )
+    .unwrap();
     let conn = c.connect("bank").unwrap();
-    conn.execute("INSERT INTO acct VALUES ('x', 0), ('y', 0)", &[]).unwrap();
+    conn.execute("INSERT INTO acct VALUES ('x', 0), ('y', 0)", &[])
+        .unwrap();
     c
 }
 
@@ -61,10 +67,7 @@ fn run_anomaly_rounds(read: ReadPolicy, write: WritePolicy, rounds: usize) -> Ve
                 let conn = cluster.connect("bank").unwrap();
                 let body = || -> tenantdb_cluster::Result<()> {
                     conn.begin()?;
-                    conn.execute(
-                        "SELECT bal FROM acct WHERE k = ?",
-                        &[Value::from(read_key)],
-                    )?;
+                    conn.execute("SELECT bal FROM acct WHERE k = ?", &[Value::from(read_key)])?;
                     barrier.wait();
                     conn.execute(
                         "UPDATE acct SET bal = bal + 1 WHERE k = ?",
@@ -117,18 +120,30 @@ fn aggressive_option1_always_serializable() {
 
 #[test]
 fn conservative_option1_always_serializable() {
-    let v = run_anomaly_rounds(ReadPolicy::PinnedReplica, WritePolicy::Conservative, ROUNDS / 2);
+    let v = run_anomaly_rounds(
+        ReadPolicy::PinnedReplica,
+        WritePolicy::Conservative,
+        ROUNDS / 2,
+    );
     assert!(v.is_serializable(), "Theorem 2 violated: {v}");
 }
 
 #[test]
 fn conservative_option2_always_serializable() {
-    let v = run_anomaly_rounds(ReadPolicy::PerTransaction, WritePolicy::Conservative, ROUNDS / 2);
+    let v = run_anomaly_rounds(
+        ReadPolicy::PerTransaction,
+        WritePolicy::Conservative,
+        ROUNDS / 2,
+    );
     assert!(v.is_serializable(), "Theorem 2 violated: {v}");
 }
 
 #[test]
 fn conservative_option3_always_serializable() {
-    let v = run_anomaly_rounds(ReadPolicy::PerOperation, WritePolicy::Conservative, ROUNDS / 2);
+    let v = run_anomaly_rounds(
+        ReadPolicy::PerOperation,
+        WritePolicy::Conservative,
+        ROUNDS / 2,
+    );
     assert!(v.is_serializable(), "Theorem 2 violated: {v}");
 }

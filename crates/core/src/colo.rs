@@ -111,7 +111,10 @@ impl Colo {
 
     /// Every cluster controller (experiments and inspection).
     pub fn clusters(&self) -> Vec<Arc<ClusterController>> {
-        self.clusters.iter().map(|s| Arc::clone(&s.controller)).collect()
+        self.clusters
+            .iter()
+            .map(|s| Arc::clone(&s.controller))
+            .collect()
     }
 
     /// Create a database in this colo.
@@ -180,7 +183,10 @@ impl Colo {
 
     /// Total machines across clusters (capacity reporting).
     pub fn machine_count(&self) -> usize {
-        self.clusters.iter().map(|s| s.controller.machine_ids().len()).sum()
+        self.clusters
+            .iter()
+            .map(|s| s.controller.machine_ids().len())
+            .sum()
     }
 }
 
@@ -219,7 +225,10 @@ mod tests {
         c.create_database("b", 2, None).unwrap();
         let ca = c.cluster_for("a").unwrap();
         let cb = c.cluster_for("b").unwrap();
-        assert!(!Arc::ptr_eq(&ca, &cb), "least-loaded cluster choice must alternate");
+        assert!(
+            !Arc::ptr_eq(&ca, &cb),
+            "least-loaded cluster choice must alternate"
+        );
         assert_eq!(c.databases_hosted(), 2);
         assert!(c.cluster_for("missing").is_none());
     }
@@ -242,7 +251,8 @@ mod tests {
         let demand = ResourceVector::new(60.0, 100.0, 1.0, 100.0);
         let before = c.machine_count();
         for i in 0..4 {
-            c.create_database(&format!("d{i}"), 2, Some(demand)).unwrap();
+            c.create_database(&format!("d{i}"), 2, Some(demand))
+                .unwrap();
         }
         // 8 replicas at 60 cpu each on 100-cpu machines -> 8 machines needed
         // in the placing cluster(s); the free pool supplied the extras.

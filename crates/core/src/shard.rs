@@ -89,7 +89,9 @@ impl ShardedDatabase {
     /// Override the shard key of a table (co-sharding related tables, e.g.
     /// `orders` by `o_c_id`). Must be set before data is inserted.
     pub fn set_shard_key(&self, table: &str, column: &str) {
-        self.shard_keys.lock().insert(table.to_string(), column.to_string());
+        self.shard_keys
+            .lock()
+            .insert(table.to_string(), column.to_string());
     }
 
     pub fn shard_key(&self, table: &str) -> Option<String> {
@@ -100,7 +102,10 @@ impl ShardedDatabase {
     /// key (the first PRIMARY KEY column) unless one was set explicitly.
     pub fn ddl(&self, sql: &str) -> Result<()> {
         let stmt = parse(sql)?;
-        if let Statement::CreateTable { name, primary_key, .. } = &stmt {
+        if let Statement::CreateTable {
+            name, primary_key, ..
+        } = &stmt
+        {
             let mut keys = self.shard_keys.lock();
             if !keys.contains_key(name) {
                 if let Some(first) = primary_key.first() {
@@ -121,7 +126,11 @@ impl ShardedDatabase {
             .iter()
             .map(|db| self.cluster.connect(db))
             .collect::<Result<Vec<_>>>()?;
-        Ok(ShardedConnection { sharded: Arc::clone(self), conns, txn_shard: Mutex::new(None) })
+        Ok(ShardedConnection {
+            sharded: Arc::clone(self),
+            conns,
+            txn_shard: Mutex::new(None),
+        })
     }
 
     fn shard_of(&self, key: &Value) -> usize {
@@ -158,7 +167,9 @@ impl ShardedConnection {
     pub fn begin(&self) -> Result<()> {
         let mut pin = self.txn_shard.lock();
         if pin.is_some() {
-            return Err(ClusterError::TxnAborted("BEGIN inside an open transaction".into()));
+            return Err(ClusterError::TxnAborted(
+                "BEGIN inside an open transaction".into(),
+            ));
         }
         *pin = Some(usize::MAX); // sentinel: pinned-but-unbound
         Ok(())
@@ -185,7 +196,10 @@ impl ShardedConnection {
     /// Execute one statement with routing.
     pub fn execute(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
         let stmt = parse(sql)?;
-        if matches!(stmt, Statement::CreateTable { .. } | Statement::CreateIndex { .. }) {
+        if matches!(
+            stmt,
+            Statement::CreateTable { .. } | Statement::CreateIndex { .. }
+        ) {
             return Err(ClusterError::Sql(tenantdb_sql::SqlError::Plan(
                 "run DDL through ShardedDatabase::ddl".into(),
             )));
@@ -221,8 +235,7 @@ impl ShardedConnection {
     fn execute_fanout(&self, stmt: &Statement, sql: &str, params: &[Value]) -> Result<QueryResult> {
         if self.txn_shard.lock().is_some() {
             return Err(ClusterError::TxnAborted(
-                "cross-shard transaction: key-less statement inside an explicit transaction"
-                    .into(),
+                "cross-shard transaction: key-less statement inside an explicit transaction".into(),
             ));
         }
         match stmt {
@@ -234,7 +247,10 @@ impl ShardedConnection {
                             i,
                             SelectItem::Expr {
                                 expr: Expr::Agg {
-                                    func: AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max,
+                                    func: AggFunc::Count
+                                        | AggFunc::Sum
+                                        | AggFunc::Min
+                                        | AggFunc::Max,
                                     ..
                                 },
                                 ..
@@ -242,8 +258,9 @@ impl ShardedConnection {
                         )
                     });
                 let has_aggregate =
-                    sel.items.iter().any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.has_aggregate()))
-                        || !sel.group_by.is_empty();
+                    sel.items.iter().any(
+                        |i| matches!(i, SelectItem::Expr { expr, .. } if expr.has_aggregate()),
+                    ) || !sel.group_by.is_empty();
                 if has_aggregate && !mergeable_aggregate {
                     return Err(ClusterError::Sql(tenantdb_sql::SqlError::Plan(
                         "cross-shard GROUP BY/AVG not supported; route by shard key".into(),
@@ -283,28 +300,40 @@ impl ShardedConnection {
         let key_of = |table: &str| sharded.shard_key(table);
         let shard_for = |key: &Value| sharded.shard_of(key);
 
-        let key_from_filter =
-            |table: &str, filter: Option<&Expr>| -> Result<Option<usize>> {
-                let Some(col) = key_of(table) else { return Ok(None) };
-                let Some(filter) = filter else { return Ok(None) };
-                for c in filter.conjuncts() {
-                    if let Expr::Binary { op: BinOp::Eq, left, right } = c {
-                        for (a, b) in [(left, right), (right, left)] {
-                            if let Expr::Column { name, .. } = a.as_ref() {
-                                if name.eq_ignore_ascii_case(&col) {
-                                    if let Some(v) = const_value(b, params)? {
-                                        return Ok(Some(shard_for(&v)));
-                                    }
+        let key_from_filter = |table: &str, filter: Option<&Expr>| -> Result<Option<usize>> {
+            let Some(col) = key_of(table) else {
+                return Ok(None);
+            };
+            let Some(filter) = filter else {
+                return Ok(None);
+            };
+            for c in filter.conjuncts() {
+                if let Expr::Binary {
+                    op: BinOp::Eq,
+                    left,
+                    right,
+                } = c
+                {
+                    for (a, b) in [(left, right), (right, left)] {
+                        if let Expr::Column { name, .. } = a.as_ref() {
+                            if name.eq_ignore_ascii_case(&col) {
+                                if let Some(v) = const_value(b, params)? {
+                                    return Ok(Some(shard_for(&v)));
                                 }
                             }
                         }
                     }
                 }
-                Ok(None)
-            };
+            }
+            Ok(None)
+        };
 
         match stmt {
-            Statement::Insert { table, columns, values } => {
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
                 let col = key_of(table).ok_or_else(|| {
                     ClusterError::Sql(tenantdb_sql::SqlError::Plan(format!(
                         "table {table} has no shard key; create it through ddl() first"
@@ -349,16 +378,13 @@ impl ShardedConnection {
                     None => Ok(Route::All),
                 }
             }
-            Statement::Select(sel) => {
-                match key_from_filter(&sel.from.name, sel.filter.as_ref())? {
-                    Some(s) => Ok(Route::One(s)),
-                    None if sel.joins.is_empty() => Ok(Route::All),
-                    None => Err(ClusterError::Sql(tenantdb_sql::SqlError::Plan(
-                        "cross-shard join: joins require a shard-key equality on the base table"
-                            .into(),
-                    ))),
-                }
-            }
+            Statement::Select(sel) => match key_from_filter(&sel.from.name, sel.filter.as_ref())? {
+                Some(s) => Ok(Route::One(s)),
+                None if sel.joins.is_empty() => Ok(Route::All),
+                None => Err(ClusterError::Sql(tenantdb_sql::SqlError::Plan(
+                    "cross-shard join: joins require a shard-key equality on the base table".into(),
+                ))),
+            },
             _ => Ok(Route::All),
         }
     }
@@ -391,7 +417,13 @@ fn merge_aggregates(
     for p in partials.iter().skip(1) {
         let row = p.rows.first().cloned().unwrap_or_default();
         for (i, item) in sel.items.iter().enumerate() {
-            let SelectItem::Expr { expr: Expr::Agg { func, .. }, .. } = item else { continue };
+            let SelectItem::Expr {
+                expr: Expr::Agg { func, .. },
+                ..
+            } = item
+            else {
+                continue;
+            };
             let (a, b) = (merged[i].clone(), row[i].clone());
             merged[i] = match func {
                 AggFunc::Count | AggFunc::Sum => match (a, b) {
@@ -423,7 +455,11 @@ fn merge_aggregates(
             };
         }
     }
-    Ok(QueryResult { columns: first.columns, rows: vec![merged], ..Default::default() })
+    Ok(QueryResult {
+        columns: first.columns,
+        rows: vec![merged],
+        ..Default::default()
+    })
 }
 
 /// Concatenate per-shard plain-select results; re-apply ORDER BY (when its
@@ -432,7 +468,10 @@ fn merge_rows(
     sel: &tenantdb_sql::ast::SelectStmt,
     partials: Vec<QueryResult>,
 ) -> Result<QueryResult> {
-    let columns = partials.first().map(|p| p.columns.clone()).unwrap_or_default();
+    let columns = partials
+        .first()
+        .map(|p| p.columns.clone())
+        .unwrap_or_default();
     let mut rows: Vec<Vec<Value>> = partials.into_iter().flat_map(|p| p.rows).collect();
     if !sel.order_by.is_empty() {
         let mut key_idx = Vec::new();
@@ -469,5 +508,9 @@ fn merge_rows(
     if let Some(limit) = sel.limit {
         rows.truncate(limit as usize);
     }
-    Ok(QueryResult { columns, rows, ..Default::default() })
+    Ok(QueryResult {
+        columns,
+        rows,
+        ..Default::default()
+    })
 }

@@ -43,7 +43,10 @@ impl Default for PlatformConfig {
 
 impl PlatformConfig {
     pub fn for_tests() -> Self {
-        PlatformConfig { cluster: ClusterConfig::for_tests(), ..Default::default() }
+        PlatformConfig {
+            cluster: ClusterConfig::for_tests(),
+            ..Default::default()
+        }
     }
 }
 
@@ -62,7 +65,12 @@ pub struct CreateOptions {
 
 impl Default for CreateOptions {
     fn default() -> Self {
-        CreateOptions { replicas: 2, sla: Sla::default(), demand: None, cross_colo: true }
+        CreateOptions {
+            replicas: 2,
+            sla: Sla::default(),
+            demand: None,
+            cross_colo: true,
+        }
     }
 }
 
@@ -102,7 +110,10 @@ impl SystemController {
                 ))
             })
             .collect();
-        Arc::new(SystemController { colos, directory: RwLock::new(HashMap::new()) })
+        Arc::new(SystemController {
+            colos,
+            directory: RwLock::new(HashMap::new()),
+        })
     }
 
     pub fn colo(&self, id: ColoId) -> Option<&Arc<Colo>> {
@@ -132,8 +143,9 @@ impl SystemController {
         if self.directory.read().contains_key(name) {
             return Err(ClusterError::AlreadyExists(name.to_string()));
         }
-        let primary =
-            self.nearest_colo(owner_location, None).ok_or(ClusterError::NoMachines)?;
+        let primary = self
+            .nearest_colo(owner_location, None)
+            .ok_or(ClusterError::NoMachines)?;
         primary.create_database(name, opts.replicas, opts.demand)?;
         let secondary = if opts.cross_colo {
             match self.nearest_colo(owner_location, Some(primary.id)) {
@@ -189,8 +201,9 @@ impl SystemController {
             .colo(entry.primary)
             .filter(|c| !c.is_failed())
             .ok_or(ClusterError::NoMachines)?;
-        let cluster =
-            colo.cluster_for(db).ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
+        let cluster = colo
+            .cluster_for(db)
+            .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
         let inner = cluster.connect(db)?;
         Ok(PlatformConnection {
             system: Arc::clone(self),
@@ -212,18 +225,26 @@ impl SystemController {
             .get(db)
             .cloned()
             .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
-        let Some(secondary) = entry.secondary else { return Ok(0) };
+        let Some(secondary) = entry.secondary else {
+            return Ok(0);
+        };
         let Some(colo) = self.colo(secondary).filter(|c| !c.is_failed()) else {
             return Ok(0);
         };
-        let cluster =
-            colo.cluster_for(db).ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
+        let cluster = colo
+            .cluster_for(db)
+            .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
         let conn = cluster.connect(db)?;
         let mut shipped = 0;
         loop {
-            let Some(batch) = entry.ship_queue.lock().pop_front() else { break };
+            let Some(batch) = entry.ship_queue.lock().pop_front() else {
+                break;
+            };
             let is_ddl = |s: &Statement| {
-                matches!(s, Statement::CreateTable { .. } | Statement::CreateIndex { .. })
+                matches!(
+                    s,
+                    Statement::CreateTable { .. } | Statement::CreateIndex { .. }
+                )
             };
             if batch.iter().any(|(s, _)| is_ddl(s)) {
                 // DDL ships auto-committed (it is never mixed into a client
@@ -264,8 +285,10 @@ impl SystemController {
     /// §2 trade-off of asynchronous cross-colo replication.
     pub fn failover(&self, db: &str) -> Result<usize, ClusterError> {
         let dir = self.directory.read();
-        let entry =
-            dir.get(db).cloned().ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
+        let entry = dir
+            .get(db)
+            .cloned()
+            .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
         drop(dir);
         let secondary = entry.secondary.ok_or(ClusterError::NoMachines)?;
         let lost = entry.ship_queue.lock().len();
@@ -372,33 +395,47 @@ mod tests {
     #[test]
     fn primary_is_nearest_colo() {
         let p = platform();
-        p.create_database("app", (10.0, 0.0), CreateOptions::default()).unwrap();
+        p.create_database("app", (10.0, 0.0), CreateOptions::default())
+            .unwrap();
         assert_eq!(p.primary_colo("app"), Some(ColoId(0)));
         assert_eq!(p.secondary_colo("app"), Some(ColoId(1)));
-        p.create_database("app2", (90.0, 0.0), CreateOptions::default()).unwrap();
+        p.create_database("app2", (90.0, 0.0), CreateOptions::default())
+            .unwrap();
         assert_eq!(p.primary_colo("app2"), Some(ColoId(1)));
     }
 
     #[test]
     fn end_to_end_sql_through_platform() {
         let p = platform();
-        p.create_database("notes", WEST, CreateOptions::default()).unwrap();
-        let conn = p.connect("notes", WEST).unwrap();
-        conn.execute("CREATE TABLE n (id INT NOT NULL, body TEXT, PRIMARY KEY (id))", &[])
+        p.create_database("notes", WEST, CreateOptions::default())
             .unwrap();
+        let conn = p.connect("notes", WEST).unwrap();
+        conn.execute(
+            "CREATE TABLE n (id INT NOT NULL, body TEXT, PRIMARY KEY (id))",
+            &[],
+        )
+        .unwrap();
         conn.begin().unwrap();
-        conn.execute("INSERT INTO n VALUES (1, 'hello')", &[]).unwrap();
+        conn.execute("INSERT INTO n VALUES (1, 'hello')", &[])
+            .unwrap();
         conn.commit().unwrap();
-        let r = conn.execute("SELECT body FROM n WHERE id = 1", &[]).unwrap();
+        let r = conn
+            .execute("SELECT body FROM n WHERE id = 1", &[])
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::from("hello"));
     }
 
     #[test]
     fn async_replication_ships_committed_writes() {
         let p = platform();
-        p.create_database("app", WEST, CreateOptions::default()).unwrap();
+        p.create_database("app", WEST, CreateOptions::default())
+            .unwrap();
         let conn = p.connect("app", WEST).unwrap();
-        conn.execute("CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))", &[]).unwrap();
+        conn.execute(
+            "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))",
+            &[],
+        )
+        .unwrap();
         conn.begin().unwrap();
         conn.execute("INSERT INTO t VALUES (1, 'a')", &[]).unwrap();
         conn.execute("INSERT INTO t VALUES (2, 'b')", &[]).unwrap();
@@ -419,9 +456,11 @@ mod tests {
     #[test]
     fn rolled_back_writes_are_not_shipped() {
         let p = platform();
-        p.create_database("app", WEST, CreateOptions::default()).unwrap();
+        p.create_database("app", WEST, CreateOptions::default())
+            .unwrap();
         let conn = p.connect("app", WEST).unwrap();
-        conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[]).unwrap();
+        conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[])
+            .unwrap();
         let base = p.replication_lag("app");
         conn.begin().unwrap();
         conn.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
@@ -432,9 +471,11 @@ mod tests {
     #[test]
     fn colo_failover_loses_only_unshipped_tail() {
         let p = platform();
-        p.create_database("app", WEST, CreateOptions::default()).unwrap();
+        p.create_database("app", WEST, CreateOptions::default())
+            .unwrap();
         let conn = p.connect("app", WEST).unwrap();
-        conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[]).unwrap();
+        conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[])
+            .unwrap();
         conn.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
         p.ship("app").unwrap();
         // One more committed txn that never ships.
@@ -453,7 +494,8 @@ mod tests {
     #[test]
     fn connect_to_failed_primary_errors_until_failover() {
         let p = platform();
-        p.create_database("app", WEST, CreateOptions::default()).unwrap();
+        p.create_database("app", WEST, CreateOptions::default())
+            .unwrap();
         p.colo(ColoId(0)).unwrap().fail();
         assert!(p.connect("app", WEST).is_err());
         p.failover("app").unwrap();
@@ -464,7 +506,15 @@ mod tests {
     fn sla_is_stored() {
         let p = platform();
         let sla = Sla::new(5.0, 0.001, std::time::Duration::from_secs(60));
-        p.create_database("app", WEST, CreateOptions { sla, ..Default::default() }).unwrap();
+        p.create_database(
+            "app",
+            WEST,
+            CreateOptions {
+                sla,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(p.sla("app"), Some(sla));
         assert_eq!(p.sla("nope"), None);
     }

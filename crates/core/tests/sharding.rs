@@ -20,7 +20,11 @@ fn load_users(s: &Arc<ShardedDatabase>, n: i64) {
     for i in 0..n {
         conn.execute(
             "INSERT INTO users VALUES (?, ?, ?)",
-            &[Value::Int(i), Value::Text(format!("u{i}")), Value::Int(i * 10)],
+            &[
+                Value::Int(i),
+                Value::Text(format!("u{i}")),
+                Value::Int(i * 10),
+            ],
         )
         .unwrap();
     }
@@ -34,7 +38,10 @@ fn inserts_spread_across_shards() {
     let mut total = 0i64;
     for db in s.shard_databases() {
         let conn = cluster.connect(db).unwrap();
-        let n = conn.execute("SELECT COUNT(*) FROM users", &[]).unwrap().rows[0][0]
+        let n = conn
+            .execute("SELECT COUNT(*) FROM users", &[])
+            .unwrap()
+            .rows[0][0]
             .as_i64()
             .unwrap();
         assert!(n > 5, "shard {db} got only {n} of 60 rows");
@@ -62,10 +69,17 @@ fn keyless_select_fans_out_and_merges() {
     load_users(&s, 25);
     let conn = s.connect().unwrap();
     let r = conn
-        .execute("SELECT id FROM users WHERE score >= ? ORDER BY id DESC LIMIT 5", &[Value::Int(0)])
+        .execute(
+            "SELECT id FROM users WHERE score >= ? ORDER BY id DESC LIMIT 5",
+            &[Value::Int(0)],
+        )
         .unwrap();
     let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
-    assert_eq!(ids, vec![24, 23, 22, 21, 20], "global ORDER BY + LIMIT after merge");
+    assert_eq!(
+        ids,
+        vec![24, 23, 22, 21, 20],
+        "global ORDER BY + LIMIT after merge"
+    );
 }
 
 #[test]
@@ -74,7 +88,10 @@ fn aggregates_merge_across_shards() {
     load_users(&s, 40);
     let conn = s.connect().unwrap();
     let r = conn
-        .execute("SELECT COUNT(*), SUM(score), MIN(score), MAX(score) FROM users", &[])
+        .execute(
+            "SELECT COUNT(*), SUM(score), MIN(score), MAX(score) FROM users",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][0], Value::Int(40));
@@ -118,9 +135,14 @@ fn transactions_pin_to_one_shard() {
     let conn = s.connect().unwrap();
     conn.begin().unwrap();
     // First statement binds the shard (key 5).
-    conn.execute("UPDATE users SET score = 999 WHERE id = ?", &[Value::Int(5)]).unwrap();
+    conn.execute(
+        "UPDATE users SET score = 999 WHERE id = ?",
+        &[Value::Int(5)],
+    )
+    .unwrap();
     // Same-shard statement (same key) is fine.
-    conn.execute("SELECT score FROM users WHERE id = ?", &[Value::Int(5)]).unwrap();
+    conn.execute("SELECT score FROM users WHERE id = ?", &[Value::Int(5)])
+        .unwrap();
     // A key on another shard must be refused. (Find one.)
     let other = (0..30)
         .find(|&i| {
@@ -174,10 +196,16 @@ fn co_sharded_join_routes_and_works() {
             &[Value::Int(4)],
         )
         .unwrap();
-    assert_eq!(r.rows, vec![vec![Value::Text("u4".into()), Value::Int(150)]]);
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::Text("u4".into()), Value::Int(150)]]
+    );
     // Key-less join is refused.
     let err = conn
-        .execute("SELECT u.name FROM users u JOIN orders o ON o.o_uid = u.id", &[])
+        .execute(
+            "SELECT u.name FROM users u JOIN orders o ON o.o_uid = u.id",
+            &[],
+        )
         .unwrap_err();
     assert!(matches!(err, ClusterError::Sql(_)));
 }

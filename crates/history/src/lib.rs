@@ -80,7 +80,12 @@ impl Recorder {
 
     /// Record one operation (appended in real-time order).
     pub fn record(&self, site: Site, txn: GTxn, kind: AccessKind, object: impl Into<String>) {
-        self.inner.lock().ops.push(OpRec { site, txn, kind, object: object.into() });
+        self.inner.lock().ops.push(OpRec {
+            site,
+            txn,
+            kind,
+            object: object.into(),
+        });
     }
 
     /// Mark a transaction as committed (only committed txns enter the graph).
@@ -112,7 +117,10 @@ impl Recorder {
         let mut groups: HashMap<(Site, &str), Vec<&OpRec>> = HashMap::new();
         for op in &inner.ops {
             if inner.committed.contains(&op.txn) {
-                groups.entry((op.site, op.object.as_str())).or_default().push(op);
+                groups
+                    .entry((op.site, op.object.as_str()))
+                    .or_default()
+                    .push(op);
             }
         }
         for ops in groups.values() {
@@ -228,8 +236,11 @@ impl SerializationGraph {
                 }
             }
         }
-        let mut ready: Vec<GTxn> =
-            indegree.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
+        let mut ready: Vec<GTxn> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
         ready.sort();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(n) = ready.pop() {

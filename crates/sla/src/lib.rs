@@ -24,12 +24,12 @@ pub mod monitor;
 pub mod placement;
 pub mod zipf;
 
+pub use monitor::{
+    can_reallocate, check_compliance, reallocation_budget, Compliance, ObservedOutcomes,
+};
 pub use placement::{
     machine_lower_bound, optimal_machine_count, optimal_machine_count_budgeted, BestFitPlacer,
     FirstFitDecreasingPlacer, FirstFitPlacer, PlacementError, Placer,
-};
-pub use monitor::{
-    can_reallocate, check_compliance, reallocation_budget, Compliance, ObservedOutcomes,
 };
 pub use zipf::Zipf;
 
@@ -49,11 +49,20 @@ pub struct ResourceVector {
 }
 
 impl ResourceVector {
-    pub const ZERO: ResourceVector =
-        ResourceVector { cpu: 0.0, memory: 0.0, disk_io: 0.0, disk_size: 0.0 };
+    pub const ZERO: ResourceVector = ResourceVector {
+        cpu: 0.0,
+        memory: 0.0,
+        disk_io: 0.0,
+        disk_size: 0.0,
+    };
 
     pub fn new(cpu: f64, memory: f64, disk_io: f64, disk_size: f64) -> Self {
-        ResourceVector { cpu, memory, disk_io, disk_size }
+        ResourceVector {
+            cpu,
+            memory,
+            disk_io,
+            disk_size,
+        }
     }
 
     /// Component-wise `<=` — does this demand fit within `capacity`?
@@ -122,13 +131,21 @@ pub struct Sla {
 
 impl Sla {
     pub fn new(min_tps: f64, max_rejected_frac: f64, period: Duration) -> Self {
-        Sla { min_tps, max_rejected_frac, period }
+        Sla {
+            min_tps,
+            max_rejected_frac,
+            period,
+        }
     }
 }
 
 impl Default for Sla {
     fn default() -> Self {
-        Sla { min_tps: 1.0, max_rejected_frac: 0.01, period: Duration::from_secs(3600) }
+        Sla {
+            min_tps: 1.0,
+            max_rejected_frac: 0.01,
+            period: Duration::from_secs(3600),
+        }
     }
 }
 
@@ -151,8 +168,13 @@ pub fn availability_ok(
     write_mix: f64,
     max_rejected_frac: f64,
 ) -> bool {
-    expected_rejected_frac(machine_failure_rate, reallocation_rate, recovery_time, period, write_mix)
-        < max_rejected_frac
+    expected_rejected_frac(
+        machine_failure_rate,
+        reallocation_rate,
+        recovery_time,
+        period,
+        write_mix,
+    ) < max_rejected_frac
 }
 
 /// Left-hand side of the availability inequality — the expected fraction of
@@ -182,7 +204,12 @@ pub struct DatabaseSpec {
 
 impl DatabaseSpec {
     pub fn new(name: impl Into<String>, demand: ResourceVector, replicas: usize) -> Self {
-        DatabaseSpec { name: name.into(), demand, replicas, sla: Sla::default() }
+        DatabaseSpec {
+            name: name.into(),
+            demand,
+            replicas,
+            sla: Sla::default(),
+        }
     }
 }
 

@@ -131,7 +131,11 @@ mod tests {
 
     #[test]
     fn throughput_and_rejection_math() {
-        let o = ObservedOutcomes { committed: 1200, rejected: 6, workload_aborts: 100 };
+        let o = ObservedOutcomes {
+            committed: 1200,
+            rejected: 6,
+            workload_aborts: 100,
+        };
         let w = Duration::from_secs(60);
         assert!((o.throughput(w) - 20.0).abs() < 1e-9);
         // Deadlocks excluded from the denominator.
@@ -141,7 +145,11 @@ mod tests {
 
     #[test]
     fn compliant_database() {
-        let o = ObservedOutcomes { committed: 1200, rejected: 6, workload_aborts: 0 };
+        let o = ObservedOutcomes {
+            committed: 1200,
+            rejected: 6,
+            workload_aborts: 0,
+        };
         let c = check_compliance(&sla(), &o, Duration::from_secs(60));
         assert!(c.throughput_ok);
         assert!(c.availability_ok);
@@ -150,7 +158,11 @@ mod tests {
 
     #[test]
     fn throughput_breach_detected() {
-        let o = ObservedOutcomes { committed: 100, rejected: 0, workload_aborts: 0 };
+        let o = ObservedOutcomes {
+            committed: 100,
+            rejected: 0,
+            workload_aborts: 0,
+        };
         let c = check_compliance(&sla(), &o, Duration::from_secs(60));
         assert!(!c.throughput_ok, "100/60s < 10 TPS");
         assert!(c.availability_ok);
@@ -159,7 +171,11 @@ mod tests {
 
     #[test]
     fn availability_breach_detected() {
-        let o = ObservedOutcomes { committed: 900, rejected: 100, workload_aborts: 0 };
+        let o = ObservedOutcomes {
+            committed: 900,
+            rejected: 100,
+            workload_aborts: 0,
+        };
         let c = check_compliance(&sla(), &o, Duration::from_secs(60));
         assert!(c.throughput_ok);
         assert!(!c.availability_ok, "10% rejected >> 1%");
@@ -168,7 +184,11 @@ mod tests {
     #[test]
     fn deadlocks_do_not_breach_availability() {
         // Per §4.1, workload-inherent aborts don't count against the SLA.
-        let o = ObservedOutcomes { committed: 900, rejected: 0, workload_aborts: 500 };
+        let o = ObservedOutcomes {
+            committed: 900,
+            rejected: 0,
+            workload_aborts: 500,
+        };
         let c = check_compliance(&sla(), &o, Duration::from_secs(60));
         assert!(c.availability_ok);
     }
@@ -177,8 +197,8 @@ mod tests {
     fn reallocation_budget_shape() {
         let sla = sla(); // 1% over an hour
         let recovery = Duration::from_secs(36); // 1% of the period
-        // Each event costs (36/3600)*0.5 = 0.5% of the budget; 1% allows 2
-        // events total; with 1 expected failure, 1 reallocation remains.
+                                                // Each event costs (36/3600)*0.5 = 0.5% of the budget; 1% allows 2
+                                                // events total; with 1 expected failure, 1 reallocation remains.
         let b = reallocation_budget(&sla, 1.0, recovery, 0.5);
         assert_eq!(b, 1);
         // Faster copies buy more reallocations.

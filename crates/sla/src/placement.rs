@@ -50,7 +50,11 @@ pub struct MachineLoad {
 
 impl MachineLoad {
     fn new(capacity: ResourceVector) -> Self {
-        MachineLoad { capacity, used: ResourceVector::ZERO, hosted: Vec::new() }
+        MachineLoad {
+            capacity,
+            used: ResourceVector::ZERO,
+            hosted: Vec::new(),
+        }
     }
 
     fn can_host(&self, spec: &DatabaseSpec) -> bool {
@@ -89,7 +93,10 @@ struct ListPlacer {
 
 impl ListPlacer {
     fn new(capacity: ResourceVector) -> Self {
-        ListPlacer { capacity, machines: Vec::new() }
+        ListPlacer {
+            capacity,
+            machines: Vec::new(),
+        }
     }
 
     fn validate(&self, spec: &DatabaseSpec) -> Result<(), PlacementError> {
@@ -140,7 +147,9 @@ pub struct FirstFitPlacer {
 
 impl FirstFitPlacer {
     pub fn new(capacity: ResourceVector) -> Self {
-        FirstFitPlacer { inner: ListPlacer::new(capacity) }
+        FirstFitPlacer {
+            inner: ListPlacer::new(capacity),
+        }
     }
 }
 
@@ -168,7 +177,9 @@ pub struct BestFitPlacer {
 
 impl BestFitPlacer {
     pub fn new(capacity: ResourceVector) -> Self {
-        BestFitPlacer { inner: ListPlacer::new(capacity) }
+        BestFitPlacer {
+            inner: ListPlacer::new(capacity),
+        }
     }
 }
 
@@ -202,14 +213,14 @@ pub struct FirstFitDecreasingPlacer {
 
 impl FirstFitDecreasingPlacer {
     pub fn new(capacity: ResourceVector) -> Self {
-        FirstFitDecreasingPlacer { capacity, result: None }
+        FirstFitDecreasingPlacer {
+            capacity,
+            result: None,
+        }
     }
 
     /// Place a whole batch at once (FFD is inherently offline).
-    pub fn place_all(
-        &mut self,
-        specs: &[DatabaseSpec],
-    ) -> Result<usize, PlacementError> {
+    pub fn place_all(&mut self, specs: &[DatabaseSpec]) -> Result<usize, PlacementError> {
         let mut sorted: Vec<&DatabaseSpec> = specs.iter().collect();
         let cap = self.capacity;
         sorted.sort_by(|a, b| {
@@ -242,7 +253,13 @@ pub fn machine_lower_bound(specs: &[DatabaseSpec], capacity: ResourceVector) -> 
         }
         max_replicas = max_replicas.max(s.replicas);
     }
-    let dim = |d: f64, c: f64| if c <= 0.0 { 0 } else { (d / c - 1e-9).ceil() as usize };
+    let dim = |d: f64, c: f64| {
+        if c <= 0.0 {
+            0
+        } else {
+            (d / c - 1e-9).ceil() as usize
+        }
+    };
     dim(total.cpu, capacity.cpu)
         .max(dim(total.memory, capacity.memory))
         .max(dim(total.disk_io, capacity.disk_io))
@@ -279,7 +296,8 @@ pub fn optimal_machine_count_budgeted(
         }
     }
     items.sort_by(|a, b| {
-        b.1.max_utilization(&capacity).total_cmp(&a.1.max_utilization(&capacity))
+        b.1.max_utilization(&capacity)
+            .total_cmp(&a.1.max_utilization(&capacity))
     });
 
     struct Search<'a> {
@@ -417,14 +435,27 @@ mod tests {
     fn multi_dimensional_constraint() {
         let mut p = FirstFitPlacer::new(ResourceVector::new(10.0, 100.0, 10.0, 100.0));
         // CPU-bound db and memory-bound db pack together on one machine.
-        p.place(&DatabaseSpec::new("cpu", ResourceVector::new(9.0, 1.0, 0.0, 1.0), 1)).unwrap();
+        p.place(&DatabaseSpec::new(
+            "cpu",
+            ResourceVector::new(9.0, 1.0, 0.0, 1.0),
+            1,
+        ))
+        .unwrap();
         let placed = p
-            .place(&DatabaseSpec::new("mem", ResourceVector::new(0.5, 95.0, 0.0, 95.0), 1))
+            .place(&DatabaseSpec::new(
+                "mem",
+                ResourceVector::new(0.5, 95.0, 0.0, 95.0),
+                1,
+            ))
             .unwrap();
         assert_eq!(placed, vec![0]);
         // Another CPU-bound db no longer fits on machine 0.
         let placed = p
-            .place(&DatabaseSpec::new("cpu2", ResourceVector::new(2.0, 1.0, 0.0, 1.0), 1))
+            .place(&DatabaseSpec::new(
+                "cpu2",
+                ResourceVector::new(2.0, 1.0, 0.0, 1.0),
+                1,
+            ))
             .unwrap();
         assert_eq!(placed, vec![1]);
     }
@@ -463,8 +494,12 @@ mod tests {
     #[test]
     fn optimal_matches_hand_computed() {
         // Items 6,6,4,4 with capacity 10: optimum is 2 bins (6+4, 6+4).
-        let specs =
-            vec![spec("a", 6.0, 1), spec("b", 6.0, 1), spec("c", 4.0, 1), spec("d", 4.0, 1)];
+        let specs = vec![
+            spec("a", 6.0, 1),
+            spec("b", 6.0, 1),
+            spec("c", 4.0, 1),
+            spec("d", 4.0, 1),
+        ];
         assert_eq!(optimal_machine_count(&specs, cap(10.0)), Some(2));
         // First-Fit also achieves it here.
         let mut ff = FirstFitPlacer::new(cap(10.0));
@@ -483,7 +518,10 @@ mod tests {
 
     #[test]
     fn optimal_detects_infeasible() {
-        assert_eq!(optimal_machine_count(&[spec("x", 11.0, 1)], cap(10.0)), None);
+        assert_eq!(
+            optimal_machine_count(&[spec("x", 11.0, 1)], cap(10.0)),
+            None
+        );
     }
 
     #[test]
@@ -494,7 +532,11 @@ mod tests {
         for _ in 0..20 {
             let specs: Vec<DatabaseSpec> = (0..8)
                 .map(|i| {
-                    spec(&format!("d{i}"), rng.gen_range(1.0..6.0), rng.gen_range(1..=2usize))
+                    spec(
+                        &format!("d{i}"),
+                        rng.gen_range(1.0..6.0),
+                        rng.gen_range(1..=2usize),
+                    )
                 })
                 .collect();
             let mut ff = FirstFitPlacer::new(cap(10.0));

@@ -72,7 +72,10 @@ pub struct SelectStmt {
 pub enum SelectItem {
     /// `*` — every column of every table in FROM order.
     Star,
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
 }
 
 /// A table reference with optional alias.
@@ -259,7 +262,11 @@ impl Expr {
     /// works on conjuncts).
     pub fn conjuncts(&self) -> Vec<&Expr> {
         match self {
-            Expr::Binary { op: BinOp::And, left, right } => {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
                 let mut v = left.conjuncts();
                 v.extend(right.conjuncts());
                 v
@@ -286,15 +293,26 @@ mod tests {
     use super::*;
 
     fn col(name: &str) -> Expr {
-        Expr::Column { table: None, name: name.into() }
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     fn and(l: Expr, r: Expr) -> Expr {
-        Expr::Binary { op: BinOp::And, left: Box::new(l), right: Box::new(r) }
+        Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     fn eq(l: Expr, r: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Eq, left: Box::new(l), right: Box::new(r) }
+        Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     #[test]
@@ -306,7 +324,10 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = Expr::Agg { func: AggFunc::Count, arg: None };
+        let agg = Expr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+        };
         assert!(agg.has_aggregate());
         assert!(eq(agg, Expr::Literal(Value::Int(1))).has_aggregate());
         assert!(!col("x").has_aggregate());
@@ -320,17 +341,29 @@ mod tests {
 
     #[test]
     fn table_binding_uses_alias() {
-        let t = TableRef { name: "orders".into(), alias: Some("o".into()) };
+        let t = TableRef {
+            name: "orders".into(),
+            alias: Some("o".into()),
+        };
         assert_eq!(t.binding(), "o");
-        let t2 = TableRef { name: "orders".into(), alias: None };
+        let t2 = TableRef {
+            name: "orders".into(),
+            alias: None,
+        };
         assert_eq!(t2.binding(), "orders");
     }
 
     #[test]
     fn referenced_tables() {
         let e = eq(
-            Expr::Column { table: Some("a".into()), name: "x".into() },
-            Expr::Column { table: None, name: "y".into() },
+            Expr::Column {
+                table: Some("a".into()),
+                name: "x".into(),
+            },
+            Expr::Column {
+                table: None,
+                name: "y".into(),
+            },
         );
         assert_eq!(e.referenced_tables(), vec![Some("a".to_string()), None]);
     }

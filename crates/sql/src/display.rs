@@ -11,7 +11,11 @@ use crate::ast::*;
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Statement::CreateTable { name, columns, primary_key } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
                 write!(f, "CREATE TABLE {name} (")?;
                 for (i, c) in columns.iter().enumerate() {
                     if i > 0 {
@@ -27,7 +31,12 @@ impl fmt::Display for Statement {
                 }
                 f.write_str(")")
             }
-            Statement::CreateIndex { name, table, columns, unique } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            } => {
                 write!(
                     f,
                     "CREATE {}INDEX {name} ON {table} ({})",
@@ -35,7 +44,11 @@ impl fmt::Display for Statement {
                     columns.join(", ")
                 )
             }
-            Statement::Insert { table, columns, values } => {
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
                 write!(f, "INSERT INTO {table}")?;
                 if let Some(cols) = columns {
                     write!(f, " ({})", cols.join(", "))?;
@@ -57,7 +70,11 @@ impl fmt::Display for Statement {
                 Ok(())
             }
             Statement::Select(sel) => write!(f, "{sel}"),
-            Statement::Update { table, sets, filter } => {
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => {
                 write!(f, "UPDATE {table} SET ")?;
                 for (i, (c, e)) in sets.iter().enumerate() {
                     if i > 0 {
@@ -94,7 +111,10 @@ impl fmt::Display for SelectStmt {
             match item {
                 SelectItem::Star => f.write_str("*")?,
                 SelectItem::Expr { expr, alias: None } => write!(f, "{expr}")?,
-                SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}")?,
+                SelectItem::Expr {
+                    expr,
+                    alias: Some(a),
+                } => write!(f, "{expr} AS {a}")?,
             }
         }
         write!(f, " FROM {}", self.from)?;
@@ -160,7 +180,10 @@ impl fmt::Display for Expr {
                 other => write!(f, "{other}"),
             },
             Expr::Param(_) => f.write_str("?"),
-            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column {
+                table: Some(t),
+                name,
+            } => write!(f, "{t}.{name}"),
             Expr::Column { table: None, name } => f.write_str(name),
             Expr::Unary { op, expr } => match op {
                 UnaryOp::Not => write!(f, "(NOT {expr})"),
@@ -187,7 +210,11 @@ impl fmt::Display for Expr {
             Expr::IsNull { expr, negated } => {
                 write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
@@ -197,8 +224,16 @@ impl fmt::Display for Expr {
                 }
                 f.write_str("))")
             }
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "({expr} {}LIKE {pattern})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::Agg { func, arg } => {
                 let name = match func {

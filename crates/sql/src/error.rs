@@ -85,7 +85,11 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(
-            SqlError::Params { expected: 2, got: 1 }.to_string(),
+            SqlError::Params {
+                expected: 2,
+                got: 1
+            }
+            .to_string(),
             "expected 2 parameters, got 1"
         );
     }

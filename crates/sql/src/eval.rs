@@ -35,7 +35,10 @@ impl Layout {
 
     /// All column names in layout order (used by `SELECT *`).
     pub fn all_columns(&self) -> Vec<String> {
-        self.tables.iter().flat_map(|(_, c)| c.iter().cloned()).collect()
+        self.tables
+            .iter()
+            .flat_map(|(_, c)| c.iter().cloned())
+            .collect()
     }
 
     /// Resolve a column reference to a global offset.
@@ -65,10 +68,10 @@ impl Layout {
 pub fn eval(expr: &Expr, layout: &Layout, row: &[Value], params: &[Value]) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Param(i) => params
-            .get(*i)
-            .cloned()
-            .ok_or(SqlError::Params { expected: i + 1, got: params.len() }),
+        Expr::Param(i) => params.get(*i).cloned().ok_or(SqlError::Params {
+            expected: i + 1,
+            got: params.len(),
+        }),
         Expr::Column { table, name } => {
             let idx = layout.resolve(table.as_deref(), name)?;
             Ok(row[idx].clone())
@@ -105,7 +108,11 @@ pub fn eval(expr: &Expr, layout: &Layout, row: &[Value], params: &[Value]) -> Re
             let v = eval(expr, layout, row, params)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, layout, row, params)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -125,7 +132,11 @@ pub fn eval(expr: &Expr, layout: &Layout, row: &[Value], params: &[Value]) -> Re
                 Ok(Value::Bool(*negated))
             }
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, layout, row, params)?;
             let p = eval(pattern, layout, row, params)?;
             match (v, p) {
@@ -133,10 +144,14 @@ pub fn eval(expr: &Expr, layout: &Layout, row: &[Value], params: &[Value]) -> Re
                 (Value::Text(s), Value::Text(pat)) => {
                     Ok(Value::Bool(like_match(&s, &pat) != *negated))
                 }
-                (a, b) => Err(SqlError::Eval(format!("LIKE expects text, got {a} LIKE {b}"))),
+                (a, b) => Err(SqlError::Eval(format!(
+                    "LIKE expects text, got {a} LIKE {b}"
+                ))),
             }
         }
-        Expr::Agg { .. } => Err(SqlError::Plan("aggregate used outside GROUP BY context".into())),
+        Expr::Agg { .. } => Err(SqlError::Plan(
+            "aggregate used outside GROUP BY context".into(),
+        )),
         Expr::Func { func, args } => {
             let vals = args
                 .iter()
@@ -150,12 +165,16 @@ pub fn eval(expr: &Expr, layout: &Layout, row: &[Value], params: &[Value]) -> Re
 /// Evaluate a built-in scalar function.
 fn scalar_fn(func: ScalarFunc, args: Vec<Value>) -> Result<Value> {
     let arity_err = |want: &str| {
-        Err(SqlError::Eval(format!("{func:?} expects {want} argument(s), got {}", 0)))
+        Err(SqlError::Eval(format!(
+            "{func:?} expects {want} argument(s), got {}",
+            0
+        )))
     };
     match func {
-        ScalarFunc::Coalesce => {
-            Ok(args.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null))
-        }
+        ScalarFunc::Coalesce => Ok(args
+            .into_iter()
+            .find(|v| !v.is_null())
+            .unwrap_or(Value::Null)),
         ScalarFunc::Abs => match args.as_slice() {
             [Value::Null] => Ok(Value::Null),
             [Value::Int(i)] => Ok(Value::Int(i.wrapping_abs())),
@@ -276,8 +295,14 @@ fn aggregate(
     };
     match func {
         AggFunc::Count => Ok(Value::Int(values.len() as i64)),
-        AggFunc::Min => Ok(values.into_iter().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)),
-        AggFunc::Max => Ok(values.into_iter().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)),
+        AggFunc::Min => Ok(values
+            .into_iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(values
+            .into_iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
         AggFunc::Sum | AggFunc::Avg => {
             if values.is_empty() {
                 return Ok(Value::Null);
@@ -402,8 +427,10 @@ fn arith(op: BinOp, l: Value, r: Value) -> Result<Value> {
         }
         _ => {
             let (a, b) = (
-                l.as_f64().ok_or_else(|| SqlError::Eval(format!("{l} is not a number")))?,
-                r.as_f64().ok_or_else(|| SqlError::Eval(format!("{r} is not a number")))?,
+                l.as_f64()
+                    .ok_or_else(|| SqlError::Eval(format!("{l} is not a number")))?,
+                r.as_f64()
+                    .ok_or_else(|| SqlError::Eval(format!("{r} is not a number")))?,
             );
             let x = match op {
                 Add => a + b,
@@ -457,7 +484,10 @@ mod tests {
     }
 
     fn col(table: Option<&str>, name: &str) -> Expr {
-        Expr::Column { table: table.map(String::from), name: name.into() }
+        Expr::Column {
+            table: table.map(String::from),
+            name: name.into(),
+        }
     }
 
     fn lit(v: impl Into<Value>) -> Expr {
@@ -465,7 +495,11 @@ mod tests {
     }
 
     fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     #[test]
@@ -518,7 +552,10 @@ mod tests {
         assert_eq!(v, Value::Int(9));
         assert!(matches!(
             eval(&Expr::Param(5), &l, &[], &[]),
-            Err(SqlError::Params { expected: 6, got: 0 })
+            Err(SqlError::Params {
+                expected: 6,
+                got: 0
+            })
         ));
     }
 
@@ -563,7 +600,10 @@ mod tests {
             vec![Value::Null],
             vec![Value::Int(2)],
         ];
-        let agg = |f: AggFunc, arg: Option<Expr>| Expr::Agg { func: f, arg: arg.map(Box::new) };
+        let agg = |f: AggFunc, arg: Option<Expr>| Expr::Agg {
+            func: f,
+            arg: arg.map(Box::new),
+        };
         let x = || col(None, "x");
         assert_eq!(
             eval_in_group(&agg(AggFunc::Count, None), &l, &rows, &[]).unwrap(),
@@ -598,14 +638,24 @@ mod tests {
         l.push_table("t", vec!["x".into()]);
         let rows = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
         // COUNT(*) * 10
-        let e = bin(BinOp::Mul, Expr::Agg { func: AggFunc::Count, arg: None }, lit(10));
+        let e = bin(
+            BinOp::Mul,
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: None,
+            },
+            lit(10),
+        );
         assert_eq!(eval_in_group(&e, &l, &rows, &[]).unwrap(), Value::Int(20));
     }
 
     #[test]
     fn aggregate_outside_group_rejected() {
         let l = Layout::new();
-        let e = Expr::Agg { func: AggFunc::Count, arg: None };
+        let e = Expr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+        };
         assert!(matches!(eval(&e, &l, &[], &[]), Err(SqlError::Plan(_))));
     }
 
@@ -614,8 +664,16 @@ mod tests {
         let l = Layout::new();
         assert!(eval(&bin(BinOp::Lt, lit("a"), lit(1)), &l, &[], &[]).is_err());
         assert!(eval(&bin(BinOp::Add, lit("a"), lit(1)), &l, &[], &[]).is_err());
-        assert!(eval(&Expr::Unary { op: UnaryOp::Not, expr: Box::new(lit(1)) }, &l, &[], &[])
-            .is_err());
+        assert!(eval(
+            &Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(lit(1))
+            },
+            &l,
+            &[],
+            &[]
+        )
+        .is_err());
     }
 
     #[test]

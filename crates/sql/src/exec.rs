@@ -39,7 +39,10 @@ pub struct QueryResult {
 
 impl QueryResult {
     fn affected(n: u64) -> Self {
-        QueryResult { rows_affected: n, ..Default::default() }
+        QueryResult {
+            rows_affected: n,
+            ..Default::default()
+        }
     }
 
     /// First value of the first row, if any (convenience for lookups).
@@ -69,29 +72,48 @@ pub fn execute_stmt(
     params: &[Value],
 ) -> Result<QueryResult> {
     match stmt {
-        Statement::CreateTable { name, columns, primary_key } => {
+        Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } => {
             let cols = columns
                 .iter()
-                .map(|c| ColumnDef { name: c.name.clone(), ty: c.ty, nullable: c.nullable })
+                .map(|c| ColumnDef {
+                    name: c.name.clone(),
+                    ty: c.ty,
+                    nullable: c.nullable,
+                })
                 .collect();
             let mut schema = TableSchema::new(name.clone(), cols);
             if !primary_key.is_empty() {
-                schema.try_add_index("pk", primary_key, true).map_err(SqlError::Storage)?;
+                schema
+                    .try_add_index("pk", primary_key, true)
+                    .map_err(SqlError::Storage)?;
             }
             engine.create_table(db, schema)?;
             Ok(QueryResult::affected(0))
         }
-        Statement::CreateIndex { name, table, columns, unique } => {
+        Statement::CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        } => {
             engine.create_index(db, table, name, columns, *unique)?;
             Ok(QueryResult::affected(0))
         }
-        Statement::Insert { table, columns, values } => {
-            run_insert(engine, txn, db, table, columns.as_deref(), values, params)
-        }
+        Statement::Insert {
+            table,
+            columns,
+            values,
+        } => run_insert(engine, txn, db, table, columns.as_deref(), values, params),
         Statement::Select(sel) => run_select(engine, txn, db, sel, params),
-        Statement::Update { table, sets, filter } => {
-            run_update(engine, txn, db, table, sets, filter.as_ref(), params)
-        }
+        Statement::Update {
+            table,
+            sets,
+            filter,
+        } => run_update(engine, txn, db, table, sets, filter.as_ref(), params),
         Statement::Delete { table, filter } => {
             run_delete(engine, txn, db, table, filter.as_ref(), params)
         }
@@ -146,7 +168,11 @@ fn run_insert(
         writes.push((table.to_string(), rid));
         n += 1;
     }
-    Ok(QueryResult { rows_affected: n, touched_writes: writes, ..Default::default() })
+    Ok(QueryResult {
+        rows_affected: n,
+        touched_writes: writes,
+        ..Default::default()
+    })
 }
 
 // ------------------------------------------------------------- access paths
@@ -158,9 +184,16 @@ type RowSet = Vec<(u64, Vec<Value>)>;
 #[derive(Debug, Clone, PartialEq)]
 enum Access {
     /// Full-key equality lookup on an index.
-    IndexEq { index: String, key: Vec<Value> },
+    IndexEq {
+        index: String,
+        key: Vec<Value>,
+    },
     /// Inclusive range on a single-column index.
-    IndexRange { index: String, lo: Option<Vec<Value>>, hi: Option<Vec<Value>> },
+    IndexRange {
+        index: String,
+        lo: Option<Vec<Value>>,
+        hi: Option<Vec<Value>>,
+    },
     Scan,
 }
 
@@ -201,9 +234,16 @@ fn choose_access(
     // Collect equality bindings: column ordinal -> constant value.
     let mut eq: BTreeMap<usize, Value> = BTreeMap::new();
     for c in conjuncts {
-        if let Expr::Binary { op: BinOp::Eq, left, right } = c {
-            let pair = match (column_of(left, binding, schema), column_of(right, binding, schema))
-            {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = c
+        {
+            let pair = match (
+                column_of(left, binding, schema),
+                column_of(right, binding, schema),
+            ) {
                 (Some(col), None) if is_constant(right) => Some((col, right)),
                 (None, Some(col)) if is_constant(left) => Some((col, left)),
                 _ => None,
@@ -221,7 +261,10 @@ fn choose_access(
     for idx in &schema.indexes {
         if !idx.columns.is_empty() && idx.columns.iter().all(|c| eq.contains_key(c)) {
             let key = idx.columns.iter().map(|c| eq[c].clone()).collect();
-            return Ok(Access::IndexEq { index: idx.name.clone(), key });
+            return Ok(Access::IndexEq {
+                index: idx.name.clone(),
+                key,
+            });
         }
     }
     // Range on a single-column index.
@@ -324,14 +367,23 @@ fn run_select(
         base_schema.columns.iter().map(|c| c.name.clone()).collect(),
     );
 
-    let where_conjuncts: Vec<&Expr> =
-        sel.filter.as_ref().map(|f| f.conjuncts()).unwrap_or_default();
+    let where_conjuncts: Vec<&Expr> = sel
+        .filter
+        .as_ref()
+        .map(|f| f.conjuncts())
+        .unwrap_or_default();
 
     // Base table access.
-    let base_access =
-        choose_access(&base_schema, sel.from.binding(), &where_conjuncts, params)?;
+    let base_access = choose_access(&base_schema, sel.from.binding(), &where_conjuncts, params)?;
     let mut touched_reads: Vec<(String, u64)> = Vec::new();
-    let base_rows = fetch(engine, txn, db, &sel.from.name, &base_access, sel.for_update)?;
+    let base_rows = fetch(
+        engine,
+        txn,
+        db,
+        &sel.from.name,
+        &base_access,
+        sel.for_update,
+    )?;
     let mut rows: Vec<Vec<Value>> = Vec::with_capacity(base_rows.len());
     for (rid, r) in base_rows {
         touched_reads.push((sel.from.name.clone(), rid));
@@ -345,14 +397,23 @@ fn run_select(
         let left_layout = layout.clone();
         layout.push_table(
             &right_binding,
-            right_schema.columns.iter().map(|c| c.name.clone()).collect(),
+            right_schema
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
         );
         let on_conjuncts: Vec<&Expr> = join.on.conjuncts();
 
         // Index nested-loop: find ON conjuncts `right.col = expr(left)`.
         let mut key_cols: BTreeMap<usize, &Expr> = BTreeMap::new();
         for c in &on_conjuncts {
-            if let Expr::Binary { op: BinOp::Eq, left, right } = c {
+            if let Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = c
+            {
                 for (col_side, expr_side) in [(left, right), (right, left)] {
                     if let Some(col) = column_of(col_side, &right_binding, &right_schema) {
                         // The other side must be evaluable over the left rows.
@@ -425,8 +486,14 @@ fn run_select(
                 } else {
                     choose_access(&right_schema, &right_binding, &where_conjuncts, params)?
                 };
-                let right_rows =
-                    fetch(engine, txn, db, &join.table.name, &right_access, sel.for_update)?;
+                let right_rows = fetch(
+                    engine,
+                    txn,
+                    db,
+                    &join.table.name,
+                    &right_access,
+                    sel.for_update,
+                )?;
                 for (rid, _) in &right_rows {
                     touched_reads.push((join.table.name.clone(), *rid));
                 }
@@ -487,7 +554,10 @@ fn project_sort_limit(
     params: &[Value],
 ) -> Result<QueryResult> {
     let grouped = !sel.group_by.is_empty()
-        || sel.items.iter().any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
+        || sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
 
     // Output column names.
     let mut columns = Vec::new();
@@ -532,7 +602,9 @@ fn project_sort_limit(
             if grouped {
                 keys.push(eval_in_group(&k.expr, layout, group, params)?);
             } else {
-                let row = group.first().expect("non-grouped path has one row per group");
+                let row = group
+                    .first()
+                    .expect("non-grouped path has one row per group");
                 keys.push(eval(&k.expr, layout, row, params)?);
             }
         }
@@ -565,7 +637,9 @@ fn project_sort_limit(
         }
     } else {
         if sel.having.is_some() {
-            return Err(SqlError::Plan("HAVING requires GROUP BY or aggregates".into()));
+            return Err(SqlError::Plan(
+                "HAVING requires GROUP BY or aggregates".into(),
+            ));
         }
         for r in rows {
             let group = std::slice::from_ref(&r);
@@ -604,7 +678,11 @@ fn project_sort_limit(
     if let Some(limit) = sel.limit {
         rows.truncate(limit as usize);
     }
-    Ok(QueryResult { columns, rows, ..Default::default() })
+    Ok(QueryResult {
+        columns,
+        rows,
+        ..Default::default()
+    })
 }
 
 // ------------------------------------------------------------ UPDATE/DELETE
@@ -621,7 +699,10 @@ fn target_rows(
 ) -> Result<(Layout, RowSet)> {
     let schema = engine.table(db, table)?.schema.clone();
     let mut layout = Layout::new();
-    layout.push_table(table, schema.columns.iter().map(|c| c.name.clone()).collect());
+    layout.push_table(
+        table,
+        schema.columns.iter().map(|c| c.name.clone()).collect(),
+    );
     let conjuncts: Vec<&Expr> = filter.map(|f| f.conjuncts()).unwrap_or_default();
     let access = choose_access(&schema, table, &conjuncts, params)?;
     let fetched = fetch(engine, txn, db, table, &access, true)?;
@@ -670,7 +751,11 @@ fn run_update(
         writes.push((table.to_string(), rid));
         n += 1;
     }
-    Ok(QueryResult { rows_affected: n, touched_writes: writes, ..Default::default() })
+    Ok(QueryResult {
+        rows_affected: n,
+        touched_writes: writes,
+        ..Default::default()
+    })
 }
 
 fn run_delete(
@@ -689,7 +774,11 @@ fn run_delete(
         writes.push((table.to_string(), rid));
         n += 1;
     }
-    Ok(QueryResult { rows_affected: n, touched_writes: writes, ..Default::default() })
+    Ok(QueryResult {
+        rows_affected: n,
+        touched_writes: writes,
+        ..Default::default()
+    })
 }
 
 #[cfg(test)]
@@ -701,7 +790,8 @@ mod tests {
         let e = Engine::new(EngineConfig::for_tests());
         e.create_database("shop").unwrap();
         let run = |sql: &str| {
-            e.with_txn(|t| execute(&e, t, "shop", sql, &[]).map_err(storage_err)).unwrap();
+            e.with_txn(|t| execute(&e, t, "shop", sql, &[]).map_err(storage_err))
+                .unwrap();
         };
         run("CREATE TABLE items (id INT NOT NULL, title TEXT, price FLOAT, stock INT, PRIMARY KEY (id))");
         run("CREATE TABLE orders (id INT NOT NULL, item_id INT, qty INT, PRIMARY KEY (id))");
@@ -760,7 +850,10 @@ mod tests {
         let e = setup();
         let r = query(&e, "SELECT title, price FROM items WHERE id = 3", &[]);
         assert_eq!(r.columns, vec!["title", "price"]);
-        assert_eq!(r.rows, vec![vec![Value::Text("item-3".into()), Value::Float(3.5)]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Text("item-3".into()), Value::Float(3.5)]]
+        );
     }
 
     #[test]
@@ -852,7 +945,11 @@ mod tests {
     #[test]
     fn implicit_single_group() {
         let e = setup();
-        let r = query(&e, "SELECT COUNT(*), MIN(price), MAX(price) FROM items", &[]);
+        let r = query(
+            &e,
+            "SELECT COUNT(*), MIN(price), MAX(price) FROM items",
+            &[],
+        );
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0], Value::Int(10));
         assert_eq!(r.rows[0][1], Value::Float(0.5));
@@ -933,8 +1030,14 @@ mod tests {
     fn insert_with_column_list_fills_nulls() {
         let e = setup();
         e.with_txn(|t| {
-            execute(&e, t, "shop", "INSERT INTO items (id, title) VALUES (50, 'fifty')", &[])
-                .map_err(storage_err)
+            execute(
+                &e,
+                t,
+                "shop",
+                "INSERT INTO items (id, title) VALUES (50, 'fifty')",
+                &[],
+            )
+            .map_err(storage_err)
         })
         .unwrap();
         let r = query(&e, "SELECT price, stock FROM items WHERE id = 50", &[]);
@@ -945,8 +1048,14 @@ mod tests {
     fn unique_violation_via_sql() {
         let e = setup();
         let txn = e.begin().unwrap();
-        let err = execute(&e, txn, "shop", "INSERT INTO items VALUES (3, 'dup', 0.0, 0)", &[])
-            .unwrap_err();
+        let err = execute(
+            &e,
+            txn,
+            "shop",
+            "INSERT INTO items VALUES (3, 'dup', 0.0, 0)",
+            &[],
+        )
+        .unwrap_err();
         assert!(matches!(
             err.as_storage(),
             Some(tenantdb_storage::StorageError::UniqueViolation { .. })
@@ -978,12 +1087,25 @@ mod tests {
     fn select_for_update_locks_rows() {
         let e = std::sync::Arc::new(setup());
         let txn = e.begin().unwrap();
-        execute(&e, txn, "shop", "SELECT * FROM items WHERE id = 1 FOR UPDATE", &[]).unwrap();
+        execute(
+            &e,
+            txn,
+            "shop",
+            "SELECT * FROM items WHERE id = 1 FOR UPDATE",
+            &[],
+        )
+        .unwrap();
         // A concurrent writer on the same row must block.
         let e2 = std::sync::Arc::clone(&e);
         let h = std::thread::spawn(move || {
             let t = e2.begin().unwrap();
-            let r = execute(&e2, t, "shop", "UPDATE items SET stock = 0 WHERE id = 1", &[]);
+            let r = execute(
+                &e2,
+                t,
+                "shop",
+                "UPDATE items SET stock = 0 WHERE id = 1",
+                &[],
+            );
             match r {
                 Ok(_) => e2.commit(t).unwrap(),
                 Err(_) => e2.abort(t).unwrap(),
@@ -1030,6 +1152,12 @@ mod tests {
              JOIN items i ON i.id = o.item_id",
             &[],
         );
-        assert_eq!(r.rows, vec![vec![Value::Text("ada".into()), Value::Text("item-2".into())]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                Value::Text("ada".into()),
+                Value::Text("item-2".into())
+            ]]
+        );
     }
 }

@@ -143,22 +143,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                 tokens.push(Token::NotEq);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        tokens.push(Token::LtEq);
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(Token::NotEq);
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::LtEq);
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::GtEq);
@@ -209,11 +207,13 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                 let text = &input[start..i];
                 if is_float {
                     tokens.push(Token::Float(
-                        text.parse().map_err(|_| SqlError::Lex(format!("bad float: {text}")))?,
+                        text.parse()
+                            .map_err(|_| SqlError::Lex(format!("bad float: {text}")))?,
                     ));
                 } else {
                     tokens.push(Token::Int(
-                        text.parse().map_err(|_| SqlError::Lex(format!("bad int: {text}")))?,
+                        text.parse()
+                            .map_err(|_| SqlError::Lex(format!("bad int: {text}")))?,
                     ));
                 }
             }
@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn strings_with_escapes() {
         let t = lex("'hello' 'it''s'").unwrap();
-        assert_eq!(t, vec![Token::Str("hello".into()), Token::Str("it's".into())]);
+        assert_eq!(
+            t,
+            vec![Token::Str("hello".into()), Token::Str("it's".into())]
+        );
     }
 
     #[test]

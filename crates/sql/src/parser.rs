@@ -9,11 +9,18 @@ use crate::lexer::{lex, Token};
 /// Parse one SQL statement (a trailing `;` is allowed).
 pub fn parse(sql: &str) -> Result<Statement> {
     let tokens = lex(sql)?;
-    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.statement()?;
     p.eat_if(&Token::Semi);
     if !p.at_end() {
-        return Err(SqlError::Parse(format!("unexpected trailing token: {}", p.peek_desc())));
+        return Err(SqlError::Parse(format!(
+            "unexpected trailing token: {}",
+            p.peek_desc()
+        )));
     }
     Ok(stmt)
 }
@@ -94,7 +101,9 @@ impl Parser {
     }
 
     fn peek_desc(&self) -> String {
-        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "<eof>".into())
     }
 
     fn next(&mut self) -> Result<Token> {
@@ -120,7 +129,10 @@ impl Parser {
         if self.eat_if(t) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected {t}, found {}", self.peek_desc())))
+            Err(SqlError::Parse(format!(
+                "expected {t}, found {}",
+                self.peek_desc()
+            )))
         }
     }
 
@@ -141,14 +153,19 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected {kw}, found {}", self.peek_desc())))
+            Err(SqlError::Parse(format!(
+                "expected {kw}, found {}",
+                self.peek_desc()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other}"
+            ))),
         }
     }
 
@@ -166,7 +183,10 @@ impl Parser {
         } else if self.eat_kw("delete") {
             self.delete()
         } else {
-            Err(SqlError::Parse(format!("expected a statement, found {}", self.peek_desc())))
+            Err(SqlError::Parse(format!(
+                "expected a statement, found {}",
+                self.peek_desc()
+            )))
         }
     }
 
@@ -182,7 +202,12 @@ impl Parser {
         self.expect(&Token::LParen)?;
         let columns = self.ident_list()?;
         self.expect(&Token::RParen)?;
-        Ok(Statement::CreateIndex { name, table, columns, unique })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        })
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -204,14 +229,22 @@ impl Parser {
                     self.expect_kw("null")?;
                     nullable = false;
                 }
-                columns.push(ColumnSpec { name: col, ty, nullable });
+                columns.push(ColumnSpec {
+                    name: col,
+                    ty,
+                    nullable,
+                });
             }
             if !self.eat_if(&Token::Comma) {
                 break;
             }
         }
         self.expect(&Token::RParen)?;
-        Ok(Statement::CreateTable { name, columns, primary_key })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        })
     }
 
     fn data_type(&mut self) -> Result<DataType> {
@@ -272,7 +305,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, values })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            values,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStmt> {
@@ -314,7 +351,11 @@ impl Parser {
             let on = self.expr()?;
             joins.push(Join { kind, table, on });
         }
-        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -323,7 +364,11 @@ impl Parser {
                 group_by.push(self.expr()?);
             }
         }
-        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("order") {
             self.expect_kw("by")?;
@@ -344,7 +389,11 @@ impl Parser {
         let limit = if self.eat_kw("limit") {
             match self.next()? {
                 Token::Int(n) if n >= 0 => Some(n as u64),
-                other => return Err(SqlError::Parse(format!("expected LIMIT count, found {other}"))),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected LIMIT count, found {other}"
+                    )))
+                }
             }
         } else {
             None
@@ -402,14 +451,26 @@ impl Parser {
                 break;
             }
         }
-        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, sets, filter })
+        let filter = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement> {
         self.expect_kw("from")?;
         let table = self.ident()?;
-        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, filter })
     }
 
@@ -423,7 +484,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("or") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -432,7 +497,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("and") {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -440,7 +509,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw("not") {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.comparison()
     }
@@ -451,7 +523,10 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN / LIKE / BETWEEN
         let negated = self.eat_kw("not");
@@ -462,11 +537,19 @@ impl Parser {
                 list.push(self.expr()?);
             }
             self.expect(&Token::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("like") {
             let pattern = self.additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if self.eat_kw("between") {
             let lo = self.additive()?;
@@ -477,18 +560,29 @@ impl Parser {
                 left: Box::new(left.clone()),
                 right: Box::new(lo),
             };
-            let le =
-                Expr::Binary { op: BinOp::LtEq, left: Box::new(left), right: Box::new(hi) };
-            let between =
-                Expr::Binary { op: BinOp::And, left: Box::new(ge), right: Box::new(le) };
+            let le = Expr::Binary {
+                op: BinOp::LtEq,
+                left: Box::new(left),
+                right: Box::new(hi),
+            };
+            let between = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(ge),
+                right: Box::new(le),
+            };
             return Ok(if negated {
-                Expr::Unary { op: UnaryOp::Not, expr: Box::new(between) }
+                Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(between),
+                }
             } else {
                 between
             });
         }
         if negated {
-            return Err(SqlError::Parse("NOT must be followed by IN, LIKE or BETWEEN".into()));
+            return Err(SqlError::Parse(
+                "NOT must be followed by IN, LIKE or BETWEEN".into(),
+            ));
         }
         let op = match self.peek() {
             Some(Token::Eq) => Some(BinOp::Eq),
@@ -502,7 +596,11 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.additive()?;
-            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
         }
         Ok(left)
     }
@@ -517,7 +615,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.multiplicative()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -533,7 +635,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -545,7 +651,10 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
                 Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
-                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         if self.eat_if(&Token::Plus) {
@@ -570,7 +679,9 @@ impl Parser {
                 Ok(e)
             }
             Token::Ident(name) => self.ident_expr(name),
-            other => Err(SqlError::Parse(format!("unexpected token in expression: {other}"))),
+            other => Err(SqlError::Parse(format!(
+                "unexpected token in expression: {other}"
+            ))),
         }
     }
 
@@ -599,7 +710,10 @@ impl Parser {
                 }
                 let arg = self.expr()?;
                 self.expect(&Token::RParen)?;
-                return Ok(Expr::Agg { func, arg: Some(Box::new(arg)) });
+                return Ok(Expr::Agg {
+                    func,
+                    arg: Some(Box::new(arg)),
+                });
             }
         }
         // Scalar function call?
@@ -625,7 +739,10 @@ impl Parser {
         // Qualified column?
         if self.eat_if(&Token::Dot) {
             let col = self.ident()?;
-            return Ok(Expr::Column { table: Some(name), name: col });
+            return Ok(Expr::Column {
+                table: Some(name),
+                name: col,
+            });
         }
         Ok(Expr::Column { table: None, name })
     }
@@ -642,7 +759,11 @@ mod tests {
         )
         .unwrap();
         match s {
-            Statement::CreateTable { name, columns, primary_key } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
                 assert_eq!(name, "users");
                 assert_eq!(columns.len(), 3);
                 assert!(!columns[0].nullable);
@@ -672,8 +793,13 @@ mod tests {
     fn insert_multi_row_with_params() {
         let s = parse("INSERT INTO t (a, b) VALUES (1, ?), (2, ?)").unwrap();
         match &s {
-            Statement::Insert { columns, values, .. } => {
-                assert_eq!(columns.as_deref(), Some(&["a".to_string(), "b".to_string()][..]));
+            Statement::Insert {
+                columns, values, ..
+            } => {
+                assert_eq!(
+                    columns.as_deref(),
+                    Some(&["a".to_string(), "b".to_string()][..])
+                );
                 assert_eq!(values.len(), 2);
                 assert_eq!(values[0][1], Expr::Param(0));
                 assert_eq!(values[1][1], Expr::Param(1));
@@ -733,10 +859,29 @@ mod tests {
         let Statement::Select(sel) = parse("SELECT a + b * c = d FROM t").unwrap() else {
             panic!()
         };
-        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
-        let Expr::Binary { op: BinOp::Eq, left, .. } = expr else { panic!("top is {expr:?}") };
-        let Expr::Binary { op: BinOp::Add, right, .. } = left.as_ref() else { panic!() };
-        assert!(matches!(right.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            ..
+        } = expr
+        else {
+            panic!("top is {expr:?}")
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = left.as_ref()
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            right.as_ref(),
+            Expr::Binary { op: BinOp::Mul, .. }
+        ));
     }
 
     #[test]
@@ -744,8 +889,18 @@ mod tests {
         let Statement::Select(sel) = parse("SELECT * FROM t WHERE a OR b AND c").unwrap() else {
             panic!()
         };
-        let Some(Expr::Binary { op: BinOp::Or, right, .. }) = sel.filter else { panic!() };
-        assert!(matches!(right.as_ref(), Expr::Binary { op: BinOp::And, .. }));
+        let Some(Expr::Binary {
+            op: BinOp::Or,
+            right,
+            ..
+        }) = sel.filter
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            right.as_ref(),
+            Expr::Binary { op: BinOp::And, .. }
+        ));
     }
 
     #[test]
@@ -754,9 +909,28 @@ mod tests {
         else {
             panic!()
         };
-        let Some(Expr::Binary { op: BinOp::And, left, right }) = sel.filter else { panic!() };
-        assert!(matches!(left.as_ref(), Expr::Binary { op: BinOp::GtEq, .. }));
-        assert!(matches!(right.as_ref(), Expr::Binary { op: BinOp::LtEq, .. }));
+        let Some(Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        }) = sel.filter
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            left.as_ref(),
+            Expr::Binary {
+                op: BinOp::GtEq,
+                ..
+            }
+        ));
+        assert!(matches!(
+            right.as_ref(),
+            Expr::Binary {
+                op: BinOp::LtEq,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -784,8 +958,7 @@ mod tests {
 
     #[test]
     fn bare_table_alias() {
-        let Statement::Select(sel) = parse("SELECT * FROM orders o WHERE o.id = 1").unwrap()
-        else {
+        let Statement::Select(sel) = parse("SELECT * FROM orders o WHERE o.id = 1").unwrap() else {
             panic!()
         };
         assert_eq!(sel.from.alias.as_deref(), Some("o"));
@@ -803,9 +976,25 @@ mod tests {
         let Statement::Select(sel) = parse("SELECT COUNT(*), COUNT(x) FROM t").unwrap() else {
             panic!()
         };
-        let SelectItem::Expr { expr: e0, .. } = &sel.items[0] else { panic!() };
-        let SelectItem::Expr { expr: e1, .. } = &sel.items[1] else { panic!() };
-        assert_eq!(*e0, Expr::Agg { func: AggFunc::Count, arg: None });
-        assert!(matches!(e1, Expr::Agg { func: AggFunc::Count, arg: Some(_) }));
+        let SelectItem::Expr { expr: e0, .. } = &sel.items[0] else {
+            panic!()
+        };
+        let SelectItem::Expr { expr: e1, .. } = &sel.items[1] else {
+            panic!()
+        };
+        assert_eq!(
+            *e0,
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: None
+            }
+        );
+        assert!(matches!(
+            e1,
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: Some(_)
+            }
+        ));
     }
 }

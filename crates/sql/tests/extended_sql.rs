@@ -15,8 +15,10 @@ fn setup() -> Engine {
     run("CREATE TABLE emp (id INT NOT NULL, dept_id INT, name TEXT, salary INT, PRIMARY KEY (id))");
     run("CREATE INDEX by_dept ON emp (dept_id)");
     run("INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'empty')");
-    run("INSERT INTO emp VALUES (10, 1, 'Ada', 120), (11, 1, 'Grace', 130), \
-         (12, 2, 'Bob', 80), (13, 2, 'Carol', 90), (14, 2, 'Dan', 85)");
+    run(
+        "INSERT INTO emp VALUES (10, 1, 'Ada', 120), (11, 1, 'Grace', 130), \
+         (12, 2, 'Bob', 80), (13, 2, 'Carol', 90), (14, 2, 'Dan', 85)",
+    );
     e.commit(txn).unwrap();
     e
 }
@@ -41,7 +43,11 @@ fn distinct_removes_duplicates() {
 #[test]
 fn distinct_applies_before_limit() {
     let e = setup();
-    let rows = q(&e, "SELECT DISTINCT dept_id FROM emp ORDER BY dept_id LIMIT 1", &[]);
+    let rows = q(
+        &e,
+        "SELECT DISTINCT dept_id FROM emp ORDER BY dept_id LIMIT 1",
+        &[],
+    );
     assert_eq!(rows, vec![vec![Value::Int(1)]]);
 }
 
@@ -132,7 +138,10 @@ fn coalesce_picks_first_non_null() {
          LEFT JOIN emp e ON e.dept_id = d.id WHERE d.id = 3",
         &[],
     );
-    assert_eq!(rows, vec![vec![Value::from("empty"), Value::from("nobody")]]);
+    assert_eq!(
+        rows,
+        vec![vec![Value::from("empty"), Value::from("nobody")]]
+    );
 }
 
 #[test]
@@ -146,21 +155,34 @@ fn scalar_string_functions() {
     );
     assert_eq!(
         rows[0],
-        vec![Value::from("ADA"), Value::from("ada"), Value::Int(3), Value::from("Ad")]
+        vec![
+            Value::from("ADA"),
+            Value::from("ada"),
+            Value::Int(3),
+            Value::from("Ad")
+        ]
     );
 }
 
 #[test]
 fn abs_function() {
     let e = setup();
-    let rows = q(&e, "SELECT ABS(0 - salary), ABS(salary) FROM emp WHERE id = 12", &[]);
+    let rows = q(
+        &e,
+        "SELECT ABS(0 - salary), ABS(salary) FROM emp WHERE id = 12",
+        &[],
+    );
     assert_eq!(rows[0], vec![Value::Int(80), Value::Int(80)]);
 }
 
 #[test]
 fn substr_without_length_and_null_propagation() {
     let e = setup();
-    let rows = q(&e, "SELECT SUBSTR(name, 2), SUBSTR(NULL, 1) FROM emp WHERE id = 11", &[]);
+    let rows = q(
+        &e,
+        "SELECT SUBSTR(name, 2), SUBSTR(NULL, 1) FROM emp WHERE id = 11",
+        &[],
+    );
     assert_eq!(rows[0], vec![Value::from("race"), Value::Null]);
 }
 
@@ -172,7 +194,14 @@ fn functions_in_where_and_order_by() {
         "SELECT name FROM emp WHERE LENGTH(name) <= 3 ORDER BY LOWER(name)",
         &[],
     );
-    assert_eq!(rows, vec![vec![Value::from("Ada")], vec![Value::from("Bob")], vec![Value::from("Dan")]]);
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::from("Ada")],
+            vec![Value::from("Bob")],
+            vec![Value::from("Dan")]
+        ]
+    );
 }
 
 #[test]
@@ -184,7 +213,10 @@ fn distinct_star_over_join() {
         "SELECT DISTINCT d.name FROM dept d JOIN emp e ON e.dept_id = d.id ORDER BY d.name",
         &[],
     );
-    assert_eq!(rows, vec![vec![Value::from("eng")], vec![Value::from("sales")]]);
+    assert_eq!(
+        rows,
+        vec![vec![Value::from("eng")], vec![Value::from("sales")]]
+    );
 }
 
 #[test]

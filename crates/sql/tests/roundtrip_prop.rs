@@ -1,3 +1,5 @@
+#![cfg(feature = "slow-proptests")]
+
 //! Property test: printing any generated statement yields SQL that reparses
 //! to the same printed form (print ∘ parse is a fixpoint on printer output).
 //! This pins the parser's precedence, quoting, and keyword handling against
@@ -14,13 +16,61 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "group" | "by" | "having" | "order" | "limit" | "for"
-                | "update" | "delete" | "insert" | "into" | "values" | "create" | "table"
-                | "index" | "on" | "join" | "inner" | "left" | "outer" | "and" | "or" | "not"
-                | "in" | "like" | "between" | "is" | "null" | "as" | "set" | "distinct"
-                | "primary" | "key" | "unique" | "count" | "sum" | "avg" | "min" | "max"
-                | "true" | "false" | "coalesce" | "abs" | "length" | "upper" | "lower"
-                | "substr" | "desc" | "asc" | "int" | "text" | "float" | "bool"
+            "select"
+                | "from"
+                | "where"
+                | "group"
+                | "by"
+                | "having"
+                | "order"
+                | "limit"
+                | "for"
+                | "update"
+                | "delete"
+                | "insert"
+                | "into"
+                | "values"
+                | "create"
+                | "table"
+                | "index"
+                | "on"
+                | "join"
+                | "inner"
+                | "left"
+                | "outer"
+                | "and"
+                | "or"
+                | "not"
+                | "in"
+                | "like"
+                | "between"
+                | "is"
+                | "null"
+                | "as"
+                | "set"
+                | "distinct"
+                | "primary"
+                | "key"
+                | "unique"
+                | "count"
+                | "sum"
+                | "avg"
+                | "min"
+                | "max"
+                | "true"
+                | "false"
+                | "coalesce"
+                | "abs"
+                | "length"
+                | "upper"
+                | "lower"
+                | "substr"
+                | "desc"
+                | "asc"
+                | "int"
+                | "text"
+                | "float"
+                | "bool"
         )
     })
 }
@@ -42,7 +92,10 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
     let leaf = prop_oneof![
         literal(),
         ident().prop_map(|name| Expr::Column { table: None, name }),
-        (ident(), ident()).prop_map(|(t, name)| Expr::Column { table: Some(t), name }),
+        (ident(), ident()).prop_map(|(t, name)| Expr::Column {
+            table: Some(t),
+            name
+        }),
     ];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
@@ -51,12 +104,24 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
                 left: Box::new(l),
                 right: Box::new(r),
             }),
-            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
-            (inner.clone(), any::<bool>())
-                .prop_map(|(e, n)| Expr::IsNull { expr: Box::new(e), negated: n }),
-            (inner.clone(), proptest::collection::vec(literal(), 1..3), any::<bool>()).prop_map(
-                |(e, list, n)| Expr::InList { expr: Box::new(e), list, negated: n }
-            ),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: n
+            }),
+            (
+                inner.clone(),
+                proptest::collection::vec(literal(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, n)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: n
+                }),
             (proptest::collection::vec(inner, 1..3), scalar_func())
                 .prop_map(|(args, func)| Expr::Func { func, args }),
         ]
@@ -102,29 +167,34 @@ fn select() -> impl Strategy<Value = Statement> {
         proptest::option::of(0u64..100),
         any::<bool>(),
     )
-        .prop_map(|(distinct, items, from, filter, order, limit, for_update)| {
-            Statement::Select(SelectStmt {
-                distinct,
-                items: items
-                    .into_iter()
-                    .map(|(expr, alias)| SelectItem::Expr { expr, alias })
-                    .collect(),
-                from: TableRef { name: from, alias: None },
-                joins: vec![],
-                filter,
-                group_by: vec![],
-                having: None,
-                order_by: order
-                    .into_iter()
-                    .map(|(name, desc)| OrderKey {
-                        expr: Expr::Column { table: None, name },
-                        desc,
-                    })
-                    .collect(),
-                limit,
-                for_update,
-            })
-        })
+        .prop_map(
+            |(distinct, items, from, filter, order, limit, for_update)| {
+                Statement::Select(SelectStmt {
+                    distinct,
+                    items: items
+                        .into_iter()
+                        .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                        .collect(),
+                    from: TableRef {
+                        name: from,
+                        alias: None,
+                    },
+                    joins: vec![],
+                    filter,
+                    group_by: vec![],
+                    having: None,
+                    order_by: order
+                        .into_iter()
+                        .map(|(name, desc)| OrderKey {
+                            expr: Expr::Column { table: None, name },
+                            desc,
+                        })
+                        .collect(),
+                    limit,
+                    for_update,
+                })
+            },
+        )
 }
 
 fn update() -> impl Strategy<Value = Statement> {
@@ -133,7 +203,11 @@ fn update() -> impl Strategy<Value = Statement> {
         proptest::collection::vec((ident(), expr(2)), 1..3),
         proptest::option::of(expr(2)),
     )
-        .prop_map(|(table, sets, filter)| Statement::Update { table, sets, filter })
+        .prop_map(|(table, sets, filter)| Statement::Update {
+            table,
+            sets,
+            filter,
+        })
 }
 
 proptest! {

@@ -42,12 +42,18 @@ impl CostModel {
     /// seconds while I/O still dominates measured throughput, as it did on
     /// the paper's disk-bound testbed.
     pub const fn default_model() -> Self {
-        CostModel { hit: Duration::from_nanos(100), miss: Duration::from_micros(25) }
+        CostModel {
+            hit: Duration::from_nanos(100),
+            miss: Duration::from_micros(25),
+        }
     }
 
     /// A free cost model for unit tests that don't measure time.
     pub const fn free() -> Self {
-        CostModel { hit: Duration::ZERO, miss: Duration::ZERO }
+        CostModel {
+            hit: Duration::ZERO,
+            miss: Duration::ZERO,
+        }
     }
 }
 
@@ -117,8 +123,10 @@ impl BufferPool {
     /// Swap the cost model at runtime. Experiments load data with free page
     /// costs and enable the I/O model only for the measured window.
     pub fn set_cost(&self, cost: CostModel) {
-        self.hit_ns.store(cost.hit.as_nanos() as u64, Ordering::Relaxed);
-        self.miss_ns.store(cost.miss.as_nanos() as u64, Ordering::Relaxed);
+        self.hit_ns
+            .store(cost.hit.as_nanos() as u64, Ordering::Relaxed);
+        self.miss_ns
+            .store(cost.miss.as_nanos() as u64, Ordering::Relaxed);
     }
 
     pub fn capacity(&self) -> usize {
@@ -263,7 +271,13 @@ mod tests {
 
     #[test]
     fn miss_cost_is_paid_in_wall_clock() {
-        let pool = BufferPool::new(64, CostModel { hit: Duration::ZERO, miss: Duration::from_micros(200) });
+        let pool = BufferPool::new(
+            64,
+            CostModel {
+                hit: Duration::ZERO,
+                miss: Duration::from_micros(200),
+            },
+        );
         let t0 = Instant::now();
         for i in 0..10 {
             pool.access(pk(1, i));

@@ -31,10 +31,14 @@ pub struct Throttle {
 }
 
 impl Throttle {
-    pub const UNLIMITED: Throttle = Throttle { rows_per_sec: u64::MAX };
+    pub const UNLIMITED: Throttle = Throttle {
+        rows_per_sec: u64::MAX,
+    };
 
     pub fn new(rows_per_sec: u64) -> Self {
-        Throttle { rows_per_sec: rows_per_sec.max(1) }
+        Throttle {
+            rows_per_sec: rows_per_sec.max(1),
+        }
     }
 
     /// Sleep long enough that `rows_done` rows have taken at least their
@@ -104,7 +108,10 @@ pub fn dump_database(engine: &Engine, db: &str, throttle: Throttle) -> Result<Da
             throttle.pace(start, rows_done);
             tables.push(TableDump { schema, rows });
         }
-        Ok(DatabaseDump { db: db.to_string(), tables })
+        Ok(DatabaseDump {
+            db: db.to_string(),
+            tables,
+        })
     })
 }
 
@@ -163,7 +170,12 @@ mod tests {
             e.create_table("app", schema).unwrap();
             e.with_txn(|txn| {
                 for i in 0..rows {
-                    e.insert(txn, "app", t, vec![Value::Int(i), Value::Text(format!("r{i}"))])?;
+                    e.insert(
+                        txn,
+                        "app",
+                        t,
+                        vec![Value::Int(i), Value::Text(format!("r{i}"))],
+                    )?;
                 }
                 Ok(())
             })
@@ -226,7 +238,10 @@ mod tests {
         let t0 = Instant::now();
         src.with_txn(|txn| src.insert(txn, "app", "b", vec![Value::Int(999), Value::Null]))
             .unwrap();
-        assert!(t0.elapsed() < Duration::from_millis(100), "other table not blocked");
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "other table not blocked"
+        );
         src.with_txn(|txn| src.insert(txn, "app", "a", vec![Value::Int(999), Value::Null]))
             .unwrap();
         copier.join().unwrap();
@@ -277,7 +292,11 @@ mod tests {
         };
         for _ in 0..5 {
             let dump = dump_table(&src, "app", "a", Throttle::UNLIMITED).unwrap();
-            let extra = dump.rows.iter().filter(|(_, r)| r[0].as_i64().unwrap() >= 1000).count();
+            let extra = dump
+                .rows
+                .iter()
+                .filter(|(_, r)| r[0].as_i64().unwrap() >= 1000)
+                .count();
             assert_eq!(extra % 2, 0, "snapshot tore a transaction in half");
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);

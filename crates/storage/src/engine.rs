@@ -166,7 +166,10 @@ impl Engine {
         }
         dbs.insert(name.to_string(), Arc::new(Database::new(name.to_string())));
         drop(dbs);
-        self.wal.append(Wal::DDL_TXN, WalEntry::Redo(RedoOp::CreateDatabase { db: name.into() }));
+        self.wal.append(
+            Wal::DDL_TXN,
+            WalEntry::Redo(RedoOp::CreateDatabase { db: name.into() }),
+        );
         Ok(())
     }
 
@@ -176,7 +179,10 @@ impl Engine {
         if removed.is_none() {
             return Err(StorageError::NoSuchDatabase(name.to_string()));
         }
-        self.wal.append(Wal::DDL_TXN, WalEntry::Redo(RedoOp::DropDatabase { db: name.into() }));
+        self.wal.append(
+            Wal::DDL_TXN,
+            WalEntry::Redo(RedoOp::DropDatabase { db: name.into() }),
+        );
         Ok(())
     }
 
@@ -199,10 +205,18 @@ impl Engine {
             return Err(StorageError::AlreadyExists(schema.name.clone()));
         }
         let id = self.next_table_id.fetch_add(1, Ordering::Relaxed);
-        tables.insert(schema.name.clone(), Arc::new(Table::new(id, schema.clone())));
+        tables.insert(
+            schema.name.clone(),
+            Arc::new(Table::new(id, schema.clone())),
+        );
         drop(tables);
-        self.wal
-            .append(Wal::DDL_TXN, WalEntry::Redo(RedoOp::CreateTable { db: db.into(), schema }));
+        self.wal.append(
+            Wal::DDL_TXN,
+            WalEntry::Redo(RedoOp::CreateTable {
+                db: db.into(),
+                schema,
+            }),
+        );
         Ok(())
     }
 
@@ -222,14 +236,18 @@ impl Engine {
         let database = self.db(db)?;
         let t = self.table(db, table)?;
         self.with_txn(|txn| {
-            self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::X)?;
+            self.locks
+                .acquire(txn, ResourceId::Table { table: t.id }, LockMode::X)?;
             let mut schema = t.schema.clone();
             schema.try_add_index(index, columns, unique)?;
             let rebuilt = Table::new(t.id, schema);
             for (rid, row) in t.scan() {
                 rebuilt.insert_with_id(rid, row)?;
             }
-            database.tables.write().insert(table.to_string(), Arc::new(rebuilt));
+            database
+                .tables
+                .write()
+                .insert(table.to_string(), Arc::new(rebuilt));
             Ok(())
         })?;
         self.wal.append(
@@ -312,12 +330,22 @@ impl Engine {
                         let _ = t.delete(row_id);
                     }
                 }
-                UndoRecord::Update { db, table, row_id, old } => {
+                UndoRecord::Update {
+                    db,
+                    table,
+                    row_id,
+                    old,
+                } => {
                     if let Ok(t) = self.table(&db, &table) {
                         let _ = t.update(row_id, old);
                     }
                 }
-                UndoRecord::Delete { db, table, row_id, old } => {
+                UndoRecord::Delete {
+                    db,
+                    table,
+                    row_id,
+                    old,
+                } => {
                     if let Ok(t) = self.table(&db, &table) {
                         let _ = t.insert_with_id(row_id, old);
                     }
@@ -354,11 +382,17 @@ impl Engine {
         for v in key {
             v.hash(&mut h);
         }
-        ResourceId::Key { table: table_id, hash: h.finish() }
+        ResourceId::Key {
+            table: table_id,
+            hash: h.finish(),
+        }
     }
 
     fn data_page(table_id: u64, row_id: u64) -> PageKey {
-        PageKey { table: table_id, page_no: page_of_row(row_id) }
+        PageKey {
+            table: table_id,
+            page_no: page_of_row(row_id),
+        }
     }
 
     fn index_page(t: &Table, index: &str, key: &[Value]) -> PageKey {
@@ -369,7 +403,10 @@ impl Engine {
         }
         // Index leaf level ~ a quarter of the data pages.
         let pages = (t.page_count() / 4).max(MIN_INDEX_PAGES);
-        PageKey { table: t.id, page_no: INDEX_PAGE_OFFSET + h.finish() % pages }
+        PageKey {
+            table: t.id,
+            page_no: INDEX_PAGE_OFFSET + h.finish() % pages,
+        }
     }
 
     /// Swap the page cost model on a live engine (see `BufferPool::set_cost`).
@@ -384,25 +421,43 @@ impl Engine {
         let database = self.db(db)?;
         let t = self.table(db, table)?;
         t.schema.check_row(&row)?;
-        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::IX)?;
+        self.locks
+            .acquire(txn, ResourceId::Table { table: t.id }, LockMode::IX)?;
         let row_id = t.reserve_row_id();
-        self.locks.acquire(txn, ResourceId::Row { table: t.id, row: row_id }, LockMode::X)?;
+        self.locks.acquire(
+            txn,
+            ResourceId::Row {
+                table: t.id,
+                row: row_id,
+            },
+            LockMode::X,
+        )?;
         // Lock every index key the row joins (phantom protection for
         // equality lookups on those keys).
         for idx in &t.schema.indexes {
             let key = t.schema.index_key(idx, &row);
-            self.locks.acquire(txn, Self::key_resource(t.id, &idx.name, &key), LockMode::X)?;
+            self.locks
+                .acquire(txn, Self::key_resource(t.id, &idx.name, &key), LockMode::X)?;
             self.buffer.access(Self::index_page(&t, &idx.name, &key));
         }
         self.buffer.access(Self::data_page(t.id, row_id));
         t.insert_with_id(row_id, row.clone())?;
         self.txns.push_undo(
             txn,
-            UndoRecord::Insert { db: db.into(), table: table.into(), row_id },
+            UndoRecord::Insert {
+                db: db.into(),
+                table: table.into(),
+                row_id,
+            },
         )?;
         self.wal.append(
             txn,
-            WalEntry::Redo(RedoOp::Insert { db: db.into(), table: table.into(), row_id, row }),
+            WalEntry::Redo(RedoOp::Insert {
+                db: db.into(),
+                table: table.into(),
+                row_id,
+                row,
+            }),
         );
         database.writes.fetch_add(1, Ordering::Relaxed);
         Ok(row_id)
@@ -410,13 +465,27 @@ impl Engine {
 
     /// Point read by row id. Returns `None` if the row does not exist (e.g.
     /// a concurrent insert that aborted after we found its id).
-    pub fn read(&self, txn: TxnId, db: &str, table: &str, row_id: u64) -> Result<Option<Vec<Value>>> {
+    pub fn read(
+        &self,
+        txn: TxnId,
+        db: &str,
+        table: &str,
+        row_id: u64,
+    ) -> Result<Option<Vec<Value>>> {
         self.check_up()?;
         self.txns.require_active(txn)?;
         let database = self.db(db)?;
         let t = self.table(db, table)?;
-        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::IS)?;
-        self.locks.acquire(txn, ResourceId::Row { table: t.id, row: row_id }, LockMode::S)?;
+        self.locks
+            .acquire(txn, ResourceId::Table { table: t.id }, LockMode::IS)?;
+        self.locks.acquire(
+            txn,
+            ResourceId::Row {
+                table: t.id,
+                row: row_id,
+            },
+            LockMode::S,
+        )?;
         self.buffer.access(Self::data_page(t.id, row_id));
         self.txns.note_read(txn);
         database.reads.fetch_add(1, Ordering::Relaxed);
@@ -444,14 +513,23 @@ impl Engine {
         } else {
             (LockMode::IS, LockMode::S)
         };
-        self.locks.acquire(txn, ResourceId::Table { table: t.id }, table_mode)?;
+        self.locks
+            .acquire(txn, ResourceId::Table { table: t.id }, table_mode)?;
         // S on the key resource freezes the key's membership.
-        self.locks.acquire(txn, Self::key_resource(t.id, index, key), LockMode::S)?;
+        self.locks
+            .acquire(txn, Self::key_resource(t.id, index, key), LockMode::S)?;
         self.buffer.access(Self::index_page(&t, index, key));
         let ids = t.index_get(index, key)?;
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
-            self.locks.acquire(txn, ResourceId::Row { table: t.id, row: id }, row_mode)?;
+            self.locks.acquire(
+                txn,
+                ResourceId::Row {
+                    table: t.id,
+                    row: id,
+                },
+                row_mode,
+            )?;
             self.buffer.access(Self::data_page(t.id, id));
             if let Some(row) = t.get(id) {
                 out.push((id, row));
@@ -477,7 +555,8 @@ impl Engine {
         self.txns.require_active(txn)?;
         let database = self.db(db)?;
         let t = self.table(db, table)?;
-        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::S)?;
+        self.locks
+            .acquire(txn, ResourceId::Table { table: t.id }, LockMode::S)?;
         let ids = t.index_range(index, lo, hi)?;
         let mut out = Vec::with_capacity(ids.len());
         let mut last_page = None;
@@ -502,7 +581,8 @@ impl Engine {
         self.txns.require_active(txn)?;
         let database = self.db(db)?;
         let t = self.table(db, table)?;
-        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::S)?;
+        self.locks
+            .acquire(txn, ResourceId::Table { table: t.id }, LockMode::S)?;
         let rows = t.scan();
         let mut last_page = None;
         for (id, _) in &rows {
@@ -531,28 +611,55 @@ impl Engine {
         let database = self.db(db)?;
         let t = self.table(db, table)?;
         t.schema.check_row(&new_row)?;
-        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::IX)?;
-        self.locks.acquire(txn, ResourceId::Row { table: t.id, row: row_id }, LockMode::X)?;
+        self.locks
+            .acquire(txn, ResourceId::Table { table: t.id }, LockMode::IX)?;
+        self.locks.acquire(
+            txn,
+            ResourceId::Row {
+                table: t.id,
+                row: row_id,
+            },
+            LockMode::X,
+        )?;
         let old = t.get(row_id).ok_or(StorageError::NoSuchRow(row_id))?;
         // Lock the key resources whose membership this update changes.
         for idx in &t.schema.indexes {
             let old_key = t.schema.index_key(idx, &old);
             let new_key = t.schema.index_key(idx, &new_row);
             if old_key != new_key {
-                self.locks.acquire(txn, Self::key_resource(t.id, &idx.name, &old_key), LockMode::X)?;
-                self.locks.acquire(txn, Self::key_resource(t.id, &idx.name, &new_key), LockMode::X)?;
-                self.buffer.access(Self::index_page(&t, &idx.name, &new_key));
+                self.locks.acquire(
+                    txn,
+                    Self::key_resource(t.id, &idx.name, &old_key),
+                    LockMode::X,
+                )?;
+                self.locks.acquire(
+                    txn,
+                    Self::key_resource(t.id, &idx.name, &new_key),
+                    LockMode::X,
+                )?;
+                self.buffer
+                    .access(Self::index_page(&t, &idx.name, &new_key));
             }
         }
         self.buffer.access(Self::data_page(t.id, row_id));
         t.update(row_id, new_row.clone())?;
         self.txns.push_undo(
             txn,
-            UndoRecord::Update { db: db.into(), table: table.into(), row_id, old },
+            UndoRecord::Update {
+                db: db.into(),
+                table: table.into(),
+                row_id,
+                old,
+            },
         )?;
         self.wal.append(
             txn,
-            WalEntry::Redo(RedoOp::Update { db: db.into(), table: table.into(), row_id, row: new_row }),
+            WalEntry::Redo(RedoOp::Update {
+                db: db.into(),
+                table: table.into(),
+                row_id,
+                row: new_row,
+            }),
         );
         database.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -564,22 +671,40 @@ impl Engine {
         self.txns.require_active(txn)?;
         let database = self.db(db)?;
         let t = self.table(db, table)?;
-        self.locks.acquire(txn, ResourceId::Table { table: t.id }, LockMode::IX)?;
-        self.locks.acquire(txn, ResourceId::Row { table: t.id, row: row_id }, LockMode::X)?;
+        self.locks
+            .acquire(txn, ResourceId::Table { table: t.id }, LockMode::IX)?;
+        self.locks.acquire(
+            txn,
+            ResourceId::Row {
+                table: t.id,
+                row: row_id,
+            },
+            LockMode::X,
+        )?;
         let old = t.get(row_id).ok_or(StorageError::NoSuchRow(row_id))?;
         for idx in &t.schema.indexes {
             let key = t.schema.index_key(idx, &old);
-            self.locks.acquire(txn, Self::key_resource(t.id, &idx.name, &key), LockMode::X)?;
+            self.locks
+                .acquire(txn, Self::key_resource(t.id, &idx.name, &key), LockMode::X)?;
         }
         self.buffer.access(Self::data_page(t.id, row_id));
         t.delete(row_id)?;
         self.txns.push_undo(
             txn,
-            UndoRecord::Delete { db: db.into(), table: table.into(), row_id, old },
+            UndoRecord::Delete {
+                db: db.into(),
+                table: table.into(),
+                row_id,
+                old,
+            },
         )?;
         self.wal.append(
             txn,
-            WalEntry::Redo(RedoOp::Delete { db: db.into(), table: table.into(), row_id }),
+            WalEntry::Redo(RedoOp::Delete {
+                db: db.into(),
+                table: table.into(),
+                row_id,
+            }),
         );
         database.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -617,12 +742,19 @@ impl Engine {
                 RedoOp::CreateTable { db, schema } => {
                     if let Some(d) = dbs.get(db) {
                         let id = self.next_table_id.fetch_add(1, Ordering::Relaxed);
-                        d.tables
-                            .write()
-                            .insert(schema.name.clone(), Arc::new(Table::new(id, schema.clone())));
+                        d.tables.write().insert(
+                            schema.name.clone(),
+                            Arc::new(Table::new(id, schema.clone())),
+                        );
                     }
                 }
-                RedoOp::CreateIndex { db, table, index, columns, unique } => {
+                RedoOp::CreateIndex {
+                    db,
+                    table,
+                    index,
+                    columns,
+                    unique,
+                } => {
                     if let Some(d) = dbs.get(db) {
                         let old = d.tables.read().get(table).cloned();
                         if let Some(old) = old {
@@ -637,18 +769,37 @@ impl Engine {
                         }
                     }
                 }
-                RedoOp::Insert { db, table, row_id, row } => {
-                    if let Some(t) = dbs.get(db).and_then(|d| d.tables.read().get(table).cloned()) {
+                RedoOp::Insert {
+                    db,
+                    table,
+                    row_id,
+                    row,
+                } => {
+                    if let Some(t) = dbs
+                        .get(db)
+                        .and_then(|d| d.tables.read().get(table).cloned())
+                    {
                         let _ = t.insert_with_id(*row_id, row.clone());
                     }
                 }
-                RedoOp::Update { db, table, row_id, row } => {
-                    if let Some(t) = dbs.get(db).and_then(|d| d.tables.read().get(table).cloned()) {
+                RedoOp::Update {
+                    db,
+                    table,
+                    row_id,
+                    row,
+                } => {
+                    if let Some(t) = dbs
+                        .get(db)
+                        .and_then(|d| d.tables.read().get(table).cloned())
+                    {
                         let _ = t.update(*row_id, row.clone());
                     }
                 }
                 RedoOp::Delete { db, table, row_id } => {
-                    if let Some(t) = dbs.get(db).and_then(|d| d.tables.read().get(table).cloned()) {
+                    if let Some(t) = dbs
+                        .get(db)
+                        .and_then(|d| d.tables.read().get(table).cloned())
+                    {
                         let _ = t.delete(*row_id);
                     }
                 }
@@ -733,7 +884,10 @@ mod tests {
         let e = setup();
         let t = e.begin().unwrap();
         let rid = e.insert(t, "app", "kv", kv(1, "one")).unwrap();
-        assert_eq!(e.read(t, "app", "kv", rid).unwrap().unwrap()[1], Value::Text("one".into()));
+        assert_eq!(
+            e.read(t, "app", "kv", rid).unwrap().unwrap()[1],
+            Value::Text("one".into())
+        );
         e.commit(t).unwrap();
         assert_eq!(e.stats().commits, 1);
     }
@@ -742,7 +896,9 @@ mod tests {
     fn abort_undoes_everything() {
         let e = setup();
         // Committed baseline.
-        let rid = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "one"))).unwrap();
+        let rid = e
+            .with_txn(|t| e.insert(t, "app", "kv", kv(1, "one")))
+            .unwrap();
         // Aborted txn: update + insert + delete all rolled back.
         let t = e.begin().unwrap();
         e.update(t, "app", "kv", rid, kv(1, "changed")).unwrap();
@@ -766,7 +922,9 @@ mod tests {
         })
         .unwrap();
         let t = e.begin().unwrap();
-        let hits = e.index_lookup(t, "app", "kv", "pk", &[Value::Int(2)], false).unwrap();
+        let hits = e
+            .index_lookup(t, "app", "kv", "pk", &[Value::Int(2)], false)
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].1[1], Value::Text("b".into()));
         e.commit(t).unwrap();
@@ -775,7 +933,9 @@ mod tests {
     #[test]
     fn writes_block_readers_until_commit() {
         let e = Arc::new(setup());
-        let rid = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "v1"))).unwrap();
+        let rid = e
+            .with_txn(|t| e.insert(t, "app", "kv", kv(1, "v1")))
+            .unwrap();
         let writer = e.begin().unwrap();
         e.update(writer, "app", "kv", rid, kv(1, "v2")).unwrap();
         let e2 = Arc::clone(&e);
@@ -788,7 +948,11 @@ mod tests {
         thread::sleep(Duration::from_millis(50));
         e.commit(writer).unwrap();
         let row = reader.join().unwrap();
-        assert_eq!(row[1], Value::Text("v2".into()), "reader must see committed value");
+        assert_eq!(
+            row[1],
+            Value::Text("v2".into()),
+            "reader must see committed value"
+        );
     }
 
     #[test]
@@ -800,7 +964,9 @@ mod tests {
         let h = thread::spawn(move || {
             let t = e2.begin().unwrap();
             // Blocks on t1's key lock, then sees nothing after the abort.
-            let hits = e2.index_lookup(t, "app", "kv", "pk", &[Value::Int(7)], false).unwrap();
+            let hits = e2
+                .index_lookup(t, "app", "kv", "pk", &[Value::Int(7)], false)
+                .unwrap();
             e2.commit(t).unwrap();
             hits
         });
@@ -815,14 +981,19 @@ mod tests {
         // (the S key lock blocks the inserter).
         let e = Arc::new(setup());
         let t1 = e.begin().unwrap();
-        let first = e.index_lookup(t1, "app", "kv", "pk", &[Value::Int(5)], false).unwrap();
+        let first = e
+            .index_lookup(t1, "app", "kv", "pk", &[Value::Int(5)], false)
+            .unwrap();
         assert!(first.is_empty());
         let e2 = Arc::clone(&e);
         let inserter = thread::spawn(move || {
-            e2.with_txn(|t| e2.insert(t, "app", "kv", kv(5, "new"))).unwrap();
+            e2.with_txn(|t| e2.insert(t, "app", "kv", kv(5, "new")))
+                .unwrap();
         });
         thread::sleep(Duration::from_millis(50));
-        let second = e.index_lookup(t1, "app", "kv", "pk", &[Value::Int(5)], false).unwrap();
+        let second = e
+            .index_lookup(t1, "app", "kv", "pk", &[Value::Int(5)], false)
+            .unwrap();
         assert_eq!(first.len(), second.len(), "no phantom within a transaction");
         e.commit(t1).unwrap();
         inserter.join().unwrap();
@@ -831,8 +1002,12 @@ mod tests {
     #[test]
     fn two_phase_commit_releases_read_locks_at_prepare() {
         let e = Arc::new(setup());
-        let r1 = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "a"))).unwrap();
-        let r2 = e.with_txn(|t| e.insert(t, "app", "kv", kv(2, "b"))).unwrap();
+        let r1 = e
+            .with_txn(|t| e.insert(t, "app", "kv", kv(1, "a")))
+            .unwrap();
+        let r2 = e
+            .with_txn(|t| e.insert(t, "app", "kv", kv(2, "b")))
+            .unwrap();
         let t1 = e.begin().unwrap();
         e.read(t1, "app", "kv", r1).unwrap(); // S lock on r1
         e.update(t1, "app", "kv", r2, kv(2, "b2")).unwrap(); // X lock on r2
@@ -878,7 +1053,8 @@ mod tests {
     #[test]
     fn restart_recovers_committed_state_only() {
         let e = setup();
-        e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "committed"))).unwrap();
+        e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "committed")))
+            .unwrap();
         // In-flight txn at crash time: must disappear.
         let t = e.begin().unwrap();
         e.insert(t, "app", "kv", kv(2, "in-flight")).unwrap();
@@ -895,9 +1071,14 @@ mod tests {
     #[test]
     fn restart_preserves_updates_and_deletes() {
         let e = setup();
-        let rid = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "v1"))).unwrap();
-        e.with_txn(|t| e.update(t, "app", "kv", rid, kv(1, "v2"))).unwrap();
-        let rid2 = e.with_txn(|t| e.insert(t, "app", "kv", kv(2, "gone"))).unwrap();
+        let rid = e
+            .with_txn(|t| e.insert(t, "app", "kv", kv(1, "v1")))
+            .unwrap();
+        e.with_txn(|t| e.update(t, "app", "kv", rid, kv(1, "v2")))
+            .unwrap();
+        let rid2 = e
+            .with_txn(|t| e.insert(t, "app", "kv", kv(2, "gone")))
+            .unwrap();
         e.with_txn(|t| e.delete(t, "app", "kv", rid2)).unwrap();
         e.crash();
         e.restart();
@@ -911,7 +1092,9 @@ mod tests {
     #[test]
     fn crash_releases_locks_of_live_txns() {
         let e = setup();
-        let rid = e.with_txn(|t| e.insert(t, "app", "kv", kv(1, "a"))).unwrap();
+        let rid = e
+            .with_txn(|t| e.insert(t, "app", "kv", kv(1, "a")))
+            .unwrap();
         let t1 = e.begin().unwrap();
         e.update(t1, "app", "kv", rid, kv(1, "dirty")).unwrap();
         e.crash();
@@ -944,8 +1127,14 @@ mod tests {
     #[test]
     fn unknown_names_error() {
         let e = setup();
-        assert!(matches!(e.db("nope").unwrap_err(), StorageError::NoSuchDatabase(_)));
-        assert!(matches!(e.table("app", "nope").unwrap_err(), StorageError::NoSuchTable(_)));
+        assert!(matches!(
+            e.db("nope").unwrap_err(),
+            StorageError::NoSuchDatabase(_)
+        ));
+        assert!(matches!(
+            e.table("app", "nope").unwrap_err(),
+            StorageError::NoSuchTable(_)
+        ));
         assert!(e.create_database("app").is_err());
     }
 
@@ -956,7 +1145,8 @@ mod tests {
         for i in 0..8i64 {
             let e2 = Arc::clone(&e);
             handles.push(thread::spawn(move || {
-                e2.with_txn(|t| e2.insert(t, "app", "kv", kv(i, "x"))).unwrap();
+                e2.with_txn(|t| e2.insert(t, "app", "kv", kv(i, "x")))
+                    .unwrap();
             }));
         }
         for h in handles {
@@ -979,13 +1169,21 @@ mod tests {
         .unwrap();
         let t = e.begin().unwrap();
         let rows = e
-            .index_range(t, "app", "kv", "pk", Some(&[Value::Int(1)]), Some(&[Value::Int(3)]))
+            .index_range(
+                t,
+                "app",
+                "kv",
+                "pk",
+                Some(&[Value::Int(1)]),
+                Some(&[Value::Int(3)]),
+            )
             .unwrap();
         assert_eq!(rows.len(), 3);
         // Table S lock is held: concurrent insert blocks until commit.
         let e2 = Arc::clone(&e);
         let h = thread::spawn(move || {
-            e2.with_txn(|tx| e2.insert(tx, "app", "kv", kv(100, "y"))).unwrap();
+            e2.with_txn(|tx| e2.insert(tx, "app", "kv", kv(100, "y")))
+                .unwrap();
         });
         thread::sleep(Duration::from_millis(50));
         assert_eq!(e.locks().waiter_count(), 1);

@@ -58,7 +58,9 @@ impl fmt::Display for StorageError {
                 write!(f, "transaction {txn} is {state}; operation not permitted")
             }
             StorageError::Deadlock(txn) => write!(f, "transaction {txn} chosen as deadlock victim"),
-            StorageError::LockTimeout(txn) => write!(f, "transaction {txn} timed out waiting for a lock"),
+            StorageError::LockTimeout(txn) => {
+                write!(f, "transaction {txn} timed out waiting for a lock")
+            }
             StorageError::Unavailable => write!(f, "machine unavailable"),
             StorageError::UniqueViolation { table, index } => {
                 write!(f, "unique violation on {table}.{index}")
@@ -88,7 +90,10 @@ impl StorageError {
     /// True if the error is counted as a *proactive rejection* in the SLA
     /// model of §4.1 (rejections caused by the platform, not the workload).
     pub fn is_proactive_rejection(&self) -> bool {
-        matches!(self, StorageError::Unavailable | StorageError::WriteRejected(_))
+        matches!(
+            self,
+            StorageError::Unavailable | StorageError::WriteRejected(_)
+        )
     }
 }
 
@@ -102,7 +107,10 @@ mod tests {
             StorageError::NoSuchDatabase("apps".into()).to_string(),
             "no such database: apps"
         );
-        assert_eq!(StorageError::Deadlock(TxnId(7)).to_string(), "transaction t7 chosen as deadlock victim");
+        assert_eq!(
+            StorageError::Deadlock(TxnId(7)).to_string(),
+            "transaction t7 chosen as deadlock victim"
+        );
     }
 
     #[test]

@@ -89,8 +89,7 @@ impl LockMode {
     /// S or IX implies IS).
     fn implies(self, weaker: LockMode) -> bool {
         use LockMode::*;
-        self == weaker
-            || matches!((self, weaker), (X, _) | (S, IS) | (IX, IS))
+        self == weaker || matches!((self, weaker), (X, _) | (S, IS) | (IX, IS))
     }
 
     /// Is this a read lock (released at PREPARE under the 2PC optimization)?
@@ -163,7 +162,9 @@ impl LockTable {
     /// FIFO grant sweep after a release: grant waiters from the front while
     /// compatible; stop at the first blocked waiter to preserve fairness.
     fn pump(&mut self, res: ResourceId) {
-        let Some(st) = self.resources.get_mut(&res) else { return };
+        let Some(st) = self.resources.get_mut(&res) else {
+            return;
+        };
         let mut granted_now = Vec::new();
         while let Some(w) = st.waiting.front() {
             if st.compatible_with_others(w.txn, w.mode) {
@@ -367,7 +368,11 @@ impl LockManager {
         let Some(mask) = t.resources.get(&res).and_then(|s| s.granted.get(&txn)) else {
             return Vec::new();
         };
-        LockMode::ALL.iter().copied().filter(|m| mask & m.bit() != 0).collect()
+        LockMode::ALL
+            .iter()
+            .copied()
+            .filter(|m| mask & m.bit() != 0)
+            .collect()
     }
 
     /// Number of transactions currently blocked.
@@ -500,7 +505,9 @@ mod tests {
         let mut handles = Vec::new();
         for t in [2u64, 3] {
             let l = Arc::clone(&lm);
-            handles.push(thread::spawn(move || l.acquire(TxnId(t), row(1), LockMode::S)));
+            handles.push(thread::spawn(move || {
+                l.acquire(TxnId(t), row(1), LockMode::S)
+            }));
         }
         thread::sleep(Duration::from_millis(30));
         lm.release_all(TxnId(1));
@@ -579,7 +586,9 @@ mod tests {
         let mut handles = Vec::new();
         for (t, r) in [(2u64, 1u64), (3, 2)] {
             let l = Arc::clone(&lm);
-            handles.push(thread::spawn(move || l.acquire(TxnId(t), row(r), LockMode::X)));
+            handles.push(thread::spawn(move || {
+                l.acquire(TxnId(t), row(r), LockMode::X)
+            }));
         }
         thread::sleep(Duration::from_millis(30));
         lm.release_all(TxnId(1));

@@ -13,7 +13,11 @@ pub struct ColumnDef {
 
 impl ColumnDef {
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        ColumnDef { name: name.into(), ty, nullable: true }
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
     }
 
     pub fn not_null(mut self) -> Self {
@@ -42,7 +46,11 @@ pub struct TableSchema {
 
 impl TableSchema {
     pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
-        TableSchema { name: name.into(), columns, indexes: Vec::new() }
+        TableSchema {
+            name: name.into(),
+            columns,
+            indexes: Vec::new(),
+        }
     }
 
     /// Declare a primary key over the named columns (unique index `"pk"`).
@@ -62,7 +70,11 @@ impl TableSchema {
                     .ok_or_else(|| StorageError::SchemaMismatch(format!("unknown column: {c}")))
             })
             .collect::<Result<Vec<_>>>()?;
-        self.indexes.push(IndexDef { name: name.to_string(), columns, unique });
+        self.indexes.push(IndexDef {
+            name: name.to_string(),
+            columns,
+            unique,
+        });
         Ok(())
     }
 
@@ -75,7 +87,11 @@ impl TableSchema {
                     .unwrap_or_else(|| panic!("index {name} references unknown column {c}"))
             })
             .collect();
-        self.indexes.push(IndexDef { name: name.to_string(), columns, unique });
+        self.indexes.push(IndexDef {
+            name: name.to_string(),
+            columns,
+            unique,
+        });
         self
     }
 
@@ -172,11 +188,17 @@ mod tests {
     #[test]
     fn row_validation() {
         let s = users();
-        assert!(s.check_row(&[Value::Int(1), Value::Text("a".into()), Value::Float(0.5)]).is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Text("a".into()), Value::Float(0.5)])
+            .is_ok());
         // Int widens into Float column.
-        assert!(s.check_row(&[Value::Int(1), Value::Null, Value::Int(2)]).is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Null, Value::Int(2)])
+            .is_ok());
         // NOT NULL violation.
-        assert!(s.check_row(&[Value::Null, Value::Null, Value::Null]).is_err());
+        assert!(s
+            .check_row(&[Value::Null, Value::Null, Value::Null])
+            .is_err());
         // Arity.
         assert!(s.check_row(&[Value::Int(1)]).is_err());
         // Type error.
@@ -196,7 +218,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown column")]
     fn bad_index_panics() {
-        let _ = TableSchema::new("t", vec![ColumnDef::new("a", DataType::Int)])
-            .with_index("bad", &["nope"], false);
+        let _ = TableSchema::new("t", vec![ColumnDef::new("a", DataType::Int)]).with_index(
+            "bad",
+            &["nope"],
+            false,
+        );
     }
 }

@@ -45,7 +45,10 @@ impl Table {
         Table {
             id,
             schema,
-            data: RwLock::new(TableData { rows: BTreeMap::new(), indexes }),
+            data: RwLock::new(TableData {
+                rows: BTreeMap::new(),
+                indexes,
+            }),
             next_row_id: AtomicU64::new(0),
         }
     }
@@ -65,7 +68,10 @@ impl Table {
         for idx in &self.schema.indexes {
             if idx.unique {
                 let key = self.schema.index_key(idx, &row);
-                if d.indexes[&idx.name].get(&key).is_some_and(|s| !s.is_empty()) {
+                if d.indexes[&idx.name]
+                    .get(&key)
+                    .is_some_and(|s| !s.is_empty())
+                {
                     return Err(StorageError::UniqueViolation {
                         table: self.schema.name.clone(),
                         index: idx.name.clone(),
@@ -75,7 +81,12 @@ impl Table {
         }
         for idx in &self.schema.indexes {
             let key = self.schema.index_key(idx, &row);
-            d.indexes.get_mut(&idx.name).unwrap().entry(key).or_default().insert(row_id);
+            d.indexes
+                .get_mut(&idx.name)
+                .unwrap()
+                .entry(key)
+                .or_default()
+                .insert(row_id);
         }
         d.rows.insert(row_id, row);
         // Keep the id allocator ahead of explicitly supplied ids (restore path).
@@ -97,13 +108,19 @@ impl Table {
     pub fn update(&self, row_id: u64, new_row: Vec<Value>) -> Result<Vec<Value>> {
         self.schema.check_row(&new_row)?;
         let mut d = self.data.write();
-        let old = d.rows.get(&row_id).cloned().ok_or(StorageError::NoSuchRow(row_id))?;
+        let old = d
+            .rows
+            .get(&row_id)
+            .cloned()
+            .ok_or(StorageError::NoSuchRow(row_id))?;
         for idx in &self.schema.indexes {
             if idx.unique {
                 let new_key = self.schema.index_key(idx, &new_row);
                 let old_key = self.schema.index_key(idx, &old);
                 if new_key != old_key
-                    && d.indexes[&idx.name].get(&new_key).is_some_and(|s| !s.is_empty())
+                    && d.indexes[&idx.name]
+                        .get(&new_key)
+                        .is_some_and(|s| !s.is_empty())
                 {
                     return Err(StorageError::UniqueViolation {
                         table: self.schema.name.clone(),
@@ -133,7 +150,10 @@ impl Table {
     /// Remove a row. Returns the old image.
     pub fn delete(&self, row_id: u64) -> Result<Vec<Value>> {
         let mut d = self.data.write();
-        let old = d.rows.remove(&row_id).ok_or(StorageError::NoSuchRow(row_id))?;
+        let old = d
+            .rows
+            .remove(&row_id)
+            .ok_or(StorageError::NoSuchRow(row_id))?;
         for idx in &self.schema.indexes {
             let key = self.schema.index_key(idx, &old);
             let map = d.indexes.get_mut(&idx.name).unwrap();
@@ -150,8 +170,14 @@ impl Table {
     /// Row ids matching an exact index key.
     pub fn index_get(&self, index: &str, key: &[Value]) -> Result<Vec<u64>> {
         let d = self.data.read();
-        let map = d.indexes.get(index).ok_or_else(|| StorageError::NoSuchIndex(index.into()))?;
-        Ok(map.get(key).map(|s| s.iter().copied().collect()).unwrap_or_default())
+        let map = d
+            .indexes
+            .get(index)
+            .ok_or_else(|| StorageError::NoSuchIndex(index.into()))?;
+        Ok(map
+            .get(key)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default())
     }
 
     /// Row ids whose index key lies in `[lo, hi]` (inclusive bounds; `None`
@@ -163,7 +189,10 @@ impl Table {
         hi: Option<&[Value]>,
     ) -> Result<Vec<u64>> {
         let d = self.data.read();
-        let map = d.indexes.get(index).ok_or_else(|| StorageError::NoSuchIndex(index.into()))?;
+        let map = d
+            .indexes
+            .get(index)
+            .ok_or_else(|| StorageError::NoSuchIndex(index.into()))?;
         let lo_b = lo.map_or(Bound::Unbounded, |k| Bound::Included(k.to_vec()));
         let hi_b = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.to_vec()));
         let mut out = Vec::new();
@@ -175,7 +204,12 @@ impl Table {
 
     /// Snapshot of all `(row_id, row)` pairs in row-id order.
     pub fn scan(&self) -> Vec<(u64, Vec<Value>)> {
-        self.data.read().rows.iter().map(|(&id, r)| (id, r.clone())).collect()
+        self.data
+            .read()
+            .rows
+            .iter()
+            .map(|(&id, r)| (id, r.clone()))
+            .collect()
     }
 
     /// All row ids (cheaper than `scan` when images aren't needed).
@@ -196,7 +230,6 @@ impl Table {
         }
     }
 }
-
 
 impl std::fmt::Debug for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -244,8 +277,11 @@ mod tests {
     #[test]
     fn unique_index_enforced() {
         let t = items();
-        t.insert_with_id(t.reserve_row_id(), row(1, "a", 1)).unwrap();
-        let err = t.insert_with_id(t.reserve_row_id(), row(1, "b", 2)).unwrap_err();
+        t.insert_with_id(t.reserve_row_id(), row(1, "a", 1))
+            .unwrap();
+        let err = t
+            .insert_with_id(t.reserve_row_id(), row(1, "b", 2))
+            .unwrap_err();
         assert!(matches!(err, StorageError::UniqueViolation { .. }));
         assert_eq!(t.row_count(), 1, "failed insert must not leave residue");
     }
@@ -253,9 +289,13 @@ mod tests {
     #[test]
     fn non_unique_index_allows_duplicates() {
         let t = items();
-        t.insert_with_id(t.reserve_row_id(), row(1, "same", 1)).unwrap();
-        t.insert_with_id(t.reserve_row_id(), row(2, "same", 2)).unwrap();
-        let ids = t.index_get("by_title", &[Value::Text("same".into())]).unwrap();
+        t.insert_with_id(t.reserve_row_id(), row(1, "same", 1))
+            .unwrap();
+        t.insert_with_id(t.reserve_row_id(), row(2, "same", 2))
+            .unwrap();
+        let ids = t
+            .index_get("by_title", &[Value::Text("same".into())])
+            .unwrap();
         assert_eq!(ids.len(), 2);
     }
 
@@ -266,8 +306,15 @@ mod tests {
         t.insert_with_id(rid, row(1, "old", 1)).unwrap();
         let old = t.update(rid, row(1, "new", 1)).unwrap();
         assert_eq!(old[1], Value::Text("old".into()));
-        assert!(t.index_get("by_title", &[Value::Text("old".into())]).unwrap().is_empty());
-        assert_eq!(t.index_get("by_title", &[Value::Text("new".into())]).unwrap(), vec![rid]);
+        assert!(t
+            .index_get("by_title", &[Value::Text("old".into())])
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.index_get("by_title", &[Value::Text("new".into())])
+                .unwrap(),
+            vec![rid]
+        );
     }
 
     #[test]
@@ -310,10 +357,12 @@ mod tests {
     fn index_range_scan() {
         let t = items();
         for i in 0..10 {
-            t.insert_with_id(t.reserve_row_id(), row(i, &format!("t{i}"), i)).unwrap();
+            t.insert_with_id(t.reserve_row_id(), row(i, &format!("t{i}"), i))
+                .unwrap();
         }
-        let ids =
-            t.index_range("pk", Some(&[Value::Int(3)]), Some(&[Value::Int(6)])).unwrap();
+        let ids = t
+            .index_range("pk", Some(&[Value::Int(3)]), Some(&[Value::Int(6)]))
+            .unwrap();
         assert_eq!(ids.len(), 4);
         let open = t.index_range("pk", Some(&[Value::Int(8)]), None).unwrap();
         assert_eq!(open.len(), 2);
@@ -323,7 +372,8 @@ mod tests {
     fn scan_in_row_id_order() {
         let t = items();
         for i in 0..5 {
-            t.insert_with_id(t.reserve_row_id(), row(i, "x", 0)).unwrap();
+            t.insert_with_id(t.reserve_row_id(), row(i, "x", 0))
+                .unwrap();
         }
         let scanned = t.scan();
         let ids: Vec<u64> = scanned.iter().map(|(id, _)| *id).collect();
@@ -336,7 +386,8 @@ mod tests {
         assert_eq!(t.page_count(), 0);
         t.insert_with_id(0, row(0, "a", 0)).unwrap();
         assert_eq!(t.page_count(), 1);
-        t.insert_with_id(crate::buffer::ROWS_PER_PAGE, row(1, "b", 0)).unwrap();
+        t.insert_with_id(crate::buffer::ROWS_PER_PAGE, row(1, "b", 0))
+            .unwrap();
         assert_eq!(t.page_count(), 2);
     }
 
@@ -350,8 +401,14 @@ mod tests {
     #[test]
     fn missing_row_and_index_errors() {
         let t = items();
-        assert!(matches!(t.update(9, row(1, "a", 0)).unwrap_err(), StorageError::NoSuchRow(9)));
-        assert!(matches!(t.delete(9).unwrap_err(), StorageError::NoSuchRow(9)));
+        assert!(matches!(
+            t.update(9, row(1, "a", 0)).unwrap_err(),
+            StorageError::NoSuchRow(9)
+        ));
+        assert!(matches!(
+            t.delete(9).unwrap_err(),
+            StorageError::NoSuchRow(9)
+        ));
         assert!(matches!(
             t.index_get("nope", &[]).unwrap_err(),
             StorageError::NoSuchIndex(_)

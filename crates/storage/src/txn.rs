@@ -57,11 +57,25 @@ impl TxnPhase {
 #[derive(Debug, Clone)]
 pub enum UndoRecord {
     /// Undo an insert: remove the row.
-    Insert { db: String, table: String, row_id: u64 },
+    Insert {
+        db: String,
+        table: String,
+        row_id: u64,
+    },
     /// Undo an update: restore the old image.
-    Update { db: String, table: String, row_id: u64, old: Vec<Value> },
+    Update {
+        db: String,
+        table: String,
+        row_id: u64,
+        old: Vec<Value>,
+    },
     /// Undo a delete: re-insert the old image.
-    Delete { db: String, table: String, row_id: u64, old: Vec<Value> },
+    Delete {
+        db: String,
+        table: String,
+        row_id: u64,
+        old: Vec<Value>,
+    },
 }
 
 #[derive(Debug)]
@@ -80,7 +94,10 @@ pub struct TxnManager {
 
 impl Default for TxnManager {
     fn default() -> Self {
-        TxnManager { next_id: AtomicU64::new(1), txns: Mutex::new(HashMap::new()) }
+        TxnManager {
+            next_id: AtomicU64::new(1),
+            txns: Mutex::new(HashMap::new()),
+        }
     }
 }
 
@@ -90,7 +107,12 @@ impl TxnManager {
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.txns.lock().insert(
             id,
-            TxnInfo { phase: TxnPhase::Active, undo: Vec::new(), reads: 0, writes: 0 },
+            TxnInfo {
+                phase: TxnPhase::Active,
+                undo: Vec::new(),
+                reads: 0,
+                writes: 0,
+            },
         );
         id
     }
@@ -109,7 +131,10 @@ impl TxnManager {
         let map = self.txns.lock();
         let info = map.get(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
         if info.phase != TxnPhase::Active {
-            return Err(StorageError::InvalidTxnState { txn, state: info.phase.name() });
+            return Err(StorageError::InvalidTxnState {
+                txn,
+                state: info.phase.name(),
+            });
         }
         Ok(())
     }
@@ -139,7 +164,10 @@ impl TxnManager {
                 info.phase = TxnPhase::Prepared;
                 Ok(())
             }
-            other => Err(StorageError::InvalidTxnState { txn, state: other.name() }),
+            other => Err(StorageError::InvalidTxnState {
+                txn,
+                state: other.name(),
+            }),
         }
     }
 
@@ -153,7 +181,10 @@ impl TxnManager {
                 info.phase = TxnPhase::Committed;
                 Ok(std::mem::take(&mut info.undo))
             }
-            other => Err(StorageError::InvalidTxnState { txn, state: other.name() }),
+            other => Err(StorageError::InvalidTxnState {
+                txn,
+                state: other.name(),
+            }),
         }
     }
 
@@ -167,7 +198,10 @@ impl TxnManager {
                 info.phase = TxnPhase::Aborted;
                 Ok(std::mem::take(&mut info.undo))
             }
-            other => Err(StorageError::InvalidTxnState { txn, state: other.name() }),
+            other => Err(StorageError::InvalidTxnState {
+                txn,
+                state: other.name(),
+            }),
         }
     }
 
@@ -256,18 +290,33 @@ mod tests {
     #[test]
     fn unknown_txn() {
         let tm = TxnManager::default();
-        assert_eq!(tm.phase(TxnId(99)).unwrap_err(), StorageError::NoSuchTxn(TxnId(99)));
+        assert_eq!(
+            tm.phase(TxnId(99)).unwrap_err(),
+            StorageError::NoSuchTxn(TxnId(99))
+        );
     }
 
     #[test]
     fn undo_log_returned_on_abort() {
         let tm = TxnManager::default();
         let t = tm.begin();
-        tm.push_undo(t, UndoRecord::Insert { db: "d".into(), table: "t".into(), row_id: 1 })
-            .unwrap();
         tm.push_undo(
             t,
-            UndoRecord::Update { db: "d".into(), table: "t".into(), row_id: 1, old: vec![] },
+            UndoRecord::Insert {
+                db: "d".into(),
+                table: "t".into(),
+                row_id: 1,
+            },
+        )
+        .unwrap();
+        tm.push_undo(
+            t,
+            UndoRecord::Update {
+                db: "d".into(),
+                table: "t".into(),
+                row_id: 1,
+                old: vec![],
+            },
         )
         .unwrap();
         assert!(tm.has_writes(t).unwrap());

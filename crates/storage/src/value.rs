@@ -264,7 +264,10 @@ mod tests {
     fn numeric_cross_type_comparison() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.5).total_cmp(&Value::Int(3)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.5).total_cmp(&Value::Int(3)),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -22,13 +22,40 @@ use crate::value::Value;
 /// A redo operation.
 #[derive(Debug, Clone)]
 pub enum RedoOp {
-    CreateDatabase { db: String },
-    DropDatabase { db: String },
-    CreateTable { db: String, schema: TableSchema },
-    CreateIndex { db: String, table: String, index: String, columns: Vec<String>, unique: bool },
-    Insert { db: String, table: String, row_id: u64, row: Vec<Value> },
-    Update { db: String, table: String, row_id: u64, row: Vec<Value> },
-    Delete { db: String, table: String, row_id: u64 },
+    CreateDatabase {
+        db: String,
+    },
+    DropDatabase {
+        db: String,
+    },
+    CreateTable {
+        db: String,
+        schema: TableSchema,
+    },
+    CreateIndex {
+        db: String,
+        table: String,
+        index: String,
+        columns: Vec<String>,
+        unique: bool,
+    },
+    Insert {
+        db: String,
+        table: String,
+        row_id: u64,
+        row: Vec<Value>,
+    },
+    Update {
+        db: String,
+        table: String,
+        row_id: u64,
+        row: Vec<Value>,
+    },
+    Delete {
+        db: String,
+        table: String,
+        row_id: u64,
+    },
 }
 
 /// A log record body.
@@ -161,7 +188,10 @@ mod tests {
     #[test]
     fn ddl_always_replayed() {
         let wal = Wal::default();
-        wal.append(Wal::DDL_TXN, WalEntry::Redo(RedoOp::CreateDatabase { db: "d".into() }));
+        wal.append(
+            Wal::DDL_TXN,
+            WalEntry::Redo(RedoOp::CreateDatabase { db: "d".into() }),
+        );
         wal.append(TxnId(5), ins(1)); // never commits
         let redo = wal.committed_redo();
         assert_eq!(redo.len(), 1);

@@ -6,7 +6,7 @@ use std::thread;
 use std::time::Duration;
 
 use tenantdb_storage::{
-    ColumnDef, DataType, Engine, EngineConfig, LockMode, LockManager, ResourceId, StorageError,
+    ColumnDef, DataType, Engine, EngineConfig, LockManager, LockMode, ResourceId, StorageError,
     TableSchema, TxnId, Value,
 };
 
@@ -34,8 +34,11 @@ fn engine() -> Arc<Engine> {
 #[test]
 fn no_lost_updates_under_contention() {
     let e = engine();
-    e.with_txn(|t| e.insert(t, "db", "t", vec![Value::Int(1), Value::Int(0)]).map(|_| ()))
-        .unwrap();
+    e.with_txn(|t| {
+        e.insert(t, "db", "t", vec![Value::Int(1), Value::Int(0)])
+            .map(|_| ())
+    })
+    .unwrap();
 
     let threads = 4;
     let per_thread = 50;
@@ -83,7 +86,9 @@ fn no_lost_updates_under_contention() {
     assert_eq!(total, threads * per_thread);
 
     let txn = e.begin().unwrap();
-    let rows = e.index_lookup(txn, "db", "t", "pk", &[Value::Int(1)], false).unwrap();
+    let rows = e
+        .index_lookup(txn, "db", "t", "pk", &[Value::Int(1)], false)
+        .unwrap();
     e.commit(txn).unwrap();
     assert_eq!(
         rows[0].1[1],
@@ -104,7 +109,8 @@ fn unique_keys_claimed_exactly_once() {
             let mut wins = 0;
             for k in 0..25i64 {
                 let r = e.with_txn(|t| {
-                    e.insert(t, "db", "t", vec![Value::Int(k), Value::Int(0)]).map(|_| ())
+                    e.insert(t, "db", "t", vec![Value::Int(k), Value::Int(0)])
+                        .map(|_| ())
                 });
                 if r.is_ok() {
                     wins += 1;
@@ -162,20 +168,28 @@ fn create_index_is_durable_and_complete() {
         Ok(())
     })
     .unwrap();
-    e.create_index("db", "t", "by_v", &["v".to_string()], false).unwrap();
+    e.create_index("db", "t", "by_v", &["v".to_string()], false)
+        .unwrap();
     // Index works on pre-existing data.
     let txn = e.begin().unwrap();
-    let hits = e.index_lookup(txn, "db", "t", "by_v", &[Value::Int(3)], false).unwrap();
+    let hits = e
+        .index_lookup(txn, "db", "t", "by_v", &[Value::Int(3)], false)
+        .unwrap();
     e.commit(txn).unwrap();
     assert_eq!(hits.len(), 4);
     // New writes maintain it.
-    e.with_txn(|t| e.insert(t, "db", "t", vec![Value::Int(100), Value::Int(3)]).map(|_| ()))
-        .unwrap();
+    e.with_txn(|t| {
+        e.insert(t, "db", "t", vec![Value::Int(100), Value::Int(3)])
+            .map(|_| ())
+    })
+    .unwrap();
     // Crash and restart: replay must rebuild table + index + contents.
     e.crash();
     e.restart();
     let txn = e.begin().unwrap();
-    let hits = e.index_lookup(txn, "db", "t", "by_v", &[Value::Int(3)], false).unwrap();
+    let hits = e
+        .index_lookup(txn, "db", "t", "by_v", &[Value::Int(3)], false)
+        .unwrap();
     e.commit(txn).unwrap();
     assert_eq!(hits.len(), 5, "index incomplete after restart");
 }
@@ -201,8 +215,15 @@ fn lock_manager_soak_drains_clean() {
                 let mut ok = true;
                 for _ in 0..(rand() % 3 + 1) {
                     let row = rand() % 6;
-                    let mode = if rand() % 2 == 0 { LockMode::S } else { LockMode::X };
-                    if lm.acquire(txn, ResourceId::Row { table: 1, row }, mode).is_err() {
+                    let mode = if rand() % 2 == 0 {
+                        LockMode::S
+                    } else {
+                        LockMode::X
+                    };
+                    if lm
+                        .acquire(txn, ResourceId::Row { table: 1, row }, mode)
+                        .is_err()
+                    {
                         ok = false;
                         break;
                     }
@@ -217,7 +238,8 @@ fn lock_manager_soak_drains_clean() {
     }
     assert_eq!(lm.waiter_count(), 0, "waiters leaked after drain");
     // Every resource is grantable again.
-    lm.acquire(TxnId(999_999), ResourceId::Table { table: 1 }, LockMode::X).unwrap();
+    lm.acquire(TxnId(999_999), ResourceId::Table { table: 1 }, LockMode::X)
+        .unwrap();
     lm.release_all(TxnId(999_999));
 }
 

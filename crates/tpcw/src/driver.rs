@@ -80,7 +80,11 @@ impl WorkloadReport {
         self.deadlocks += other.deadlocks;
         self.rejected += other.rejected;
         self.other_aborts += other.other_aborts;
-        for (a, b) in self.committed_by_type.iter_mut().zip(&other.committed_by_type) {
+        for (a, b) in self
+            .committed_by_type
+            .iter_mut()
+            .zip(&other.committed_by_type)
+        {
             *a += b;
         }
         self.elapsed = self.elapsed.max(other.elapsed);
@@ -144,8 +148,10 @@ fn session_loop(
     let Ok(conn) = cluster.connect(db) else {
         return report;
     };
-    let mut session =
-        Session { customer: rng.gen_range(0..scale.customers.max(1) as i64), cart: None };
+    let mut session = Session {
+        customer: rng.gen_range(0..scale.customers.max(1) as i64),
+        cart: None,
+    };
     while Instant::now() < deadline {
         let kind = mix.pick(&mut rng);
         match run_txn(kind, &conn, ids, scale, &mut session, &mut rng) {
@@ -175,7 +181,11 @@ pub fn setup_tpcw_databases(
         let db = format!("tpcw{i}");
         cluster.create_database(&db, replicas)?;
         let space = crate::generator::setup_database(cluster, &db, scale, seed + i as u64)?;
-        out.push(DbWorkload { db, ids: IdCounters::from_space(space), scale });
+        out.push(DbWorkload {
+            db,
+            ids: IdCounters::from_space(space),
+            scale,
+        });
     }
     Ok(out)
 }
@@ -186,7 +196,10 @@ pub fn per_db_counters(
     cluster: &Arc<ClusterController>,
     workloads: &[DbWorkload],
 ) -> HashMap<String, tenantdb_cluster::DbCounters> {
-    workloads.iter().map(|w| (w.db.clone(), cluster.counters(&w.db))).collect()
+    workloads
+        .iter()
+        .map(|w| (w.db.clone(), cluster.counters(&w.db)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -198,8 +211,7 @@ mod tests {
     #[test]
     fn workload_commits_transactions() {
         let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
-        let workloads =
-            setup_tpcw_databases(&cluster, 1, 2, Scale::with_items(60), 1).unwrap();
+        let workloads = setup_tpcw_databases(&cluster, 1, 2, Scale::with_items(60), 1).unwrap();
         let report = run_workload(
             &cluster,
             &workloads,
@@ -235,8 +247,7 @@ mod tests {
     #[test]
     fn ordering_mix_generates_orders() {
         let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 1);
-        let workloads =
-            setup_tpcw_databases(&cluster, 1, 1, Scale::with_items(40), 2).unwrap();
+        let workloads = setup_tpcw_databases(&cluster, 1, 1, Scale::with_items(40), 2).unwrap();
         let before = {
             let conn = cluster.connect("tpcw0").unwrap();
             let r = conn.execute("SELECT COUNT(*) FROM orders", &[]).unwrap();
@@ -253,10 +264,16 @@ mod tests {
             },
         );
         let conn = cluster.connect("tpcw0").unwrap();
-        let after = conn.execute("SELECT COUNT(*) FROM orders", &[]).unwrap().rows[0][0]
+        let after = conn
+            .execute("SELECT COUNT(*) FROM orders", &[])
+            .unwrap()
+            .rows[0][0]
             .as_i64()
             .unwrap();
-        assert!(after > before, "ordering mix must create orders ({before} -> {after})");
+        assert!(
+            after > before,
+            "ordering mix must create orders ({before} -> {after})"
+        );
         // Orders reference valid items through the foreign key chain.
         let orphans = conn
             .execute(

@@ -105,7 +105,11 @@ pub fn populate(conn: &Connection, scale: Scale, seed: u64) -> Result<IdSpace> {
             Value::Int(rng.gen_range(0..3650)),
         ]);
     }
-    batch_insert_rows(conn, "INSERT INTO item VALUES (?, ?, ?, ?, ?, ?, ?)", &item_rows)?;
+    batch_insert_rows(
+        conn,
+        "INSERT INTO item VALUES (?, ?, ?, ?, ?, ?, ?)",
+        &item_rows,
+    )?;
 
     // Addresses + customers.
     batch_insert(conn, scale.customers, 100, |i| {
@@ -165,8 +169,16 @@ pub fn populate(conn: &Connection, scale: Scale, seed: u64) -> Result<IdSpace> {
             Value::Int(rng.gen_range(0..scale.countries as i64)),
         ]);
     }
-    batch_insert_rows(conn, "INSERT INTO orders VALUES (?, ?, ?, ?, ?)", &order_rows)?;
-    batch_insert_rows(conn, "INSERT INTO order_line VALUES (?, ?, ?, ?, ?)", &line_rows)?;
+    batch_insert_rows(
+        conn,
+        "INSERT INTO orders VALUES (?, ?, ?, ?, ?)",
+        &order_rows,
+    )?;
+    batch_insert_rows(
+        conn,
+        "INSERT INTO order_line VALUES (?, ?, ?, ?, ?)",
+        &line_rows,
+    )?;
     batch_insert_rows(conn, "INSERT INTO cc_xacts VALUES (?, ?, ?, ?)", &cc_rows)?;
 
     Ok(IdSpace {

@@ -86,7 +86,11 @@ impl Mix {
             total += weights[i].1;
             i += 1;
         }
-        Mix { name, weights, total }
+        Mix {
+            name,
+            weights,
+            total,
+        }
     }
 
     /// Draw an interaction.
@@ -103,7 +107,12 @@ impl Mix {
 
     /// Fraction of interactions that write (the §4.1 `write_mix`).
     pub fn write_fraction(&self) -> f64 {
-        let w: u32 = self.weights.iter().filter(|(t, _)| t.is_write()).map(|(_, w)| w).sum();
+        let w: u32 = self
+            .weights
+            .iter()
+            .filter(|(t, _)| t.is_write())
+            .map(|(_, w)| w)
+            .sum();
         f64::from(w) / f64::from(self.total)
     }
 }
@@ -366,7 +375,11 @@ fn run_txn_inner(
             let o_id = IdCounters::next(&ids.order);
             conn.execute(
                 "INSERT INTO orders VALUES (?, ?, 0, ?, 'pending')",
-                &[Value::Int(o_id), Value::Int(session.customer), Value::Float(total)],
+                &[
+                    Value::Int(o_id),
+                    Value::Int(session.customer),
+                    Value::Float(total),
+                ],
             )?;
             for line in &lines.rows {
                 conn.execute(

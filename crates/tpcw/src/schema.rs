@@ -94,9 +94,28 @@ pub const DDL: &[&str] = &[
 
 /// The 22 TPC-W book subjects (used for `new_products` browsing).
 pub const SUBJECTS: &[&str] = &[
-    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING", "HEALTH", "HISTORY",
-    "HOME", "HUMOR", "LITERATURE", "MYSTERY", "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE",
-    "RELIGION", "ROMANCE", "SCIENCE-FICTION", "SELF-HELP", "SPORTS", "TRAVEL",
+    "ARTS",
+    "BIOGRAPHIES",
+    "BUSINESS",
+    "CHILDREN",
+    "COMPUTERS",
+    "COOKING",
+    "HEALTH",
+    "HISTORY",
+    "HOME",
+    "HUMOR",
+    "LITERATURE",
+    "MYSTERY",
+    "NON-FICTION",
+    "PARENTING",
+    "POLITICS",
+    "REFERENCE",
+    "RELIGION",
+    "ROMANCE",
+    "SCIENCE-FICTION",
+    "SELF-HELP",
+    "SPORTS",
+    "TRAVEL",
 ];
 
 /// Table names, in creation order (drives table-level recovery copies).

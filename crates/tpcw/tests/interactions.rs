@@ -34,7 +34,10 @@ fn run(
 #[test]
 fn every_interaction_commits() {
     let (cluster, ids, scale) = setup();
-    let mut session = Session { customer: 3, cart: None };
+    let mut session = Session {
+        customer: 3,
+        cart: None,
+    };
     for kind in [
         TxnType::Home,
         TxnType::NewProducts,
@@ -55,7 +58,10 @@ fn every_interaction_commits() {
 #[test]
 fn buy_confirm_converts_cart_to_order() {
     let (cluster, ids, scale) = setup();
-    let mut session = Session { customer: 1, cart: None };
+    let mut session = Session {
+        customer: 1,
+        cart: None,
+    };
     run(&cluster, &ids, scale, &mut session, TxnType::ShoppingCart);
     let cart = session.cart.expect("cart created");
 
@@ -70,14 +76,22 @@ fn buy_confirm_converts_cart_to_order() {
         .as_i64()
         .unwrap();
     assert!(lines_before > 0);
-    let orders_before =
-        conn.execute("SELECT COUNT(*) FROM orders", &[]).unwrap().rows[0][0].as_i64().unwrap();
+    let orders_before = conn
+        .execute("SELECT COUNT(*) FROM orders", &[])
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap();
 
     run(&cluster, &ids, scale, &mut session, TxnType::BuyConfirm);
     assert!(session.cart.is_none(), "cart consumed");
 
-    let orders_after =
-        conn.execute("SELECT COUNT(*) FROM orders", &[]).unwrap().rows[0][0].as_i64().unwrap();
+    let orders_after = conn
+        .execute("SELECT COUNT(*) FROM orders", &[])
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap();
     assert_eq!(orders_after, orders_before + 1);
     // Cart lines cleared; order has matching lines and a cc entry.
     let lines_left = conn
@@ -97,14 +111,20 @@ fn buy_confirm_converts_cart_to_order() {
         .as_i64()
         .unwrap();
     let ol = conn
-        .execute("SELECT COUNT(*) FROM order_line WHERE ol_o_id = ?", &[Value::Int(o_id)])
+        .execute(
+            "SELECT COUNT(*) FROM order_line WHERE ol_o_id = ?",
+            &[Value::Int(o_id)],
+        )
         .unwrap()
         .rows[0][0]
         .as_i64()
         .unwrap();
     assert_eq!(ol, lines_before);
     let cc = conn
-        .execute("SELECT COUNT(*) FROM cc_xacts WHERE cx_o_id = ?", &[Value::Int(o_id)])
+        .execute(
+            "SELECT COUNT(*) FROM cc_xacts WHERE cx_o_id = ?",
+            &[Value::Int(o_id)],
+        )
         .unwrap()
         .rows[0][0]
         .as_i64()
@@ -115,7 +135,10 @@ fn buy_confirm_converts_cart_to_order() {
 #[test]
 fn buy_confirm_without_cart_builds_one() {
     let (cluster, ids, scale) = setup();
-    let mut session = Session { customer: 2, cart: None };
+    let mut session = Session {
+        customer: 2,
+        cart: None,
+    };
     // Degenerates to a ShoppingCart interaction (the paper's driver would
     // never reach buy-confirm without a cart; ours heals the session).
     run(&cluster, &ids, scale, &mut session, TxnType::BuyConfirm);
@@ -125,8 +148,17 @@ fn buy_confirm_without_cart_builds_one() {
 #[test]
 fn registration_creates_usable_customer() {
     let (cluster, ids, scale) = setup();
-    let mut session = Session { customer: 0, cart: None };
-    run(&cluster, &ids, scale, &mut session, TxnType::CustomerRegistration);
+    let mut session = Session {
+        customer: 0,
+        cart: None,
+    };
+    run(
+        &cluster,
+        &ids,
+        scale,
+        &mut session,
+        TxnType::CustomerRegistration,
+    );
     let conn = cluster.connect("shop").unwrap();
     // The new customer exists beyond the generated range, with an address.
     let r = conn
@@ -150,7 +182,10 @@ fn admin_confirm_changes_the_item() {
         .rows[0][0]
         .as_f64()
         .unwrap();
-    let mut session = Session { customer: 0, cart: None };
+    let mut session = Session {
+        customer: 0,
+        cart: None,
+    };
     run(&cluster, &ids, scale, &mut session, TxnType::AdminConfirm);
     let after = conn
         .execute("SELECT SUM(i_cost) FROM item", &[])
@@ -158,7 +193,10 @@ fn admin_confirm_changes_the_item() {
         .rows[0][0]
         .as_f64()
         .unwrap();
-    assert!((before - after).abs() > 1e-9, "admin update must change a cost");
+    assert!(
+        (before - after).abs() > 1e-9,
+        "admin update must change a cost"
+    );
 }
 
 #[test]
@@ -170,12 +208,29 @@ fn stock_is_restocked_not_negative() {
     let scale = Scale::with_items(5);
     let space = setup_database(&cluster, "shop", scale, 1).unwrap();
     let ids = IdCounters::from_space(space);
-    let mut session = Session { customer: 0, cart: None };
+    let mut session = Session {
+        customer: 0,
+        cart: None,
+    };
     let conn = cluster.connect("shop").unwrap();
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..40 {
-        let _ = run_txn(TxnType::ShoppingCart, &conn, &ids, scale, &mut session, &mut rng);
-        let _ = run_txn(TxnType::BuyConfirm, &conn, &ids, scale, &mut session, &mut rng);
+        let _ = run_txn(
+            TxnType::ShoppingCart,
+            &conn,
+            &ids,
+            scale,
+            &mut session,
+            &mut rng,
+        );
+        let _ = run_txn(
+            TxnType::BuyConfirm,
+            &conn,
+            &ids,
+            scale,
+            &mut session,
+            &mut rng,
+        );
     }
     let r = conn.execute("SELECT MIN(i_stock) FROM item", &[]).unwrap();
     assert!(

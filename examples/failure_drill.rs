@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tenantdb::cluster::{
-    recover_machine, ClusterConfig, ClusterController, CommitFault, CopyGranularity,
-    ProcessPair, RecoveryConfig,
+    recover_machine, ClusterConfig, ClusterController, CommitFault, CopyGranularity, ProcessPair,
+    RecoveryConfig,
 };
 use tenantdb::storage::{Throttle, Value};
 
@@ -25,16 +25,23 @@ fn main() {
     let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 3);
     cluster.create_database("shop", 2).unwrap();
     cluster
-        .ddl("shop", "CREATE TABLE inventory (sku INT NOT NULL, qty INT, PRIMARY KEY (sku))")
+        .ddl(
+            "shop",
+            "CREATE TABLE inventory (sku INT NOT NULL, qty INT, PRIMARY KEY (sku))",
+        )
         .unwrap();
     cluster
-        .ddl("shop", "CREATE TABLE audit (id INT NOT NULL, note TEXT, PRIMARY KEY (id))")
+        .ddl(
+            "shop",
+            "CREATE TABLE audit (id INT NOT NULL, note TEXT, PRIMARY KEY (id))",
+        )
         .unwrap();
     {
         let conn = cluster.connect("shop").unwrap();
         conn.begin().unwrap();
         for sku in 0..200 {
-            conn.execute("INSERT INTO inventory VALUES (?, 100)", &[Value::Int(sku)]).unwrap();
+            conn.execute("INSERT INTO inventory VALUES (?, 100)", &[Value::Int(sku)])
+                .unwrap();
         }
         conn.commit().unwrap();
     }
@@ -79,7 +86,10 @@ fn main() {
     println!("crashing machine {victim} (hosting a replica of 'shop')...");
     cluster.fail_machine(victim).unwrap();
     std::thread::sleep(Duration::from_millis(200));
-    println!("  survivors keep serving: {:?}", cluster.alive_replicas("shop").unwrap());
+    println!(
+        "  survivors keep serving: {:?}",
+        cluster.alive_replicas("shop").unwrap()
+    );
 
     // ---- 2. Online recovery (throttled so it visibly overlaps traffic).
     println!("recovering lost replicas (table-level copy, Algorithm 1)...");
@@ -109,7 +119,10 @@ fn main() {
             let rows = m.engine.scan(t, "shop", "inventory").unwrap();
             let audit = m.engine.scan(t, "shop", "audit").unwrap().len() as i64;
             m.engine.commit(t).unwrap();
-            rows.iter().map(|(_, r)| r[1].as_i64().unwrap()).sum::<i64>() + audit * 1_000
+            rows.iter()
+                .map(|(_, r)| r[1].as_i64().unwrap())
+                .sum::<i64>()
+                + audit * 1_000
         };
         println!("  machine {id}: state checksum {conn_sum}");
         sums.push(conn_sum);
@@ -122,8 +135,13 @@ fn main() {
     let pair = ProcessPair::new(Arc::clone(&cluster));
     let conn = cluster.connect("shop").unwrap();
     conn.begin().unwrap();
-    conn.execute("INSERT INTO audit VALUES (9999999, 'decided-then-crash')", &[]).unwrap();
-    conn.commit_with_fault(CommitFault::CrashAfterDecision).unwrap();
+    conn.execute(
+        "INSERT INTO audit VALUES (9999999, 'decided-then-crash')",
+        &[],
+    )
+    .unwrap();
+    conn.commit_with_fault(CommitFault::CrashAfterDecision)
+        .unwrap();
     let takeover = pair.fail_primary();
     println!(
         "  backup took over: completed {} decided commit(s), aborted {} in-doubt txn(s)",

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for o in 0..200i64 {
         conn.execute(
             "INSERT INTO orders (o_id, o_uid, total) VALUES (?, ?, ?)",
-            &[Value::Int(o), Value::Int(o % 90), Value::Float((o % 40) as f64 + 0.5)],
+            &[
+                Value::Int(o),
+                Value::Int(o % 90),
+                Value::Float((o % 40) as f64 + 0.5),
+            ],
         )?;
     }
 
@@ -41,13 +45,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let c = cluster.connect(db)?;
         let users = c.execute("SELECT COUNT(*) FROM users", &[])?.rows[0][0].clone();
         let orders = c.execute("SELECT COUNT(*) FROM orders", &[])?.rows[0][0].clone();
-        println!("  {db}: {users} users, {orders} orders (replicas: {:?})",
-            cluster.alive_replicas(db)?);
+        println!(
+            "  {db}: {users} users, {orders} orders (replicas: {:?})",
+            cluster.alive_replicas(db)?
+        );
     }
 
     // Single-key traffic routes to one shard (and supports transactions).
     conn.begin()?;
-    conn.execute("UPDATE users SET name = 'renamed' WHERE id = ?", &[Value::Int(42)])?;
+    conn.execute(
+        "UPDATE users SET name = 'renamed' WHERE id = ?",
+        &[Value::Int(42)],
+    )?;
     conn.commit()?;
     let r = conn.execute("SELECT name FROM users WHERE id = ?", &[Value::Int(42)])?;
     println!("\npoint lookup after in-shard txn: {}", r.rows[0][0]);
@@ -58,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          FROM users u JOIN orders o ON o.o_uid = u.id WHERE u.id = ? GROUP BY u.name",
         &[Value::Int(17)],
     )?;
-    println!("user 17's orders (local join on its shard): {:?}", r.rows[0]);
+    println!(
+        "user 17's orders (local join on its shard): {:?}",
+        r.rows[0]
+    );
 
     // Scatter-gather analytics across all shards.
     let r = conn.execute("SELECT COUNT(*), SUM(total), MAX(total) FROM orders", &[])?;

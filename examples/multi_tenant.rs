@@ -16,7 +16,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tenantdb::cluster::{ClusterConfig, ClusterController};
-use tenantdb::sla::{demand_from_observation, DatabaseSpec, FirstFitPlacer, Placer, ResourceVector};
+use tenantdb::sla::{
+    demand_from_observation, DatabaseSpec, FirstFitPlacer, Placer, ResourceVector,
+};
 use tenantdb::storage::Value;
 
 /// Three tenant archetypes with different workload shapes.
@@ -31,7 +33,12 @@ enum Shape {
 }
 
 fn setup_tenant(cluster: &Arc<ClusterController>, db: &str, rows: i64) {
-    cluster.ddl(db, "CREATE TABLE data (id INT NOT NULL, payload TEXT, PRIMARY KEY (id))").unwrap();
+    cluster
+        .ddl(
+            db,
+            "CREATE TABLE data (id INT NOT NULL, payload TEXT, PRIMARY KEY (id))",
+        )
+        .unwrap();
     let conn = cluster.connect(db).unwrap();
     conn.begin().unwrap();
     for i in 0..rows {
@@ -58,7 +65,10 @@ fn drive_tenant(cluster: &Arc<ClusterController>, db: &str, shape: Shape, txns: 
                 &[Value::Text(format!("v{i}")), Value::Int(i % 50)],
             )
         } else {
-            conn.execute("SELECT payload FROM data WHERE id = ?", &[Value::Int(i % 50)])
+            conn.execute(
+                "SELECT payload FROM data WHERE id = ?",
+                &[Value::Int(i % 50)],
+            )
         };
         r.unwrap();
     }
@@ -121,7 +131,9 @@ fn main() {
         setup_tenant(&cluster, &db, 60);
         let cluster = Arc::clone(&cluster);
         let shape = demands[i % 3].0;
-        handles.push(std::thread::spawn(move || drive_tenant(&cluster, &db, shape, 200)));
+        handles.push(std::thread::spawn(move || {
+            drive_tenant(&cluster, &db, shape, 200)
+        }));
     }
     for h in handles {
         h.join().unwrap();
@@ -129,7 +141,10 @@ fn main() {
     println!("  per-tenant outcomes (committed / deadlocks / rejected):");
     for i in 0..12 {
         let c = cluster.counters(&format!("tenant{i}"));
-        println!("    tenant{i:<2}  {:>5} / {:>2} / {:>2}", c.committed, c.deadlocks, c.rejected);
+        println!(
+            "    tenant{i:<2}  {:>5} / {:>2} / {:>2}",
+            c.committed, c.deadlocks, c.rejected
+        );
         assert_eq!(c.rejected, 0, "no failures injected, so no SLA rejections");
     }
     println!("\nall twelve tenants served with full ACID on shared machines.");

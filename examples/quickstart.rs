@@ -27,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let primary = platform.create_database(
         "guestbook",
         /* owner location */ (10.0, 5.0),
-        CreateOptions { replicas: 2, sla, demand: None, cross_colo: true },
+        CreateOptions {
+            replicas: 2,
+            sla,
+            demand: None,
+            cross_colo: true,
+        },
     )?;
     println!("created 'guestbook' (primary colo: {primary}, SLA: {sla:?})");
 

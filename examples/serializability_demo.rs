@@ -30,14 +30,19 @@ fn build(read: ReadPolicy, write: WritePolicy) -> (Arc<ClusterController>, Arc<R
             lock_timeout: Duration::from_millis(200),
         },
         seed: 1,
+        ..Default::default()
     };
     let cluster = ClusterController::with_machines(cfg, 2);
     cluster.create_database("bank", 2).unwrap();
     cluster
-        .ddl("bank", "CREATE TABLE acct (k TEXT NOT NULL, bal INT, PRIMARY KEY (k))")
+        .ddl(
+            "bank",
+            "CREATE TABLE acct (k TEXT NOT NULL, bal INT, PRIMARY KEY (k))",
+        )
         .unwrap();
     let conn = cluster.connect("bank").unwrap();
-    conn.execute("INSERT INTO acct VALUES ('x', 0), ('y', 0)", &[]).unwrap();
+    conn.execute("INSERT INTO acct VALUES ('x', 0), ('y', 0)", &[])
+        .unwrap();
     let rec = Arc::new(Recorder::new());
     cluster.set_recorder(Some(Arc::clone(&rec)));
     (cluster, rec)

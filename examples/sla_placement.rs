@@ -55,18 +55,31 @@ fn main() {
     println!("  utilization per machine:");
     for (i, load) in placer.loads().iter().enumerate() {
         let bars = "#".repeat((load.utilization() * 30.0) as usize);
-        println!("    m{i:02} [{bars:<30}] {:4.0}%", load.utilization() * 100.0);
+        println!(
+            "    m{i:02} [{bars:<30}] {:4.0}%",
+            load.utilization() * 100.0
+        );
     }
 
     println!("\n== availability budgets (§4.1) ==");
     let sla = Sla::new(1.0, 0.001, Duration::from_secs(30 * 24 * 3600)); // 0.1% per month
     let failure_rate = 0.5; // expected machine failures per month affecting a db
-    for (name, write_mix) in [("browsing app", 0.05), ("shopping app", 0.2), ("ordering app", 0.5)]
-    {
+    for (name, write_mix) in [
+        ("browsing app", 0.05),
+        ("shopping app", 0.2),
+        ("ordering app", 0.5),
+    ] {
         // Copy time scales with size; take a mid-sized 500 MB database at
         // the paper's measured ~2 minutes per 200 MB.
         let recovery = Duration::from_secs(500 / 200 * 120);
-        let ok = availability_ok(failure_rate, 0.0, recovery, sla.period, write_mix, sla.max_rejected_frac);
+        let ok = availability_ok(
+            failure_rate,
+            0.0,
+            recovery,
+            sla.period,
+            write_mix,
+            sla.max_rejected_frac,
+        );
         let budget = reallocation_budget(&sla, failure_rate, recovery, write_mix);
         println!(
             "  {name:<14} write_mix={write_mix:.2}: failures alone {} the SLA; \

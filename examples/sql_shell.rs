@@ -31,14 +31,19 @@ fn print_result(r: &tenantdb::sql::QueryResult) {
         })
         .collect();
     let line = |f: &dyn Fn(usize) -> String| {
-        let cells: Vec<String> =
-            (0..r.columns.len()).map(|i| format!("{:<w$}", f(i), w = widths[i])).collect();
+        let cells: Vec<String> = (0..r.columns.len())
+            .map(|i| format!("{:<w$}", f(i), w = widths[i]))
+            .collect();
         println!("| {} |", cells.join(" | "));
     };
     line(&|i| r.columns[i].clone());
     println!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+")
     );
     for row in &r.rows {
         line(&|i| row[i].to_string());
@@ -51,7 +56,10 @@ fn main() {
     let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 3);
     cluster.create_database("demo", 2).unwrap();
     cluster
-        .ddl("demo", "CREATE TABLE books (id INT NOT NULL, title TEXT, price FLOAT, PRIMARY KEY (id))")
+        .ddl(
+            "demo",
+            "CREATE TABLE books (id INT NOT NULL, title TEXT, price FLOAT, PRIMARY KEY (id))",
+        )
         .unwrap();
     {
         let conn = cluster.connect("demo").unwrap();
@@ -66,7 +74,10 @@ fn main() {
 
     let mut db = "demo".to_string();
     let mut conn: Connection = cluster.connect(&db).unwrap();
-    println!("tenantdb shell — database '{db}' on a {}-machine cluster", 3);
+    println!(
+        "tenantdb shell — database '{db}' on a {}-machine cluster",
+        3
+    );
     println!("type SQL, or \\help for meta-commands");
 
     let stdin = io::stdin();

@@ -43,7 +43,9 @@ fn platform_hosts_many_small_applications() {
     // Each app sees exactly its own data (tenant isolation by database).
     for i in 0..n_apps {
         let conn = platform.connect(&format!("app{i}"), WEST).unwrap();
-        let r = conn.execute("SELECT COUNT(*), MIN(owner) FROM t", &[]).unwrap();
+        let r = conn
+            .execute("SELECT COUNT(*), MIN(owner) FROM t", &[])
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(20));
         assert_eq!(r.rows[0][1], Value::Text(format!("app{i}")));
     }
@@ -102,8 +104,11 @@ fn tpcw_workload_preserves_replica_consistency_and_invariants() {
         // 2. Relational invariants: every order has lines and a cc entry;
         //    order totals are non-negative.
         let conn = cluster.connect(&w.db).unwrap();
-        let orders =
-            conn.execute("SELECT COUNT(*) FROM orders", &[]).unwrap().rows[0][0].clone();
+        let orders = conn
+            .execute("SELECT COUNT(*) FROM orders", &[])
+            .unwrap()
+            .rows[0][0]
+            .clone();
         let with_lines = conn
             .execute(
                 "SELECT COUNT(*) FROM orders o JOIN order_line ol ON ol.ol_o_id = o.o_id",
@@ -131,7 +136,11 @@ fn machine_failure_is_masked_and_recovered_under_load() {
     let cluster2 = Arc::clone(&cluster);
     let wl: Vec<tpcw::DbWorkload> = workloads
         .iter()
-        .map(|w| tpcw::DbWorkload { db: w.db.clone(), ids: Arc::clone(&w.ids), scale: w.scale })
+        .map(|w| tpcw::DbWorkload {
+            db: w.db.clone(),
+            ids: Arc::clone(&w.ids),
+            scale: w.scale,
+        })
         .collect();
     let bg = std::thread::spawn(move || {
         tpcw::run_workload(
@@ -165,7 +174,12 @@ fn machine_failure_is_masked_and_recovered_under_load() {
             throttle: Throttle::new(20_000),
         },
     );
-    assert_eq!(report.recovered.len(), lost.len(), "failed: {:?}", report.failed);
+    assert_eq!(
+        report.recovered.len(),
+        lost.len(),
+        "failed: {:?}",
+        report.failed
+    );
 
     let bg_report = bg.join().unwrap();
     assert!(bg_report.committed > 0);
@@ -195,16 +209,21 @@ fn colo_disaster_recovery_end_to_end() {
         PlatformConfig::for_tests(),
         &[("west", WEST), ("east", (100.0, 0.0))],
     );
-    platform.create_database("crit", WEST, CreateOptions::default()).unwrap();
+    platform
+        .create_database("crit", WEST, CreateOptions::default())
+        .unwrap();
     let conn = platform.connect("crit", WEST).unwrap();
-    conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[]).unwrap();
+    conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[])
+        .unwrap();
     for i in 0..10 {
-        conn.execute("INSERT INTO t VALUES (?)", &[Value::Int(i)]).unwrap();
+        conn.execute("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+            .unwrap();
     }
     platform.ship("crit").unwrap();
     // Five more rows never ship.
     for i in 10..15 {
-        conn.execute("INSERT INTO t VALUES (?)", &[Value::Int(i)]).unwrap();
+        conn.execute("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+            .unwrap();
     }
     assert_eq!(platform.replication_lag("crit"), 5);
 
@@ -215,7 +234,11 @@ fn colo_disaster_recovery_end_to_end() {
 
     let conn = platform.connect("crit", WEST).unwrap();
     let r = conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
-    assert_eq!(r.rows[0][0], Value::Int(10), "shipped prefix survives the disaster");
+    assert_eq!(
+        r.rows[0][0],
+        Value::Int(10),
+        "shipped prefix survives the disaster"
+    );
     // And the promoted colo serves writes again.
     conn.execute("INSERT INTO t VALUES (100)", &[]).unwrap();
 }

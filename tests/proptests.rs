@@ -1,3 +1,5 @@
+#![cfg(feature = "slow-proptests")]
+
 //! Property-based tests over the stack's core invariants.
 
 use proptest::prelude::*;

@@ -23,15 +23,22 @@ fn stress(read: ReadPolicy, write: WritePolicy, seed: u64) -> tenantdb::history:
             lock_timeout: Duration::from_millis(150),
         },
         seed,
+        ..Default::default()
     };
     let cluster = ClusterController::with_machines(cfg, 3);
     cluster.create_database("s", 3).unwrap();
-    cluster.ddl("s", "CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))").unwrap();
+    cluster
+        .ddl(
+            "s",
+            "CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))",
+        )
+        .unwrap();
     {
         let conn = cluster.connect("s").unwrap();
         conn.begin().unwrap();
         for k in 0..8 {
-            conn.execute("INSERT INTO t VALUES (?, 0)", &[Value::Int(k)]).unwrap();
+            conn.execute("INSERT INTO t VALUES (?, 0)", &[Value::Int(k)])
+                .unwrap();
         }
         conn.commit().unwrap();
     }
@@ -50,10 +57,7 @@ fn stress(read: ReadPolicy, write: WritePolicy, seed: u64) -> tenantdb::history:
                         for _ in 0..rng.gen_range(1..4) {
                             let k = rng.gen_range(0..8i64);
                             if rng.gen_bool(0.5) {
-                                conn.execute(
-                                    "SELECT v FROM t WHERE k = ?",
-                                    &[Value::Int(k)],
-                                )?;
+                                conn.execute("SELECT v FROM t WHERE k = ?", &[Value::Int(k)])?;
                             } else {
                                 conn.execute(
                                     "UPDATE t SET v = v + 1 WHERE k = ?",
