@@ -23,6 +23,31 @@ pub fn fast_mode() -> bool {
     std::env::var("TENANTDB_BENCH_FAST").is_ok_and(|v| v == "1")
 }
 
+/// True when `TENANTDB_BENCH_METRICS=1`: experiments print the cluster's
+/// metric deltas across the measured window to stderr.
+pub fn metrics_mode() -> bool {
+    std::env::var("TENANTDB_BENCH_METRICS").is_ok_and(|v| v == "1")
+}
+
+/// Snapshot the cluster registry before a measured window ([`metrics_mode`]
+/// gated; `None` when reporting is off).
+pub fn metrics_window_start(cluster: &ClusterController) -> Option<tenantdb_obs::MetricsSnapshot> {
+    metrics_mode().then(|| cluster.metrics().registry().snapshot())
+}
+
+/// Print the per-series delta since `before` to stderr, in the compact
+/// `key +delta` form (counters and histogram counts are deltas; gauges are
+/// the window-end level).
+pub fn metrics_window_report(
+    label: &str,
+    cluster: &ClusterController,
+    before: Option<tenantdb_obs::MetricsSnapshot>,
+) {
+    let Some(before) = before else { return };
+    let delta = cluster.metrics().registry().snapshot().delta_since(&before);
+    eprint!("-- metrics window [{label}] --\n{}", delta.render_compact());
+}
+
 /// Scale a duration down in fast mode.
 pub fn secs(full: f64) -> Duration {
     let s = if fast_mode() { full / 4.0 } else { full };
@@ -134,7 +159,8 @@ impl ThroughputExperiment {
             },
         );
         cluster.reset_counters();
-        run_workload(
+        let window = metrics_window_start(&cluster);
+        let report = run_workload(
             &cluster,
             &workloads,
             &WorkloadConfig {
@@ -143,7 +169,9 @@ impl ThroughputExperiment {
                 duration,
                 seed: self.seed,
             },
-        )
+        );
+        metrics_window_report("throughput", &cluster, window);
+        report
     }
 }
 
@@ -399,6 +427,7 @@ impl RecoveryExperiment {
         let victim_dbs = cluster.databases_on(victim);
         cluster.fail_machine(victim).unwrap();
         cluster.reset_counters();
+        let window = metrics_window_start(&cluster);
 
         let t0 = std::time::Instant::now();
         let report = recover_machine(
@@ -411,6 +440,7 @@ impl RecoveryExperiment {
             },
         );
         let recovery_wall = t0.elapsed();
+        metrics_window_report("recovery", &cluster, window);
 
         // Snapshot counters at recovery completion.
         let during = cluster.total_counters();

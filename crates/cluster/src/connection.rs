@@ -23,10 +23,12 @@
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tenantdb_obs::Counter;
 
 use tenantdb_history::GTxn;
 use tenantdb_sql::{parse, QueryResult, SqlError, Statement};
@@ -66,6 +68,7 @@ impl ActiveTxn {
 /// Fault-injection points inside `commit` (process-pair takeover tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommitFault {
+    /// No fault: the normal commit path.
     None,
     /// The controller "crashes" after logging the commit decision but before
     /// sending any COMMIT to the participants: replicas are left prepared,
@@ -95,10 +98,12 @@ impl Connection {
         }
     }
 
+    /// The database this connection serves.
     pub fn database(&self) -> &str {
         &self.db
     }
 
+    /// True while an explicit transaction is open.
     pub fn in_txn(&self) -> bool {
         self.state.lock().is_some()
     }
@@ -111,6 +116,7 @@ impl Connection {
                 "BEGIN inside an open transaction".into(),
             ));
         }
+        self.controller.metrics().note_begun(&self.db);
         let (reply_tx, reply_rx) = channel();
         *st = Some(ActiveTxn {
             gtxn: self.controller.next_gtxn(),
@@ -179,6 +185,9 @@ impl Connection {
             return Err(ClusterError::NoReplicas(self.db.clone()));
         }
         if self.controller.copy_progress(&self.db).is_some() {
+            self.controller
+                .metrics()
+                .note_write_rejected(&self.db, "<ddl>");
             return Err(ClusterError::WriteRejected {
                 db: self.db.clone(),
                 table: "<ddl>".into(),
@@ -289,6 +298,7 @@ impl Connection {
     /// or `stop` says enough.
     fn collect_replies(
         rx: &Arc<Mutex<Receiver<WorkerReply>>>,
+        stragglers: &Counter,
         seq: u64,
         want: usize,
         mut stop: impl FnMut(&WorkerReply) -> bool,
@@ -300,6 +310,7 @@ impl Connection {
             if reply.seq != seq {
                 // Straggler ack of an earlier request (aggressive-mode
                 // background write): already accounted for via TxnFailures.
+                stragglers.inc();
                 continue;
             }
             let done = stop(&reply);
@@ -312,9 +323,12 @@ impl Connection {
     }
 
     fn run_read(&self, stmt: &Arc<Statement>, params: Arc<Vec<Value>>) -> Result<QueryResult> {
+        let started = Instant::now();
+        let metrics = self.controller.metrics();
         let mut st = self.state.lock();
         let txn = st.as_mut().ok_or(ClusterError::NoActiveTxn)?;
         let machine = self.pick_read_machine(txn)?;
+        metrics.note_read_route(self.controller.cfg.read_policy, machine);
         let seq = txn.next_seq();
         let rx = Arc::clone(&txn.reply_rx);
         let session = self.ensure_session(txn, machine)?;
@@ -324,7 +338,8 @@ impl Connection {
             params,
         })?;
         drop(st); // don't hold the connection lock while the engine works
-        let mut replies = Self::collect_replies(&rx, seq, 1, |_| true);
+        let mut replies = Self::collect_replies(&rx, &metrics.straggler_acks, seq, 1, |_| true);
+        metrics.stmt_read_latency.observe_since(started);
         match replies.pop() {
             Some(r) => r.result,
             None => Err(ClusterError::from(StorageError::Unavailable)),
@@ -348,6 +363,8 @@ impl Connection {
     }
 
     fn run_write(&self, stmt: &Arc<Statement>, params: Arc<Vec<Value>>) -> Result<QueryResult> {
+        let started = Instant::now();
+        let metrics = self.controller.metrics();
         let tables = Self::broadcast_tables(stmt)
             .ok_or_else(|| ClusterError::Sql(SqlError::Plan("not a DML statement".into())))?;
         let table = tables[0].clone();
@@ -365,6 +382,7 @@ impl Connection {
                     .iter()
                     .any(|t| copy.current.as_deref() == Some(t.as_str()));
             if rejected {
+                metrics.note_write_rejected(&self.db, &table);
                 return Err(ClusterError::WriteRejected {
                     db: self.db.clone(),
                     table,
@@ -401,9 +419,10 @@ impl Connection {
         // this same channel and are discarded by later requests, while any
         // *failure* among them lands in the shared TxnFailures ledger, which
         // commit() refuses to overlook.
-        let replies = Self::collect_replies(&rx, seq, sent, |r| {
+        let replies = Self::collect_replies(&rx, &metrics.straggler_acks, seq, sent, |r| {
             write_policy == WritePolicy::Aggressive && r.result.is_ok()
         });
+        metrics.stmt_write_latency.observe_since(started);
 
         let mut first_ok: Option<QueryResult> = None;
         let mut errors: Vec<(MachineId, ClusterError)> = Vec::new();
@@ -447,6 +466,8 @@ impl Connection {
 
     /// Commit with an injected controller fault (process-pair tests).
     pub fn commit_with_fault(&self, fault: CommitFault) -> Result<()> {
+        let commit_started = Instant::now();
+        let metrics = self.controller.metrics();
         let Some(mut txn) = self.state.lock().take() else {
             return Err(ClusterError::NoActiveTxn);
         };
@@ -470,6 +491,9 @@ impl Connection {
         if txn.sessions.is_empty() {
             // Transaction that never touched a machine.
             self.note_outcome_commit(&txn);
+            metrics
+                .commit_latency_readonly
+                .observe_since(commit_started);
             return Ok(());
         }
 
@@ -480,11 +504,16 @@ impl Connection {
                 want_reply: true,
             });
             self.note_outcome_commit(&txn);
+            metrics
+                .commit_latency_readonly
+                .observe_since(commit_started);
             return Ok(());
         }
 
         // Phase 1: PREPARE everywhere.
+        let prepare_started = Instant::now();
         let votes = self.broadcast(&mut txn, |seq| SessionMsg::Prepare { seq });
+        metrics.twopc_prepare_latency.observe_since(prepare_started);
         let mut yes: Vec<(MachineId, TxnId)> = Vec::new();
         let mut fatal: Option<ClusterError> = None;
         for (m, local, res) in votes {
@@ -547,10 +576,14 @@ impl Connection {
         }
 
         // Phase 2: COMMIT.
+        let commit_phase_started = Instant::now();
         let acks = self.broadcast(&mut txn, |seq| SessionMsg::Commit {
             seq,
             want_reply: true,
         });
+        metrics
+            .twopc_commit_latency
+            .observe_since(commit_phase_started);
         for (m, _, res) in acks {
             if let Err(e) = res {
                 if Self::is_unavailable(&e) {
@@ -563,6 +596,7 @@ impl Connection {
         }
         self.controller.commit_log.lock().remove(&txn.gtxn);
         self.note_outcome_commit(&txn);
+        metrics.commit_latency_2pc.observe_since(commit_started);
         Ok(())
     }
 
@@ -626,7 +660,13 @@ impl Connection {
                 expected += 1;
             }
         }
-        let replies = Self::collect_replies(&txn.reply_rx, seq, expected, |_| false);
+        let replies = Self::collect_replies(
+            &txn.reply_rx,
+            &self.controller.metrics().straggler_acks,
+            seq,
+            expected,
+            |_| false,
+        );
         replies
             .into_iter()
             .map(|r| (r.machine, r.local, r.result))

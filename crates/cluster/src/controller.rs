@@ -19,10 +19,12 @@ use tenantdb_storage::{EngineConfig, TxnId};
 use crate::connection::Connection;
 use crate::error::{ClusterError, Result};
 use crate::machine::{Machine, MachineId};
+use crate::metrics::{ClusterMetrics, DbCounters, PoolMetrics};
 use crate::pool::PoolConfig;
+use tenantdb_obs::fields;
 
 /// The three read-routing options of §3.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReadPolicy {
     /// Option 1: all reads for a database go to one pinned replica.
     PinnedReplica,
@@ -34,7 +36,7 @@ pub enum ReadPolicy {
 }
 
 /// Write acknowledgement policy of §3.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WritePolicy {
     /// Wait for every replica to acknowledge before returning to the client.
     /// Serializable under all read options (Theorem 2).
@@ -48,7 +50,9 @@ pub enum WritePolicy {
 /// Cluster construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
+    /// How client reads are routed across replicas (§3.1 Options 1/2/3).
     pub read_policy: ReadPolicy,
+    /// How many replica acks a write waits for (§3.1).
     pub write_policy: WritePolicy,
     /// Configuration for every machine's engine.
     pub engine: EngineConfig,
@@ -71,6 +75,7 @@ impl Default for ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// Defaults with a fast-timeout engine configuration for tests.
     pub fn for_tests() -> Self {
         ClusterConfig {
             engine: EngineConfig::for_tests(),
@@ -78,12 +83,14 @@ impl ClusterConfig {
         }
     }
 
+    /// Set both routing policies (builder style).
     pub fn with_policies(mut self, read: ReadPolicy, write: WritePolicy) -> Self {
         self.read_policy = read;
         self.write_policy = write;
         self
     }
 
+    /// Set the per-machine worker-pool sizing (builder style).
     pub fn with_pool(mut self, pool: PoolConfig) -> Self {
         self.pool = pool;
         self
@@ -93,6 +100,7 @@ impl ClusterConfig {
 /// Where a database's replicas live.
 #[derive(Debug, Clone)]
 pub struct Placement {
+    /// Machines holding a synchronous replica.
     pub replicas: Vec<MachineId>,
     /// The replica that Option 1 pins all reads to.
     pub pinned: MachineId,
@@ -113,21 +121,6 @@ pub struct CopyProgress {
     pub db_level: bool,
 }
 
-/// Per-database outcome counters (feed the SLA accounting and Figure 8).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DbCounters {
-    /// Successfully committed transactions.
-    pub committed: u64,
-    /// Transactions aborted by deadlock or lock timeout (workload-inherent,
-    /// *not* counted against the SLA).
-    pub deadlocks: u64,
-    /// Proactively rejected transactions (machine failure, copy rejection) —
-    /// the §4.1 SLA numerator.
-    pub rejected: u64,
-    /// Other aborts (client rollback, statement errors).
-    pub aborted: u64,
-}
-
 /// The cluster controller.
 pub struct ClusterController {
     pub(crate) cfg: ClusterConfig,
@@ -137,7 +130,11 @@ pub struct ClusterController {
     copies: RwLock<HashMap<String, CopyProgress>>,
     next_gtxn: AtomicU64,
     pub(crate) recorder: RwLock<Option<Arc<Recorder>>>,
-    counters: Mutex<HashMap<String, DbCounters>>,
+    /// The cluster's metrics surface: outcome counters, latency histograms
+    /// and the structured event log all live here — there is no second
+    /// ledger (the pre-observability controller kept its own
+    /// `HashMap<String, DbCounters>`; the registry is now the only store).
+    metrics: ClusterMetrics,
     /// 2PC decision log: commit decisions whose COMMIT messages may still be
     /// in flight. Mirrored by the process-pair backup (§2): on takeover the
     /// backup completes these and aborts every other in-doubt transaction.
@@ -145,6 +142,7 @@ pub struct ClusterController {
 }
 
 impl ClusterController {
+    /// A controller with no machines yet (add them via [`Self::add_machine`]).
     pub fn new(cfg: ClusterConfig) -> Arc<Self> {
         Arc::new(ClusterController {
             cfg,
@@ -154,7 +152,7 @@ impl ClusterController {
             copies: RwLock::new(HashMap::new()),
             next_gtxn: AtomicU64::new(1),
             recorder: RwLock::new(None),
-            counters: Mutex::new(HashMap::new()),
+            metrics: ClusterMetrics::new(),
             commit_log: Mutex::new(HashMap::new()),
         })
     }
@@ -168,6 +166,7 @@ impl ClusterController {
         c
     }
 
+    /// The configuration this cluster was built with.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
     }
@@ -178,6 +177,7 @@ impl ClusterController {
         *self.recorder.write() = rec;
     }
 
+    /// Mint the next global transaction id.
     pub fn next_gtxn(&self) -> GTxn {
         GTxn(self.next_gtxn.fetch_add(1, Ordering::Relaxed))
     }
@@ -187,11 +187,18 @@ impl ClusterController {
     /// Add a fresh machine (from the colo's free pool) to the cluster.
     pub fn add_machine(&self) -> MachineId {
         let id = MachineId(self.next_machine.fetch_add(1, Ordering::Relaxed));
-        let m = Arc::new(Machine::with_pool(id, self.cfg.engine, self.cfg.pool));
+        let pool_metrics = PoolMetrics::resolve(self.metrics.registry(), "machine", Some(id));
+        let m = Arc::new(Machine::with_metrics(
+            id,
+            self.cfg.engine,
+            self.cfg.pool,
+            Some(pool_metrics),
+        ));
         self.machines.write().insert(id, m);
         id
     }
 
+    /// Look up a machine by id.
     pub fn machine(&self, id: MachineId) -> Result<Arc<Machine>> {
         self.machines
             .read()
@@ -200,10 +207,12 @@ impl ClusterController {
             .ok_or(ClusterError::NoMachines)
     }
 
+    /// Every machine id in the cluster, ascending.
     pub fn machine_ids(&self) -> Vec<MachineId> {
         self.machines.read().keys().copied().collect()
     }
 
+    /// Every machine in the cluster, ascending by id.
     pub fn machines(&self) -> Vec<Arc<Machine>> {
         self.machines.read().values().cloned().collect()
     }
@@ -291,6 +300,7 @@ impl ClusterController {
         Ok(())
     }
 
+    /// Where a database's replicas live (error if the database is unknown).
     pub fn placement(&self, db: &str) -> Result<Placement> {
         self.placements
             .read()
@@ -299,6 +309,7 @@ impl ClusterController {
             .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))
     }
 
+    /// Every database name hosted by the cluster, sorted.
     pub fn database_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.placements.read().keys().cloned().collect();
         v.sort();
@@ -397,12 +408,26 @@ impl ClusterController {
                 db_level,
             },
         );
+        self.metrics.copies_in_flight.inc();
+        self.metrics.events().emit(
+            "copy_begin",
+            fields![
+                ("db", db),
+                ("target", target),
+                ("granularity", if db_level { "database" } else { "table" }),
+            ],
+        );
     }
 
     /// Mark the table currently being copied (t′).
     pub fn set_copy_current(&self, db: &str, table: Option<&str>) {
         if let Some(c) = self.copies.write().get_mut(db) {
             c.current = table.map(String::from);
+        }
+        if let Some(t) = table {
+            self.metrics
+                .events()
+                .emit("copy_table_begin", fields![("db", db), ("table", t)]);
         }
     }
 
@@ -412,99 +437,97 @@ impl ClusterController {
             c.current = None;
             c.copied.insert(table.to_string());
         }
+        self.metrics
+            .registry()
+            .counter(crate::metrics::RECOVERY_TABLES_COPIED, &[("db", db)])
+            .inc();
+        self.metrics
+            .events()
+            .emit("copy_table_done", fields![("db", db), ("table", table)]);
     }
 
     /// Copy complete: the target becomes a full replica.
     pub fn finish_copy(&self, db: &str) {
-        let target = self.copies.write().remove(db).map(|c| c.target);
-        if let Some(t) = target {
-            self.add_replica(db, t);
+        let removed = self.copies.write().remove(db);
+        if let Some(c) = removed {
+            self.add_replica(db, c.target);
+            self.metrics.copies_in_flight.dec();
+            self.metrics.events().emit(
+                "copy_finish",
+                fields![
+                    ("db", db),
+                    ("target", c.target),
+                    ("tables_copied", c.copied.len()),
+                ],
+            );
         }
     }
 
     /// Abandon a copy (e.g. the target failed mid-copy).
     pub fn abandon_copy(&self, db: &str) {
-        self.copies.write().remove(db);
+        if self.copies.write().remove(db).is_some() {
+            self.metrics.copies_in_flight.dec();
+            self.metrics
+                .events()
+                .emit("copy_abandon", fields![("db", db)]);
+        }
     }
 
+    /// The Algorithm-1 copy state for `db`, if a copy is in flight.
     pub fn copy_progress(&self, db: &str) -> Option<CopyProgress> {
         self.copies.read().get(db).cloned()
     }
 
     // ------------------------------------------------------------- stats
 
+    /// The cluster's metrics surface (registry, latency handles, event log).
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
     pub(crate) fn note_committed(&self, db: &str) {
-        self.counters
-            .lock()
-            .entry(db.to_string())
-            .or_default()
-            .committed += 1;
+        self.metrics.note_committed(db);
     }
 
     pub(crate) fn note_deadlock(&self, db: &str) {
-        self.counters
-            .lock()
-            .entry(db.to_string())
-            .or_default()
-            .deadlocks += 1;
+        self.metrics.note_deadlock(db);
     }
 
     pub(crate) fn note_rejected(&self, db: &str) {
-        self.counters
-            .lock()
-            .entry(db.to_string())
-            .or_default()
-            .rejected += 1;
+        self.metrics.note_rejected(db);
     }
 
     pub(crate) fn note_aborted(&self, db: &str) {
-        self.counters
-            .lock()
-            .entry(db.to_string())
-            .or_default()
-            .aborted += 1;
+        self.metrics.note_aborted(db);
     }
 
-    /// Outcome counters for one database.
+    /// Outcome counters for one database, read live from the registry.
     pub fn counters(&self, db: &str) -> DbCounters {
-        self.counters.lock().get(db).copied().unwrap_or_default()
+        self.metrics.db_counters(db)
     }
 
     /// Check a database's observed outcomes against an SLA over a window
-    /// (the runtime side of §4.1).
+    /// (the runtime side of §4.1). The outcomes come straight from the live
+    /// metric counters — there is no separate SLA ledger to keep in sync.
     pub fn sla_compliance(
         &self,
         db: &str,
         sla: &tenantdb_sla::Sla,
         window: std::time::Duration,
     ) -> tenantdb_sla::Compliance {
-        let c = self.counters(db);
-        tenantdb_sla::check_compliance(
-            sla,
-            &tenantdb_sla::ObservedOutcomes {
-                committed: c.committed,
-                rejected: c.rejected,
-                workload_aborts: c.deadlocks + c.aborted,
-            },
-            window,
-        )
+        tenantdb_sla::check_compliance(sla, &self.metrics.observed_outcomes(db), window)
     }
 
     /// Sum of counters across all databases.
     pub fn total_counters(&self) -> DbCounters {
-        let c = self.counters.lock();
-        let mut total = DbCounters::default();
-        for v in c.values() {
-            total.committed += v.committed;
-            total.deadlocks += v.deadlocks;
-            total.rejected += v.rejected;
-            total.aborted += v.aborted;
-        }
-        total
+        self.metrics.total_counters()
     }
 
+    /// Zero every counter and histogram and drop buffered events (gauges
+    /// keep their level — queue depths and in-flight copies are still real).
+    /// Benches call this between warm-up and the measured window.
     pub fn reset_counters(&self) {
-        self.counters.lock().clear();
+        self.metrics.registry().reset();
     }
 }
 

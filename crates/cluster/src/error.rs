@@ -18,7 +18,12 @@ pub enum ClusterError {
     NoMachines,
     /// The write was proactively rejected — Algorithm 1 rejects writes to a
     /// table while it is being copied to a new replica.
-    WriteRejected { db: String, table: String },
+    WriteRejected {
+        /// Database the write targeted.
+        db: String,
+        /// Table whose copy is in flight (`"<ddl>"` for DDL statements).
+        table: String,
+    },
     /// The transaction was aborted (reason attached). The client must retry.
     TxnAborted(String),
     /// `commit`/`rollback` without an active transaction.
@@ -97,6 +102,7 @@ impl ClusterError {
     }
 }
 
+/// Shorthand for results carrying a [`ClusterError`].
 pub type Result<T> = std::result::Result<T, ClusterError>;
 
 #[cfg(test)]

@@ -33,11 +33,19 @@
 //! let r = conn.execute("SELECT body FROM notes WHERE id = 1", &[]).unwrap();
 //! assert_eq!(r.rows[0][0], Value::from("hi"));
 //! ```
+//!
+//! * **Observability**: every controller carries a
+//!   [`metrics::ClusterMetrics`] — outcome counters, 2PC phase latency
+//!   histograms and a structured event log, rendered Prometheus-style via
+//!   [`tenantdb_obs::MetricsRegistry::render_text`].
+
+#![warn(missing_docs)]
 
 pub mod connection;
 pub mod controller;
 pub mod error;
 pub mod machine;
+pub mod metrics;
 pub mod pair;
 pub mod pool;
 pub mod rebalance;
@@ -46,10 +54,11 @@ pub mod worker;
 
 pub use connection::{CommitFault, Connection};
 pub use controller::{
-    ClusterConfig, ClusterController, CopyProgress, DbCounters, Placement, ReadPolicy, WritePolicy,
+    ClusterConfig, ClusterController, CopyProgress, Placement, ReadPolicy, WritePolicy,
 };
 pub use error::{ClusterError, Result};
 pub use machine::{Machine, MachineId};
+pub use metrics::{ClusterMetrics, DbCounters, PoolMetrics};
 pub use pair::{ProcessPair, Role, TakeoverReport};
 pub use pool::{PoolConfig, WorkerPool};
 pub use rebalance::{execute_rebalance, observed_demands, plan_rebalance, Move, RebalancePlan};

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use tenantdb_history::{GTxn, Recorder};
 use tenantdb_storage::{Engine, EngineConfig};
 
+use crate::metrics::PoolMetrics;
 use crate::pool::{PoolConfig, WorkerPool};
 use crate::worker::{new_session, SessionHandle, TxnFailures, WorkerReply};
 
@@ -27,21 +28,36 @@ impl fmt::Display for MachineId {
 /// pool's threads outlive every transaction — attaching a session to a
 /// machine is a heap allocation, not a thread spawn.
 pub struct Machine {
+    /// This machine's cluster-wide identifier.
     pub id: MachineId,
+    /// The single-node DBMS engine running on this machine.
     pub engine: Arc<Engine>,
     pool: WorkerPool,
 }
 
 impl Machine {
+    /// A machine with the default pool sizing and no metrics.
     pub fn new(id: MachineId, cfg: EngineConfig) -> Self {
         Self::with_pool(id, cfg, PoolConfig::default())
     }
 
+    /// A machine with explicit pool sizing (unobserved pool).
     pub fn with_pool(id: MachineId, cfg: EngineConfig, pool: PoolConfig) -> Self {
+        Self::with_metrics(id, cfg, pool, None)
+    }
+
+    /// A machine whose pool reports scheduling metrics (the cluster
+    /// controller resolves the handles against its registry).
+    pub fn with_metrics(
+        id: MachineId,
+        cfg: EngineConfig,
+        pool: PoolConfig,
+        metrics: Option<PoolMetrics>,
+    ) -> Self {
         Machine {
             id,
             engine: Arc::new(Engine::new(cfg)),
-            pool: WorkerPool::new("machine", pool),
+            pool: WorkerPool::with_metrics("machine", pool, metrics),
         }
     }
 
@@ -71,6 +87,7 @@ impl Machine {
         &self.pool
     }
 
+    /// True while the machine is crashed (fault injection).
     pub fn is_failed(&self) -> bool {
         self.engine.is_failed()
     }

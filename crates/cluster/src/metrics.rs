@@ -1,0 +1,444 @@
+//! Cluster metric names and cached hot-path handles (backed by
+//! [`tenantdb_obs`]).
+//!
+//! One [`ClusterMetrics`] lives inside every
+//! [`crate::controller::ClusterController`] and is the *single* store for
+//! runtime counters — the controller's former private
+//! `HashMap<String, DbCounters>` outcome ledger is gone, replaced by
+//! labelled registry counters that the SLA monitor, the benches, the shell's
+//! `\metrics` command, and the tests all read from the same place.
+//!
+//! Handles for unlabelled hot-path series (2PC phase latencies, straggler
+//! acks) are resolved once at construction; per-database and per-route
+//! series are resolved through small handle caches so the steady-state cost
+//! of an increment is one `HashMap` probe plus one relaxed atomic add.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tenantdb_obs::{Counter, EventLog, Gauge, Histogram, MetricsRegistry};
+
+use crate::controller::{ReadPolicy, WritePolicy};
+use crate::machine::MachineId;
+
+/// Transactions begun (`db` label): every `BEGIN`, explicit or implicit.
+pub const TXN_BEGUN: &str = "tenantdb_txn_begun_total";
+/// Transaction outcomes (`db` and `outcome` labels; outcome is one of
+/// `committed`, `deadlock`, `rejected`, `aborted`).
+pub const TXN_OUTCOMES: &str = "tenantdb_txn_outcomes_total";
+/// Read-statement latency histogram (µs), connection-observed.
+pub const STMT_READ_LATENCY: &str = "tenantdb_stmt_read_latency_us";
+/// Write-statement latency histogram (µs), including replica fan-out.
+pub const STMT_WRITE_LATENCY: &str = "tenantdb_stmt_write_latency_us";
+/// 2PC phase-1 (PREPARE broadcast to all votes collected) latency (µs).
+pub const TWOPC_PREPARE_LATENCY: &str = "tenantdb_2pc_prepare_latency_us";
+/// 2PC phase-2 (COMMIT broadcast to all acks collected) latency (µs).
+pub const TWOPC_COMMIT_LATENCY: &str = "tenantdb_2pc_commit_latency_us";
+/// Whole-commit latency (µs) with a `mode` label: `2pc` when the
+/// transaction wrote, `readonly` for the one-phase path.
+pub const COMMIT_LATENCY: &str = "tenantdb_commit_latency_us";
+/// Read routing decisions (`policy` and `machine` labels).
+pub const READ_ROUTES: &str = "tenantdb_read_route_total";
+/// Aggressive-mode straggler acks: background replica replies discarded as
+/// stale by the connection's reply loop.
+pub const STRAGGLER_ACKS: &str = "tenantdb_straggler_acks_total";
+/// Writes rejected by Algorithm 1 while a replica copy is in flight
+/// (`db` label).
+pub const WRITE_REJECTIONS: &str = "tenantdb_write_rejected_total";
+/// Worker-pool queue depth gauge (`pool` label, plus `machine` for
+/// machine pools).
+pub const POOL_QUEUE_DEPTH: &str = "tenantdb_pool_queue_depth";
+/// Worker-pool live-thread gauge (same labels as the queue depth).
+pub const POOL_LIVE_THREADS: &str = "tenantdb_pool_live_threads";
+/// Worker threads spawned, resident and grown (same labels).
+pub const POOL_THREADS_SPAWNED: &str = "tenantdb_pool_threads_spawned_total";
+/// Tables copied during replica re-creation (`db` label).
+pub const RECOVERY_TABLES_COPIED: &str = "tenantdb_recovery_tables_copied_total";
+/// Replica copies currently in flight (cluster-wide gauge).
+pub const RECOVERY_COPIES_IN_FLIGHT: &str = "tenantdb_recovery_copies_in_flight";
+/// Whole replica-copy latency histogram (µs).
+pub const RECOVERY_COPY_LATENCY: &str = "tenantdb_recovery_copy_latency_us";
+
+/// Per-database outcome totals, read live from the metrics registry.
+///
+/// This is a point-in-time *view*, not storage: the counters live in the
+/// registry (see [`TXN_OUTCOMES`]) and this struct only exists so callers
+/// keep a stable, field-addressable snapshot API.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbCounters {
+    /// Successfully committed transactions.
+    pub committed: u64,
+    /// Transactions aborted by deadlock or lock timeout (workload-inherent,
+    /// *not* counted against the SLA).
+    pub deadlocks: u64,
+    /// Proactively rejected transactions (machine failure, copy rejection) —
+    /// the §4.1 SLA numerator.
+    pub rejected: u64,
+    /// Other aborts (client rollback, statement errors).
+    pub aborted: u64,
+}
+
+/// Cached per-database outcome counter handles (one probe per increment).
+struct DbHandles {
+    committed: Arc<Counter>,
+    deadlocks: Arc<Counter>,
+    rejected: Arc<Counter>,
+    aborted: Arc<Counter>,
+    begun: Arc<Counter>,
+    write_rejections: Arc<Counter>,
+}
+
+/// The cluster's metrics surface: the registry plus pre-resolved handles
+/// for every unlabelled hot-path series.
+pub struct ClusterMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Read-statement latency (connection-observed).
+    pub stmt_read_latency: Arc<Histogram>,
+    /// Write-statement latency (fan-out included).
+    pub stmt_write_latency: Arc<Histogram>,
+    /// 2PC phase 1 latency.
+    pub twopc_prepare_latency: Arc<Histogram>,
+    /// 2PC phase 2 latency.
+    pub twopc_commit_latency: Arc<Histogram>,
+    /// Commit latency for writing transactions.
+    pub commit_latency_2pc: Arc<Histogram>,
+    /// Commit latency for the read-only one-phase path.
+    pub commit_latency_readonly: Arc<Histogram>,
+    /// Stale aggressive-mode replica acks discarded by the reply loop.
+    pub straggler_acks: Arc<Counter>,
+    /// Replica copies in flight (recovery/migration).
+    pub copies_in_flight: Arc<Gauge>,
+    /// Whole replica-copy latency.
+    pub copy_latency: Arc<Histogram>,
+    per_db: Mutex<HashMap<String, Arc<DbHandles>>>,
+    read_routes: Mutex<HashMap<(ReadPolicy, MachineId), Arc<Counter>>>,
+}
+
+impl ClusterMetrics {
+    /// Build the cluster's metric families on a fresh registry.
+    pub fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.describe(TXN_BEGUN, "Transactions begun, per database.");
+        registry.describe(
+            TXN_OUTCOMES,
+            "Transaction outcomes per database (outcome = committed | deadlock | rejected | aborted).",
+        );
+        registry.describe(STMT_READ_LATENCY, "Read statement latency in microseconds.");
+        registry.describe(
+            STMT_WRITE_LATENCY,
+            "Write statement latency in microseconds (write-all fan-out included).",
+        );
+        registry.describe(
+            TWOPC_PREPARE_LATENCY,
+            "2PC phase 1: PREPARE broadcast until every vote is in, microseconds.",
+        );
+        registry.describe(
+            TWOPC_COMMIT_LATENCY,
+            "2PC phase 2: COMMIT broadcast until every ack is in, microseconds.",
+        );
+        registry.describe(
+            COMMIT_LATENCY,
+            "Whole commit latency in microseconds (mode = 2pc | readonly).",
+        );
+        registry.describe(
+            READ_ROUTES,
+            "Read routing decisions per (read policy, chosen machine).",
+        );
+        registry.describe(
+            STRAGGLER_ACKS,
+            "Aggressive-mode background replica acks discarded as stale.",
+        );
+        registry.describe(
+            WRITE_REJECTIONS,
+            "Writes rejected by Algorithm 1 during replica copies, per database.",
+        );
+        registry.describe(POOL_QUEUE_DEPTH, "Jobs queued in a worker pool right now.");
+        registry.describe(POOL_LIVE_THREADS, "Worker threads alive in a pool.");
+        registry.describe(
+            POOL_THREADS_SPAWNED,
+            "Worker threads ever spawned by a pool (resident + on-demand growth).",
+        );
+        registry.describe(
+            RECOVERY_TABLES_COPIED,
+            "Tables copied while re-creating replicas, per database.",
+        );
+        registry.describe(
+            RECOVERY_COPIES_IN_FLIGHT,
+            "Replica copies currently in flight.",
+        );
+        registry.describe(
+            RECOVERY_COPY_LATENCY,
+            "Whole replica-copy duration in microseconds.",
+        );
+
+        ClusterMetrics {
+            stmt_read_latency: registry.histogram(STMT_READ_LATENCY, &[]),
+            stmt_write_latency: registry.histogram(STMT_WRITE_LATENCY, &[]),
+            twopc_prepare_latency: registry.histogram(TWOPC_PREPARE_LATENCY, &[]),
+            twopc_commit_latency: registry.histogram(TWOPC_COMMIT_LATENCY, &[]),
+            commit_latency_2pc: registry.histogram(COMMIT_LATENCY, &[("mode", "2pc")]),
+            commit_latency_readonly: registry.histogram(COMMIT_LATENCY, &[("mode", "readonly")]),
+            straggler_acks: registry.counter(STRAGGLER_ACKS, &[]),
+            copies_in_flight: registry.gauge(RECOVERY_COPIES_IN_FLIGHT, &[]),
+            copy_latency: registry.histogram(RECOVERY_COPY_LATENCY, &[]),
+            per_db: Mutex::new(HashMap::new()),
+            read_routes: Mutex::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    /// The backing registry (rendering, snapshots, ad-hoc series).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The structured event log (copy progress, rejections, pool growth).
+    pub fn events(&self) -> &EventLog {
+        self.registry.events()
+    }
+
+    fn db_handles(&self, db: &str) -> Arc<DbHandles> {
+        if let Some(h) = self.per_db.lock().get(db) {
+            return Arc::clone(h);
+        }
+        let handles = Arc::new(DbHandles {
+            committed: self
+                .registry
+                .counter(TXN_OUTCOMES, &[("db", db), ("outcome", "committed")]),
+            deadlocks: self
+                .registry
+                .counter(TXN_OUTCOMES, &[("db", db), ("outcome", "deadlock")]),
+            rejected: self
+                .registry
+                .counter(TXN_OUTCOMES, &[("db", db), ("outcome", "rejected")]),
+            aborted: self
+                .registry
+                .counter(TXN_OUTCOMES, &[("db", db), ("outcome", "aborted")]),
+            begun: self.registry.counter(TXN_BEGUN, &[("db", db)]),
+            write_rejections: self.registry.counter(WRITE_REJECTIONS, &[("db", db)]),
+        });
+        self.per_db
+            .lock()
+            .entry(db.to_string())
+            .or_insert(handles)
+            .clone()
+    }
+
+    /// Count a `BEGIN` for `db`.
+    pub fn note_begun(&self, db: &str) {
+        self.db_handles(db).begun.inc();
+    }
+
+    /// Count a committed transaction for `db`.
+    pub fn note_committed(&self, db: &str) {
+        self.db_handles(db).committed.inc();
+    }
+
+    /// Count a deadlock/timeout abort for `db` (workload-inherent).
+    pub fn note_deadlock(&self, db: &str) {
+        self.db_handles(db).deadlocks.inc();
+    }
+
+    /// Count a proactive rejection for `db` (the SLA numerator).
+    pub fn note_rejected(&self, db: &str) {
+        self.db_handles(db).rejected.inc();
+    }
+
+    /// Count a client rollback / statement-error abort for `db`.
+    pub fn note_aborted(&self, db: &str) {
+        self.db_handles(db).aborted.inc();
+    }
+
+    /// Count an Algorithm-1 write rejection for `db` and log the event.
+    pub fn note_write_rejected(&self, db: &str, table: &str) {
+        self.db_handles(db).write_rejections.inc();
+        self.registry.events().emit(
+            "write_rejected",
+            vec![("db", db.to_string()), ("table", table.to_string())],
+        );
+    }
+
+    /// Count one read routed to `machine` under `policy`.
+    pub fn note_read_route(&self, policy: ReadPolicy, machine: MachineId) {
+        if let Some(c) = self.read_routes.lock().get(&(policy, machine)) {
+            c.inc();
+            return;
+        }
+        let counter = self.registry.counter(
+            READ_ROUTES,
+            &[
+                ("policy", policy_label(policy)),
+                ("machine", &machine.to_string()),
+            ],
+        );
+        counter.inc();
+        self.read_routes.lock().insert((policy, machine), counter);
+    }
+
+    /// Live outcome totals for one database.
+    pub fn db_counters(&self, db: &str) -> DbCounters {
+        let h = self.db_handles(db);
+        DbCounters {
+            committed: h.committed.get(),
+            deadlocks: h.deadlocks.get(),
+            rejected: h.rejected.get(),
+            aborted: h.aborted.get(),
+        }
+    }
+
+    /// Live outcome totals summed over every database.
+    pub fn total_counters(&self) -> DbCounters {
+        DbCounters {
+            committed: self
+                .registry
+                .counter_sum(TXN_OUTCOMES, &[("outcome", "committed")]),
+            deadlocks: self
+                .registry
+                .counter_sum(TXN_OUTCOMES, &[("outcome", "deadlock")]),
+            rejected: self
+                .registry
+                .counter_sum(TXN_OUTCOMES, &[("outcome", "rejected")]),
+            aborted: self
+                .registry
+                .counter_sum(TXN_OUTCOMES, &[("outcome", "aborted")]),
+        }
+    }
+
+    /// One database's outcomes in the SLA monitor's input shape — the live
+    /// registry *is* the source; no hand-built structs in between.
+    pub fn observed_outcomes(&self, db: &str) -> tenantdb_sla::ObservedOutcomes {
+        let c = self.db_counters(db);
+        tenantdb_sla::ObservedOutcomes {
+            committed: c.committed,
+            rejected: c.rejected,
+            workload_aborts: c.deadlocks + c.aborted,
+        }
+    }
+}
+
+impl Default for ClusterMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pre-resolved handles for one worker pool's scheduling series, cloned into
+/// the pool so the submit/drain hot path never touches the registry maps.
+#[derive(Clone)]
+pub struct PoolMetrics {
+    /// Jobs queued right now ([`POOL_QUEUE_DEPTH`]).
+    pub queue_depth: Arc<Gauge>,
+    /// Worker threads alive ([`POOL_LIVE_THREADS`]).
+    pub live_threads: Arc<Gauge>,
+    /// Threads ever spawned ([`POOL_THREADS_SPAWNED`]).
+    pub spawned: Arc<Counter>,
+}
+
+impl PoolMetrics {
+    /// Resolve the three pool series for `pool`, with a `machine` label when
+    /// the pool belongs to one machine.
+    pub fn resolve(registry: &MetricsRegistry, pool: &str, machine: Option<MachineId>) -> Self {
+        let m = machine.map(|m| m.to_string());
+        let mut labels: Vec<(&'static str, &str)> = vec![("pool", pool)];
+        if let Some(m) = m.as_deref() {
+            labels.push(("machine", m));
+        }
+        PoolMetrics {
+            queue_depth: registry.gauge(POOL_QUEUE_DEPTH, &labels),
+            live_threads: registry.gauge(POOL_LIVE_THREADS, &labels),
+            spawned: registry.counter(POOL_THREADS_SPAWNED, &labels),
+        }
+    }
+}
+
+/// Stable label value for a read policy.
+pub fn policy_label(p: ReadPolicy) -> &'static str {
+    match p {
+        ReadPolicy::PinnedReplica => "pinned",
+        ReadPolicy::PerTransaction => "per_txn",
+        ReadPolicy::PerOperation => "per_op",
+    }
+}
+
+/// Stable label value for a write policy.
+pub fn write_policy_label(p: WritePolicy) -> &'static str {
+    match p {
+        WritePolicy::Conservative => "conservative",
+        WritePolicy::Aggressive => "aggressive",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_counters_round_trip_through_the_registry() {
+        let m = ClusterMetrics::new();
+        m.note_begun("a");
+        m.note_committed("a");
+        m.note_committed("a");
+        m.note_deadlock("a");
+        m.note_rejected("a");
+        m.note_aborted("b");
+        let a = m.db_counters("a");
+        assert_eq!(a.committed, 2);
+        assert_eq!(a.deadlocks, 1);
+        assert_eq!(a.rejected, 1);
+        assert_eq!(a.aborted, 0);
+        let total = m.total_counters();
+        assert_eq!(total.committed, 2);
+        assert_eq!(total.aborted, 1);
+        assert_eq!(m.registry().counter_value(TXN_BEGUN, &[("db", "a")]), 1);
+    }
+
+    #[test]
+    fn observed_outcomes_come_from_live_counters() {
+        let m = ClusterMetrics::new();
+        for _ in 0..10 {
+            m.note_committed("db1");
+        }
+        m.note_rejected("db1");
+        m.note_deadlock("db1");
+        m.note_aborted("db1");
+        let o = m.observed_outcomes("db1");
+        assert_eq!(o.committed, 10);
+        assert_eq!(o.rejected, 1);
+        assert_eq!(o.workload_aborts, 2);
+    }
+
+    #[test]
+    fn read_routes_label_policy_and_machine() {
+        let m = ClusterMetrics::new();
+        m.note_read_route(ReadPolicy::PinnedReplica, MachineId(0));
+        m.note_read_route(ReadPolicy::PinnedReplica, MachineId(0));
+        m.note_read_route(ReadPolicy::PerOperation, MachineId(1));
+        assert_eq!(
+            m.registry()
+                .counter_value(READ_ROUTES, &[("policy", "pinned"), ("machine", "m0")]),
+            2
+        );
+        assert_eq!(
+            m.registry()
+                .counter_value(READ_ROUTES, &[("policy", "per_op"), ("machine", "m1")]),
+            1
+        );
+    }
+
+    #[test]
+    fn write_rejection_counts_and_logs() {
+        let m = ClusterMetrics::new();
+        m.note_write_rejected("app", "orders");
+        assert_eq!(
+            m.registry()
+                .counter_value(WRITE_REJECTIONS, &[("db", "app")]),
+            1
+        );
+        let evs = m.events().all();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, "write_rejected");
+        assert_eq!(evs[0].field("table"), Some("orders"));
+    }
+}

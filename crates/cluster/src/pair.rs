@@ -6,7 +6,7 @@
 //! part of its take-over processing."
 //!
 //! The mirrored state is the controller's 2PC decision log
-//! ([`crate::controller::ClusterController::commit_log`]): a commit decision
+//! (`ClusterController::commit_log`): a commit decision
 //! is logged *before* any COMMIT message is sent to a participant. On
 //! takeover the backup:
 //!
@@ -28,7 +28,9 @@ use crate::machine::MachineId;
 /// Which member of the pair is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
+    /// The member currently serving traffic.
     Primary,
+    /// The standby mirroring the decision log.
     Backup,
 }
 
@@ -54,6 +56,7 @@ pub struct ProcessPair {
 }
 
 impl ProcessPair {
+    /// Wrap a controller in a primary/backup pair (primary active).
     pub fn new(controller: Arc<ClusterController>) -> Self {
         ProcessPair {
             controller,
@@ -61,10 +64,12 @@ impl ProcessPair {
         }
     }
 
+    /// Which member of the pair is currently active.
     pub fn active_role(&self) -> Role {
         *self.active.read()
     }
 
+    /// The shared controller state both members view.
     pub fn controller(&self) -> &Arc<ClusterController> {
         &self.controller
     }

@@ -36,6 +36,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::metrics::PoolMetrics;
 use crate::worker::Session;
 
 /// Pool sizing parameters (see the module docs for the growth rationale).
@@ -103,6 +104,9 @@ pub struct PoolShared {
     state: Mutex<PoolState>,
     cv: Condvar,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Scheduling gauges/counters; `None` for unobserved pools (tests,
+    /// standalone machines) so the hot path pays nothing when unused.
+    metrics: Option<PoolMetrics>,
 }
 
 impl PoolShared {
@@ -117,6 +121,9 @@ impl PoolShared {
                 return;
             }
             st.queue.push_back(job);
+            if let Some(m) = &self.metrics {
+                m.queue_depth.inc();
+            }
             // Grow when the backlog exceeds the parked workers. Comparing
             // against `idle` rather than "is anyone idle" matters: a worker
             // that was just notified still counts as idle until it wakes, so
@@ -137,6 +144,10 @@ impl PoolShared {
     }
 
     fn spawn_worker(self: &Arc<Self>) {
+        if let Some(m) = &self.metrics {
+            m.spawned.inc();
+            m.live_threads.inc();
+        }
         let shared = Arc::clone(self);
         let handle = std::thread::Builder::new()
             .name(format!("pool-{}", self.name))
@@ -163,10 +174,20 @@ fn worker_main(shared: Arc<PoolShared>) {
             }
         };
         match job {
-            Some(PoolJob::Session(session)) => session.drain(&shared),
-            Some(PoolJob::Task(f)) => f(),
+            Some(job) => {
+                if let Some(m) = &shared.metrics {
+                    m.queue_depth.dec();
+                }
+                match job {
+                    PoolJob::Session(session) => session.drain(&shared),
+                    PoolJob::Task(f) => f(),
+                }
+            }
             None => {
                 shared.state.lock().live -= 1;
+                if let Some(m) = &shared.metrics {
+                    m.live_threads.dec();
+                }
                 return;
             }
         }
@@ -180,7 +201,14 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
+    /// An unobserved pool (no metrics); see [`WorkerPool::with_metrics`].
     pub fn new(name: &'static str, cfg: PoolConfig) -> Self {
+        Self::with_metrics(name, cfg, None)
+    }
+
+    /// A pool reporting queue depth, live threads and spawn counts through
+    /// the given handles (resolved once; the hot path only touches atomics).
+    pub fn with_metrics(name: &'static str, cfg: PoolConfig, metrics: Option<PoolMetrics>) -> Self {
         assert!(
             cfg.max_threads >= cfg.core_threads.max(1),
             "max_threads below core_threads"
@@ -196,6 +224,7 @@ impl WorkerPool {
             }),
             cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
+            metrics,
         });
         for _ in 0..cfg.core_threads.max(1) {
             shared.spawn_worker();
@@ -203,6 +232,7 @@ impl WorkerPool {
         WorkerPool { shared }
     }
 
+    /// The sizing this pool was built with.
     pub fn config(&self) -> PoolConfig {
         self.shared.cfg
     }

@@ -36,23 +36,30 @@ use crate::recovery::{migrate_replica, CopyGranularity};
 /// One planned replica move.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Move {
+    /// The database whose replica moves.
     pub db: String,
+    /// Machine losing the replica.
     pub from: MachineId,
+    /// Machine gaining the replica.
     pub to: MachineId,
 }
 
 /// A computed rebalance plan.
 #[derive(Debug, Default)]
 pub struct RebalancePlan {
+    /// Replica moves to apply, in order.
     pub moves: Vec<Move>,
     /// Machines that hold no replica under the target packing and can be
     /// returned to the colo's free pool.
     pub freed_machines: Vec<MachineId>,
+    /// Machines hosting at least one replica before the plan.
     pub machines_before: usize,
+    /// Machines hosting at least one replica after the plan.
     pub machines_after: usize,
 }
 
 impl RebalancePlan {
+    /// True when the current placement already matches the target.
     pub fn is_noop(&self) -> bool {
         self.moves.is_empty()
     }

@@ -40,6 +40,7 @@ pub enum CopyGranularity {
 /// Recovery configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RecoveryConfig {
+    /// Copy one table at a time or the whole database at once.
     pub granularity: CopyGranularity,
     /// Concurrent copy jobs (recovery threads; Figure 8's x-axis).
     pub threads: usize,
@@ -64,6 +65,7 @@ pub struct RecoveryReport {
     pub recovered: Vec<(String, MachineId, Duration)>,
     /// Databases whose replica could not be re-created.
     pub failed: Vec<(String, ClusterError)>,
+    /// End-to-end duration of the recovery run.
     pub wall_time: Duration,
 }
 
@@ -111,7 +113,9 @@ pub fn create_replica(
     match result {
         Ok(()) => {
             controller.finish_copy(db);
-            Ok(started.elapsed())
+            let elapsed = started.elapsed();
+            controller.metrics().copy_latency.observe_duration(elapsed);
+            Ok(elapsed)
         }
         Err(e) => {
             controller.abandon_copy(db);
@@ -159,7 +163,15 @@ pub fn recover_machine(
     // A transient fixed pool bounds in-flight copies to exactly
     // `cfg.threads` (the Figure 8 x-axis); the per-database tasks queue
     // behind the running ones.
-    let pool = WorkerPool::new("recovery", PoolConfig::fixed(cfg.threads.max(1)));
+    let pool = WorkerPool::with_metrics(
+        "recovery",
+        PoolConfig::fixed(cfg.threads.max(1)),
+        Some(crate::metrics::PoolMetrics::resolve(
+            controller.metrics().registry(),
+            "recovery",
+            None,
+        )),
+    );
     let (res_tx, res_rx) = channel();
     for db in dbs {
         let res_tx = res_tx.clone();

@@ -50,18 +50,22 @@ pub struct TxnFailures {
 }
 
 impl TxnFailures {
+    /// Record a replica-side failure.
     pub fn push(&self, machine: MachineId, err: ClusterError) {
         self.list.lock().push((machine, err));
     }
 
+    /// Take (and clear) every recorded failure.
     pub fn drain(&self) -> Vec<(MachineId, ClusterError)> {
         std::mem::take(&mut *self.list.lock())
     }
 
+    /// True when no failure has been recorded.
     pub fn is_empty(&self) -> bool {
         self.list.lock().is_empty()
     }
 
+    /// Number of recorded failures.
     pub fn len(&self) -> usize {
         self.list.lock().len()
     }
@@ -71,20 +75,32 @@ impl TxnFailures {
 /// the transaction's shared reply channel; `want_reply: false` marks
 /// fire-and-forget cleanup (the receiver is gone or does not care).
 pub enum SessionMsg {
+    /// Execute one statement inside the session's local transaction.
     Exec {
+        /// Correlates the reply on the shared channel.
         seq: u64,
+        /// The parsed statement to run.
         stmt: Arc<Statement>,
+        /// Bound parameter values.
         params: Arc<Vec<Value>>,
     },
+    /// 2PC phase 1: prepare the local transaction and vote.
     Prepare {
+        /// Correlates the reply on the shared channel.
         seq: u64,
     },
+    /// Commit the local transaction (phase 2, or one-phase for reads).
     Commit {
+        /// Correlates the reply on the shared channel.
         seq: u64,
+        /// `false` marks fire-and-forget cleanup (nobody waits).
         want_reply: bool,
     },
+    /// Abort the local transaction.
     Abort {
+        /// Correlates the reply on the shared channel.
         seq: u64,
+        /// `false` marks fire-and-forget cleanup (nobody waits).
         want_reply: bool,
     },
     /// Finish the session *without* touching its local transaction: used by
@@ -105,11 +121,14 @@ impl SessionMsg {
 
 /// Reply to a session request, tagged with the request's `seq`.
 pub struct WorkerReply {
+    /// The request's sequence number (stale replies are discarded by it).
     pub seq: u64,
+    /// The machine that produced this reply.
     pub machine: MachineId,
     /// The transaction's local id on this machine (known once any operation
     /// has run). The 2PC decision log records these.
     pub local: Option<TxnId>,
+    /// The statement's outcome on this replica.
     pub result: Result<QueryResult>,
 }
 
@@ -317,6 +336,7 @@ pub struct SessionHandle {
 }
 
 impl SessionHandle {
+    /// The machine this session executes on.
     pub fn machine(&self) -> MachineId {
         self.session.machine
     }

@@ -308,6 +308,36 @@ impl SystemController {
             entry.ship_queue.lock().push_back(batch);
         }
     }
+
+    /// Platform-wide metrics scrape: every cluster's text exposition,
+    /// grouped under a comment header naming its colo and cluster index.
+    /// Each cluster keeps its own registry, so series from different
+    /// clusters never collide even when label sets match.
+    pub fn render_metrics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for colo in &self.colos {
+            for (i, cluster) in colo.clusters().iter().enumerate() {
+                let _ = writeln!(out, "# ==== {} ({}) cluster {}", colo.name, colo.id, i);
+                out.push_str(&cluster.metrics().registry().render_text());
+            }
+        }
+        out
+    }
+
+    /// Live §4.1 compliance verdict for `db` over `window`, checked against
+    /// its stored SLA using the primary colo's live outcome counters.
+    /// `None` when the database is unknown or its primary colo is down.
+    pub fn sla_compliance(
+        &self,
+        db: &str,
+        window: std::time::Duration,
+    ) -> Option<tenantdb_sla::Compliance> {
+        let entry = self.directory.read().get(db).cloned()?;
+        let colo = self.colo(entry.primary).filter(|c| !c.is_failed())?;
+        let cluster = colo.cluster_for(db)?;
+        Some(cluster.sla_compliance(db, &entry.sla, window))
+    }
 }
 
 fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
@@ -500,6 +530,48 @@ mod tests {
         assert!(p.connect("app", WEST).is_err());
         p.failover("app").unwrap();
         assert!(p.connect("app", WEST).is_ok());
+    }
+
+    #[test]
+    fn platform_metrics_and_compliance_come_from_live_clusters() {
+        let p = platform();
+        let sla = Sla::new(0.01, 0.01, std::time::Duration::from_secs(60));
+        p.create_database(
+            "app",
+            WEST,
+            CreateOptions {
+                sla,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let conn = p.connect("app", WEST).unwrap();
+        conn.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))", &[])
+            .unwrap();
+        conn.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
+
+        // The scrape covers every cluster in every colo, and the primary's
+        // committed counter reflects the work just done.
+        let text = p.render_metrics();
+        assert!(text.contains("# ==== west (colo0) cluster 0"), "{text}");
+        assert!(text.contains("# ==== east (colo1) cluster 0"));
+        assert!(
+            text.contains("tenantdb_txn_outcomes_total{db=\"app\",outcome=\"committed\"}"),
+            "{text}"
+        );
+
+        // Compliance reads the same counters: ≥1 commit in 60s ≥ 0.01 TPS.
+        let c = p.sla_compliance("app", std::time::Duration::from_secs(60));
+        assert!(c.expect("known db").ok());
+        assert!(p
+            .sla_compliance("nope", std::time::Duration::from_secs(60))
+            .is_none());
+
+        // After the primary colo fails there is no live registry to judge.
+        p.colo(ColoId(0)).unwrap().fail();
+        assert!(p
+            .sla_compliance("app", std::time::Duration::from_secs(60))
+            .is_none());
     }
 
     #[test]

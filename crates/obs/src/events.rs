@@ -1,0 +1,234 @@
+//! Ring-buffer structured event log.
+//!
+//! Counters answer "how many"; the event log answers "what happened, in what
+//! order" — recovery copy progress, Algorithm-1 write rejections, pool
+//! growth — without unbounded memory: the ring keeps the most recent
+//! `capacity` events and overwrites the oldest. Every event carries a
+//! monotonically increasing sequence number, so wraparound is observable
+//! (`total_emitted() - len()` events have been dropped) and consumers can
+//! detect gaps.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One structured log entry: a kind tag plus key/value fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Microseconds since the log was created.
+    pub elapsed_us: u64,
+    /// Event type tag, e.g. `"copy_table_begin"` or `"write_rejected"`.
+    pub kind: &'static str,
+    /// Structured payload as (key, value) pairs, in emission order.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl Event {
+    /// First value for `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+struct Ring {
+    buf: VecDeque<Event>,
+    next_seq: u64,
+}
+
+/// A bounded, thread-safe, most-recent-first event store.
+pub struct EventLog {
+    start: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl EventLog {
+    /// An empty log keeping at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        // The ring holds no invariants a panicking emitter could break.
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one event, evicting the oldest if the ring is full.
+    pub fn emit(&self, kind: &'static str, fields: Vec<(&'static str, String)>) {
+        let elapsed_us = self.start.elapsed().as_micros() as u64;
+        let mut ring = self.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+        }
+        ring.buf.push_back(Event {
+            seq,
+            elapsed_us,
+            kind,
+            fields,
+        });
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let ring = self.lock();
+        let skip = ring.buf.len().saturating_sub(n);
+        ring.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Every retained event, oldest first.
+    pub fn all(&self) -> Vec<Event> {
+        let ring = self.lock();
+        ring.buf.iter().cloned().collect()
+    }
+
+    /// Number of events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.lock().buf.is_empty()
+    }
+
+    /// Total events ever emitted, including those evicted by wraparound.
+    pub fn total_emitted(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// The ring size this log was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discard every retained event. Sequence numbers keep increasing, so a
+    /// consumer can still tell a clear from quiescence.
+    pub fn clear(&self) {
+        self.lock().buf.clear();
+    }
+
+    /// Human-readable rendering of the most recent `n` events, one per line:
+    /// `#seq +elapsed_ms kind key=value …`.
+    pub fn render_text(&self, n: usize) -> String {
+        let mut out = String::new();
+        for ev in self.recent(n) {
+            out.push_str(&format!(
+                "#{} +{:.3}ms {}",
+                ev.seq,
+                ev.elapsed_us as f64 / 1000.0,
+                ev.kind
+            ));
+            for (k, v) in &ev.fields {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Convenience: build the `fields` vector of [`EventLog::emit`] from
+/// anything displayable: `fields![("db", name), ("table", t)]` without
+/// hand-writing `to_string()` at every call site.
+#[macro_export]
+macro_rules! fields {
+    ($(($k:expr, $v:expr)),* $(,)?) => {
+        vec![$(($k, ::std::string::ToString::to_string(&$v))),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_retain_order_and_fields() {
+        let log = EventLog::new(8);
+        log.emit("a", fields![("x", 1)]);
+        log.emit("b", fields![("y", "two")]);
+        let evs = log.all();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, "a");
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[0].field("x"), Some("1"));
+        assert_eq!(evs[1].kind, "b");
+        assert_eq!(evs[1].seq, 1);
+        assert_eq!(evs[1].field("missing"), None);
+    }
+
+    #[test]
+    fn wraparound_keeps_most_recent_and_counts_drops() {
+        let log = EventLog::new(4);
+        for i in 0..10 {
+            log.emit("tick", fields![("i", i)]);
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.total_emitted(), 10);
+        let evs = log.all();
+        // The survivors are exactly the last four, in order, seqs intact.
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(evs[0].field("i"), Some("6"));
+        assert_eq!(evs[3].field("i"), Some("9"));
+    }
+
+    #[test]
+    fn recent_returns_a_suffix() {
+        let log = EventLog::new(8);
+        for i in 0..5 {
+            log.emit("e", fields![("i", i)]);
+        }
+        let last2 = log.recent(2);
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[0].seq, 3);
+        assert_eq!(last2[1].seq, 4);
+        // Asking for more than retained returns everything.
+        assert_eq!(log.recent(100).len(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let log = EventLog::new(0);
+        log.emit("only", vec![]);
+        log.emit("survivor", vec![]);
+        assert_eq!(log.capacity(), 1);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.all()[0].kind, "survivor");
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotonic() {
+        let log = EventLog::new(4);
+        log.emit("a", vec![]);
+        log.clear();
+        assert!(log.is_empty());
+        log.emit("b", vec![]);
+        assert_eq!(log.all()[0].seq, 1, "clear must not reset seq");
+        assert_eq!(log.total_emitted(), 2);
+    }
+
+    #[test]
+    fn render_text_is_one_line_per_event() {
+        let log = EventLog::new(4);
+        log.emit("copy_begin", fields![("db", "app"), ("target", "m2")]);
+        let text = log.render_text(10);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("copy_begin"));
+        assert!(text.contains("db=app"));
+        assert!(text.contains("target=m2"));
+    }
+}

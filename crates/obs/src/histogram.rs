@@ -1,0 +1,238 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are power-of-two upper bounds in **microseconds** (1 µs … ~4.2 s)
+//! plus an overflow bucket, chosen so that `observe` is a binary search over
+//! a small constant array and two relaxed atomic adds — cheap enough for the
+//! begin/execute/commit hot path. Quantiles are estimated by linear
+//! interpolation inside the bucket containing the target rank, which is the
+//! standard Prometheus-histogram estimator: exact at bucket boundaries,
+//! never off by more than one bucket width in between.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Upper bounds (inclusive, in µs) of the fixed bucket scheme: 2^0 … 2^22.
+/// Values above the last bound land in the overflow (`+Inf`) bucket.
+pub const BUCKET_BOUNDS_US: [u64; 23] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072,
+    262144, 524288, 1048576, 2097152, 4194304,
+];
+
+/// A fixed-bucket histogram of `u64` observations (latencies in µs).
+///
+/// All methods are lock-free; concurrent `observe` calls from many worker
+/// threads never contend on anything but cache lines.
+pub struct Histogram {
+    /// One count per bound in [`BUCKET_BOUNDS_US`], plus the overflow bucket.
+    counts: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram over the default bucket scheme.
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket a value falls into (first bound ≥ `value`, or the
+    /// overflow bucket).
+    fn bucket_index(value: u64) -> usize {
+        BUCKET_BOUNDS_US
+            .partition_point(|&bound| bound < value)
+            .min(BUCKET_BOUNDS_US.len())
+    }
+
+    /// Record one observation (microseconds).
+    pub fn observe(&self, value: u64) {
+        self.counts[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`] observation, truncated to whole microseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    /// Record the time elapsed since `start`.
+    pub fn observe_since(&self, start: Instant) {
+        self.observe_duration(start.elapsed());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values (µs).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (same order as [`BUCKET_BOUNDS_US`], overflow last).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimated `q`-quantile (0 < q ≤ 1) in µs, by linear interpolation
+    /// inside the target bucket. Returns 0.0 for an empty histogram. The
+    /// overflow bucket has no upper bound, so ranks landing there report the
+    /// last finite bound (a deliberate under-estimate, flagged by the
+    /// `+Inf` bucket count in the exposition).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q * total as f64).ceil().clamp(1.0, total as f64);
+        let mut cum = 0u64;
+        for (i, &n) in counts.iter().enumerate() {
+            let prev = cum;
+            cum += n;
+            if (cum as f64) >= rank {
+                if i >= BUCKET_BOUNDS_US.len() {
+                    return *BUCKET_BOUNDS_US.last().unwrap() as f64;
+                }
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_US[i - 1] };
+                let upper = BUCKET_BOUNDS_US[i];
+                let frac = (rank - prev as f64) / n as f64;
+                return lower as f64 + (upper - lower) as f64 * frac;
+            }
+        }
+        *BUCKET_BOUNDS_US.last().unwrap() as f64
+    }
+
+    /// Median estimate (µs).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (µs).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (µs).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Zero every bucket and the sum (measurement-window resets).
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_the_right_buckets() {
+        let h = Histogram::new();
+        h.observe(0); // below the first bound
+        h.observe(1); // exactly on the first bound (inclusive)
+        h.observe(2); // exactly on the second bound
+        h.observe(3); // between bounds -> first bound >= 3 is 4
+        let c = h.bucket_counts();
+        assert_eq!(c[0], 2, "0 and 1 share the le=1 bucket");
+        assert_eq!(c[1], 1, "2 is inclusive in le=2");
+        assert_eq!(c[2], 1, "3 rounds up to le=4");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 6);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let h = Histogram::new();
+        let last = *BUCKET_BOUNDS_US.last().unwrap();
+        h.observe(last); // still inside the last finite bucket
+        h.observe(last + 1); // overflow
+        h.observe(u64::MAX); // overflow
+        let c = h.bucket_counts();
+        assert_eq!(c[BUCKET_BOUNDS_US.len() - 1], 1);
+        assert_eq!(c[BUCKET_BOUNDS_US.len()], 2);
+        // Quantiles in the overflow bucket report the last finite bound.
+        assert_eq!(h.quantile(1.0), last as f64);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_observation_quantiles() {
+        let h = Histogram::new();
+        h.observe(100);
+        // Every quantile lands in the (64, 128] bucket.
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((64.0..=128.0).contains(&v), "q={q} -> {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        let h = Histogram::new();
+        // 100 observations all in the (64, 128] bucket.
+        for _ in 0..100 {
+            h.observe(100);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < p99, "interpolation must be monotone: {p50} vs {p99}");
+        assert!((64.0..=128.0).contains(&p50));
+        assert!((64.0..=128.0).contains(&p99));
+    }
+
+    #[test]
+    fn quantiles_across_buckets() {
+        let h = Histogram::new();
+        // 90 fast (≤1µs), 10 slow (~1ms): p50 in the first bucket, p99 up high.
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..10 {
+            h.observe(1000);
+        }
+        assert!(h.p50() <= 1.0);
+        assert!(h.p95() > 512.0, "p95 = {}", h.p95());
+        assert!(h.p99() > 512.0 && h.p99() <= 1024.0, "p99 = {}", h.p99());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let h = Histogram::new();
+        h.observe(5);
+        h.observe(500);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn duration_observation_truncates_to_micros() {
+        let h = Histogram::new();
+        h.observe_duration(Duration::from_nanos(2_500));
+        assert_eq!(h.sum(), 2, "2.5µs truncates to 2µs");
+    }
+}

@@ -20,6 +20,8 @@
 //! branch-and-bound for the Table 2 comparison, and [`Zipf`] reproduces the
 //! skewed size/throughput distributions of the experiment.
 
+#![warn(missing_docs)]
+
 pub mod monitor;
 pub mod placement;
 pub mod zipf;
@@ -42,13 +44,18 @@ use std::time::Duration;
 /// `memory` and `disk_size` in pages, `disk_io` in page-misses/sec.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ResourceVector {
+    /// Processing demand/capacity, in transaction-cost units per second.
     pub cpu: f64,
+    /// Buffer-pool demand/capacity, in pages.
     pub memory: f64,
+    /// I/O demand/capacity, in page-misses per second.
     pub disk_io: f64,
+    /// Storage demand/capacity, in pages.
     pub disk_size: f64,
 }
 
 impl ResourceVector {
+    /// The zero vector (no demand).
     pub const ZERO: ResourceVector = ResourceVector {
         cpu: 0.0,
         memory: 0.0,
@@ -56,6 +63,7 @@ impl ResourceVector {
         disk_size: 0.0,
     };
 
+    /// Build a vector from its four components.
     pub fn new(cpu: f64, memory: f64, disk_io: f64, disk_size: f64) -> Self {
         ResourceVector {
             cpu,
@@ -83,6 +91,7 @@ impl ResourceVector {
             .max(frac(self.disk_size, capacity.disk_size))
     }
 
+    /// True when every component is ≥ 0 (capacity checks).
     pub fn is_nonnegative(&self) -> bool {
         self.cpu >= 0.0 && self.memory >= 0.0 && self.disk_io >= 0.0 && self.disk_size >= 0.0
     }
@@ -130,6 +139,7 @@ pub struct Sla {
 }
 
 impl Sla {
+    /// Build an SLA from its three terms.
     pub fn new(min_tps: f64, max_rejected_frac: f64, period: Duration) -> Self {
         Sla {
             min_tps,
@@ -196,13 +206,18 @@ pub fn expected_rejected_frac(
 /// A database to be placed: demand vector + replica count + SLA.
 #[derive(Debug, Clone)]
 pub struct DatabaseSpec {
+    /// The database's name (placement reports refer to it).
     pub name: String,
+    /// Per-replica resource demand (from the observation period).
     pub demand: ResourceVector,
+    /// Number of synchronous replicas to place on distinct machines.
     pub replicas: usize,
+    /// The database's service level agreement.
     pub sla: Sla,
 }
 
 impl DatabaseSpec {
+    /// A spec with the default SLA.
     pub fn new(name: impl Into<String>, demand: ResourceVector, replicas: usize) -> Self {
         DatabaseSpec {
             name: name.into(),

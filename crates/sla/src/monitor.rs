@@ -16,6 +16,7 @@ use crate::{expected_rejected_frac, Sla};
 /// the cluster crate depends on this one.)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ObservedOutcomes {
+    /// Successfully committed transactions.
     pub committed: u64,
     /// Proactively rejected (failures, copy rejections) — the SLA numerator.
     pub rejected: u64,
@@ -24,10 +25,12 @@ pub struct ObservedOutcomes {
 }
 
 impl ObservedOutcomes {
+    /// Every transaction that reached an outcome in the window.
     pub fn total_attempted(&self) -> u64 {
         self.committed + self.rejected + self.workload_aborts
     }
 
+    /// Committed transactions per second over `window`.
     pub fn throughput(&self, window: Duration) -> f64 {
         let secs = window.as_secs_f64();
         if secs <= 0.0 {
@@ -52,13 +55,18 @@ impl ObservedOutcomes {
 /// Compliance verdict for one database over one window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Compliance {
+    /// Observed throughput met the SLA's minimum.
     pub throughput_ok: bool,
+    /// Observed rejection fraction stayed within the SLA's maximum.
     pub availability_ok: bool,
+    /// Committed transactions per second over the window.
     pub observed_tps: f64,
+    /// Fraction of SLA-relevant transactions proactively rejected.
     pub observed_rejected_frac: f64,
 }
 
 impl Compliance {
+    /// True when both SLA requirements held.
     pub fn ok(&self) -> bool {
         self.throughput_ok && self.availability_ok
     }

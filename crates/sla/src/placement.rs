@@ -42,7 +42,9 @@ impl std::error::Error for PlacementError {}
 /// One machine's bookkeeping inside a placer.
 #[derive(Debug, Clone)]
 pub struct MachineLoad {
+    /// The machine's total capacity.
     pub capacity: ResourceVector,
+    /// Demand already placed on it.
     pub used: ResourceVector,
     /// Databases (by name) with a replica here — enforces anti-colocation.
     pub hosted: Vec<String>,
@@ -66,6 +68,7 @@ impl MachineLoad {
         self.hosted.push(spec.name.clone());
     }
 
+    /// Largest per-dimension fullness fraction.
     pub fn utilization(&self) -> f64 {
         self.used.max_utilization(&self.capacity)
     }
@@ -146,6 +149,7 @@ pub struct FirstFitPlacer {
 }
 
 impl FirstFitPlacer {
+    /// An empty placer over machines of uniform `capacity`.
     pub fn new(capacity: ResourceVector) -> Self {
         FirstFitPlacer {
             inner: ListPlacer::new(capacity),
@@ -176,6 +180,7 @@ pub struct BestFitPlacer {
 }
 
 impl BestFitPlacer {
+    /// An empty placer over machines of uniform `capacity`.
     pub fn new(capacity: ResourceVector) -> Self {
         BestFitPlacer {
             inner: ListPlacer::new(capacity),
@@ -212,6 +217,7 @@ pub struct FirstFitDecreasingPlacer {
 }
 
 impl FirstFitDecreasingPlacer {
+    /// An empty placer over machines of uniform `capacity`.
     pub fn new(capacity: ResourceVector) -> Self {
         FirstFitDecreasingPlacer {
             capacity,
@@ -237,6 +243,7 @@ impl FirstFitDecreasingPlacer {
         Ok(used)
     }
 
+    /// Machines used by the last `place_all` (0 before any batch).
     pub fn machines_used(&self) -> usize {
         self.result.as_ref().map_or(0, |p| p.machines_used())
     }

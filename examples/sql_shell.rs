@@ -4,12 +4,15 @@
 //!
 //! Run with: `cargo run --release --example sql_shell`
 //! Reads statements from stdin (`;`-terminated not required — one per line),
-//! plus meta-commands: `\help`, `\dbs`, `\use <db>`, `\quit`.
+//! plus meta-commands: `\help`, `\dbs`, `\use <db>`, `\metrics`,
+//! `\events [n]`, `\fail <machine>`, `\recover <machine>`, `\quit`.
 //! Pipe a script: `echo 'SELECT 1 FROM t' | cargo run --example sql_shell`.
 
 use std::io::{self, BufRead, Write};
 
-use tenantdb::cluster::{ClusterConfig, ClusterController, Connection};
+use tenantdb::cluster::{
+    recover_machine, ClusterConfig, ClusterController, Connection, MachineId, RecoveryConfig,
+};
 use tenantdb::storage::Value;
 
 fn print_result(r: &tenantdb::sql::QueryResult) {
@@ -96,10 +99,18 @@ fn main() {
         match input {
             "\\quit" | "\\q" | "exit" => break,
             "\\help" => {
-                println!("  \\dbs          list databases and their replicas");
-                println!("  \\use <db>     switch database (created if missing)");
+                println!("  \\dbs            list databases and their replicas");
+                println!("  \\use <db>       switch database (created if missing)");
+                println!("  \\metrics        Prometheus-style dump of the cluster registry");
+                println!("  \\events [n]     last n structured events (default 20)");
+                println!("  \\fail <m>       fail machine m (e.g. \\fail 1)");
+                println!("  \\recover <m>    re-create the replicas machine m lost");
                 println!("  BEGIN / COMMIT / ROLLBACK  explicit transactions");
                 println!("  any SQL statement runs against every replica (writes) or one (reads)");
+                continue;
+            }
+            "\\metrics" => {
+                print!("{}", cluster.metrics().registry().render_text());
                 continue;
             }
             "\\dbs" => {
@@ -110,6 +121,52 @@ fn main() {
                 continue;
             }
             _ => {}
+        }
+        if input == "\\events" || input.starts_with("\\events ") {
+            let n = input
+                .strip_prefix("\\events")
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap_or(20);
+            let text = cluster.metrics().events().render_text(n);
+            if text.is_empty() {
+                println!("(no events)");
+            } else {
+                print!("{text}");
+            }
+            continue;
+        }
+        if let Some(m) = input.strip_prefix("\\fail ") {
+            match m.trim().parse::<u32>() {
+                Ok(id) => match cluster.fail_machine(MachineId(id)) {
+                    Ok(()) => println!("machine m{id} failed; reads/writes served by survivors"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(_) => println!("usage: \\fail <machine number>"),
+            }
+            continue;
+        }
+        if let Some(m) = input.strip_prefix("\\recover ") {
+            match m.trim().parse::<u32>() {
+                Ok(id) => {
+                    let report =
+                        recover_machine(&cluster, MachineId(id), RecoveryConfig::default());
+                    for (db, target, took) in &report.recovered {
+                        println!("  {db}: new replica on {target} in {took:?}");
+                    }
+                    for (db, e) in &report.failed {
+                        println!("  {db}: FAILED ({e})");
+                    }
+                    println!(
+                        "recovered {} database(s) in {:?} — try \\events to see the copy trail",
+                        report.recovered.len(),
+                        report.wall_time
+                    );
+                }
+                Err(_) => println!("usage: \\recover <machine number>"),
+            }
+            continue;
         }
         if let Some(target) = input.strip_prefix("\\use ") {
             let target = target.trim();
