@@ -561,7 +561,22 @@ impl Connection {
             rec.commit(txn.gtxn);
         }
 
-        if fault == CommitFault::CrashAfterDecision {
+        // The injector's controller-side crash point sits exactly where
+        // `CommitFault::CrashAfterDecision` does: decision logged, no
+        // participant COMMIT sent yet. A `Crash` here takes the same
+        // leave-participants-prepared path; a `Delay` widens the window in
+        // which the decision exists only in the mirrored log.
+        let mut crash_controller = fault == CommitFault::CrashAfterDecision;
+        match self.controller.faults().check(
+            crate::fault::CrashPoint::CommitDecision,
+            crate::fault::CONTROLLER,
+        ) {
+            Some(crate::fault::FaultAction::Crash) => crash_controller = true,
+            Some(crate::fault::FaultAction::Delay(d)) => std::thread::sleep(d),
+            None => {}
+        }
+
+        if crash_controller {
             // Simulated controller crash: participants stay prepared; the
             // decision is in the mirrored log for the backup to complete.
             // Detach the sessions so the cleanup abort never runs — the seed

@@ -18,6 +18,7 @@ use tenantdb_storage::{EngineConfig, TxnId};
 
 use crate::connection::Connection;
 use crate::error::{ClusterError, Result};
+use crate::fault::FaultInjector;
 use crate::machine::{Machine, MachineId};
 use crate::metrics::{ClusterMetrics, DbCounters, PoolMetrics};
 use crate::pool::PoolConfig;
@@ -139,6 +140,9 @@ pub struct ClusterController {
     /// in flight. Mirrored by the process-pair backup (§2): on takeover the
     /// backup completes these and aborts every other in-doubt transaction.
     pub(crate) commit_log: Mutex<HashMap<GTxn, Vec<(MachineId, TxnId)>>>,
+    /// Shared fault injector, threaded into every machine, pool and session.
+    /// Disarmed (inert) unless a test arms a [`crate::fault::FaultPlan`].
+    faults: Arc<FaultInjector>,
 }
 
 impl ClusterController {
@@ -154,6 +158,7 @@ impl ClusterController {
             recorder: RwLock::new(None),
             metrics: ClusterMetrics::new(),
             commit_log: Mutex::new(HashMap::new()),
+            faults: FaultInjector::disarmed(),
         })
     }
 
@@ -188,11 +193,12 @@ impl ClusterController {
     pub fn add_machine(&self) -> MachineId {
         let id = MachineId(self.next_machine.fetch_add(1, Ordering::Relaxed));
         let pool_metrics = PoolMetrics::resolve(self.metrics.registry(), "machine", Some(id));
-        let m = Arc::new(Machine::with_metrics(
+        let m = Arc::new(Machine::with_instrumentation(
             id,
             self.cfg.engine,
             self.cfg.pool,
             Some(pool_metrics),
+            Arc::clone(&self.faults),
         ));
         self.machines.write().insert(id, m);
         id
@@ -219,15 +225,64 @@ impl ClusterController {
 
     /// Fault injection: crash a machine. The controller notices through
     /// `Unavailable` errors, exactly as with a real power failure.
+    ///
+    /// Idempotent: failing a machine that is already failed is a no-op that
+    /// returns `Ok` — the operator's view ("that box is down") is already
+    /// true, and a second power failure of a dead box changes nothing. Only
+    /// the alive→failed transition emits a `machine_failed` event, so the
+    /// event log counts real failures, not repeated commands. Unknown
+    /// machine ids still error (`NoMachines`).
     pub fn fail_machine(&self, id: MachineId) -> Result<()> {
-        self.machine(id)?.engine.crash();
+        let m = self.machine(id)?;
+        if m.is_failed() {
+            return Ok(());
+        }
+        m.engine.crash();
+        self.metrics
+            .events()
+            .emit("machine_failed", fields![("machine", id)]);
         Ok(())
+    }
+
+    /// The cluster's shared [`FaultInjector`]; arm a
+    /// [`crate::fault::FaultPlan`] on it to schedule precise crash-point
+    /// faults (see the `tenantdb-sim` crate). Disarmed by default.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
     }
 
     /// Restart a crashed machine. Its engine replays the WAL, but the
     /// machine does NOT automatically rejoin replica sets — recovery decides.
+    ///
+    /// Before replay, in-doubt local transactions (prepared, never resolved
+    /// — the machine died between its PREPARE vote and the COMMIT) are
+    /// checked against the mirrored 2PC decision log: a decided commit is
+    /// written to the WAL so the redo pass applies it. Without this, a
+    /// client-acknowledged commit would silently vanish from a replica that
+    /// crashed inside the commit window and restarted.
     pub fn restart_machine(&self, id: MachineId) -> Result<()> {
-        self.machine(id)?.engine.restart();
+        let m = self.machine(id)?;
+        let in_doubt: HashSet<TxnId> = m.engine.wal().in_doubt().into_iter().collect();
+        if !in_doubt.is_empty() {
+            let mut log = self.commit_log.lock();
+            log.retain(|_, participants| {
+                participants.retain(|&(pm, local)| {
+                    if pm == id && in_doubt.contains(&local) {
+                        m.engine
+                            .wal()
+                            .append(local, tenantdb_storage::wal::WalEntry::Commit);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                !participants.is_empty()
+            });
+        }
+        m.engine.restart();
+        self.metrics
+            .events()
+            .emit("machine_restarted", fields![("machine", id)]);
         Ok(())
     }
 

@@ -1,0 +1,463 @@
+//! Deterministic fault injection: named crash points on the cluster's hot
+//! paths, armed by a [`FaultPlan`].
+//!
+//! The seed implementation could only fail a whole machine
+//! ([`crate::ClusterController::fail_machine`]) or crash the controller at
+//! one hard-coded spot ([`crate::CommitFault::CrashAfterDecision`]). The
+//! failure schedules that actually break replication protocols are precise
+//! interleavings — a participant dying *between* its PREPARE vote and the
+//! COMMIT, a copy target dying at the third table boundary of Algorithm 1 —
+//! so the hot paths now carry named [`CrashPoint`]s. Each site calls
+//! [`FaultInjector::check`]; when the injector is disarmed (the default,
+//! and always in production) that is a single relaxed atomic load, so the
+//! instrumentation is inert outside tests.
+//!
+//! A [`FaultPlan`] is a list of [`Trigger`]s: *at the `after_hits`-th time
+//! execution passes crash point P on machine M, perform action A*. Hit
+//! counting is deterministic for a given workload, which is what makes a
+//! simulation run replayable from a seed (see the `tenantdb-sim` crate).
+//! Every fired trigger is logged; [`FaultInjector::schedule`] renders the
+//! log in a canonical sorted form so two runs of the same seed can be
+//! compared byte-for-byte.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::machine::MachineId;
+
+/// Sentinel machine id used for controller-side crash points (the controller
+/// is not a cluster machine; see [`CrashPoint::CommitDecision`]).
+pub const CONTROLLER: MachineId = MachineId(u32::MAX);
+
+/// A named location on a cluster hot path where a fault can fire.
+///
+/// The catalog (who calls [`FaultInjector::check`], and where):
+///
+/// | point | site | meaning |
+/// |---|---|---|
+/// | `ReplicaWriteApply` | `worker.rs` | before a write statement executes on a replica |
+/// | `ReplicaWriteAck` | `worker.rs` | after a write applied, before its ack is sent (a `Delay` here is a straggler ack; a `Crash` loses an acked statement) |
+/// | `PrepareApply` | `worker.rs` | before the local `PREPARE` runs — the vote is never cast |
+/// | `PrepareAck` | `worker.rs` | after the vote persisted, before the ack — the coordinator sees silence from a prepared participant |
+/// | `CommitDecision` | `connection.rs` | controller side, after the decision is logged but before any participant `COMMIT` is sent |
+/// | `CommitApply` | `worker.rs` | participant side, before its local `COMMIT` applies — dies prepared |
+/// | `CommitAck` | `worker.rs` | after the local commit persisted, before the ack |
+/// | `CopyStart` | `recovery.rs` | before a database-level Algorithm-1 dump begins |
+/// | `CopyTable` | `recovery.rs` | before each table's dump in a table-level copy (one hit per table boundary) |
+/// | `TakeoverCommit` | `pair.rs` | before the backup controller completes one participant's decided commit |
+/// | `PoolJob` | `pool.rs` | before a dequeued pool job runs (only `Delay` is honored) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CrashPoint {
+    /// Before a write statement executes on a replica.
+    ReplicaWriteApply,
+    /// After a write applied on a replica, before its ack is sent.
+    ReplicaWriteAck,
+    /// Before the local `PREPARE` runs (the vote is never cast).
+    PrepareApply,
+    /// After the `PREPARE` vote persisted, before the ack.
+    PrepareAck,
+    /// Controller side: after the commit decision is logged, before any
+    /// participant `COMMIT` goes out. Fired with machine [`CONTROLLER`].
+    CommitDecision,
+    /// Participant side: before its local `COMMIT` applies (dies prepared).
+    CommitApply,
+    /// Participant side: after the local commit persisted, before the ack.
+    CommitAck,
+    /// Before a database-level Algorithm-1 dump begins.
+    CopyStart,
+    /// Before each table's dump in a table-level Algorithm-1 copy.
+    CopyTable,
+    /// Before the backup controller completes one participant's decided
+    /// commit during process-pair takeover.
+    TakeoverCommit,
+    /// Before a dequeued pool job runs (only [`FaultAction::Delay`] is
+    /// honored here; crashing a pool thread models nothing the paper has).
+    PoolJob,
+}
+
+impl CrashPoint {
+    /// Every crash point, in canonical order (used by plan generators).
+    pub const ALL: [CrashPoint; 11] = [
+        CrashPoint::ReplicaWriteApply,
+        CrashPoint::ReplicaWriteAck,
+        CrashPoint::PrepareApply,
+        CrashPoint::PrepareAck,
+        CrashPoint::CommitDecision,
+        CrashPoint::CommitApply,
+        CrashPoint::CommitAck,
+        CrashPoint::CopyStart,
+        CrashPoint::CopyTable,
+        CrashPoint::TakeoverCommit,
+        CrashPoint::PoolJob,
+    ];
+
+    /// Stable snake_case name used in rendered schedules.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashPoint::ReplicaWriteApply => "replica_write_apply",
+            CrashPoint::ReplicaWriteAck => "replica_write_ack",
+            CrashPoint::PrepareApply => "prepare_apply",
+            CrashPoint::PrepareAck => "prepare_ack",
+            CrashPoint::CommitDecision => "commit_decision",
+            CrashPoint::CommitApply => "commit_apply",
+            CrashPoint::CommitAck => "commit_ack",
+            CrashPoint::CopyStart => "copy_start",
+            CrashPoint::CopyTable => "copy_table",
+            CrashPoint::TakeoverCommit => "takeover_commit",
+            CrashPoint::PoolJob => "pool_job",
+        }
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a fired trigger does at its crash point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Crash the machine at the hook site (its engine becomes `Unavailable`
+    /// until restarted). At [`CrashPoint::CommitDecision`] this crashes the
+    /// *controller* instead — participants are left prepared.
+    Crash,
+    /// Pause execution at the hook site (straggler acks, slow replicas,
+    /// lock-timeout storms). The delay runs on the session's pool lane, so
+    /// it stalls exactly what a slow machine would stall.
+    Delay(Duration),
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Crash => f.write_str("crash"),
+            FaultAction::Delay(d) => write!(f, "delay({}ms)", d.as_millis()),
+        }
+    }
+}
+
+/// One armed fault: *the `after_hits`-th time execution passes `point` on
+/// `machine`, perform `action`* (then never again — triggers are one-shot).
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    /// The crash point to arm.
+    pub point: CrashPoint,
+    /// The machine to arm it on; `None` matches any machine (the hit count
+    /// is then per-point across all machines).
+    pub machine: Option<MachineId>,
+    /// Zero-based hit index at which to fire (0 = the first pass).
+    pub after_hits: u64,
+    /// What to do when the trigger fires.
+    pub action: FaultAction,
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.machine {
+            Some(m) => write!(
+                f,
+                "{}@{}#{}:{}",
+                self.point, m, self.after_hits, self.action
+            ),
+            None => write!(f, "{}@*#{}:{}", self.point, self.after_hits, self.action),
+        }
+    }
+}
+
+/// An ordered set of [`Trigger`]s. Arming a plan on a cluster's
+/// [`FaultInjector`] is the only way faults fire; an empty plan (or a
+/// disarmed injector) leaves every hot path untouched.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The triggers to arm.
+    pub triggers: Vec<Trigger>,
+}
+
+impl FaultPlan {
+    /// A plan with no triggers (nothing fires).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build a plan from triggers.
+    pub fn new(triggers: Vec<Trigger>) -> Self {
+        Self { triggers }
+    }
+
+    /// Canonical one-line-per-trigger rendering (stable across runs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in &self.triggers {
+            out.push_str(&t.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A fault that fired: which trigger, where, at which hit.
+#[derive(Debug, Clone)]
+pub struct FiredFault {
+    /// The crash point that fired.
+    pub point: CrashPoint,
+    /// The machine it fired on ([`CONTROLLER`] for controller-side points).
+    pub machine: MachineId,
+    /// The hit index at which it fired.
+    pub hit: u64,
+    /// The action performed.
+    pub action: FaultAction,
+}
+
+impl fmt::Display for FiredFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{}#{}:{}",
+            self.point, self.machine, self.hit, self.action
+        )
+    }
+}
+
+struct InjectorState {
+    triggers: Vec<(Trigger, bool)>, // (trigger, fired)
+    /// Hits per (point, Some(machine)) and per (point, None) — the latter
+    /// is the cross-machine count used by wildcard triggers.
+    hits: HashMap<(CrashPoint, Option<MachineId>), u64>,
+    fired: Vec<FiredFault>,
+}
+
+/// Per-cluster fault injector. One instance is created by the
+/// [`crate::ClusterController`] and shared by every hook site; tests arm it
+/// through [`crate::ClusterController::faults`].
+///
+/// Disarmed (the default) the hot-path cost is one relaxed atomic load per
+/// hook — no lock, no allocation.
+pub struct FaultInjector {
+    armed: AtomicBool,
+    state: Mutex<InjectorState>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultInjector {
+    /// A disarmed injector (every [`check`](Self::check) returns `None`).
+    pub fn new() -> Self {
+        FaultInjector {
+            armed: AtomicBool::new(false),
+            state: Mutex::new(InjectorState {
+                triggers: Vec::new(),
+                hits: HashMap::new(),
+                fired: Vec::new(),
+            }),
+        }
+    }
+
+    /// A shared disarmed injector (what a controller starts with).
+    pub fn disarmed() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Arm `plan`, replacing any previous plan and clearing hit counters and
+    /// the fired log. An empty plan disarms the fast path.
+    pub fn arm(&self, plan: FaultPlan) {
+        let mut st = self.state.lock();
+        let any = !plan.triggers.is_empty();
+        st.triggers = plan.triggers.into_iter().map(|t| (t, false)).collect();
+        st.hits.clear();
+        st.fired.clear();
+        self.armed.store(any, Ordering::Release);
+    }
+
+    /// Disarm: drop the plan, keep the fired log readable.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::Release);
+        self.state.lock().triggers.clear();
+    }
+
+    /// True while at least one trigger is armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Hook-site entry point: count a pass through `point` on `machine` and
+    /// return the action to perform if a trigger fires. Inert (one relaxed
+    /// load) when disarmed.
+    #[inline]
+    pub fn check(&self, point: CrashPoint, machine: MachineId) -> Option<FaultAction> {
+        if !self.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.check_slow(point, machine)
+    }
+
+    #[cold]
+    fn check_slow(&self, point: CrashPoint, machine: MachineId) -> Option<FaultAction> {
+        let mut st = self.state.lock();
+        let n = {
+            let c = st.hits.entry((point, Some(machine))).or_insert(0);
+            let n = *c;
+            *c += 1;
+            n
+        };
+        let any = {
+            let c = st.hits.entry((point, None)).or_insert(0);
+            let n = *c;
+            *c += 1;
+            n
+        };
+        let hit = st.triggers.iter_mut().find_map(|(t, done)| {
+            if *done || t.point != point {
+                return None;
+            }
+            let fires = match t.machine {
+                Some(m) => m == machine && t.after_hits == n,
+                None => t.after_hits == any,
+            };
+            if fires {
+                *done = true;
+                Some((t.action, if t.machine.is_some() { n } else { any }))
+            } else {
+                None
+            }
+        });
+        let (action, at) = hit?;
+        st.fired.push(FiredFault {
+            point,
+            machine,
+            hit: at,
+            action,
+        });
+        if st.triggers.iter().all(|(_, done)| *done) {
+            // Last trigger spent: restore the inert fast path.
+            self.armed.store(false, Ordering::Release);
+        }
+        Some(action)
+    }
+
+    /// Every fault that fired since the last [`arm`](Self::arm), in firing
+    /// order.
+    pub fn fired(&self) -> Vec<FiredFault> {
+        self.state.lock().fired.clone()
+    }
+
+    /// Canonical rendering of the fired-fault schedule: one line per fault,
+    /// sorted by (point, machine, hit) so concurrent firings render
+    /// identically across runs of the same seed.
+    pub fn schedule(&self) -> String {
+        let mut lines: Vec<String> = self.fired().iter().map(|f| f.to_string()).collect();
+        lines.sort();
+        let mut out = String::new();
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_injector_is_inert() {
+        let inj = FaultInjector::new();
+        assert!(!inj.is_armed());
+        assert_eq!(inj.check(CrashPoint::PrepareAck, MachineId(0)), None);
+        assert!(inj.fired().is_empty());
+    }
+
+    #[test]
+    fn trigger_fires_on_exact_hit_then_never_again() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::new(vec![Trigger {
+            point: CrashPoint::CommitApply,
+            machine: Some(MachineId(2)),
+            after_hits: 1,
+            action: FaultAction::Crash,
+        }]));
+        // Hit 0 on the right machine: no fire.
+        assert_eq!(inj.check(CrashPoint::CommitApply, MachineId(2)), None);
+        // Other machine/point never counts toward this trigger.
+        assert_eq!(inj.check(CrashPoint::CommitApply, MachineId(1)), None);
+        assert_eq!(inj.check(CrashPoint::CommitAck, MachineId(2)), None);
+        // Hit 1: fires.
+        assert_eq!(
+            inj.check(CrashPoint::CommitApply, MachineId(2)),
+            Some(FaultAction::Crash)
+        );
+        // Spent: injector disarmed itself.
+        assert!(!inj.is_armed());
+        assert_eq!(inj.check(CrashPoint::CommitApply, MachineId(2)), None);
+        let fired = inj.fired();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].machine, MachineId(2));
+        assert_eq!(fired[0].hit, 1);
+    }
+
+    #[test]
+    fn wildcard_trigger_counts_across_machines() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::new(vec![Trigger {
+            point: CrashPoint::PrepareApply,
+            machine: None,
+            after_hits: 2,
+            action: FaultAction::Crash,
+        }]));
+        assert_eq!(inj.check(CrashPoint::PrepareApply, MachineId(0)), None);
+        assert_eq!(inj.check(CrashPoint::PrepareApply, MachineId(1)), None);
+        assert_eq!(
+            inj.check(CrashPoint::PrepareApply, MachineId(0)),
+            Some(FaultAction::Crash)
+        );
+    }
+
+    #[test]
+    fn schedule_renders_sorted_and_stable() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::new(vec![
+            Trigger {
+                point: CrashPoint::PrepareAck,
+                machine: Some(MachineId(1)),
+                after_hits: 0,
+                action: FaultAction::Crash,
+            },
+            Trigger {
+                point: CrashPoint::CommitAck,
+                machine: Some(MachineId(0)),
+                after_hits: 0,
+                action: FaultAction::Delay(Duration::from_millis(5)),
+            },
+        ]));
+        inj.check(CrashPoint::PrepareAck, MachineId(1));
+        inj.check(CrashPoint::CommitAck, MachineId(0));
+        let s = inj.schedule();
+        assert_eq!(s, "commit_ack@m0#0:delay(5ms)\nprepare_ack@m1#0:crash\n");
+    }
+
+    #[test]
+    fn arm_resets_counters_and_log() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::new(vec![Trigger {
+            point: CrashPoint::PoolJob,
+            machine: Some(MachineId(0)),
+            after_hits: 0,
+            action: FaultAction::Crash,
+        }]));
+        inj.check(CrashPoint::PoolJob, MachineId(0));
+        assert_eq!(inj.fired().len(), 1);
+        inj.arm(FaultPlan::empty());
+        assert!(inj.fired().is_empty());
+        assert!(!inj.is_armed());
+    }
+}

@@ -44,12 +44,14 @@
 pub mod connection;
 pub mod controller;
 pub mod error;
+pub mod fault;
 pub mod machine;
 pub mod metrics;
 pub mod pair;
 pub mod pool;
 pub mod rebalance;
 pub mod recovery;
+pub mod testkit;
 pub mod worker;
 
 pub use connection::{CommitFault, Connection};
@@ -57,6 +59,7 @@ pub use controller::{
     ClusterConfig, ClusterController, CopyProgress, Placement, ReadPolicy, WritePolicy,
 };
 pub use error::{ClusterError, Result};
+pub use fault::{CrashPoint, FaultAction, FaultInjector, FaultPlan, Trigger};
 pub use machine::{Machine, MachineId};
 pub use metrics::{ClusterMetrics, DbCounters, PoolMetrics};
 pub use pair::{ProcessPair, Role, TakeoverReport};

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use tenantdb_history::{GTxn, Recorder};
 use tenantdb_storage::{Engine, EngineConfig};
 
+use crate::fault::FaultInjector;
 use crate::metrics::PoolMetrics;
 use crate::pool::{PoolConfig, WorkerPool};
 use crate::worker::{new_session, SessionHandle, TxnFailures, WorkerReply};
@@ -33,6 +34,9 @@ pub struct Machine {
     /// The single-node DBMS engine running on this machine.
     pub engine: Arc<Engine>,
     pool: WorkerPool,
+    /// The cluster's fault injector (disarmed for standalone machines);
+    /// sessions consult it at their crash points.
+    faults: Arc<FaultInjector>,
 }
 
 impl Machine {
@@ -54,10 +58,29 @@ impl Machine {
         pool: PoolConfig,
         metrics: Option<PoolMetrics>,
     ) -> Self {
+        Self::with_instrumentation(id, cfg, pool, metrics, FaultInjector::disarmed())
+    }
+
+    /// A fully instrumented machine: pool metrics plus the cluster's shared
+    /// fault injector (threaded into the pool and every session). This is
+    /// what [`crate::ClusterController::add_machine`] builds.
+    pub fn with_instrumentation(
+        id: MachineId,
+        cfg: EngineConfig,
+        pool: PoolConfig,
+        metrics: Option<PoolMetrics>,
+        faults: Arc<FaultInjector>,
+    ) -> Self {
         Machine {
             id,
             engine: Arc::new(Engine::new(cfg)),
-            pool: WorkerPool::with_metrics("machine", pool, metrics),
+            pool: WorkerPool::with_instrumentation(
+                "machine",
+                pool,
+                metrics,
+                Some((Arc::clone(&faults), id)),
+            ),
+            faults,
         }
     }
 
@@ -79,6 +102,7 @@ impl Machine {
             failures,
             recorder,
             reply,
+            Arc::clone(&self.faults),
         )
     }
 

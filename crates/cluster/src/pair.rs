@@ -91,12 +91,35 @@ impl ProcessPair {
             self.controller.commit_log.lock().drain().collect();
         let mut completed: Vec<GTxn> = Vec::new();
         for (gtxn, participants) in decided {
+            let mut unresolved: Vec<(MachineId, tenantdb_storage::TxnId)> = Vec::new();
             for (machine, local) in participants {
                 if let Ok(m) = self.controller.machine(machine) {
-                    // Idempotent-ish: errors (already finished, machine down)
-                    // are ignored; a down machine resolves via WAL on restart.
-                    let _ = m.engine.commit(local);
+                    // Crash point: a participant can die in the instant the
+                    // backup reaches for it — the commit below then fails
+                    // like any other down-machine commit.
+                    if let Some(action) = self
+                        .controller
+                        .faults()
+                        .check(crate::fault::CrashPoint::TakeoverCommit, machine)
+                    {
+                        match action {
+                            crate::fault::FaultAction::Crash => m.engine.crash(),
+                            crate::fault::FaultAction::Delay(d) => std::thread::sleep(d),
+                        }
+                    }
+                    // Errors from an already-finished local transaction are
+                    // ignored. A *down* participant is different: it still
+                    // holds the transaction prepared in its WAL and must
+                    // learn the decision when it restarts, so the decision
+                    // stays in the mirrored log (restart_machine resolves
+                    // it) instead of being dropped here.
+                    if m.engine.commit(local).is_err() && m.is_failed() {
+                        unresolved.push((machine, local));
+                    }
                 }
+            }
+            if !unresolved.is_empty() {
+                self.controller.commit_log.lock().insert(gtxn, unresolved);
             }
             completed.push(gtxn);
         }

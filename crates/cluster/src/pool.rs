@@ -36,6 +36,8 @@ use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::fault::{CrashPoint, FaultAction, FaultInjector};
+use crate::machine::MachineId;
 use crate::metrics::PoolMetrics;
 use crate::worker::Session;
 
@@ -107,6 +109,9 @@ pub struct PoolShared {
     /// Scheduling gauges/counters; `None` for unobserved pools (tests,
     /// standalone machines) so the hot path pays nothing when unused.
     metrics: Option<PoolMetrics>,
+    /// Fault hook ([`CrashPoint::PoolJob`]) for pools owned by a cluster
+    /// machine; `None` elsewhere. Inert unless the injector is armed.
+    faults: Option<(Arc<FaultInjector>, MachineId)>,
 }
 
 impl PoolShared {
@@ -178,6 +183,14 @@ fn worker_main(shared: Arc<PoolShared>) {
                 if let Some(m) = &shared.metrics {
                     m.queue_depth.dec();
                 }
+                if let Some((inj, machine)) = &shared.faults {
+                    // Only a scheduling delay makes sense here: the job has
+                    // been dequeued, and a "crashed" pool thread models
+                    // nothing the paper's failure model contains.
+                    if let Some(FaultAction::Delay(d)) = inj.check(CrashPoint::PoolJob, *machine) {
+                        std::thread::sleep(d);
+                    }
+                }
                 match job {
                     PoolJob::Session(session) => session.drain(&shared),
                     PoolJob::Task(f) => f(),
@@ -209,6 +222,18 @@ impl WorkerPool {
     /// A pool reporting queue depth, live threads and spawn counts through
     /// the given handles (resolved once; the hot path only touches atomics).
     pub fn with_metrics(name: &'static str, cfg: PoolConfig, metrics: Option<PoolMetrics>) -> Self {
+        Self::with_instrumentation(name, cfg, metrics, None)
+    }
+
+    /// A fully instrumented pool: metrics plus the machine's fault injector
+    /// (for the [`CrashPoint::PoolJob`] hook). Cluster machines use this;
+    /// everything else passes `None` and pays nothing.
+    pub fn with_instrumentation(
+        name: &'static str,
+        cfg: PoolConfig,
+        metrics: Option<PoolMetrics>,
+        faults: Option<(Arc<FaultInjector>, MachineId)>,
+    ) -> Self {
         assert!(
             cfg.max_threads >= cfg.core_threads.max(1),
             "max_threads below core_threads"
@@ -225,6 +250,7 @@ impl WorkerPool {
             cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
             metrics,
+            faults,
         });
         for _ in 0..cfg.core_threads.max(1) {
             shared.spawn_worker();

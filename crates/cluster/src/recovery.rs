@@ -24,7 +24,8 @@ use tenantdb_storage::{copy, Throttle};
 
 use crate::controller::ClusterController;
 use crate::error::{ClusterError, Result};
-use crate::machine::MachineId;
+use crate::fault::{CrashPoint, FaultAction};
+use crate::machine::{Machine, MachineId};
 use crate::pool::{PoolConfig, WorkerPool};
 
 /// Copy granularity (the two series of Figures 8 and 9).
@@ -69,6 +70,19 @@ pub struct RecoveryReport {
     pub wall_time: Duration,
 }
 
+/// Consult the cluster's fault injector at an Algorithm-1 crash point,
+/// crashing (or delaying) the given copy participant. Fired for the source
+/// first, then the target — a fixed order so a seeded plan always means the
+/// same interleaving.
+fn copy_fault_hook(controller: &ClusterController, point: CrashPoint, m: &Machine) {
+    if let Some(action) = controller.faults().check(point, m.id) {
+        match action {
+            FaultAction::Crash => m.engine.crash(),
+            FaultAction::Delay(d) => std::thread::sleep(d),
+        }
+    }
+}
+
 /// Create one additional replica of `db` on `target` (used by recovery and
 /// by migration). The target machine must be alive; `db` must not already
 /// have a replica there.
@@ -87,9 +101,15 @@ pub fn create_replica(
         .ok_or_else(|| ClusterError::NoReplicas(db.to_string()))?;
     let source = controller.machine(source_id)?;
     let target_machine = controller.machine(target)?;
-    if !target_machine.engine.has_database(db) {
-        target_machine.engine.create_database(db)?;
+    if target_machine.engine.has_database(db) {
+        // A stale copy from a previous incarnation of this replica (the
+        // machine failed, restarted from its WAL, and is now being reused as
+        // a recovery target). The restored rows carry their source row ids,
+        // so restoring over stale data would collide or silently duplicate —
+        // the re-created replica must start from scratch.
+        target_machine.engine.drop_database(db)?;
     }
+    target_machine.engine.create_database(db)?;
 
     controller.begin_copy(db, target, granularity == CopyGranularity::DatabaseLevel);
     let result = (|| -> Result<()> {
@@ -98,12 +118,19 @@ pub fn create_replica(
                 let tables = source.engine.db(db)?.table_names();
                 for table in tables {
                     controller.set_copy_current(db, Some(&table));
+                    // One crash-point hit per table boundary, source then
+                    // target (the property tests in `tenantdb-sim` crash
+                    // here at every boundary × both granularities).
+                    copy_fault_hook(controller, CrashPoint::CopyTable, &source);
+                    copy_fault_hook(controller, CrashPoint::CopyTable, &target_machine);
                     let dump = copy::dump_table(&source.engine, db, &table, throttle)?;
                     copy::restore_table(&target_machine.engine, db, &dump)?;
                     controller.mark_copied(db, &table);
                 }
             }
             CopyGranularity::DatabaseLevel => {
+                copy_fault_hook(controller, CrashPoint::CopyStart, &source);
+                copy_fault_hook(controller, CrashPoint::CopyStart, &target_machine);
                 let dump = copy::dump_database(&source.engine, db, throttle)?;
                 copy::restore_database(&target_machine.engine, &dump)?;
             }

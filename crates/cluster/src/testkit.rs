@@ -1,0 +1,227 @@
+//! Shared test support: fast cluster builders and the invariant checks the
+//! integration suites (and the `tenantdb-sim` harness) all need.
+//!
+//! Before this module existed every integration file carried its own copy of
+//! a `config()`/`cluster()` constructor and its own per-replica scan loop.
+//! The checks here are the reusable versions:
+//!
+//! * [`replicas_converged`] — every alive replica of a database holds the
+//!   same logical state (same tables, same rows, compared content-wise);
+//! * [`committed_visible`] — a set of client-acknowledged primary keys is
+//!   present on every alive replica (the durability promise).
+//!
+//! Both come in a `Result`-returning form (for the simulation harness,
+//! which aggregates violations into a report) and an `assert_*` form (for
+//! plain `#[test]`s).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tenantdb_storage::{CostModel, Engine, EngineConfig, Value};
+
+use crate::controller::{ClusterConfig, ClusterController, ReadPolicy, WritePolicy};
+
+/// The fast engine configuration the integration suites share: small buffer
+/// pool, free cost model, sub-second lock timeout.
+pub fn fast_engine_config() -> EngineConfig {
+    EngineConfig {
+        buffer_pages: 1024,
+        cost: CostModel::free(),
+        lock_timeout: Duration::from_millis(400),
+    }
+}
+
+/// A test cluster configuration: the given policies over
+/// [`fast_engine_config`], with a fixed seed for reproducible replica
+/// choices.
+pub fn config(read: ReadPolicy, write: WritePolicy, seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        read_policy: read,
+        write_policy: write,
+        engine: fast_engine_config(),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// A ready-to-use cluster: `machines` machines, one database `"app"` with
+/// `replicas` replicas and the canonical test table
+/// `t (k INT PRIMARY KEY, v TEXT)`.
+pub fn cluster(
+    read: ReadPolicy,
+    write: WritePolicy,
+    machines: usize,
+    replicas: usize,
+) -> Arc<ClusterController> {
+    let c = ClusterController::with_machines(config(read, write, 3), machines);
+    c.create_database("app", replicas).unwrap();
+    c.ddl(
+        "app",
+        "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+    )
+    .unwrap();
+    c
+}
+
+/// Render one engine's logical state of `db` as canonical text: every table
+/// (sorted by name) with its rows sorted by content. Row *ids* are
+/// deliberately excluded — they are an engine-local artifact (two replicas
+/// that disagreed on an aborted insert burn different ids for identical
+/// data), while the paper's convergence claim is about the relation's
+/// contents.
+pub fn logical_state(engine: &Engine, db: &str) -> Result<String, String> {
+    let txn = engine.begin().map_err(|e| format!("begin on {db}: {e}"))?;
+    let result = (|| -> Result<String, String> {
+        let tables = engine
+            .db(db)
+            .map_err(|e| format!("open {db}: {e}"))?
+            .table_names();
+        let mut out = String::new();
+        for table in tables {
+            let mut rows: Vec<Vec<Value>> = engine
+                .scan(txn, db, &table)
+                .map_err(|e| format!("scan {db}.{table}: {e}"))?
+                .into_iter()
+                .map(|(_, row)| row)
+                .collect();
+            rows.sort();
+            out.push_str(&format!("table {table} ({} rows)\n", rows.len()));
+            for row in rows {
+                out.push_str(&format!("  {row:?}\n"));
+            }
+        }
+        Ok(out)
+    })();
+    let _ = engine.abort(txn);
+    result
+}
+
+/// Check that every alive replica of `db` holds byte-identical logical
+/// state (see [`logical_state`]). Returns a description of the first
+/// divergence found.
+pub fn replicas_converged(c: &ClusterController, db: &str) -> Result<(), String> {
+    let replicas = c
+        .alive_replicas(db)
+        .map_err(|e| format!("alive_replicas({db}): {e}"))?;
+    if replicas.is_empty() {
+        return Err(format!("{db}: no alive replicas to compare"));
+    }
+    let mut reference: Option<(crate::MachineId, String)> = None;
+    for id in replicas {
+        let m = c.machine(id).map_err(|e| format!("machine {id}: {e}"))?;
+        let state = logical_state(&m.engine, db)?;
+        match &reference {
+            None => reference = Some((id, state)),
+            Some((ref_id, ref_state)) => {
+                if state != *ref_state {
+                    return Err(format!(
+                        "{db}: replicas diverged\n--- {ref_id}\n{ref_state}--- {id}\n{state}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panic unless every alive replica of `db` holds identical logical state.
+pub fn assert_replicas_converged(c: &ClusterController, db: &str) {
+    if let Err(e) = replicas_converged(c, db) {
+        panic!("convergence violated: {e}");
+    }
+}
+
+/// Check that every integer primary key in `keys` is visible in
+/// `db.table` on **every** alive replica — the durability half of the
+/// write-all contract: once a commit was acknowledged to the client, no
+/// surviving replica may be missing its writes.
+pub fn committed_visible(
+    c: &ClusterController,
+    db: &str,
+    table: &str,
+    keys: &[i64],
+) -> Result<(), String> {
+    let replicas = c
+        .alive_replicas(db)
+        .map_err(|e| format!("alive_replicas({db}): {e}"))?;
+    if replicas.is_empty() {
+        return Err(format!("{db}: no alive replicas to check"));
+    }
+    for id in replicas {
+        let m = c.machine(id).map_err(|e| format!("machine {id}: {e}"))?;
+        let txn = m
+            .engine
+            .begin()
+            .map_err(|e| format!("begin on {id}: {e}"))?;
+        let mut missing: Vec<i64> = Vec::new();
+        for &k in keys {
+            let rows = m
+                .engine
+                .index_lookup(txn, db, table, "pk", &[Value::Int(k)], false)
+                .map_err(|e| format!("lookup {db}.{table}[{k}] on {id}: {e}"))?;
+            if rows.is_empty() {
+                missing.push(k);
+            }
+        }
+        let _ = m.engine.abort(txn);
+        if !missing.is_empty() {
+            return Err(format!(
+                "{db}.{table}: replica {id} lost {} acked key(s): {missing:?}",
+                missing.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Panic unless every acked key in `keys` is present on every alive replica.
+pub fn assert_committed_visible(c: &ClusterController, db: &str, table: &str, keys: &[i64]) {
+    if let Err(e) = committed_visible(c, db, table, keys) {
+        panic!("durability violated: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converged_cluster_passes_both_checks() {
+        let c = cluster(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 3, 2);
+        let conn = c.connect("app").unwrap();
+        for k in 0..5i64 {
+            conn.execute("INSERT INTO t VALUES (?, 'x')", &[Value::Int(k)])
+                .unwrap();
+        }
+        assert_replicas_converged(&c, "app");
+        assert_committed_visible(&c, "app", "t", &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn divergence_is_detected() {
+        let c = cluster(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 2, 2);
+        let conn = c.connect("app").unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'x')", &[]).unwrap();
+        // Plant an extra row on one replica behind the cluster's back.
+        let id = c.alive_replicas("app").unwrap()[1];
+        let m = c.machine(id).unwrap();
+        m.engine
+            .with_txn(|t| {
+                m.engine
+                    .insert(t, "app", "t", vec![Value::Int(99), Value::from("rogue")])
+                    .map(|_| ())
+            })
+            .unwrap();
+        assert!(replicas_converged(&c, "app").is_err());
+    }
+
+    #[test]
+    fn missing_acked_key_is_detected() {
+        let c = cluster(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 2, 2);
+        let conn = c.connect("app").unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'x')", &[]).unwrap();
+        let err = committed_visible(&c, "app", "t", &[1, 2]).unwrap_err();
+        assert!(err.contains("[2]"), "unexpected report: {err}");
+        assert!(committed_visible(&c, "app", "t", &[1]).is_ok());
+    }
+}

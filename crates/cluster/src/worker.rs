@@ -36,6 +36,7 @@ use tenantdb_sql::{execute_stmt, QueryResult, Statement};
 use tenantdb_storage::{Engine, TxnId, Value};
 
 use crate::error::{ClusterError, Result};
+use crate::fault::{CrashPoint, FaultAction, FaultInjector};
 use crate::machine::MachineId;
 use crate::pool::{PoolJob, PoolShared};
 
@@ -156,6 +157,9 @@ pub struct Session {
     recorder: Option<Arc<Recorder>>,
     /// The owning transaction's shared reply channel.
     reply: Sender<WorkerReply>,
+    /// The cluster's fault injector; consulted at the session-side crash
+    /// points (inert unless armed).
+    faults: Arc<FaultInjector>,
     mailbox: Mutex<Mailbox>,
     /// Only ever touched by the single active drainer; the lock is
     /// uncontended and exists to make the sharing safe.
@@ -207,6 +211,18 @@ impl Session {
         }
     }
 
+    /// Consult the injector at `point`; a `Crash` takes this machine's
+    /// engine down (every later operation on it sees `Unavailable`), a
+    /// `Delay` stalls this session's lane like a slow machine would.
+    fn fault_hook(&self, point: CrashPoint) {
+        if let Some(action) = self.faults.check(point, self.machine) {
+            match action {
+                FaultAction::Crash => self.engine.crash(),
+                FaultAction::Delay(d) => std::thread::sleep(d),
+            }
+        }
+    }
+
     fn process(&self, msg: SessionMsg) {
         let mut exec = self.exec.lock();
         if exec.finished {
@@ -216,6 +232,13 @@ impl Session {
         }
         match msg {
             SessionMsg::Exec { seq, stmt, params } => {
+                let is_write = matches!(
+                    &*stmt,
+                    Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. }
+                );
+                if is_write {
+                    self.fault_hook(CrashPoint::ReplicaWriteApply);
+                }
                 let engine = &self.engine;
                 let result: Result<QueryResult> = (|| {
                     let txn = match exec.local {
@@ -252,6 +275,11 @@ impl Session {
                 if let Err(e) = &result {
                     self.failures.push(self.machine, e.clone());
                 }
+                if is_write && result.is_ok() {
+                    // The write applied; a crash here loses a statement the
+                    // coordinator is about to count as acknowledged.
+                    self.fault_hook(CrashPoint::ReplicaWriteAck);
+                }
                 let _ = self.reply.send(WorkerReply {
                     seq,
                     machine: self.machine,
@@ -260,6 +288,7 @@ impl Session {
                 });
             }
             SessionMsg::Prepare { seq } => {
+                self.fault_hook(CrashPoint::PrepareApply);
                 let result = match exec.local {
                     Some(t) => self
                         .engine
@@ -272,6 +301,11 @@ impl Session {
                 if let Err(e) = &result {
                     self.failures.push(self.machine, e.clone());
                 }
+                if result.is_ok() {
+                    // Vote persisted; a crash here leaves a prepared
+                    // participant whose ack the coordinator never sees.
+                    self.fault_hook(CrashPoint::PrepareAck);
+                }
                 let _ = self.reply.send(WorkerReply {
                     seq,
                     machine: self.machine,
@@ -280,6 +314,9 @@ impl Session {
                 });
             }
             SessionMsg::Commit { seq, want_reply } => {
+                if exec.local.is_some() {
+                    self.fault_hook(CrashPoint::CommitApply);
+                }
                 let result = match exec.local.take() {
                     Some(t) => self
                         .engine
@@ -288,6 +325,9 @@ impl Session {
                         .map_err(ClusterError::from),
                     None => Ok(QueryResult::default()),
                 };
+                if result.is_ok() {
+                    self.fault_hook(CrashPoint::CommitAck);
+                }
                 exec.finished = true;
                 if want_reply {
                     let _ = self.reply.send(WorkerReply {
@@ -389,6 +429,7 @@ pub(crate) fn new_session(
     failures: Arc<TxnFailures>,
     recorder: Option<Arc<Recorder>>,
     reply: Sender<WorkerReply>,
+    faults: Arc<FaultInjector>,
 ) -> SessionHandle {
     SessionHandle {
         session: Arc::new(Session {
@@ -399,6 +440,7 @@ pub(crate) fn new_session(
             failures,
             recorder,
             reply,
+            faults,
             mailbox: Mutex::new(Mailbox {
                 queue: VecDeque::new(),
                 scheduled: false,

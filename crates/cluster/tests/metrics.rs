@@ -3,39 +3,18 @@
 //! the rendered exposition carries the operator-facing series.
 
 use std::sync::Arc;
-use std::time::Duration;
 
 use tenantdb_cluster::metrics::{
     self, COMMIT_LATENCY, READ_ROUTES, RECOVERY_TABLES_COPIED, TWOPC_COMMIT_LATENCY,
     TWOPC_PREPARE_LATENCY, TXN_BEGUN, TXN_OUTCOMES, WRITE_REJECTIONS,
 };
 use tenantdb_cluster::recovery::{create_replica, CopyGranularity};
-use tenantdb_cluster::{ClusterConfig, ClusterController, ClusterError, ReadPolicy, WritePolicy};
-use tenantdb_storage::{CostModel, EngineConfig, Throttle};
-
-fn config(read: ReadPolicy, write: WritePolicy) -> ClusterConfig {
-    ClusterConfig {
-        read_policy: read,
-        write_policy: write,
-        engine: EngineConfig {
-            buffer_pages: 1024,
-            cost: CostModel::free(),
-            lock_timeout: Duration::from_millis(400),
-        },
-        seed: 11,
-        ..Default::default()
-    }
-}
+use tenantdb_cluster::testkit;
+use tenantdb_cluster::{ClusterController, ClusterError, ReadPolicy, WritePolicy};
+use tenantdb_storage::Throttle;
 
 fn cluster(read: ReadPolicy, write: WritePolicy, machines: usize) -> Arc<ClusterController> {
-    let c = ClusterController::with_machines(config(read, write), machines);
-    c.create_database("app", 2.min(machines)).unwrap();
-    c.ddl(
-        "app",
-        "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
-    )
-    .unwrap();
-    c
+    testkit::cluster(read, write, machines, 2.min(machines))
 }
 
 const ALL_CELLS: [(ReadPolicy, WritePolicy); 6] = [

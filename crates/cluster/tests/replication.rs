@@ -2,36 +2,21 @@
 //! acknowledgement semantics, failure masking, and 2PC edge cases.
 
 use std::sync::Arc;
-use std::time::Duration;
 
+use tenantdb_cluster::testkit::{
+    assert_committed_visible, assert_replicas_converged, config as tk_config,
+};
 use tenantdb_cluster::{
     ClusterConfig, ClusterController, ClusterError, PoolConfig, ReadPolicy, WritePolicy,
 };
-use tenantdb_storage::{CostModel, EngineConfig, Value};
+use tenantdb_storage::Value;
 
 fn config(read: ReadPolicy, write: WritePolicy) -> ClusterConfig {
-    ClusterConfig {
-        read_policy: read,
-        write_policy: write,
-        engine: EngineConfig {
-            buffer_pages: 1024,
-            cost: CostModel::free(),
-            lock_timeout: Duration::from_millis(400),
-        },
-        seed: 3,
-        ..Default::default()
-    }
+    tk_config(read, write, 3)
 }
 
 fn cluster(read: ReadPolicy, write: WritePolicy, machines: usize) -> Arc<ClusterController> {
-    let c = ClusterController::with_machines(config(read, write), machines);
-    c.create_database("app", 2).unwrap();
-    c.ddl(
-        "app",
-        "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
-    )
-    .unwrap();
-    c
+    tenantdb_cluster::testkit::cluster(read, write, machines, 2)
 }
 
 #[test]
@@ -39,16 +24,8 @@ fn writes_reach_every_replica() {
     let c = cluster(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 2);
     let conn = c.connect("app").unwrap();
     conn.execute("INSERT INTO t VALUES (1, 'x')", &[]).unwrap();
-    for id in c.alive_replicas("app").unwrap() {
-        let m = c.machine(id).unwrap();
-        let t = m.engine.begin().unwrap();
-        assert_eq!(
-            m.engine.scan(t, "app", "t").unwrap().len(),
-            1,
-            "replica {id}"
-        );
-        m.engine.commit(t).unwrap();
-    }
+    assert_committed_visible(&c, "app", "t", &[1]);
+    assert_replicas_converged(&c, "app");
 }
 
 #[test]
@@ -136,10 +113,7 @@ fn write_continues_on_survivors_when_replica_dies_mid_txn() {
     conn.commit().unwrap();
     let survivors = c.alive_replicas("app").unwrap();
     assert_eq!(survivors.len(), 1);
-    let m = c.machine(survivors[0]).unwrap();
-    let t = m.engine.begin().unwrap();
-    assert_eq!(m.engine.scan(t, "app", "t").unwrap().len(), 2);
-    m.engine.commit(t).unwrap();
+    assert_committed_visible(&c, "app", "t", &[1, 2]);
 }
 
 #[test]
@@ -327,12 +301,9 @@ fn replication_holds_across_write_policies_and_pool_sizes() {
                 .unwrap();
             conn.commit().unwrap();
 
-            let survivor = c.alive_replicas("app").unwrap()[0];
-            let m = c.machine(survivor).unwrap();
-            let t = m.engine.begin().unwrap();
-            let rows = m.engine.scan(t, "app", "t").unwrap();
-            m.engine.commit(t).unwrap();
-            assert_eq!(rows.len(), 10, "write={write:?} pool={pool:?}");
+            let committed: Vec<i64> = (0..10).collect();
+            assert_committed_visible(&c, "app", "t", &committed);
+            assert_replicas_converged(&c, "app");
         }
     }
 }

@@ -19,23 +19,20 @@
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
+use tenantdb_cluster::testkit;
 use tenantdb_cluster::{ClusterConfig, ClusterController, ReadPolicy, WritePolicy};
 use tenantdb_history::{Recorder, Verdict};
-use tenantdb_storage::{CostModel, EngineConfig, Value};
+use tenantdb_storage::{EngineConfig, Value};
 
 fn cluster(read: ReadPolicy, write: WritePolicy) -> Arc<ClusterController> {
     let cfg = ClusterConfig {
-        read_policy: read,
-        write_policy: write,
         engine: EngineConfig {
-            buffer_pages: 1024,
-            cost: CostModel::free(),
             // Short timeout: conservative rounds that hit a distributed
             // deadlock resolve quickly.
             lock_timeout: Duration::from_millis(200),
+            ..testkit::fast_engine_config()
         },
-        seed: 7,
-        ..Default::default()
+        ..testkit::config(read, write, 7)
     };
     let c = ClusterController::with_machines(cfg, 2);
     c.create_database("bank", 2).unwrap();
@@ -89,6 +86,9 @@ fn run_anomaly_rounds(read: ReadPolicy, write: WritePolicy, rounds: usize) -> Ve
             break;
         }
     }
+    // Whatever the serializability verdict, the write-all contract keeps
+    // the two replicas convergent.
+    testkit::assert_replicas_converged(&cluster, "bank");
     recorder.check()
 }
 

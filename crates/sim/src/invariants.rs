@@ -1,0 +1,44 @@
+//! The three invariant checkers every simulation run is judged by.
+
+use tenantdb_cluster::testkit;
+use tenantdb_cluster::{ClusterController, ReadPolicy, WritePolicy};
+use tenantdb_history::{Recorder, Verdict};
+
+/// Whether a (read, write) policy cell of Table 1 promises one-copy
+/// serializability: every cell under conservative writes (Theorem 2), and
+/// the pinned-replica column under aggressive writes (Theorem 1). The two
+/// remaining aggressive cells trade 1SR away — for those the harness checks
+/// convergence and durability only.
+pub fn cell_is_serializable(read: ReadPolicy, write: WritePolicy) -> bool {
+    write == WritePolicy::Conservative || read == ReadPolicy::PinnedReplica
+}
+
+/// Run all three checkers against a quiesced cluster; each violation is one
+/// human-readable line (empty = the run passed).
+///
+/// * `acked` — integer primary keys whose inserting transaction's commit
+///   returned `Ok` to the client (the durability obligation).
+/// * `serializable` — whether the active policy cell promises 1SR (see
+///   [`cell_is_serializable`]); when false the history check is skipped.
+pub fn check_run(
+    c: &ClusterController,
+    db: &str,
+    table: &str,
+    acked: &[i64],
+    serializable: bool,
+    recorder: &Recorder,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if let Err(e) = testkit::replicas_converged(c, db) {
+        violations.push(format!("convergence: {e}"));
+    }
+    if let Err(e) = testkit::committed_visible(c, db, table, acked) {
+        violations.push(format!("durability: {e}"));
+    }
+    if serializable {
+        if let Verdict::NotSerializable(cycle) = recorder.check() {
+            violations.push(format!("serializability: conflict cycle through {cycle:?}"));
+        }
+    }
+    violations
+}

@@ -1,0 +1,625 @@
+//! The scripted scenario corpus: one precisely pinned interleaving per
+//! known-dangerous window of the protocols.
+//!
+//! Where the randomized runner ([`crate::runner::run_seed`]) explores, the
+//! corpus *pins*: each scenario builds a small cluster, arms a hand-written
+//! [`FaultPlan`] whose triggers name the exact (crash point, machine, hit)
+//! to strike, asserts the protocol-level outcome the paper's design implies
+//! (commit acknowledged or refused, copy failed and retried, …), and then
+//! runs the same quiesce-and-check pipeline as the randomized runs. Every
+//! scenario is deterministic: the plans pin machines, the workloads are
+//! fixed, and the verdict never depends on thread scheduling.
+
+use std::sync::Arc;
+
+use tenantdb_cluster::fault::{CrashPoint, FaultAction, FaultPlan, Trigger, CONTROLLER};
+use tenantdb_cluster::recovery::{create_replica, CopyGranularity};
+use tenantdb_cluster::testkit;
+use tenantdb_cluster::{ClusterController, Connection, MachineId, ReadPolicy, WritePolicy};
+use tenantdb_history::Recorder;
+use tenantdb_storage::{Throttle, Value};
+
+use crate::invariants::{self, cell_is_serializable};
+use crate::runner;
+
+use std::time::Duration;
+
+/// One scripted simulation scenario.
+pub struct Scenario {
+    /// Stable identifier (used in test names and CI output).
+    pub name: &'static str,
+    /// What window this scenario pins.
+    pub about: &'static str,
+    /// Execute the scenario; `Err` describes the violated expectation.
+    pub run: fn() -> Result<(), String>,
+}
+
+/// Every scripted scenario, in corpus order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "crash_before_prepare_vote",
+            about: "participant dies before applying PREPARE; commit proceeds on the survivor",
+            run: crash_before_prepare_vote,
+        },
+        Scenario {
+            name: "crash_after_prepare_vote",
+            about: "participant votes yes, dies before COMMIT reaches it; survivor carries the acked commit",
+            run: crash_after_prepare_vote,
+        },
+        Scenario {
+            name: "controller_crash_after_decision",
+            about: "controller dies with the decision only in the mirrored log; backup takeover completes it",
+            run: controller_crash_after_decision,
+        },
+        Scenario {
+            name: "controller_crash_with_dead_participant",
+            about: "controller AND one voted participant die; restart recovers the commit from the decision log without a recopy",
+            run: controller_crash_with_dead_participant,
+        },
+        Scenario {
+            name: "participant_crash_before_commit_apply",
+            about: "participant dies between the decision and applying COMMIT",
+            run: participant_crash_before_commit_apply,
+        },
+        Scenario {
+            name: "participant_crash_after_commit",
+            about: "participant applies COMMIT, dies before anything else; WAL replay restores it in place",
+            run: participant_crash_after_commit,
+        },
+        Scenario {
+            name: "copy_target_crash_at_table_boundary",
+            about: "Algorithm-1 table-level copy target dies at a table boundary; retry after restart succeeds",
+            run: copy_target_crash_at_table_boundary,
+        },
+        Scenario {
+            name: "copy_source_crash_db_level",
+            about: "Algorithm-1 database-level copy source dies at copy start; retry after restart succeeds",
+            run: copy_source_crash_db_level,
+        },
+        Scenario {
+            name: "straggler_ack_delay",
+            about: "aggressive writes with one replica acking late; ordering still settles before commit",
+            run: straggler_ack_delay,
+        },
+        Scenario {
+            name: "aggressive_acked_first_crash",
+            about: "aggressive write acked by the fast replica which then dies; the straggler preserves the commit",
+            run: aggressive_acked_first_crash,
+        },
+        Scenario {
+            name: "lock_timeout_storm",
+            about: "injected ack delays exceed the lock timeout under contention; timed-out txns abort cleanly",
+            run: lock_timeout_storm,
+        },
+        Scenario {
+            name: "fail_machine_idempotent",
+            about: "failing an already-failed machine is a no-op and emits no duplicate event",
+            run: fail_machine_idempotent,
+        },
+        Scenario {
+            name: "pool_job_delay",
+            about: "scheduler-level job delays on one machine's pool perturb timing but not correctness",
+            run: pool_job_delay,
+        },
+        Scenario {
+            name: "delayed_commit_decision",
+            about: "the decision-to-COMMIT window is held open; nothing observes the intermediate state",
+            run: delayed_commit_decision,
+        },
+    ]
+}
+
+// ------------------------------------------------------------------ helpers
+
+/// `m0, m1, …` — fresh clusters place a database on the lowest machine ids,
+/// so scripted plans can name replicas directly.
+fn m(n: u32) -> MachineId {
+    MachineId(n)
+}
+
+fn trig(point: CrashPoint, machine: MachineId, after_hits: u64, action: FaultAction) -> Trigger {
+    Trigger {
+        point,
+        machine: Some(machine),
+        after_hits,
+        action,
+    }
+}
+
+fn crash(point: CrashPoint, machine: MachineId, after_hits: u64) -> Trigger {
+    trig(point, machine, after_hits, FaultAction::Crash)
+}
+
+fn delay(point: CrashPoint, machine: MachineId, after_hits: u64, ms: u64) -> Trigger {
+    trig(
+        point,
+        machine,
+        after_hits,
+        FaultAction::Delay(Duration::from_millis(ms)),
+    )
+}
+
+/// Build the standard scenario cluster (database `app`, table `t`) with a
+/// history recorder attached.
+fn cluster(
+    read: ReadPolicy,
+    write: WritePolicy,
+    machines: usize,
+    replicas: usize,
+) -> (Arc<ClusterController>, Arc<Recorder>) {
+    let c = testkit::cluster(read, write, machines, replicas);
+    let rec = Arc::new(Recorder::new());
+    c.set_recorder(Some(Arc::clone(&rec)));
+    (c, rec)
+}
+
+/// Insert `k` in its own explicit transaction; returns `Ok(())` only if the
+/// commit was acknowledged.
+fn insert_txn(conn: &Connection, k: i64) -> Result<(), String> {
+    conn.begin().map_err(|e| format!("begin: {e}"))?;
+    if let Err(e) = conn.execute(
+        "INSERT INTO t VALUES (?, ?)",
+        &[Value::Int(k), Value::Text(format!("v{k}"))],
+    ) {
+        let _ = conn.rollback();
+        return Err(format!("insert {k}: {e}"));
+    }
+    conn.commit().map_err(|e| format!("commit {k}: {e}"))
+}
+
+/// Disarm, quiesce, and run the three invariant checkers; `Err` joins every
+/// violation into one line.
+fn finish(
+    c: &Arc<ClusterController>,
+    replicas: usize,
+    acked: &[i64],
+    read: ReadPolicy,
+    write: WritePolicy,
+    rec: &Recorder,
+) -> Result<(), String> {
+    c.faults().disarm();
+    let mut v = runner::quiesce(c, replicas);
+    v.extend(invariants::check_run(
+        c,
+        "app",
+        "t",
+        acked,
+        cell_is_serializable(read, write),
+        rec,
+    ));
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v.join("; "))
+    }
+}
+
+fn expect(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(what.to_string())
+    }
+}
+
+// ---------------------------------------------------------------- scenarios
+
+/// A 2PC participant crashes *before* applying PREPARE. Its vote never
+/// arrives, the controller discards the replica and commits on the
+/// survivor; the crashed machine rejoins by recopy.
+fn crash_before_prepare_vote() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    let mut acked = vec![0, 1];
+    for &k in &[0i64, 1] {
+        insert_txn(&conn, k)?;
+    }
+
+    c.faults().arm(FaultPlan::new(vec![crash(
+        CrashPoint::PrepareApply,
+        m(1),
+        0,
+    )]));
+    insert_txn(&conn, 100)
+        .map_err(|e| format!("commit must survive a pre-vote participant crash: {e}"))?;
+    acked.push(100);
+    expect(
+        c.machine(m(1)).map_err(|e| e.to_string())?.is_failed(),
+        "m1 must be down after the injected crash",
+    )?;
+    finish(&c, 2, &acked, read, write, &rec)
+}
+
+/// A participant votes yes and crashes before the COMMIT reaches it. The
+/// decision stands, the client is acked, and the crashed machine's prepared
+/// transaction is cleaned up when it rejoins via recopy.
+fn crash_after_prepare_vote() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    c.faults()
+        .arm(FaultPlan::new(vec![crash(CrashPoint::PrepareAck, m(1), 0)]));
+    insert_txn(&conn, 100)
+        .map_err(|e| format!("commit must survive a post-vote participant crash: {e}"))?;
+    finish(&c, 2, &[0, 100], read, write, &rec)
+}
+
+/// The controller crashes after logging the commit decision but before any
+/// participant COMMIT. The backup's takeover completes the commit from the
+/// mirrored decision log (§2's process-pair promise).
+fn controller_crash_after_decision() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    c.faults().arm(FaultPlan::new(vec![crash(
+        CrashPoint::CommitDecision,
+        CONTROLLER,
+        0,
+    )]));
+    insert_txn(&conn, 100)
+        .map_err(|e| format!("a decided commit must be acked despite the controller crash: {e}"))?;
+    // `finish` runs the takeover; both participants are alive, so the
+    // decision completes on both and the acked key must be everywhere.
+    finish(&c, 2, &[0, 100], read, write, &rec)
+}
+
+/// The hardest 2PC window: the controller crashes after the decision AND
+/// one participant crashed right after voting yes. The participant restarts
+/// holding the transaction prepared in its WAL; the retained decision log
+/// entry must convert it to a commit at restart — no recopy involved.
+fn controller_crash_with_dead_participant() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    c.faults().arm(FaultPlan::new(vec![
+        crash(CrashPoint::PrepareAck, m(1), 0),
+        crash(CrashPoint::CommitDecision, CONTROLLER, 0),
+    ]));
+    insert_txn(&conn, 100).map_err(|e| format!("decided commit must be acked: {e}"))?;
+    c.faults().disarm();
+
+    // Quiesce by hand to pin the mechanism: takeover completes the commit
+    // on m0, retains m1's decision, and m1's restart applies it from the
+    // decision log — m1 must still be a replica (no recopy) and converged.
+    let pair = tenantdb_cluster::ProcessPair::new(Arc::clone(&c));
+    let report = pair.fail_primary();
+    expect(
+        report.completed.len() == 1,
+        "takeover must complete exactly the one decided commit",
+    )?;
+    c.restart_machine(m(1)).map_err(|e| e.to_string())?;
+    let p = c.placement("app").map_err(|e| e.to_string())?;
+    expect(
+        p.replicas.contains(&m(1)),
+        "m1 must rejoin from its own WAL + decision log, not via recopy",
+    )?;
+    let v = invariants::check_run(&c, "app", "t", &[0, 100], true, &rec);
+    if !v.is_empty() {
+        return Err(v.join("; "));
+    }
+    Ok(())
+}
+
+/// A participant crashes between the controller's decision and applying its
+/// COMMIT. The write-all contract holds on the survivor; the dead replica
+/// is discarded and recopied.
+fn participant_crash_before_commit_apply() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    c.faults().arm(FaultPlan::new(vec![crash(
+        CrashPoint::CommitApply,
+        m(1),
+        0,
+    )]));
+    insert_txn(&conn, 100)
+        .map_err(|e| format!("commit must survive a pre-apply participant crash: {e}"))?;
+    finish(&c, 2, &[0, 100], read, write, &rec)
+}
+
+/// A participant applies COMMIT and crashes immediately after. Nothing was
+/// lost: its WAL holds the commit record, so a plain restart (redo replay)
+/// brings it back converged, still a member of the placement.
+fn participant_crash_after_commit() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    c.faults()
+        .arm(FaultPlan::new(vec![crash(CrashPoint::CommitAck, m(1), 0)]));
+    insert_txn(&conn, 100).map_err(|e| format!("commit was applied everywhere: {e}"))?;
+    c.faults().disarm();
+    expect(
+        c.machine(m(1)).map_err(|e| e.to_string())?.is_failed(),
+        "m1 must be down after the post-commit crash",
+    )?;
+    c.restart_machine(m(1)).map_err(|e| e.to_string())?;
+    let p = c.placement("app").map_err(|e| e.to_string())?;
+    expect(
+        p.replicas.contains(&m(1)),
+        "a cleanly-committed replica rejoins by WAL replay, not recopy",
+    )?;
+    let v = invariants::check_run(&c, "app", "t", &[0, 100], true, &rec);
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v.join("; "))
+    }
+}
+
+/// The Algorithm-1 copy *target* dies at a table boundary of a table-level
+/// copy. The copy reports failure (and clears its reject window); after a
+/// restart the retry succeeds and the new replica is converged.
+fn copy_target_crash_at_table_boundary() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 1);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    for k in 0..5i64 {
+        insert_txn(&conn, k)?;
+    }
+
+    c.faults()
+        .arm(FaultPlan::new(vec![crash(CrashPoint::CopyTable, m(2), 0)]));
+    let r = create_replica(
+        &c,
+        "app",
+        m(2),
+        CopyGranularity::TableLevel,
+        Throttle::UNLIMITED,
+    );
+    expect(r.is_err(), "copy must fail when the target dies mid-copy")?;
+    c.faults().disarm();
+
+    // The abandoned copy must not leave the reject window open.
+    insert_txn(&conn, 100)?;
+    c.restart_machine(m(2)).map_err(|e| e.to_string())?;
+    create_replica(
+        &c,
+        "app",
+        m(2),
+        CopyGranularity::TableLevel,
+        Throttle::UNLIMITED,
+    )
+    .map_err(|e| format!("retry after restart must succeed: {e}"))?;
+    let v = invariants::check_run(&c, "app", "t", &[0, 1, 2, 3, 4, 100], true, &rec);
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v.join("; "))
+    }
+}
+
+/// The Algorithm-1 copy *source* dies at the start of a database-level
+/// copy. Same contract: failed copy, clean reject window, successful retry
+/// after the source restarts (its data survives via WAL replay).
+fn copy_source_crash_db_level() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 1);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    for k in 0..5i64 {
+        insert_txn(&conn, k)?;
+    }
+
+    c.faults()
+        .arm(FaultPlan::new(vec![crash(CrashPoint::CopyStart, m(0), 0)]));
+    let r = create_replica(
+        &c,
+        "app",
+        m(2),
+        CopyGranularity::DatabaseLevel,
+        Throttle::UNLIMITED,
+    );
+    expect(
+        r.is_err(),
+        "copy must fail when the source dies at copy start",
+    )?;
+    c.faults().disarm();
+
+    c.restart_machine(m(0)).map_err(|e| e.to_string())?;
+    create_replica(
+        &c,
+        "app",
+        m(2),
+        CopyGranularity::DatabaseLevel,
+        Throttle::UNLIMITED,
+    )
+    .map_err(|e| format!("retry after source restart must succeed: {e}"))?;
+    let v = invariants::check_run(&c, "app", "t", &[0, 1, 2, 3, 4], true, &rec);
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v.join("; "))
+    }
+}
+
+/// Aggressive writes where one replica acks each write tens of
+/// milliseconds late. The session-lane ordering means the straggling acks
+/// settle before PREPARE, so commits stay correct — this pins the
+/// "asynchronous propagation" half of §3.1's aggressive policy.
+fn straggler_ack_delay() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Aggressive);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+
+    c.faults().arm(FaultPlan::new(vec![
+        delay(CrashPoint::ReplicaWriteAck, m(1), 0, 40),
+        delay(CrashPoint::ReplicaWriteAck, m(1), 1, 40),
+        delay(CrashPoint::ReplicaWriteAck, m(1), 2, 40),
+    ]));
+    let mut acked = Vec::new();
+    for k in 0..4i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+    }
+    finish(&c, 2, &acked, read, write, &rec)
+}
+
+/// The aggressive-durability cell of Table 1: the replica that acked first
+/// crashes right after acking, while the other replica is still applying.
+/// The commit must still be acknowledged and durable on the straggler.
+fn aggressive_acked_first_crash() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Aggressive);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    c.faults().arm(FaultPlan::new(vec![
+        crash(CrashPoint::ReplicaWriteAck, m(0), 0),
+        delay(CrashPoint::ReplicaWriteApply, m(1), 0, 40),
+    ]));
+    insert_txn(&conn, 100).map_err(|e| format!("the straggler must carry the acked write: {e}"))?;
+    expect(
+        c.machine(m(0)).map_err(|e| e.to_string())?.is_failed(),
+        "m0 must be down after acking",
+    )?;
+    finish(&c, 2, &[0, 100], read, write, &rec)
+}
+
+/// Two clients contend on one key while injected ack delays on the pinned
+/// replica exceed the engine's 400 ms lock timeout. Timed-out transactions
+/// must abort cleanly on every replica — no half-applied updates, and the
+/// surviving history still serializable.
+fn lock_timeout_storm() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let setup = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&setup, 0)?;
+
+    // Hold the write lock on k=0 for 600 ms inside each of the first two
+    // updates: whichever client loses the race waits past the 400 ms lock
+    // timeout and must abort.
+    c.faults().arm(FaultPlan::new(vec![
+        delay(CrashPoint::ReplicaWriteAck, m(0), 0, 600),
+        delay(CrashPoint::ReplicaWriteAck, m(1), 0, 600),
+    ]));
+    let mut handles = Vec::new();
+    for i in 0..2 {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || -> Result<bool, String> {
+            let conn = c.connect("app").map_err(|e| e.to_string())?;
+            conn.begin().map_err(|e| e.to_string())?;
+            let r = conn.execute(
+                "UPDATE t SET v = ? WHERE k = 0",
+                &[Value::Text(format!("writer{i}"))],
+            );
+            match r {
+                Ok(_) => conn.commit().map(|_| true).map_err(|e| e.to_string()),
+                Err(_) => {
+                    let _ = conn.rollback();
+                    Ok(false)
+                }
+            }
+        }));
+    }
+    // Under the injected delays the two writers can even deadlock across
+    // replicas (each holding the key's lock on a different machine) and
+    // both time out — a legal outcome. What the storm must NOT do is wedge
+    // the key: once the faults are gone, an update commits first try.
+    let mut committed = 0;
+    for h in handles {
+        if h.join()
+            .map_err(|_| "writer thread panicked".to_string())??
+        {
+            committed += 1;
+        }
+    }
+    c.faults().disarm();
+    expect(
+        committed <= 1,
+        "contending writers may not both win the lock",
+    )?;
+    setup
+        .begin()
+        .and_then(|_| {
+            setup.execute("UPDATE t SET v = 'after-storm' WHERE k = 0", &[])?;
+            setup.commit()
+        })
+        .map_err(|e| format!("the key must be writable after the storm: {e}"))?;
+    finish(&c, 2, &[0], read, write, &rec)
+}
+
+/// Failing a machine twice must be an accepted no-op: one `Ok`, one
+/// `machine_failed` event, and a restart still works. (Regression test for
+/// the double-fail panic.)
+fn fail_machine_idempotent() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    c.fail_machine(m(2))
+        .map_err(|e| format!("first fail: {e}"))?;
+    c.fail_machine(m(2))
+        .map_err(|e| format!("second fail must be idempotent: {e}"))?;
+    let failures = c
+        .metrics()
+        .events()
+        .all()
+        .into_iter()
+        .filter(|ev| ev.kind == "machine_failed" && ev.field("machine") == Some("m2"))
+        .count();
+    expect(
+        failures == 1,
+        &format!("exactly one machine_failed event for m2, saw {failures}"),
+    )?;
+    c.restart_machine(m(2)).map_err(|e| e.to_string())?;
+    let v = invariants::check_run(&c, "app", "t", &[0], true, &rec);
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v.join("; "))
+    }
+}
+
+/// Delays injected at the pool-job level (before any engine work) on one
+/// machine: timing shifts, correctness doesn't.
+fn pool_job_delay() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PerOperation, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+
+    c.faults().arm(FaultPlan::new(vec![
+        delay(CrashPoint::PoolJob, m(0), 0, 10),
+        delay(CrashPoint::PoolJob, m(0), 1, 10),
+        delay(CrashPoint::PoolJob, m(0), 2, 10),
+    ]));
+    let mut acked = Vec::new();
+    for k in 0..4i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+    }
+    finish(&c, 2, &acked, read, write, &rec)
+}
+
+/// The window between logging the decision and sending the COMMITs is held
+/// open for 50 ms. No reader may observe the transaction half-committed,
+/// and the ack must still arrive.
+fn delayed_commit_decision() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PerTransaction, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+
+    c.faults().arm(FaultPlan::new(vec![trig(
+        CrashPoint::CommitDecision,
+        CONTROLLER,
+        0,
+        FaultAction::Delay(Duration::from_millis(50)),
+    )]));
+    let mut acked = Vec::new();
+    for k in 0..3i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+    }
+    finish(&c, 2, &acked, read, write, &rec)
+}

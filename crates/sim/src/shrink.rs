@@ -1,0 +1,41 @@
+//! Greedy fault-plan minimization for failing seeds.
+//!
+//! When a randomized run violates an invariant, the raw plan usually mixes
+//! the one trigger that matters with bystanders. The shrinker deletes
+//! triggers one at a time, re-running the (fully deterministic) workload
+//! after each deletion, and keeps any deletion that still reproduces a
+//! failure. The result is a locally-minimal plan: removing any single
+//! remaining trigger makes the run pass.
+
+use tenantdb_cluster::fault::FaultPlan;
+
+use crate::runner::{run_with_plan, RunReport, SimConfig};
+
+/// Greedily minimize a failing plan. Returns the smallest still-failing
+/// plan found and its report. If `plan` does not actually fail under `cfg`
+/// (e.g. the failure was not plan-induced), it is returned unchanged with
+/// the passing report.
+pub fn shrink_plan(cfg: &SimConfig, plan: &FaultPlan) -> (FaultPlan, RunReport) {
+    let mut best_plan = plan.clone();
+    let mut best_report = run_with_plan(cfg, &best_plan);
+    if best_report.passed() {
+        return (best_plan, best_report);
+    }
+    loop {
+        let mut improved = false;
+        for i in 0..best_plan.triggers.len() {
+            let mut candidate = best_plan.clone();
+            candidate.triggers.remove(i);
+            let report = run_with_plan(cfg, &candidate);
+            if !report.passed() {
+                best_plan = candidate;
+                best_report = report;
+                improved = true;
+                break;
+            }
+        }
+        if !improved || best_plan.triggers.is_empty() {
+            return (best_plan, best_report);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Satellite: the aggressive-write durability cells of Table 1.
+//!
+//! Under aggressive writes the client's statement is acknowledged after the
+//! *first* replica ack; the paper still promises that a transaction whose
+//! **commit** was acknowledged survives the loss of any single replica
+//! (2PC runs over whatever replicas are left). The deterministic shape
+//! here: the fast replica acks a write and crashes immediately, while the
+//! straggler is still applying — the commit must go on to succeed on the
+//! straggler and the acked key must be durable on every alive replica.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tenantdb_cluster::fault::{CrashPoint, FaultAction, FaultPlan, Trigger};
+use tenantdb_cluster::testkit;
+use tenantdb_cluster::{MachineId, ReadPolicy, WritePolicy};
+use tenantdb_history::Recorder;
+use tenantdb_sim::{cell_is_serializable, check_run, runner};
+
+fn acked_first_crash_plan() -> FaultPlan {
+    FaultPlan::new(vec![
+        // The fast replica (m0) applies + acks the write, then dies.
+        Trigger {
+            point: CrashPoint::ReplicaWriteAck,
+            machine: Some(MachineId(0)),
+            after_hits: 0,
+            action: FaultAction::Crash,
+        },
+        // The straggler (m1) is still applying when the ack arrives.
+        Trigger {
+            point: CrashPoint::ReplicaWriteApply,
+            machine: Some(MachineId(1)),
+            after_hits: 0,
+            action: FaultAction::Delay(Duration::from_millis(40)),
+        },
+    ])
+}
+
+fn run_cell(read: ReadPolicy) {
+    let write = WritePolicy::Aggressive;
+    let c = testkit::cluster(read, write, 3, 2);
+    let rec = Arc::new(Recorder::new());
+    c.set_recorder(Some(Arc::clone(&rec)));
+    let conn = c.connect("app").unwrap();
+
+    // Baseline commit before any fault.
+    conn.begin().unwrap();
+    conn.execute("INSERT INTO t VALUES (0, 'base')", &[])
+        .unwrap();
+    conn.commit().unwrap();
+
+    c.faults().arm(acked_first_crash_plan());
+    conn.begin().unwrap();
+    conn.execute("INSERT INTO t VALUES (100, 'risky')", &[])
+        .unwrap();
+    conn.commit()
+        .unwrap_or_else(|e| panic!("{read:?}: acked-first crash must not lose the commit: {e}"));
+    c.faults().disarm();
+
+    assert!(
+        c.machine(MachineId(0)).unwrap().is_failed(),
+        "{read:?}: the fast replica must be down"
+    );
+    // Before any repair, the straggler alone must already hold the acked
+    // keys — this is the Table 1 guarantee itself, not the recopy.
+    testkit::assert_committed_visible(&c, "app", "t", &[0, 100]);
+
+    // Then the full repair pipeline restores the replication factor.
+    let issues = runner::quiesce(&c, 2);
+    assert!(issues.is_empty(), "{read:?}: repair failed: {issues:?}");
+    let violations = check_run(
+        &c,
+        "app",
+        "t",
+        &[0, 100],
+        cell_is_serializable(read, write),
+        &rec,
+    );
+    assert!(violations.is_empty(), "{read:?}: {violations:?}");
+}
+
+#[test]
+fn acked_first_crash_pinned_replica() {
+    run_cell(ReadPolicy::PinnedReplica);
+}
+
+#[test]
+fn acked_first_crash_per_transaction() {
+    run_cell(ReadPolicy::PerTransaction);
+}
+
+#[test]
+fn acked_first_crash_per_operation() {
+    run_cell(ReadPolicy::PerOperation);
+}
+
+/// The converse shape: the fast replica dies *before* applying. Whether
+/// the statement (and thus the commit) succeeds depends on which reply the
+/// aggressive ack raced to — but either way no invariant may break: an
+/// acknowledged commit is durable, an unacknowledged one simply vanishes.
+#[test]
+fn crash_before_any_apply_never_strands_state() {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Aggressive);
+    let c = testkit::cluster(read, write, 3, 2);
+    let rec = Arc::new(Recorder::new());
+    c.set_recorder(Some(Arc::clone(&rec)));
+    let conn = c.connect("app").unwrap();
+    conn.begin().unwrap();
+    conn.execute("INSERT INTO t VALUES (0, 'base')", &[])
+        .unwrap();
+    conn.commit().unwrap();
+
+    c.faults().arm(FaultPlan::new(vec![Trigger {
+        point: CrashPoint::ReplicaWriteApply,
+        machine: Some(MachineId(0)),
+        after_hits: 0,
+        action: FaultAction::Crash,
+    }]));
+    let mut acked = vec![0i64];
+    conn.begin().unwrap();
+    let committed = match conn.execute("INSERT INTO t VALUES (100, 'maybe')", &[]) {
+        Ok(_) => conn.commit().is_ok(),
+        Err(_) => {
+            let _ = conn.rollback();
+            false
+        }
+    };
+    if committed {
+        acked.push(100);
+    }
+    c.faults().disarm();
+
+    let issues = runner::quiesce(&c, 2);
+    assert!(issues.is_empty(), "repair failed: {issues:?}");
+    let violations = check_run(
+        &c,
+        "app",
+        "t",
+        &acked,
+        cell_is_serializable(read, write),
+        &rec,
+    );
+    assert!(violations.is_empty(), "{violations:?}");
+}

@@ -1,0 +1,188 @@
+//! Property test for Algorithm-1 recovery under crashes (satellite of the
+//! simulation harness): a crash during the copy — at **every** table
+//! boundary, in **both** copy granularities, on **either** participant —
+//! must leave the cluster repairable: the failed copy reports an error, the
+//! reject window closes, and a retry after restarting the victim produces a
+//! converged replica. The delay-based companions pin the reject-window rule
+//! itself: writes to the in-copy table are rejected, writes to
+//! already-copied and not-yet-copied tables succeed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tenantdb_cluster::fault::{CrashPoint, FaultAction, FaultPlan, Trigger};
+use tenantdb_cluster::recovery::{create_replica, CopyGranularity};
+use tenantdb_cluster::testkit;
+use tenantdb_cluster::{ClusterController, ClusterError, MachineId, ReadPolicy, WritePolicy};
+use tenantdb_storage::{Throttle, Value};
+
+const SOURCE: MachineId = MachineId(0);
+const TARGET: MachineId = MachineId(2);
+const TABLES: [&str; 3] = ["t0", "t1", "t2"];
+
+/// Three machines, one single-replica database (on m0) with three tables of
+/// five rows each — enough boundaries for the full crash matrix.
+fn three_table_cluster() -> Arc<ClusterController> {
+    let c = ClusterController::with_machines(
+        testkit::config(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 3),
+        3,
+    );
+    c.create_database("app", 1).unwrap();
+    for t in TABLES {
+        c.ddl(
+            "app",
+            &format!("CREATE TABLE {t} (k INT NOT NULL, v TEXT, PRIMARY KEY (k))"),
+        )
+        .unwrap();
+    }
+    let conn = c.connect("app").unwrap();
+    for t in TABLES {
+        for k in 0..5i64 {
+            conn.execute(
+                &format!("INSERT INTO {t} VALUES (?, 'seed')"),
+                &[Value::Int(k)],
+            )
+            .unwrap();
+        }
+    }
+    c
+}
+
+fn crash_at(point: CrashPoint, machine: MachineId, after_hits: u64) -> FaultPlan {
+    FaultPlan::new(vec![Trigger {
+        point,
+        machine: Some(machine),
+        after_hits,
+        action: FaultAction::Crash,
+    }])
+}
+
+fn delay_at(point: CrashPoint, machine: MachineId, after_hits: u64, ms: u64) -> FaultPlan {
+    FaultPlan::new(vec![Trigger {
+        point,
+        machine: Some(machine),
+        after_hits,
+        action: FaultAction::Delay(Duration::from_millis(ms)),
+    }])
+}
+
+/// The crash matrix: granularity × table boundary × victim. Every cell must
+/// fail the in-flight copy, close the reject window, and recover by
+/// restart + retry.
+#[test]
+fn crash_at_every_boundary_is_recoverable() {
+    let cases: Vec<(CopyGranularity, CrashPoint, u64)> = vec![
+        // Table-level copies hit the CopyTable point once per table.
+        (CopyGranularity::TableLevel, CrashPoint::CopyTable, 0),
+        (CopyGranularity::TableLevel, CrashPoint::CopyTable, 1),
+        (CopyGranularity::TableLevel, CrashPoint::CopyTable, 2),
+        // Database-level copies have a single boundary at the start.
+        (CopyGranularity::DatabaseLevel, CrashPoint::CopyStart, 0),
+    ];
+    for (granularity, point, boundary) in cases {
+        for victim in [SOURCE, TARGET] {
+            let label = format!("{granularity:?} boundary {boundary} victim {victim}");
+            let c = three_table_cluster();
+            c.faults().arm(crash_at(point, victim, boundary));
+            let r = create_replica(&c, "app", TARGET, granularity, Throttle::UNLIMITED);
+            assert!(r.is_err(), "{label}: copy over a crash must fail");
+            c.faults().disarm();
+            assert!(
+                c.machine(victim).unwrap().is_failed(),
+                "{label}: the victim must be down"
+            );
+
+            c.restart_machine(victim).unwrap();
+            // The abandoned copy must have closed the reject window: writes
+            // to every table succeed again before any retry.
+            let conn = c.connect("app").unwrap();
+            for t in TABLES {
+                conn.execute(
+                    &format!("INSERT INTO {t} VALUES (?, 'after-abandon')"),
+                    &[Value::Int(100 + boundary as i64)],
+                )
+                .unwrap_or_else(|e| panic!("{label}: post-abandon write to {t} failed: {e}"));
+            }
+
+            create_replica(&c, "app", TARGET, granularity, Throttle::UNLIMITED)
+                .unwrap_or_else(|e| panic!("{label}: retry after restart failed: {e}"));
+            testkit::assert_replicas_converged(&c, "app");
+        }
+    }
+}
+
+/// Reject-window rule, table-level: while table `t1` is being copied
+/// (window held open by an injected delay on the target), writes to the
+/// already-copied `t0` and the not-yet-copied `t2` succeed, writes to `t1`
+/// are rejected — exactly Algorithm 1's three cases.
+#[test]
+fn table_level_reject_window_matches_algorithm1() {
+    let c = three_table_cluster();
+    // Second CopyTable hit on the target = the boundary before copying t1.
+    c.faults()
+        .arm(delay_at(CrashPoint::CopyTable, TARGET, 1, 600));
+    let c2 = Arc::clone(&c);
+    let copy = std::thread::spawn(move || {
+        create_replica(
+            &c2,
+            "app",
+            TARGET,
+            CopyGranularity::TableLevel,
+            Throttle::UNLIMITED,
+        )
+    });
+    // Land inside the held-open t1 window.
+    std::thread::sleep(Duration::from_millis(150));
+    let conn = c.connect("app").unwrap();
+    conn.execute("INSERT INTO t0 VALUES (50, 'during')", &[])
+        .expect("write to the already-copied table must succeed");
+    let rejected = conn.execute("INSERT INTO t1 VALUES (50, 'during')", &[]);
+    assert!(
+        matches!(rejected, Err(ClusterError::WriteRejected { .. })),
+        "write to the in-copy table must be rejected, got {rejected:?}"
+    );
+    conn.execute("INSERT INTO t2 VALUES (50, 'during')", &[])
+        .expect("write to the not-yet-copied table must succeed");
+
+    copy.join().unwrap().expect("delayed copy must complete");
+    c.faults().disarm();
+    // Both the pre-copy rows and the during-copy writes converged: t0's
+    // write went to old + new replicas, t2's write reached the new replica
+    // via the later dump.
+    testkit::assert_replicas_converged(&c, "app");
+}
+
+/// Reject-window rule, database-level: the whole database stays
+/// write-rejected (but readable) for the duration of the copy.
+#[test]
+fn db_level_reject_window_covers_every_table() {
+    let c = three_table_cluster();
+    c.faults()
+        .arm(delay_at(CrashPoint::CopyStart, TARGET, 0, 600));
+    let c2 = Arc::clone(&c);
+    let copy = std::thread::spawn(move || {
+        create_replica(
+            &c2,
+            "app",
+            TARGET,
+            CopyGranularity::DatabaseLevel,
+            Throttle::UNLIMITED,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let conn = c.connect("app").unwrap();
+    for t in TABLES {
+        let r = conn.execute(&format!("INSERT INTO {t} VALUES (60, 'during')"), &[]);
+        assert!(
+            matches!(r, Err(ClusterError::WriteRejected { .. })),
+            "db-level copy must reject writes to {t}, got {r:?}"
+        );
+    }
+    // Reads stay up throughout.
+    conn.execute("SELECT COUNT(*) FROM t0", &[])
+        .expect("reads must work during a db-level copy");
+
+    copy.join().unwrap().expect("delayed copy must complete");
+    c.faults().disarm();
+    testkit::assert_replicas_converged(&c, "app");
+}

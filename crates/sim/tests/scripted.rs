@@ -1,0 +1,61 @@
+//! The scripted scenario corpus, one `#[test]` per scenario so CI reports
+//! exactly which window regressed.
+
+use tenantdb_sim::all_scenarios;
+
+/// Run one registered scenario by name.
+fn run(name: &str) {
+    let s = all_scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario {name} not registered"));
+    if let Err(e) = (s.run)() {
+        panic!("scenario {name} ({}): {e}", s.about);
+    }
+}
+
+macro_rules! scenario_tests {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                run(stringify!($name));
+            }
+        )*
+
+        /// The corpus floor (≥ 10 scripted crash-point scenarios) and the
+        /// registry↔test mapping stay in sync.
+        #[test]
+        fn corpus_is_complete() {
+            let registered: Vec<&str> =
+                all_scenarios().iter().map(|s| s.name).collect();
+            let tested = [$(stringify!($name)),*];
+            assert!(
+                registered.len() >= 10,
+                "scripted corpus shrank below 10 scenarios: {registered:?}"
+            );
+            assert_eq!(
+                registered,
+                tested,
+                "every registered scenario needs a #[test] wrapper here"
+            );
+        }
+    };
+}
+
+scenario_tests!(
+    crash_before_prepare_vote,
+    crash_after_prepare_vote,
+    controller_crash_after_decision,
+    controller_crash_with_dead_participant,
+    participant_crash_before_commit_apply,
+    participant_crash_after_commit,
+    copy_target_crash_at_table_boundary,
+    copy_source_crash_db_level,
+    straggler_ack_delay,
+    aggressive_acked_first_crash,
+    lock_timeout_storm,
+    fail_machine_idempotent,
+    pool_job_delay,
+    delayed_commit_decision,
+);

@@ -17,6 +17,9 @@
 //!   with read-one/write-all replication, read-routing options 1/2/3,
 //!   aggressive/conservative write acknowledgement, 2PC coordination,
 //!   failure recovery (Algorithm 1) and process-pair failover.
+//! * [`sim`] — deterministic fault-injection simulation: seeded scenario
+//!   runner over named crash points, invariant checkers (convergence,
+//!   durability, 1SR), replayable seeds and a schedule shrinker.
 //! * [`sla`] — SLA model and First-Fit / optimal database placement
 //!   (Algorithm 2, Table 2).
 //! * [`tpcw`] — TPC-W schema, data generator, the three standard mixes, and
@@ -30,6 +33,7 @@
 pub use tenantdb_cluster as cluster;
 pub use tenantdb_history as history;
 pub use tenantdb_platform as platform;
+pub use tenantdb_sim as sim;
 pub use tenantdb_sla as sla;
 pub use tenantdb_sql as sql;
 pub use tenantdb_storage as storage;

@@ -9,21 +9,22 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use tenantdb::cluster::testkit;
 use tenantdb::cluster::{ClusterConfig, ClusterController, ReadPolicy, WritePolicy};
 use tenantdb::history::Recorder;
-use tenantdb::storage::{CostModel, EngineConfig, Value};
+use tenantdb::storage::{EngineConfig, Value};
 
 fn stress(read: ReadPolicy, write: WritePolicy, seed: u64) -> tenantdb::history::Verdict {
+    // Every cell this stress asserts serializable must be one Table 1
+    // promises (the sim harness derives its 1SR expectations the same way).
+    assert!(tenantdb::sim::cell_is_serializable(read, write));
     let cfg = ClusterConfig {
-        read_policy: read,
-        write_policy: write,
         engine: EngineConfig {
             buffer_pages: 2048,
-            cost: CostModel::free(),
             lock_timeout: Duration::from_millis(150),
+            ..testkit::fast_engine_config()
         },
-        seed,
-        ..Default::default()
+        ..testkit::config(read, write, seed)
     };
     let cluster = ClusterController::with_machines(cfg, 3);
     cluster.create_database("s", 3).unwrap();
@@ -74,6 +75,7 @@ fn stress(read: ReadPolicy, write: WritePolicy, seed: u64) -> tenantdb::history:
     for t in threads {
         t.join().unwrap();
     }
+    testkit::assert_replicas_converged(&cluster, "s");
     recorder.check()
 }
 
