@@ -467,5 +467,6 @@ impl RecoveryExperiment {
 pub static BENCH_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 pub fn bump() -> u64 {
+    // ordering: Relaxed — benchmark side-effect sink; no ordering semantics.
     BENCH_COUNTER.fetch_add(1, Ordering::Relaxed)
 }

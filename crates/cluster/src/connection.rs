@@ -25,7 +25,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use crate::sync::{Mutex, CONN_REPLY, CONN_RNG, CONN_STATE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tenantdb_obs::Counter;
@@ -93,8 +93,8 @@ impl Connection {
         Connection {
             controller,
             db,
-            state: Mutex::new(None),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            state: Mutex::new(&CONN_STATE, None),
+            rng: Mutex::new(&CONN_RNG, StdRng::seed_from_u64(seed)),
         }
     }
 
@@ -125,7 +125,7 @@ impl Connection {
             wrote: false,
             failures: Arc::new(TxnFailures::default()),
             reply_tx,
-            reply_rx: Arc::new(Mutex::new(reply_rx)),
+            reply_rx: Arc::new(Mutex::new(&CONN_REPLY, reply_rx)),
             seq: 0,
         });
         Ok(())
@@ -246,18 +246,21 @@ impl Connection {
         txn: &'a mut ActiveTxn,
         machine: MachineId,
     ) -> Result<&'a SessionHandle> {
-        if !txn.sessions.contains_key(&machine) {
-            let m = self.controller.machine(machine)?;
-            let handle = m.session(
-                self.db.clone(),
-                txn.gtxn,
-                Arc::clone(&txn.failures),
-                self.controller.recorder.read().clone(),
-                txn.reply_tx.clone(),
-            );
-            txn.sessions.insert(machine, handle);
+        use std::collections::hash_map::Entry;
+        match txn.sessions.entry(machine) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(e) => {
+                let m = self.controller.machine(machine)?;
+                let handle = m.session(
+                    self.db.clone(),
+                    txn.gtxn,
+                    Arc::clone(&txn.failures),
+                    self.controller.recorder.read().clone(),
+                    txn.reply_tx.clone(),
+                );
+                Ok(e.insert(handle))
+            }
         }
-        Ok(txn.sessions.get(&machine).unwrap())
     }
 
     fn is_unavailable(err: &ClusterError) -> bool {

@@ -10,7 +10,9 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{
+    Mutex, RwLock, CTRL_COMMIT_LOG, CTRL_COPIES, CTRL_MACHINES, CTRL_PLACEMENTS, CTRL_RECORDER,
+};
 
 use tenantdb_history::{GTxn, Recorder};
 use tenantdb_sql::parse;
@@ -150,14 +152,14 @@ impl ClusterController {
     pub fn new(cfg: ClusterConfig) -> Arc<Self> {
         Arc::new(ClusterController {
             cfg,
-            machines: RwLock::new(BTreeMap::new()),
+            machines: RwLock::new(&CTRL_MACHINES, BTreeMap::new()),
             next_machine: AtomicU32::new(0),
-            placements: RwLock::new(HashMap::new()),
-            copies: RwLock::new(HashMap::new()),
+            placements: RwLock::new(&CTRL_PLACEMENTS, HashMap::new()),
+            copies: RwLock::new(&CTRL_COPIES, HashMap::new()),
             next_gtxn: AtomicU64::new(1),
-            recorder: RwLock::new(None),
+            recorder: RwLock::new(&CTRL_RECORDER, None),
             metrics: ClusterMetrics::new(),
-            commit_log: Mutex::new(HashMap::new()),
+            commit_log: Mutex::new(&CTRL_COMMIT_LOG, HashMap::new()),
             faults: FaultInjector::disarmed(),
         })
     }
@@ -184,6 +186,7 @@ impl ClusterController {
 
     /// Mint the next global transaction id.
     pub fn next_gtxn(&self) -> GTxn {
+        // ordering: Relaxed — id minting; uniqueness needs only atomicity.
         GTxn(self.next_gtxn.fetch_add(1, Ordering::Relaxed))
     }
 
@@ -191,6 +194,7 @@ impl ClusterController {
 
     /// Add a fresh machine (from the colo's free pool) to the cluster.
     pub fn add_machine(&self) -> MachineId {
+        // ordering: Relaxed — id minting; uniqueness needs only atomicity.
         let id = MachineId(self.next_machine.fetch_add(1, Ordering::Relaxed));
         let pool_metrics = PoolMetrics::resolve(self.metrics.registry(), "machine", Some(id));
         let m = Arc::new(Machine::with_instrumentation(
@@ -221,6 +225,25 @@ impl ClusterController {
     /// Every machine in the cluster, ascending by id.
     pub fn machines(&self) -> Vec<Arc<Machine>> {
         self.machines.read().values().cloned().collect()
+    }
+
+    /// Resolve the `(source, target)` machine pair for a replica copy of
+    /// `db` in one short controller step: the first alive replica is the
+    /// copy source. Cloning the `Arc`s out of the machine map here is what
+    /// lets the bulk copy in `recovery::create_replica` run without any
+    /// controller lock held (asserted there via
+    /// [`crate::sync::assert_no_controller_locks`]).
+    pub fn copy_endpoints(
+        &self,
+        db: &str,
+        target: MachineId,
+    ) -> Result<(Arc<Machine>, Arc<Machine>)> {
+        let source_id = self
+            .alive_replicas(db)?
+            .first()
+            .copied()
+            .ok_or_else(|| ClusterError::NoReplicas(db.to_string()))?;
+        Ok((self.machine(source_id)?, self.machine(target)?))
     }
 
     /// Fault injection: crash a machine. The controller notices through
@@ -292,15 +315,25 @@ impl ClusterController {
     /// machines hosting the fewest databases (the observation-period
     /// placement of §4.2 refines this via `tenantdb-sla`).
     pub fn create_database(&self, name: &str, replicas: usize) -> Result<Vec<MachineId>> {
-        let machines = self.machines.read();
-        let mut candidates: Vec<&Arc<Machine>> =
-            machines.values().filter(|m| !m.is_failed()).collect();
+        // Snapshot the candidate `Arc`s and release the machine map before
+        // ranking them: `hosted_databases()` takes each engine's catalog
+        // lock, and those per-machine calls must not widen the controller
+        // critical section (the hierarchy permits machines → engine, but
+        // holding the map across N engines serializes unrelated controller
+        // work behind storage).
+        let mut candidates: Vec<Arc<Machine>> = {
+            let machines = self.machines.read();
+            machines
+                .values()
+                .filter(|m| !m.is_failed())
+                .cloned()
+                .collect()
+        };
         if candidates.len() < replicas {
             return Err(ClusterError::NoMachines);
         }
         candidates.sort_by_key(|m| (m.hosted_databases(), m.id));
         let chosen: Vec<MachineId> = candidates[..replicas].iter().map(|m| m.id).collect();
-        drop(machines);
         self.create_database_on(name, &chosen)?;
         Ok(chosen)
     }
@@ -328,7 +361,7 @@ impl ClusterController {
             .iter()
             .copied()
             .min_by_key(|m| (pin_counts.get(m).copied().unwrap_or(0), *m))
-            .unwrap();
+            .ok_or(ClusterError::NoMachines)?;
         placements.insert(
             name.to_string(),
             Placement {

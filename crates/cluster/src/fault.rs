@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use crate::sync::{Mutex, FAULT_STATE};
 use std::collections::HashMap;
 
 use crate::machine::MachineId;
@@ -254,11 +254,14 @@ impl FaultInjector {
     pub fn new() -> Self {
         FaultInjector {
             armed: AtomicBool::new(false),
-            state: Mutex::new(InjectorState {
-                triggers: Vec::new(),
-                hits: HashMap::new(),
-                fired: Vec::new(),
-            }),
+            state: Mutex::new(
+                &FAULT_STATE,
+                InjectorState {
+                    triggers: Vec::new(),
+                    hits: HashMap::new(),
+                    fired: Vec::new(),
+                },
+            ),
         }
     }
 
@@ -275,17 +278,24 @@ impl FaultInjector {
         st.triggers = plan.triggers.into_iter().map(|t| (t, false)).collect();
         st.hits.clear();
         st.fired.clear();
-        self.armed.store(any, Ordering::Release);
+        // ordering: Relaxed — `armed` is only a fast-path gate. The plan state
+        // above is published by the FAULT_STATE mutex (check_slow() re-locks it
+        // before reading), so the flag itself carries no ordering. A Release
+        // here would pair with nothing: every load of `armed` is Relaxed.
+        self.armed.store(any, Ordering::Relaxed);
     }
 
     /// Disarm: drop the plan, keep the fired log readable.
     pub fn disarm(&self) {
-        self.armed.store(false, Ordering::Release);
+        // ordering: Relaxed — gate flag; see arm(). A checker that still sees
+        // `true` just takes the slow path and finds no triggers under the lock.
+        self.armed.store(false, Ordering::Relaxed);
         self.state.lock().triggers.clear();
     }
 
     /// True while at least one trigger is armed.
     pub fn is_armed(&self) -> bool {
+        // ordering: Relaxed — advisory gate read; see arm().
         self.armed.load(Ordering::Relaxed)
     }
 
@@ -294,6 +304,10 @@ impl FaultInjector {
     /// load) when disarmed.
     #[inline]
     pub fn check(&self, point: CrashPoint, machine: MachineId) -> Option<FaultAction> {
+        // ordering: Relaxed — fast-path gate; a true here only routes to
+        // check_slow(), whose mutex acquire synchronizes with arm(). Callers
+        // that must observe a plan already happen-after arm() via the channel
+        // or thread that delivered them the work.
         if !self.armed.load(Ordering::Relaxed) {
             return None;
         }
@@ -339,7 +353,8 @@ impl FaultInjector {
         });
         if st.triggers.iter().all(|(_, done)| *done) {
             // Last trigger spent: restore the inert fast path.
-            self.armed.store(false, Ordering::Release);
+            // ordering: Relaxed — gate flag; see arm().
+            self.armed.store(false, Ordering::Relaxed);
         }
         Some(action)
     }

@@ -51,6 +51,7 @@ pub mod pair;
 pub mod pool;
 pub mod rebalance;
 pub mod recovery;
+pub mod sync;
 pub mod testkit;
 pub mod worker;
 

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::{Mutex, METRICS_PER_DB, METRICS_READ_ROUTES};
 
 use tenantdb_obs::{Counter, EventLog, Gauge, Histogram, MetricsRegistry};
 
@@ -183,8 +183,8 @@ impl ClusterMetrics {
             straggler_acks: registry.counter(STRAGGLER_ACKS, &[]),
             copies_in_flight: registry.gauge(RECOVERY_COPIES_IN_FLIGHT, &[]),
             copy_latency: registry.histogram(RECOVERY_COPY_LATENCY, &[]),
-            per_db: Mutex::new(HashMap::new()),
-            read_routes: Mutex::new(HashMap::new()),
+            per_db: Mutex::new(&METRICS_PER_DB, HashMap::new()),
+            read_routes: Mutex::new(&METRICS_READ_ROUTES, HashMap::new()),
             registry,
         }
     }

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::{RwLock, PAIR_ROLE};
 
 use tenantdb_history::GTxn;
 
@@ -60,7 +60,7 @@ impl ProcessPair {
     pub fn new(controller: Arc<ClusterController>) -> Self {
         ProcessPair {
             controller,
-            active: RwLock::new(Role::Primary),
+            active: RwLock::new(&PAIR_ROLE, Role::Primary),
         }
     }
 

@@ -34,7 +34,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex, POOL_HANDLES, POOL_STATE};
 
 use crate::fault::{CrashPoint, FaultAction, FaultInjector};
 use crate::machine::MachineId;
@@ -157,6 +157,8 @@ impl PoolShared {
         let handle = std::thread::Builder::new()
             .name(format!("pool-{}", self.name))
             .spawn(move || worker_main(shared))
+            // lint:allow(expect): OS thread exhaustion is unrecoverable for
+            // the pool; failing loudly here beats deadlocking submitters.
             .expect("spawn pool worker");
         self.handles.lock().push(handle);
     }
@@ -241,14 +243,17 @@ impl WorkerPool {
         let shared = Arc::new(PoolShared {
             name,
             cfg,
-            state: Mutex::new(PoolState {
-                queue: VecDeque::new(),
-                idle: 0,
-                live: cfg.core_threads.max(1),
-                shutdown: false,
-            }),
+            state: Mutex::new(
+                &POOL_STATE,
+                PoolState {
+                    queue: VecDeque::new(),
+                    idle: 0,
+                    live: cfg.core_threads.max(1),
+                    shutdown: false,
+                },
+            ),
             cv: Condvar::new(),
-            handles: Mutex::new(Vec::new()),
+            handles: Mutex::new(&POOL_HANDLES, Vec::new()),
             metrics,
             faults,
         });

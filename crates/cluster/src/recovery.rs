@@ -94,13 +94,11 @@ pub fn create_replica(
     throttle: Throttle,
 ) -> Result<Duration> {
     let started = Instant::now();
-    let source_id = controller
-        .alive_replicas(db)?
-        .first()
-        .copied()
-        .ok_or_else(|| ClusterError::NoReplicas(db.to_string()))?;
-    let source = controller.machine(source_id)?;
-    let target_machine = controller.machine(target)?;
+    // Resolve both endpoints in one short controller step. Everything after
+    // this line works on the cloned machine `Arc`s: the bulk copy must run
+    // free of every controller lock (asserted at the dump sites below), so
+    // Algorithm-1 routing, DDL and takeover never stall behind a copy.
+    let (source, target_machine) = controller.copy_endpoints(db, target)?;
     if target_machine.engine.has_database(db) {
         // A stale copy from a previous incarnation of this replica (the
         // machine failed, restarted from its WAL, and is now being reused as
@@ -123,6 +121,10 @@ pub fn create_replica(
                     // here at every boundary × both granularities).
                     copy_fault_hook(controller, CrashPoint::CopyTable, &source);
                     copy_fault_hook(controller, CrashPoint::CopyTable, &target_machine);
+                    // Lockdep-checked invariant: the copy itself holds no
+                    // controller (or outer) lock — only engine-level locks
+                    // inside dump/restore.
+                    crate::sync::assert_no_controller_locks();
                     let dump = copy::dump_table(&source.engine, db, &table, throttle)?;
                     copy::restore_table(&target_machine.engine, db, &dump)?;
                     controller.mark_copied(db, &table);
@@ -131,6 +133,8 @@ pub fn create_replica(
             CopyGranularity::DatabaseLevel => {
                 copy_fault_hook(controller, CrashPoint::CopyStart, &source);
                 copy_fault_hook(controller, CrashPoint::CopyStart, &target_machine);
+                // Same invariant as the table-level path (see above).
+                crate::sync::assert_no_controller_locks();
                 let dump = copy::dump_database(&source.engine, db, throttle)?;
                 copy::restore_database(&target_machine.engine, &dump)?;
             }

@@ -1,0 +1,100 @@
+//! Ranked synchronization primitives for the cluster crate.
+//!
+//! All cluster locks are ordered wrappers from [`tenantdb_lockdep`] with the
+//! classes below; the numeric ranks place each layer in the global lock
+//! hierarchy (DESIGN.md §10 has the full diagram and the rationale). Rank
+//! numbers ascend going *down* the stack — a thread may only acquire ranks
+//! strictly greater than everything it already holds:
+//!
+//! ```text
+//! connection (10..30)          outermost: held across routing + enqueue
+//!   └─ controller (100..140)   cluster metadata, 2PC decision log
+//!        └─ metrics (150..155) per-db handle caches
+//!             └─ pair (200)    process-pair role
+//!                  └─ pool (300..310)       worker pools
+//!                       └─ worker (400..420) session mailbox/exec lanes
+//!                            └─ fault (450)  injector plans
+//!                                 └─ storage (500..570, storage::sync)
+//! ```
+//!
+//! Key cross-layer edges this encodes (each one exists in the code):
+//! connection state is held while routing reads controller maps and while
+//! enqueueing into session mailboxes and pools; `restart_machine` holds the
+//! commit log while appending participant decisions to a machine WAL;
+//! worker `exec` is held across engine calls and fault-injector checks.
+
+pub use tenantdb_lockdep::{
+    OrderedCondvar as Condvar, OrderedMutex as Mutex, OrderedMutexGuard as MutexGuard,
+    OrderedRwLock as RwLock, OrderedRwLockReadGuard as RwLockReadGuard,
+    OrderedRwLockWriteGuard as RwLockWriteGuard,
+};
+
+use tenantdb_lockdep::LockClass;
+
+/// `Connection::state` — the connection's active-transaction slot. Held
+/// across machine routing, session creation and mailbox enqueue, so it is
+/// the outermost lock in the system.
+pub static CONN_STATE: LockClass = LockClass::new("cluster.connection.state", 10);
+
+/// `Connection::rng` — read-routing randomness (taken under `CONN_STATE`).
+pub static CONN_RNG: LockClass = LockClass::new("cluster.connection.rng", 20);
+
+/// `ActiveTxn::reply_rx` — worker reply channel receiver.
+pub static CONN_REPLY: LockClass = LockClass::new("cluster.connection.reply", 30);
+
+/// `ClusterController::machines` — the machine map. Held while reading
+/// per-machine state (engine catalogs rank deeper).
+pub static CTRL_MACHINES: LockClass = LockClass::new("cluster.controller.machines", 100);
+
+/// `ClusterController::placements` — database → replica-set map.
+pub static CTRL_PLACEMENTS: LockClass = LockClass::new("cluster.controller.placements", 110);
+
+/// `ClusterController::copies` — Algorithm-1 copy progress map.
+pub static CTRL_COPIES: LockClass = LockClass::new("cluster.controller.copies", 120);
+
+/// `ClusterController::recorder` — optional history recorder slot.
+pub static CTRL_RECORDER: LockClass = LockClass::new("cluster.controller.recorder", 130);
+
+/// `ClusterController::commit_log` — the mirrored 2PC decision log. Held
+/// while appending decisions to participant WALs on restart.
+pub static CTRL_COMMIT_LOG: LockClass = LockClass::new("cluster.controller.commit_log", 140);
+
+/// `ClusterMetrics::per_db` — resolve-once per-database handle cache.
+pub static METRICS_PER_DB: LockClass = LockClass::new("cluster.metrics.per_db", 150);
+
+/// `ClusterMetrics::read_routes` — resolve-once route-counter cache.
+pub static METRICS_READ_ROUTES: LockClass = LockClass::new("cluster.metrics.read_routes", 155);
+
+/// `ProcessPair::active` — which pair member serves traffic.
+pub static PAIR_ROLE: LockClass = LockClass::new("cluster.pair.role", 200);
+
+/// `PoolShared::state` — job queue + worker accounting (condvar mutex).
+pub static POOL_STATE: LockClass = LockClass::new("cluster.pool.state", 300);
+
+/// `PoolShared::handles` — worker join handles.
+pub static POOL_HANDLES: LockClass = LockClass::new("cluster.pool.handles", 310);
+
+/// `Session::mailbox` — per-session FIFO message lane.
+pub static WORKER_MAILBOX: LockClass = LockClass::new("cluster.worker.mailbox", 400);
+
+/// `Session::exec` — per-session execution state, held across engine calls
+/// for a whole message.
+pub static WORKER_EXEC: LockClass = LockClass::new("cluster.worker.exec", 410);
+
+/// `TxnFailures::list` — per-transaction failure collection (pushed under
+/// `WORKER_EXEC`).
+pub static WORKER_FAILURES: LockClass = LockClass::new("cluster.worker.failures", 420);
+
+/// `FaultInjector::state` — fault plans; checked from worker/commit paths
+/// that may hold anything above.
+pub static FAULT_STATE: LockClass = LockClass::new("cluster.fault.state", 450);
+
+/// Assert the calling thread holds **no controller (or outer) lock** —
+/// used to pin down that long-running sections (the Algorithm-1 replica
+/// copy) run lock-free of the controller. No-op when lockdep is disabled.
+#[track_caller]
+pub fn assert_no_controller_locks() {
+    // Controller ranks end at CTRL_COMMIT_LOG (140); metrics caches (150+)
+    // and deeper are fine to hold.
+    tenantdb_lockdep::assert_max_held_rank(CTRL_COMMIT_LOG.rank());
+}

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::{Mutex, WORKER_EXEC, WORKER_FAILURES, WORKER_MAILBOX};
 
 use tenantdb_history::{AccessKind, GTxn, Recorder, Site};
 use tenantdb_sql::{execute_stmt, QueryResult, Statement};
@@ -45,9 +45,16 @@ use crate::pool::{PoolJob, PoolShared};
 /// policy ("the controller asynchronously keeps track of whether the writes
 /// in the other machines failed", §3.1) — and the commit path refuses to
 /// commit past any of them.
-#[derive(Default)]
 pub struct TxnFailures {
     list: Mutex<Vec<(MachineId, ClusterError)>>,
+}
+
+impl Default for TxnFailures {
+    fn default() -> Self {
+        TxnFailures {
+            list: Mutex::new(&WORKER_FAILURES, Vec::new()),
+        }
+    }
 }
 
 impl TxnFailures {
@@ -386,6 +393,8 @@ impl SessionHandle {
     /// the seed's exited-worker behaviour.
     pub fn send(&self, msg: SessionMsg) -> Result<()> {
         if msg.is_terminal() {
+            // ordering: Relaxed — per-handle flag; &self calls and Drop are ordered
+            // by ownership, so only atomicity (not ordering) is required.
             self.sent_terminal.store(true, Ordering::Relaxed);
         }
         self.session.enqueue(msg, &self.pool)
@@ -395,6 +404,7 @@ impl SessionHandle {
     /// controller crash: participants stay prepared, no cleanup runs). The
     /// seed modelled this by leaking the worker thread; here nothing leaks.
     pub fn detach(self) {
+        // ordering: Relaxed — see send(); ownership transfer orders the Drop load.
         self.sent_terminal.store(true, Ordering::Relaxed);
         let _ = self.session.enqueue(SessionMsg::Detach, &self.pool);
     }
@@ -402,6 +412,8 @@ impl SessionHandle {
 
 impl Drop for SessionHandle {
     fn drop(&mut self) {
+        // ordering: Relaxed — &mut self gives Drop exclusive access; the moves
+        // that got the handle here are what order earlier stores, not the atomic.
         if !self.sent_terminal.load(Ordering::Relaxed) {
             // Fire-and-forget cleanup; errors are deliberately not recorded
             // (the transaction is over — this mirrors the seed's ignored
@@ -441,15 +453,21 @@ pub(crate) fn new_session(
             recorder,
             reply,
             faults,
-            mailbox: Mutex::new(Mailbox {
-                queue: VecDeque::new(),
-                scheduled: false,
-                closed: false,
-            }),
-            exec: Mutex::new(ExecState {
-                local: None,
-                finished: false,
-            }),
+            mailbox: Mutex::new(
+                &WORKER_MAILBOX,
+                Mailbox {
+                    queue: VecDeque::new(),
+                    scheduled: false,
+                    closed: false,
+                },
+            ),
+            exec: Mutex::new(
+                &WORKER_EXEC,
+                ExecState {
+                    local: None,
+                    finished: false,
+                },
+            ),
         }),
         pool: Arc::clone(pool),
         sent_terminal: AtomicBool::new(false),

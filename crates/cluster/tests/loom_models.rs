@@ -1,0 +1,518 @@
+//! Exhaustive interleaving checks (via `tenantdb-loom`) for the two
+//! protocols whose correctness is purely about ordering:
+//!
+//! 1. **Pool session-lane handoff** (`worker.rs` `enqueue`/`drain` + the
+//!    `scheduled` flag): all messages a transaction sends to one machine
+//!    execute in arrival order, exactly once, with a single drainer at a
+//!    time — including when a `Detach` races ordinary sends.
+//! 2. **Pair takeover vs. crashes** (`connection.rs` decision logging +
+//!    `pair.rs` `takeover`): a 2PC transaction whose decision reached the
+//!    mirrored log is never lost, whether the coordinator crashes before
+//!    phase 2, the backup races the coordinator's own phase 2, or a
+//!    participant machine fails mid-takeover.
+//!
+//! The models re-state each protocol over `tenantdb_loom` primitives (the
+//! production types use the ordered lockdep wrappers, which the checker
+//! cannot instrument); each model's structure mirrors the cited functions
+//! line by line, and a `*_model_has_teeth` test seeds the historical bug
+//! shape to prove the checker would catch a regression in the protocol.
+
+use tenantdb_loom as loom;
+
+/// CHESS-style bounded exploration: every schedule with at most two
+/// preemptions. Unbounded DFS over these models (up to six threads once
+/// drainers spawn) is intractable, and the empirical CHESS result is that
+/// almost all real concurrency bugs need very few preemptions — both
+/// `*_model_has_teeth` tests confirm their seeded bugs surface within this
+/// bound.
+fn bounded() -> loom::Builder {
+    loom::Builder {
+        preemption_bound: Some(2),
+        ..Default::default()
+    }
+}
+
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Model 1: session-lane handoff
+// ---------------------------------------------------------------------------
+
+/// Mirrors `worker::Mailbox`: message queue + single-drainer flag + closed.
+struct Mailbox {
+    queue: Vec<u32>,
+    scheduled: bool,
+    closed: bool,
+}
+
+/// Ground truth for the FIFO assertion: arrival order is recorded under the
+/// same lock hold that enqueues, exactly as the real queue push does.
+struct Lane {
+    mailbox: Mutex<Mailbox>,
+    arrivals: Mutex<Vec<u32>>,
+    processed: Mutex<Vec<u32>>,
+    /// Mirrors `ExecState::finished`: set when the terminal message is
+    /// processed; later batch entries are skipped.
+    finished: Mutex<bool>,
+}
+
+const TERMINAL: u32 = 99;
+
+impl Lane {
+    fn new() -> Arc<Self> {
+        Arc::new(Lane {
+            mailbox: Mutex::new(Mailbox {
+                queue: Vec::new(),
+                scheduled: false,
+                closed: false,
+            }),
+            arrivals: Mutex::new(Vec::new()),
+            processed: Mutex::new(Vec::new()),
+            finished: Mutex::new(false),
+        })
+    }
+
+    /// `Session::enqueue`: push under the lock, claim the drainer slot if
+    /// free, and (instead of `pool.submit`) spawn the drainer directly —
+    /// the pool's only relevant guarantee is that a submitted job
+    /// eventually runs on *some* thread, which a spawned thread models
+    /// while letting loom explore every handoff interleaving.
+    fn enqueue(self: &Arc<Self>, msg: u32) -> Result<Option<loom::thread::JoinHandle<()>>, ()> {
+        let schedule = {
+            let mut mb = self.mailbox.lock();
+            if mb.closed {
+                return Err(());
+            }
+            if msg == TERMINAL {
+                mb.closed = true;
+            }
+            mb.queue.push(msg);
+            self.arrivals.lock().push(msg);
+            let schedule = !mb.scheduled;
+            if schedule {
+                mb.scheduled = true;
+            }
+            schedule
+        };
+        if schedule {
+            let lane = Arc::clone(self);
+            Ok(Some(loom::thread::spawn(move || lane.drain())))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// `Session::drain`: batches until the queue is observed empty, then
+    /// releases the drainer slot *under the same lock hold* — the step the
+    /// FIFO invariant hinges on.
+    fn drain(self: &Arc<Self>) {
+        loop {
+            let batch = {
+                let mut mb = self.mailbox.lock();
+                if mb.queue.is_empty() {
+                    mb.scheduled = false;
+                    return;
+                }
+                std::mem::take(&mut mb.queue)
+            };
+            for msg in batch {
+                let mut fin = self.finished.lock();
+                if *fin {
+                    continue;
+                }
+                if msg == TERMINAL {
+                    *fin = true;
+                }
+                drop(fin);
+                self.processed.lock().push(msg);
+            }
+        }
+    }
+}
+
+/// Two producers race their sends; every accepted message must be processed
+/// exactly once, in mailbox arrival order, across however many drainer
+/// handoffs the schedule produces.
+#[test]
+fn pool_lane_fifo_exactly_once() {
+    bounded().check(|| {
+        let lane = Lane::new();
+        let l1 = Arc::clone(&lane);
+        let p1 = loom::thread::spawn(move || {
+            let _ = l1.enqueue(1).expect("open").map(|h| h.join());
+            let _ = l1.enqueue(2).expect("open").map(|h| h.join());
+        });
+        let l2 = Arc::clone(&lane);
+        let p2 = loom::thread::spawn(move || {
+            let _ = l2.enqueue(10).expect("open").map(|h| h.join());
+        });
+        p1.join().expect("producer 1");
+        p2.join().expect("producer 2");
+        // Any drainer spawned by a producer finished before that producer's
+        // join returned, so the lane is quiescent here.
+        let arrivals = lane.arrivals.lock().clone();
+        let processed = lane.processed.lock().clone();
+        assert_eq!(
+            processed, arrivals,
+            "every accepted message, exactly once, in arrival order"
+        );
+        assert!(!lane.mailbox.lock().scheduled, "drainer slot released");
+    });
+}
+
+/// A `Detach` (terminal) races an ordinary send. Sends that lose the race
+/// fail cleanly; everything accepted *before* the terminal in arrival order
+/// is processed, nothing is processed after it.
+#[test]
+fn pool_lane_fifo_under_concurrent_detach() {
+    bounded().check(|| {
+        let lane = Lane::new();
+        let l1 = Arc::clone(&lane);
+        let p1 = loom::thread::spawn(move || {
+            let accepted = l1.enqueue(1).map(|h| h.map(|h| h.join())).is_ok();
+            let second = l1.enqueue(2).map(|h| h.map(|h| h.join())).is_ok();
+            (accepted, second)
+        });
+        let l2 = Arc::clone(&lane);
+        let p2 = loom::thread::spawn(move || {
+            // The handle-drop path: detach() enqueues the terminal.
+            l2.enqueue(TERMINAL).map(|h| h.map(|h| h.join())).is_ok()
+        });
+        let (first_ok, second_ok) = p1.join().expect("producer");
+        let detach_ok = p2.join().expect("detacher");
+        assert!(detach_ok, "the first terminal send always wins");
+
+        let arrivals = lane.arrivals.lock().clone();
+        let processed = lane.processed.lock().clone();
+        // Arrival order is truncated at the terminal: the drain loop must
+        // process exactly the prefix up to and including TERMINAL.
+        let cut = arrivals
+            .iter()
+            .position(|&m| m == TERMINAL)
+            .expect("terminal arrived");
+        assert_eq!(processed, arrivals[..=cut], "prefix up to the terminal");
+        // Accepted sends are exactly the arrivals (a rejected send pushes
+        // nothing); rejected sends arrive nowhere.
+        let sent_ok = [(1, first_ok), (2, second_ok)];
+        for (msg, ok) in sent_ok {
+            assert_eq!(ok, arrivals.contains(&msg), "accept ⇔ arrived for {msg}");
+        }
+    });
+}
+
+/// Teeth check: a drainer that releases the `scheduled` slot *outside* the
+/// empty-queue lock hold (the obvious refactor) loses messages — a producer
+/// can slip a message in between "saw empty" and "slot released" and no
+/// drainer ever runs for it. The checker must find that schedule.
+#[test]
+fn lane_model_has_teeth() {
+    let found = std::panic::catch_unwind(|| {
+        bounded().check(|| {
+            let lane = Lane::new();
+            // Buggy drain: check-empty and slot-release in separate holds.
+            fn buggy_drain(lane: &Arc<Lane>) {
+                loop {
+                    let batch = {
+                        let mut mb = lane.mailbox.lock();
+                        if mb.queue.is_empty() {
+                            break;
+                        }
+                        std::mem::take(&mut mb.queue)
+                    };
+                    for msg in batch {
+                        lane.processed.lock().push(msg);
+                    }
+                }
+                lane.mailbox.lock().scheduled = false; // too late
+            }
+            let l1 = Arc::clone(&lane);
+            let p1 = loom::thread::spawn(move || {
+                let spawned = {
+                    let mut mb = l1.mailbox.lock();
+                    mb.queue.push(1);
+                    l1.arrivals.lock().push(1);
+                    let s = !mb.scheduled;
+                    if s {
+                        mb.scheduled = true;
+                    }
+                    s
+                };
+                let h = spawned.then(|| {
+                    let lane = Arc::clone(&l1);
+                    loom::thread::spawn(move || buggy_drain(&lane))
+                });
+                let spawned2 = {
+                    let mut mb = l1.mailbox.lock();
+                    mb.queue.push(2);
+                    l1.arrivals.lock().push(2);
+                    let s = !mb.scheduled;
+                    if s {
+                        mb.scheduled = true;
+                    }
+                    s
+                };
+                let h2 = spawned2.then(|| {
+                    let lane = Arc::clone(&l1);
+                    loom::thread::spawn(move || buggy_drain(&lane))
+                });
+                if let Some(h) = h {
+                    h.join().expect("drainer");
+                }
+                if let Some(h) = h2 {
+                    h.join().expect("drainer");
+                }
+            });
+            p1.join().expect("producer");
+            let arrivals = lane.arrivals.lock().clone();
+            let processed = lane.processed.lock().clone();
+            assert_eq!(processed, arrivals, "lost message");
+        });
+    });
+    assert!(
+        found.is_err(),
+        "the checker must find the lost-message schedule in the buggy drain"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: 2PC decision log vs. takeover vs. machine failure
+// ---------------------------------------------------------------------------
+
+/// One participant machine: a prepared local txn either commits once or
+/// stays prepared. `fail_machine` flips `failed`; commits then error, like
+/// `Engine::check_up`.
+struct Participant {
+    state: Mutex<PState>,
+    failed: AtomicBool,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum PState {
+    Prepared,
+    Committed,
+}
+
+impl Participant {
+    /// `Engine::commit`: idempotent from the coordinator's point of view —
+    /// an already-committed txn reports success (the real engine reports an
+    /// "already finished" error that both callers ignore), a failed machine
+    /// reports `Unavailable`.
+    fn commit(&self) -> Result<(), ()> {
+        // ordering: Relaxed — the loom scheduler is sequentially consistent
+        // anyway; the flag mirrors `Engine::failed`'s gate role.
+        if self.failed.load(Ordering::Relaxed) {
+            return Err(());
+        }
+        let mut st = self.state.lock();
+        *st = PState::Committed;
+        Ok(())
+    }
+}
+
+struct TwoPc {
+    /// `ClusterController::commit_log`, reduced to one decision slot.
+    log: Mutex<Option<u64>>,
+    participant: Participant,
+}
+
+const GTXN: u64 = 7;
+
+/// Outcome of the coordinator thread, mirroring `Connection::commit`'s
+/// three exits.
+#[derive(PartialEq, Debug)]
+enum Coord {
+    /// Crashed before the decision was logged: the client saw a failure,
+    /// nothing to recover.
+    NotDecided,
+    /// Decision logged, coordinator crashed before phase 2
+    /// (`CrashAfterDecision`): takeover or restart must complete it.
+    DecidedCrashed,
+    /// Phase 2 ran; on participant failure the decision stays logged for
+    /// restart recovery, otherwise it is removed.
+    Applied,
+}
+
+impl TwoPc {
+    fn new() -> Arc<Self> {
+        Arc::new(TwoPc {
+            log: Mutex::new(None),
+            participant: Participant {
+                state: Mutex::new(PState::Prepared),
+                failed: AtomicBool::new(false),
+            },
+        })
+    }
+
+    /// The coordinator: decision point → (maybe crash) → phase 2 → log GC.
+    /// `crashed` is the pair-primary failure flag; checking it inside the
+    /// decision lock hold models "a dead primary decides nothing".
+    fn coordinator(&self, crashed: &AtomicBool) -> Coord {
+        {
+            let mut log = self.log.lock();
+            // ordering: Relaxed — loom is sequentially consistent; mirrors
+            // the cooperative fail_primary() handoff.
+            if crashed.load(Ordering::Relaxed) {
+                return Coord::NotDecided;
+            }
+            *log = Some(GTXN);
+        }
+        // ordering: Relaxed — see above.
+        if crashed.load(Ordering::Relaxed) {
+            return Coord::DecidedCrashed;
+        }
+        // Phase 2. A participant failure leaves the decision in the log
+        // (connection.rs removes the replica but keeps the decision until
+        // the participant's restart resolves it).
+        if self.participant.commit().is_err() {
+            return Coord::Applied;
+        }
+        *self.log.lock() = None;
+        Coord::Applied
+    }
+
+    /// `ProcessPair::takeover` step 1: drain the decision log, complete
+    /// decided commits, retain decisions whose participant is down.
+    fn takeover(&self) {
+        let decided = self.log.lock().take();
+        if let Some(gtxn) = decided {
+            if self.participant.commit().is_err() {
+                // Participant down: the decision must survive for restart
+                // recovery (`unresolved` re-insert in pair.rs).
+                *self.log.lock() = Some(gtxn);
+            }
+        }
+    }
+}
+
+/// The never-lost invariant, checked when all threads are done: a decided
+/// transaction is either applied at the participant or still recoverable
+/// from the decision log; an undecided one left nothing behind.
+fn check_durability(sys: &TwoPc, outcome: Coord) {
+    let p = *sys.participant.state.lock();
+    let logged = *sys.log.lock();
+    match outcome {
+        Coord::NotDecided => {
+            assert_eq!(p, PState::Prepared, "nothing decided, nothing applied");
+            assert_eq!(logged, None, "no ghost decision");
+        }
+        Coord::DecidedCrashed | Coord::Applied => {
+            assert!(
+                p == PState::Committed || logged == Some(GTXN),
+                "decided txn lost: participant {p:?}, log {logged:?}"
+            );
+        }
+    }
+}
+
+/// Pair takeover races the coordinator's own phase 2 (no machine failure):
+/// whatever the interleaving, the decided txn commits and double-delivery
+/// is absorbed by engine idempotence.
+#[test]
+fn takeover_races_phase_two() {
+    bounded().check(|| {
+        let sys = TwoPc::new();
+        let crashed = Arc::new(AtomicBool::new(false));
+        let s1 = Arc::clone(&sys);
+        let c1 = Arc::clone(&crashed);
+        let coord = loom::thread::spawn(move || s1.coordinator(&c1));
+        let s2 = Arc::clone(&sys);
+        let c2 = Arc::clone(&crashed);
+        let backup = loom::thread::spawn(move || {
+            // fail_primary(): flip the role, then complete the log.
+            // ordering: Relaxed — loom is sequentially consistent.
+            c2.store(true, Ordering::Relaxed);
+            s2.takeover();
+        });
+        let outcome = coord.join().expect("coordinator");
+        backup.join().expect("backup");
+        check_durability(&sys, outcome);
+    });
+}
+
+/// Same race with a participant `fail_machine` thread in the mix: the
+/// decision may stay in the log (for restart recovery) but is never
+/// dropped while the participant sits prepared.
+#[test]
+fn takeover_races_phase_two_and_fail_machine() {
+    bounded().check(|| {
+        let sys = TwoPc::new();
+        let crashed = Arc::new(AtomicBool::new(false));
+        let s1 = Arc::clone(&sys);
+        let c1 = Arc::clone(&crashed);
+        let coord = loom::thread::spawn(move || s1.coordinator(&c1));
+        let s2 = Arc::clone(&sys);
+        let c2 = Arc::clone(&crashed);
+        let backup = loom::thread::spawn(move || {
+            // ordering: Relaxed — loom is sequentially consistent.
+            c2.store(true, Ordering::Relaxed);
+            s2.takeover();
+        });
+        let s3 = Arc::clone(&sys);
+        let failer = loom::thread::spawn(move || {
+            // ordering: Relaxed — loom is sequentially consistent.
+            s3.participant.failed.store(true, Ordering::Relaxed);
+        });
+        let outcome = coord.join().expect("coordinator");
+        backup.join().expect("backup");
+        failer.join().expect("failer");
+
+        let p = *sys.participant.state.lock();
+        let logged = *sys.log.lock();
+        if outcome != Coord::NotDecided && p == PState::Prepared {
+            assert_eq!(
+                logged,
+                Some(GTXN),
+                "prepared participant must still find the decision on restart"
+            );
+        }
+        check_durability(&sys, outcome);
+    });
+}
+
+/// Teeth check: the invariant the coordinator actually relies on is
+/// *remove after phase 2*. A coordinator that GCs the log entry before
+/// running phase 2 loses the txn when it crashes in between — the checker
+/// must find that schedule.
+#[test]
+fn takeover_model_has_teeth() {
+    let found = std::panic::catch_unwind(|| {
+        bounded().check(|| {
+            let sys = TwoPc::new();
+            let crashed = Arc::new(AtomicBool::new(false));
+            let s1 = Arc::clone(&sys);
+            let c1 = Arc::clone(&crashed);
+            let coord = loom::thread::spawn(move || {
+                {
+                    let mut log = s1.log.lock();
+                    // ordering: Relaxed — loom is sequentially consistent.
+                    if c1.load(Ordering::Relaxed) {
+                        return Coord::NotDecided;
+                    }
+                    *log = Some(GTXN);
+                }
+                *s1.log.lock() = None; // BUG: GC before phase 2
+                                       // ordering: Relaxed — see above.
+                if c1.load(Ordering::Relaxed) {
+                    return Coord::DecidedCrashed;
+                }
+                let _ = s1.participant.commit();
+                Coord::Applied
+            });
+            let s2 = Arc::clone(&sys);
+            let c2 = Arc::clone(&crashed);
+            let backup = loom::thread::spawn(move || {
+                // ordering: Relaxed — loom is sequentially consistent.
+                c2.store(true, Ordering::Relaxed);
+                s2.takeover();
+            });
+            let outcome = coord.join().expect("coordinator");
+            backup.join().expect("backup");
+            check_durability(&sys, outcome);
+        });
+    });
+    assert!(
+        found.is_err(),
+        "the checker must find the decided-then-lost schedule in the buggy coordinator"
+    );
+}

@@ -78,11 +78,13 @@ impl Colo {
     }
 
     pub fn is_failed(&self) -> bool {
+        // ordering: Acquire — pairs with the Release store in fail().
         self.failed.load(Ordering::Acquire)
     }
 
     /// Disaster: the whole colo goes dark.
     pub fn fail(&self) {
+        // ordering: Release — publishes the colo failure to is_failed() observers.
         self.failed.store(true, Ordering::Release);
         for slot in &self.clusters {
             for m in slot.controller.machines() {

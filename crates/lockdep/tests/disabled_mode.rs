@@ -1,0 +1,32 @@
+//! Disabled-mode semantics, in a dedicated process: the enable flag is
+//! global, so these cases can't share a test binary with the enabled-mode
+//! unit suite.
+
+use tenantdb_lockdep::{disable, enable, held_ranks, LockClass, OrderedMutex};
+
+static OUTER: LockClass = LockClass::new("disabled.outer", 10);
+static INNER: LockClass = LockClass::new("disabled.inner", 20);
+
+#[test]
+fn disabled_mode_checks_and_records_nothing() {
+    disable();
+    let a = OrderedMutex::new(&OUTER, 1);
+    let b = OrderedMutex::new(&INNER, 2);
+    {
+        // Would be a rank inversion if checking were on.
+        let gb = b.lock();
+        let ga = a.lock();
+        assert_eq!(*ga + *gb, 3);
+        assert!(held_ranks().is_empty(), "no stack recorded when disabled");
+    }
+
+    // Re-enabling mid-run must not unbalance anything: guards acquired
+    // while disabled popped nothing, and fresh acquisitions are tracked.
+    let gb = b.lock(); // acquired disabled
+    enable();
+    drop(gb); // releases without a matching registration: no-op
+    let ga = a.lock();
+    assert_eq!(held_ranks(), vec![10]);
+    drop(ga);
+    assert!(held_ranks().is_empty());
+}

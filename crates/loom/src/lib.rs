@@ -1,0 +1,808 @@
+//! Systematic concurrency testing for small protocol models.
+//!
+//! Offline stand-in for [`loom`](https://crates.io/crates/loom) (the
+//! workspace builds with no crates.io access — same pattern as
+//! `compat-rand` / `compat-parking-lot`). A model is a closure using this
+//! crate's [`thread::spawn`], [`sync::Mutex`] and [`sync::atomic`] types;
+//! [`model`] runs it under **every** interleaving of those operations:
+//!
+//! ```
+//! use tenantdb_loom as loom;
+//! loom::model(|| {
+//!     let n = loom::sync::Arc::new(loom::sync::atomic::AtomicUsize::new(0));
+//!     let n2 = n.clone();
+//!     let h = loom::thread::spawn(move || n2.fetch_add(1, loom::sync::atomic::Ordering::SeqCst));
+//!     n.fetch_add(1, loom::sync::atomic::Ordering::SeqCst);
+//!     h.join().unwrap();
+//!     assert_eq!(n.load(loom::sync::atomic::Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! # How it works
+//!
+//! Model threads are real OS threads driven by a cooperative **baton
+//! scheduler**: exactly one model thread runs at a time, and every shared
+//! operation (mutex lock/unlock, atomic access, spawn/join) is a *yield
+//! point* where the thread parks and the scheduler picks who runs next.
+//! Interleavings are therefore sequences of scheduling choices, and the
+//! driver enumerates them depth-first: each execution replays a recorded
+//! prefix of choices, takes the first untried branch at the deepest
+//! branching point, and runs first-runnable from there. When the tree is
+//! exhausted, every interleaving (at yield-point granularity) has run.
+//!
+//! Because only one thread touches shared cells at a time — with
+//! happens-before edges through the scheduler's own mutex on every switch —
+//! the model observes **sequential consistency**. Weak-memory behaviours
+//! (`Relaxed` reorderings) are *not* explored; `Ordering` arguments are
+//! accepted for API compatibility and ignored. That is the right tool for
+//! the protocols modelled here (lost wakeups, FIFO violations, decision-log
+//! races), which are scheduling bugs, not fence bugs.
+//!
+//! A state with no runnable thread and unfinished threads is reported as a
+//! **deadlock** with the schedule that reached it. Assertion panics inside
+//! a model propagate out of [`model`] after teardown, again with the
+//! schedule attached.
+//!
+//! # Bounds
+//!
+//! [`Builder`] caps the number of explored schedules
+//! ([`Builder::max_schedules`], default 1 << 20 — exceeding it panics, so a
+//! model that outgrows its budget fails loudly instead of silently thinning
+//! coverage) and optionally bounds *preemptions* per schedule
+//! ([`Builder::preemption_bound`]): with bound `k`, only schedules with at
+//! most `k` involuntary context switches are explored. Small preemption
+//! bounds find almost all real scheduling bugs (the CHESS observation) at a
+//! fraction of the tree.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex};
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Parked at a yield point, eligible to be scheduled.
+    Ready,
+    /// Holding the baton.
+    Running,
+    /// Waiting for a mutex (by lock id) to be released.
+    BlockedLock(usize),
+    /// Waiting for another model thread (by tid) to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One scheduling decision: which index into the runnable set was taken,
+/// out of how many options (for DFS backtracking).
+#[derive(Clone, Copy)]
+struct Choice {
+    chosen: usize,
+    options: usize,
+}
+
+struct Sched {
+    threads: Vec<TState>,
+    /// Which tid currently holds the baton (None while the scheduler picks).
+    active: Option<usize>,
+    /// Mutex table: `Some(tid)` = held by that thread.
+    locks: Vec<Option<usize>>,
+    /// Replay prefix of choice indices for this execution.
+    replay: Vec<usize>,
+    /// Choices actually taken this execution.
+    trace: Vec<Choice>,
+    step: usize,
+    last_active: Option<usize>,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    /// Set when tearing down (deadlock or cap); parked threads unwind out.
+    poisoned: bool,
+    /// First panic payload from a model thread.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Real OS handles, joined at the end of the execution.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Ctx {
+    sched: StdMutex<Sched>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    /// (execution context, my tid) for the model thread running on this
+    /// OS thread.
+    static CURRENT: RefCell<Option<(StdArc<Ctx>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (StdArc<Ctx>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("tenantdb-loom primitives may only be used inside model()")
+    })
+}
+
+/// Park the calling model thread at a yield point and wait to be scheduled
+/// again. Every shared-memory operation calls this first, which is what
+/// makes the interleaving space explicit.
+fn yield_point() {
+    let (ctx, me) = current();
+    let mut s = ctx.sched.lock().unwrap();
+    if s.poisoned {
+        drop(s);
+        // Unwinding threads pass through so their cleanup can finish;
+        // everyone else starts unwinding now.
+        if std::thread::panicking() {
+            return;
+        }
+        panic!("tenantdb-loom: execution aborted during teardown");
+    }
+    s.threads[me] = TState::Ready;
+    s.active = None;
+    ctx.cv.notify_all();
+    while s.active != Some(me) {
+        if s.poisoned {
+            drop(s);
+            if std::thread::panicking() {
+                return;
+            }
+            panic!("tenantdb-loom: execution aborted during teardown");
+        }
+        s = ctx.cv.wait(s).unwrap();
+    }
+    s.threads[me] = TState::Running;
+}
+
+/// Block the calling thread with `state` (already decided under `s`) until
+/// the scheduler hands it the baton again.
+fn block_until_scheduled<'a>(
+    ctx: &'a Ctx,
+    me: usize,
+    mut s: std::sync::MutexGuard<'a, Sched>,
+    state: TState,
+) -> std::sync::MutexGuard<'a, Sched> {
+    s.threads[me] = state;
+    s.active = None;
+    ctx.cv.notify_all();
+    while s.active != Some(me) {
+        if s.poisoned {
+            // Only live (non-unwinding) threads ever block here, so
+            // teardown always means: unwind out of the model body.
+            drop(s);
+            panic!("tenantdb-loom: execution aborted during teardown");
+        }
+        s = ctx.cv.wait(s).unwrap();
+    }
+    s.threads[me] = TState::Running;
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Public model driver
+// ---------------------------------------------------------------------------
+
+/// Exploration configuration. `Default` explores everything (no preemption
+/// bound) up to `max_schedules`.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Hard cap on explored schedules; exceeding it panics.
+    pub max_schedules: usize,
+    /// If `Some(k)`, only schedules with ≤ k preemptions are explored.
+    pub preemption_bound: Option<usize>,
+    /// Print the schedule count when done.
+    pub log: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_schedules: 1 << 20,
+            preemption_bound: None,
+            log: false,
+        }
+    }
+}
+
+/// Explore every interleaving of `f` with the default [`Builder`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+impl Builder {
+    /// Explore every interleaving of `f` under this configuration,
+    /// panicking (with the offending schedule) if any execution panics,
+    /// deadlocks, or the schedule cap is hit.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: StdArc<dyn Fn() + Send + Sync> = StdArc::new(f);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut explored: usize = 0;
+        loop {
+            if explored >= self.max_schedules {
+                panic!(
+                    "tenantdb-loom: exceeded max_schedules ({}) — model too \
+                     large; reduce ops or set a preemption_bound",
+                    self.max_schedules
+                );
+            }
+            let trace = self.run_one(StdArc::clone(&f), replay.clone());
+            explored += 1;
+            // DFS backtrack: deepest choice point with an untried branch.
+            let Some(cut) = trace.iter().rposition(|c| c.chosen + 1 < c.options) else {
+                break;
+            };
+            replay = trace[..cut].iter().map(|c| c.chosen).collect();
+            replay.push(trace[cut].chosen + 1);
+        }
+        if self.log {
+            eprintln!("tenantdb-loom: explored {explored} schedules");
+        }
+    }
+
+    /// Run a single execution, replaying `replay` then taking
+    /// first-runnable. Returns the choice trace.
+    fn run_one(&self, f: StdArc<dyn Fn() + Send + Sync>, replay: Vec<usize>) -> Vec<Choice> {
+        let ctx = StdArc::new(Ctx {
+            sched: StdMutex::new(Sched {
+                threads: vec![TState::Ready],
+                active: None,
+                locks: Vec::new(),
+                replay,
+                trace: Vec::new(),
+                step: 0,
+                last_active: None,
+                preemptions: 0,
+                preemption_bound: self.preemption_bound,
+                poisoned: false,
+                panic: None,
+                os_handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        });
+
+        // Root model thread (tid 0).
+        spawn_os_thread(&ctx, 0, move || f());
+
+        // Scheduler loop, on the calling thread.
+        let mut deadlock: Option<String> = None;
+        {
+            let mut s = ctx.sched.lock().unwrap();
+            loop {
+                while s.active.is_some() {
+                    s = ctx.cv.wait(s).unwrap();
+                }
+                // Wake joiners of finished threads; retry lock waiters whose
+                // lock has been released.
+                for tid in 0..s.threads.len() {
+                    match s.threads[tid] {
+                        TState::BlockedLock(l) if s.locks[l].is_none() => {
+                            s.threads[tid] = TState::Ready;
+                        }
+                        TState::BlockedJoin(t) if s.threads[t] == TState::Finished => {
+                            s.threads[tid] = TState::Ready;
+                        }
+                        _ => {}
+                    }
+                }
+                let runnable: Vec<usize> = (0..s.threads.len())
+                    .filter(|&t| s.threads[t] == TState::Ready)
+                    .collect();
+                if runnable.is_empty() {
+                    if s.threads.iter().all(|t| *t == TState::Finished) {
+                        break;
+                    }
+                    deadlock = Some(format!(
+                        "threads: {:?}, schedule: {:?}",
+                        s.threads,
+                        s.trace.iter().map(|c| c.chosen).collect::<Vec<_>>()
+                    ));
+                    s.poisoned = true;
+                    ctx.cv.notify_all();
+                    // Wait for every thread to unwind out before reporting.
+                    while !s.threads.iter().all(|t| *t == TState::Finished) {
+                        s = ctx.cv.wait(s).unwrap();
+                    }
+                    break;
+                }
+                // Preemption bounding: once the budget is spent, stick with
+                // the previous thread whenever it is still runnable.
+                let options: Vec<usize> = match (s.preemption_bound, s.last_active) {
+                    (Some(bound), Some(last))
+                        if s.preemptions >= bound && runnable.contains(&last) =>
+                    {
+                        vec![last]
+                    }
+                    _ => runnable,
+                };
+                let idx = if s.step < s.replay.len() {
+                    let i = s.replay[s.step];
+                    debug_assert!(
+                        i < options.len(),
+                        "replay diverged — model is nondeterministic"
+                    );
+                    i
+                } else {
+                    0
+                };
+                let tid = options[idx];
+                s.trace.push(Choice {
+                    chosen: idx,
+                    options: options.len(),
+                });
+                s.step += 1;
+                if let Some(last) = s.last_active {
+                    if last != tid && s.threads[last] == TState::Ready {
+                        s.preemptions += 1;
+                    }
+                }
+                s.last_active = Some(tid);
+                s.active = Some(tid);
+                ctx.cv.notify_all();
+            }
+        }
+
+        // Join the real threads (all model-finished; joins are immediate).
+        let (trace, panic, handles) = {
+            let mut s = ctx.sched.lock().unwrap();
+            (
+                std::mem::take(&mut s.trace),
+                s.panic.take(),
+                std::mem::take(&mut s.os_handles),
+            )
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(d) = deadlock {
+            panic!("tenantdb-loom: DEADLOCK — no runnable thread ({d})");
+        }
+        if let Some(p) = panic {
+            eprintln!(
+                "tenantdb-loom: model panicked under schedule {:?}",
+                trace.iter().map(|c| c.chosen).collect::<Vec<_>>()
+            );
+            std::panic::resume_unwind(p);
+        }
+        trace
+    }
+}
+
+/// Start the real OS thread backing model thread `tid`. The body parks
+/// until first scheduled, runs, then marks itself finished.
+fn spawn_os_thread(ctx: &StdArc<Ctx>, tid: usize, body: impl FnOnce() + Send + 'static) {
+    let ctx2 = StdArc::clone(ctx);
+    let h = std::thread::spawn(move || {
+        CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&ctx2), tid)));
+        // Park until first scheduled.
+        {
+            let mut s = ctx2.sched.lock().unwrap();
+            while s.active != Some(tid) {
+                if s.poisoned {
+                    drop(s);
+                    finish_thread(&ctx2, tid, None);
+                    return;
+                }
+                s = ctx2.cv.wait(s).unwrap();
+            }
+            s.threads[tid] = TState::Running;
+        }
+        let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+        finish_thread(&ctx2, tid, result.err());
+    });
+    ctx.sched.lock().unwrap().os_handles.push(h);
+}
+
+fn finish_thread(ctx: &Ctx, tid: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
+    let mut s = ctx.sched.lock().unwrap();
+    s.threads[tid] = TState::Finished;
+    if s.active == Some(tid) {
+        s.active = None;
+    }
+    if let Some(p) = panic {
+        if s.panic.is_none() {
+            s.panic = Some(p);
+        }
+        // A failing model thread ends this execution: release everyone.
+        s.poisoned = true;
+    }
+    ctx.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+/// Model-thread spawning and joining.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: StdArc<StdMutex<Option<T>>>,
+    }
+
+    /// Spawn a model thread. The closure runs under the scheduler like any
+    /// other model thread; all its shared operations are yield points.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        yield_point();
+        let (ctx, _me) = current();
+        let tid = {
+            let mut s = ctx.sched.lock().unwrap();
+            s.threads.push(TState::Ready);
+            s.threads.len() - 1
+        };
+        let result: StdArc<StdMutex<Option<T>>> = StdArc::new(StdMutex::new(None));
+        let slot = StdArc::clone(&result);
+        spawn_os_thread(&ctx, tid, move || {
+            let v = f();
+            *slot.lock().unwrap() = Some(v);
+        });
+        JoinHandle { tid, result }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish, returning its result. Mirrors
+        /// `std`'s signature: `Err` means the thread panicked (the panic is
+        /// also recorded and re-raised by the model driver at end of
+        /// execution, so models may simply `.unwrap()`).
+        #[allow(clippy::result_unit_err)] // mirrors std::thread's shape
+        pub fn join(self) -> Result<T, ()> {
+            let (ctx, me) = current();
+            yield_point();
+            {
+                let mut s = ctx.sched.lock().unwrap();
+                while s.threads[self.tid] != TState::Finished {
+                    s = block_until_scheduled(&ctx, me, s, TState::BlockedJoin(self.tid));
+                }
+            }
+            self.result.lock().unwrap().take().ok_or(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync
+// ---------------------------------------------------------------------------
+
+/// Model-aware synchronization primitives.
+pub mod sync {
+    use super::*;
+    use std::cell::UnsafeCell;
+    use std::ops::{Deref, DerefMut};
+
+    pub use std::sync::Arc;
+
+    /// A model mutex: mutual exclusion is enforced by the scheduler, every
+    /// `lock`/unlock is a yield point, and contended acquisition blocks the
+    /// model thread (feeding deadlock detection).
+    pub struct Mutex<T> {
+        id: usize,
+        cell: UnsafeCell<T>,
+    }
+
+    // SAFETY: the scheduler guarantees at most one model thread is running
+    // at any instant and hands the cell off with happens-before edges
+    // through its own mutex, so &Mutex can cross threads.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    /// RAII guard for [`Mutex::lock`]; releases (a yield point) on drop.
+    pub struct MutexGuard<'a, T> {
+        m: &'a Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a mutex registered with the current execution.
+        pub fn new(value: T) -> Self {
+            let (ctx, _me) = current();
+            let id = {
+                let mut s = ctx.sched.lock().unwrap();
+                s.locks.push(None);
+                s.locks.len() - 1
+            };
+            Mutex {
+                id,
+                cell: UnsafeCell::new(value),
+            }
+        }
+
+        /// Acquire the mutex, blocking (in model time) while held.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            yield_point();
+            let (ctx, me) = current();
+            {
+                let mut s = ctx.sched.lock().unwrap();
+                loop {
+                    if s.locks[self.id].is_none() {
+                        s.locks[self.id] = Some(me);
+                        break;
+                    }
+                    s = block_until_scheduled(&ctx, me, s, TState::BlockedLock(self.id));
+                }
+            }
+            MutexGuard { m: self }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            yield_point();
+            let (ctx, me) = current();
+            let mut s = ctx.sched.lock().unwrap();
+            debug_assert_eq!(s.locks[self.m.id], Some(me));
+            s.locks[self.m.id] = None;
+        }
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: guard implies exclusive model-level ownership.
+            unsafe { &*self.m.cell.get() }
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: guard implies exclusive model-level ownership.
+            unsafe { &mut *self.m.cell.get() }
+        }
+    }
+
+    /// Model atomics: every access is a yield point; the `Ordering`
+    /// argument is accepted for source compatibility and ignored (the
+    /// scheduler provides sequential consistency — see crate docs).
+    pub mod atomic {
+        use super::*;
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! model_atomic {
+            ($name:ident, $ty:ty) => {
+                /// Model atomic; all operations are scheduler yield points.
+                pub struct $name {
+                    cell: UnsafeCell<$ty>,
+                }
+
+                // SAFETY: see `Mutex` — only the active model thread
+                // touches the cell, with happens-before on every switch.
+                unsafe impl Send for $name {}
+                unsafe impl Sync for $name {}
+
+                impl $name {
+                    /// Create the atomic (registration-free).
+                    pub fn new(v: $ty) -> Self {
+                        $name {
+                            cell: UnsafeCell::new(v),
+                        }
+                    }
+
+                    /// Atomic load (yield point).
+                    pub fn load(&self, _o: Ordering) -> $ty {
+                        yield_point();
+                        unsafe { *self.cell.get() }
+                    }
+
+                    /// Atomic store (yield point).
+                    pub fn store(&self, v: $ty, _o: Ordering) {
+                        yield_point();
+                        unsafe { *self.cell.get() = v }
+                    }
+
+                    /// Atomic swap (yield point).
+                    pub fn swap(&self, v: $ty, _o: Ordering) -> $ty {
+                        yield_point();
+                        unsafe {
+                            let old = *self.cell.get();
+                            *self.cell.get() = v;
+                            old
+                        }
+                    }
+
+                    /// Atomic compare-exchange (yield point).
+                    pub fn compare_exchange(
+                        &self,
+                        expect: $ty,
+                        new: $ty,
+                        _ok: Ordering,
+                        _err: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        yield_point();
+                        unsafe {
+                            let old = *self.cell.get();
+                            if old == expect {
+                                *self.cell.get() = new;
+                                Ok(old)
+                            } else {
+                                Err(old)
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicBool, bool);
+        model_atomic!(AtomicUsize, usize);
+        model_atomic!(AtomicU64, u64);
+
+        impl AtomicUsize {
+            /// Atomic fetch-add (yield point).
+            pub fn fetch_add(&self, v: usize, _o: Ordering) -> usize {
+                yield_point();
+                unsafe {
+                    let old = *self.cell.get();
+                    *self.cell.get() = old + v;
+                    old
+                }
+            }
+
+            /// Atomic fetch-sub (yield point).
+            pub fn fetch_sub(&self, v: usize, _o: Ordering) -> usize {
+                yield_point();
+                unsafe {
+                    let old = *self.cell.get();
+                    *self.cell.get() = old - v;
+                    old
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn sequential_model_runs_once() {
+        let b = Builder {
+            log: false,
+            ..Default::default()
+        };
+        b.check(|| {
+            let m = Mutex::new(1);
+            *m.lock() += 1;
+            assert_eq!(*m.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn mutex_counter_is_exact_under_all_schedules() {
+        model(|| {
+            let m = Arc::new(Mutex::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn finds_lost_update_race() {
+        // Non-atomic read-modify-write on an atomic cell: some schedule
+        // interleaves the two loads before either store → lost update. The
+        // model MUST find that schedule and the assertion below must fire.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let hs: Vec<_> = (0..2)
+                    .map(|_| {
+                        let n = Arc::clone(&n);
+                        thread::spawn(move || {
+                            let v = n.load(Ordering::SeqCst);
+                            n.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().unwrap();
+                }
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        }))
+        .expect_err("exploration must surface the racy schedule");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lost update"), "{msg}");
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = thread::spawn(move || {
+                    let _ga = a2.lock();
+                    let _gb = b2.lock();
+                });
+                let _gb = b.lock();
+                let _ga = a.lock();
+                drop(_ga);
+                drop(_gb);
+                let _ = h.join();
+            });
+        }))
+        .expect_err("AB/BA order must deadlock in some schedule");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("DEADLOCK"), "{msg}");
+    }
+
+    #[test]
+    fn preemption_bound_caps_exploration() {
+        // Exhaustive vs bounded must both pass a correct model; bounded
+        // explores no more schedules than exhaustive.
+        let b = Builder {
+            preemption_bound: Some(1),
+            ..Default::default()
+        };
+        b.check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let h = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn schedule_cap_panics_loudly() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let b = Builder {
+                max_schedules: 2,
+                ..Default::default()
+            };
+            b.check(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let hs: Vec<_> = (0..3)
+                    .map(|_| {
+                        let n = Arc::clone(&n);
+                        thread::spawn(move || {
+                            n.fetch_add(1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().unwrap();
+                }
+            });
+        }))
+        .expect_err("cap must fire");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("max_schedules"), "{msg}");
+    }
+}

@@ -53,7 +53,10 @@ impl Histogram {
 
     /// Record one observation (microseconds).
     pub fn observe(&self, value: u64) {
+        // ordering: Relaxed — bucket count and sum are advisory; a reader between
+        // the two adds sees a count without its sum.
         self.counts[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — see above; mean skews briefly, divide-by-zero is guarded.
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
@@ -69,11 +72,13 @@ impl Histogram {
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
     /// Sum of all observed values (µs).
     pub fn sum(&self) -> u64 {
+        // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -81,6 +86,7 @@ impl Histogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.counts
             .iter()
+            // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
@@ -132,8 +138,10 @@ impl Histogram {
     /// Zero every bucket and the sum (measurement-window resets).
     pub fn reset(&self) {
         for c in &self.counts {
+            // ordering: Relaxed — window reset; racing observes land in either window.
             c.store(0, Ordering::Relaxed);
         }
+        // ordering: Relaxed — see above; sum may briefly disagree with counts.
         self.sum.store(0, Ordering::Relaxed);
     }
 }

@@ -59,22 +59,26 @@ impl Counter {
 
     /// Add one.
     pub fn inc(&self) {
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
         self.0.load(Ordering::Relaxed)
     }
 
     /// Reset to zero (measurement-window resets; Prometheus counters never
     /// do this, but bench windows and `reset_counters()` need it).
     pub fn reset(&self) {
+        // ordering: Relaxed — window reset; racing increments land in either window, both acceptable.
         self.0.store(0, Ordering::Relaxed);
     }
 }
@@ -91,26 +95,31 @@ impl Gauge {
 
     /// Set to an absolute value.
     pub fn set(&self, v: i64) {
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Add one.
     pub fn inc(&self) {
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Subtract one.
     pub fn dec(&self) {
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Add a signed delta.
     pub fn add(&self, n: i64) {
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
         self.0.load(Ordering::Relaxed)
     }
 }

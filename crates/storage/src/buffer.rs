@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use crate::sync::{Mutex, BUFFER_STATE};
 
 /// Identifies a logical page: a table (by global id) and a page number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -110,11 +110,14 @@ impl BufferPool {
             capacity: capacity_pages.max(1),
             hit_ns: AtomicU64::new(cost.hit.as_nanos() as u64),
             miss_ns: AtomicU64::new(cost.miss.as_nanos() as u64),
-            state: Mutex::new(LruState {
-                resident: HashMap::new(),
-                by_stamp: BTreeMap::new(),
-                next_stamp: 0,
-            }),
+            state: Mutex::new(
+                &BUFFER_STATE,
+                LruState {
+                    resident: HashMap::new(),
+                    by_stamp: BTreeMap::new(),
+                    next_stamp: 0,
+                },
+            ),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -123,8 +126,11 @@ impl BufferPool {
     /// Swap the cost model at runtime. Experiments load data with free page
     /// costs and enable the I/O model only for the measured window.
     pub fn set_cost(&self, cost: CostModel) {
+        // ordering: Relaxed — cost knobs are set before the workload starts; a
+        // racing access just charges a stale cost once, which is harmless.
         self.hit_ns
             .store(cost.hit.as_nanos() as u64, Ordering::Relaxed);
+        // ordering: Relaxed — see above.
         self.miss_ns
             .store(cost.miss.as_nanos() as u64, Ordering::Relaxed);
     }
@@ -156,10 +162,14 @@ impl BufferPool {
             }
         };
         if hit {
+            // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
             self.hits.fetch_add(1, Ordering::Relaxed);
+            // ordering: Relaxed — reads the cost knob set above; staleness is harmless.
             stall(Duration::from_nanos(self.hit_ns.load(Ordering::Relaxed)));
         } else {
+            // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
             self.misses.fetch_add(1, Ordering::Relaxed);
+            // ordering: Relaxed — reads the cost knob set above; staleness is harmless.
             stall(Duration::from_nanos(self.miss_ns.load(Ordering::Relaxed)));
         }
         hit
@@ -180,13 +190,17 @@ impl BufferPool {
 
     pub fn stats(&self) -> BufferStats {
         BufferStats {
+            // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
             hits: self.hits.load(Ordering::Relaxed),
+            // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
 
     pub fn reset_stats(&self) {
+        // ordering: Relaxed — window reset; racing accesses land in either window.
         self.hits.store(0, Ordering::Relaxed);
+        // ordering: Relaxed — see above.
         self.misses.store(0, Ordering::Relaxed);
     }
 }

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use crate::sync::{RwLock, ENGINE_CATALOG, ENGINE_TABLES};
 
 use crate::buffer::{page_of_row, BufferPool, CostModel, PageKey};
 use crate::error::{Result, StorageError};
@@ -82,7 +82,7 @@ impl Database {
     fn new(name: String) -> Self {
         Database {
             name,
-            tables: RwLock::new(HashMap::new()),
+            tables: RwLock::new(&ENGINE_TABLES, HashMap::new()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         }
@@ -135,7 +135,7 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Self {
         Engine {
             cfg,
-            databases: RwLock::new(HashMap::new()),
+            databases: RwLock::new(&ENGINE_CATALOG, HashMap::new()),
             locks: LockManager::new(cfg.lock_timeout),
             txns: TxnManager::default(),
             buffer: BufferPool::new(cfg.buffer_pages, cfg.cost),
@@ -148,6 +148,8 @@ impl Engine {
     }
 
     fn check_up(&self) -> Result<()> {
+        // ordering: Acquire — pairs with the Release stores in crash()/restart()
+        // so a caller that sees `failed` also sees the wiped state behind it.
         if self.failed.load(Ordering::Acquire) {
             Err(StorageError::Unavailable)
         } else {
@@ -204,6 +206,7 @@ impl Engine {
         if tables.contains_key(&schema.name) {
             return Err(StorageError::AlreadyExists(schema.name.clone()));
         }
+        // ordering: Relaxed — id minting; uniqueness needs only atomicity.
         let id = self.next_table_id.fetch_add(1, Ordering::Relaxed);
         tables.insert(
             schema.name.clone(),
@@ -311,6 +314,7 @@ impl Engine {
         self.txns.set_committed(txn)?;
         self.wal.append(txn, WalEntry::Commit);
         self.locks.release_all(txn);
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         self.commits.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -354,6 +358,7 @@ impl Engine {
         }
         self.wal.append(txn, WalEntry::Abort);
         self.locks.release_all(txn);
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         self.aborts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -459,6 +464,7 @@ impl Engine {
                 row,
             }),
         );
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         database.writes.fetch_add(1, Ordering::Relaxed);
         Ok(row_id)
     }
@@ -488,6 +494,7 @@ impl Engine {
         )?;
         self.buffer.access(Self::data_page(t.id, row_id));
         self.txns.note_read(txn);
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         database.reads.fetch_add(1, Ordering::Relaxed);
         Ok(t.get(row_id))
     }
@@ -536,6 +543,7 @@ impl Engine {
             }
         }
         self.txns.note_read(txn);
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         database.reads.fetch_add(1, Ordering::Relaxed);
         Ok(out)
     }
@@ -571,6 +579,7 @@ impl Engine {
             }
         }
         self.txns.note_read(txn);
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         database.reads.fetch_add(1, Ordering::Relaxed);
         Ok(out)
     }
@@ -593,6 +602,7 @@ impl Engine {
             }
         }
         self.txns.note_read(txn);
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         database.reads.fetch_add(1, Ordering::Relaxed);
         Ok(rows)
     }
@@ -661,6 +671,7 @@ impl Engine {
                 row: new_row,
             }),
         );
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         database.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -706,6 +717,7 @@ impl Engine {
                 row_id,
             }),
         );
+        // ordering: Relaxed — advisory telemetry; only atomicity is needed, no cross-variable ordering.
         database.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -716,6 +728,8 @@ impl Engine {
     /// `Unavailable`, all live transactions are aborted and their locks
     /// released (their effects will be discarded by `restart`).
     pub fn crash(&self) {
+        // ordering: Release — pairs with the Acquire loads in check_up()/is_failed();
+        // observers that see `failed` must not race the teardown below.
         self.failed.store(true, Ordering::Release);
         for txn in self.txns.live_txns() {
             // Volatile state is lost; skip undo (restart rebuilds from WAL),
@@ -741,6 +755,7 @@ impl Engine {
                 }
                 RedoOp::CreateTable { db, schema } => {
                     if let Some(d) = dbs.get(db) {
+                        // ordering: Relaxed — id minting; uniqueness needs only atomicity.
                         let id = self.next_table_id.fetch_add(1, Ordering::Relaxed);
                         d.tables.write().insert(
                             schema.name.clone(),
@@ -808,11 +823,14 @@ impl Engine {
         *self.databases.write() = dbs;
         self.buffer.clear();
         self.txns.gc_finished();
+        // ordering: Release — pairs with the Acquire loads in check_up()/is_failed();
+        // publishes the rebuilt catalog installed just above.
         self.failed.store(false, Ordering::Release);
         redo.len()
     }
 
     pub fn is_failed(&self) -> bool {
+        // ordering: Acquire — pairs with the Release stores in crash()/restart().
         self.failed.load(Ordering::Acquire)
     }
 
@@ -823,7 +841,9 @@ impl Engine {
         let d = self.db(db)?;
         let pages: u64 = d.tables.read().values().map(|t| t.page_count()).sum();
         Ok(DbProfile {
+            // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
             reads: d.reads.load(Ordering::Relaxed),
+            // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
             writes: d.writes.load(Ordering::Relaxed),
             pages,
         })
@@ -831,7 +851,9 @@ impl Engine {
 
     pub fn stats(&self) -> EngineStats {
         EngineStats {
+            // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
             commits: self.commits.load(Ordering::Relaxed),
+            // ordering: Relaxed — snapshot read; may tear across related counters by design (see module docs).
             aborts: self.aborts.load(Ordering::Relaxed),
         }
     }

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod error;
 pub mod lock;
 pub mod schema;
+pub mod sync;
 pub mod table;
 pub mod txn;
 pub mod value;

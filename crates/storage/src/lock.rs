@@ -24,7 +24,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex, LOCK_STATS, LOCK_TABLE};
 
 use crate::error::{Result, StorageError};
 use crate::txn::TxnId;
@@ -258,10 +258,10 @@ impl Default for LockManager {
 impl LockManager {
     pub fn new(timeout: Duration) -> Self {
         LockManager {
-            table: Mutex::new(LockTable::default()),
+            table: Mutex::new(&LOCK_TABLE, LockTable::default()),
             cv: Condvar::new(),
             timeout,
-            stats: Mutex::new(LockStats::default()),
+            stats: Mutex::new(&LOCK_STATS, LockStats::default()),
         }
     }
 

@@ -1,0 +1,47 @@
+//! Ranked synchronization primitives for the storage crate.
+//!
+//! Every lock in this crate is an ordered wrapper from
+//! [`tenantdb_lockdep`] carrying one of the classes below. Storage sits at
+//! the **bottom** of the global lock hierarchy (DESIGN.md §10): its ranks
+//! (500+) are above every cluster-layer rank, so cluster code may call into
+//! the engine while holding its own locks, but storage code must never call
+//! back up into cluster code that takes locks.
+//!
+//! Observed in-crate nesting (the only simultaneous storage-lock pair) is
+//! `LOCK_TABLE → LOCK_STATS` in `LockManager::acquire`; every other storage
+//! lock is held only for short, self-contained critical sections.
+
+pub use tenantdb_lockdep::{
+    OrderedCondvar as Condvar, OrderedMutex as Mutex, OrderedMutexGuard as MutexGuard,
+    OrderedRwLock as RwLock, OrderedRwLockReadGuard as RwLockReadGuard,
+    OrderedRwLockWriteGuard as RwLockWriteGuard, WaitTimeoutResult,
+};
+
+use tenantdb_lockdep::LockClass;
+
+/// `Engine::databases` — the per-machine database catalog.
+pub static ENGINE_CATALOG: LockClass = LockClass::new("storage.engine.catalog", 500);
+
+/// `Database::tables` — one database's table catalog.
+pub static ENGINE_TABLES: LockClass = LockClass::new("storage.engine.tables", 510);
+
+/// `TxnManager::txns` — live-transaction registry.
+pub static TXN_MANAGER: LockClass = LockClass::new("storage.txn.manager", 520);
+
+/// `LockManager::table` — the 2PL lock table (held across conflict checks
+/// and condvar waits).
+pub static LOCK_TABLE: LockClass = LockClass::new("storage.lock.table", 540);
+
+/// `LockManager::stats` — acquisition counters, taken *while the lock
+/// table is held*, hence ranked just below it.
+pub static LOCK_STATS: LockClass = LockClass::new("storage.lock.stats", 545);
+
+/// `Table::data` — row storage and indexes of one table.
+pub static TABLE_DATA: LockClass = LockClass::new("storage.table.data", 550);
+
+/// `BufferPool::state` — LRU bookkeeping.
+pub static BUFFER_STATE: LockClass = LockClass::new("storage.buffer.state", 560);
+
+/// `Wal::records` — the write-ahead log tail. Deepest rank in the system:
+/// WAL appends happen under commit paths that may hold anything above.
+pub static WAL_RECORDS: LockClass = LockClass::new("storage.wal.records", 570);

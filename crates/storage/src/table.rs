@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use crate::sync::{RwLock, TABLE_DATA};
 
 use crate::error::{Result, StorageError};
 use crate::schema::TableSchema;
@@ -45,10 +45,13 @@ impl Table {
         Table {
             id,
             schema,
-            data: RwLock::new(TableData {
-                rows: BTreeMap::new(),
-                indexes,
-            }),
+            data: RwLock::new(
+                &TABLE_DATA,
+                TableData {
+                    rows: BTreeMap::new(),
+                    indexes,
+                },
+            ),
             next_row_id: AtomicU64::new(0),
         }
     }
@@ -57,6 +60,8 @@ impl Table {
     /// before the row materializes, so no reader can observe a half-inserted
     /// row).
     pub fn reserve_row_id(&self) -> u64 {
+        // ordering: Relaxed — id minting; uniqueness needs only atomicity. The row
+        // itself is published later under the table's data lock (see above).
         self.next_row_id.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -90,6 +95,7 @@ impl Table {
         }
         d.rows.insert(row_id, row);
         // Keep the id allocator ahead of explicitly supplied ids (restore path).
+        // ordering: Relaxed — monotonic bump; fetch_max is atomic, no ordering needed.
         self.next_row_id.fetch_max(row_id + 1, Ordering::Relaxed);
         Ok(())
     }

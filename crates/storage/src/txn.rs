@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::{Mutex, TXN_MANAGER};
 
 use crate::error::{Result, StorageError};
 use crate::value::Value;
@@ -96,7 +96,7 @@ impl Default for TxnManager {
     fn default() -> Self {
         TxnManager {
             next_id: AtomicU64::new(1),
-            txns: Mutex::new(HashMap::new()),
+            txns: Mutex::new(&TXN_MANAGER, HashMap::new()),
         }
     }
 }
@@ -104,6 +104,7 @@ impl Default for TxnManager {
 impl TxnManager {
     /// Start a new transaction.
     pub fn begin(&self) -> TxnId {
+        // ordering: Relaxed — id minting; uniqueness needs only atomicity.
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.txns.lock().insert(
             id,

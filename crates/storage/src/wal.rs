@@ -13,7 +13,7 @@
 //! engine crash discards all in-flight transactions and rebuilds committed
 //! state from the log).
 
-use parking_lot::Mutex;
+use crate::sync::{Mutex, WAL_RECORDS};
 
 use crate::schema::TableSchema;
 use crate::txn::TxnId;
@@ -77,9 +77,16 @@ pub struct LogRecord {
 
 /// The engine-wide log. DDL records use [`Wal::DDL_TXN`] as their txn id and
 /// are always replayed.
-#[derive(Default)]
 pub struct Wal {
     records: Mutex<Vec<LogRecord>>,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Wal {
+            records: Mutex::new(&WAL_RECORDS, Vec::new()),
+        }
+    }
 }
 
 impl Wal {

@@ -195,6 +195,7 @@ impl IdCounters {
     }
 
     fn next(counter: &AtomicI64) -> i64 {
+        // ordering: Relaxed — round-robin id source; only atomicity matters.
         counter.fetch_add(1, Ordering::Relaxed)
     }
 }
@@ -278,6 +279,7 @@ fn run_txn_inner(
         BestSellers => {
             conn.begin()?;
             // Restrict to recent orders, as TPC-W does (last ~30% of orders).
+            // ordering: Relaxed — approximate horizon; staleness is fine for the mix.
             let horizon = (ids.order.load(Ordering::Relaxed) * 7) / 10;
             conn.execute(
                 "SELECT ol_i_id, SUM(ol_qty) AS sold FROM order_line WHERE ol_o_id >= ? \

@@ -1,0 +1,387 @@
+//! Repo-local task runner (`cargo xtask` pattern — a plain binary crate, no
+//! extra tooling). The one subcommand, `lint`, enforces the concurrency
+//! hygiene rules documented in DESIGN.md §10:
+//!
+//! 1. **raw-lock** — no raw `parking_lot` / `std::sync::{Mutex, RwLock,
+//!    Condvar}` in `crates/cluster/src` or `crates/storage/src` outside the
+//!    `sync.rs` wrapper modules. Every lock in those crates must be an
+//!    ordered wrapper with a declared [`LockClass`] rank so lockdep can
+//!    verify the acquisition order. Escape: `// lint:allow(raw-lock)` on the
+//!    same or the preceding line.
+//! 2. **unwrap** — no `.unwrap()` / `.expect(` in cluster hot-path files
+//!    (connection, controller, pool, worker, pair, machine, recovery): a
+//!    panic there poisons nothing (locks are non-poisoning) but silently
+//!    kills a worker or wedges a submitter. Escape:
+//!    `// lint:allow(unwrap): <reason>` / `// lint:allow(expect): <reason>`
+//!    with a non-empty reason.
+//! 3. **ordering** — every non-SeqCst atomic ordering (`Relaxed`, `Acquire`,
+//!    `Release`, `AcqRel`) in any crate's `src/` must carry an `ordering:`
+//!    comment within the four preceding lines stating the invariant that
+//!    justifies it. SeqCst needs no annotation (it is never *wrong*, only
+//!    slow); weaker orderings are claims about the program and must say why.
+//!
+//! All three rules skip `#[cfg(test)]` regions: the repo convention keeps
+//! test modules at the bottom of each file, so everything from the first
+//! `#[cfg(test)]` line to EOF is treated as test code.
+//!
+//! [`LockClass`]: ../tenantdb_lockdep/struct.LockClass.html
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = workspace_root();
+            let violations = lint_workspace(&root);
+            if violations.is_empty() {
+                println!("xtask lint: clean");
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("\nxtask lint: {} violation(s)", violations.len());
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint   (got {:?})",
+                other.unwrap_or("<none>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The workspace root, resolved from this crate's manifest directory so the
+/// lint works from any working directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// One lint finding, formatted like a compiler diagnostic so editors can
+/// jump to it.
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Files in `crates/cluster/src` where rule 2 (unwrap/expect) applies: the
+/// transaction hot path plus recovery, where a stray panic wedges a live
+/// cluster rather than a test.
+const HOT_PATH_FILES: &[&str] = &[
+    "connection.rs",
+    "controller.rs",
+    "machine.rs",
+    "pair.rs",
+    "pool.rs",
+    "recovery.rs",
+    "worker.rs",
+];
+
+/// Lint every `crates/*/src/**/*.rs` file under `root`.
+fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", crates_dir.display()));
+    for entry in entries {
+        let path = entry.expect("read_dir entry").path();
+        let src = path.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files);
+        }
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .expect("file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let contents = std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        violations.extend(lint_file(&rel, &contents));
+    }
+    violations
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display())) {
+        let path = entry.expect("read_dir entry").path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Pure per-file lint: `rel_path` uses forward slashes relative to the
+/// workspace root (e.g. `crates/cluster/src/pool.rs`).
+fn lint_file(rel_path: &str, contents: &str) -> Vec<Violation> {
+    let check_raw_lock = (rel_path.starts_with("crates/cluster/src/")
+        || rel_path.starts_with("crates/storage/src/"))
+        && !rel_path.ends_with("/sync.rs");
+    let check_unwrap = rel_path.starts_with("crates/cluster/src/")
+        && HOT_PATH_FILES
+            .iter()
+            .any(|f| rel_path == format!("crates/cluster/src/{f}"));
+
+    let lines: Vec<&str> = contents.lines().collect();
+    let mut violations = Vec::new();
+    let mut in_test = false;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = raw.trim_start();
+        // Repo convention: the first `#[cfg(test)]` starts the test module
+        // that runs to EOF. Everything after it is exempt from all rules.
+        if trimmed.starts_with("#[cfg(test)]") {
+            in_test = true;
+        }
+        if in_test {
+            continue;
+        }
+        let is_comment = trimmed.starts_with("//");
+        // Code before any trailing `//` comment (a `//` inside a string
+        // literal would false-negative here; none of the rules' tokens
+        // plausibly appear in strings in this codebase).
+        let code = raw.split("//").next().unwrap_or(raw);
+
+        let escape_nearby = |marker: &str| -> bool {
+            has_marker(raw, marker) || (idx > 0 && has_marker(lines[idx - 1], marker))
+        };
+
+        if check_raw_lock
+            && !is_comment
+            && mentions_raw_lock(code)
+            && !escape_nearby("lint:allow(raw-lock)")
+        {
+            violations.push(Violation {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule: "raw-lock",
+                message: "raw Mutex/RwLock/Condvar outside sync.rs — use the ordered \
+                          wrappers from crate::sync (or // lint:allow(raw-lock))"
+                    .to_string(),
+            });
+        }
+
+        if check_unwrap && !is_comment {
+            for (needle, kind) in [(".unwrap()", "unwrap"), (".expect(", "expect")] {
+                if code.contains(needle) && !reason_escape_nearby(&lines, idx, kind) {
+                    violations.push(Violation {
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        rule: "unwrap",
+                        message: format!(
+                            "`{needle}` in a cluster hot path — return an error, or add \
+                             // lint:allow({kind}): <reason>"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if !is_comment {
+            if let Some(ord) = weak_ordering_in(code) {
+                let annotated =
+                    (idx.saturating_sub(4)..=idx).any(|i| lines[i].contains("ordering:"));
+                if !annotated {
+                    violations.push(Violation {
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        rule: "ordering",
+                        message: format!(
+                            "Ordering::{ord} without a nearby `// ordering:` comment \
+                             stating the justifying invariant"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Does this code (comment-stripped) mention a raw lock type? The ordered
+/// wrappers are re-exported under the same short names, so detection keys on
+/// the *paths* that name the raw types.
+fn mentions_raw_lock(code: &str) -> bool {
+    if code.contains("parking_lot") {
+        return true;
+    }
+    // `use std::sync::{Arc, Mutex}` or `std::sync::Mutex<...>` — look for
+    // the lock names anywhere after a `std::sync::` on the same line, which
+    // deliberately leaves `std::sync::Arc` and `std::sync::atomic` alone.
+    if let Some(pos) = code.find("std::sync::") {
+        let rest = &code[pos..];
+        return ["Mutex", "RwLock", "Condvar"]
+            .iter()
+            .any(|t| rest.contains(t));
+    }
+    false
+}
+
+/// `lint:allow(<kind>): <reason>` with a non-empty reason, on the same line
+/// or any of the four preceding lines (the escapes are written as multi-line
+/// justification comments).
+fn reason_escape_nearby(lines: &[&str], idx: usize, kind: &str) -> bool {
+    let marker = format!("lint:allow({kind}):");
+    (idx.saturating_sub(4)..=idx).any(|i| {
+        lines[i]
+            .find(&marker)
+            .map(|p| !lines[i][p + marker.len()..].trim().is_empty())
+            .unwrap_or(false)
+    })
+}
+
+fn has_marker(line: &str, marker: &str) -> bool {
+    line.contains(marker)
+}
+
+/// The weak ordering named on this line, if any. SeqCst is exempt.
+fn weak_ordering_in(code: &str) -> Option<&'static str> {
+    for ord in ["Relaxed", "Acquire", "Release", "AcqRel"] {
+        if code.contains(&format!("Ordering::{ord}")) {
+            return Some(ord);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(path: &str, src: &str) -> Vec<&'static str> {
+        lint_file(path, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn raw_lock_flagged_in_cluster_and_storage() {
+        let src = "use std::sync::{Arc, Mutex};\n";
+        assert_eq!(rules("crates/cluster/src/pool.rs", src), vec!["raw-lock"]);
+        assert_eq!(rules("crates/storage/src/lock.rs", src), vec!["raw-lock"]);
+        let pl = "let m = parking_lot::Mutex::new(0);\n";
+        assert_eq!(rules("crates/cluster/src/pool.rs", pl), vec!["raw-lock"]);
+    }
+
+    #[test]
+    fn raw_lock_ignored_in_sync_rs_and_other_crates() {
+        let src = "use std::sync::Mutex;\n";
+        assert!(rules("crates/cluster/src/sync.rs", src).is_empty());
+        assert!(rules("crates/storage/src/sync.rs", src).is_empty());
+        assert!(rules("crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_lock_arc_and_atomics_are_fine() {
+        let src = "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n";
+        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_lock_escape_hatch() {
+        let src = "// lint:allow(raw-lock)\nuse std::sync::Mutex;\n";
+        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
+        let same_line = "use std::sync::Mutex; // lint:allow(raw-lock)\n";
+        assert!(rules("crates/cluster/src/pool.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_hot_path_files() {
+        let src = "let x = y.unwrap();\n";
+        assert_eq!(rules("crates/cluster/src/worker.rs", src), vec!["unwrap"]);
+        assert_eq!(
+            rules("crates/cluster/src/connection.rs", src),
+            vec!["unwrap"]
+        );
+        assert!(rules("crates/cluster/src/metrics.rs", src).is_empty());
+        assert!(rules("crates/storage/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_escape_requires_a_reason() {
+        let bare = "// lint:allow(expect):\nt.expect(\"boom\");\n";
+        assert_eq!(rules("crates/cluster/src/pool.rs", bare), vec!["unwrap"]);
+        let reasoned = "// lint:allow(expect): thread exhaustion is fatal\nt.expect(\"boom\");\n";
+        assert!(rules("crates/cluster/src/pool.rs", reasoned).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt_from_all_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    \
+                   fn f() { x.unwrap(); y.load(Ordering::Relaxed); }\n}\n";
+        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn weak_ordering_requires_annotation() {
+        let bad = "flag.store(true, Ordering::Release);\n";
+        assert_eq!(rules("crates/obs/src/lib.rs", bad), vec!["ordering"]);
+        let good = "// ordering: Release — pairs with the Acquire load in f().\n\
+                    flag.store(true, Ordering::Release);\n";
+        assert!(rules("crates/obs/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn annotation_reaches_four_lines_back() {
+        let good = "// ordering: Relaxed — advisory counter.\n//\n//\n//\n\
+                    c.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(rules("crates/obs/src/lib.rs", good).is_empty());
+        let too_far = "// ordering: Relaxed — advisory counter.\n//\n//\n//\n//\n\
+                       c.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(rules("crates/obs/src/lib.rs", too_far), vec!["ordering"]);
+    }
+
+    #[test]
+    fn seqcst_needs_no_annotation() {
+        let src = "c.fetch_add(1, Ordering::SeqCst);\n";
+        assert!(rules("crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comment_mentions_do_not_trip_rules() {
+        let src = "// std::sync::Mutex would deadlock here; Ordering::Relaxed too.\n\
+                   // and .unwrap() is also only mentioned\n";
+        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
+    }
+
+    /// The live tree must be clean — this is the same walk CI runs, so a
+    /// violation introduced anywhere in `crates/*/src` fails `cargo test`
+    /// even before the CI lint step runs.
+    #[test]
+    fn workspace_is_clean() {
+        let violations = lint_workspace(&workspace_root());
+        assert!(
+            violations.is_empty(),
+            "xtask lint found violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
