@@ -1,0 +1,111 @@
+//! Wire-protocol overhead: the same TPC-W transaction stream driven
+//! through the in-process `PlatformConnection` vs a `NetClient` over a TCP
+//! loopback session to the serving frontend.
+//!
+//! Both transports implement `Transport`, so the workload code is
+//! literally identical — the measured delta is the serving tier itself:
+//! frame encode/decode, one loopback round trip per statement, and the
+//! server's session loop. Two extra probes price the fixed per-request
+//! cost in isolation:
+//!
+//! * `tcp/ping` — one empty round trip (floor for any remote request);
+//! * `tcp/ping_pipelined_x16` — 16 pings batched on one RTT, the
+//!   amortized per-frame cost once round trips are overlapped.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tenantdb_bench::{fast_mode, report_micro, time_op_default};
+use tenantdb_cluster::Transport;
+use tenantdb_net::{ConnectOptions, NetClient, Server, ServerConfig};
+use tenantdb_platform::{CreateOptions, PlatformConfig, SystemController};
+use tenantdb_tpcw::{run_txn, IdCounters, Scale, Session, BROWSING};
+
+const DB: &str = "shop";
+
+fn platform() -> (Arc<SystemController>, Scale) {
+    let system = SystemController::new(
+        PlatformConfig {
+            clusters_per_colo: 1,
+            machines_per_cluster: 2,
+            ..PlatformConfig::for_tests()
+        },
+        &[("local", (0.0, 0.0))],
+    );
+    system
+        .create_database(
+            DB,
+            (0.0, 0.0),
+            CreateOptions {
+                replicas: 2,
+                cross_colo: false,
+                ..CreateOptions::default()
+            },
+        )
+        .expect("create database");
+    let scale = Scale::with_items(if fast_mode() { 64 } else { 200 });
+    (system, scale)
+}
+
+/// Time one browsing-mix interaction per op over any transport. The rng
+/// seed is fixed, so both transports see the same interaction stream.
+fn time_mix<C: Transport>(conn: &C, system: &Arc<SystemController>, scale: Scale) -> f64 {
+    let colo = system.primary_colo(DB).expect("primary colo");
+    let cluster = system
+        .colo(colo)
+        .expect("colo")
+        .cluster_for(DB)
+        .expect("cluster");
+    let ids = tenantdb_tpcw::setup_database(&cluster, DB, scale, 7).expect("populate");
+    let counters = IdCounters::from_space(ids);
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut session = Session {
+        customer: 1,
+        cart: None,
+    };
+    time_op_default(|| {
+        let kind = BROWSING.pick(&mut rng);
+        run_txn(kind, conn, &counters, scale, &mut session, &mut rng).expect("txn");
+    })
+}
+
+fn main() {
+    println!("# micro_wire_overhead — TPC-W browsing txns, in-process vs TCP loopback");
+
+    // In-process: the platform connection, no serving tier.
+    let (system, scale) = platform();
+    let conn = system.connect(DB, (0.0, 0.0)).expect("connect");
+    let in_process = time_mix(&conn, &system, scale);
+    report_micro("in_process/browsing_txn", in_process);
+
+    // TCP loopback: identical platform, identical stream, one wire hop.
+    let (system, scale) = platform();
+    let server = Server::start("127.0.0.1:0", Arc::clone(&system), ServerConfig::default())
+        .expect("bind server");
+    let client =
+        NetClient::connect(server.local_addr(), DB, ConnectOptions::default()).expect("connect");
+    let tcp = time_mix(&client, &system, scale);
+    report_micro("tcp_loopback/browsing_txn", tcp);
+
+    // Fixed per-request cost, isolated from transaction work.
+    let mut token = 0u64;
+    let ping = time_op_default(|| {
+        token += 1;
+        client.ping(token).expect("ping");
+    });
+    report_micro("tcp/ping", ping);
+    let pipelined = time_op_default(|| {
+        client.ping_pipelined(16).expect("pipelined");
+    });
+    report_micro("tcp/ping_pipelined_x16", pipelined / 16.0);
+
+    println!(
+        "wire overhead = {:.0} ns/txn ({:.2}x in-process; ping floor {:.0} ns, {:.0} ns/frame pipelined)",
+        tcp - in_process,
+        tcp / in_process,
+        ping,
+        pipelined / 16.0
+    );
+    server.shutdown();
+}

@@ -34,6 +34,11 @@ use crate::machine::MachineId;
 /// is not a cluster machine; see [`CrashPoint::CommitDecision`]).
 pub const CONTROLLER: MachineId = MachineId(u32::MAX);
 
+/// Sentinel machine id used for network-frontend crash points (the serving
+/// tier is not a cluster machine either; see [`CrashPoint::NetAccept`] and
+/// friends, hooked by the `tenantdb-net` server).
+pub const NET: MachineId = MachineId(u32::MAX - 1);
+
 /// A named location on a cluster hot path where a fault can fire.
 ///
 /// The catalog (who calls [`FaultInjector::check`], and where):
@@ -51,6 +56,14 @@ pub const CONTROLLER: MachineId = MachineId(u32::MAX);
 /// | `CopyTable` | `recovery.rs` | before each table's dump in a table-level copy (one hit per table boundary) |
 /// | `TakeoverCommit` | `pair.rs` | before the backup controller completes one participant's decided commit |
 /// | `PoolJob` | `pool.rs` | before a dequeued pool job runs (only `Delay` is honored) |
+/// | `NetAccept` | `net/server.rs` | after a TCP connection is accepted, before its session starts (a `Crash` drops the socket unserved) |
+/// | `NetFrameRead` | `net/server.rs` | after a request frame arrived, before it is dispatched |
+/// | `NetFrameWrite` | `net/server.rs` | before a reply frame is written back to the client |
+/// | `NetResponseDrop` | `net/server.rs` | after a request executed, before its reply — a `Crash` kills the connection *mid-response*, so the client never learns the outcome |
+///
+/// The four `Net*` points fire with the [`NET`] sentinel machine id: the
+/// serving tier fronts the whole cluster, so there is no per-machine hit
+/// counting for them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CrashPoint {
     /// Before a write statement executes on a replica.
@@ -78,11 +91,25 @@ pub enum CrashPoint {
     /// Before a dequeued pool job runs (only [`FaultAction::Delay`] is
     /// honored here; crashing a pool thread models nothing the paper has).
     PoolJob,
+    /// Network frontend: after a TCP connection is accepted, before its
+    /// session thread starts. Fired with machine [`NET`].
+    NetAccept,
+    /// Network frontend: after a request frame is read, before dispatch.
+    /// Fired with machine [`NET`].
+    NetFrameRead,
+    /// Network frontend: before a reply frame is written. Fired with
+    /// machine [`NET`].
+    NetFrameWrite,
+    /// Network frontend: after a request executed (commit decided, write
+    /// applied), before its reply frame — a `Crash` here severs the
+    /// connection mid-response, the classic "did my commit land?" client
+    /// ambiguity. Fired with machine [`NET`].
+    NetResponseDrop,
 }
 
 impl CrashPoint {
     /// Every crash point, in canonical order (used by plan generators).
-    pub const ALL: [CrashPoint; 11] = [
+    pub const ALL: [CrashPoint; 15] = [
         CrashPoint::ReplicaWriteApply,
         CrashPoint::ReplicaWriteAck,
         CrashPoint::PrepareApply,
@@ -94,6 +121,10 @@ impl CrashPoint {
         CrashPoint::CopyTable,
         CrashPoint::TakeoverCommit,
         CrashPoint::PoolJob,
+        CrashPoint::NetAccept,
+        CrashPoint::NetFrameRead,
+        CrashPoint::NetFrameWrite,
+        CrashPoint::NetResponseDrop,
     ];
 
     /// Stable snake_case name used in rendered schedules.
@@ -110,6 +141,10 @@ impl CrashPoint {
             CrashPoint::CopyTable => "copy_table",
             CrashPoint::TakeoverCommit => "takeover_commit",
             CrashPoint::PoolJob => "pool_job",
+            CrashPoint::NetAccept => "net_accept",
+            CrashPoint::NetFrameRead => "net_frame_read",
+            CrashPoint::NetFrameWrite => "net_frame_write",
+            CrashPoint::NetResponseDrop => "net_response_drop",
         }
     }
 }

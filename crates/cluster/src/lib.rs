@@ -53,6 +53,7 @@ pub mod rebalance;
 pub mod recovery;
 pub mod sync;
 pub mod testkit;
+pub mod transport;
 pub mod worker;
 
 pub use connection::{CommitFault, Connection};
@@ -70,3 +71,4 @@ pub use recovery::{
     create_replica, migrate_replica, recover_machine, CopyGranularity, RecoveryConfig,
     RecoveryReport,
 };
+pub use transport::Transport;

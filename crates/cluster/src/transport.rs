@@ -1,0 +1,98 @@
+//! The transport abstraction: one SQL session, independent of how it
+//! reaches the cluster.
+//!
+//! The platform is a *served* system — the paper's clients speak to a colo
+//! controller over the network, not by holding a controller `Arc`. This
+//! trait is the seam that lets workload drivers (the TPC-W mix, tests, the
+//! shell) run unchanged over either transport:
+//!
+//! * in-process: [`crate::Connection`] (and the platform-level connection
+//!   in `tenantdb-platform`) implement it directly;
+//! * remote: the `tenantdb-net` client implements it over the wire
+//!   protocol, so the same driver code exercises the TCP serving frontend.
+//!
+//! The error type stays [`ClusterError`](crate::ClusterError) on purpose:
+//! remote errors round-trip through the wire protocol's error frame, so a
+//! deadlock is still classified as a deadlock (and an SLA rejection as a
+//! rejection) no matter which transport reported it. Transport-level
+//! failures (a dead socket) surface as
+//! [`ClusterError::TxnAborted`](crate::ClusterError::TxnAborted), which is
+//! exactly what a client must assume about an in-flight transaction it
+//! lost contact with.
+
+use tenantdb_sql::QueryResult;
+use tenantdb_storage::Value;
+
+use crate::connection::Connection;
+use crate::error::Result;
+
+/// One SQL session: explicit transactions plus statement execution.
+///
+/// Mirrors the in-process [`Connection`] API (the paper's "JDBC
+/// connection"). All methods take `&self` — implementations use interior
+/// mutability, as connections are driven from one logical client at a time
+/// but shared across closure boundaries in drivers.
+pub trait Transport {
+    /// Start an explicit transaction.
+    fn begin(&self) -> Result<()>;
+    /// Execute one SQL statement (auto-committed outside a transaction).
+    fn execute(&self, sql: &str, params: &[Value]) -> Result<QueryResult>;
+    /// Commit the open transaction.
+    fn commit(&self) -> Result<()>;
+    /// Roll back the open transaction.
+    fn rollback(&self) -> Result<()>;
+    /// True while an explicit transaction is open (best-effort for remote
+    /// transports: the client's view, not a server round-trip).
+    fn in_txn(&self) -> bool;
+}
+
+impl Transport for Connection {
+    fn begin(&self) -> Result<()> {
+        Connection::begin(self)
+    }
+
+    fn execute(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        Connection::execute(self, sql, params)
+    }
+
+    fn commit(&self) -> Result<()> {
+        Connection::commit(self)
+    }
+
+    fn rollback(&self) -> Result<()> {
+        Connection::rollback(self)
+    }
+
+    fn in_txn(&self) -> bool {
+        Connection::in_txn(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ClusterConfig, ClusterController};
+
+    fn roundtrip<T: Transport>(conn: &T) {
+        conn.begin().unwrap();
+        assert!(conn.in_txn());
+        conn.execute("INSERT INTO t VALUES (1, 'x')", &[]).unwrap();
+        conn.commit().unwrap();
+        assert!(!conn.in_txn());
+        let r = conn.execute("SELECT v FROM t WHERE k = 1", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::from("x"));
+    }
+
+    #[test]
+    fn connection_implements_transport() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        c.create_database("app", 2).unwrap();
+        c.ddl(
+            "app",
+            "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+        )
+        .unwrap();
+        let conn = c.connect("app").unwrap();
+        roundtrip(&conn);
+    }
+}

@@ -90,6 +90,10 @@ struct DbEntry {
 pub struct SystemController {
     colos: Vec<Arc<Colo>>,
     directory: RwLock<HashMap<String, Arc<DbEntry>>>,
+    /// Additional metric registries included in [`Self::render_metrics`]:
+    /// serving frontends (tenantdb-net servers) register theirs here so one
+    /// scrape covers the platform and its network tier.
+    extra_metrics: RwLock<Vec<(String, Arc<tenantdb_obs::MetricsRegistry>)>>,
 }
 
 impl SystemController {
@@ -113,6 +117,7 @@ impl SystemController {
         Arc::new(SystemController {
             colos,
             directory: RwLock::new(HashMap::new()),
+            extra_metrics: RwLock::new(Vec::new()),
         })
     }
 
@@ -322,7 +327,23 @@ impl SystemController {
                 out.push_str(&cluster.metrics().registry().render_text());
             }
         }
+        for (label, reg) in self.extra_metrics.read().iter() {
+            let _ = writeln!(out, "# ==== net ({label})");
+            out.push_str(&reg.render_text());
+        }
         out
+    }
+
+    /// Include an external metric registry in [`Self::render_metrics`]
+    /// scrapes under a `# ==== net (<label>)` header. Used by serving
+    /// frontends (tenantdb-net) so wire metrics appear alongside the
+    /// clusters they front.
+    pub fn register_metrics_source(
+        &self,
+        label: impl Into<String>,
+        registry: Arc<tenantdb_obs::MetricsRegistry>,
+    ) {
+        self.extra_metrics.write().push((label.into(), registry));
     }
 
     /// Live §4.1 compliance verdict for `db` over `window`, checked against
@@ -405,6 +426,31 @@ impl PlatformConnection {
     /// The underlying cluster connection (advanced use).
     pub fn cluster_connection(&self) -> &Connection {
         &self.inner
+    }
+}
+
+/// Platform connections are a [`Transport`](tenantdb_cluster::Transport):
+/// workload drivers generic over the trait run identically against a
+/// cluster connection, a platform connection, or the TCP client.
+impl tenantdb_cluster::Transport for PlatformConnection {
+    fn begin(&self) -> Result<(), ClusterError> {
+        PlatformConnection::begin(self)
+    }
+
+    fn execute(&self, sql: &str, params: &[Value]) -> Result<QueryResult, ClusterError> {
+        PlatformConnection::execute(self, sql, params)
+    }
+
+    fn commit(&self) -> Result<(), ClusterError> {
+        PlatformConnection::commit(self)
+    }
+
+    fn rollback(&self) -> Result<(), ClusterError> {
+        PlatformConnection::rollback(self)
+    }
+
+    fn in_txn(&self) -> bool {
+        self.inner.in_txn()
     }
 }
 

@@ -1,0 +1,740 @@
+//! The TCP serving frontend: a multi-threaded server fronting a
+//! [`SystemController`].
+//!
+//! One OS thread per connection (sessions are long-lived and mostly idle;
+//! the expensive multiplexing already happens on the cluster's persistent
+//! per-machine worker pools — the serving tier just parks cheap blocked
+//! readers). The accept loop enforces the connection limit *before*
+//! accepting: when `max_connections` sessions are live it stops calling
+//! `accept`, so further clients queue in the OS listen backlog — accept-
+//! queue backpressure, not connection-then-reject.
+//!
+//! Lifecycle of a session thread:
+//!
+//! 1. handshake ([`wire::Frame::Hello`] within the read timeout): resolve
+//!    the database via [`SystemController::connect`], negotiate
+//!    read-routing/write-ack policy, answer `HelloOk`;
+//! 2. request loop: one frame in, one frame out, with per-request read and
+//!    write timeouts on the socket;
+//! 3. teardown (clean close, error, idle reap, or shutdown): deregister
+//!    the session and release its slot. Dropping the platform connection
+//!    rolls back any open transaction — an abrupt client disconnect
+//!    mid-transaction cannot leak locks or a pool lane.
+//!
+//! Graceful shutdown ([`Server::shutdown`]) stops the accept loop, lets
+//! every session finish its in-flight request *and* any open transaction
+//! (sessions only exit at a frame boundary with no transaction open), and
+//! force-closes whatever remains at the drain deadline.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use tenantdb_cluster::fault::{self, CrashPoint, FaultAction, FaultInjector};
+use tenantdb_cluster::ClusterError;
+use tenantdb_obs::MetricsRegistry;
+use tenantdb_platform::{PlatformConnection, SystemController};
+
+use crate::sync::{Condvar, Mutex, NET_SESSIONS, NET_SLOTS};
+use crate::wire::{self, ConnInfo, Frame, WireError, WireResult, MAX_FRAME_LEN, PROTOCOL_VERSION};
+
+/// How often blocked readers wake to check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Serving-tier tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Live-session ceiling; beyond it the accept loop stops accepting
+    /// (clients queue in the OS listen backlog).
+    pub max_connections: usize,
+    /// Per-request socket read timeout (header byte seen → full frame must
+    /// arrive within this).
+    pub read_timeout: Duration,
+    /// Socket write timeout for reply frames.
+    pub write_timeout: Duration,
+    /// Sessions idle (no frame, not in a transaction) longer than this are
+    /// reaped.
+    pub idle_timeout: Duration,
+    /// How often the reaper scans for idle sessions.
+    pub reap_interval: Duration,
+    /// How long [`Server::shutdown`] waits for sessions to drain before
+    /// force-closing their sockets.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(300),
+            reap_interval: Duration::from_millis(250),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One live session's bookkeeping, shared between its thread, the idle
+/// reaper, and `\conns` listings.
+struct SessionState {
+    id: u64,
+    db: String,
+    peer: String,
+    /// A second handle to the socket, used by the reaper and forced
+    /// shutdown to unblock the session thread's read.
+    stream: TcpStream,
+    /// Milliseconds since server start of the last frame activity.
+    last_activity_ms: AtomicU64,
+    /// True while the session thread is executing a request.
+    busy: AtomicBool,
+    conn: PlatformConnection,
+}
+
+impl SessionState {
+    fn touch(&self, shared: &Shared) {
+        self.last_activity_ms
+            .store(shared.now_ms(), Ordering::SeqCst);
+    }
+
+    fn idle_ms(&self, shared: &Shared) -> u64 {
+        shared
+            .now_ms()
+            .saturating_sub(self.last_activity_ms.load(Ordering::SeqCst))
+    }
+}
+
+struct Shared {
+    system: Arc<SystemController>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    /// Live-session count; condvar waited on by the accept loop
+    /// (backpressure) and by graceful shutdown (drain).
+    slots: Mutex<usize>,
+    slots_cv: Condvar,
+    sessions: Mutex<HashMap<u64, Arc<SessionState>>>,
+    next_id: AtomicU64,
+    start: Instant,
+    metrics: Arc<MetricsRegistry>,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Check a net fault point. Returns true when the hook should sever
+    /// the connection (a `Crash` action); `Delay` sleeps in place, which
+    /// stalls exactly what a slow network would stall.
+    fn fault_sever(&self, point: CrashPoint) -> bool {
+        match self
+            .faults
+            .as_ref()
+            .and_then(|f| f.check(point, fault::NET))
+        {
+            Some(FaultAction::Crash) => {
+                self.metrics
+                    .counter(
+                        "tenantdb_net_faults_fired_total",
+                        &[("point", point.name())],
+                    )
+                    .inc();
+                true
+            }
+            Some(FaultAction::Delay(d)) => {
+                thread::sleep(d);
+                false
+            }
+            None => false,
+        }
+    }
+
+    fn count_in(&self, bytes: u64) {
+        self.metrics
+            .counter("tenantdb_net_bytes_in_total", &[])
+            .add(bytes);
+    }
+
+    fn write_reply(&self, stream: &mut TcpStream, frame: &Frame) -> WireResult<()> {
+        let n = wire::write_frame(stream, frame)?;
+        self.metrics
+            .counter("tenantdb_net_bytes_out_total", &[])
+            .add(n as u64);
+        Ok(())
+    }
+}
+
+/// Returns the slot on drop, whatever way the session thread exits.
+struct SlotGuard(Arc<Shared>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        *self.0.slots.lock() -= 1;
+        self.0.slots_cv.notify_all();
+        self.0.metrics.gauge("tenantdb_net_connections", &[]).dec();
+    }
+}
+
+/// A running TCP serving frontend. Dropping the handle without calling
+/// [`Server::shutdown`] force-closes all sessions (open transactions roll
+/// back via connection drop).
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind `addr` and start serving `system` with a disarmed fault
+    /// injector.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        system: Arc<SystemController>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Self::start_with_faults(addr, system, cfg, None)
+    }
+
+    /// Bind `addr` and start serving, checking the `CrashPoint::Net*`
+    /// fault points against `faults` (the simulation harness's hook for
+    /// killing connections at protocol-critical instants).
+    pub fn start_with_faults(
+        addr: impl ToSocketAddrs,
+        system: Arc<SystemController>,
+        cfg: ServerConfig,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Nonblocking so the accept loop can notice shutdown promptly.
+        listener.set_nonblocking(true)?;
+
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.describe(
+            "tenantdb_net_connections",
+            "live TCP sessions on this server",
+        );
+        metrics.describe(
+            "tenantdb_net_connections_total",
+            "TCP sessions ever accepted",
+        );
+        metrics.describe("tenantdb_net_bytes_in_total", "wire bytes received");
+        metrics.describe("tenantdb_net_bytes_out_total", "wire bytes sent");
+        metrics.describe(
+            "tenantdb_net_frames_total",
+            "request frames served, by kind",
+        );
+        metrics.describe(
+            "tenantdb_net_frame_latency_us",
+            "request handling latency (frame decoded to reply written)",
+        );
+        metrics.describe(
+            "tenantdb_net_idle_reaped_total",
+            "sessions closed by the idle reaper",
+        );
+        metrics.describe(
+            "tenantdb_net_handshake_failures_total",
+            "connections that failed the protocol handshake",
+        );
+        metrics.describe(
+            "tenantdb_net_faults_fired_total",
+            "injected net faults that severed a connection, by point",
+        );
+
+        let shared = Arc::new(Shared {
+            system,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            slots: Mutex::new(&NET_SLOTS, 0),
+            slots_cv: Condvar::new(),
+            sessions: Mutex::new(&NET_SESSIONS, HashMap::new()),
+            next_id: AtomicU64::new(1),
+            start: Instant::now(),
+            metrics,
+            faults,
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let listener_shared = listener;
+            thread::Builder::new()
+                .name("net-accept".into())
+                .spawn(move || accept_loop(shared, listener_shared))
+                .expect("spawn accept thread")
+        };
+        let reaper = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("net-reaper".into())
+                .spawn(move || reaper_loop(shared))
+                .expect("spawn reaper thread")
+        };
+
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            reaper: Some(reaper),
+            local_addr,
+        })
+    }
+
+    /// The bound address (use with `127.0.0.1:0` to get an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// This server's wire-metrics registry (register it with
+    /// [`SystemController::register_metrics_source`] to have it appear in
+    /// the platform scrape).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Number of currently live sessions.
+    pub fn session_count(&self) -> usize {
+        *self.shared.slots.lock()
+    }
+
+    /// Snapshot of live sessions (the `\conns` listing).
+    pub fn list_sessions(&self) -> Vec<ConnInfo> {
+        list_sessions(&self.shared)
+    }
+
+    /// Graceful shutdown with the configured drain timeout: stop
+    /// accepting, let sessions finish in-flight requests and open
+    /// transactions, then force-close stragglers.
+    pub fn shutdown(self) {
+        let drain = self.shared.cfg.drain_timeout;
+        self.shutdown_with_deadline(drain)
+    }
+
+    /// Graceful shutdown with an explicit drain timeout.
+    pub fn shutdown_with_deadline(mut self, drain: Duration) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.slots_cv.notify_all();
+
+        // Drain: sessions exit at their next frame boundary with no open
+        // transaction; each one notifies the slots condvar on its way out.
+        let deadline = Instant::now() + drain;
+        {
+            let mut n = self.shared.slots.lock();
+            while *n > 0 && Instant::now() < deadline {
+                self.shared.slots_cv.wait_until(&mut n, deadline);
+            }
+        }
+
+        // Force-close whatever is left (open transactions roll back when
+        // the session thread drops its connection).
+        for s in self.shared.sessions.lock().values() {
+            let _ = s.stream.shutdown(Shutdown::Both);
+        }
+        let hard = Instant::now() + Duration::from_secs(2);
+        {
+            let mut n = self.shared.slots.lock();
+            while *n > 0 && Instant::now() < hard {
+                self.shared.slots_cv.wait_until(&mut n, hard);
+            }
+        }
+
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_none() {
+            return; // shutdown() already ran
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.slots_cv.notify_all();
+        for s in self.shared.sessions.lock().values() {
+            let _ = s.stream.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        if shared.is_shutdown() {
+            return;
+        }
+        // Backpressure: do not even accept while at the connection limit —
+        // waiting clients sit in the OS listen backlog.
+        {
+            let mut n = shared.slots.lock();
+            while *n >= shared.cfg.max_connections {
+                if shared.is_shutdown() {
+                    return;
+                }
+                shared
+                    .slots_cv
+                    .wait_until(&mut n, Instant::now() + POLL_TICK);
+            }
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                // Arm both socket timeouts before the stream goes anywhere:
+                // reads are re-armed per request, but no socket in this
+                // crate is ever readable or writable without a bound.
+                if stream
+                    .set_read_timeout(Some(shared.cfg.read_timeout))
+                    .is_err()
+                    || stream
+                        .set_write_timeout(Some(shared.cfg.write_timeout))
+                        .is_err()
+                {
+                    continue;
+                }
+                // Small request/reply frames: Nagle + delayed ACK would
+                // serialize pipelined replies at ~40ms each on loopback.
+                let _ = stream.set_nodelay(true);
+                if shared.fault_sever(CrashPoint::NetAccept) {
+                    drop(stream); // injected accept failure: hang up
+                    continue;
+                }
+                *shared.slots.lock() += 1;
+                shared.metrics.gauge("tenantdb_net_connections", &[]).inc();
+                shared
+                    .metrics
+                    .counter("tenantdb_net_connections_total", &[])
+                    .inc();
+                let shared2 = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name(format!("net-session-{peer}"))
+                    .spawn(move || {
+                        let slot = SlotGuard(Arc::clone(&shared2));
+                        session_thread(shared2, stream, peer);
+                        drop(slot);
+                    });
+                if spawned.is_err() {
+                    // Could not spawn: release the slot we took.
+                    *shared.slots.lock() -= 1;
+                    shared.slots_cv.notify_all();
+                    shared.metrics.gauge("tenantdb_net_connections", &[]).dec();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn reaper_loop(shared: Arc<Shared>) {
+    while !shared.is_shutdown() {
+        thread::sleep(shared.cfg.reap_interval.min(POLL_TICK));
+        let idle_ms = shared.cfg.idle_timeout.as_millis() as u64;
+        let mut reaped = 0u64;
+        {
+            let sessions = shared.sessions.lock();
+            for s in sessions.values() {
+                if s.busy.load(Ordering::SeqCst) {
+                    continue;
+                }
+                if s.conn.cluster_connection().in_txn() {
+                    continue; // idle-in-transaction is the txn timeout's job
+                }
+                if s.idle_ms(&shared) > idle_ms {
+                    let _ = s.stream.shutdown(Shutdown::Both);
+                    reaped += 1;
+                }
+            }
+        }
+        if reaped > 0 {
+            shared
+                .metrics
+                .counter("tenantdb_net_idle_reaped_total", &[])
+                .add(reaped);
+        }
+    }
+}
+
+fn list_sessions(shared: &Shared) -> Vec<ConnInfo> {
+    let sessions = shared.sessions.lock();
+    let mut out: Vec<ConnInfo> = sessions
+        .values()
+        .map(|s| ConnInfo {
+            id: s.id,
+            db: s.db.clone(),
+            peer: s.peer.clone(),
+            in_txn: s.conn.cluster_connection().in_txn(),
+            busy: s.busy.load(Ordering::SeqCst),
+            idle_ms: s.idle_ms(shared),
+        })
+        .collect();
+    out.sort_by_key(|c| c.id);
+    out
+}
+
+/// Read one complete request frame, waking every [`POLL_TICK`] while
+/// waiting for the first header byte so shutdown and reaping interrupt an
+/// idle session. Once a frame has started, the configured per-request
+/// read timeout applies to the remainder.
+fn read_request(
+    shared: &Shared,
+    state: &SessionState,
+    stream: &mut TcpStream,
+) -> WireResult<Option<Frame>> {
+    let mut first = [0u8; 1];
+    loop {
+        if shared.is_shutdown() && !state.conn.cluster_connection().in_txn() {
+            // Drain point: no request in flight, no open transaction.
+            return Ok(None);
+        }
+        stream.set_read_timeout(Some(POLL_TICK))?;
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None), // peer closed between frames
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // Frame started: the rest must arrive within the request read timeout.
+    stream.set_read_timeout(Some(shared.cfg.read_timeout))?;
+    let mut rest = [0u8; 3];
+    stream.read_exact(&mut rest)?;
+    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WireError::FrameLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    shared.count_in(4 + len as u64);
+    Frame::decode(&body).map(Some)
+}
+
+/// Run the handshake: expect `Hello`, resolve the database, negotiate
+/// policies. Returns the established platform connection, or `None` after
+/// answering with an error frame (or hitting an I/O failure).
+fn handshake(
+    shared: &Shared,
+    stream: &mut TcpStream,
+) -> Option<(String, PlatformConnection, Frame)> {
+    let fail = |stream: &mut TcpStream, err: ClusterError| {
+        shared
+            .metrics
+            .counter("tenantdb_net_handshake_failures_total", &[])
+            .inc();
+        let _ = shared.write_reply(stream, &Frame::Error(err));
+        None
+    };
+
+    let hello = match read_handshake_frame(shared, stream) {
+        Ok(Some(f)) => f,
+        Ok(None) => return None,
+        Err(e) => {
+            return fail(
+                stream,
+                ClusterError::TxnAborted(format!("protocol error in handshake: {e}")),
+            )
+        }
+    };
+    let Frame::Hello {
+        db,
+        read_pref,
+        write_pref,
+        ..
+    } = hello
+    else {
+        return fail(
+            stream,
+            ClusterError::TxnAborted("handshake must start with hello".into()),
+        );
+    };
+
+    // Client location: the serving tier terminates the connection inside
+    // the colo, so the colo's own location is the honest answer.
+    let conn = match shared.system.connect(&db, (0.0, 0.0)) {
+        Ok(c) => c,
+        Err(e) => return fail(stream, e),
+    };
+
+    // Policy negotiation: a specific preference is a demand. Refusing is
+    // correct — Table 1 makes read/write policy observable, so serving
+    // under different semantics than the client asked for would be a
+    // silent correctness change.
+    let cluster = shared
+        .system
+        .primary_colo(&db)
+        .and_then(|id| shared.system.colo(id).cloned())
+        .and_then(|colo| colo.cluster_for(&db));
+    let Some(cluster) = cluster else {
+        return fail(stream, ClusterError::NoSuchDatabase(db));
+    };
+    let cfg = *cluster.config();
+    if !read_pref.accepts(cfg.read_policy) || !write_pref.accepts(cfg.write_policy) {
+        return fail(
+            stream,
+            ClusterError::TxnAborted(format!(
+                "policy negotiation failed: cluster serves {:?}/{:?}",
+                cfg.read_policy, cfg.write_policy
+            )),
+        );
+    }
+
+    let ok = Frame::HelloOk {
+        version: PROTOCOL_VERSION,
+        read_policy: cfg.read_policy,
+        write_policy: cfg.write_policy,
+    };
+    Some((db, conn, ok))
+}
+
+/// Handshake-phase frame read: plain bounded read (no session state yet to
+/// drain; the read timeout bounds a client that connects and stalls).
+fn read_handshake_frame(shared: &Shared, stream: &mut TcpStream) -> WireResult<Option<Frame>> {
+    stream.set_read_timeout(Some(shared.cfg.read_timeout))?;
+    let frame = wire::read_frame(stream)?;
+    if let Some(f) = &frame {
+        shared.count_in(f.encode().len() as u64);
+    }
+    Ok(frame)
+}
+
+fn session_thread(shared: Arc<Shared>, mut stream: TcpStream, peer: SocketAddr) {
+    let Some((db, conn, hello_ok)) = handshake(&shared, &mut stream) else {
+        return;
+    };
+    if shared.fault_sever(CrashPoint::NetFrameWrite) {
+        return;
+    }
+    if shared.write_reply(&mut stream, &hello_ok).is_err() {
+        return;
+    }
+
+    let Ok(reaper_handle) = stream.try_clone() else {
+        return;
+    };
+    let id = next_id(&shared);
+    let state = Arc::new(SessionState {
+        id,
+        db,
+        peer: peer.to_string(),
+        stream: reaper_handle,
+        last_activity_ms: AtomicU64::new(shared.now_ms()),
+        busy: AtomicBool::new(false),
+        conn,
+    });
+    shared.sessions.lock().insert(id, Arc::clone(&state));
+
+    serve_session(&shared, &state, &mut stream);
+
+    shared.sessions.lock().remove(&id);
+    // `state.conn` drops with the last Arc (here): an open transaction
+    // rolls back and the cluster session lane is reclaimed.
+}
+
+fn next_id(shared: &Shared) -> u64 {
+    shared.next_id.fetch_add(1, Ordering::SeqCst)
+}
+
+fn serve_session(shared: &Shared, state: &SessionState, stream: &mut TcpStream) {
+    loop {
+        state.busy.store(false, Ordering::SeqCst);
+        let frame = match read_request(shared, state, stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean close, reap, or shutdown drain
+            Err(WireError::Io(_)) => return,
+            Err(e) => {
+                // Malformed frame: report, then sever (framing is lost).
+                let _ = shared.write_reply(
+                    stream,
+                    &Frame::Error(ClusterError::TxnAborted(format!("protocol error: {e}"))),
+                );
+                return;
+            }
+        };
+        state.busy.store(true, Ordering::SeqCst);
+        state.touch(shared);
+        let started = Instant::now();
+
+        if shared.fault_sever(CrashPoint::NetFrameRead) {
+            return; // connection dies right after reading the request
+        }
+
+        let kind = frame.kind();
+        let reply = handle_request(shared, state, frame);
+
+        // The "did my commit land?" window: the request has fully executed
+        // but the client never hears about it.
+        if shared.fault_sever(CrashPoint::NetResponseDrop) {
+            return;
+        }
+        if shared.fault_sever(CrashPoint::NetFrameWrite) {
+            return;
+        }
+        if shared.write_reply(stream, &reply).is_err() {
+            return;
+        }
+        state.touch(shared);
+        shared
+            .metrics
+            .counter("tenantdb_net_frames_total", &[("kind", kind)])
+            .inc();
+        shared
+            .metrics
+            .histogram("tenantdb_net_frame_latency_us", &[])
+            .observe_since(started);
+    }
+}
+
+fn handle_request(shared: &Shared, state: &SessionState, frame: Frame) -> Frame {
+    match frame {
+        Frame::Ping { token } => Frame::Pong { token },
+        Frame::Query { sql, params } => match state.conn.execute(&sql, &params) {
+            Ok(r) => Frame::ResultSet(r),
+            Err(e) => Frame::Error(e),
+        },
+        Frame::Execute { sql, params } => match state.conn.execute(&sql, &params) {
+            Ok(r) => Frame::Affected {
+                rows: r.rows_affected,
+            },
+            Err(e) => Frame::Error(e),
+        },
+        Frame::Begin => match state.conn.begin() {
+            Ok(()) => Frame::Ok,
+            Err(e) => Frame::Error(e),
+        },
+        Frame::Commit => match state.conn.commit() {
+            Ok(()) => Frame::Ok,
+            Err(e) => Frame::Error(e),
+        },
+        Frame::Rollback => match state.conn.rollback() {
+            Ok(()) => Frame::Ok,
+            Err(e) => Frame::Error(e),
+        },
+        Frame::ListConns => Frame::ConnList(list_sessions(shared)),
+        // Reply frames (or a second Hello) are not valid requests.
+        other => Frame::Error(ClusterError::TxnAborted(format!(
+            "unexpected request frame: {}",
+            other.kind()
+        ))),
+    }
+}

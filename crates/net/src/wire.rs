@@ -1,0 +1,1002 @@
+//! The versioned, length-prefixed binary wire protocol (DESIGN.md §11).
+//!
+//! Every frame on the wire is `u32 length (LE) | u8 opcode | payload`; the
+//! length counts the opcode byte plus the payload. The decoder is total: any
+//! byte sequence either decodes to a [`Frame`] or returns a [`WireError`] —
+//! it never panics and never allocates more than the declared (and bounded)
+//! lengths. That property is what the protocol property tests and the
+//! corrupt-input suite in `tests/proto.rs` pin down, under Miri.
+//!
+//! A connection starts with a handshake: the client sends [`Frame::Hello`]
+//! (protocol version, database name, read-routing / write-policy
+//! preferences) and the server answers [`Frame::HelloOk`] with the policies
+//! actually in force, or [`Frame::Error`] if the database is unknown or a
+//! demanded policy cannot be honored. After the handshake the client issues
+//! request frames (`Query`/`Execute`/`Begin`/`Commit`/`Rollback`/`Ping`/
+//! `ListConns`) strictly one at a time — except `Ping`, which may be
+//! pipelined — and the server answers each with exactly one reply frame.
+//!
+//! Errors round-trip: [`Frame::Error`] carries a structurally encoded
+//! [`ClusterError`] (including the nested `SqlError` / `StorageError`
+//! variants), so a deadlock abort is still [`ClusterError::is_deadlock`] on
+//! the client side and the TPC-W driver classifies outcomes identically
+//! over either transport.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use tenantdb_cluster::{ClusterError, ReadPolicy, WritePolicy};
+use tenantdb_sql::{QueryResult, SqlError};
+use tenantdb_storage::{StorageError, TxnId, Value};
+
+/// The one protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame body (opcode + payload). A length prefix above
+/// this is rejected before any allocation — the decoder's defense against
+/// a hostile or corrupt 4-GiB length prefix.
+pub const MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
+
+/// Upper bound on any single string/collection length inside a frame.
+/// Secondary defense: even a frame with a plausible total length cannot
+/// declare an inner length that forces a huge up-front reservation.
+const MAX_INNER_LEN: u32 = MAX_FRAME_LEN;
+
+/// Decoder/transport errors. The decoder side (`Bad*`, `Truncated`,
+/// `TrailingBytes`) is deliberately precise so the corrupt-input tests can
+/// assert *which* defense fired.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/stream error.
+    Io(io::Error),
+    /// Length prefix exceeds [`MAX_FRAME_LEN`] (or is zero).
+    FrameLength(u32),
+    /// Frame body ended before the payload was complete.
+    Truncated,
+    /// Frame body has bytes left over after a complete payload.
+    TrailingBytes(usize),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Handshake carried a protocol version this build does not speak.
+    BadVersion(u16),
+    /// Unknown enum tag (value type, policy, error variant).
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// The peer answered a request with a frame that request cannot produce.
+    UnexpectedFrame(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::FrameLength(n) => write!(f, "bad frame length {n}"),
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after frame payload"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown tag 0x{t:02x}"),
+            WireError::BadUtf8 => f.write_str("invalid utf-8 in string field"),
+            WireError::UnexpectedFrame(what) => write!(f, "unexpected reply frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Shorthand for codec results.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+/// Client read-routing preference in the handshake. `Default` accepts
+/// whatever the serving cluster is configured with; a specific preference
+/// is a *demand* — the server refuses the handshake rather than silently
+/// serving under different semantics (Table 1 makes the difference
+/// observable, so it must not be negotiated away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPref {
+    /// Accept the server's configured read policy.
+    Default,
+    /// Demand §3.1 Option 1 (pinned replica).
+    Pinned,
+    /// Demand §3.1 Option 2 (per-transaction replica).
+    PerTransaction,
+    /// Demand §3.1 Option 3 (per-operation replica).
+    PerOperation,
+}
+
+impl ReadPref {
+    fn to_u8(self) -> u8 {
+        match self {
+            ReadPref::Default => 0,
+            ReadPref::Pinned => 1,
+            ReadPref::PerTransaction => 2,
+            ReadPref::PerOperation => 3,
+        }
+    }
+
+    fn from_u8(b: u8) -> WireResult<Self> {
+        Ok(match b {
+            0 => ReadPref::Default,
+            1 => ReadPref::Pinned,
+            2 => ReadPref::PerTransaction,
+            3 => ReadPref::PerOperation,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+
+    /// Does this preference accept the given configured policy?
+    pub fn accepts(self, policy: ReadPolicy) -> bool {
+        match self {
+            ReadPref::Default => true,
+            ReadPref::Pinned => policy == ReadPolicy::PinnedReplica,
+            ReadPref::PerTransaction => policy == ReadPolicy::PerTransaction,
+            ReadPref::PerOperation => policy == ReadPolicy::PerOperation,
+        }
+    }
+}
+
+/// Client write-acknowledgement preference in the handshake (see
+/// [`ReadPref`] for the negotiation rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePref {
+    /// Accept the server's configured write policy.
+    Default,
+    /// Demand conservative (wait-all) acknowledgement.
+    Conservative,
+    /// Demand aggressive (first-ack) acknowledgement.
+    Aggressive,
+}
+
+impl WritePref {
+    fn to_u8(self) -> u8 {
+        match self {
+            WritePref::Default => 0,
+            WritePref::Conservative => 1,
+            WritePref::Aggressive => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> WireResult<Self> {
+        Ok(match b {
+            0 => WritePref::Default,
+            1 => WritePref::Conservative,
+            2 => WritePref::Aggressive,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+
+    /// Does this preference accept the given configured policy?
+    pub fn accepts(self, policy: WritePolicy) -> bool {
+        match self {
+            WritePref::Default => true,
+            WritePref::Conservative => policy == WritePolicy::Conservative,
+            WritePref::Aggressive => policy == WritePolicy::Aggressive,
+        }
+    }
+}
+
+fn read_policy_to_u8(p: ReadPolicy) -> u8 {
+    match p {
+        ReadPolicy::PinnedReplica => 1,
+        ReadPolicy::PerTransaction => 2,
+        ReadPolicy::PerOperation => 3,
+    }
+}
+
+fn read_policy_from_u8(b: u8) -> WireResult<ReadPolicy> {
+    Ok(match b {
+        1 => ReadPolicy::PinnedReplica,
+        2 => ReadPolicy::PerTransaction,
+        3 => ReadPolicy::PerOperation,
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn write_policy_to_u8(p: WritePolicy) -> u8 {
+    match p {
+        WritePolicy::Conservative => 1,
+        WritePolicy::Aggressive => 2,
+    }
+}
+
+fn write_policy_from_u8(b: u8) -> WireResult<WritePolicy> {
+    Ok(match b {
+        1 => WritePolicy::Conservative,
+        2 => WritePolicy::Aggressive,
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+/// One live server session, as reported by [`Frame::ConnList`] (the shell's
+/// `\conns` command).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnInfo {
+    /// Server-assigned session id (monotonic per server).
+    pub id: u64,
+    /// Database the session is connected to.
+    pub db: String,
+    /// Client peer address as the server sees it.
+    pub peer: String,
+    /// True while the session has an explicit transaction open.
+    pub in_txn: bool,
+    /// True while the session is executing a request.
+    pub busy: bool,
+    /// Milliseconds since the session's last request activity.
+    pub idle_ms: u64,
+}
+
+/// Every frame of the protocol. See the module docs for the conversation
+/// structure; DESIGN.md §11 has the full grammar table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server handshake.
+    Hello {
+        /// Protocol version the client speaks ([`PROTOCOL_VERSION`]).
+        version: u16,
+        /// Database to connect to.
+        db: String,
+        /// Read-routing preference (demand or accept-default).
+        read_pref: ReadPref,
+        /// Write-acknowledgement preference.
+        write_pref: WritePref,
+    },
+    /// Server → client handshake acceptance, naming the policies in force.
+    HelloOk {
+        /// Protocol version the server speaks.
+        version: u16,
+        /// The read policy this session will be served under.
+        read_policy: ReadPolicy,
+        /// The write policy this session will be served under.
+        write_policy: WritePolicy,
+    },
+    /// Liveness probe; may be pipelined. The token round-trips in
+    /// [`Frame::Pong`].
+    Ping {
+        /// Opaque token echoed back by the server.
+        token: u64,
+    },
+    /// Reply to [`Frame::Ping`].
+    Pong {
+        /// The token from the matching ping.
+        token: u64,
+    },
+    /// Reply to `Begin`/`Commit`/`Rollback`.
+    Ok,
+    /// Any request's failure reply: a round-tripped [`ClusterError`].
+    Error(ClusterError),
+    /// Execute SQL and return the full typed result set.
+    Query {
+        /// The SQL text.
+        sql: String,
+        /// Positional `?` parameters.
+        params: Vec<Value>,
+    },
+    /// Reply to [`Frame::Query`]: the complete [`QueryResult`].
+    ResultSet(QueryResult),
+    /// Execute SQL for effect only; the reply is [`Frame::Affected`]
+    /// (result rows, if any, are discarded server-side — cheaper than
+    /// `Query` for DML).
+    Execute {
+        /// The SQL text.
+        sql: String,
+        /// Positional `?` parameters.
+        params: Vec<Value>,
+    },
+    /// Reply to [`Frame::Execute`].
+    Affected {
+        /// Rows inserted/updated/deleted.
+        rows: u64,
+    },
+    /// Start an explicit transaction.
+    Begin,
+    /// Commit the open transaction (2PC server-side).
+    Commit,
+    /// Roll back the open transaction.
+    Rollback,
+    /// List the server's live sessions (operator surface; `\conns`).
+    ListConns,
+    /// Reply to [`Frame::ListConns`].
+    ConnList(Vec<ConnInfo>),
+}
+
+impl Frame {
+    /// Stable opcode byte for this frame type.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::HelloOk { .. } => 0x02,
+            Frame::Ping { .. } => 0x03,
+            Frame::Pong { .. } => 0x04,
+            Frame::Ok => 0x05,
+            Frame::Error(_) => 0x06,
+            Frame::Query { .. } => 0x10,
+            Frame::ResultSet(_) => 0x11,
+            Frame::Execute { .. } => 0x12,
+            Frame::Affected { .. } => 0x13,
+            Frame::Begin => 0x14,
+            Frame::Commit => 0x15,
+            Frame::Rollback => 0x16,
+            Frame::ListConns => 0x17,
+            Frame::ConnList(_) => 0x18,
+        }
+    }
+
+    /// Short stable name (metrics label, diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::HelloOk { .. } => "hello_ok",
+            Frame::Ping { .. } => "ping",
+            Frame::Pong { .. } => "pong",
+            Frame::Ok => "ok",
+            Frame::Error(_) => "error",
+            Frame::Query { .. } => "query",
+            Frame::ResultSet(_) => "result_set",
+            Frame::Execute { .. } => "execute",
+            Frame::Affected { .. } => "affected",
+            Frame::Begin => "begin",
+            Frame::Commit => "commit",
+            Frame::Rollback => "rollback",
+            Frame::ListConns => "list_conns",
+            Frame::ConnList(_) => "conn_list",
+        }
+    }
+
+    /// Encode this frame as a complete wire message (length prefix
+    /// included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(16);
+        body.push(self.opcode());
+        match self {
+            Frame::Hello {
+                version,
+                db,
+                read_pref,
+                write_pref,
+            } => {
+                put_u16(&mut body, *version);
+                put_str(&mut body, db);
+                body.push(read_pref.to_u8());
+                body.push(write_pref.to_u8());
+            }
+            Frame::HelloOk {
+                version,
+                read_policy,
+                write_policy,
+            } => {
+                put_u16(&mut body, *version);
+                body.push(read_policy_to_u8(*read_policy));
+                body.push(write_policy_to_u8(*write_policy));
+            }
+            Frame::Ping { token } | Frame::Pong { token } => put_u64(&mut body, *token),
+            Frame::Ok | Frame::Begin | Frame::Commit | Frame::Rollback | Frame::ListConns => {}
+            Frame::Error(e) => put_cluster_error(&mut body, e),
+            Frame::Query { sql, params } | Frame::Execute { sql, params } => {
+                put_str(&mut body, sql);
+                put_u32(&mut body, params.len() as u32);
+                for v in params {
+                    put_value(&mut body, v);
+                }
+            }
+            Frame::ResultSet(r) => put_query_result(&mut body, r),
+            Frame::Affected { rows } => put_u64(&mut body, *rows),
+            Frame::ConnList(conns) => {
+                put_u32(&mut body, conns.len() as u32);
+                for c in conns {
+                    put_u64(&mut body, c.id);
+                    put_str(&mut body, &c.db);
+                    put_str(&mut body, &c.peer);
+                    body.push(c.in_txn as u8);
+                    body.push(c.busy as u8);
+                    put_u64(&mut body, c.idle_ms);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a frame body (opcode + payload, the length prefix already
+    /// stripped). Total: returns an error on any malformed input.
+    pub fn decode(body: &[u8]) -> WireResult<Frame> {
+        let mut r = Reader::new(body);
+        let op = r.u8()?;
+        let frame = match op {
+            0x01 => {
+                let version = r.u16()?;
+                if version != PROTOCOL_VERSION {
+                    return Err(WireError::BadVersion(version));
+                }
+                let db = r.string()?;
+                let read_pref = ReadPref::from_u8(r.u8()?)?;
+                let write_pref = WritePref::from_u8(r.u8()?)?;
+                Frame::Hello {
+                    version,
+                    db,
+                    read_pref,
+                    write_pref,
+                }
+            }
+            0x02 => {
+                let version = r.u16()?;
+                if version != PROTOCOL_VERSION {
+                    return Err(WireError::BadVersion(version));
+                }
+                Frame::HelloOk {
+                    version,
+                    read_policy: read_policy_from_u8(r.u8()?)?,
+                    write_policy: write_policy_from_u8(r.u8()?)?,
+                }
+            }
+            0x03 => Frame::Ping { token: r.u64()? },
+            0x04 => Frame::Pong { token: r.u64()? },
+            0x05 => Frame::Ok,
+            0x06 => Frame::Error(get_cluster_error(&mut r)?),
+            0x10 | 0x12 => {
+                let sql = r.string()?;
+                let n = r.bounded_len()?;
+                let mut params = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    params.push(get_value(&mut r)?);
+                }
+                if op == 0x10 {
+                    Frame::Query { sql, params }
+                } else {
+                    Frame::Execute { sql, params }
+                }
+            }
+            0x11 => Frame::ResultSet(get_query_result(&mut r)?),
+            0x13 => Frame::Affected { rows: r.u64()? },
+            0x14 => Frame::Begin,
+            0x15 => Frame::Commit,
+            0x16 => Frame::Rollback,
+            0x17 => Frame::ListConns,
+            0x18 => {
+                let n = r.bounded_len()?;
+                let mut conns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    conns.push(ConnInfo {
+                        id: r.u64()?,
+                        db: r.string()?,
+                        peer: r.string()?,
+                        in_txn: r.u8()? != 0,
+                        busy: r.u8()? != 0,
+                        idle_ms: r.u64()?,
+                    });
+                }
+                Frame::ConnList(conns)
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Read one complete frame from `r` (blocking). Returns `Ok(None)` on a
+/// clean EOF *before* any header byte (the peer closed between frames);
+/// mid-frame EOF is an error.
+pub fn read_frame(r: &mut impl Read) -> WireResult<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    // First header byte distinguishes clean close from truncation.
+    match r.read(&mut len_buf[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WireError::FrameLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Frame::decode(&body).map(Some)
+}
+
+/// Write one frame to `w` and flush. Returns the number of bytes written.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> WireResult<usize> {
+    let bytes = frame.encode();
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+// ------------------------------------------------------------- primitives
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            put_u64(out, *i as u64);
+        }
+        Value::Float(f) => {
+            out.push(3);
+            put_u64(out, f.to_bits());
+        }
+        Value::Text(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_query_result(out: &mut Vec<u8>, r: &QueryResult) {
+    put_u32(out, r.columns.len() as u32);
+    for c in &r.columns {
+        put_str(out, c);
+    }
+    put_u32(out, r.rows.len() as u32);
+    for row in &r.rows {
+        put_u32(out, row.len() as u32);
+        for v in row {
+            put_value(out, v);
+        }
+    }
+    put_u64(out, r.rows_affected);
+    for touched in [&r.touched_reads, &r.touched_writes] {
+        put_u32(out, touched.len() as u32);
+        for (table, row_id) in touched {
+            put_str(out, table);
+            put_u64(out, *row_id);
+        }
+    }
+}
+
+fn put_storage_error(out: &mut Vec<u8>, e: &StorageError) {
+    match e {
+        StorageError::NoSuchDatabase(s) => {
+            out.push(0);
+            put_str(out, s);
+        }
+        StorageError::NoSuchTable(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        StorageError::NoSuchIndex(s) => {
+            out.push(2);
+            put_str(out, s);
+        }
+        StorageError::AlreadyExists(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        StorageError::NoSuchTxn(t) => {
+            out.push(4);
+            put_u64(out, t.0);
+        }
+        StorageError::InvalidTxnState { txn, state } => {
+            out.push(5);
+            put_u64(out, txn.0);
+            put_str(out, state);
+        }
+        StorageError::Deadlock(t) => {
+            out.push(6);
+            put_u64(out, t.0);
+        }
+        StorageError::LockTimeout(t) => {
+            out.push(7);
+            put_u64(out, t.0);
+        }
+        StorageError::Unavailable => out.push(8),
+        StorageError::UniqueViolation { table, index } => {
+            out.push(9);
+            put_str(out, table);
+            put_str(out, index);
+        }
+        StorageError::SchemaMismatch(s) => {
+            out.push(10);
+            put_str(out, s);
+        }
+        StorageError::NoSuchRow(id) => {
+            out.push(11);
+            put_u64(out, *id);
+        }
+        StorageError::WriteRejected(s) => {
+            out.push(12);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_sql_error(out: &mut Vec<u8>, e: &SqlError) {
+    match e {
+        SqlError::Lex(m) => {
+            out.push(0);
+            put_str(out, m);
+        }
+        SqlError::Parse(m) => {
+            out.push(1);
+            put_str(out, m);
+        }
+        SqlError::Plan(m) => {
+            out.push(2);
+            put_str(out, m);
+        }
+        SqlError::Eval(m) => {
+            out.push(3);
+            put_str(out, m);
+        }
+        SqlError::Params { expected, got } => {
+            out.push(4);
+            put_u64(out, *expected as u64);
+            put_u64(out, *got as u64);
+        }
+        SqlError::Storage(se) => {
+            out.push(5);
+            put_storage_error(out, se);
+        }
+    }
+}
+
+fn put_cluster_error(out: &mut Vec<u8>, e: &ClusterError) {
+    match e {
+        ClusterError::Sql(se) => {
+            out.push(0);
+            put_sql_error(out, se);
+        }
+        ClusterError::NoSuchDatabase(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        ClusterError::NoReplicas(s) => {
+            out.push(2);
+            put_str(out, s);
+        }
+        ClusterError::NoMachines => out.push(3),
+        ClusterError::WriteRejected { db, table } => {
+            out.push(4);
+            put_str(out, db);
+            put_str(out, table);
+        }
+        ClusterError::TxnAborted(s) => {
+            out.push(5);
+            put_str(out, s);
+        }
+        ClusterError::NoActiveTxn => out.push(6),
+        ClusterError::AlreadyExists(s) => {
+            out.push(7);
+            put_str(out, s);
+        }
+    }
+}
+
+// --------------------------------------------------------------- decoding
+
+/// Bounds-checked reader over a frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> WireResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> WireResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> WireResult<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// A u32 collection/string length, bounded by [`MAX_INNER_LEN`] so a
+    /// corrupt prefix cannot force a giant reservation.
+    fn bounded_len(&mut self) -> WireResult<usize> {
+        let n = self.u32()?;
+        if n > MAX_INNER_LEN {
+            return Err(WireError::FrameLength(n));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self) -> WireResult<String> {
+        let n = self.bounded_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Assert the body is fully consumed.
+    fn finish(&self) -> WireResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+fn get_value(r: &mut Reader<'_>) -> WireResult<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(r.u8()? != 0),
+        2 => Value::Int(r.u64()? as i64),
+        3 => Value::Float(f64::from_bits(r.u64()?)),
+        4 => Value::Text(r.string()?),
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn get_query_result(r: &mut Reader<'_>) -> WireResult<QueryResult> {
+    let ncols = r.bounded_len()?;
+    let mut columns = Vec::with_capacity(ncols.min(1024));
+    for _ in 0..ncols {
+        columns.push(r.string()?);
+    }
+    let nrows = r.bounded_len()?;
+    let mut rows = Vec::with_capacity(nrows.min(1024));
+    for _ in 0..nrows {
+        let n = r.bounded_len()?;
+        let mut row = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            row.push(get_value(r)?);
+        }
+        rows.push(row);
+    }
+    let rows_affected = r.u64()?;
+    let mut touched = [Vec::new(), Vec::new()];
+    for t in &mut touched {
+        let n = r.bounded_len()?;
+        t.reserve(n.min(1024));
+        for _ in 0..n {
+            let table = r.string()?;
+            let row_id = r.u64()?;
+            t.push((table, row_id));
+        }
+    }
+    let [touched_reads, touched_writes] = touched;
+    Ok(QueryResult {
+        columns,
+        rows,
+        rows_affected,
+        touched_reads,
+        touched_writes,
+    })
+}
+
+/// Known `&'static str` transaction-state names (the wire cannot carry
+/// arbitrary `&'static str`s, so decode maps onto this closed set).
+const TXN_STATES: &[&str] = &["active", "prepared", "committed", "aborted"];
+
+fn get_storage_error(r: &mut Reader<'_>) -> WireResult<StorageError> {
+    Ok(match r.u8()? {
+        0 => StorageError::NoSuchDatabase(r.string()?),
+        1 => StorageError::NoSuchTable(r.string()?),
+        2 => StorageError::NoSuchIndex(r.string()?),
+        3 => StorageError::AlreadyExists(r.string()?),
+        4 => StorageError::NoSuchTxn(TxnId(r.u64()?)),
+        5 => {
+            let txn = TxnId(r.u64()?);
+            let state = r.string()?;
+            StorageError::InvalidTxnState {
+                txn,
+                state: TXN_STATES
+                    .iter()
+                    .find(|s| **s == state)
+                    .copied()
+                    .unwrap_or("unknown"),
+            }
+        }
+        6 => StorageError::Deadlock(TxnId(r.u64()?)),
+        7 => StorageError::LockTimeout(TxnId(r.u64()?)),
+        8 => StorageError::Unavailable,
+        9 => StorageError::UniqueViolation {
+            table: r.string()?,
+            index: r.string()?,
+        },
+        10 => StorageError::SchemaMismatch(r.string()?),
+        11 => StorageError::NoSuchRow(r.u64()?),
+        12 => StorageError::WriteRejected(r.string()?),
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn get_sql_error(r: &mut Reader<'_>) -> WireResult<SqlError> {
+    Ok(match r.u8()? {
+        0 => SqlError::Lex(r.string()?),
+        1 => SqlError::Parse(r.string()?),
+        2 => SqlError::Plan(r.string()?),
+        3 => SqlError::Eval(r.string()?),
+        4 => SqlError::Params {
+            expected: r.u64()? as usize,
+            got: r.u64()? as usize,
+        },
+        5 => SqlError::Storage(get_storage_error(r)?),
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn get_cluster_error(r: &mut Reader<'_>) -> WireResult<ClusterError> {
+    Ok(match r.u8()? {
+        0 => ClusterError::Sql(get_sql_error(r)?),
+        1 => ClusterError::NoSuchDatabase(r.string()?),
+        2 => ClusterError::NoReplicas(r.string()?),
+        3 => ClusterError::NoMachines,
+        4 => ClusterError::WriteRejected {
+            db: r.string()?,
+            table: r.string()?,
+        },
+        5 => ClusterError::TxnAborted(r.string()?),
+        6 => ClusterError::NoActiveTxn,
+        7 => ClusterError::AlreadyExists(r.string()?),
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) {
+        let bytes = f.encode();
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4, "length prefix covers the body");
+        let decoded = Frame::decode(&bytes[4..]).unwrap();
+        assert_eq!(*f, decoded);
+    }
+
+    #[test]
+    fn simple_frames_roundtrip() {
+        roundtrip(&Frame::Ok);
+        roundtrip(&Frame::Begin);
+        roundtrip(&Frame::Commit);
+        roundtrip(&Frame::Rollback);
+        roundtrip(&Frame::ListConns);
+        roundtrip(&Frame::Ping { token: 0xdead_beef });
+        roundtrip(&Frame::Pong { token: u64::MAX });
+        roundtrip(&Frame::Affected { rows: 42 });
+    }
+
+    #[test]
+    fn handshake_roundtrips() {
+        roundtrip(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            db: "tpcw0".into(),
+            read_pref: ReadPref::PerTransaction,
+            write_pref: WritePref::Default,
+        });
+        roundtrip(&Frame::HelloOk {
+            version: PROTOCOL_VERSION,
+            read_policy: ReadPolicy::PerOperation,
+            write_policy: WritePolicy::Aggressive,
+        });
+    }
+
+    #[test]
+    fn query_with_every_value_type_roundtrips() {
+        roundtrip(&Frame::Query {
+            sql: "SELECT * FROM t WHERE a = ? AND b = ?".into(),
+            params: vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(-7),
+                Value::Float(1.5),
+                Value::Float(f64::NEG_INFINITY),
+                Value::Text("héllo".into()),
+            ],
+        });
+    }
+
+    #[test]
+    fn nan_float_roundtrips_bit_identically() {
+        let f = Frame::Execute {
+            sql: "INSERT INTO t VALUES (?)".into(),
+            params: vec![Value::Float(f64::NAN)],
+        };
+        let bytes = f.encode();
+        let decoded = Frame::decode(&bytes[4..]).unwrap();
+        // PartialEq on NaN is false; compare the bits instead.
+        let Frame::Execute { params, .. } = decoded else {
+            panic!("wrong frame");
+        };
+        let Value::Float(back) = params[0] else {
+            panic!("wrong value");
+        };
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn error_frames_roundtrip_classification() {
+        let deadlock = ClusterError::from(StorageError::Deadlock(TxnId(9)));
+        let f = Frame::Error(deadlock.clone());
+        let bytes = f.encode();
+        let Frame::Error(back) = Frame::decode(&bytes[4..]).unwrap() else {
+            panic!("wrong frame");
+        };
+        assert_eq!(back, deadlock);
+        assert!(back.is_deadlock());
+
+        let rej = ClusterError::WriteRejected {
+            db: "app".into(),
+            table: "items".into(),
+        };
+        let bytes = Frame::Error(rej.clone()).encode();
+        let Frame::Error(back) = Frame::decode(&bytes[4..]).unwrap() else {
+            panic!("wrong frame");
+        };
+        assert!(back.is_proactive_rejection());
+        assert_eq!(back, rej);
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Ping { token: 7 }).unwrap();
+        write_frame(&mut buf, &Frame::Ok).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Some(Frame::Ping { token: 7 })
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(Frame::Ok));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        buf.push(0x05);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameLength(_))
+        ));
+    }
+}

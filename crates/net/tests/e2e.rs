@@ -1,0 +1,544 @@
+//! End-to-end loopback tests: the full stack — TPC-W workload → native
+//! client → wire protocol → TCP server → platform → 4-machine cluster —
+//! compared against the in-process transport, plus the serving tier's
+//! failure modes: abrupt client disconnects, graceful shutdown drain,
+//! accept-queue backpressure, idle reaping, and injected network faults
+//! in the "did my commit land?" windows.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tenantdb_cluster::fault::{CrashPoint, FaultAction, FaultInjector, FaultPlan, Trigger};
+use tenantdb_cluster::{testkit, ClusterController, ReadPolicy, Transport, WritePolicy};
+use tenantdb_net::{ConnectOptions, Frame, NetClient, NetError, ReadPref, Server, ServerConfig};
+use tenantdb_platform::{CreateOptions, PlatformConfig, SystemController};
+use tenantdb_storage::Value;
+use tenantdb_tpcw::{run_txn, IdCounters, IdSpace, Scale, Session, BROWSING};
+
+const DB: &str = "shop";
+
+/// A single-colo platform whose one cluster runs the testkit fast-engine
+/// config with deterministic policies and seed.
+fn platform(seed: u64) -> Arc<SystemController> {
+    let cfg = PlatformConfig {
+        cluster: testkit::config(ReadPolicy::PinnedReplica, WritePolicy::Conservative, seed),
+        clusters_per_colo: 1,
+        machines_per_cluster: 4,
+        ..PlatformConfig::for_tests()
+    };
+    SystemController::new(cfg, &[("local", (0.0, 0.0))])
+}
+
+/// Create `DB` with 3 in-colo replicas and return its cluster controller.
+fn create_db(system: &Arc<SystemController>) -> Arc<ClusterController> {
+    system
+        .create_database(
+            DB,
+            (0.0, 0.0),
+            CreateOptions {
+                replicas: 3,
+                cross_colo: false,
+                ..CreateOptions::default()
+            },
+        )
+        .expect("create database");
+    let colo = system.primary_colo(DB).expect("primary colo");
+    system
+        .colo(colo)
+        .expect("colo handle")
+        .cluster_for(DB)
+        .expect("cluster for db")
+}
+
+/// Populate the TPC-W schema + data on `DB` and return its id space.
+fn seed_tpcw(cluster: &Arc<ClusterController>, seed: u64) -> IdSpace {
+    tenantdb_tpcw::setup_database(cluster, DB, Scale::with_items(32), seed).expect("populate tpc-w")
+}
+
+/// Create a trivial `kv(id, v)` table with one row per id in `seed_ids`.
+fn seed_kv(system: &Arc<SystemController>, seed_ids: &[i64]) {
+    let conn = system.connect(DB, (0.0, 0.0)).expect("connect");
+    conn.execute(
+        "CREATE TABLE kv (id INT NOT NULL, v INT, PRIMARY KEY (id))",
+        &[],
+    )
+    .expect("create kv");
+    for id in seed_ids {
+        conn.execute("INSERT INTO kv VALUES (?, 0)", &[Value::Int(*id)])
+            .expect("seed kv row");
+    }
+}
+
+/// Drive `txns` interactions of the browsing mix through any transport,
+/// recording each outcome as a string (so two transports can be compared
+/// transaction by transaction, including error classification).
+fn drive<C: Transport>(conn: &C, ids: IdSpace, seed: u64, txns: usize) -> Vec<String> {
+    let counters = IdCounters::from_space(ids);
+    let scale = Scale::with_items(32);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7090_5eed);
+    let mut session = Session {
+        customer: 1,
+        cart: None,
+    };
+    (0..txns)
+        .map(|_| {
+            let kind = BROWSING.pick(&mut rng);
+            match run_txn(kind, conn, &counters, scale, &mut session, &mut rng) {
+                Ok(()) => format!("{kind:?}: ok"),
+                Err(e) => format!("{kind:?}: err {e}"),
+            }
+        })
+        .collect()
+}
+
+/// Spin until `pred` holds or `timeout` elapses; panics on timeout.
+fn wait_for(what: &str, timeout: Duration, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn quick_opts() -> ConnectOptions {
+    ConnectOptions {
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(5),
+        ..ConnectOptions::default()
+    }
+}
+
+/// The tentpole acceptance check: the same seeded TPC-W browsing-mix
+/// session produces byte-identical results over TCP and in-process, and
+/// two identically-seeded platforms land in identical replica states
+/// whichever transport drove them.
+#[test]
+fn tpcw_browsing_mix_is_byte_identical_across_transports() {
+    const SEED: u64 = 42;
+    const TXNS: usize = 40;
+
+    // Platform A: driven through the in-process PlatformConnection.
+    let sys_a = platform(SEED);
+    let cluster_a = create_db(&sys_a);
+    let ids_a = seed_tpcw(&cluster_a, SEED);
+    let conn_a = sys_a.connect(DB, (0.0, 0.0)).expect("in-process connect");
+    let outcomes_a = drive(&conn_a, ids_a, SEED, TXNS);
+
+    // Platform B: identical seed, driven over a TCP loopback session.
+    let sys_b = platform(SEED);
+    let cluster_b = create_db(&sys_b);
+    let ids_b = seed_tpcw(&cluster_b, SEED);
+    let server = Server::start("127.0.0.1:0", Arc::clone(&sys_b), ServerConfig::default())
+        .expect("bind server");
+    let client = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("tcp connect");
+    assert_eq!(client.read_policy(), ReadPolicy::PinnedReplica);
+    assert_eq!(client.write_policy(), WritePolicy::Conservative);
+    let outcomes_b = drive(&client, ids_b, SEED, TXNS);
+
+    // Transaction-by-transaction identical outcomes (incl. any errors).
+    assert_eq!(outcomes_a, outcomes_b, "transports diverged mid-mix");
+
+    // Replicas converge within each platform...
+    testkit::assert_replicas_converged(&cluster_a, DB);
+    testkit::assert_replicas_converged(&cluster_b, DB);
+
+    // ...and the two platforms hold identical logical state: the wire
+    // added no semantics.
+    let rep_a = cluster_a.alive_replicas(DB).expect("replicas a");
+    let rep_b = cluster_b.alive_replicas(DB).expect("replicas b");
+    let state_a =
+        testkit::logical_state(&cluster_a.machine(rep_a[0]).unwrap().engine, DB).expect("state a");
+    let state_b =
+        testkit::logical_state(&cluster_b.machine(rep_b[0]).unwrap().engine, DB).expect("state b");
+    assert_eq!(state_a, state_b, "in-process and TCP end states differ");
+
+    // Byte-identical on the wire itself: the same query's result set
+    // encodes to the same frame bytes whichever transport produced it.
+    let probe = "SELECT i_id, i_title, i_cost FROM item ORDER BY i_id";
+    let r_a = conn_a.execute(probe, &[]).expect("probe in-process");
+    let r_b = Transport::execute(&client, probe, &[]).expect("probe tcp");
+    assert_eq!(
+        Frame::ResultSet(r_a).encode(),
+        Frame::ResultSet(r_b).encode(),
+        "result set bytes differ across transports"
+    );
+
+    // The acceptance metrics are live in the platform scrape.
+    sys_b.register_metrics_source("e2e", server.metrics());
+    let scrape = sys_b.render_metrics();
+    for name in [
+        "tenantdb_net_connections",
+        "tenantdb_net_bytes_in_total",
+        "tenantdb_net_bytes_out_total",
+        "tenantdb_net_frame_latency_us",
+    ] {
+        assert!(scrape.contains(name), "scrape missing {name}:\n{scrape}");
+    }
+
+    server.shutdown();
+}
+
+/// Pipelined pings share one round trip and come back in order.
+#[test]
+fn pipelined_pings_round_trip_in_order() {
+    let sys = platform(3);
+    create_db(&sys);
+    seed_kv(&sys, &[]);
+    let server =
+        Server::start("127.0.0.1:0", Arc::clone(&sys), ServerConfig::default()).expect("bind");
+    let client = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("connect");
+    client.ping(7).expect("single ping");
+    client.ping_pipelined(64).expect("pipelined pings");
+    server.shutdown();
+}
+
+/// Acceptance: the server survives an abrupt client disconnect
+/// mid-transaction — the transaction aborts, the session and its slot are
+/// reclaimed, and the row locks are free for the next client.
+#[test]
+fn abrupt_disconnect_mid_txn_aborts_and_reclaims_session() {
+    let sys = platform(5);
+    let cluster = create_db(&sys);
+    seed_kv(&sys, &[1, 2]);
+    let server =
+        Server::start("127.0.0.1:0", Arc::clone(&sys), ServerConfig::default()).expect("bind");
+
+    // A client takes row locks inside an explicit transaction...
+    let client = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("connect");
+    Transport::begin(&client).expect("begin");
+    Transport::execute(&client, "UPDATE kv SET v = 99 WHERE id = 1", &[]).expect("update");
+    let sessions = server.list_sessions();
+    assert_eq!(sessions.len(), 1);
+    assert!(sessions[0].in_txn, "session should report an open txn");
+
+    // ...then vanishes without commit or rollback.
+    drop(client);
+
+    // The session thread notices, the connection drops, the transaction
+    // rolls back, and the slot + session entry are reclaimed.
+    wait_for("session reclaim", Duration::from_secs(5), || {
+        server.session_count() == 0
+    });
+    assert!(server.list_sessions().is_empty());
+
+    // No leaked lock or pool lane: a fresh client can immediately write
+    // the same row, repeatedly (each connect takes and returns a lane).
+    for round in 0..3 {
+        let c = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("reconnect");
+        Transport::begin(&c).expect("begin");
+        Transport::execute(&c, "UPDATE kv SET v = ? WHERE id = 1", &[Value::Int(round)])
+            .expect("update after abandon");
+        Transport::commit(&c).expect("commit");
+        drop(c);
+        wait_for("session drain", Duration::from_secs(5), || {
+            server.session_count() == 0
+        });
+    }
+
+    // The abandoned update never committed; the last clean one did.
+    let conn = sys.connect(DB, (0.0, 0.0)).expect("connect");
+    let r = conn
+        .execute("SELECT v FROM kv WHERE id = 1", &[])
+        .expect("read back");
+    assert_eq!(r.rows[0][0], Value::Int(2), "abandoned txn leaked a write");
+    testkit::assert_replicas_converged(&cluster, DB);
+    server.shutdown();
+}
+
+/// Acceptance: graceful shutdown drains the in-flight transaction — a
+/// commit issued while the server is draining still succeeds and is
+/// durable on every replica.
+#[test]
+fn graceful_shutdown_drains_in_flight_commit() {
+    let sys = platform(9);
+    let cluster = create_db(&sys);
+    seed_kv(&sys, &[]);
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig {
+            drain_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let client = NetClient::connect(addr, DB, quick_opts()).expect("connect");
+    Transport::begin(&client).expect("begin");
+    Transport::execute(&client, "INSERT INTO kv VALUES (100, 1)", &[]).expect("insert");
+
+    // Shutdown starts while the transaction is open; the session must be
+    // kept alive until the client resolves it.
+    let drain = thread::spawn(move || server.shutdown());
+    thread::sleep(Duration::from_millis(300));
+    Transport::commit(&client).expect("commit during drain must succeed");
+    drain.join().expect("shutdown thread");
+
+    // The listener is gone: connecting again fails fast.
+    let refused = NetClient::connect(
+        addr,
+        DB,
+        ConnectOptions {
+            attempts: 1,
+            ..quick_opts()
+        },
+    );
+    assert!(refused.is_err(), "server still accepting after shutdown");
+
+    // The drained commit is durable on every replica.
+    testkit::assert_committed_visible(&cluster, DB, "kv", &[100]);
+    testkit::assert_replicas_converged(&cluster, DB);
+}
+
+/// The connection limit is enforced as accept-queue backpressure: client
+/// N+1 connects at TCP level (OS backlog) but gets no handshake until a
+/// slot frees.
+#[test]
+fn connection_limit_applies_backpressure_not_rejection() {
+    let sys = platform(11);
+    create_db(&sys);
+    seed_kv(&sys, &[]);
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let c1 = NetClient::connect(addr, DB, quick_opts()).expect("c1");
+    let c2 = NetClient::connect(addr, DB, quick_opts()).expect("c2");
+    wait_for("both sessions live", Duration::from_secs(5), || {
+        server.session_count() == 2
+    });
+
+    // Third client: TCP connect succeeds (backlog) but the handshake
+    // reply cannot arrive while the server is at its limit.
+    let stalled = NetClient::connect(
+        addr,
+        DB,
+        ConnectOptions {
+            attempts: 1,
+            read_timeout: Duration::from_millis(400),
+            ..ConnectOptions::default()
+        },
+    );
+    assert!(
+        matches!(stalled, Err(NetError::Io(_))),
+        "over-limit connect should stall, got {stalled:?}",
+        stalled = stalled.as_ref().map(|_| "ok")
+    );
+    assert_eq!(server.session_count(), 2);
+
+    // Freeing a slot lets the next client through (default retry/backoff
+    // rides out the accept loop absorbing the stalled socket above).
+    drop(c1);
+    let c3 = NetClient::connect(addr, DB, quick_opts()).expect("c3 after slot freed");
+    c3.ping(1).expect("ping on admitted session");
+    drop(c2);
+    drop(c3);
+    server.shutdown();
+}
+
+/// Idle sessions are reaped after `idle_timeout`; in-transaction sessions
+/// are not (that is the transaction timeout's job).
+#[test]
+fn idle_sessions_are_reaped() {
+    let sys = platform(13);
+    create_db(&sys);
+    seed_kv(&sys, &[]);
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig {
+            idle_timeout: Duration::from_millis(200),
+            reap_interval: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let client = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("connect");
+    client.ping(1).expect("ping");
+    wait_for("idle reap", Duration::from_secs(5), || {
+        server.session_count() == 0
+    });
+    // The reaped client's next request fails at the transport layer.
+    assert!(client.ping(2).is_err(), "reaped session still answered");
+    assert!(
+        server
+            .metrics()
+            .render_text()
+            .contains("tenantdb_net_idle_reaped_total 1"),
+        "reap not counted"
+    );
+    server.shutdown();
+}
+
+/// A demanded policy the cluster does not serve refuses the handshake
+/// (and the refusal is not retried); an unknown database likewise.
+#[test]
+fn handshake_refuses_policy_mismatch_and_unknown_db() {
+    let sys = platform(17);
+    create_db(&sys); // PinnedReplica / Conservative
+    let server =
+        Server::start("127.0.0.1:0", Arc::clone(&sys), ServerConfig::default()).expect("bind");
+
+    let started = Instant::now();
+    let refused = NetClient::connect(
+        server.local_addr(),
+        DB,
+        ConnectOptions {
+            read_pref: ReadPref::PerOperation,
+            ..ConnectOptions::default()
+        },
+    );
+    assert!(
+        matches!(refused, Err(NetError::Server(_))),
+        "policy mismatch must be a server refusal"
+    );
+    // Refusals return immediately — no retry/backoff (default backoff
+    // schedule would take well over a second).
+    assert!(started.elapsed() < Duration::from_secs(1));
+
+    let no_db = NetClient::connect(server.local_addr(), "nope", ConnectOptions::default());
+    assert!(matches!(no_db, Err(NetError::Server(_))));
+    server.shutdown();
+}
+
+/// Injected net fault, window 1: the connection dies right after the
+/// server reads the Commit frame, *before* executing it. The transaction
+/// must roll back — the insert is not visible anywhere, replicas converge.
+#[test]
+fn fault_killing_connection_before_commit_executes_rolls_back() {
+    let sys = platform(19);
+    let cluster = create_db(&sys);
+    seed_kv(&sys, &[]);
+    let faults = Arc::new(FaultInjector::new());
+    let server = Server::start_with_faults(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig::default(),
+        Some(Arc::clone(&faults)),
+    )
+    .expect("bind");
+
+    let client = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("connect");
+    Transport::begin(&client).expect("begin");
+    Transport::execute(&client, "INSERT INTO kv VALUES (7, 7)", &[]).expect("insert");
+
+    faults.arm(FaultPlan::new(vec![Trigger {
+        point: CrashPoint::NetFrameRead,
+        machine: None,
+        after_hits: 0,
+        action: FaultAction::Crash,
+    }]));
+    let r = Transport::commit(&client);
+    assert!(r.is_err(), "commit should be lost with the connection");
+
+    wait_for("session reclaim", Duration::from_secs(5), || {
+        server.session_count() == 0
+    });
+    // The commit never executed: nothing visible, everything converged.
+    let conn = sys.connect(DB, (0.0, 0.0)).expect("connect");
+    let read = conn
+        .execute("SELECT id FROM kv WHERE id = 7", &[])
+        .expect("read");
+    assert!(read.rows.is_empty(), "rolled-back insert is visible");
+    testkit::assert_replicas_converged(&cluster, DB);
+    server.shutdown();
+}
+
+/// Injected net fault, window 2 — "did my commit land?": the commit fully
+/// executes but the Ok reply is dropped and the connection severed. The
+/// client sees an error it must treat as ambiguous; the platform's answer
+/// is unambiguous: the commit is durable on every replica.
+#[test]
+fn fault_dropping_commit_response_leaves_durable_converged_state() {
+    let sys = platform(23);
+    let cluster = create_db(&sys);
+    seed_kv(&sys, &[]);
+    let faults = Arc::new(FaultInjector::new());
+    let server = Server::start_with_faults(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig::default(),
+        Some(Arc::clone(&faults)),
+    )
+    .expect("bind");
+
+    let client = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("connect");
+    Transport::begin(&client).expect("begin");
+    Transport::execute(&client, "INSERT INTO kv VALUES (8, 8)", &[]).expect("insert");
+
+    faults.arm(FaultPlan::new(vec![Trigger {
+        point: CrashPoint::NetResponseDrop,
+        machine: None,
+        after_hits: 0,
+        action: FaultAction::Crash,
+    }]));
+    let r = Transport::commit(&client);
+    assert!(
+        r.is_err(),
+        "the ack was dropped; the client must see an error"
+    );
+    // The poisoned client fails fast from here on.
+    assert!(matches!(client.ping(1), Err(NetError::Broken)));
+
+    wait_for("session reclaim", Duration::from_secs(5), || {
+        server.session_count() == 0
+    });
+    // The commit *did* land: durable and converged despite the lost ack.
+    testkit::assert_committed_visible(&cluster, DB, "kv", &[8]);
+    testkit::assert_replicas_converged(&cluster, DB);
+    // A fresh session reads the committed row over the wire.
+    let c2 = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("reconnect");
+    let read = Transport::execute(&c2, "SELECT v FROM kv WHERE id = 8", &[]).expect("read");
+    assert_eq!(read.rows, vec![vec![Value::Int(8)]]);
+    assert!(
+        server
+            .metrics()
+            .render_text()
+            .contains("tenantdb_net_faults_fired_total"),
+        "fired fault not counted"
+    );
+    server.shutdown();
+}
+
+/// The `\conns` listing reflects live sessions with their database, peer,
+/// and transaction state.
+#[test]
+fn conn_listing_reports_live_sessions() {
+    let sys = platform(29);
+    create_db(&sys);
+    seed_kv(&sys, &[1]);
+    let server =
+        Server::start("127.0.0.1:0", Arc::clone(&sys), ServerConfig::default()).expect("bind");
+
+    let c1 = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("c1");
+    let c2 = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("c2");
+    Transport::begin(&c2).expect("begin");
+    Transport::execute(&c2, "UPDATE kv SET v = 1 WHERE id = 1", &[]).expect("update");
+
+    // The listing is served over the same wire protocol.
+    let list = c1.list_conns().expect("list_conns");
+    assert_eq!(list.len(), 2);
+    assert!(list.iter().all(|c| c.db == DB));
+    assert!(list.iter().any(|c| c.in_txn), "c2's open txn not reported");
+    assert!(list.iter().all(|c| !c.peer.is_empty()));
+
+    Transport::rollback(&c2).expect("rollback");
+    drop(c2);
+    wait_for("session drain", Duration::from_secs(5), || {
+        server.session_count() == 1
+    });
+    assert_eq!(c1.list_conns().expect("list again").len(), 1);
+    server.shutdown();
+}

@@ -1,0 +1,419 @@
+//! Protocol property tests and the corrupt-input suite.
+//!
+//! Pure codec — no sockets, no threads — so the whole file runs under
+//! Miri (see the sanitizers CI job). Two properties are pinned:
+//!
+//! 1. **Round-trip**: every frame the encoder can produce decodes back to
+//!    an equal frame (and the length prefix exactly covers the body).
+//! 2. **Totality**: the decoder never panics. Truncations, oversized
+//!    length prefixes, bad versions, garbage opcodes, bit flips, and
+//!    arbitrary random bytes all produce `Err` (or a valid frame, for
+//!    lucky flips) — never a crash or an unbounded allocation.
+
+use rand::{Rng, SeedableRng, StdRng};
+use tenantdb_cluster::ClusterError;
+use tenantdb_cluster::{ReadPolicy, WritePolicy};
+use tenantdb_net::wire::{Frame, ReadPref, WireError, WritePref, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use tenantdb_net::ConnInfo;
+use tenantdb_sql::{QueryResult, SqlError};
+use tenantdb_storage::{StorageError, TxnId, Value};
+
+/// Iteration budget: Miri runs ~two orders of magnitude slower, so shrink
+/// the loop counts there while keeping native runs thorough.
+const CASES: usize = if cfg!(miri) { 8 } else { 400 };
+
+fn rand_string(rng: &mut StdRng, max: usize) -> String {
+    let n = rng.gen_range(0..=max);
+    (0..n)
+        .map(|_| {
+            // Mix ASCII with multi-byte code points to stress UTF-8 paths.
+            match rng.gen_range(0..4u32) {
+                0 => 'é',
+                1 => '表',
+                _ => (b'a' + (rng.gen_range(0..26u32) as u8)) as char,
+            }
+        })
+        .collect()
+}
+
+fn rand_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..5u32) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen::<i64>()),
+        3 => Value::Float(f64::from_bits(rng.gen::<u64>())),
+        _ => Value::Text(rand_string(rng, 12)),
+    }
+}
+
+/// A float whose PartialEq is well-behaved (NaN payloads are exercised by
+/// a dedicated bit-level test in the unit suite).
+fn rand_finite_value(rng: &mut StdRng) -> Value {
+    match rand_value(rng) {
+        Value::Float(f) if f.is_nan() => Value::Float(0.25),
+        v => v,
+    }
+}
+
+fn rand_storage_error(rng: &mut StdRng) -> StorageError {
+    match rng.gen_range(0..13u32) {
+        0 => StorageError::NoSuchDatabase(rand_string(rng, 8)),
+        1 => StorageError::NoSuchTable(rand_string(rng, 8)),
+        2 => StorageError::NoSuchIndex(rand_string(rng, 8)),
+        3 => StorageError::AlreadyExists(rand_string(rng, 8)),
+        4 => StorageError::NoSuchTxn(TxnId(rng.gen::<u64>())),
+        5 => StorageError::InvalidTxnState {
+            txn: TxnId(rng.gen::<u64>()),
+            state: ["active", "prepared", "committed", "aborted"][rng.gen_range(0..4usize)],
+        },
+        6 => StorageError::Deadlock(TxnId(rng.gen::<u64>())),
+        7 => StorageError::LockTimeout(TxnId(rng.gen::<u64>())),
+        8 => StorageError::Unavailable,
+        9 => StorageError::UniqueViolation {
+            table: rand_string(rng, 8),
+            index: rand_string(rng, 8),
+        },
+        10 => StorageError::SchemaMismatch(rand_string(rng, 16)),
+        11 => StorageError::NoSuchRow(rng.gen::<u64>()),
+        _ => StorageError::WriteRejected(rand_string(rng, 8)),
+    }
+}
+
+fn rand_sql_error(rng: &mut StdRng) -> SqlError {
+    match rng.gen_range(0..6u32) {
+        0 => SqlError::Lex(rand_string(rng, 16)),
+        1 => SqlError::Parse(rand_string(rng, 16)),
+        2 => SqlError::Plan(rand_string(rng, 16)),
+        3 => SqlError::Eval(rand_string(rng, 16)),
+        4 => SqlError::Params {
+            expected: rng.gen_range(0..16usize),
+            got: rng.gen_range(0..16usize),
+        },
+        _ => SqlError::Storage(rand_storage_error(rng)),
+    }
+}
+
+fn rand_cluster_error(rng: &mut StdRng) -> ClusterError {
+    match rng.gen_range(0..8u32) {
+        0 => ClusterError::Sql(rand_sql_error(rng)),
+        1 => ClusterError::NoSuchDatabase(rand_string(rng, 8)),
+        2 => ClusterError::NoReplicas(rand_string(rng, 8)),
+        3 => ClusterError::NoMachines,
+        4 => ClusterError::WriteRejected {
+            db: rand_string(rng, 8),
+            table: rand_string(rng, 8),
+        },
+        5 => ClusterError::TxnAborted(rand_string(rng, 24)),
+        6 => ClusterError::NoActiveTxn,
+        _ => ClusterError::AlreadyExists(rand_string(rng, 8)),
+    }
+}
+
+fn rand_query_result(rng: &mut StdRng) -> QueryResult {
+    let ncols = rng.gen_range(0..4usize);
+    let columns: Vec<String> = (0..ncols).map(|_| rand_string(rng, 6)).collect();
+    let nrows = rng.gen_range(0..5usize);
+    let rows = (0..nrows)
+        .map(|_| (0..ncols).map(|_| rand_finite_value(rng)).collect())
+        .collect();
+    let touched = |rng: &mut StdRng| {
+        (0..rng.gen_range(0..3usize))
+            .map(|_| (rand_string(rng, 6), rng.gen::<u64>()))
+            .collect()
+    };
+    QueryResult {
+        columns,
+        rows,
+        rows_affected: rng.gen::<u64>(),
+        touched_reads: touched(rng),
+        touched_writes: touched(rng),
+    }
+}
+
+fn rand_frame(rng: &mut StdRng) -> Frame {
+    match rng.gen_range(0..15u32) {
+        0 => Frame::Hello {
+            version: PROTOCOL_VERSION,
+            db: rand_string(rng, 12),
+            read_pref: [
+                ReadPref::Default,
+                ReadPref::Pinned,
+                ReadPref::PerTransaction,
+                ReadPref::PerOperation,
+            ][rng.gen_range(0..4usize)],
+            write_pref: [
+                WritePref::Default,
+                WritePref::Conservative,
+                WritePref::Aggressive,
+            ][rng.gen_range(0..3usize)],
+        },
+        1 => Frame::HelloOk {
+            version: PROTOCOL_VERSION,
+            read_policy: [
+                ReadPolicy::PinnedReplica,
+                ReadPolicy::PerTransaction,
+                ReadPolicy::PerOperation,
+            ][rng.gen_range(0..3usize)],
+            write_policy: [WritePolicy::Conservative, WritePolicy::Aggressive]
+                [rng.gen_range(0..2usize)],
+        },
+        2 => Frame::Ping {
+            token: rng.gen::<u64>(),
+        },
+        3 => Frame::Pong {
+            token: rng.gen::<u64>(),
+        },
+        4 => Frame::Ok,
+        5 => Frame::Error(rand_cluster_error(rng)),
+        6 => Frame::Query {
+            sql: rand_string(rng, 40),
+            params: (0..rng.gen_range(0..4usize))
+                .map(|_| rand_finite_value(rng))
+                .collect(),
+        },
+        7 => Frame::ResultSet(rand_query_result(rng)),
+        8 => Frame::Execute {
+            sql: rand_string(rng, 40),
+            params: (0..rng.gen_range(0..4usize))
+                .map(|_| rand_finite_value(rng))
+                .collect(),
+        },
+        9 => Frame::Affected {
+            rows: rng.gen::<u64>(),
+        },
+        10 => Frame::Begin,
+        11 => Frame::Commit,
+        12 => Frame::Rollback,
+        13 => Frame::ListConns,
+        _ => Frame::ConnList(
+            (0..rng.gen_range(0..4usize))
+                .map(|_| ConnInfo {
+                    id: rng.gen::<u64>(),
+                    db: rand_string(rng, 8),
+                    peer: rand_string(rng, 16),
+                    in_txn: rng.gen_bool(0.5),
+                    busy: rng.gen_bool(0.5),
+                    idle_ms: rng.gen::<u64>(),
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn body_of(encoded: &[u8]) -> &[u8] {
+    &encoded[4..]
+}
+
+// ------------------------------------------------------------ properties
+
+#[test]
+fn prop_every_frame_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xF0A3);
+    for i in 0..CASES {
+        let frame = rand_frame(&mut rng);
+        let bytes = frame.encode();
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4, "case {i}: prefix covers body");
+        assert!(len as u32 <= MAX_FRAME_LEN, "case {i}: within frame bound");
+        let back = Frame::decode(body_of(&bytes))
+            .unwrap_or_else(|e| panic!("case {i}: decode of own encoding failed: {e} ({frame:?})"));
+        assert_eq!(back, frame, "case {i}");
+    }
+}
+
+#[test]
+fn prop_error_classification_survives_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xE44);
+    for _ in 0..CASES {
+        let err = rand_cluster_error(&mut rng);
+        let bytes = Frame::Error(err.clone()).encode();
+        let Frame::Error(back) = Frame::decode(body_of(&bytes)).unwrap() else {
+            panic!("wrong frame kind");
+        };
+        assert_eq!(back, err);
+        assert_eq!(back.is_deadlock(), err.is_deadlock());
+        assert_eq!(back.is_timeout(), err.is_timeout());
+        assert_eq!(back.is_proactive_rejection(), err.is_proactive_rejection());
+    }
+}
+
+// ------------------------------------------------------- corrupt inputs
+
+#[test]
+fn truncated_frames_error_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0x7125);
+    for _ in 0..CASES.min(64) {
+        let frame = rand_frame(&mut rng);
+        let bytes = frame.encode();
+        let body = body_of(&bytes);
+        // Every proper prefix of the body must fail to decode (the only
+        // exception would be a frame whose payload is a prefix of itself,
+        // which the trailing-bytes check rules out for suffix cuts).
+        for cut in 0..body.len() {
+            match Frame::decode(&body[..cut]) {
+                Err(_) => {}
+                Ok(f) => panic!("prefix of {frame:?} decoded to {f:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(0x9A);
+    for _ in 0..CASES.min(64) {
+        let frame = rand_frame(&mut rng);
+        let mut body = body_of(&frame.encode()).to_vec();
+        body.push(rng.gen::<u8>());
+        assert!(
+            matches!(Frame::decode(&body), Err(WireError::TrailingBytes(_))),
+            "appended byte must trip the trailing-bytes check"
+        );
+    }
+}
+
+#[test]
+fn oversized_length_prefix_rejected_before_allocation() {
+    // A stream claiming a 4-GiB frame must be refused at the header.
+    for len in [MAX_FRAME_LEN + 1, u32::MAX, u32::MAX / 2] {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&[0x05; 16]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            tenantdb_net::wire::read_frame(&mut cursor),
+            Err(WireError::FrameLength(_))
+        ));
+    }
+    // Zero-length frames are equally invalid (no opcode).
+    let mut cursor = std::io::Cursor::new(vec![0u8, 0, 0, 0]);
+    assert!(matches!(
+        tenantdb_net::wire::read_frame(&mut cursor),
+        Err(WireError::FrameLength(0))
+    ));
+}
+
+#[test]
+fn oversized_inner_length_rejected() {
+    // A Query frame whose sql-string length field lies (huge) must error
+    // without trying to reserve that much.
+    let mut body = vec![0x10u8]; // Query opcode
+    body.extend_from_slice(&u32::MAX.to_le_bytes()); // sql length: 4 GiB
+    assert!(Frame::decode(&body).is_err());
+}
+
+#[test]
+fn bad_version_is_detected() {
+    let good = Frame::Hello {
+        version: PROTOCOL_VERSION,
+        db: "app".into(),
+        read_pref: ReadPref::Default,
+        write_pref: WritePref::Default,
+    };
+    let mut body = body_of(&good.encode()).to_vec();
+    // version is the u16 right after the opcode
+    body[1] = 0xFF;
+    body[2] = 0xFF;
+    assert!(matches!(
+        Frame::decode(&body),
+        Err(WireError::BadVersion(0xFFFF))
+    ));
+}
+
+#[test]
+fn garbage_opcode_is_rejected() {
+    for op in 0u8..=255 {
+        let known = matches!(op, 0x01..=0x06 | 0x10..=0x18);
+        let body = [op];
+        match Frame::decode(&body) {
+            Err(WireError::BadOpcode(b)) => {
+                assert_eq!(b, op);
+                assert!(!known, "opcode 0x{op:02x} should be known");
+            }
+            // Known opcodes fail differently (truncated payload) or are
+            // payload-less and succeed.
+            Err(_) | Ok(_) => assert!(known, "opcode 0x{op:02x} should be unknown"),
+        }
+    }
+}
+
+#[test]
+fn bad_utf8_in_string_field_is_rejected() {
+    let good = Frame::Query {
+        sql: "SELECT 1".into(),
+        params: vec![],
+    };
+    let mut body = body_of(&good.encode()).to_vec();
+    // Corrupt a byte inside the sql string (offset: opcode + 4-byte len).
+    body[6] = 0xFF;
+    assert!(matches!(Frame::decode(&body), Err(WireError::BadUtf8)));
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..64usize);
+        let body: Vec<u8> = (0..n).map(|_| rng.gen::<u8>()).collect();
+        let _ = Frame::decode(&body); // must return, not panic
+    }
+}
+
+#[test]
+fn bit_flips_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xF11B);
+    for _ in 0..CASES.min(100) {
+        let frame = rand_frame(&mut rng);
+        let mut body = body_of(&frame.encode()).to_vec();
+        if body.is_empty() {
+            continue;
+        }
+        for _ in 0..4 {
+            let i = rng.gen_range(0..body.len());
+            let bit = rng.gen_range(0..8u32);
+            body[i] ^= 1 << bit;
+        }
+        let _ = Frame::decode(&body); // any outcome but a panic
+    }
+}
+
+#[test]
+fn unknown_txn_state_decodes_to_sentinel() {
+    // InvalidTxnState carries `&'static str`; the wire can only restore
+    // members of the known-state set, anything else maps to "unknown".
+    let err = ClusterError::Sql(SqlError::Storage(StorageError::InvalidTxnState {
+        txn: TxnId(7),
+        state: "active",
+    }));
+    let mut body = body_of(&Frame::Error(err).encode()).to_vec();
+    // Rewrite the state string "active" -> "zctive" (same length).
+    let pos = body.len() - 6;
+    body[pos] = b'z';
+    let Frame::Error(ClusterError::Sql(SqlError::Storage(StorageError::InvalidTxnState {
+        state,
+        ..
+    }))) = Frame::decode(&body).unwrap()
+    else {
+        panic!("wrong decode shape");
+    };
+    assert_eq!(state, "unknown");
+}
+
+#[test]
+fn mid_frame_eof_is_an_error_but_clean_eof_is_none() {
+    let bytes = Frame::Ping { token: 3 }.encode();
+    // Clean EOF before any header byte: None.
+    let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+    assert!(matches!(
+        tenantdb_net::wire::read_frame(&mut empty),
+        Ok(None)
+    ));
+    // EOF after a partial frame: error.
+    for cut in 1..bytes.len() {
+        let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+        assert!(
+            tenantdb_net::wire::read_frame(&mut cursor).is_err(),
+            "cut at {cut} must error"
+        );
+    }
+}

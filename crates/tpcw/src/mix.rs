@@ -17,7 +17,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use tenantdb_cluster::{ClusterError, Connection};
+use tenantdb_cluster::{ClusterError, Transport};
 use tenantdb_storage::Value;
 
 use crate::generator::{IdSpace, Scale};
@@ -209,9 +209,9 @@ pub struct Session {
 /// Execute one interaction as a transaction. On error the connection's
 /// transaction has already been aborted (fatal errors) or is rolled back
 /// here (statement errors).
-pub fn run_txn(
+pub fn run_txn<C: Transport>(
     kind: TxnType,
-    conn: &Connection,
+    conn: &C,
     ids: &IdCounters,
     scale: Scale,
     session: &mut Session,
@@ -243,9 +243,9 @@ fn rand_item_uniform(scale: Scale, rng: &mut StdRng) -> i64 {
     rng.gen_range(0..scale.items.max(1) as i64)
 }
 
-fn run_txn_inner(
+fn run_txn_inner<C: Transport>(
     kind: TxnType,
-    conn: &Connection,
+    conn: &C,
     ids: &IdCounters,
     scale: Scale,
     session: &mut Session,

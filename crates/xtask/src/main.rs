@@ -3,11 +3,11 @@
 //! hygiene rules documented in DESIGN.md §10:
 //!
 //! 1. **raw-lock** — no raw `parking_lot` / `std::sync::{Mutex, RwLock,
-//!    Condvar}` in `crates/cluster/src` or `crates/storage/src` outside the
-//!    `sync.rs` wrapper modules. Every lock in those crates must be an
-//!    ordered wrapper with a declared [`LockClass`] rank so lockdep can
-//!    verify the acquisition order. Escape: `// lint:allow(raw-lock)` on the
-//!    same or the preceding line.
+//!    Condvar}` in `crates/cluster/src`, `crates/storage/src`, or
+//!    `crates/net/src` outside the `sync.rs` wrapper modules. Every lock in
+//!    those crates must be an ordered wrapper with a declared [`LockClass`]
+//!    rank so lockdep can verify the acquisition order. Escape:
+//!    `// lint:allow(raw-lock)` on the same or the preceding line.
 //! 2. **unwrap** — no `.unwrap()` / `.expect(` in cluster hot-path files
 //!    (connection, controller, pool, worker, pair, machine, recovery): a
 //!    panic there poisons nothing (locks are non-poisoning) but silently
@@ -19,8 +19,14 @@
 //!    comment within the four preceding lines stating the invariant that
 //!    justifies it. SeqCst needs no annotation (it is never *wrong*, only
 //!    slow); weaker orderings are claims about the program and must say why.
+//! 4. **net-timeout** — in `crates/net/src`, every `.accept()` and
+//!    `TcpStream::connect` must arm `set_read_timeout` *and*
+//!    `set_write_timeout` on the resulting stream within the next 12 lines:
+//!    a socket that can block forever turns one stalled peer into a wedged
+//!    session thread (or a hung client). Escape:
+//!    `// lint:allow(net-timeout): <reason>` with a non-empty reason.
 //!
-//! All three rules skip `#[cfg(test)]` regions: the repo convention keeps
+//! All four rules skip `#[cfg(test)]` regions: the repo convention keeps
 //! test modules at the bottom of each file, so everything from the first
 //! `#[cfg(test)]` line to EOF is treated as test code.
 //!
@@ -140,8 +146,10 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
 /// workspace root (e.g. `crates/cluster/src/pool.rs`).
 fn lint_file(rel_path: &str, contents: &str) -> Vec<Violation> {
     let check_raw_lock = (rel_path.starts_with("crates/cluster/src/")
-        || rel_path.starts_with("crates/storage/src/"))
+        || rel_path.starts_with("crates/storage/src/")
+        || rel_path.starts_with("crates/net/src/"))
         && !rel_path.ends_with("/sync.rs");
+    let check_net_timeout = rel_path.starts_with("crates/net/src/");
     let check_unwrap = rel_path.starts_with("crates/cluster/src/")
         && HOT_PATH_FILES
             .iter()
@@ -203,6 +211,23 @@ fn lint_file(rel_path: &str, contents: &str) -> Vec<Violation> {
             }
         }
 
+        if check_net_timeout
+            && !is_comment
+            && opens_socket(code)
+            && !reason_escape_nearby(&lines, idx, "net-timeout")
+            && !timeouts_armed_below(&lines, idx)
+        {
+            violations.push(Violation {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule: "net-timeout",
+                message: "socket opened without set_read_timeout + set_write_timeout \
+                          within 12 lines — an unbounded read/write wedges the peer's \
+                          thread (or add // lint:allow(net-timeout): <reason>)"
+                    .to_string(),
+            });
+        }
+
         if !is_comment {
             if let Some(ord) = weak_ordering_in(code) {
                 let annotated =
@@ -258,6 +283,21 @@ fn reason_escape_nearby(lines: &[&str], idx: usize, kind: &str) -> bool {
 
 fn has_marker(line: &str, marker: &str) -> bool {
     line.contains(marker)
+}
+
+/// Does this code (comment-stripped) obtain a fresh socket whose blocking
+/// operations need a bound? `.accept()` yields a server-side stream;
+/// `TcpStream::connect` a client-side one.
+fn opens_socket(code: &str) -> bool {
+    code.contains(".accept()") || code.contains("TcpStream::connect")
+}
+
+/// Both timeouts must be armed within the 12 lines after the socket is
+/// obtained (counting the opening line itself).
+fn timeouts_armed_below(lines: &[&str], idx: usize) -> bool {
+    let window = &lines[idx..(idx + 12).min(lines.len())];
+    window.iter().any(|l| l.contains("set_read_timeout"))
+        && window.iter().any(|l| l.contains("set_write_timeout"))
 }
 
 /// The weak ordering named on this line, if any. SeqCst is exempt.
@@ -359,6 +399,60 @@ mod tests {
     fn seqcst_needs_no_annotation() {
         let src = "c.fetch_add(1, Ordering::SeqCst);\n";
         assert!(rules("crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_lock_flagged_in_net_outside_sync_rs() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(rules("crates/net/src/server.rs", src), vec!["raw-lock"]);
+        assert!(rules("crates/net/src/sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn net_timeout_requires_both_timeouts_after_socket() {
+        let bare = "let (stream, peer) = listener.accept()?;\n";
+        assert_eq!(rules("crates/net/src/server.rs", bare), vec!["net-timeout"]);
+        let read_only = "let stream = TcpStream::connect(addr)?;\n\
+                         stream.set_read_timeout(Some(t))?;\n";
+        assert_eq!(
+            rules("crates/net/src/client.rs", read_only),
+            vec!["net-timeout"]
+        );
+        let both = "let stream = TcpStream::connect(addr)?;\n\
+                    stream.set_read_timeout(Some(t))?;\n\
+                    stream.set_write_timeout(Some(t))?;\n";
+        assert!(rules("crates/net/src/client.rs", both).is_empty());
+    }
+
+    #[test]
+    fn net_timeout_window_is_twelve_lines() {
+        let pad = "let _ = 0;\n".repeat(10);
+        let near = format!(
+            "let s = TcpStream::connect(a)?;\n{pad}s.set_read_timeout(t)?;\n\
+             s.set_write_timeout(t)?;\n"
+        );
+        assert_eq!(
+            rules("crates/net/src/client.rs", &near),
+            vec!["net-timeout"]
+        );
+        let pad9 = "let _ = 0;\n".repeat(9);
+        let inside = format!(
+            "let s = TcpStream::connect(a)?;\n{pad9}s.set_read_timeout(t)?;\n\
+             s.set_write_timeout(t)?;\n"
+        );
+        assert!(rules("crates/net/src/client.rs", &inside).is_empty());
+    }
+
+    #[test]
+    fn net_timeout_escape_requires_reason_and_scope_is_net_only() {
+        let bare = "// lint:allow(net-timeout):\nlet s = listener.accept()?;\n";
+        assert_eq!(rules("crates/net/src/server.rs", bare), vec!["net-timeout"]);
+        let reasoned = "// lint:allow(net-timeout): probe socket, dropped on the next line\n\
+             let s = listener.accept()?;\n";
+        assert!(rules("crates/net/src/server.rs", reasoned).is_empty());
+        // Sockets elsewhere (tests, sim) are out of scope.
+        let src = "let s = TcpStream::connect(a)?;\n";
+        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
     }
 
     #[test]

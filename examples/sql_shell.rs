@@ -7,13 +7,41 @@
 //! plus meta-commands: `\help`, `\dbs`, `\use <db>`, `\metrics`,
 //! `\events [n]`, `\fail <machine>`, `\recover <machine>`, `\quit`.
 //! Pipe a script: `echo 'SELECT 1 FROM t' | cargo run --example sql_shell`.
+//!
+//! The shell also speaks the wire protocol: `\connect host:port [db]`
+//! switches the session to a remote tenantdb server (start one with
+//! `cargo run --bin serve`), `\conns` lists its live sessions, and
+//! `\disconnect` returns to the local in-process cluster. SQL and
+//! transactions work identically either way — both paths are the same
+//! `Transport` trait.
 
 use std::io::{self, BufRead, Write};
 
 use tenantdb::cluster::{
     recover_machine, ClusterConfig, ClusterController, Connection, MachineId, RecoveryConfig,
+    Transport,
 };
+use tenantdb::net::{ConnectOptions, NetClient};
 use tenantdb::storage::Value;
+
+/// The shell's session: in-process or over the wire protocol.
+enum ShellConn {
+    Local(Connection),
+    Remote { client: NetClient, addr: String },
+}
+
+impl ShellConn {
+    fn transport(&self) -> &dyn Transport {
+        match self {
+            ShellConn::Local(c) => c,
+            ShellConn::Remote { client, .. } => client,
+        }
+    }
+
+    fn is_remote(&self) -> bool {
+        matches!(self, ShellConn::Remote { .. })
+    }
+}
 
 fn print_result(r: &tenantdb::sql::QueryResult) {
     if r.columns.is_empty() {
@@ -76,7 +104,7 @@ fn main() {
     }
 
     let mut db = "demo".to_string();
-    let mut conn: Connection = cluster.connect(&db).unwrap();
+    let mut conn = ShellConn::Local(cluster.connect(&db).unwrap());
     println!(
         "tenantdb shell — database '{db}' on a {}-machine cluster",
         3
@@ -85,7 +113,10 @@ fn main() {
 
     let stdin = io::stdin();
     loop {
-        print!("{db}> ");
+        match &conn {
+            ShellConn::Remote { addr, .. } => print!("{db}@{addr}> "),
+            ShellConn::Local(_) => print!("{db}> "),
+        }
         io::stdout().flush().ok();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
@@ -100,27 +131,100 @@ fn main() {
             "\\quit" | "\\q" | "exit" => break,
             "\\help" => {
                 println!("  \\dbs            list databases and their replicas");
-                println!("  \\use <db>       switch database (created if missing)");
+                println!("  \\use <db>       switch database (created if missing locally)");
                 println!("  \\metrics        Prometheus-style dump of the cluster registry");
                 println!("  \\events [n]     last n structured events (default 20)");
                 println!("  \\fail <m>       fail machine m (e.g. \\fail 1)");
                 println!("  \\recover <m>    re-create the replicas machine m lost");
+                println!(
+                    "  \\connect <host:port> [db]  serve over TCP (see `cargo run --bin serve`)"
+                );
+                println!("  \\conns          list the remote server's live sessions");
+                println!("  \\disconnect     return to the local in-process cluster");
                 println!("  BEGIN / COMMIT / ROLLBACK  explicit transactions");
                 println!("  any SQL statement runs against every replica (writes) or one (reads)");
                 continue;
             }
             "\\metrics" => {
-                print!("{}", cluster.metrics().registry().render_text());
+                if conn.is_remote() {
+                    println!("(local-cluster command — \\disconnect first)");
+                } else {
+                    print!("{}", cluster.metrics().registry().render_text());
+                }
                 continue;
             }
             "\\dbs" => {
+                if conn.is_remote() {
+                    println!("(local-cluster command — \\disconnect first)");
+                    continue;
+                }
                 for name in cluster.database_names() {
                     let p = cluster.placement(&name).unwrap();
                     println!("  {name}: replicas {:?}, pinned {}", p.replicas, p.pinned);
                 }
                 continue;
             }
+            "\\conns" => {
+                match &conn {
+                    ShellConn::Remote { client, .. } => match client.list_conns() {
+                        Ok(list) => {
+                            println!(
+                                "  {:<5} {:<14} {:<22} {:<5} {:<5} idle",
+                                "id", "db", "peer", "txn", "busy"
+                            );
+                            for c in &list {
+                                println!(
+                                    "  {:<5} {:<14} {:<22} {:<5} {:<5} {}ms",
+                                    c.id, c.db, c.peer, c.in_txn, c.busy, c.idle_ms
+                                );
+                            }
+                            println!("({} session(s))", list.len());
+                        }
+                        Err(e) => println!("error: {e}"),
+                    },
+                    ShellConn::Local(_) => {
+                        println!("(not connected over TCP — use \\connect host:port first)")
+                    }
+                }
+                continue;
+            }
+            "\\disconnect" => {
+                if conn.is_remote() {
+                    db = "demo".to_string();
+                    conn = ShellConn::Local(cluster.connect(&db).unwrap());
+                    println!("back to the local in-process cluster");
+                } else {
+                    println!("(not connected over TCP)");
+                }
+                continue;
+            }
             _ => {}
+        }
+        if let Some(rest) = input.strip_prefix("\\connect ") {
+            let mut parts = rest.split_whitespace();
+            let addr = parts.next().unwrap_or("").to_string();
+            let target = parts.next().unwrap_or("demo").to_string();
+            match NetClient::connect(addr.as_str(), &target, ConnectOptions::default()) {
+                Ok(client) => {
+                    println!(
+                        "connected to {addr}, database '{target}' ({:?} reads, {:?} writes)",
+                        client.read_policy(),
+                        client.write_policy()
+                    );
+                    db = target;
+                    conn = ShellConn::Remote { client, addr };
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if conn.is_remote()
+            && (input.starts_with("\\events")
+                || input.starts_with("\\fail")
+                || input.starts_with("\\recover"))
+        {
+            println!("(local-cluster command — \\disconnect first)");
+            continue;
         }
         if input == "\\events" || input.starts_with("\\events ") {
             let n = input
@@ -170,6 +274,21 @@ fn main() {
         }
         if let Some(target) = input.strip_prefix("\\use ") {
             let target = target.trim();
+            let remote_addr = match &conn {
+                ShellConn::Remote { addr, .. } => Some(addr.clone()),
+                ShellConn::Local(_) => None,
+            };
+            if let Some(addr) = remote_addr {
+                // Remote: a fresh handshake onto the requested database.
+                match NetClient::connect(addr.as_str(), target, ConnectOptions::default()) {
+                    Ok(client) => {
+                        db = target.to_string();
+                        conn = ShellConn::Remote { client, addr };
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+                continue;
+            }
             if cluster.placement(target).is_err() {
                 if let Err(e) = cluster.create_database(target, 2) {
                     println!("error: {e}");
@@ -178,15 +297,16 @@ fn main() {
                 println!("created database '{target}' (2 replicas)");
             }
             db = target.to_string();
-            conn = cluster.connect(&db).unwrap();
+            conn = ShellConn::Local(cluster.connect(&db).unwrap());
             continue;
         }
         let upper = input.to_ascii_uppercase();
+        let t = conn.transport();
         let result = match upper.as_str() {
-            "BEGIN" => conn.begin().map(|()| None),
-            "COMMIT" => conn.commit().map(|()| None),
-            "ROLLBACK" => conn.rollback().map(|()| None),
-            _ => conn.execute(input, &[] as &[Value]).map(Some),
+            "BEGIN" => t.begin().map(|()| None),
+            "COMMIT" => t.commit().map(|()| None),
+            "ROLLBACK" => t.rollback().map(|()| None),
+            _ => t.execute(input, &[] as &[Value]).map(Some),
         };
         match result {
             Ok(Some(r)) => print_result(&r),

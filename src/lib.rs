@@ -26,12 +26,16 @@
 //!   a closed-loop workload driver.
 //! * [`platform`] — system and colo controllers on top of clusters: the
 //!   `create_database` / `connect` API of §2.
+//! * [`net`] — the serving frontend: versioned binary wire protocol,
+//!   multi-threaded TCP server over the platform, and a blocking native
+//!   client (`cargo run --bin serve`, shell `\connect`).
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the paper-vs-measured record of every table and figure.
 
 pub use tenantdb_cluster as cluster;
 pub use tenantdb_history as history;
+pub use tenantdb_net as net;
 pub use tenantdb_platform as platform;
 pub use tenantdb_sim as sim;
 pub use tenantdb_sla as sla;
