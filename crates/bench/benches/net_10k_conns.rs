@@ -1,0 +1,348 @@
+//! Serving-tier scale scenario: hold 10 000 open connections on one
+//! reactor-based server and measure frame latency under a ping sweep,
+//! then snapshot the numbers — plus quick loopback-overhead probes —
+//! into `BENCH_net.json` at the repo root (machine-readable, stable
+//! keys; `cargo run -p xtask -- bench-check` validates the schema).
+//!
+//! The process fd limit (20 000 on the CI box) cannot hold both the
+//! server's 10k sockets and 10k client sockets, so the client side is
+//! sharded across child processes: the bench re-execs itself with
+//! `--swarm-child <addr> <db> <n>`, each child opens `n` connections,
+//! handshakes them, and then drives ping sweeps on command over a
+//! line-oriented stdin/stdout protocol (`ready` / `ping` → `pong` /
+//! `exit`). Latency is taken from the server's own
+//! `tenantdb_net_frame_latency_us` histogram, so it covers decode →
+//! execute → flush, not child-side scheduling.
+//!
+//! `TENANTDB_BENCH_FAST=1` drops to 1 000 connections and one sweep so
+//! the smoke run stays in seconds.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tenantdb_bench::fast_mode;
+use tenantdb_bench::wire_probe::{
+    time_mix, time_point_select, wire_platform, wire_populate, Unpipelined, WIRE_DB,
+};
+use tenantdb_net::wire::{self, Frame, ReadPref, WritePref, PROTOCOL_VERSION};
+use tenantdb_net::{ConnectOptions, NetClient, Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--swarm-child") {
+        let addr = args.get(2).expect("child addr");
+        let db = args.get(3).expect("child db");
+        let n: usize = args.get(4).expect("child conn count").parse().expect("n");
+        swarm_child(addr, db, n);
+        return;
+    }
+    parent();
+}
+
+// ---------------------------------------------------------------------------
+// Child: open `n` connections, handshake, ping them all on command.
+// ---------------------------------------------------------------------------
+
+fn swarm_child(addr: &str, db: &str, n: usize) {
+    let mut conns = Vec::with_capacity(n);
+    for _ in 0..n {
+        // The accept queue can overflow while ten children connect at
+        // once; a short retry rides out transient refusals.
+        let mut stream = connect_retry(addr);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        let _ = stream.set_nodelay(true);
+        wire::write_frame(
+            &mut stream,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                db: db.to_string(),
+                read_pref: ReadPref::Default,
+                write_pref: WritePref::Default,
+            },
+        )
+        .expect("hello");
+        match wire::read_frame(&mut stream).expect("handshake reply") {
+            Some(Frame::HelloOk { .. }) => conns.push(stream),
+            other => panic!("handshake rejected: {other:?}"),
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "ready {}", conns.len()).expect("stdout");
+    out.flush().expect("stdout flush");
+
+    let stdin = std::io::stdin();
+    let mut token = 0u64;
+    for line in stdin.lock().lines() {
+        match line.expect("stdin").trim() {
+            "ping" => {
+                for stream in &mut conns {
+                    token += 1;
+                    wire::write_frame(stream, &Frame::Ping { token }).expect("ping");
+                    match wire::read_frame(stream).expect("pong") {
+                        Some(Frame::Pong { token: t }) if t == token => {}
+                        other => panic!("expected pong, got {other:?}"),
+                    }
+                }
+                writeln!(out, "pong {}", conns.len()).expect("stdout");
+                out.flush().expect("stdout flush");
+            }
+            "exit" => break,
+            other => panic!("unknown swarm command {other:?}"),
+        }
+    }
+}
+
+fn connect_retry(addr: &str) -> TcpStream {
+    let mut last = None;
+    for _ in 0..50 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    panic!("connect failed after retries: {:?}", last);
+}
+
+// ---------------------------------------------------------------------------
+// Parent: loopback probes, then the swarm scenario, then BENCH_net.json.
+// ---------------------------------------------------------------------------
+
+struct Loopback {
+    ping_ns: f64,
+    ping_pipelined_per_frame_ns: f64,
+    per_statement_overhead_ns: f64,
+    per_txn_overhead_unpipelined_ns: f64,
+    per_txn_overhead_batched_ns: f64,
+}
+
+struct Swarm {
+    target_connections: usize,
+    held_connections: i64,
+    ping_rounds: usize,
+    frames_total: u64,
+    frame_latency_us_p50: f64,
+    frame_latency_us_p99: f64,
+    connect_seconds: f64,
+}
+
+fn parent() {
+    println!("# net_10k_conns — serving-tier scale scenario + BENCH_net.json snapshot");
+    let loopback = loopback_probes();
+    let swarm = swarm_scenario();
+    write_json(&loopback, &swarm);
+}
+
+/// Quick single-client probes on a dedicated server: the per-request
+/// floor and the per-statement / per-txn overheads at modest op counts
+/// (the authoritative deep-dive lives in `micro_wire_overhead`).
+fn loopback_probes() -> Loopback {
+    let (pw, po) = if fast_mode() {
+        (200, 2_000)
+    } else {
+        (500, 8_000)
+    };
+    let (mw, mo) = if fast_mode() {
+        (100, 1_000)
+    } else {
+        (300, 3_000)
+    };
+
+    let (system, scale) = wire_platform();
+    let counters = wire_populate(&system, scale);
+    let in_process_conn = system.connect(WIRE_DB, (0.0, 0.0)).expect("connect");
+    let in_process_stmt = time_point_select(&in_process_conn, pw, po);
+    let in_process_txn = time_mix(&in_process_conn, &counters, scale, mw, mo);
+
+    let (system, scale) = wire_platform();
+    let counters = wire_populate(&system, scale);
+    let server = Server::start("127.0.0.1:0", Arc::clone(&system), ServerConfig::default())
+        .expect("bind server");
+    let client = NetClient::connect(server.local_addr(), WIRE_DB, ConnectOptions::default())
+        .expect("connect");
+
+    let mut token = 0u64;
+    let ping_ns = tenantdb_bench::wire_probe::time_fixed(pw, po, || {
+        token += 1;
+        client.ping(token).expect("ping");
+    });
+    let pipelined_ns = tenantdb_bench::wire_probe::time_fixed(pw / 4, po / 4, || {
+        client.ping_pipelined(16).expect("pipelined ping");
+    }) / 16.0;
+    let tcp_stmt = time_point_select(&client, pw, po);
+    let tcp_unpipelined = time_mix(&Unpipelined(&client), &counters, scale, mw, mo);
+    let tcp_batched = time_mix(&client, &counters, scale, mw, mo);
+    server.shutdown();
+
+    let l = Loopback {
+        ping_ns,
+        ping_pipelined_per_frame_ns: pipelined_ns,
+        per_statement_overhead_ns: tcp_stmt - in_process_stmt,
+        per_txn_overhead_unpipelined_ns: tcp_unpipelined - in_process_txn,
+        per_txn_overhead_batched_ns: tcp_batched - in_process_txn,
+    };
+    println!(
+        "loopback: ping {:.0} ns, pipelined {:.0} ns/frame, stmt overhead {:.0} ns, \
+         txn overhead {:.0} ns unpipelined / {:.0} ns batched",
+        l.ping_ns,
+        l.ping_pipelined_per_frame_ns,
+        l.per_statement_overhead_ns,
+        l.per_txn_overhead_unpipelined_ns,
+        l.per_txn_overhead_batched_ns
+    );
+    l
+}
+
+fn swarm_scenario() -> Swarm {
+    // 10 children x 1000 conns; the fd limit (20k soft AND hard here)
+    // cannot hold server + client sockets in one process.
+    let (children_n, per_child, rounds) = if fast_mode() {
+        (4usize, 250usize, 1usize)
+    } else {
+        (10usize, 1_000usize, 3usize)
+    };
+    let target = children_n * per_child;
+
+    let (system, _scale) = wire_platform();
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&system),
+        ServerConfig {
+            max_connections: target + 500,
+            // The swarm idles between sweeps; keep the reaper away.
+            idle_timeout: Duration::from_secs(600),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr().to_string();
+
+    println!("connecting {target} conns ({children_n} children x {per_child})...");
+    let t0 = Instant::now();
+    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = Vec::new();
+    for _ in 0..children_n {
+        let exe = std::env::current_exe().expect("current exe");
+        let mut child = Command::new(exe)
+            .args(["--swarm-child", &addr, WIRE_DB, &per_child.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn swarm child");
+        let out = BufReader::new(child.stdout.take().expect("child stdout"));
+        children.push((child, out));
+    }
+    let mut held_by_children = 0usize;
+    for (_, out) in &mut children {
+        held_by_children += expect_line(out, "ready");
+    }
+    let connect_seconds = t0.elapsed().as_secs_f64();
+    println!("{held_by_children} conns up in {connect_seconds:.1} s");
+
+    // Reset latency stats so the histogram covers only the sweep (it is
+    // cumulative; handshake frames are negligible next to the sweeps but
+    // the counter baseline matters for frames_total).
+    let metrics = server.metrics();
+    let hist = metrics.histogram("tenantdb_net_frame_latency_us", &[]);
+    let frames_before = metrics.counter_sum("tenantdb_net_frames_total", &[]);
+    let count_before = hist.count();
+
+    for round in 0..rounds {
+        let t = Instant::now();
+        // Broadcast first so the ten children sweep concurrently.
+        for (child, _) in &mut children {
+            let stdin = child.stdin.as_mut().expect("child stdin");
+            writeln!(stdin, "ping").expect("child ping");
+            stdin.flush().expect("child flush");
+        }
+        let mut acked = 0usize;
+        for (_, out) in &mut children {
+            acked += expect_line(out, "pong");
+        }
+        println!(
+            "sweep {}: {} pings in {:.2} s",
+            round + 1,
+            acked,
+            t.elapsed().as_secs_f64()
+        );
+    }
+
+    let held = metrics.gauge("tenantdb_net_connections", &[]).get();
+    let swarm = Swarm {
+        target_connections: target,
+        held_connections: held,
+        ping_rounds: rounds,
+        frames_total: metrics.counter_sum("tenantdb_net_frames_total", &[]) - frames_before,
+        frame_latency_us_p50: hist.p50(),
+        frame_latency_us_p99: hist.p99(),
+        connect_seconds,
+    };
+    println!(
+        "held {} / {} conns; {} sweep frames ({} total observations); \
+         frame latency p50 {:.0} us, p99 {:.0} us",
+        swarm.held_connections,
+        swarm.target_connections,
+        swarm.frames_total,
+        hist.count() - count_before,
+        swarm.frame_latency_us_p50,
+        swarm.frame_latency_us_p99
+    );
+
+    for (child, _) in &mut children {
+        let stdin = child.stdin.as_mut().expect("child stdin");
+        let _ = writeln!(stdin, "exit");
+        let _ = stdin.flush();
+    }
+    for (mut child, _) in children {
+        let _ = child.wait();
+    }
+    server.shutdown();
+    swarm
+}
+
+/// Read one `"<word> <n>"` line from a child and return `n`.
+fn expect_line(out: &mut BufReader<std::process::ChildStdout>, word: &str) -> usize {
+    let mut line = String::new();
+    out.read_line(&mut line).expect("child line");
+    let mut parts = line.split_whitespace();
+    assert_eq!(parts.next(), Some(word), "child said {line:?}");
+    parts.next().expect("count").parse().expect("count")
+}
+
+/// Hand-rolled JSON writer — key set and nesting are the contract that
+/// `xtask bench-check` verifies, so keep them in sync.
+fn write_json(l: &Loopback, s: &Swarm) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    let json = format!(
+        "{{\n  \"schema\": \"tenantdb-bench-net/v1\",\n  \"fast_mode\": {},\n  \
+         \"loopback\": {{\n    \"ping_ns\": {:.1},\n    \"ping_pipelined_per_frame_ns\": {:.1},\n    \
+         \"per_statement_overhead_ns\": {:.1},\n    \"per_txn_overhead_unpipelined_ns\": {:.1},\n    \
+         \"per_txn_overhead_batched_ns\": {:.1}\n  }},\n  \
+         \"conns_10k\": {{\n    \"target_connections\": {},\n    \"held_connections\": {},\n    \
+         \"ping_rounds\": {},\n    \"frames_total\": {},\n    \"frame_latency_us_p50\": {:.1},\n    \
+         \"frame_latency_us_p99\": {:.1},\n    \"connect_seconds\": {:.2}\n  }}\n}}\n",
+        fast_mode(),
+        l.ping_ns,
+        l.ping_pipelined_per_frame_ns,
+        l.per_statement_overhead_ns,
+        l.per_txn_overhead_unpipelined_ns,
+        l.per_txn_overhead_batched_ns,
+        s.target_connections,
+        s.held_connections,
+        s.ping_rounds,
+        s.frames_total,
+        s.frame_latency_us_p50,
+        s.frame_latency_us_p99,
+        s.connect_seconds,
+    );
+    std::fs::write(path, &json).expect("write BENCH_net.json");
+    println!("wrote {path}");
+}

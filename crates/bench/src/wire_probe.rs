@@ -1,0 +1,130 @@
+//! Shared pieces for the serving-tier benches (`micro_wire_overhead`,
+//! `net_10k_conns`): a TPC-W platform factory, fixed-op timers, and the
+//! statement-at-a-time transport wrapper used for wire-discipline A/Bs.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tenantdb_cluster::Transport;
+use tenantdb_net::NetClient;
+use tenantdb_platform::{CreateOptions, PlatformConfig, SystemController};
+use tenantdb_storage::Value;
+use tenantdb_tpcw::{run_txn, IdCounters, Scale, Session, BROWSING};
+
+use crate::fast_mode;
+
+/// Database name used by the wire benches.
+pub const WIRE_DB: &str = "shop";
+
+/// Forces the statement-at-a-time wire discipline: delegates everything
+/// except `execute_batch`, which falls back to the trait default (begin +
+/// N executes + commit, each its own round trip). This is the pre-batch
+/// wire behavior, kept measurable for the A/B.
+pub struct Unpipelined<'a>(pub &'a NetClient);
+
+impl Transport for Unpipelined<'_> {
+    fn begin(&self) -> Result<(), tenantdb_cluster::ClusterError> {
+        Transport::begin(self.0)
+    }
+    fn execute(
+        &self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<tenantdb_sql::QueryResult, tenantdb_cluster::ClusterError> {
+        Transport::execute(self.0, sql, params)
+    }
+    fn commit(&self) -> Result<(), tenantdb_cluster::ClusterError> {
+        Transport::commit(self.0)
+    }
+    fn rollback(&self) -> Result<(), tenantdb_cluster::ClusterError> {
+        Transport::rollback(self.0)
+    }
+    fn in_txn(&self) -> bool {
+        Transport::in_txn(self.0)
+    }
+}
+
+/// A small 2-machine platform with [`WIRE_DB`] created (2 replicas, one
+/// colo). Scale: 200 items (64 under `TENANTDB_BENCH_FAST=1`).
+pub fn wire_platform() -> (Arc<SystemController>, Scale) {
+    let system = SystemController::new(
+        PlatformConfig {
+            clusters_per_colo: 1,
+            machines_per_cluster: 2,
+            ..PlatformConfig::for_tests()
+        },
+        &[("local", (0.0, 0.0))],
+    );
+    system
+        .create_database(
+            WIRE_DB,
+            (0.0, 0.0),
+            CreateOptions {
+                replicas: 2,
+                cross_colo: false,
+                ..CreateOptions::default()
+            },
+        )
+        .expect("create database");
+    let scale = Scale::with_items(if fast_mode() { 64 } else { 200 });
+    (system, scale)
+}
+
+/// Load the TPC-W schema + seed rows into [`WIRE_DB`].
+pub fn wire_populate(system: &Arc<SystemController>, scale: Scale) -> Arc<IdCounters> {
+    let colo = system.primary_colo(WIRE_DB).expect("primary colo");
+    let cluster = system
+        .colo(colo)
+        .expect("colo")
+        .cluster_for(WIRE_DB)
+        .expect("cluster");
+    let ids = tenantdb_tpcw::setup_database(&cluster, WIRE_DB, scale, 7).expect("populate");
+    IdCounters::from_space(ids)
+}
+
+/// Fixed-op timing. Wire-overhead numbers are *differences* between
+/// series, so every series must do identical work: a fixed op count (not
+/// a fixed time window) keeps the seeded interaction stream — and the
+/// table growth its inserts cause — byte-identical across transports.
+pub fn time_fixed(warmup: usize, ops: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..ops {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / ops as f64
+}
+
+/// Time one browsing-mix interaction per op over any transport. The rng
+/// seed is fixed, so every transport sees the same interaction stream.
+pub fn time_mix<C: Transport>(
+    conn: &C,
+    counters: &IdCounters,
+    scale: Scale,
+    warmup: usize,
+    ops: usize,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut session = Session {
+        customer: 1,
+        cart: None,
+    };
+    time_fixed(warmup, ops, || {
+        let kind = BROWSING.pick(&mut rng);
+        run_txn(kind, conn, counters, scale, &mut session, &mut rng).expect("txn");
+    })
+}
+
+/// Time one autocommit point select per op (the per-statement probe).
+pub fn time_point_select<C: Transport>(conn: &C, warmup: usize, ops: usize) -> f64 {
+    time_fixed(warmup, ops, || {
+        conn.execute(
+            "SELECT i_title, i_cost FROM item WHERE i_id = ?",
+            &[Value::Int(1)],
+        )
+        .expect("point select");
+    })
+}

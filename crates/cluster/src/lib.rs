@@ -71,4 +71,4 @@ pub use recovery::{
     create_replica, migrate_replica, recover_machine, CopyGranularity, RecoveryConfig,
     RecoveryReport,
 };
-pub use transport::Transport;
+pub use transport::{BatchMode, BatchStmt, Transport};

@@ -26,6 +26,45 @@ use tenantdb_storage::Value;
 use crate::connection::Connection;
 use crate::error::Result;
 
+/// One statement of a batched execution ([`Transport::execute_batch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStmt {
+    /// The SQL text.
+    pub sql: String,
+    /// Positional `?` parameters.
+    pub params: Vec<Value>,
+}
+
+impl BatchStmt {
+    /// Convenience constructor.
+    pub fn new(sql: impl Into<String>, params: Vec<Value>) -> Self {
+        BatchStmt {
+            sql: sql.into(),
+            params,
+        }
+    }
+}
+
+/// How a batch interacts with the session's transaction state.
+///
+/// The distinction matters for error handling: a mode that *owns* the
+/// commit also owns rollback-on-error, whereas `Statements` leaves a
+/// failed transaction open for the caller to resolve — exactly what
+/// sequential `execute` calls would have done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Run in the session's current context: inside the open transaction
+    /// if there is one, auto-committed per statement otherwise. On error
+    /// any open transaction is left open (the caller rolls back).
+    Statements,
+    /// Run inside the already-open transaction, then commit it. A
+    /// statement error rolls the transaction back before returning.
+    FinishTxn,
+    /// `begin`, the statements, `commit` — a whole transaction in one
+    /// call. A statement error rolls back before returning.
+    WholeTxn,
+}
+
 /// One SQL session: explicit transactions plus statement execution.
 ///
 /// Mirrors the in-process [`Connection`] API (the paper's "JDBC
@@ -44,6 +83,38 @@ pub trait Transport {
     /// True while an explicit transaction is open (best-effort for remote
     /// transports: the client's view, not a server round-trip).
     fn in_txn(&self) -> bool;
+
+    /// Execute a run of statements as one unit. The default implementation
+    /// is sequential and local; remote transports override it to ship the
+    /// whole batch in a single wire frame (statement pipelining — the
+    /// per-statement round trip is the dominant serving-tier cost).
+    ///
+    /// Statements run strictly in order on this session. On the first
+    /// statement error the batch stops and the error is returned; whether
+    /// the transaction is rolled back is governed by `mode` (see
+    /// [`BatchMode`]). A commit failure in the commit-owning modes is
+    /// returned as-is — commit resolves the transaction either way.
+    fn execute_batch(&self, stmts: &[BatchStmt], mode: BatchMode) -> Result<Vec<QueryResult>> {
+        if mode == BatchMode::WholeTxn {
+            self.begin()?;
+        }
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            match self.execute(&s.sql, &s.params) {
+                Ok(r) => out.push(r),
+                Err(e) => {
+                    if mode != BatchMode::Statements && self.in_txn() {
+                        let _ = self.rollback();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if mode != BatchMode::Statements {
+            self.commit()?;
+        }
+        Ok(out)
+    }
 }
 
 impl Transport for Connection {
@@ -94,5 +165,92 @@ mod tests {
         .unwrap();
         let conn = c.connect("app").unwrap();
         roundtrip(&conn);
+    }
+
+    fn batch_fixture() -> (std::sync::Arc<ClusterController>, String) {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        c.create_database("app", 2).unwrap();
+        c.ddl(
+            "app",
+            "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+        )
+        .unwrap();
+        (c, "app".to_string())
+    }
+
+    #[test]
+    fn whole_txn_batch_commits_atomically() {
+        let (c, db) = batch_fixture();
+        let conn = c.connect(&db).unwrap();
+        let results = conn
+            .execute_batch(
+                &[
+                    BatchStmt::new("INSERT INTO t VALUES (?, ?)", vec![1.into(), "a".into()]),
+                    BatchStmt::new("INSERT INTO t VALUES (?, ?)", vec![2.into(), "b".into()]),
+                    BatchStmt::new("SELECT COUNT(*) FROM t", vec![]),
+                ],
+                BatchMode::WholeTxn,
+            )
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[2].rows[0][0], Value::from(2i64));
+        assert!(!conn.in_txn());
+    }
+
+    #[test]
+    fn whole_txn_batch_rolls_back_on_statement_error() {
+        let (c, db) = batch_fixture();
+        let conn = c.connect(&db).unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'a')", &[]).unwrap();
+        let err = conn
+            .execute_batch(
+                &[
+                    BatchStmt::new("INSERT INTO t VALUES (?, ?)", vec![2.into(), "b".into()]),
+                    // Duplicate key: fails mid-batch.
+                    BatchStmt::new("INSERT INTO t VALUES (?, ?)", vec![1.into(), "dup".into()]),
+                ],
+                BatchMode::WholeTxn,
+            )
+            .unwrap_err();
+        assert!(!conn.in_txn(), "batch error must resolve the txn: {err}");
+        let r = conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::from(1i64), "row 2 rolled back");
+    }
+
+    #[test]
+    fn finish_txn_batch_commits_earlier_work() {
+        let (c, db) = batch_fixture();
+        let conn = c.connect(&db).unwrap();
+        conn.begin().unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'a')", &[]).unwrap();
+        conn.execute_batch(
+            &[BatchStmt::new(
+                "INSERT INTO t VALUES (?, ?)",
+                vec![2.into(), "b".into()],
+            )],
+            BatchMode::FinishTxn,
+        )
+        .unwrap();
+        assert!(!conn.in_txn());
+        let r = conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::from(2i64));
+    }
+
+    #[test]
+    fn statements_batch_leaves_txn_open_on_error() {
+        let (c, db) = batch_fixture();
+        let conn = c.connect(&db).unwrap();
+        conn.begin().unwrap();
+        let _ = conn
+            .execute_batch(
+                &[BatchStmt::new("SELECT nope FROM missing", vec![])],
+                BatchMode::Statements,
+            )
+            .unwrap_err();
+        assert!(
+            conn.in_txn(),
+            "Statements mode leaves the txn to the caller"
+        );
+        conn.rollback().unwrap();
     }
 }

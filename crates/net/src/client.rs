@@ -14,12 +14,12 @@
 //! die, and re-syncing a byte stream with lost framing is not possible.
 
 use std::fmt;
-use std::io::{self, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::thread;
 use std::time::Duration;
 
-use tenantdb_cluster::{ClusterError, ReadPolicy, Transport, WritePolicy};
+use tenantdb_cluster::{BatchMode, BatchStmt, ClusterError, ReadPolicy, Transport, WritePolicy};
 use tenantdb_sql::QueryResult;
 use tenantdb_storage::Value;
 
@@ -36,6 +36,15 @@ pub enum NetError {
     /// The server executed the request and reported a database error —
     /// the round-tripped [`ClusterError`], classification intact.
     Server(ClusterError),
+    /// A batched execute failed at statement `index` (`stmts.len()` means
+    /// the implicit commit). The error classification rides along intact.
+    Batch {
+        /// Zero-based index of the failing statement within the batch;
+        /// `stmts.len()` when the implicit commit itself failed.
+        index: u32,
+        /// The server-reported error for that statement.
+        error: ClusterError,
+    },
     /// The connection was already broken by an earlier transport failure.
     Broken,
 }
@@ -46,6 +55,9 @@ impl fmt::Display for NetError {
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
             NetError::Server(e) => write!(f, "server error: {e}"),
+            NetError::Batch { index, error } => {
+                write!(f, "batch failed at statement {index}: {error}")
+            }
             NetError::Broken => f.write_str("connection broken by earlier failure"),
         }
     }
@@ -105,12 +117,21 @@ impl Default for ConnectOptions {
 }
 
 struct ClientInner {
+    /// Write half (writes go straight to the socket; replies can arrive
+    /// while a pipelined burst is still being written).
     stream: TcpStream,
+    /// Buffered read half (a `try_clone` of the same socket): one `read`
+    /// syscall typically pulls a whole reply — or a whole pipelined burst
+    /// of replies — instead of three reads per frame.
+    reader: BufReader<TcpStream>,
     /// Client's view of transaction state: begin acknowledged, no
     /// commit/rollback since.
     in_txn: bool,
     /// Set on the first transport failure; fails every later call fast.
     broken: bool,
+    /// Sequence counter tagging batch frames, so a batch reply can be
+    /// matched to its request even with other frames pipelined around it.
+    next_seq: u32,
 }
 
 /// A blocking connection to a [`crate::Server`], bound to one database.
@@ -174,19 +195,24 @@ impl NetClient {
                 read_policy,
                 write_policy,
                 ..
-            }) => Ok(NetClient {
-                inner: Mutex::new(
-                    &NET_CLIENT,
-                    ClientInner {
-                        stream,
-                        in_txn: false,
-                        broken: false,
-                    },
-                ),
-                db: db.to_string(),
-                read_policy,
-                write_policy,
-            }),
+            }) => {
+                let reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
+                Ok(NetClient {
+                    inner: Mutex::new(
+                        &NET_CLIENT,
+                        ClientInner {
+                            stream,
+                            reader,
+                            in_txn: false,
+                            broken: false,
+                            next_seq: 0,
+                        },
+                    ),
+                    db: db.to_string(),
+                    read_policy,
+                    write_policy,
+                })
+            }
             Some(Frame::Error(e)) => Err(NetError::Server(e)),
             Some(other) => Err(NetError::Wire(WireError::UnexpectedFrame(other.kind()))),
             None => Err(NetError::Io(io::Error::new(
@@ -222,9 +248,17 @@ impl NetClient {
         if inner.broken {
             return Err(NetError::Broken);
         }
+        Self::roundtrip_bytes(inner, &frame.encode())
+    }
+
+    /// Like [`NetClient::roundtrip`] but for a request already encoded by
+    /// one of the borrow-based `wire::encode_*_request` helpers — the hot
+    /// paths skip building an owned [`Frame`] (and the clones that takes).
+    /// Callers must check `inner.broken` first.
+    fn roundtrip_bytes(inner: &mut ClientInner, bytes: &[u8]) -> NetResult<Frame> {
         let r = (|| -> NetResult<Frame> {
-            wire::write_frame(&mut inner.stream, frame)?;
-            match wire::read_frame(&mut inner.stream)? {
+            inner.stream.write_all(bytes).map_err(NetError::Io)?;
+            match wire::read_frame(&mut inner.reader)? {
                 Some(f) => Ok(f),
                 None => Err(NetError::Io(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -255,10 +289,13 @@ impl NetClient {
 
     /// Execute one SQL statement and return the full result set.
     pub fn execute(&self, sql: &str, params: &[Value]) -> NetResult<QueryResult> {
-        let reply = self.request(&Frame::Query {
-            sql: sql.to_string(),
-            params: params.to_vec(),
-        })?;
+        let bytes = wire::encode_stmt_request(sql, params, false);
+        let mut inner = self.inner.lock();
+        if inner.broken {
+            return Err(NetError::Broken);
+        }
+        let reply = Self::roundtrip_bytes(&mut inner, &bytes)?;
+        drop(inner);
         match reply {
             Frame::ResultSet(r) => Ok(r),
             Frame::Error(e) => Err(NetError::Server(e)),
@@ -270,10 +307,13 @@ impl NetClient {
     /// result rows and replies with just the affected-row count (cheaper
     /// on the wire than [`NetClient::execute`] for DML).
     pub fn execute_affected(&self, sql: &str, params: &[Value]) -> NetResult<u64> {
-        let reply = self.request(&Frame::Execute {
-            sql: sql.to_string(),
-            params: params.to_vec(),
-        })?;
+        let bytes = wire::encode_stmt_request(sql, params, true);
+        let mut inner = self.inner.lock();
+        if inner.broken {
+            return Err(NetError::Broken);
+        }
+        let reply = Self::roundtrip_bytes(&mut inner, &bytes)?;
+        drop(inner);
         match reply {
             Frame::Affected { rows } => Ok(rows),
             Frame::Error(e) => Err(NetError::Server(e)),
@@ -340,7 +380,7 @@ impl NetClient {
             }
             inner.stream.flush()?;
             for token in 0..n {
-                match wire::read_frame(&mut inner.stream)? {
+                match wire::read_frame(&mut inner.reader)? {
                     Some(Frame::Pong { token: t }) if t == token => {}
                     Some(Frame::Pong { .. }) => {
                         return Err(NetError::Wire(WireError::UnexpectedFrame("pong order")))
@@ -357,6 +397,108 @@ impl NetClient {
                 }
             }
             Ok(())
+        })();
+        if r.is_err() {
+            inner.broken = true;
+            inner.in_txn = false;
+        }
+        r
+    }
+
+    /// Execute a batch of statements in **one** wire round-trip.
+    ///
+    /// This is the flat-RTT path the serving tier exists for: with
+    /// [`BatchMode::WholeTxn`] the whole transaction body (implicit
+    /// `BEGIN` … `COMMIT`) crosses the wire as a single `Batch` frame and
+    /// comes back as a single `BatchOk` — per-transaction network
+    /// overhead stops scaling with statement count. Semantics match the
+    /// in-process [`Transport::execute_batch`] exactly (same statement
+    /// results, same error, same transaction state afterwards); the e2e
+    /// suite asserts byte-identical TPC-W results across the two paths.
+    ///
+    /// On a statement failure the error arrives as [`NetError::Batch`]
+    /// with the zero-based index of the failing statement
+    /// (`stmts.len()` = the implicit commit failed). In `WholeTxn` and
+    /// `FinishTxn` modes the server has already rolled back; in
+    /// `Statements` mode the transaction (if any) is left open for the
+    /// caller to roll back, mirroring the in-process contract.
+    pub fn execute_batch(
+        &self,
+        stmts: &[BatchStmt],
+        mode: BatchMode,
+    ) -> NetResult<Vec<QueryResult>> {
+        let mut inner = self.inner.lock();
+        if inner.broken {
+            return Err(NetError::Broken);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq = inner.next_seq.wrapping_add(1);
+        let reply =
+            Self::roundtrip_bytes(&mut inner, &wire::encode_batch_request(seq, mode, stmts));
+        // Finishing modes resolve the transaction either way (commit on
+        // success, server-side rollback on failure). Statements mode
+        // leaves the client's view untouched.
+        if mode != BatchMode::Statements && !inner.broken {
+            inner.in_txn = false;
+        }
+        match reply? {
+            Frame::BatchOk { seq: s, results } if s == seq => Ok(results),
+            Frame::BatchErr {
+                seq: s,
+                index,
+                error,
+            } if s == seq => Err(NetError::Batch { index, error }),
+            Frame::BatchOk { .. } | Frame::BatchErr { .. } => {
+                inner.broken = true; // reply for a batch we never sent
+                inner.in_txn = false;
+                Err(NetError::Wire(WireError::UnexpectedFrame("batch seq")))
+            }
+            Frame::Error(e) => Err(NetError::Server(e)),
+            other => Err(NetError::Wire(WireError::UnexpectedFrame(other.kind()))),
+        }
+    }
+
+    /// Issue-ahead pipelining: write all statements back-to-back, then
+    /// read the replies in order (protocol v2 guarantees the k-th reply
+    /// answers the k-th request). Unlike [`NetClient::execute_batch`] the
+    /// statements have *individual* results and failures — a failed
+    /// statement does not stop the later ones, which have already been
+    /// sent. Use inside an explicit transaction when statements are
+    /// independent; use `execute_batch` when all-or-nothing is wanted.
+    pub fn execute_pipelined(
+        &self,
+        stmts: &[BatchStmt],
+    ) -> NetResult<Vec<Result<QueryResult, ClusterError>>> {
+        let mut inner = self.inner.lock();
+        if inner.broken {
+            return Err(NetError::Broken);
+        }
+        let r = (|| -> NetResult<Vec<Result<QueryResult, ClusterError>>> {
+            for s in stmts {
+                // Batch the writes: encode straight to the socket without
+                // the per-frame flush of write_frame.
+                inner
+                    .stream
+                    .write_all(&wire::encode_stmt_request(&s.sql, &s.params, false))?;
+            }
+            inner.stream.flush()?;
+            let mut out = Vec::with_capacity(stmts.len());
+            for _ in stmts {
+                match wire::read_frame(&mut inner.reader)? {
+                    Some(Frame::ResultSet(r)) => out.push(Ok(r)),
+                    Some(Frame::Error(e)) => out.push(Err(e)),
+                    Some(other) => {
+                        return Err(NetError::Wire(WireError::UnexpectedFrame(other.kind())))
+                    }
+                    None => {
+                        return Err(NetError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed mid-pipeline",
+                        )))
+                    }
+                }
+            }
+            Ok(out)
         })();
         if r.is_err() {
             inner.broken = true;
@@ -383,6 +525,7 @@ impl NetClient {
 fn to_cluster(e: NetError) -> ClusterError {
     match e {
         NetError::Server(e) => e,
+        NetError::Batch { error, .. } => error,
         other => ClusterError::TxnAborted(format!("network: {other}")),
     }
 }
@@ -406,5 +549,16 @@ impl Transport for NetClient {
 
     fn in_txn(&self) -> bool {
         NetClient::in_txn(self)
+    }
+
+    /// Over TCP a batch is ONE round-trip (a single `Batch` frame), not
+    /// N — this override is where the wire's per-transaction overhead
+    /// collapses from `(N + 2) × RTT` to `1 × RTT`.
+    fn execute_batch(
+        &self,
+        stmts: &[BatchStmt],
+        mode: BatchMode,
+    ) -> Result<Vec<QueryResult>, ClusterError> {
+        NetClient::execute_batch(self, stmts, mode).map_err(to_cluster)
     }
 }

@@ -14,14 +14,19 @@
 //!   and error frames that round-trip
 //!   [`ClusterError`](tenantdb_cluster::ClusterError) so failure
 //!   classification (deadlock vs. SLA rejection) survives the wire.
-//! * [`server`]: per-connection session threads on the cluster's existing
-//!   session lanes, a connection limit with accept-queue backpressure,
-//!   per-request read/write timeouts, idle-connection reaping, and
-//!   graceful shutdown that drains in-flight transactions.
+//! * [`server`]: a readiness-driven event loop — a fixed pool of reactor
+//!   threads (epoll via a std-only syscall shim in [`reactor`]) multiplexes
+//!   every connection, with per-connection state machines for frame
+//!   decode/encode, write coalescing, and an executor pool for blocking
+//!   statement work. The old limits survive as reactor policy: accept
+//!   backpressure at the connection cap, read/write/idle deadlines on a
+//!   timer wheel, slow-reader read-pausing, graceful drain.
 //! * [`client`]: [`NetClient`] — connect with retry/backoff, pipelined
-//!   pings, and an API mirroring the in-process connection. It implements
-//!   [`tenantdb_cluster::Transport`], so the TPC-W driver and the shell
-//!   run unchanged over TCP.
+//!   statements and batched Execute frames (one frame carries a whole
+//!   transaction body), and an API mirroring the in-process connection.
+//!   It implements [`tenantdb_cluster::Transport`], so the TPC-W driver
+//!   and the shell run unchanged over TCP — batched, they run a whole
+//!   transaction in one round-trip.
 //!
 //! ```no_run
 //! use tenantdb_net::{Server, ServerConfig, NetClient, ConnectOptions};
@@ -50,10 +55,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod reactor;
 pub mod server;
 pub mod sync;
+mod sys;
 pub mod wire;
 
 pub use client::{ConnectOptions, NetClient, NetError};
 pub use server::{Server, ServerConfig};
-pub use wire::{ConnInfo, Frame, ReadPref, WireError, WritePref, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use wire::{
+    ConnInfo, Frame, ReadPref, WireError, WritePref, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};

@@ -1,49 +1,78 @@
-//! The TCP serving frontend: a multi-threaded server fronting a
-//! [`SystemController`].
+//! The TCP serving frontend: a readiness-driven (reactor) server fronting
+//! a [`SystemController`].
 //!
-//! One OS thread per connection (sessions are long-lived and mostly idle;
-//! the expensive multiplexing already happens on the cluster's persistent
-//! per-machine worker pools — the serving tier just parks cheap blocked
-//! readers). The accept loop enforces the connection limit *before*
-//! accepting: when `max_connections` sessions are live it stops calling
-//! `accept`, so further clients queue in the OS listen backlog — accept-
-//! queue backpressure, not connection-then-reject.
+//! The paper's serving tier fronts tens of thousands of mostly-idle
+//! small-app connections; one OS thread per connection does not survive
+//! that cardinality. This server multiplexes every connection onto a fixed
+//! pool of *reactor* threads (epoll via [`crate::sys`], level-triggered),
+//! with per-connection state machines for frame decode/encode and a small
+//! *executor* pool for the blocking statement work:
 //!
-//! Lifecycle of a session thread:
+//! * **Reactors** own all socket I/O. On readability they pump bytes into
+//!   the connection's read buffer, decode complete frames, answer `Ping`
+//!   and self-contained read-only units inline when nothing is queued
+//!   ahead (see [`ServerConfig::inline_read_only`]), and hand everything
+//!   else to the executor queue. On writability they flush the
+//!   connection's reply outbox. Registration changes arrive over a
+//!   per-reactor inbox + waker, so the poller needs no locking.
+//! * **Executors** run SQL. One executor owns a connection at a time (the
+//!   `scheduled` flag), pops pending requests strictly in order, executes
+//!   them against the platform connection *without* holding the
+//!   connection's state lock, then appends the encoded reply to the
+//!   outbox and flushes opportunistically — replies are therefore written
+//!   in request order, which is what makes pipelining safe.
+//! * **Write coalescing**: replies accumulate in the outbox and go out in
+//!   as few `write` calls as readiness allows; a reply appended while
+//!   earlier bytes are still queued shares their flush.
+//! * **Deadlines** live on a single timer wheel per reactor
+//!   ([`crate::reactor::TimerWheel`]): handshake/partial-frame read
+//!   deadlines, unflushed-write deadlines, and idle reaping are all lazy
+//!   `(token, generation)` entries — no per-connection timers, no scan of
+//!   10k sessions every tick.
 //!
-//! 1. handshake ([`wire::Frame::Hello`] within the read timeout): resolve
-//!    the database via [`SystemController::connect`], negotiate
-//!    read-routing/write-ack policy, answer `HelloOk`;
-//! 2. request loop: one frame in, one frame out, with per-request read and
-//!    write timeouts on the socket;
-//! 3. teardown (clean close, error, idle reap, or shutdown): deregister
-//!    the session and release its slot. Dropping the platform connection
-//!    rolls back any open transaction — an abrupt client disconnect
-//!    mid-transaction cannot leak locks or a pool lane.
-//!
-//! Graceful shutdown ([`Server::shutdown`]) stops the accept loop, lets
-//! every session finish its in-flight request *and* any open transaction
-//! (sessions only exit at a frame boundary with no transaction open), and
-//! force-closes whatever remains at the drain deadline.
+//! The existing limits are re-expressed as reactor policy: the accept
+//! loop still refuses to `accept` beyond `max_connections` (clients queue
+//! in the OS listen backlog); a connection with too many decoded-but-
+//! unexecuted requests or too large an unflushed outbox has its read
+//! interest paused (slow-reader backpressure) until the executor drains
+//! it; graceful shutdown drains at frame boundaries with no transaction
+//! open, then force-closes at the drain deadline. Dropping the platform
+//! connection still rolls back any open transaction — an abrupt client
+//! disconnect mid-transaction cannot leak locks or a pool lane.
 
-use std::collections::HashMap;
-use std::io::Read;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use tenantdb_cluster::fault::{self, CrashPoint, FaultAction, FaultInjector};
-use tenantdb_cluster::ClusterError;
+use tenantdb_cluster::{BatchMode, BatchStmt, ClusterError};
 use tenantdb_obs::MetricsRegistry;
 use tenantdb_platform::{PlatformConnection, SystemController};
 
-use crate::sync::{Condvar, Mutex, NET_SESSIONS, NET_SLOTS};
-use crate::wire::{self, ConnInfo, Frame, WireError, WireResult, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use crate::reactor::{Event, Poller, TimerEntry, TimerWheel, Token, Waker, WakerRx, READ, WRITE};
+use crate::sync::{
+    Condvar, Mutex, NET_CONN, NET_EXEC_QUEUE, NET_REACTOR_INBOX, NET_SESSIONS, NET_SLOTS,
+};
+use crate::wire::{ConnInfo, Frame, MAX_FRAME_LEN, PROTOCOL_VERSION};
 
-/// How often blocked readers wake to check the shutdown flag.
-const POLL_TICK: Duration = Duration::from_millis(50);
+/// How often the accept loop re-checks the shutdown flag while blocked on
+/// the connection-limit condvar or an empty listen queue.
+const ACCEPT_TICK: Duration = Duration::from_millis(50);
+
+/// Reactor read chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Poller timeout cap once shutdown has begun, so reactors re-check the
+/// drain state promptly even with an empty wheel.
+const DRAIN_TICK: Duration = Duration::from_millis(50);
+
+/// Reserved poller token for the reactor's waker fd.
+const WAKER_TOKEN: Token = 0;
 
 /// Serving-tier tunables.
 #[derive(Debug, Clone)]
@@ -51,19 +80,42 @@ pub struct ServerConfig {
     /// Live-session ceiling; beyond it the accept loop stops accepting
     /// (clients queue in the OS listen backlog).
     pub max_connections: usize,
-    /// Per-request socket read timeout (header byte seen → full frame must
-    /// arrive within this).
+    /// Deadline for a started-but-incomplete inbound frame (and for the
+    /// handshake after accept). Armed on the reactor's timer wheel.
     pub read_timeout: Duration,
-    /// Socket write timeout for reply frames.
+    /// Deadline for unflushed reply bytes: an outbox the peer has not
+    /// drained within this is a dead or hopelessly slow reader — sever.
     pub write_timeout: Duration,
     /// Sessions idle (no frame, not in a transaction) longer than this are
     /// reaped.
     pub idle_timeout: Duration,
-    /// How often the reaper scans for idle sessions.
+    /// Legacy knob from the thread-per-connection server's reap scanner.
+    /// The timer wheel reaps per-connection deadlines directly; this value
+    /// is no longer read, but stays so existing configs keep compiling.
     pub reap_interval: Duration,
     /// How long [`Server::shutdown`] waits for sessions to drain before
     /// force-closing their sockets.
     pub drain_timeout: Duration,
+    /// Number of reactor (I/O) threads. Connections are assigned
+    /// round-robin at accept.
+    pub reactor_threads: usize,
+    /// Number of executor (SQL) threads. Statement execution can block on
+    /// row locks, so this should exceed the core count.
+    pub executor_threads: usize,
+    /// Per-connection cap on decoded-but-unexecuted pipelined requests;
+    /// above it the connection's read interest is paused until the
+    /// executor catches up.
+    pub pipeline_depth: usize,
+    /// Per-connection cap (bytes) on the unflushed reply outbox; above it
+    /// read interest is paused (slow-reader backpressure) until the peer
+    /// drains.
+    pub write_buffer: usize,
+    /// Execute read-only requests (a `SELECT` query, a whole-txn batch of
+    /// only selects) inline on the reactor when nothing is queued ahead,
+    /// skipping the executor handoff. Worst case an inline read waits out
+    /// one bounded S-lock timeout on the reactor; disable under heavy
+    /// cross-session write contention.
+    pub inline_read_only: bool,
 }
 
 impl Default for ServerConfig {
@@ -75,36 +127,187 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(300),
             reap_interval: Duration::from_millis(250),
             drain_timeout: Duration::from_secs(5),
+            reactor_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 4),
+            executor_threads: 4,
+            pipeline_depth: 128,
+            write_buffer: 256 * 1024,
+            inline_read_only: true,
         }
     }
 }
 
-/// One live session's bookkeeping, shared between its thread, the idle
-/// reaper, and `\conns` listings.
-struct SessionState {
-    id: u64,
-    db: String,
-    peer: String,
-    /// A second handle to the socket, used by the reaper and forced
-    /// shutdown to unblock the session thread's read.
-    stream: TcpStream,
-    /// Milliseconds since server start of the last frame activity.
-    last_activity_ms: AtomicU64,
-    /// True while the session thread is executing a request.
-    busy: AtomicBool,
-    conn: PlatformConnection,
+/// Cross-thread request to a reactor, posted to its inbox + waker.
+enum Msg {
+    /// Adopt a freshly accepted connection.
+    Register(Arc<Conn>),
+    /// A partial flush left bytes in the outbox: watch for writability.
+    WriteInterest(Token),
+    /// Backpressure released: re-enable read interest if it was paused.
+    ReadResume(Token),
+    /// Tear the connection down (executor-detected sever).
+    Close(Token),
+    /// Graceful drain: close idle, transaction-free connections now and
+    /// the rest as they reach that state.
+    Shutdown,
+    /// Drain deadline passed: tear down every remaining connection.
+    ForceClose,
 }
 
-impl SessionState {
-    fn touch(&self, shared: &Shared) {
-        self.last_activity_ms
-            .store(shared.now_ms(), Ordering::SeqCst);
+/// A reactor thread's mailbox handle.
+struct ReactorHandle {
+    inbox: Mutex<Vec<Msg>>,
+    waker: Waker,
+}
+
+impl ReactorHandle {
+    fn send(&self, msg: Msg) {
+        self.inbox.lock().push(msg);
+        self.waker.wake();
+    }
+}
+
+/// The executor pool's shared work queue.
+struct ExecQueue {
+    q: Mutex<VecDeque<Arc<Conn>>>,
+    cv: Condvar,
+}
+
+impl ExecQueue {
+    fn push(&self, conn: Arc<Conn>) {
+        self.q.lock().push_back(conn);
+        self.cv.notify_one();
+    }
+}
+
+/// Connection lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Accepted; waiting for (or processing) the `Hello`.
+    Handshake,
+    /// Handshake done; serving requests.
+    Open,
+    /// Torn down; executors drop work for it.
+    Closed,
+}
+
+/// Why a wheel deadline fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeadlineKind {
+    /// Partial inbound frame (or unfinished handshake) overstayed
+    /// `read_timeout`.
+    Read,
+    /// Unflushed outbox overstayed `write_timeout`.
+    Write,
+    /// No activity for `idle_timeout` outside a transaction.
+    Idle,
+}
+
+/// Mutable per-connection state, guarded by the rank-6 `NET_CONN` lock.
+/// SQL never executes under this lock (see module docs).
+struct ConnState {
+    phase: Phase,
+    db: String,
+    /// Established at handshake. Executors clone the Arc out and execute
+    /// without the state lock; the *last* clone to drop rolls back any
+    /// open transaction.
+    platform: Option<Arc<PlatformConnection>>,
+    /// Inbound bytes not yet forming a complete frame.
+    rbuf: Vec<u8>,
+    /// When the current partial frame started (read deadline base).
+    rbuf_since: Option<Instant>,
+    /// Decoded requests awaiting execution, with their arrival instants.
+    pending: VecDeque<(Frame, Instant)>,
+    /// Encoded reply bytes not yet written to the socket.
+    outbox: Vec<u8>,
+    /// When the outbox first became non-empty (write deadline base).
+    outbox_since: Option<Instant>,
+    /// An executor currently owns this connection's pending queue.
+    scheduled: bool,
+    /// True while a request is mid-execution (ConnInfo's `busy`).
+    busy: bool,
+    /// Read interest removed for backpressure.
+    read_paused: bool,
+    /// Poller is watching for writability.
+    write_interest: bool,
+    closing: bool,
+    last_activity: Instant,
+    /// Bumped on every deadline (re-)arm; stale wheel entries are dropped.
+    deadline_gen: u64,
+}
+
+/// One connection: socket plus reactor bookkeeping. The slot guard inside
+/// releases the accept slot when the last `Arc<Conn>` drops.
+struct Conn {
+    id: u64,
+    peer: String,
+    /// Index of the owning reactor in `Shared::reactors`.
+    reactor: usize,
+    sock: Arc<TcpStream>,
+    fd: RawFd,
+    state: Mutex<ConnState>,
+    _slot: SlotGuard,
+}
+
+/// Hot-path metric handles, resolved once at startup. Per-frame
+/// recording goes straight to the atomic — the registry's keyed lookup
+/// (global lock + label-key allocation) is too expensive at
+/// ~100k frames/s and would serialize the reactor threads on one mutex.
+struct HotMetrics {
+    bytes_in: Arc<tenantdb_obs::Counter>,
+    bytes_out: Arc<tenantdb_obs::Counter>,
+    flushes: Arc<tenantdb_obs::Counter>,
+    coalesced: Arc<tenantdb_obs::Counter>,
+    frame_latency: Arc<tenantdb_obs::Histogram>,
+    frames_ping: Arc<tenantdb_obs::Counter>,
+    frames_query: Arc<tenantdb_obs::Counter>,
+    frames_execute: Arc<tenantdb_obs::Counter>,
+    frames_begin: Arc<tenantdb_obs::Counter>,
+    frames_commit: Arc<tenantdb_obs::Counter>,
+    frames_rollback: Arc<tenantdb_obs::Counter>,
+    frames_batch: Arc<tenantdb_obs::Counter>,
+    frames_list_conns: Arc<tenantdb_obs::Counter>,
+}
+
+impl HotMetrics {
+    fn new(m: &MetricsRegistry) -> Self {
+        let frames = |kind| m.counter("tenantdb_net_frames_total", &[("kind", kind)]);
+        HotMetrics {
+            bytes_in: m.counter("tenantdb_net_bytes_in_total", &[]),
+            bytes_out: m.counter("tenantdb_net_bytes_out_total", &[]),
+            flushes: m.counter("tenantdb_net_flushes_total", &[]),
+            coalesced: m.counter("tenantdb_net_coalesced_frames_total", &[]),
+            frame_latency: m.histogram("tenantdb_net_frame_latency_us", &[]),
+            frames_ping: frames("ping"),
+            frames_query: frames("query"),
+            frames_execute: frames("execute"),
+            frames_begin: frames("begin"),
+            frames_commit: frames("commit"),
+            frames_rollback: frames("rollback"),
+            frames_batch: frames("batch"),
+            frames_list_conns: frames("list_conns"),
+        }
     }
 
-    fn idle_ms(&self, shared: &Shared) -> u64 {
-        shared
-            .now_ms()
-            .saturating_sub(self.last_activity_ms.load(Ordering::SeqCst))
+    /// Count one served request frame and its handling latency. Unusual
+    /// kinds (a client sending reply opcodes) fall back to the registry.
+    fn record_frame(&self, m: &MetricsRegistry, kind: &'static str, started: Instant) {
+        match kind {
+            "ping" => self.frames_ping.inc(),
+            "query" => self.frames_query.inc(),
+            "execute" => self.frames_execute.inc(),
+            "begin" => self.frames_begin.inc(),
+            "commit" => self.frames_commit.inc(),
+            "rollback" => self.frames_rollback.inc(),
+            "batch" => self.frames_batch.inc(),
+            "list_conns" => self.frames_list_conns.inc(),
+            other => m
+                .counter("tenantdb_net_frames_total", &[("kind", other)])
+                .inc(),
+        }
+        self.frame_latency.observe_since(started);
     }
 }
 
@@ -112,22 +315,23 @@ struct Shared {
     system: Arc<SystemController>,
     cfg: ServerConfig,
     shutdown: AtomicBool,
+    /// Executors exit when this is set (after the drain).
+    halt: AtomicBool,
     /// Live-session count; condvar waited on by the accept loop
     /// (backpressure) and by graceful shutdown (drain).
     slots: Mutex<usize>,
     slots_cv: Condvar,
-    sessions: Mutex<HashMap<u64, Arc<SessionState>>>,
+    /// Established sessions only (post-handshake), for `\conns`.
+    sessions: Mutex<HashMap<u64, Arc<Conn>>>,
+    reactors: Vec<ReactorHandle>,
+    exec: ExecQueue,
     next_id: AtomicU64,
-    start: Instant,
     metrics: Arc<MetricsRegistry>,
+    hot: HotMetrics,
     faults: Option<Arc<FaultInjector>>,
 }
 
 impl Shared {
-    fn now_ms(&self) -> u64 {
-        self.start.elapsed().as_millis() as u64
-    }
-
     fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
@@ -151,29 +355,17 @@ impl Shared {
                 true
             }
             Some(FaultAction::Delay(d)) => {
+                // lint:allow(reactor-block): fault injection intentionally
+                // stalls the handling thread — that IS the injected fault.
                 thread::sleep(d);
                 false
             }
             None => false,
         }
     }
-
-    fn count_in(&self, bytes: u64) {
-        self.metrics
-            .counter("tenantdb_net_bytes_in_total", &[])
-            .add(bytes);
-    }
-
-    fn write_reply(&self, stream: &mut TcpStream, frame: &Frame) -> WireResult<()> {
-        let n = wire::write_frame(stream, frame)?;
-        self.metrics
-            .counter("tenantdb_net_bytes_out_total", &[])
-            .add(n as u64);
-        Ok(())
-    }
 }
 
-/// Returns the slot on drop, whatever way the session thread exits.
+/// Returns the accept slot on drop, whatever path retires the connection.
 struct SlotGuard(Arc<Shared>);
 
 impl Drop for SlotGuard {
@@ -190,7 +382,8 @@ impl Drop for SlotGuard {
 pub struct Server {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    reaper: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
     local_addr: SocketAddr,
 }
 
@@ -220,70 +413,75 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let metrics = Arc::new(MetricsRegistry::new());
-        metrics.describe(
-            "tenantdb_net_connections",
-            "live TCP sessions on this server",
-        );
-        metrics.describe(
-            "tenantdb_net_connections_total",
-            "TCP sessions ever accepted",
-        );
-        metrics.describe("tenantdb_net_bytes_in_total", "wire bytes received");
-        metrics.describe("tenantdb_net_bytes_out_total", "wire bytes sent");
-        metrics.describe(
-            "tenantdb_net_frames_total",
-            "request frames served, by kind",
-        );
-        metrics.describe(
-            "tenantdb_net_frame_latency_us",
-            "request handling latency (frame decoded to reply written)",
-        );
-        metrics.describe(
-            "tenantdb_net_idle_reaped_total",
-            "sessions closed by the idle reaper",
-        );
-        metrics.describe(
-            "tenantdb_net_handshake_failures_total",
-            "connections that failed the protocol handshake",
-        );
-        metrics.describe(
-            "tenantdb_net_faults_fired_total",
-            "injected net faults that severed a connection, by point",
-        );
+        describe_metrics(&metrics);
+
+        let n_reactors = cfg.reactor_threads.max(1);
+        let n_executors = cfg.executor_threads.max(1);
+
+        let mut handles = Vec::with_capacity(n_reactors);
+        let mut rx_sides = Vec::with_capacity(n_reactors);
+        for _ in 0..n_reactors {
+            let (waker, rx) = Waker::pair()?;
+            handles.push(ReactorHandle {
+                inbox: Mutex::new(&NET_REACTOR_INBOX, Vec::new()),
+                waker,
+            });
+            rx_sides.push(rx);
+        }
 
         let shared = Arc::new(Shared {
             system,
             cfg,
             shutdown: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
             slots: Mutex::new(&NET_SLOTS, 0),
             slots_cv: Condvar::new(),
             sessions: Mutex::new(&NET_SESSIONS, HashMap::new()),
+            reactors: handles,
+            exec: ExecQueue {
+                q: Mutex::new(&NET_EXEC_QUEUE, VecDeque::new()),
+                cv: Condvar::new(),
+            },
+            // Token 0 is the waker; connection ids start at 1.
             next_id: AtomicU64::new(1),
-            start: Instant::now(),
+            hot: HotMetrics::new(&metrics),
             metrics,
             faults,
         });
 
+        let mut reactors = Vec::with_capacity(n_reactors);
+        for (i, rx) in rx_sides.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            reactors.push(
+                thread::Builder::new()
+                    .name(format!("net-reactor-{i}"))
+                    .spawn(move || reactor_loop(shared, i, rx))
+                    .map_err(std::io::Error::other)?,
+            );
+        }
+        let mut executors = Vec::with_capacity(n_executors);
+        for i in 0..n_executors {
+            let shared = Arc::clone(&shared);
+            executors.push(
+                thread::Builder::new()
+                    .name(format!("net-exec-{i}"))
+                    .spawn(move || executor_loop(shared))
+                    .map_err(std::io::Error::other)?,
+            );
+        }
         let accept = {
             let shared = Arc::clone(&shared);
-            let listener_shared = listener;
             thread::Builder::new()
                 .name("net-accept".into())
-                .spawn(move || accept_loop(shared, listener_shared))
-                .expect("spawn accept thread")
-        };
-        let reaper = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("net-reaper".into())
-                .spawn(move || reaper_loop(shared))
-                .expect("spawn reaper thread")
+                .spawn(move || accept_loop(shared, listener))
+                .map_err(std::io::Error::other)?
         };
 
         Ok(Server {
             shared,
             accept: Some(accept),
-            reaper: Some(reaper),
+            reactors,
+            executors,
             local_addr,
         })
     }
@@ -300,7 +498,7 @@ impl Server {
         Arc::clone(&self.shared.metrics)
     }
 
-    /// Number of currently live sessions.
+    /// Number of currently live sessions (including handshaking ones).
     pub fn session_count(&self) -> usize {
         *self.shared.slots.lock()
     }
@@ -322,9 +520,12 @@ impl Server {
     pub fn shutdown_with_deadline(mut self, drain: Duration) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.slots_cv.notify_all();
+        for r in &self.shared.reactors {
+            r.send(Msg::Shutdown);
+        }
 
-        // Drain: sessions exit at their next frame boundary with no open
-        // transaction; each one notifies the slots condvar on its way out.
+        // Drain: connections retire at frame boundaries with no open
+        // transaction; each slot release notifies the condvar.
         let deadline = Instant::now() + drain;
         {
             let mut n = self.shared.slots.lock();
@@ -334,9 +535,9 @@ impl Server {
         }
 
         // Force-close whatever is left (open transactions roll back when
-        // the session thread drops its connection).
-        for s in self.shared.sessions.lock().values() {
-            let _ = s.stream.shutdown(Shutdown::Both);
+        // the last platform-connection handle drops).
+        for r in &self.shared.reactors {
+            r.send(Msg::ForceClose);
         }
         let hard = Instant::now() + Duration::from_secs(2);
         {
@@ -346,10 +547,22 @@ impl Server {
             }
         }
 
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        self.shared.halt.store(true, Ordering::SeqCst);
+        self.shared.exec.cv.notify_all();
+        for r in &self.shared.reactors {
+            r.waker.wake();
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.reaper.take() {
+        for h in self.reactors.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.executors.drain(..) {
             let _ = h.join();
         }
     }
@@ -362,19 +575,66 @@ impl Drop for Server {
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.slots_cv.notify_all();
-        for s in self.shared.sessions.lock().values() {
-            let _ = s.stream.shutdown(Shutdown::Both);
+        for r in &self.shared.reactors {
+            r.send(Msg::ForceClose);
         }
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.reaper.take() {
-            let _ = h.join();
-        }
+        self.join_threads();
     }
 }
 
+fn describe_metrics(metrics: &MetricsRegistry) {
+    metrics.describe(
+        "tenantdb_net_connections",
+        "live TCP sessions on this server",
+    );
+    metrics.describe(
+        "tenantdb_net_connections_total",
+        "TCP sessions ever accepted",
+    );
+    metrics.describe("tenantdb_net_bytes_in_total", "wire bytes received");
+    metrics.describe("tenantdb_net_bytes_out_total", "wire bytes sent");
+    metrics.describe(
+        "tenantdb_net_frames_total",
+        "request frames served, by kind",
+    );
+    metrics.describe(
+        "tenantdb_net_frame_latency_us",
+        "request handling latency (frame decoded to reply written)",
+    );
+    metrics.describe(
+        "tenantdb_net_idle_reaped_total",
+        "sessions closed by the idle deadline",
+    );
+    metrics.describe(
+        "tenantdb_net_handshake_failures_total",
+        "connections that failed the protocol handshake",
+    );
+    metrics.describe(
+        "tenantdb_net_faults_fired_total",
+        "injected net faults that severed a connection, by point",
+    );
+    metrics.describe(
+        "tenantdb_net_flushes_total",
+        "socket flushes that wrote at least one byte",
+    );
+    metrics.describe(
+        "tenantdb_net_coalesced_frames_total",
+        "reply frames that shared a flush with earlier queued bytes",
+    );
+    metrics.describe(
+        "tenantdb_net_read_pauses_total",
+        "times a connection's read interest was paused for backpressure",
+    );
+    metrics.describe(
+        "tenantdb_net_deadline_severs_total",
+        "connections severed by a read/write deadline, by kind",
+    );
+}
+
+// ------------------------------------------------------------------ accept
+
 fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    let mut next_reactor = 0usize;
     loop {
         if shared.is_shutdown() {
             return;
@@ -389,21 +649,15 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
                 }
                 shared
                     .slots_cv
-                    .wait_until(&mut n, Instant::now() + POLL_TICK);
+                    .wait_until(&mut n, Instant::now() + ACCEPT_TICK);
             }
         }
         match listener.accept() {
             Ok((stream, peer)) => {
-                // Arm both socket timeouts before the stream goes anywhere:
-                // reads are re-armed per request, but no socket in this
-                // crate is ever readable or writable without a bound.
-                if stream
-                    .set_read_timeout(Some(shared.cfg.read_timeout))
-                    .is_err()
-                    || stream
-                        .set_write_timeout(Some(shared.cfg.write_timeout))
-                        .is_err()
-                {
+                // Readiness-driven sessions: the socket goes nonblocking
+                // here and every timeout (handshake, partial frame, stuck
+                // writes, idling) is a deadline on the reactor's wheel.
+                if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
                 // Small request/reply frames: Nagle + delayed ACK would
@@ -419,322 +673,1048 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
                     .metrics
                     .counter("tenantdb_net_connections_total", &[])
                     .inc();
-                let shared2 = Arc::clone(&shared);
-                let spawned = thread::Builder::new()
-                    .name(format!("net-session-{peer}"))
-                    .spawn(move || {
-                        let slot = SlotGuard(Arc::clone(&shared2));
-                        session_thread(shared2, stream, peer);
-                        drop(slot);
-                    });
-                if spawned.is_err() {
-                    // Could not spawn: release the slot we took.
-                    *shared.slots.lock() -= 1;
-                    shared.slots_cv.notify_all();
-                    shared.metrics.gauge("tenantdb_net_connections", &[]).dec();
-                }
+                let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+                let reactor = next_reactor % shared.reactors.len();
+                next_reactor = next_reactor.wrapping_add(1);
+                let fd = stream.as_raw_fd();
+                let conn = Arc::new(Conn {
+                    id,
+                    peer: peer.to_string(),
+                    reactor,
+                    sock: Arc::new(stream),
+                    fd,
+                    state: Mutex::new(
+                        &NET_CONN,
+                        ConnState {
+                            phase: Phase::Handshake,
+                            db: String::new(),
+                            platform: None,
+                            rbuf: Vec::new(),
+                            rbuf_since: None,
+                            pending: VecDeque::new(),
+                            outbox: Vec::new(),
+                            outbox_since: None,
+                            scheduled: false,
+                            busy: false,
+                            read_paused: false,
+                            write_interest: false,
+                            closing: false,
+                            last_activity: Instant::now(),
+                            deadline_gen: 0,
+                        },
+                    ),
+                    _slot: SlotGuard(Arc::clone(&shared)),
+                });
+                shared.reactors[reactor].send(Msg::Register(conn));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // lint:allow(reactor-block): dedicated accept thread, not a
+                // reactor — a short nap between empty accept polls.
                 thread::sleep(Duration::from_millis(5));
             }
+            // lint:allow(reactor-block): dedicated accept thread (see above).
             Err(_) => thread::sleep(Duration::from_millis(5)),
         }
     }
 }
 
-fn reaper_loop(shared: Arc<Shared>) {
-    while !shared.is_shutdown() {
-        thread::sleep(shared.cfg.reap_interval.min(POLL_TICK));
-        let idle_ms = shared.cfg.idle_timeout.as_millis() as u64;
-        let mut reaped = 0u64;
-        {
-            let sessions = shared.sessions.lock();
-            for s in sessions.values() {
-                if s.busy.load(Ordering::SeqCst) {
-                    continue;
-                }
-                if s.conn.cluster_connection().in_txn() {
-                    continue; // idle-in-transaction is the txn timeout's job
-                }
-                if s.idle_ms(&shared) > idle_ms {
-                    let _ = s.stream.shutdown(Shutdown::Both);
-                    reaped += 1;
+// ----------------------------------------------------------------- reactor
+
+/// One reactor thread: owns a poller, a timer wheel, and the connections
+/// assigned to it. All poller mutations happen here.
+struct Reactor {
+    shared: Arc<Shared>,
+    idx: usize,
+    poller: Poller,
+    wheel: TimerWheel,
+    conns: HashMap<Token, Arc<Conn>>,
+    waker_rx: WakerRx,
+    /// Read-pump scratch, allocated once — a fresh `[0u8; READ_CHUNK]`
+    /// per readable event would zero 16 KiB on every wake.
+    scratch: Vec<u8>,
+}
+
+fn reactor_loop(shared: Arc<Shared>, idx: usize, waker_rx: WakerRx) {
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    if poller
+        .register(waker_rx.as_raw_fd(), WAKER_TOKEN, READ)
+        .is_err()
+    {
+        return;
+    }
+    let mut r = Reactor {
+        shared,
+        idx,
+        poller,
+        wheel: TimerWheel::new(Instant::now()),
+        conns: HashMap::new(),
+        waker_rx,
+        scratch: vec![0u8; READ_CHUNK],
+    };
+    let mut events: Vec<Event> = Vec::new();
+    let mut fired: Vec<TimerEntry> = Vec::new();
+    loop {
+        if r.shared.is_shutdown() && r.conns.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut timeout = r.wheel.next_timeout(now);
+        if r.shared.is_shutdown() {
+            timeout = Some(timeout.unwrap_or(DRAIN_TICK).min(DRAIN_TICK));
+        }
+        events.clear();
+        if r.poller.wait(&mut events, timeout).is_err() {
+            return;
+        }
+        for ev in events.iter().copied() {
+            if ev.token == WAKER_TOKEN {
+                r.waker_rx.drain();
+                r.drain_inbox();
+                continue;
+            }
+            let Some(conn) = r.conns.get(&ev.token).cloned() else {
+                continue; // already torn down this cycle
+            };
+            if ev.writable {
+                r.conn_writable(&conn);
+            }
+            if ev.readable && r.conns.contains_key(&ev.token) {
+                r.conn_readable(&conn);
+            }
+            if ev.hangup && !ev.readable && r.conns.contains_key(&ev.token) {
+                // Pure error/hangup with nothing to read: tear down now.
+                r.teardown(&conn);
+            }
+        }
+        let now = Instant::now();
+        fired.clear();
+        r.wheel.advance(now, &mut fired);
+        for e in fired.iter().copied() {
+            r.deadline_fired(e, now);
+        }
+        if r.shared.is_shutdown() {
+            // Draining: retire sessions that went quiet since the last
+            // tick (inline-served connections never pass through an
+            // executor, so the executor's drain close can't catch them).
+            r.drain_idle_conns();
+        }
+    }
+}
+
+impl Reactor {
+    fn drain_inbox(&mut self) {
+        loop {
+            // Take the batch out, then release the inbox before touching
+            // any connection state.
+            let msgs = std::mem::take(&mut *self.shared.reactors[self.idx].inbox.lock());
+            if msgs.is_empty() {
+                return;
+            }
+            for msg in msgs {
+                match msg {
+                    Msg::Register(conn) => self.register_conn(conn),
+                    Msg::WriteInterest(t) => self.update_write_interest(t),
+                    Msg::ReadResume(t) => self.resume_read(t),
+                    Msg::Close(t) => {
+                        if let Some(c) = self.conns.get(&t).cloned() {
+                            self.teardown(&c);
+                        }
+                    }
+                    Msg::Shutdown => self.drain_idle_conns(),
+                    Msg::ForceClose => {
+                        for c in self.conns.values().cloned().collect::<Vec<_>>() {
+                            self.teardown(&c);
+                        }
+                    }
                 }
             }
         }
-        if reaped > 0 {
-            shared
-                .metrics
-                .counter("tenantdb_net_idle_reaped_total", &[])
-                .add(reaped);
+    }
+
+    fn register_conn(&mut self, conn: Arc<Conn>) {
+        if self.shared.is_shutdown() {
+            return; // dropping the Arc releases the slot
+        }
+        if self.poller.register(conn.fd, conn.id, READ).is_err() {
+            return;
+        }
+        let now = Instant::now();
+        {
+            let mut st = conn.state.lock();
+            st.last_activity = now;
+            self.arm_deadline(conn.id, &mut st, now);
+        }
+        self.conns.insert(conn.id, conn);
+    }
+
+    /// Readable: pump bytes, decode frames, dispatch.
+    fn conn_readable(&mut self, conn: &Arc<Conn>) {
+        let mut frames: Vec<(Frame, Instant)> = Vec::new();
+        let mut eof = false;
+        let mut severed = false;
+        {
+            let mut st = conn.state.lock();
+            if st.closing || st.read_paused {
+                return;
+            }
+            let chunk = self.scratch.as_mut_slice();
+            let mut total = 0u64;
+            loop {
+                // lint:allow(reactor-block): nonblocking socket; this read
+                // is the readiness-gated pump and returns WouldBlock.
+                match (&*conn.sock).read(chunk) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        st.rbuf.extend_from_slice(&chunk[..n]);
+                        total += n as u64;
+                        if n < chunk.len() {
+                            break; // drained the socket
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+            if total > 0 {
+                self.shared.hot.bytes_in.add(total);
+                st.last_activity = Instant::now();
+            }
+            // Decode every complete frame in the buffer.
+            let now = Instant::now();
+            let mut consumed = 0usize;
+            loop {
+                let buf = &st.rbuf[consumed..];
+                if buf.len() < 4 {
+                    break;
+                }
+                let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+                if len == 0 || len > MAX_FRAME_LEN {
+                    severed = true;
+                    break;
+                }
+                let len = len as usize;
+                if buf.len() < 4 + len {
+                    break;
+                }
+                match Frame::decode(&buf[4..4 + len]) {
+                    Ok(f) => frames.push((f, now)),
+                    Err(_) => {
+                        // Framing is lost; report then sever below.
+                        severed = true;
+                    }
+                }
+                consumed += 4 + len;
+                if severed {
+                    break;
+                }
+            }
+            if consumed > 0 {
+                st.rbuf.drain(..consumed);
+            }
+            st.rbuf_since = if st.rbuf.is_empty() {
+                None
+            } else {
+                Some(st.rbuf_since.unwrap_or(now))
+            };
+        }
+
+        if severed {
+            // Protocol error: best-effort error frame, then sever.
+            let err = Frame::Error(ClusterError::TxnAborted("protocol error".into()));
+            {
+                let mut st = conn.state.lock();
+                st.outbox.extend_from_slice(&err.encode());
+                let _ = self.flush_locked(conn, &mut st);
+            }
+            self.teardown(conn);
+            return;
+        }
+
+        for (frame, started) in frames {
+            if !self.conns.contains_key(&conn.id) {
+                return; // torn down while dispatching an earlier frame
+            }
+            if self.shared.fault_sever(CrashPoint::NetFrameRead) {
+                self.teardown(conn);
+                return;
+            }
+            let phase = conn.state.lock().phase;
+            match phase {
+                Phase::Handshake => self.handshake(conn, frame),
+                Phase::Open => self.dispatch(conn, frame, started),
+                Phase::Closed => return,
+            }
+        }
+
+        if eof && self.conns.contains_key(&conn.id) {
+            self.teardown(conn);
+            return;
+        }
+        if self.conns.contains_key(&conn.id) {
+            let now = Instant::now();
+            let mut st = conn.state.lock();
+            self.check_backpressure(conn, &mut st);
+            self.arm_deadline(conn.id, &mut st, now);
         }
     }
+
+    /// Handle the `Hello`: resolve the database, negotiate policies. Any
+    /// failure answers with an error frame and severs — same contract as
+    /// the thread-per-connection server.
+    fn handshake(&mut self, conn: &Arc<Conn>, frame: Frame) {
+        let fail = |r: &mut Self, err: ClusterError| {
+            r.shared
+                .metrics
+                .counter("tenantdb_net_handshake_failures_total", &[])
+                .inc();
+            {
+                let mut st = conn.state.lock();
+                st.outbox.extend_from_slice(&Frame::Error(err).encode());
+                let _ = r.flush_locked(conn, &mut st);
+            }
+            r.teardown(conn);
+        };
+
+        let Frame::Hello {
+            db,
+            read_pref,
+            write_pref,
+            ..
+        } = frame
+        else {
+            return fail(
+                self,
+                ClusterError::TxnAborted("handshake must start with hello".into()),
+            );
+        };
+
+        // Client location: the serving tier terminates the connection
+        // inside the colo, so the colo's own location is the honest
+        // answer.
+        let platform = match self.shared.system.connect(&db, (0.0, 0.0)) {
+            Ok(c) => c,
+            Err(e) => return fail(self, e),
+        };
+
+        // Policy negotiation: a specific preference is a demand. Refusing
+        // is correct — Table 1 makes read/write policy observable, so
+        // serving under different semantics than the client asked for
+        // would be a silent correctness change.
+        let cluster = self
+            .shared
+            .system
+            .primary_colo(&db)
+            .and_then(|id| self.shared.system.colo(id).cloned())
+            .and_then(|colo| colo.cluster_for(&db));
+        let Some(cluster) = cluster else {
+            return fail(self, ClusterError::NoSuchDatabase(db));
+        };
+        let cfg = *cluster.config();
+        if !read_pref.accepts(cfg.read_policy) || !write_pref.accepts(cfg.write_policy) {
+            return fail(
+                self,
+                ClusterError::TxnAborted(format!(
+                    "policy negotiation failed: cluster serves {:?}/{:?}",
+                    cfg.read_policy, cfg.write_policy
+                )),
+            );
+        }
+
+        if self.shared.fault_sever(CrashPoint::NetFrameWrite) {
+            self.teardown(conn);
+            return;
+        }
+        let ok = Frame::HelloOk {
+            version: PROTOCOL_VERSION,
+            read_policy: cfg.read_policy,
+            write_policy: cfg.write_policy,
+        };
+        {
+            let mut st = conn.state.lock();
+            st.phase = Phase::Open;
+            st.db = db;
+            st.platform = Some(Arc::new(platform));
+            st.last_activity = Instant::now();
+            st.outbox.extend_from_slice(&ok.encode());
+            if self.flush_locked(conn, &mut st).is_err() {
+                drop(st);
+                self.teardown(conn);
+                return;
+            }
+        }
+        self.shared
+            .sessions
+            .lock()
+            .insert(conn.id, Arc::clone(conn));
+    }
+
+    /// Dispatch one decoded request. When nothing is queued ahead of it
+    /// (reply order preserved), `Ping` and *read-only* units — a read-only
+    /// `Query`, or a `WholeTxn` batch of only reads — execute inline on
+    /// the reactor, skipping the executor handoff (a context switch per
+    /// request, the dominant cost of small requests on loopback). The
+    /// worst an inline read can do is wait out one bounded S-lock timeout;
+    /// every write path (and anything behind other work) goes to the
+    /// executor pool so a row-lock convoy can never park a reactor behind
+    /// another connection's open transaction. Everything else joins the
+    /// pending queue for the executor pool.
+    fn dispatch(&mut self, conn: &Arc<Conn>, frame: Frame, started: Instant) {
+        let mut enqueue = false;
+        let mut run_inline: Option<(Frame, Arc<PlatformConnection>)> = None;
+        {
+            let mut st = conn.state.lock();
+            if st.closing {
+                return;
+            }
+            let nothing_ahead = st.pending.is_empty() && !st.scheduled;
+            if nothing_ahead && matches!(frame, Frame::Ping { .. }) {
+                let Frame::Ping { token } = frame else {
+                    unreachable!()
+                };
+                if self.shared.fault_sever(CrashPoint::NetResponseDrop)
+                    || self.shared.fault_sever(CrashPoint::NetFrameWrite)
+                {
+                    drop(st);
+                    self.teardown(conn);
+                    return;
+                }
+                append_reply(&self.shared, &mut st, &Frame::Pong { token });
+                let _ = self.flush_locked(conn, &mut st);
+                self.shared
+                    .hot
+                    .record_frame(&self.shared.metrics, "ping", started);
+                st.last_activity = Instant::now();
+            } else if nothing_ahead && self.shared.cfg.inline_read_only && inline_safe(&frame) {
+                if let Some(p) = st.platform.clone() {
+                    st.busy = true;
+                    run_inline = Some((frame, p));
+                } else {
+                    st.pending.push_back((frame, started));
+                    st.scheduled = true;
+                    enqueue = true;
+                }
+            } else {
+                st.pending.push_back((frame, started));
+                if !st.scheduled {
+                    st.scheduled = true;
+                    enqueue = true;
+                }
+            }
+        }
+        if enqueue {
+            self.shared.exec.push(Arc::clone(conn));
+        }
+        if let Some((frame, platform)) = run_inline {
+            self.run_inline(conn, frame, started, &platform);
+        }
+    }
+
+    /// Execute one read-only request on the reactor thread itself — no
+    /// state lock held during execution (listings stay responsive), no
+    /// executor handoff. Mirrors the executor's fault-point and metrics
+    /// behavior exactly.
+    fn run_inline(
+        &mut self,
+        conn: &Arc<Conn>,
+        frame: Frame,
+        started: Instant,
+        platform: &PlatformConnection,
+    ) {
+        let kind = frame.kind();
+        let reply = handle_request(&self.shared, platform, frame);
+        if self.shared.fault_sever(CrashPoint::NetResponseDrop)
+            || self.shared.fault_sever(CrashPoint::NetFrameWrite)
+        {
+            conn.state.lock().busy = false;
+            self.teardown(conn);
+            return;
+        }
+        let mut dead = false;
+        {
+            let mut st = conn.state.lock();
+            st.busy = false;
+            if st.closing {
+                return;
+            }
+            append_reply(&self.shared, &mut st, &reply);
+            let flush = self.flush_locked(conn, &mut st);
+            st.last_activity = Instant::now();
+            self.shared
+                .hot
+                .record_frame(&self.shared.metrics, kind, started);
+            if flush.is_err() {
+                dead = true;
+            } else {
+                self.sync_interest(conn, &mut st);
+            }
+        }
+        if dead {
+            self.teardown(conn);
+        }
+    }
+
+    /// Writable: flush the outbox; drop write interest once drained.
+    fn conn_writable(&mut self, conn: &Arc<Conn>) {
+        let mut dead = false;
+        {
+            let mut st = conn.state.lock();
+            if st.closing {
+                return;
+            }
+            if self.flush_locked(conn, &mut st).is_err() {
+                dead = true;
+            } else {
+                self.sync_interest(conn, &mut st);
+                if st.outbox.is_empty() {
+                    self.check_backpressure(conn, &mut st);
+                }
+                let now = Instant::now();
+                self.arm_deadline(conn.id, &mut st, now);
+            }
+        }
+        if dead {
+            self.teardown(conn);
+        }
+    }
+
+    /// Write as much of the outbox as the socket accepts right now. One
+    /// call per readiness/reply cycle — this is the write coalescing
+    /// point: however many reply frames have accumulated, they leave in as
+    /// few writes as the socket allows.
+    fn flush_locked(&self, conn: &Conn, st: &mut ConnState) -> std::io::Result<()> {
+        flush_outbox(&self.shared, conn, st)
+    }
+
+    /// Reconcile the poller's interest mask with the connection state.
+    fn sync_interest(&mut self, conn: &Conn, st: &mut ConnState) {
+        let want_write = !st.outbox.is_empty();
+        if want_write == st.write_interest {
+            return;
+        }
+        st.write_interest = want_write;
+        let mut mask = 0u8;
+        if !st.read_paused {
+            mask |= READ;
+        }
+        if want_write {
+            mask |= WRITE;
+        }
+        let _ = self.poller.modify(conn.fd, conn.id, mask);
+    }
+
+    /// Pause reads above the pipeline/outbox watermarks; resume below.
+    fn check_backpressure(&mut self, conn: &Conn, st: &mut ConnState) {
+        let over = st.pending.len() >= self.shared.cfg.pipeline_depth
+            || st.outbox.len() >= self.shared.cfg.write_buffer;
+        if over && !st.read_paused {
+            st.read_paused = true;
+            self.shared
+                .metrics
+                .counter("tenantdb_net_read_pauses_total", &[])
+                .inc();
+            let mask = if st.write_interest { WRITE } else { 0 };
+            let _ = self.poller.modify(conn.fd, conn.id, mask);
+        } else if !over && st.read_paused {
+            // Resume at half the watermarks to avoid flapping.
+            let low = st.pending.len() * 2 <= self.shared.cfg.pipeline_depth
+                && st.outbox.len() * 2 <= self.shared.cfg.write_buffer;
+            if low {
+                st.read_paused = false;
+                let mask = READ | if st.write_interest { WRITE } else { 0 };
+                let _ = self.poller.modify(conn.fd, conn.id, mask);
+            }
+        }
+    }
+
+    /// Executor noticed a partial flush: ensure write interest is armed.
+    fn update_write_interest(&mut self, token: Token) {
+        let Some(conn) = self.conns.get(&token).cloned() else {
+            return;
+        };
+        let mut st = conn.state.lock();
+        if st.closing {
+            return;
+        }
+        self.sync_interest(&conn, &mut st);
+        let now = Instant::now();
+        self.arm_deadline(conn.id, &mut st, now);
+    }
+
+    /// Executor drained below the watermarks: maybe re-enable reads.
+    fn resume_read(&mut self, token: Token) {
+        let Some(conn) = self.conns.get(&token).cloned() else {
+            return;
+        };
+        let mut st = conn.state.lock();
+        if st.closing {
+            return;
+        }
+        self.check_backpressure(&conn, &mut st);
+        let now = Instant::now();
+        self.arm_deadline(conn.id, &mut st, now);
+    }
+
+    /// Compute and arm the connection's single effective deadline.
+    fn arm_deadline(&mut self, token: Token, st: &mut ConnState, now: Instant) {
+        let (deadline, _) = effective_deadline(&self.shared.cfg, st, now);
+        st.deadline_gen += 1;
+        self.wheel.schedule(
+            TimerEntry {
+                token,
+                gen: st.deadline_gen,
+            },
+            deadline,
+        );
+    }
+
+    /// A wheel entry fired: if it is current and actually due, act on it;
+    /// a stale generation is a cancelled timer; an undue deadline (state
+    /// changed since arming) is re-armed at its real instant.
+    fn deadline_fired(&mut self, entry: TimerEntry, now: Instant) {
+        let Some(conn) = self.conns.get(&entry.token).cloned() else {
+            return; // connection already gone — stale entry
+        };
+        let mut reap = false;
+        let mut sever: Option<DeadlineKind> = None;
+        {
+            let mut st = conn.state.lock();
+            if st.closing || entry.gen != st.deadline_gen {
+                return; // superseded by a later arm
+            }
+            let (deadline, kind) = effective_deadline(&self.shared.cfg, &st, now);
+            if deadline > now {
+                st.deadline_gen += 1;
+                self.wheel.schedule(
+                    TimerEntry {
+                        token: entry.token,
+                        gen: st.deadline_gen,
+                    },
+                    deadline,
+                );
+                return;
+            }
+            match kind {
+                DeadlineKind::Read | DeadlineKind::Write => sever = Some(kind),
+                DeadlineKind::Idle => {
+                    // Busy or in-transaction sessions are never idle-reaped
+                    // (idle-in-transaction is the txn timeout's job).
+                    let in_txn = st
+                        .platform
+                        .as_ref()
+                        .map(|p| p.cluster_connection().in_txn())
+                        .unwrap_or(false);
+                    if st.scheduled || st.busy || in_txn {
+                        st.last_activity = now; // re-base the idle clock
+                        st.deadline_gen += 1;
+                        let (d, _) = effective_deadline(&self.shared.cfg, &st, now);
+                        self.wheel.schedule(
+                            TimerEntry {
+                                token: entry.token,
+                                gen: st.deadline_gen,
+                            },
+                            d,
+                        );
+                        return;
+                    }
+                    reap = true;
+                }
+            }
+        }
+        if let Some(kind) = sever {
+            let label = match kind {
+                DeadlineKind::Read => "read",
+                DeadlineKind::Write => "write",
+                DeadlineKind::Idle => "idle",
+            };
+            self.shared
+                .metrics
+                .counter("tenantdb_net_deadline_severs_total", &[("kind", label)])
+                .inc();
+            self.teardown(&conn);
+        } else if reap {
+            self.shared
+                .metrics
+                .counter("tenantdb_net_idle_reaped_total", &[])
+                .inc();
+            self.teardown(&conn);
+        }
+    }
+
+    /// Graceful-drain pass: close every connection that is idle with no
+    /// open transaction. The rest retire from the executor side as they
+    /// reach that state (or at the force-close deadline).
+    fn drain_idle_conns(&mut self) {
+        let candidates: Vec<Arc<Conn>> = self.conns.values().cloned().collect();
+        for conn in candidates {
+            let retire = {
+                let st = conn.state.lock();
+                let in_txn = st
+                    .platform
+                    .as_ref()
+                    .map(|p| p.cluster_connection().in_txn())
+                    .unwrap_or(false);
+                !in_txn && !st.scheduled && st.pending.is_empty() && st.outbox.is_empty()
+            };
+            if retire {
+                self.teardown(&conn);
+            }
+        }
+    }
+
+    /// Deregister, final-flush, and drop a connection. Idempotent; the
+    /// only place a connection leaves the poller. An open transaction
+    /// rolls back when the last platform-connection handle drops (which
+    /// may be an executor's, if one is mid-statement).
+    fn teardown(&mut self, conn: &Arc<Conn>) {
+        if self.conns.remove(&conn.id).is_none() {
+            return;
+        }
+        let _ = self.poller.deregister(conn.fd);
+        let platform = {
+            let mut st = conn.state.lock();
+            st.closing = true;
+            st.phase = Phase::Closed;
+            st.pending.clear();
+            let _ = flush_outbox(&self.shared, conn, &mut st); // best-effort
+            st.outbox.clear();
+            st.platform.take()
+        };
+        drop(platform);
+        self.shared.sessions.lock().remove(&conn.id);
+        let _ = conn.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// May this request execute inline on the reactor? Qualifying requests
+/// never *wait* on a row lock: a plain `SELECT` (no `FOR UPDATE`), a
+/// `WholeTxn` batch of only such selects, or bare transaction control —
+/// `BEGIN` allocates a transaction and `COMMIT`/`ROLLBACK` only release
+/// locks (their replication work is bounded CPU, the same class as a
+/// large inline select). Statements that can block on another session's
+/// locks — writes, locking reads, write-bearing batches — go to the
+/// executor pool so a lock convoy can never park a reactor.
+fn inline_safe(frame: &Frame) -> bool {
+    const MAX_INLINE_STMTS: usize = 16;
+    match frame {
+        Frame::Query { sql, .. } => is_read_only_sql(sql),
+        Frame::Begin | Frame::Commit | Frame::Rollback => true,
+        Frame::Batch {
+            mode: BatchMode::WholeTxn,
+            stmts,
+            ..
+        } => stmts.len() <= MAX_INLINE_STMTS && stmts.iter().all(|s| is_read_only_sql(&s.sql)),
+        _ => false,
+    }
+}
+
+/// Conservative read-only check: leading `SELECT`, and no `FOR UPDATE`
+/// anywhere (a locking read takes exclusive-intent locks and must not run
+/// on a reactor). False negatives just fall back to the executor path.
+fn is_read_only_sql(sql: &str) -> bool {
+    let t = sql.trim_start();
+    t.len() >= 6
+        && t.as_bytes()[..6].eq_ignore_ascii_case(b"select")
+        && !contains_ignore_case(sql, "FOR UPDATE")
+}
+
+fn contains_ignore_case(hay: &str, needle: &str) -> bool {
+    hay.as_bytes()
+        .windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle.as_bytes()))
+}
+
+/// Which deadline governs this connection right now. Precedence: a stuck
+/// write is the tightest signal of a dead peer, then a stalled partial
+/// frame, then idleness. A handshaking session's "idle" bound is the read
+/// timeout — a client that connects and stalls is severed, not parked for
+/// `idle_timeout`.
+fn effective_deadline(
+    cfg: &ServerConfig,
+    st: &ConnState,
+    _now: Instant,
+) -> (Instant, DeadlineKind) {
+    if let Some(t) = st.outbox_since {
+        return (t + cfg.write_timeout, DeadlineKind::Write);
+    }
+    if let Some(t) = st.rbuf_since {
+        return (t + cfg.read_timeout, DeadlineKind::Read);
+    }
+    if st.phase == Phase::Handshake {
+        return (st.last_activity + cfg.read_timeout, DeadlineKind::Read);
+    }
+    (st.last_activity + cfg.idle_timeout, DeadlineKind::Idle)
+}
+
+/// Append an encoded reply to the outbox, counting coalesced frames.
+fn append_reply(shared: &Shared, st: &mut ConnState, frame: &Frame) {
+    if !st.outbox.is_empty() {
+        shared.hot.coalesced.inc();
+    }
+    frame.encode_into(&mut st.outbox);
+}
+
+/// Write as much of the outbox as the socket accepts without blocking.
+/// Updates the write-deadline base; callers re-sync poller interest.
+fn flush_outbox(shared: &Shared, conn: &Conn, st: &mut ConnState) -> std::io::Result<()> {
+    let mut written = 0usize;
+    let res = loop {
+        if written == st.outbox.len() {
+            break Ok(());
+        }
+        // lint:allow(reactor-block): nonblocking socket; this write is the
+        // readiness-gated flush and returns WouldBlock when full.
+        match (&*conn.sock).write(&st.outbox[written..]) {
+            Ok(0) => break Err(std::io::Error::from(std::io::ErrorKind::WriteZero)),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => break Err(e),
+        }
+    };
+    if written > 0 {
+        st.outbox.drain(..written);
+        shared.hot.bytes_out.add(written as u64);
+        shared.hot.flushes.inc();
+    }
+    st.outbox_since = if st.outbox.is_empty() {
+        None
+    } else {
+        Some(st.outbox_since.unwrap_or_else(Instant::now))
+    };
+    res
 }
 
 fn list_sessions(shared: &Shared) -> Vec<ConnInfo> {
     let sessions = shared.sessions.lock();
     let mut out: Vec<ConnInfo> = sessions
         .values()
-        .map(|s| ConnInfo {
-            id: s.id,
-            db: s.db.clone(),
-            peer: s.peer.clone(),
-            in_txn: s.conn.cluster_connection().in_txn(),
-            busy: s.busy.load(Ordering::SeqCst),
-            idle_ms: s.idle_ms(shared),
+        .map(|c| {
+            let st = c.state.lock();
+            ConnInfo {
+                id: c.id,
+                db: st.db.clone(),
+                peer: c.peer.clone(),
+                in_txn: st
+                    .platform
+                    .as_ref()
+                    .map(|p| p.cluster_connection().in_txn())
+                    .unwrap_or(false),
+                busy: st.busy,
+                idle_ms: st.last_activity.elapsed().as_millis() as u64,
+            }
         })
         .collect();
     out.sort_by_key(|c| c.id);
     out
 }
 
-/// Read one complete request frame, waking every [`POLL_TICK`] while
-/// waiting for the first header byte so shutdown and reaping interrupt an
-/// idle session. Once a frame has started, the configured per-request
-/// read timeout applies to the remainder.
-fn read_request(
-    shared: &Shared,
-    state: &SessionState,
-    stream: &mut TcpStream,
-) -> WireResult<Option<Frame>> {
-    let mut first = [0u8; 1];
+// ---------------------------------------------------------------- executor
+
+fn executor_loop(shared: Arc<Shared>) {
     loop {
-        if shared.is_shutdown() && !state.conn.cluster_connection().in_txn() {
-            // Drain point: no request in flight, no open transaction.
-            return Ok(None);
-        }
-        stream.set_read_timeout(Some(POLL_TICK))?;
-        match stream.read(&mut first) {
-            Ok(0) => return Ok(None), // peer closed between frames
-            Ok(_) => break,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-    // Frame started: the rest must arrive within the request read timeout.
-    stream.set_read_timeout(Some(shared.cfg.read_timeout))?;
-    let mut rest = [0u8; 3];
-    stream.read_exact(&mut rest)?;
-    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]);
-    if len == 0 || len > MAX_FRAME_LEN {
-        return Err(WireError::FrameLength(len));
-    }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body)?;
-    shared.count_in(4 + len as u64);
-    Frame::decode(&body).map(Some)
-}
-
-/// Run the handshake: expect `Hello`, resolve the database, negotiate
-/// policies. Returns the established platform connection, or `None` after
-/// answering with an error frame (or hitting an I/O failure).
-fn handshake(
-    shared: &Shared,
-    stream: &mut TcpStream,
-) -> Option<(String, PlatformConnection, Frame)> {
-    let fail = |stream: &mut TcpStream, err: ClusterError| {
-        shared
-            .metrics
-            .counter("tenantdb_net_handshake_failures_total", &[])
-            .inc();
-        let _ = shared.write_reply(stream, &Frame::Error(err));
-        None
-    };
-
-    let hello = match read_handshake_frame(shared, stream) {
-        Ok(Some(f)) => f,
-        Ok(None) => return None,
-        Err(e) => {
-            return fail(
-                stream,
-                ClusterError::TxnAborted(format!("protocol error in handshake: {e}")),
-            )
-        }
-    };
-    let Frame::Hello {
-        db,
-        read_pref,
-        write_pref,
-        ..
-    } = hello
-    else {
-        return fail(
-            stream,
-            ClusterError::TxnAborted("handshake must start with hello".into()),
-        );
-    };
-
-    // Client location: the serving tier terminates the connection inside
-    // the colo, so the colo's own location is the honest answer.
-    let conn = match shared.system.connect(&db, (0.0, 0.0)) {
-        Ok(c) => c,
-        Err(e) => return fail(stream, e),
-    };
-
-    // Policy negotiation: a specific preference is a demand. Refusing is
-    // correct — Table 1 makes read/write policy observable, so serving
-    // under different semantics than the client asked for would be a
-    // silent correctness change.
-    let cluster = shared
-        .system
-        .primary_colo(&db)
-        .and_then(|id| shared.system.colo(id).cloned())
-        .and_then(|colo| colo.cluster_for(&db));
-    let Some(cluster) = cluster else {
-        return fail(stream, ClusterError::NoSuchDatabase(db));
-    };
-    let cfg = *cluster.config();
-    if !read_pref.accepts(cfg.read_policy) || !write_pref.accepts(cfg.write_policy) {
-        return fail(
-            stream,
-            ClusterError::TxnAborted(format!(
-                "policy negotiation failed: cluster serves {:?}/{:?}",
-                cfg.read_policy, cfg.write_policy
-            )),
-        );
-    }
-
-    let ok = Frame::HelloOk {
-        version: PROTOCOL_VERSION,
-        read_policy: cfg.read_policy,
-        write_policy: cfg.write_policy,
-    };
-    Some((db, conn, ok))
-}
-
-/// Handshake-phase frame read: plain bounded read (no session state yet to
-/// drain; the read timeout bounds a client that connects and stalls).
-fn read_handshake_frame(shared: &Shared, stream: &mut TcpStream) -> WireResult<Option<Frame>> {
-    stream.set_read_timeout(Some(shared.cfg.read_timeout))?;
-    let frame = wire::read_frame(stream)?;
-    if let Some(f) = &frame {
-        shared.count_in(f.encode().len() as u64);
-    }
-    Ok(frame)
-}
-
-fn session_thread(shared: Arc<Shared>, mut stream: TcpStream, peer: SocketAddr) {
-    let Some((db, conn, hello_ok)) = handshake(&shared, &mut stream) else {
-        return;
-    };
-    if shared.fault_sever(CrashPoint::NetFrameWrite) {
-        return;
-    }
-    if shared.write_reply(&mut stream, &hello_ok).is_err() {
-        return;
-    }
-
-    let Ok(reaper_handle) = stream.try_clone() else {
-        return;
-    };
-    let id = next_id(&shared);
-    let state = Arc::new(SessionState {
-        id,
-        db,
-        peer: peer.to_string(),
-        stream: reaper_handle,
-        last_activity_ms: AtomicU64::new(shared.now_ms()),
-        busy: AtomicBool::new(false),
-        conn,
-    });
-    shared.sessions.lock().insert(id, Arc::clone(&state));
-
-    serve_session(&shared, &state, &mut stream);
-
-    shared.sessions.lock().remove(&id);
-    // `state.conn` drops with the last Arc (here): an open transaction
-    // rolls back and the cluster session lane is reclaimed.
-}
-
-fn next_id(shared: &Shared) -> u64 {
-    shared.next_id.fetch_add(1, Ordering::SeqCst)
-}
-
-fn serve_session(shared: &Shared, state: &SessionState, stream: &mut TcpStream) {
-    loop {
-        state.busy.store(false, Ordering::SeqCst);
-        let frame = match read_request(shared, state, stream) {
-            Ok(Some(f)) => f,
-            Ok(None) => return, // clean close, reap, or shutdown drain
-            Err(WireError::Io(_)) => return,
-            Err(e) => {
-                // Malformed frame: report, then sever (framing is lost).
-                let _ = shared.write_reply(
-                    stream,
-                    &Frame::Error(ClusterError::TxnAborted(format!("protocol error: {e}"))),
-                );
-                return;
+        let conn = {
+            let mut q = shared.exec.q.lock();
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break c;
+                }
+                if shared.halt.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared
+                    .exec
+                    .cv
+                    .wait_until(&mut q, Instant::now() + ACCEPT_TICK);
             }
         };
-        state.busy.store(true, Ordering::SeqCst);
-        state.touch(shared);
-        let started = Instant::now();
+        serve_conn(&shared, &conn);
+    }
+}
 
-        if shared.fault_sever(CrashPoint::NetFrameRead) {
-            return; // connection dies right after reading the request
-        }
+/// Drain one connection's pending queue: the `scheduled` flag guarantees
+/// this executor is the only one touching it, so replies are appended in
+/// request order.
+fn serve_conn(shared: &Shared, conn: &Arc<Conn>) {
+    loop {
+        // Pop one request (and the platform handle) under the state lock.
+        let (frame, started, platform) = {
+            let mut st = conn.state.lock();
+            if st.closing {
+                st.scheduled = false;
+                return;
+            }
+            match st.pending.pop_front() {
+                Some((f, t)) => {
+                    st.busy = true;
+                    let p = st.platform.clone();
+                    (f, t, p)
+                }
+                None => {
+                    st.scheduled = false;
+                    // Graceful drain: an idle, transaction-free session
+                    // retires at this frame boundary.
+                    if shared.is_shutdown() {
+                        let in_txn = st
+                            .platform
+                            .as_ref()
+                            .map(|p| p.cluster_connection().in_txn())
+                            .unwrap_or(false);
+                        if !in_txn && st.outbox.is_empty() {
+                            drop(st);
+                            shared.reactors[conn.reactor].send(Msg::Close(conn.id));
+                            return;
+                        }
+                    }
+                    return;
+                }
+            }
+        };
+        let Some(platform) = platform else {
+            sever(shared, conn);
+            return;
+        };
 
+        // Execute WITHOUT the state lock: statement work can block on row
+        // locks; listings and the reaper must not block behind it.
         let kind = frame.kind();
-        let reply = handle_request(shared, state, frame);
+        let reply = handle_request(shared, &platform, frame);
 
         // The "did my commit land?" window: the request has fully executed
         // but the client never hears about it.
-        if shared.fault_sever(CrashPoint::NetResponseDrop) {
+        if shared.fault_sever(CrashPoint::NetResponseDrop)
+            || shared.fault_sever(CrashPoint::NetFrameWrite)
+        {
+            sever(shared, conn);
             return;
         }
-        if shared.fault_sever(CrashPoint::NetFrameWrite) {
-            return;
+
+        let mut need_write_interest = false;
+        let mut resume_read = false;
+        {
+            let mut st = conn.state.lock();
+            st.busy = false;
+            if st.closing {
+                return;
+            }
+            append_reply(shared, &mut st, &reply);
+            let flush = flush_outbox(shared, conn, &mut st);
+            st.last_activity = Instant::now();
+            shared.hot.record_frame(&shared.metrics, kind, started);
+            if flush.is_err() {
+                drop(st);
+                sever(shared, conn);
+                return;
+            }
+            if !st.outbox.is_empty() && !st.write_interest {
+                need_write_interest = true;
+            }
+            if st.read_paused
+                && st.pending.len() * 2 <= shared.cfg.pipeline_depth
+                && st.outbox.len() * 2 <= shared.cfg.write_buffer
+            {
+                resume_read = true;
+            }
         }
-        if shared.write_reply(stream, &reply).is_err() {
-            return;
+        if need_write_interest {
+            shared.reactors[conn.reactor].send(Msg::WriteInterest(conn.id));
         }
-        state.touch(shared);
-        shared
-            .metrics
-            .counter("tenantdb_net_frames_total", &[("kind", kind)])
-            .inc();
-        shared
-            .metrics
-            .histogram("tenantdb_net_frame_latency_us", &[])
-            .observe_since(started);
+        if resume_read {
+            shared.reactors[conn.reactor].send(Msg::ReadResume(conn.id));
+        }
+        // Loop: serve the next pending request, or clear `scheduled`.
     }
 }
 
-fn handle_request(shared: &Shared, state: &SessionState, frame: Frame) -> Frame {
+/// Executor-side sever: mark closing and hand the socket back to the
+/// reactor for teardown.
+fn sever(shared: &Shared, conn: &Arc<Conn>) {
+    {
+        let mut st = conn.state.lock();
+        st.scheduled = false;
+        st.busy = false;
+        st.closing = true;
+        st.pending.clear();
+    }
+    shared.reactors[conn.reactor].send(Msg::Close(conn.id));
+}
+
+fn handle_request(shared: &Shared, conn: &PlatformConnection, frame: Frame) -> Frame {
     match frame {
         Frame::Ping { token } => Frame::Pong { token },
-        Frame::Query { sql, params } => match state.conn.execute(&sql, &params) {
+        Frame::Query { sql, params } => match conn.execute(&sql, &params) {
             Ok(r) => Frame::ResultSet(r),
             Err(e) => Frame::Error(e),
         },
-        Frame::Execute { sql, params } => match state.conn.execute(&sql, &params) {
+        Frame::Execute { sql, params } => match conn.execute(&sql, &params) {
             Ok(r) => Frame::Affected {
                 rows: r.rows_affected,
             },
             Err(e) => Frame::Error(e),
         },
-        Frame::Begin => match state.conn.begin() {
+        Frame::Begin => match conn.begin() {
             Ok(()) => Frame::Ok,
             Err(e) => Frame::Error(e),
         },
-        Frame::Commit => match state.conn.commit() {
+        Frame::Commit => match conn.commit() {
             Ok(()) => Frame::Ok,
             Err(e) => Frame::Error(e),
         },
-        Frame::Rollback => match state.conn.rollback() {
+        Frame::Rollback => match conn.rollback() {
             Ok(()) => Frame::Ok,
             Err(e) => Frame::Error(e),
         },
         Frame::ListConns => Frame::ConnList(list_sessions(shared)),
+        Frame::Batch { seq, mode, stmts } => match run_batch(conn, &stmts, mode) {
+            Ok(results) => Frame::BatchOk { seq, results },
+            Err((index, error)) => Frame::BatchErr { seq, index, error },
+        },
         // Reply frames (or a second Hello) are not valid requests.
         other => Frame::Error(ClusterError::TxnAborted(format!(
             "unexpected request frame: {}",
             other.kind()
         ))),
     }
+}
+
+/// Server-side batch execution, mirroring the
+/// [`Transport::execute_batch`](tenantdb_cluster::Transport::execute_batch)
+/// default implementation statement-for-statement so in-process and
+/// over-the-wire runs are observably identical — same error, same
+/// transaction state afterwards. The extra `index` in the error names the
+/// failing step for the `BatchErr` frame (`stmts.len()` = the implicit
+/// commit).
+fn run_batch(
+    conn: &PlatformConnection,
+    stmts: &[BatchStmt],
+    mode: BatchMode,
+) -> Result<Vec<tenantdb_sql::QueryResult>, (u32, ClusterError)> {
+    if mode == BatchMode::WholeTxn {
+        conn.begin().map_err(|e| (0u32, e))?;
+    }
+    let mut out = Vec::with_capacity(stmts.len());
+    for (i, s) in stmts.iter().enumerate() {
+        match conn.execute(&s.sql, &s.params) {
+            Ok(r) => out.push(r),
+            Err(e) => {
+                if mode != BatchMode::Statements && conn.cluster_connection().in_txn() {
+                    let _ = conn.rollback();
+                }
+                return Err((i as u32, e));
+            }
+        }
+    }
+    if mode != BatchMode::Statements {
+        conn.commit().map_err(|e| (stmts.len() as u32, e))?;
+    }
+    Ok(out)
 }

@@ -27,9 +27,25 @@ pub static NET_SLOTS: LockClass = LockClass::new("net.server.slots", 1);
 
 /// `Server` session registry: id → per-session state. Held only for
 /// insert/remove/listing; listing reads each session's connection state
-/// (rank 10), which the hierarchy permits.
+/// (rank 6) and transaction state (rank 10), which the hierarchy permits.
 pub static NET_SESSIONS: LockClass = LockClass::new("net.server.sessions", 2);
+
+/// Reactor inbox: cross-thread messages (register, write-interest,
+/// close) posted to a reactor thread, paired with its waker. Held only
+/// for a push/drain — never across I/O.
+pub static NET_REACTOR_INBOX: LockClass = LockClass::new("net.server.reactor_inbox", 3);
 
 /// `NetClient` stream + session state: held across a whole request/reply
 /// round-trip (the client is blocking and single-lane by design).
 pub static NET_CLIENT: LockClass = LockClass::new("net.client.stream", 5);
+
+/// Per-connection reactor state: read buffer, pending request queue,
+/// reply outbox, scheduling flags. Sits *above* the cluster connection
+/// (rank 10) so `\conns` listings may read transaction state while
+/// holding it, but SQL execution never runs under it — executors clone
+/// the platform connection handle out and release this lock first.
+pub static NET_CONN: LockClass = LockClass::new("net.server.conn", 6);
+
+/// Executor work queue (condvar mutex): connections with decoded
+/// requests awaiting statement execution.
+pub static NET_EXEC_QUEUE: LockClass = LockClass::new("net.server.exec_queue", 7);

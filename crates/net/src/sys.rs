@@ -1,0 +1,315 @@
+//! Thin `std`-only epoll shim (Linux) for the reactor.
+//!
+//! The repo's no-new-dependencies rule means no `libc`/`mio`; the three
+//! epoll entry points the reactor needs are invoked directly via
+//! `std::arch::asm!` syscalls on the two Linux architectures we build for.
+//! Everything is wrapped in safe, owned types here so `reactor.rs` contains
+//! no `unsafe`. On non-Linux targets this module still compiles but
+//! [`Epoll::new`] reports `Unsupported`, and the reactor falls back to a
+//! portable tick-based poller (correct, not fast — Linux is the perf
+//! target).
+//!
+//! The error convention is the raw kernel one: a return value in
+//! `[-4095, -1]` is `-errno`, mapped to [`io::Error::from_raw_os_error`].
+
+#![allow(dead_code)]
+
+use std::io;
+
+/// Readiness: the fd is readable (or a peer closed with pending data).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, need not be requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, need not be requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down the write half (stream sockets).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: usize = 0o2000000;
+
+/// One readiness record, kernel layout. On x86_64 the kernel declares the
+/// struct packed (12 bytes); on other architectures it is naturally
+/// aligned (16 bytes). Getting this wrong corrupts the event buffer, which
+/// is why the layout is pinned down by a unit test below.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// The caller's token, round-tripped verbatim.
+    pub data: u64,
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::*;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EPOLL_CREATE1: usize = 291;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+    }
+
+    /// Raw syscall, 6-argument form (unused trailing args are ignored by
+    /// the kernel). Returns the raw kernel result (negative = -errno).
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(n: usize, args: [usize; 6]) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") args[0],
+            in("rsi") args[1],
+            in("rdx") args[2],
+            in("r10") args[3],
+            in("r8") args[4],
+            in("r9") args[5],
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(n: usize, args: [usize; 6]) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc #0",
+            in("x8") n,
+            inlateout("x0") args[0] => ret,
+            in("x1") args[1],
+            in("x2") args[2],
+            in("x3") args[3],
+            in("x4") args[4],
+            in("x5") args[5],
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if (-4095..0).contains(&ret) {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// An owned epoll instance. The fd is closed on drop (via `OwnedFd`).
+    pub struct Epoll {
+        fd: OwnedFd,
+    }
+
+    impl Epoll {
+        /// `epoll_create1(EPOLL_CLOEXEC)`.
+        pub fn new() -> io::Result<Epoll> {
+            // SAFETY: no pointers involved; a successful epoll_create1
+            // returns a fresh fd we immediately take ownership of.
+            let raw =
+                check(unsafe { syscall6(nr::EPOLL_CREATE1, [EPOLL_CLOEXEC, 0, 0, 0, 0, 0]) })?;
+            // SAFETY: `raw` is a live fd owned by nobody else.
+            Ok(Epoll {
+                fd: unsafe { OwnedFd::from_raw_fd(raw as RawFd) },
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let ev = EpollEvent {
+                events,
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it before
+            // returning. DEL ignores the event pointer entirely.
+            check(unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    [
+                        self.fd.as_raw_fd() as usize,
+                        op as usize,
+                        fd as usize,
+                        &ev as *const EpollEvent as usize,
+                        0,
+                        0,
+                    ],
+                )
+            })
+            .map(|_| ())
+        }
+
+        /// Start watching `fd` with the given interest mask and token.
+        pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events, token)
+        }
+
+        /// Change the interest mask/token of a watched fd.
+        pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events, token)
+        }
+
+        /// Stop watching `fd`.
+        pub fn del(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Wait for readiness; fills `events` and returns the count.
+        /// `timeout_ms < 0` blocks indefinitely; `0` polls.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            loop {
+                // SAFETY: the event buffer is valid for `events.len()`
+                // records for the duration of the call; NULL sigmask means
+                // the final sigsetsize argument is ignored.
+                let r = check(unsafe {
+                    syscall6(
+                        nr::EPOLL_PWAIT,
+                        [
+                            self.fd.as_raw_fd() as usize,
+                            events.as_mut_ptr() as usize,
+                            events.len(),
+                            timeout_ms as usize,
+                            0,
+                            0,
+                        ],
+                    )
+                });
+                match r {
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    other => return other,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::*;
+    use std::os::fd::RawFd;
+
+    /// Stub epoll for unsupported targets: construction fails and the
+    /// reactor uses its portable fallback poller instead.
+    pub struct Epoll {}
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll is only available on linux x86_64/aarch64",
+            ))
+        }
+
+        pub fn add(&self, _fd: RawFd, _events: u32, _token: u64) -> io::Result<()> {
+            unreachable!("stub Epoll cannot be constructed")
+        }
+
+        pub fn modify(&self, _fd: RawFd, _events: u32, _token: u64) -> io::Result<()> {
+            unreachable!("stub Epoll cannot be constructed")
+        }
+
+        pub fn del(&self, _fd: RawFd) -> io::Result<()> {
+            unreachable!("stub Epoll cannot be constructed")
+        }
+
+        pub fn wait(&self, _events: &mut [EpollEvent], _timeout_ms: i32) -> io::Result<usize> {
+            unreachable!("stub Epoll cannot be constructed")
+        }
+    }
+}
+
+pub use imp::Epoll;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_kernel() {
+        // x86_64: packed 12 bytes; everywhere else: aligned 16 bytes.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        } else {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+        }
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn epoll_reports_readiness_on_a_socket_pair() {
+        use std::io::Write;
+        use std::os::fd::AsRawFd;
+        use std::os::unix::net::UnixStream;
+
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        // Nothing to read yet: a zero-timeout wait returns no events.
+        let mut evs = [EpollEvent::default(); 8];
+        assert_eq!(ep.wait(&mut evs, 0).unwrap(), 0);
+
+        a.write_all(b"x").unwrap();
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (events, data) = (evs[0].events, evs[0].data);
+        assert_eq!(data, 42);
+        assert_ne!(events & EPOLLIN, 0);
+
+        // MOD to write interest: an idle socket is immediately writable.
+        ep.modify(b.as_raw_fd(), EPOLLOUT, 7).unwrap();
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (events, data) = (evs[0].events, evs[0].data);
+        assert_eq!(data, 7);
+        assert_ne!(events & EPOLLOUT, 0);
+
+        // DEL: no further events even though the socket stays readable.
+        ep.del(b.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut evs, 0).unwrap(), 0);
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn epoll_hangup_is_reported() {
+        use std::os::fd::AsRawFd;
+        use std::os::unix::net::UnixStream;
+
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 1).unwrap();
+        drop(a);
+        let mut evs = [EpollEvent::default(); 8];
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        let events = evs[0].events;
+        assert_ne!(events & (EPOLLHUP | EPOLLRDHUP | EPOLLIN), 0);
+    }
+}

@@ -13,8 +13,14 @@
 //! actually in force, or [`Frame::Error`] if the database is unknown or a
 //! demanded policy cannot be honored. After the handshake the client issues
 //! request frames (`Query`/`Execute`/`Begin`/`Commit`/`Rollback`/`Ping`/
-//! `ListConns`) strictly one at a time — except `Ping`, which may be
-//! pipelined — and the server answers each with exactly one reply frame.
+//! `ListConns`/`Batch`) and the server answers each with exactly one reply
+//! frame, in request order. Since protocol version 2 requests may be
+//! *pipelined*: the client may issue any number of requests ahead of their
+//! replies; the reactor-based server queues them per connection and
+//! executes them strictly in order, so the k-th reply always answers the
+//! k-th request. [`Frame::Batch`] additionally carries an explicit `seq`
+//! tag echoed in its [`Frame::BatchOk`]/[`Frame::BatchErr`] reply, so an
+//! issue-ahead client can match batch replies without counting frames.
 //!
 //! Errors round-trip: [`Frame::Error`] carries a structurally encoded
 //! [`ClusterError`] (including the nested `SqlError` / `StorageError`
@@ -25,12 +31,18 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use tenantdb_cluster::{ClusterError, ReadPolicy, WritePolicy};
+use tenantdb_cluster::{BatchMode, BatchStmt, ClusterError, ReadPolicy, WritePolicy};
 use tenantdb_sql::{QueryResult, SqlError};
 use tenantdb_storage::{StorageError, TxnId, Value};
 
-/// The one protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The protocol version this build speaks (and offers in its handshake).
+/// Version 2 added request pipelining and the `Batch` frame family.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The oldest protocol version this build still accepts in a handshake.
+/// Version-1 peers (no pipelining, no `Batch`) remain fully supported:
+/// nothing in version 2 changed the meaning of a version-1 conversation.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on a frame body (opcode + payload). A length prefix above
 /// this is rejected before any allocation — the decoder's defense against
@@ -214,6 +226,23 @@ fn write_policy_from_u8(b: u8) -> WireResult<WritePolicy> {
     })
 }
 
+fn batch_mode_to_u8(m: BatchMode) -> u8 {
+    match m {
+        BatchMode::Statements => 0,
+        BatchMode::FinishTxn => 1,
+        BatchMode::WholeTxn => 2,
+    }
+}
+
+fn batch_mode_from_u8(b: u8) -> WireResult<BatchMode> {
+    Ok(match b {
+        0 => BatchMode::Statements,
+        1 => BatchMode::FinishTxn,
+        2 => BatchMode::WholeTxn,
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
 /// One live server session, as reported by [`Frame::ConnList`] (the shell's
 /// `\conns` command).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -304,6 +333,40 @@ pub enum Frame {
     ListConns,
     /// Reply to [`Frame::ListConns`].
     ConnList(Vec<ConnInfo>),
+    /// Execute N statements as one unit in a single frame (protocol ≥ 2).
+    /// The dominant serving-tier cost is the per-statement round trip;
+    /// batching a whole transaction body collapses it to one RTT.
+    Batch {
+        /// Client-chosen tag, echoed in the `BatchOk`/`BatchErr` reply so
+        /// an issue-ahead client can match replies without counting.
+        seq: u32,
+        /// Transaction framing for the batch (see [`BatchMode`]).
+        mode: BatchMode,
+        /// The statements, executed strictly in order.
+        stmts: Vec<BatchStmt>,
+    },
+    /// Successful reply to [`Frame::Batch`]: one [`QueryResult`] per
+    /// statement, in statement order.
+    BatchOk {
+        /// The `seq` from the matching `Batch`.
+        seq: u32,
+        /// Per-statement results (same length and order as the request).
+        results: Vec<QueryResult>,
+    },
+    /// Failure reply to [`Frame::Batch`]. The server stops at the first
+    /// failing step; `index` names it (`stmts.len()` means the implicit
+    /// commit of a commit-owning mode failed). Transaction state follows
+    /// the [`BatchMode`] contract: commit-owning modes have rolled back
+    /// (or the commit itself resolved the txn); `Statements` mode leaves
+    /// any open transaction open.
+    BatchErr {
+        /// The `seq` from the matching `Batch`.
+        seq: u32,
+        /// Index of the failing step; `stmts.len()` = the implicit commit.
+        index: u32,
+        /// The round-tripped error.
+        error: ClusterError,
+    },
 }
 
 impl Frame {
@@ -325,6 +388,9 @@ impl Frame {
             Frame::Rollback => 0x16,
             Frame::ListConns => 0x17,
             Frame::ConnList(_) => 0x18,
+            Frame::Batch { .. } => 0x19,
+            Frame::BatchOk { .. } => 0x1A,
+            Frame::BatchErr { .. } => 0x1B,
         }
     }
 
@@ -346,13 +412,27 @@ impl Frame {
             Frame::Rollback => "rollback",
             Frame::ListConns => "list_conns",
             Frame::ConnList(_) => "conn_list",
+            Frame::Batch { .. } => "batch",
+            Frame::BatchOk { .. } => "batch_ok",
+            Frame::BatchErr { .. } => "batch_err",
         }
     }
 
     /// Encode this frame as a complete wire message (length prefix
     /// included).
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::with_capacity(16);
+        let mut out = Vec::with_capacity(20);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode this frame (length prefix included) appended to `out` —
+    /// the server's reply path writes straight into a connection outbox
+    /// with no intermediate buffer or second copy.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; 4]); // length backfilled below
+        let body = out;
         body.push(self.opcode());
         match self {
             Frame::Hello {
@@ -361,8 +441,8 @@ impl Frame {
                 read_pref,
                 write_pref,
             } => {
-                put_u16(&mut body, *version);
-                put_str(&mut body, db);
+                put_u16(body, *version);
+                put_str(body, db);
                 body.push(read_pref.to_u8());
                 body.push(write_pref.to_u8());
             }
@@ -371,38 +451,60 @@ impl Frame {
                 read_policy,
                 write_policy,
             } => {
-                put_u16(&mut body, *version);
+                put_u16(body, *version);
                 body.push(read_policy_to_u8(*read_policy));
                 body.push(write_policy_to_u8(*write_policy));
             }
-            Frame::Ping { token } | Frame::Pong { token } => put_u64(&mut body, *token),
+            Frame::Ping { token } | Frame::Pong { token } => put_u64(body, *token),
             Frame::Ok | Frame::Begin | Frame::Commit | Frame::Rollback | Frame::ListConns => {}
-            Frame::Error(e) => put_cluster_error(&mut body, e),
+            Frame::Error(e) => put_cluster_error(body, e),
             Frame::Query { sql, params } | Frame::Execute { sql, params } => {
-                put_str(&mut body, sql);
-                put_u32(&mut body, params.len() as u32);
+                put_str(body, sql);
+                put_u32(body, params.len() as u32);
                 for v in params {
-                    put_value(&mut body, v);
+                    put_value(body, v);
                 }
             }
-            Frame::ResultSet(r) => put_query_result(&mut body, r),
-            Frame::Affected { rows } => put_u64(&mut body, *rows),
+            Frame::ResultSet(r) => put_query_result(body, r),
+            Frame::Affected { rows } => put_u64(body, *rows),
             Frame::ConnList(conns) => {
-                put_u32(&mut body, conns.len() as u32);
+                put_u32(body, conns.len() as u32);
                 for c in conns {
-                    put_u64(&mut body, c.id);
-                    put_str(&mut body, &c.db);
-                    put_str(&mut body, &c.peer);
+                    put_u64(body, c.id);
+                    put_str(body, &c.db);
+                    put_str(body, &c.peer);
                     body.push(c.in_txn as u8);
                     body.push(c.busy as u8);
-                    put_u64(&mut body, c.idle_ms);
+                    put_u64(body, c.idle_ms);
                 }
             }
+            Frame::Batch { seq, mode, stmts } => {
+                put_u32(body, *seq);
+                body.push(batch_mode_to_u8(*mode));
+                put_u32(body, stmts.len() as u32);
+                for s in stmts {
+                    put_str(body, &s.sql);
+                    put_u32(body, s.params.len() as u32);
+                    for v in &s.params {
+                        put_value(body, v);
+                    }
+                }
+            }
+            Frame::BatchOk { seq, results } => {
+                put_u32(body, *seq);
+                put_u32(body, results.len() as u32);
+                for r in results {
+                    put_query_result(body, r);
+                }
+            }
+            Frame::BatchErr { seq, index, error } => {
+                put_u32(body, *seq);
+                put_u32(body, *index);
+                put_cluster_error(body, error);
+            }
         }
-        let mut out = Vec::with_capacity(4 + body.len());
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        out.extend_from_slice(&body);
-        out
+        let len = (body.len() - start - 4) as u32;
+        body[start..start + 4].copy_from_slice(&len.to_le_bytes());
     }
 
     /// Decode a frame body (opcode + payload, the length prefix already
@@ -413,7 +515,7 @@ impl Frame {
         let frame = match op {
             0x01 => {
                 let version = r.u16()?;
-                if version != PROTOCOL_VERSION {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                     return Err(WireError::BadVersion(version));
                 }
                 let db = r.string()?;
@@ -428,7 +530,7 @@ impl Frame {
             }
             0x02 => {
                 let version = r.u16()?;
-                if version != PROTOCOL_VERSION {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                     return Err(WireError::BadVersion(version));
                 }
                 Frame::HelloOk {
@@ -475,6 +577,37 @@ impl Frame {
                 }
                 Frame::ConnList(conns)
             }
+            0x19 => {
+                let seq = r.u32()?;
+                let mode = batch_mode_from_u8(r.u8()?)?;
+                let n = r.bounded_len()?;
+                let mut stmts = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let sql = r.string()?;
+                    let np = r.bounded_len()?;
+                    let mut params = Vec::with_capacity(np.min(1024));
+                    for _ in 0..np {
+                        params.push(get_value(&mut r)?);
+                    }
+                    stmts.push(BatchStmt { sql, params });
+                }
+                Frame::Batch { seq, mode, stmts }
+            }
+            0x1A => {
+                let seq = r.u32()?;
+                let n = r.bounded_len()?;
+                let mut results = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    results.push(get_query_result(&mut r)?);
+                }
+                Frame::BatchOk { seq, results }
+            }
+            0x1B => {
+                let seq = r.u32()?;
+                let index = r.u32()?;
+                let error = get_cluster_error(&mut r)?;
+                Frame::BatchErr { seq, index, error }
+            }
             other => return Err(WireError::BadOpcode(other)),
         };
         r.finish()?;
@@ -509,6 +642,47 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> WireResult<usize> {
     w.write_all(&bytes)?;
     w.flush()?;
     Ok(bytes.len())
+}
+
+/// Encode a `Query`/`Execute` request from borrowed parts. Byte-identical
+/// to building the owning [`Frame`] and calling [`Frame::encode`], minus
+/// the statement/param clones — the client's per-statement hot path.
+pub fn encode_stmt_request(sql: &str, params: &[Value], affected_only: bool) -> Vec<u8> {
+    let mut body = Vec::with_capacity(10 + sql.len() + 9 * params.len());
+    body.push(if affected_only { 0x12 } else { 0x10 });
+    put_str(&mut body, sql);
+    put_u32(&mut body, params.len() as u32);
+    for v in params {
+        put_value(&mut body, v);
+    }
+    finish_frame(body)
+}
+
+/// Encode a `Batch` request from borrowed statements. Byte-identical to
+/// `Frame::Batch { .. }.encode()` without cloning every SQL string into
+/// an owned frame first.
+pub fn encode_batch_request(seq: u32, mode: BatchMode, stmts: &[BatchStmt]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(10 + 48 * stmts.len());
+    body.push(0x19);
+    put_u32(&mut body, seq);
+    body.push(batch_mode_to_u8(mode));
+    put_u32(&mut body, stmts.len() as u32);
+    for s in stmts {
+        put_str(&mut body, &s.sql);
+        put_u32(&mut body, s.params.len() as u32);
+        for v in &s.params {
+            put_value(&mut body, v);
+        }
+    }
+    finish_frame(body)
+}
+
+/// Prefix an encoded frame body (opcode + payload) with its length header.
+fn finish_frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
 }
 
 // ------------------------------------------------------------- primitives
@@ -972,6 +1146,125 @@ mod tests {
         };
         assert!(back.is_proactive_rejection());
         assert_eq!(back, rej);
+    }
+
+    #[test]
+    fn batch_frames_roundtrip() {
+        roundtrip(&Frame::Batch {
+            seq: 7,
+            mode: BatchMode::WholeTxn,
+            stmts: vec![
+                BatchStmt::new(
+                    "INSERT INTO t VALUES (?, ?)",
+                    vec![Value::Int(1), "a".into()],
+                ),
+                BatchStmt::new("SELECT COUNT(*) FROM t", vec![]),
+            ],
+        });
+        roundtrip(&Frame::Batch {
+            seq: 0,
+            mode: BatchMode::Statements,
+            stmts: vec![],
+        });
+        roundtrip(&Frame::BatchOk {
+            seq: u32::MAX,
+            results: vec![QueryResult::default(), QueryResult::default()],
+        });
+        roundtrip(&Frame::BatchErr {
+            seq: 3,
+            index: 2,
+            error: ClusterError::from(StorageError::Deadlock(TxnId(9))),
+        });
+    }
+
+    #[test]
+    fn borrowed_request_encoders_match_owned_frames() {
+        let sql = "SELECT * FROM t WHERE id = ? AND name = ?";
+        let params = vec![Value::Int(42), "x".into()];
+        for affected_only in [false, true] {
+            let owned = if affected_only {
+                Frame::Execute {
+                    sql: sql.to_string(),
+                    params: params.clone(),
+                }
+            } else {
+                Frame::Query {
+                    sql: sql.to_string(),
+                    params: params.clone(),
+                }
+            };
+            assert_eq!(
+                encode_stmt_request(sql, &params, affected_only),
+                owned.encode()
+            );
+        }
+
+        let stmts = vec![
+            BatchStmt::new(
+                "INSERT INTO t VALUES (?, ?)",
+                vec![Value::Int(1), "a".into()],
+            ),
+            BatchStmt::new("SELECT COUNT(*) FROM t", vec![]),
+        ];
+        for mode in [
+            BatchMode::Statements,
+            BatchMode::FinishTxn,
+            BatchMode::WholeTxn,
+        ] {
+            let owned = Frame::Batch {
+                seq: 9,
+                mode,
+                stmts: stmts.clone(),
+            };
+            assert_eq!(encode_batch_request(9, mode, &stmts), owned.encode());
+        }
+    }
+
+    #[test]
+    fn handshake_accepts_both_protocol_versions() {
+        for v in [MIN_PROTOCOL_VERSION, PROTOCOL_VERSION] {
+            roundtrip(&Frame::Hello {
+                version: v,
+                db: "app".into(),
+                read_pref: ReadPref::Default,
+                write_pref: WritePref::Default,
+            });
+            roundtrip(&Frame::HelloOk {
+                version: v,
+                read_policy: ReadPolicy::PinnedReplica,
+                write_policy: WritePolicy::Conservative,
+            });
+        }
+        // Versions outside [MIN, CURRENT] are refused.
+        for bad in [0u16, PROTOCOL_VERSION + 1] {
+            let f = Frame::Hello {
+                version: bad,
+                db: "app".into(),
+                read_pref: ReadPref::Default,
+                write_pref: WritePref::Default,
+            };
+            let bytes = f.encode();
+            assert!(matches!(
+                Frame::decode(&bytes[4..]),
+                Err(WireError::BadVersion(v)) if v == bad
+            ));
+        }
+    }
+
+    #[test]
+    fn bad_batch_mode_tag_is_rejected() {
+        let f = Frame::Batch {
+            seq: 1,
+            mode: BatchMode::FinishTxn,
+            stmts: vec![],
+        };
+        let mut bytes = f.encode();
+        // Body layout: opcode(1) seq(4) mode(1) — corrupt the mode byte.
+        bytes[4 + 5] = 0x7f;
+        assert!(matches!(
+            Frame::decode(&bytes[4..]),
+            Err(WireError::BadTag(0x7f))
+        ));
     }
 
     #[test]

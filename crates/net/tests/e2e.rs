@@ -12,8 +12,13 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tenantdb_cluster::fault::{CrashPoint, FaultAction, FaultInjector, FaultPlan, Trigger};
-use tenantdb_cluster::{testkit, ClusterController, ReadPolicy, Transport, WritePolicy};
-use tenantdb_net::{ConnectOptions, Frame, NetClient, NetError, ReadPref, Server, ServerConfig};
+use tenantdb_cluster::{
+    testkit, BatchMode, BatchStmt, ClusterController, ReadPolicy, Transport, WritePolicy,
+};
+use tenantdb_net::wire::{self, PROTOCOL_VERSION};
+use tenantdb_net::{
+    ConnectOptions, Frame, NetClient, NetError, ReadPref, Server, ServerConfig, WritePref,
+};
 use tenantdb_platform::{CreateOptions, PlatformConfig, SystemController};
 use tenantdb_storage::Value;
 use tenantdb_tpcw::{run_txn, IdCounters, IdSpace, Scale, Session, BROWSING};
@@ -540,5 +545,339 @@ fn conn_listing_reports_live_sessions() {
         server.session_count() == 1
     });
     assert_eq!(c1.list_conns().expect("list again").len(), 1);
+    server.shutdown();
+}
+
+/// Forces the statement-at-a-time wire discipline: the `execute_batch`
+/// trait default (begin + N round trips + commit) instead of the one
+/// `Batch` frame `NetClient` normally sends.
+struct StmtAtATime<'a>(&'a NetClient);
+
+impl Transport for StmtAtATime<'_> {
+    fn begin(&self) -> Result<(), tenantdb_cluster::ClusterError> {
+        Transport::begin(self.0)
+    }
+    fn execute(
+        &self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<tenantdb_sql::QueryResult, tenantdb_cluster::ClusterError> {
+        Transport::execute(self.0, sql, params)
+    }
+    fn commit(&self) -> Result<(), tenantdb_cluster::ClusterError> {
+        Transport::commit(self.0)
+    }
+    fn rollback(&self) -> Result<(), tenantdb_cluster::ClusterError> {
+        Transport::rollback(self.0)
+    }
+    fn in_txn(&self) -> bool {
+        Transport::in_txn(self.0)
+    }
+}
+
+/// Open a raw wire connection (no `NetClient` machinery): TCP connect +
+/// Hello/HelloOk. Used by the slow-reader and connection-swarm tests,
+/// which need byte-level control the client API deliberately hides.
+fn raw_handshake(addr: std::net::SocketAddr) -> std::net::TcpStream {
+    let mut s = std::net::TcpStream::connect(addr).expect("raw connect");
+    s.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    wire::write_frame(
+        &mut s,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            db: DB.to_string(),
+            read_pref: ReadPref::Default,
+            write_pref: WritePref::Default,
+        },
+    )
+    .expect("hello");
+    match wire::read_frame(&mut s).expect("handshake reply") {
+        Some(Frame::HelloOk { .. }) => s,
+        other => panic!("handshake rejected: {other:?}"),
+    }
+}
+
+/// Acceptance: batching changes the number of round trips, not the
+/// answers — the same seeded TPC-W session produces identical outcomes
+/// and identical durable state whether its transactions ride one `Batch`
+/// frame or a statement-at-a-time conversation.
+#[test]
+fn tpcw_batched_and_unpipelined_disciplines_are_byte_identical() {
+    const SEED: u64 = 77;
+    const TXNS: usize = 40;
+
+    // Platform A: NetClient's native batched discipline.
+    let sys_a = platform(SEED);
+    let cluster_a = create_db(&sys_a);
+    let ids_a = seed_tpcw(&cluster_a, SEED);
+    let srv_a =
+        Server::start("127.0.0.1:0", Arc::clone(&sys_a), ServerConfig::default()).expect("bind a");
+    let client_a = NetClient::connect(srv_a.local_addr(), DB, quick_opts()).expect("connect a");
+    let outcomes_a = drive(&client_a, ids_a, SEED, TXNS);
+
+    // Platform B: identical seed, statement-at-a-time on the same server
+    // implementation.
+    let sys_b = platform(SEED);
+    let cluster_b = create_db(&sys_b);
+    let ids_b = seed_tpcw(&cluster_b, SEED);
+    let srv_b =
+        Server::start("127.0.0.1:0", Arc::clone(&sys_b), ServerConfig::default()).expect("bind b");
+    let client_b = NetClient::connect(srv_b.local_addr(), DB, quick_opts()).expect("connect b");
+    let outcomes_b = drive(&StmtAtATime(&client_b), ids_b, SEED, TXNS);
+
+    assert_eq!(outcomes_a, outcomes_b, "wire disciplines diverged mid-mix");
+
+    testkit::assert_replicas_converged(&cluster_a, DB);
+    testkit::assert_replicas_converged(&cluster_b, DB);
+    let rep_a = cluster_a.alive_replicas(DB).expect("replicas a");
+    let rep_b = cluster_b.alive_replicas(DB).expect("replicas b");
+    let state_a =
+        testkit::logical_state(&cluster_a.machine(rep_a[0]).unwrap().engine, DB).expect("state a");
+    let state_b =
+        testkit::logical_state(&cluster_b.machine(rep_b[0]).unwrap().engine, DB).expect("state b");
+    assert_eq!(
+        state_a, state_b,
+        "batched and unpipelined end states differ"
+    );
+
+    // The same probe query encodes to the same reply bytes either way.
+    let probe = "SELECT i_id, i_title, i_cost FROM item ORDER BY i_id";
+    let r_a = Transport::execute(&client_a, probe, &[]).expect("probe a");
+    let r_b = Transport::execute(&client_b, probe, &[]).expect("probe b");
+    assert_eq!(
+        Frame::ResultSet(r_a).encode(),
+        Frame::ResultSet(r_b).encode(),
+        "result set bytes differ across disciplines"
+    );
+
+    srv_a.shutdown();
+    srv_b.shutdown();
+}
+
+/// Injected net faults around a `WholeTxn` batch: whichever side of the
+/// execute the connection dies on, the batch is atomic — severed before
+/// dispatch, nothing lands; severed after execute (ack lost), everything
+/// lands durably — and the replicas converge in both windows. There is
+/// no partial-batch state.
+#[test]
+fn fault_mid_batch_is_atomic_durable_and_converged() {
+    let sys = platform(31);
+    let cluster = create_db(&sys);
+    seed_kv(&sys, &[]);
+    let faults = Arc::new(FaultInjector::new());
+    let server = Server::start_with_faults(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig::default(),
+        Some(Arc::clone(&faults)),
+    )
+    .expect("bind");
+    let batch = |a: i64, b: i64| {
+        vec![
+            BatchStmt {
+                sql: format!("INSERT INTO kv VALUES ({a}, {a})"),
+                params: vec![],
+            },
+            BatchStmt {
+                sql: format!("INSERT INTO kv VALUES ({b}, {b})"),
+                params: vec![],
+            },
+        ]
+    };
+
+    // Window 1: the batch frame is read but the connection is severed
+    // before dispatch. Nothing executed, nothing visible.
+    let c1 = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("connect 1");
+    c1.ping(1).expect("warm up past the handshake reads");
+    faults.arm(FaultPlan::new(vec![Trigger {
+        point: CrashPoint::NetFrameRead,
+        machine: None,
+        after_hits: 0,
+        action: FaultAction::Crash,
+    }]));
+    let r1 = c1.execute_batch(&batch(41, 42), BatchMode::WholeTxn);
+    assert!(r1.is_err(), "batch should die with the connection");
+    wait_for("window-1 reclaim", Duration::from_secs(5), || {
+        server.session_count() == 0
+    });
+    let conn = sys.connect(DB, (0.0, 0.0)).expect("connect");
+    let read = conn
+        .execute("SELECT id FROM kv WHERE id >= 41", &[])
+        .expect("read");
+    assert!(read.rows.is_empty(), "severed batch leaked writes");
+    testkit::assert_replicas_converged(&cluster, DB);
+
+    // Window 2: the batch fully executes (commit decided) but the
+    // BatchOk is dropped and the connection severed — the client must
+    // treat the outcome as ambiguous; the platform must not: both rows
+    // are durable on every replica.
+    let c2 = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("connect 2");
+    faults.arm(FaultPlan::new(vec![Trigger {
+        point: CrashPoint::NetResponseDrop,
+        machine: None,
+        after_hits: 0,
+        action: FaultAction::Crash,
+    }]));
+    let r2 = c2.execute_batch(&batch(43, 44), BatchMode::WholeTxn);
+    assert!(r2.is_err(), "the ack was dropped; the client sees an error");
+    assert!(matches!(c2.ping(9), Err(NetError::Broken)));
+    wait_for("window-2 reclaim", Duration::from_secs(5), || {
+        server.session_count() == 0
+    });
+    testkit::assert_committed_visible(&cluster, DB, "kv", &[43, 44]);
+    testkit::assert_replicas_converged(&cluster, DB);
+    // A fresh session reads the committed rows over the wire.
+    let c3 = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("reconnect");
+    let read = Transport::execute(&c3, "SELECT id FROM kv WHERE id >= 41 ORDER BY id", &[])
+        .expect("read over wire");
+    assert_eq!(read.rows, vec![vec![Value::Int(43)], vec![Value::Int(44)]]);
+    server.shutdown();
+}
+
+/// A peer that issues a pipelined burst and stops reading must not wedge
+/// the reactor: its read interest is paused once the outbox crosses
+/// `write_buffer` (slow-reader backpressure), other connections stay
+/// responsive, and when the peer finally drains, every reply arrives
+/// complete and in order.
+#[test]
+fn slow_reader_is_paused_and_coalesced_not_wedged() {
+    const ROWS: i64 = 4;
+    const QUERIES: usize = 256;
+
+    let sys = platform(37);
+    create_db(&sys);
+    let conn = sys.connect(DB, (0.0, 0.0)).expect("connect");
+    conn.execute(
+        "CREATE TABLE blob (id INT NOT NULL, v TEXT, PRIMARY KEY (id))",
+        &[],
+    )
+    .expect("create blob");
+    let payload = "x".repeat(32 * 1024);
+    for id in 1..=ROWS {
+        conn.execute(
+            "INSERT INTO blob VALUES (?, ?)",
+            &[Value::Int(id), Value::Text(payload.clone())],
+        )
+        .expect("seed blob row");
+    }
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig {
+            write_buffer: 32 * 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    // Burst QUERIES requests in one write, each reply ~32 KiB, and do
+    // not read any of them yet.
+    let mut slow = raw_handshake(server.local_addr());
+    let mut burst = Vec::new();
+    for i in 0..QUERIES {
+        Frame::Query {
+            sql: "SELECT id, v FROM blob WHERE id = ?".to_string(),
+            params: vec![Value::Int((i as i64 % ROWS) + 1)],
+        }
+        .encode_into(&mut burst);
+    }
+    use std::io::Write as _;
+    slow.write_all(&burst).expect("burst");
+
+    // ~8 MiB of replies cannot fit in kernel buffers: the outbox crosses
+    // write_buffer and the reactor parks this connection's read side.
+    let metrics = server.metrics();
+    let paused = metrics.counter("tenantdb_net_read_pauses_total", &[]);
+    wait_for("read pause", Duration::from_secs(10), || paused.get() >= 1);
+
+    // The reactor is not wedged: a second connection works while the
+    // slow one is stalled.
+    let healthy = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("healthy");
+    healthy.ping(1).expect("ping during stall");
+    let probe = Transport::execute(&healthy, "SELECT id FROM blob WHERE id = 1", &[])
+        .expect("query during stall");
+    assert_eq!(probe.rows, vec![vec![Value::Int(1)]]);
+
+    // Now drain: every reply arrives, complete and in request order.
+    for i in 0..QUERIES {
+        let want = (i as i64 % ROWS) + 1;
+        match wire::read_frame(&mut slow).expect("reply frame") {
+            Some(Frame::ResultSet(r)) => {
+                assert_eq!(r.rows.len(), 1, "reply {i} row count");
+                assert_eq!(r.rows[0][0], Value::Int(want), "reply {i} out of order");
+                assert_eq!(r.rows[0][1], Value::Text(payload.clone()), "reply {i} body");
+            }
+            other => panic!("reply {i}: expected result set, got {other:?}"),
+        }
+    }
+    assert!(
+        metrics.counter_value("tenantdb_net_coalesced_frames_total", &[]) > 0,
+        "queued replies should have shared flushes"
+    );
+    drop(slow);
+    server.shutdown();
+}
+
+/// One reactor holds a thousand idle connections and reaps them all on
+/// the idle deadline without disturbing the one active session — the
+/// scenario thread-per-connection could only survive with a thousand
+/// parked threads.
+#[test]
+fn thousand_idle_connections_reaped_active_session_survives() {
+    const SWARM: usize = 1_000;
+
+    let sys = platform(41);
+    create_db(&sys);
+    seed_kv(&sys, &[1]);
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig {
+            max_connections: SWARM + 50,
+            idle_timeout: Duration::from_millis(400),
+            reap_interval: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Every handshake below round-trips Hello/HelloOk, so each admission
+    // is confirmed; the monotonic admissions counter (not the live gauge)
+    // is the right check because early connections may already be hitting
+    // their idle deadline while the tail of the swarm is still arriving.
+    let swarm: Vec<std::net::TcpStream> = (0..SWARM).map(|_| raw_handshake(addr)).collect();
+    assert!(
+        server
+            .metrics()
+            .counter_value("tenantdb_net_connections_total", &[])
+            >= SWARM as u64,
+        "admissions below swarm size"
+    );
+
+    // The active session keeps talking while the swarm idles out; its
+    // traffic must keep it alive across many reap intervals.
+    let active = NetClient::connect(addr, DB, quick_opts()).expect("active connect");
+    let mut token = 0u64;
+    wait_for("swarm reaped", Duration::from_secs(30), || {
+        token += 1;
+        active.ping(token).expect("active ping during reap");
+        server.session_count() == 1
+    });
+
+    assert!(
+        server
+            .metrics()
+            .counter_value("tenantdb_net_idle_reaped_total", &[])
+            >= SWARM as u64,
+        "idle reap count below swarm size"
+    );
+    // The survivor still executes real work.
+    let r = Transport::execute(&active, "SELECT v FROM kv WHERE id = 1", &[]).expect("survivor");
+    assert_eq!(r.rows.len(), 1);
+    // The reaped sockets are dead: the server closed them.
+    drop(swarm);
     server.shutdown();
 }

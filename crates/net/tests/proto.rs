@@ -12,7 +12,7 @@
 
 use rand::{Rng, SeedableRng, StdRng};
 use tenantdb_cluster::ClusterError;
-use tenantdb_cluster::{ReadPolicy, WritePolicy};
+use tenantdb_cluster::{BatchMode, BatchStmt, ReadPolicy, WritePolicy};
 use tenantdb_net::wire::{Frame, ReadPref, WireError, WritePref, MAX_FRAME_LEN, PROTOCOL_VERSION};
 use tenantdb_net::ConnInfo;
 use tenantdb_sql::{QueryResult, SqlError};
@@ -130,8 +130,17 @@ fn rand_query_result(rng: &mut StdRng) -> QueryResult {
     }
 }
 
+fn rand_batch_stmt(rng: &mut StdRng) -> BatchStmt {
+    BatchStmt {
+        sql: rand_string(rng, 40),
+        params: (0..rng.gen_range(0..4usize))
+            .map(|_| rand_finite_value(rng))
+            .collect(),
+    }
+}
+
 fn rand_frame(rng: &mut StdRng) -> Frame {
-    match rng.gen_range(0..15u32) {
+    match rng.gen_range(0..18u32) {
         0 => Frame::Hello {
             version: PROTOCOL_VERSION,
             db: rand_string(rng, 12),
@@ -185,6 +194,28 @@ fn rand_frame(rng: &mut StdRng) -> Frame {
         11 => Frame::Commit,
         12 => Frame::Rollback,
         13 => Frame::ListConns,
+        14 => Frame::Batch {
+            seq: rng.gen::<u32>(),
+            mode: [
+                BatchMode::Statements,
+                BatchMode::FinishTxn,
+                BatchMode::WholeTxn,
+            ][rng.gen_range(0..3usize)],
+            stmts: (0..rng.gen_range(0..5usize))
+                .map(|_| rand_batch_stmt(rng))
+                .collect(),
+        },
+        15 => Frame::BatchOk {
+            seq: rng.gen::<u32>(),
+            results: (0..rng.gen_range(0..4usize))
+                .map(|_| rand_query_result(rng))
+                .collect(),
+        },
+        16 => Frame::BatchErr {
+            seq: rng.gen::<u32>(),
+            index: rng.gen::<u32>(),
+            error: rand_cluster_error(rng),
+        },
         _ => Frame::ConnList(
             (0..rng.gen_range(0..4usize))
                 .map(|_| ConnInfo {
@@ -323,7 +354,7 @@ fn bad_version_is_detected() {
 #[test]
 fn garbage_opcode_is_rejected() {
     for op in 0u8..=255 {
-        let known = matches!(op, 0x01..=0x06 | 0x10..=0x18);
+        let known = matches!(op, 0x01..=0x06 | 0x10..=0x1B);
         let body = [op];
         match Frame::decode(&body) {
             Err(WireError::BadOpcode(b)) => {

@@ -10,6 +10,16 @@
 //! titles exactly via the title index instead of `LIKE '%...%'` scans; the
 //! generator's titles are drawn from a known set, so search selectivity is
 //! comparable.
+//!
+//! **Batching:** interactions whose statement list does not depend on
+//! intermediate results (Home, ProductDetail, ShoppingCart, …) submit the
+//! whole transaction body as one [`Transport::execute_batch`] call with
+//! [`BatchMode::WholeTxn`]; BuyConfirm's data-independent tail goes out as
+//! a [`BatchMode::FinishTxn`] batch. In process this executes the identical
+//! statement sequence; over TCP it collapses a transaction's `(N + 2)`
+//! round-trips into one `Batch` frame — the serving-tier flat-RTT path.
+//! OrderInquiry and BuyConfirm's read phase are data-dependent and stay
+//! statement-at-a-time.
 
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
@@ -17,7 +27,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use tenantdb_cluster::{ClusterError, Transport};
+use tenantdb_cluster::{BatchMode, BatchStmt, ClusterError, Transport};
 use tenantdb_storage::Value;
 
 use crate::generator::{IdSpace, Scale};
@@ -253,57 +263,66 @@ fn run_txn_inner<C: Transport>(
 ) -> Result<(), ClusterError> {
     match kind {
         Home => {
-            conn.begin()?;
-            conn.execute(
+            // Statement list is known up front: whole txn in one batch.
+            let mut stmts = vec![BatchStmt::new(
                 "SELECT c_fname, c_lname, c_discount FROM customer WHERE c_id = ?",
-                &[Value::Int(session.customer)],
-            )?;
+                vec![Value::Int(session.customer)],
+            )];
             for _ in 0..5 {
-                conn.execute(
+                stmts.push(BatchStmt::new(
                     "SELECT i_title, i_cost FROM item WHERE i_id = ?",
-                    &[Value::Int(rand_item(scale, rng))],
-                )?;
+                    vec![Value::Int(rand_item(scale, rng))],
+                ));
             }
-            conn.commit()
+            conn.execute_batch(&stmts, BatchMode::WholeTxn)?;
+            Ok(())
         }
         NewProducts => {
-            conn.begin()?;
             let subject = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
-            conn.execute(
-                "SELECT i_id, i_title, i_pub_date FROM item WHERE i_subject = ? \
-                 ORDER BY i_pub_date DESC LIMIT 10",
-                &[Value::from(subject)],
+            conn.execute_batch(
+                &[BatchStmt::new(
+                    "SELECT i_id, i_title, i_pub_date FROM item WHERE i_subject = ? \
+                     ORDER BY i_pub_date DESC LIMIT 10",
+                    vec![Value::from(subject)],
+                )],
+                BatchMode::WholeTxn,
             )?;
-            conn.commit()
+            Ok(())
         }
         BestSellers => {
-            conn.begin()?;
             // Restrict to recent orders, as TPC-W does (last ~30% of orders).
             // ordering: Relaxed — approximate horizon; staleness is fine for the mix.
             let horizon = (ids.order.load(Ordering::Relaxed) * 7) / 10;
-            conn.execute(
-                "SELECT ol_i_id, SUM(ol_qty) AS sold FROM order_line WHERE ol_o_id >= ? \
-                 GROUP BY ol_i_id ORDER BY sold DESC LIMIT 5",
-                &[Value::Int(horizon)],
+            conn.execute_batch(
+                &[BatchStmt::new(
+                    "SELECT ol_i_id, SUM(ol_qty) AS sold FROM order_line WHERE ol_o_id >= ? \
+                     GROUP BY ol_i_id ORDER BY sold DESC LIMIT 5",
+                    vec![Value::Int(horizon)],
+                )],
+                BatchMode::WholeTxn,
             )?;
-            conn.commit()
+            Ok(())
         }
         ProductDetail => {
-            conn.begin()?;
-            conn.execute(
-                "SELECT i.i_title, i.i_cost, i.i_stock, a.a_fname, a.a_lname \
-                 FROM item i JOIN author a ON a.a_id = i.i_a_id WHERE i.i_id = ?",
-                &[Value::Int(rand_item(scale, rng))],
+            conn.execute_batch(
+                &[BatchStmt::new(
+                    "SELECT i.i_title, i.i_cost, i.i_stock, a.a_fname, a.a_lname \
+                     FROM item i JOIN author a ON a.a_id = i.i_a_id WHERE i.i_id = ?",
+                    vec![Value::Int(rand_item(scale, rng))],
+                )],
+                BatchMode::WholeTxn,
             )?;
-            conn.commit()
+            Ok(())
         }
         SearchByTitle => {
-            conn.begin()?;
-            conn.execute(
-                "SELECT i_id, i_cost FROM item WHERE i_title = ?",
-                &[Value::Text(format!("title-{}", rand_item(scale, rng)))],
+            conn.execute_batch(
+                &[BatchStmt::new(
+                    "SELECT i_id, i_cost FROM item WHERE i_title = ?",
+                    vec![Value::Text(format!("title-{}", rand_item(scale, rng)))],
+                )],
+                BatchMode::WholeTxn,
             )?;
-            conn.commit()
+            Ok(())
         }
         OrderInquiry => {
             conn.begin()?;
@@ -321,29 +340,30 @@ fn run_txn_inner<C: Transport>(
             conn.commit()
         }
         ShoppingCart => {
-            conn.begin()?;
+            // Ids come from counters and rng, not from query results, so
+            // the whole cart build is one batch.
             let sc_id = IdCounters::next(&ids.cart);
-            conn.execute(
+            let mut stmts = vec![BatchStmt::new(
                 "INSERT INTO shopping_cart VALUES (?, ?, 0)",
-                &[Value::Int(sc_id), Value::Int(session.customer)],
-            )?;
+                vec![Value::Int(sc_id), Value::Int(session.customer)],
+            )];
             for _ in 0..rng.gen_range(1..=3) {
                 let item = rand_item(scale, rng);
-                conn.execute(
+                stmts.push(BatchStmt::new(
                     "SELECT i_cost FROM item WHERE i_id = ?",
-                    &[Value::Int(item)],
-                )?;
-                conn.execute(
+                    vec![Value::Int(item)],
+                ));
+                stmts.push(BatchStmt::new(
                     "INSERT INTO shopping_cart_line VALUES (?, ?, ?, ?)",
-                    &[
+                    vec![
                         Value::Int(IdCounters::next(&ids.cart_line)),
                         Value::Int(sc_id),
                         Value::Int(item),
                         Value::Int(rng.gen_range(1..=5)),
                     ],
-                )?;
+                ));
             }
-            conn.commit()?;
+            conn.execute_batch(&stmts, BatchMode::WholeTxn)?;
             session.cart = Some(sc_id);
             Ok(())
         }
@@ -374,77 +394,90 @@ fn run_txn_inner<C: Transport>(
                     &[Value::Int(new_stock), Value::Int(item)],
                 )?;
             }
+            // The tail (order + lines + payment + cart cleanup + commit) no
+            // longer depends on query results: finish the open txn in one
+            // batch.
             let o_id = IdCounters::next(&ids.order);
-            conn.execute(
+            let mut stmts = vec![BatchStmt::new(
                 "INSERT INTO orders VALUES (?, ?, 0, ?, 'pending')",
-                &[
+                vec![
                     Value::Int(o_id),
                     Value::Int(session.customer),
                     Value::Float(total),
                 ],
-            )?;
+            )];
             for line in &lines.rows {
-                conn.execute(
+                stmts.push(BatchStmt::new(
                     "INSERT INTO order_line VALUES (?, ?, ?, ?, 0.0)",
-                    &[
+                    vec![
                         Value::Int(IdCounters::next(&ids.order_line)),
                         Value::Int(o_id),
                         line[0].clone(),
                         line[1].clone(),
                     ],
-                )?;
+                ));
             }
-            conn.execute(
+            stmts.push(BatchStmt::new(
                 "INSERT INTO cc_xacts VALUES (?, 'VISA', ?, 0)",
-                &[Value::Int(o_id), Value::Float(total)],
-            )?;
-            conn.execute(
+                vec![Value::Int(o_id), Value::Float(total)],
+            ));
+            stmts.push(BatchStmt::new(
                 "DELETE FROM shopping_cart_line WHERE scl_sc_id = ?",
-                &[Value::Int(sc_id)],
-            )?;
-            conn.commit()?;
+                vec![Value::Int(sc_id)],
+            ));
+            conn.execute_batch(&stmts, BatchMode::FinishTxn)?;
             session.cart = None;
             Ok(())
         }
         AdminConfirm => {
-            conn.begin()?;
             let item = rand_item_uniform(scale, rng);
             // Deliberate read-then-update without FOR UPDATE: the admin page
             // displays the item before changing it. Two concurrent admins on
             // the same item S-lock it and then both try to upgrade — the
-            // classic lock-upgrade deadlock MySQL applications hit.
-            conn.execute(
-                "SELECT i_cost, i_pub_date FROM item WHERE i_id = ?",
-                &[Value::Int(item)],
-            )?;
-            conn.execute(
-                "UPDATE item SET i_cost = ?, i_pub_date = ? WHERE i_id = ?",
+            // classic lock-upgrade deadlock MySQL applications hit. (The
+            // update's values are rng-driven, not derived from the read, so
+            // the pair still batches.)
+            conn.execute_batch(
                 &[
-                    Value::Float((rng.gen_range(100..10_000) as f64) / 100.0),
-                    Value::Int(rng.gen_range(0..3650)),
-                    Value::Int(item),
+                    BatchStmt::new(
+                        "SELECT i_cost, i_pub_date FROM item WHERE i_id = ?",
+                        vec![Value::Int(item)],
+                    ),
+                    BatchStmt::new(
+                        "UPDATE item SET i_cost = ?, i_pub_date = ? WHERE i_id = ?",
+                        vec![
+                            Value::Float((rng.gen_range(100..10_000) as f64) / 100.0),
+                            Value::Int(rng.gen_range(0..3650)),
+                            Value::Int(item),
+                        ],
+                    ),
                 ],
+                BatchMode::WholeTxn,
             )?;
-            conn.commit()
+            Ok(())
         }
         CustomerRegistration => {
-            conn.begin()?;
             let c_id = IdCounters::next(&ids.customer);
-            conn.execute(
-                "INSERT INTO address VALUES (?, ?, 'newcity', 0)",
-                &[Value::Int(c_id), Value::Text(format!("{c_id} new st"))],
-            )?;
-            conn.execute(
-                "INSERT INTO customer VALUES (?, ?, ?, ?, ?, 0.0, 0.0)",
+            conn.execute_batch(
                 &[
-                    Value::Int(c_id),
-                    Value::Text(format!("user{c_id}")),
-                    Value::Text(format!("first{c_id}")),
-                    Value::Text(format!("last{}", c_id % 211)),
-                    Value::Int(c_id),
+                    BatchStmt::new(
+                        "INSERT INTO address VALUES (?, ?, 'newcity', 0)",
+                        vec![Value::Int(c_id), Value::Text(format!("{c_id} new st"))],
+                    ),
+                    BatchStmt::new(
+                        "INSERT INTO customer VALUES (?, ?, ?, ?, ?, 0.0, 0.0)",
+                        vec![
+                            Value::Int(c_id),
+                            Value::Text(format!("user{c_id}")),
+                            Value::Text(format!("first{c_id}")),
+                            Value::Text(format!("last{}", c_id % 211)),
+                            Value::Int(c_id),
+                        ],
+                    ),
                 ],
+                BatchMode::WholeTxn,
             )?;
-            conn.commit()
+            Ok(())
         }
     }
 }

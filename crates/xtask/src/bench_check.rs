@@ -1,0 +1,279 @@
+//! `cargo xtask bench-check` — validate `BENCH_net.json` (written by the
+//! `net_10k_conns` bench) so CI fails loudly when the snapshot schema
+//! drifts: the file must parse as JSON, carry the expected `schema` tag,
+//! and expose every contracted key path as a finite number. The parser
+//! is a minimal hand-rolled recursive descent (objects, strings,
+//! numbers, booleans) — the workspace takes no serde dependency for the
+//! sake of one fixed-shape file.
+
+use std::path::Path;
+
+/// The schema tag the bench stamps into the file; bump in lockstep with
+/// the key contract below and the writer in `net_10k_conns.rs`.
+const SCHEMA: &str = "tenantdb-bench-net/v1";
+
+/// Dotted key paths that must resolve to finite numbers.
+const REQUIRED_NUMBERS: &[&str] = &[
+    "loopback.ping_ns",
+    "loopback.ping_pipelined_per_frame_ns",
+    "loopback.per_statement_overhead_ns",
+    "loopback.per_txn_overhead_unpipelined_ns",
+    "loopback.per_txn_overhead_batched_ns",
+    "conns_10k.target_connections",
+    "conns_10k.held_connections",
+    "conns_10k.ping_rounds",
+    "conns_10k.frames_total",
+    "conns_10k.frame_latency_us_p50",
+    "conns_10k.frame_latency_us_p99",
+    "conns_10k.connect_seconds",
+];
+
+/// Validate the snapshot at `path`. Returns human-readable problems;
+/// empty means the file honors the contract.
+pub fn check_file(path: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
+    };
+    check_text(&text)
+}
+
+pub fn check_text(text: &str) -> Vec<String> {
+    let root = match parse(text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("BENCH_net.json: parse error: {e}")],
+    };
+    let mut problems = Vec::new();
+    match lookup(&root, "schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        Some(Json::Str(s)) => problems.push(format!(
+            "BENCH_net.json: schema is {s:?}, expected {SCHEMA:?}"
+        )),
+        _ => problems.push("BENCH_net.json: missing string key \"schema\"".to_string()),
+    }
+    for path in REQUIRED_NUMBERS {
+        match lookup(&root, path) {
+            Some(Json::Num(n)) if n.is_finite() => {}
+            Some(Json::Num(n)) => {
+                problems.push(format!("BENCH_net.json: {path} is non-finite ({n})"))
+            }
+            Some(_) => problems.push(format!("BENCH_net.json: {path} is not a number")),
+            None => problems.push(format!("BENCH_net.json: missing key {path}")),
+        }
+    }
+    problems
+}
+
+/// Walk a dotted path through nested objects.
+fn lookup<'a>(mut v: &'a Json, path: &str) -> Option<&'a Json> {
+    for seg in path.split('.') {
+        match v {
+            Json::Obj(pairs) => v = &pairs.iter().find(|(k, _)| k == seg)?.1,
+            _ => return None,
+        }
+    }
+    Some(v)
+}
+
+/// Just enough JSON for the bench snapshot.
+#[derive(Debug, PartialEq)]
+pub enum Json {
+    Obj(Vec<(String, Json)>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') | Some(b'f') => parse_bool(b, pos),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!(
+            "unexpected byte {:?} at offset {}",
+            *c as char, pos
+        )),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' after key {key:?} at offset {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        pairs.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let start = *pos;
+    while *pos < b.len() && b[*pos] != b'"' {
+        if b[*pos] == b'\\' {
+            return Err(format!("escape sequences unsupported (offset {pos})"));
+        }
+        *pos += 1;
+    }
+    if *pos >= b.len() {
+        return Err("unterminated string".to_string());
+    }
+    let s = std::str::from_utf8(&b[start..*pos])
+        .map_err(|e| format!("invalid utf-8 in string: {e}"))?
+        .to_string();
+    *pos += 1; // closing quote
+    Ok(s)
+}
+
+fn parse_bool(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    for (lit, v) in [("true", true), ("false", false)] {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            return Ok(Json::Bool(v));
+        }
+    }
+    Err(format!("expected boolean at offset {pos}"))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at offset {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+  "schema": "tenantdb-bench-net/v1",
+  "fast_mode": false,
+  "loopback": {
+    "ping_ns": 6774.5,
+    "ping_pipelined_per_frame_ns": 4147.1,
+    "per_statement_overhead_ns": 12745.6,
+    "per_txn_overhead_unpipelined_ns": 43981.7,
+    "per_txn_overhead_batched_ns": 19812.1
+  },
+  "conns_10k": {
+    "target_connections": 10000,
+    "held_connections": 10000,
+    "ping_rounds": 3,
+    "frames_total": 30000,
+    "frame_latency_us_p50": 5.1,
+    "frame_latency_us_p99": 87.7,
+    "connect_seconds": 5.38
+  }
+}
+"#;
+
+    #[test]
+    fn accepts_the_contracted_snapshot() {
+        assert_eq!(check_text(GOOD), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rejects_missing_key() {
+        let broken = GOOD.replace("\"frame_latency_us_p99\"", "\"frame_latency_p99\"");
+        let problems = check_text(&broken);
+        assert!(
+            problems.iter().any(|p| p.contains("frame_latency_us_p99")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_schema_tag() {
+        let broken = GOOD.replace("tenantdb-bench-net/v1", "tenantdb-bench-net/v0");
+        let problems = check_text(&broken);
+        assert!(
+            problems.iter().any(|p| p.contains("schema")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_non_numeric_value() {
+        let broken = GOOD.replace("87.7", "\"87.7\"");
+        let problems = check_text(&broken);
+        assert!(
+            problems.iter().any(|p| p.contains("not a number")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        let problems = check_text("{\"schema\": ");
+        assert!(
+            problems.iter().any(|p| p.contains("parse error")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn parser_handles_nested_objects_and_scalars() {
+        let v = parse("{\"a\": {\"b\": -1.5e2}, \"c\": true}").expect("parse");
+        assert_eq!(
+            lookup(&v, "a.b"),
+            Some(&Json::Num(-150.0)),
+            "nested numeric lookup"
+        );
+        assert_eq!(lookup(&v, "c"), Some(&Json::Bool(true)));
+        assert_eq!(lookup(&v, "a.missing"), None);
+    }
+}

@@ -20,13 +20,24 @@
 //!    justifies it. SeqCst needs no annotation (it is never *wrong*, only
 //!    slow); weaker orderings are claims about the program and must say why.
 //! 4. **net-timeout** — in `crates/net/src`, every `.accept()` and
-//!    `TcpStream::connect` must arm `set_read_timeout` *and*
-//!    `set_write_timeout` on the resulting stream within the next 12 lines:
-//!    a socket that can block forever turns one stalled peer into a wedged
-//!    session thread (or a hung client). Escape:
-//!    `// lint:allow(net-timeout): <reason>` with a non-empty reason.
+//!    `TcpStream::connect` must bound its blocking within the next 12
+//!    lines: either arm `set_read_timeout` *and* `set_write_timeout`
+//!    (blocking sockets), or switch the socket to `set_nonblocking(true)`
+//!    (readiness-driven sockets, whose deadlines live on the reactor's
+//!    timer wheel instead). A socket that can block forever turns one
+//!    stalled peer into a wedged session thread (or a hung client).
+//!    Escape: `// lint:allow(net-timeout): <reason>` with a non-empty
+//!    reason.
+//! 5. **reactor-block** — in the reactor code paths (`crates/net/src/
+//!    reactor.rs` and `crates/net/src/server.rs`), no potentially blocking
+//!    call: `thread::sleep` or raw socket `.read(` / `.write(` /
+//!    `.write_all(` / `.flush(`. A reactor thread that blocks stalls every
+//!    connection multiplexed onto it. I/O on sockets verified nonblocking
+//!    (the readiness-gated pump/flush) and deliberate blocking (fault
+//!    injection, the dedicated accept thread, the portable fallback
+//!    poller) must say so: `// lint:allow(reactor-block): <reason>`.
 //!
-//! All four rules skip `#[cfg(test)]` regions: the repo convention keeps
+//! All five rules skip `#[cfg(test)]` regions: the repo convention keeps
 //! test modules at the bottom of each file, so everything from the first
 //! `#[cfg(test)]` line to EOF is treated as test code.
 //!
@@ -34,6 +45,8 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+mod bench_check;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -51,9 +64,28 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("bench-check") => {
+            // Default to the snapshot the net_10k_conns bench writes;
+            // an explicit path argument overrides (useful in CI when
+            // the bench ran in a different working directory).
+            let path = args
+                .next()
+                .map(PathBuf::from)
+                .unwrap_or_else(|| workspace_root().join("BENCH_net.json"));
+            let problems = bench_check::check_file(&path);
+            if problems.is_empty() {
+                println!("xtask bench-check: {} OK", path.display());
+            } else {
+                for p in &problems {
+                    eprintln!("{p}");
+                }
+                eprintln!("\nxtask bench-check: {} problem(s)", problems.len());
+                std::process::exit(1);
+            }
+        }
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint   (got {:?})",
+                "usage: cargo run -p xtask -- <lint|bench-check [path]>   (got {:?})",
                 other.unwrap_or("<none>")
             );
             std::process::exit(2);
@@ -150,6 +182,8 @@ fn lint_file(rel_path: &str, contents: &str) -> Vec<Violation> {
         || rel_path.starts_with("crates/net/src/"))
         && !rel_path.ends_with("/sync.rs");
     let check_net_timeout = rel_path.starts_with("crates/net/src/");
+    let check_reactor_block =
+        rel_path == "crates/net/src/reactor.rs" || rel_path == "crates/net/src/server.rs";
     let check_unwrap = rel_path.starts_with("crates/cluster/src/")
         && HOT_PATH_FILES
             .iter()
@@ -222,8 +256,26 @@ fn lint_file(rel_path: &str, contents: &str) -> Vec<Violation> {
                 line: lineno,
                 rule: "net-timeout",
                 message: "socket opened without set_read_timeout + set_write_timeout \
-                          within 12 lines — an unbounded read/write wedges the peer's \
+                          (or set_nonblocking(true) for the readiness path) within \
+                          12 lines — an unbounded read/write wedges the peer's \
                           thread (or add // lint:allow(net-timeout): <reason>)"
+                    .to_string(),
+            });
+        }
+
+        if check_reactor_block
+            && !is_comment
+            && blocks_reactor(code)
+            && !reason_escape_nearby(&lines, idx, "reactor-block")
+        {
+            violations.push(Violation {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule: "reactor-block",
+                message: "potentially blocking call in a reactor code path — a blocked \
+                          reactor thread stalls every connection on it; route I/O \
+                          through readiness, or justify with \
+                          // lint:allow(reactor-block): <reason>"
                     .to_string(),
             });
         }
@@ -292,12 +344,31 @@ fn opens_socket(code: &str) -> bool {
     code.contains(".accept()") || code.contains("TcpStream::connect")
 }
 
-/// Both timeouts must be armed within the 12 lines after the socket is
-/// obtained (counting the opening line itself).
+/// The socket's blocking must be bounded within the 12 lines after it is
+/// obtained (counting the opening line itself): both timeouts armed, or
+/// the socket switched to nonblocking (readiness path — its deadlines live
+/// on the reactor's timer wheel).
 fn timeouts_armed_below(lines: &[&str], idx: usize) -> bool {
     let window = &lines[idx..(idx + 12).min(lines.len())];
-    window.iter().any(|l| l.contains("set_read_timeout"))
-        && window.iter().any(|l| l.contains("set_write_timeout"))
+    let both_timeouts = window.iter().any(|l| l.contains("set_read_timeout"))
+        && window.iter().any(|l| l.contains("set_write_timeout"));
+    both_timeouts || window.iter().any(|l| l.contains("set_nonblocking(true)"))
+}
+
+/// Does this code (comment-stripped) make a call that can block a reactor
+/// thread? Raw socket reads/writes are only legal on sockets verified
+/// nonblocking, and sleeps only off the reactor threads — both must carry
+/// an escape saying so.
+fn blocks_reactor(code: &str) -> bool {
+    [
+        "thread::sleep(",
+        ".read(",
+        ".write(",
+        ".write_all(",
+        ".flush(",
+    ]
+    .iter()
+    .any(|t| code.contains(t))
 }
 
 /// The weak ordering named on this line, if any. SeqCst is exempt.
@@ -453,6 +524,49 @@ mod tests {
         // Sockets elsewhere (tests, sim) are out of scope.
         let src = "let s = TcpStream::connect(a)?;\n";
         assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn net_timeout_accepts_nonblocking_as_arming() {
+        let nonblocking = "let (stream, peer) = listener.accept()?;\n\
+                           stream.set_nonblocking(true)?;\n";
+        assert!(rules("crates/net/src/server.rs", nonblocking).is_empty());
+        // set_nonblocking(false) is not an arming — it re-enables blocking.
+        let blocking = "let (stream, peer) = listener.accept()?;\n\
+                        stream.set_nonblocking(false)?;\n";
+        assert_eq!(
+            rules("crates/net/src/server.rs", blocking),
+            vec!["net-timeout"]
+        );
+    }
+
+    #[test]
+    fn reactor_block_flags_blocking_calls_in_reactor_paths() {
+        let sleep = "thread::sleep(Duration::from_millis(2));\n";
+        assert_eq!(
+            rules("crates/net/src/reactor.rs", sleep),
+            vec!["reactor-block"]
+        );
+        let raw_read = "let n = (&*conn.sock).read(&mut chunk)?;\n";
+        assert_eq!(
+            rules("crates/net/src/server.rs", raw_read),
+            vec!["reactor-block"]
+        );
+        // Out of scope: the blocking client and non-net crates.
+        assert!(rules("crates/net/src/client.rs", sleep).is_empty());
+        assert!(rules("crates/cluster/src/pool.rs", sleep).is_empty());
+    }
+
+    #[test]
+    fn reactor_block_escape_requires_reason() {
+        let bare = "// lint:allow(reactor-block):\nthread::sleep(d);\n";
+        assert_eq!(
+            rules("crates/net/src/reactor.rs", bare),
+            vec!["reactor-block"]
+        );
+        let reasoned = "// lint:allow(reactor-block): fallback tick poller, not epoll\n\
+                        thread::sleep(d);\n";
+        assert!(rules("crates/net/src/reactor.rs", reasoned).is_empty());
     }
 
     #[test]
