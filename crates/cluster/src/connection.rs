@@ -180,11 +180,18 @@ impl Connection {
     }
 
     fn run_ddl(&self, stmt: &Arc<Statement>) -> Result<QueryResult> {
-        let replicas = self.controller.alive_replicas(&self.db)?;
+        // DDL broadcasts like a write: hold the routing barrier across the
+        // copy-state check and the per-replica apply, so a replica copy
+        // cannot start dumping in between (a table created on the old
+        // replicas after the dump listed tables would silently never reach
+        // the copy target).
+        let _route = self.controller.route_guard();
+        let (placement, copy) = self.controller.route_info(&self.db)?;
+        let replicas = self.controller.alive_of(&placement);
         if replicas.is_empty() {
             return Err(ClusterError::NoReplicas(self.db.clone()));
         }
-        if self.controller.copy_progress(&self.db).is_some() {
+        if copy.is_some() {
             self.controller
                 .metrics()
                 .note_write_rejected(&self.db, "<ddl>");
@@ -206,15 +213,17 @@ impl Connection {
     // ------------------------------------------------------------- reads
 
     fn pick_read_machine(&self, txn: &mut ActiveTxn) -> Result<MachineId> {
-        let mut alive = self.controller.alive_replicas(&self.db)?;
+        // Atomic placement + copy snapshot; reads need no routing barrier
+        // (a stale pick still lands on a converged full replica).
+        let (placement, copy) = self.controller.route_info(&self.db)?;
+        let mut alive = self.controller.alive_of(&placement);
         // The copy target is not a full replica yet: never read from it.
-        if let Some(copy) = self.controller.copy_progress(&self.db) {
+        if let Some(copy) = copy {
             alive.retain(|&m| m != copy.target);
         }
         if alive.is_empty() {
             return Err(ClusterError::NoReplicas(self.db.clone()));
         }
-        let placement = self.controller.placement(&self.db)?;
         Ok(match self.controller.cfg.read_policy {
             ReadPolicy::PinnedReplica => {
                 if alive.contains(&placement.pinned) {
@@ -376,9 +385,18 @@ impl Connection {
         let mut st = self.state.lock();
         let txn = st.as_mut().ok_or(ClusterError::NoActiveTxn)?;
 
-        // Algorithm 1: route around an in-flight replica copy.
-        let mut targets = self.controller.alive_replicas(&self.db)?;
-        if let Some(copy) = self.controller.copy_progress(&self.db) {
+        // Algorithm 1: route around an in-flight replica copy. The copy
+        // state is read atomically with the placement (`route_info`), and
+        // the routing barrier's read side is held from here until the last
+        // replica ack below, so the recovery path's `quiesce_routing` can
+        // drain every statement routed with the old copy state before it
+        // dumps a table (otherwise a write routed to the old replicas
+        // alone could apply on the source *after* the dump's scan and be
+        // permanently missing from the copy target).
+        let _route = self.controller.route_guard();
+        let (placement, copy) = self.controller.route_info(&self.db)?;
+        let mut targets = self.controller.alive_of(&placement);
+        if let Some(copy) = copy {
             targets.retain(|&m| m != copy.target);
             let rejected = (copy.db_level && !is_locking_read)
                 || tables
@@ -421,7 +439,10 @@ impl Connection {
         // first success — the lagging replicas' acks arrive as stragglers on
         // this same channel and are discarded by later requests, while any
         // *failure* among them lands in the shared TxnFailures ledger, which
-        // commit() refuses to overlook.
+        // commit() refuses to overlook. (Aggressive's early return also
+        // drops the routing barrier guard while background replicas are
+        // still applying — a §3.1 durability/latency trade-off the copy
+        // quiescence deliberately does not pay for.)
         let replies = Self::collect_replies(&rx, &metrics.straggler_acks, seq, sent, |r| {
             write_policy == WritePolicy::Aggressive && r.result.is_ok()
         });
@@ -558,8 +579,15 @@ impl Connection {
             return Err(e);
         }
 
-        // Decision point: log it (mirrored to the process-pair backup).
-        self.controller.commit_log.lock().insert(txn.gtxn, yes);
+        // Decision point: replicate it to the controller group. The commit
+        // is only decided once a controller quorum has it durable — if the
+        // group cannot commit (quorum lost), the transaction aborts and no
+        // participant ever sees a COMMIT.
+        if let Err(e) = self.controller.log_decision(txn.gtxn, yes) {
+            let wrapped = ClusterError::TxnAborted(format!("commit decision not durable: {e}"));
+            self.finish_abort(&mut txn, &e);
+            return Err(wrapped);
+        }
         if let Some(rec) = self.controller.recorder.read().as_ref() {
             rec.commit(txn.gtxn);
         }
@@ -612,7 +640,7 @@ impl Connection {
                 }
             }
         }
-        self.controller.commit_log.lock().remove(&txn.gtxn);
+        self.controller.resolve_decision(txn.gtxn);
         self.note_outcome_commit(&txn);
         metrics.commit_latency_2pc.observe_since(commit_started);
         Ok(())

@@ -1,18 +1,23 @@
 //! The cluster controller (§2–§3 of the paper).
 //!
-//! The controller owns the database→machine map, routes client connections,
-//! coordinates read-one/write-all replication with 2PC, and tracks the
-//! Algorithm 1 copy state during replica recovery. Clients never talk to a
-//! machine directly — they talk to a [`crate::connection::Connection`]
-//! obtained from [`ClusterController::connect`].
+//! The controller routes client connections, coordinates read-one/write-all
+//! replication with 2PC, and tracks the Algorithm 1 copy state during
+//! replica recovery. Clients never talk to a machine directly — they talk
+//! to a [`crate::connection::Connection`] obtained from
+//! [`ClusterController::connect`].
+//!
+//! All controller *metadata* — the database→machine placement map, the
+//! Algorithm-1 copy table, the 2PC decision log and the SLA table — lives
+//! in the replicated [`ControllerGroup`] (see `meta.rs` and DESIGN.md §12).
+//! This type is the thin leader-side API over that group: it adds the
+//! side-effecting parts (engine calls, metric bumps, event emission) that
+//! must happen exactly once, never once-per-replica.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::sync::{
-    Mutex, RwLock, CTRL_COMMIT_LOG, CTRL_COPIES, CTRL_MACHINES, CTRL_PLACEMENTS, CTRL_RECORDER,
-};
+use crate::sync::{RwLock, RwLockReadGuard, CONN_ROUTE, CTRL_MACHINES, CTRL_RECORDER};
 
 use tenantdb_history::{GTxn, Recorder};
 use tenantdb_sql::parse;
@@ -22,6 +27,7 @@ use crate::connection::Connection;
 use crate::error::{ClusterError, Result};
 use crate::fault::FaultInjector;
 use crate::machine::{Machine, MachineId};
+use crate::meta::{ControllerGroup, CtrlStatus};
 use crate::metrics::{ClusterMetrics, DbCounters, PoolMetrics};
 use crate::pool::PoolConfig;
 use tenantdb_obs::fields;
@@ -63,6 +69,11 @@ pub struct ClusterConfig {
     pub pool: PoolConfig,
     /// Seed for replica-choice randomness (reproducible experiments).
     pub seed: u64,
+    /// Number of replicated controller nodes holding the cluster metadata
+    /// (min 1). With 1 (the default) the single node self-elects and every
+    /// metadata write commits instantly; with 2f+1 the metadata survives f
+    /// controller crashes via leader election (DESIGN.md §12).
+    pub controllers: usize,
 }
 
 impl Default for ClusterConfig {
@@ -73,6 +84,7 @@ impl Default for ClusterConfig {
             engine: EngineConfig::default(),
             pool: PoolConfig::default(),
             seed: 42,
+            controllers: 1,
         }
     }
 }
@@ -96,6 +108,12 @@ impl ClusterConfig {
     /// Set the per-machine worker-pool sizing (builder style).
     pub fn with_pool(mut self, pool: PoolConfig) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Set the controller replica count (builder style).
+    pub fn with_controllers(mut self, controllers: usize) -> Self {
+        self.controllers = controllers;
         self
     }
 }
@@ -129,8 +147,16 @@ pub struct ClusterController {
     pub(crate) cfg: ClusterConfig,
     machines: RwLock<BTreeMap<MachineId, Arc<Machine>>>,
     next_machine: AtomicU32,
-    placements: RwLock<HashMap<String, Placement>>,
-    copies: RwLock<HashMap<String, CopyProgress>>,
+    /// The replicated metadata group: placement map, copy table, 2PC
+    /// decision log and SLA table all live here (DESIGN.md §12). Every
+    /// metadata write below is a command proposed to this group's leader.
+    group: ControllerGroup,
+    /// Algorithm-1 routing barrier (RCU-style). Write statements hold the
+    /// read side from routing until the last replica ack, so
+    /// [`Self::quiesce_routing`] (write side, empty critical section) can
+    /// wait out every statement routed with pre-transition copy state
+    /// before the replica copy dumps a table. See DESIGN.md §5.
+    route_barrier: RwLock<()>,
     next_gtxn: AtomicU64,
     pub(crate) recorder: RwLock<Option<Arc<Recorder>>>,
     /// The cluster's metrics surface: outcome counters, latency histograms
@@ -138,10 +164,6 @@ pub struct ClusterController {
     /// ledger (the pre-observability controller kept its own
     /// `HashMap<String, DbCounters>`; the registry is now the only store).
     metrics: ClusterMetrics,
-    /// 2PC decision log: commit decisions whose COMMIT messages may still be
-    /// in flight. Mirrored by the process-pair backup (§2): on takeover the
-    /// backup completes these and aborts every other in-doubt transaction.
-    pub(crate) commit_log: Mutex<HashMap<GTxn, Vec<(MachineId, TxnId)>>>,
     /// Shared fault injector, threaded into every machine, pool and session.
     /// Disarmed (inert) unless a test arms a [`crate::fault::FaultPlan`].
     faults: Arc<FaultInjector>,
@@ -150,17 +172,17 @@ pub struct ClusterController {
 impl ClusterController {
     /// A controller with no machines yet (add them via [`Self::add_machine`]).
     pub fn new(cfg: ClusterConfig) -> Arc<Self> {
+        let faults = FaultInjector::disarmed();
         Arc::new(ClusterController {
-            cfg,
             machines: RwLock::new(&CTRL_MACHINES, BTreeMap::new()),
             next_machine: AtomicU32::new(0),
-            placements: RwLock::new(&CTRL_PLACEMENTS, HashMap::new()),
-            copies: RwLock::new(&CTRL_COPIES, HashMap::new()),
+            group: ControllerGroup::new(cfg.controllers, cfg.seed, Arc::clone(&faults)),
+            route_barrier: RwLock::new(&CONN_ROUTE, ()),
             next_gtxn: AtomicU64::new(1),
             recorder: RwLock::new(&CTRL_RECORDER, None),
             metrics: ClusterMetrics::new(),
-            commit_log: Mutex::new(&CTRL_COMMIT_LOG, HashMap::new()),
-            faults: FaultInjector::disarmed(),
+            faults,
+            cfg,
         })
     }
 
@@ -287,20 +309,16 @@ impl ClusterController {
         let m = self.machine(id)?;
         let in_doubt: HashSet<TxnId> = m.engine.wal().in_doubt().into_iter().collect();
         if !in_doubt.is_empty() {
-            let mut log = self.commit_log.lock();
-            log.retain(|_, participants| {
-                participants.retain(|&(pm, local)| {
+            for (gtxn, participants) in self.group.decisions() {
+                for (pm, local) in participants {
                     if pm == id && in_doubt.contains(&local) {
                         m.engine
                             .wal()
                             .append(local, tenantdb_storage::wal::WalEntry::Commit);
-                        false
-                    } else {
-                        true
+                        self.group.resolve_participant(gtxn, pm);
                     }
-                });
-                !participants.is_empty()
-            });
+                }
+            }
         }
         m.engine.restart();
         self.metrics
@@ -341,7 +359,7 @@ impl ClusterController {
     /// Create a database on an explicit machine set (experiments control
     /// placement directly).
     pub fn create_database_on(&self, name: &str, machine_ids: &[MachineId]) -> Result<()> {
-        if self.placements.read().contains_key(name) {
+        if self.group.placement(name).is_some() {
             return Err(ClusterError::AlreadyExists(name.to_string()));
         }
         if machine_ids.is_empty() {
@@ -350,36 +368,15 @@ impl ClusterController {
         for &id in machine_ids {
             self.machine(id)?.engine.create_database(name)?;
         }
-        // Pin reads to the replica machine carrying the fewest pins so that
-        // Option-1 read traffic spreads evenly across the cluster.
-        let mut placements = self.placements.write();
-        let mut pin_counts: HashMap<MachineId, usize> = HashMap::new();
-        for p in placements.values() {
-            *pin_counts.entry(p.pinned).or_insert(0) += 1;
-        }
-        let pinned = machine_ids
-            .iter()
-            .copied()
-            .min_by_key(|m| (pin_counts.get(m).copied().unwrap_or(0), *m))
-            .ok_or(ClusterError::NoMachines)?;
-        placements.insert(
-            name.to_string(),
-            Placement {
-                replicas: machine_ids.to_vec(),
-                pinned,
-            },
-        );
-        Ok(())
+        // The group picks the pinned replica (fewest pins) from its applied
+        // state inside the proposal, so Option-1 read traffic spreads evenly
+        // even when placements race.
+        self.group.create_db(name, machine_ids)
     }
 
     /// Drop a database: remove it from every replica and the placement map.
     pub fn drop_database(&self, db: &str) -> Result<()> {
-        let placement = self
-            .placements
-            .write()
-            .remove(db)
-            .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))?;
-        self.copies.write().remove(db);
+        let placement = self.group.drop_db(db)?;
         for id in placement.replicas {
             if let Ok(m) = self.machine(id) {
                 let _ = m.engine.drop_database(db);
@@ -390,62 +387,81 @@ impl ClusterController {
 
     /// Where a database's replicas live (error if the database is unknown).
     pub fn placement(&self, db: &str) -> Result<Placement> {
-        self.placements
-            .read()
-            .get(db)
-            .cloned()
+        self.group
+            .placement(db)
             .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))
     }
 
     /// Every database name hosted by the cluster, sorted.
     pub fn database_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.placements.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.group.database_names()
     }
 
     /// Replicas whose machines are currently up.
     pub fn alive_replicas(&self, db: &str) -> Result<Vec<MachineId>> {
         let p = self.placement(db)?;
+        Ok(self.alive_of(&p))
+    }
+
+    /// Filter a placement's replicas down to machines that are up.
+    pub(crate) fn alive_of(&self, placement: &Placement) -> Vec<MachineId> {
         let machines = self.machines.read();
-        Ok(p.replicas
+        placement
+            .replicas
             .iter()
             .copied()
             .filter(|id| machines.get(id).is_some_and(|m| !m.is_failed()))
-            .collect())
+            .collect()
+    }
+
+    /// Placement and in-flight copy state for `db`, read atomically from
+    /// one applied-state snapshot of the metadata group. Statement routing
+    /// must use this (not separate `placement` + `copy_progress` calls):
+    /// two reads can straddle a copy-state transition and produce a
+    /// placement/copy pair that never coexisted, which mis-routes the
+    /// write past the Algorithm-1 copy.
+    pub(crate) fn route_info(&self, db: &str) -> Result<(Placement, Option<CopyProgress>)> {
+        self.group
+            .route_info(db)
+            .ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))
+    }
+
+    /// Enter the routing grace period: the guard must be held from reading
+    /// [`Self::route_info`] until the statement's last replica ack, so a
+    /// concurrent [`Self::quiesce_routing`] cannot complete while any
+    /// statement routed with the old copy state is still in flight.
+    pub(crate) fn route_guard(&self) -> RwLockReadGuard<'_, ()> {
+        self.route_barrier.read()
+    }
+
+    /// Drain every write statement routed with pre-transition copy state
+    /// (RCU-style grace period: acquire the barrier's write side, which
+    /// waits for all current read guards, then release immediately). The
+    /// replica copy calls this after each copy-state tightening
+    /// (`begin_copy`, `set_copy_current`) and **before** dumping, so any
+    /// write routed to the old replica set alone has already applied —
+    /// and 2PL then guarantees the dump's scan observes it or blocks on
+    /// its lock until commit. Loosening transitions (`mark_copied`,
+    /// `finish_copy`) need no drain: statements that read the pre-state
+    /// are rejected by the copy filter rather than mis-routed.
+    pub(crate) fn quiesce_routing(&self) {
+        drop(self.route_barrier.write());
     }
 
     /// Databases that have a replica on `machine` (recovery work list).
     pub fn databases_on(&self, machine: MachineId) -> Vec<String> {
-        self.placements
-            .read()
-            .iter()
-            .filter(|(_, p)| p.replicas.contains(&machine))
-            .map(|(db, _)| db.clone())
-            .collect()
+        self.group.databases_on(machine)
     }
 
-    /// Remove a (failed) replica from a database's placement.
+    /// Remove a (failed) replica from a database's placement (repinning if
+    /// the pinned replica was removed).
     pub fn remove_replica(&self, db: &str, machine: MachineId) {
-        let mut placements = self.placements.write();
-        if let Some(p) = placements.get_mut(db) {
-            p.replicas.retain(|&m| m != machine);
-            if p.pinned == machine {
-                if let Some(&first) = p.replicas.first() {
-                    p.pinned = first;
-                }
-            }
-        }
+        self.group.remove_replica(db, machine);
     }
 
     /// Add a (recovered) replica to a database's placement.
     pub fn add_replica(&self, db: &str, machine: MachineId) {
-        let mut placements = self.placements.write();
-        if let Some(p) = placements.get_mut(db) {
-            if !p.replicas.contains(&machine) {
-                p.replicas.push(machine);
-            }
-        }
+        self.group.add_replica(db, machine);
     }
 
     /// Run a DDL statement (CREATE TABLE / CREATE INDEX) on every replica.
@@ -460,13 +476,18 @@ impl ClusterController {
                 "ddl() accepts only CREATE TABLE / CREATE INDEX".into(),
             )));
         }
-        if self.copies.read().contains_key(db) {
+        // Hold the routing barrier like any broadcast write, so a replica
+        // copy cannot start dumping between the copy-state check and the
+        // per-replica apply (see Connection::run_ddl).
+        let _route = self.route_guard();
+        let (placement, copy) = self.route_info(db)?;
+        if copy.is_some() {
             return Err(ClusterError::WriteRejected {
                 db: db.into(),
                 table: "<ddl>".into(),
             });
         }
-        for id in self.alive_replicas(db)? {
+        for id in self.alive_of(&placement) {
             let machine = self.machine(id)?;
             let txn = machine.engine.begin()?;
             let r = tenantdb_sql::execute_stmt(&machine.engine, txn, db, &stmt, &[]);
@@ -487,15 +508,7 @@ impl ClusterController {
 
     /// Begin tracking a replica copy for `db` onto `target`.
     pub fn begin_copy(&self, db: &str, target: MachineId, db_level: bool) {
-        self.copies.write().insert(
-            db.to_string(),
-            CopyProgress {
-                target,
-                copied: HashSet::new(),
-                current: None,
-                db_level,
-            },
-        );
+        self.group.begin_copy(db, target, db_level);
         self.metrics.copies_in_flight.inc();
         self.metrics.events().emit(
             "copy_begin",
@@ -509,9 +522,7 @@ impl ClusterController {
 
     /// Mark the table currently being copied (t′).
     pub fn set_copy_current(&self, db: &str, table: Option<&str>) {
-        if let Some(c) = self.copies.write().get_mut(db) {
-            c.current = table.map(String::from);
-        }
+        self.group.set_copy_current(db, table);
         if let Some(t) = table {
             self.metrics
                 .events()
@@ -521,10 +532,7 @@ impl ClusterController {
 
     /// Move a table into the copied set (T).
     pub fn mark_copied(&self, db: &str, table: &str) {
-        if let Some(c) = self.copies.write().get_mut(db) {
-            c.current = None;
-            c.copied.insert(table.to_string());
-        }
+        self.group.mark_copied(db, table);
         self.metrics
             .registry()
             .counter(crate::metrics::RECOVERY_TABLES_COPIED, &[("db", db)])
@@ -534,11 +542,10 @@ impl ClusterController {
             .emit("copy_table_done", fields![("db", db), ("table", table)]);
     }
 
-    /// Copy complete: the target becomes a full replica.
+    /// Copy complete: the target becomes a full replica (the group's
+    /// `FinishCopy` command folds the target into the replica set).
     pub fn finish_copy(&self, db: &str) {
-        let removed = self.copies.write().remove(db);
-        if let Some(c) = removed {
-            self.add_replica(db, c.target);
+        if let Some(c) = self.group.finish_copy(db) {
             self.metrics.copies_in_flight.dec();
             self.metrics.events().emit(
                 "copy_finish",
@@ -553,7 +560,7 @@ impl ClusterController {
 
     /// Abandon a copy (e.g. the target failed mid-copy).
     pub fn abandon_copy(&self, db: &str) {
-        if self.copies.write().remove(db).is_some() {
+        if self.group.abandon_copy(db) {
             self.metrics.copies_in_flight.dec();
             self.metrics
                 .events()
@@ -563,7 +570,76 @@ impl ClusterController {
 
     /// The Algorithm-1 copy state for `db`, if a copy is in flight.
     pub fn copy_progress(&self, db: &str) -> Option<CopyProgress> {
-        self.copies.read().get(db).cloned()
+        self.group.copy_progress(db)
+    }
+
+    // ------------------------------------------------ replicated decisions
+
+    /// Replicate a 2PC commit decision to the controller group. `Ok` means
+    /// the decision is durable on a controller quorum — only then may any
+    /// participant COMMIT go out (DESIGN.md §12).
+    pub(crate) fn log_decision(
+        &self,
+        gtxn: GTxn,
+        participants: Vec<(MachineId, TxnId)>,
+    ) -> Result<()> {
+        self.group.log_decision(gtxn, participants)
+    }
+
+    /// Drop a fully-delivered commit decision (best-effort: losing the
+    /// resolution only risks a harmless re-commit during takeover).
+    pub(crate) fn resolve_decision(&self, gtxn: GTxn) {
+        self.group.resolve_decision(gtxn);
+    }
+
+    /// Every unresolved 2PC decision with its unresolved participants —
+    /// the takeover work list (§2 process pairs).
+    pub fn decisions(&self) -> Vec<(GTxn, Vec<(MachineId, TxnId)>)> {
+        self.group.decisions()
+    }
+
+    // -------------------------------------------------------- SLA registry
+
+    /// Record `db`'s SLA in the replicated metadata (§4.1 contract table).
+    pub fn set_sla(&self, db: &str, sla: tenantdb_sla::Sla) -> Result<()> {
+        self.group.set_sla(db, sla)
+    }
+
+    /// A database's recorded SLA, if one was set.
+    pub fn sla(&self, db: &str) -> Option<tenantdb_sla::Sla> {
+        self.group.sla(db)
+    }
+
+    // -------------------------------------------------- controller group
+
+    /// The replicated controller metadata group: failover controls
+    /// (`crash`/`isolate`/`restart`/`quiesce`), status and the safety
+    /// invariant checkers live on the group itself.
+    pub fn controllers(&self) -> &ControllerGroup {
+        &self.group
+    }
+
+    /// Snapshot the controller group state into the `tenantdb_ctrl_*`
+    /// gauges and drain fresh elections into `ctrl_elected` events + the
+    /// elections counter. Called from status paths (metrics rendering, the
+    /// shell) — not per-decision, the gauges are views not ledgers.
+    pub fn sync_ctrl_metrics(&self) -> CtrlStatus {
+        let s = self.group.status();
+        self.metrics.ctrl_term.set(s.term as i64);
+        self.metrics.ctrl_commit_index.set(s.commit_index as i64);
+        self.metrics
+            .ctrl_leader
+            .set(s.leader.map(|l| l as i64).unwrap_or(-1));
+        self.metrics
+            .ctrl_replication_lag
+            .set(s.replication_lag as i64);
+        for (term, node) in self.group.take_elections() {
+            self.metrics.ctrl_elections.inc();
+            self.metrics
+                .events()
+                .emit("ctrl_elected", fields![("term", term), ("node", node)]);
+        }
+        s
     }
 
     // ------------------------------------------------------------- stats

@@ -30,6 +30,14 @@ pub enum ClusterError {
     NoActiveTxn,
     /// A database with this name already exists.
     AlreadyExists(String),
+    /// The controller replica contacted is not the metadata leader (or the
+    /// controller group is mid-election / lost its quorum). Retryable: the
+    /// hint, when present, is the replica id believed to be the leader
+    /// (DESIGN.md §12).
+    NotLeader {
+        /// Controller replica id to redirect to, if known.
+        hint: Option<u32>,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -45,6 +53,12 @@ impl fmt::Display for ClusterError {
             ClusterError::TxnAborted(why) => write!(f, "transaction aborted: {why}"),
             ClusterError::NoActiveTxn => f.write_str("no active transaction"),
             ClusterError::AlreadyExists(db) => write!(f, "database already exists: {db}"),
+            ClusterError::NotLeader { hint: Some(h) } => {
+                write!(f, "not the controller leader (try controller {h})")
+            }
+            ClusterError::NotLeader { hint: None } => {
+                f.write_str("not the controller leader (no leader elected)")
+            }
         }
     }
 }
@@ -99,6 +113,12 @@ impl ClusterError {
             ClusterError::TxnAborted(m) => m.contains("unavailable") || m.contains("rejected"),
             _ => false,
         }
+    }
+
+    /// Was this a controller-leadership redirect (retryable after the
+    /// controller group re-elects)?
+    pub fn is_not_leader(&self) -> bool {
+        matches!(self, ClusterError::NotLeader { .. })
     }
 }
 

@@ -50,6 +50,7 @@ pub const NET: MachineId = MachineId(u32::MAX - 1);
 /// | `PrepareApply` | `worker.rs` | before the local `PREPARE` runs — the vote is never cast |
 /// | `PrepareAck` | `worker.rs` | after the vote persisted, before the ack — the coordinator sees silence from a prepared participant |
 /// | `CommitDecision` | `connection.rs` | controller side, after the decision is logged but before any participant `COMMIT` is sent |
+/// | `CtrlPropose` | `meta.rs` | before a metadata command is proposed to the replicated controller group — a `Crash` kills the current leader replica (when the group has more than one member), forcing an election mid-operation |
 /// | `CommitApply` | `worker.rs` | participant side, before its local `COMMIT` applies — dies prepared |
 /// | `CommitAck` | `worker.rs` | after the local commit persisted, before the ack |
 /// | `CopyStart` | `recovery.rs` | before a database-level Algorithm-1 dump begins |
@@ -77,6 +78,12 @@ pub enum CrashPoint {
     /// Controller side: after the commit decision is logged, before any
     /// participant `COMMIT` goes out. Fired with machine [`CONTROLLER`].
     CommitDecision,
+    /// Replicated controller: before a metadata command is proposed to the
+    /// consensus group. A `Crash` kills the current leader replica (when
+    /// the group has more than one member) so the operation must survive an
+    /// election; a `Delay` stalls the pump a few ticks. Fired with machine
+    /// [`CONTROLLER`].
+    CtrlPropose,
     /// Participant side: before its local `COMMIT` applies (dies prepared).
     CommitApply,
     /// Participant side: after the local commit persisted, before the ack.
@@ -109,12 +116,13 @@ pub enum CrashPoint {
 
 impl CrashPoint {
     /// Every crash point, in canonical order (used by plan generators).
-    pub const ALL: [CrashPoint; 15] = [
+    pub const ALL: [CrashPoint; 16] = [
         CrashPoint::ReplicaWriteApply,
         CrashPoint::ReplicaWriteAck,
         CrashPoint::PrepareApply,
         CrashPoint::PrepareAck,
         CrashPoint::CommitDecision,
+        CrashPoint::CtrlPropose,
         CrashPoint::CommitApply,
         CrashPoint::CommitAck,
         CrashPoint::CopyStart,
@@ -135,6 +143,7 @@ impl CrashPoint {
             CrashPoint::PrepareApply => "prepare_apply",
             CrashPoint::PrepareAck => "prepare_ack",
             CrashPoint::CommitDecision => "commit_decision",
+            CrashPoint::CtrlPropose => "ctrl_propose",
             CrashPoint::CommitApply => "commit_apply",
             CrashPoint::CommitAck => "commit_ack",
             CrashPoint::CopyStart => "copy_start",

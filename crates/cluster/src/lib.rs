@@ -46,6 +46,7 @@ pub mod controller;
 pub mod error;
 pub mod fault;
 pub mod machine;
+pub mod meta;
 pub mod metrics;
 pub mod pair;
 pub mod pool;
@@ -63,6 +64,7 @@ pub use controller::{
 pub use error::{ClusterError, Result};
 pub use fault::{CrashPoint, FaultAction, FaultInjector, FaultPlan, Trigger};
 pub use machine::{Machine, MachineId};
+pub use meta::{ControllerGroup, CtrlStatus};
 pub use metrics::{ClusterMetrics, DbCounters, PoolMetrics};
 pub use pair::{ProcessPair, Role, TakeoverReport};
 pub use pool::{PoolConfig, WorkerPool};

@@ -1,0 +1,1064 @@
+//! The replicated control plane: controller metadata as a Raft-backed
+//! state machine (DESIGN.md §12).
+//!
+//! Everything the controller used to keep in ad-hoc maps — the placement
+//! map, the Algorithm-1 copy table, the 2PC decision log, the SLA table —
+//! now lives in `MetaState`, a deterministic state machine replicated by
+//! `tenantdb-consensus` across N in-process controller replicas. The
+//! [`ClusterController`](crate::ClusterController) is a thin leader-side
+//! API over this group: every metadata *write* is a `MetaCommand`
+//! proposed to the Raft leader and pumped synchronously to quorum before
+//! the call returns, every *read* is served from the leaseholder's applied
+//! state.
+//!
+//! ## Why a synchronous pump
+//!
+//! The replicas are passive [`RaftNode`]s driven under one group mutex:
+//! proposing ticks and delivers messages until the command commits. That
+//! keeps the pre-replication API contract — `create_database` returns with
+//! the placement durable — while making controller crashes *expressible*:
+//! the sim harness crashes/partitions/restarts individual replicas, and
+//! the next proposal transparently runs an election first. With
+//! `controllers = 1` (the default) the single node self-elects and commits
+//! instantly, so the unreplicated behaviour is preserved bit-for-bit.
+//!
+//! ## What may mutate state
+//!
+//! Only [`StateMachine::apply`] mutates `MetaState` — enforced by an
+//! `xtask lint` rule (`consensus-apply`) that forbids the `MetaState` /
+//! `MetaCommand` / `RaftNode` tokens outside this module. Side effects
+//! (metric bumps, event emission, engine calls) stay at the controller API
+//! layer: apply() runs once per replica, and N-fold side effects would be
+//! a correctness bug.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use tenantdb_consensus::{Config, Index, Message, NodeId, RaftNode, StateMachine, Term};
+use tenantdb_history::GTxn;
+use tenantdb_sla::Sla;
+use tenantdb_storage::TxnId;
+
+use crate::controller::{CopyProgress, Placement};
+use crate::error::{ClusterError, Result};
+use crate::fault::{CrashPoint, FaultAction, FaultInjector, CONTROLLER};
+use crate::machine::MachineId;
+use crate::sync::{Mutex, CTRL_META};
+
+/// One replicated controller metadata mutation. Private on purpose: the
+/// command grammar is an implementation detail of the replicated state
+/// machine, and the lint rule keeps it that way.
+#[derive(Debug, Clone)]
+enum MetaCommand {
+    /// Leader barrier entry (no effect).
+    Noop,
+    /// Install a database's placement.
+    CreateDb {
+        name: String,
+        replicas: Vec<MachineId>,
+        pinned: MachineId,
+    },
+    /// Remove a database's placement, copy state and SLA.
+    DropDb { name: String },
+    /// Add a machine to a database's replica set.
+    AddReplica { db: String, machine: MachineId },
+    /// Remove a machine from a database's replica set (repinning if the
+    /// pinned replica was removed).
+    RemoveReplica { db: String, machine: MachineId },
+    /// Start tracking an Algorithm-1 copy.
+    BeginCopy {
+        db: String,
+        target: MachineId,
+        db_level: bool,
+    },
+    /// Set the table currently being copied (t′).
+    SetCopyCurrent { db: String, table: Option<String> },
+    /// Move a table into the copied set (T).
+    MarkCopied { db: String, table: String },
+    /// Copy complete: the target joins the replica set.
+    FinishCopy { db: String },
+    /// Copy abandoned (target died mid-copy).
+    AbandonCopy { db: String },
+    /// 2PC decision point: the commit decision with its participants.
+    LogDecision {
+        gtxn: GTxn,
+        participants: Vec<(MachineId, TxnId)>,
+    },
+    /// A decided transaction is fully delivered; drop its decision.
+    ResolveDecision { gtxn: GTxn },
+    /// One participant of a decided transaction learned the outcome.
+    ResolveParticipant { gtxn: GTxn, machine: MachineId },
+    /// Record a database's SLA.
+    SetSla { db: String, sla: Sla },
+}
+
+/// The replicated controller metadata. All mutation happens in `apply`.
+#[derive(Debug, Clone, Default)]
+struct MetaState {
+    /// Database → replica set (the paper's partition map).
+    placements: BTreeMap<String, Placement>,
+    /// Databases with an Algorithm-1 copy in flight.
+    copies: BTreeMap<String, CopyProgress>,
+    /// 2PC decisions whose participant COMMITs may still be in flight.
+    decisions: BTreeMap<GTxn, Vec<(MachineId, TxnId)>>,
+    /// Database → SLA (the §4.1 contract table).
+    slas: BTreeMap<String, Sla>,
+}
+
+impl StateMachine for MetaState {
+    type Command = MetaCommand;
+    type Snapshot = MetaState;
+
+    fn apply(&mut self, _index: u64, cmd: &MetaCommand) {
+        match cmd {
+            MetaCommand::Noop => {}
+            MetaCommand::CreateDb {
+                name,
+                replicas,
+                pinned,
+            } => {
+                self.placements.insert(
+                    name.clone(),
+                    Placement {
+                        replicas: replicas.clone(),
+                        pinned: *pinned,
+                    },
+                );
+            }
+            MetaCommand::DropDb { name } => {
+                self.placements.remove(name);
+                self.copies.remove(name);
+                self.slas.remove(name);
+            }
+            MetaCommand::AddReplica { db, machine } => {
+                if let Some(p) = self.placements.get_mut(db) {
+                    if !p.replicas.contains(machine) {
+                        p.replicas.push(*machine);
+                    }
+                }
+            }
+            MetaCommand::RemoveReplica { db, machine } => {
+                if let Some(p) = self.placements.get_mut(db) {
+                    p.replicas.retain(|m| m != machine);
+                    if p.pinned == *machine {
+                        if let Some(&first) = p.replicas.first() {
+                            p.pinned = first;
+                        }
+                    }
+                }
+            }
+            MetaCommand::BeginCopy {
+                db,
+                target,
+                db_level,
+            } => {
+                self.copies.insert(
+                    db.clone(),
+                    CopyProgress {
+                        target: *target,
+                        copied: HashSet::new(),
+                        current: None,
+                        db_level: *db_level,
+                    },
+                );
+            }
+            MetaCommand::SetCopyCurrent { db, table } => {
+                if let Some(c) = self.copies.get_mut(db) {
+                    c.current = table.clone();
+                }
+            }
+            MetaCommand::MarkCopied { db, table } => {
+                if let Some(c) = self.copies.get_mut(db) {
+                    c.current = None;
+                    c.copied.insert(table.clone());
+                }
+            }
+            MetaCommand::FinishCopy { db } => {
+                if let Some(c) = self.copies.remove(db) {
+                    if let Some(p) = self.placements.get_mut(db) {
+                        if !p.replicas.contains(&c.target) {
+                            p.replicas.push(c.target);
+                        }
+                    }
+                }
+            }
+            MetaCommand::AbandonCopy { db } => {
+                self.copies.remove(db);
+            }
+            MetaCommand::LogDecision { gtxn, participants } => {
+                self.decisions.insert(*gtxn, participants.clone());
+            }
+            MetaCommand::ResolveDecision { gtxn } => {
+                self.decisions.remove(gtxn);
+            }
+            MetaCommand::ResolveParticipant { gtxn, machine } => {
+                if let Some(p) = self.decisions.get_mut(gtxn) {
+                    p.retain(|(m, _)| m != machine);
+                    if p.is_empty() {
+                        self.decisions.remove(gtxn);
+                    }
+                }
+            }
+            MetaCommand::SetSla { db, sla } => {
+                self.slas.insert(db.clone(), *sla);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> MetaState {
+        self.clone()
+    }
+
+    fn restore(&mut self, snap: &MetaState) {
+        *self = snap.clone();
+    }
+
+    fn noop() -> MetaCommand {
+        MetaCommand::Noop
+    }
+}
+
+/// Position-independent fingerprint of one applied command, used for the
+/// cross-replica log-matching check (`CopyProgress` holds a `HashSet`, so
+/// hashing the state itself would not be deterministic; the command stream
+/// is).
+fn hash_cmd(cmd: &MetaCommand) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{cmd:?}").hash(&mut h);
+    h.finish()
+}
+
+/// A point-in-time view of the controller group (`\ctrl status` in the
+/// shell, `tenantdb_ctrl_*` gauges in `render_metrics()`).
+#[derive(Debug, Clone)]
+pub struct CtrlStatus {
+    /// Number of controller replicas in the group.
+    pub replicas: usize,
+    /// The current leader replica, if one is elected and reachable.
+    pub leader: Option<NodeId>,
+    /// Highest Raft term among alive replicas.
+    pub term: Term,
+    /// Highest committed log index among alive replicas.
+    pub commit_index: u64,
+    /// Max applied-index spread across alive replicas (0 = fully caught up).
+    pub replication_lag: u64,
+    /// Elections won since the group was built.
+    pub elections: u64,
+    /// Whether the leader currently holds a read lease.
+    pub leader_has_lease: bool,
+    /// Crashed replica ids.
+    pub crashed: Vec<NodeId>,
+    /// Partitioned (isolated) replica ids.
+    pub isolated: Vec<NodeId>,
+}
+
+struct GroupInner {
+    nodes: Vec<RaftNode<MetaState>>,
+    crashed: Vec<bool>,
+    isolated: Vec<bool>,
+    queue: VecDeque<Message<MetaCommand, MetaState>>,
+    /// Per-node election-win counters already accounted for.
+    last_won: Vec<u64>,
+    /// Every election ever observed, as (term, winner) — the
+    /// single-leader-per-term invariant checks this.
+    elections: Vec<(Term, NodeId)>,
+    /// Elections not yet drained by [`ControllerGroup::take_elections`].
+    fresh_elections: Vec<(Term, NodeId)>,
+    /// Per-node fingerprints of applied commands, keyed by log index — the
+    /// log-matching / no-conflicting-placements invariant compares nodes
+    /// index-by-index (a node caught up via `InstallSnapshot` legitimately
+    /// never applies the folded-away indices one by one).
+    applied_hashes: Vec<BTreeMap<Index, u64>>,
+    /// 2PC decisions acknowledged to a coordinator (quorum-committed).
+    acked_decisions: BTreeSet<GTxn>,
+    /// Acked decisions later legitimately resolved.
+    resolved_decisions: BTreeSet<GTxn>,
+}
+
+/// Bounded synchronous pumping: election timeouts are < 20 ticks, so a few
+/// hundred ticks cover several back-to-back elections before we declare
+/// the quorum lost.
+const TICK_BUDGET: usize = 400;
+
+/// The in-process replicated controller group.
+///
+/// All replicas live under one [`CTRL_META`]-ranked mutex; proposals are
+/// pumped to quorum synchronously (see the module docs). Failover controls
+/// ([`crash`](Self::crash), [`isolate`](Self::isolate),
+/// [`restart`](Self::restart)) are how the sim harness and the shell
+/// exercise controller loss.
+pub struct ControllerGroup {
+    inner: Mutex<GroupInner>,
+    faults: Arc<FaultInjector>,
+}
+
+impl ControllerGroup {
+    /// A group of `replicas` controller nodes (min 1) with deterministic
+    /// election timing derived from `seed`.
+    pub(crate) fn new(replicas: usize, seed: u64, faults: Arc<FaultInjector>) -> Self {
+        let n = replicas.max(1);
+        let voters: Vec<NodeId> = (0..n as NodeId).collect();
+        let nodes: Vec<RaftNode<MetaState>> = (0..n)
+            .map(|i| {
+                RaftNode::new(
+                    Config::new(i as NodeId, voters.clone(), seed),
+                    MetaState::default(),
+                )
+            })
+            .collect();
+        ControllerGroup {
+            inner: Mutex::new(
+                &CTRL_META,
+                GroupInner {
+                    crashed: vec![false; n],
+                    isolated: vec![false; n],
+                    queue: VecDeque::new(),
+                    last_won: vec![0; n],
+                    elections: Vec::new(),
+                    fresh_elections: Vec::new(),
+                    applied_hashes: vec![BTreeMap::new(); n],
+                    acked_decisions: BTreeSet::new(),
+                    resolved_decisions: BTreeSet::new(),
+                    nodes,
+                },
+            ),
+            faults,
+        }
+    }
+
+    // ------------------------------------------------------------ plumbing
+
+    /// Record observable progress on node `i`: elections won and commands
+    /// applied (for the invariant checkers).
+    fn observe(inner: &mut GroupInner, i: usize) {
+        let won = inner.nodes[i].elections_won();
+        if won > inner.last_won[i] {
+            inner.last_won[i] = won;
+            let t = inner.nodes[i].term();
+            inner.elections.push((t, i as NodeId));
+            inner.fresh_elections.push((t, i as NodeId));
+        }
+        for (idx, cmd) in inner.nodes[i].take_applied() {
+            inner.applied_hashes[i].insert(idx, hash_cmd(&cmd));
+        }
+    }
+
+    /// Deliver queued messages to quiescence. Messages to or from crashed
+    /// or isolated replicas are dropped (fail-stop; partitions are total).
+    fn pump(inner: &mut GroupInner) {
+        while let Some(m) = inner.queue.pop_front() {
+            let (f, t) = (m.from as usize, m.to as usize);
+            if inner.crashed[f] || inner.crashed[t] || inner.isolated[f] || inner.isolated[t] {
+                continue;
+            }
+            let out = inner.nodes[t].step(m);
+            inner.queue.extend(out);
+            Self::observe(inner, t);
+        }
+    }
+
+    /// One tick on every non-crashed replica (isolated replicas tick too —
+    /// their messages just never arrive), then pump.
+    fn tick_all(inner: &mut GroupInner) {
+        for i in 0..inner.nodes.len() {
+            if !inner.crashed[i] {
+                let out = inner.nodes[i].tick();
+                inner.queue.extend(out);
+                Self::observe(inner, i);
+            }
+        }
+        Self::pump(inner);
+    }
+
+    /// Tick until a usable leader exists: alive, connected, and at the
+    /// highest term on the connected side. Returns `None` when fewer than a
+    /// quorum of replicas are alive and connected — no election can succeed.
+    fn wait_leader(inner: &mut GroupInner) -> Option<usize> {
+        let n = inner.nodes.len();
+        let quorum = n / 2 + 1;
+        for _ in 0..TICK_BUDGET {
+            let connected: Vec<usize> = (0..n)
+                .filter(|&i| !inner.crashed[i] && !inner.isolated[i])
+                .collect();
+            if connected.len() < quorum {
+                return None;
+            }
+            let max_term = connected
+                .iter()
+                .map(|&i| inner.nodes[i].term())
+                .max()
+                .unwrap_or(0);
+            if let Some(&l) = connected
+                .iter()
+                .find(|&&i| inner.nodes[i].is_leader() && inner.nodes[i].term() == max_term)
+            {
+                return Some(l);
+            }
+            Self::tick_all(inner);
+        }
+        None
+    }
+
+    /// Propose the command built by `make` (from the leader's applied
+    /// state, so check-then-propose is linearizable) and pump it to quorum.
+    /// All commands are idempotent, so a retry after an ambiguous leader
+    /// change is safe.
+    fn submit(&self, mut make: impl FnMut(&MetaState) -> Result<MetaCommand>) -> Result<()> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        for _ in 0..5 {
+            let Some(l) = Self::wait_leader(inner) else {
+                // Quorum lost: no election can succeed, so there is no
+                // leader to redirect to. Clients see a retryable
+                // leadership error (the net tier forwards it as wire
+                // tag 8; `NetClient` retries after a backoff).
+                return Err(ClusterError::NotLeader { hint: None });
+            };
+            // The controller-side crash point: a `Crash` here kills the
+            // *leader replica* right before the proposal, forcing the next
+            // attempt through an election. A single-replica group ignores
+            // Crash (there is no failover to exercise, only deadlock).
+            match self.faults.check(CrashPoint::CtrlPropose, CONTROLLER) {
+                Some(FaultAction::Crash) if inner.nodes.len() > 1 => {
+                    inner.crashed[l] = true;
+                    continue;
+                }
+                Some(FaultAction::Delay(_)) => {
+                    // A slow controller: let group time pass instead.
+                    for _ in 0..3 {
+                        Self::tick_all(inner);
+                    }
+                }
+                _ => {}
+            }
+            let cmd = make(inner.nodes[l].state())?;
+            let term = inner.nodes[l].term();
+            let Ok((idx, out)) = inner.nodes[l].propose(cmd) else {
+                continue;
+            };
+            inner.queue.extend(out);
+            Self::observe(inner, l);
+            Self::pump(inner);
+            for _ in 0..TICK_BUDGET {
+                if inner.nodes[l].last_applied() >= idx {
+                    if inner.nodes[l].term() == term {
+                        return Ok(());
+                    }
+                    break; // deposed mid-flight: outcome ambiguous, retry
+                }
+                if inner.crashed[l] || !inner.nodes[l].is_leader() || inner.nodes[l].term() != term
+                {
+                    break;
+                }
+                Self::tick_all(inner);
+            }
+        }
+        // Five elections in a row deposed the proposer mid-flight. Surface
+        // the current leader (if any) as a redirect hint for the client.
+        let hint = (0..inner.nodes.len())
+            .find(|&i| !inner.crashed[i] && !inner.isolated[i] && inner.nodes[i].is_leader())
+            .map(|i| i as u32);
+        Err(ClusterError::NotLeader { hint })
+    }
+
+    /// The replica to serve a read: the leaseholder if one exists (leases
+    /// guarantee no newer leader can have committed past it), otherwise the
+    /// most-caught-up alive replica.
+    fn read_node(inner: &GroupInner) -> usize {
+        if let Some(l) = (0..inner.nodes.len())
+            .find(|&i| !inner.crashed[i] && !inner.isolated[i] && inner.nodes[i].has_lease())
+        {
+            return l;
+        }
+        (0..inner.nodes.len())
+            .filter(|&i| !inner.crashed[i])
+            .max_by_key(|&i| inner.nodes[i].last_applied())
+            .unwrap_or(0)
+    }
+
+    fn read<R>(&self, f: impl FnOnce(&MetaState) -> R) -> R {
+        let inner = self.inner.lock();
+        let i = Self::read_node(&inner);
+        f(inner.nodes[i].state())
+    }
+
+    // ----------------------------------------------------- typed commands
+
+    /// Install a placement for `name`, pinning reads to the machine with
+    /// the fewest pinned databases. Fails if the name exists.
+    pub(crate) fn create_db(&self, name: &str, machines: &[MachineId]) -> Result<()> {
+        let name_s = name.to_string();
+        let machines = machines.to_vec();
+        self.submit(move |st| {
+            if st.placements.contains_key(&name_s) {
+                return Err(ClusterError::AlreadyExists(name_s.clone()));
+            }
+            let mut pin_counts: BTreeMap<MachineId, usize> = BTreeMap::new();
+            for p in st.placements.values() {
+                *pin_counts.entry(p.pinned).or_insert(0) += 1;
+            }
+            let pinned = machines
+                .iter()
+                .copied()
+                .min_by_key(|m| (pin_counts.get(m).copied().unwrap_or(0), *m))
+                .ok_or(ClusterError::NoMachines)?;
+            Ok(MetaCommand::CreateDb {
+                name: name_s.clone(),
+                replicas: machines.clone(),
+                pinned,
+            })
+        })
+    }
+
+    /// Remove `db`'s placement (and copy/SLA state), returning the removed
+    /// placement so the caller can clean up the hosting engines.
+    pub(crate) fn drop_db(&self, db: &str) -> Result<Placement> {
+        let db_s = db.to_string();
+        let mut removed: Option<Placement> = None;
+        self.submit(|st| {
+            let p = st
+                .placements
+                .get(&db_s)
+                .cloned()
+                .ok_or_else(|| ClusterError::NoSuchDatabase(db_s.clone()))?;
+            removed = Some(p);
+            Ok(MetaCommand::DropDb { name: db_s.clone() })
+        })?;
+        removed.ok_or_else(|| ClusterError::NoSuchDatabase(db.to_string()))
+    }
+
+    /// Add a machine to `db`'s replica set (best-effort, idempotent).
+    pub(crate) fn add_replica(&self, db: &str, machine: MachineId) {
+        let _ = self.submit(|_| {
+            Ok(MetaCommand::AddReplica {
+                db: db.to_string(),
+                machine,
+            })
+        });
+    }
+
+    /// Remove a machine from `db`'s replica set (best-effort, idempotent).
+    pub(crate) fn remove_replica(&self, db: &str, machine: MachineId) {
+        let _ = self.submit(|_| {
+            Ok(MetaCommand::RemoveReplica {
+                db: db.to_string(),
+                machine,
+            })
+        });
+    }
+
+    /// Start tracking an Algorithm-1 copy.
+    pub(crate) fn begin_copy(&self, db: &str, target: MachineId, db_level: bool) {
+        let _ = self.submit(|_| {
+            Ok(MetaCommand::BeginCopy {
+                db: db.to_string(),
+                target,
+                db_level,
+            })
+        });
+    }
+
+    /// Record the table currently being copied.
+    pub(crate) fn set_copy_current(&self, db: &str, table: Option<&str>) {
+        let _ = self.submit(|_| {
+            Ok(MetaCommand::SetCopyCurrent {
+                db: db.to_string(),
+                table: table.map(String::from),
+            })
+        });
+    }
+
+    /// Move a table into the copied set.
+    pub(crate) fn mark_copied(&self, db: &str, table: &str) {
+        let _ = self.submit(|_| {
+            Ok(MetaCommand::MarkCopied {
+                db: db.to_string(),
+                table: table.to_string(),
+            })
+        });
+    }
+
+    /// Finish a copy: the target joins the replica set. Returns the final
+    /// progress (pre-removal) so the caller can emit events, or `None` if
+    /// no copy was in flight.
+    pub(crate) fn finish_copy(&self, db: &str) -> Option<CopyProgress> {
+        let mut progress: Option<CopyProgress> = None;
+        let r = self.submit(|st| match st.copies.get(db) {
+            Some(c) => {
+                progress = Some(c.clone());
+                Ok(MetaCommand::FinishCopy { db: db.to_string() })
+            }
+            None => Err(ClusterError::NoSuchDatabase(db.to_string())),
+        });
+        if r.is_err() {
+            return None;
+        }
+        progress
+    }
+
+    /// Abandon a copy. Returns whether one was in flight.
+    pub(crate) fn abandon_copy(&self, db: &str) -> bool {
+        let mut existed = false;
+        let r = self.submit(|st| {
+            if st.copies.contains_key(db) {
+                existed = true;
+                Ok(MetaCommand::AbandonCopy { db: db.to_string() })
+            } else {
+                Err(ClusterError::NoSuchDatabase(db.to_string()))
+            }
+        });
+        r.is_ok() && existed
+    }
+
+    /// Replicate a 2PC commit decision. The returned `Ok` means the
+    /// decision is durable on a controller quorum — only then may any
+    /// participant COMMIT be sent.
+    pub(crate) fn log_decision(
+        &self,
+        gtxn: GTxn,
+        participants: Vec<(MachineId, TxnId)>,
+    ) -> Result<()> {
+        self.submit(|_| {
+            Ok(MetaCommand::LogDecision {
+                gtxn,
+                participants: participants.clone(),
+            })
+        })?;
+        self.inner.lock().acked_decisions.insert(gtxn);
+        Ok(())
+    }
+
+    /// Drop a fully-delivered decision (best-effort: a lost resolution only
+    /// means a harmless re-commit during takeover).
+    pub(crate) fn resolve_decision(&self, gtxn: GTxn) {
+        if self
+            .submit(|_| Ok(MetaCommand::ResolveDecision { gtxn }))
+            .is_ok()
+        {
+            self.inner.lock().resolved_decisions.insert(gtxn);
+        }
+    }
+
+    /// Record that one participant learned its decided outcome; the
+    /// decision is dropped when its last participant resolves.
+    pub(crate) fn resolve_participant(&self, gtxn: GTxn, machine: MachineId) {
+        if self
+            .submit(|_| Ok(MetaCommand::ResolveParticipant { gtxn, machine }))
+            .is_ok()
+        {
+            let mut inner = self.inner.lock();
+            let i = Self::read_node(&inner);
+            if !inner.nodes[i].state().decisions.contains_key(&gtxn) {
+                inner.resolved_decisions.insert(gtxn);
+            }
+        }
+    }
+
+    /// Record a database's SLA.
+    pub(crate) fn set_sla(&self, db: &str, sla: Sla) -> Result<()> {
+        self.submit(|_| {
+            Ok(MetaCommand::SetSla {
+                db: db.to_string(),
+                sla,
+            })
+        })
+    }
+
+    // -------------------------------------------------------------- reads
+
+    /// A database's placement, if it exists.
+    pub(crate) fn placement(&self, db: &str) -> Option<Placement> {
+        self.read(|st| st.placements.get(db).cloned())
+    }
+
+    /// Every database name, sorted.
+    pub(crate) fn database_names(&self) -> Vec<String> {
+        self.read(|st| st.placements.keys().cloned().collect())
+    }
+
+    /// Databases with a replica on `machine`.
+    pub(crate) fn databases_on(&self, machine: MachineId) -> Vec<String> {
+        self.read(|st| {
+            st.placements
+                .iter()
+                .filter(|(_, p)| p.replicas.contains(&machine))
+                .map(|(db, _)| db.clone())
+                .collect()
+        })
+    }
+
+    /// The in-flight copy state for `db`, if any.
+    pub(crate) fn copy_progress(&self, db: &str) -> Option<CopyProgress> {
+        self.read(|st| st.copies.get(db).cloned())
+    }
+
+    /// Placement and in-flight copy state for `db`, read under **one**
+    /// applied-state snapshot. Statement routing must use this instead of
+    /// separate [`Self::placement`] + [`Self::copy_progress`] calls: two
+    /// reads can straddle a `SetCopyCurrent`/`FinishCopy` transition and
+    /// route a write with a placement/copy pair that never coexisted.
+    pub(crate) fn route_info(&self, db: &str) -> Option<(Placement, Option<CopyProgress>)> {
+        self.read(|st| {
+            st.placements
+                .get(db)
+                .map(|p| (p.clone(), st.copies.get(db).cloned()))
+        })
+    }
+
+    /// Every unresolved 2PC decision with its unresolved participants.
+    pub(crate) fn decisions(&self) -> Vec<(GTxn, Vec<(MachineId, TxnId)>)> {
+        self.read(|st| st.decisions.iter().map(|(g, p)| (*g, p.clone())).collect())
+    }
+
+    /// A database's recorded SLA, if any.
+    pub(crate) fn sla(&self, db: &str) -> Option<Sla> {
+        self.read(|st| st.slas.get(db).copied())
+    }
+
+    // ----------------------------------------------------------- failover
+
+    /// Crash one controller replica (fail-stop; stable state survives for
+    /// [`restart`](Self::restart)). Returns false if already crashed or
+    /// out of range.
+    pub fn crash(&self, node: NodeId) -> bool {
+        let mut inner = self.inner.lock();
+        let i = node as usize;
+        if i >= inner.nodes.len() || inner.crashed[i] {
+            return false;
+        }
+        inner.crashed[i] = true;
+        true
+    }
+
+    /// Crash the current leader replica (electing one first if needed).
+    /// Returns the crashed replica id, or `None` without a live quorum.
+    pub fn crash_leader(&self) -> Option<NodeId> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let l = Self::wait_leader(inner)?;
+        inner.crashed[l] = true;
+        Some(l as NodeId)
+    }
+
+    /// Restart a crashed replica: volatile Raft state resets, persistent
+    /// state (term, vote, log, applied metadata) survives. Catchup happens
+    /// on the next group activity. Returns false if it was not crashed.
+    pub fn restart(&self, node: NodeId) -> bool {
+        let mut inner = self.inner.lock();
+        let i = node as usize;
+        if i >= inner.nodes.len() || !inner.crashed[i] {
+            return false;
+        }
+        inner.crashed[i] = false;
+        inner.nodes[i].restart();
+        true
+    }
+
+    /// Partition one replica away from the rest of the group (it stays
+    /// alive but no message crosses the cut). Returns false if out of range.
+    pub fn isolate(&self, node: NodeId) -> bool {
+        let mut inner = self.inner.lock();
+        let i = node as usize;
+        if i >= inner.nodes.len() {
+            return false;
+        }
+        inner.isolated[i] = true;
+        true
+    }
+
+    /// Heal every partition.
+    pub fn heal(&self) {
+        let mut inner = self.inner.lock();
+        inner.isolated.iter_mut().for_each(|p| *p = false);
+    }
+
+    /// Force every alive replica to fold its applied entries into a
+    /// snapshot (restarted laggards must then catch up via
+    /// `InstallSnapshot` rather than log replay).
+    pub fn compact(&self) {
+        let mut inner = self.inner.lock();
+        for i in 0..inner.nodes.len() {
+            if !inner.crashed[i] {
+                inner.nodes[i].compact();
+            }
+        }
+    }
+
+    /// Drive an election to completion if no usable leader exists. Returns
+    /// the leader id, or `None` without a live connected quorum.
+    pub fn ensure_leader(&self) -> Option<NodeId> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        Self::wait_leader(inner).map(|l| l as NodeId)
+    }
+
+    /// Heal partitions, restart crashed replicas, re-elect, and pump until
+    /// every replica converges (the sim harness's end-of-run step).
+    pub fn quiesce(&self) {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        for i in 0..inner.nodes.len() {
+            inner.isolated[i] = false;
+            if inner.crashed[i] {
+                inner.crashed[i] = false;
+                inner.nodes[i].restart();
+            }
+        }
+        let _ = Self::wait_leader(inner);
+        for _ in 0..40 {
+            Self::tick_all(inner);
+        }
+    }
+
+    /// Point-in-time group status (read-only: never drives elections).
+    pub fn status(&self) -> CtrlStatus {
+        let inner = self.inner.lock();
+        let n = inner.nodes.len();
+        let alive: Vec<usize> = (0..n).filter(|&i| !inner.crashed[i]).collect();
+        let connected: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|&i| !inner.isolated[i])
+            .collect();
+        let max_term = connected
+            .iter()
+            .map(|&i| inner.nodes[i].term())
+            .max()
+            .unwrap_or(0);
+        let leader = connected
+            .iter()
+            .copied()
+            .find(|&i| inner.nodes[i].is_leader() && inner.nodes[i].term() == max_term);
+        let applied: Vec<u64> = alive
+            .iter()
+            .map(|&i| inner.nodes[i].last_applied())
+            .collect();
+        CtrlStatus {
+            replicas: n,
+            leader: leader.map(|l| l as NodeId),
+            term: alive
+                .iter()
+                .map(|&i| inner.nodes[i].term())
+                .max()
+                .unwrap_or(0),
+            commit_index: alive
+                .iter()
+                .map(|&i| inner.nodes[i].commit_index())
+                .max()
+                .unwrap_or(0),
+            replication_lag: applied.iter().max().unwrap_or(&0)
+                - applied.iter().min().unwrap_or(&0),
+            elections: inner.elections.len() as u64,
+            leader_has_lease: leader.is_some_and(|l| inner.nodes[l].has_lease()),
+            crashed: (0..n)
+                .filter(|&i| inner.crashed[i])
+                .map(|i| i as NodeId)
+                .collect(),
+            isolated: (0..n)
+                .filter(|&i| inner.isolated[i])
+                .map(|i| i as NodeId)
+                .collect(),
+        }
+    }
+
+    /// Drain elections observed since the last drain, as (term, winner) —
+    /// the controller turns these into `ctrl_elected` events and counter
+    /// bumps.
+    pub fn take_elections(&self) -> Vec<(Term, NodeId)> {
+        std::mem::take(&mut self.inner.lock().fresh_elections)
+    }
+
+    /// Check the group's safety invariants; each violation is described in
+    /// one line. Empty = healthy. The checks map to Raft properties (see
+    /// DESIGN.md §12):
+    ///
+    /// 1. **single-leader-per-term** (Election Safety): no term ever saw
+    ///    two distinct winners;
+    /// 2. **applied-prefix consistency** (Log Matching + State Machine
+    ///    Safety): every pair of replicas applied the same command sequence
+    ///    up to the shorter one's length — two leaders can therefore never
+    ///    have committed conflicting placements;
+    /// 3. **acked-decision durability** (Leader Completeness): every 2PC
+    ///    decision acknowledged to a coordinator is still present unless
+    ///    legitimately resolved.
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut v = Vec::new();
+        let mut by_term: BTreeMap<Term, NodeId> = BTreeMap::new();
+        for &(t, node) in &inner.elections {
+            match by_term.get(&t) {
+                Some(&prev) if prev != node => v.push(format!(
+                    "two leaders elected in term {t}: controller {prev} and controller {node}"
+                )),
+                Some(_) => {}
+                None => {
+                    by_term.insert(t, node);
+                }
+            }
+        }
+        for a in 0..inner.nodes.len() {
+            for b in (a + 1)..inner.nodes.len() {
+                let (ha, hb) = (&inner.applied_hashes[a], &inner.applied_hashes[b]);
+                if let Some(idx) = ha
+                    .iter()
+                    .find(|(idx, h)| hb.get(idx).is_some_and(|hh| hh != *h))
+                    .map(|(idx, _)| *idx)
+                {
+                    v.push(format!(
+                        "applied logs diverge between controller {a} and controller {b} \
+                         at log index {idx}"
+                    ));
+                }
+            }
+        }
+        let i = Self::read_node(&inner);
+        let st = inner.nodes[i].state();
+        for g in inner.acked_decisions.difference(&inner.resolved_decisions) {
+            if !st.decisions.contains_key(g) {
+                v.push(format!("quorum-acked 2PC decision {g:?} lost"));
+            }
+        }
+        v
+    }
+
+    /// Number of controller replicas.
+    pub fn replicas(&self) -> usize {
+        self.inner.lock().nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: usize) -> ControllerGroup {
+        ControllerGroup::new(n, 7, FaultInjector::disarmed())
+    }
+
+    fn m(n: u32) -> MachineId {
+        MachineId(n)
+    }
+
+    #[test]
+    fn single_replica_group_behaves_like_a_map() {
+        let g = group(1);
+        g.create_db("app", &[m(0), m(1)]).unwrap();
+        assert_eq!(g.placement("app").unwrap().replicas, vec![m(0), m(1)]);
+        assert!(g.create_db("app", &[m(0)]).is_err(), "duplicate");
+        assert_eq!(g.database_names(), vec!["app"]);
+        let removed = g.drop_db("app").unwrap();
+        assert_eq!(removed.replicas.len(), 2);
+        assert!(g.placement("app").is_none());
+        assert!(g.invariant_violations().is_empty());
+    }
+
+    #[test]
+    fn three_replicas_survive_leader_crash() {
+        let g = group(3);
+        g.create_db("a", &[m(0)]).unwrap();
+        let dead = g.crash_leader().expect("leader existed");
+        // Writes still work: the survivors elect a new leader inline.
+        g.create_db("b", &[m(1)]).unwrap();
+        assert_eq!(g.database_names(), vec!["a", "b"]);
+        let s = g.status();
+        assert_eq!(s.crashed, vec![dead]);
+        assert_ne!(s.leader, Some(dead));
+        assert!(
+            g.invariant_violations().is_empty(),
+            "{:?}",
+            g.invariant_violations()
+        );
+    }
+
+    #[test]
+    fn quorum_loss_rejects_writes_and_heals() {
+        let g = group(3);
+        g.create_db("a", &[m(0)]).unwrap();
+        let l = g.crash_leader().unwrap();
+        let next = (0..3).find(|i| *i != l).unwrap();
+        g.crash(next);
+        assert!(g.create_db("b", &[m(1)]).is_err(), "no quorum");
+        // Reads still serve from the survivor's applied state.
+        assert_eq!(g.database_names(), vec!["a"]);
+        g.restart(l);
+        g.restart(next);
+        g.create_db("b", &[m(1)]).unwrap();
+        assert!(g.invariant_violations().is_empty());
+    }
+
+    #[test]
+    fn decisions_survive_leader_crash() {
+        let g = group(3);
+        let gtxn = GTxn(42);
+        g.log_decision(gtxn, vec![(m(0), TxnId(7)), (m(1), TxnId(9))])
+            .unwrap();
+        g.crash_leader().unwrap();
+        let d = g.decisions();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, gtxn);
+        g.resolve_participant(gtxn, m(0));
+        assert_eq!(g.decisions()[0].1, vec![(m(1), TxnId(9))]);
+        g.resolve_participant(gtxn, m(1));
+        assert!(g.decisions().is_empty());
+        assert!(
+            g.invariant_violations().is_empty(),
+            "{:?}",
+            g.invariant_violations()
+        );
+    }
+
+    #[test]
+    fn restarted_replica_catches_up_via_snapshot() {
+        let g = group(3);
+        g.create_db("a", &[m(0)]).unwrap();
+        let victim = {
+            // Crash a follower, not the leader.
+            let leader = g.ensure_leader().unwrap();
+            (0..3).find(|i| *i != leader).unwrap()
+        };
+        g.crash(victim);
+        for i in 0..10 {
+            g.create_db(&format!("db{i}"), &[m(0)]).unwrap();
+        }
+        g.compact();
+        g.restart(victim);
+        g.quiesce();
+        let s = g.status();
+        assert_eq!(s.replication_lag, 0, "restarted replica caught up: {s:?}");
+        assert!(
+            g.invariant_violations().is_empty(),
+            "{:?}",
+            g.invariant_violations()
+        );
+    }
+
+    #[test]
+    fn partitioned_minority_heals_without_divergence() {
+        let g = group(3);
+        g.create_db("a", &[m(0)]).unwrap();
+        let leader = g.ensure_leader().unwrap();
+        g.isolate(leader);
+        // The connected majority elects a new leader and keeps serving.
+        g.create_db("b", &[m(1)]).unwrap();
+        g.heal();
+        g.quiesce();
+        assert_eq!(g.database_names(), vec!["a", "b"]);
+        assert_eq!(g.status().replication_lag, 0);
+        assert!(
+            g.invariant_violations().is_empty(),
+            "{:?}",
+            g.invariant_violations()
+        );
+    }
+
+    #[test]
+    fn sla_table_is_replicated() {
+        let g = group(3);
+        let sla = Sla::new(10.0, 0.05, std::time::Duration::from_secs(60));
+        g.set_sla("app", sla).unwrap();
+        g.crash_leader().unwrap();
+        assert_eq!(g.sla("app").unwrap().min_tps, 10.0);
+    }
+}

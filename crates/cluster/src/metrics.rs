@@ -60,6 +60,16 @@ pub const RECOVERY_TABLES_COPIED: &str = "tenantdb_recovery_tables_copied_total"
 pub const RECOVERY_COPIES_IN_FLIGHT: &str = "tenantdb_recovery_copies_in_flight";
 /// Whole replica-copy latency histogram (µs).
 pub const RECOVERY_COPY_LATENCY: &str = "tenantdb_recovery_copy_latency_us";
+/// Current Raft term of the replicated controller group (gauge).
+pub const CTRL_TERM: &str = "tenantdb_ctrl_term";
+/// Highest committed metadata-log index in the controller group (gauge).
+pub const CTRL_COMMIT_INDEX: &str = "tenantdb_ctrl_commit_index";
+/// Current controller leader replica id, or -1 while leaderless (gauge).
+pub const CTRL_LEADER: &str = "tenantdb_ctrl_leader";
+/// Max applied-index spread across alive controller replicas (gauge).
+pub const CTRL_REPLICATION_LAG: &str = "tenantdb_ctrl_replication_lag";
+/// Controller elections won since the cluster was built (counter).
+pub const CTRL_ELECTIONS: &str = "tenantdb_ctrl_elections_total";
 
 /// Per-database outcome totals, read live from the metrics registry.
 ///
@@ -112,6 +122,16 @@ pub struct ClusterMetrics {
     pub copies_in_flight: Arc<Gauge>,
     /// Whole replica-copy latency.
     pub copy_latency: Arc<Histogram>,
+    /// Controller group: current Raft term.
+    pub ctrl_term: Arc<Gauge>,
+    /// Controller group: highest committed metadata-log index.
+    pub ctrl_commit_index: Arc<Gauge>,
+    /// Controller group: leader replica id (-1 while leaderless).
+    pub ctrl_leader: Arc<Gauge>,
+    /// Controller group: applied-index spread across alive replicas.
+    pub ctrl_replication_lag: Arc<Gauge>,
+    /// Controller group: elections won.
+    pub ctrl_elections: Arc<Counter>,
     per_db: Mutex<HashMap<String, Arc<DbHandles>>>,
     read_routes: Mutex<HashMap<(ReadPolicy, MachineId), Arc<Counter>>>,
 }
@@ -172,6 +192,23 @@ impl ClusterMetrics {
             RECOVERY_COPY_LATENCY,
             "Whole replica-copy duration in microseconds.",
         );
+        registry.describe(CTRL_TERM, "Current Raft term of the controller group.");
+        registry.describe(
+            CTRL_COMMIT_INDEX,
+            "Highest committed metadata-log index in the controller group.",
+        );
+        registry.describe(
+            CTRL_LEADER,
+            "Current controller leader replica id (-1 while leaderless).",
+        );
+        registry.describe(
+            CTRL_REPLICATION_LAG,
+            "Max applied-index spread across alive controller replicas.",
+        );
+        registry.describe(
+            CTRL_ELECTIONS,
+            "Controller elections won since the cluster was built.",
+        );
 
         ClusterMetrics {
             stmt_read_latency: registry.histogram(STMT_READ_LATENCY, &[]),
@@ -183,6 +220,11 @@ impl ClusterMetrics {
             straggler_acks: registry.counter(STRAGGLER_ACKS, &[]),
             copies_in_flight: registry.gauge(RECOVERY_COPIES_IN_FLIGHT, &[]),
             copy_latency: registry.histogram(RECOVERY_COPY_LATENCY, &[]),
+            ctrl_term: registry.gauge(CTRL_TERM, &[]),
+            ctrl_commit_index: registry.gauge(CTRL_COMMIT_INDEX, &[]),
+            ctrl_leader: registry.gauge(CTRL_LEADER, &[]),
+            ctrl_replication_lag: registry.gauge(CTRL_REPLICATION_LAG, &[]),
+            ctrl_elections: registry.counter(CTRL_ELECTIONS, &[]),
             per_db: Mutex::new(&METRICS_PER_DB, HashMap::new()),
             read_routes: Mutex::new(&METRICS_READ_ROUTES, HashMap::new()),
             registry,

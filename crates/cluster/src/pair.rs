@@ -5,10 +5,11 @@
 //! to committing transactions and cleans up the transactions in transit as
 //! part of its take-over processing."
 //!
-//! The mirrored state is the controller's 2PC decision log
-//! (`ClusterController::commit_log`): a commit decision
-//! is logged *before* any COMMIT message is sent to a participant. On
-//! takeover the backup:
+//! The mirrored state is the controller's 2PC decision log, which since the
+//! control plane was replicated lives in the consensus-backed metadata
+//! group (`ClusterController::decisions`, DESIGN.md §12): a commit decision
+//! is quorum-durable *before* any COMMIT message is sent to a participant.
+//! On takeover the backup:
 //!
 //! 1. **completes** every decided commit — participants are prepared and
 //!    must not be left in doubt;
@@ -86,12 +87,10 @@ impl ProcessPair {
     fn takeover(&self) -> TakeoverReport {
         let mut report = TakeoverReport::default();
 
-        // 1. Complete decided commits from the mirrored decision log.
-        let decided: Vec<(GTxn, Vec<(MachineId, tenantdb_storage::TxnId)>)> =
-            self.controller.commit_log.lock().drain().collect();
+        // 1. Complete decided commits from the replicated decision log.
+        let decided = self.controller.decisions();
         let mut completed: Vec<GTxn> = Vec::new();
         for (gtxn, participants) in decided {
-            let mut unresolved: Vec<(MachineId, tenantdb_storage::TxnId)> = Vec::new();
             for (machine, local) in participants {
                 if let Ok(m) = self.controller.machine(machine) {
                     // Crash point: a participant can die in the instant the
@@ -110,16 +109,16 @@ impl ProcessPair {
                     // Errors from an already-finished local transaction are
                     // ignored. A *down* participant is different: it still
                     // holds the transaction prepared in its WAL and must
-                    // learn the decision when it restarts, so the decision
-                    // stays in the mirrored log (restart_machine resolves
-                    // it) instead of being dropped here.
-                    if m.engine.commit(local).is_err() && m.is_failed() {
-                        unresolved.push((machine, local));
+                    // learn the decision when it restarts, so its entry
+                    // stays unresolved in the replicated log
+                    // (restart_machine resolves it) instead of being
+                    // dropped here.
+                    if m.engine.commit(local).is_ok() || !m.is_failed() {
+                        self.controller
+                            .controllers()
+                            .resolve_participant(gtxn, machine);
                     }
                 }
-            }
-            if !unresolved.is_empty() {
-                self.controller.commit_log.lock().insert(gtxn, unresolved);
             }
             completed.push(gtxn);
         }
@@ -179,12 +178,12 @@ mod tests {
         // Primary crashes after the decision, before sending COMMITs.
         conn.commit_with_fault(CommitFault::CrashAfterDecision)
             .unwrap();
-        assert_eq!(c.commit_log.lock().len(), 1);
+        assert_eq!(c.decisions().len(), 1);
 
         let report = pair.fail_primary();
         assert_eq!(pair.active_role(), Role::Backup);
         assert_eq!(report.completed, vec![gtxn]);
-        assert!(c.commit_log.lock().is_empty());
+        assert!(c.decisions().is_empty());
 
         // The write is durably committed on every replica.
         for id in c.alive_replicas("app").unwrap() {

@@ -116,6 +116,13 @@ pub fn create_replica(
                 let tables = source.engine.db(db)?.table_names();
                 for table in tables {
                     controller.set_copy_current(db, Some(&table));
+                    // Grace period: wait out every write statement routed
+                    // with the pre-`set_copy_current` copy state. A drained
+                    // write either applied before the dump's scan (which
+                    // then sees it, or blocks on its 2PL lock until commit)
+                    // or was rejected; without the drain it could apply on
+                    // the source *after* the scan and be lost on the target.
+                    controller.quiesce_routing();
                     // One crash-point hit per table boundary, source then
                     // target (the property tests in `tenantdb-sim` crash
                     // here at every boundary × both granularities).
@@ -131,6 +138,10 @@ pub fn create_replica(
                 }
             }
             CopyGranularity::DatabaseLevel => {
+                // Same grace period as the table-level path: drain writes
+                // routed before `begin_copy` marked the whole database
+                // rejected, then dump.
+                controller.quiesce_routing();
                 copy_fault_hook(controller, CrashPoint::CopyStart, &source);
                 copy_fault_hook(controller, CrashPoint::CopyStart, &target_machine);
                 // Same invariant as the table-level path (see above).

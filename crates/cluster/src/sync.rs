@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! connection (10..30)          outermost: held across routing + enqueue
-//!   └─ controller (100..140)   cluster metadata, 2PC decision log
+//!   └─ controller (100..130)   machine map, replicated metadata group
 //!        └─ metrics (150..155) per-db handle caches
 //!             └─ pair (200)    process-pair role
 //!                  └─ pool (300..310)       worker pools
@@ -19,9 +19,9 @@
 //!
 //! Key cross-layer edges this encodes (each one exists in the code):
 //! connection state is held while routing reads controller maps and while
-//! enqueueing into session mailboxes and pools; `restart_machine` holds the
-//! commit log while appending participant decisions to a machine WAL;
-//! worker `exec` is held across engine calls and fault-injector checks.
+//! enqueueing into session mailboxes and pools; the replicated metadata
+//! group checks the fault injector while pumping a proposal; worker `exec`
+//! is held across engine calls and fault-injector checks.
 
 pub use tenantdb_lockdep::{
     OrderedCondvar as Condvar, OrderedMutex as Mutex, OrderedMutexGuard as MutexGuard,
@@ -36,6 +36,15 @@ use tenantdb_lockdep::LockClass;
 /// the outermost lock in the system.
 pub static CONN_STATE: LockClass = LockClass::new("cluster.connection.state", 10);
 
+/// `ClusterController::route_barrier` — the Algorithm-1 routing barrier.
+/// Read-held by every write statement across routing + replica fan-out +
+/// ack collection; write-held (briefly, empty critical section) by the
+/// replica copy at each tightening boundary (`begin_copy`,
+/// `set_copy_current`) to drain statements routed with the old copy state
+/// before the table dump scans (RCU-style grace period — see
+/// `ClusterController::quiesce_routing`).
+pub static CONN_ROUTE: LockClass = LockClass::new("cluster.connection.route", 15);
+
 /// `Connection::rng` — read-routing randomness (taken under `CONN_STATE`).
 pub static CONN_RNG: LockClass = LockClass::new("cluster.connection.rng", 20);
 
@@ -46,18 +55,14 @@ pub static CONN_REPLY: LockClass = LockClass::new("cluster.connection.reply", 30
 /// per-machine state (engine catalogs rank deeper).
 pub static CTRL_MACHINES: LockClass = LockClass::new("cluster.controller.machines", 100);
 
-/// `ClusterController::placements` — database → replica-set map.
-pub static CTRL_PLACEMENTS: LockClass = LockClass::new("cluster.controller.placements", 110);
-
-/// `ClusterController::copies` — Algorithm-1 copy progress map.
-pub static CTRL_COPIES: LockClass = LockClass::new("cluster.controller.copies", 120);
+/// `ControllerGroup::inner` — the replicated controller metadata group
+/// (placement map, Algorithm-1 copy table, 2PC decision log, SLA table;
+/// see `meta.rs`). Held across the synchronous consensus pump, whose only
+/// nested acquisition is the fault injector (rank 450).
+pub static CTRL_META: LockClass = LockClass::new("cluster.controller.meta", 110);
 
 /// `ClusterController::recorder` — optional history recorder slot.
 pub static CTRL_RECORDER: LockClass = LockClass::new("cluster.controller.recorder", 130);
-
-/// `ClusterController::commit_log` — the mirrored 2PC decision log. Held
-/// while appending decisions to participant WALs on restart.
-pub static CTRL_COMMIT_LOG: LockClass = LockClass::new("cluster.controller.commit_log", 140);
 
 /// `ClusterMetrics::per_db` — resolve-once per-database handle cache.
 pub static METRICS_PER_DB: LockClass = LockClass::new("cluster.metrics.per_db", 150);
@@ -94,7 +99,7 @@ pub static FAULT_STATE: LockClass = LockClass::new("cluster.fault.state", 450);
 /// copy) run lock-free of the controller. No-op when lockdep is disabled.
 #[track_caller]
 pub fn assert_no_controller_locks() {
-    // Controller ranks end at CTRL_COMMIT_LOG (140); metrics caches (150+)
+    // Controller ranks end at CTRL_RECORDER (130); metrics caches (150+)
     // and deeper are fine to hold.
-    tenantdb_lockdep::assert_max_held_rank(CTRL_COMMIT_LOG.rank());
+    tenantdb_lockdep::assert_max_held_rank(CTRL_RECORDER.rank());
 }

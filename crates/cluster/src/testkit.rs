@@ -63,6 +63,26 @@ pub fn cluster(
     c
 }
 
+/// Like [`cluster`], but with a replicated controller group of
+/// `controllers` metadata replicas (failover scenarios).
+pub fn cluster_with_controllers(
+    read: ReadPolicy,
+    write: WritePolicy,
+    machines: usize,
+    replicas: usize,
+    controllers: usize,
+) -> Arc<ClusterController> {
+    let cfg = config(read, write, 3).with_controllers(controllers);
+    let c = ClusterController::with_machines(cfg, machines);
+    c.create_database("app", replicas).unwrap();
+    c.ddl(
+        "app",
+        "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+    )
+    .unwrap();
+    c
+}
+
 /// Render one engine's logical state of `db` as canonical text: every table
 /// (sorted by name) with its rows sorted by content. Row *ids* are
 /// deliberately excluded — they are an engine-local artifact (two replicas

@@ -26,6 +26,7 @@ fn cluster(write: WritePolicy, pool: PoolConfig) -> Arc<ClusterController> {
         },
         pool,
         seed: 11,
+        controllers: 1,
     };
     let c = ClusterController::with_machines(cfg, 2);
     c.create_database("app", 2).unwrap();

@@ -1,0 +1,841 @@
+//! # tenantdb-consensus
+//!
+//! A minimal Raft implementation (election, log replication, snapshot
+//! catchup, leader leases) built for replicating the cluster controller's
+//! metadata — see DESIGN.md §12 for the safety argument and the subset
+//! implemented.
+//!
+//! ## Why it looks the way it does
+//!
+//! The crate is **std-only and completely passive**: a [`RaftNode`] owns no
+//! threads, no timers and no sockets. Time advances only when the driver
+//! calls [`RaftNode::tick`], and messages move only when the driver feeds
+//! [`RaftNode::step`] and delivers whatever it returns. That inversion is
+//! what the rest of the platform needs:
+//!
+//! * the **sim harness** can crash, partition and restart controller
+//!   replicas at exact, replayable points because the whole protocol is a
+//!   pure function of (seed, tick sequence, message order);
+//! * **loom models** can enumerate interleavings of the election and
+//!   commit rules without fighting real timers;
+//! * the in-process controller group can pump a proposal to quorum
+//!   **synchronously** under one lock, which preserves the pre-replication
+//!   semantics of the controller API (a metadata write returns only after
+//!   it is durable on a quorum).
+//!
+//! Randomized election timeouts come from a seeded xorshift stream per
+//! node, so elections are deterministic for a given seed but still avoid
+//! split-vote livelock.
+//!
+//! ## Persistence model
+//!
+//! Nodes are in-memory, but crash/restart is modelled faithfully: a
+//! "crashed" node simply stops receiving messages and ticks, and
+//! [`RaftNode::restart`] clears exactly the *volatile* Raft state (role,
+//! vote tally, peer progress) while keeping the *persistent* state (term,
+//! `voted_for`, the log, the snapshot and the applied state machine — the
+//! latter standing in for snapshot-plus-WAL-replay). Forgetting `voted_for`
+//! on restart would allow double voting, which is the classic way to break
+//! election safety.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Identifier of one consensus group member.
+pub type NodeId = u32;
+/// A Raft term (monotonic election epoch).
+pub type Term = u64;
+/// A 1-based log index (0 means "no entry").
+pub type Index = u64;
+
+/// The replicated state machine a [`RaftNode`] drives.
+///
+/// `apply` must be **deterministic**: every replica applies the same
+/// committed command sequence, and any divergence is a correctness bug (the
+/// sim harness cross-checks replicas' applied state for exactly this).
+pub trait StateMachine {
+    /// A replicated command (the log entry payload).
+    type Command: Clone + fmt::Debug;
+    /// A full copy of the state, used for follower catchup.
+    type Snapshot: Clone;
+
+    /// Apply a committed command. `index` is its log index.
+    fn apply(&mut self, index: Index, cmd: &Self::Command);
+    /// Capture the current state for [`StateMachine::restore`].
+    fn snapshot(&self) -> Self::Snapshot;
+    /// Replace the state with a snapshot (follower catchup).
+    fn restore(&mut self, snap: &Self::Snapshot);
+    /// A command with no effect. Appended by a fresh leader so entries from
+    /// earlier terms commit promptly (Raft §5.4.2 forbids counting replicas
+    /// of old-term entries directly).
+    fn noop() -> Self::Command;
+}
+
+/// A node's current protocol role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts entries from the leader; votes in elections.
+    Follower,
+    /// Requested votes and is waiting for a majority.
+    Candidate,
+    /// Replicates entries and drives commit.
+    Leader,
+}
+
+/// One log entry: the term it was proposed in plus the command.
+#[derive(Debug, Clone)]
+pub struct Entry<C> {
+    /// Term of the leader that appended this entry.
+    pub term: Term,
+    /// The replicated command.
+    pub cmd: C,
+}
+
+/// Protocol message payloads.
+#[derive(Debug, Clone)]
+pub enum Payload<C, S> {
+    /// Candidate asks for a vote, advertising its log's freshness.
+    RequestVote {
+        /// Index of the candidate's last log entry.
+        last_log_index: Index,
+        /// Term of the candidate's last log entry.
+        last_log_term: Term,
+    },
+    /// Vote reply.
+    Vote {
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replicates entries (empty = heartbeat / commit notification).
+    Append {
+        /// Index of the entry immediately preceding `entries`.
+        prev_index: Index,
+        /// Term of that entry (log-matching check).
+        prev_term: Term,
+        /// Entries to append (may be empty).
+        entries: Vec<Entry<C>>,
+        /// Leader's commit index.
+        commit: Index,
+    },
+    /// Follower accepted an append up to `match_index`.
+    AppendOk {
+        /// Highest index now known replicated on the follower.
+        match_index: Index,
+    },
+    /// Follower rejected an append (log mismatch); `hint` is where the
+    /// leader should back up to.
+    AppendReject {
+        /// Suggested next index for the leader to try.
+        hint: Index,
+    },
+    /// Leader ships a full snapshot to a follower too far behind.
+    InstallSnapshot {
+        /// Last log index covered by the snapshot.
+        last_index: Index,
+        /// Term of that index.
+        last_term: Term,
+        /// The state machine snapshot.
+        snapshot: S,
+    },
+    /// Follower installed a snapshot up to `match_index`.
+    SnapshotOk {
+        /// Highest index now covered on the follower.
+        match_index: Index,
+    },
+}
+
+/// One protocol message between two nodes.
+#[derive(Debug, Clone)]
+pub struct Message<C, S> {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Sender's term at send time.
+    pub term: Term,
+    /// The payload.
+    pub payload: Payload<C, S>,
+}
+
+/// Success value of [`RaftNode::propose`]: the proposed entry's log index
+/// plus the replication messages the driver must deliver.
+pub type Proposed<M> = (
+    Index,
+    Vec<Message<<M as StateMachine>::Command, <M as StateMachine>::Snapshot>>,
+);
+
+/// Why a proposal was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProposeError {
+    /// This node is not the leader; `hint` is its best guess at who is.
+    NotLeader {
+        /// Last known leader, if any.
+        hint: Option<NodeId>,
+    },
+}
+
+impl fmt::Display for ProposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProposeError::NotLeader { hint: Some(n) } => {
+                write!(f, "not the leader (try node {n})")
+            }
+            ProposeError::NotLeader { hint: None } => f.write_str("not the leader"),
+        }
+    }
+}
+
+/// Static configuration of one node.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// This node's id.
+    pub id: NodeId,
+    /// Every voting member, including this node.
+    pub voters: Vec<NodeId>,
+    /// Election timeout range in ticks: a node campaigns after a random
+    /// number of quiet ticks in `[min, max)`. `max > min` required.
+    pub election_ticks: (u64, u64),
+    /// Leader heartbeat interval in ticks (must be well under
+    /// `election_ticks.0`).
+    pub heartbeat_ticks: u64,
+    /// Leader lease duration in ticks: the leader may serve reads locally
+    /// while a quorum acked within this window. Must be below
+    /// `election_ticks.0` so the lease expires before any rival can win.
+    pub lease_ticks: u64,
+    /// Compact (snapshot) once this many applied entries accumulate.
+    pub snapshot_keep: u64,
+    /// Seed for the election-timeout randomness.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Sensible defaults for a group of `voters` with deterministic
+    /// timeouts derived from `seed ^ id`.
+    pub fn new(id: NodeId, voters: Vec<NodeId>, seed: u64) -> Self {
+        Config {
+            id,
+            voters,
+            election_ticks: (10, 20),
+            heartbeat_ticks: 3,
+            lease_ticks: 8,
+            snapshot_keep: 64,
+            seed,
+        }
+    }
+}
+
+/// One Raft group member: the protocol state machine plus the replicated
+/// application state machine `M`.
+pub struct RaftNode<M: StateMachine> {
+    cfg: Config,
+    sm: M,
+    role: Role,
+    term: Term,
+    voted_for: Option<NodeId>,
+    votes: BTreeSet<NodeId>,
+    leader_hint: Option<NodeId>,
+    /// Entries with indices `compact_index + 1 ..= compact_index + log.len()`.
+    log: VecDeque<Entry<M::Command>>,
+    /// Last index folded into the snapshot (0 = nothing compacted).
+    compact_index: Index,
+    compact_term: Term,
+    commit: Index,
+    applied: Index,
+    /// Commands applied since the last [`RaftNode::take_applied`] drain.
+    applied_drain: Vec<(Index, M::Command)>,
+    next_index: BTreeMap<NodeId, Index>,
+    match_index: BTreeMap<NodeId, Index>,
+    /// Local monotonic tick counter.
+    now: u64,
+    election_deadline: u64,
+    last_heartbeat: u64,
+    /// Leader lease bookkeeping: last tick each peer acked anything.
+    ack_tick: BTreeMap<NodeId, u64>,
+    rng: u64,
+    elections_won: u64,
+}
+
+impl<M: StateMachine> RaftNode<M> {
+    /// Build a node around an initial state machine.
+    pub fn new(cfg: Config, sm: M) -> Self {
+        assert!(cfg.election_ticks.1 > cfg.election_ticks.0);
+        assert!(!cfg.voters.is_empty() && cfg.voters.contains(&cfg.id));
+        let mut n = RaftNode {
+            rng: cfg.seed ^ (u64::from(cfg.id).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1,
+            cfg,
+            sm,
+            role: Role::Follower,
+            term: 0,
+            voted_for: None,
+            votes: BTreeSet::new(),
+            leader_hint: None,
+            log: VecDeque::new(),
+            compact_index: 0,
+            compact_term: 0,
+            commit: 0,
+            applied: 0,
+            applied_drain: Vec::new(),
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
+            now: 0,
+            election_deadline: 0,
+            last_heartbeat: 0,
+            ack_tick: BTreeMap::new(),
+            elections_won: 0,
+        };
+        n.reset_election_deadline();
+        n
+    }
+
+    // ----------------------------------------------------------- accessors
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.cfg.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// True when this node currently believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current term.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// Last known leader (self, the sender of accepted appends, or `None`).
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
+
+    /// Highest committed index.
+    pub fn commit_index(&self) -> Index {
+        self.commit
+    }
+
+    /// Highest applied index (always ≤ [`Self::commit_index`]).
+    pub fn last_applied(&self) -> Index {
+        self.applied
+    }
+
+    /// Index of the last log entry (snapshot included).
+    pub fn last_index(&self) -> Index {
+        self.compact_index + self.log.len() as Index
+    }
+
+    /// Elections this node has won since construction.
+    pub fn elections_won(&self) -> u64 {
+        self.elections_won
+    }
+
+    /// Read the applied state machine.
+    pub fn state(&self) -> &M {
+        &self.sm
+    }
+
+    /// Drain the commands applied since the last drain (driver-side
+    /// observation for invariant checking; the state machine itself already
+    /// saw them via [`StateMachine::apply`]).
+    pub fn take_applied(&mut self) -> Vec<(Index, M::Command)> {
+        std::mem::take(&mut self.applied_drain)
+    }
+
+    /// True while the leader lease is valid: this node is leader and a
+    /// quorum (self included) acked within the last `lease_ticks` ticks.
+    /// A leader cut off from the quorum loses the lease before a rival can
+    /// be elected, so lease-based local reads never observe a stale leader.
+    pub fn has_lease(&self) -> bool {
+        if self.role != Role::Leader {
+            return false;
+        }
+        let horizon = self.now.saturating_sub(self.cfg.lease_ticks);
+        let fresh = self
+            .cfg
+            .voters
+            .iter()
+            .filter(|&&v| v == self.cfg.id || self.ack_tick.get(&v).is_some_and(|&t| t >= horizon))
+            .count();
+        fresh >= self.quorum()
+    }
+
+    // ------------------------------------------------------------- driving
+
+    /// Advance local time by one tick. Leaders emit heartbeats; followers
+    /// and candidates campaign when their randomized timeout expires.
+    pub fn tick(&mut self) -> Vec<Message<M::Command, M::Snapshot>> {
+        self.now += 1;
+        match self.role {
+            Role::Leader => {
+                if self.now - self.last_heartbeat >= self.cfg.heartbeat_ticks {
+                    self.last_heartbeat = self.now;
+                    self.broadcast_appends()
+                } else {
+                    Vec::new()
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                if self.now >= self.election_deadline {
+                    self.campaign()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Start an election immediately (the tick path calls this on timeout;
+    /// drivers may call it to force a deterministic election).
+    pub fn campaign(&mut self) -> Vec<Message<M::Command, M::Snapshot>> {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.cfg.id);
+        self.votes = BTreeSet::from([self.cfg.id]);
+        self.leader_hint = None;
+        self.reset_election_deadline();
+        if self.votes.len() >= self.quorum() {
+            return self.become_leader();
+        }
+        let (last_log_index, last_log_term) = (self.last_index(), self.last_term());
+        self.peers()
+            .map(|to| Message {
+                from: self.cfg.id,
+                to,
+                term: self.term,
+                payload: Payload::RequestVote {
+                    last_log_index,
+                    last_log_term,
+                },
+            })
+            .collect()
+    }
+
+    /// Propose a command. Succeeds only on the leader; the returned index
+    /// commits once a quorum acknowledges (watch [`Self::last_applied`]).
+    pub fn propose(&mut self, cmd: M::Command) -> Result<Proposed<M>, ProposeError> {
+        if self.role != Role::Leader {
+            return Err(ProposeError::NotLeader {
+                hint: self.leader_hint,
+            });
+        }
+        self.log.push_back(Entry {
+            term: self.term,
+            cmd,
+        });
+        let idx = self.last_index();
+        let mut out = self.broadcast_appends();
+        self.last_heartbeat = self.now;
+        // Single-node groups commit instantly.
+        out.extend(self.advance_commit());
+        Ok((idx, out))
+    }
+
+    /// Handle one incoming message.
+    pub fn step(
+        &mut self,
+        msg: Message<M::Command, M::Snapshot>,
+    ) -> Vec<Message<M::Command, M::Snapshot>> {
+        if msg.term > self.term {
+            self.become_follower(msg.term);
+        }
+        match msg.payload {
+            Payload::RequestVote {
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(msg.from, msg.term, last_log_index, last_log_term),
+            Payload::Vote { granted } => self.on_vote(msg.from, msg.term, granted),
+            Payload::Append {
+                prev_index,
+                prev_term,
+                entries,
+                commit,
+            } => self.on_append(msg.from, msg.term, prev_index, prev_term, entries, commit),
+            Payload::AppendOk { match_index } => self.on_append_ok(msg.from, msg.term, match_index),
+            Payload::AppendReject { hint } => self.on_append_reject(msg.from, msg.term, hint),
+            Payload::InstallSnapshot {
+                last_index,
+                last_term,
+                snapshot,
+            } => self.on_install_snapshot(msg.from, msg.term, last_index, last_term, &snapshot),
+            Payload::SnapshotOk { match_index } => {
+                self.on_append_ok(msg.from, msg.term, match_index)
+            }
+        }
+    }
+
+    /// Restart after a crash: volatile state (role, votes, peer progress,
+    /// lease clock) resets; persistent state (term, `voted_for`, log,
+    /// snapshot, applied state) survives.
+    pub fn restart(&mut self) {
+        self.role = Role::Follower;
+        self.votes.clear();
+        self.leader_hint = None;
+        self.next_index.clear();
+        self.match_index.clear();
+        self.ack_tick.clear();
+        self.last_heartbeat = 0;
+        self.reset_election_deadline();
+    }
+
+    /// Fold every applied entry into the snapshot, truncating the log.
+    pub fn compact(&mut self) {
+        if self.applied <= self.compact_index {
+            return;
+        }
+        let keep_from = (self.applied - self.compact_index) as usize;
+        self.compact_term = self.term_at(self.applied);
+        self.log.drain(..keep_from);
+        self.compact_index = self.applied;
+    }
+
+    // ------------------------------------------------------------ internal
+
+    fn quorum(&self) -> usize {
+        self.cfg.voters.len() / 2 + 1
+    }
+
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.cfg.id;
+        self.cfg.voters.iter().copied().filter(move |&v| v != me)
+    }
+
+    fn last_term(&self) -> Term {
+        self.log.back().map(|e| e.term).unwrap_or(self.compact_term)
+    }
+
+    /// Term of the entry at `idx` (0 for index 0; `compact_term` at the
+    /// snapshot boundary). Caller must not ask below `compact_index`.
+    fn term_at(&self, idx: Index) -> Term {
+        if idx == 0 {
+            0
+        } else if idx == self.compact_index {
+            self.compact_term
+        } else {
+            self.log[(idx - self.compact_index - 1) as usize].term
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* — deterministic per (seed, id) stream.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn reset_election_deadline(&mut self) {
+        let (lo, hi) = self.cfg.election_ticks;
+        let jitter = self.next_rand() % (hi - lo);
+        self.election_deadline = self.now + lo + jitter;
+    }
+
+    fn become_follower(&mut self, term: Term) {
+        self.term = term;
+        self.role = Role::Follower;
+        self.voted_for = None;
+        self.votes.clear();
+        self.next_index.clear();
+        self.match_index.clear();
+        self.reset_election_deadline();
+    }
+
+    fn become_leader(&mut self) -> Vec<Message<M::Command, M::Snapshot>> {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.cfg.id);
+        self.elections_won += 1;
+        self.last_heartbeat = self.now;
+        self.ack_tick.clear();
+        let next = self.last_index() + 1;
+        self.next_index = self.peers().map(|p| (p, next)).collect();
+        self.match_index = self.peers().map(|p| (p, 0)).collect();
+        // Barrier entry: lets entries from earlier terms commit under the
+        // current-term counting rule.
+        self.log.push_back(Entry {
+            term: self.term,
+            cmd: M::noop(),
+        });
+        let mut out = self.broadcast_appends();
+        out.extend(self.advance_commit());
+        out
+    }
+
+    fn broadcast_appends(&mut self) -> Vec<Message<M::Command, M::Snapshot>> {
+        let peers: Vec<NodeId> = self.peers().collect();
+        peers.into_iter().map(|p| self.append_for(p)).collect()
+    }
+
+    fn append_for(&mut self, peer: NodeId) -> Message<M::Command, M::Snapshot> {
+        let next = *self
+            .next_index
+            .get(&peer)
+            .unwrap_or(&(self.last_index() + 1));
+        if next <= self.compact_index {
+            // The entries this follower needs are gone: ship the snapshot.
+            return Message {
+                from: self.cfg.id,
+                to: peer,
+                term: self.term,
+                payload: Payload::InstallSnapshot {
+                    last_index: self.compact_index,
+                    last_term: self.compact_term,
+                    snapshot: self.sm_snapshot_at_compact(),
+                },
+            };
+        }
+        let prev_index = next - 1;
+        let prev_term = self.term_at(prev_index);
+        let entries: Vec<Entry<M::Command>> = self
+            .log
+            .iter()
+            .skip((next - self.compact_index - 1) as usize)
+            .cloned()
+            .collect();
+        Message {
+            from: self.cfg.id,
+            to: peer,
+            term: self.term,
+            payload: Payload::Append {
+                prev_index,
+                prev_term,
+                entries,
+                commit: self.commit,
+            },
+        }
+    }
+
+    /// Snapshot shipped to laggards. The state machine is at `applied`,
+    /// which can be ahead of `compact_index`; compact first so the snapshot
+    /// boundary and the shipped state agree.
+    fn sm_snapshot_at_compact(&mut self) -> M::Snapshot {
+        self.compact();
+        self.sm.snapshot()
+    }
+
+    fn on_request_vote(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_log_index: Index,
+        last_log_term: Term,
+    ) -> Vec<Message<M::Command, M::Snapshot>> {
+        let up_to_date = last_log_term > self.last_term()
+            || (last_log_term == self.last_term() && last_log_index >= self.last_index());
+        let granted = term == self.term
+            && up_to_date
+            && (self.voted_for.is_none() || self.voted_for == Some(from));
+        if granted {
+            self.voted_for = Some(from);
+            self.reset_election_deadline();
+        }
+        vec![Message {
+            from: self.cfg.id,
+            to: from,
+            term: self.term,
+            payload: Payload::Vote { granted },
+        }]
+    }
+
+    fn on_vote(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        granted: bool,
+    ) -> Vec<Message<M::Command, M::Snapshot>> {
+        if self.role != Role::Candidate || term != self.term || !granted {
+            return Vec::new();
+        }
+        self.votes.insert(from);
+        if self.votes.len() >= self.quorum() {
+            self.become_leader()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_append(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        prev_index: Index,
+        prev_term: Term,
+        mut entries: Vec<Entry<M::Command>>,
+        commit: Index,
+    ) -> Vec<Message<M::Command, M::Snapshot>> {
+        if term < self.term {
+            // Stale leader: our term in the reply forces it to step down.
+            return vec![Message {
+                from: self.cfg.id,
+                to: from,
+                term: self.term,
+                payload: Payload::AppendReject { hint: 0 },
+            }];
+        }
+        // term == self.term here (higher terms were folded in by step()).
+        self.role = Role::Follower;
+        self.leader_hint = Some(from);
+        self.reset_election_deadline();
+
+        // Log-matching check at prev. Anything at or below our snapshot
+        // boundary is committed and therefore matches by construction.
+        if prev_index > self.last_index()
+            || (prev_index > self.compact_index && self.term_at(prev_index) != prev_term)
+        {
+            // Back the leader up to just past our commit point: everything
+            // committed here matches the leader's log (Raft safety), so this
+            // hint never discards agreement and always makes progress.
+            return vec![Message {
+                from: self.cfg.id,
+                to: from,
+                term: self.term,
+                payload: Payload::AppendReject {
+                    hint: self.commit + 1,
+                },
+            }];
+        }
+
+        // Skip entries the snapshot already covers.
+        let mut idx = prev_index;
+        if idx < self.compact_index {
+            let skip = ((self.compact_index - idx) as usize).min(entries.len());
+            entries.drain(..skip);
+            idx = self.compact_index;
+        }
+        for e in entries {
+            idx += 1;
+            if idx <= self.last_index() {
+                if self.term_at(idx) == e.term {
+                    continue; // already have it
+                }
+                // Conflict: truncate our tail (never committed — see above).
+                self.log.truncate((idx - self.compact_index - 1) as usize);
+            }
+            self.log.push_back(e);
+        }
+        let match_index = idx.max(prev_index);
+        self.commit = self.commit.max(commit.min(self.last_index()));
+        self.apply_committed();
+        vec![Message {
+            from: self.cfg.id,
+            to: from,
+            term: self.term,
+            payload: Payload::AppendOk { match_index },
+        }]
+    }
+
+    fn on_append_ok(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        match_index: Index,
+    ) -> Vec<Message<M::Command, M::Snapshot>> {
+        if self.role != Role::Leader || term != self.term {
+            return Vec::new();
+        }
+        self.ack_tick.insert(from, self.now);
+        let m = self.match_index.entry(from).or_insert(0);
+        if match_index > *m {
+            *m = match_index;
+        }
+        self.next_index.insert(from, *m + 1);
+        self.advance_commit()
+    }
+
+    fn on_append_reject(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        hint: Index,
+    ) -> Vec<Message<M::Command, M::Snapshot>> {
+        if self.role != Role::Leader || term != self.term {
+            return Vec::new();
+        }
+        self.ack_tick.insert(from, self.now);
+        let floor = self.match_index.get(&from).copied().unwrap_or(0) + 1;
+        self.next_index
+            .insert(from, hint.clamp(floor, self.last_index() + 1).max(1));
+        vec![self.append_for(from)]
+    }
+
+    fn on_install_snapshot(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_index: Index,
+        last_term: Term,
+        snapshot: &M::Snapshot,
+    ) -> Vec<Message<M::Command, M::Snapshot>> {
+        if term < self.term {
+            return Vec::new();
+        }
+        self.role = Role::Follower;
+        self.leader_hint = Some(from);
+        self.reset_election_deadline();
+        if last_index > self.commit {
+            self.sm.restore(snapshot);
+            self.log.clear();
+            self.compact_index = last_index;
+            self.compact_term = last_term;
+            self.commit = last_index;
+            self.applied = last_index;
+        }
+        vec![Message {
+            from: self.cfg.id,
+            to: from,
+            term: self.term,
+            payload: Payload::SnapshotOk {
+                match_index: self.commit,
+            },
+        }]
+    }
+
+    /// Leader-side commit rule: an index commits once a quorum stores it
+    /// *and* it belongs to the current term.
+    fn advance_commit(&mut self) -> Vec<Message<M::Command, M::Snapshot>> {
+        if self.role != Role::Leader {
+            return Vec::new();
+        }
+        let mut matches: Vec<Index> = self.match_index.values().copied().collect();
+        matches.push(self.last_index()); // self
+        matches.sort_unstable();
+        // The quorum-th highest match index.
+        let candidate = matches[matches.len() - self.quorum()];
+        if candidate > self.commit
+            && candidate > self.compact_index
+            && self.term_at(candidate) == self.term
+        {
+            self.commit = candidate;
+            self.apply_committed();
+            // Tell followers promptly so their applied state (which the
+            // controller group reads on failover) tracks the leader's.
+            self.last_heartbeat = self.now;
+            return self.broadcast_appends();
+        }
+        Vec::new()
+    }
+
+    fn apply_committed(&mut self) {
+        while self.applied < self.commit {
+            self.applied += 1;
+            let e = &self.log[(self.applied - self.compact_index - 1) as usize];
+            let cmd = e.cmd.clone();
+            self.sm.apply(self.applied, &cmd);
+            self.applied_drain.push((self.applied, cmd));
+        }
+        if self.applied - self.compact_index >= self.cfg.snapshot_keep {
+            self.compact();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

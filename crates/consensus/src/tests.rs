@@ -1,0 +1,348 @@
+use super::*;
+
+/// Tiny deterministic state machine: commands are non-zero u64s appended
+/// to a vec; 0 is the leader no-op.
+#[derive(Default, Clone)]
+struct Log(Vec<u64>);
+
+impl StateMachine for Log {
+    type Command = u64;
+    type Snapshot = Vec<u64>;
+
+    fn apply(&mut self, _index: Index, cmd: &u64) {
+        if *cmd != 0 {
+            self.0.push(*cmd);
+        }
+    }
+    fn snapshot(&self) -> Vec<u64> {
+        self.0.clone()
+    }
+    fn restore(&mut self, snap: &Vec<u64>) {
+        self.0 = snap.clone();
+    }
+    fn noop() -> u64 {
+        0
+    }
+}
+
+/// In-memory network: FIFO delivery, crash and partition faults.
+struct TestNet {
+    nodes: Vec<RaftNode<Log>>,
+    crashed: Vec<bool>,
+    /// Partition group per node; messages cross groups only if equal.
+    group: Vec<u8>,
+    queue: VecDeque<Message<u64, Vec<u64>>>,
+}
+
+impl TestNet {
+    fn new(n: u32, seed: u64) -> Self {
+        Self::with_cfg(n, seed, |c| c)
+    }
+
+    fn with_cfg(n: u32, seed: u64, f: impl Fn(Config) -> Config) -> Self {
+        let voters: Vec<NodeId> = (0..n).collect();
+        TestNet {
+            nodes: (0..n)
+                .map(|id| RaftNode::new(f(Config::new(id, voters.clone(), seed)), Log::default()))
+                .collect(),
+            crashed: vec![false; n as usize],
+            group: vec![0; n as usize],
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn send(&mut self, msgs: Vec<Message<u64, Vec<u64>>>) {
+        self.queue.extend(msgs);
+    }
+
+    fn deliverable(&self, m: &Message<u64, Vec<u64>>) -> bool {
+        let (f, t) = (m.from as usize, m.to as usize);
+        !self.crashed[f] && !self.crashed[t] && self.group[f] == self.group[t]
+    }
+
+    /// Drain the queue to quiescence.
+    fn pump(&mut self) {
+        while let Some(m) = self.queue.pop_front() {
+            if self.deliverable(&m) {
+                let out = self.nodes[m.to as usize].step(m);
+                self.queue.extend(out);
+            }
+        }
+    }
+
+    /// One tick on every alive node, then pump.
+    fn tick(&mut self) {
+        for i in 0..self.nodes.len() {
+            if !self.crashed[i] {
+                let out = self.nodes[i].tick();
+                self.queue.extend(out);
+            }
+        }
+        self.pump();
+    }
+
+    fn run_until_leader(&mut self) -> usize {
+        for _ in 0..500 {
+            self.tick();
+            if let Some(l) = self.leader() {
+                return l;
+            }
+        }
+        panic!("no leader elected in 500 ticks");
+    }
+
+    /// Like `run_until_leader`, but ignores a stale leader lingering at or
+    /// below `term` (e.g. a partitioned old leader that cannot learn it was
+    /// deposed until the partition heals).
+    fn run_until_leader_above(&mut self, term: Term) -> usize {
+        for _ in 0..500 {
+            self.tick();
+            if let Some(l) = self.leader() {
+                if self.nodes[l].term() > term {
+                    return l;
+                }
+            }
+        }
+        panic!("no leader above term {term} in 500 ticks");
+    }
+
+    fn leader(&self) -> Option<usize> {
+        let alive_leaders: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| !self.crashed[*i] && n.is_leader())
+            .map(|(i, _)| i)
+            .collect();
+        // Two alive leaders may coexist transiently only in different terms.
+        if let [a, b] = alive_leaders[..] {
+            assert_ne!(
+                self.nodes[a].term(),
+                self.nodes[b].term(),
+                "two leaders in one term"
+            );
+        }
+        alive_leaders
+            .into_iter()
+            .max_by_key(|&i| self.nodes[i].term())
+    }
+
+    /// Propose on the current leader and pump to commit.
+    fn commit(&mut self, cmd: u64) {
+        let l = self.leader().expect("need a leader");
+        let (idx, out) = self.nodes[l].propose(cmd).unwrap();
+        self.send(out);
+        for _ in 0..100 {
+            self.pump();
+            if self.nodes[l].last_applied() >= idx {
+                return;
+            }
+            self.tick();
+        }
+        panic!("cmd {cmd} did not commit");
+    }
+}
+
+#[test]
+fn elects_exactly_one_leader() {
+    let mut net = TestNet::new(3, 7);
+    let l = net.run_until_leader();
+    let term = net.nodes[l].term();
+    let leaders = net.nodes.iter().filter(|n| n.is_leader()).count();
+    assert_eq!(leaders, 1);
+    for n in &net.nodes {
+        assert_eq!(n.term(), term, "all nodes converge on the leader's term");
+        assert_eq!(n.leader_hint(), Some(net.nodes[l].id()));
+    }
+}
+
+#[test]
+fn elections_are_deterministic_per_seed() {
+    let run = |seed| {
+        let mut net = TestNet::new(3, seed);
+        let l = net.run_until_leader();
+        (l, net.nodes[l].term())
+    };
+    assert_eq!(run(42), run(42));
+    assert_eq!(run(1234), run(1234));
+}
+
+#[test]
+fn replicates_to_all_nodes() {
+    let mut net = TestNet::new(3, 1);
+    net.run_until_leader();
+    net.commit(10);
+    net.commit(20);
+    for n in &net.nodes {
+        assert_eq!(n.state().0, vec![10, 20]);
+    }
+}
+
+#[test]
+fn single_node_group_commits_instantly() {
+    let mut net = TestNet::new(1, 5);
+    let l = net.run_until_leader();
+    assert_eq!(l, 0);
+    let (idx, _) = net.nodes[0].propose(99).unwrap();
+    assert_eq!(net.nodes[0].last_applied(), idx, "no quorum round trip");
+    assert_eq!(net.nodes[0].state().0, vec![99]);
+}
+
+#[test]
+fn committed_entries_survive_leader_crash() {
+    let mut net = TestNet::new(3, 3);
+    let l = net.run_until_leader();
+    net.commit(7);
+    net.crashed[l] = true;
+    let l2 = net.run_until_leader();
+    assert_ne!(l2, l);
+    net.commit(8);
+    for (i, n) in net.nodes.iter().enumerate() {
+        if !net.crashed[i] {
+            assert_eq!(n.state().0, vec![7, 8]);
+        }
+    }
+}
+
+#[test]
+fn follower_rejoins_and_new_leader_overwrites_uncommitted_tail() {
+    let mut net = TestNet::new(3, 9);
+    let l = net.run_until_leader();
+    net.commit(1);
+    // Isolate the leader; its further proposals cannot commit.
+    net.group[l] = 1;
+    let (_, out) = net.nodes[l].propose(666).unwrap();
+    net.send(out);
+    net.pump();
+    // Majority side elects a new leader and commits divergent entries.
+    let stale_term = net.nodes[l].term();
+    let l2 = net.run_until_leader_above(stale_term);
+    assert_ne!(l2, l);
+    net.commit(2);
+    // Heal: the old leader steps down and its uncommitted 666 is discarded.
+    net.group[l] = 0;
+    for _ in 0..50 {
+        net.tick();
+    }
+    for n in &net.nodes {
+        assert_eq!(n.state().0, vec![1, 2], "uncommitted tail replaced");
+        assert!(!n.state().0.contains(&666));
+    }
+}
+
+#[test]
+fn restarted_node_catches_up_via_snapshot() {
+    let mut net = TestNet::with_cfg(3, 11, |mut c| {
+        c.snapshot_keep = 4; // compact aggressively to force InstallSnapshot
+        c
+    });
+    let l = net.run_until_leader();
+    net.commit(1);
+    let lagger = (0..3).find(|&i| i != l).unwrap();
+    net.crashed[lagger] = true;
+    for v in 2..=12 {
+        net.commit(v);
+    }
+    let leader = net.leader().unwrap();
+    assert!(
+        net.nodes[leader].last_index() > net.cfg_snapshot_floor(leader),
+        "leader compacted while the follower was down"
+    );
+    net.crashed[lagger] = false;
+    net.nodes[lagger].restart();
+    for _ in 0..50 {
+        net.tick();
+    }
+    let want: Vec<u64> = (1..=12).collect();
+    assert_eq!(net.nodes[lagger].state().0, want);
+    assert_eq!(
+        net.nodes[lagger].last_applied(),
+        net.nodes[leader].last_applied()
+    );
+}
+
+impl TestNet {
+    fn cfg_snapshot_floor(&self, i: usize) -> Index {
+        // compact_index is private; infer compaction from applied - keep.
+        self.nodes[i].last_applied().saturating_sub(4)
+    }
+}
+
+#[test]
+fn restart_preserves_log_and_term() {
+    let mut net = TestNet::new(3, 13);
+    let l = net.run_until_leader();
+    net.commit(5);
+    let f = (0..3).find(|&i| i != l).unwrap();
+    let (term, applied) = (net.nodes[f].term(), net.nodes[f].last_applied());
+    net.nodes[f].restart();
+    assert_eq!(net.nodes[f].term(), term, "term is persistent state");
+    assert_eq!(net.nodes[f].last_applied(), applied);
+    assert_eq!(net.nodes[f].role(), Role::Follower);
+    assert_eq!(net.nodes[f].state().0, vec![5]);
+}
+
+#[test]
+fn lease_expires_when_partitioned_from_quorum() {
+    let mut net = TestNet::new(3, 17);
+    let l = net.run_until_leader();
+    net.commit(1);
+    // Heartbeat acks refresh the lease.
+    net.tick();
+    assert!(net.nodes[l].has_lease());
+    // Cut the leader off; acks stop and the lease must lapse.
+    net.group[l] = 1;
+    for _ in 0..30 {
+        let out = net.nodes[l].tick();
+        net.send(out); // dropped by the partition
+        net.pump();
+    }
+    assert!(!net.nodes[l].has_lease());
+}
+
+#[test]
+fn propose_on_follower_returns_leader_hint() {
+    let mut net = TestNet::new(3, 19);
+    let l = net.run_until_leader();
+    let f = (0..3).find(|&i| i != l).unwrap();
+    let err = net.nodes[f].propose(1).unwrap_err();
+    assert_eq!(
+        err,
+        ProposeError::NotLeader {
+            hint: Some(net.nodes[l].id())
+        }
+    );
+}
+
+#[test]
+fn minority_partition_cannot_commit_then_heals() {
+    let mut net = TestNet::new(5, 23);
+    let l = net.run_until_leader();
+    net.commit(1);
+    // Partition the leader with one follower (minority of 5).
+    let buddy = (0..5).find(|&i| i != l).unwrap();
+    net.group[l] = 1;
+    net.group[buddy] = 1;
+    let (idx, out) = net.nodes[l].propose(777).unwrap();
+    net.send(out);
+    for _ in 0..30 {
+        net.tick();
+    }
+    assert!(
+        net.nodes[l].last_applied() < idx,
+        "minority leader cannot commit"
+    );
+    // Majority side moves on.
+    let l2 = net.run_until_leader();
+    assert!(l2 != l && l2 != buddy);
+    net.commit(2);
+    // Heal; everyone converges on the majority history.
+    net.group[l] = 0;
+    net.group[buddy] = 0;
+    for _ in 0..60 {
+        net.tick();
+    }
+    for n in &net.nodes {
+        assert_eq!(n.state().0, vec![1, 2]);
+    }
+}

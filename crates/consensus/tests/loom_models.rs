@@ -1,0 +1,227 @@
+//! Exhaustive interleaving checks (via `tenantdb-loom`) for the two
+//! consensus protocol rules everything in DESIGN.md §12 leans on:
+//!
+//! 1. **Election safety**: a voter persists `voted_for` and grants at most
+//!    one vote per term, so two candidates racing for the same term can
+//!    never both assemble a majority (`single-leader-per-term` in the sim
+//!    checkers).
+//! 2. **Decision-log durability**: an entry is acknowledged to the 2PC
+//!    coordinator only after it is persisted on a quorum, so a leader
+//!    crash after the ack can never lose the decision
+//!    (`acked-decision durability` in the sim checkers).
+//!
+//! The models re-state each rule over `tenantdb_loom` primitives — the
+//! production `RaftNode` is a deterministic single-threaded state machine
+//! pumped under one lock, so what needs interleaving coverage is not its
+//! internals but the *rules* its message handlers implement: the models
+//! mirror the `RequestVote` handler's persist-then-grant order and the
+//! `submit`/`LogDecision` persist-then-ack order. Each has a
+//! `*_model_has_teeth` test seeding the plausible buggy shape (forgetting
+//! `voted_for`; acking on receipt before persist) to prove the checker
+//! would catch that regression.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tenantdb_loom as loom;
+
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+
+/// CHESS-style bounded exploration (see `cluster/tests/loom_models.rs`):
+/// every schedule with at most two preemptions. Both teeth tests confirm
+/// their seeded bugs surface within this bound.
+fn bounded() -> loom::Builder {
+    loom::Builder {
+        preemption_bound: Some(2),
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model 1: election safety
+// ---------------------------------------------------------------------------
+
+/// One voter's durable election state for a single term: mirrors
+/// `RaftNode`'s `voted_for` check in the `RequestVote` handler.
+struct Voter {
+    voted_for: Mutex<Option<usize>>,
+}
+
+/// Candidate `me` requests votes from every voter for one fixed term.
+/// `honest` voters persist the grant under the same lock hold that decides
+/// it (the production handler's order); the buggy variant (teeth test)
+/// decides without persisting.
+fn campaign(voters: &[Arc<Voter>], me: usize, honest: bool) -> usize {
+    let mut grants = 0;
+    for v in voters {
+        let mut voted = v.voted_for.lock();
+        let grant = match *voted {
+            None => true,
+            Some(prev) => prev == me,
+        };
+        if grant {
+            if honest {
+                *voted = Some(me);
+            }
+            grants += 1;
+        }
+    }
+    grants
+}
+
+fn election_race(honest: bool) {
+    let voters: Vec<Arc<Voter>> = (0..3)
+        .map(|_| {
+            Arc::new(Voter {
+                voted_for: Mutex::new(None),
+            })
+        })
+        .collect();
+    let handles: Vec<_> = (0..2)
+        .map(|me| {
+            let voters = voters.clone();
+            loom::thread::spawn(move || campaign(&voters, me, honest))
+        })
+        .collect();
+    let majorities = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .filter(|&g| g >= 2)
+        .count();
+    assert!(
+        majorities <= 1,
+        "two candidates won a majority in the same term"
+    );
+}
+
+/// Under every interleaving of two candidates' vote requests, at most one
+/// assembles a majority for the term.
+#[test]
+fn election_safety_single_winner_per_term() {
+    bounded().check(|| election_race(true));
+}
+
+/// A voter that grants without persisting `voted_for` (the classic
+/// double-vote bug) lets both candidates win in some schedule — the model
+/// must find it.
+#[test]
+fn election_model_has_teeth() {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        bounded().check(|| election_race(false));
+    }))
+    .expect_err("a forgetful voter must produce two winners in some schedule");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("two candidates won a majority"), "{msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: decision-log durability
+// ---------------------------------------------------------------------------
+
+/// The replicated decision log around one `LogDecision` entry: the leader
+/// has it persisted (count starts at 1), two follower replicas persist and
+/// acknowledge concurrently, and the client ack fires at quorum (2 of 3).
+/// A crash thread fail-stops the followers one by one at arbitrary points;
+/// fail-stop loses in-flight work but not what already hit stable storage.
+struct DecisionLog {
+    /// Follower persistence state (stable storage).
+    persisted: [AtomicBool; 2],
+    /// Fail-stop flags: a killed follower does nothing further.
+    killed: [AtomicBool; 2],
+    /// Replicas that persisted the entry (leader included from the start).
+    acks: AtomicUsize,
+    /// Set when the 2PC coordinator was told the decision is durable.
+    acked: AtomicBool,
+}
+
+/// One follower's append handler. `honest` persists before counting the
+/// ack (the production order: `submit` returns only after the entry is
+/// applied on a quorum); the buggy variant acknowledges on receipt.
+fn follower(log: &Arc<DecisionLog>, i: usize, honest: bool) {
+    let ack = |log: &Arc<DecisionLog>| {
+        if log.acks.fetch_add(1, Ordering::SeqCst) + 1 >= 2 {
+            log.acked.store(true, Ordering::SeqCst);
+        }
+    };
+    if !honest {
+        // Teeth shape: ack first, persist later — the crash window between
+        // the two loses an acked entry.
+        ack(log);
+    }
+    if log.killed[i].load(Ordering::SeqCst) {
+        return;
+    }
+    log.persisted[i].store(true, Ordering::SeqCst);
+    if honest {
+        ack(log);
+    }
+}
+
+fn durability_race(honest: bool) {
+    let log = Arc::new(DecisionLog {
+        persisted: [AtomicBool::new(false), AtomicBool::new(false)],
+        killed: [AtomicBool::new(false), AtomicBool::new(false)],
+        acks: AtomicUsize::new(1),
+        acked: AtomicBool::new(false),
+    });
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            let log = Arc::clone(&log);
+            loom::thread::spawn(move || follower(&log, i, honest))
+        })
+        .collect();
+    // Fail-stop the followers one by one at arbitrary points in the
+    // replication (separate stores, so schedules exist where only the
+    // first is down while the second still runs).
+    let killer = {
+        let log = Arc::clone(&log);
+        loom::thread::spawn(move || {
+            log.killed[0].store(true, Ordering::SeqCst);
+            log.killed[1].store(true, Ordering::SeqCst);
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    killer.join().unwrap();
+
+    // The leader now dies too. Leader Completeness: if the coordinator was
+    // acked, the entry must survive on some follower's stable storage —
+    // crashed followers restart with their persisted log, and the election
+    // rule picks the most-up-to-date survivor, so one persisted copy
+    // suffices.
+    if log.acked.load(Ordering::SeqCst) {
+        assert!(
+            log.persisted.iter().any(|p| p.load(Ordering::SeqCst)),
+            "acked decision lost: leader dead, no follower persisted it"
+        );
+    }
+}
+
+/// Under every interleaving of replication and a follower crash, an acked
+/// decision always survives the leader's death on at least one follower.
+#[test]
+fn acked_decision_survives_leader_crash() {
+    bounded().check(|| durability_race(true));
+}
+
+/// A follower that acknowledges before persisting (ack-on-receipt) lets
+/// the coordinator be acked while no follower holds the entry — the model
+/// must find the losing schedule.
+#[test]
+fn durability_model_has_teeth() {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        bounded().check(|| durability_race(false));
+    }))
+    .expect_err("ack-before-persist must lose an acked decision in some schedule");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("acked decision lost"), "{msg}");
+}

@@ -324,6 +324,10 @@ impl SystemController {
         for colo in &self.colos {
             for (i, cluster) in colo.clusters().iter().enumerate() {
                 let _ = writeln!(out, "# ==== {} ({}) cluster {}", colo.name, colo.id, i);
+                // Refresh the tenantdb_ctrl_* gauges (and drain pending
+                // ctrl_elected events) — they are views of the consensus
+                // group, not ledgers, so a scrape is the natural sync point.
+                cluster.sync_ctrl_metrics();
                 out.push_str(&cluster.metrics().registry().render_text());
             }
         }

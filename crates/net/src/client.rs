@@ -287,16 +287,44 @@ impl NetClient {
         }
     }
 
+    /// Statement retries after a `NotLeader` reply. A `NotLeader` means
+    /// the controller group was mid-election (or briefly quorumless) when
+    /// the request needed a metadata write; outside an explicit
+    /// transaction such a statement made no durable change, so retrying
+    /// after the group re-elects is safe. Inside a transaction the error
+    /// propagates — the server already aborted the transaction.
+    const NOT_LEADER_ATTEMPTS: u32 = 3;
+    /// Backoff between `NotLeader` retries (election timescale).
+    const NOT_LEADER_BACKOFF: Duration = Duration::from_millis(20);
+
+    /// Send an encoded statement request, retrying (bounded) on
+    /// leadership errors per [`Self::NOT_LEADER_ATTEMPTS`].
+    fn stmt_roundtrip(&self, bytes: &[u8]) -> NetResult<Frame> {
+        let mut attempt = 0;
+        loop {
+            let mut inner = self.inner.lock();
+            if inner.broken {
+                return Err(NetError::Broken);
+            }
+            let reply = Self::roundtrip_bytes(&mut inner, bytes)?;
+            let in_txn = inner.in_txn;
+            drop(inner);
+            match reply {
+                Frame::Error(e)
+                    if e.is_not_leader() && !in_txn && attempt < Self::NOT_LEADER_ATTEMPTS =>
+                {
+                    attempt += 1;
+                    thread::sleep(Self::NOT_LEADER_BACKOFF);
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
     /// Execute one SQL statement and return the full result set.
     pub fn execute(&self, sql: &str, params: &[Value]) -> NetResult<QueryResult> {
         let bytes = wire::encode_stmt_request(sql, params, false);
-        let mut inner = self.inner.lock();
-        if inner.broken {
-            return Err(NetError::Broken);
-        }
-        let reply = Self::roundtrip_bytes(&mut inner, &bytes)?;
-        drop(inner);
-        match reply {
+        match self.stmt_roundtrip(&bytes)? {
             Frame::ResultSet(r) => Ok(r),
             Frame::Error(e) => Err(NetError::Server(e)),
             other => Err(NetError::Wire(WireError::UnexpectedFrame(other.kind()))),
@@ -308,13 +336,7 @@ impl NetClient {
     /// on the wire than [`NetClient::execute`] for DML).
     pub fn execute_affected(&self, sql: &str, params: &[Value]) -> NetResult<u64> {
         let bytes = wire::encode_stmt_request(sql, params, true);
-        let mut inner = self.inner.lock();
-        if inner.broken {
-            return Err(NetError::Broken);
-        }
-        let reply = Self::roundtrip_bytes(&mut inner, &bytes)?;
-        drop(inner);
-        match reply {
+        match self.stmt_roundtrip(&bytes)? {
             Frame::Affected { rows } => Ok(rows),
             Frame::Error(e) => Err(NetError::Server(e)),
             other => Err(NetError::Wire(WireError::UnexpectedFrame(other.kind()))),

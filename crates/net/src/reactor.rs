@@ -4,7 +4,7 @@
 //! A [`Poller`] is owned by exactly one reactor thread — registration and
 //! waiting all happen on that thread (other threads ask for changes via
 //! the reactor's inbox + [`Waker`]), so the poller needs no locking. On
-//! Linux it is backed by the raw-syscall epoll shim in [`crate::sys`]; on
+//! Linux it is backed by the raw-syscall epoll shim in `crate::sys`; on
 //! other Unix targets it degrades to a tick poller that reports every
 //! registered fd as ready on a short interval — correct against
 //! nonblocking sockets (spurious readiness just yields `WouldBlock`), but

@@ -4,7 +4,7 @@
 //! The paper's serving tier fronts tens of thousands of mostly-idle
 //! small-app connections; one OS thread per connection does not survive
 //! that cardinality. This server multiplexes every connection onto a fixed
-//! pool of *reactor* threads (epoll via [`crate::sys`], level-triggered),
+//! pool of *reactor* threads (epoll via `crate::sys`, level-triggered),
 //! with per-connection state machines for frame decode/encode and a small
 //! *executor* pool for the blocking statement work:
 //!

@@ -863,6 +863,16 @@ fn put_cluster_error(out: &mut Vec<u8>, e: &ClusterError) {
             out.push(7);
             put_str(out, s);
         }
+        ClusterError::NotLeader { hint } => {
+            out.push(8);
+            match hint {
+                Some(h) => {
+                    out.push(1);
+                    put_u64(out, u64::from(*h));
+                }
+                None => out.push(0),
+            }
+        }
     }
 }
 
@@ -1049,6 +1059,13 @@ fn get_cluster_error(r: &mut Reader<'_>) -> WireResult<ClusterError> {
         5 => ClusterError::TxnAborted(r.string()?),
         6 => ClusterError::NoActiveTxn,
         7 => ClusterError::AlreadyExists(r.string()?),
+        8 => ClusterError::NotLeader {
+            hint: match r.u8()? {
+                0 => None,
+                1 => Some(u32::try_from(r.u64()?).map_err(|_| WireError::Truncated)?),
+                other => return Err(WireError::BadTag(other)),
+            },
+        },
         other => return Err(WireError::BadTag(other)),
     })
 }
@@ -1146,6 +1163,19 @@ mod tests {
         };
         assert!(back.is_proactive_rejection());
         assert_eq!(back, rej);
+    }
+
+    #[test]
+    fn not_leader_frames_roundtrip() {
+        for hint in [None, Some(0), Some(2), Some(u32::MAX)] {
+            let e = ClusterError::NotLeader { hint };
+            let bytes = Frame::Error(e.clone()).encode();
+            let Frame::Error(back) = Frame::decode(&bytes[4..]).unwrap() else {
+                panic!("wrong frame");
+            };
+            assert_eq!(back, e);
+            assert!(back.is_not_leader());
+        }
     }
 
     #[test]

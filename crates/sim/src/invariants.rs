@@ -40,5 +40,19 @@ pub fn check_run(
             violations.push(format!("serializability: conflict cycle through {cycle:?}"));
         }
     }
+    // Replicated-controller safety (DESIGN.md §12): single leader per
+    // term, applied-prefix consistency across controller replicas, and
+    // no quorum-acked 2PC decision lost.
+    for v in c.controllers().invariant_violations() {
+        violations.push(format!("controller: {v}"));
+    }
+    // After quiesce every decided transaction has been completed on (or
+    // resolved for) every participant; a leftover entry means a decided
+    // commit never reached someone.
+    for (gtxn, participants) in c.decisions() {
+        violations.push(format!(
+            "controller: decision {gtxn:?} still unresolved for {participants:?}"
+        ));
+    }
     violations
 }

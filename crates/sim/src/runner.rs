@@ -45,7 +45,7 @@ const PLAN_SALT: u64 = 0x5eed_cafe_0000_0002;
 /// corpus and the recovery property tests (they need a copy or takeover in
 /// flight to mean anything), and `PoolJob` hit counts depend on mailbox
 /// batching, which is not seed-deterministic.
-const RANDOM_POINTS: [CrashPoint; 7] = [
+const RANDOM_POINTS: [CrashPoint; 8] = [
     CrashPoint::ReplicaWriteApply,
     CrashPoint::ReplicaWriteAck,
     CrashPoint::PrepareApply,
@@ -53,6 +53,7 @@ const RANDOM_POINTS: [CrashPoint; 7] = [
     CrashPoint::CommitDecision,
     CrashPoint::CommitApply,
     CrashPoint::CommitAck,
+    CrashPoint::CtrlPropose,
 ];
 
 /// Shape of one simulated run, derived from the seed.
@@ -70,6 +71,9 @@ pub struct SimConfig {
     pub write: WritePolicy,
     /// Transactions the driver executes.
     pub txns: usize,
+    /// Replicated controller group size (1 = unreplicated, 3 = survives
+    /// one controller crash).
+    pub controllers: usize,
 }
 
 impl SimConfig {
@@ -89,6 +93,9 @@ impl SimConfig {
             WritePolicy::Aggressive
         };
         let txns = rng.gen_range(16..33usize);
+        // Drawn after every pre-existing field so old seeds keep their
+        // shape (fingerprint stability across the corpus).
+        let controllers = if rng.gen_bool(0.5) { 3 } else { 1 };
         SimConfig {
             seed,
             machines,
@@ -96,6 +103,7 @@ impl SimConfig {
             read,
             write,
             txns,
+            controllers,
         }
     }
 }
@@ -104,8 +112,14 @@ impl fmt::Display for SimConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed=0x{:016x} machines={} replicas={} read={:?} write={:?} txns={}",
-            self.seed, self.machines, self.replicas, self.read, self.write, self.txns
+            "seed=0x{:016x} machines={} replicas={} read={:?} write={:?} txns={} controllers={}",
+            self.seed,
+            self.machines,
+            self.replicas,
+            self.read,
+            self.write,
+            self.txns,
+            self.controllers
         )
     }
 }
@@ -116,8 +130,9 @@ impl fmt::Display for SimConfig {
 /// always keeps at least one replica that never crashed mid-run — total
 /// replica loss is outside the paper's failure model (and outside what any
 /// recovery protocol can promise). Excess crash candidates degrade to
-/// delays. Controller crashes ([`CrashPoint::CommitDecision`]) are not
-/// machine crashes and are exempt from the cap.
+/// delays. Controller crashes ([`CrashPoint::CommitDecision`] and
+/// [`CrashPoint::CtrlPropose`], which kills the current controller
+/// *leader replica*) are not machine crashes and are exempt from the cap.
 pub fn generate_plan(seed: u64, cfg: &SimConfig) -> FaultPlan {
     let mut rng = StdRng::seed_from_u64(seed ^ PLAN_SALT);
     let n = rng.gen_range(1..4usize);
@@ -126,7 +141,7 @@ pub fn generate_plan(seed: u64, cfg: &SimConfig) -> FaultPlan {
     for _ in 0..n {
         let point = RANDOM_POINTS[rng.gen_range(0..RANDOM_POINTS.len())];
         let after_hits = rng.gen_range(0..6u64);
-        if point == CrashPoint::CommitDecision {
+        if point == CrashPoint::CommitDecision || point == CrashPoint::CtrlPropose {
             let action = if rng.gen_bool(0.7) {
                 FaultAction::Crash
             } else {
@@ -231,6 +246,7 @@ pub fn run_with_plan(cfg: &SimConfig, plan: &FaultPlan) -> RunReport {
         write_policy: cfg.write,
         engine: testkit::fast_engine_config(),
         seed: cfg.seed,
+        controllers: cfg.controllers,
         ..Default::default()
     };
     let c = ClusterController::with_machines(cluster_cfg, cfg.machines);
@@ -338,6 +354,10 @@ pub fn run_with_plan(cfg: &SimConfig, plan: &FaultPlan) -> RunReport {
 /// repaired is itself a finding).
 pub fn quiesce(c: &Arc<ClusterController>, replicas: usize) -> Vec<String> {
     let mut issues = Vec::new();
+    // Controller group first: heal partitions, restart crashed controller
+    // replicas and re-elect, so every repair step below has a metadata
+    // leader to talk to.
+    c.controllers().quiesce();
     let pair = ProcessPair::new(Arc::clone(c));
     let _ = pair.fail_primary();
     for m in c.machines() {

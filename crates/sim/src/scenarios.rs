@@ -107,6 +107,31 @@ pub fn all_scenarios() -> Vec<Scenario> {
             about: "the decision-to-COMMIT window is held open; nothing observes the intermediate state",
             run: delayed_commit_decision,
         },
+        Scenario {
+            name: "ctrl_leader_kill_mid_commit_decision",
+            about: "the controller leader replica dies as a 2PC decision is proposed; re-election retries it and the commit is acked",
+            run: ctrl_leader_kill_mid_commit_decision,
+        },
+        Scenario {
+            name: "ctrl_leader_kill_mid_copy",
+            about: "the controller leader replica dies mid-Algorithm-1 copy (at set-copy-current); the copy completes after re-election",
+            run: ctrl_leader_kill_mid_copy,
+        },
+        Scenario {
+            name: "ctrl_partition_minority_heals",
+            about: "the controller leader is partitioned away; the majority re-elects, writes proceed, the healed minority catches up",
+            run: ctrl_partition_minority_heals,
+        },
+        Scenario {
+            name: "ctrl_rolling_restart",
+            about: "each controller replica is crashed and restarted in turn with snapshots forced; metadata survives the full roll",
+            run: ctrl_rolling_restart,
+        },
+        Scenario {
+            name: "ctrl_quorum_loss_rejects_writes",
+            about: "two of three controller replicas die; metadata writes fail NotLeader until a replica restarts",
+            run: ctrl_quorum_loss_rejects_writes,
+        },
     ]
 }
 
@@ -149,6 +174,20 @@ fn cluster(
     replicas: usize,
 ) -> (Arc<ClusterController>, Arc<Recorder>) {
     let c = testkit::cluster(read, write, machines, replicas);
+    let rec = Arc::new(Recorder::new());
+    c.set_recorder(Some(Arc::clone(&rec)));
+    (c, rec)
+}
+
+/// Like [`cluster`], with a replicated controller group of three metadata
+/// replicas (the controller-failover scenarios).
+fn cluster_ctrl(
+    read: ReadPolicy,
+    write: WritePolicy,
+    machines: usize,
+    replicas: usize,
+) -> (Arc<ClusterController>, Arc<Recorder>) {
+    let c = testkit::cluster_with_controllers(read, write, machines, replicas, 3);
     let rec = Arc::new(Recorder::new());
     c.set_recorder(Some(Arc::clone(&rec)));
     (c, rec)
@@ -622,4 +661,191 @@ fn delayed_commit_decision() -> Result<(), String> {
         acked.push(k);
     }
     finish(&c, 2, &acked, read, write, &rec)
+}
+
+// ----------------------------------------------- controller failover corpus
+
+/// The controller leader replica is killed by the fault injector at the
+/// exact moment the 2PC commit decision is proposed to the metadata group.
+/// The proposal retries through a fresh election; the client's commit is
+/// acked, and the decision survives on the new leader (Leader
+/// Completeness — a quorum-acked decision can never be lost).
+fn ctrl_leader_kill_mid_commit_decision() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster_ctrl(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+    let elections_before = c.controllers().status().elections;
+
+    // Hit 0 of CtrlPropose after arming = the LogDecision proposal of the
+    // next commit. Crash kills the current controller *leader replica*.
+    c.faults().arm(FaultPlan::new(vec![crash(
+        CrashPoint::CtrlPropose,
+        CONTROLLER,
+        0,
+    )]));
+    insert_txn(&conn, 100)
+        .map_err(|e| format!("commit must survive a controller-leader crash mid-decision: {e}"))?;
+    c.faults().disarm();
+
+    let st = c.controllers().status();
+    expect(
+        st.crashed.len() == 1,
+        &format!("exactly one controller replica down, saw {:?}", st.crashed),
+    )?;
+    expect(
+        st.elections > elections_before,
+        "killing the leader mid-proposal must force a re-election",
+    )?;
+    finish(&c, 2, &[0, 100], read, write, &rec)
+}
+
+/// The controller leader replica dies while an Algorithm-1 copy is mid
+/// flight — at the `set_copy_current` metadata proposal. The copy's
+/// metadata writes retry through the re-election, the copy completes, and
+/// the new replica converges.
+fn ctrl_leader_kill_mid_copy() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster_ctrl(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    let mut acked = Vec::new();
+    for k in 0..4i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+    }
+    let elections_before = c.controllers().status().elections;
+
+    // Copy proposals: begin_copy = hit 0, set_copy_current(t) = hit 1.
+    c.faults().arm(FaultPlan::new(vec![crash(
+        CrashPoint::CtrlPropose,
+        CONTROLLER,
+        1,
+    )]));
+    create_replica(
+        &c,
+        "app",
+        m(2),
+        CopyGranularity::TableLevel,
+        Throttle::UNLIMITED,
+    )
+    .map_err(|e| format!("copy must survive a controller-leader crash mid-copy: {e}"))?;
+    c.faults().disarm();
+
+    expect(
+        c.placement("app")
+            .map_err(|e| e.to_string())?
+            .replicas
+            .contains(&m(2)),
+        "the copy target must have joined the placement",
+    )?;
+    expect(
+        c.controllers().status().elections > elections_before,
+        "killing the leader mid-copy must force a re-election",
+    )?;
+    finish(&c, 2, &acked, read, write, &rec)
+}
+
+/// The controller leader replica is partitioned away (alive, but no
+/// message crosses the cut). The majority side re-elects and writes
+/// proceed; after the heal the isolated replica rejoins and catches up —
+/// and the old leader's stale term can never override the new one
+/// (single-leader-per-term is checked by `finish`).
+fn ctrl_partition_minority_heals() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster_ctrl(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    let leader = c
+        .controllers()
+        .ensure_leader()
+        .ok_or("no controller leader with all replicas up")?;
+    expect(
+        c.controllers().isolate(leader),
+        "isolating the leader replica must succeed",
+    )?;
+    // Metadata writes must keep working on the majority side.
+    insert_txn(&conn, 100)
+        .map_err(|e| format!("writes must proceed with the old leader partitioned away: {e}"))?;
+    let st = c.controllers().status();
+    expect(
+        st.leader.is_some_and(|l| l != leader),
+        "the majority side must have elected a different leader",
+    )?;
+    c.controllers().heal();
+    insert_txn(&conn, 101)?;
+    finish(&c, 2, &[0, 100, 101], read, write, &rec)
+}
+
+/// Every controller replica is crashed and restarted in turn, with a
+/// snapshot forced between rounds so restarted laggards must catch up via
+/// `InstallSnapshot` rather than log replay. Metadata (and client commits)
+/// survive the full roll.
+fn ctrl_rolling_restart() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster_ctrl(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    let mut acked = Vec::new();
+    let mut k = 0i64;
+    for node in 0..3u32 {
+        expect(
+            c.controllers().crash(node),
+            &format!("crashing controller replica {node} must succeed"),
+        )?;
+        // Two commits (each a LogDecision + resolve proposal) while the
+        // replica is down, so it restarts behind the group.
+        for _ in 0..2 {
+            insert_txn(&conn, k).map_err(|e| {
+                format!("commit must survive controller replica {node} being down: {e}")
+            })?;
+            acked.push(k);
+            k += 1;
+        }
+        // Fold the live replicas' logs into snapshots: the restarted
+        // replica's catchup must go through InstallSnapshot.
+        c.controllers().compact();
+        expect(
+            c.controllers().restart(node),
+            &format!("restarting controller replica {node} must succeed"),
+        )?;
+    }
+    finish(&c, 2, &acked, read, write, &rec)
+}
+
+/// Two of three controller replicas die: no quorum, so no election can
+/// succeed and every metadata write — including the commit decision of a
+/// client transaction — must fail with `NotLeader` rather than hang or
+/// half-apply. Restarting one replica restores the quorum and service.
+fn ctrl_quorum_loss_rejects_writes() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster_ctrl(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    expect(c.controllers().crash(1), "crash of replica 1 must succeed")?;
+    expect(c.controllers().crash(2), "crash of replica 2 must succeed")?;
+
+    // A pure metadata write fails with the leadership error.
+    match c.create_database("app2", 1) {
+        Err(e) if e.is_not_leader() => {}
+        Err(e) => return Err(format!("expected NotLeader for metadata write, got: {e}")),
+        Ok(_) => return Err("metadata write must fail without a controller quorum".into()),
+    }
+    // A client commit needs its decision quorum-durable first, so it must
+    // abort (and roll the write back everywhere) rather than commit.
+    match insert_txn(&conn, 100) {
+        Err(_) => {}
+        Ok(()) => return Err("a commit must not be acked without a controller quorum".into()),
+    }
+
+    expect(
+        c.controllers().restart(1),
+        "restart of replica 1 must succeed",
+    )?;
+    c.create_database("app2", 1)
+        .map_err(|e| format!("metadata writes must resume once quorum is back: {e}"))?;
+    c.drop_database("app2")
+        .map_err(|e| format!("cleanup drop must succeed: {e}"))?;
+    insert_txn(&conn, 101).map_err(|e| format!("commits must resume once quorum is back: {e}"))?;
+    finish(&c, 2, &[0, 101], read, write, &rec)
 }

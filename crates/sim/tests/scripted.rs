@@ -58,4 +58,9 @@ scenario_tests!(
     fail_machine_idempotent,
     pool_job_delay,
     delayed_commit_decision,
+    ctrl_leader_kill_mid_commit_decision,
+    ctrl_leader_kill_mid_copy,
+    ctrl_partition_minority_heals,
+    ctrl_rolling_restart,
+    ctrl_quorum_loss_rejects_writes,
 );

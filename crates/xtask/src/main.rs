@@ -36,8 +36,17 @@
 //!    (the readiness-gated pump/flush) and deliberate blocking (fault
 //!    injection, the dedicated accept thread, the portable fallback
 //!    poller) must say so: `// lint:allow(reactor-block): <reason>`.
+//! 6. **ctrl-apply** — replicated controller metadata transitions happen
+//!    only in the consensus `apply()` path (DESIGN.md §12): outside
+//!    `crates/cluster/src/meta.rs`, no cluster code may name `RaftNode`,
+//!    `MetaState`, `MetaCommand`, or reach into `tenantdb_consensus`
+//!    directly. Everything routes through `meta::ControllerGroup`, whose
+//!    `submit()` proposes a command and waits for it to commit and apply —
+//!    a direct mutation would exist on one controller replica only and
+//!    silently diverge the others. Escape:
+//!    `// lint:allow(ctrl-apply): <reason>` with a non-empty reason.
 //!
-//! All five rules skip `#[cfg(test)]` regions: the repo convention keeps
+//! All six rules skip `#[cfg(test)]` regions: the repo convention keeps
 //! test modules at the bottom of each file, so everything from the first
 //! `#[cfg(test)]` line to EOF is treated as test code.
 //!
@@ -188,6 +197,8 @@ fn lint_file(rel_path: &str, contents: &str) -> Vec<Violation> {
         && HOT_PATH_FILES
             .iter()
             .any(|f| rel_path == format!("crates/cluster/src/{f}"));
+    let check_ctrl_apply =
+        rel_path.starts_with("crates/cluster/src/") && rel_path != "crates/cluster/src/meta.rs";
 
     let lines: Vec<&str> = contents.lines().collect();
     let mut violations = Vec::new();
@@ -276,6 +287,23 @@ fn lint_file(rel_path: &str, contents: &str) -> Vec<Violation> {
                           reactor thread stalls every connection on it; route I/O \
                           through readiness, or justify with \
                           // lint:allow(reactor-block): <reason>"
+                    .to_string(),
+            });
+        }
+
+        if check_ctrl_apply
+            && !is_comment
+            && touches_consensus_internals(code)
+            && !reason_escape_nearby(&lines, idx, "ctrl-apply")
+        {
+            violations.push(Violation {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule: "ctrl-apply",
+                message: "consensus internals outside meta.rs — controller metadata \
+                          transitions must go through ControllerGroup::submit so they \
+                          commit and apply on every replica (or justify with \
+                          // lint:allow(ctrl-apply): <reason>)"
                     .to_string(),
             });
         }
@@ -369,6 +397,17 @@ fn blocks_reactor(code: &str) -> bool {
     ]
     .iter()
     .any(|t| code.contains(t))
+}
+
+/// Does this code (comment-stripped) name a consensus internal that only
+/// `meta.rs` may touch? `RaftNode` is the raw consensus handle, `MetaState`
+/// /`MetaCommand` the replicated state machine and its command grammar, and
+/// `tenantdb_consensus` the crate path itself — any of them outside the
+/// apply path is a replica-divergence hazard.
+fn touches_consensus_internals(code: &str) -> bool {
+    ["RaftNode", "MetaState", "MetaCommand", "tenantdb_consensus"]
+        .iter()
+        .any(|t| code.contains(t))
 }
 
 /// The weak ordering named on this line, if any. SeqCst is exempt.
@@ -567,6 +606,42 @@ mod tests {
         let reasoned = "// lint:allow(reactor-block): fallback tick poller, not epoll\n\
                         thread::sleep(d);\n";
         assert!(rules("crates/net/src/reactor.rs", reasoned).is_empty());
+    }
+
+    #[test]
+    fn ctrl_apply_flags_consensus_internals_outside_meta() {
+        for src in [
+            "use tenantdb_consensus::RaftNode;\n",
+            "let n: RaftNode<MetaCommand> = make();\n",
+            "state.apply_direct(MetaCommand::SetSla { db, sla });\n",
+            "fn peek(st: &MetaState) {}\n",
+        ] {
+            assert_eq!(
+                rules("crates/cluster/src/controller.rs", src),
+                vec!["ctrl-apply"],
+                "{src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ctrl_apply_exempts_meta_rs_and_other_crates() {
+        let src = "use tenantdb_consensus::{RaftNode, StateMachine};\n";
+        assert!(rules("crates/cluster/src/meta.rs", src).is_empty());
+        assert!(rules("crates/sim/src/runner.rs", src).is_empty());
+        assert!(rules("crates/consensus/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ctrl_apply_escape_requires_reason() {
+        let bare = "// lint:allow(ctrl-apply):\nuse tenantdb_consensus::Term;\n";
+        assert_eq!(
+            rules("crates/cluster/src/controller.rs", bare),
+            vec!["ctrl-apply"]
+        );
+        let reasoned = "// lint:allow(ctrl-apply): read-only Term alias for metrics labels\n\
+                        use tenantdb_consensus::Term;\n";
+        assert!(rules("crates/cluster/src/controller.rs", reasoned).is_empty());
     }
 
     #[test]

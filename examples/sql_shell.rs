@@ -5,8 +5,15 @@
 //! Run with: `cargo run --release --example sql_shell`
 //! Reads statements from stdin (`;`-terminated not required — one per line),
 //! plus meta-commands: `\help`, `\dbs`, `\use <db>`, `\metrics`,
-//! `\events [n]`, `\fail <machine>`, `\recover <machine>`, `\quit`.
+//! `\events [n]`, `\fail <machine>`, `\recover <machine>`,
+//! `\ctrl status|kill [n]|restart <n>`, `\quit`.
 //! Pipe a script: `echo 'SELECT 1 FROM t' | cargo run --example sql_shell`.
+//!
+//! The cluster metadata runs on a replicated controller group
+//! (`TENANTDB_CONTROLLERS` replicas, default 3 — see the "Controller
+//! failover" runbook in README.md): `\ctrl kill` crashes the current
+//! leader and the survivors elect a new one, visible in `\ctrl status`
+//! and the `tenantdb_ctrl_*` gauges in `\metrics`.
 //!
 //! The shell also speaks the wire protocol: `\connect host:port [db]`
 //! switches the session to a remote tenantdb server (start one with
@@ -83,8 +90,19 @@ fn print_result(r: &tenantdb::sql::QueryResult) {
 }
 
 fn main() {
-    // A 3-machine cluster with one demo database, pre-seeded.
-    let cluster = ClusterController::with_machines(ClusterConfig::for_tests(), 3);
+    // A 3-machine cluster with one demo database, pre-seeded. Metadata
+    // lives on a replicated controller group so the failover runbook can
+    // kill the leader live; TENANTDB_CONTROLLERS overrides the size
+    // (1 = the pre-PR-7 single-controller shape).
+    let controllers = std::env::var("TENANTDB_CONTROLLERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3);
+    let cluster = ClusterController::with_machines(
+        ClusterConfig::for_tests().with_controllers(controllers),
+        3,
+    );
     cluster.create_database("demo", 2).unwrap();
     cluster
         .ddl(
@@ -136,6 +154,9 @@ fn main() {
                 println!("  \\events [n]     last n structured events (default 20)");
                 println!("  \\fail <m>       fail machine m (e.g. \\fail 1)");
                 println!("  \\recover <m>    re-create the replicas machine m lost");
+                println!("  \\ctrl status    replicated controller group: leader, term, lag");
+                println!("  \\ctrl kill [n]  crash controller n (default: the leader)");
+                println!("  \\ctrl restart <n>  restart a crashed controller replica");
                 println!(
                     "  \\connect <host:port> [db]  serve over TCP (see `cargo run --bin serve`)"
                 );
@@ -149,6 +170,7 @@ fn main() {
                 if conn.is_remote() {
                     println!("(local-cluster command — \\disconnect first)");
                 } else {
+                    cluster.sync_ctrl_metrics();
                     print!("{}", cluster.metrics().registry().render_text());
                 }
                 continue;
@@ -221,9 +243,87 @@ fn main() {
         if conn.is_remote()
             && (input.starts_with("\\events")
                 || input.starts_with("\\fail")
-                || input.starts_with("\\recover"))
+                || input.starts_with("\\recover")
+                || input.starts_with("\\ctrl"))
         {
             println!("(local-cluster command — \\disconnect first)");
+            continue;
+        }
+        if input == "\\ctrl" || input.starts_with("\\ctrl ") {
+            let group = cluster.controllers();
+            let rest = input.strip_prefix("\\ctrl").unwrap().trim();
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("status") | None => {
+                    // sync_ctrl_metrics also drains fresh elections into
+                    // ctrl_elected events, so \events shows the failover.
+                    let st = cluster.sync_ctrl_metrics();
+                    let leader = st
+                        .leader
+                        .map(|n| format!("c{n}"))
+                        .unwrap_or_else(|| "none".to_string());
+                    println!(
+                        "  {} controller replica(s): leader {leader}, term {}, \
+                         commit index {}, replication lag {}, elections {}, lease {}",
+                        st.replicas,
+                        st.term,
+                        st.commit_index,
+                        st.replication_lag,
+                        st.elections,
+                        if st.leader_has_lease { "held" } else { "none" },
+                    );
+                    if !st.crashed.is_empty() {
+                        println!("  crashed: {:?}", st.crashed);
+                    }
+                    if !st.isolated.is_empty() {
+                        println!("  partitioned: {:?}", st.isolated);
+                    }
+                }
+                Some("kill") => {
+                    let killed = match parts.next() {
+                        Some(n) => match n.parse::<u32>() {
+                            Ok(id) => group.crash(id).then_some(id),
+                            Err(_) => {
+                                println!("usage: \\ctrl kill [controller number]");
+                                continue;
+                            }
+                        },
+                        None => group.crash_leader(),
+                    };
+                    match killed {
+                        Some(id) => {
+                            let new = group.ensure_leader();
+                            println!(
+                                "controller c{id} crashed; leader now {} — check \\events \
+                                 for the election",
+                                new.map(|n| format!("c{n}"))
+                                    .unwrap_or_else(|| "none (quorum lost)".to_string())
+                            );
+                        }
+                        None => println!("nothing to kill (no live controller by that name)"),
+                    }
+                }
+                Some("restart") => match parts.next().map(str::parse::<u32>) {
+                    Some(Ok(id)) => {
+                        if group.restart(id) {
+                            let leader = group.ensure_leader();
+                            println!(
+                                "controller c{id} restarted (catching up from the leader's \
+                                 log/snapshot); leader {}",
+                                leader
+                                    .map(|n| format!("c{n}"))
+                                    .unwrap_or_else(|| "none".to_string())
+                            );
+                        } else {
+                            println!("controller c{id} is not crashed");
+                        }
+                    }
+                    _ => println!("usage: \\ctrl restart <controller number>"),
+                },
+                Some(other) => {
+                    println!("unknown \\ctrl subcommand {other:?} (status, kill, restart)")
+                }
+            }
             continue;
         }
         if input == "\\events" || input.starts_with("\\events ") {

@@ -189,17 +189,23 @@ fn machine_failure_is_masked_and_recovered_under_load() {
         let replicas = cluster.alive_replicas(&w.db).unwrap();
         assert_eq!(replicas.len(), 2, "{}", w.db);
         let mut sums = Vec::new();
+        let mut per = Vec::new();
         for id in replicas {
             let m = cluster.machine(id).unwrap();
             let t = m.engine.begin().unwrap();
-            let n: usize = tpcw::schema::TABLES
+            let counts: Vec<(String, usize)> = tpcw::schema::TABLES
                 .iter()
-                .map(|tbl| m.engine.scan(t, &w.db, tbl).unwrap().len())
-                .sum();
+                .map(|tbl| (tbl.to_string(), m.engine.scan(t, &w.db, tbl).unwrap().len()))
+                .collect();
             m.engine.commit(t).unwrap();
-            sums.push(n);
+            sums.push(counts.iter().map(|(_, n)| n).sum::<usize>());
+            per.push(counts);
         }
-        assert_eq!(sums[0], sums[1], "replica row counts diverged for {}", w.db);
+        assert_eq!(
+            sums[0], sums[1],
+            "replica row counts diverged for {}: {:?} vs {:?}",
+            w.db, per[0], per[1]
+        );
     }
 }
 
