@@ -37,6 +37,7 @@ use tenantdb_storage::{StorageError, TxnId, Value};
 use crate::controller::{ClusterController, ReadPolicy, WritePolicy};
 use crate::error::{ClusterError, Result};
 use crate::machine::MachineId;
+use crate::meta::{AbortArbitration, DecisionLog};
 use crate::worker::{SessionHandle, SessionMsg, TxnFailures, WorkerReply};
 
 struct ActiveTxn {
@@ -580,13 +581,48 @@ impl Connection {
         }
 
         // Decision point: replicate it to the controller group. The commit
-        // is only decided once a controller quorum has it durable — if the
-        // group cannot commit (quorum lost), the transaction aborts and no
-        // participant ever sees a COMMIT.
-        if let Err(e) = self.controller.log_decision(txn.gtxn, yes) {
-            let wrapped = ClusterError::TxnAborted(format!("commit decision not durable: {e}"));
-            self.finish_abort(&mut txn, &e);
-            return Err(wrapped);
+        // is only decided once a controller quorum has it durable. When the
+        // group cannot acknowledge, what happens next depends on whether a
+        // proposal may have slipped into the replicated log:
+        //  * never proposed — the decision definitively does not exist;
+        //    abort every participant as before;
+        //  * proposed but unacknowledged — the decision may still commit,
+        //    and restart-time recovery would then COMMIT any in-doubt
+        //    participant while the coordinator aborted the others. Settle
+        //    it through the group first: an abort tombstone either lands
+        //    (decision can never take effect → abort is safe) or loses to
+        //    a recovery claim (commit stands → run phase 2). If the group
+        //    has no quorum for even that, leave the participants prepared
+        //    and surface the in-doubt outcome rather than guessing.
+        match self.controller.log_decision(txn.gtxn, yes) {
+            DecisionLog::Durable => {}
+            DecisionLog::NotLogged(e) => {
+                let wrapped =
+                    ClusterError::TxnAborted(format!("commit decision not durable: {e}"));
+                self.finish_abort(&mut txn, &e);
+                return Err(wrapped);
+            }
+            DecisionLog::Ambiguous(e) => match self.controller.abort_decision(txn.gtxn) {
+                AbortArbitration::Aborted => {
+                    let wrapped =
+                        ClusterError::TxnAborted(format!("commit decision not durable: {e}"));
+                    self.finish_abort(&mut txn, &e);
+                    return Err(wrapped);
+                }
+                AbortArbitration::Committed => {}
+                AbortArbitration::Unknown => {
+                    // Same shape as a controller crash after the decision:
+                    // detach the sessions so no cleanup abort touches the
+                    // prepared local transactions — recovery or takeover
+                    // resolves them once the group heals.
+                    for (_, s) in txn.sessions.drain() {
+                        s.detach();
+                    }
+                    return Err(ClusterError::InDoubt(format!(
+                        "commit decision unresolved: {e}"
+                    )));
+                }
+            },
         }
         if let Some(rec) = self.controller.recorder.read().as_ref() {
             rec.commit(txn.gtxn);

@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::sync::{RwLock, RwLockReadGuard, CONN_ROUTE, CTRL_MACHINES, CTRL_RECORDER};
+use crate::sync::{RouteBarrier, RouteGuard, RwLock, CTRL_MACHINES, CTRL_RECORDER};
 
 use tenantdb_history::{GTxn, Recorder};
 use tenantdb_sql::parse;
@@ -27,7 +27,7 @@ use crate::connection::Connection;
 use crate::error::{ClusterError, Result};
 use crate::fault::FaultInjector;
 use crate::machine::{Machine, MachineId};
-use crate::meta::{ControllerGroup, CtrlStatus};
+use crate::meta::{AbortArbitration, ControllerGroup, CtrlStatus, DecisionLog};
 use crate::metrics::{ClusterMetrics, DbCounters, PoolMetrics};
 use crate::pool::PoolConfig;
 use tenantdb_obs::fields;
@@ -151,12 +151,14 @@ pub struct ClusterController {
     /// decision log and SLA table all live here (DESIGN.md §12). Every
     /// metadata write below is a command proposed to this group's leader.
     group: ControllerGroup,
-    /// Algorithm-1 routing barrier (RCU-style). Write statements hold the
-    /// read side from routing until the last replica ack, so
-    /// [`Self::quiesce_routing`] (write side, empty critical section) can
-    /// wait out every statement routed with pre-transition copy state
-    /// before the replica copy dumps a table. See DESIGN.md §5.
-    route_barrier: RwLock<()>,
+    /// Algorithm-1 routing barrier (RCU-style epoch counter). Write
+    /// statements hold the read side from routing until the last replica
+    /// ack, so [`Self::quiesce_routing`] can wait out every statement
+    /// routed with pre-transition copy state before the replica copy dumps
+    /// a table. Entering never blocks — a reader-blocking barrier would
+    /// close a deadlock cycle spanning the barrier and the engines' 2PL
+    /// lock tables (see [`RouteBarrier`]). See DESIGN.md §5.
+    route_barrier: RouteBarrier,
     next_gtxn: AtomicU64,
     pub(crate) recorder: RwLock<Option<Arc<Recorder>>>,
     /// The cluster's metrics surface: outcome counters, latency histograms
@@ -177,7 +179,7 @@ impl ClusterController {
             machines: RwLock::new(&CTRL_MACHINES, BTreeMap::new()),
             next_machine: AtomicU32::new(0),
             group: ControllerGroup::new(cfg.controllers, cfg.seed, Arc::clone(&faults)),
-            route_barrier: RwLock::new(&CONN_ROUTE, ()),
+            route_barrier: RouteBarrier::new(),
             next_gtxn: AtomicU64::new(1),
             recorder: RwLock::new(&CTRL_RECORDER, None),
             metrics: ClusterMetrics::new(),
@@ -312,10 +314,21 @@ impl ClusterController {
             for (gtxn, participants) in self.group.decisions() {
                 for (pm, local) in participants {
                     if pm == id && in_doubt.contains(&local) {
-                        m.engine
-                            .wal()
-                            .append(local, tenantdb_storage::wal::WalEntry::Commit);
-                        self.group.resolve_participant(gtxn, pm);
+                        // Claim through the group before writing the local
+                        // COMMIT: the claim is a replicated point of no
+                        // return that a concurrent coordinator abort
+                        // arbitration must observe. A claim that comes
+                        // back false means the decision was arbitrated
+                        // away — replay then aborts the prepared txn. If
+                        // the group has no quorum the claim cannot commit,
+                        // but neither can a new abort tombstone, so
+                        // trusting the mirrored read is safe.
+                        if self.group.claim_decision(gtxn).unwrap_or(true) {
+                            m.engine
+                                .wal()
+                                .append(local, tenantdb_storage::wal::WalEntry::Commit);
+                            self.group.resolve_participant(gtxn, pm);
+                        }
                     }
                 }
             }
@@ -430,22 +443,23 @@ impl ClusterController {
     /// [`Self::route_info`] until the statement's last replica ack, so a
     /// concurrent [`Self::quiesce_routing`] cannot complete while any
     /// statement routed with the old copy state is still in flight.
-    pub(crate) fn route_guard(&self) -> RwLockReadGuard<'_, ()> {
-        self.route_barrier.read()
+    /// Entering never blocks, even while a quiesce is draining.
+    pub(crate) fn route_guard(&self) -> RouteGuard<'_> {
+        self.route_barrier.enter()
     }
 
     /// Drain every write statement routed with pre-transition copy state
-    /// (RCU-style grace period: acquire the barrier's write side, which
-    /// waits for all current read guards, then release immediately). The
-    /// replica copy calls this after each copy-state tightening
-    /// (`begin_copy`, `set_copy_current`) and **before** dumping, so any
-    /// write routed to the old replica set alone has already applied —
-    /// and 2PL then guarantees the dump's scan observes it or blocks on
-    /// its lock until commit. Loosening transitions (`mark_copied`,
-    /// `finish_copy`) need no drain: statements that read the pre-state
-    /// are rejected by the copy filter rather than mis-routed.
+    /// (RCU-style grace period: flip the barrier's epoch and wait for the
+    /// readers that entered under the previous one). The replica copy
+    /// calls this after each copy-state tightening (`begin_copy`,
+    /// `set_copy_current`) and **before** dumping, so any write routed to
+    /// the old replica set alone has already applied — and 2PL then
+    /// guarantees the dump's scan observes it or blocks on its lock until
+    /// commit. Loosening transitions (`mark_copied`, `finish_copy`) need
+    /// no drain: statements that read the pre-state are rejected by the
+    /// copy filter rather than mis-routed.
     pub(crate) fn quiesce_routing(&self) {
-        drop(self.route_barrier.write());
+        self.route_barrier.quiesce();
     }
 
     /// Databases that have a replica on `machine` (recovery work list).
@@ -575,15 +589,24 @@ impl ClusterController {
 
     // ------------------------------------------------ replicated decisions
 
-    /// Replicate a 2PC commit decision to the controller group. `Ok` means
-    /// the decision is durable on a controller quorum — only then may any
-    /// participant COMMIT go out (DESIGN.md §12).
+    /// Replicate a 2PC commit decision to the controller group.
+    /// [`DecisionLog::Durable`] means the decision is on a controller
+    /// quorum — only then may any participant COMMIT go out (DESIGN.md
+    /// §12). The failure shapes distinguish a decision that definitively
+    /// does not exist from one that may still commit.
     pub(crate) fn log_decision(
         &self,
         gtxn: GTxn,
         participants: Vec<(MachineId, TxnId)>,
-    ) -> Result<()> {
+    ) -> DecisionLog {
         self.group.log_decision(gtxn, participants)
+    }
+
+    /// Arbitrate an ambiguously-logged decision: propose an abort
+    /// tombstone and learn whether the commit stands (see
+    /// [`ControllerGroup::abort_decision`]).
+    pub(crate) fn abort_decision(&self, gtxn: GTxn) -> AbortArbitration {
+        self.group.abort_decision(gtxn)
     }
 
     /// Drop a fully-delivered commit decision (best-effort: losing the

@@ -38,6 +38,13 @@ pub enum ClusterError {
         /// Controller replica id to redirect to, if known.
         hint: Option<u32>,
     },
+    /// The transaction's commit outcome is unknown: the commit decision may
+    /// or may not be durable on the controller group (quorum lost at the
+    /// decision point, after a proposal was already in flight). The
+    /// transaction is **not** known to be aborted — blind retries can
+    /// double-apply; recovery resolves the participants once the group
+    /// heals.
+    InDoubt(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -58,6 +65,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::NotLeader { hint: None } => {
                 f.write_str("not the controller leader (no leader elected)")
+            }
+            ClusterError::InDoubt(why) => {
+                write!(f, "transaction outcome unknown: {why}")
             }
         }
     }

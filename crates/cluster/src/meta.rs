@@ -90,8 +90,21 @@ enum MetaCommand {
     ResolveDecision { gtxn: GTxn },
     /// One participant of a decided transaction learned the outcome.
     ResolveParticipant { gtxn: GTxn, machine: MachineId },
+    /// A recovering participant is about to act on a decided commit: a
+    /// replicated point of no return that a subsequent `AbortDecision`
+    /// must observe (it refuses once any participant has claimed).
+    ClaimDecision { gtxn: GTxn },
+    /// Coordinator abort arbitration for a decision whose `LogDecision`
+    /// ack was lost: if no participant has claimed the decision, it is
+    /// dropped and can never take effect; if one has, this is a no-op and
+    /// the commit stands.
+    AbortDecision { gtxn: GTxn },
     /// Record a database's SLA.
     SetSla { db: String, sla: Sla },
+    /// Exactly-once envelope: `cmd` applies only if no entry with the same
+    /// request id has applied before (a `submit` retry after an ambiguous
+    /// leader change can commit the same proposal twice).
+    Tagged { req: u64, cmd: Box<MetaCommand> },
 }
 
 /// The replicated controller metadata. All mutation happens in `apply`.
@@ -103,8 +116,18 @@ struct MetaState {
     copies: BTreeMap<String, CopyProgress>,
     /// 2PC decisions whose participant COMMITs may still be in flight.
     decisions: BTreeMap<GTxn, Vec<(MachineId, TxnId)>>,
+    /// Decisions a recovering participant has claimed (acted upon); an
+    /// `AbortDecision` arbitration refuses these. Cleaned up when the
+    /// decision fully resolves.
+    claimed: BTreeSet<GTxn>,
     /// Database → SLA (the §4.1 contract table).
     slas: BTreeMap<String, Sla>,
+    /// Request ids of applied `Tagged` envelopes. Ids are minted and all
+    /// their proposals made under one held group lock, so in the committed
+    /// log every entry of id `r` precedes every entry of any `r' > r` —
+    /// applying `r` can therefore prune everything below `r`, keeping this
+    /// set O(1) in steady state.
+    applied_reqs: BTreeSet<u64>,
 }
 
 impl StateMachine for MetaState {
@@ -192,17 +215,39 @@ impl StateMachine for MetaState {
             }
             MetaCommand::ResolveDecision { gtxn } => {
                 self.decisions.remove(gtxn);
+                self.claimed.remove(gtxn);
             }
             MetaCommand::ResolveParticipant { gtxn, machine } => {
                 if let Some(p) = self.decisions.get_mut(gtxn) {
                     p.retain(|(m, _)| m != machine);
                     if p.is_empty() {
                         self.decisions.remove(gtxn);
+                        self.claimed.remove(gtxn);
                     }
+                }
+            }
+            MetaCommand::ClaimDecision { gtxn } => {
+                if self.decisions.contains_key(gtxn) {
+                    self.claimed.insert(*gtxn);
+                }
+            }
+            MetaCommand::AbortDecision { gtxn } => {
+                if !self.claimed.contains(gtxn) {
+                    self.decisions.remove(gtxn);
                 }
             }
             MetaCommand::SetSla { db, sla } => {
                 self.slas.insert(db.clone(), *sla);
+            }
+            MetaCommand::Tagged { req, cmd } => {
+                if !self.applied_reqs.contains(req) {
+                    // Prune ids below `req` (see the field docs for why no
+                    // duplicate of an older id can still commit), then
+                    // apply the inner command exactly once.
+                    self.applied_reqs = self.applied_reqs.split_off(req);
+                    self.applied_reqs.insert(*req);
+                    self.apply(_index, cmd);
+                }
             }
         }
     }
@@ -275,12 +320,57 @@ struct GroupInner {
     acked_decisions: BTreeSet<GTxn>,
     /// Acked decisions later legitimately resolved.
     resolved_decisions: BTreeSet<GTxn>,
+    /// Next request id for `Tagged` envelopes. Minted under the group
+    /// lock, which `submit_full` holds across every retry of a proposal —
+    /// that full serialization is what makes the pruning in
+    /// `MetaState::apply` sound.
+    next_req: u64,
 }
 
 /// Bounded synchronous pumping: election timeouts are < 20 ticks, so a few
 /// hundred ticks cover several back-to-back elections before we declare
 /// the quorum lost.
 const TICK_BUDGET: usize = 400;
+
+/// What `submit_full` knows about a proposal's fate.
+struct SubmitOutcome<R> {
+    /// The submission result; `Ok` carries the post-apply `check` value.
+    result: Result<R>,
+    /// Whether any proposal for this command was appended to a leader's
+    /// log. When false, an `Err` result is definitive: the command is not
+    /// and can never become committed.
+    proposed: bool,
+}
+
+/// Outcome of replicating a 2PC commit decision
+/// ([`ControllerGroup::log_decision`]).
+#[derive(Debug)]
+pub(crate) enum DecisionLog {
+    /// Quorum-durable: participants may be sent their COMMITs.
+    Durable,
+    /// Definitively absent from the replicated log — no proposal was ever
+    /// appended — so aborting the participants is safe.
+    NotLogged(ClusterError),
+    /// At least one proposal was appended and its fate is unknown; the
+    /// coordinator must arbitrate ([`ControllerGroup::abort_decision`])
+    /// before it may abort any participant.
+    Ambiguous(ClusterError),
+}
+
+/// Verdict of coordinator abort arbitration
+/// ([`ControllerGroup::abort_decision`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AbortArbitration {
+    /// The abort tombstone committed before any participant acted: the
+    /// decision can never take effect, so aborting is safe.
+    Aborted,
+    /// A participant already claimed the decision (recovery committed it
+    /// locally): the commit stands and phase 2 must proceed.
+    Committed,
+    /// The group has no quorum; the outcome remains unknown and the
+    /// participants must stay prepared.
+    Unknown,
+}
 
 /// The in-process replicated controller group.
 ///
@@ -321,6 +411,7 @@ impl ControllerGroup {
                     applied_hashes: vec![BTreeMap::new(); n],
                     acked_decisions: BTreeSet::new(),
                     resolved_decisions: BTreeSet::new(),
+                    next_req: 0,
                     nodes,
                 },
             ),
@@ -403,18 +494,40 @@ impl ControllerGroup {
 
     /// Propose the command built by `make` (from the leader's applied
     /// state, so check-then-propose is linearizable) and pump it to quorum.
-    /// All commands are idempotent, so a retry after an ambiguous leader
-    /// change is safe.
-    fn submit(&self, mut make: impl FnMut(&MetaState) -> Result<MetaCommand>) -> Result<()> {
+    fn submit(&self, make: impl FnMut(&MetaState) -> Result<MetaCommand>) -> Result<()> {
+        self.submit_full(make, |_| ()).result
+    }
+
+    /// [`Self::submit`] with full plumbing: every proposal is wrapped in a
+    /// `Tagged` exactly-once envelope, so a retry after an ambiguous
+    /// leader change can never double-apply — and a retry that finds its
+    /// own earlier attempt already applied reports success instead of a
+    /// spurious precondition failure from `make` observing its own effect.
+    /// On success `check` runs against the leader's applied state in the
+    /// same critical section, so callers can read the post-apply outcome
+    /// atomically with the proposal.
+    fn submit_full<R>(
+        &self,
+        mut make: impl FnMut(&MetaState) -> Result<MetaCommand>,
+        check: impl FnOnce(&MetaState) -> R,
+    ) -> SubmitOutcome<R> {
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
+        let req = inner.next_req;
+        inner.next_req += 1;
+        // Whether any proposal was appended to a leader's log: once true,
+        // an `Err` result no longer proves the command did not commit.
+        let mut proposed = false;
         for _ in 0..5 {
             let Some(l) = Self::wait_leader(inner) else {
                 // Quorum lost: no election can succeed, so there is no
                 // leader to redirect to. Clients see a retryable
                 // leadership error (the net tier forwards it as wire
                 // tag 8; `NetClient` retries after a backoff).
-                return Err(ClusterError::NotLeader { hint: None });
+                return SubmitOutcome {
+                    result: Err(ClusterError::NotLeader { hint: None }),
+                    proposed,
+                };
             };
             // The controller-side crash point: a `Crash` here kills the
             // *leader replica* right before the proposal, forcing the next
@@ -433,18 +546,42 @@ impl ControllerGroup {
                 }
                 _ => {}
             }
-            let cmd = make(inner.nodes[l].state())?;
+            // A prior attempt may have committed despite being reported
+            // ambiguous; if its envelope already applied, this call
+            // already succeeded.
+            if inner.nodes[l].state().applied_reqs.contains(&req) {
+                return SubmitOutcome {
+                    result: Ok(check(inner.nodes[l].state())),
+                    proposed,
+                };
+            }
+            let cmd = match make(inner.nodes[l].state()) {
+                Ok(c) => c,
+                Err(e) => {
+                    return SubmitOutcome {
+                        result: Err(e),
+                        proposed,
+                    }
+                }
+            };
             let term = inner.nodes[l].term();
-            let Ok((idx, out)) = inner.nodes[l].propose(cmd) else {
+            let Ok((idx, out)) = inner.nodes[l].propose(MetaCommand::Tagged {
+                req,
+                cmd: Box::new(cmd),
+            }) else {
                 continue;
             };
+            proposed = true;
             inner.queue.extend(out);
             Self::observe(inner, l);
             Self::pump(inner);
             for _ in 0..TICK_BUDGET {
                 if inner.nodes[l].last_applied() >= idx {
                     if inner.nodes[l].term() == term {
-                        return Ok(());
+                        return SubmitOutcome {
+                            result: Ok(check(inner.nodes[l].state())),
+                            proposed,
+                        };
                     }
                     break; // deposed mid-flight: outcome ambiguous, retry
                 }
@@ -460,7 +597,10 @@ impl ControllerGroup {
         let hint = (0..inner.nodes.len())
             .find(|&i| !inner.crashed[i] && !inner.isolated[i] && inner.nodes[i].is_leader())
             .map(|i| i as u32);
-        Err(ClusterError::NotLeader { hint })
+        SubmitOutcome {
+            result: Err(ClusterError::NotLeader { hint }),
+            proposed,
+        }
     }
 
     /// The replica to serve a read: the leaseholder if one exists (leases
@@ -612,22 +752,80 @@ impl ControllerGroup {
         r.is_ok() && existed
     }
 
-    /// Replicate a 2PC commit decision. The returned `Ok` means the
-    /// decision is durable on a controller quorum — only then may any
-    /// participant COMMIT be sent.
+    /// Replicate a 2PC commit decision. [`DecisionLog::Durable`] means the
+    /// decision is on a controller quorum — only then may any participant
+    /// COMMIT be sent. The two failure shapes matter: `NotLogged` proves
+    /// the decision does not exist (safe to abort), while `Ambiguous`
+    /// means an appended proposal may still commit — the coordinator must
+    /// run [`Self::abort_decision`] before aborting anyone.
     pub(crate) fn log_decision(
         &self,
         gtxn: GTxn,
         participants: Vec<(MachineId, TxnId)>,
-    ) -> Result<()> {
-        self.submit(|_| {
-            Ok(MetaCommand::LogDecision {
-                gtxn,
-                participants: participants.clone(),
-            })
-        })?;
-        self.inner.lock().acked_decisions.insert(gtxn);
-        Ok(())
+    ) -> DecisionLog {
+        let out = self.submit_full(
+            |_| {
+                Ok(MetaCommand::LogDecision {
+                    gtxn,
+                    participants: participants.clone(),
+                })
+            },
+            |_| (),
+        );
+        match out.result {
+            Ok(()) => {
+                self.inner.lock().acked_decisions.insert(gtxn);
+                DecisionLog::Durable
+            }
+            Err(e) if out.proposed => DecisionLog::Ambiguous(e),
+            Err(e) => DecisionLog::NotLogged(e),
+        }
+    }
+
+    /// Coordinator abort arbitration for a decision whose
+    /// [`Self::log_decision`] came back [`DecisionLog::Ambiguous`]: propose
+    /// an abort tombstone through the group and read the verdict from the
+    /// same applied state. Log order makes this safe — every `LogDecision`
+    /// proposal precedes the tombstone in any committed sequence, so once
+    /// the tombstone applies with no claim recorded, the decision can
+    /// never (re)appear.
+    pub(crate) fn abort_decision(&self, gtxn: GTxn) -> AbortArbitration {
+        let out = self.submit_full(
+            |_| Ok(MetaCommand::AbortDecision { gtxn }),
+            |st| st.claimed.contains(&gtxn),
+        );
+        match out.result {
+            Ok(false) => {
+                // Defensive: the real flow only arbitrates decisions that
+                // were never acked, but keep the durability ledger
+                // consistent with the tombstone either way.
+                self.inner.lock().acked_decisions.remove(&gtxn);
+                AbortArbitration::Aborted
+            }
+            Ok(true) => {
+                // A recovering participant committed it locally: the
+                // decision stands, and it is now quorum-acked for the
+                // durability invariant.
+                self.inner.lock().acked_decisions.insert(gtxn);
+                AbortArbitration::Committed
+            }
+            Err(_) => AbortArbitration::Unknown,
+        }
+    }
+
+    /// Atomically mark `gtxn`'s decision as acted-upon by a recovering
+    /// participant, before it writes the local COMMIT. `Ok(true)`: the
+    /// decision is present and now claimed — the commit stands, and any
+    /// later abort arbitration will refuse. `Ok(false)`: no decision
+    /// exists (arbitrated away or never durable) — the participant must
+    /// not commit. `Err`: no quorum; the caller falls back to the mirrored
+    /// read (without a quorum no new tombstone can commit either).
+    pub(crate) fn claim_decision(&self, gtxn: GTxn) -> Result<bool> {
+        self.submit_full(
+            |_| Ok(MetaCommand::ClaimDecision { gtxn }),
+            |st| st.claimed.contains(&gtxn),
+        )
+        .result
     }
 
     /// Drop a fully-delivered decision (best-effort: a lost resolution only
@@ -992,8 +1190,10 @@ mod tests {
     fn decisions_survive_leader_crash() {
         let g = group(3);
         let gtxn = GTxn(42);
-        g.log_decision(gtxn, vec![(m(0), TxnId(7)), (m(1), TxnId(9))])
-            .unwrap();
+        assert!(matches!(
+            g.log_decision(gtxn, vec![(m(0), TxnId(7)), (m(1), TxnId(9))]),
+            DecisionLog::Durable
+        ));
         g.crash_leader().unwrap();
         let d = g.decisions();
         assert_eq!(d.len(), 1);
@@ -1051,6 +1251,117 @@ mod tests {
             "{:?}",
             g.invariant_violations()
         );
+    }
+
+    #[test]
+    fn tagged_envelope_applies_exactly_once() {
+        // A submit retry after an ambiguous leader change can commit the
+        // same envelope twice; only the first copy may apply.
+        let mut st = MetaState::default();
+        let cmd = MetaCommand::Tagged {
+            req: 1,
+            cmd: Box::new(MetaCommand::AddReplica {
+                db: "app".into(),
+                machine: m(9),
+            }),
+        };
+        st.placements.insert(
+            "app".into(),
+            Placement {
+                replicas: vec![m(0)],
+                pinned: m(0),
+            },
+        );
+        st.apply(1, &cmd);
+        st.apply(2, &cmd);
+        assert_eq!(st.placements["app"].replicas, vec![m(0), m(9)]);
+        // Applying a later id prunes the earlier one (no older duplicate
+        // can still commit once a newer id has applied).
+        st.apply(
+            3,
+            &MetaCommand::Tagged {
+                req: 2,
+                cmd: Box::new(MetaCommand::Noop),
+            },
+        );
+        assert!(!st.applied_reqs.contains(&1));
+        assert!(st.applied_reqs.contains(&2));
+    }
+
+    #[test]
+    fn retry_after_applied_request_reports_success() {
+        // create_db's check-then-propose closure must not mistake its own
+        // earlier (committed) attempt for a duplicate on retry: the
+        // request-id fast path answers before the closure runs again.
+        let g = group(3);
+        g.create_db("app", &[m(0)]).unwrap();
+        // Simulate the retry arriving after its first attempt applied: the
+        // same request id is already in applied_reqs, so submit_full
+        // returns Ok without consulting the precondition closure.
+        let outcome = {
+            let mut guard = g.inner.lock();
+            let inner = &mut *guard;
+            let l = ControllerGroup::wait_leader(inner).unwrap();
+            let st = inner.nodes[l].state();
+            assert!(!st.applied_reqs.is_empty());
+            st.placements.contains_key("app")
+        };
+        assert!(outcome);
+    }
+
+    #[test]
+    fn abort_tombstone_wins_unclaimed_decision() {
+        let g = group(3);
+        let gtxn = GTxn(7);
+        assert!(matches!(
+            g.log_decision(gtxn, vec![(m(0), TxnId(1))]),
+            DecisionLog::Durable
+        ));
+        // Coordinator-side arbitration of an (assumed ambiguous) decision:
+        // nothing has claimed it, so the tombstone wins and the decision
+        // can never take effect.
+        assert_eq!(g.abort_decision(gtxn), AbortArbitration::Aborted);
+        assert!(g.decisions().is_empty());
+        // A recovery claim arriving later finds nothing to act on.
+        assert_eq!(g.claim_decision(gtxn), Ok(false));
+        assert!(
+            g.invariant_violations().is_empty(),
+            "{:?}",
+            g.invariant_violations()
+        );
+    }
+
+    #[test]
+    fn claimed_decision_refuses_abort() {
+        let g = group(3);
+        let gtxn = GTxn(8);
+        assert!(matches!(
+            g.log_decision(gtxn, vec![(m(0), TxnId(2))]),
+            DecisionLog::Durable
+        ));
+        // A recovering participant claims first: the commit stands and the
+        // coordinator's arbitration must proceed with phase 2.
+        assert_eq!(g.claim_decision(gtxn), Ok(true));
+        assert_eq!(g.abort_decision(gtxn), AbortArbitration::Committed);
+        assert_eq!(g.decisions().len(), 1);
+        // Resolution cleans the claim alongside the decision.
+        g.resolve_participant(gtxn, m(0));
+        assert!(g.decisions().is_empty());
+        assert!(
+            g.invariant_violations().is_empty(),
+            "{:?}",
+            g.invariant_violations()
+        );
+    }
+
+    #[test]
+    fn quorum_loss_makes_decision_arbitration_unknown() {
+        let g = group(3);
+        let gtxn = GTxn(9);
+        g.crash(0);
+        g.crash(1);
+        assert_eq!(g.abort_decision(gtxn), AbortArbitration::Unknown);
+        assert!(g.claim_decision(gtxn).is_err());
     }
 
     #[test]

@@ -91,6 +91,22 @@ impl ProcessPair {
         let decided = self.controller.decisions();
         let mut completed: Vec<GTxn> = Vec::new();
         for (gtxn, participants) in decided {
+            // Claim through the group before acting: a coordinator whose
+            // decision ack was lost may be arbitrating an abort tombstone
+            // concurrently, and the claim is the replicated point of no
+            // return it must observe. A false claim means the decision was
+            // arbitrated away — its prepared participants fall through to
+            // the in-doubt abort pass below. Without a quorum neither a
+            // claim nor a tombstone can commit, so trusting the mirrored
+            // read is safe.
+            if !self
+                .controller
+                .controllers()
+                .claim_decision(gtxn)
+                .unwrap_or(true)
+            {
+                continue;
+            }
             for (machine, local) in participants {
                 if let Ok(m) = self.controller.machine(machine) {
                     // Crash point: a participant can die in the instant the

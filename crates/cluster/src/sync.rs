@@ -36,15 +36,6 @@ use tenantdb_lockdep::LockClass;
 /// the outermost lock in the system.
 pub static CONN_STATE: LockClass = LockClass::new("cluster.connection.state", 10);
 
-/// `ClusterController::route_barrier` — the Algorithm-1 routing barrier.
-/// Read-held by every write statement across routing + replica fan-out +
-/// ack collection; write-held (briefly, empty critical section) by the
-/// replica copy at each tightening boundary (`begin_copy`,
-/// `set_copy_current`) to drain statements routed with the old copy state
-/// before the table dump scans (RCU-style grace period — see
-/// `ClusterController::quiesce_routing`).
-pub static CONN_ROUTE: LockClass = LockClass::new("cluster.connection.route", 15);
-
 /// `Connection::rng` — read-routing randomness (taken under `CONN_STATE`).
 pub static CONN_RNG: LockClass = LockClass::new("cluster.connection.rng", 20);
 
@@ -102,4 +93,94 @@ pub fn assert_no_controller_locks() {
     // Controller ranks end at CTRL_RECORDER (130); metrics caches (150+)
     // and deeper are fine to hold.
     tenantdb_lockdep::assert_max_held_rank(CTRL_RECORDER.rank());
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// RCU-style grace-period barrier for Algorithm-1 statement routing
+/// (`ClusterController::route_barrier`).
+///
+/// Readers ([`enter`](Self::enter)) **never block** — not even while a
+/// [`quiesce`](Self::quiesce) is in progress. That is the point: a write
+/// statement holds the read side across replica fan-out, during which it
+/// may wait on engine 2PL locks. A reader-blocking barrier (e.g. a
+/// writer-preferring `RwLock`) closes a deadlock cycle that spans the
+/// barrier and the engine's lock tables: transaction A holds a 2PL lock
+/// and blocks *entering* the barrier behind a pending quiesce, while the
+/// quiesce waits on reader B, which waits on A's 2PL lock. The cycle has
+/// no lock-rank inversion (lockdep is blind to it) and crosses the engine
+/// boundary (its wait-for graph is blind too), so it must be impossible by
+/// construction.
+///
+/// The implementation is a two-slot epoch counter: readers increment the
+/// slot selected by the current generation's parity; `quiesce` flips the
+/// generation and waits only for readers parked in the *previous* slot, so
+/// readers arriving after the flip never extend the wait.
+///
+/// Why waiting out the previous slot suffices: the copy tightens its
+/// replicated state *before* calling `quiesce`, and routing reads that
+/// state under the controller group's mutex. A reader that routed with the
+/// pre-tightening state therefore incremented its slot before the flip —
+/// `quiesce` observes it and waits. A reader that increments after the
+/// flip can only have routed with the post-tightening state, which is the
+/// state the copy wants statements to see; there is nothing to wait for.
+pub struct RouteBarrier {
+    /// Generation counter; parity selects the active reader slot.
+    gen: AtomicU64,
+    /// In-flight reader counts, one per generation parity.
+    slots: [AtomicU64; 2],
+}
+
+impl RouteBarrier {
+    /// A barrier with no readers in flight.
+    pub const fn new() -> Self {
+        RouteBarrier {
+            gen: AtomicU64::new(0),
+            slots: [AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+
+    /// Enter the read side. Never blocks; the guard must be held from
+    /// routing until the statement's last replica ack.
+    pub fn enter(&self) -> RouteGuard<'_> {
+        let g = (self.gen.load(Ordering::SeqCst) & 1) as usize;
+        self.slots[g].fetch_add(1, Ordering::SeqCst);
+        RouteGuard {
+            slot: &self.slots[g],
+        }
+    }
+
+    /// Flip the generation and wait for every reader that entered under
+    /// the previous one to drop its guard. New readers are never blocked.
+    pub fn quiesce(&self) {
+        let prev = (self.gen.fetch_add(1, Ordering::SeqCst) & 1) as usize;
+        let mut spins = 0u32;
+        while self.slots[prev].load(Ordering::SeqCst) != 0 {
+            // Readers can legitimately hold the guard across engine lock
+            // waits (hundreds of ms); back off from yielding to sleeping.
+            spins += 1;
+            if spins < 128 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+impl Default for RouteBarrier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Read-side guard for [`RouteBarrier`]; dropping it retires the reader.
+pub struct RouteGuard<'a> {
+    slot: &'a AtomicU64,
+}
+
+impl Drop for RouteGuard<'_> {
+    fn drop(&mut self) {
+        self.slot.fetch_sub(1, Ordering::SeqCst);
+    }
 }

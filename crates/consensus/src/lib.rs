@@ -581,6 +581,13 @@ impl<M: StateMachine> RaftNode<M> {
             .unwrap_or(&(self.last_index() + 1));
         if next <= self.compact_index {
             // The entries this follower needs are gone: ship the snapshot.
+            // The state machine is at `applied`, which can be ahead of
+            // `compact_index`; compact FIRST so the advertised boundary and
+            // the shipped state agree. Shipping state-at-`applied` under the
+            // old (smaller) boundary would make the follower replay
+            // (old_compact, applied] on top of it after a leader change —
+            // a double-apply for non-idempotent state machines.
+            self.compact();
             return Message {
                 from: self.cfg.id,
                 to: peer,
@@ -588,7 +595,7 @@ impl<M: StateMachine> RaftNode<M> {
                 payload: Payload::InstallSnapshot {
                     last_index: self.compact_index,
                     last_term: self.compact_term,
-                    snapshot: self.sm_snapshot_at_compact(),
+                    snapshot: self.sm.snapshot(),
                 },
             };
         }
@@ -611,14 +618,6 @@ impl<M: StateMachine> RaftNode<M> {
                 commit: self.commit,
             },
         }
-    }
-
-    /// Snapshot shipped to laggards. The state machine is at `applied`,
-    /// which can be ahead of `compact_index`; compact first so the snapshot
-    /// boundary and the shipped state agree.
-    fn sm_snapshot_at_compact(&mut self) -> M::Snapshot {
-        self.compact();
-        self.sm.snapshot()
     }
 
     fn on_request_vote(

@@ -261,6 +261,73 @@ fn restarted_node_catches_up_via_snapshot() {
     );
 }
 
+#[test]
+fn install_snapshot_boundary_matches_shipped_state() {
+    // Regression: the leader's state machine can be ahead of its snapshot
+    // boundary (applied > compact_index). InstallSnapshot must compact
+    // *before* building the message so last_index matches the shipped
+    // state. A snapshot of state-at-applied labelled with the stale
+    // boundary makes the follower record commit = old_compact while
+    // holding state-at-applied; if leadership then changes, a new leader
+    // that still has (old_compact, applied] in its log replays those
+    // entries on top of the restored state — a double-apply that the
+    // non-idempotent `Log` machine exposes as duplicated values.
+    let mut net = TestNet::new(3, 29);
+    let l = net.run_until_leader();
+    net.commit(1);
+    net.commit(2);
+    let lagger = (0..3).find(|&i| i != l).unwrap();
+    net.crashed[lagger] = true;
+    for v in 3..=6 {
+        net.commit(v);
+    }
+    // Snapshot boundary at applied(6); next[lagger] is now below it, so
+    // every subsequent append build for the lagger ships a snapshot.
+    net.nodes[l].compact();
+    // Propose one more value, hand-pumping so the messages bound for the
+    // (still crashed) lagger are captured rather than dropped: delivering
+    // the survivor's ack advances commit/applied and rebroadcasts, and
+    // THAT build is the interesting one — its boundary fields and its
+    // shipped state must both describe applied(7).
+    let (_, out) = net.nodes[l].propose(7).unwrap();
+    let mut queue: VecDeque<Message<u64, Vec<u64>>> = out.into();
+    let mut snap = None;
+    while let Some(m) = queue.pop_front() {
+        if m.to as usize == lagger {
+            snap = Some(m); // keep the freshest build only
+            continue;
+        }
+        queue.extend(net.nodes[m.to as usize].step(m));
+    }
+    let snap = snap.expect("leader shipped the lagger a snapshot");
+    assert!(matches!(snap.payload, Payload::InstallSnapshot { .. }));
+    assert_eq!(net.nodes[l].last_applied(), 8, "value 7 committed");
+    // The lagger restarts and receives exactly that snapshot; everything
+    // else in flight is lost.
+    net.crashed[lagger] = false;
+    net.nodes[lagger].restart();
+    let _ = net.nodes[lagger].step(snap);
+    // The leader dies before any corrective follow-up; the surviving
+    // follower — whose log still holds everything past the old boundary —
+    // takes over and replays its tail to the lagger.
+    net.crashed[l] = true;
+    net.run_until_leader();
+    for _ in 0..50 {
+        net.tick();
+    }
+    let want: Vec<u64> = (1..=7).collect();
+    let new_leader = net.leader().unwrap();
+    assert_eq!(
+        net.nodes[lagger].state().0,
+        want,
+        "no double-apply across the snapshot boundary"
+    );
+    assert_eq!(
+        net.nodes[lagger].last_applied(),
+        net.nodes[new_leader].last_applied()
+    );
+}
+
 impl TestNet {
     fn cfg_snapshot_floor(&self, i: usize) -> Index {
         // compact_index is private; infer compaction from applied - keep.

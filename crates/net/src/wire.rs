@@ -873,6 +873,10 @@ fn put_cluster_error(out: &mut Vec<u8>, e: &ClusterError) {
                 None => out.push(0),
             }
         }
+        ClusterError::InDoubt(s) => {
+            out.push(9);
+            put_str(out, s);
+        }
     }
 }
 
@@ -1066,6 +1070,7 @@ fn get_cluster_error(r: &mut Reader<'_>) -> WireResult<ClusterError> {
                 other => return Err(WireError::BadTag(other)),
             },
         },
+        9 => ClusterError::InDoubt(r.string()?),
         other => return Err(WireError::BadTag(other)),
     })
 }
@@ -1176,6 +1181,16 @@ mod tests {
             assert_eq!(back, e);
             assert!(back.is_not_leader());
         }
+    }
+
+    #[test]
+    fn in_doubt_frames_roundtrip() {
+        let e = ClusterError::InDoubt("commit decision unresolved: quorum lost".into());
+        let bytes = Frame::Error(e.clone()).encode();
+        let Frame::Error(back) = Frame::decode(&bytes[4..]).unwrap() else {
+            panic!("wrong frame");
+        };
+        assert_eq!(back, e);
     }
 
     #[test]

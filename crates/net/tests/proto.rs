@@ -94,7 +94,7 @@ fn rand_sql_error(rng: &mut StdRng) -> SqlError {
 }
 
 fn rand_cluster_error(rng: &mut StdRng) -> ClusterError {
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..10u32) {
         0 => ClusterError::Sql(rand_sql_error(rng)),
         1 => ClusterError::NoSuchDatabase(rand_string(rng, 8)),
         2 => ClusterError::NoReplicas(rand_string(rng, 8)),
@@ -105,7 +105,15 @@ fn rand_cluster_error(rng: &mut StdRng) -> ClusterError {
         },
         5 => ClusterError::TxnAborted(rand_string(rng, 24)),
         6 => ClusterError::NoActiveTxn,
-        _ => ClusterError::AlreadyExists(rand_string(rng, 8)),
+        7 => ClusterError::AlreadyExists(rand_string(rng, 8)),
+        8 => ClusterError::NotLeader {
+            hint: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(0..8u32))
+            } else {
+                None
+            },
+        },
+        _ => ClusterError::InDoubt(rand_string(rng, 24)),
     }
 }
 
