@@ -1,12 +1,17 @@
 //! Per-transaction dispatch overhead: persistent worker pool vs the seed's
 //! thread-per-(transaction, machine) model.
 //!
-//! Three measurements, all on a 2-machine cluster with one 2-replica
+//! The measurements, each on a 2-machine cluster with one 2-replica
 //! database:
 //!
 //! * `pooled/begin_1stmt_commit` — the real `Connection` path: BEGIN, one
 //!   INSERT (write-all + 2PC), COMMIT. Sessions multiplex over each
 //!   machine's resident pool; replies share one seq-tagged channel.
+//! * `gate_ab/{ungated,sla_gated}_begin_1stmt_commit` — the same loop,
+//!   min-of-k on fresh clusters, without and with an SLA installed (so
+//!   every BEGIN crosses an armed GCRA admission gate; generous floor,
+//!   nothing is shed). Prices the gate against its ≤2% overhead budget
+//!   from EXPERIMENTS.md.
 //! * `pooled/empty_commit` — BEGIN + COMMIT with no statements: pure
 //!   transaction-envelope cost (no session is ever attached).
 //! * `seed_model/begin_1stmt_commit` — the seed's mechanics re-enacted
@@ -22,9 +27,11 @@
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use tenantdb_bench::{report_micro, time_op_default};
+use tenantdb_bench::{fast_mode, report_micro, time_op_default};
 use tenantdb_cluster::{ClusterConfig, ClusterController, ReadPolicy, WritePolicy};
+use tenantdb_sla::Sla;
 use tenantdb_storage::{CostModel, Engine, EngineConfig, Value};
 
 fn cluster() -> Arc<ClusterController> {
@@ -182,5 +189,45 @@ fn main() {
     println!(
         "ratio seed_model/pooled = {:.2}x (acceptance bar: >= 2.0x)",
         seed_model / pooled
+    );
+
+    // Admission-gate A/B (EXPERIMENTS.md "SLA admission gate overhead").
+    // Each arm runs the pooled insert loop on a FRESH identically-built
+    // cluster (table growth from the earlier series would otherwise
+    // confound the delta with index depth and buffer-pool state) and
+    // reports the minimum over `reps` runs: scheduler noise at the
+    // ~40µs/op scale is larger than the gate itself, and interference on
+    // a shared box only ever adds time. The gated arm installs an SLA so
+    // every BEGIN crosses an armed GCRA gate instead of the no-SLA fast
+    // path; the floor is generous enough that nothing is ever shed, so
+    // the delta prices the gate arithmetic, not rejection handling.
+    let reps = if fast_mode() { 1 } else { 5 };
+    let insert_series = |arm_sla: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let c = cluster();
+            if arm_sla {
+                c.set_sla("app", Sla::new(1_000_000.0, 0.9, Duration::from_secs(60)))
+                    .unwrap();
+            }
+            let conn = c.connect("app").unwrap();
+            let mut k = 0i64;
+            best = best.min(time_op_default(|| {
+                k += 1;
+                conn.begin().unwrap();
+                conn.execute("INSERT INTO t VALUES (?, 'x')", &[Value::Int(k)])
+                    .unwrap();
+                conn.commit().unwrap();
+            }));
+        }
+        best
+    };
+    let ungated = insert_series(false);
+    report_micro("gate_ab/ungated_begin_1stmt_commit", ungated);
+    let gated = insert_series(true);
+    report_micro("gate_ab/sla_gated_begin_1stmt_commit", gated);
+    println!(
+        "sla gate overhead = {:+.2}% (budget: <= 2%)",
+        (gated / ungated - 1.0) * 100.0
     );
 }

@@ -19,6 +19,9 @@
 //! the amortized per-frame cost once round trips overlap).
 
 use std::sync::Arc;
+use std::time::Duration;
+
+use tenantdb_sla::Sla;
 
 use tenantdb_bench::wire_probe::{
     time_fixed, time_mix, time_point_select, wire_platform, wire_populate, Unpipelined, WIRE_DB,
@@ -76,9 +79,23 @@ fn main() {
     report_micro("in_process/browsing_txn", in_process);
 
     // TCP loopback: identical platform, identical stream, one wire hop.
-    let run_tcp = |f: &dyn Fn(&NetClient, &IdCounters, Scale) -> f64| -> f64 {
+    // With `arm_sla`, a generous SLA is installed on the database first, so
+    // every autocommit statement crosses an armed admission gate on both
+    // the reactor's inline shed probe and the cluster BEGIN (nothing is
+    // ever shed — the delta prices the gate, per EXPERIMENTS.md's ≤2%
+    // budget).
+    let run_tcp = |arm_sla: bool, f: &dyn Fn(&NetClient, &IdCounters, Scale) -> f64| -> f64 {
         let (system, scale) = wire_platform();
         let counters = wire_populate(&system, scale);
+        if arm_sla {
+            for colo in system.colos() {
+                if let Some(cluster) = colo.cluster_for(WIRE_DB) {
+                    cluster
+                        .set_sla(WIRE_DB, Sla::new(1_000_000.0, 0.9, Duration::from_secs(60)))
+                        .expect("arm sla");
+                }
+            }
+        }
         let server = Server::start("127.0.0.1:0", Arc::clone(&system), ServerConfig::default())
             .expect("bind server");
         let client = NetClient::connect(server.local_addr(), WIRE_DB, ConnectOptions::default())
@@ -88,16 +105,28 @@ fn main() {
         t
     };
 
-    let tcp_stmt = min_of(&|| run_tcp(&|client, _, _| time_point_select(client, pw, po)));
+    let tcp_stmt = min_of(&|| run_tcp(false, &|client, _, _| time_point_select(client, pw, po)));
     report_micro("tcp/point_select", tcp_stmt);
+    let tcp_stmt_gated =
+        min_of(&|| run_tcp(true, &|client, _, _| time_point_select(client, pw, po)));
+    report_micro("tcp_sla_gate/point_select", tcp_stmt_gated);
+    println!(
+        "sla gate overhead = {:+.2}% (budget: <= 2%)",
+        (tcp_stmt_gated / tcp_stmt - 1.0) * 100.0
+    );
 
     // A/B: statement-at-a-time vs batched, same interaction stream.
     let unpipelined = min_of(&|| {
-        run_tcp(&|client, counters, scale| time_mix(&Unpipelined(client), counters, scale, mw, mo))
+        run_tcp(false, &|client, counters, scale| {
+            time_mix(&Unpipelined(client), counters, scale, mw, mo)
+        })
     });
     report_micro("tcp_unpipelined/browsing_txn", unpipelined);
-    let batched =
-        min_of(&|| run_tcp(&|client, counters, scale| time_mix(client, counters, scale, mw, mo)));
+    let batched = min_of(&|| {
+        run_tcp(false, &|client, counters, scale| {
+            time_mix(client, counters, scale, mw, mo)
+        })
+    });
     report_micro("tcp_batched/browsing_txn", batched);
 
     // Fixed per-request cost, isolated from transaction work.

@@ -1,0 +1,145 @@
+//! Tenant-scale experiment — thousands of tiny databases with SLA
+//! admission control, plus placement cost at 50k cardinality.
+//!
+//! Two measured sections, written into `BENCH_scale.json` (validated by
+//! `cargo xtask bench-check`):
+//!
+//! * `tenant_scale` — create ≥5k tenant databases (each with a table and
+//!   an SLA), drive a Zipf-skewed closed-loop workload across them with
+//!   the admission gate on, and require the §4 no-starvation checker to
+//!   find nothing while the Zipf-hot tenants are shed at the gate.
+//! * `placement_50k` — First-Fit vs Best-Fit placement cost and machine
+//!   counts at 50k database specs (the cardinality axis of Algorithm 2:
+//!   both are `O(dbs × machines)` scans; the snapshot pins the constant).
+//!
+//! Fast mode (`TENANTDB_BENCH_FAST=1`) shrinks both cardinalities; the
+//! committed snapshot is generated in full mode.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tenantdb_bench::fast_mode;
+use tenantdb_bench::snapshot::{update_section, SnapValue};
+use tenantdb_sim::{run_scale, ScaleConfig};
+use tenantdb_sla::{BestFitPlacer, DatabaseSpec, FirstFitPlacer, Placer, ResourceVector, Zipf};
+
+const SNAPSHOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+const SCHEMA: &str = "tenantdb-bench-scale/v1";
+
+fn main() {
+    tenant_scale();
+    placement_50k();
+}
+
+fn tenant_scale() {
+    let tenants = if fast_mode() { 800 } else { 5000 };
+    println!("# tenant scale: {tenants} tiny databases, Zipf-skewed load, admission on");
+    let mut cfg = ScaleConfig::smoke(tenants);
+    cfg.window = if fast_mode() {
+        Duration::from_millis(1000)
+    } else {
+        Duration::from_millis(2500)
+    };
+    let report = run_scale(&cfg).expect("scale run");
+    println!(
+        "tenants {}  setup {:.2}s  window {:.2}s  committed {}  shed {}  violations {}",
+        report.tenants,
+        report.setup.as_secs_f64(),
+        report.window.as_secs_f64(),
+        report.committed,
+        report.shed,
+        report.violations.len(),
+    );
+    for v in &report.violations {
+        println!("VIOLATION: {v}");
+    }
+    update_section(
+        Path::new(SNAPSHOT),
+        SCHEMA,
+        "tenant_scale",
+        &[
+            ("fast_mode".to_string(), SnapValue::Bool(fast_mode())),
+            ("tenants".to_string(), SnapValue::Int(report.tenants as i64)),
+            (
+                "setup_seconds".to_string(),
+                SnapValue::Num(report.setup.as_secs_f64()),
+            ),
+            (
+                "window_seconds".to_string(),
+                SnapValue::Num(report.window.as_secs_f64()),
+            ),
+            (
+                "committed".to_string(),
+                SnapValue::Int(report.committed as i64),
+            ),
+            ("shed".to_string(), SnapValue::Int(report.shed as i64)),
+            (
+                "violations".to_string(),
+                SnapValue::Int(report.violations.len() as i64),
+            ),
+        ],
+    );
+}
+
+fn placement_50k() {
+    let n_dbs = if fast_mode() { 5000 } else { 50000 };
+    println!("# placement cost at {n_dbs} databases: First-Fit vs Best-Fit");
+    let capacity = ResourceVector::new(12.0, 2000.0, 12.0, 2000.0);
+    let size_dist = Zipf::with_skew(200.0, 1000.0, 1.2);
+    let tps_dist = Zipf::with_skew(0.1, 10.0, 1.2);
+    let mut rng = StdRng::seed_from_u64(0x5ca1e);
+    let specs: Vec<DatabaseSpec> = (0..n_dbs)
+        .map(|i| {
+            let size = size_dist.sample(&mut rng);
+            let tps = tps_dist.sample(&mut rng);
+            DatabaseSpec::new(
+                format!("db{i}"),
+                ResourceVector::new(tps, size / 2.0, tps / 2.0, size),
+                1,
+            )
+        })
+        .collect();
+
+    let mut ff = FirstFitPlacer::new(capacity);
+    let started = Instant::now();
+    for s in &specs {
+        ff.place(s).expect("first-fit placement");
+    }
+    let ff_seconds = started.elapsed().as_secs_f64();
+
+    let mut bf = BestFitPlacer::new(capacity);
+    let started = Instant::now();
+    for s in &specs {
+        bf.place(s).expect("best-fit placement");
+    }
+    let bf_seconds = started.elapsed().as_secs_f64();
+
+    println!(
+        "first-fit: {:.3}s, {} machines   best-fit: {:.3}s, {} machines",
+        ff_seconds,
+        ff.machines_used(),
+        bf_seconds,
+        bf.machines_used(),
+    );
+    update_section(
+        Path::new(SNAPSHOT),
+        SCHEMA,
+        "placement_50k",
+        &[
+            ("fast_mode".to_string(), SnapValue::Bool(fast_mode())),
+            ("n_dbs".to_string(), SnapValue::Int(n_dbs as i64)),
+            ("first_fit_seconds".to_string(), SnapValue::Num(ff_seconds)),
+            ("best_fit_seconds".to_string(), SnapValue::Num(bf_seconds)),
+            (
+                "first_fit_machines".to_string(),
+                SnapValue::Int(ff.machines_used() as i64),
+            ),
+            (
+                "best_fit_machines".to_string(),
+                SnapValue::Int(bf.machines_used() as i64),
+            ),
+        ],
+    );
+}

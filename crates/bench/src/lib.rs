@@ -9,6 +9,7 @@
 //! Environment knobs: set `TENANTDB_BENCH_FAST=1` to run each experiment at
 //! reduced duration/scale (used by CI smoke runs).
 
+pub mod snapshot;
 pub mod wire_probe;
 
 use std::sync::Arc;

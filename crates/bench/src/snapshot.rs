@@ -1,0 +1,262 @@
+//! Shared writer for the committed `BENCH_*.json` snapshots.
+//!
+//! Several bench targets contribute *sections* to one snapshot file (e.g.
+//! `fig8_rejected_recovery` and `table2_sla_placement` both write into
+//! `BENCH_sla.json`), so the writer is read-modify-write: it parses the
+//! existing file, replaces one top-level section, and re-renders the whole
+//! document. The JSON dialect is the same minimal one `cargo xtask
+//! bench-check` parses — objects, strings, numbers, booleans; no arrays, no
+//! escapes — and untouched sections round-trip byte-exactly because scalars
+//! are kept as their original source text.
+
+use std::path::Path;
+
+/// A scalar written into a snapshot section.
+#[derive(Debug, Clone)]
+pub enum SnapValue {
+    /// Integer-rendered number (counts, cardinalities).
+    Int(i64),
+    /// Float-rendered number (durations, rates); rendered via `{}` which is
+    /// the shortest round-trip form.
+    Num(f64),
+    /// Boolean (e.g. `fast_mode`).
+    Bool(bool),
+    /// String (no `"` or `\` — the dialect has no escapes).
+    Str(String),
+}
+
+impl SnapValue {
+    fn render(&self) -> String {
+        match self {
+            SnapValue::Int(i) => format!("{i}"),
+            SnapValue::Num(n) => format!("{n}"),
+            SnapValue::Bool(b) => format!("{b}"),
+            SnapValue::Str(s) => {
+                assert!(
+                    !s.contains('"') && !s.contains('\\'),
+                    "snapshot strings must not need escaping: {s:?}"
+                );
+                format!("{s:?}")
+            }
+        }
+    }
+}
+
+/// Parsed document node: objects, or a scalar kept as raw source text so
+/// re-rendering never reformats numbers written by another bench.
+enum Node {
+    Obj(Vec<(String, Node)>),
+    Raw(String),
+}
+
+/// Replace (or append) top-level `section` of the snapshot at `path` with
+/// `entries`, stamping the top-level `schema` tag. Creates the file when
+/// missing; panics if an existing file does not parse (fix or delete it —
+/// silently discarding other benches' sections would be worse).
+pub fn update_section(path: &Path, schema: &str, section: &str, entries: &[(String, SnapValue)]) {
+    let mut root = match std::fs::read_to_string(path) {
+        Ok(text) => match parse_document(&text) {
+            Node::Obj(pairs) => pairs,
+            Node::Raw(_) => panic!("{}: top level is not an object", path.display()),
+        },
+        Err(_) => Vec::new(),
+    };
+    root.retain(|(k, _)| k != "schema");
+    root.insert(0, ("schema".to_string(), Node::Raw(format!("{schema:?}"))));
+    let body = Node::Obj(
+        entries
+            .iter()
+            .map(|(k, v)| (k.clone(), Node::Raw(v.render())))
+            .collect(),
+    );
+    match root.iter_mut().find(|(k, _)| k == section) {
+        Some(slot) => slot.1 = body,
+        None => root.push((section.to_string(), body)),
+    }
+    let mut out = String::new();
+    render(&Node::Obj(root), 0, &mut out);
+    out.push('\n');
+    std::fs::write(path, &out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote section {section:?} of {}", path.display());
+}
+
+fn render(node: &Node, indent: usize, out: &mut String) {
+    match node {
+        Node::Raw(text) => out.push_str(text),
+        Node::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                for _ in 0..indent + 2 {
+                    out.push(' ');
+                }
+                out.push_str(&format!("{k:?}: "));
+                render(v, indent + 2, out);
+                out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+            }
+            for _ in 0..indent {
+                out.push(' ');
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn parse_document(text: &str) -> Node {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let node = parse_value(bytes, &mut pos);
+    skip_ws(bytes, &mut pos);
+    assert!(
+        pos == bytes.len(),
+        "snapshot parse: trailing bytes at offset {pos}"
+    );
+    node
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Node {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'"') => Node::Raw(format!("{:?}", parse_string(b, pos))),
+        Some(_) => parse_scalar(b, pos),
+        None => panic!("snapshot parse: unexpected end of input"),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Node {
+    *pos += 1; // '{'
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Node::Obj(pairs);
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos);
+        skip_ws(b, pos);
+        assert!(
+            b.get(*pos) == Some(&b':'),
+            "snapshot parse: expected ':' after key {key:?}"
+        );
+        *pos += 1;
+        pairs.push((key, parse_value(b, pos)));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Node::Obj(pairs);
+            }
+            _ => panic!("snapshot parse: expected ',' or '}}' at offset {pos}"),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> String {
+    assert!(
+        b.get(*pos) == Some(&b'"'),
+        "snapshot parse: expected string at offset {pos}"
+    );
+    *pos += 1;
+    let start = *pos;
+    while *pos < b.len() && b[*pos] != b'"' {
+        assert!(
+            b[*pos] != b'\\',
+            "snapshot parse: escapes unsupported (offset {pos})"
+        );
+        *pos += 1;
+    }
+    assert!(*pos < b.len(), "snapshot parse: unterminated string");
+    let s = std::str::from_utf8(&b[start..*pos])
+        .expect("snapshot parse: invalid utf-8")
+        .to_string();
+    *pos += 1;
+    s
+}
+
+/// Numbers and booleans: kept as raw text, only bounds-checked.
+fn parse_scalar(b: &[u8], pos: &mut usize) -> Node {
+    let start = *pos;
+    while *pos < b.len()
+        && (b[*pos].is_ascii_alphanumeric() || matches!(b[*pos], b'.' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    assert!(
+        *pos > start,
+        "snapshot parse: empty scalar at offset {start}"
+    );
+    Node::Raw(
+        std::str::from_utf8(&b[start..*pos])
+            .expect("snapshot parse: invalid utf-8")
+            .to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tenantdb-snapshot-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn creates_then_updates_sections_independently() {
+        let path = tmp("create_update.json");
+        let _ = std::fs::remove_file(&path);
+        update_section(
+            &path,
+            "tenantdb-bench-test/v1",
+            "alpha",
+            &[
+                ("count".to_string(), SnapValue::Int(3)),
+                ("rate".to_string(), SnapValue::Num(12.5)),
+            ],
+        );
+        update_section(
+            &path,
+            "tenantdb-bench-test/v1",
+            "beta",
+            &[("flag".to_string(), SnapValue::Bool(true))],
+        );
+        // Rewriting `beta` must leave `alpha`'s numbers byte-identical.
+        update_section(
+            &path,
+            "tenantdb-bench-test/v1",
+            "beta",
+            &[("flag".to_string(), SnapValue::Bool(false))],
+        );
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(
+            text.contains("\"schema\": \"tenantdb-bench-test/v1\""),
+            "{text}"
+        );
+        assert!(text.contains("\"rate\": 12.5"), "{text}");
+        assert!(text.contains("\"flag\": false"), "{text}");
+        assert!(
+            !text.contains("true"),
+            "old section body must be replaced: {text}"
+        );
+    }
+
+    #[test]
+    fn float_rendering_round_trips() {
+        assert_eq!(SnapValue::Num(7801.8).render(), "7801.8");
+        assert_eq!(SnapValue::Num(5.0).render(), "5");
+        assert_eq!(SnapValue::Int(10000).render(), "10000");
+    }
+}

@@ -109,6 +109,14 @@ impl Connection {
         self.state.lock().is_some()
     }
 
+    /// Non-consuming SLA admission peek (see
+    /// [`crate::controller::ClusterController::admission_probe`]):
+    /// `Some(error)` if a *new* transaction on this connection would be shed
+    /// right now. Never blocks — safe on event-loop threads.
+    pub fn admission_probe(&self) -> Option<ClusterError> {
+        self.controller.admission_probe(&self.db)
+    }
+
     /// Start an explicit transaction.
     pub fn begin(&self) -> Result<()> {
         let mut st = self.state.lock();
@@ -117,6 +125,11 @@ impl Connection {
                 "BEGIN inside an open transaction".into(),
             ));
         }
+        // §4 proactive rejection: every transaction — explicit, implicit, or
+        // batch — enters through here, so this is the one admission point.
+        // Free (one atomic load) when no SLA is installed; a shed tenant
+        // never reaches routing, sessions, or worker pools.
+        self.controller.admit(&self.db)?;
         self.controller.metrics().note_begun(&self.db);
         let (reply_tx, reply_rx) = channel();
         *st = Some(ActiveTxn {
@@ -597,8 +610,7 @@ impl Connection {
         match self.controller.log_decision(txn.gtxn, yes) {
             DecisionLog::Durable => {}
             DecisionLog::NotLogged(e) => {
-                let wrapped =
-                    ClusterError::TxnAborted(format!("commit decision not durable: {e}"));
+                let wrapped = ClusterError::TxnAborted(format!("commit decision not durable: {e}"));
                 self.finish_abort(&mut txn, &e);
                 return Err(wrapped);
             }

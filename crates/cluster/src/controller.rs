@@ -169,6 +169,10 @@ pub struct ClusterController {
     /// Shared fault injector, threaded into every machine, pool and session.
     /// Disarmed (inert) unless a test arms a [`crate::fault::FaultPlan`].
     faults: Arc<FaultInjector>,
+    /// Per-database SLA admission gates (§4 proactive rejection). Inert —
+    /// one atomic load on the transaction entry path — until an SLA is
+    /// installed via [`Self::set_sla`].
+    admission: crate::admission::AdmissionTable,
 }
 
 impl ClusterController {
@@ -185,6 +189,7 @@ impl ClusterController {
             metrics: ClusterMetrics::new(),
             faults,
             cfg,
+            admission: crate::admission::AdmissionTable::new(),
         })
     }
 
@@ -395,6 +400,7 @@ impl ClusterController {
                 let _ = m.engine.drop_database(db);
             }
         }
+        self.admission.remove(db);
         Ok(())
     }
 
@@ -625,7 +631,67 @@ impl ClusterController {
 
     /// Record `db`'s SLA in the replicated metadata (§4.1 contract table).
     pub fn set_sla(&self, db: &str, sla: tenantdb_sla::Sla) -> Result<()> {
-        self.group.set_sla(db, sla)
+        self.group.set_sla(db, sla)?;
+        self.admission.install(db, &sla);
+        Ok(())
+    }
+
+    /// Turn SLA admission enforcement on or off cluster-wide. Gates (and
+    /// their token state) stay installed; `false` just admits everything.
+    /// The tenant-scale harness uses this to demonstrate the §4 starvation
+    /// the gate exists to prevent.
+    pub fn set_admission_enabled(&self, on: bool) {
+        self.admission.set_enabled(on);
+    }
+
+    /// Is SLA admission enforcement currently on? (It is by default; it
+    /// only matters once some database has an SLA installed.)
+    pub fn admission_enabled(&self) -> bool {
+        self.admission.enabled()
+    }
+
+    /// Admission-control a new transaction on `db` (§4 proactive
+    /// rejection). Free when no SLA is installed. Over-rate transactions
+    /// within the deferral budget are admitted after a short sleep; past it
+    /// they are shed with [`ClusterError::AdmissionRejected`], which counts
+    /// against the tenant's `max_rejected_frac`.
+    pub(crate) fn admit(&self, db: &str) -> Result<()> {
+        let Some(gate) = self.admission.gate(db) else {
+            return Ok(());
+        };
+        match gate.decide() {
+            tenantdb_sla::AdmissionDecision::Admit => {
+                self.metrics.note_sla_admitted(db, &gate);
+                Ok(())
+            }
+            tenantdb_sla::AdmissionDecision::Defer(wait) => {
+                self.metrics.note_sla_deferred(db, &gate);
+                std::thread::sleep(wait);
+                Ok(())
+            }
+            tenantdb_sla::AdmissionDecision::Reject => {
+                self.metrics.note_sla_rejected(db, &gate);
+                // An admission shed is a §4.1 proactive rejection: count it
+                // against the tenant's availability SLA.
+                self.metrics.note_rejected(db);
+                Err(ClusterError::AdmissionRejected { db: db.to_string() })
+            }
+        }
+    }
+
+    /// Non-consuming admission peek for `db`: `Some(error)` if a new
+    /// transaction would be shed right now. Never blocks and never consumes
+    /// a token, so event loops (the net reactor's inline path) can refuse
+    /// work for over-rate tenants without double-charging them; the shed is
+    /// still counted. Returns `None` when no SLA is installed.
+    pub fn admission_probe(&self, db: &str) -> Option<ClusterError> {
+        let gate = self.admission.gate(db)?;
+        if !gate.would_reject() {
+            return None;
+        }
+        self.metrics.note_sla_rejected(db, &gate);
+        self.metrics.note_rejected(db);
+        Some(ClusterError::AdmissionRejected { db: db.to_string() })
     }
 
     /// A database's recorded SLA, if one was set.

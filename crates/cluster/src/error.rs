@@ -45,6 +45,14 @@ pub enum ClusterError {
     /// double-apply; recovery resolves the participants once the group
     /// heals.
     InDoubt(String),
+    /// The transaction was shed by SLA admission control before it started:
+    /// the tenant is past its provisioned rate (§4's proactive-rejection
+    /// knob). Counted against the tenant's `max_rejected_frac`; the client
+    /// should back off rather than retry immediately.
+    AdmissionRejected {
+        /// Database whose admission gate shed the transaction.
+        db: String,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -68,6 +76,12 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::InDoubt(why) => {
                 write!(f, "transaction outcome unknown: {why}")
+            }
+            ClusterError::AdmissionRejected { db } => {
+                write!(
+                    f,
+                    "admission rejected for {db}: tenant over provisioned SLA rate"
+                )
             }
         }
     }
@@ -115,7 +129,9 @@ impl ClusterError {
     /// the workload.
     pub fn is_proactive_rejection(&self) -> bool {
         match self {
-            ClusterError::WriteRejected { .. } | ClusterError::NoReplicas(_) => true,
+            ClusterError::WriteRejected { .. }
+            | ClusterError::NoReplicas(_)
+            | ClusterError::AdmissionRejected { .. } => true,
             ClusterError::Sql(e) => {
                 e.as_storage().is_some_and(|s| s.is_proactive_rejection())
                     || matches!(e.as_storage(), Some(StorageError::Unavailable))
@@ -158,6 +174,11 @@ mod tests {
 
         let to: ClusterError = StorageError::LockTimeout(TxnId(2)).into();
         assert!(to.is_timeout());
+
+        let adm = ClusterError::AdmissionRejected { db: "d".into() };
+        assert!(adm.is_proactive_rejection());
+        assert!(!adm.is_deadlock());
+        assert!(!adm.is_timeout());
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 pub mod connection;
 pub mod controller;
 pub mod error;

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::sync::{Mutex, METRICS_PER_DB, METRICS_READ_ROUTES};
+use crate::sync::{Mutex, METRICS_PER_DB, METRICS_READ_ROUTES, METRICS_SLA};
 
 use tenantdb_obs::{Counter, EventLog, Gauge, Histogram, MetricsRegistry};
 
@@ -70,6 +70,26 @@ pub const CTRL_LEADER: &str = "tenantdb_ctrl_leader";
 pub const CTRL_REPLICATION_LAG: &str = "tenantdb_ctrl_replication_lag";
 /// Controller elections won since the cluster was built (counter).
 pub const CTRL_ELECTIONS: &str = "tenantdb_ctrl_elections_total";
+/// Transactions admitted by the SLA gate (`db` label). Only materialized
+/// for databases that have an SLA installed — SLA-free tenants never create
+/// these series.
+pub const SLA_ADMITTED: &str = "tenantdb_sla_admitted_total";
+/// Transactions briefly deferred by the SLA gate before admission
+/// (`db` label).
+pub const SLA_DEFERRED: &str = "tenantdb_sla_deferred_total";
+/// Transactions shed by the SLA gate — §4 proactive rejections caused by
+/// admission control (`db` label). A subset of the `rejected` outcome.
+pub const SLA_REJECTED: &str = "tenantdb_sla_rejected_total";
+/// How far past on-rate a tenant's gate currently is, in microseconds
+/// (`db` label). Sampled on admission events; capped at
+/// [`MAX_SLA_GAUGES`] databases so a 50k-tenant cluster does not carry 50k
+/// gauge series.
+pub const SLA_GATE_DEBT: &str = "tenantdb_sla_gate_debt_us";
+
+/// Upper bound on per-database [`SLA_GATE_DEBT`] gauge series. Counters are
+/// cheap and stay per-database at any scale; gauges are samples and the
+/// first `MAX_SLA_GAUGES` databases to hit their gate win the slots.
+pub const MAX_SLA_GAUGES: usize = 64;
 
 /// Per-database outcome totals, read live from the metrics registry.
 ///
@@ -88,6 +108,35 @@ pub struct DbCounters {
     pub rejected: u64,
     /// Other aborts (client rollback, statement errors).
     pub aborted: u64,
+}
+
+/// Live SLA admission totals for one database (see [`SLA_ADMITTED`],
+/// [`SLA_DEFERRED`], [`SLA_REJECTED`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionCounters {
+    /// Transactions admitted immediately.
+    pub admitted: u64,
+    /// Transactions admitted after a short deferral.
+    pub deferred: u64,
+    /// Transactions shed (proactively rejected) by the gate.
+    pub rejected: u64,
+}
+
+impl AdmissionCounters {
+    /// Every decision the gate made for this database.
+    pub fn total(&self) -> u64 {
+        self.admitted + self.deferred + self.rejected
+    }
+}
+
+/// Cached per-database SLA admission handles. Created lazily on the first
+/// admission event, so databases without SLAs stay absent from the registry.
+struct SlaHandles {
+    admitted: Arc<Counter>,
+    deferred: Arc<Counter>,
+    rejected: Arc<Counter>,
+    /// `None` once [`MAX_SLA_GAUGES`] databases already carry a debt gauge.
+    debt: Option<Arc<Gauge>>,
 }
 
 /// Cached per-database outcome counter handles (one probe per increment).
@@ -134,6 +183,7 @@ pub struct ClusterMetrics {
     pub ctrl_elections: Arc<Counter>,
     per_db: Mutex<HashMap<String, Arc<DbHandles>>>,
     read_routes: Mutex<HashMap<(ReadPolicy, MachineId), Arc<Counter>>>,
+    sla: Mutex<HashMap<String, Arc<SlaHandles>>>,
 }
 
 impl ClusterMetrics {
@@ -209,6 +259,19 @@ impl ClusterMetrics {
             CTRL_ELECTIONS,
             "Controller elections won since the cluster was built.",
         );
+        registry.describe(SLA_ADMITTED, "Transactions admitted by the SLA gate.");
+        registry.describe(
+            SLA_DEFERRED,
+            "Transactions briefly deferred by the SLA gate before admission.",
+        );
+        registry.describe(
+            SLA_REJECTED,
+            "Transactions shed by SLA admission control (proactive rejections).",
+        );
+        registry.describe(
+            SLA_GATE_DEBT,
+            "Microseconds past on-rate for a tenant's admission gate (sampled).",
+        );
 
         ClusterMetrics {
             stmt_read_latency: registry.histogram(STMT_READ_LATENCY, &[]),
@@ -227,6 +290,7 @@ impl ClusterMetrics {
             ctrl_elections: registry.counter(CTRL_ELECTIONS, &[]),
             per_db: Mutex::new(&METRICS_PER_DB, HashMap::new()),
             read_routes: Mutex::new(&METRICS_READ_ROUTES, HashMap::new()),
+            sla: Mutex::new(&METRICS_SLA, HashMap::new()),
             registry,
         }
     }
@@ -348,6 +412,75 @@ impl ClusterMetrics {
         }
     }
 
+    fn sla_handles(&self, db: &str) -> Arc<SlaHandles> {
+        if let Some(h) = self.sla.lock().get(db) {
+            return Arc::clone(h);
+        }
+        let debt = if self.sla.lock().len() < MAX_SLA_GAUGES {
+            Some(self.registry.gauge(SLA_GATE_DEBT, &[("db", db)]))
+        } else {
+            None
+        };
+        let handles = Arc::new(SlaHandles {
+            admitted: self.registry.counter(SLA_ADMITTED, &[("db", db)]),
+            deferred: self.registry.counter(SLA_DEFERRED, &[("db", db)]),
+            rejected: self.registry.counter(SLA_REJECTED, &[("db", db)]),
+            debt,
+        });
+        self.sla
+            .lock()
+            .entry(db.to_string())
+            .or_insert(handles)
+            .clone()
+    }
+
+    /// Count an immediate SLA admission for `db` and sample the gate debt.
+    pub fn note_sla_admitted(&self, db: &str, gate: &tenantdb_sla::AdmissionGate) {
+        let h = self.sla_handles(db);
+        h.admitted.inc();
+        if let Some(g) = &h.debt {
+            g.set(gate.debt_us() as i64);
+        }
+    }
+
+    /// Count a deferred SLA admission for `db` and sample the gate debt.
+    pub fn note_sla_deferred(&self, db: &str, gate: &tenantdb_sla::AdmissionGate) {
+        let h = self.sla_handles(db);
+        h.deferred.inc();
+        if let Some(g) = &h.debt {
+            g.set(gate.debt_us() as i64);
+        }
+    }
+
+    /// Count an admission shed for `db` and sample the gate debt. The
+    /// caller separately counts the §4.1 `rejected` outcome.
+    pub fn note_sla_rejected(&self, db: &str, gate: &tenantdb_sla::AdmissionGate) {
+        let h = self.sla_handles(db);
+        h.rejected.inc();
+        if let Some(g) = &h.debt {
+            g.set(gate.debt_us() as i64);
+        }
+    }
+
+    /// Live SLA admission totals for one database. Zero for databases whose
+    /// gate never fired (including databases without SLAs).
+    pub fn sla_admission_counters(&self, db: &str) -> AdmissionCounters {
+        // Read through the registry rather than `sla_handles` so the query
+        // itself does not materialize the series for an untouched database.
+        AdmissionCounters {
+            admitted: self.registry.counter_value(SLA_ADMITTED, &[("db", db)]),
+            deferred: self.registry.counter_value(SLA_DEFERRED, &[("db", db)]),
+            rejected: self.registry.counter_value(SLA_REJECTED, &[("db", db)]),
+        }
+    }
+
+    /// Transactions begun on `db` (explicit and implicit `BEGIN`s). The
+    /// no-starvation checker combines this with the admission-shed count to
+    /// estimate a tenant's *offered* load.
+    pub fn db_begun(&self, db: &str) -> u64 {
+        self.registry.counter_value(TXN_BEGUN, &[("db", db)])
+    }
+
     /// One database's outcomes in the SLA monitor's input shape — the live
     /// registry *is* the source; no hand-built structs in between.
     pub fn observed_outcomes(&self, db: &str) -> tenantdb_sla::ObservedOutcomes {
@@ -465,6 +598,62 @@ mod tests {
         assert_eq!(
             m.registry()
                 .counter_value(READ_ROUTES, &[("policy", "per_op"), ("machine", "m1")]),
+            1
+        );
+    }
+
+    #[test]
+    fn sla_admission_series_are_lazy_and_render() {
+        let m = ClusterMetrics::new();
+        // Ordinary traffic on an SLA-free database must not materialize any
+        // admission series (the absent-cost contract).
+        m.note_begun("plain");
+        m.note_committed("plain");
+        let text = m.registry().render_text();
+        assert!(
+            !text.contains("tenantdb_sla_"),
+            "admission series leaked into an SLA-free registry:\n{text}"
+        );
+        assert_eq!(
+            m.sla_admission_counters("plain"),
+            AdmissionCounters::default()
+        );
+
+        // The first admission event creates the series and the debt gauge.
+        let gate = tenantdb_sla::AdmissionGate::new(tenantdb_sla::AdmissionParams::from_sla(
+            &tenantdb_sla::Sla::new(5.0, 0.1, std::time::Duration::from_secs(60)),
+        ));
+        m.note_sla_admitted("gated", &gate);
+        m.note_sla_deferred("gated", &gate);
+        m.note_sla_rejected("gated", &gate);
+        let c = m.sla_admission_counters("gated");
+        assert_eq!(c.admitted, 1);
+        assert_eq!(c.deferred, 1);
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.total(), 3);
+        let text = m.registry().render_text();
+        for series in [SLA_ADMITTED, SLA_DEFERRED, SLA_REJECTED, SLA_GATE_DEBT] {
+            assert!(text.contains(series), "{series} missing from:\n{text}");
+        }
+    }
+
+    #[test]
+    fn sla_debt_gauges_are_capped() {
+        let m = ClusterMetrics::new();
+        let gate = tenantdb_sla::AdmissionGate::new(tenantdb_sla::AdmissionParams::unlimited());
+        for i in 0..(MAX_SLA_GAUGES + 10) {
+            m.note_sla_admitted(&format!("db{i}"), &gate);
+        }
+        let text = m.registry().render_text();
+        let gauges = text
+            .lines()
+            .filter(|l| l.starts_with(SLA_GATE_DEBT) && l.contains("db"))
+            .count();
+        assert_eq!(gauges, MAX_SLA_GAUGES, "debt gauges exceeded the cap");
+        // Counters stay per-database past the cap.
+        assert_eq!(
+            m.sla_admission_counters(&format!("db{}", MAX_SLA_GAUGES + 5))
+                .admitted,
             1
         );
     }

@@ -52,11 +52,22 @@ pub static CTRL_MACHINES: LockClass = LockClass::new("cluster.controller.machine
 /// nested acquisition is the fault injector (rank 450).
 pub static CTRL_META: LockClass = LockClass::new("cluster.controller.meta", 110);
 
+/// `AdmissionTable::gates` — per-database SLA admission gates. Read on the
+/// transaction entry path (under `CONN_STATE`), written when an SLA is
+/// installed or a database is dropped (under `CTRL_META` having been
+/// released; sits between the metadata group and the recorder).
+pub static CTRL_ADMISSION: LockClass = LockClass::new("cluster.controller.admission", 120);
+
 /// `ClusterController::recorder` — optional history recorder slot.
 pub static CTRL_RECORDER: LockClass = LockClass::new("cluster.controller.recorder", 130);
 
 /// `ClusterMetrics::per_db` — resolve-once per-database handle cache.
 pub static METRICS_PER_DB: LockClass = LockClass::new("cluster.metrics.per_db", 150);
+
+/// `ClusterMetrics::sla` — resolve-once per-database SLA admission handle
+/// cache. Populated lazily on the first admission event for a database so
+/// tenants without SLAs never materialize the series.
+pub static METRICS_SLA: LockClass = LockClass::new("cluster.metrics.sla", 152);
 
 /// `ClusterMetrics::read_routes` — resolve-once route-counter cache.
 pub static METRICS_READ_ROUTES: LockClass = LockClass::new("cluster.metrics.read_routes", 155);

@@ -201,6 +201,92 @@ pub fn assert_committed_visible(c: &ClusterController, db: &str, table: &str, ke
     }
 }
 
+/// The §4 no-starvation invariant: while a noisy neighbor saturates shared
+/// machines, every *compliant* tenant (one offering load within its
+/// provisioned admission rate) must keep its SLA — observed throughput at or
+/// above `min_tps` and rejected fraction at or below `max_rejected_frac`.
+///
+/// `window` selects the strictness:
+///
+/// * `Some(window)` — full check over a measurement window. Callers must
+///   `reset_counters()` at the window's start so the registry totals *are*
+///   the window. A tenant whose offered load (begun + admission-shed, per
+///   second) exceeds its provisioned rate (`AdmissionParams::from_sla`) is
+///   the noisy party — by design non-compliant, so it is exempt. The
+///   throughput floor applies only to tenants that actually offered
+///   `min_tps` or more (a tenant that asked for less cannot be starved into
+///   a number it never attempted).
+/// * `None` — windowless availability-only check, for harnesses that cannot
+///   control the measurement window (every scripted sim scenario): any
+///   tenant with an SLA and **zero** admission sheds must still be within
+///   its rejected-fraction ceiling. Vacuous for databases without SLAs.
+///
+/// Returns one violation string per breached tenant (empty = invariant
+/// holds).
+pub fn no_starvation_violations(c: &ClusterController, window: Option<Duration>) -> Vec<String> {
+    let mut violations = Vec::new();
+    for db in c.database_names() {
+        let Some(sla) = c.sla(&db) else { continue };
+        let outcomes = c.metrics().observed_outcomes(&db);
+        let adm = c.metrics().sla_admission_counters(&db);
+        match window {
+            Some(w) => {
+                let secs = w.as_secs_f64();
+                if secs <= 0.0 {
+                    continue;
+                }
+                let offered_tps = (c.metrics().db_begun(&db) + adm.rejected) as f64 / secs;
+                let limit = tenantdb_sla::AdmissionParams::from_sla(&sla).rate_tps;
+                if limit > 0.0 && offered_tps > limit {
+                    // The noisy party: offering past its provisioned rate is
+                    // exactly what admission control sheds. Not compliant,
+                    // not protected.
+                    continue;
+                }
+                let comp = c.sla_compliance(&db, &sla, w);
+                if offered_tps + 1e-9 >= sla.min_tps && !comp.throughput_ok {
+                    violations.push(format!(
+                        "{db}: starved below its SLA floor: {:.2} tps < min_tps {:.2} \
+                         (offered {offered_tps:.2} tps, window {secs:.2}s)",
+                        comp.observed_tps, sla.min_tps
+                    ));
+                }
+                if !comp.availability_ok {
+                    violations.push(format!(
+                        "{db}: rejected fraction {:.4} > max_rejected_frac {:.4} \
+                         ({} rejected / {} committed)",
+                        comp.observed_rejected_frac,
+                        sla.max_rejected_frac,
+                        outcomes.rejected,
+                        outcomes.committed
+                    ));
+                }
+            }
+            None => {
+                if adm.rejected == 0 {
+                    let frac = outcomes.rejected_frac();
+                    if frac > sla.max_rejected_frac + 1e-12 {
+                        violations.push(format!(
+                            "{db}: rejected fraction {frac:.4} > max_rejected_frac {:.4} \
+                             with no admission sheds ({} rejected / {} committed)",
+                            sla.max_rejected_frac, outcomes.rejected, outcomes.committed
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Panic unless [`no_starvation_violations`] is empty.
+pub fn assert_no_starvation(c: &ClusterController, window: Option<Duration>) {
+    let v = no_starvation_violations(c, window);
+    if !v.is_empty() {
+        panic!("no-starvation invariant violated: {}", v.join("; "));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +319,113 @@ mod tests {
             })
             .unwrap();
         assert!(replicas_converged(&c, "app").is_err());
+    }
+
+    #[test]
+    fn admission_gate_sheds_hammering_tenant_only() {
+        use tenantdb_sla::Sla;
+        let c = cluster(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 1, 1);
+        c.create_database("loud", 1).unwrap();
+        c.ddl(
+            "loud",
+            "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+        )
+        .unwrap();
+        // Provisioned rate = 2 × 5 = 10 tps with a 5-txn burst; a tight
+        // loop of 100 inserts is far past it.
+        c.set_sla("loud", Sla::new(5.0, 0.2, Duration::from_secs(60)))
+            .unwrap();
+
+        let loud = c.connect("loud").unwrap();
+        let mut shed = 0;
+        for k in 0..100i64 {
+            match loud.execute("INSERT INTO t VALUES (?, 'x')", &[Value::Int(k)]) {
+                Ok(_) => {}
+                Err(crate::ClusterError::AdmissionRejected { db }) => {
+                    assert_eq!(db, "loud");
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(shed > 50, "hammering tenant barely shed: {shed}/100");
+        let adm = c.metrics().sla_admission_counters("loud");
+        assert_eq!(adm.rejected, shed);
+        assert!(adm.admitted + adm.deferred > 0);
+        // Admission sheds count as §4.1 proactive rejections.
+        assert_eq!(c.counters("loud").rejected, shed);
+
+        // The SLA-free tenant on the same machine is untouched.
+        let quiet = c.connect("app").unwrap();
+        for k in 0..20i64 {
+            quiet
+                .execute("INSERT INTO t VALUES (?, 'q')", &[Value::Int(k)])
+                .unwrap();
+        }
+        assert_eq!(c.metrics().sla_admission_counters("app").total(), 0);
+
+        // Kill switch: disabled, the same hammering all goes through.
+        c.set_admission_enabled(false);
+        assert!(!c.admission_enabled());
+        for k in 100..150i64 {
+            loud.execute("INSERT INTO t VALUES (?, 'x')", &[Value::Int(k)])
+                .unwrap();
+        }
+        c.set_admission_enabled(true);
+    }
+
+    #[test]
+    fn no_starvation_checker_flags_starved_and_exempts_noisy() {
+        use tenantdb_sla::Sla;
+        let c = cluster(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 1, 1);
+        for db in ["victim", "noise", "flaky"] {
+            c.create_database(db, 1).unwrap();
+        }
+        let window = Duration::from_secs(2);
+
+        // victim: offered within its provisioned rate but starved below the
+        // floor → throughput violation.
+        c.set_sla("victim", Sla::new(5.0, 0.5, Duration::from_secs(60)))
+            .unwrap();
+        for _ in 0..20 {
+            c.metrics().note_begun("victim");
+        }
+        for _ in 0..4 {
+            c.metrics().note_committed("victim");
+        }
+
+        // noise: offered 50 tps against a 10 tps provision → the noisy
+        // party, exempt even though it committed nothing.
+        c.set_sla("noise", Sla::new(5.0, 0.01, Duration::from_secs(60)))
+            .unwrap();
+        for _ in 0..100 {
+            c.metrics().note_begun("noise");
+        }
+
+        // flaky: within rate, floor not demanded, but 10% of its outcomes
+        // were proactively rejected against a 1% ceiling → availability
+        // violation.
+        c.set_sla("flaky", Sla::new(50.0, 0.01, Duration::from_secs(60)))
+            .unwrap();
+        for _ in 0..90 {
+            c.metrics().note_begun("flaky");
+            c.metrics().note_committed("flaky");
+        }
+        for _ in 0..10 {
+            c.metrics().note_rejected("flaky");
+        }
+
+        let v = no_starvation_violations(&c, Some(window));
+        assert_eq!(v.len(), 2, "violations: {v:?}");
+        assert!(v.iter().any(|s| s.starts_with("victim:")), "{v:?}");
+        assert!(v.iter().any(|s| s.starts_with("flaky:")), "{v:?}");
+        assert!(!v.iter().any(|s| s.starts_with("noise:")), "{v:?}");
+
+        // Windowless mode only polices availability for tenants the gate
+        // never shed: flaky (0 sheds, 10% rejected) is flagged.
+        let v = no_starvation_violations(&c, None);
+        assert_eq!(v.len(), 1, "violations: {v:?}");
+        assert!(v[0].starts_with("flaky:"), "{v:?}");
     }
 
     #[test]

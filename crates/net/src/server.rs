@@ -1131,7 +1131,15 @@ impl Reactor {
         platform: &PlatformConnection,
     ) {
         let kind = frame.kind();
-        let reply = handle_request(&self.shared, platform, frame);
+        // §4 SLA admission: refuse new-transaction work for an over-rate
+        // tenant before it costs reactor time. The probe is non-blocking
+        // and non-consuming (no token spent, no deferral sleep), so it is
+        // safe on the reactor thread; the shed is still counted against the
+        // tenant's rejected fraction.
+        let reply = match admission_shed(platform, &frame) {
+            Some(shed) => shed,
+            None => handle_request(&self.shared, platform, frame),
+        };
         if self.shared.fault_sever(CrashPoint::NetResponseDrop)
             || self.shared.fault_sever(CrashPoint::NetFrameWrite)
         {
@@ -1646,6 +1654,28 @@ fn sever(shared: &Shared, conn: &Arc<Conn>) {
         st.pending.clear();
     }
     shared.reactors[conn.reactor].send(Msg::Close(conn.id));
+}
+
+/// Non-blocking SLA admission shed for the reactor's inline path. Only
+/// frames that would *start* a transaction are probed — `Commit`/`Rollback`
+/// of an open transaction (and anything mid-transaction) must always get
+/// through, and `Begin` self-gates inside the cluster connection. Returns
+/// the reply frame to send when the tenant is over rate, `None` to proceed.
+fn admission_shed(conn: &PlatformConnection, frame: &Frame) -> Option<Frame> {
+    let starts_txn = matches!(frame, Frame::Query { .. } | Frame::Batch { .. })
+        && !conn.cluster_connection().in_txn();
+    if !starts_txn {
+        return None;
+    }
+    let error = conn.cluster_connection().admission_probe()?;
+    Some(match frame {
+        Frame::Batch { seq, .. } => Frame::BatchErr {
+            seq: *seq,
+            index: 0,
+            error,
+        },
+        _ => Frame::Error(error),
+    })
 }
 
 fn handle_request(shared: &Shared, conn: &PlatformConnection, frame: Frame) -> Frame {

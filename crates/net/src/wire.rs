@@ -877,6 +877,10 @@ fn put_cluster_error(out: &mut Vec<u8>, e: &ClusterError) {
             out.push(9);
             put_str(out, s);
         }
+        ClusterError::AdmissionRejected { db } => {
+            out.push(10);
+            put_str(out, db);
+        }
     }
 }
 
@@ -1071,6 +1075,7 @@ fn get_cluster_error(r: &mut Reader<'_>) -> WireResult<ClusterError> {
             },
         },
         9 => ClusterError::InDoubt(r.string()?),
+        10 => ClusterError::AdmissionRejected { db: r.string()? },
         other => return Err(WireError::BadTag(other)),
     })
 }
@@ -1191,6 +1196,19 @@ mod tests {
             panic!("wrong frame");
         };
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn admission_rejected_frames_roundtrip() {
+        let e = ClusterError::AdmissionRejected {
+            db: "tenant42".into(),
+        };
+        let bytes = Frame::Error(e.clone()).encode();
+        let Frame::Error(back) = Frame::decode(&bytes[4..]).unwrap() else {
+            panic!("wrong frame");
+        };
+        assert_eq!(back, e);
+        assert!(back.is_proactive_rejection());
     }
 
     #[test]

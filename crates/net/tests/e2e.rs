@@ -881,3 +881,67 @@ fn thousand_idle_connections_reaped_active_session_survives() {
     drop(swarm);
     server.shutdown();
 }
+
+/// §4 SLA admission control rides the wire: a tenant hammering past its
+/// provisioned rate sees typed `AdmissionRejected` errors — from the
+/// reactor's inline shed (read-only queries) and from the executor path
+/// (writes) alike — with the proactive-rejection classification intact,
+/// while the shed is counted against the tenant's rejected fraction.
+#[test]
+fn admission_rejection_rides_the_wire() {
+    use tenantdb_cluster::ClusterError;
+    use tenantdb_sla::Sla;
+
+    let sys = platform(21);
+    let cluster = create_db(&sys);
+    seed_kv(&sys, &[1, 2, 3]);
+    // Provisioned rate = 2 × 4 = 8 tps with a 4-txn burst; tight loops of
+    // hundreds of statements are far past it.
+    cluster
+        .set_sla(DB, Sla::new(4.0, 0.5, Duration::from_secs(60)))
+        .expect("set sla");
+
+    let server =
+        Server::start("127.0.0.1:0", Arc::clone(&sys), ServerConfig::default()).expect("bind");
+    let client = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("connect");
+
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    // Read-only queries run on the reactor's inline path.
+    for _ in 0..150 {
+        match Transport::execute(&client, "SELECT v FROM kv WHERE id = 1", &[]) {
+            Ok(_) => ok += 1,
+            Err(ClusterError::AdmissionRejected { db }) => {
+                assert_eq!(db, DB);
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(ok > 0, "no query was admitted at all");
+    assert!(shed > 0, "inline path never shed an over-rate tenant");
+
+    // Writes go through the executor path; the same typed error returns.
+    let mut write_shed = 0u64;
+    for id in 100..200i64 {
+        match Transport::execute(&client, "INSERT INTO kv VALUES (?, 0)", &[Value::Int(id)]) {
+            Ok(_) => {}
+            Err(e @ ClusterError::AdmissionRejected { .. }) => {
+                assert!(e.is_proactive_rejection());
+                write_shed += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        write_shed > 0,
+        "executor path never shed an over-rate tenant"
+    );
+
+    // The sheds landed in the tenant's SLA ledger as proactive rejections.
+    let adm = cluster.metrics().sla_admission_counters(DB);
+    assert!(adm.rejected >= shed + write_shed);
+    assert!(cluster.counters(DB).rejected >= shed + write_shed);
+
+    server.shutdown();
+}

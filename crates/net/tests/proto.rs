@@ -94,7 +94,7 @@ fn rand_sql_error(rng: &mut StdRng) -> SqlError {
 }
 
 fn rand_cluster_error(rng: &mut StdRng) -> ClusterError {
-    match rng.gen_range(0..10u32) {
+    match rng.gen_range(0..11u32) {
         0 => ClusterError::Sql(rand_sql_error(rng)),
         1 => ClusterError::NoSuchDatabase(rand_string(rng, 8)),
         2 => ClusterError::NoReplicas(rand_string(rng, 8)),
@@ -113,7 +113,10 @@ fn rand_cluster_error(rng: &mut StdRng) -> ClusterError {
                 None
             },
         },
-        _ => ClusterError::InDoubt(rand_string(rng, 24)),
+        9 => ClusterError::InDoubt(rand_string(rng, 24)),
+        _ => ClusterError::AdmissionRejected {
+            db: rand_string(rng, 8),
+        },
     }
 }
 

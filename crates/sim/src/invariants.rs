@@ -54,5 +54,11 @@ pub fn check_run(
             "controller: decision {gtxn:?} still unresolved for {participants:?}"
         ));
     }
+    // §4 no-starvation (windowless form): any tenant with an SLA that the
+    // admission gate never shed must be within its rejected-fraction
+    // ceiling. Vacuous for scenarios that set no SLAs.
+    for v in testkit::no_starvation_violations(c, None) {
+        violations.push(format!("sla: {v}"));
+    }
     violations
 }

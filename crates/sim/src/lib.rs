@@ -33,10 +33,12 @@ pub mod invariants;
 pub mod runner;
 pub mod scenarios;
 pub mod shrink;
+pub mod tenant_scale;
 
 pub use invariants::{cell_is_serializable, check_run};
 pub use runner::{generate_plan, run_seed, run_with_plan, RunReport, SimConfig};
 pub use scenarios::{all_scenarios, Scenario};
 pub use shrink::shrink_plan;
+pub use tenant_scale::{run_noisy, run_scale, NoisyReport, ScaleConfig, ScaleReport};
 
 pub use tenantdb_cluster::fault::{FaultPlan, Trigger};

@@ -10,13 +10,17 @@
 //! scenario is deterministic: the plans pin machines, the workloads are
 //! fixed, and the verdict never depends on thread scheduling.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use tenantdb_cluster::fault::{CrashPoint, FaultAction, FaultPlan, Trigger, CONTROLLER};
 use tenantdb_cluster::recovery::{create_replica, CopyGranularity};
 use tenantdb_cluster::testkit;
-use tenantdb_cluster::{ClusterController, Connection, MachineId, ReadPolicy, WritePolicy};
+use tenantdb_cluster::{
+    ClusterController, ClusterError, Connection, MachineId, ReadPolicy, WritePolicy,
+};
 use tenantdb_history::Recorder;
+use tenantdb_sla::Sla;
 use tenantdb_storage::{Throttle, Value};
 
 use crate::invariants::{self, cell_is_serializable};
@@ -131,6 +135,16 @@ pub fn all_scenarios() -> Vec<Scenario> {
             name: "ctrl_quorum_loss_rejects_writes",
             about: "two of three controller replicas die; metadata writes fail NotLeader until a replica restarts",
             run: ctrl_quorum_loss_rejects_writes,
+        },
+        Scenario {
+            name: "sla_noisy_neighbor",
+            about: "a hammering tenant is shed at the admission gate while a paced compliant tenant keeps its SLA floor",
+            run: sla_noisy_neighbor,
+        },
+        Scenario {
+            name: "sla_reject_under_failover",
+            about: "admission sheds ride out a machine failure and an Algorithm-1 recopy; the gate still enforces afterwards",
+            run: sla_reject_under_failover,
         },
     ]
 }
@@ -848,4 +862,186 @@ fn ctrl_quorum_loss_rejects_writes() -> Result<(), String> {
         .map_err(|e| format!("cleanup drop must succeed: {e}"))?;
     insert_txn(&conn, 101).map_err(|e| format!("commits must resume once quorum is back: {e}"))?;
     finish(&c, 2, &[0, 101], read, write, &rec)
+}
+
+/// §4 SLA admission under a noisy neighbor: tenant `noisy` hammers the
+/// cluster far past its provisioned rate while tenant `app` runs a paced,
+/// compliant load. The gate must shed the hammer proactively (typed
+/// `AdmissionRejected`, not workload aborts) and the no-starvation checker
+/// must find `app` holding its throughput floor with zero rejections.
+fn sla_noisy_neighbor() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 1, 1);
+    c.create_database_on("noisy", &[m(0)])
+        .map_err(|e| format!("create noisy: {e}"))?;
+    c.ddl(
+        "noisy",
+        "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+    )
+    .map_err(|e| format!("noisy ddl: {e}"))?;
+    // `app` is provisioned at 20 tps (gate limit 40 with headroom); `noisy`
+    // at 5 tps (limit 10). Four hammer threads offer far more than 10 tps.
+    c.set_sla("app", Sla::new(20.0, 0.25, Duration::from_secs(60)))
+        .map_err(|e| format!("app sla: {e}"))?;
+    c.set_sla("noisy", Sla::new(5.0, 0.9, Duration::from_secs(60)))
+        .map_err(|e| format!("noisy sla: {e}"))?;
+    c.reset_counters();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut hammers = Vec::new();
+    for t in 0..4u32 {
+        let c2 = Arc::clone(&c);
+        let stop2 = Arc::clone(&stop);
+        hammers.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let conn = c2.connect("noisy").map_err(|e| format!("connect: {e}"))?;
+            let (mut ok, mut shed) = (0u64, 0u64);
+            let mut k = i64::from(t) * 1_000_000;
+            // ordering: Relaxed — the stop flag publishes no data; the loop
+            // only needs eventual visibility of the shutdown request.
+            while !stop2.load(Ordering::Relaxed) {
+                k += 1;
+                match conn.execute("INSERT INTO t VALUES (?, 'n')", &[Value::Int(k)]) {
+                    Ok(_) => ok += 1,
+                    Err(ClusterError::AdmissionRejected { .. }) => shed += 1,
+                    Err(e) => return Err(format!("noisy insert {k}: {e}")),
+                }
+            }
+            Ok((ok, shed))
+        }));
+    }
+
+    // Paced compliant tenant: ~30 offered tps for about a second — above
+    // the 20 tps floor, below the 40 tps provisioned limit.
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let mut acked = Vec::new();
+    for k in 0..30i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let window = started.elapsed();
+    // ordering: Relaxed — see the matching load; joins below synchronize.
+    stop.store(true, Ordering::Relaxed);
+    let (mut noisy_ok, mut noisy_shed) = (0u64, 0u64);
+    for h in hammers {
+        let (ok, shed) = h.join().map_err(|_| "hammer thread panicked")??;
+        noisy_ok += ok;
+        noisy_shed += shed;
+    }
+
+    expect(noisy_shed > 0, "the gate never shed the hammering tenant")?;
+    expect(noisy_ok > 0, "the gate starved the noisy tenant outright")?;
+    let v = testkit::no_starvation_violations(&c, Some(window));
+    expect(
+        v.is_empty(),
+        &format!(
+            "no-starvation violated under a noisy neighbor: {}",
+            v.join("; ")
+        ),
+    )?;
+    finish(&c, 1, &acked, read, write, &rec)
+}
+
+/// Admission control across a §3.2 failure and repair: a replica of `app`
+/// dies mid-run while tenant `noisy` hammers past its rate; writes keep
+/// flowing on the survivor, an Algorithm-1 recopy restores the replication
+/// factor, and the gate keeps shedding throughout — failover must neither
+/// disable admission control nor let sheds masquerade as workload aborts.
+fn sla_reject_under_failover() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    // Pin `noisy` to the surviving machine so killing m1 only degrades `app`.
+    c.create_database_on("noisy", &[m(0)])
+        .map_err(|e| format!("create noisy: {e}"))?;
+    c.ddl(
+        "noisy",
+        "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+    )
+    .map_err(|e| format!("noisy ddl: {e}"))?;
+    // Generous app SLA: the scripted inserts stay far below the limit, and
+    // the tolerant fraction absorbs copy-epoch write rejections.
+    c.set_sla("app", Sla::new(20.0, 0.9, Duration::from_secs(60)))
+        .map_err(|e| format!("app sla: {e}"))?;
+    c.set_sla("noisy", Sla::new(5.0, 0.9, Duration::from_secs(60)))
+        .map_err(|e| format!("noisy sla: {e}"))?;
+
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    let mut acked = Vec::new();
+    for k in 0..5i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammer = {
+        let c2 = Arc::clone(&c);
+        let stop2 = Arc::clone(&stop);
+        std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let conn = c2.connect("noisy").map_err(|e| format!("connect: {e}"))?;
+            let (mut ok, mut shed) = (0u64, 0u64);
+            let mut k = 1_000_000i64;
+            // ordering: Relaxed — the stop flag publishes no data; the loop
+            // only needs eventual visibility of the shutdown request.
+            while !stop2.load(Ordering::Relaxed) {
+                k += 1;
+                match conn.execute("INSERT INTO t VALUES (?, 'n')", &[Value::Int(k)]) {
+                    Ok(_) => ok += 1,
+                    Err(ClusterError::AdmissionRejected { .. }) => shed += 1,
+                    Err(e) => return Err(format!("noisy insert {k}: {e}")),
+                }
+            }
+            Ok((ok, shed))
+        })
+    };
+
+    // One of app's two replicas dies; acked writes continue on the survivor.
+    c.fail_machine(m(1)).map_err(|e| format!("fail m1: {e}"))?;
+    for k in 10..15i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+    }
+    // Algorithm-1 recopy onto the spare restores the replication factor
+    // while the hammer keeps offering load.
+    create_replica(
+        &c,
+        "app",
+        m(2),
+        CopyGranularity::TableLevel,
+        Throttle::UNLIMITED,
+    )
+    .map_err(|e| format!("recopy to m2: {e}"))?;
+    for k in 20..25i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+    }
+
+    // ordering: Relaxed — see the matching load; joins below synchronize.
+    stop.store(true, Ordering::Relaxed);
+    let (noisy_ok, noisy_shed) = hammer.join().map_err(|_| "hammer thread panicked")??;
+    expect(
+        noisy_shed > 0,
+        "the gate never shed the hammering tenant across the failover",
+    )?;
+    expect(noisy_ok > 0, "the gate starved the noisy tenant outright")?;
+
+    // The gate must still enforce after repair: a synchronous burst well
+    // past the provisioned rate has to shed again.
+    let nconn = c.connect("noisy").map_err(|e| e.to_string())?;
+    let mut post_shed = 0u64;
+    for k in 0..50i64 {
+        match nconn.execute(
+            "INSERT INTO t VALUES (?, 'p')",
+            &[Value::Int(2_000_000 + k)],
+        ) {
+            Ok(_) => {}
+            Err(ClusterError::AdmissionRejected { .. }) => post_shed += 1,
+            Err(e) => return Err(format!("post-recovery insert {k}: {e}")),
+        }
+    }
+    expect(
+        post_shed > 0,
+        "the gate stopped enforcing after the failover",
+    )?;
+    finish(&c, 2, &acked, read, write, &rec)
 }

@@ -1,0 +1,366 @@
+//! §4 tenant-scale stress harness: many tiny databases under Zipf-skewed
+//! load, judged by the no-starvation checker.
+//!
+//! Two entry points:
+//!
+//! * [`run_scale`] — the cardinality axis. Creates thousands of tiny
+//!   tenant databases (the paper's "large number of small applications"),
+//!   gives every tenant an SLA, drives a Zipf-skewed closed-loop workload
+//!   across them, and verifies that hot tenants are shed at the admission
+//!   gate while every in-profile tenant stays compliant
+//!   ([`tenantdb_cluster::testkit::no_starvation_violations`]).
+//! * [`run_noisy`] — the interference axis (the checker's *teeth*). One
+//!   machine with a single worker thread and a non-free
+//!   [`tenantdb_storage::CostModel`], one noisy tenant whose full-table
+//!   statements are deterministically heavy, and one victim tenant with a
+//!   modest paced load. With admission on the noisy tenant is shed cheaply
+//!   at `begin` and the victim holds its floor; with admission off the
+//!   noisy tenant monopolizes the worker, the victim's lock hold times
+//!   inflate past the engine lock timeout, and the checker must report the
+//!   starvation — a harness that cannot reproduce the failure would prove
+//!   nothing by passing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::{SeedableRng, StdRng};
+use tenantdb_cluster::controller::ClusterConfig;
+use tenantdb_cluster::{testkit, ClusterController, ClusterError, MachineId, PoolConfig};
+use tenantdb_sla::{Sla, Zipf};
+use tenantdb_storage::{CostModel, EngineConfig, Value};
+
+/// Configuration of one [`run_scale`] experiment.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Number of tenant databases to create (each with its own table and
+    /// SLA).
+    pub tenants: usize,
+    /// Number of machines; tenants are placed round-robin.
+    pub machines: usize,
+    /// Closed-loop driver threads sampling tenants by Zipf rank.
+    pub threads: usize,
+    /// Measurement window the drivers run for.
+    pub window: Duration,
+    /// Zipf skew factor (higher concentrates load on fewer tenants).
+    pub zipf_skew: f64,
+    /// Seed for the per-thread tenant samplers.
+    pub seed: u64,
+    /// Whether the admission gate is enforcing.
+    pub admission: bool,
+    /// The per-tenant SLA throughput floor (the gate provisions
+    /// `HEADROOM ×` this rate).
+    pub min_tps: f64,
+}
+
+impl ScaleConfig {
+    /// A bounded smoke configuration: `tenants` tiny databases, fixed seed,
+    /// a window short enough for CI.
+    pub fn smoke(tenants: usize) -> Self {
+        ScaleConfig {
+            tenants,
+            machines: 8,
+            threads: 4,
+            window: Duration::from_millis(1500),
+            zipf_skew: 1.1,
+            seed: 0x5ca1_e001,
+            admission: true,
+            min_tps: 20.0,
+        }
+    }
+}
+
+/// What one [`run_scale`] run observed.
+#[derive(Debug)]
+pub struct ScaleReport {
+    /// Tenants created (== databases with an SLA and a table).
+    pub tenants: usize,
+    /// Wall-clock cost of creating every tenant (metadata + catalog + SLA).
+    pub setup: Duration,
+    /// Measured driver window (the checker's compliance window).
+    pub window: Duration,
+    /// Transactions committed across all tenants inside the window.
+    pub committed: u64,
+    /// Transactions shed at the admission gate (typed `AdmissionRejected`).
+    pub shed: u64,
+    /// No-starvation violations (empty = the run passed).
+    pub violations: Vec<String>,
+}
+
+/// Tenant database name for index `i` (zero-padded so listings sort).
+pub fn tenant_name(i: usize) -> String {
+    format!("db{i:05}")
+}
+
+/// Run the cardinality experiment described on [`ScaleConfig`].
+pub fn run_scale(cfg: &ScaleConfig) -> Result<ScaleReport, String> {
+    let cluster_cfg = ClusterConfig {
+        engine: testkit::fast_engine_config(),
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let c = ClusterController::with_machines(cluster_cfg, cfg.machines);
+
+    let setup_started = Instant::now();
+    for i in 0..cfg.tenants {
+        let name = tenant_name(i);
+        let machine = MachineId((i % cfg.machines) as u32);
+        c.create_database_on(&name, &[machine])
+            .map_err(|e| format!("create {name}: {e}"))?;
+        c.ddl(
+            &name,
+            "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+        )
+        .map_err(|e| format!("ddl {name}: {e}"))?;
+        c.set_sla(&name, Sla::new(cfg.min_tps, 0.9, Duration::from_secs(60)))
+            .map_err(|e| format!("sla {name}: {e}"))?;
+    }
+    let setup = setup_started.elapsed();
+
+    c.set_admission_enabled(cfg.admission);
+    c.reset_counters();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut drivers = Vec::new();
+    for t in 0..cfg.threads {
+        let c2 = Arc::clone(&c);
+        let stop2 = Arc::clone(&stop);
+        let zipf = Zipf::new(
+            0.0,
+            (cfg.tenants - 1) as f64,
+            cfg.zipf_skew,
+            cfg.tenants.min(1000),
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e37_79b9));
+        drivers.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let (mut committed, mut shed) = (0u64, 0u64);
+            let mut k = (t as i64) << 40;
+            // ordering: Relaxed — the stop flag publishes no data; the loop
+            // only needs eventual visibility of the shutdown request.
+            while !stop2.load(Ordering::Relaxed) {
+                let idx = zipf.sample(&mut rng).round() as usize;
+                let name = tenant_name(idx);
+                let conn = c2
+                    .connect(&name)
+                    .map_err(|e| format!("connect {name}: {e}"))?;
+                k += 1;
+                match conn.execute("INSERT INTO t VALUES (?, 's')", &[Value::Int(k)]) {
+                    Ok(_) => committed += 1,
+                    Err(ClusterError::AdmissionRejected { .. }) => shed += 1,
+                    Err(e) => return Err(format!("insert into {name}: {e}")),
+                }
+            }
+            Ok((committed, shed))
+        }));
+    }
+    std::thread::sleep(cfg.window);
+    // ordering: Relaxed — see the matching load; joins below synchronize.
+    stop.store(true, Ordering::Relaxed);
+    let (mut committed, mut shed) = (0u64, 0u64);
+    for d in drivers {
+        let (ok, sh) = d.join().map_err(|_| "driver thread panicked")??;
+        committed += ok;
+        shed += sh;
+    }
+    let window = started.elapsed();
+
+    let violations = testkit::no_starvation_violations(&c, Some(window));
+    Ok(ScaleReport {
+        tenants: cfg.tenants,
+        setup,
+        window,
+        committed,
+        shed,
+        violations,
+    })
+}
+
+/// Victim SLA floor in [`run_noisy`] (tps the victim must sustain).
+pub const NOISY_VICTIM_FLOOR: f64 = 8.0;
+/// Paced victim driver threads in [`run_noisy`].
+const VICTIM_THREADS: usize = 16;
+/// Per-victim-thread issue period (16 threads × ~0.75/s ≈ 12 offered tps:
+/// above the floor, below the provisioned `HEADROOM ×` limit).
+const VICTIM_PERIOD: Duration = Duration::from_millis(1333);
+/// Closed-loop noisy hammer threads in [`run_noisy`].
+const NOISY_THREADS: usize = 6;
+/// Rows in the noisy tenant's table — with the non-free cost model each
+/// full-table statement stalls for `rows × per-access costs`, which is what
+/// makes one noisy statement monopolize the single worker.
+const NOISY_ROWS: i64 = 300;
+/// Measurement window of [`run_noisy`].
+const NOISY_WINDOW: Duration = Duration::from_millis(2500);
+
+/// What one [`run_noisy`] run observed.
+#[derive(Debug)]
+pub struct NoisyReport {
+    /// Measured window handed to the checker.
+    pub window: Duration,
+    /// Victim transactions committed inside the window.
+    pub victim_committed: u64,
+    /// Victim transactions aborted (lock timeouts under starvation).
+    pub victim_aborted: u64,
+    /// Noisy statements that completed.
+    pub noisy_ok: u64,
+    /// Noisy statements shed at the admission gate.
+    pub noisy_shed: u64,
+    /// No-starvation violations over the window (empty = compliant).
+    pub violations: Vec<String>,
+}
+
+/// Run the interference experiment: one saturated machine, victim + noisy
+/// tenant, admission on or off. See the module docs for why the
+/// admission-off arm is expected to *fail* the checker.
+pub fn run_noisy(seed: u64, admission: bool) -> Result<NoisyReport, String> {
+    let cluster_cfg = ClusterConfig {
+        engine: EngineConfig {
+            buffer_pages: 4096,
+            // Non-free page costs make statement weight proportional to
+            // pages touched: the noisy full-table UPDATE stalls ~100 ms,
+            // the victim single-row UPDATE stays in the low milliseconds.
+            cost: CostModel {
+                hit: Duration::from_micros(150),
+                miss: Duration::from_micros(500),
+            },
+            lock_timeout: Duration::from_millis(400),
+        },
+        pool: PoolConfig::fixed(1),
+        seed,
+        ..Default::default()
+    };
+    let c = ClusterController::with_machines(cluster_cfg, 1);
+    for name in ["victim", "noisy"] {
+        c.create_database_on(name, &[MachineId(0)])
+            .map_err(|e| format!("create {name}: {e}"))?;
+        c.ddl(
+            name,
+            "CREATE TABLE t (k INT NOT NULL, v TEXT, PRIMARY KEY (k))",
+        )
+        .map_err(|e| format!("ddl {name}: {e}"))?;
+    }
+    // Seed before arming SLAs so setup traffic is never shed.
+    {
+        let conn = c.connect("victim").map_err(|e| e.to_string())?;
+        conn.execute("INSERT INTO t VALUES (1, 'v')", &[])
+            .map_err(|e| format!("seed victim: {e}"))?;
+        let conn = c.connect("noisy").map_err(|e| e.to_string())?;
+        conn.begin().map_err(|e| e.to_string())?;
+        for k in 0..NOISY_ROWS {
+            conn.execute("INSERT INTO t VALUES (?, 'n')", &[Value::Int(k)])
+                .map_err(|e| format!("seed noisy {k}: {e}"))?;
+        }
+        conn.commit().map_err(|e| format!("seed commit: {e}"))?;
+    }
+    c.set_sla(
+        "victim",
+        Sla::new(NOISY_VICTIM_FLOOR, 0.9, Duration::from_secs(60)),
+    )
+    .map_err(|e| format!("victim sla: {e}"))?;
+    // Provisioned at 1 tps (gate limit 2/s): admitted noisy statements
+    // occupy the worker ≤ ~20% when the gate is on.
+    c.set_sla("noisy", Sla::new(1.0, 0.9, Duration::from_secs(60)))
+        .map_err(|e| format!("noisy sla: {e}"))?;
+    c.set_admission_enabled(admission);
+    c.reset_counters();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+
+    let mut noisy = Vec::new();
+    for t in 0..NOISY_THREADS {
+        let c2 = Arc::clone(&c);
+        let stop2 = Arc::clone(&stop);
+        noisy.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let conn = c2.connect("noisy").map_err(|e| format!("connect: {e}"))?;
+            let (mut ok, mut shed) = (0u64, 0u64);
+            // ordering: Relaxed — the stop flag publishes no data; the loop
+            // only needs eventual visibility of the shutdown request.
+            while !stop2.load(Ordering::Relaxed) {
+                match conn.execute(
+                    "UPDATE t SET v = ? WHERE k >= 0",
+                    &[Value::Text(format!("x{t}"))],
+                ) {
+                    Ok(_) => ok += 1,
+                    Err(ClusterError::AdmissionRejected { .. }) => shed += 1,
+                    // Under saturation noisy statements can themselves time
+                    // out on each other's table locks; that is workload
+                    // noise, not a verdict input.
+                    Err(_) => {}
+                }
+            }
+            Ok((ok, shed))
+        }));
+    }
+
+    let mut victims = Vec::new();
+    for t in 0..VICTIM_THREADS {
+        let c2 = Arc::clone(&c);
+        victims.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let conn = c2.connect("victim").map_err(|e| format!("connect: {e}"))?;
+            // Stagger starts so the paced streams interleave evenly.
+            std::thread::sleep(VICTIM_PERIOD * (t as u32) / (VICTIM_THREADS as u32));
+            let thread_started = Instant::now();
+            let (mut committed, mut aborted) = (0u64, 0u64);
+            let mut i = 0u32;
+            loop {
+                let elapsed = thread_started.elapsed();
+                if started.elapsed() >= NOISY_WINDOW {
+                    break;
+                }
+                let due = VICTIM_PERIOD * i;
+                if let Some(wait) = due.checked_sub(elapsed) {
+                    std::thread::sleep(wait);
+                }
+                i += 1;
+                if started.elapsed() >= NOISY_WINDOW {
+                    break;
+                }
+                if conn.begin().is_err() {
+                    aborted += 1;
+                    continue;
+                }
+                let op = conn.execute("UPDATE t SET v = 'w' WHERE k = 1", &[]);
+                let done = match op {
+                    Ok(_) => conn.commit().is_ok(),
+                    Err(_) => {
+                        let _ = conn.rollback();
+                        false
+                    }
+                };
+                if done {
+                    committed += 1;
+                } else {
+                    aborted += 1;
+                }
+            }
+            Ok((committed, aborted))
+        }));
+    }
+
+    let (mut victim_committed, mut victim_aborted) = (0u64, 0u64);
+    for v in victims {
+        let (ok, ab) = v.join().map_err(|_| "victim thread panicked")??;
+        victim_committed += ok;
+        victim_aborted += ab;
+    }
+    let window = started.elapsed();
+    // ordering: Relaxed — see the matching load; joins below synchronize.
+    stop.store(true, Ordering::Relaxed);
+    let (mut noisy_ok, mut noisy_shed) = (0u64, 0u64);
+    for n in noisy {
+        let (ok, shed) = n.join().map_err(|_| "noisy thread panicked")??;
+        noisy_ok += ok;
+        noisy_shed += shed;
+    }
+
+    let violations = testkit::no_starvation_violations(&c, Some(window));
+    Ok(NoisyReport {
+        window,
+        victim_committed,
+        victim_aborted,
+        noisy_ok,
+        noisy_shed,
+        violations,
+    })
+}

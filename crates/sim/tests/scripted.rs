@@ -63,4 +63,6 @@ scenario_tests!(
     ctrl_partition_minority_heals,
     ctrl_rolling_restart,
     ctrl_quorum_loss_rejects_writes,
+    sla_noisy_neighbor,
+    sla_reject_under_failover,
 );

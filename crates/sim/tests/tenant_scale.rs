@@ -1,0 +1,91 @@
+//! Tenant-cardinality smoke runs plus the no-starvation checker's teeth.
+//!
+//! * `TENANTDB_SCALE_TENANTS=<n>` — smoke cardinality (default 512; the CI
+//!   scale-smoke job uses 2000).
+//! * `TENANTDB_SLA_SEEDS=<n>` — width of the admission-on seed sweep
+//!   (default 2; CI uses more).
+
+use tenantdb_sim::{run_noisy, run_scale, ScaleConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Base seed of the noisy-neighbor sweep (fixed for reproducibility).
+const SLA_SEED_BASE: u64 = 0x51a_5eed_0000;
+
+/// Thousands of tiny tenant databases under Zipf-skewed load: hot tenants
+/// are shed at the gate, every in-profile tenant stays compliant, and the
+/// no-starvation checker finds nothing.
+#[test]
+fn scale_smoke_holds_sla_floors() {
+    let tenants = env_usize("TENANTDB_SCALE_TENANTS", 512);
+    let report = run_scale(&ScaleConfig::smoke(tenants)).expect("scale run failed");
+    assert!(
+        report.violations.is_empty(),
+        "no-starvation violated at {} tenants: {}",
+        report.tenants,
+        report.violations.join("; ")
+    );
+    assert!(
+        report.shed > 0,
+        "Zipf-hot tenants must exceed their provisioned rate and be shed"
+    );
+    assert!(report.committed > 0, "in-profile traffic must commit");
+}
+
+/// The teeth test: with the gate disabled the noisy tenant monopolizes the
+/// single worker and the checker MUST report the victim's starvation — if
+/// this test fails, a passing checker elsewhere proves nothing.
+#[test]
+fn admission_off_reproduces_starvation() {
+    let r = run_noisy(SLA_SEED_BASE, false).expect("noisy run failed");
+    assert!(
+        !r.violations.is_empty(),
+        "expected the victim to starve with admission off \
+         (victim committed {} / aborted {}, noisy ok {} over {:?})",
+        r.victim_committed,
+        r.victim_aborted,
+        r.noisy_ok,
+        r.window,
+    );
+}
+
+/// Same cluster, gate on: the noisy tenant is shed proactively and the
+/// victim holds its SLA floor.
+#[test]
+fn admission_on_prevents_starvation() {
+    let r = run_noisy(SLA_SEED_BASE, true).expect("noisy run failed");
+    assert!(
+        r.violations.is_empty(),
+        "no-starvation violated with admission on: {} \
+         (victim committed {} / aborted {}, noisy ok {} shed {})",
+        r.violations.join("; "),
+        r.victim_committed,
+        r.victim_aborted,
+        r.noisy_ok,
+        r.noisy_shed,
+    );
+    assert!(r.noisy_shed > 0, "the hammering tenant must be shed");
+    assert!(
+        r.victim_committed > 0,
+        "the victim's paced load must commit"
+    );
+}
+
+/// Seed sweep of the admission-on arm (CI widens via `TENANTDB_SLA_SEEDS`).
+#[test]
+fn admission_on_sweep() {
+    for i in 0..env_usize("TENANTDB_SLA_SEEDS", 2) as u64 {
+        let seed = SLA_SEED_BASE + 1 + i;
+        let r = run_noisy(seed, true).expect("noisy run failed");
+        assert!(
+            r.violations.is_empty(),
+            "seed 0x{seed:x}: no-starvation violated with admission on: {}",
+            r.violations.join("; ")
+        );
+    }
+}

@@ -22,10 +22,12 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod monitor;
 pub mod placement;
 pub mod zipf;
 
+pub use admission::{AdmissionDecision, AdmissionGate, AdmissionParams};
 pub use monitor::{
     can_reallocate, check_compliance, reallocation_budget, Compliance, ObservedOutcomes,
 };

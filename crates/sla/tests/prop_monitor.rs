@@ -1,0 +1,277 @@
+//! Property tests for the §4.1 monitor math that now gates admission
+//! decisions: `check_compliance` and the `max_rejected_frac` → event-budget
+//! conversion. Hand-rolled deterministic loops over a seeded RNG — the
+//! repo has no property-testing framework, and these stay reproducible.
+
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng, StdRng};
+use tenantdb_sla::{
+    can_reallocate, check_compliance, expected_rejected_frac, reallocation_budget,
+    ObservedOutcomes, Sla,
+};
+
+const CASES: usize = 2000;
+
+fn rand_outcomes(rng: &mut StdRng) -> ObservedOutcomes {
+    ObservedOutcomes {
+        committed: rng.gen_range(0..10_000),
+        rejected: rng.gen_range(0..1_000),
+        workload_aborts: rng.gen_range(0..1_000),
+    }
+}
+
+fn rand_sla(rng: &mut StdRng) -> Sla {
+    Sla::new(
+        rng.gen_range(0.0..100.0),
+        rng.gen_range(0.0..0.5),
+        Duration::from_secs(rng.gen_range(1..7200)),
+    )
+}
+
+#[test]
+fn compliance_matches_direct_inequalities() {
+    let mut rng = StdRng::seed_from_u64(0x51a_0001);
+    for _ in 0..CASES {
+        let sla = rand_sla(&mut rng);
+        let o = rand_outcomes(&mut rng);
+        let window = Duration::from_millis(rng.gen_range(1..120_000));
+        let c = check_compliance(&sla, &o, window);
+
+        let tps = o.committed as f64 / window.as_secs_f64();
+        assert_eq!(c.throughput_ok, tps + 1e-12 >= sla.min_tps);
+        assert!((c.observed_tps - tps).abs() <= 1e-9 * tps.max(1.0));
+
+        let denom = o.committed + o.rejected;
+        let frac = if denom == 0 {
+            0.0
+        } else {
+            o.rejected as f64 / denom as f64
+        };
+        assert_eq!(c.availability_ok, frac <= sla.max_rejected_frac + 1e-12);
+        assert!((0.0..=1.0).contains(&c.observed_rejected_frac));
+        assert_eq!(c.ok(), c.throughput_ok && c.availability_ok);
+    }
+}
+
+#[test]
+fn workload_aborts_never_affect_the_verdict() {
+    // §4.1 excludes application-inherent aborts; piling them on must not
+    // change either half of the verdict.
+    let mut rng = StdRng::seed_from_u64(0x51a_0002);
+    for _ in 0..CASES {
+        let sla = rand_sla(&mut rng);
+        let mut o = rand_outcomes(&mut rng);
+        let window = Duration::from_millis(rng.gen_range(1..120_000));
+        let base = check_compliance(&sla, &o, window);
+        o.workload_aborts += rng.gen_range(0..100_000u64);
+        let noisy = check_compliance(&sla, &o, window);
+        assert_eq!(base.throughput_ok, noisy.throughput_ok);
+        assert_eq!(base.availability_ok, noisy.availability_ok);
+    }
+}
+
+#[test]
+fn committing_more_never_hurts() {
+    // Compliance is monotone in committed work: extra commits raise
+    // throughput and dilute the rejected fraction.
+    let mut rng = StdRng::seed_from_u64(0x51a_0003);
+    for _ in 0..CASES {
+        let sla = rand_sla(&mut rng);
+        let mut o = rand_outcomes(&mut rng);
+        let window = Duration::from_millis(rng.gen_range(1..120_000));
+        let base = check_compliance(&sla, &o, window);
+        o.committed += rng.gen_range(1..10_000u64);
+        let better = check_compliance(&sla, &o, window);
+        assert!(!base.throughput_ok || better.throughput_ok);
+        assert!(!base.availability_ok || better.availability_ok);
+    }
+}
+
+#[test]
+fn zero_window_and_zero_tps_edges() {
+    let mut rng = StdRng::seed_from_u64(0x51a_0004);
+    for _ in 0..CASES {
+        let o = rand_outcomes(&mut rng);
+        // Zero-length window: throughput is defined as 0, so only a
+        // zero-tps SLA can pass; availability is unaffected by the window.
+        let sla = rand_sla(&mut rng);
+        let c = check_compliance(&sla, &o, Duration::ZERO);
+        assert!((c.observed_tps - 0.0).abs() < 1e-12);
+        assert_eq!(c.throughput_ok, sla.min_tps <= 1e-12);
+
+        // Zero-tps SLA: the throughput half is vacuous for any window.
+        let zero = Sla::new(0.0, sla.max_rejected_frac, sla.period);
+        let window = Duration::from_millis(rng.gen_range(1..120_000));
+        assert!(check_compliance(&zero, &o, window).throughput_ok);
+    }
+}
+
+#[test]
+fn epsilon_boundaries_are_inclusive() {
+    let mut rng = StdRng::seed_from_u64(0x51a_0005);
+    for _ in 0..CASES {
+        // Exactly-at-the-floor throughput passes (±1e-12 tolerance)...
+        let min_tps = rng.gen_range(1.0..50.0f64);
+        let window = Duration::from_secs(rng.gen_range(1..60));
+        let committed = (min_tps * window.as_secs_f64()).ceil() as u64;
+        let sla = Sla::new(
+            committed as f64 / window.as_secs_f64(),
+            0.5,
+            Duration::from_secs(3600),
+        );
+        let o = ObservedOutcomes {
+            committed,
+            rejected: 0,
+            workload_aborts: 0,
+        };
+        assert!(check_compliance(&sla, &o, window).throughput_ok);
+        // ...and one fewer commit fails.
+        if committed > 0 {
+            let short = ObservedOutcomes {
+                committed: committed - 1,
+                ..o
+            };
+            assert!(!check_compliance(&sla, &short, window).throughput_ok);
+        }
+
+        // Exactly-at-the-ceiling rejection fraction passes; one more
+        // rejection fails (denominator shifts too, so recompute).
+        let committed = rng.gen_range(1..1000u64);
+        let rejected = rng.gen_range(0..=committed);
+        let frac = rejected as f64 / (committed + rejected) as f64;
+        let sla = Sla::new(0.0, frac, Duration::from_secs(3600));
+        let o = ObservedOutcomes {
+            committed,
+            rejected,
+            workload_aborts: 0,
+        };
+        assert!(check_compliance(&sla, &o, window).availability_ok);
+        let worse = ObservedOutcomes {
+            rejected: rejected + 1,
+            ..o
+        };
+        let worse_frac = (rejected + 1) as f64 / (committed + rejected + 1) as f64;
+        if worse_frac > frac + 1e-12 {
+            assert!(!check_compliance(&sla, &worse, window).availability_ok);
+        }
+    }
+}
+
+#[test]
+fn budget_is_the_largest_compliant_event_count() {
+    // The event-budget conversion solves the §4.1 inequality: spending the
+    // whole budget keeps the expected rejected fraction within the SLA,
+    // spending one event more breaches it.
+    let mut rng = StdRng::seed_from_u64(0x51a_0006);
+    let mut finite = 0usize;
+    for _ in 0..CASES {
+        let sla = Sla::new(
+            0.0,
+            rng.gen_range(0.001..0.2),
+            Duration::from_secs(rng.gen_range(60..7200)),
+        );
+        let failures = rng.gen_range(0.0..5.0f64);
+        let recovery = Duration::from_secs(rng.gen_range(1..120));
+        let write_mix = rng.gen_range(0.05..1.0f64);
+        let b = reallocation_budget(&sla, failures, recovery, write_mix);
+        if b == u64::MAX {
+            continue;
+        }
+        finite += 1;
+        let frac_at = |reallocs: f64| {
+            expected_rejected_frac(failures, reallocs, recovery, sla.period, write_mix)
+        };
+        // A zero budget can mean the expected failures alone already breach
+        // the SLA; only a positive budget promises compliance when spent.
+        if b > 0 {
+            assert!(
+                frac_at(b as f64) <= sla.max_rejected_frac + 1e-9,
+                "spending the budget ({b}) breached the SLA"
+            );
+        }
+        assert!(
+            frac_at(b as f64 + 1.0) >= sla.max_rejected_frac - 1e-9,
+            "budget {b} left room for another whole event"
+        );
+    }
+    assert!(finite > CASES / 2, "too few finite-budget cases: {finite}");
+}
+
+#[test]
+fn budget_degenerate_inputs_are_unconstrained() {
+    let sla = Sla::new(10.0, 0.01, Duration::from_secs(3600));
+    // Read-only workloads and instant copies can reallocate freely.
+    assert_eq!(
+        reallocation_budget(&sla, 5.0, Duration::from_secs(30), 0.0),
+        u64::MAX
+    );
+    assert_eq!(
+        reallocation_budget(&sla, 5.0, Duration::ZERO, 0.5),
+        u64::MAX
+    );
+    // An overwhelming failure rate leaves no budget at all.
+    assert_eq!(
+        reallocation_budget(&sla, 1e9, Duration::from_secs(30), 0.5),
+        0
+    );
+}
+
+#[test]
+fn budget_is_monotone_in_its_inputs() {
+    let mut rng = StdRng::seed_from_u64(0x51a_0007);
+    for _ in 0..CASES {
+        let max_frac = rng.gen_range(0.001..0.2f64);
+        let period = Duration::from_secs(rng.gen_range(60..7200));
+        let failures = rng.gen_range(0.0..5.0f64);
+        let recovery = Duration::from_secs(rng.gen_range(1..120));
+        let write_mix = rng.gen_range(0.05..1.0f64);
+        let sla = Sla::new(0.0, max_frac, period);
+        let b = reallocation_budget(&sla, failures, recovery, write_mix);
+
+        // A looser availability SLA never shrinks the budget.
+        let looser = Sla::new(0.0, max_frac * 1.5, period);
+        assert!(reallocation_budget(&looser, failures, recovery, write_mix) >= b);
+        // More expected failures never grow it.
+        assert!(reallocation_budget(&sla, failures + 1.0, recovery, write_mix) <= b);
+        // Slower copies never grow it.
+        assert!(reallocation_budget(&sla, failures, recovery * 2, write_mix) <= b);
+    }
+}
+
+#[test]
+fn can_reallocate_agrees_with_the_budget() {
+    // `can_reallocate` (the online check) and `reallocation_budget` (the
+    // planner) must tell the same story: with k events already spent, one
+    // more is allowed iff k+1 still fits the budget. The online check uses
+    // a strict inequality, so probe clear of the boundary.
+    let mut rng = StdRng::seed_from_u64(0x51a_0008);
+    for _ in 0..CASES {
+        let sla = Sla::new(
+            0.0,
+            rng.gen_range(0.001..0.2),
+            Duration::from_secs(rng.gen_range(60..7200)),
+        );
+        let failures = rng.gen_range(0.0..3.0f64);
+        let recovery = Duration::from_secs(rng.gen_range(1..60));
+        let write_mix = rng.gen_range(0.05..1.0f64);
+        let b = reallocation_budget(&sla, failures, recovery, write_mix);
+        if b == u64::MAX || b == 0 {
+            continue;
+        }
+        // Strictly inside the budget: allowed.
+        if b >= 2 {
+            assert!(
+                can_reallocate(&sla, failures, (b - 2) as f64, recovery, write_mix),
+                "event {} of budget {b} was denied",
+                b - 1
+            );
+        }
+        // Strictly past it: denied.
+        assert!(
+            !can_reallocate(&sla, failures, (b + 1) as f64, recovery, write_mix),
+            "event {} exceeded budget {b} but was allowed",
+            b + 2
+        );
+    }
+}

@@ -1,67 +1,188 @@
-//! `cargo xtask bench-check` — validate `BENCH_net.json` (written by the
-//! `net_10k_conns` bench) so CI fails loudly when the snapshot schema
-//! drifts: the file must parse as JSON, carry the expected `schema` tag,
-//! and expose every contracted key path as a finite number. The parser
-//! is a minimal hand-rolled recursive descent (objects, strings,
+//! `cargo xtask bench-check` — validate the committed `BENCH_*.json`
+//! snapshots (written by the bench targets) so CI fails loudly when a
+//! snapshot's schema drifts: each file must parse as JSON, carry its
+//! expected `schema` tag, expose every contracted key path as a finite
+//! number, and honor its regression gates (key paths that must be zero,
+//! and minimums enforced when the writing bench ran in full mode). The
+//! parser is a minimal hand-rolled recursive descent (objects, strings,
 //! numbers, booleans) — the workspace takes no serde dependency for the
-//! sake of one fixed-shape file.
+//! sake of a few fixed-shape files.
 
 use std::path::Path;
 
-/// The schema tag the bench stamps into the file; bump in lockstep with
-/// the key contract below and the writer in `net_10k_conns.rs`.
-const SCHEMA: &str = "tenantdb-bench-net/v1";
+/// The contract one snapshot file must honor. Bump a `schema` tag in
+/// lockstep with its key set and the bench that writes the file.
+struct Contract {
+    /// Snapshot file name at the workspace root.
+    file: &'static str,
+    /// Expected top-level `schema` tag.
+    schema: &'static str,
+    /// Dotted key paths that must resolve to finite numbers.
+    required_numbers: &'static [&'static str],
+    /// Key paths that must be exactly zero (regression gates — e.g. the
+    /// no-starvation violation count of the tenant-scale run).
+    required_zero: &'static [&'static str],
+    /// `(path, min)` pairs enforced only when the owning section's (or the
+    /// top level's) `fast_mode` is `false`: CI smoke regenerations at
+    /// reduced scale still schema-check, while the committed full-mode
+    /// snapshot must meet the scale floor.
+    full_mode_minimums: &'static [(&'static str, f64)],
+}
 
-/// Dotted key paths that must resolve to finite numbers.
-const REQUIRED_NUMBERS: &[&str] = &[
-    "loopback.ping_ns",
-    "loopback.ping_pipelined_per_frame_ns",
-    "loopback.per_statement_overhead_ns",
-    "loopback.per_txn_overhead_unpipelined_ns",
-    "loopback.per_txn_overhead_batched_ns",
-    "conns_10k.target_connections",
-    "conns_10k.held_connections",
-    "conns_10k.ping_rounds",
-    "conns_10k.frames_total",
-    "conns_10k.frame_latency_us_p50",
-    "conns_10k.frame_latency_us_p99",
-    "conns_10k.connect_seconds",
+const CONTRACTS: &[Contract] = &[
+    // Written by `net_10k_conns`.
+    Contract {
+        file: "BENCH_net.json",
+        schema: "tenantdb-bench-net/v1",
+        required_numbers: &[
+            "loopback.ping_ns",
+            "loopback.ping_pipelined_per_frame_ns",
+            "loopback.per_statement_overhead_ns",
+            "loopback.per_txn_overhead_unpipelined_ns",
+            "loopback.per_txn_overhead_batched_ns",
+            "conns_10k.target_connections",
+            "conns_10k.held_connections",
+            "conns_10k.ping_rounds",
+            "conns_10k.frames_total",
+            "conns_10k.frame_latency_us_p50",
+            "conns_10k.frame_latency_us_p99",
+            "conns_10k.connect_seconds",
+        ],
+        required_zero: &[],
+        full_mode_minimums: &[],
+    },
+    // Sections written by `fig8_rejected_recovery` and
+    // `table2_sla_placement`.
+    Contract {
+        file: "BENCH_sla.json",
+        schema: "tenantdb-bench-sla/v1",
+        required_numbers: &[
+            "fig8_rejected_recovery.threads_max",
+            "fig8_rejected_recovery.table_level_rejected_per_db",
+            "fig8_rejected_recovery.db_level_rejected_per_db",
+            "table2_placement.n_dbs",
+            "table2_placement.skew_04_first_fit",
+            "table2_placement.skew_04_optimal",
+            "table2_placement.skew_08_first_fit",
+            "table2_placement.skew_08_optimal",
+            "table2_placement.skew_12_first_fit",
+            "table2_placement.skew_12_optimal",
+            "table2_placement.skew_16_first_fit",
+            "table2_placement.skew_16_optimal",
+            "table2_placement.skew_20_first_fit",
+            "table2_placement.skew_20_optimal",
+        ],
+        required_zero: &[],
+        full_mode_minimums: &[],
+    },
+    // Written by `tenant_scale`.
+    Contract {
+        file: "BENCH_scale.json",
+        schema: "tenantdb-bench-scale/v1",
+        required_numbers: &[
+            "tenant_scale.tenants",
+            "tenant_scale.setup_seconds",
+            "tenant_scale.window_seconds",
+            "tenant_scale.committed",
+            "tenant_scale.shed",
+            "tenant_scale.violations",
+            "placement_50k.n_dbs",
+            "placement_50k.first_fit_seconds",
+            "placement_50k.best_fit_seconds",
+            "placement_50k.first_fit_machines",
+            "placement_50k.best_fit_machines",
+        ],
+        required_zero: &["tenant_scale.violations"],
+        full_mode_minimums: &[
+            // The committed snapshot must come from a ≥5k-tenant run and a
+            // 50k-spec placement sweep (the acceptance cardinalities).
+            ("tenant_scale.tenants", 5000.0),
+            ("placement_50k.n_dbs", 50000.0),
+        ],
+    },
 ];
 
-/// Validate the snapshot at `path`. Returns human-readable problems;
-/// empty means the file honors the contract.
+/// File names of every contracted snapshot (the `bench-check` default set).
+pub fn default_files() -> impl Iterator<Item = &'static str> {
+    CONTRACTS.iter().map(|c| c.file)
+}
+
+/// Validate the snapshot at `path` against the contract matching its file
+/// name. Returns human-readable problems; empty means the file honors the
+/// contract.
 pub fn check_file(path: &Path) -> Vec<String> {
+    let name = match path.file_name().and_then(|n| n.to_str()) {
+        Some(n) => n,
+        None => return vec![format!("{}: not a file name", path.display())],
+    };
+    if !CONTRACTS.iter().any(|c| c.file == name) {
+        return vec![format!("{name}: no bench contract for this file name")];
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
     };
-    check_text(&text)
+    check_text(name, &text)
 }
 
-pub fn check_text(text: &str) -> Vec<String> {
+/// Validate snapshot `text` against the contract for file name `file`.
+pub fn check_text(file: &str, text: &str) -> Vec<String> {
+    let Some(c) = CONTRACTS.iter().find(|c| c.file == file) else {
+        return vec![format!("{file}: no bench contract for this file name")];
+    };
     let root = match parse(text) {
         Ok(v) => v,
-        Err(e) => return vec![format!("BENCH_net.json: parse error: {e}")],
+        Err(e) => return vec![format!("{file}: parse error: {e}")],
     };
     let mut problems = Vec::new();
     match lookup(&root, "schema") {
-        Some(Json::Str(s)) if s == SCHEMA => {}
-        Some(Json::Str(s)) => problems.push(format!(
-            "BENCH_net.json: schema is {s:?}, expected {SCHEMA:?}"
-        )),
-        _ => problems.push("BENCH_net.json: missing string key \"schema\"".to_string()),
+        Some(Json::Str(s)) if s == c.schema => {}
+        Some(Json::Str(s)) => {
+            problems.push(format!("{file}: schema is {s:?}, expected {:?}", c.schema))
+        }
+        _ => problems.push(format!("{file}: missing string key \"schema\"")),
     }
-    for path in REQUIRED_NUMBERS {
+    for path in c.required_numbers {
         match lookup(&root, path) {
             Some(Json::Num(n)) if n.is_finite() => {}
-            Some(Json::Num(n)) => {
-                problems.push(format!("BENCH_net.json: {path} is non-finite ({n})"))
+            Some(Json::Num(n)) => problems.push(format!("{file}: {path} is non-finite ({n})")),
+            Some(_) => problems.push(format!("{file}: {path} is not a number")),
+            None => problems.push(format!("{file}: missing key {path}")),
+        }
+    }
+    for path in c.required_zero {
+        if let Some(Json::Num(n)) = lookup(&root, path) {
+            if *n != 0.0 {
+                problems.push(format!("{file}: {path} must be 0, found {n}"));
             }
-            Some(_) => problems.push(format!("BENCH_net.json: {path} is not a number")),
-            None => problems.push(format!("BENCH_net.json: missing key {path}")),
+        }
+    }
+    for (path, min) in c.full_mode_minimums {
+        if fast_mode_for(&root, path) {
+            continue;
+        }
+        if let Some(Json::Num(n)) = lookup(&root, path) {
+            if n < min {
+                problems.push(format!(
+                    "{file}: {path} is {n}, below the full-mode floor {min}"
+                ));
+            }
         }
     }
     problems
+}
+
+/// Whether the section owning `path` (or, failing that, the top level)
+/// declares `fast_mode: true` — full-mode minimums are waived for fast
+/// (CI smoke) regenerations.
+fn fast_mode_for(root: &Json, path: &str) -> bool {
+    let section_flag = path
+        .rsplit_once('.')
+        .and_then(|(parent, _)| lookup(root, &format!("{parent}.fast_mode")));
+    match section_flag.or_else(|| lookup(root, "fast_mode")) {
+        Some(Json::Bool(b)) => *b,
+        _ => false,
+    }
 }
 
 /// Walk a dotted path through nested objects.
@@ -221,17 +342,75 @@ mod tests {
 }
 "#;
 
+    const GOOD_SLA: &str = r#"{
+  "schema": "tenantdb-bench-sla/v1",
+  "fig8_rejected_recovery": {
+    "fast_mode": false,
+    "threads_max": 4,
+    "table_level_rejected_per_db": 12.5,
+    "db_level_rejected_per_db": 118.0
+  },
+  "table2_placement": {
+    "fast_mode": false,
+    "n_dbs": 25,
+    "skew_04_first_fit": 9,
+    "skew_04_optimal": 9,
+    "skew_08_first_fit": 6,
+    "skew_08_optimal": 6,
+    "skew_12_first_fit": 5,
+    "skew_12_optimal": 4,
+    "skew_16_first_fit": 4,
+    "skew_16_optimal": 4,
+    "skew_20_first_fit": 4,
+    "skew_20_optimal": 4
+  }
+}
+"#;
+
+    const GOOD_SCALE: &str = r#"{
+  "schema": "tenantdb-bench-scale/v1",
+  "tenant_scale": {
+    "fast_mode": false,
+    "tenants": 5000,
+    "setup_seconds": 11.2,
+    "window_seconds": 2.5,
+    "committed": 8123,
+    "shed": 20411,
+    "violations": 0
+  },
+  "placement_50k": {
+    "fast_mode": false,
+    "n_dbs": 50000,
+    "first_fit_seconds": 3.1,
+    "best_fit_seconds": 4.8,
+    "first_fit_machines": 4300,
+    "best_fit_machines": 4210
+  }
+}
+"#;
+
     #[test]
-    fn accepts_the_contracted_snapshot() {
-        assert_eq!(check_text(GOOD), Vec::<String>::new());
+    fn accepts_the_contracted_snapshots() {
+        assert_eq!(check_text("BENCH_net.json", GOOD), Vec::<String>::new());
+        assert_eq!(check_text("BENCH_sla.json", GOOD_SLA), Vec::<String>::new());
+        assert_eq!(
+            check_text("BENCH_scale.json", GOOD_SCALE),
+            Vec::<String>::new()
+        );
     }
 
     #[test]
     fn rejects_missing_key() {
         let broken = GOOD.replace("\"frame_latency_us_p99\"", "\"frame_latency_p99\"");
-        let problems = check_text(&broken);
+        let problems = check_text("BENCH_net.json", &broken);
         assert!(
             problems.iter().any(|p| p.contains("frame_latency_us_p99")),
+            "{problems:?}"
+        );
+        let broken = GOOD_SLA.replace("\"skew_12_optimal\"", "\"skew_12_opt\"");
+        let problems = check_text("BENCH_sla.json", &broken);
+        assert!(
+            problems.iter().any(|p| p.contains("skew_12_optimal")),
             "{problems:?}"
         );
     }
@@ -239,7 +418,13 @@ mod tests {
     #[test]
     fn rejects_wrong_schema_tag() {
         let broken = GOOD.replace("tenantdb-bench-net/v1", "tenantdb-bench-net/v0");
-        let problems = check_text(&broken);
+        let problems = check_text("BENCH_net.json", &broken);
+        assert!(
+            problems.iter().any(|p| p.contains("schema")),
+            "{problems:?}"
+        );
+        let broken = GOOD_SCALE.replace("tenantdb-bench-scale/v1", "tenantdb-bench-sla/v1");
+        let problems = check_text("BENCH_scale.json", &broken);
         assert!(
             problems.iter().any(|p| p.contains("schema")),
             "{problems:?}"
@@ -249,7 +434,7 @@ mod tests {
     #[test]
     fn rejects_non_numeric_value() {
         let broken = GOOD.replace("87.7", "\"87.7\"");
-        let problems = check_text(&broken);
+        let problems = check_text("BENCH_net.json", &broken);
         assert!(
             problems.iter().any(|p| p.contains("not a number")),
             "{problems:?}"
@@ -258,11 +443,44 @@ mod tests {
 
     #[test]
     fn rejects_malformed_json() {
-        let problems = check_text("{\"schema\": ");
+        let problems = check_text("BENCH_net.json", "{\"schema\": ");
         assert!(
             problems.iter().any(|p| p.contains("parse error")),
             "{problems:?}"
         );
+    }
+
+    #[test]
+    fn rejects_unknown_file_name() {
+        let problems = check_text("BENCH_other.json", GOOD);
+        assert!(
+            problems.iter().any(|p| p.contains("no bench contract")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn gates_on_starvation_violations() {
+        let broken = GOOD_SCALE.replace("\"violations\": 0", "\"violations\": 3");
+        let problems = check_text("BENCH_scale.json", &broken);
+        assert!(
+            problems.iter().any(|p| p.contains("must be 0")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn full_mode_minimums_gate_full_runs_only() {
+        // A full-mode snapshot below the scale floor is rejected…
+        let broken = GOOD_SCALE.replace("\"tenants\": 5000", "\"tenants\": 800");
+        let problems = check_text("BENCH_scale.json", &broken);
+        assert!(
+            problems.iter().any(|p| p.contains("full-mode floor")),
+            "{problems:?}"
+        );
+        // …but the same numbers from a fast (CI smoke) run pass.
+        let fast = broken.replacen("\"fast_mode\": false", "\"fast_mode\": true", 1);
+        assert_eq!(check_text("BENCH_scale.json", &fast), Vec::<String>::new());
     }
 
     #[test]

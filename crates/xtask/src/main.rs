@@ -74,17 +74,27 @@ fn main() {
             }
         }
         Some("bench-check") => {
-            // Default to the snapshot the net_10k_conns bench writes;
-            // an explicit path argument overrides (useful in CI when
-            // the bench ran in a different working directory).
-            let path = args
-                .next()
-                .map(PathBuf::from)
-                .unwrap_or_else(|| workspace_root().join("BENCH_net.json"));
-            let problems = bench_check::check_file(&path);
-            if problems.is_empty() {
-                println!("xtask bench-check: {} OK", path.display());
-            } else {
+            // Default to every contracted snapshot at the workspace root;
+            // explicit path arguments override (useful in CI when a bench
+            // ran in a different working directory, or to check one file).
+            let paths: Vec<PathBuf> = {
+                let given: Vec<PathBuf> = args.map(PathBuf::from).collect();
+                if given.is_empty() {
+                    let root = workspace_root();
+                    bench_check::default_files().map(|f| root.join(f)).collect()
+                } else {
+                    given
+                }
+            };
+            let mut problems = Vec::new();
+            for path in &paths {
+                let found = bench_check::check_file(path);
+                if found.is_empty() {
+                    println!("xtask bench-check: {} OK", path.display());
+                }
+                problems.extend(found);
+            }
+            if !problems.is_empty() {
                 for p in &problems {
                     eprintln!("{p}");
                 }
@@ -94,7 +104,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint|bench-check [path]>   (got {:?})",
+                "usage: cargo run -p xtask -- <lint|bench-check [paths…]>   (got {:?})",
                 other.unwrap_or("<none>")
             );
             std::process::exit(2);

@@ -6,6 +6,7 @@
 //! Reads statements from stdin (`;`-terminated not required — one per line),
 //! plus meta-commands: `\help`, `\dbs`, `\use <db>`, `\metrics`,
 //! `\events [n]`, `\fail <machine>`, `\recover <machine>`,
+//! `\sla <min_tps> [frac]`, `\hammer [n]`,
 //! `\ctrl status|kill [n]|restart <n>`, `\quit`.
 //! Pipe a script: `echo 'SELECT 1 FROM t' | cargo run --example sql_shell`.
 //!
@@ -154,6 +155,8 @@ fn main() {
                 println!("  \\events [n]     last n structured events (default 20)");
                 println!("  \\fail <m>       fail machine m (e.g. \\fail 1)");
                 println!("  \\recover <m>    re-create the replicas machine m lost");
+                println!("  \\sla <tps> [frac]  install an SLA floor on the current database");
+                println!("  \\hammer [n]     offer n txns as fast as possible (default 500)");
                 println!("  \\ctrl status    replicated controller group: leader, term, lag");
                 println!("  \\ctrl kill [n]  crash controller n (default: the leader)");
                 println!("  \\ctrl restart <n>  restart a crashed controller replica");
@@ -244,6 +247,7 @@ fn main() {
             && (input.starts_with("\\events")
                 || input.starts_with("\\fail")
                 || input.starts_with("\\recover")
+                || input.starts_with("\\sla")
                 || input.starts_with("\\ctrl"))
         {
             println!("(local-cluster command — \\disconnect first)");
@@ -370,6 +374,70 @@ fn main() {
                 }
                 Err(_) => println!("usage: \\recover <machine number>"),
             }
+            continue;
+        }
+        if let Some(rest) = input.strip_prefix("\\sla") {
+            // §4.1 SLA on the current database; arms the admission gate at
+            // 2x the floor (see DESIGN.md §13.1).
+            let mut parts = rest.split_whitespace();
+            match parts.next().map(str::parse::<f64>) {
+                Some(Ok(min_tps)) if min_tps > 0.0 => {
+                    let frac = parts
+                        .next()
+                        .and_then(|f| f.parse::<f64>().ok())
+                        .unwrap_or(0.1);
+                    let sla =
+                        tenantdb::sla::Sla::new(min_tps, frac, std::time::Duration::from_secs(60));
+                    match cluster.set_sla(&db, sla) {
+                        Ok(()) => println!(
+                            "sla installed on '{db}': floor {min_tps} tps, max rejected \
+                             fraction {frac}; admission gate provisioned at {} tps \
+                             (2x headroom)",
+                            min_tps * 2.0
+                        ),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                _ => println!("usage: \\sla <min_tps> [max_rejected_frac]"),
+            }
+            continue;
+        }
+        if input == "\\hammer" || input.starts_with("\\hammer ") {
+            // Offer empty transactions as fast as possible: past the
+            // provisioned rate the gate defers, then sheds with the
+            // retryable AdmissionRejected error.
+            let n: usize = input
+                .strip_prefix("\\hammer")
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap_or(500);
+            let t = conn.transport();
+            let (mut admitted, mut shed) = (0u64, 0u64);
+            let started = std::time::Instant::now();
+            for _ in 0..n {
+                match t.begin() {
+                    Ok(()) => {
+                        admitted += 1;
+                        if let Err(e) = t.commit() {
+                            println!("error: {e}");
+                            break;
+                        }
+                    }
+                    Err(tenantdb::cluster::ClusterError::AdmissionRejected { .. }) => shed += 1,
+                    Err(e) => {
+                        println!("error: {e}");
+                        break;
+                    }
+                }
+            }
+            let secs = started.elapsed().as_secs_f64();
+            println!(
+                "offered {n} txns in {:.2}s (~{:.0} tps): {admitted} admitted, {shed} shed \
+                 — see tenantdb_sla_*_total in \\metrics",
+                secs,
+                n as f64 / secs.max(1e-9),
+            );
             continue;
         }
         if let Some(target) = input.strip_prefix("\\use ") {
