@@ -1,0 +1,418 @@
+//! Pass 1 — static lock-rank ordering.
+//!
+//! Runtime lockdep (`tenantdb-lockdep`) verifies the declared `LockClass`
+//! rank order on every acquisition a test actually executes. This pass
+//! complements it with whole-program coverage: it approximates guard
+//! scopes *syntactically* and flags any site that acquires a lock whose
+//! rank is ≤ the rank of a lock already held in the same function body —
+//! on every path, including ones no test drives.
+//!
+//! What is checked (sound-ish within its scope):
+//! * `static CLASS: LockClass = LockClass::new("name", rank)` declarations
+//!   are collected workspace-wide;
+//! * `Mutex::new(&CLASS, …)` / `RwLock::new(&CLASS, …)` (and the
+//!   `Ordered*` spellings) construction sites map the *binding name* the
+//!   lock is stored under (struct field or `let`/`static` binding) to its
+//!   class rank;
+//! * inside each non-test fn body, `recv.lock()` / `recv.read()` /
+//!   `recv.write()` with an empty argument list acquires the class mapped
+//!   to the receiver's final identifier. `let`-bound guards are held to
+//!   the end of the enclosing block (or an explicit `drop(guard)`);
+//!   temporary guards to the end of the statement.
+//!
+//! What is heuristic (documented in DESIGN.md §14): the analysis is
+//! intraprocedural; receivers that are not plain identifiers, or binding
+//! names mapped to two different classes, are skipped rather than guessed.
+//! Escape: `// analyze:allow(lock-rank): <reason>` near the acquisition.
+
+use std::collections::HashMap;
+
+use crate::diag::Diag;
+use crate::lexer::{parse_int, TokKind};
+use crate::model::Workspace;
+
+const RULE: &str = "lock-rank";
+
+/// Wrapper type names whose `new(&CLASS, …)` constructions bind a lock.
+const LOCK_CTORS: [&str; 4] = ["Mutex", "RwLock", "OrderedMutex", "OrderedRwLock"];
+
+pub fn run(ws: &Workspace) -> Vec<Diag> {
+    let classes = collect_classes(ws);
+    let bindings = collect_bindings(ws, &classes);
+    let mut out = Vec::new();
+
+    for (fi, f) in ws.fns.iter().enumerate() {
+        if f.is_test || ws.files[f.file].in_tests_dir {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        out.extend(check_body(ws, f.file, body, &bindings, &f.name));
+        let _ = fi;
+    }
+    crate::diag::sort(&mut out);
+    out
+}
+
+/// `static NAME: LockClass = LockClass::new("class.name", rank)` →
+/// NAME → rank.
+pub fn collect_classes(ws: &Workspace) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    for f in &ws.files {
+        let toks = &f.toks;
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        for k in 0..code.len() {
+            // … LockClass :: new ( STR , NUM )
+            let seq: Vec<&str> = (0..4)
+                .filter_map(|off| code.get(k + off).map(|&x| toks[x].text.as_str()))
+                .collect();
+            if seq != ["LockClass", "::", "new", "("] {
+                continue;
+            }
+            let (Some(&name_i), Some(&comma_i), Some(&rank_i)) =
+                (code.get(k + 4), code.get(k + 5), code.get(k + 6))
+            else {
+                continue;
+            };
+            if toks[name_i].kind != TokKind::Str
+                || toks[comma_i].text != ","
+                || toks[rank_i].kind != TokKind::Num
+            {
+                continue;
+            }
+            let Some(rank) = parse_int(&toks[rank_i].text) else {
+                continue;
+            };
+            // Scan back for `static BINDING`.
+            let mut b = k;
+            while b > 0 && k - b < 8 {
+                b -= 1;
+                if toks[code[b]].text == "static" {
+                    if let Some(&bind_i) = code.get(b + 1) {
+                        if toks[bind_i].kind == TokKind::Ident {
+                            out.insert(toks[bind_i].text.clone(), rank);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `field: Mutex::new(&CLASS, …)` or `let x = RwLock::new(&CLASS, …)` →
+/// binding name → rank. Ambiguous names (two classes) map to `None`.
+fn collect_bindings(
+    ws: &Workspace,
+    classes: &HashMap<String, u64>,
+) -> HashMap<String, Option<u64>> {
+    let mut out: HashMap<String, Option<u64>> = HashMap::new();
+    for f in &ws.files {
+        let toks = &f.toks;
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        for k in 0..code.len() {
+            // CTOR :: new ( & CLASS ,
+            let seq: Vec<&str> = (0..7)
+                .filter_map(|off| code.get(k + off).map(|&x| toks[x].text.as_str()))
+                .collect();
+            if seq.len() < 7
+                || !LOCK_CTORS.contains(&seq[0])
+                || seq[1] != "::"
+                || seq[2] != "new"
+                || seq[3] != "("
+                || seq[4] != "&"
+                || seq[6] != ","
+            {
+                continue;
+            }
+            let Some(&rank) = classes.get(seq[5]) else {
+                continue;
+            };
+            // The binding name: `name :` (struct field, but not `::`) or
+            // `let [mut] name =` / `static name :` just before.
+            let Some(binding) = binding_before(toks, &code, k) else {
+                continue;
+            };
+            out.entry(binding)
+                .and_modify(|r| {
+                    if *r != Some(rank) {
+                        *r = None; // ambiguous across classes
+                    }
+                })
+                .or_insert(Some(rank));
+        }
+    }
+    out
+}
+
+/// The name a construction at code-index `k` is bound to, looking at the
+/// couple of tokens before: `name: CTOR...`, `let name = CTOR...`,
+/// `name = CTOR...`, `static NAME: T = CTOR...`.
+fn binding_before(toks: &[crate::lexer::Tok], code: &[usize], k: usize) -> Option<String> {
+    if k < 2 {
+        return None;
+    }
+    let prev = toks[code[k - 1]].text.as_str();
+    let prev2 = &toks[code[k - 2]];
+    if prev == ":" && prev2.kind == TokKind::Ident {
+        return Some(prev2.text.clone());
+    }
+    if prev == "=" {
+        // Walk back past the type ascription to the binding ident.
+        let mut b = k - 1;
+        let mut depth = 0i32;
+        while b > 0 {
+            b -= 1;
+            let t = &toks[code[b]];
+            match t.text.as_str() {
+                ">" => depth += 1,
+                ">>" => depth += 2,
+                "<" => depth -= 1,
+                ";" | "{" | "}" => return None,
+                "let" | "static" => {
+                    // The ident right after (skipping `mut`).
+                    let mut n = b + 1;
+                    if toks[code[n]].text == "mut" {
+                        n += 1;
+                    }
+                    let t = &toks[code[n]];
+                    if t.kind == TokKind::Ident {
+                        return Some(t.text.clone());
+                    }
+                    return None;
+                }
+                _ => {}
+            }
+            if depth < 0 {
+                return None;
+            }
+        }
+        return None;
+    }
+    None
+}
+
+/// One held guard.
+struct Held {
+    rank: u64,
+    binding: String,
+    /// Guard variable name for `drop()` release, when let-bound.
+    var: Option<String>,
+    /// Brace depth at acquisition; let-bound guards release when the depth
+    /// drops below this.
+    depth: i32,
+    /// Temporary guards release at the next `;` at their depth.
+    temporary: bool,
+    line: usize,
+}
+
+fn check_body(
+    ws: &Workspace,
+    file: usize,
+    body: (usize, usize),
+    bindings: &HashMap<String, Option<u64>>,
+    fn_name: &str,
+) -> Vec<Diag> {
+    let f = &ws.files[file];
+    let toks = &f.toks;
+    let code: Vec<usize> = (body.0..body.1.min(toks.len()))
+        .filter(|&i| !toks[i].is_comment())
+        .collect();
+    let mut held: Vec<Held> = Vec::new();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            }
+            // A `;` ends the statement a temporary guard lives in — also
+            // when it appears in a nested block (an `if let cond-guard`'s
+            // first body statement is past the condition's extent for
+            // every acquisition this pass models).
+            ";" => held.retain(|h| !(h.temporary && depth >= h.depth)),
+            _ => {}
+        }
+        // `drop(guard)` releases a named guard.
+        if t.text == "drop" && t.kind == TokKind::Ident {
+            if let (Some(&p1), Some(&p2)) = (code.get(k + 1), code.get(k + 2)) {
+                if toks[p1].text == "(" && toks[p2].kind == TokKind::Ident {
+                    let name = toks[p2].text.as_str();
+                    held.retain(|h| h.var.as_deref() != Some(name));
+                }
+            }
+        }
+        // Acquisition: `recv . lock ( )` with empty args.
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "lock" | "read" | "write") {
+            continue;
+        }
+        let prev_is_dot = k > 0 && toks[code[k - 1]].text == ".";
+        let open = code.get(k + 1).map(|&x| toks[x].text.as_str());
+        let close = code.get(k + 2).map(|&x| toks[x].text.as_str());
+        if !prev_is_dot || open != Some("(") || close != Some(")") {
+            continue;
+        }
+        let Some(recv) = k
+            .checked_sub(2)
+            .map(|p| &toks[code[p]])
+            .filter(|r| r.kind == TokKind::Ident)
+        else {
+            continue;
+        };
+        let Some(&Some(rank)) = bindings.get(&recv.text) else {
+            continue; // unknown or ambiguous binding — skipped, documented
+        };
+        if let Some(conflict) = held.iter().find(|h| h.rank >= rank) {
+            if !ws.allowed(file, t.line, "analyze:allow(lock-rank)") {
+                out.push(Diag {
+                    file: f.path.clone(),
+                    line: t.line,
+                    rule: RULE,
+                    message: format!(
+                        "`{}` acquires `{}` (rank {rank}) while `{}` (rank {}) is \
+                         held since line {} — ranks must strictly increase; \
+                         reorder the acquisitions or justify with \
+                         // analyze:allow(lock-rank): <reason>",
+                        fn_name, recv.text, conflict.binding, conflict.rank, conflict.line
+                    ),
+                });
+            }
+        }
+        // Scope: let-bound ⇒ to end of block; otherwise to end of statement.
+        // Let-binding only captures the guard itself when the statement ends
+        // right after the call (`let g = x.lock();`) — any chained call
+        // (`let v = x.lock().get(k).cloned();`) drops the guard at the `;`.
+        let statement_ends_here = code.get(k + 3).map(|&x| toks[x].text.as_str()) == Some(";");
+        let (var, temporary) = if statement_ends_here {
+            let_binding_for(toks, &code, k)
+        } else {
+            (None, true)
+        };
+        held.push(Held {
+            rank,
+            binding: recv.text.clone(),
+            var,
+            depth,
+            temporary,
+            line: t.line,
+        });
+    }
+    out
+}
+
+/// Walk back from an acquisition to the start of its statement: if a `let`
+/// introduces the guard, return (Some(var), false); otherwise the guard is
+/// a temporary, dropped at the end of the statement.
+fn let_binding_for(toks: &[crate::lexer::Tok], code: &[usize], k: usize) -> (Option<String>, bool) {
+    let mut b = k;
+    while b > 0 {
+        b -= 1;
+        match toks[code[b]].text.as_str() {
+            ";" | "{" | "}" => break,
+            "let" => {
+                let mut n = b + 1;
+                if n < code.len() && toks[code[n]].text == "mut" {
+                    n += 1;
+                }
+                if n < code.len() && toks[code[n]].kind == TokKind::Ident {
+                    let name = toks[code[n]].text.clone();
+                    // `let _ = …` drops immediately — treat as temporary.
+                    if name == "_" {
+                        return (None, true);
+                    }
+                    return (Some(name), false);
+                }
+                return (None, false);
+            }
+            _ => {}
+        }
+    }
+    (None, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SYNC: &str = "pub static LOW: LockClass = LockClass::new(\"t.low\", 10);\n\
+                        pub static HIGH: LockClass = LockClass::new(\"t.high\", 500);\n";
+
+    fn diags(body: &str) -> Vec<Diag> {
+        let src = format!(
+            "struct S {{ low: Mutex<u32>, high: RwLock<u32> }}\n\
+             impl S {{ fn mk() -> S {{ S {{ low: Mutex::new(&LOW, 0), high: RwLock::new(&HIGH, 0) }} }} }}\n\
+             {body}"
+        );
+        let ws = Workspace::from_files(&[
+            ("crates/x/src/sync.rs", SYNC),
+            ("crates/x/src/lib.rs", &src),
+        ]);
+        run(&ws)
+    }
+
+    #[test]
+    fn inverted_acquisition_fires() {
+        let d = diags("fn bad(s: &S) {\n  let g = s.high.write();\n  let h = s.low.lock();\n}\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock-rank");
+        assert!(d[0].message.contains("rank 10"), "{}", d[0].message);
+        assert!(d[0].message.contains("rank 500"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn increasing_order_is_clean() {
+        let d = diags("fn ok(s: &S) {\n  let g = s.low.lock();\n  let h = s.high.write();\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn block_scope_releases_guards() {
+        let d = diags(
+            "fn ok(s: &S) {\n  {\n    let g = s.high.write();\n  }\n  let h = s.low.lock();\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn explicit_drop_releases() {
+        let d = diags(
+            "fn ok(s: &S) {\n  let g = s.high.write();\n  drop(g);\n  let h = s.low.lock();\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement() {
+        let d = diags("fn ok(s: &S) {\n  *s.high.write() += 1;\n  let h = s.low.lock();\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn same_rank_reacquisition_fires() {
+        let d =
+            diags("fn bad(s: &S, t: &S) {\n  let g = s.low.lock();\n  let h = t.low.lock();\n}\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn allow_escape_suppresses() {
+        let d = diags(
+            "fn meh(s: &S) {\n  let g = s.high.write();\n  \
+             // analyze:allow(lock-rank): fixture — documented exception\n  let h = s.low.lock();\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_fns_are_exempt() {
+        let d = diags(
+            "#[cfg(test)]\nmod tests {\n  use super::*;\n  #[test]\n  fn t(s: &S) {\n    \
+             let g = s.high.write();\n    let h = s.low.lock();\n  }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,300 @@
+//! Pass 5 — metric-name drift.
+//!
+//! Metric names live in three places: string literals/consts in the
+//! source (registered via `describe`/`counter`/`gauge`/`histogram`),
+//! the rendered exposition output, and DESIGN.md's metrics tables. The
+//! first and third drift apart silently — a renamed metric keeps the old
+//! name in the docs and nobody notices until a dashboard goes blank.
+//!
+//! Checks:
+//!
+//! 1. **code → docs**: every metric-name literal (`tenantdb_...`) in
+//!    non-test source must appear in DESIGN.md;
+//! 2. **docs → code**: every `tenantdb_...` name mentioned in DESIGN.md
+//!    must exist in the source — unless its DESIGN.md line says
+//!    "(planned)";
+//! 3. **dead const**: a `const NAME: &str = "tenantdb_..."` that is never
+//!    referenced outside its own declaration is a metric that can no
+//!    longer be emitted.
+//!
+//! Escape (code side): `// analyze:allow(metric-drift): <reason>` at the
+//! literal.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::diag::Diag;
+use crate::lexer::TokKind;
+use crate::model::Workspace;
+
+const RULE: &str = "metric-drift";
+const PREFIX: &str = "tenantdb_";
+
+/// Is this a full metric name? Requires at least two `_`-separated
+/// segments after the prefix: every registered metric is
+/// `tenantdb_<subsystem>_<what>[...]`, while crate paths in prose
+/// (`tenantdb_cluster`, `tenantdb_obs`) have only one and are not metrics.
+/// Format prefixes like `tenantdb_net_` (trailing `_`) don't count either.
+fn is_metric_name(s: &str) -> bool {
+    s.starts_with(PREFIX)
+        && !s.ends_with('_')
+        && s[PREFIX.len()..].contains('_')
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+pub fn run(ws: &Workspace) -> Vec<Diag> {
+    let mut out = Vec::new();
+
+    // Metric-name string literals in non-test src code → first site.
+    let mut in_code: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.in_tests_dir {
+            continue;
+        }
+        for (ti, t) in f.toks.iter().enumerate() {
+            if t.kind != TokKind::Str || f.test_mask[ti] || !is_metric_name(&t.text) {
+                continue;
+            }
+            in_code.entry(t.text.clone()).or_insert((fi, t.line));
+        }
+    }
+
+    // Metric names mentioned anywhere in the docs, and the set of names
+    // whose doc line is marked "(planned)".
+    let mut in_docs: HashSet<String> = HashSet::new();
+    let mut planned: HashSet<String> = HashSet::new();
+    for (_, text) in &ws.docs {
+        for line in text.lines() {
+            for name in metric_names_in(line) {
+                in_docs.insert(name.clone());
+                if line.contains("(planned)") {
+                    planned.insert(name);
+                }
+            }
+        }
+    }
+
+    // 1. code → docs.
+    for (name, &(fi, line)) in &in_code {
+        if in_docs.contains(name) {
+            continue;
+        }
+        if ws.allowed(fi, line, "analyze:allow(metric-drift)") {
+            continue;
+        }
+        out.push(Diag {
+            file: ws.files[fi].path.clone(),
+            line,
+            rule: RULE,
+            message: format!(
+                "metric `{name}` is registered here but not documented in DESIGN.md — \
+                 add it to the metrics table or justify with \
+                 // analyze:allow(metric-drift): <reason>"
+            ),
+        });
+    }
+
+    // 2. docs → code.
+    let mut ghost: Vec<&String> = in_docs
+        .iter()
+        .filter(|n| !in_code.contains_key(*n) && !planned.contains(*n))
+        .collect();
+    ghost.sort_unstable();
+    for name in ghost {
+        out.push(Diag {
+            file: "DESIGN.md".to_string(),
+            line: 0,
+            rule: RULE,
+            message: format!(
+                "DESIGN.md documents metric `{name}` but no source literal registers it — \
+                 stale docs, a rename, or mark the doc line (planned)"
+            ),
+        });
+    }
+
+    // 3. dead metric consts: const NAME = "tenantdb_..." never referenced
+    //    outside its declaration.
+    let consts = crate::model::str_consts(ws);
+    for (cname, (value, fi, line)) in &consts {
+        if !is_metric_name(value) {
+            continue;
+        }
+        let mut referenced = false;
+        'scan: for f in &ws.files {
+            for (ti, t) in f.toks.iter().enumerate() {
+                if t.kind == TokKind::Ident && t.text == *cname {
+                    // Skip the declaration itself (`const NAME`).
+                    if std::ptr::eq(f, &ws.files[*fi]) && t.line == *line {
+                        continue;
+                    }
+                    let _ = ti;
+                    referenced = true;
+                    break 'scan;
+                }
+            }
+        }
+        if referenced || ws.allowed(*fi, *line, "analyze:allow(metric-drift)") {
+            continue;
+        }
+        out.push(Diag {
+            file: ws.files[*fi].path.clone(),
+            line: *line,
+            rule: RULE,
+            message: format!(
+                "metric const `{cname}` (\"{value}\") is never referenced — the metric \
+                 can no longer be emitted; delete the const or wire it up"
+            ),
+        });
+    }
+
+    crate::diag::sort(&mut out);
+    out
+}
+
+/// Maximal `tenantdb_[a-z0-9_]+` runs in a docs line, trailing `_`
+/// trimmed.
+fn metric_names_in(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while let Some(p) = line[i..].find(PREFIX) {
+        let start = i + p;
+        let mut end = start;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        let name = line[start..end].trim_end_matches('_');
+        if is_metric_name(name) {
+            out.push(name.to_string());
+        }
+        i = end.max(start + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undocumented_metric_fires() {
+        let ws = Workspace::from_files(&[
+            (
+                "crates/net/src/metrics.rs",
+                "fn reg(o: &Obs) { o.counter(\"tenantdb_net_frames_total\", &[]); }\n",
+            ),
+            (
+                "DESIGN.md",
+                "## Metrics\n\n`tenantdb_cluster_up` — liveness.\n",
+            ),
+        ]);
+        let d = run(&ws);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("tenantdb_net_frames_total")
+                    && d.message.contains("not documented")),
+            "{d:?}"
+        );
+        // And the docs-only name fires the other direction.
+        assert!(
+            d.iter().any(|d| d.message.contains("tenantdb_cluster_up")
+                && d.message.contains("no source literal")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn documented_metric_is_clean() {
+        let ws = Workspace::from_files(&[
+            (
+                "crates/net/src/metrics.rs",
+                "const FRAMES: &str = \"tenantdb_net_frames_total\";\n\
+                 fn reg(o: &Obs) { o.counter(FRAMES, &[]); }\n",
+            ),
+            (
+                "DESIGN.md",
+                "| `tenantdb_net_frames_total` | frames decoded |\n",
+            ),
+        ]);
+        let d = run(&ws);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn planned_docs_entry_is_exempt() {
+        let ws = Workspace::from_files(&[
+            ("crates/net/src/metrics.rs", "fn reg() {}\n"),
+            (
+                "DESIGN.md",
+                "| `tenantdb_net_backlog` | (planned) queue depth |\n",
+            ),
+        ]);
+        let d = run(&ws);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn dead_metric_const_fires() {
+        let ws = Workspace::from_files(&[
+            (
+                "crates/cluster/src/metrics.rs",
+                "pub const GHOST: &str = \"tenantdb_ghost_total\";\n",
+            ),
+            (
+                "DESIGN.md",
+                "| `tenantdb_ghost_total` | documented but dead |\n",
+            ),
+        ]);
+        let d = run(&ws);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("`GHOST`") && d.message.contains("never referenced")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn test_code_literals_are_ignored() {
+        let ws = Workspace::from_files(&[
+            (
+                "crates/cluster/src/metrics.rs",
+                "#[cfg(test)]\nmod tests {\n fn t() { assert(o.has(\"tenantdb_only_in_test\")); }\n}\n",
+            ),
+            ("DESIGN.md", "nothing here\n"),
+        ]);
+        let d = run(&ws);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn format_prefixes_are_not_metric_names() {
+        let ws = Workspace::from_files(&[
+            (
+                "crates/cluster/src/sla.rs",
+                "fn n(t: &str) -> String { format!(\"{}{}\", \"tenantdb_sla_\", t) }\n",
+            ),
+            ("DESIGN.md", "\n"),
+        ]);
+        let d = run(&ws);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_code_to_docs() {
+        let ws = Workspace::from_files(&[
+            (
+                "crates/net/src/metrics.rs",
+                "fn reg(o: &Obs) {\n\
+                 // analyze:allow(metric-drift): internal debug metric, intentionally undocumented\n\
+                 o.counter(\"tenantdb_net_debug_total\", &[]); }\n",
+            ),
+            ("DESIGN.md", "\n"),
+        ]);
+        let d = run(&ws);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

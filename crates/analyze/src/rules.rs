@@ -1,0 +1,424 @@
+//! The six concurrency-hygiene rules (DESIGN.md §10), re-hosted from
+//! per-line regexes onto the token stream. The semantics are unchanged —
+//! same scopes, same `lint:allow(...)` escape grammar, same line windows —
+//! but the *matching* now happens on a per-line reconstruction of the code
+//! tokens, with string literals replaced by `""` and comments split out.
+//! That kills both failure modes of the old `raw.split("//")` approach:
+//!
+//! * a `//` inside a string literal no longer truncates the line (the old
+//!   documented false negative — code after such a string was invisible);
+//! * rule tokens inside string literals (`"thread::sleep("` in a help
+//!   text) no longer false-positive, and escape markers inside strings no
+//!   longer false-suppress.
+//!
+//! `#[cfg(test)]` exemption is attribute-scoped (the item the attribute is
+//! attached to), which subsumes the old first-marker-to-EOF convention.
+
+use crate::diag::Diag;
+use crate::model::Workspace;
+
+/// Files in `crates/cluster/src` where the unwrap rule applies: the
+/// transaction hot path plus recovery, where a stray panic wedges a live
+/// cluster rather than a test.
+const HOT_PATH_FILES: &[&str] = &[
+    "connection.rs",
+    "controller.rs",
+    "machine.rs",
+    "pair.rs",
+    "pool.rs",
+    "recovery.rs",
+    "worker.rs",
+];
+
+/// Run all six rules over every non-test line of every `src` file.
+pub fn run(ws: &Workspace) -> Vec<Diag> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if f.in_tests_dir {
+            continue;
+        }
+        out.extend(lint_file(
+            &f.path,
+            &f.code_lines,
+            &f.comment_lines,
+            &f.test_lines,
+        ));
+    }
+    crate::diag::sort(&mut out);
+    out
+}
+
+/// Pure per-file rule check over reconstructed line views (exposed for the
+/// fixture tests).
+pub fn lint_file(
+    rel_path: &str,
+    code: &[String],
+    comments: &[String],
+    test_lines: &[bool],
+) -> Vec<Diag> {
+    let check_raw_lock = (rel_path.starts_with("crates/cluster/src/")
+        || rel_path.starts_with("crates/storage/src/")
+        || rel_path.starts_with("crates/net/src/"))
+        && !rel_path.ends_with("/sync.rs");
+    let check_net_timeout = rel_path.starts_with("crates/net/src/");
+    let check_reactor_block =
+        rel_path == "crates/net/src/reactor.rs" || rel_path == "crates/net/src/server.rs";
+    let check_unwrap = rel_path.starts_with("crates/cluster/src/")
+        && HOT_PATH_FILES
+            .iter()
+            .any(|f| rel_path == format!("crates/cluster/src/{f}"));
+    let check_ctrl_apply =
+        rel_path.starts_with("crates/cluster/src/") && rel_path != "crates/cluster/src/meta.rs";
+
+    let mut out = Vec::new();
+    let diag = |line: usize, rule: &'static str, message: String| Diag {
+        file: rel_path.to_string(),
+        line,
+        rule,
+        message,
+    };
+
+    for idx in 0..code.len() {
+        let lineno = idx + 1;
+        if test_lines.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let line = code[idx].as_str();
+        if line.is_empty() {
+            continue;
+        }
+
+        // `lint:allow(<marker>)` on this or the preceding line (markers
+        // live in comments — a marker inside a string no longer counts).
+        let escape_nearby = |marker: &str| -> bool {
+            let needle = format!("lint:allow({marker})");
+            comments[idx].contains(&needle) || (idx > 0 && comments[idx - 1].contains(&needle))
+        };
+        // `lint:allow(<kind>): <reason>` with a non-empty reason, here or
+        // in the four preceding lines.
+        let reason_escape_nearby = |kind: &str| -> bool {
+            let marker = format!("lint:allow({kind}):");
+            (idx.saturating_sub(4)..=idx).any(|i| {
+                comments[i]
+                    .find(&marker)
+                    .map(|p| {
+                        let rest = comments[i][p + marker.len()..].trim();
+                        !rest.is_empty()
+                    })
+                    .unwrap_or(false)
+            })
+        };
+
+        if check_raw_lock && mentions_raw_lock(line) && !escape_nearby("raw-lock") {
+            out.push(diag(
+                lineno,
+                "raw-lock",
+                "raw Mutex/RwLock/Condvar outside sync.rs — use the ordered \
+                 wrappers from crate::sync (or // lint:allow(raw-lock))"
+                    .to_string(),
+            ));
+        }
+
+        if check_unwrap {
+            for (needle, kind) in [(".unwrap()", "unwrap"), (".expect(", "expect")] {
+                if line.contains(needle) && !reason_escape_nearby(kind) {
+                    out.push(diag(
+                        lineno,
+                        "unwrap",
+                        format!(
+                            "`{needle}` in a cluster hot path — return an error, or add \
+                             // lint:allow({kind}): <reason>"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        if check_net_timeout
+            && opens_socket(line)
+            && !reason_escape_nearby("net-timeout")
+            && !timeouts_armed_below(code, idx)
+        {
+            out.push(diag(
+                lineno,
+                "net-timeout",
+                "socket opened without set_read_timeout + set_write_timeout \
+                 (or set_nonblocking(true) for the readiness path) within \
+                 12 lines — an unbounded read/write wedges the peer's \
+                 thread (or add // lint:allow(net-timeout): <reason>)"
+                    .to_string(),
+            ));
+        }
+
+        if check_reactor_block && blocks_reactor(line) && !reason_escape_nearby("reactor-block") {
+            out.push(diag(
+                lineno,
+                "reactor-block",
+                "potentially blocking call in a reactor code path — a blocked \
+                 reactor thread stalls every connection on it; route I/O \
+                 through readiness, or justify with \
+                 // lint:allow(reactor-block): <reason>"
+                    .to_string(),
+            ));
+        }
+
+        if check_ctrl_apply
+            && touches_consensus_internals(line)
+            && !reason_escape_nearby("ctrl-apply")
+        {
+            out.push(diag(
+                lineno,
+                "ctrl-apply",
+                "consensus internals outside meta.rs — controller metadata \
+                 transitions must go through ControllerGroup::submit so they \
+                 commit and apply on every replica (or justify with \
+                 // lint:allow(ctrl-apply): <reason>)"
+                    .to_string(),
+            ));
+        }
+
+        if let Some(ord) = weak_ordering_in(line) {
+            let annotated =
+                (idx.saturating_sub(4)..=idx).any(|i| comments[i].contains("ordering:"));
+            if !annotated {
+                out.push(diag(
+                    lineno,
+                    "ordering",
+                    format!(
+                        "Ordering::{ord} without a nearby `// ordering:` comment \
+                         stating the justifying invariant"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Does this code line mention a raw lock type? The ordered wrappers are
+/// re-exported under the same short names, so detection keys on the *paths*
+/// that name the raw types.
+fn mentions_raw_lock(code: &str) -> bool {
+    if code.contains("parking_lot") {
+        return true;
+    }
+    if let Some(pos) = code.find("std::sync::") {
+        let rest = &code[pos..];
+        return ["Mutex", "RwLock", "Condvar"]
+            .iter()
+            .any(|t| rest.contains(t));
+    }
+    false
+}
+
+/// Does this code line obtain a fresh socket whose blocking operations need
+/// a bound?
+fn opens_socket(code: &str) -> bool {
+    code.contains(".accept()") || code.contains("TcpStream::connect")
+}
+
+/// The socket's blocking must be bounded within the 12 lines after it is
+/// obtained (counting the opening line itself).
+fn timeouts_armed_below(code: &[String], idx: usize) -> bool {
+    let window = &code[idx..(idx + 12).min(code.len())];
+    let both_timeouts = window.iter().any(|l| l.contains("set_read_timeout"))
+        && window.iter().any(|l| l.contains("set_write_timeout"));
+    both_timeouts || window.iter().any(|l| l.contains("set_nonblocking(true)"))
+}
+
+/// Does this code line make a call that can block a reactor thread?
+fn blocks_reactor(code: &str) -> bool {
+    [
+        "thread::sleep(",
+        ".read(",
+        ".write(",
+        ".write_all(",
+        ".flush(",
+    ]
+    .iter()
+    .any(|t| code.contains(t))
+}
+
+/// Does this code line name a consensus internal that only `meta.rs` may
+/// touch?
+fn touches_consensus_internals(code: &str) -> bool {
+    ["RaftNode", "MetaState", "MetaCommand", "tenantdb_consensus"]
+        .iter()
+        .any(|t| code.contains(t))
+}
+
+/// The weak ordering named on this line, if any. SeqCst is exempt.
+fn weak_ordering_in(code: &str) -> Option<&'static str> {
+    for ord in ["Relaxed", "Acquire", "Release", "AcqRel"] {
+        if code.contains(&format!("Ordering::{ord}")) {
+            return Some(ord);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(path: &str, src: &str) -> Vec<&'static str> {
+        let ws = Workspace::from_files(&[(path, src)]);
+        let f = &ws.files[0];
+        lint_file(path, &f.code_lines, &f.comment_lines, &f.test_lines)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn raw_lock_flagged_in_cluster_storage_and_net() {
+        let src = "use std::sync::{Arc, Mutex};\n";
+        assert_eq!(rules("crates/cluster/src/pool.rs", src), vec!["raw-lock"]);
+        assert_eq!(rules("crates/storage/src/lock.rs", src), vec!["raw-lock"]);
+        assert_eq!(rules("crates/net/src/server.rs", src), vec!["raw-lock"]);
+        let pl = "let m = parking_lot::Mutex::new(0);\n";
+        assert_eq!(rules("crates/cluster/src/pool.rs", pl), vec!["raw-lock"]);
+        assert!(rules("crates/cluster/src/sync.rs", src).is_empty());
+        assert!(rules("crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_lock_escape_hatch() {
+        let src = "// lint:allow(raw-lock)\nuse std::sync::Mutex;\n";
+        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
+        let same_line = "use std::sync::Mutex; // lint:allow(raw-lock)\n";
+        assert!(rules("crates/cluster/src/pool.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_hot_path_files() {
+        let src = "fn f() { let x = y.unwrap(); }\n";
+        assert_eq!(rules("crates/cluster/src/worker.rs", src), vec!["unwrap"]);
+        assert!(rules("crates/cluster/src/metrics.rs", src).is_empty());
+        assert!(rules("crates/storage/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_escape_requires_a_reason() {
+        let bare = "// lint:allow(expect):\nt.expect(\"boom\");\n";
+        assert_eq!(rules("crates/cluster/src/pool.rs", bare), vec!["unwrap"]);
+        let reasoned = "// lint:allow(expect): thread exhaustion is fatal\nt.expect(\"boom\");\n";
+        assert!(rules("crates/cluster/src/pool.rs", reasoned).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt_from_all_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    \
+                   fn f() { x.unwrap(); y.load(Ordering::Relaxed); }\n}\n";
+        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_item_is_still_checked() {
+        // The old lint exempted everything from the first `#[cfg(test)]`
+        // to EOF; attribute scoping also checks what follows the item.
+        let src = "#[cfg(test)]\nmod tests { fn t() {} }\nfn live() { x.unwrap(); }\n";
+        assert_eq!(rules("crates/cluster/src/pool.rs", src), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn weak_ordering_requires_annotation_within_four_lines() {
+        let bad = "flag.store(true, Ordering::Release);\n";
+        assert_eq!(rules("crates/obs/src/lib.rs", bad), vec!["ordering"]);
+        let good = "// ordering: Release — pairs with the Acquire load in f().\n\
+                    flag.store(true, Ordering::Release);\n";
+        assert!(rules("crates/obs/src/lib.rs", good).is_empty());
+        let too_far = "// ordering: Relaxed — advisory counter.\n//\n//\n//\n//\n\
+                       c.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(rules("crates/obs/src/lib.rs", too_far), vec!["ordering"]);
+        let seqcst = "c.fetch_add(1, Ordering::SeqCst);\n";
+        assert!(rules("crates/obs/src/lib.rs", seqcst).is_empty());
+    }
+
+    #[test]
+    fn net_timeout_requires_both_timeouts_or_nonblocking() {
+        let bare = "let (stream, peer) = listener.accept()?;\n";
+        assert_eq!(rules("crates/net/src/server.rs", bare), vec!["net-timeout"]);
+        let both = "let stream = TcpStream::connect(addr)?;\n\
+                    stream.set_read_timeout(Some(t))?;\n\
+                    stream.set_write_timeout(Some(t))?;\n";
+        assert!(rules("crates/net/src/client.rs", both).is_empty());
+        let nonblocking = "let (stream, peer) = listener.accept()?;\n\
+                           stream.set_nonblocking(true)?;\n";
+        assert!(rules("crates/net/src/server.rs", nonblocking).is_empty());
+        let blocking = "let (stream, peer) = listener.accept()?;\n\
+                        stream.set_nonblocking(false)?;\n";
+        assert_eq!(
+            rules("crates/net/src/server.rs", blocking),
+            vec!["net-timeout"]
+        );
+        // Out of scope elsewhere.
+        let src = "let s = TcpStream::connect(a)?;\n";
+        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reactor_block_flags_blocking_calls_with_reasoned_escape() {
+        let sleep = "thread::sleep(Duration::from_millis(2));\n";
+        assert_eq!(
+            rules("crates/net/src/reactor.rs", sleep),
+            vec!["reactor-block"]
+        );
+        assert!(rules("crates/net/src/client.rs", sleep).is_empty());
+        let reasoned = "// lint:allow(reactor-block): fallback tick poller, not epoll\n\
+                        thread::sleep(d);\n";
+        assert!(rules("crates/net/src/reactor.rs", reasoned).is_empty());
+    }
+
+    #[test]
+    fn ctrl_apply_flags_consensus_internals_outside_meta() {
+        for src in [
+            "use tenantdb_consensus::RaftNode;\n",
+            "let n: RaftNode<MetaCommand> = make();\n",
+            "fn peek(st: &MetaState) {}\n",
+        ] {
+            assert_eq!(
+                rules("crates/cluster/src/controller.rs", src),
+                vec!["ctrl-apply"],
+                "{src:?}"
+            );
+        }
+        let src = "use tenantdb_consensus::{RaftNode, StateMachine};\n";
+        assert!(rules("crates/cluster/src/meta.rs", src).is_empty());
+        assert!(rules("crates/consensus/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comment_mentions_do_not_trip_rules() {
+        let src = "// std::sync::Mutex would deadlock here; Ordering::Relaxed too.\n\
+                   // and .unwrap() is also only mentioned\n";
+        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
+    }
+
+    /// Regression: the old per-line lint split the line at the first `//`
+    /// even when it was inside a string literal, so code *after* such a
+    /// string was never checked. The token-hosted rules see it.
+    #[test]
+    fn code_after_a_string_containing_slashes_is_checked() {
+        let src = "fn f() { let msg = \"see https://example.com\"; y.unwrap(); }\n";
+        assert_eq!(rules("crates/cluster/src/worker.rs", src), vec!["unwrap"]);
+        let lock = "fn f() { let m = \"a // b\"; let g = std::sync::Mutex::new(0); }\n";
+        assert_eq!(rules("crates/cluster/src/pool.rs", lock), vec!["raw-lock"]);
+    }
+
+    /// Regression (reverse direction): rule tokens inside string literals
+    /// must not false-positive, and escape markers inside strings must not
+    /// false-suppress.
+    #[test]
+    fn rule_tokens_inside_strings_are_invisible() {
+        let helptext = "let help = \"calls thread::sleep( internally\";\n";
+        assert!(rules("crates/net/src/reactor.rs", helptext).is_empty());
+        let fake_escape = "let s = \"lint:allow(unwrap): not a comment\";\nx.unwrap();\n";
+        assert_eq!(
+            rules("crates/cluster/src/worker.rs", fake_escape),
+            vec!["unwrap"]
+        );
+        let ordering_str = "let s = \"Ordering::Relaxed\";\n";
+        assert!(rules("crates/obs/src/lib.rs", ordering_str).is_empty());
+    }
+}

@@ -1,0 +1,404 @@
+//! Pass 4 — wire exhaustiveness.
+//!
+//! For each (enum, encode fn, decode fn) triple in the wire protocol, the
+//! pass parses the match arms on both sides and proves:
+//!
+//! 1. every enum variant has an encode arm (the compiler catches a
+//!    missing arm, but NOT when the encode match ends in a `_ =>`
+//!    fallback);
+//! 2. encode tags are unique (the first integer literal in each encode
+//!    arm body is the tag byte — matches `opcode()`'s `Frame::X => 0xNN`
+//!    and `put_*_error`'s tag-first push discipline);
+//! 3. every encoded tag round-trips: some decode arm matches that tag AND
+//!    constructs that variant (multi-tag arms like `0x10 | 0x12` count
+//!    for each of their variants);
+//! 4. no decode arm claims a tag that nothing encodes (dead decode arms
+//!    hide renumbering mistakes).
+//!
+//! Escape: `// analyze:allow(wire-exhaustive): <reason>` on the variant
+//! declaration (checks 1/3) or on the encode/decode fn line (checks 2/4).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::diag::Diag;
+use crate::model::{match_arms, Workspace};
+
+const RULE: &str = "wire-exhaustive";
+
+/// A wire triple to prove: enum name, encode fn name, decode fn name.
+pub struct Triple {
+    pub enum_name: &'static str,
+    pub encode_fn: &'static str,
+    pub decode_fn: &'static str,
+}
+
+/// The live-tree protocol surface (DESIGN.md §14).
+pub const LIVE_TRIPLES: [Triple; 4] = [
+    Triple {
+        enum_name: "Frame",
+        encode_fn: "opcode",
+        decode_fn: "decode",
+    },
+    Triple {
+        enum_name: "ClusterError",
+        encode_fn: "put_cluster_error",
+        decode_fn: "get_cluster_error",
+    },
+    Triple {
+        enum_name: "SqlError",
+        encode_fn: "put_sql_error",
+        decode_fn: "get_sql_error",
+    },
+    Triple {
+        enum_name: "StorageError",
+        encode_fn: "put_storage_error",
+        decode_fn: "get_storage_error",
+    },
+];
+
+pub fn run(ws: &Workspace, triples: &[Triple]) -> Vec<Diag> {
+    let mut out = Vec::new();
+    for t in triples {
+        check_triple(ws, t, &mut out);
+    }
+    crate::diag::sort(&mut out);
+    out
+}
+
+fn check_triple(ws: &Workspace, t: &Triple, out: &mut Vec<Diag>) {
+    let enums = ws.enums_named(t.enum_name);
+    let Some(e) = enums.first() else {
+        out.push(Diag {
+            file: String::new(),
+            line: 0,
+            rule: RULE,
+            message: format!(
+                "wire triple misconfigured: enum `{}` not found in the workspace",
+                t.enum_name
+            ),
+        });
+        return;
+    };
+    let e_file = e.file;
+    let e_variants: Vec<(String, usize)> = e.variants.clone();
+    let variants: HashSet<&str> = e_variants.iter().map(|(v, _)| v.as_str()).collect();
+
+    let Some(enc) = find_fn(ws, t.encode_fn) else {
+        out.push(missing_fn(t.encode_fn, t.enum_name));
+        return;
+    };
+    let Some(dec) = find_fn(ws, t.decode_fn) else {
+        out.push(missing_fn(t.decode_fn, t.enum_name));
+        return;
+    };
+    let (enc, dec) = (&ws.fns[enc], &ws.fns[dec]);
+
+    // --- encode side: variant → tag ----------------------------------
+    let enc_arms = match enc.body {
+        Some(body) => match_arms(&ws.files[enc.file], body),
+        None => Vec::new(),
+    };
+    let mut tag_of: HashMap<&str, u64> = HashMap::new();
+    let mut encoded: HashSet<&str> = HashSet::new();
+    for (pattern, body) in &enc_arms {
+        let pat_variants = variants_in(ws, enc.file, pattern, t.enum_name, &variants);
+        let tag = first_int(ws, enc.file, body);
+        for v in pat_variants {
+            encoded.insert(v);
+            if let Some(tag) = tag {
+                tag_of.insert(v, tag);
+            }
+        }
+    }
+    for (v, line) in &e_variants {
+        if ws.allowed(e_file, *line, "analyze:allow(wire-exhaustive)") {
+            continue;
+        }
+        if !encoded.contains(v.as_str()) {
+            out.push(Diag {
+                file: ws.files[e_file].path.clone(),
+                line: *line,
+                rule: RULE,
+                message: format!(
+                    "{}::{v} has no arm in `{}` — the variant cannot be encoded on the wire",
+                    t.enum_name, t.encode_fn
+                ),
+            });
+        }
+    }
+    // Tag uniqueness.
+    let mut by_tag: HashMap<u64, Vec<&str>> = HashMap::new();
+    for (v, tag) in &tag_of {
+        by_tag.entry(*tag).or_default().push(v);
+    }
+    if !ws.allowed(enc.file, enc.line, "analyze:allow(wire-exhaustive)") {
+        for (tag, vs) in &by_tag {
+            if vs.len() > 1 {
+                let mut vs = vs.clone();
+                vs.sort_unstable();
+                out.push(Diag {
+                    file: ws.files[enc.file].path.clone(),
+                    line: enc.line,
+                    rule: RULE,
+                    message: format!(
+                        "`{}` assigns tag {tag:#x} to more than one variant: {}",
+                        t.encode_fn,
+                        vs.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- decode side: tag → constructed variants ----------------------
+    let dec_arms = match dec.body {
+        Some(body) => match_arms(&ws.files[dec.file], body),
+        None => Vec::new(),
+    };
+    let mut decoded: HashMap<u64, HashSet<&str>> = HashMap::new();
+    for (pattern, body) in &dec_arms {
+        let tags = ints_in(ws, dec.file, pattern);
+        if tags.is_empty() {
+            continue; // catch-all / binding arm
+        }
+        let built = variants_in(ws, dec.file, body, t.enum_name, &variants);
+        for tag in tags {
+            decoded
+                .entry(tag)
+                .or_default()
+                .extend(built.iter().copied());
+        }
+    }
+    for (v, line) in &e_variants {
+        if ws.allowed(e_file, *line, "analyze:allow(wire-exhaustive)") {
+            continue;
+        }
+        let Some(tag) = tag_of.get(v.as_str()) else {
+            continue;
+        };
+        let ok = decoded.get(tag).is_some_and(|s| s.contains(v.as_str()));
+        if !ok {
+            out.push(Diag {
+                file: ws.files[e_file].path.clone(),
+                line: *line,
+                rule: RULE,
+                message: format!(
+                    "{}::{v} (tag {tag:#x}) does not round-trip: no `{}` arm matches the tag \
+                     and constructs the variant",
+                    t.enum_name, t.decode_fn
+                ),
+            });
+        }
+    }
+    if !ws.allowed(dec.file, dec.line, "analyze:allow(wire-exhaustive)") {
+        let enc_tags: HashSet<u64> = tag_of.values().copied().collect();
+        let mut dead: Vec<u64> = decoded
+            .keys()
+            .copied()
+            .filter(|t| !enc_tags.contains(t))
+            .collect();
+        dead.sort_unstable();
+        for tag in dead {
+            out.push(Diag {
+                file: ws.files[dec.file].path.clone(),
+                line: dec.line,
+                rule: RULE,
+                message: format!(
+                    "`{}` accepts tag {tag:#x} which `{}` never produces — dead decode arm \
+                     or renumbering drift",
+                    t.decode_fn, t.encode_fn
+                ),
+            });
+        }
+    }
+}
+
+fn find_fn(ws: &Workspace, name: &str) -> Option<usize> {
+    ws.fns_named(name)
+        .into_iter()
+        .find(|&i| !ws.fns[i].is_test && !ws.files[ws.fns[i].file].in_tests_dir)
+}
+
+fn missing_fn(fn_name: &str, enum_name: &str) -> Diag {
+    Diag {
+        file: String::new(),
+        line: 0,
+        rule: RULE,
+        message: format!(
+            "wire triple misconfigured: fn `{fn_name}` (for enum `{enum_name}`) not found"
+        ),
+    }
+}
+
+/// Variant names referenced in a token-index list, qualified as
+/// `Enum::Variant`.
+fn variants_in<'v>(
+    ws: &Workspace,
+    file: usize,
+    idxs: &[usize],
+    enum_name: &str,
+    variants: &HashSet<&'v str>,
+) -> Vec<&'v str> {
+    let toks = &ws.files[file].toks;
+    let mut out = Vec::new();
+    for w in 0..idxs.len().saturating_sub(2) {
+        if toks[idxs[w]].text == enum_name && toks[idxs[w + 1]].text == "::" {
+            if let Some(&v) = variants.get(toks[idxs[w + 2]].text.as_str()) {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// First integer literal among the tokens.
+fn first_int(ws: &Workspace, file: usize, idxs: &[usize]) -> Option<u64> {
+    let toks = &ws.files[file].toks;
+    idxs.iter()
+        .find_map(|&i| crate::lexer::parse_int(&toks[i].text))
+}
+
+/// All integer literals among the tokens.
+fn ints_in(ws: &Workspace, file: usize, idxs: &[usize]) -> Vec<u64> {
+    let toks = &ws.files[file].toks;
+    idxs.iter()
+        .filter_map(|&i| crate::lexer::parse_int(&toks[i].text))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Triple = Triple {
+        enum_name: "Op",
+        encode_fn: "put_op",
+        decode_fn: "get_op",
+    };
+
+    fn check(src: &str) -> Vec<Diag> {
+        let ws = Workspace::from_files(&[("crates/net/src/wire.rs", src)]);
+        run(&ws, &[T])
+    }
+
+    #[test]
+    fn clean_roundtrip_passes() {
+        let d = check(
+            "pub enum Op { A, B { n: u8 } }\n\
+             fn put_op(op: &Op, w: &mut W) { match op {\n\
+               Op::A => w.put(1),\n\
+               Op::B { n } => { w.put(2); w.put(*n); }\n\
+             } }\n\
+             fn get_op(r: &mut R) -> Op { match r.u8() {\n\
+               1 => Op::A,\n\
+               2 => Op::B { n: r.u8() },\n\
+               t => panic!(\"bad tag\"),\n\
+             } }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_encode_arm_fires_even_with_fallback() {
+        let d = check(
+            "pub enum Op { A, B }\n\
+             fn put_op(op: &Op, w: &mut W) { match op {\n\
+               Op::A => w.put(1),\n\
+               _ => w.put(0),\n\
+             } }\n\
+             fn get_op(r: &mut R) -> Op { match r.u8() { 1 => Op::A, _ => Op::B } }\n",
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("Op::B has no arm in `put_op`")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_tag_fires() {
+        let d = check(
+            "pub enum Op { A, B }\n\
+             fn put_op(op: &Op, w: &mut W) { match op {\n\
+               Op::A => w.put(3),\n\
+               Op::B => w.put(3),\n\
+             } }\n\
+             fn get_op(r: &mut R) -> Op { match r.u8() { 3 => Op::A, _ => Op::B } }\n",
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("tag 0x3 to more than one")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn decode_missing_tag_fires() {
+        let d = check(
+            "pub enum Op { A, B }\n\
+             fn put_op(op: &Op, w: &mut W) { match op { Op::A => w.put(1), Op::B => w.put(2) } }\n\
+             fn get_op(r: &mut R) -> Op { match r.u8() { 1 => Op::A, _ => panic!() } }\n",
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("Op::B (tag 0x2) does not round-trip")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn multi_tag_decode_arm_covers_both_variants() {
+        let d = check(
+            "pub enum Op { A, B }\n\
+             fn put_op(op: &Op, w: &mut W) { match op { Op::A => w.put(1), Op::B => w.put(2) } }\n\
+             fn get_op(r: &mut R) -> Op { match r.u8() {\n\
+               1 | 2 => { if x { Op::A } else { Op::B } }\n\
+               _ => panic!(),\n\
+             } }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn dead_decode_tag_fires() {
+        let d = check(
+            "pub enum Op { A }\n\
+             fn put_op(op: &Op, w: &mut W) { match op { Op::A => w.put(1) } }\n\
+             fn get_op(r: &mut R) -> Op { match r.u8() { 1 => Op::A, 9 => Op::A, _ => panic!() } }\n",
+        );
+        assert!(
+            d.iter().any(|d| d.message.contains("accepts tag 0x9")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn nested_tag_pushes_use_first_literal_only() {
+        // NotLeader-style arm: tag first, then a nested match pushing 0/1.
+        let d = check(
+            "pub enum Op { A, B }\n\
+             fn put_op(op: &Op, w: &mut W) { match op {\n\
+               Op::A => { w.put(1); match hint { Some(h) => { w.put(1); w.put(h) } None => w.put(0) } }\n\
+               Op::B => w.put(2),\n\
+             } }\n\
+             fn get_op(r: &mut R) -> Op { match r.u8() { 1 => Op::A, 2 => Op::B, _ => panic!() } }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_on_variant_suppresses() {
+        let d = check(
+            "pub enum Op {\n\
+               A,\n\
+               // analyze:allow(wire-exhaustive): local-only variant, never serialized\n\
+               B,\n\
+             }\n\
+             fn put_op(op: &Op, w: &mut W) { match op { Op::A => w.put(1), _ => panic!() } }\n\
+             fn get_op(r: &mut R) -> Op { match r.u8() { 1 => Op::A, _ => panic!() } }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

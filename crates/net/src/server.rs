@@ -766,6 +766,9 @@ fn reactor_loop(shared: Arc<Shared>, idx: usize, waker_rx: WakerRx) {
             timeout = Some(timeout.unwrap_or(DRAIN_TICK).min(DRAIN_TICK));
         }
         events.clear();
+        // lint:allow(reactor-block): the poller wait is the reactor's one
+        // deliberate idle point — bounded by the timer wheel's next
+        // deadline computed just above (or DRAIN_TICK while shutting down).
         if r.poller.wait(&mut events, timeout).is_err() {
             return;
         }
@@ -1135,7 +1138,13 @@ impl Reactor {
         // tenant before it costs reactor time. The probe is non-blocking
         // and non-consuming (no token spent, no deferral sleep), so it is
         // safe on the reactor thread; the shed is still counted against the
-        // tenant's rejected fraction.
+        // tenant's rejected fraction. The probe only pre-empts *rejects*:
+        // a Defer decision inside `admit()` still sleeps on this thread,
+        // which the escape below accounts for.
+        //
+        // lint:allow(reactor-block): inline execution is the documented serving-tier
+        // tradeoff — the one sleep on this path is the SLA deferral wait in
+        // ClusterController::admit, bounded by the gate's deferral budget.
         let reply = match admission_shed(platform, &frame) {
             Some(shed) => shed,
             None => handle_request(&self.shared, platform, frame),

@@ -517,6 +517,102 @@ fn fault_dropping_commit_response_leaves_durable_converged_state() {
     server.shutdown();
 }
 
+/// Injected net fault at the accept edge: the server accepts the TCP
+/// connection, then drops the socket before the session starts. A
+/// single-attempt client sees the handshake die; the retry policy rides
+/// through it because the trigger is one-shot.
+#[test]
+fn fault_severing_accepted_socket_drops_connection_unserved() {
+    let sys = platform(31);
+    create_db(&sys);
+    seed_kv(&sys, &[4]);
+    let faults = Arc::new(FaultInjector::new());
+    let server = Server::start_with_faults(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig::default(),
+        Some(Arc::clone(&faults)),
+    )
+    .expect("bind");
+
+    faults.arm(FaultPlan::new(vec![Trigger {
+        point: CrashPoint::NetAccept,
+        machine: None,
+        after_hits: 0,
+        action: FaultAction::Crash,
+    }]));
+    // One attempt only: the accept-side sever must surface, not be
+    // absorbed by connect's exponential-backoff retry loop.
+    let one_shot = ConnectOptions {
+        attempts: 1,
+        ..quick_opts()
+    };
+    let r = NetClient::connect(server.local_addr(), DB, one_shot);
+    assert!(r.is_err(), "accepted-then-dropped socket must fail connect");
+    assert!(
+        faults
+            .fired()
+            .iter()
+            .any(|f| f.point == CrashPoint::NetAccept),
+        "NetAccept trigger did not fire"
+    );
+    // No session was ever registered for the severed socket.
+    assert_eq!(server.session_count(), 0);
+
+    // The trigger is spent: a retrying connect succeeds and serves reads.
+    let client = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("reconnect");
+    let read = Transport::execute(&client, "SELECT v FROM kv WHERE id = 4", &[]).expect("read");
+    assert_eq!(read.rows, vec![vec![Value::Int(0)]]);
+    server.shutdown();
+}
+
+/// Injected net fault on the reply path: the request is dispatched but the
+/// connection is severed before the reply frame is written. The client
+/// sees a transport error, the poisoned handle fails fast, and a fresh
+/// session works.
+#[test]
+fn fault_severing_reply_write_kills_connection_before_response() {
+    let sys = platform(37);
+    create_db(&sys);
+    seed_kv(&sys, &[5]);
+    let faults = Arc::new(FaultInjector::new());
+    let server = Server::start_with_faults(
+        "127.0.0.1:0",
+        Arc::clone(&sys),
+        ServerConfig::default(),
+        Some(Arc::clone(&faults)),
+    )
+    .expect("bind");
+
+    let client = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("connect");
+    faults.arm(FaultPlan::new(vec![Trigger {
+        point: CrashPoint::NetFrameWrite,
+        machine: None,
+        after_hits: 0,
+        action: FaultAction::Crash,
+    }]));
+    let r = client.ping(7);
+    assert!(r.is_err(), "reply-write sever must surface as an error");
+    // The poisoned client fails fast from here on.
+    assert!(matches!(client.ping(8), Err(NetError::Broken)));
+
+    wait_for("session reclaim", Duration::from_secs(5), || {
+        server.session_count() == 0
+    });
+    assert!(
+        faults
+            .fired()
+            .iter()
+            .any(|f| f.point == CrashPoint::NetFrameWrite),
+        "NetFrameWrite trigger did not fire"
+    );
+    // A fresh session reads committed state over the wire.
+    let c2 = NetClient::connect(server.local_addr(), DB, quick_opts()).expect("reconnect");
+    let read = Transport::execute(&c2, "SELECT v FROM kv WHERE id = 5", &[]).expect("read");
+    assert_eq!(read.rows, vec![vec![Value::Int(0)]]);
+    server.shutdown();
+}
+
 /// The `\conns` listing reflects live sessions with their database, peer,
 /// and transaction state.
 #[test]

@@ -62,6 +62,11 @@ pub fn all_scenarios() -> Vec<Scenario> {
             run: controller_crash_with_dead_participant,
         },
         Scenario {
+            name: "takeover_commit_participant_crash",
+            about: "a participant dies in the instant the backup's takeover reaches for its decided commit; restart applies it from the decision log",
+            run: takeover_commit_participant_crash,
+        },
+        Scenario {
             name: "participant_crash_before_commit_apply",
             about: "participant dies between the decision and applying COMMIT",
             run: participant_crash_before_commit_apply,
@@ -353,6 +358,51 @@ fn controller_crash_with_dead_participant() -> Result<(), String> {
     expect(
         p.replicas.contains(&m(1)),
         "m1 must rejoin from its own WAL + decision log, not via recopy",
+    )?;
+    let v = invariants::check_run(&c, "app", "t", &[0, 100], true, &rec);
+    if !v.is_empty() {
+        return Err(v.join("; "));
+    }
+    Ok(())
+}
+
+/// The takeover's own window: the controller crashes after the decision,
+/// and as the backup's takeover reaches for one participant to complete
+/// that commit, the participant dies ([`CrashPoint::TakeoverCommit`]).
+/// Takeover must treat it like any other down-machine commit — the entry
+/// stays unresolved in the replicated decision log, and the participant's
+/// restart converts its prepared transaction from that log, no recopy.
+fn takeover_commit_participant_crash() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (c, rec) = cluster(read, write, 3, 2);
+    let conn = c.connect("app").map_err(|e| e.to_string())?;
+    insert_txn(&conn, 0)?;
+
+    c.faults().arm(FaultPlan::new(vec![
+        crash(CrashPoint::CommitDecision, CONTROLLER, 0),
+        crash(CrashPoint::TakeoverCommit, m(1), 0),
+    ]));
+    insert_txn(&conn, 100)
+        .map_err(|e| format!("a decided commit must be acked despite the controller crash: {e}"))?;
+
+    // Takeover by hand with the TakeoverCommit trigger still armed: it
+    // fires as the backup reaches for m1, which dies mid-takeover.
+    let pair = tenantdb_cluster::ProcessPair::new(Arc::clone(&c));
+    let report = pair.fail_primary();
+    expect(
+        report.completed.len() == 1,
+        "takeover must still complete the decided commit on the survivor",
+    )?;
+    expect(
+        c.machine(m(1)).map_err(|e| e.to_string())?.is_failed(),
+        "m1 must be down after the injected takeover-window crash",
+    )?;
+    c.faults().disarm();
+    c.restart_machine(m(1)).map_err(|e| e.to_string())?;
+    let p = c.placement("app").map_err(|e| e.to_string())?;
+    expect(
+        p.replicas.contains(&m(1)),
+        "m1 must rejoin from its WAL + retained decision entry, not via recopy",
     )?;
     let v = invariants::check_run(&c, "app", "t", &[0, 100], true, &rec);
     if !v.is_empty() {

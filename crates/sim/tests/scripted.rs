@@ -48,6 +48,7 @@ scenario_tests!(
     crash_after_prepare_vote,
     controller_crash_after_decision,
     controller_crash_with_dead_participant,
+    takeover_commit_participant_crash,
     participant_crash_before_commit_apply,
     participant_crash_after_commit,
     copy_target_crash_at_table_boundary,

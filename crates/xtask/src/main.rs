@@ -1,59 +1,25 @@
 //! Repo-local task runner (`cargo xtask` pattern — a plain binary crate, no
-//! extra tooling). The one subcommand, `lint`, enforces the concurrency
-//! hygiene rules documented in DESIGN.md §10:
+//! extra tooling). Three subcommands:
 //!
-//! 1. **raw-lock** — no raw `parking_lot` / `std::sync::{Mutex, RwLock,
-//!    Condvar}` in `crates/cluster/src`, `crates/storage/src`, or
-//!    `crates/net/src` outside the `sync.rs` wrapper modules. Every lock in
-//!    those crates must be an ordered wrapper with a declared [`LockClass`]
-//!    rank so lockdep can verify the acquisition order. Escape:
-//!    `// lint:allow(raw-lock)` on the same or the preceding line.
-//! 2. **unwrap** — no `.unwrap()` / `.expect(` in cluster hot-path files
-//!    (connection, controller, pool, worker, pair, machine, recovery): a
-//!    panic there poisons nothing (locks are non-poisoning) but silently
-//!    kills a worker or wedges a submitter. Escape:
-//!    `// lint:allow(unwrap): <reason>` / `// lint:allow(expect): <reason>`
-//!    with a non-empty reason.
-//! 3. **ordering** — every non-SeqCst atomic ordering (`Relaxed`, `Acquire`,
-//!    `Release`, `AcqRel`) in any crate's `src/` must carry an `ordering:`
-//!    comment within the four preceding lines stating the invariant that
-//!    justifies it. SeqCst needs no annotation (it is never *wrong*, only
-//!    slow); weaker orderings are claims about the program and must say why.
-//! 4. **net-timeout** — in `crates/net/src`, every `.accept()` and
-//!    `TcpStream::connect` must bound its blocking within the next 12
-//!    lines: either arm `set_read_timeout` *and* `set_write_timeout`
-//!    (blocking sockets), or switch the socket to `set_nonblocking(true)`
-//!    (readiness-driven sockets, whose deadlines live on the reactor's
-//!    timer wheel instead). A socket that can block forever turns one
-//!    stalled peer into a wedged session thread (or a hung client).
-//!    Escape: `// lint:allow(net-timeout): <reason>` with a non-empty
-//!    reason.
-//! 5. **reactor-block** — in the reactor code paths (`crates/net/src/
-//!    reactor.rs` and `crates/net/src/server.rs`), no potentially blocking
-//!    call: `thread::sleep` or raw socket `.read(` / `.write(` /
-//!    `.write_all(` / `.flush(`. A reactor thread that blocks stalls every
-//!    connection multiplexed onto it. I/O on sockets verified nonblocking
-//!    (the readiness-gated pump/flush) and deliberate blocking (fault
-//!    injection, the dedicated accept thread, the portable fallback
-//!    poller) must say so: `// lint:allow(reactor-block): <reason>`.
-//! 6. **ctrl-apply** — replicated controller metadata transitions happen
-//!    only in the consensus `apply()` path (DESIGN.md §12): outside
-//!    `crates/cluster/src/meta.rs`, no cluster code may name `RaftNode`,
-//!    `MetaState`, `MetaCommand`, or reach into `tenantdb_consensus`
-//!    directly. Everything routes through `meta::ControllerGroup`, whose
-//!    `submit()` proposes a command and waits for it to commit and apply —
-//!    a direct mutation would exist on one controller replica only and
-//!    silently diverge the others. Escape:
-//!    `// lint:allow(ctrl-apply): <reason>` with a non-empty reason.
+//! * `lint` — the six concurrency-hygiene line rules documented in
+//!   DESIGN.md §10 (raw-lock, unwrap, ordering, net-timeout,
+//!   reactor-block, ctrl-apply). Since the `tenantdb-analyze` rewrite
+//!   these run on a real token stream ([`tenantdb_analyze::rules`]), so
+//!   rule tokens inside string literals neither trigger nor suppress
+//!   them, and `#[cfg(test)]` exemption is attribute-scoped instead of
+//!   first-marker-to-EOF.
+//! * `analyze` — the five semantic cross-file passes from DESIGN.md §14:
+//!   static lock-rank ordering, transitive reactor-blocking, crash-point
+//!   coverage, wire exhaustiveness, and metric-name drift.
+//! * `bench-check` — regression contracts over committed benchmark
+//!   snapshots.
 //!
-//! All six rules skip `#[cfg(test)]` regions: the repo convention keeps
-//! test modules at the bottom of each file, so everything from the first
-//! `#[cfg(test)]` line to EOF is treated as test code.
-//!
-//! [`LockClass`]: ../tenantdb_lockdep/struct.LockClass.html
+//! `lint` and `analyze` print compiler-style `file:line: [rule] message`
+//! diagnostics and exit 1 on any finding; both gate CI.
 
-use std::fmt;
 use std::path::{Path, PathBuf};
+
+use tenantdb_analyze::{analyze, lint, Diag, Workspace};
 
 mod bench_check;
 
@@ -61,17 +27,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => {
-            let root = workspace_root();
-            let violations = lint_workspace(&root);
-            if violations.is_empty() {
-                println!("xtask lint: clean");
-            } else {
-                for v in &violations {
-                    eprintln!("{v}");
-                }
-                eprintln!("\nxtask lint: {} violation(s)", violations.len());
-                std::process::exit(1);
-            }
+            let ws = Workspace::load(&workspace_root());
+            report("lint", &lint(&ws));
+        }
+        Some("analyze") => {
+            let ws = Workspace::load(&workspace_root());
+            report("analyze", &analyze(&ws));
         }
         Some("bench-check") => {
             // Default to every contracted snapshot at the workspace root;
@@ -104,7 +65,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint|bench-check [paths…]>   (got {:?})",
+                "usage: cargo run -p xtask -- <lint|analyze|bench-check [paths…]>   (got {:?})",
                 other.unwrap_or("<none>")
             );
             std::process::exit(2);
@@ -112,569 +73,24 @@ fn main() {
     }
 }
 
+fn report(what: &str, diags: &[Diag]) {
+    if diags.is_empty() {
+        println!("xtask {what}: clean");
+    } else {
+        for d in diags {
+            eprintln!("{d}");
+        }
+        eprintln!("\nxtask {what}: {} violation(s)", diags.len());
+        std::process::exit(1);
+    }
+}
+
 /// The workspace root, resolved from this crate's manifest directory so the
-/// lint works from any working directory.
+/// tool works from any working directory.
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("xtask lives two levels below the workspace root")
         .to_path_buf()
-}
-
-/// One lint finding, formatted like a compiler diagnostic so editors can
-/// jump to it.
-#[derive(Debug, PartialEq, Eq)]
-struct Violation {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
-    }
-}
-
-/// Files in `crates/cluster/src` where rule 2 (unwrap/expect) applies: the
-/// transaction hot path plus recovery, where a stray panic wedges a live
-/// cluster rather than a test.
-const HOT_PATH_FILES: &[&str] = &[
-    "connection.rs",
-    "controller.rs",
-    "machine.rs",
-    "pair.rs",
-    "pool.rs",
-    "recovery.rs",
-    "worker.rs",
-];
-
-/// Lint every `crates/*/src/**/*.rs` file under `root`.
-fn lint_workspace(root: &Path) -> Vec<Violation> {
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    let entries = std::fs::read_dir(&crates_dir)
-        .unwrap_or_else(|e| panic!("read {}: {e}", crates_dir.display()));
-    for entry in entries {
-        let path = entry.expect("read_dir entry").path();
-        let src = path.join("src");
-        if src.is_dir() {
-            collect_rs_files(&src, &mut files);
-        }
-    }
-    files.sort();
-    let mut violations = Vec::new();
-    for file in files {
-        let rel = file
-            .strip_prefix(root)
-            .expect("file under root")
-            .to_string_lossy()
-            .replace('\\', "/");
-        let contents = std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("read {rel}: {e}"));
-        violations.extend(lint_file(&rel, &contents));
-    }
-    violations
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display())) {
-        let path = entry.expect("read_dir entry").path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Pure per-file lint: `rel_path` uses forward slashes relative to the
-/// workspace root (e.g. `crates/cluster/src/pool.rs`).
-fn lint_file(rel_path: &str, contents: &str) -> Vec<Violation> {
-    let check_raw_lock = (rel_path.starts_with("crates/cluster/src/")
-        || rel_path.starts_with("crates/storage/src/")
-        || rel_path.starts_with("crates/net/src/"))
-        && !rel_path.ends_with("/sync.rs");
-    let check_net_timeout = rel_path.starts_with("crates/net/src/");
-    let check_reactor_block =
-        rel_path == "crates/net/src/reactor.rs" || rel_path == "crates/net/src/server.rs";
-    let check_unwrap = rel_path.starts_with("crates/cluster/src/")
-        && HOT_PATH_FILES
-            .iter()
-            .any(|f| rel_path == format!("crates/cluster/src/{f}"));
-    let check_ctrl_apply =
-        rel_path.starts_with("crates/cluster/src/") && rel_path != "crates/cluster/src/meta.rs";
-
-    let lines: Vec<&str> = contents.lines().collect();
-    let mut violations = Vec::new();
-    let mut in_test = false;
-
-    for (idx, raw) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let trimmed = raw.trim_start();
-        // Repo convention: the first `#[cfg(test)]` starts the test module
-        // that runs to EOF. Everything after it is exempt from all rules.
-        if trimmed.starts_with("#[cfg(test)]") {
-            in_test = true;
-        }
-        if in_test {
-            continue;
-        }
-        let is_comment = trimmed.starts_with("//");
-        // Code before any trailing `//` comment (a `//` inside a string
-        // literal would false-negative here; none of the rules' tokens
-        // plausibly appear in strings in this codebase).
-        let code = raw.split("//").next().unwrap_or(raw);
-
-        let escape_nearby = |marker: &str| -> bool {
-            has_marker(raw, marker) || (idx > 0 && has_marker(lines[idx - 1], marker))
-        };
-
-        if check_raw_lock
-            && !is_comment
-            && mentions_raw_lock(code)
-            && !escape_nearby("lint:allow(raw-lock)")
-        {
-            violations.push(Violation {
-                file: rel_path.to_string(),
-                line: lineno,
-                rule: "raw-lock",
-                message: "raw Mutex/RwLock/Condvar outside sync.rs — use the ordered \
-                          wrappers from crate::sync (or // lint:allow(raw-lock))"
-                    .to_string(),
-            });
-        }
-
-        if check_unwrap && !is_comment {
-            for (needle, kind) in [(".unwrap()", "unwrap"), (".expect(", "expect")] {
-                if code.contains(needle) && !reason_escape_nearby(&lines, idx, kind) {
-                    violations.push(Violation {
-                        file: rel_path.to_string(),
-                        line: lineno,
-                        rule: "unwrap",
-                        message: format!(
-                            "`{needle}` in a cluster hot path — return an error, or add \
-                             // lint:allow({kind}): <reason>"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if check_net_timeout
-            && !is_comment
-            && opens_socket(code)
-            && !reason_escape_nearby(&lines, idx, "net-timeout")
-            && !timeouts_armed_below(&lines, idx)
-        {
-            violations.push(Violation {
-                file: rel_path.to_string(),
-                line: lineno,
-                rule: "net-timeout",
-                message: "socket opened without set_read_timeout + set_write_timeout \
-                          (or set_nonblocking(true) for the readiness path) within \
-                          12 lines — an unbounded read/write wedges the peer's \
-                          thread (or add // lint:allow(net-timeout): <reason>)"
-                    .to_string(),
-            });
-        }
-
-        if check_reactor_block
-            && !is_comment
-            && blocks_reactor(code)
-            && !reason_escape_nearby(&lines, idx, "reactor-block")
-        {
-            violations.push(Violation {
-                file: rel_path.to_string(),
-                line: lineno,
-                rule: "reactor-block",
-                message: "potentially blocking call in a reactor code path — a blocked \
-                          reactor thread stalls every connection on it; route I/O \
-                          through readiness, or justify with \
-                          // lint:allow(reactor-block): <reason>"
-                    .to_string(),
-            });
-        }
-
-        if check_ctrl_apply
-            && !is_comment
-            && touches_consensus_internals(code)
-            && !reason_escape_nearby(&lines, idx, "ctrl-apply")
-        {
-            violations.push(Violation {
-                file: rel_path.to_string(),
-                line: lineno,
-                rule: "ctrl-apply",
-                message: "consensus internals outside meta.rs — controller metadata \
-                          transitions must go through ControllerGroup::submit so they \
-                          commit and apply on every replica (or justify with \
-                          // lint:allow(ctrl-apply): <reason>)"
-                    .to_string(),
-            });
-        }
-
-        if !is_comment {
-            if let Some(ord) = weak_ordering_in(code) {
-                let annotated =
-                    (idx.saturating_sub(4)..=idx).any(|i| lines[i].contains("ordering:"));
-                if !annotated {
-                    violations.push(Violation {
-                        file: rel_path.to_string(),
-                        line: lineno,
-                        rule: "ordering",
-                        message: format!(
-                            "Ordering::{ord} without a nearby `// ordering:` comment \
-                             stating the justifying invariant"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    violations
-}
-
-/// Does this code (comment-stripped) mention a raw lock type? The ordered
-/// wrappers are re-exported under the same short names, so detection keys on
-/// the *paths* that name the raw types.
-fn mentions_raw_lock(code: &str) -> bool {
-    if code.contains("parking_lot") {
-        return true;
-    }
-    // `use std::sync::{Arc, Mutex}` or `std::sync::Mutex<...>` — look for
-    // the lock names anywhere after a `std::sync::` on the same line, which
-    // deliberately leaves `std::sync::Arc` and `std::sync::atomic` alone.
-    if let Some(pos) = code.find("std::sync::") {
-        let rest = &code[pos..];
-        return ["Mutex", "RwLock", "Condvar"]
-            .iter()
-            .any(|t| rest.contains(t));
-    }
-    false
-}
-
-/// `lint:allow(<kind>): <reason>` with a non-empty reason, on the same line
-/// or any of the four preceding lines (the escapes are written as multi-line
-/// justification comments).
-fn reason_escape_nearby(lines: &[&str], idx: usize, kind: &str) -> bool {
-    let marker = format!("lint:allow({kind}):");
-    (idx.saturating_sub(4)..=idx).any(|i| {
-        lines[i]
-            .find(&marker)
-            .map(|p| !lines[i][p + marker.len()..].trim().is_empty())
-            .unwrap_or(false)
-    })
-}
-
-fn has_marker(line: &str, marker: &str) -> bool {
-    line.contains(marker)
-}
-
-/// Does this code (comment-stripped) obtain a fresh socket whose blocking
-/// operations need a bound? `.accept()` yields a server-side stream;
-/// `TcpStream::connect` a client-side one.
-fn opens_socket(code: &str) -> bool {
-    code.contains(".accept()") || code.contains("TcpStream::connect")
-}
-
-/// The socket's blocking must be bounded within the 12 lines after it is
-/// obtained (counting the opening line itself): both timeouts armed, or
-/// the socket switched to nonblocking (readiness path — its deadlines live
-/// on the reactor's timer wheel).
-fn timeouts_armed_below(lines: &[&str], idx: usize) -> bool {
-    let window = &lines[idx..(idx + 12).min(lines.len())];
-    let both_timeouts = window.iter().any(|l| l.contains("set_read_timeout"))
-        && window.iter().any(|l| l.contains("set_write_timeout"));
-    both_timeouts || window.iter().any(|l| l.contains("set_nonblocking(true)"))
-}
-
-/// Does this code (comment-stripped) make a call that can block a reactor
-/// thread? Raw socket reads/writes are only legal on sockets verified
-/// nonblocking, and sleeps only off the reactor threads — both must carry
-/// an escape saying so.
-fn blocks_reactor(code: &str) -> bool {
-    [
-        "thread::sleep(",
-        ".read(",
-        ".write(",
-        ".write_all(",
-        ".flush(",
-    ]
-    .iter()
-    .any(|t| code.contains(t))
-}
-
-/// Does this code (comment-stripped) name a consensus internal that only
-/// `meta.rs` may touch? `RaftNode` is the raw consensus handle, `MetaState`
-/// /`MetaCommand` the replicated state machine and its command grammar, and
-/// `tenantdb_consensus` the crate path itself — any of them outside the
-/// apply path is a replica-divergence hazard.
-fn touches_consensus_internals(code: &str) -> bool {
-    ["RaftNode", "MetaState", "MetaCommand", "tenantdb_consensus"]
-        .iter()
-        .any(|t| code.contains(t))
-}
-
-/// The weak ordering named on this line, if any. SeqCst is exempt.
-fn weak_ordering_in(code: &str) -> Option<&'static str> {
-    for ord in ["Relaxed", "Acquire", "Release", "AcqRel"] {
-        if code.contains(&format!("Ordering::{ord}")) {
-            return Some(ord);
-        }
-    }
-    None
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn rules(path: &str, src: &str) -> Vec<&'static str> {
-        lint_file(path, src).into_iter().map(|v| v.rule).collect()
-    }
-
-    #[test]
-    fn raw_lock_flagged_in_cluster_and_storage() {
-        let src = "use std::sync::{Arc, Mutex};\n";
-        assert_eq!(rules("crates/cluster/src/pool.rs", src), vec!["raw-lock"]);
-        assert_eq!(rules("crates/storage/src/lock.rs", src), vec!["raw-lock"]);
-        let pl = "let m = parking_lot::Mutex::new(0);\n";
-        assert_eq!(rules("crates/cluster/src/pool.rs", pl), vec!["raw-lock"]);
-    }
-
-    #[test]
-    fn raw_lock_ignored_in_sync_rs_and_other_crates() {
-        let src = "use std::sync::Mutex;\n";
-        assert!(rules("crates/cluster/src/sync.rs", src).is_empty());
-        assert!(rules("crates/storage/src/sync.rs", src).is_empty());
-        assert!(rules("crates/obs/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn raw_lock_arc_and_atomics_are_fine() {
-        let src = "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n";
-        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
-    }
-
-    #[test]
-    fn raw_lock_escape_hatch() {
-        let src = "// lint:allow(raw-lock)\nuse std::sync::Mutex;\n";
-        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
-        let same_line = "use std::sync::Mutex; // lint:allow(raw-lock)\n";
-        assert!(rules("crates/cluster/src/pool.rs", same_line).is_empty());
-    }
-
-    #[test]
-    fn unwrap_flagged_only_in_hot_path_files() {
-        let src = "let x = y.unwrap();\n";
-        assert_eq!(rules("crates/cluster/src/worker.rs", src), vec!["unwrap"]);
-        assert_eq!(
-            rules("crates/cluster/src/connection.rs", src),
-            vec!["unwrap"]
-        );
-        assert!(rules("crates/cluster/src/metrics.rs", src).is_empty());
-        assert!(rules("crates/storage/src/engine.rs", src).is_empty());
-    }
-
-    #[test]
-    fn expect_escape_requires_a_reason() {
-        let bare = "// lint:allow(expect):\nt.expect(\"boom\");\n";
-        assert_eq!(rules("crates/cluster/src/pool.rs", bare), vec!["unwrap"]);
-        let reasoned = "// lint:allow(expect): thread exhaustion is fatal\nt.expect(\"boom\");\n";
-        assert!(rules("crates/cluster/src/pool.rs", reasoned).is_empty());
-    }
-
-    #[test]
-    fn cfg_test_region_is_exempt_from_all_rules() {
-        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    \
-                   fn f() { x.unwrap(); y.load(Ordering::Relaxed); }\n}\n";
-        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
-    }
-
-    #[test]
-    fn weak_ordering_requires_annotation() {
-        let bad = "flag.store(true, Ordering::Release);\n";
-        assert_eq!(rules("crates/obs/src/lib.rs", bad), vec!["ordering"]);
-        let good = "// ordering: Release — pairs with the Acquire load in f().\n\
-                    flag.store(true, Ordering::Release);\n";
-        assert!(rules("crates/obs/src/lib.rs", good).is_empty());
-    }
-
-    #[test]
-    fn annotation_reaches_four_lines_back() {
-        let good = "// ordering: Relaxed — advisory counter.\n//\n//\n//\n\
-                    c.fetch_add(1, Ordering::Relaxed);\n";
-        assert!(rules("crates/obs/src/lib.rs", good).is_empty());
-        let too_far = "// ordering: Relaxed — advisory counter.\n//\n//\n//\n//\n\
-                       c.fetch_add(1, Ordering::Relaxed);\n";
-        assert_eq!(rules("crates/obs/src/lib.rs", too_far), vec!["ordering"]);
-    }
-
-    #[test]
-    fn seqcst_needs_no_annotation() {
-        let src = "c.fetch_add(1, Ordering::SeqCst);\n";
-        assert!(rules("crates/obs/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn raw_lock_flagged_in_net_outside_sync_rs() {
-        let src = "use std::sync::Mutex;\n";
-        assert_eq!(rules("crates/net/src/server.rs", src), vec!["raw-lock"]);
-        assert!(rules("crates/net/src/sync.rs", src).is_empty());
-    }
-
-    #[test]
-    fn net_timeout_requires_both_timeouts_after_socket() {
-        let bare = "let (stream, peer) = listener.accept()?;\n";
-        assert_eq!(rules("crates/net/src/server.rs", bare), vec!["net-timeout"]);
-        let read_only = "let stream = TcpStream::connect(addr)?;\n\
-                         stream.set_read_timeout(Some(t))?;\n";
-        assert_eq!(
-            rules("crates/net/src/client.rs", read_only),
-            vec!["net-timeout"]
-        );
-        let both = "let stream = TcpStream::connect(addr)?;\n\
-                    stream.set_read_timeout(Some(t))?;\n\
-                    stream.set_write_timeout(Some(t))?;\n";
-        assert!(rules("crates/net/src/client.rs", both).is_empty());
-    }
-
-    #[test]
-    fn net_timeout_window_is_twelve_lines() {
-        let pad = "let _ = 0;\n".repeat(10);
-        let near = format!(
-            "let s = TcpStream::connect(a)?;\n{pad}s.set_read_timeout(t)?;\n\
-             s.set_write_timeout(t)?;\n"
-        );
-        assert_eq!(
-            rules("crates/net/src/client.rs", &near),
-            vec!["net-timeout"]
-        );
-        let pad9 = "let _ = 0;\n".repeat(9);
-        let inside = format!(
-            "let s = TcpStream::connect(a)?;\n{pad9}s.set_read_timeout(t)?;\n\
-             s.set_write_timeout(t)?;\n"
-        );
-        assert!(rules("crates/net/src/client.rs", &inside).is_empty());
-    }
-
-    #[test]
-    fn net_timeout_escape_requires_reason_and_scope_is_net_only() {
-        let bare = "// lint:allow(net-timeout):\nlet s = listener.accept()?;\n";
-        assert_eq!(rules("crates/net/src/server.rs", bare), vec!["net-timeout"]);
-        let reasoned = "// lint:allow(net-timeout): probe socket, dropped on the next line\n\
-             let s = listener.accept()?;\n";
-        assert!(rules("crates/net/src/server.rs", reasoned).is_empty());
-        // Sockets elsewhere (tests, sim) are out of scope.
-        let src = "let s = TcpStream::connect(a)?;\n";
-        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
-    }
-
-    #[test]
-    fn net_timeout_accepts_nonblocking_as_arming() {
-        let nonblocking = "let (stream, peer) = listener.accept()?;\n\
-                           stream.set_nonblocking(true)?;\n";
-        assert!(rules("crates/net/src/server.rs", nonblocking).is_empty());
-        // set_nonblocking(false) is not an arming — it re-enables blocking.
-        let blocking = "let (stream, peer) = listener.accept()?;\n\
-                        stream.set_nonblocking(false)?;\n";
-        assert_eq!(
-            rules("crates/net/src/server.rs", blocking),
-            vec!["net-timeout"]
-        );
-    }
-
-    #[test]
-    fn reactor_block_flags_blocking_calls_in_reactor_paths() {
-        let sleep = "thread::sleep(Duration::from_millis(2));\n";
-        assert_eq!(
-            rules("crates/net/src/reactor.rs", sleep),
-            vec!["reactor-block"]
-        );
-        let raw_read = "let n = (&*conn.sock).read(&mut chunk)?;\n";
-        assert_eq!(
-            rules("crates/net/src/server.rs", raw_read),
-            vec!["reactor-block"]
-        );
-        // Out of scope: the blocking client and non-net crates.
-        assert!(rules("crates/net/src/client.rs", sleep).is_empty());
-        assert!(rules("crates/cluster/src/pool.rs", sleep).is_empty());
-    }
-
-    #[test]
-    fn reactor_block_escape_requires_reason() {
-        let bare = "// lint:allow(reactor-block):\nthread::sleep(d);\n";
-        assert_eq!(
-            rules("crates/net/src/reactor.rs", bare),
-            vec!["reactor-block"]
-        );
-        let reasoned = "// lint:allow(reactor-block): fallback tick poller, not epoll\n\
-                        thread::sleep(d);\n";
-        assert!(rules("crates/net/src/reactor.rs", reasoned).is_empty());
-    }
-
-    #[test]
-    fn ctrl_apply_flags_consensus_internals_outside_meta() {
-        for src in [
-            "use tenantdb_consensus::RaftNode;\n",
-            "let n: RaftNode<MetaCommand> = make();\n",
-            "state.apply_direct(MetaCommand::SetSla { db, sla });\n",
-            "fn peek(st: &MetaState) {}\n",
-        ] {
-            assert_eq!(
-                rules("crates/cluster/src/controller.rs", src),
-                vec!["ctrl-apply"],
-                "{src:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn ctrl_apply_exempts_meta_rs_and_other_crates() {
-        let src = "use tenantdb_consensus::{RaftNode, StateMachine};\n";
-        assert!(rules("crates/cluster/src/meta.rs", src).is_empty());
-        assert!(rules("crates/sim/src/runner.rs", src).is_empty());
-        assert!(rules("crates/consensus/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn ctrl_apply_escape_requires_reason() {
-        let bare = "// lint:allow(ctrl-apply):\nuse tenantdb_consensus::Term;\n";
-        assert_eq!(
-            rules("crates/cluster/src/controller.rs", bare),
-            vec!["ctrl-apply"]
-        );
-        let reasoned = "// lint:allow(ctrl-apply): read-only Term alias for metrics labels\n\
-                        use tenantdb_consensus::Term;\n";
-        assert!(rules("crates/cluster/src/controller.rs", reasoned).is_empty());
-    }
-
-    #[test]
-    fn comment_mentions_do_not_trip_rules() {
-        let src = "// std::sync::Mutex would deadlock here; Ordering::Relaxed too.\n\
-                   // and .unwrap() is also only mentioned\n";
-        assert!(rules("crates/cluster/src/pool.rs", src).is_empty());
-    }
-
-    /// The live tree must be clean — this is the same walk CI runs, so a
-    /// violation introduced anywhere in `crates/*/src` fails `cargo test`
-    /// even before the CI lint step runs.
-    #[test]
-    fn workspace_is_clean() {
-        let violations = lint_workspace(&workspace_root());
-        assert!(
-            violations.is_empty(),
-            "xtask lint found violations:\n{}",
-            violations
-                .iter()
-                .map(|v| v.to_string())
-                .collect::<Vec<_>>()
-                .join("\n")
-        );
-    }
 }
