@@ -1,4 +1,4 @@
-//! The six concurrency-hygiene rules (DESIGN.md §10), re-hosted from
+//! The seven hygiene rules (DESIGN.md §10), re-hosted from
 //! per-line regexes onto the token stream. The semantics are unchanged —
 //! same scopes, same `lint:allow(...)` escape grammar, same line windows —
 //! but the *matching* now happens on a per-line reconstruction of the code
@@ -30,7 +30,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "worker.rs",
 ];
 
-/// Run all six rules over every non-test line of every `src` file.
+/// Run all seven rules over every non-test line of every `src` file.
 pub fn run(ws: &Workspace) -> Vec<Diag> {
     let mut out = Vec::new();
     for f in &ws.files {
@@ -69,6 +69,9 @@ pub fn lint_file(
             .any(|f| rel_path == format!("crates/cluster/src/{f}"));
     let check_ctrl_apply =
         rel_path.starts_with("crates/cluster/src/") && rel_path != "crates/cluster/src/meta.rs";
+    let check_wal_access = rel_path.starts_with("crates/")
+        && rel_path.contains("/src/")
+        && !rel_path.starts_with("crates/storage/src/");
 
     let mut out = Vec::new();
     let diag = |line: usize, rule: &'static str, message: String| Diag {
@@ -177,6 +180,18 @@ pub fn lint_file(
             ));
         }
 
+        if check_wal_access && grabs_raw_wal(line) && !reason_escape_nearby("wal-access") {
+            out.push(diag(
+                lineno,
+                "wal-access",
+                "raw WAL handle outside crates/storage — tail the log through \
+                 the stable Engine surface (wal_head_lsn / wal_tail_from / \
+                 in_doubt / resolve_in_doubt_commit) so the log's internals \
+                 can evolve (or justify with // lint:allow(wal-access): <reason>)"
+                    .to_string(),
+            ));
+        }
+
         if let Some(ord) = weak_ordering_in(line) {
             let annotated =
                 (idx.saturating_sub(4)..=idx).any(|i| comments[i].contains("ordering:"));
@@ -245,6 +260,12 @@ fn touches_consensus_internals(code: &str) -> bool {
     ["RaftNode", "MetaState", "MetaCommand", "tenantdb_consensus"]
         .iter()
         .any(|t| code.contains(t))
+}
+
+/// Does this code line grab the raw WAL handle (`Engine::wal()`)? Outside
+/// `crates/storage` that bypasses the stable LSN-cursor surface.
+fn grabs_raw_wal(code: &str) -> bool {
+    code.contains(".wal()")
 }
 
 /// The weak ordering named on this line, if any. SeqCst is exempt.
@@ -386,6 +407,24 @@ mod tests {
         let src = "use tenantdb_consensus::{RaftNode, StateMachine};\n";
         assert!(rules("crates/cluster/src/meta.rs", src).is_empty());
         assert!(rules("crates/consensus/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wal_access_flagged_outside_storage() {
+        let src = "let tail = m.engine.wal().snapshot();\n";
+        assert_eq!(
+            rules("crates/cluster/src/recovery.rs", src),
+            vec!["wal-access"]
+        );
+        assert_eq!(rules("crates/georep/src/ship.rs", src), vec!["wal-access"]);
+        // The WAL's own crate may touch its raw handle freely.
+        assert!(rules("crates/storage/src/engine.rs", src).is_empty());
+        // The stable Engine surface is the sanctioned path.
+        let stable = "let tail = m.engine.wal_tail_from(cursor);\n";
+        assert!(rules("crates/georep/src/ship.rs", stable).is_empty());
+        let reasoned = "// lint:allow(wal-access): asserts raw record layout\n\
+                        let w = m.engine.wal();\n";
+        assert!(rules("crates/cluster/src/recovery.rs", reasoned).is_empty());
     }
 
     #[test]

@@ -194,6 +194,8 @@ impl Connection {
     }
 
     fn run_ddl(&self, stmt: &Arc<Statement>) -> Result<QueryResult> {
+        // Geo fence: DDL is a write (see run_write).
+        self.controller.check_geo_fence()?;
         // DDL broadcasts like a write: hold the routing barrier across the
         // copy-state check and the per-replica apply, so a replica copy
         // cannot start dumping in between (a table created on the old
@@ -389,6 +391,9 @@ impl Connection {
     }
 
     fn run_write(&self, stmt: &Arc<Statement>, params: Arc<Vec<Value>>) -> Result<QueryResult> {
+        // Geo fence: a cluster that lost write authority to a promoted
+        // standby colo accepts no writes. One relaxed load while unfenced.
+        self.controller.check_geo_fence()?;
         let started = Instant::now();
         let metrics = self.controller.metrics();
         let tables = Self::broadcast_tables(stmt)
@@ -546,6 +551,14 @@ impl Connection {
                 .commit_latency_readonly
                 .observe_since(commit_started);
             return Ok(());
+        }
+
+        // Geo fence: refuse to *decide* a writing transaction once this
+        // cluster lost write authority — a commit here would never ship to
+        // the promoted colo and the two sides would fork.
+        if let Err(e) = self.controller.check_geo_fence() {
+            self.finish_abort(&mut txn, &e);
+            return Err(e);
         }
 
         // Phase 1: PREPARE everywhere.

@@ -173,6 +173,15 @@ pub struct ClusterController {
     /// one atomic load on the transaction entry path — until an SLA is
     /// installed via [`Self::set_sla`].
     admission: crate::admission::AdmissionTable,
+    /// Cross-colo write authority: the fencing epoch at which this cluster
+    /// was last authorized as a primary (0 = the initial primary). Writes
+    /// are rejected once a higher epoch is observed ([`Self::fence_geo`]).
+    geo_write_epoch: AtomicU64,
+    /// Fast-path cache of the highest fencing epoch durably observed via
+    /// [`Self::fence_geo`] / [`Self::assume_geo_epoch`]. The durable copy
+    /// lives in the replicated metadata group; this cache keeps the
+    /// per-write check to one relaxed atomic load.
+    geo_fence_cache: AtomicU64,
 }
 
 impl ClusterController {
@@ -190,6 +199,8 @@ impl ClusterController {
             faults,
             cfg,
             admission: crate::admission::AdmissionTable::new(),
+            geo_write_epoch: AtomicU64::new(0),
+            geo_fence_cache: AtomicU64::new(0),
         })
     }
 
@@ -314,7 +325,7 @@ impl ClusterController {
     /// crashed inside the commit window and restarted.
     pub fn restart_machine(&self, id: MachineId) -> Result<()> {
         let m = self.machine(id)?;
-        let in_doubt: HashSet<TxnId> = m.engine.wal().in_doubt().into_iter().collect();
+        let in_doubt: HashSet<TxnId> = m.engine.in_doubt().into_iter().collect();
         if !in_doubt.is_empty() {
             for (gtxn, participants) in self.group.decisions() {
                 for (pm, local) in participants {
@@ -329,9 +340,7 @@ impl ClusterController {
                         // but neither can a new abort tombstone, so
                         // trusting the mirrored read is safe.
                         if self.group.claim_decision(gtxn).unwrap_or(true) {
-                            m.engine
-                                .wal()
-                                .append(local, tenantdb_storage::wal::WalEntry::Commit);
+                            m.engine.resolve_in_doubt_commit(local);
                             self.group.resolve_participant(gtxn, pm);
                         }
                     }
@@ -377,6 +386,8 @@ impl ClusterController {
     /// Create a database on an explicit machine set (experiments control
     /// placement directly).
     pub fn create_database_on(&self, name: &str, machine_ids: &[MachineId]) -> Result<()> {
+        // Geo fence: creating a database is a write.
+        self.check_geo_fence()?;
         if self.group.placement(name).is_some() {
             return Err(ClusterError::AlreadyExists(name.to_string()));
         }
@@ -394,6 +405,8 @@ impl ClusterController {
 
     /// Drop a database: remove it from every replica and the placement map.
     pub fn drop_database(&self, db: &str) -> Result<()> {
+        // Geo fence: dropping a database is a write.
+        self.check_geo_fence()?;
         let placement = self.group.drop_db(db)?;
         for id in placement.replicas {
             if let Ok(m) = self.machine(id) {
@@ -486,6 +499,8 @@ impl ClusterController {
 
     /// Run a DDL statement (CREATE TABLE / CREATE INDEX) on every replica.
     pub fn ddl(&self, db: &str, sql: &str) -> Result<()> {
+        // Geo fence: DDL is a write.
+        self.check_geo_fence()?;
         let stmt = parse(sql)?;
         if !matches!(
             stmt,
@@ -731,6 +746,75 @@ impl ClusterController {
         s
     }
 
+    // ------------------------------------------- cross-colo fencing (georep)
+
+    /// This cluster's current write authority: the fencing epoch at which it
+    /// was last authorized as a primary. `0` for the initial primary.
+    pub fn geo_write_epoch(&self) -> u64 {
+        // ordering: Relaxed — epoch reads are advisory snapshots; the
+        // authoritative fence is the replicated metadata round in fence_geo().
+        self.geo_write_epoch.load(Ordering::Relaxed)
+    }
+
+    /// The highest fencing epoch this cluster has durably observed (read
+    /// from the replicated metadata group, not the fast-path cache).
+    pub fn geo_epoch(&self) -> u64 {
+        self.group.geo_epoch()
+    }
+
+    /// Fence this cluster at `epoch`: durably record (via a metadata quorum
+    /// round) that a standby colo was promoted at that epoch, so every
+    /// subsequent write here whose authority is older is rejected with
+    /// [`ClusterError::Fenced`]. Monotonic and idempotent; returns the
+    /// post-apply epoch. Fails without a controller quorum — the caller
+    /// (georep promotion) treats an unreachable old primary as fenced by
+    /// the epoch check on its replication stream instead.
+    pub fn fence_geo(&self, epoch: u64) -> Result<u64> {
+        let e = self.group.set_geo_epoch(epoch)?;
+        // ordering: Relaxed — the cache only widens the fence window; the
+        // durable quorum round above is the synchronization point.
+        self.geo_fence_cache.fetch_max(e, Ordering::Relaxed);
+        if e > self.geo_write_epoch() {
+            self.metrics
+                .events()
+                .emit("geo_fenced", fields![("epoch", e)]);
+        }
+        Ok(e)
+    }
+
+    /// Take write authority at `epoch` (standby promotion): durably record
+    /// the epoch, then adopt it as this cluster's write authority so its
+    /// own fence check passes. Returns the adopted epoch.
+    pub fn assume_geo_epoch(&self, epoch: u64) -> Result<u64> {
+        let e = self.group.set_geo_epoch(epoch)?;
+        // ordering: Relaxed — see geo_write_epoch(); the quorum round is the
+        // synchronization point, these are its cached projections.
+        self.geo_write_epoch.fetch_max(e, Ordering::Relaxed);
+        self.geo_fence_cache.fetch_max(e, Ordering::Relaxed);
+        self.metrics
+            .events()
+            .emit("geo_promoted", fields![("epoch", e)]);
+        Ok(e)
+    }
+
+    /// Is this cluster currently fenced (a newer colo holds write authority)?
+    pub fn is_geo_fenced(&self) -> bool {
+        // ordering: Relaxed — advisory pairing of two monotonic counters.
+        self.geo_fence_cache.load(Ordering::Relaxed) > self.geo_write_epoch()
+    }
+
+    /// The per-write fence check: `Err(Fenced)` once a newer epoch was
+    /// observed. One relaxed atomic load on the hot path while unfenced.
+    pub(crate) fn check_geo_fence(&self) -> Result<()> {
+        // ordering: Relaxed — see is_geo_fenced().
+        let fence = self.geo_fence_cache.load(Ordering::Relaxed);
+        if fence > self.geo_write_epoch() {
+            self.metrics.note_geo_fenced_write();
+            return Err(ClusterError::Fenced { epoch: fence });
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------- stats
 
     /// The cluster's metrics surface (registry, latency handles, event log).
@@ -840,6 +924,53 @@ mod tests {
             assert!(m.engine.table("app", "t").is_ok());
         }
         assert!(c.ddl("app", "SELECT * FROM t").is_err(), "non-DDL rejected");
+    }
+
+    #[test]
+    fn geo_fence_rejects_every_write_shape() {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        c.create_database("app", 2).unwrap();
+        c.ddl(
+            "app",
+            "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))",
+        )
+        .unwrap();
+        let conn = c.connect("app").unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'pre')", &[])
+            .unwrap();
+
+        // A standby colo is promoted at epoch 1: this cluster is fenced.
+        assert!(!c.is_geo_fenced());
+        assert_eq!(c.fence_geo(1).unwrap(), 1);
+        assert!(c.is_geo_fenced());
+        assert_eq!(c.geo_epoch(), 1);
+        assert_eq!(c.geo_write_epoch(), 0);
+
+        // DML, DDL and catalog writes are all rejected...
+        let err = conn
+            .execute("INSERT INTO t VALUES (2, 'post')", &[])
+            .unwrap_err();
+        assert!(err.is_fenced(), "{err}");
+        assert!(c
+            .ddl("app", "CREATE TABLE u (id INT NOT NULL, PRIMARY KEY (id))")
+            .unwrap_err()
+            .is_fenced());
+        assert!(c.create_database("other", 1).unwrap_err().is_fenced());
+        assert!(c.drop_database("app").unwrap_err().is_fenced());
+        // ...an in-flight writing transaction cannot decide past the fence...
+        let conn2 = c.connect("app").unwrap();
+        // (the write itself is already rejected; a read-only txn commits fine)
+        conn2.begin().unwrap();
+        let r = conn2.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(r.rows[0][0], tenantdb_storage::Value::Int(1));
+        conn2.commit().unwrap();
+        assert!(c.metrics().geo_fenced_writes.get() >= 4);
+
+        // Re-authorizing at the fencing epoch (failback) reopens writes.
+        assert_eq!(c.assume_geo_epoch(1).unwrap(), 1);
+        assert!(!c.is_geo_fenced());
+        conn.execute("INSERT INTO t VALUES (2, 'post')", &[])
+            .unwrap();
     }
 
     #[test]

@@ -53,6 +53,15 @@ pub enum ClusterError {
         /// Database whose admission gate shed the transaction.
         db: String,
     },
+    /// This cluster has been fenced by a cross-colo failover: a standby was
+    /// promoted at `epoch`, which is newer than this cluster's write
+    /// authority, so every write here is rejected (the split-brain guard of
+    /// the georep promotion protocol). Not retryable against this cluster —
+    /// the client must reconnect to the promoted colo.
+    Fenced {
+        /// The fencing epoch that superseded this cluster's authority.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -81,6 +90,12 @@ impl fmt::Display for ClusterError {
                 write!(
                     f,
                     "admission rejected for {db}: tenant over provisioned SLA rate"
+                )
+            }
+            ClusterError::Fenced { epoch } => {
+                write!(
+                    f,
+                    "cluster fenced: a standby colo was promoted at epoch {epoch}"
                 )
             }
         }
@@ -145,6 +160,12 @@ impl ClusterError {
     /// controller group re-elects)?
     pub fn is_not_leader(&self) -> bool {
         matches!(self, ClusterError::NotLeader { .. })
+    }
+
+    /// Was this write rejected because a newer colo holds the fencing
+    /// epoch? Not retryable against this cluster.
+    pub fn is_fenced(&self) -> bool {
+        matches!(self, ClusterError::Fenced { .. })
     }
 }
 

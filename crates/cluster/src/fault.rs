@@ -39,6 +39,12 @@ pub const CONTROLLER: MachineId = MachineId(u32::MAX);
 /// friends, hooked by the `tenantdb-net` server).
 pub const NET: MachineId = MachineId(u32::MAX - 1);
 
+/// Sentinel machine id used for cross-colo replication crash points (the
+/// shipper/applier/promotion machinery spans colos rather than living on one
+/// cluster machine; see [`CrashPoint::GeoShipBatch`] and friends, hooked by
+/// the `tenantdb-georep` crate).
+pub const GEO: MachineId = MachineId(u32::MAX - 2);
+
 /// A named location on a cluster hot path where a fault can fire.
 ///
 /// The catalog (who calls [`FaultInjector::check`], and where):
@@ -61,10 +67,17 @@ pub const NET: MachineId = MachineId(u32::MAX - 1);
 /// | `NetFrameRead` | `net/server.rs` | after a request frame arrived, before it is dispatched |
 /// | `NetFrameWrite` | `net/server.rs` | before a reply frame is written back to the client |
 /// | `NetResponseDrop` | `net/server.rs` | after a request executed, before its reply — a `Crash` kills the connection *mid-response*, so the client never learns the outcome |
+/// | `GeoShipBatch` | `georep/shipper.rs` | before a shipper sends one batch of WAL records to the standby colo (a `Crash` severs the stream; resume must restart from the last cumulative ack) |
+/// | `GeoApplyBatch` | `georep/applier.rs` | after a batch arrived on the standby, before it is applied — an ack is never sent, so the primary re-ships from the ack cursor |
+/// | `GeoPromote` | `georep/promote.rs` | during standby promotion, after the old primary is fenced but before in-doubt 2PC reconciliation |
 ///
 /// The four `Net*` points fire with the [`NET`] sentinel machine id: the
 /// serving tier fronts the whole cluster, so there is no per-machine hit
-/// counting for them.
+/// counting for them. The three `Geo*` points fire with the [`GEO`] sentinel
+/// for the same reason (the replication stream spans colos), and they are
+/// scripted-only: random sim plans never arm them because a severed
+/// cross-colo stream is a *normal* condition the shipper must absorb, not a
+/// protocol violation worth a randomized search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CrashPoint {
     /// Before a write statement executes on a replica.
@@ -112,11 +125,24 @@ pub enum CrashPoint {
     /// connection mid-response, the classic "did my commit land?" client
     /// ambiguity. Fired with machine [`NET`].
     NetResponseDrop,
+    /// Cross-colo shipper: before one batch of WAL records is sent to the
+    /// standby. A `Crash` severs the log stream (resume restarts from the
+    /// last cumulative ack); a `Delay` is a slow WAN link. Fired with
+    /// machine [`GEO`].
+    GeoShipBatch,
+    /// Standby applier: after a batch arrived, before it is applied — the
+    /// ack never goes out, so the primary re-ships from its ack cursor and
+    /// the applier must deduplicate by LSN. Fired with machine [`GEO`].
+    GeoApplyBatch,
+    /// Standby promotion: after the old primary's epoch is fenced, before
+    /// in-doubt 2PC reconciliation against the mirrored decision log. Fired
+    /// with machine [`GEO`].
+    GeoPromote,
 }
 
 impl CrashPoint {
     /// Every crash point, in canonical order (used by plan generators).
-    pub const ALL: [CrashPoint; 16] = [
+    pub const ALL: [CrashPoint; 19] = [
         CrashPoint::ReplicaWriteApply,
         CrashPoint::ReplicaWriteAck,
         CrashPoint::PrepareApply,
@@ -133,6 +159,9 @@ impl CrashPoint {
         CrashPoint::NetFrameRead,
         CrashPoint::NetFrameWrite,
         CrashPoint::NetResponseDrop,
+        CrashPoint::GeoShipBatch,
+        CrashPoint::GeoApplyBatch,
+        CrashPoint::GeoPromote,
     ];
 
     /// Stable snake_case name used in rendered schedules.
@@ -154,6 +183,9 @@ impl CrashPoint {
             CrashPoint::NetFrameRead => "net_frame_read",
             CrashPoint::NetFrameWrite => "net_frame_write",
             CrashPoint::NetResponseDrop => "net_response_drop",
+            CrashPoint::GeoShipBatch => "geo_ship_batch",
+            CrashPoint::GeoApplyBatch => "geo_apply_batch",
+            CrashPoint::GeoPromote => "geo_promote",
         }
     }
 }

@@ -101,6 +101,11 @@ enum MetaCommand {
     AbortDecision { gtxn: GTxn },
     /// Record a database's SLA.
     SetSla { db: String, sla: Sla },
+    /// Raise the cross-colo fencing epoch (monotonic max). Proposed by the
+    /// georep promotion protocol: once a standby colo is promoted at epoch
+    /// `e`, every cluster whose local write authority is below `e` must
+    /// reject writes (see `ClusterController::fence_geo`).
+    SetGeoEpoch { epoch: u64 },
     /// Exactly-once envelope: `cmd` applies only if no entry with the same
     /// request id has applied before (a `submit` retry after an ambiguous
     /// leader change can commit the same proposal twice).
@@ -122,6 +127,9 @@ struct MetaState {
     claimed: BTreeSet<GTxn>,
     /// Database → SLA (the §4.1 contract table).
     slas: BTreeMap<String, Sla>,
+    /// Highest cross-colo fencing epoch this cluster has durably observed.
+    /// A cluster whose write authority is below this is fenced.
+    geo_epoch: u64,
     /// Request ids of applied `Tagged` envelopes. Ids are minted and all
     /// their proposals made under one held group lock, so in the committed
     /// log every entry of id `r` precedes every entry of any `r' > r` —
@@ -238,6 +246,9 @@ impl StateMachine for MetaState {
             }
             MetaCommand::SetSla { db, sla } => {
                 self.slas.insert(db.clone(), *sla);
+            }
+            MetaCommand::SetGeoEpoch { epoch } => {
+                self.geo_epoch = self.geo_epoch.max(*epoch);
             }
             MetaCommand::Tagged { req, cmd } => {
                 if !self.applied_reqs.contains(req) {
@@ -864,6 +875,18 @@ impl ControllerGroup {
         })
     }
 
+    /// Raise the fencing epoch to at least `epoch` (monotonic: a stale
+    /// proposal can never lower it) and return the post-apply value. The
+    /// quorum round matters: once this returns, no minority partition of
+    /// *this* controller group can serve an un-fenced write authority.
+    pub(crate) fn set_geo_epoch(&self, epoch: u64) -> Result<u64> {
+        self.submit_full(
+            |_| Ok(MetaCommand::SetGeoEpoch { epoch }),
+            |st| st.geo_epoch,
+        )
+        .result
+    }
+
     // -------------------------------------------------------------- reads
 
     /// A database's placement, if it exists.
@@ -913,6 +936,11 @@ impl ControllerGroup {
     /// A database's recorded SLA, if any.
     pub(crate) fn sla(&self, db: &str) -> Option<Sla> {
         self.read(|st| st.slas.get(db).copied())
+    }
+
+    /// The highest durably-observed cross-colo fencing epoch.
+    pub(crate) fn geo_epoch(&self) -> u64 {
+        self.read(|st| st.geo_epoch)
     }
 
     // ----------------------------------------------------------- failover
@@ -1362,6 +1390,17 @@ mod tests {
         g.crash(1);
         assert_eq!(g.abort_decision(gtxn), AbortArbitration::Unknown);
         assert!(g.claim_decision(gtxn).is_err());
+    }
+
+    #[test]
+    fn geo_epoch_is_monotonic_and_replicated() {
+        let g = group(3);
+        assert_eq!(g.geo_epoch(), 0);
+        assert_eq!(g.set_geo_epoch(3).unwrap(), 3);
+        // A stale (lower) proposal never lowers it.
+        assert_eq!(g.set_geo_epoch(1).unwrap(), 3);
+        g.crash_leader().unwrap();
+        assert_eq!(g.geo_epoch(), 3);
     }
 
     #[test]

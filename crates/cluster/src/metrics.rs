@@ -86,6 +86,11 @@ pub const SLA_REJECTED: &str = "tenantdb_sla_rejected_total";
 /// gauge series.
 pub const SLA_GATE_DEBT: &str = "tenantdb_sla_gate_debt_us";
 
+/// Writes rejected because this cluster is geo-fenced — a standby colo was
+/// promoted at a newer epoch, so this cluster lost write authority
+/// (counter; the split-brain guard of the georep promotion protocol).
+pub const GEOREP_FENCED_WRITES: &str = "tenantdb_georep_fenced_writes_total";
+
 /// Upper bound on per-database [`SLA_GATE_DEBT`] gauge series. Counters are
 /// cheap and stay per-database at any scale; gauges are samples and the
 /// first `MAX_SLA_GAUGES` databases to hit their gate win the slots.
@@ -181,6 +186,8 @@ pub struct ClusterMetrics {
     pub ctrl_replication_lag: Arc<Gauge>,
     /// Controller group: elections won.
     pub ctrl_elections: Arc<Counter>,
+    /// Writes rejected because this cluster lost geo write authority.
+    pub geo_fenced_writes: Arc<Counter>,
     per_db: Mutex<HashMap<String, Arc<DbHandles>>>,
     read_routes: Mutex<HashMap<(ReadPolicy, MachineId), Arc<Counter>>>,
     sla: Mutex<HashMap<String, Arc<SlaHandles>>>,
@@ -272,6 +279,10 @@ impl ClusterMetrics {
             SLA_GATE_DEBT,
             "Microseconds past on-rate for a tenant's admission gate (sampled).",
         );
+        registry.describe(
+            GEOREP_FENCED_WRITES,
+            "Writes rejected because this cluster was geo-fenced by a newer promotion epoch.",
+        );
 
         ClusterMetrics {
             stmt_read_latency: registry.histogram(STMT_READ_LATENCY, &[]),
@@ -288,6 +299,7 @@ impl ClusterMetrics {
             ctrl_leader: registry.gauge(CTRL_LEADER, &[]),
             ctrl_replication_lag: registry.gauge(CTRL_REPLICATION_LAG, &[]),
             ctrl_elections: registry.counter(CTRL_ELECTIONS, &[]),
+            geo_fenced_writes: registry.counter(GEOREP_FENCED_WRITES, &[]),
             per_db: Mutex::new(&METRICS_PER_DB, HashMap::new()),
             read_routes: Mutex::new(&METRICS_READ_ROUTES, HashMap::new()),
             sla: Mutex::new(&METRICS_SLA, HashMap::new()),
@@ -345,6 +357,12 @@ impl ClusterMetrics {
     /// Count a deadlock/timeout abort for `db` (workload-inherent).
     pub fn note_deadlock(&self, db: &str) {
         self.db_handles(db).deadlocks.inc();
+    }
+
+    /// Count a write rejected by the geo fence (cluster lost write
+    /// authority to a promoted standby colo).
+    pub fn note_geo_fenced_write(&self) {
+        self.geo_fenced_writes.inc();
     }
 
     /// Count a proactive rejection for `db` (the SLA numerator).

@@ -146,7 +146,7 @@ impl ProcessPair {
             if machine.is_failed() {
                 continue;
             }
-            let in_doubt = machine.engine.wal().in_doubt();
+            let in_doubt = machine.engine.in_doubt();
             let mut aborted = 0;
             for txn in in_doubt {
                 if machine.engine.abort(txn).is_ok() {

@@ -1,0 +1,543 @@
+//! Stream transports: the versioned log-stream protocol over real loopback
+//! TCP, and a deterministic in-process link for the sim harness.
+//!
+//! Both transports speak the same exchange, built from the `Geo*` frames
+//! in [`tenantdb_net::wire`]:
+//!
+//! ```text
+//! shipper                                standby
+//!   | -- GeoHello{v, db, lsn, epoch, src} -> |   pin (db, source) under epoch
+//!   | <- GeoHelloOk{v, resume_lsn} --------- |   or GeoFenced{epoch}
+//!   | -- GeoRecords{epoch, [recs]} --------> |   epoch restated per batch
+//!   | <- GeoAck{applied_lsn} --------------- |   cumulative watermark
+//!   |              ...                       |
+//!   | <- GeoFenced{epoch} ------------------ |   a promotion happened
+//! ```
+//!
+//! Disconnects are ordinary: the shipper reconnects, the standby answers
+//! the new handshake with its resume watermark, and the shipper rewinds —
+//! no record is lost and re-sent overlap is deduplicated by the applier.
+//! The epoch check runs on the handshake *and* on every batch, so a
+//! promotion fences an in-flight stream at the very next frame.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use tenantdb_cluster::{ClusterController, MachineId};
+use tenantdb_net::wire::{read_frame, write_frame, Frame, GEOREP_PROTOCOL_VERSION};
+use tenantdb_storage::Lsn;
+
+use crate::applier::Applier;
+use crate::metrics::GeoMetrics;
+use crate::shipper::Shipper;
+use crate::GeoError;
+
+/// Socket timeouts for stream I/O: a WAN hiccup beyond this severs the
+/// stream, which the shipper treats as an ordinary reconnect.
+const STREAM_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How often the standby accept loop re-checks the shutdown flag.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+// ---------------------------------------------------------------- standby
+
+/// The standby colo's stream endpoint: accepts shipper connections on a
+/// loopback TCP listener and replays each database's stream through a
+/// shared per-database [`Applier`].
+pub struct GeoStandbyServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    appliers: Arc<Mutex<HashMap<String, Arc<Mutex<Applier>>>>>,
+}
+
+impl GeoStandbyServer {
+    /// Bind a listener on an ephemeral loopback port and serve streams
+    /// into `standby`. `replicas` is the placement width for databases the
+    /// stream creates.
+    pub fn serve(
+        standby: Arc<ClusterController>,
+        replicas: usize,
+        metrics: GeoMetrics,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let appliers: Arc<Mutex<HashMap<String, Arc<Mutex<Applier>>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let appliers = Arc::clone(&appliers);
+            std::thread::spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                // ordering: Relaxed — shutdown flag; the join below is the
+                // synchronization point.
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let standby = Arc::clone(&standby);
+                            let appliers = Arc::clone(&appliers);
+                            let metrics = metrics.clone();
+                            conns.push(std::thread::spawn(move || {
+                                let _ = serve_stream(stream, standby, replicas, appliers, metrics);
+                            }));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_TICK);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for c in conns {
+                    let _ = c.join();
+                }
+            })
+        };
+
+        Ok(GeoStandbyServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            appliers,
+        })
+    }
+
+    /// The listener's loopback address for shippers to dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared applier for `db`, if a stream has pinned it.
+    pub fn applier(&self, db: &str) -> Option<Arc<Mutex<Applier>>> {
+        self.appliers.lock().get(db).cloned()
+    }
+
+    /// Every per-database applier — the promotion work list.
+    pub fn appliers(&self) -> Vec<Arc<Mutex<Applier>>> {
+        self.appliers.lock().values().cloned().collect()
+    }
+
+    /// Stop accepting and join the accept loop. Streams in flight are
+    /// severed by their socket timeouts.
+    pub fn shutdown(&mut self) {
+        // ordering: Relaxed — flag polled by the accept loop; join below
+        // synchronizes.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GeoStandbyServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One accepted stream: handshake, then batches until disconnect or fence.
+fn serve_stream(
+    mut stream: TcpStream,
+    standby: Arc<ClusterController>,
+    replicas: usize,
+    appliers: Arc<Mutex<HashMap<String, Arc<Mutex<Applier>>>>>,
+    metrics: GeoMetrics,
+) -> Result<(), GeoError> {
+    stream.set_read_timeout(Some(STREAM_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(STREAM_IO_TIMEOUT))?;
+
+    let (db, source, epoch) = match read_frame(&mut stream)? {
+        Some(Frame::GeoHello {
+            version: _,
+            db,
+            start_lsn: _,
+            epoch,
+            source,
+        }) => (db, MachineId(source), epoch),
+        _ => return Err(GeoError::Protocol("expected GeoHello".into())),
+    };
+
+    let applier = Arc::clone(appliers.lock().entry(db.clone()).or_insert_with(|| {
+        Arc::new(Mutex::new(Applier::new(
+            Arc::clone(&standby),
+            &db,
+            replicas,
+            metrics.clone(),
+        )))
+    }));
+
+    let resume = match applier.lock().handshake(source, epoch) {
+        Ok(lsn) => lsn,
+        Err(GeoError::Fenced { epoch }) => {
+            write_frame(&mut stream, &Frame::GeoFenced { epoch })?;
+            return Err(GeoError::Fenced { epoch });
+        }
+        Err(e) => return Err(e),
+    };
+    write_frame(
+        &mut stream,
+        &Frame::GeoHelloOk {
+            version: GEOREP_PROTOCOL_VERSION,
+            resume_lsn: resume,
+        },
+    )?;
+
+    loop {
+        match read_frame(&mut stream)? {
+            Some(Frame::GeoRecords { epoch, records }) => {
+                match applier.lock().ingest(epoch, &records) {
+                    Ok(watermark) => {
+                        write_frame(
+                            &mut stream,
+                            &Frame::GeoAck {
+                                applied_lsn: watermark,
+                            },
+                        )?;
+                    }
+                    Err(GeoError::Fenced { epoch }) => {
+                        write_frame(&mut stream, &Frame::GeoFenced { epoch })?;
+                        return Err(GeoError::Fenced { epoch });
+                    }
+                    // Crash-point sever: drop without acking — the shipper
+                    // re-ships from the previous watermark.
+                    Err(e) => return Err(e),
+                }
+            }
+            Some(other) => {
+                return Err(GeoError::Protocol(format!(
+                    "unexpected frame {}",
+                    other.kind()
+                )))
+            }
+            None => return Ok(()), // clean disconnect
+        }
+    }
+}
+
+// ---------------------------------------------------------------- shipper
+
+/// The primary-side stream client: dials the standby endpoint, handshakes,
+/// and pumps shipper batches until drained.
+pub struct GeoTcpLink {
+    shipper: Shipper,
+    addr: SocketAddr,
+    conn: Option<(TcpStream, MachineId)>,
+    acked: Lsn,
+    metrics: GeoMetrics,
+    /// Connections made (the first is counted; later ones are reconnects).
+    dials: u64,
+}
+
+impl GeoTcpLink {
+    /// A link from `shipper` to the standby endpoint at `addr`.
+    pub fn new(shipper: Shipper, addr: SocketAddr, metrics: GeoMetrics) -> Self {
+        GeoTcpLink {
+            shipper,
+            addr,
+            conn: None,
+            acked: Lsn::ZERO,
+            metrics,
+            dials: 0,
+        }
+    }
+
+    /// The underlying shipper (cursor, pin, lag reference).
+    pub fn shipper(&self) -> &Shipper {
+        &self.shipper
+    }
+
+    /// The standby's last cumulative ack.
+    pub fn acked(&self) -> Lsn {
+        self.acked
+    }
+
+    /// Source WAL head minus the standby ack, in LSN units.
+    pub fn lag(&self) -> u64 {
+        self.shipper
+            .head_lsn()
+            .map(|h| h.0.saturating_sub(self.acked.0))
+            .unwrap_or(0)
+    }
+
+    /// Drop the connection (a simulated colo partition). The next
+    /// [`GeoTcpLink::sync`] reconnects and resumes from the standby's
+    /// watermark.
+    pub fn sever(&mut self) {
+        self.conn = None;
+    }
+
+    /// Pump the stream until the source is drained, returning the final
+    /// cumulative ack. Reconnects (and re-handshakes) as needed; any error
+    /// severs the connection so the next call starts clean.
+    pub fn sync(&mut self) -> Result<Lsn, GeoError> {
+        match self.pump_stream() {
+            Ok(lsn) => Ok(lsn),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn pump_stream(&mut self) -> Result<Lsn, GeoError> {
+        loop {
+            let pin = self.shipper.pin()?;
+            if self.conn.as_ref().map(|(_, p)| *p) != Some(pin) {
+                self.dial(pin)?;
+            }
+            let batch = self.shipper.next_batch()?;
+            if batch.is_empty() {
+                self.shipper.note_acked(self.acked)?;
+                return Ok(self.acked);
+            }
+            let epoch = self.shipper.epoch();
+            let (stream, _) = self
+                .conn
+                .as_mut()
+                .ok_or_else(|| GeoError::Severed("stream dropped mid-sync".into()))?;
+            write_frame(
+                stream,
+                &Frame::GeoRecords {
+                    epoch,
+                    records: batch,
+                },
+            )?;
+            match read_frame(stream)? {
+                Some(Frame::GeoAck { applied_lsn }) => {
+                    self.acked = applied_lsn;
+                    self.shipper.note_acked(applied_lsn)?;
+                }
+                Some(Frame::GeoFenced { epoch }) => {
+                    return Err(GeoError::Fenced { epoch });
+                }
+                Some(other) => {
+                    return Err(GeoError::Protocol(format!(
+                        "unexpected frame {}",
+                        other.kind()
+                    )));
+                }
+                None => return Err(GeoError::Severed("standby closed mid-batch".into())),
+            }
+        }
+    }
+
+    /// Dial and handshake, rewinding the shipper to the standby's resume
+    /// watermark.
+    fn dial(&mut self, pin: MachineId) -> Result<(), GeoError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(STREAM_IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(STREAM_IO_TIMEOUT))?;
+        let mut stream = stream;
+        write_frame(
+            &mut stream,
+            &Frame::GeoHello {
+                version: GEOREP_PROTOCOL_VERSION,
+                db: self.shipper.db().to_string(),
+                start_lsn: self.shipper.cursor(),
+                epoch: self.shipper.epoch(),
+                source: pin.0,
+            },
+        )?;
+        match read_frame(&mut stream)? {
+            Some(Frame::GeoHelloOk { resume_lsn, .. }) => {
+                self.shipper.rewind(resume_lsn);
+                self.acked = resume_lsn;
+            }
+            Some(Frame::GeoFenced { epoch }) => return Err(GeoError::Fenced { epoch }),
+            _ => return Err(GeoError::Protocol("expected GeoHelloOk".into())),
+        }
+        self.dials += 1;
+        if self.dials > 1 {
+            self.metrics.note_reconnect(self.shipper.db());
+        }
+        self.conn = Some((stream, pin));
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------- in-process (sim)
+
+/// A deterministic in-process stream: the same handshake / batch / ack /
+/// fence exchange as [`GeoTcpLink`], with function calls in place of
+/// sockets. The sim's scripted scenarios use this so colo partitions and
+/// promotion races replay identically under a fixed seed.
+pub struct GeoLink {
+    shipper: Shipper,
+    applier: Arc<Mutex<Applier>>,
+    /// `Some(pin)` while the stream is connected and handshaken.
+    session: Option<MachineId>,
+    acked: Lsn,
+    metrics: GeoMetrics,
+    dials: u64,
+}
+
+impl GeoLink {
+    /// Wire `shipper` straight to `applier`.
+    pub fn new(shipper: Shipper, applier: Arc<Mutex<Applier>>, metrics: GeoMetrics) -> Self {
+        GeoLink {
+            shipper,
+            applier,
+            session: None,
+            acked: Lsn::ZERO,
+            metrics,
+            dials: 0,
+        }
+    }
+
+    /// The standby-side applier (the promotion work list).
+    pub fn applier(&self) -> &Arc<Mutex<Applier>> {
+        &self.applier
+    }
+
+    /// The primary-side shipper.
+    pub fn shipper(&self) -> &Shipper {
+        &self.shipper
+    }
+
+    /// The standby's last cumulative ack.
+    pub fn acked(&self) -> Lsn {
+        self.acked
+    }
+
+    /// Source WAL head minus the standby ack, in LSN units.
+    pub fn lag(&self) -> u64 {
+        self.shipper
+            .head_lsn()
+            .map(|h| h.0.saturating_sub(self.acked.0))
+            .unwrap_or(0)
+    }
+
+    /// Sever the stream (a colo partition). The next sync re-handshakes
+    /// and resumes from the applier's watermark.
+    pub fn sever(&mut self) {
+        self.session = None;
+    }
+
+    /// Pump until drained; same contract as [`GeoTcpLink::sync`].
+    pub fn sync(&mut self) -> Result<Lsn, GeoError> {
+        match self.pump_stream() {
+            Ok(lsn) => Ok(lsn),
+            Err(e) => {
+                self.session = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn pump_stream(&mut self) -> Result<Lsn, GeoError> {
+        loop {
+            let pin = self.shipper.pin()?;
+            if self.session != Some(pin) {
+                let resume = self.applier.lock().handshake(pin, self.shipper.epoch())?;
+                self.shipper.rewind(resume);
+                self.acked = resume;
+                self.dials += 1;
+                if self.dials > 1 {
+                    self.metrics.note_reconnect(self.shipper.db());
+                }
+                self.session = Some(pin);
+            }
+            let batch = self.shipper.next_batch()?;
+            if batch.is_empty() {
+                self.shipper.note_acked(self.acked)?;
+                return Ok(self.acked);
+            }
+            let epoch = self.shipper.epoch();
+            self.acked = self.applier.lock().ingest(epoch, &batch)?;
+            self.shipper.note_acked(self.acked)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenantdb_cluster::controller::ClusterConfig;
+    use tenantdb_obs::MetricsRegistry;
+    use tenantdb_storage::Value;
+
+    fn metrics() -> GeoMetrics {
+        GeoMetrics::new(Arc::new(MetricsRegistry::new()))
+    }
+
+    fn primary() -> Arc<ClusterController> {
+        let c = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        c.create_database("app", 2).unwrap();
+        c.ddl(
+            "app",
+            "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))",
+        )
+        .unwrap();
+        c
+    }
+
+    fn count(c: &Arc<ClusterController>, db: &str) -> i64 {
+        let conn = c.connect(db).unwrap();
+        match conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0] {
+            Value::Int(n) => n,
+            ref v => panic!("unexpected {v:?}"),
+        }
+    }
+
+    #[test]
+    fn in_process_link_replicates_and_survives_sever() {
+        let p = primary();
+        let s = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        let m = metrics();
+        let shipper = Shipper::new(Arc::clone(&p), "app", m.clone()).unwrap();
+        let applier = Arc::new(Mutex::new(Applier::new(
+            Arc::clone(&s),
+            "app",
+            2,
+            m.clone(),
+        )));
+        let mut link = GeoLink::new(shipper, applier, m);
+
+        let conn = p.connect("app").unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'a')", &[]).unwrap();
+        link.sync().unwrap();
+        assert_eq!(count(&s, "app"), 1);
+        assert_eq!(link.lag(), 0);
+
+        // Partition, write more, heal: the stream resumes from the ack.
+        link.sever();
+        conn.execute("INSERT INTO t VALUES (2, 'b')", &[]).unwrap();
+        link.sync().unwrap();
+        assert_eq!(count(&s, "app"), 2);
+    }
+
+    #[test]
+    fn tcp_link_replicates_over_loopback() {
+        let p = primary();
+        let s = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+        let m = metrics();
+        let server = GeoStandbyServer::serve(Arc::clone(&s), 2, m.clone()).unwrap();
+        let shipper = Shipper::new(Arc::clone(&p), "app", m.clone()).unwrap();
+        let mut link = GeoTcpLink::new(shipper, server.addr(), m);
+
+        let conn = p.connect("app").unwrap();
+        for i in 0..10 {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'x')"), &[])
+                .unwrap();
+        }
+        link.sync().unwrap();
+        assert_eq!(count(&s, "app"), 10);
+        assert_eq!(link.lag(), 0);
+        assert!(server.applier("app").is_some());
+
+        // Sever and resume over a fresh connection.
+        link.sever();
+        conn.execute("INSERT INTO t VALUES (100, 'y')", &[])
+            .unwrap();
+        link.sync().unwrap();
+        assert_eq!(count(&s, "app"), 11);
+    }
+}

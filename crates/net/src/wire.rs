@@ -27,13 +27,24 @@
 //! variants), so a deadlock abort is still [`ClusterError::is_deadlock`] on
 //! the client side and the TPC-W driver classifies outcomes identically
 //! over either transport.
+//!
+//! The `0x20` opcode family is the cross-colo **log-stream protocol**
+//! (`tenantdb-georep`): a shipper opens a per-database stream with
+//! [`Frame::GeoHello`] pinning `(db, start_lsn)` under a fencing `epoch`,
+//! the standby answers [`Frame::GeoHelloOk`] with the LSN it wants to
+//! resume from, batched [`Frame::GeoRecords`] carry raw WAL records, the
+//! standby acknowledges cumulatively with [`Frame::GeoAck`], and either
+//! side kills a stream from a stale epoch with [`Frame::GeoFenced`].
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
 use tenantdb_cluster::{BatchMode, BatchStmt, ClusterError, ReadPolicy, WritePolicy};
 use tenantdb_sql::{QueryResult, SqlError};
-use tenantdb_storage::{StorageError, TxnId, Value};
+use tenantdb_storage::{
+    ColumnDef, DataType, IndexDef, LogRecord, Lsn, RedoOp, StorageError, TableSchema, TxnId, Value,
+    WalEntry,
+};
 
 /// The protocol version this build speaks (and offers in its handshake).
 /// Version 2 added request pipelining and the `Batch` frame family.
@@ -43,6 +54,11 @@ pub const PROTOCOL_VERSION: u16 = 2;
 /// Version-1 peers (no pipelining, no `Batch`) remain fully supported:
 /// nothing in version 2 changed the meaning of a version-1 conversation.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
+
+/// The version of the cross-colo log-stream protocol (the `Geo*` frame
+/// family) this build speaks. Versioned separately from the client
+/// protocol: shippers and standbys upgrade on their own schedule.
+pub const GEOREP_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on a frame body (opcode + payload). A length prefix above
 /// this is rejected before any allocation — the decoder's defense against
@@ -367,6 +383,58 @@ pub enum Frame {
         /// The round-tripped error.
         error: ClusterError,
     },
+    /// Shipper → standby: open a per-database log stream. Pins the
+    /// `(db, start_lsn)` pair the shipper intends to send from, under the
+    /// shipper's fencing epoch. The standby replies [`Frame::GeoHelloOk`]
+    /// (possibly rewinding the shipper to its own applied LSN) or
+    /// [`Frame::GeoFenced`] if it has seen a newer epoch.
+    GeoHello {
+        /// Log-stream protocol version ([`GEOREP_PROTOCOL_VERSION`]).
+        version: u16,
+        /// The database whose log this stream carries.
+        db: String,
+        /// First LSN the shipper proposes to send.
+        start_lsn: Lsn,
+        /// The shipper's fencing epoch (stale epochs are refused).
+        epoch: u64,
+        /// Cluster machine id of the primary replica this stream is pinned
+        /// to. Shipped transaction ids are local to this engine; promotion
+        /// uses `(source, txn)` to match in-doubt transactions against the
+        /// old primary's replicated decision log.
+        source: u32,
+    },
+    /// Standby → shipper: stream accepted. `resume_lsn` is the LSN the
+    /// standby wants next (its cumulative applied position) — after a
+    /// disconnect the shipper restarts from here, not from its own guess.
+    GeoHelloOk {
+        /// Log-stream protocol version the standby speaks.
+        version: u16,
+        /// The LSN the standby expects next.
+        resume_lsn: Lsn,
+    },
+    /// Shipper → standby: a batch of consecutive WAL records. Every batch
+    /// re-states the epoch so a standby that observed a promotion mid-stream
+    /// fences the very next frame, not just the next handshake.
+    GeoRecords {
+        /// The shipper's fencing epoch.
+        epoch: u64,
+        /// Consecutive log records, in LSN order.
+        records: Vec<LogRecord>,
+    },
+    /// Standby → shipper: cumulative acknowledgement. All records with
+    /// `lsn < applied_lsn` are applied on the standby; the shipper may
+    /// release them and measures its lag against this watermark.
+    GeoAck {
+        /// One past the highest applied LSN.
+        applied_lsn: Lsn,
+    },
+    /// Stream rejection: the sender's epoch is stale — a promotion happened.
+    /// Carries the newest epoch the receiver has seen so the fenced side can
+    /// log why it must stand down.
+    GeoFenced {
+        /// The newest fencing epoch known to the rejecting peer.
+        epoch: u64,
+    },
 }
 
 impl Frame {
@@ -391,6 +459,11 @@ impl Frame {
             Frame::Batch { .. } => 0x19,
             Frame::BatchOk { .. } => 0x1A,
             Frame::BatchErr { .. } => 0x1B,
+            Frame::GeoHello { .. } => 0x20,
+            Frame::GeoHelloOk { .. } => 0x21,
+            Frame::GeoRecords { .. } => 0x22,
+            Frame::GeoAck { .. } => 0x23,
+            Frame::GeoFenced { .. } => 0x24,
         }
     }
 
@@ -415,6 +488,11 @@ impl Frame {
             Frame::Batch { .. } => "batch",
             Frame::BatchOk { .. } => "batch_ok",
             Frame::BatchErr { .. } => "batch_err",
+            Frame::GeoHello { .. } => "geo_hello",
+            Frame::GeoHelloOk { .. } => "geo_hello_ok",
+            Frame::GeoRecords { .. } => "geo_records",
+            Frame::GeoAck { .. } => "geo_ack",
+            Frame::GeoFenced { .. } => "geo_fenced",
         }
     }
 
@@ -502,6 +580,35 @@ impl Frame {
                 put_u32(body, *index);
                 put_cluster_error(body, error);
             }
+            Frame::GeoHello {
+                version,
+                db,
+                start_lsn,
+                epoch,
+                source,
+            } => {
+                put_u16(body, *version);
+                put_str(body, db);
+                put_u64(body, start_lsn.0);
+                put_u64(body, *epoch);
+                put_u32(body, *source);
+            }
+            Frame::GeoHelloOk {
+                version,
+                resume_lsn,
+            } => {
+                put_u16(body, *version);
+                put_u64(body, resume_lsn.0);
+            }
+            Frame::GeoRecords { epoch, records } => {
+                put_u64(body, *epoch);
+                put_u32(body, records.len() as u32);
+                for rec in records {
+                    put_log_record(body, rec);
+                }
+            }
+            Frame::GeoAck { applied_lsn } => put_u64(body, applied_lsn.0),
+            Frame::GeoFenced { epoch } => put_u64(body, *epoch),
         }
         let len = (body.len() - start - 4) as u32;
         body[start..start + 4].copy_from_slice(&len.to_le_bytes());
@@ -608,6 +715,42 @@ impl Frame {
                 let error = get_cluster_error(&mut r)?;
                 Frame::BatchErr { seq, index, error }
             }
+            0x20 => {
+                let version = r.u16()?;
+                if !(1..=GEOREP_PROTOCOL_VERSION).contains(&version) {
+                    return Err(WireError::BadVersion(version));
+                }
+                Frame::GeoHello {
+                    version,
+                    db: r.string()?,
+                    start_lsn: Lsn(r.u64()?),
+                    epoch: r.u64()?,
+                    source: r.u32()?,
+                }
+            }
+            0x21 => {
+                let version = r.u16()?;
+                if !(1..=GEOREP_PROTOCOL_VERSION).contains(&version) {
+                    return Err(WireError::BadVersion(version));
+                }
+                Frame::GeoHelloOk {
+                    version,
+                    resume_lsn: Lsn(r.u64()?),
+                }
+            }
+            0x22 => {
+                let epoch = r.u64()?;
+                let n = r.bounded_len()?;
+                let mut records = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    records.push(get_log_record(&mut r)?);
+                }
+                Frame::GeoRecords { epoch, records }
+            }
+            0x23 => Frame::GeoAck {
+                applied_lsn: Lsn(r.u64()?),
+            },
+            0x24 => Frame::GeoFenced { epoch: r.u64()? },
             other => return Err(WireError::BadOpcode(other)),
         };
         r.finish()?;
@@ -881,6 +1024,128 @@ fn put_cluster_error(out: &mut Vec<u8>, e: &ClusterError) {
             out.push(10);
             put_str(out, db);
         }
+        ClusterError::Fenced { epoch } => {
+            out.push(11);
+            put_u64(out, *epoch);
+        }
+    }
+}
+
+fn data_type_to_u8(t: DataType) -> u8 {
+    match t {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Text => 3,
+    }
+}
+
+fn data_type_from_u8(b: u8) -> WireResult<DataType> {
+    Ok(match b {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Text,
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn put_table_schema(out: &mut Vec<u8>, s: &TableSchema) {
+    put_str(out, &s.name);
+    put_u32(out, s.columns.len() as u32);
+    for c in &s.columns {
+        put_str(out, &c.name);
+        out.push(data_type_to_u8(c.ty));
+        out.push(c.nullable as u8);
+    }
+    put_u32(out, s.indexes.len() as u32);
+    for i in &s.indexes {
+        put_str(out, &i.name);
+        put_u32(out, i.columns.len() as u32);
+        for &col in &i.columns {
+            put_u32(out, col as u32);
+        }
+        out.push(i.unique as u8);
+    }
+}
+
+fn put_redo_op(out: &mut Vec<u8>, op: &RedoOp) {
+    match op {
+        RedoOp::CreateDatabase { db } => {
+            out.push(0);
+            put_str(out, db);
+        }
+        RedoOp::DropDatabase { db } => {
+            out.push(1);
+            put_str(out, db);
+        }
+        RedoOp::CreateTable { db, schema } => {
+            out.push(2);
+            put_str(out, db);
+            put_table_schema(out, schema);
+        }
+        RedoOp::CreateIndex {
+            db,
+            table,
+            index,
+            columns,
+            unique,
+        } => {
+            out.push(3);
+            put_str(out, db);
+            put_str(out, table);
+            put_str(out, index);
+            put_u32(out, columns.len() as u32);
+            for c in columns {
+                put_str(out, c);
+            }
+            out.push(*unique as u8);
+        }
+        RedoOp::Insert {
+            db,
+            table,
+            row_id,
+            row,
+        }
+        | RedoOp::Update {
+            db,
+            table,
+            row_id,
+            row,
+        } => {
+            out.push(if matches!(op, RedoOp::Insert { .. }) {
+                4
+            } else {
+                5
+            });
+            put_str(out, db);
+            put_str(out, table);
+            put_u64(out, *row_id);
+            put_u32(out, row.len() as u32);
+            for v in row {
+                put_value(out, v);
+            }
+        }
+        RedoOp::Delete { db, table, row_id } => {
+            out.push(6);
+            put_str(out, db);
+            put_str(out, table);
+            put_u64(out, *row_id);
+        }
+    }
+}
+
+fn put_log_record(out: &mut Vec<u8>, rec: &LogRecord) {
+    put_u64(out, rec.lsn.0);
+    put_u64(out, rec.txn.0);
+    match &rec.entry {
+        WalEntry::Redo(op) => {
+            out.push(0);
+            put_redo_op(out, op);
+        }
+        WalEntry::Prepare => out.push(1),
+        WalEntry::Commit => out.push(2),
+        WalEntry::Abort => out.push(3),
     }
 }
 
@@ -1076,8 +1341,113 @@ fn get_cluster_error(r: &mut Reader<'_>) -> WireResult<ClusterError> {
         },
         9 => ClusterError::InDoubt(r.string()?),
         10 => ClusterError::AdmissionRejected { db: r.string()? },
+        11 => ClusterError::Fenced { epoch: r.u64()? },
         other => return Err(WireError::BadTag(other)),
     })
+}
+
+fn get_table_schema(r: &mut Reader<'_>) -> WireResult<TableSchema> {
+    let name = r.string()?;
+    let ncols = r.bounded_len()?;
+    let mut columns = Vec::with_capacity(ncols.min(1024));
+    for _ in 0..ncols {
+        let cname = r.string()?;
+        let ty = data_type_from_u8(r.u8()?)?;
+        let nullable = r.u8()? != 0;
+        let mut c = ColumnDef::new(cname, ty);
+        c.nullable = nullable;
+        columns.push(c);
+    }
+    let mut schema = TableSchema::new(name, columns);
+    let nidx = r.bounded_len()?;
+    for _ in 0..nidx {
+        let iname = r.string()?;
+        let n = r.bounded_len()?;
+        let mut cols = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            cols.push(r.u32()? as usize);
+        }
+        let unique = r.u8()? != 0;
+        schema.indexes.push(IndexDef {
+            name: iname,
+            columns: cols,
+            unique,
+        });
+    }
+    Ok(schema)
+}
+
+fn get_redo_op(r: &mut Reader<'_>) -> WireResult<RedoOp> {
+    Ok(match r.u8()? {
+        0 => RedoOp::CreateDatabase { db: r.string()? },
+        1 => RedoOp::DropDatabase { db: r.string()? },
+        2 => RedoOp::CreateTable {
+            db: r.string()?,
+            schema: get_table_schema(r)?,
+        },
+        3 => {
+            let db = r.string()?;
+            let table = r.string()?;
+            let index = r.string()?;
+            let n = r.bounded_len()?;
+            let mut columns = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                columns.push(r.string()?);
+            }
+            let unique = r.u8()? != 0;
+            RedoOp::CreateIndex {
+                db,
+                table,
+                index,
+                columns,
+                unique,
+            }
+        }
+        tag @ (4 | 5) => {
+            let db = r.string()?;
+            let table = r.string()?;
+            let row_id = r.u64()?;
+            let n = r.bounded_len()?;
+            let mut row = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                row.push(get_value(r)?);
+            }
+            if tag == 4 {
+                RedoOp::Insert {
+                    db,
+                    table,
+                    row_id,
+                    row,
+                }
+            } else {
+                RedoOp::Update {
+                    db,
+                    table,
+                    row_id,
+                    row,
+                }
+            }
+        }
+        6 => RedoOp::Delete {
+            db: r.string()?,
+            table: r.string()?,
+            row_id: r.u64()?,
+        },
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn get_log_record(r: &mut Reader<'_>) -> WireResult<LogRecord> {
+    let lsn = Lsn(r.u64()?);
+    let txn = TxnId(r.u64()?);
+    let entry = match r.u8()? {
+        0 => WalEntry::Redo(get_redo_op(r)?),
+        1 => WalEntry::Prepare,
+        2 => WalEntry::Commit,
+        3 => WalEntry::Abort,
+        other => return Err(WireError::BadTag(other)),
+    };
+    Ok(LogRecord { lsn, txn, entry })
 }
 
 #[cfg(test)]
@@ -1327,6 +1697,152 @@ mod tests {
         assert!(matches!(
             Frame::decode(&bytes[4..]),
             Err(WireError::BadTag(0x7f))
+        ));
+    }
+
+    #[test]
+    fn geo_stream_frames_roundtrip() {
+        roundtrip(&Frame::GeoHello {
+            version: GEOREP_PROTOCOL_VERSION,
+            db: "tenant7".into(),
+            start_lsn: Lsn(42),
+            epoch: 3,
+            source: 2,
+        });
+        roundtrip(&Frame::GeoHelloOk {
+            version: GEOREP_PROTOCOL_VERSION,
+            resume_lsn: Lsn(40),
+        });
+        roundtrip(&Frame::GeoAck {
+            applied_lsn: Lsn(u64::MAX),
+        });
+        roundtrip(&Frame::GeoFenced { epoch: 9 });
+        roundtrip(&Frame::GeoRecords {
+            epoch: 0,
+            records: vec![],
+        });
+    }
+
+    #[test]
+    fn geo_records_carry_every_wal_entry_shape() {
+        let schema = TableSchema::new(
+            "users",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("ok", DataType::Bool),
+                ColumnDef::new("score", DataType::Float),
+            ],
+        )
+        .with_primary_key(&["id"])
+        .with_index("by_name", &["name"], false);
+        let ops = vec![
+            RedoOp::CreateDatabase { db: "d".into() },
+            RedoOp::DropDatabase { db: "d".into() },
+            RedoOp::CreateTable {
+                db: "d".into(),
+                schema,
+            },
+            RedoOp::CreateIndex {
+                db: "d".into(),
+                table: "users".into(),
+                index: "by_score".into(),
+                columns: vec!["score".into()],
+                unique: false,
+            },
+            RedoOp::Insert {
+                db: "d".into(),
+                table: "users".into(),
+                row_id: 1,
+                row: vec![Value::Int(1), Value::Text("é".into()), Value::Null],
+            },
+            RedoOp::Update {
+                db: "d".into(),
+                table: "users".into(),
+                row_id: 1,
+                row: vec![Value::Bool(true), Value::Float(0.5)],
+            },
+            RedoOp::Delete {
+                db: "d".into(),
+                table: "users".into(),
+                row_id: 1,
+            },
+        ];
+        let mut records: Vec<LogRecord> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| LogRecord {
+                lsn: Lsn(i as u64),
+                txn: TxnId(7),
+                entry: WalEntry::Redo(op),
+            })
+            .collect();
+        for (i, entry) in [WalEntry::Prepare, WalEntry::Commit, WalEntry::Abort]
+            .into_iter()
+            .enumerate()
+        {
+            records.push(LogRecord {
+                lsn: Lsn(100 + i as u64),
+                txn: TxnId(7),
+                entry,
+            });
+        }
+        roundtrip(&Frame::GeoRecords { epoch: 5, records });
+    }
+
+    #[test]
+    fn geo_hello_rejects_unknown_stream_version() {
+        for bad in [0u16, GEOREP_PROTOCOL_VERSION + 1] {
+            let f = Frame::GeoHello {
+                version: bad,
+                db: "app".into(),
+                start_lsn: Lsn(0),
+                epoch: 0,
+                source: 0,
+            };
+            let bytes = f.encode();
+            assert!(matches!(
+                Frame::decode(&bytes[4..]),
+                Err(WireError::BadVersion(v)) if v == bad
+            ));
+        }
+    }
+
+    #[test]
+    fn bad_wal_entry_and_redo_tags_are_rejected() {
+        let rec = LogRecord {
+            lsn: Lsn(0),
+            txn: TxnId(1),
+            entry: WalEntry::Prepare,
+        };
+        let f = Frame::GeoRecords {
+            epoch: 0,
+            records: vec![rec],
+        };
+        let mut bytes = f.encode();
+        // Body: opcode(1) epoch(8) count(4) lsn(8) txn(8) entry-tag(1).
+        let tag_at = 4 + 1 + 8 + 4 + 8 + 8;
+        bytes[tag_at] = 0x66;
+        assert!(matches!(
+            Frame::decode(&bytes[4..]),
+            Err(WireError::BadTag(0x66))
+        ));
+
+        let rec = LogRecord {
+            lsn: Lsn(0),
+            txn: TxnId(1),
+            entry: WalEntry::Redo(RedoOp::CreateDatabase { db: String::new() }),
+        };
+        let f = Frame::GeoRecords {
+            epoch: 0,
+            records: vec![rec],
+        };
+        let mut bytes = f.encode();
+        // One byte further in: the redo-op tag after entry-tag 0.
+        bytes[tag_at + 1] = 0x77;
+        assert!(matches!(
+            Frame::decode(&bytes[4..]),
+            Err(WireError::BadTag(0x77))
         ));
     }
 

@@ -13,10 +13,15 @@
 use rand::{Rng, SeedableRng, StdRng};
 use tenantdb_cluster::ClusterError;
 use tenantdb_cluster::{BatchMode, BatchStmt, ReadPolicy, WritePolicy};
-use tenantdb_net::wire::{Frame, ReadPref, WireError, WritePref, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use tenantdb_net::wire::{
+    Frame, ReadPref, WireError, WritePref, GEOREP_PROTOCOL_VERSION, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
 use tenantdb_net::ConnInfo;
 use tenantdb_sql::{QueryResult, SqlError};
-use tenantdb_storage::{StorageError, TxnId, Value};
+use tenantdb_storage::{
+    ColumnDef, DataType, IndexDef, LogRecord, Lsn, RedoOp, StorageError, TableSchema, TxnId, Value,
+    WalEntry,
+};
 
 /// Iteration budget: Miri runs ~two orders of magnitude slower, so shrink
 /// the loop counts there while keeping native runs thorough.
@@ -94,7 +99,7 @@ fn rand_sql_error(rng: &mut StdRng) -> SqlError {
 }
 
 fn rand_cluster_error(rng: &mut StdRng) -> ClusterError {
-    match rng.gen_range(0..11u32) {
+    match rng.gen_range(0..12u32) {
         0 => ClusterError::Sql(rand_sql_error(rng)),
         1 => ClusterError::NoSuchDatabase(rand_string(rng, 8)),
         2 => ClusterError::NoReplicas(rand_string(rng, 8)),
@@ -114,9 +119,10 @@ fn rand_cluster_error(rng: &mut StdRng) -> ClusterError {
             },
         },
         9 => ClusterError::InDoubt(rand_string(rng, 24)),
-        _ => ClusterError::AdmissionRejected {
+        10 => ClusterError::AdmissionRejected {
             db: rand_string(rng, 8),
         },
+        _ => ClusterError::Fenced { epoch: rng.gen() },
     }
 }
 
@@ -150,8 +156,90 @@ fn rand_batch_stmt(rng: &mut StdRng) -> BatchStmt {
     }
 }
 
+fn rand_table_schema(rng: &mut StdRng) -> TableSchema {
+    let ncols = rng.gen_range(1..4usize);
+    let columns = (0..ncols)
+        .map(|i| {
+            let ty = [
+                DataType::Bool,
+                DataType::Int,
+                DataType::Float,
+                DataType::Text,
+            ][rng.gen_range(0..4usize)];
+            let mut c = ColumnDef::new(format!("c{i}"), ty);
+            c.nullable = rng.gen_bool(0.5);
+            c
+        })
+        .collect();
+    let mut schema = TableSchema::new(rand_string(rng, 8), columns);
+    for i in 0..rng.gen_range(0..3usize) {
+        schema.indexes.push(IndexDef {
+            name: format!("i{i}"),
+            columns: (0..rng.gen_range(1..=ncols)).collect(),
+            unique: rng.gen_bool(0.5),
+        });
+    }
+    schema
+}
+
+fn rand_redo_op(rng: &mut StdRng) -> RedoOp {
+    let db = rand_string(rng, 8);
+    match rng.gen_range(0..7u32) {
+        0 => RedoOp::CreateDatabase { db },
+        1 => RedoOp::DropDatabase { db },
+        2 => RedoOp::CreateTable {
+            db,
+            schema: rand_table_schema(rng),
+        },
+        3 => RedoOp::CreateIndex {
+            db,
+            table: rand_string(rng, 8),
+            index: rand_string(rng, 8),
+            columns: (0..rng.gen_range(0..3usize))
+                .map(|_| rand_string(rng, 6))
+                .collect(),
+            unique: rng.gen_bool(0.5),
+        },
+        4 => RedoOp::Insert {
+            db,
+            table: rand_string(rng, 8),
+            row_id: rng.gen::<u64>(),
+            row: (0..rng.gen_range(0..4usize))
+                .map(|_| rand_finite_value(rng))
+                .collect(),
+        },
+        5 => RedoOp::Update {
+            db,
+            table: rand_string(rng, 8),
+            row_id: rng.gen::<u64>(),
+            row: (0..rng.gen_range(0..4usize))
+                .map(|_| rand_finite_value(rng))
+                .collect(),
+        },
+        _ => RedoOp::Delete {
+            db,
+            table: rand_string(rng, 8),
+            row_id: rng.gen::<u64>(),
+        },
+    }
+}
+
+fn rand_log_record(rng: &mut StdRng) -> LogRecord {
+    let entry = match rng.gen_range(0..4u32) {
+        0 => WalEntry::Redo(rand_redo_op(rng)),
+        1 => WalEntry::Prepare,
+        2 => WalEntry::Commit,
+        _ => WalEntry::Abort,
+    };
+    LogRecord {
+        lsn: Lsn(rng.gen::<u64>()),
+        txn: TxnId(rng.gen::<u64>()),
+        entry,
+    }
+}
+
 fn rand_frame(rng: &mut StdRng) -> Frame {
-    match rng.gen_range(0..18u32) {
+    match rng.gen_range(0..23u32) {
         0 => Frame::Hello {
             version: PROTOCOL_VERSION,
             db: rand_string(rng, 12),
@@ -226,6 +314,29 @@ fn rand_frame(rng: &mut StdRng) -> Frame {
             seq: rng.gen::<u32>(),
             index: rng.gen::<u32>(),
             error: rand_cluster_error(rng),
+        },
+        17 => Frame::GeoHello {
+            version: GEOREP_PROTOCOL_VERSION,
+            db: rand_string(rng, 12),
+            start_lsn: Lsn(rng.gen::<u64>()),
+            epoch: rng.gen::<u64>(),
+            source: rng.gen::<u32>(),
+        },
+        18 => Frame::GeoHelloOk {
+            version: GEOREP_PROTOCOL_VERSION,
+            resume_lsn: Lsn(rng.gen::<u64>()),
+        },
+        19 => Frame::GeoRecords {
+            epoch: rng.gen::<u64>(),
+            records: (0..rng.gen_range(0..5usize))
+                .map(|_| rand_log_record(rng))
+                .collect(),
+        },
+        20 => Frame::GeoAck {
+            applied_lsn: Lsn(rng.gen::<u64>()),
+        },
+        21 => Frame::GeoFenced {
+            epoch: rng.gen::<u64>(),
         },
         _ => Frame::ConnList(
             (0..rng.gen_range(0..4usize))
@@ -365,7 +476,7 @@ fn bad_version_is_detected() {
 #[test]
 fn garbage_opcode_is_rejected() {
     for op in 0u8..=255 {
-        let known = matches!(op, 0x01..=0x06 | 0x10..=0x1B);
+        let known = matches!(op, 0x01..=0x06 | 0x10..=0x1B | 0x20..=0x24);
         let body = [op];
         match Frame::decode(&body) {
             Err(WireError::BadOpcode(b)) => {

@@ -25,7 +25,9 @@
 //! interleaving per known-dangerous window: crash before/after the PREPARE
 //! vote, controller death after the commit decision (with and without a
 //! simultaneously dead participant), crash at each Algorithm-1 table
-//! boundary, straggler acks, lock-timeout storms.
+//! boundary, straggler acks, lock-timeout storms, and the cross-colo
+//! stream windows (partition mid-ship, promotion of a lagging standby,
+//! split-brain fencing — judged by [`invariants::check_geo`]).
 
 #![warn(missing_docs)]
 
@@ -35,7 +37,7 @@ pub mod scenarios;
 pub mod shrink;
 pub mod tenant_scale;
 
-pub use invariants::{cell_is_serializable, check_run};
+pub use invariants::{cell_is_serializable, check_geo, check_run};
 pub use runner::{generate_plan, run_seed, run_with_plan, RunReport, SimConfig};
 pub use scenarios::{all_scenarios, Scenario};
 pub use shrink::shrink_plan;

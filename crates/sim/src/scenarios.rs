@@ -13,13 +13,17 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use tenantdb_cluster::fault::{CrashPoint, FaultAction, FaultPlan, Trigger, CONTROLLER};
+use tenantdb_cluster::fault::{CrashPoint, FaultAction, FaultPlan, Trigger, CONTROLLER, GEO};
 use tenantdb_cluster::recovery::{create_replica, CopyGranularity};
 use tenantdb_cluster::testkit;
 use tenantdb_cluster::{
-    ClusterController, ClusterError, Connection, MachineId, ReadPolicy, WritePolicy,
+    ClusterConfig, ClusterController, ClusterError, Connection, MachineId, ReadPolicy, WritePolicy,
+};
+use tenantdb_georep::{
+    promote, promote_without_fencing, Applier, GeoError, GeoLink, GeoMetrics, Shipper,
 };
 use tenantdb_history::Recorder;
+use tenantdb_obs::MetricsRegistry;
 use tenantdb_sla::Sla;
 use tenantdb_storage::{Throttle, Value};
 
@@ -150,6 +154,21 @@ pub fn all_scenarios() -> Vec<Scenario> {
             name: "sla_reject_under_failover",
             about: "admission sheds ride out a machine failure and an Algorithm-1 recopy; the gate still enforces afterwards",
             run: sla_reject_under_failover,
+        },
+        Scenario {
+            name: "geo_colo_partition",
+            about: "the cross-colo stream is partitioned mid-ship (with an injected ship-batch delay); after healing, the standby resumes from the cumulative ack and converges",
+            run: geo_colo_partition,
+        },
+        Scenario {
+            name: "geo_lagging_standby_promotion",
+            about: "the primary colo dies while the standby lags; promotion preserves every standby-acked commit and the new colo takes writes",
+            run: geo_lagging_standby_promotion,
+        },
+        Scenario {
+            name: "geo_split_brain_fenced",
+            about: "planned failover fences the old primary against every write while reads stay up; the teeth half proves check_geo fires when fencing is skipped",
+            run: geo_split_brain_fenced,
         },
     ]
 }
@@ -1094,4 +1113,194 @@ fn sla_reject_under_failover() -> Result<(), String> {
         "the gate stopped enforcing after the failover",
     )?;
     finish(&c, 2, &acked, read, write, &rec)
+}
+
+// ------------------------------------------------------- georep scenarios
+
+/// Build a primary/standby colo pair wired by an in-process [`GeoLink`]:
+/// the primary is the standard scenario cluster (database `app`, table
+/// `t`), the standby an empty cluster the stream populates.
+#[allow(clippy::type_complexity)]
+fn geo_pair() -> Result<
+    (
+        Arc<ClusterController>,
+        Arc<Recorder>,
+        Arc<ClusterController>,
+        Arc<parking_lot::Mutex<Applier>>,
+        GeoLink,
+        GeoMetrics,
+    ),
+    String,
+> {
+    let (p, rec) = cluster(ReadPolicy::PinnedReplica, WritePolicy::Conservative, 3, 2);
+    let s = ClusterController::with_machines(ClusterConfig::for_tests(), 2);
+    let gm = GeoMetrics::new(Arc::new(MetricsRegistry::new()));
+    let shipper = Shipper::new(Arc::clone(&p), "app", gm.clone()).map_err(|e| e.to_string())?;
+    let applier = Arc::new(parking_lot::Mutex::new(Applier::new(
+        Arc::clone(&s),
+        "app",
+        2,
+        gm.clone(),
+    )));
+    let link = GeoLink::new(shipper, Arc::clone(&applier), gm.clone());
+    Ok((p, rec, s, applier, link, gm))
+}
+
+fn geo_count(c: &Arc<ClusterController>, db: &str) -> Result<i64, String> {
+    let conn = c.connect(db).map_err(|e| e.to_string())?;
+    let out = conn
+        .execute("SELECT COUNT(*) FROM t", &[])
+        .map_err(|e| e.to_string())?;
+    match out.rows[0][0] {
+        Value::Int(n) => Ok(n),
+        ref v => Err(format!("unexpected COUNT result {v:?}")),
+    }
+}
+
+/// The cross-colo stream is severed mid-ship (a WAN partition) while the
+/// primary keeps committing, with an injected `GeoShipBatch` delay
+/// stretching the re-ship window. After healing, the stream resumes from
+/// the standby's cumulative ack and the standby converges with no loss and
+/// no duplicates.
+fn geo_colo_partition() -> Result<(), String> {
+    let (read, write) = (ReadPolicy::PinnedReplica, WritePolicy::Conservative);
+    let (p, rec, s, _applier, mut link, _gm) = geo_pair()?;
+    let conn = p.connect("app").map_err(|e| e.to_string())?;
+    let mut acked = Vec::new();
+    for k in 0..8i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+    }
+    link.sync().map_err(|e| e.to_string())?;
+    expect(link.lag() == 0, "drained stream must show zero lag")?;
+
+    // Partition. The primary keeps committing into the outage.
+    link.sever();
+    for k in 8..16i64 {
+        insert_txn(&conn, k)?;
+        acked.push(k);
+    }
+    // A delay on the re-ship batch stretches the catch-up window without
+    // changing the outcome.
+    p.faults().arm(FaultPlan::new(vec![delay(
+        CrashPoint::GeoShipBatch,
+        GEO,
+        0,
+        5,
+    )]));
+    link.sync().map_err(|e| e.to_string())?;
+    expect(
+        geo_count(&s, "app")? == 16,
+        "standby must converge to all 16 rows after the partition heals",
+    )?;
+    let geo = invariants::check_geo(&s, None, "app", "t", &acked);
+    expect(geo.is_empty(), &format!("geo invariant: {geo:?}"))?;
+    finish(&p, 2, &acked, read, write, &rec)
+}
+
+/// The primary colo is lost while the standby lags behind it. Promotion
+/// must preserve every commit the standby acked before the disaster (the
+/// lag bound is exactly the unacked tail) and hand the new colo write
+/// authority.
+fn geo_lagging_standby_promotion() -> Result<(), String> {
+    let (p, _rec, s, applier, mut link, gm) = geo_pair()?;
+    let conn = p.connect("app").map_err(|e| e.to_string())?;
+    let mut standby_acked = Vec::new();
+    for k in 0..6i64 {
+        insert_txn(&conn, k)?;
+        standby_acked.push(k);
+    }
+    link.sync().map_err(|e| e.to_string())?;
+
+    // Commits the stream never ships: the standby now lags.
+    for k in 6..12i64 {
+        insert_txn(&conn, k)?;
+    }
+    expect(link.lag() > 0, "unshipped commits must show up as lag")?;
+
+    // Disaster: every machine in the primary colo goes dark.
+    for id in p.machine_ids() {
+        let _ = p.fail_machine(id);
+    }
+    expect(
+        link.sync().is_err(),
+        "the stream must sever when the source colo dies",
+    )?;
+
+    let out = promote(&s, None, &[Arc::clone(&applier)], &gm).map_err(|e| e.to_string())?;
+    expect(out.epoch == 1, "first promotion must mint epoch 1")?;
+    let geo = invariants::check_geo(&s, None, "app", "t", &standby_acked);
+    expect(geo.is_empty(), &format!("geo invariant: {geo:?}"))?;
+    expect(
+        geo_count(&s, "app")? == 6,
+        "exactly the acked prefix must survive colo loss",
+    )?;
+
+    // The promoted colo carries writes forward.
+    let sconn = s.connect("app").map_err(|e| e.to_string())?;
+    sconn
+        .execute(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Int(100), Value::Text("post".into())],
+        )
+        .map_err(|e| format!("promoted standby must accept writes: {e}"))?;
+    Ok(())
+}
+
+/// Planned failover: promotion fences the old primary (every write shape
+/// refused, reads still served) and kills the stale stream with
+/// `GeoFenced`. The teeth half re-runs the failover with fencing skipped
+/// and proves [`invariants::check_geo`] reports the split brain.
+fn geo_split_brain_fenced() -> Result<(), String> {
+    let (p, _rec, s, applier, mut link, gm) = geo_pair()?;
+    let conn = p.connect("app").map_err(|e| e.to_string())?;
+    let mut standby_acked = Vec::new();
+    for k in 0..10i64 {
+        insert_txn(&conn, k)?;
+        standby_acked.push(k);
+    }
+    link.sync().map_err(|e| e.to_string())?;
+
+    let out = promote(&s, Some(&p), &[Arc::clone(&applier)], &gm).map_err(|e| e.to_string())?;
+    expect(
+        out.fenced_old_primary,
+        "reachable old primary must be fenced",
+    )?;
+    let geo = invariants::check_geo(&s, Some(&p), "app", "t", &standby_acked);
+    expect(geo.is_empty(), &format!("geo invariant: {geo:?}"))?;
+    expect(
+        geo_count(&p, "app")? == 10,
+        "reads on the fenced primary must stay up",
+    )?;
+    match conn.execute(
+        "INSERT INTO t VALUES (?, ?)",
+        &[Value::Int(99), Value::Text("x".into())],
+    ) {
+        Err(e) if e.is_fenced() => {}
+        other => return Err(format!("fenced primary must refuse DML, got {other:?}")),
+    }
+    link.sever();
+    match link.sync() {
+        Err(GeoError::Fenced { .. }) => {}
+        other => return Err(format!("stale stream must be fenced, got {other:?}")),
+    }
+
+    // Teeth: the same failover with fencing disabled must trip the checker
+    // — the old primary still takes writes, a split brain.
+    let (p2, _rec2, s2, applier2, mut link2, gm2) = geo_pair()?;
+    let conn2 = p2.connect("app").map_err(|e| e.to_string())?;
+    let mut acked2 = Vec::new();
+    for k in 0..4i64 {
+        insert_txn(&conn2, k)?;
+        acked2.push(k);
+    }
+    link2.sync().map_err(|e| e.to_string())?;
+    promote_without_fencing(&s2, Some(&p2), &[Arc::clone(&applier2)], &gm2)
+        .map_err(|e| e.to_string())?;
+    let teeth = invariants::check_geo(&s2, Some(&p2), "app", "t", &acked2);
+    expect(
+        teeth.iter().any(|v| v.contains("split-brain"))
+            && teeth.iter().any(|v| v.contains("not fenced")),
+        &format!("check_geo must fire on an unfenced promotion, got {teeth:?}"),
+    )
 }

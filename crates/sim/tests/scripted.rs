@@ -66,4 +66,7 @@ scenario_tests!(
     ctrl_quorum_loss_rejects_writes,
     sla_noisy_neighbor,
     sla_reject_under_failover,
+    geo_colo_partition,
+    geo_lagging_standby_promotion,
+    geo_split_brain_fenced,
 );

@@ -870,6 +870,141 @@ impl Engine {
         &self.wal
     }
 
+    // The four wrappers below are the *stable* log surface for callers
+    // outside this crate (the cluster controller's restart path and the
+    // cross-colo shipper). `xtask lint` gates direct `.wal()` access from
+    // other crates onto these, so the WAL's internal layout can change
+    // without touching its consumers.
+
+    /// The LSN the next WAL append will receive (see [`Wal::head_lsn`]).
+    pub fn wal_head_lsn(&self) -> crate::wal::Lsn {
+        self.wal.head_lsn()
+    }
+
+    /// Retained WAL records with `lsn >= from` — the tailing cursor for
+    /// log shipping (see [`Wal::tail_from`]).
+    pub fn wal_tail_from(&self, from: crate::wal::Lsn) -> Vec<crate::wal::LogRecord> {
+        self.wal.tail_from(from)
+    }
+
+    /// [`Engine::wal_tail_from`], capped at `max` records (see
+    /// [`Wal::tail_from_capped`]) — lagging shippers page their backlog
+    /// instead of cloning the whole suffix per batch.
+    ///
+    /// [`Wal::tail_from_capped`]: crate::wal::Wal::tail_from_capped
+    pub fn wal_tail_from_capped(
+        &self,
+        from: crate::wal::Lsn,
+        max: usize,
+    ) -> Vec<crate::wal::LogRecord> {
+        self.wal.tail_from_capped(from, max)
+    }
+
+    /// Local transactions that prepared but never learned a 2PC outcome
+    /// (see [`Wal::in_doubt`]). The coordinator resolves these after a
+    /// restart against the replicated decision log.
+    pub fn in_doubt(&self) -> Vec<TxnId> {
+        self.wal.in_doubt()
+    }
+
+    /// Log a COMMIT decision for an in-doubt prepared transaction so the
+    /// next [`Engine::restart`] replay applies it. Used while the engine is
+    /// *down*: the decision was reached by the replicated 2PC log, not by a
+    /// live commit on this engine.
+    pub fn resolve_in_doubt_commit(&self, txn: TxnId) {
+        self.wal.append(txn, WalEntry::Commit);
+    }
+
+    /// Apply one replicated redo operation to the live catalog — the
+    /// standby-side write path for cross-colo log shipping.
+    ///
+    /// The caller (the georep applier) feeds *decided* redo only — records
+    /// of transactions whose commit marker has arrived, plus DDL — in
+    /// primary LSN order. The op is logged under [`Wal::DDL_TXN`] first so
+    /// a crash-restart of this engine replays it unconditionally, then
+    /// applied in place. Locks, undo, and 2PC are bypassed: the primary
+    /// already serialized and decided the work, so replay here is
+    /// deterministic. Row-level failures are ignored exactly as
+    /// [`Engine::restart`] replay ignores them.
+    pub fn apply_replicated_redo(&self, op: &RedoOp) -> Result<()> {
+        self.check_up()?;
+        self.wal.append(Wal::DDL_TXN, WalEntry::Redo(op.clone()));
+        match op {
+            RedoOp::CreateDatabase { db } => {
+                self.databases
+                    .write()
+                    .entry(db.clone())
+                    .or_insert_with(|| Arc::new(Database::new(db.clone())));
+            }
+            RedoOp::DropDatabase { db } => {
+                self.databases.write().remove(db);
+            }
+            RedoOp::CreateTable { db, schema } => {
+                // Idempotent: a re-shipped batch (ack lost, primary resent)
+                // must not clobber a table that already took rows.
+                if let Ok(d) = self.db(db) {
+                    let mut tables = d.tables.write();
+                    if !tables.contains_key(&schema.name) {
+                        // ordering: Relaxed — id minting; uniqueness needs
+                        // only atomicity.
+                        let id = self.next_table_id.fetch_add(1, Ordering::Relaxed);
+                        tables.insert(
+                            schema.name.clone(),
+                            Arc::new(Table::new(id, schema.clone())),
+                        );
+                    }
+                }
+            }
+            RedoOp::CreateIndex {
+                db,
+                table,
+                index,
+                columns,
+                unique,
+            } => {
+                if let Ok(d) = self.db(db) {
+                    let old = d.tables.read().get(table).cloned();
+                    if let Some(old) = old {
+                        let mut schema = old.schema.clone();
+                        if schema.try_add_index(index, columns, *unique).is_ok() {
+                            let rebuilt = Table::new(old.id, schema);
+                            for (rid, row) in old.scan() {
+                                let _ = rebuilt.insert_with_id(rid, row);
+                            }
+                            d.tables.write().insert(table.clone(), Arc::new(rebuilt));
+                        }
+                    }
+                }
+            }
+            RedoOp::Insert {
+                db,
+                table,
+                row_id,
+                row,
+            } => {
+                if let Ok(t) = self.table(db, table) {
+                    let _ = t.insert_with_id(*row_id, row.clone());
+                }
+            }
+            RedoOp::Update {
+                db,
+                table,
+                row_id,
+                row,
+            } => {
+                if let Ok(t) = self.table(db, table) {
+                    let _ = t.update(*row_id, row.clone());
+                }
+            }
+            RedoOp::Delete { db, table, row_id } => {
+                if let Ok(t) = self.table(db, table) {
+                    let _ = t.delete(*row_id);
+                }
+            }
+        }
+        Ok(())
+    }
+
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
     }
@@ -950,6 +1085,50 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].1[1], Value::Text("b".into()));
         e.commit(t).unwrap();
+    }
+
+    #[test]
+    fn apply_replicated_redo_materializes_and_survives_restart() {
+        let src = setup();
+        let rid2 = src
+            .with_txn(|t| {
+                src.insert(t, "app", "kv", kv(1, "one"))?;
+                src.insert(t, "app", "kv", kv(2, "two"))
+            })
+            .unwrap();
+        src.with_txn(|t| src.delete(t, "app", "kv", rid2)).unwrap();
+
+        // Replay the source's committed redo into a blank standby engine.
+        let standby = Engine::new(EngineConfig::for_tests());
+        for op in src.wal().committed_redo() {
+            standby.apply_replicated_redo(&op).unwrap();
+        }
+        let t = standby.begin().unwrap();
+        let rows = standby.scan(t, "app", "kv").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, kv(1, "one"));
+        // The pk index came across with the CREATE TABLE.
+        let hits = standby
+            .index_lookup(t, "app", "kv", "pk", &[Value::Int(1)], false)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        standby.commit(t).unwrap();
+
+        // Applied ops were logged, so a standby crash-restart keeps them.
+        standby.crash();
+        standby.restart();
+        let t = standby.begin().unwrap();
+        assert_eq!(standby.scan(t, "app", "kv").unwrap().len(), 1);
+        standby.commit(t).unwrap();
+
+        // Normal writes continue on the promoted standby (table ids and
+        // row ids stay coherent after replicated replay).
+        standby
+            .with_txn(|t| standby.insert(t, "app", "kv", kv(3, "three")))
+            .unwrap();
+        let t = standby.begin().unwrap();
+        assert_eq!(standby.scan(t, "app", "kv").unwrap().len(), 2);
+        standby.commit(t).unwrap();
     }
 
     #[test]

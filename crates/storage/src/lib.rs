@@ -63,3 +63,4 @@ pub use schema::{ColumnDef, IndexDef, TableSchema};
 pub use table::Table;
 pub use txn::{TxnId, TxnPhase, UndoRecord};
 pub use value::{DataType, Value};
+pub use wal::{LogRecord, Lsn, RedoOp, Wal, WalEntry};

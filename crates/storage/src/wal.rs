@@ -19,8 +19,36 @@ use crate::schema::TableSchema;
 use crate::txn::TxnId;
 use crate::value::Value;
 
+/// A log sequence number: the position of one record in an engine's WAL.
+///
+/// This is the *stable public cursor type* for everything that tails the
+/// log from outside the engine (cross-colo shipping, lag accounting,
+/// resume-after-disconnect). LSNs are dense and strictly increasing per
+/// engine; [`Lsn::ZERO`] is the position of the first record ever
+/// appended, and a reader holding LSN `n` resumes with
+/// [`Wal::tail_from`]`(Lsn(n))` to see record `n` onward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The position of the first record ever appended to a log.
+    pub const ZERO: Lsn = Lsn(0);
+
+    /// The position immediately after this one — what a reader that has
+    /// consumed `self` passes to [`Wal::tail_from`] to resume.
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Lsn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// A redo operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RedoOp {
     CreateDatabase {
         db: String,
@@ -59,7 +87,7 @@ pub enum RedoOp {
 }
 
 /// A log record body.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WalEntry {
     Redo(RedoOp),
     Prepare,
@@ -68,23 +96,36 @@ pub enum WalEntry {
 }
 
 /// A sequenced log record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogRecord {
-    pub lsn: u64,
+    pub lsn: Lsn,
     pub txn: TxnId,
     pub entry: WalEntry,
+}
+
+/// Retained log records plus the LSN of the first one still held — the
+/// prefix below `start` has been released by [`Wal::truncate_prefix`].
+struct WalInner {
+    start: u64,
+    recs: Vec<LogRecord>,
 }
 
 /// The engine-wide log. DDL records use [`Wal::DDL_TXN`] as their txn id and
 /// are always replayed.
 pub struct Wal {
-    records: Mutex<Vec<LogRecord>>,
+    records: Mutex<WalInner>,
 }
 
 impl Default for Wal {
     fn default() -> Self {
         Wal {
-            records: Mutex::new(&WAL_RECORDS, Vec::new()),
+            records: Mutex::new(
+                &WAL_RECORDS,
+                WalInner {
+                    start: 0,
+                    recs: Vec::new(),
+                },
+            ),
         }
     }
 }
@@ -93,36 +134,83 @@ impl Wal {
     /// Pseudo transaction id for auto-committed DDL.
     pub const DDL_TXN: TxnId = TxnId(0);
 
-    pub fn append(&self, txn: TxnId, entry: WalEntry) -> u64 {
-        let mut recs = self.records.lock();
-        let lsn = recs.len() as u64;
-        recs.push(LogRecord { lsn, txn, entry });
+    pub fn append(&self, txn: TxnId, entry: WalEntry) -> Lsn {
+        let mut inner = self.records.lock();
+        let lsn = Lsn(inner.start + inner.recs.len() as u64);
+        inner.recs.push(LogRecord { lsn, txn, entry });
         lsn
     }
 
+    /// Number of records currently retained (truncated prefix excluded).
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.records.lock().recs.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.records.lock().recs.is_empty()
     }
 
-    /// Snapshot of all records (tests, debugging, replay).
+    /// The LSN the *next* append will receive. Equivalently: one past the
+    /// last record, so `head_lsn() - tail position` is a reader's lag in
+    /// records. A fresh log has `head_lsn() == Lsn::ZERO`.
+    pub fn head_lsn(&self) -> Lsn {
+        let inner = self.records.lock();
+        Lsn(inner.start + inner.recs.len() as u64)
+    }
+
+    /// Snapshot of all retained records (tests, debugging, replay).
     pub fn snapshot(&self) -> Vec<LogRecord> {
-        self.records.lock().clone()
+        self.records.lock().recs.clone()
+    }
+
+    /// All retained records with `lsn >= from`, in LSN order — the tailing
+    /// cursor for log shipping. A reader that has applied through LSN `n`
+    /// calls `tail_from(Lsn(n + 1))` (or `lsn.next()`) to resume; an empty
+    /// result means the reader is caught up. Asking for an LSN below the
+    /// truncated prefix returns everything retained, so a stale reader
+    /// observes the gap by seeing a first record above its cursor.
+    pub fn tail_from(&self, from: Lsn) -> Vec<LogRecord> {
+        let inner = self.records.lock();
+        let skip = from.0.saturating_sub(inner.start) as usize;
+        inner.recs.iter().skip(skip).cloned().collect()
+    }
+
+    /// [`Wal::tail_from`], capped at `max` records. A lagging reader pages
+    /// through its backlog in `O(max)` clones per call instead of cloning
+    /// the whole suffix and discarding most of it.
+    pub fn tail_from_capped(&self, from: Lsn, max: usize) -> Vec<LogRecord> {
+        let inner = self.records.lock();
+        let skip = from.0.saturating_sub(inner.start) as usize;
+        inner.recs.iter().skip(skip).take(max).cloned().collect()
+    }
+
+    /// Drop retained records with `lsn < upto`, returning how many were
+    /// released. The caller owns the safety argument: a prefix may only be
+    /// truncated once every consumer (crash recovery via
+    /// [`Wal::committed_redo`], cross-colo shippers) has durably applied
+    /// it — replay after truncation reconstructs only the retained suffix.
+    pub fn truncate_prefix(&self, upto: Lsn) -> usize {
+        let mut inner = self.records.lock();
+        let cut = upto.0.saturating_sub(inner.start) as usize;
+        let cut = cut.min(inner.recs.len());
+        inner.recs.drain(..cut);
+        inner.start += cut as u64;
+        cut
     }
 
     /// Redo records of committed transactions plus all DDL, in LSN order.
     /// This is the exact input to crash recovery.
     pub fn committed_redo(&self) -> Vec<RedoOp> {
-        let recs = self.records.lock();
-        let committed: std::collections::HashSet<TxnId> = recs
+        let inner = self.records.lock();
+        let committed: std::collections::HashSet<TxnId> = inner
+            .recs
             .iter()
             .filter(|r| matches!(r.entry, WalEntry::Commit))
             .map(|r| r.txn)
             .collect();
-        recs.iter()
+        inner
+            .recs
+            .iter()
             .filter_map(|r| match &r.entry {
                 WalEntry::Redo(op) if r.txn == Self::DDL_TXN || committed.contains(&r.txn) => {
                     Some(op.clone())
@@ -135,9 +223,9 @@ impl Wal {
     /// Transactions that prepared but neither committed nor aborted — the
     /// coordinator must resolve these after a restart (2PC in-doubt set).
     pub fn in_doubt(&self) -> Vec<TxnId> {
-        let recs = self.records.lock();
+        let inner = self.records.lock();
         let mut prepared = std::collections::HashSet::new();
-        for r in recs.iter() {
+        for r in inner.recs.iter() {
             match r.entry {
                 WalEntry::Prepare => {
                     prepared.insert(r.txn);
@@ -154,7 +242,9 @@ impl Wal {
     }
 
     pub fn clear(&self) {
-        self.records.lock().clear();
+        let mut inner = self.records.lock();
+        inner.start = 0;
+        inner.recs.clear();
     }
 }
 
@@ -174,10 +264,63 @@ mod tests {
     #[test]
     fn lsns_are_sequential() {
         let wal = Wal::default();
-        assert_eq!(wal.append(TxnId(1), ins(1)), 0);
-        assert_eq!(wal.append(TxnId(1), ins(2)), 1);
-        assert_eq!(wal.append(TxnId(1), WalEntry::Commit), 2);
+        assert_eq!(wal.head_lsn(), Lsn::ZERO);
+        assert_eq!(wal.append(TxnId(1), ins(1)), Lsn(0));
+        assert_eq!(wal.append(TxnId(1), ins(2)), Lsn(1));
+        assert_eq!(wal.append(TxnId(1), WalEntry::Commit), Lsn(2));
         assert_eq!(wal.len(), 3);
+        assert_eq!(wal.head_lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn tail_from_resumes_at_the_cursor() {
+        let wal = Wal::default();
+        for i in 0..5 {
+            wal.append(TxnId(1), ins(i));
+        }
+        let tail = wal.tail_from(Lsn(3));
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].lsn, Lsn(3));
+        assert_eq!(tail[1].lsn, Lsn(4));
+        assert!(wal.tail_from(wal.head_lsn()).is_empty());
+        // `next()` is the resume idiom after consuming a record.
+        assert_eq!(tail[1].lsn.next(), wal.head_lsn());
+    }
+
+    #[test]
+    fn tail_from_capped_pages_the_backlog() {
+        let wal = Wal::default();
+        for i in 0..5 {
+            wal.append(TxnId(1), ins(i));
+        }
+        let page = wal.tail_from_capped(Lsn(1), 2);
+        assert_eq!(page.len(), 2);
+        assert_eq!(page[0].lsn, Lsn(1));
+        assert_eq!(page[1].lsn, Lsn(2));
+        // The next page resumes where the cap cut off.
+        let page = wal.tail_from_capped(page[1].lsn.next(), 100);
+        assert_eq!(page.len(), 2);
+        assert_eq!(page[0].lsn, Lsn(3));
+        assert!(wal.tail_from_capped(wal.head_lsn(), 100).is_empty());
+    }
+
+    #[test]
+    fn truncate_prefix_preserves_lsns() {
+        let wal = Wal::default();
+        for i in 0..6 {
+            wal.append(TxnId(1), ins(i));
+        }
+        assert_eq!(wal.truncate_prefix(Lsn(4)), 4);
+        assert_eq!(wal.len(), 2);
+        assert_eq!(wal.head_lsn(), Lsn(6));
+        // Retained records keep their original LSNs, and a fresh append
+        // continues the sequence.
+        let tail = wal.tail_from(Lsn::ZERO);
+        assert_eq!(tail[0].lsn, Lsn(4));
+        assert_eq!(wal.append(TxnId(1), ins(9)), Lsn(6));
+        // Truncating past the head releases everything but never rewinds.
+        assert_eq!(wal.truncate_prefix(Lsn(100)), 3);
+        assert_eq!(wal.head_lsn(), Lsn(7));
     }
 
     #[test]

@@ -100,6 +100,37 @@ const CONTRACTS: &[Contract] = &[
             ("placement_50k.n_dbs", 50000.0),
         ],
     },
+    // Written by `georep_dr`.
+    Contract {
+        file: "BENCH_georep.json",
+        schema: "tenantdb-bench-georep/v1",
+        required_numbers: &[
+            "georep_dr.items",
+            "georep_dr.window_seconds",
+            "georep_dr.baseline_tps",
+            "georep_dr.shipping_tps",
+            "georep_dr.shipper_overhead_pct",
+            "georep_dr.colocated_interference_pct",
+            "georep_dr.steady_lag_mean",
+            "georep_dr.steady_lag_max",
+            "georep_dr.promotion_ms",
+            "georep_dr.primary_orders",
+            "georep_dr.standby_orders",
+        ],
+        required_zero: &[
+            // Not one acknowledged commit may be missing on the promoted
+            // standby, and the full-mode shipper overhead must be within
+            // its ≤2% budget (the bench writes 1 on a blown budget).
+            "georep_dr.lost_acked_commits",
+            "georep_dr.overhead_budget_violations",
+        ],
+        full_mode_minimums: &[
+            // The committed snapshot must come from a run long enough to
+            // measure overhead against (the fast smoke windows are noise).
+            ("georep_dr.window_seconds", 2.0),
+            ("georep_dr.primary_orders", 50.0),
+        ],
+    },
 ];
 
 /// File names of every contracted snapshot (the `bench-check` default set).
@@ -389,6 +420,27 @@ mod tests {
 }
 "#;
 
+    const GOOD_GEOREP: &str = r#"{
+  "schema": "tenantdb-bench-georep/v1",
+  "georep_dr": {
+    "fast_mode": false,
+    "items": 100,
+    "window_seconds": 3.0,
+    "baseline_tps": 410.5,
+    "shipping_tps": 406.2,
+    "shipper_overhead_pct": 1.05,
+    "colocated_interference_pct": 4.2,
+    "overhead_budget_violations": 0,
+    "steady_lag_mean": 12.4,
+    "steady_lag_max": 96,
+    "promotion_ms": 18.7,
+    "primary_orders": 812,
+    "standby_orders": 812,
+    "lost_acked_commits": 0
+  }
+}
+"#;
+
     #[test]
     fn accepts_the_contracted_snapshots() {
         assert_eq!(check_text("BENCH_net.json", GOOD), Vec::<String>::new());
@@ -396,6 +448,20 @@ mod tests {
         assert_eq!(
             check_text("BENCH_scale.json", GOOD_SCALE),
             Vec::<String>::new()
+        );
+        assert_eq!(
+            check_text("BENCH_georep.json", GOOD_GEOREP),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn gates_on_lost_acked_commits() {
+        let broken = GOOD_GEOREP.replace("\"lost_acked_commits\": 0", "\"lost_acked_commits\": 2");
+        let problems = check_text("BENCH_georep.json", &broken);
+        assert!(
+            problems.iter().any(|p| p.contains("must be 0")),
+            "{problems:?}"
         );
     }
 

@@ -7,7 +7,9 @@
 //! plus meta-commands: `\help`, `\dbs`, `\use <db>`, `\metrics`,
 //! `\events [n]`, `\fail <machine>`, `\recover <machine>`,
 //! `\sla <min_tps> [frac]`, `\hammer [n]`,
-//! `\ctrl status|kill [n]|restart <n>`, `\quit`.
+//! `\ctrl status|kill [n]|restart <n>`,
+//! `\georep status|promote` (cross-colo DR — see the "Colo failover"
+//! runbook in README.md), `\quit`.
 //! Pipe a script: `echo 'SELECT 1 FROM t' | cargo run --example sql_shell`.
 //!
 //! The cluster metadata runs on a replicated controller group
@@ -23,14 +25,28 @@
 //! transactions work identically either way — both paths are the same
 //! `Transport` trait.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
+use parking_lot::Mutex;
 use tenantdb::cluster::{
     recover_machine, ClusterConfig, ClusterController, Connection, MachineId, RecoveryConfig,
     Transport,
 };
+use tenantdb::georep::{promote, Applier, GeoLink, GeoMetrics, Shipper};
 use tenantdb::net::{ConnectOptions, NetClient};
 use tenantdb::storage::Value;
+
+/// A lazily attached standby colo for the `\georep` drill: one in-process
+/// stream link per shipped database, all sharing the primary registry so
+/// the `tenantdb_georep_*` series show up in `\metrics`.
+struct GeoSession {
+    standby: Arc<ClusterController>,
+    links: HashMap<String, GeoLink>,
+    metrics: GeoMetrics,
+    promoted: bool,
+}
 
 /// The shell's session: in-process or over the wire protocol.
 enum ShellConn {
@@ -124,6 +140,7 @@ fn main() {
 
     let mut db = "demo".to_string();
     let mut conn = ShellConn::Local(cluster.connect(&db).unwrap());
+    let mut geo: Option<GeoSession> = None;
     println!(
         "tenantdb shell — database '{db}' on a {}-machine cluster",
         3
@@ -160,6 +177,10 @@ fn main() {
                 println!("  \\ctrl status    replicated controller group: leader, term, lag");
                 println!("  \\ctrl kill [n]  crash controller n (default: the leader)");
                 println!("  \\ctrl restart <n>  restart a crashed controller replica");
+                println!(
+                    "  \\georep status  attach a standby colo (first use) and show stream lag"
+                );
+                println!("  \\georep promote fence this colo and promote the standby (DR drill)");
                 println!(
                     "  \\connect <host:port> [db]  serve over TCP (see `cargo run --bin serve`)"
                 );
@@ -248,7 +269,8 @@ fn main() {
                 || input.starts_with("\\fail")
                 || input.starts_with("\\recover")
                 || input.starts_with("\\sla")
-                || input.starts_with("\\ctrl"))
+                || input.starts_with("\\ctrl")
+                || input.starts_with("\\georep"))
         {
             println!("(local-cluster command — \\disconnect first)");
             continue;
@@ -327,6 +349,90 @@ fn main() {
                 Some(other) => {
                     println!("unknown \\ctrl subcommand {other:?} (status, kill, restart)")
                 }
+            }
+            continue;
+        }
+        if input == "\\georep" || input.starts_with("\\georep ") {
+            let rest = input.strip_prefix("\\georep").unwrap().trim();
+            match rest {
+                "status" | "" => {
+                    let g = geo.get_or_insert_with(|| GeoSession {
+                        standby: ClusterController::with_machines(ClusterConfig::for_tests(), 3),
+                        links: HashMap::new(),
+                        // Share the primary registry so the stream's
+                        // tenantdb_georep_* series show up in \metrics.
+                        metrics: GeoMetrics::new(Arc::clone(cluster.metrics().registry())),
+                        promoted: false,
+                    });
+                    if g.promoted {
+                        println!("standby already promoted (epoch {})", g.standby.geo_epoch());
+                        continue;
+                    }
+                    if !g.links.contains_key(&db) {
+                        match Shipper::new(Arc::clone(&cluster), &db, g.metrics.clone()) {
+                            Ok(shipper) => {
+                                let applier = Arc::new(Mutex::new(Applier::new(
+                                    Arc::clone(&g.standby),
+                                    &db,
+                                    2,
+                                    g.metrics.clone(),
+                                )));
+                                let metrics = g.metrics.clone();
+                                g.links
+                                    .insert(db.clone(), GeoLink::new(shipper, applier, metrics));
+                            }
+                            Err(e) => {
+                                println!("error: cannot ship '{db}': {e}");
+                                continue;
+                            }
+                        }
+                    }
+                    let link = g.links.get_mut(&db).unwrap();
+                    match link.sync() {
+                        Ok(_) => {
+                            println!(
+                                "  stream '{db}': source {:?}, cursor {:?}, acked {:?}, lag {}",
+                                link.shipper().source(),
+                                link.shipper().cursor(),
+                                link.acked(),
+                                link.lag(),
+                            );
+                            println!(
+                                "  primary: write epoch {}, fenced {}; standby epoch {}",
+                                cluster.geo_write_epoch(),
+                                cluster.is_geo_fenced(),
+                                g.standby.geo_epoch(),
+                            );
+                        }
+                        Err(e) => println!("error: stream sync failed: {e}"),
+                    }
+                }
+                "promote" => match geo.as_mut() {
+                    Some(g) if !g.links.is_empty() => {
+                        let appliers: Vec<_> =
+                            g.links.values().map(|l| Arc::clone(l.applier())).collect();
+                        match promote(&g.standby, Some(&cluster), &appliers, &g.metrics) {
+                            Ok(out) => {
+                                g.promoted = true;
+                                println!(
+                                    "promoted standby at epoch {} (old primary fenced: {}); \
+                                     reconciled in-flight 2PC: {} committed, {} aborted",
+                                    out.epoch,
+                                    out.fenced_old_primary,
+                                    out.committed.len(),
+                                    out.aborted.len(),
+                                );
+                                println!(
+                                    "this shell stays on the fenced primary — reads keep \
+                                     working, writes are rejected"
+                                );
+                            }
+                            Err(e) => println!("error: promotion failed: {e}"),
+                        }
+                    }
+                    _ => println!("no standby attached — run \\georep status first"),
+                },
+                other => println!("unknown \\georep subcommand {other:?} (status, promote)"),
             }
             continue;
         }

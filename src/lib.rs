@@ -29,11 +29,16 @@
 //! * [`net`] — the serving frontend: versioned binary wire protocol,
 //!   multi-threaded TCP server over the platform, and a blocking native
 //!   client (`cargo run --bin serve`, shell `\connect`).
+//! * [`georep`] — cross-colo disaster recovery: per-database WAL shipping
+//!   to a standby colo over the versioned log-stream protocol,
+//!   epoch-fenced standby promotion, and in-doubt 2PC reconciliation
+//!   (shell `\georep status|promote`).
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the paper-vs-measured record of every table and figure.
 
 pub use tenantdb_cluster as cluster;
+pub use tenantdb_georep as georep;
 pub use tenantdb_history as history;
 pub use tenantdb_net as net;
 pub use tenantdb_platform as platform;
